@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench report examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+report:
+	dune exec bench/main.exe -- report
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/conflict_demo.exe
+	dune exec examples/vhdl_roundtrip.exe
+	dune exec examples/hls_flow.exe
+	dune exec examples/design_flow.exe
+	dune exec examples/iks_demo.exe
+
+clean:
+	dune clean
