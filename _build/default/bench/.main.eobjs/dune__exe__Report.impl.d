@@ -1,0 +1,1 @@
+bench/report.ml: Array Csrtl_clocked Csrtl_core Csrtl_handshake Csrtl_hls Csrtl_iks Csrtl_kernel Csrtl_verify Csrtl_vhdl Format List Printf String Workloads

@@ -1,0 +1,1 @@
+bench/workloads.ml: Csrtl_core List Printf Unix

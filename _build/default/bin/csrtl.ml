@@ -1,0 +1,571 @@
+(* csrtl — command-line driver for the clock-free RT level toolkit.
+
+   Subcommands: sim, check, export-vhdl, import-vhdl, lower, hls, iks,
+   info.  Models are exchanged in the textual .rtm format (see
+   Csrtl_core.Rtm) or as paper-style VHDL. *)
+
+open Cmdliner
+module C = Csrtl_core
+
+let load_model path =
+  if Filename.check_suffix path ".vhd" || Filename.check_suffix path ".vhdl"
+  then begin
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Csrtl_vhdl.Extract.model_of_string text
+  end
+  else C.Rtm.of_file path
+
+let model_arg =
+  let doc = "Model file (.rtm, or .vhd/.vhdl emitted by export-vhdl)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc)
+
+let handle_errors f =
+  try f () with
+  | C.Rtm.Parse_error (line, msg) ->
+    Format.eprintf "parse error at line %d: %s@." line msg;
+    exit 1
+  | Csrtl_vhdl.Extract.Extract_error msg ->
+    Format.eprintf "VHDL extraction failed: %s@." msg;
+    exit 1
+  | Csrtl_vhdl.Parser.Parse_error (line, msg) ->
+    Format.eprintf "VHDL parse error at line %d: %s@." line msg;
+    exit 1
+  | Invalid_argument msg ->
+    Format.eprintf "invalid model: %s@." msg;
+    exit 1
+
+(* -- sim ------------------------------------------------------------------ *)
+
+let sim_cmd =
+  let engine =
+    let doc =
+      "Execution engine: $(b,kernel) (event-driven delta cycles) or \
+       $(b,interp) (direct control-step interpreter)."
+    in
+    Arg.(value & opt (enum [ ("kernel", `Kernel); ("interp", `Interp) ])
+           `Kernel
+         & info [ "engine" ] ~doc)
+  in
+  let vcd =
+    let doc = "Write a VCD waveform (delta-cycle axis) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc)
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print kernel statistics.")
+  in
+  let wave =
+    Arg.(value & flag
+         & info [ "wave" ] ~doc:"Render a text waveform of the run.")
+  in
+  let run path engine vcd stats wave =
+    handle_errors (fun () ->
+        let m = load_model path in
+        C.Model.validate_exn m;
+        match engine with
+        | `Interp ->
+          let obs = C.Interp.run m in
+          Format.printf "%a@." C.Observation.pp obs;
+          if wave then Format.printf "@.%s@." (C.Waveform.render obs);
+          if C.Observation.has_conflict obs then exit 2
+        | `Kernel ->
+          let buf = Buffer.create 4096 in
+          let r =
+            match vcd with
+            | Some _ -> C.Simulate.run ~vcd:buf m
+            | None -> C.Simulate.run m
+          in
+          (match vcd with
+           | Some file ->
+             let oc = open_out file in
+             Buffer.output_buffer oc buf;
+             close_out oc;
+             Format.printf "wrote %s@." file
+           | None -> ());
+          Format.printf "%a@." C.Observation.pp r.C.Simulate.obs;
+          if wave then
+            Format.printf "@.%s@." (C.Waveform.render r.C.Simulate.obs);
+          Format.printf "simulation cycles: %d (expected %d)@."
+            r.C.Simulate.cycles (C.Simulate.expected_cycles m);
+          if stats then
+            Format.printf "%a@." Csrtl_kernel.Scheduler.pp_stats
+              r.C.Simulate.stats;
+          if C.Observation.has_conflict r.C.Simulate.obs then exit 2)
+  in
+  let doc = "Simulate a clock-free model and print the observation." in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(const run $ model_arg $ engine $ vcd $ stats $ wave)
+
+(* -- check ---------------------------------------------------------------- *)
+
+let check_cmd =
+  let run path =
+    handle_errors (fun () ->
+        let m = load_model path in
+        let errs = C.Model.validate m in
+        List.iter
+          (fun e -> Format.printf "error: %a@." C.Model.pp_error e)
+          errs;
+        let conflicts = if errs = [] then C.Conflict.check m else [] in
+        List.iter
+          (fun c -> Format.printf "conflict: %a@." C.Conflict.pp c)
+          conflicts;
+        if errs = [] && conflicts = [] then
+          Format.printf "%s: ok (%d transfers, cs_max %d)@." m.C.Model.name
+            (List.length m.C.Model.transfers)
+            m.C.Model.cs_max
+        else exit 2)
+  in
+  let doc = "Validate a model and report static resource conflicts." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ model_arg)
+
+(* -- export / import VHDL --------------------------------------------------- *)
+
+let output_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+
+let write_output out text =
+  match out with
+  | None -> print_string text
+  | Some file ->
+    let oc = open_out file in
+    output_string oc text;
+    close_out oc;
+    Format.printf "wrote %s@." file
+
+let export_cmd =
+  let self_check =
+    Arg.(value & flag
+         & info [ "self-check" ]
+             ~doc:"Append a checker process asserting the reference                    simulation's register values.")
+  in
+  let run path self_check out =
+    handle_errors (fun () ->
+        let m = load_model path in
+        C.Model.validate_exn m;
+        let text =
+          if self_check then
+            Csrtl_vhdl.Emit.self_checking_to_string m (C.Interp.run m)
+          else Csrtl_vhdl.Emit.to_string m
+        in
+        write_output out text)
+  in
+  let doc = "Emit the paper-style VHDL for a model." in
+  Cmd.v (Cmd.info "export-vhdl" ~doc)
+    Term.(const run $ model_arg $ self_check $ output_arg)
+
+let import_cmd =
+  let run path out =
+    handle_errors (fun () ->
+        let ic = open_in path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let m = Csrtl_vhdl.Extract.model_of_string text in
+        write_output out (C.Rtm.to_string m))
+  in
+  let doc = "Extract a model from emitted VHDL and print it as .rtm." in
+  Cmd.v (Cmd.info "import-vhdl" ~doc)
+    Term.(const run $ model_arg $ output_arg)
+
+(* -- run-vhdl ---------------------------------------------------------------- *)
+
+let run_vhdl_cmd =
+  let top =
+    Arg.(required & opt (some string) None
+         & info [ "top" ] ~docv:"ENTITY" ~doc:"Top entity to elaborate.")
+  in
+  let signals =
+    Arg.(value & opt_all string []
+         & info [ "show" ] ~docv:"SIGNAL"
+             ~doc:"Signal(s) to print after the run (repeatable).")
+  in
+  let run path top signals =
+    handle_errors (fun () ->
+        let ic = open_in path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Csrtl_vhdl.Elab.elaborate_and_run ~top text with
+        | Error msg ->
+          Format.eprintf "%s@." msg;
+          exit 1
+        | Ok t ->
+          Format.printf "simulation cycles: %d@."
+            (Csrtl_kernel.Scheduler.delta_count t.Csrtl_vhdl.Elab.kernel);
+          List.iter
+            (fun n ->
+              match t.Csrtl_vhdl.Elab.lookup n with
+              | s ->
+                Format.printf "%s = %d@." n (Csrtl_kernel.Signal.value s)
+              | exception Not_found ->
+                Format.printf "%s: no such signal@." n)
+            signals;
+          (match !(t.Csrtl_vhdl.Elab.failures) with
+           | [] -> Format.printf "assertions: all passed@."
+           | fs ->
+             List.iter (Format.printf "assertion failed: %s@.") fs;
+             exit 2))
+  in
+  let doc =
+    "Elaborate and execute a subset VHDL design directly (interpreted      processes, parsed resolution functions, assertions)."
+  in
+  Cmd.v (Cmd.info "run-vhdl" ~doc)
+    Term.(const run $ model_arg $ top $ signals)
+
+(* -- lint ------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run path =
+    handle_errors (fun () ->
+        let ic = open_in path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Csrtl_vhdl.Lint.check_source text with
+        | Error msg ->
+          Format.printf "outside the subset grammar: %s@." msg;
+          exit 2
+        | Ok findings ->
+          List.iter
+            (fun f -> Format.printf "%a@." Csrtl_vhdl.Lint.pp_finding f)
+            findings;
+          if Csrtl_vhdl.Lint.conformant findings then
+            Format.printf "%s conforms to the clock-free RT subset@." path
+          else exit 2)
+  in
+  let doc = "Check a VHDL file against the clock-free RT subset rules." in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ model_arg)
+
+(* -- lower ----------------------------------------------------------------- *)
+
+let lower_cmd =
+  let scheme =
+    let doc = "Control-step implementation: $(b,one-cycle) or $(b,two-phase)." in
+    Arg.(value
+         & opt
+             (enum
+                [ ("one-cycle", Csrtl_clocked.Lower.One_cycle_per_step);
+                  ("two-phase", Csrtl_clocked.Lower.Two_phase) ])
+             Csrtl_clocked.Lower.One_cycle_per_step
+         & info [ "scheme" ] ~doc)
+  in
+  let vhdl_out =
+    Arg.(value & opt (some string) None
+         & info [ "vhdl" ] ~docv:"FILE"
+             ~doc:"Also emit synthesizable clocked VHDL to $(docv).")
+  in
+  let run path scheme vhdl_out =
+    handle_errors (fun () ->
+        let m = load_model path in
+        let low = Csrtl_clocked.Lower.lower ~scheme m in
+        Format.printf "netlist: %a@." Csrtl_clocked.Netlist.pp_stats
+          low.Csrtl_clocked.Lower.net;
+        Format.printf "cycles for the schedule: %d@."
+          (Csrtl_clocked.Lower.cycles_needed low);
+        (match vhdl_out with
+         | Some file ->
+           let oc = open_out file in
+           output_string oc
+             (Csrtl_clocked.Emit_vhdl.to_string ~name:m.C.Model.name low);
+           close_out oc;
+           Format.printf "wrote %s@." file
+         | None -> ());
+        match Csrtl_clocked.Equiv.check ~scheme m with
+        | Ok () -> Format.printf "equivalent to the clock-free model@."
+        | Error ms ->
+          List.iter
+            (fun mm ->
+              Format.printf "MISMATCH %a@." Csrtl_clocked.Equiv.pp_mismatch
+                mm)
+            ms;
+          exit 2)
+  in
+  let doc =
+    "Lower a model to a clocked netlist and check per-step equivalence."
+  in
+  Cmd.v (Cmd.info "lower" ~doc)
+    Term.(const run $ model_arg $ scheme $ vhdl_out)
+
+(* -- hls -------------------------------------------------------------------- *)
+
+let hls_cmd =
+  let program =
+    let doc =
+      "Benchmark program (diffeq, fft4, fir:N, horner:N) or a .alg file."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let alus = Arg.(value & opt int 1 & info [ "alus" ] ~doc:"ALU count.") in
+  let mults =
+    Arg.(value & opt int 1 & info [ "mults" ] ~doc:"Multiplier count.")
+  in
+  let buses = Arg.(value & opt int 2 & info [ "buses" ] ~doc:"Bus count.") in
+  let scheduler =
+    let doc = "Scheduler: $(b,list) (resource-constrained) or $(b,fds)                (force-directed, time-constrained)." in
+    Arg.(value
+         & opt (enum [ ("list", `List); ("fds", `Force_directed) ]) `List
+         & info [ "scheduler" ] ~doc)
+  in
+  let run name alus mults buses scheduler out =
+    handle_errors (fun () ->
+        let program =
+          if Filename.check_suffix name ".alg" then
+            try Csrtl_hls.Parse.program_of_file name
+            with Csrtl_hls.Parse.Parse_error (line, msg) ->
+              Format.eprintf "%s:%d: %s@." name line msg;
+              exit 1
+          else
+            match String.split_on_char ':' name with
+            | [ "diffeq" ] -> Csrtl_hls.Examples.diffeq
+            | [ "fir"; n ] -> Csrtl_hls.Examples.fir (int_of_string n)
+            | [ "horner"; n ] -> Csrtl_hls.Examples.horner (int_of_string n)
+            | [ "fft4" ] -> Csrtl_hls.Examples.fft4
+            | _ ->
+              Format.eprintf "unknown program %s@." name;
+              exit 1
+        in
+        let resources =
+          Csrtl_hls.Sched.default_resources ~alus ~mults ~buses ()
+        in
+        let flow = Csrtl_hls.Flow.compile ~resources ~scheduler program in
+        Format.printf "%a@." Csrtl_hls.Sched.pp flow.Csrtl_hls.Flow.schedule;
+        Format.printf "%a@." Csrtl_hls.Synth.pp_report
+          flow.Csrtl_hls.Flow.binding;
+        let verdicts = Csrtl_verify.Equiv.check_flow flow in
+        List.iter
+          (fun (o, v) ->
+            Format.printf "output %s: %a@." o Csrtl_verify.Equiv.pp_verdict v)
+          verdicts;
+        match out with
+        | None -> ()
+        | Some _ ->
+          write_output out
+            (C.Rtm.to_string flow.Csrtl_hls.Flow.binding.Csrtl_hls.Synth.model))
+  in
+  let doc =
+    "Run the HLS flow on a benchmark and emit the clock-free model."
+  in
+  Cmd.v (Cmd.info "hls" ~doc)
+    Term.(const run $ program $ alus $ mults $ buses $ scheduler
+          $ output_arg)
+
+(* -- iks -------------------------------------------------------------------- *)
+
+let iks_cmd =
+  let farg name default doc =
+    Arg.(value & opt float default & info [ name ] ~doc)
+  in
+  let run l1 l2 px py =
+    let f = Csrtl_iks.Fixed.of_float in
+    let t = Csrtl_iks.Ikprog.build ~l1:(f l1) ~l2:(f l2) ~px:(f px) ~py:(f py) in
+    Format.printf "microprogram: %d words@."
+      (List.length t.Csrtl_iks.Ikprog.program.Csrtl_iks.Microcode.instrs);
+    let s = Csrtl_iks.Ikprog.solve_on_datapath ~l1:(f l1) ~l2:(f l2)
+        ~px:(f px) ~py:(f py)
+    in
+    if not s.Csrtl_iks.Golden.reachable then begin
+      Format.printf "target out of reach@.";
+      exit 2
+    end;
+    Format.printf "theta1 = %s rad@."
+      (Csrtl_iks.Fixed.to_string s.Csrtl_iks.Golden.theta1);
+    Format.printf "theta2 = %s rad@."
+      (Csrtl_iks.Fixed.to_string s.Csrtl_iks.Golden.theta2);
+    let bitexact =
+      s.Csrtl_iks.Golden.theta1 = t.Csrtl_iks.Ikprog.expected.Csrtl_iks.Golden.theta1
+      && s.Csrtl_iks.Golden.theta2
+         = t.Csrtl_iks.Ikprog.expected.Csrtl_iks.Golden.theta2
+    in
+    Format.printf "bit-exact vs golden model: %b@." bitexact
+  in
+  let doc = "Solve 2-link inverse kinematics on the IKS datapath model." in
+  Cmd.v (Cmd.info "iks" ~doc)
+    Term.(const run
+          $ farg "l1" 2.0 "Upper arm length."
+          $ farg "l2" 1.5 "Forearm length."
+          $ farg "px" 2.5 "Target x."
+          $ farg "py" 1.0 "Target y.")
+
+(* -- coverage ---------------------------------------------------------------- *)
+
+let coverage_cmd =
+  let run path =
+    handle_errors (fun () ->
+        let m = load_model path in
+        Format.printf "%a@." C.Coverage.pp (C.Coverage.analyze m))
+  in
+  let doc =
+    "Report bus/unit utilization, dead transfers, and unused registers."
+  in
+  Cmd.v (Cmd.info "coverage" ~doc) Term.(const run $ model_arg)
+
+(* -- trace ------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let from_step =
+    Arg.(value & opt int 1 & info [ "from" ] ~docv:"STEP"
+           ~doc:"First control step of the window.")
+  in
+  let to_step =
+    Arg.(value & opt (some int) None
+         & info [ "to" ] ~docv:"STEP" ~doc:"Last control step.")
+  in
+  let run path from_step to_step =
+    handle_errors (fun () ->
+        let m = load_model path in
+        print_string (C.Waveform.phase_view ~from_step ?to_step m))
+  in
+  let doc =
+    "Show resolved sink values phase by phase (conflicts are marked)      for a step window."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ model_arg $ from_step $ to_step)
+
+(* -- compact ----------------------------------------------------------------- *)
+
+let compact_cmd =
+  let run path out =
+    handle_errors (fun () ->
+        let m = load_model path in
+        let before, after = C.Reschedule.compaction m in
+        Format.printf "schedule: %d -> %d control steps@." before after;
+        let m' = C.Reschedule.compact m in
+        match out with
+        | None -> print_string (C.Rtm.to_string m')
+        | Some _ -> write_output out (C.Rtm.to_string m'))
+  in
+  let doc =
+    "Re-embed the transfers into the earliest behaviour-preserving      control steps (same buses, units and registers)."
+  in
+  Cmd.v (Cmd.info "compact" ~doc) Term.(const run $ model_arg $ output_arg)
+
+(* -- dot -------------------------------------------------------------------- *)
+
+let dot_cmd =
+  let structure =
+    Arg.(value & flag
+         & info [ "structure" ]
+             ~doc:"Resources and transfer paths only (paper Fig. 3 style),                    without per-step edge labels.")
+  in
+  let run path structure out =
+    handle_errors (fun () ->
+        let m = load_model path in
+        let text =
+          if structure then C.Dot.structure_only m else C.Dot.to_dot m
+        in
+        write_output out text)
+  in
+  let doc = "Render the RT structure as Graphviz (dot) text." in
+  Cmd.v (Cmd.info "dot" ~doc)
+    Term.(const run $ model_arg $ structure $ output_arg)
+
+(* -- selfcheck --------------------------------------------------------------- *)
+
+let selfcheck_cmd =
+  let run path =
+    handle_errors (fun () ->
+        let m = load_model path in
+        let ok = ref true in
+        let say name result detail =
+          if not result then ok := false;
+          Format.printf "  %-34s %s%s@." name
+            (if result then "ok" else "FAILED")
+            (if detail = "" then "" else " (" ^ detail ^ ")")
+        in
+        Format.printf "self-check of %s@." m.C.Model.name;
+        (match C.Model.validate m with
+         | [] -> say "validation" true ""
+         | es -> say "validation" false (string_of_int (List.length es) ^ " errors"));
+        let conflicts = C.Conflict.check m in
+        say "static conflict analysis" (conflicts = [])
+          (match conflicts with
+           | [] -> ""
+           | c :: _ -> C.Conflict.to_string c);
+        let kr = C.Simulate.run m in
+        let io = C.Interp.run m in
+        say "kernel = interpreter"
+          (C.Observation.equal kr.C.Simulate.obs io) "";
+        say "delta-cycle law"
+          (kr.C.Simulate.cycles = C.Simulate.expected_cycles m)
+          (Printf.sprintf "%d cycles" kr.C.Simulate.cycles);
+        (* VHDL loop *)
+        (let text = Csrtl_vhdl.Emit.to_string m in
+         match Csrtl_vhdl.Lint.check_source text with
+         | Ok fs -> say "emitted VHDL lints clean" (Csrtl_vhdl.Lint.conformant fs) ""
+         | Error msg -> say "emitted VHDL lints clean" false msg);
+        (match
+           Csrtl_vhdl.Extract.model_of_string (Csrtl_vhdl.Emit.to_string m)
+         with
+         | back ->
+           let io' = C.Interp.run back in
+           say "VHDL extract round trip"
+             (C.Observation.equal
+                { io with C.Observation.model_name = "x" }
+                { io' with C.Observation.model_name = "x" })
+             ""
+         | exception Csrtl_vhdl.Extract.Extract_error msg ->
+           say "VHDL extract round trip" false msg);
+        (let tb = Csrtl_vhdl.Emit.self_checking_to_string m io in
+         match Csrtl_vhdl.Elab.elaborate_and_run ~top:m.C.Model.name tb with
+         | Ok t ->
+           say "self-checking VHDL executes"
+             (!(t.Csrtl_vhdl.Elab.failures) = [])
+             (Printf.sprintf "%d assertion failures"
+                (List.length !(t.Csrtl_vhdl.Elab.failures)))
+         | Error msg -> say "self-checking VHDL executes" false msg);
+        (* clocked loop, only for conflict-free models *)
+        if conflicts = [] then begin
+          (match Csrtl_clocked.Equiv.check_all_schemes m with
+           | results ->
+             say "clocked lowering (both schemes)"
+               (List.for_all (fun (_, r) -> r = Ok ()) results)
+               ""
+           | exception Csrtl_clocked.Lower.Lowering_error msg ->
+             say "clocked lowering (both schemes)" false msg);
+          match Csrtl_verify.Lowcheck.check m with
+          | Csrtl_verify.Lowcheck.Proved ->
+            say "symbolic lowering proof" true "all inputs"
+          | v ->
+            say "symbolic lowering proof" false
+              (Format.asprintf "%a" Csrtl_verify.Lowcheck.pp_verdict v)
+          | exception Csrtl_clocked.Lower.Lowering_error msg ->
+            say "symbolic lowering proof" false msg
+        end;
+        if not !ok then exit 2)
+  in
+  let doc =
+    "Run the full validation loop on a model: both simulators, the      delta-cycle law, VHDL round trips (lint, extract, interpreted      self-checking execution), and the clocked lowering with its      symbolic proof."
+  in
+  Cmd.v (Cmd.info "selfcheck" ~doc) Term.(const run $ model_arg)
+
+(* -- info -------------------------------------------------------------------- *)
+
+let info_cmd =
+  let run path =
+    handle_errors (fun () ->
+        let m = load_model path in
+        Format.printf "%a@." C.Model.pp m;
+        let legs, selects = C.Model.all_legs m in
+        Format.printf
+          "%d registers, %d units, %d buses, %d transfers -> %d TRANS \
+           instances + %d op selections@."
+          (List.length m.C.Model.registers)
+          (List.length m.C.Model.fus)
+          (List.length m.C.Model.buses)
+          (List.length m.C.Model.transfers)
+          (List.length legs) (List.length selects);
+        Format.printf "expected simulation cycles: %d@."
+          (C.Simulate.expected_cycles m))
+  in
+  let doc = "Print a model summary." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ model_arg)
+
+let () =
+  let doc = "clock-free register-transfer-level models (DATE'98)" in
+  let info = Cmd.info "csrtl" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ sim_cmd; check_cmd; export_cmd; import_cmd; lint_cmd;
+            run_vhdl_cmd; lower_cmd; compact_cmd; trace_cmd; coverage_cmd;
+            selfcheck_cmd; hls_cmd; iks_cmd; dot_cmd; info_cmd ]))

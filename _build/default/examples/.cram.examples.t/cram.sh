@@ -1,0 +1,7 @@
+  $ ./quickstart.exe | grep -E "R1 after|interpreter agrees|clocked lowering"
+  $ ./iks_demo.exe | grep -E "bit-exact match|reachable$|out of reach$"
+  $ ./hls_flow.exe | grep -c "proved"
+  $ ./conflict_demo.exe | grep -E "identical failure|Lowering_error" | head -2
+  $ ./vhdl_roundtrip.exe | grep -c "behaviour preserved: true"
+  $ ./design_flow.exe | grep -E "proved$|dataflow preserved|subset-conformant|equivalent for all inputs" | head -8
+  $ csrtl run-vhdl paper_fig1.vhd --top example --show R1_out

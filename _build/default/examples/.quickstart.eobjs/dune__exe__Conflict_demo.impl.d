@@ -1,0 +1,1 @@
+examples/conflict_demo.ml: Builder Conflict Csrtl_clocked Csrtl_core Format Interp List Model Observation Ops Phase Simulate Transfer Word

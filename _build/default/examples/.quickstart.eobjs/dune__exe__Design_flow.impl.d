@@ -1,0 +1,1 @@
+examples/design_flow.ml: Csrtl_clocked Csrtl_core Csrtl_hls Csrtl_verify Csrtl_vhdl Format List String

@@ -1,0 +1,1 @@
+examples/hls_flow.ml: Csrtl_clocked Csrtl_core Csrtl_hls Csrtl_verify Examples Flow Format Ir List Printf Sched String Synth

@@ -1,0 +1,1 @@
+examples/iks_demo.ml: Csrtl_core Csrtl_iks Fixed Format Golden Ikprog List Microcode Translate

@@ -1,0 +1,1 @@
+examples/iks_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Csrtl_clocked Csrtl_core Csrtl_kernel Format Interp List Model Observation Simulate String Transfer Word

@@ -1,0 +1,1 @@
+examples/vhdl_roundtrip.ml: Csrtl_core Csrtl_hls Csrtl_vhdl Emit Extract Format List Parser Printf String

@@ -1,0 +1,1 @@
+examples/vhdl_roundtrip.mli:

@@ -1,0 +1,88 @@
+(* The paper's section 3 application: the IKS (inverse kinematics
+   solution) chip at the abstract register-transfer level.
+
+   Shows the microcode-table-to-transfers translation on the paper's
+   worked example (store address 7), then generates and runs a
+   complete inverse-kinematics microprogram on the Fig. 3 datapath,
+   comparing against the algorithmic golden model.
+
+   Run with: dune exec examples/iks_demo.exe *)
+
+open Csrtl_iks
+module C = Csrtl_core
+
+let () =
+  Format.printf "=== paper Table (store address 7) -> transfers ===@.@.";
+  Format.printf "%a@.@." Microcode.pp_instr Microcode.paper_addr7;
+  let tuples = Translate.tuples_of_instr Microcode.paper_addr7 in
+  Format.printf "derived transfer tuples (cf. paper section 3):@.";
+  List.iter (fun t -> Format.printf "  %a@." C.Transfer.pp t) tuples;
+
+  Format.printf "@.=== inverse kinematics on the Fig. 3 datapath ===@.@.";
+  let l1 = Fixed.of_float 2.0 and l2 = Fixed.of_float 1.5 in
+  let px = Fixed.of_float 2.5 and py = Fixed.of_float 1.0 in
+  Format.printf "arm: l1=%s l2=%s   target: (%s, %s)@." (Fixed.to_string l1)
+    (Fixed.to_string l2) (Fixed.to_string px) (Fixed.to_string py);
+
+  let t = Ikprog.build ~l1 ~l2 ~px ~py in
+  let words = List.length t.Ikprog.program.Microcode.instrs in
+  Format.printf "generated microprogram: %d words@." words;
+  Format.printf "first words:@.";
+  List.iteri
+    (fun i ins -> if i < 6 then Format.printf "  %a@." Microcode.pp_instr ins)
+    t.Ikprog.program.Microcode.instrs;
+  Format.printf "  ...@.";
+
+  let model =
+    Translate.to_model ~inputs:t.Ikprog.inputs ~reg_init:t.Ikprog.reg_init
+      t.Ikprog.program
+  in
+  Format.printf
+    "translated clock-free model: cs_max=%d, %d transfers, %d conflicts@."
+    model.C.Model.cs_max
+    (List.length model.C.Model.transfers)
+    (List.length (C.Conflict.check model));
+
+  let obs = C.Interp.run model in
+  let theta1 = Translate.final_loc obs Ikprog.theta1_loc in
+  let theta2 = Translate.final_loc obs Ikprog.theta2_loc in
+  Format.printf "@.datapath result:  theta1 = %s rad, theta2 = %s rad@."
+    (Fixed.to_string theta1) (Fixed.to_string theta2);
+  Format.printf "golden model:     theta1 = %s rad, theta2 = %s rad@."
+    (Fixed.to_string t.Ikprog.expected.Golden.theta1)
+    (Fixed.to_string t.Ikprog.expected.Golden.theta2);
+  Format.printf "bit-exact match:  %b@."
+    (theta1 = t.Ikprog.expected.Golden.theta1
+     && theta2 = t.Ikprog.expected.Golden.theta2);
+
+  (match
+     Golden.solve_float ~l1:2.0 ~l2:1.5 ~px:2.5 ~py:1.0
+   with
+   | Some (t1, t2) ->
+     Format.printf "float reference:  theta1 = %.5f rad, theta2 = %.5f rad@."
+       t1 t2
+   | None -> ());
+
+  (* forward kinematics as a second microprogram: round trip on the
+     datapath itself *)
+  Format.printf "@.=== forward kinematics on the datapath ===@.@.";
+  let rx, ry =
+    Ikprog.forward_on_datapath ~l1 ~l2 ~theta1 ~theta2
+  in
+  Format.printf "FK(theta1, theta2) = (%s, %s)  (target was (2.5, 1.0))@."
+    (Fixed.to_string rx) (Fixed.to_string ry);
+
+  (* and the fully static workspace check *)
+  Format.printf "@.=== workspace check (static microcode) ===@.@.";
+  let wp, _ = Ikprog.build_workspace () in
+  Format.printf "%d static words; same program for every input@."
+    (List.length wp.Microcode.instrs);
+  List.iter
+    (fun (px, py) ->
+      Format.printf "  target (%.1f, %.1f): %s@." px py
+        (if
+           Ikprog.workspace_on_datapath ~l1 ~l2 ~px:(Fixed.of_float px)
+             ~py:(Fixed.of_float py)
+         then "reachable"
+         else "out of reach"))
+    [ (2.5, 1.0); (5.0, 0.0); (0.2, 0.1) ]

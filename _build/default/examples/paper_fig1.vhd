@@ -1,0 +1,131 @@
+-- The paper's running example, assembled verbatim from the code
+-- fragments printed in sections 2.2-2.7 of "Register Transfer Level
+-- VHDL Models without Clocks" (Mutz, DATE 1998): the support package
+-- with the resolution function, CONTROLLER / TRANS / REG as printed,
+-- the ADD module of section 2.6, and the Fig. 1 architecture with its
+-- six TRANS instances (R1 <- R1 + R2 scheduled at steps 5/6).
+--
+-- Run it with the interpreting VHDL front end:
+--
+--   csrtl run-vhdl examples/paper_fig1.vhd --top example --show R1_out
+--
+-- Both registers start at 3, so R1 ends at 6, and the run takes
+-- exactly 6 * CS_MAX = 42 delta cycles (no write-back in step 7).
+package csrtl_rt is
+  type Phase is (ra, rb, cm, wa, wb, cr);
+  constant DISC: Integer := -1;
+  constant ILLEGAL: Integer := -2;
+  type Integer_Vector is array (Natural range <>) of Integer;
+  function resolve (s: Integer_Vector) return Integer is
+    variable result: Integer := DISC;
+  begin
+    for i in s'Low to s'High loop
+      if s(i) = ILLEGAL then
+        result := ILLEGAL;
+      elsif s(i) /= DISC then
+        if result = DISC then
+          result := s(i);
+        else
+          result := ILLEGAL;
+        end if;
+      end if;
+    end loop;
+    return result;
+  end resolve;
+end csrtl_rt;
+
+entity CONTROLLER is
+  generic (CS_MAX: Natural);
+  port (CS: inout Natural := 0; PH: inout Phase := Phase'High);
+end CONTROLLER;
+architecture transfer of CONTROLLER is
+begin
+  process (PH)
+  begin
+    if PH = Phase'High then
+      if CS < CS_MAX then
+        CS <= CS + 1;
+        PH <= Phase'Low;
+      end if;
+    else
+      PH <= Phase'Succ(PH);
+    end if;
+  end process;
+end transfer;
+
+entity TRANS is
+  generic (S: Natural; P: Phase);
+  port (CS: in Natural; PH: in Phase;
+        InS: in Integer; OutS: out Integer := DISC);
+end TRANS;
+architecture transfer of TRANS is
+begin
+  process
+  begin
+    wait until CS = S and PH = P;
+    OutS <= InS;
+    wait until CS = S and PH = Phase'Succ(P);
+    OutS <= DISC;
+    wait;
+  end process;
+end transfer;
+
+entity REG is
+  port (PH: in Phase; R_in: in Integer; R_out: out Integer := DISC);
+end REG;
+architecture transfer of REG is
+begin
+  process
+  begin
+    wait until PH = cr;
+    if R_in /= DISC then
+      R_out <= R_in;
+    end if;
+  end process;
+end transfer;
+
+entity ADD is
+  port (PH: in Phase; M_in1, M_in2: in Integer;
+        M_out: out Integer := DISC);
+end ADD;
+architecture transfer of ADD is
+begin
+  process
+    variable M: Integer := DISC;
+  begin
+    wait until PH = cm;
+    M_out <= M;
+    if M /= ILLEGAL then
+      if M_in1 = DISC and M_in2 = DISC then
+        M := DISC;
+      elsif M_in1 /= DISC and M_in2 /= DISC then
+        M := M_in1 + M_in2;
+      else
+        M := ILLEGAL;
+      end if;
+    end if;
+  end process;
+end transfer;
+
+entity example is
+end example;
+architecture transfer of example is
+  signal CS: Natural := 0;
+  signal PH: Phase := Phase'High;
+  signal ADD_in1, ADD_in2: resolve Integer;
+  signal ADD_out: Integer;
+  signal R1_in, R2_in: resolve Integer;
+  signal R1_out, R2_out: Integer := 3;
+  signal B1, B2: resolve Integer;
+begin
+  ADD_proc: ADD port map (PH, ADD_in1, ADD_in2, ADD_out);
+  R1_proc: REG port map (PH, R1_in, R1_out);
+  R2_proc: REG port map (PH, R2_in, R2_out);
+  R1_out_B1_5: TRANS generic map (5, ra) port map (CS, PH, R1_out, B1);
+  B1_ADD_in1_5: TRANS generic map (5, rb) port map (CS, PH, B1, ADD_in1);
+  R2_out_B2_5: TRANS generic map (5, ra) port map (CS, PH, R2_out, B2);
+  B2_ADD_in2_5: TRANS generic map (5, rb) port map (CS, PH, B2, ADD_in2);
+  ADD_out_B1_6: TRANS generic map (6, wa) port map (CS, PH, ADD_out, B1);
+  B1_R1_in_6: TRANS generic map (6, wb) port map (CS, PH, B1, R1_in);
+  CONTROL: CONTROLLER generic map (7) port map (CS, PH);
+end transfer;

@@ -1,0 +1,1 @@
+lib/clocked/emit_vhdl.ml: Array Csrtl_core Csrtl_vhdl List Lower Netlist Printf String

@@ -1,0 +1,1 @@
+lib/clocked/emit_vhdl.mli: Csrtl_vhdl Lower

@@ -1,0 +1,1 @@
+lib/clocked/equiv.ml: Array Csrtl_core Eval Format List Lower Option

@@ -1,0 +1,1 @@
+lib/clocked/equiv.mli: Csrtl_core Format Lower

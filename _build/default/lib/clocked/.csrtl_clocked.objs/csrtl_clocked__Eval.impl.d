@@ -1,0 +1,1 @@
+lib/clocked/eval.ml: Array Csrtl_core List Netlist

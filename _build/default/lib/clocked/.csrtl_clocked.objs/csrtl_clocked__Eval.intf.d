@@ -1,0 +1,1 @@
+lib/clocked/eval.mli: Netlist

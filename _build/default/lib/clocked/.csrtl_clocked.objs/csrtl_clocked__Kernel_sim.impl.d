@@ -1,0 +1,1 @@
+lib/clocked/kernel_sim.ml: Array Csrtl_core Csrtl_kernel List Netlist Printf Process Scheduler Signal Time Types

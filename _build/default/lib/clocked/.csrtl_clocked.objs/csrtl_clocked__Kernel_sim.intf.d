@@ -1,0 +1,1 @@
+lib/clocked/kernel_sim.mli: Csrtl_kernel Netlist

@@ -1,0 +1,1 @@
+lib/clocked/lower.ml: Csrtl_core Eval Format Hashtbl List Netlist Printf

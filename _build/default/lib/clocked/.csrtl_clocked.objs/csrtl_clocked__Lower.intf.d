@@ -1,0 +1,1 @@
+lib/clocked/lower.mli: Csrtl_core Eval Netlist

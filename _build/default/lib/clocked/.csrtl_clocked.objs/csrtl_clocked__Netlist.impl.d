@@ -1,0 +1,1 @@
+lib/clocked/netlist.ml: Array Csrtl_core Format Hashtbl List

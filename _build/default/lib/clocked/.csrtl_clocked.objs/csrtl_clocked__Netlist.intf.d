@@ -1,0 +1,1 @@
+lib/clocked/netlist.mli: Csrtl_core Format

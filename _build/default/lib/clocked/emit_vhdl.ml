@@ -1,0 +1,174 @@
+module A = Csrtl_vhdl.Ast
+module C = Csrtl_core
+
+let node_sig id = Printf.sprintf "n%d" id
+let reg_sig name = "r_" ^ Csrtl_vhdl.Emit.mangle name
+
+let integer = A.plain "Integer"
+
+(* Expression for an operand reference. *)
+let ref_expr net id =
+  match Netlist.node net id with
+  | Netlist.Const v -> A.Int v
+  | Netlist.Input name -> A.Name (Csrtl_vhdl.Emit.mangle name)
+  | Netlist.Reg_q slot ->
+    let name, _ = List.nth (Netlist.registers net) slot in
+    A.Name (reg_sig name)
+  | Netlist.Op _ | Netlist.Eq_const _ | Netlist.Mux _ -> A.Name (node_sig id)
+
+(* Direct VHDL expression for an operation where one exists; helper
+   function call otherwise (declared, bodies supplied by the target
+   library, as in Csrtl_vhdl.Emit). *)
+let op_expr net op args =
+  let e i = ref_expr net (List.nth args i) in
+  match (op : C.Ops.t), args with
+  | C.Ops.Add, [ _; _ ] -> A.Binop (A.Add, e 0, e 1)
+  | C.Ops.Sub, [ _; _ ] -> A.Binop (A.Sub, e 0, e 1)
+  | C.Ops.Mul, [ _; _ ] -> A.Binop (A.Mul, e 0, e 1)
+  | C.Ops.Addi n, [ _ ] -> A.Binop (A.Add, e 0, A.Int n)
+  | C.Ops.Subi n, [ _ ] -> A.Binop (A.Sub, e 0, A.Int n)
+  | C.Ops.Muli n, [ _ ] -> A.Binop (A.Mul, e 0, A.Int n)
+  | C.Ops.Pass, [ _ ] -> e 0
+  | C.Ops.Neg, [ _ ] -> A.Unop (A.Neg, e 0)
+  | C.Ops.Const c, [] -> A.Int c
+  | other, _ ->
+    let sanitized =
+      String.map
+        (fun c -> if c = ':' then '_' else c)
+        (C.Ops.to_string other)
+    in
+    A.Call ("csrtl_" ^ sanitized, List.map (fun a -> ref_expr net a) args)
+
+let design_file ~name (low : Lower.t) =
+  let net = low.Lower.net in
+  let order = Netlist.comb_order net in
+  let regs = Netlist.registers net in
+  let ent_name = Csrtl_vhdl.Emit.mangle name ^ "_rtl" in
+  (* ports: clock, model inputs, tap outputs *)
+  let ports =
+    { A.port_name = "clk"; mode = A.In; port_type = integer;
+      port_default = None }
+    :: List.map
+         (fun (n, _) ->
+           { A.port_name = Csrtl_vhdl.Emit.mangle n; mode = A.In;
+             port_type = integer; port_default = Some (A.Int 0) })
+         (Netlist.inputs net)
+    @ List.map
+        (fun (n, _) ->
+          { A.port_name = "tap_" ^ Csrtl_vhdl.Emit.mangle n; mode = A.Out;
+            port_type = integer; port_default = Some (A.Int 0) })
+        (Netlist.taps net)
+  in
+  let entity = A.Entity { ent_name; generics = []; ports } in
+  (* internal signals: one per comb node that needs a name, one per reg *)
+  let named_nodes =
+    Array.to_list order
+    |> List.filter (fun id ->
+           match Netlist.node net id with
+           | Netlist.Op _ | Netlist.Eq_const _ | Netlist.Mux _ -> true
+           | Netlist.Const _ | Netlist.Input _ | Netlist.Reg_q _ -> false)
+  in
+  let decls =
+    (match named_nodes with
+     | [] -> []
+     | _ -> [ A.Signal_decl (List.map node_sig named_nodes, integer, None) ])
+    @ List.map
+        (fun (n, (r : Netlist.register)) ->
+          A.Signal_decl
+            ([ reg_sig n ], integer, Some (A.Int r.Netlist.init)))
+        regs
+  in
+  (* combinational statements *)
+  let comb_stmts =
+    List.map
+      (fun id ->
+        match Netlist.node net id with
+        | Netlist.Op (op, args) ->
+          A.Concurrent_assign (node_sig id, op_expr net op args)
+        | Netlist.Eq_const (a, v) ->
+          (* comparator as a small sensitivity-list process *)
+          let dep =
+            match ref_expr net a with
+            | A.Name n -> [ n ]
+            | _ -> []
+          in
+          A.Proc
+            { proc_label = Some (node_sig id ^ "_cmp");
+              sensitivity = dep;
+              proc_decls = [];
+              body =
+                [ A.If
+                    ( [ ( A.Binop (A.Eq, ref_expr net a, A.Int v),
+                          [ A.Signal_assign (node_sig id, A.Int 1) ] ) ],
+                      [ A.Signal_assign (node_sig id, A.Int 0) ] ) ] }
+        | Netlist.Mux { sel; cases; default } ->
+          let deps =
+            List.filter_map
+              (fun e -> match e with A.Name n -> Some n | _ -> None)
+              (ref_expr net sel :: ref_expr net default
+               :: List.map (fun (_, c) -> ref_expr net c) cases)
+            |> List.sort_uniq String.compare
+          in
+          let branches =
+            List.map
+              (fun (v, c) ->
+                ( A.Binop (A.Eq, ref_expr net sel, A.Int v),
+                  [ A.Signal_assign (node_sig id, ref_expr net c) ] ))
+              cases
+          in
+          A.Proc
+            { proc_label = Some (node_sig id ^ "_mux");
+              sensitivity = deps;
+              proc_decls = [];
+              body =
+                [ A.If
+                    ( branches,
+                      [ A.Signal_assign (node_sig id, ref_expr net default) ]
+                    ) ] }
+        | Netlist.Const _ | Netlist.Input _ | Netlist.Reg_q _ ->
+          A.Concurrent_assign ("unused", A.Int 0))
+      named_nodes
+  in
+  (* one clocked process per register *)
+  let reg_stmts =
+    List.map
+      (fun (n, (r : Netlist.register)) ->
+        let load = A.Signal_assign (reg_sig n, ref_expr net r.Netlist.next) in
+        let body =
+          match r.Netlist.enable with
+          | None -> [ load ]
+          | Some e ->
+            [ A.If
+                ( [ (A.Binop (A.Neq, ref_expr net e, A.Int 0), [ load ]) ],
+                  [] ) ]
+        in
+        A.Proc
+          { proc_label = Some ("reg_" ^ Csrtl_vhdl.Emit.mangle n);
+            sensitivity = [];
+            proc_decls = [];
+            body = A.Wait_until (A.Binop (A.Eq, A.Name "clk", A.Int 1)) :: body
+          })
+      regs
+  in
+  (* output taps *)
+  let tap_stmts =
+    List.map
+      (fun (n, id) ->
+        A.Concurrent_assign
+          ("tap_" ^ Csrtl_vhdl.Emit.mangle n, ref_expr net id))
+      (Netlist.taps net)
+  in
+  let arch =
+    A.Architecture
+      { arch_name = "rtl"; arch_entity = ent_name; arch_decls = decls;
+        arch_stmts = comb_stmts @ reg_stmts @ tap_stmts }
+  in
+  [ A.Comment
+      (Printf.sprintf
+         "clocked RTL lowered from clock-free model %s (%s scheme)" name
+         (match low.Lower.scheme with
+          | Lower.One_cycle_per_step -> "one-cycle-per-step"
+          | Lower.Two_phase -> "two-phase"));
+    entity; arch ]
+
+let to_string ~name low = Csrtl_vhdl.Pp.to_string (design_file ~name low)

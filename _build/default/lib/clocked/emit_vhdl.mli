@@ -1,0 +1,20 @@
+(** Synthesizable clocked VHDL from a lowered netlist.
+
+    The deliverable of the paper's "additional synthesis step leading
+    to a synthesizable RT description, which can be performed by
+    commercial synthesis tools" (§2.2): a conventional clocked VHDL
+    architecture — a clock port, one process per register (waiting on
+    the clock edge, guarded by its enable), concurrent assignments
+    for arithmetic nodes and small sensitivity-list processes for
+    multiplexers and comparators.
+
+    The output stays within the grammar of {!Csrtl_vhdl.Parser} (so
+    it round-trips through our own front end), but it is {e outside}
+    the clock-free subset by construction — {!Csrtl_vhdl.Lint} flags
+    its clock idioms, which is precisely the subset boundary the
+    paper draws. *)
+
+val design_file : name:string -> Lower.t -> Csrtl_vhdl.Ast.design_file
+(** Entity [<name>_rtl] + architecture [rtl]. *)
+
+val to_string : name:string -> Lower.t -> string

@@ -1,0 +1,75 @@
+module C = Csrtl_core
+
+type mismatch = {
+  at_step : int;
+  what : string;
+  clock_free : C.Word.t;
+  clocked : int;
+}
+
+let check ?scheme (m : C.Model.t) =
+  let low = Lower.lower ?scheme m in
+  let obs = C.Interp.run m in
+  let res = Lower.run low in
+  let mismatches = ref [] in
+  (* Registers: compare at the end of every control step. *)
+  List.iter
+    (fun (name, trace) ->
+      Array.iteri
+        (fun idx cf ->
+          if C.Word.is_nat cf then begin
+            let step = idx + 1 in
+            let hw = Lower.reg_value_after_step low res ~step name in
+            if hw <> cf then
+              mismatches :=
+                { at_step = step; what = name; clock_free = cf; clocked = hw }
+                :: !mismatches
+          end)
+        trace)
+    obs.C.Observation.regs;
+  (* Output ports: compare at the write step's final cycle. *)
+  List.iter
+    (fun (name, writes) ->
+      List.iter
+        (fun (step, cf) ->
+          if C.Word.is_nat cf then begin
+            let cycle = step * low.Lower.cycles_per_step in
+            match List.nth_opt res.Eval.snapshots (cycle - 1) with
+            | None ->
+              mismatches :=
+                { at_step = step; what = name; clock_free = cf;
+                  clocked = -1 }
+                :: !mismatches
+            | Some snap ->
+              let v =
+                Option.value ~default:(-1)
+                  (List.assoc_opt (Lower.output_tap name)
+                     snap.Eval.tap_values)
+              in
+              let valid =
+                Option.value ~default:0
+                  (List.assoc_opt (Lower.output_valid_tap name)
+                     snap.Eval.tap_values)
+              in
+              if valid = 0 || v <> cf then
+                mismatches :=
+                  { at_step = step; what = name; clock_free = cf;
+                    clocked = v }
+                  :: !mismatches
+          end)
+        writes)
+    obs.C.Observation.outputs;
+  match List.rev !mismatches with
+  | [] -> Ok ()
+  | ms -> Error ms
+
+let check_all_schemes m =
+  List.map
+    (fun scheme -> (scheme, check ~scheme m))
+    [ Lower.One_cycle_per_step; Lower.Two_phase ]
+
+let pp_mismatch ppf mm =
+  Format.fprintf ppf "step %d, %s: clock-free %s vs clocked %d" mm.at_step
+    mm.what
+    (C.Word.to_string mm.clock_free)
+    mm.clocked

@@ -1,0 +1,26 @@
+(** Per-step equivalence of a clock-free model and its clocked
+    lowering.
+
+    The refinement relation: wherever the clock-free semantics
+    produces a natural value (register content at the end of a step,
+    output-port write), the clocked implementation must produce the
+    same value at the corresponding clock edge; clock-free [DISC] is
+    a don't-care the implementation may refine arbitrarily.  Models
+    that produce ILLEGAL anywhere are rejected by {!Lower.lower}
+    already. *)
+
+type mismatch = {
+  at_step : int;
+  what : string;  (** register or output-port name *)
+  clock_free : Csrtl_core.Word.t;
+  clocked : int;
+}
+
+val check :
+  ?scheme:Lower.scheme -> Csrtl_core.Model.t -> (unit, mismatch list) result
+(** Lower, simulate both sides over the full schedule, and compare. *)
+
+val check_all_schemes :
+  Csrtl_core.Model.t -> (Lower.scheme * (unit, mismatch list) result) list
+
+val pp_mismatch : Format.formatter -> mismatch -> unit

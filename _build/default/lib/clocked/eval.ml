@@ -1,0 +1,76 @@
+type snapshot = {
+  cycle : int;
+  tap_values : (string * int) list;
+  regs_after_edge : (string * int) list;
+}
+
+type result = {
+  snapshots : snapshot list;
+  final_regs : (string * int) list;
+  comb_evals : int;
+}
+
+let run ?(inputs = fun _ _ -> 0) net ~cycles =
+  let order = Netlist.comb_order net in
+  let n = Netlist.size net in
+  let values = Array.make n 0 in
+  let regs = Netlist.registers net in
+  let reg_state =
+    Array.of_list (List.map (fun (_, r) -> r.Netlist.init) regs)
+  in
+  let comb_evals = ref 0 in
+  let eval_cycle cycle =
+    Array.iter
+      (fun id ->
+        incr comb_evals;
+        values.(id) <-
+          (match Netlist.node net id with
+           | Netlist.Input name -> inputs name cycle
+           | Netlist.Const v -> v
+           | Netlist.Reg_q slot -> reg_state.(slot)
+           | Netlist.Op (o, args) ->
+             Csrtl_core.Ops.eval o
+               (Array.of_list (List.map (fun a -> values.(a)) args))
+           | Netlist.Eq_const (a, v) -> if values.(a) = v then 1 else 0
+           | Netlist.Mux { sel; cases; default } ->
+             let s = values.(sel) in
+             (match List.assoc_opt s cases with
+              | Some c -> values.(c)
+              | None -> values.(default))))
+      order
+  in
+  let edge () =
+    (* Sample all nexts first, then commit: edge-triggered semantics. *)
+    let pending =
+      List.mapi
+        (fun slot (_, r) ->
+          let load =
+            match r.Netlist.enable with
+            | None -> true
+            | Some e -> values.(e) <> 0
+          in
+          if load && r.Netlist.next >= 0 then Some (slot, values.(r.Netlist.next))
+          else None)
+        regs
+    in
+    List.iter
+      (function
+        | Some (slot, v) -> reg_state.(slot) <- v
+        | None -> ())
+      pending
+  in
+  let reg_values () =
+    List.mapi (fun slot (name, _) -> (name, reg_state.(slot))) regs
+  in
+  let snapshots = ref [] in
+  for cycle = 1 to cycles do
+    eval_cycle cycle;
+    let tap_values =
+      List.map (fun (name, id) -> (name, values.(id))) (Netlist.taps net)
+    in
+    edge ();
+    snapshots :=
+      { cycle; tap_values; regs_after_edge = reg_values () } :: !snapshots
+  done;
+  { snapshots = List.rev !snapshots; final_regs = reg_values ();
+    comb_evals = !comb_evals }

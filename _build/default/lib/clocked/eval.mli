@@ -1,0 +1,23 @@
+(** Levelized (oblivious) simulation of a clocked netlist.
+
+    Evaluates all combinational nodes in topological order once per
+    clock cycle, then performs the register update — the standard
+    compiled-simulation execution model, and the fast baseline of the
+    [speed/*] benchmarks. *)
+
+type snapshot = {
+  cycle : int;  (** 1-based cycle index *)
+  tap_values : (string * int) list;  (** probe values during the cycle *)
+  regs_after_edge : (string * int) list;  (** Q values after the edge *)
+}
+
+type result = {
+  snapshots : snapshot list;  (** chronological *)
+  final_regs : (string * int) list;
+  comb_evals : int;  (** node evaluations performed *)
+}
+
+val run :
+  ?inputs:(string -> int -> int) ->
+  Netlist.t -> cycles:int -> result
+(** [inputs name cycle] supplies input values (default 0). *)

@@ -1,0 +1,160 @@
+open Csrtl_kernel
+module C = Csrtl_core
+
+type result = {
+  final_regs : (string * int) list;
+  cycles_run : int;
+  stats : Types.stats;
+  sim_time : Time.t;
+}
+
+let run ?(period = Time.ns 10) ?(inputs = fun _ _ -> 0) net ~cycles =
+  let k = Scheduler.create () in
+  let n = Netlist.size net in
+  let sigs = Array.make n None in
+  let clk = Scheduler.signal k ~name:"clk" ~init:0 () in
+  let sig_of id =
+    match sigs.(id) with
+    | Some s -> s
+    | None -> invalid_arg "Kernel_sim: signal not yet created"
+  in
+  (* Create one signal per node, in topological order. *)
+  let order = Netlist.comb_order net in
+  Array.iter
+    (fun id ->
+      let name = Printf.sprintf "n%d" id in
+      let init =
+        match Netlist.node net id with
+        | Netlist.Const v -> v
+        | Netlist.Reg_q slot ->
+          (snd (List.nth (Netlist.registers net) slot)).Netlist.init
+        | Netlist.Input _ | Netlist.Op _ | Netlist.Eq_const _
+        | Netlist.Mux _ ->
+          0
+      in
+      sigs.(id) <- Some (Scheduler.signal k ~name ~init ()))
+    order;
+  (* Combinational processes: recompute on any operand event. *)
+  Array.iter
+    (fun id ->
+      match Netlist.node net id with
+      | Netlist.Const _ | Netlist.Reg_q _ | Netlist.Input _ -> ()
+      | Netlist.Op (o, args) ->
+        let out = sig_of id in
+        let arg_sigs = List.map sig_of args in
+        ignore
+          (Scheduler.add_process k ~name:(Printf.sprintf "op%d" id)
+             (fun () ->
+               while true do
+                 Scheduler.assign k out
+                   (C.Ops.eval o
+                      (Array.of_list (List.map Signal.value arg_sigs)));
+                 Process.wait_on arg_sigs
+               done))
+      | Netlist.Eq_const (a, v) ->
+        let out = sig_of id in
+        let sa = sig_of a in
+        ignore
+          (Scheduler.add_process k ~name:(Printf.sprintf "eq%d" id)
+             (fun () ->
+               while true do
+                 Scheduler.assign k out
+                   (if Signal.value sa = v then 1 else 0);
+                 Process.wait_on [ sa ]
+               done))
+      | Netlist.Mux { sel; cases; default } ->
+        let out = sig_of id in
+        let ssel = sig_of sel in
+        let scases = List.map (fun (v, c) -> (v, sig_of c)) cases in
+        let sdefault = sig_of default in
+        let watched =
+          ssel :: sdefault :: List.map snd scases
+        in
+        ignore
+          (Scheduler.add_process k ~name:(Printf.sprintf "mux%d" id)
+             (fun () ->
+               while true do
+                 let s = Signal.value ssel in
+                 let chosen =
+                   match List.assoc_opt s scases with
+                   | Some c -> c
+                   | None -> sdefault
+                 in
+                 Scheduler.assign k out (Signal.value chosen);
+                 Process.wait_on watched
+               done)))
+    order;
+  (* Register processes: load on the rising edge. *)
+  let regs = Netlist.registers net in
+  List.iteri
+    (fun slot (name, r) ->
+      let q =
+        (* find the Reg_q node for this slot *)
+        let found = ref None in
+        Array.iter
+          (fun id ->
+            match Netlist.node net id with
+            | Netlist.Reg_q s when s = slot -> found := Some (sig_of id)
+            | _ -> ())
+          order;
+        match !found with
+        | Some s -> s
+        | None -> invalid_arg "Kernel_sim: register without Q node"
+      in
+      ignore
+        (Scheduler.add_process k ~name:("reg_" ^ name) (fun () ->
+             while true do
+               Process.wait_until [ clk ] (fun () -> Signal.value clk = 1);
+               let load =
+                 match r.Netlist.enable with
+                 | None -> true
+                 | Some e -> Signal.value (sig_of e) <> 0
+               in
+               if load && r.Netlist.next >= 0 then
+                 Scheduler.assign k q (Signal.value (sig_of r.Netlist.next))
+             done)))
+    regs;
+  (* Input driver: values for cycle [c] are applied right after the
+     rising edge of cycle [c - 1] (and initially for cycle 1). *)
+  let input_ids = Netlist.inputs net in
+  let cycle = ref 1 in
+  ignore
+    (Scheduler.add_process k ~name:"inputs" (fun () ->
+         List.iter
+           (fun (name, id) ->
+             Scheduler.assign k (sig_of id) (inputs name 1))
+           input_ids;
+         while true do
+           Process.wait_until [ clk ] (fun () -> Signal.value clk = 1);
+           let next = !cycle + 1 in
+           List.iter
+             (fun (name, id) ->
+               Scheduler.assign k (sig_of id) (inputs name next))
+             input_ids
+         done));
+  (* Clock generator: [cycles] full periods, then quiesce. *)
+  ignore
+    (Scheduler.add_process k ~name:"clkgen" (fun () ->
+         for _ = 1 to cycles do
+           Process.wait_for (period / 2);
+           Scheduler.assign k clk 1;
+           Process.wait_for (period / 2);
+           Scheduler.assign k clk 0;
+           incr cycle
+         done));
+  Scheduler.run k;
+  let final_regs =
+    List.mapi
+      (fun slot (name, _) ->
+        let v = ref 0 in
+        Array.iter
+          (fun id ->
+            match Netlist.node net id with
+            | Netlist.Reg_q s when s = slot -> v := Signal.value (sig_of id)
+            | _ -> ())
+          order;
+        (name, !v))
+      regs
+  in
+  { final_regs; cycles_run = cycles; stats = Scheduler.stats k;
+    sim_time = Scheduler.now k }

@@ -1,0 +1,22 @@
+(** Event-driven simulation of a clocked netlist on the kernel.
+
+    The "usual RT level" baseline the paper contrasts with: a clock
+    generator advancing physical time, one kernel process per
+    combinational node (sensitive to its operands) and one per
+    register (sensitive to the clock edge).  Combinational settling
+    costs delta cycles per clock cycle, which is exactly the overhead
+    the clock-free discipline avoids — measured by the [speed/*]
+    benchmarks and reported for DESIGN.md experiment C3. *)
+
+type result = {
+  final_regs : (string * int) list;
+  cycles_run : int;
+  stats : Csrtl_kernel.Types.stats;
+  sim_time : Csrtl_kernel.Time.t;
+}
+
+val run :
+  ?period:Csrtl_kernel.Time.t ->
+  ?inputs:(string -> int -> int) ->
+  Netlist.t -> cycles:int -> result
+(** Default clock period 10 ns. *)

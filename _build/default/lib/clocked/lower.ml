@@ -1,0 +1,212 @@
+module C = Csrtl_core
+
+type scheme = One_cycle_per_step | Two_phase
+
+exception Lowering_error of string
+
+type t = {
+  net : Netlist.t;
+  scheme : scheme;
+  model : C.Model.t;
+  cycles_per_step : int;
+  step_counter : Netlist.id;
+}
+
+let fail fmt = Format.kasprintf (fun m -> raise (Lowering_error m)) fmt
+
+let output_tap o = o
+let output_valid_tap o = o ^ ".valid"
+
+(* The read part of a tuple, with its effective operation. *)
+type read_use = {
+  ru_step : int;
+  ru_op : C.Ops.t;
+  ru_a : C.Transfer.source option;
+  ru_b : C.Transfer.source option;
+}
+
+let word_init (w : C.Word.t) = if C.Word.is_nat w then w else 0
+
+let lower ?(scheme = One_cycle_per_step) (m : C.Model.t) =
+  C.Model.validate_exn m;
+  (match C.Conflict.check m with
+   | [] -> ()
+   | cs ->
+     fail "model has %d resource conflict(s), e.g. %s" (List.length cs)
+       (C.Conflict.to_string (List.hd cs)));
+  let net = Netlist.create () in
+  let cps = match scheme with One_cycle_per_step -> 1 | Two_phase -> 2 in
+  (* Step counter: starts at 1, holds at cs_max + 1. *)
+  let sc = Netlist.reg net ~name:"SC" ~init:1 in
+  let running = Netlist.op net C.Ops.Lt [ sc; Netlist.const net (m.cs_max + 1) ] in
+  (* Phase bit for the two-phase scheme: 0 = read/compute, 1 = write. *)
+  let write_phase =
+    match scheme with
+    | One_cycle_per_step -> None
+    | Two_phase ->
+      let pb = Netlist.reg net ~name:"PB" ~init:0 in
+      Netlist.connect_reg net pb
+        ~next:(Netlist.op net C.Ops.Bxor [ pb; Netlist.const net 1 ])
+        ~enable:None;
+      Some pb
+  in
+  let gate enable_id =
+    (* AND the enable with the write phase where applicable. *)
+    match write_phase with
+    | None -> enable_id
+    | Some pb -> Netlist.op net C.Ops.Band [ enable_id; pb ]
+  in
+  let step_advance =
+    match write_phase with
+    | None -> running
+    | Some pb -> Netlist.op net C.Ops.Band [ running; pb ]
+  in
+  Netlist.connect_reg net sc
+    ~next:(Netlist.op net C.Ops.Add [ sc; step_advance ])
+    ~enable:None;
+  Netlist.tap net "SC" sc;
+  (* Architectural registers: declared first so sources can refer to
+     them; wired after the functional units exist. *)
+  let arch_regs = Hashtbl.create 16 in
+  List.iter
+    (fun (r : C.Model.register) ->
+      let q = Netlist.reg net ~name:r.reg_name ~init:(word_init r.init) in
+      Hashtbl.replace arch_regs r.reg_name q)
+    m.registers;
+  let source_node = function
+    | C.Transfer.From_reg r -> Hashtbl.find arch_regs r
+    | C.Transfer.From_input i -> Netlist.input net i
+  in
+  (* Functional units: operand/operation muxes + pipeline registers. *)
+  let fu_pipe_out = Hashtbl.create 8 in
+  List.iter
+    (fun (f : C.Model.fu) ->
+      let reads =
+        List.filter_map
+          (fun (tr : C.Transfer.t) ->
+            match tr.fu = f.fu_name, tr.read_step, C.Model.effective_op m tr with
+            | true, Some s, Some op ->
+              Some { ru_step = s; ru_op = op; ru_a = tr.src_a; ru_b = tr.src_b }
+            | _, _, _ -> None)
+          m.transfers
+      in
+      (* Pipeline chain P1 .. PL; P1 is also the MAC accumulator. *)
+      let pipes =
+        List.init f.latency (fun i ->
+            Netlist.reg net
+              ~name:(Printf.sprintf "%s.p%d" f.fu_name (i + 1))
+              ~init:0)
+      in
+      let p1 = List.hd pipes in
+      let comb_cases =
+        List.map
+          (fun ru ->
+            let operands =
+              match C.Ops.arity ru.ru_op, ru.ru_a, ru.ru_b with
+              | 0, _, _ -> []
+              | 1, Some a, _ -> [ source_node a ]
+              | 2, Some a, Some b -> [ source_node a; source_node b ]
+              | n, _, _ ->
+                fail "unit %s step %d: operation %s needs %d operand(s)"
+                  f.fu_name ru.ru_step (C.Ops.to_string ru.ru_op) n
+            in
+            let operands =
+              if C.Ops.is_stateful ru.ru_op then operands @ [ p1 ]
+              else operands
+            in
+            (ru.ru_step, Netlist.op net ru.ru_op operands))
+          reads
+      in
+      let comb =
+        Netlist.mux net ~sel:sc ~cases:comb_cases
+          ~default:(Netlist.const net 0)
+      in
+      let stateful = List.exists C.Ops.is_stateful f.ops in
+      let p1_enable =
+        if stateful then
+          (* accumulators only load on steps that actually read *)
+          Some
+            (gate
+               (Netlist.or_reduce net
+                  (List.map (fun ru -> Netlist.eq_const net sc ru.ru_step)
+                     reads)))
+        else
+          match write_phase with None -> None | Some pb -> Some pb
+      in
+      Netlist.connect_reg net p1 ~next:comb ~enable:p1_enable;
+      let rec chain prev = function
+        | [] -> prev
+        | p :: rest ->
+          Netlist.connect_reg net p ~next:prev
+            ~enable:(match write_phase with
+                     | None -> None
+                     | Some pb -> Some pb);
+          chain p rest
+      in
+      let last = chain p1 (List.tl pipes) in
+      Hashtbl.replace fu_pipe_out f.fu_name last)
+    m.fus;
+  (* Write-back: registers and output ports. *)
+  let writes_to pred =
+    List.filter_map
+      (fun (tr : C.Transfer.t) ->
+        match tr.write_step, tr.dst with
+        | Some w, Some d when pred d -> Some (w, Hashtbl.find fu_pipe_out tr.fu)
+        | _, _ -> None)
+      m.transfers
+  in
+  List.iter
+    (fun (r : C.Model.register) ->
+      let q = Hashtbl.find arch_regs r.reg_name in
+      let cases =
+        writes_to (function
+          | C.Transfer.To_reg name -> name = r.reg_name
+          | C.Transfer.To_output _ -> false)
+      in
+      let enable =
+        Netlist.or_reduce net
+          (List.map (fun (w, _) -> Netlist.eq_const net sc w) cases)
+      in
+      Netlist.connect_reg net q
+        ~next:(Netlist.mux net ~sel:sc ~cases ~default:q)
+        ~enable:(Some (gate enable)))
+    m.registers;
+  List.iter
+    (fun o ->
+      let cases =
+        writes_to (function
+          | C.Transfer.To_output name -> name = o
+          | C.Transfer.To_reg _ -> false)
+      in
+      Netlist.tap net (output_tap o)
+        (Netlist.mux net ~sel:sc ~cases ~default:(Netlist.const net 0));
+      Netlist.tap net (output_valid_tap o)
+        (Netlist.or_reduce net
+           (List.map (fun (w, _) -> Netlist.eq_const net sc w) cases)))
+    m.outputs;
+  { net; scheme; model = m; cycles_per_step = cps; step_counter = sc }
+
+let cycles_needed t = t.model.cs_max * t.cycles_per_step
+
+let input_function t name cycle =
+  let step = ((cycle - 1) / t.cycles_per_step) + 1 in
+  match
+    List.find_opt (fun (i : C.Model.input) -> i.in_name = name)
+      t.model.inputs
+  with
+  | None -> 0
+  | Some i ->
+    let v = C.Model.input_value i step in
+    if C.Word.is_nat v then v else 0
+
+let run t =
+  Eval.run ~inputs:(input_function t) t.net ~cycles:(cycles_needed t)
+
+let reg_value_after_step t (res : Eval.result) ~step name =
+  let cycle = step * t.cycles_per_step in
+  match List.nth_opt res.snapshots (cycle - 1) with
+  | None -> fail "no snapshot for step %d" step
+  | Some snap ->
+    (match List.assoc_opt name snap.regs_after_edge with
+     | Some v -> v
+     | None -> fail "no register %s in snapshot" name)

@@ -1,0 +1,49 @@
+(** Lowering clock-free models to clocked netlists.
+
+    The "additional synthesis step" of paper §2.2: "there are
+    different ways to implement control steps" — this module offers
+    two schemes and performs the classic refinements: buses become
+    multiplexer trees, control steps become a step counter with
+    decoded register enables, module latencies become pipeline
+    registers, DISC disappears (clock-free "no value" is a don't-care
+    the implementation may refine to anything; {!Equiv} checks
+    exactly this refinement relation).
+
+    Models with resource conflicts are rejected: a conflicted
+    schedule has no meaningful clocked implementation. *)
+
+type scheme =
+  | One_cycle_per_step  (** one clock cycle per control step *)
+  | Two_phase
+      (** two cycles per step: a read/compute phase and a write
+          phase; all state loads on the second edge *)
+
+exception Lowering_error of string
+
+type t = {
+  net : Netlist.t;
+  scheme : scheme;
+  model : Csrtl_core.Model.t;
+  cycles_per_step : int;
+  step_counter : Netlist.id;
+}
+
+val lower : ?scheme:scheme -> Csrtl_core.Model.t -> t
+
+val cycles_needed : t -> int
+(** Clock cycles to execute the full schedule. *)
+
+val input_function : t -> string -> int -> int
+(** Adapt the model's input drives to per-cycle netlist inputs
+    ([DISC] maps to 0). *)
+
+val run : t -> Eval.result
+(** Levelized simulation over the full schedule with the model's
+    input drives. *)
+
+val reg_value_after_step : t -> Eval.result -> step:int -> string -> int
+(** Register Q after the final edge of the given control step. *)
+
+val output_tap : string -> string
+val output_valid_tap : string -> string
+(** Tap naming for output-port probes. *)

@@ -1,0 +1,156 @@
+type id = int
+
+type node =
+  | Input of string
+  | Const of int
+  | Reg_q of int
+  | Op of Csrtl_core.Ops.t * id list
+  | Eq_const of id * int
+  | Mux of { sel : id; cases : (int * id) list; default : id }
+
+type register = {
+  reg_name : string;
+  init : int;
+  mutable next : id;
+  mutable enable : id option;
+}
+
+type t = {
+  mutable nodes : node array;
+  mutable n : int;
+  mutable regs : register array;
+  mutable nregs : int;
+  mutable reg_q : id array;  (* reg slot -> node id of its Q *)
+  mutable tap_list : (string * id) list;  (* reverse order *)
+  cache : (node, id) Hashtbl.t;  (* structural hashing of pure nodes *)
+}
+
+let create () =
+  { nodes = Array.make 64 (Const 0); n = 0; regs = [||]; nregs = 0;
+    reg_q = [||]; tap_list = []; cache = Hashtbl.create 64 }
+
+let push t nd =
+  if t.n = Array.length t.nodes then begin
+    let bigger = Array.make (2 * t.n) (Const 0) in
+    Array.blit t.nodes 0 bigger 0 t.n;
+    t.nodes <- bigger
+  end;
+  t.nodes.(t.n) <- nd;
+  t.n <- t.n + 1;
+  t.n - 1
+
+(* Structural hashing keeps lowering output compact: identical pure
+   nodes share one id. *)
+let hashed t nd =
+  match Hashtbl.find_opt t.cache nd with
+  | Some id -> id
+  | None ->
+    let id = push t nd in
+    Hashtbl.replace t.cache nd id;
+    id
+
+let input t name = hashed t (Input name)
+let const t v = hashed t (Const v)
+
+let op t o args =
+  match o, args with
+  | Csrtl_core.Ops.Pass, [ a ] -> a
+  | _, _ -> hashed t (Op (o, args))
+
+let eq_const t a v = hashed t (Eq_const (a, v))
+
+let mux t ~sel ~cases ~default =
+  match cases with
+  | [] -> default
+  | _ -> hashed t (Mux { sel; cases; default })
+
+let rec or_reduce t = function
+  | [] -> const t 0
+  | [ x ] -> x
+  | x :: rest -> op t Csrtl_core.Ops.Bor [ x; or_reduce t rest ]
+
+let reg t ~name ~init =
+  if t.nregs = Array.length t.regs then begin
+    let grow = max 8 (2 * t.nregs) in
+    let bigger_r =
+      Array.make grow { reg_name = ""; init = 0; next = -1; enable = None }
+    in
+    Array.blit t.regs 0 bigger_r 0 t.nregs;
+    t.regs <- bigger_r;
+    let bigger_q = Array.make grow (-1) in
+    Array.blit t.reg_q 0 bigger_q 0 t.nregs;
+    t.reg_q <- bigger_q
+  end;
+  let slot = t.nregs in
+  t.regs.(slot) <- { reg_name = name; init; next = -1; enable = None };
+  t.nregs <- t.nregs + 1;
+  let q = push t (Reg_q slot) in
+  t.reg_q.(slot) <- q;
+  q
+
+let connect_reg t q ~next ~enable =
+  match t.nodes.(q) with
+  | Reg_q slot ->
+    t.regs.(slot).next <- next;
+    t.regs.(slot).enable <- enable
+  | Input _ | Const _ | Op _ | Eq_const _ | Mux _ ->
+    invalid_arg "Netlist.connect_reg: not a register output"
+
+let tap t name id = t.tap_list <- (name, id) :: t.tap_list
+let node t id = t.nodes.(id)
+let size t = t.n
+
+let registers t =
+  List.init t.nregs (fun i -> (t.regs.(i).reg_name, t.regs.(i)))
+
+let taps t = List.rev t.tap_list
+
+let inputs t =
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      match t.nodes.(i) with
+      | Input name -> go (i - 1) ((name, i) :: acc)
+      | Const _ | Reg_q _ | Op _ | Eq_const _ | Mux _ -> go (i - 1) acc
+  in
+  go (t.n - 1) []
+
+let comb_order t =
+  (* Nodes are created bottom-up (operands before users), so creation
+     order already is a topological order of the combinational part;
+     register Q nodes act as sources.  We validate rather than sort. *)
+  let ok = Array.make t.n false in
+  let order = Array.init t.n (fun i -> i) in
+  Array.iter
+    (fun id ->
+      (match t.nodes.(id) with
+       | Input _ | Const _ | Reg_q _ -> ()
+       | Op (_, args) ->
+         List.iter
+           (fun a ->
+             if a >= id then
+               invalid_arg "Netlist.comb_order: combinational cycle")
+           args
+       | Eq_const (a, _) ->
+         if a >= id then invalid_arg "Netlist.comb_order: combinational cycle"
+       | Mux { sel; cases; default } ->
+         if sel >= id || default >= id
+            || List.exists (fun (_, c) -> c >= id) cases
+         then invalid_arg "Netlist.comb_order: combinational cycle");
+      ok.(id) <- true)
+    order;
+  order
+
+let pp_stats ppf t =
+  let count pred =
+    let c = ref 0 in
+    for i = 0 to t.n - 1 do
+      if pred t.nodes.(i) then incr c
+    done;
+    !c
+  in
+  Format.fprintf ppf "nodes: %d (regs %d, ops %d, mux %d, cmp %d)" t.n
+    t.nregs
+    (count (function Op _ -> true | _ -> false))
+    (count (function Mux _ -> true | _ -> false))
+    (count (function Eq_const _ -> true | _ -> false))

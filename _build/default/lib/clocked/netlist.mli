@@ -1,0 +1,65 @@
+(** Word-level clocked RTL netlist.
+
+    The target of the "additional synthesis step leading to a
+    synthesizable RT description" (paper §2.2): a graph of
+    combinational operators, multiplexers, comparators and
+    edge-triggered registers with enables.  Buses of the clock-free
+    model disappear into multiplexer trees; control steps become a
+    step-counter register and decoded enables. *)
+
+type id = int
+
+type node =
+  | Input of string
+  | Const of int
+  | Reg_q of int  (** output of register slot [i] *)
+  | Op of Csrtl_core.Ops.t * id list
+  | Eq_const of id * int  (** 1 when the operand equals the constant *)
+  | Mux of { sel : id; cases : (int * id) list; default : id }
+      (** selects the case whose constant equals the value of [sel] *)
+
+type register = {
+  reg_name : string;
+  init : int;
+  mutable next : id;
+  mutable enable : id option;  (** [None] = always load *)
+}
+
+type t
+
+val create : unit -> t
+
+val input : t -> string -> id
+val const : t -> int -> id
+val op : t -> Csrtl_core.Ops.t -> id list -> id
+val eq_const : t -> id -> int -> id
+val mux : t -> sel:id -> cases:(int * id) list -> default:id -> id
+val or_reduce : t -> id list -> id
+(** 1 when any operand is nonzero (0 for the empty list). *)
+
+val reg : t -> name:string -> init:int -> id
+(** Declares a register slot and returns the id of its Q output; wire
+    its [next]/[enable] with {!connect_reg}. *)
+
+val connect_reg : t -> id -> next:id -> enable:id option -> unit
+(** [id] must be the Q output returned by {!reg}. *)
+
+val tap : t -> string -> id -> unit
+(** Name a node as an observable probe. *)
+
+val node : t -> id -> node
+val size : t -> int
+(** Number of nodes. *)
+
+val registers : t -> (string * register) list
+(** In declaration order. *)
+
+val taps : t -> (string * id) list
+val inputs : t -> (string * id) list
+
+val comb_order : t -> id array
+(** Topological order of all non-register nodes (register Q outputs
+    are sources).  Raises [Invalid_argument] on a combinational
+    cycle. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/builder.ml: List Model Ops Stdlib Transfer Word

@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Format Hashtbl Int List Model Ops Option Phase Stdlib String Transfer

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Csrtl_kernel Phase Printf Process Scheduler Signal

@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Array Format Hashtbl Interp List Model Observation Ops String Transfer Word

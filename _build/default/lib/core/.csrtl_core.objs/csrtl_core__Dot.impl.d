@@ -1,0 +1,1 @@
+lib/core/dot.ml: Buffer Format Hashtbl List Model Ops Phase Printf String Transfer

@@ -1,0 +1,1 @@
+lib/core/elaborate.ml: Controller Csrtl_kernel Fu_state Hashtbl List Model Ops Option Phase Printf Process Resolve Scheduler Signal Transfer Word

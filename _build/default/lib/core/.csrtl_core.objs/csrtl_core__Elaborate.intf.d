@@ -1,0 +1,1 @@
+lib/core/elaborate.mli: Controller Csrtl_kernel Model Transfer

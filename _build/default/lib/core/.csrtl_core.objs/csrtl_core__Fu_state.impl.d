@@ -1,0 +1,1 @@
+lib/core/fu_state.ml: Array List Model Ops Word

@@ -1,0 +1,1 @@
+lib/core/fu_state.mli: Model Word

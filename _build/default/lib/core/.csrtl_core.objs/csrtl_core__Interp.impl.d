@@ -1,0 +1,1 @@
+lib/core/interp.ml: Array Fu_state Hashtbl List Model Observation Ops Option Phase Resolve Transfer Word

@@ -1,0 +1,1 @@
+lib/core/model.ml: Format Hashtbl List Ops Printf String Transfer Word

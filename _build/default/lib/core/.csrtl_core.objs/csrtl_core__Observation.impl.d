@@ -1,0 +1,1 @@
+lib/core/observation.ml: Array Format Int List Option Phase Printf Stdlib String Word

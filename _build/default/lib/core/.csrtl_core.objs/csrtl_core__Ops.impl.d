@@ -1,0 +1,1 @@
+lib/core/ops.ml: Array Format List Printf String Word

@@ -1,0 +1,1 @@
+lib/core/reschedule.ml: Array Conflict Int List Model Ops Option Printf Transfer

@@ -1,0 +1,1 @@
+lib/core/reschedule.mli: Model

@@ -1,0 +1,1 @@
+lib/core/resolve.ml: Array Csrtl_kernel List Word

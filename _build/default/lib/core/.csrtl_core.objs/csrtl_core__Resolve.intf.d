@@ -1,0 +1,1 @@
+lib/core/resolve.mli: Csrtl_kernel Word

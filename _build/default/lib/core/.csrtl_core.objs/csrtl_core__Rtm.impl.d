@@ -1,0 +1,1 @@
+lib/core/rtm.ml: Buffer Format List Model Ops Printf Stdlib String Transfer Word

@@ -1,0 +1,1 @@
+lib/core/rtm.mli: Model

@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Array Controller Csrtl_kernel Elaborate Hashtbl List Logs Model Observation Phase Process Scheduler Signal Transfer Types Vcd Word

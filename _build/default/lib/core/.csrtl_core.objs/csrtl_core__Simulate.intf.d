@@ -1,0 +1,1 @@
+lib/core/simulate.mli: Buffer Csrtl_kernel Elaborate Model Observation

@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Format Hashtbl Int List Ops Phase Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/waveform.ml: Array Buffer Format Hashtbl Int Interp List Model Observation Option Phase Printf String Word

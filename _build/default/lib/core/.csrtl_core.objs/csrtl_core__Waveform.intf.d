@@ -1,0 +1,1 @@
+lib/core/waveform.mli: Format Model Observation

@@ -1,0 +1,90 @@
+type t = {
+  name : string;
+  cs_max : int;
+  mutable registers : Model.register list;
+  mutable fus : Model.fu list;
+  mutable buses : string list;
+  mutable inputs : Model.input list;
+  mutable outputs : string list;
+  mutable transfers : Transfer.t list;
+}
+
+let create ?(name = "model") ~cs_max () =
+  { name; cs_max; registers = []; fus = []; buses = []; inputs = [];
+    outputs = []; transfers = [] }
+
+let reg b ?init name = b.registers <- Model.register ?init name :: b.registers
+
+let unit_ b ?latency ?pipelined ?sticky_illegal ~ops name =
+  b.fus <- Model.fu ?latency ?pipelined ?sticky_illegal ~ops name :: b.fus
+
+let bus b name = b.buses <- name :: b.buses
+let buses b names = List.iter (bus b) names
+
+let input b ?value ?schedule name =
+  let drive =
+    match value, schedule with
+    | Some v, None -> Model.Const v
+    | None, Some s -> Model.Schedule (List.sort Stdlib.compare s)
+    | None, None -> Model.Const Word.disc
+    | Some _, Some _ ->
+      invalid_arg "Builder.input: both value and schedule given"
+  in
+  b.inputs <- { Model.in_name = name; drive } :: b.inputs
+
+let output b name = b.outputs <- name :: b.outputs
+let transfer b t = b.transfers <- t :: b.transfers
+
+let binary ?op b ~fu ~a:(src_a, bus_a) ~b:(src_b, bus_b) ~read
+    ~write:(write_step, write_bus) ~dst =
+  transfer b
+    (Transfer.full ~src_a ~bus_a ~src_b ~bus_b ~read_step:read ~fu ?op
+       ~write_step ~write_bus ~dst ())
+
+let unary ?op b ~fu ~a:(src_a, bus_a) ~read ~write:(write_step, write_bus)
+    ~dst =
+  transfer b
+    (Transfer.make ~src_a ~bus_a ~read_step:read ?op ~write_step ~write_bus
+       ~dst ~fu ())
+
+let read_only ?op b ~fu ?a ?b:operand_b ~read () =
+  let src_a, bus_a =
+    match a with Some (s, bb) -> (Some s, Some bb) | None -> (None, None)
+  in
+  let src_b, bus_b =
+    match operand_b with
+    | Some (s, bb) -> (Some s, Some bb)
+    | None -> (None, None)
+  in
+  transfer b
+    { Transfer.src_a; bus_a; src_b; bus_b; read_step = Some read; fu; op;
+      write_step = None; write_bus = None; dst = None }
+
+let write_only b ~fu ~write:(write_step, write_bus) ~dst =
+  transfer b
+    (Transfer.make ~write_step ~write_bus ~dst ~fu ())
+
+let assemble b =
+  { Model.name = b.name; cs_max = b.cs_max;
+    registers = List.rev b.registers; fus = List.rev b.fus;
+    buses = List.rev b.buses; inputs = List.rev b.inputs;
+    outputs = List.rev b.outputs; transfers = List.rev b.transfers }
+
+let finish b =
+  let m = assemble b in
+  Model.validate_exn m;
+  m
+
+let finish_unchecked = assemble
+
+let fig1 ?(x = 3) ?(y = 4) () =
+  let b = create ~name:"fig1" ~cs_max:7 () in
+  reg b ~init:(Word.nat x) "R1";
+  reg b ~init:(Word.nat y) "R2";
+  buses b [ "B1"; "B2" ];
+  unit_ b ~ops:[ Ops.Add ] "ADD";
+  binary b ~fu:"ADD"
+    ~a:(Transfer.From_reg "R1", "B1")
+    ~b:(Transfer.From_reg "R2", "B2")
+    ~read:5 ~write:(6, "B1") ~dst:(Transfer.To_reg "R1");
+  finish b

@@ -1,0 +1,53 @@
+(** Imperative construction API for clock-free models.
+
+    A thin convenience layer over {!Model}: declare resources, record
+    transfers in paper tuple notation, and [finish].  Also provides
+    {!fig1}, the paper's running example. *)
+
+type t
+
+val create : ?name:string -> cs_max:int -> unit -> t
+
+val reg : t -> ?init:Word.t -> string -> unit
+val unit_ :
+  t -> ?latency:int -> ?pipelined:bool -> ?sticky_illegal:bool ->
+  ops:Ops.t list -> string -> unit
+val bus : t -> string -> unit
+val buses : t -> string list -> unit
+val input : t -> ?value:Word.t -> ?schedule:(int * Word.t) list ->
+  string -> unit
+val output : t -> string -> unit
+
+val transfer : t -> Transfer.t -> unit
+
+val binary :
+  ?op:Ops.t -> t -> fu:string -> a:Transfer.source * string ->
+  b:Transfer.source * string -> read:int -> write:int * string ->
+  dst:Transfer.dest -> unit
+(** Full 9-tuple: read both operands at [read], write the result at
+    [write] (step, bus). *)
+
+val unary :
+  ?op:Ops.t -> t -> fu:string -> a:Transfer.source * string ->
+  read:int -> write:int * string -> dst:Transfer.dest -> unit
+
+val read_only :
+  ?op:Ops.t -> t -> fu:string -> ?a:Transfer.source * string ->
+  ?b:Transfer.source * string -> read:int -> unit -> unit
+(** Partial tuple: operands in, no write-back scheduled. *)
+
+val write_only :
+  t -> fu:string -> write:int * string -> dst:Transfer.dest -> unit
+
+val finish : t -> Model.t
+(** Assembles and validates the model ({!Model.validate_exn}). *)
+
+val finish_unchecked : t -> Model.t
+(** Assembles without validating — for tests that want invalid
+    models. *)
+
+val fig1 : ?x:int -> ?y:int -> unit -> Model.t
+(** The paper's Fig. 1 example: registers [R1] (init [x], default 3)
+    and [R2] (init [y], default 4), buses [B1]/[B2], pipelined adder
+    [ADD]; the tuple [(R1,B1,R2,B2,5,ADD,6,B1,R1)] with [cs_max] 7.
+    After step 6, [R1 = x + y]. *)

@@ -1,0 +1,106 @@
+type t =
+  | Double_drive of {
+      step : int;
+      phase : Phase.t;
+      sink : string;
+      sources : string list;
+    }
+  | Op_clash of { step : int; fu : string; ops : Ops.t list }
+  | Busy_unit of { fu : string; first_read : int; second_read : int }
+
+let step_of = function
+  | Double_drive { step; _ } | Op_clash { step; _ } -> step
+  | Busy_unit { second_read; _ } -> second_read
+
+let check m =
+  let legs, selects = Model.all_legs m in
+  let conflicts = ref [] in
+  (* 1. Two legs driving the same sink in the same (step, phase). *)
+  let by_sink = Hashtbl.create 32 in
+  List.iter
+    (fun (l : Transfer.leg) ->
+      let key = (l.step, l.phase, Transfer.endpoint_name l.dst) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_sink key) in
+      Hashtbl.replace by_sink key (l :: prev))
+    legs;
+  Hashtbl.iter
+    (fun (step, phase, sink) ls ->
+      (* Several legs with the same source are a redundant but harmless
+         double drive only if the source is identical AND at most one
+         value reaches the sink; the resolution function still yields
+         ILLEGAL for two non-DISC drivers, so any multiplicity > 1 is
+         reported. *)
+      if List.length ls > 1 then
+        conflicts :=
+          Double_drive
+            { step; phase; sink;
+              sources =
+                List.rev_map
+                  (fun (l : Transfer.leg) -> Transfer.endpoint_name l.src)
+                  ls }
+          :: !conflicts)
+    by_sink;
+  (* 2. Conflicting operation selections on one unit. *)
+  let by_sel = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Transfer.op_select) ->
+      let key = (s.sel_step, s.sel_fu) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_sel key) in
+      Hashtbl.replace by_sel key (s.sel_op :: prev))
+    selects;
+  Hashtbl.iter
+    (fun (step, fu) ops ->
+      let distinct = List.sort_uniq Stdlib.compare ops in
+      if List.length distinct > 1 then
+        conflicts := Op_clash { step; fu; ops = distinct } :: !conflicts)
+    by_sel;
+  (* 3. Overlapping use of non-pipelined units. *)
+  List.iter
+    (fun (f : Model.fu) ->
+      if not f.pipelined then begin
+        let reads =
+          List.filter_map
+            (fun (t : Transfer.t) ->
+              if t.fu = f.fu_name then t.read_step else None)
+            m.transfers
+          |> List.sort_uniq Int.compare
+        in
+        let rec scan = function
+          | a :: (b :: _ as rest) ->
+            if b - a < f.latency then
+              conflicts :=
+                Busy_unit
+                  { fu = f.fu_name; first_read = a; second_read = b }
+                :: !conflicts;
+            scan rest
+          | [ _ ] | [] -> ()
+        in
+        scan reads
+      end)
+    m.fus;
+  List.sort (fun a b -> Int.compare (step_of a) (step_of b)) !conflicts
+
+let visible_at = function
+  | Double_drive { step; phase; _ } -> Some (step, Phase.succ phase)
+  | Op_clash { step; _ } -> Some (step, Phase.Cm)
+  | Busy_unit _ -> None
+
+let pp ppf = function
+  | Double_drive { step; phase; sink; sources } ->
+    Format.fprintf ppf
+      "double drive of %s at step %d phase %s (sources: %s); ILLEGAL \
+       visible at phase %s"
+      sink step (Phase.to_string phase)
+      (String.concat ", " sources)
+      (Phase.to_string (Phase.succ phase))
+  | Op_clash { step; fu; ops } ->
+    Format.fprintf ppf
+      "conflicting operations on %s at step %d: %s" fu step
+      (String.concat ", " (List.map Ops.to_string ops))
+  | Busy_unit { fu; first_read; second_read } ->
+    Format.fprintf ppf
+      "non-pipelined unit %s read at step %d while the step-%d \
+       computation is in flight"
+      fu second_read first_read
+
+let to_string c = Format.asprintf "%a" pp c

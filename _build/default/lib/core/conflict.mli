@@ -1,0 +1,31 @@
+(** Static resource-conflict analysis.
+
+    The paper detects conflicts dynamically: a clash resolves to
+    ILLEGAL "in specific simulation cycles associated with a specific
+    phase of a specific control step".  This module predicts the same
+    clashes from the schedule alone, which is possible because
+    transfers are statically scheduled 9-tuples.  Dynamic detection
+    (in {!Simulate} / {!Interp}) remains authoritative: a static
+    double-drive is harmless if one source happens to be DISC. *)
+
+type t =
+  | Double_drive of {
+      step : int;
+      phase : Phase.t;  (** phase in which the drivers are active;
+                            the ILLEGAL value is visible one phase later *)
+      sink : string;  (** canonical signal name *)
+      sources : string list;
+    }
+  | Op_clash of { step : int; fu : string; ops : Ops.t list }
+      (** two transfers select different operations on one unit *)
+  | Busy_unit of { fu : string; first_read : int; second_read : int }
+      (** a non-pipelined unit is re-used before its latency elapsed *)
+
+val check : Model.t -> t list
+(** All potential conflicts, sorted by step. *)
+
+val visible_at : t -> (int * Phase.t) option
+(** Where the dynamic ILLEGAL would surface, when predictable. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,37 @@
+open Csrtl_kernel
+
+type t = { cs : Signal.t; ph : Signal.t }
+
+let phase_printer v =
+  match Phase.of_int v with
+  | Some p -> Phase.to_string p
+  | None -> Printf.sprintf "?phase:%d" v
+
+let add k ~cs_max =
+  let ph =
+    Scheduler.signal k ~printer:phase_printer ~name:"PH"
+      ~init:(Phase.to_int Phase.high) ()
+  in
+  let cs = Scheduler.signal k ~name:"CS" ~init:0 () in
+  (* VHDL sensitivity-list process: the body runs once at
+     initialization and then after every event on PH. *)
+  let _p =
+    Scheduler.add_process k ~name:"CONTROLLER" (fun () ->
+        while true do
+          let p = Signal.value ph in
+          (if p = Phase.to_int Phase.high then begin
+             if Signal.value cs < cs_max then begin
+               Scheduler.assign k cs (Signal.value cs + 1);
+               Scheduler.assign k ph (Phase.to_int Phase.low)
+             end
+           end
+           else Scheduler.assign k ph (p + 1));
+          Process.wait_on [ ph ]
+        done)
+  in
+  { cs; ph }
+
+let current_step t = Signal.value t.cs
+
+let current_phase t =
+  Phase.of_int_exn (Signal.value t.ph)

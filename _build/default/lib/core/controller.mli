@@ -1,0 +1,22 @@
+(** The control-step controller (paper §2.2).
+
+    Drives the [CS] (natural) and [PH] (phase) signals purely in delta
+    time: starting from [CS = 0, PH = cr], each simulation cycle
+    advances the phase, wrapping from [cr] to [ra] while incrementing
+    the step, until [CS = cs_max] completes.  Simulating a model hence
+    takes exactly [6 * cs_max] delta cycles (plus one final cycle if a
+    register latches in the last step). *)
+
+type t = {
+  cs : Csrtl_kernel.Signal.t;  (** control step, 0 before the run *)
+  ph : Csrtl_kernel.Signal.t;  (** current phase, encoded via {!Phase.to_int} *)
+}
+
+val add : Csrtl_kernel.Scheduler.t -> cs_max:int -> t
+(** Instantiate the controller process and its two signals. *)
+
+val current_step : t -> int
+val current_phase : t -> Phase.t
+
+val phase_printer : Word.t -> string
+(** Signal printer rendering the {!Phase} encoding. *)

@@ -1,0 +1,116 @@
+type report = {
+  total_steps : int;
+  dead_transfers : Transfer.t list;
+  bus_utilization : (string * float) list;
+  unit_utilization : (string * float) list;
+  never_written : string list;
+  never_read : string list;
+}
+
+let analyze (m : Model.t) =
+  Model.validate_exn m;
+  (* live sink values per (step, sink), from one interpreter run *)
+  let live = Hashtbl.create 256 in
+  let hook ~step ~phase:_ ~sink v =
+    if Word.is_nat v || Word.is_illegal v then
+      Hashtbl.replace live (step, sink) ()
+  in
+  let obs = Interp.run_with_hook ~on_visible:hook m in
+  let alive step sink = Hashtbl.mem live (step, sink) in
+  (* a tuple is dead when its unit saw no live operand at read+1 (the
+     phase where bus values reach the unit ports); arity-0 tuples are
+     always live *)
+  let dead_transfers =
+    List.filter
+      (fun (t : Transfer.t) ->
+        match t.read_step, Model.effective_op m t with
+        | Some r, Some op when Ops.arity op > 0 ->
+          let port i = t.fu ^ ".in" ^ string_of_int i in
+          not (alive r (port 1) || alive r (port 2))
+        | _, _ -> false)
+      m.transfers
+  in
+  let steps_used sink =
+    let n = ref 0 in
+    for s = 1 to m.cs_max do
+      if alive s sink then incr n
+    done;
+    !n
+  in
+  let ratio n = float_of_int n /. float_of_int (max 1 m.cs_max) in
+  let bus_utilization =
+    List.map (fun b -> (b, ratio (steps_used b))) m.buses
+  in
+  let unit_utilization =
+    List.map
+      (fun (f : Model.fu) ->
+        (* a unit is busy in the steps where an input port is live *)
+        let n = ref 0 in
+        for s = 1 to m.cs_max do
+          if alive s (f.fu_name ^ ".in1") || alive s (f.fu_name ^ ".in2")
+             || alive s (f.fu_name ^ ".op")
+          then incr n
+        done;
+        (f.fu_name, ratio !n))
+      m.fus
+  in
+  let never_written =
+    (* constant registers (non-DISC init, never stored to) are a
+       normal idiom — the literal pools of Synth and Asm — so only
+       DISC-initialized registers that stay DISC are reported *)
+    List.filter_map
+      (fun (r : Model.register) ->
+        match Observation.reg_trace obs r.reg_name with
+        | Some arr
+          when Word.is_disc r.init
+               && Array.for_all (fun v -> Word.equal v r.init) arr ->
+          Some r.reg_name
+        | Some _ | None -> None)
+      m.registers
+  in
+  let read_regs =
+    List.concat_map
+      (fun (t : Transfer.t) ->
+        List.filter_map
+          (function
+            | Some (Transfer.From_reg r) -> Some r
+            | Some (Transfer.From_input _) | None -> None)
+          [ t.src_a; t.src_b ])
+      m.transfers
+  in
+  let never_read =
+    List.filter_map
+      (fun (t : Transfer.t) ->
+        match t.dst with
+        | Some (Transfer.To_reg r) when not (List.mem r read_regs) -> Some r
+        | _ -> None)
+      m.transfers
+    |> List.sort_uniq String.compare
+  in
+  { total_steps = m.cs_max; dead_transfers; bus_utilization;
+    unit_utilization; never_written; never_read }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>coverage over %d control steps@," r.total_steps;
+  List.iter
+    (fun (b, u) ->
+      Format.fprintf ppf "  bus %-12s %5.1f%%@," b (100.0 *. u))
+    r.bus_utilization;
+  List.iter
+    (fun (f, u) ->
+      Format.fprintf ppf "  unit %-11s %5.1f%%@," f (100.0 *. u))
+    r.unit_utilization;
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "  DEAD transfer %a (operands never arrive)@,"
+        Transfer.pp t)
+    r.dead_transfers;
+  List.iter
+    (fun n -> Format.fprintf ppf "  register %s is never written@," n)
+    r.never_written;
+  List.iter
+    (fun n ->
+      Format.fprintf ppf
+        "  register %s is written but never read by a transfer@," n)
+    r.never_read;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,31 @@
+(** Activity and utilization analysis of a model run.
+
+    The dual of {!Conflict}: where conflict analysis finds resources
+    used {e twice}, coverage finds resources and transfers not really
+    used at all.  Runs the interpreter once and reports
+
+    - {e dead transfers}: tuples whose unit received only DISC
+      operands at their read step (the computed value is DISC and the
+      write-back never latches) — usually a schedule bug, e.g. reading
+      a register before anything wrote it;
+    - bus utilization: the fraction of control steps in which a bus
+      carried a value on its read or write side;
+    - unit utilization: the fraction of steps a unit computed on real
+      operands;
+    - registers never written, and registers written but never read
+      by any transfer. *)
+
+type report = {
+  total_steps : int;
+  dead_transfers : Transfer.t list;
+  bus_utilization : (string * float) list;  (** 0.0 .. 1.0 *)
+  unit_utilization : (string * float) list;
+  never_written : string list;
+      (** DISC-initialized registers that stay DISC (constant
+          registers with a real init are a normal idiom) *)
+  never_read : string list;  (** written registers no transfer reads *)
+}
+
+val analyze : Model.t -> report
+
+val pp : Format.formatter -> report -> unit

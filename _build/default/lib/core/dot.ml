@@ -1,0 +1,83 @@
+let escape s =
+  String.concat "" (List.map (fun c -> match c with
+      | '"' -> "\\\""
+      | c -> String.make 1 c)
+      (List.init (String.length s) (String.get s)))
+
+let node_defs (m : Model.t) buf =
+  let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (r : Model.register) ->
+      line "  %S [shape=box, style=filled, fillcolor=lightyellow];"
+        r.reg_name)
+    m.registers;
+  List.iter
+    (fun (f : Model.fu) ->
+      line "  %S [shape=trapezium, style=filled, fillcolor=lightblue, label=\"%s\\n%s lat=%d\"];"
+        f.fu_name (escape f.fu_name)
+        (escape
+           (String.concat "," (List.map Ops.to_string f.ops)
+            |> fun s -> if String.length s > 24 then String.sub s 0 24 ^ "…" else s))
+        f.latency)
+    m.fus;
+  List.iter
+    (fun b ->
+      line "  %S [shape=hexagon, style=filled, fillcolor=lightgray];" b)
+    m.buses;
+  List.iter
+    (fun (i : Model.input) ->
+      line "  %S [shape=invhouse, style=filled, fillcolor=palegreen];"
+        i.in_name)
+    m.inputs;
+  List.iter
+    (fun o -> line "  %S [shape=house, style=filled, fillcolor=mistyrose];" o)
+    m.outputs
+
+let resource_of_endpoint = function
+  | Transfer.Reg_out r | Transfer.Reg_in r -> r
+  | Transfer.Fu_in (f, _) | Transfer.Fu_out f -> f
+  | Transfer.Bus b -> b
+  | Transfer.In_port p | Transfer.Out_port p -> p
+
+let to_dot ?(title = "") (m : Model.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph %S {\n  rankdir=LR;\n  label=%S;\n"
+       (if m.name = "" then "model" else m.name)
+       (if title = "" then m.name else title));
+  node_defs m buf;
+  let legs, _ = Model.all_legs m in
+  List.iter
+    (fun (l : Transfer.leg) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %S -> %S [label=\"%d/%s\"];\n"
+           (resource_of_endpoint l.src)
+           (resource_of_endpoint l.dst)
+           l.step
+           (Phase.to_string l.phase)))
+    legs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let structure_only ?(title = "") (m : Model.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph %S {\n  rankdir=LR;\n  label=%S;\n"
+       (if m.name = "" then "model" else m.name)
+       (if title = "" then m.name else title));
+  node_defs m buf;
+  let legs, _ = Model.all_legs m in
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun (l : Transfer.leg) ->
+      let edge =
+        (resource_of_endpoint l.src, resource_of_endpoint l.dst)
+      in
+      if not (Hashtbl.mem seen edge) then begin
+        Hashtbl.replace seen edge ();
+        Buffer.add_string buf
+          (Printf.sprintf "  %S -> %S;\n" (fst edge) (snd edge))
+      end)
+    legs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Graphviz rendering of RT structures.
+
+    Regenerates the paper's structure figures: registers, functional
+    units and buses as nodes, transfer legs as edges labelled with
+    their control step — Fig. 1's adder fragment and Fig. 3's IKS
+    datapath come out of the same function.  Feed the output to
+    [dot -Tsvg]. *)
+
+val to_dot : ?title:string -> Model.t -> string
+(** The full model: every resource, every leg (step-labelled). *)
+
+val structure_only : ?title:string -> Model.t -> string
+(** Fig. 3 style: resources and which paths exist (deduplicated,
+    unlabelled edges) — the "resources and used transfer paths" view
+    the paper draws. *)

@@ -1,0 +1,209 @@
+open Csrtl_kernel
+
+type t = {
+  kernel : Scheduler.t;
+  model : Model.t;
+  ctrl : Controller.t;
+  signal_of : Transfer.endpoint -> Signal.t;
+}
+
+let word_printer = Word.to_string
+
+let op_printer (ops : Ops.t list) v =
+  if Word.is_disc v then "DISC"
+  else if Word.is_illegal v then "ILLEGAL"
+  else
+    match List.nth_opt ops v with
+    | Some op -> Ops.to_string op
+    | None -> Printf.sprintf "?op:%d" v
+
+let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
+    (m : Model.t) =
+  Model.validate_exn m;
+  let resolution =
+    match resolution_impl with
+    | `Incremental -> Resolve.kernel_resolution
+    | `Fold -> Csrtl_kernel.Types.Fold Resolve.resolve
+  in
+  let k = match kernel with Some k -> k | None -> Scheduler.create () in
+  let ctrl = Controller.add k ~cs_max:m.cs_max in
+  let cs = ctrl.cs and ph = ctrl.ph in
+  let table : (string, Signal.t) Hashtbl.t = Hashtbl.create 64 in
+  let declare ?resolution ?printer name init =
+    let s = Scheduler.signal k ?resolution ?printer ~name ~init () in
+    Hashtbl.replace table name s;
+    s
+  in
+  let resolved ?printer name =
+    declare ~resolution
+      ~printer:(Option.value ~default:word_printer printer) name Word.disc
+  in
+  let plain ?printer name init =
+    declare ~printer:(Option.value ~default:word_printer printer) name init
+  in
+  (* Signals. *)
+  List.iter (fun b -> ignore (resolved b)) m.buses;
+  List.iter
+    (fun (r : Model.register) ->
+      ignore (resolved (r.reg_name ^ ".in"));
+      ignore (plain (r.reg_name ^ ".out") Word.disc))
+    m.registers;
+  List.iter
+    (fun (f : Model.fu) ->
+      ignore (resolved (f.fu_name ^ ".in1"));
+      ignore (resolved (f.fu_name ^ ".in2"));
+      ignore (plain (f.fu_name ^ ".out") Word.disc);
+      ignore (resolved ~printer:(op_printer f.ops) (f.fu_name ^ ".op")))
+    m.fus;
+  List.iter
+    (fun (i : Model.input) -> ignore (plain i.in_name Word.disc))
+    m.inputs;
+  List.iter (fun o -> ignore (resolved o)) m.outputs;
+  let sig_named n =
+    match Hashtbl.find_opt table n with
+    | Some s -> s
+    | None -> raise Not_found
+  in
+  let signal_of ep = sig_named (Transfer.endpoint_name ep) in
+  (* Wait for a phase (any step), with either implementation. *)
+  let wait_phase phase =
+    match wait_impl with
+    | `Keyed -> Process.wait_keyed ph (Phase.to_int phase)
+    | `Predicate ->
+      Process.wait_until [ ph ] (fun () ->
+          Signal.value ph = Phase.to_int phase)
+  in
+  (* First activation of a transfer at (step, phase): in keyed mode,
+     wake on the step-counter event (the [ra] cycle of that step --
+     the bucket holds only that step's transfers), then on the phase
+     value if the phase is later in the step.  Waking costs O(1) per
+     leg instead of a scan of every pending leg per cycle. *)
+  let wait_first step phase =
+    match wait_impl with
+    | `Keyed ->
+      Process.wait_keyed cs step;
+      if phase <> Phase.Ra then Process.wait_keyed ph (Phase.to_int phase)
+    | `Predicate ->
+      Process.wait_until [ cs; ph ] (fun () ->
+          Signal.value cs = step && Signal.value ph = Phase.to_int phase)
+  in
+  (* Second activation (the DISC release): same step, one phase
+     later; legs exist only for phases [ra..wb], so the successor is
+     never [ra] and a phase-keyed wait suffices. *)
+  let wait_release step phase =
+    match wait_impl with
+    | `Keyed -> Process.wait_keyed ph (Phase.to_int phase)
+    | `Predicate ->
+      Process.wait_until [ cs; ph ] (fun () ->
+          Signal.value cs = step && Signal.value ph = Phase.to_int phase)
+  in
+  (* Input drivers. *)
+  List.iter
+    (fun (i : Model.input) ->
+      let s = sig_named i.in_name in
+      match i.drive with
+      | Model.Const v ->
+        ignore
+          (Scheduler.add_process k ~name:("IN_" ^ i.in_name) (fun () ->
+               Scheduler.assign k s v))
+      | Model.Schedule _ ->
+        ignore
+          (Scheduler.add_process k ~name:("IN_" ^ i.in_name) (fun () ->
+               Scheduler.assign k s (Model.input_value i 1);
+               while true do
+                 wait_phase Phase.Cr;
+                 let next = Signal.value cs + 1 in
+                 if next <= m.cs_max then
+                   Scheduler.assign k s (Model.input_value i next)
+               done)))
+    m.inputs;
+  (* Register processes (paper §2.5). *)
+  List.iter
+    (fun (r : Model.register) ->
+      let r_in = sig_named (r.reg_name ^ ".in") in
+      let r_out = sig_named (r.reg_name ^ ".out") in
+      ignore
+        (Scheduler.add_process k ~name:("REG_" ^ r.reg_name) (fun () ->
+             if not (Word.is_disc r.init) then Scheduler.assign k r_out r.init;
+             while true do
+               wait_phase Phase.Cr;
+               let v = Signal.value r_in in
+               if not (Word.is_disc v) then Scheduler.assign k r_out v
+             done)))
+    m.registers;
+  (* Module processes (paper §2.6). *)
+  List.iter
+    (fun (f : Model.fu) ->
+      let in1 = sig_named (f.fu_name ^ ".in1") in
+      let in2 = sig_named (f.fu_name ^ ".in2") in
+      let out = sig_named (f.fu_name ^ ".out") in
+      let op = sig_named (f.fu_name ^ ".op") in
+      let st = Fu_state.create f in
+      ignore
+        (Scheduler.add_process k ~name:("FU_" ^ f.fu_name) (fun () ->
+             while true do
+               wait_phase Phase.Cm;
+               let v =
+                 Fu_state.step st ~op_index:(Signal.value op)
+                   (Signal.value in1) (Signal.value in2)
+               in
+               Scheduler.assign k out v
+             done)))
+    m.fus;
+  (* Transfer processes, one per leg (paper §2.4), plus op selection. *)
+  let legs, selects = Model.all_legs m in
+  List.iteri
+    (fun idx (l : Transfer.leg) ->
+      let src = signal_of l.src in
+      let dst = signal_of l.dst in
+      let name = "TRANS" ^ string_of_int idx in
+      ignore
+        (Scheduler.add_process k ~name (fun () ->
+             wait_first l.step l.phase;
+             Scheduler.assign k dst (Signal.value src);
+             wait_release l.step (Phase.succ l.phase);
+             Scheduler.assign k dst Word.disc)))
+    legs;
+  List.iteri
+    (fun idx (s : Transfer.op_select) ->
+      match Model.find_fu m s.sel_fu with
+      | None -> ()
+      | Some f ->
+        let op_sig = sig_named (f.fu_name ^ ".op") in
+        let index =
+          let rec find i = function
+            | [] -> Word.illegal
+            | op :: rest -> if Ops.equal op s.sel_op then i else find (i + 1) rest
+          in
+          find 0 f.ops
+        in
+        let name = "OPSEL" ^ string_of_int idx in
+        ignore
+          (Scheduler.add_process k ~name (fun () ->
+               wait_first s.sel_step Phase.Rb;
+               Scheduler.assign k op_sig index;
+               wait_release s.sel_step Phase.Cm;
+               Scheduler.assign k op_sig Word.disc)))
+    selects;
+  { kernel = k; model = m; ctrl; signal_of }
+
+let lookup t names =
+  List.filter_map
+    (fun n ->
+      match
+        (try Some (t.signal_of (Transfer.Bus n)) with Not_found -> None)
+      with
+      | Some s -> Some (n, s)
+      | None -> None)
+    names
+
+let bus_signals t = lookup t t.model.buses
+
+let register_outputs t =
+  List.map
+    (fun (r : Model.register) ->
+      (r.reg_name, t.signal_of (Transfer.Reg_out r.reg_name)))
+    t.model.registers
+
+let output_ports t =
+  List.map (fun o -> (o, t.signal_of (Transfer.Out_port o))) t.model.outputs

@@ -1,0 +1,51 @@
+type t = {
+  fu : Model.fu;
+  slots : Word.t array;  (* slots.(0) = newest, slots.(latency-1) = oldest *)
+}
+
+let create (fu : Model.fu) = { fu; slots = Array.make fu.latency Word.disc }
+
+let reset u = Array.fill u.slots 0 (Array.length u.slots) Word.disc
+
+let busy u =
+  (* A non-pipelined unit is busy while any slot other than the one
+     being output this step still holds a value. *)
+  let n = Array.length u.slots in
+  let rec check i = i < n - 1 && (not (Word.is_disc u.slots.(i)) || check (i + 1)) in
+  n > 1 && check 0
+
+let peek_output u = u.slots.(Array.length u.slots - 1)
+
+let compute u ~op_index a b =
+  let prev = u.slots.(0) in
+  let no_operands = Word.is_disc a && Word.is_disc b in
+  if u.fu.sticky_illegal && Word.is_illegal prev then Word.illegal
+  else if Word.is_illegal op_index then Word.illegal
+  else if Word.is_illegal a || Word.is_illegal b then Word.illegal
+  else if no_operands && Word.is_disc op_index then
+    (* Idle step: nothing selected, nothing supplied. *)
+    (match u.fu.ops with
+     | op :: _ when Ops.is_stateful op && List.length u.fu.ops = 1 -> prev
+     | _ -> Word.disc)
+  else
+    let op =
+      if Word.is_disc op_index then None
+      else List.nth_opt u.fu.ops op_index
+    in
+    match op with
+    | None ->
+      (* Operands without a selection, or an out-of-range index. *)
+      Word.illegal
+    | Some op ->
+      if (not u.fu.pipelined) && busy u && not no_operands then Word.illegal
+      else Ops.apply op ~prev a b
+
+let step u ~op_index a b =
+  let n = Array.length u.slots in
+  let out = u.slots.(n - 1) in
+  let next = compute u ~op_index a b in
+  for i = n - 1 downto 1 do
+    u.slots.(i) <- u.slots.(i - 1)
+  done;
+  u.slots.(0) <- next;
+  out

@@ -1,0 +1,39 @@
+(** Functional-unit execution state, shared between the kernel
+    elaboration and the reference interpreter.
+
+    A unit owns a pipeline of [latency] slots (the paper's variable
+    [M], generalized).  Each control step, at phase [cm], {!step}
+    returns the value the unit drives on its output port (the oldest
+    slot) and inserts the result computed from this step's operands
+    at the head.  Implementing the behaviour once guarantees the two
+    execution paths agree — the consistency property of DESIGN.md
+    experiment C6. *)
+
+type t
+
+val create : Model.fu -> t
+val reset : t -> unit
+
+val step : t -> op_index:Word.t -> Word.t -> Word.t -> Word.t
+(** [step u ~op_index a b] processes one [cm] phase.  [op_index] is
+    the resolved value of the unit's op-select port: an index into
+    [fu.ops], [Word.disc] when no transfer reads the unit this step,
+    or [Word.illegal] on a select conflict.  Returns the output-port
+    value for this step.
+
+    Behaviour (paper §2.6, extended):
+    - output = oldest pipeline slot;
+    - new head = DISC when no operands arrive (stateful operations
+      hold their accumulator);
+    - ILLEGAL when: the select or an operand is ILLEGAL, operands are
+      partially supplied, operands arrive with a DISC select, the
+      select is out of range, or — for non-pipelined units — operands
+      arrive while a previous computation is still in flight;
+    - when [sticky_illegal], an ILLEGAL head persists. *)
+
+val busy : t -> bool
+(** True while any in-flight slot holds a value (non-pipelined
+    conflict condition). *)
+
+val peek_output : t -> Word.t
+(** The value the unit would output at the next [cm] (oldest slot). *)

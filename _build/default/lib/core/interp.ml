@@ -1,0 +1,185 @@
+type hook = step:int -> phase:Phase.t -> sink:string -> Word.t -> unit
+
+type state = {
+  model : Model.t;
+  regs : (string, Word.t) Hashtbl.t;
+  fus : (string, Fu_state.t) Hashtbl.t;
+  fu_out : (string, Word.t) Hashtbl.t;
+  legs_at : (int * int, Transfer.leg list) Hashtbl.t;
+  selects_at : (int, Transfer.op_select list) Hashtbl.t;
+  op_index : (string, Ops.t -> Word.t) Hashtbl.t;
+  (* one-phase-lagged resolved view of all contribution sinks *)
+  mutable contribs : (string, Word.t list) Hashtbl.t;
+  mutable visible : (string, Word.t) Hashtbl.t;
+  mutable conflicts : (int * Phase.t * string) list;
+  reg_trace : (string, Word.t array) Hashtbl.t;
+  mutable out_writes : (string * (int * Word.t)) list;
+}
+
+let init (m : Model.t) =
+  let regs = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Model.register) -> Hashtbl.replace regs r.reg_name r.init)
+    m.registers;
+  let fus = Hashtbl.create 8 in
+  let fu_out = Hashtbl.create 8 in
+  let op_index = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Model.fu) ->
+      Hashtbl.replace fus f.fu_name (Fu_state.create f);
+      Hashtbl.replace fu_out f.fu_name Word.disc;
+      Hashtbl.replace op_index f.fu_name (fun op ->
+          let rec find i = function
+            | [] -> Word.illegal
+            | o :: rest -> if Ops.equal o op then i else find (i + 1) rest
+          in
+          find 0 f.ops))
+    m.fus;
+  let legs, selects = Model.all_legs m in
+  let legs_at = Hashtbl.create 32 in
+  List.iter
+    (fun (l : Transfer.leg) ->
+      let key = (l.step, Phase.to_int l.phase) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt legs_at key) in
+      Hashtbl.replace legs_at key (prev @ [ l ]))
+    legs;
+  let selects_at = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Transfer.op_select) ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt selects_at s.sel_step)
+      in
+      Hashtbl.replace selects_at s.sel_step (prev @ [ s ]))
+    selects;
+  let reg_trace = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Model.register) ->
+      Hashtbl.replace reg_trace r.reg_name (Array.make m.cs_max Word.disc))
+    m.registers;
+  { model = m; regs; fus; fu_out; legs_at; selects_at; op_index;
+    contribs = Hashtbl.create 16; visible = Hashtbl.create 16;
+    conflicts = []; reg_trace; out_writes = [] }
+
+let contribute st sink v =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt st.contribs sink) in
+  Hashtbl.replace st.contribs sink (v :: prev)
+
+let visible st sink =
+  Option.value ~default:Word.disc (Hashtbl.find_opt st.visible sink)
+
+(* Turn last phase's contributions into this phase's visible values,
+   recording sinks that newly become ILLEGAL. *)
+let flip_phase ?on_visible st ~step ~phase =
+  let new_visible = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun sink vs ->
+      let v = Resolve.resolve_list vs in
+      Hashtbl.replace new_visible sink v;
+      (match on_visible with
+       | Some f -> f ~step ~phase ~sink v
+       | None -> ());
+      if Word.is_illegal v && not (Word.is_illegal (visible st sink)) then
+        st.conflicts <- (step, phase, sink) :: st.conflicts)
+    st.contribs;
+  st.visible <- new_visible;
+  st.contribs <- Hashtbl.create 16
+
+let source_value st step = function
+  | Transfer.Reg_out r ->
+    Option.value ~default:Word.disc (Hashtbl.find_opt st.regs r)
+  | Transfer.In_port i ->
+    (match
+       List.find_opt (fun (x : Model.input) -> x.in_name = i)
+         st.model.inputs
+     with
+     | Some inp -> Model.input_value inp step
+     | None -> Word.disc)
+  | Transfer.Bus b -> visible st b
+  | Transfer.Fu_out f ->
+    Option.value ~default:Word.disc (Hashtbl.find_opt st.fu_out f)
+  | Transfer.Reg_in _ | Transfer.Fu_in _ | Transfer.Out_port _ ->
+    Word.disc
+
+let run_phase st ~step ~(phase : Phase.t) =
+  let legs =
+    Option.value ~default:[]
+      (Hashtbl.find_opt st.legs_at (step, Phase.to_int phase))
+  in
+  List.iter
+    (fun (l : Transfer.leg) ->
+      contribute st
+        (Transfer.endpoint_name l.dst)
+        (source_value st step l.src))
+    legs;
+  match phase with
+  | Phase.Rb ->
+    let selects =
+      Option.value ~default:[] (Hashtbl.find_opt st.selects_at step)
+    in
+    List.iter
+      (fun (s : Transfer.op_select) ->
+        match Hashtbl.find_opt st.op_index s.sel_fu with
+        | Some index -> contribute st (s.sel_fu ^ ".op") (index s.sel_op)
+        | None -> ())
+      selects
+  | Phase.Cm ->
+    List.iter
+      (fun (f : Model.fu) ->
+        let u = Hashtbl.find st.fus f.fu_name in
+        let out =
+          Fu_state.step u
+            ~op_index:(visible st (f.fu_name ^ ".op"))
+            (visible st (f.fu_name ^ ".in1"))
+            (visible st (f.fu_name ^ ".in2"))
+        in
+        Hashtbl.replace st.fu_out f.fu_name out)
+      st.model.fus
+  | Phase.Cr ->
+    List.iter
+      (fun (r : Model.register) ->
+        let v = visible st (r.reg_name ^ ".in") in
+        if not (Word.is_disc v) then Hashtbl.replace st.regs r.reg_name v)
+      st.model.registers;
+    List.iter
+      (fun o ->
+        let v = visible st o in
+        if not (Word.is_disc v) then
+          st.out_writes <- (o, (step, v)) :: st.out_writes)
+      st.model.outputs;
+    List.iter
+      (fun (r : Model.register) ->
+        let arr = Hashtbl.find st.reg_trace r.reg_name in
+        arr.(step - 1) <- Hashtbl.find st.regs r.reg_name)
+      st.model.registers
+  | Phase.Ra | Phase.Wa | Phase.Wb -> ()
+
+let run_with_hook ?on_visible (m : Model.t) =
+  Model.validate_exn m;
+  let st = init m in
+  for step = 1 to m.cs_max do
+    List.iter
+      (fun phase ->
+        flip_phase ?on_visible st ~step ~phase;
+        run_phase st ~step ~phase)
+      Phase.all
+  done;
+  let outputs =
+    List.map
+      (fun o ->
+        ( o,
+          List.rev
+            (List.filter_map
+               (fun (name, w) -> if name = o then Some w else None)
+               st.out_writes) ))
+      m.outputs
+  in
+  { Observation.model_name = m.name; cs_max = m.cs_max;
+    regs =
+      List.map
+        (fun (r : Model.register) ->
+          (r.reg_name, Hashtbl.find st.reg_trace r.reg_name))
+        m.registers;
+    outputs;
+    conflicts = List.rev st.conflicts }
+
+let run m = run_with_hook m

@@ -1,0 +1,21 @@
+(** Direct control-step interpreter — the paper's dedicated semantics.
+
+    Executes a model by iterating steps and phases directly, with no
+    event kernel: values contributed by transfers during one phase
+    are resolved and become visible in the next phase, exactly the
+    one-delta lag of the VHDL realization.  §2.7 argues this "close
+    relationship of the register transfer model to the VHDL
+    simulation delta cycle allows to prove the consistency of the
+    dedicated semantics with VHDL simulation semantics";
+    {!Csrtl_verify.Consist} checks that theorem empirically against
+    {!Simulate}.  The interpreter is also the fast execution path
+    (see the [speed/kernel-vs-interp] ablation bench). *)
+
+val run : Model.t -> Observation.t
+(** Validates and runs the model for [cs_max] control steps. *)
+
+type hook = step:int -> phase:Phase.t -> sink:string -> Word.t -> unit
+
+val run_with_hook : ?on_visible:hook -> Model.t -> Observation.t
+(** Like {!run}, also reporting every resolved sink value as it
+    becomes visible (used by the symbolic/diagnostic layers). *)

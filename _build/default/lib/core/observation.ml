@@ -1,0 +1,93 @@
+type t = {
+  model_name : string;
+  cs_max : int;
+  regs : (string * Word.t array) list;
+  outputs : (string * (int * Word.t) list) list;
+  conflicts : (int * Phase.t * string) list;
+}
+
+let reg_trace t name = List.assoc_opt name t.regs
+
+let final_reg t name =
+  match reg_trace t name with
+  | Some arr when Array.length arr > 0 -> Some arr.(Array.length arr - 1)
+  | Some _ | None -> None
+
+let output_writes t name =
+  Option.value ~default:[] (List.assoc_opt name t.outputs)
+
+let has_conflict t = t.conflicts <> []
+
+let compare_conflict (s1, p1, n1) (s2, p2, n2) =
+  let c = Int.compare s1 s2 in
+  if c <> 0 then c
+  else
+    let c = Phase.compare p1 p2 in
+    if c <> 0 then c else String.compare n1 n2
+
+let normalize t =
+  let by_name (a, _) (b, _) = String.compare a b in
+  { t with
+    regs = List.sort by_name t.regs;
+    outputs =
+      List.map (fun (n, ws) -> (n, List.sort Stdlib.compare ws)) t.outputs
+      |> List.sort by_name;
+    conflicts = List.sort_uniq compare_conflict t.conflicts }
+
+let equal a b = normalize a = normalize b
+
+let diff a b =
+  let a = normalize a and b = normalize b in
+  let out = ref [] in
+  let say fmt = Format.kasprintf (fun s -> out := s :: !out) fmt in
+  if a.cs_max <> b.cs_max then say "cs_max: %d vs %d" a.cs_max b.cs_max;
+  let reg_names o = List.map fst o.regs in
+  if reg_names a <> reg_names b then
+    say "register sets differ: [%s] vs [%s]"
+      (String.concat " " (reg_names a))
+      (String.concat " " (reg_names b))
+  else
+    List.iter2
+      (fun (n, va) (_, vb) ->
+        if va <> vb then
+          Array.iteri
+            (fun i x ->
+              if i < Array.length vb && x <> vb.(i) then
+                say "%s at step %d: %s vs %s" n (i + 1) (Word.to_string x)
+                  (Word.to_string vb.(i)))
+            va)
+      a.regs b.regs;
+  if a.outputs <> b.outputs then say "output traces differ";
+  if a.conflicts <> b.conflicts then begin
+    let show (s, p, n) =
+      Printf.sprintf "%d/%s:%s" s (Phase.to_string p) n
+    in
+    say "conflicts: [%s] vs [%s]"
+      (String.concat " " (List.map show a.conflicts))
+      (String.concat " " (List.map show b.conflicts))
+  end;
+  List.rev !out
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>observation of %s (cs_max=%d)@," t.model_name
+    t.cs_max;
+  List.iter
+    (fun (n, arr) ->
+      Format.fprintf ppf "  %s: %s@," n
+        (String.concat " "
+           (Array.to_list (Array.map Word.to_string arr))))
+    t.regs;
+  List.iter
+    (fun (n, ws) ->
+      Format.fprintf ppf "  out %s: %s@," n
+        (String.concat " "
+           (List.map
+              (fun (s, v) -> Printf.sprintf "%d:%s" s (Word.to_string v))
+              ws)))
+    t.outputs;
+  List.iter
+    (fun (s, p, n) ->
+      Format.fprintf ppf "  ILLEGAL at step %d phase %s on %s@," s
+        (Phase.to_string p) n)
+    t.conflicts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,37 @@
+(** What a simulation of a clock-free model observes.
+
+    Both execution paths — the event-driven kernel ({!Simulate}) and
+    the direct control-step interpreter ({!Interp}) — produce this
+    record, so consistency between the paper's semantics and the VHDL
+    simulation semantics is checkable by structural equality. *)
+
+type t = {
+  model_name : string;
+  cs_max : int;
+  regs : (string * Word.t array) list;
+      (** per register, the value at the {e end} of each control step
+          (index [step - 1]); registers keep DISC until first latched *)
+  outputs : (string * (int * Word.t) list) list;
+      (** per output port, the non-DISC values seen at phase [cr],
+          with their step *)
+  conflicts : (int * Phase.t * string) list;
+      (** resolved sinks that {e became} ILLEGAL: control step, phase
+          at which the value is visible, canonical signal name *)
+}
+
+val reg_trace : t -> string -> Word.t array option
+val final_reg : t -> string -> Word.t option
+(** Register value after the last control step. *)
+
+val output_writes : t -> string -> (int * Word.t) list
+val has_conflict : t -> bool
+val normalize : t -> t
+(** Sort all association lists and conflict entries, for comparison. *)
+
+val equal : t -> t -> bool
+(** Equality modulo {!normalize}. *)
+
+val diff : t -> t -> string list
+(** Human-readable differences (empty iff {!equal}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,162 @@
+type t =
+  | Add | Sub | Mul
+  | Band | Bor | Bxor
+  | Shl | Shr | Asr
+  | Shli of int | Shri of int | Asri of int
+  | Addi of int | Subi of int | Muli of int
+  | Mulfx of int
+  | Min | Max
+  | Eq | Lt | Lts
+  | Pass
+  | Neg | Bnot | Abs
+  | Const of int
+  | Mac
+
+let arity = function
+  | Const _ -> 0
+  | Pass | Neg | Bnot | Abs | Shli _ | Shri _ | Asri _ | Addi _ | Subi _
+  | Muli _ ->
+    1
+  | Add | Sub | Mul | Band | Bor | Bxor | Shl | Shr | Asr | Min | Max | Eq
+  | Lt | Lts | Mac | Mulfx _ ->
+    2
+
+let is_stateful = function
+  | Mac -> true
+  | Add | Sub | Mul | Band | Bor | Bxor | Shl | Shr | Asr | Shli _ | Shri _
+  | Asri _ | Addi _ | Subi _ | Muli _ | Mulfx _ | Min | Max | Eq | Lt | Lts
+  | Pass | Neg | Bnot | Abs | Const _ ->
+    false
+
+let bool_word b = if b then 1 else 0
+
+(* Shift amounts are clamped to the word width: shifting a 32-bit
+   value by >= 32 yields 0 (or the sign fill for [Asr]). *)
+let clamp_shift n = if n < 0 then 0 else min n Word.width
+
+let eval op (args : int array) =
+  let a i = args.(i) in
+  let m = Word.mask in
+  match op with
+  | Add -> m (a 0 + a 1)
+  | Sub -> m (a 0 - a 1)
+  | Mul -> m (a 0 * a 1)
+  | Band -> a 0 land a 1
+  | Bor -> a 0 lor a 1
+  | Bxor -> a 0 lxor a 1
+  | Shl -> m (a 0 lsl clamp_shift (a 1))
+  | Shr -> a 0 lsr clamp_shift (a 1)
+  | Asr -> m (Word.to_signed (a 0) asr clamp_shift (a 1))
+  | Shli n -> m (a 0 lsl clamp_shift n)
+  | Shri n -> a 0 lsr clamp_shift n
+  | Asri n -> m (Word.to_signed (a 0) asr clamp_shift n)
+  | Addi n -> m (a 0 + n)
+  | Subi n -> m (a 0 - n)
+  | Muli n -> m (a 0 * n)
+  | Mulfx n ->
+    m ((Word.to_signed (a 0) * Word.to_signed (a 1)) asr clamp_shift n)
+  | Min -> min (a 0) (a 1)
+  | Max -> max (a 0) (a 1)
+  | Eq -> bool_word (a 0 = a 1)
+  | Lt -> bool_word (a 0 < a 1)
+  | Lts -> bool_word (Word.to_signed (a 0) < Word.to_signed (a 1))
+  | Pass -> a 0
+  | Neg -> m (- Word.to_signed (a 0))
+  | Bnot -> m (lnot (a 0))
+  | Abs -> m (abs (Word.to_signed (a 0)))
+  | Const c -> m c
+  | Mac -> m (a 2 + (a 0 * a 1))
+
+let apply op ~prev x y =
+  let n = arity op in
+  let operands = match n with 0 -> [||] | 1 -> [| x |] | _ -> [| x; y |] in
+  let any p = Array.exists p operands in
+  let all p = Array.for_all p operands in
+  if any Word.is_illegal then Word.illegal
+  else if all Word.is_disc && n > 0 then
+    (* Paper ADD: both operands DISC -> DISC.  A MAC with no new
+       operands holds its accumulator. *)
+    if is_stateful op then prev else Word.disc
+  else if any Word.is_disc then
+    (* "either both operand values are natural values or both are
+       DISC" — a partial supply is a scheduling error. *)
+    Word.illegal
+  else
+    match op with
+    | Mac ->
+      if Word.is_illegal prev then Word.illegal
+      else
+        let acc = if Word.is_disc prev then 0 else prev in
+        eval op [| x; y; acc |]
+    | Add | Sub | Mul | Band | Bor | Bxor | Shl | Shr | Asr | Shli _
+    | Shri _ | Asri _ | Addi _ | Subi _ | Muli _ | Mulfx _ | Min | Max
+    | Eq | Lt | Lts | Pass | Neg | Bnot | Abs | Const _ ->
+      eval op operands
+
+let to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Band -> "and"
+  | Bor -> "or"
+  | Bxor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Asr -> "asr"
+  | Shli n -> Printf.sprintf "shli:%d" n
+  | Shri n -> Printf.sprintf "shri:%d" n
+  | Asri n -> Printf.sprintf "asri:%d" n
+  | Addi n -> Printf.sprintf "addi:%d" n
+  | Subi n -> Printf.sprintf "subi:%d" n
+  | Muli n -> Printf.sprintf "muli:%d" n
+  | Mulfx n -> Printf.sprintf "mulfx:%d" n
+  | Min -> "min"
+  | Max -> "max"
+  | Eq -> "eq"
+  | Lt -> "lt"
+  | Lts -> "lts"
+  | Pass -> "pass"
+  | Neg -> "neg"
+  | Bnot -> "not"
+  | Abs -> "abs"
+  | Const c -> Printf.sprintf "const:%d" c
+  | Mac -> "mac"
+
+let of_string s =
+  let simple =
+    [ ("add", Add); ("sub", Sub); ("mul", Mul); ("and", Band); ("or", Bor);
+      ("xor", Bxor); ("shl", Shl); ("shr", Shr); ("asr", Asr); ("min", Min);
+      ("max", Max); ("eq", Eq); ("lt", Lt); ("lts", Lts); ("pass", Pass);
+      ("neg", Neg); ("not", Bnot); ("abs", Abs); ("mac", Mac) ]
+  in
+  match List.assoc_opt s simple with
+  | Some op -> Some op
+  | None ->
+    (match String.index_opt s ':' with
+     | None -> None
+     | Some i ->
+       let head = String.sub s 0 i in
+       let tail = String.sub s (i + 1) (String.length s - i - 1) in
+       (match int_of_string_opt tail with
+        | None -> None
+        | Some n ->
+          (match head with
+           | "shli" -> Some (Shli n)
+           | "shri" -> Some (Shri n)
+           | "asri" -> Some (Asri n)
+           | "addi" -> Some (Addi n)
+           | "subi" -> Some (Subi n)
+           | "muli" -> Some (Muli n)
+           | "mulfx" -> Some (Mulfx n)
+           | "const" -> Some (Const n)
+           | _ -> None)))
+
+let equal (a : t) (b : t) = a = b
+let pp ppf op = Format.pp_print_string ppf (to_string op)
+
+let commutative = function
+  | Add | Mul | Band | Bor | Bxor | Min | Max | Eq -> true
+  | Mulfx _ -> true
+  | Sub | Shl | Shr | Asr | Shli _ | Shri _ | Asri _ | Addi _ | Subi _
+  | Muli _ | Lt | Lts | Pass | Neg | Bnot | Abs | Const _ | Mac ->
+    false

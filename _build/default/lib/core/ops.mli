@@ -1,0 +1,56 @@
+(** Operations performed by functional units.
+
+    The paper's base model has single-operation modules (the ADD
+    example); §3 extends it so "a register transfer also defines the
+    operation to be performed by the module".  Each functional unit
+    declares the list of operations it implements; a transfer selects
+    one by index through a resolved op-select port (so two transfers
+    selecting different operations in the same control step conflict
+    into ILLEGAL, like any other resource conflict).
+
+    Arithmetic wraps modulo [2 ^ Word.width]; [Asr], [Neg], [Lts] and
+    the immediate arithmetic-shift forms use the two's-complement
+    reading of naturals, which is how the IKS fixed-point microcode
+    operates on this substrate. *)
+
+type t =
+  | Add | Sub | Mul
+  | Band | Bor | Bxor  (** bitwise *)
+  | Shl | Shr | Asr  (** shift by second operand *)
+  | Shli of int | Shri of int | Asri of int  (** immediate shifts *)
+  | Addi of int | Subi of int | Muli of int
+  | Mulfx of int
+      (** fixed-point multiply: full signed product, arithmetic right
+          shift by [n] — the wide multiply/normalize of DSP datapaths
+          such as the IKS MACC *)
+  | Min | Max
+  | Eq | Lt | Lts  (** comparisons: 1 / 0 *)
+  | Pass  (** unary: copy first operand (direct links, reg-to-reg) *)
+  | Neg | Bnot | Abs  (** unary *)
+  | Const of int  (** produce a constant (paper's [F := 1]) *)
+  | Mac  (** stateful: accumulator [m := m + a*b]; latency-1 units only *)
+
+val arity : t -> int
+(** 0 ([Const]), 1, or 2. *)
+
+val is_stateful : t -> bool
+(** [Mac] threads the unit's previous state. *)
+
+val eval : t -> int array -> int
+(** Apply to natural operands ([arity t] of them; [Mac] additionally
+    takes the previous accumulator as a third element).  Pure
+    arithmetic on in-range naturals; no sentinel handling. *)
+
+val apply : t -> prev:Word.t -> Word.t -> Word.t -> Word.t
+(** Full sentinel-lifted application following the paper's ADD model:
+    all needed operands DISC -> DISC (or held accumulator for [Mac]);
+    any operand ILLEGAL, or operands partially DISC -> ILLEGAL;
+    otherwise {!eval}. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val commutative : t -> bool
+(** Used by the verification library to normalize symbolic terms. *)

@@ -1,0 +1,65 @@
+type t = Ra | Rb | Cm | Wa | Wb | Cr
+
+let all = [ Ra; Rb; Cm; Wa; Wb; Cr ]
+let count = 6
+let low = Ra
+let high = Cr
+
+let succ = function
+  | Ra -> Rb
+  | Rb -> Cm
+  | Cm -> Wa
+  | Wa -> Wb
+  | Wb -> Cr
+  | Cr -> Ra
+
+let pred = function
+  | Ra -> Cr
+  | Rb -> Ra
+  | Cm -> Rb
+  | Wa -> Cm
+  | Wb -> Wa
+  | Cr -> Wb
+
+let to_int = function
+  | Ra -> 0
+  | Rb -> 1
+  | Cm -> 2
+  | Wa -> 3
+  | Wb -> 4
+  | Cr -> 5
+
+let of_int = function
+  | 0 -> Some Ra
+  | 1 -> Some Rb
+  | 2 -> Some Cm
+  | 3 -> Some Wa
+  | 4 -> Some Wb
+  | 5 -> Some Cr
+  | _ -> None
+
+let of_int_exn n =
+  match of_int n with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Phase.of_int_exn: %d" n)
+
+let to_string = function
+  | Ra -> "ra"
+  | Rb -> "rb"
+  | Cm -> "cm"
+  | Wa -> "wa"
+  | Wb -> "wb"
+  | Cr -> "cr"
+
+let of_string = function
+  | "ra" | "rA" -> Some Ra
+  | "rb" | "rB" -> Some Rb
+  | "cm" | "cM" -> Some Cm
+  | "wa" | "wA" -> Some Wa
+  | "wb" | "wB" -> Some Wb
+  | "cr" | "cR" -> Some Cr
+  | _ -> None
+
+let equal a b = a = b
+let compare a b = Int.compare (to_int a) (to_int b)
+let pp ppf p = Format.pp_print_string ppf (to_string p)

@@ -1,0 +1,40 @@
+(** The six phases of a control step (paper Fig. 2).
+
+    Phases occur cyclically within each control step:
+    [ra] register output ports to buses, [rb] buses to module input
+    ports, [cm] modules compute, [wa] module output ports to buses,
+    [wb] buses to register input ports, [cr] registers latch. *)
+
+type t = Ra | Rb | Cm | Wa | Wb | Cr
+
+val all : t list
+(** In execution order. *)
+
+val count : int
+(** 6: the number of delta cycles one control step costs. *)
+
+val low : t
+(** [Ra] — VHDL [Phase'Low]. *)
+
+val high : t
+(** [Cr] — VHDL [Phase'High]. *)
+
+val succ : t -> t
+(** Cyclic successor ([succ Cr = Ra]). *)
+
+val pred : t -> t
+
+val to_int : t -> int
+(** 0-based position, the kernel signal encoding. *)
+
+val of_int : int -> t option
+val of_int_exn : int -> t
+
+val to_string : t -> string
+(** Lower-case paper names: ["ra"], ["rb"], ["cm"], ["wa"], ["wb"],
+    ["cr"]. *)
+
+val of_string : string -> t option
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,304 @@
+(* Tuples are indexed by position in [m.transfers].  A tuple is
+   "movable" when it is full (read and write parts) and reads no
+   schedule-driven input; everything else is pinned. *)
+
+type job = {
+  index : int;
+  tuple : Transfer.t;
+  read : int;
+  latency : int;  (* write = read + latency *)
+  movable : bool;
+  sources : string list;  (* registers read *)
+  dst_reg : string option;
+  read_buses : string list;
+  write_bus : string option;
+  fu : string;
+  fu_pipelined : bool;
+  fu_stateful : bool;
+  fu_latency : int;
+}
+
+let jobs_of_model (m : Model.t) =
+  let schedule_inputs =
+    List.filter_map
+      (fun (i : Model.input) ->
+        match i.drive with
+        | Model.Schedule _ -> Some i.in_name
+        | Model.Const _ -> None)
+      m.inputs
+  in
+  List.mapi
+    (fun index (t : Transfer.t) ->
+      let fu = Model.find_fu m t.fu in
+      let fu_latency = Model.fu_latency m t.fu in
+      let sources =
+        List.filter_map
+          (function
+            | Some (Transfer.From_reg r) -> Some r
+            | Some (Transfer.From_input _) | None -> None)
+          [ t.src_a; t.src_b ]
+      in
+      let reads_scheduled_input =
+        List.exists
+          (function
+            | Some (Transfer.From_input i) -> List.mem i schedule_inputs
+            | Some (Transfer.From_reg _) | None -> false)
+          [ t.src_a; t.src_b ]
+      in
+      let fu_stateful =
+        match fu with
+        | Some f -> List.exists Ops.is_stateful f.Model.ops
+        | None -> false
+      in
+      let fu_can_reset =
+        (* a stateful unit with other operations resets its state on
+           idle steps (Fu_state), so even its gaps carry meaning *)
+        fu_stateful
+        && (match fu with
+            | Some f -> List.length f.Model.ops > 1
+            | None -> false)
+      in
+      let movable =
+        (match t.read_step, t.write_step with
+         | Some r, Some w -> w = r + fu_latency
+         | _, _ -> false)
+        && (not reads_scheduled_input)
+        && not fu_can_reset
+      in
+      { index; tuple = t;
+        read = Option.value ~default:1 t.read_step;
+        latency = fu_latency;
+        movable;
+        sources;
+        dst_reg =
+          (* outputs participate too: their writers keep their order
+             (no tuple ever reads an output, so the read-after-write
+             and write-after-read relations are vacuous for them) *)
+          (match t.dst with
+           | Some (Transfer.To_reg r) -> Some r
+           | Some (Transfer.To_output o) -> Some o
+           | None -> None);
+        read_buses = List.filter_map (fun b -> b) [ t.bus_a; t.bus_b ];
+        write_bus = t.write_bus;
+        fu = t.fu;
+        fu_pipelined =
+          (match fu with Some f -> f.Model.pipelined | None -> true);
+        fu_stateful;
+        fu_latency })
+    m.transfers
+
+(* The tuple that produced the value register [r] holds at the
+   beginning of step [step] under schedule [reads]: the writer with
+   the largest write step strictly before [step]'s read... i.e. with
+   write < step is wrong — a register latched at the end of step w is
+   readable from step w + 1, and a read at step w still sees the old
+   value, so the producing writer has write <= step - 1. *)
+let producer jobs reads r step =
+  List.fold_left
+    (fun best (j : job) ->
+      if j.dst_reg = Some r then begin
+        let w = reads.(j.index) + j.latency in
+        if w < step then
+          match best with
+          | Some (bw, _) when bw >= w -> best
+          | _ -> Some (w, j.index)
+        else best
+      end
+      else best)
+    None jobs
+
+let compact (m : Model.t) =
+  Model.validate_exn m;
+  (match Conflict.check m with
+   | [] -> ()
+   | cs ->
+     invalid_arg
+       (Printf.sprintf "Reschedule.compact: model has conflicts (%s)"
+          (Conflict.to_string (List.hd cs))));
+  let jobs = jobs_of_model m in
+  let reads = Array.of_list (List.map (fun j -> j.read) jobs) in
+  (* original data relations, fixed before any movement *)
+  let orig_producer r step = producer jobs reads r step in
+  let orig_readers_of_previous_value (k : job) =
+    (* tuples that read dst(k)'s pre-k value in the original schedule:
+       their producing writer is not k, and they read at or before
+       k's write *)
+    match k.dst_reg with
+    | None -> []
+    | Some r ->
+      List.filter
+        (fun (j : job) ->
+          List.mem r j.sources
+          && j.read <= k.read + k.latency
+          && (match orig_producer r j.read with
+              | Some (_, i) -> i <> k.index
+              | None -> true))
+        jobs
+  in
+  let raw_deps =
+    List.map
+      (fun (j : job) ->
+        List.filter_map (fun r -> orig_producer r j.read) j.sources
+        |> List.map snd)
+      jobs
+    |> Array.of_list
+  in
+  let war_readers =
+    List.map (fun j -> List.map (fun (x : job) -> x.index)
+                 (orig_readers_of_previous_value j)) jobs
+    |> Array.of_list
+  in
+  let waw_prev =
+    (* immediately preceding writer of the same register *)
+    List.map
+      (fun (j : job) ->
+        match j.dst_reg with
+        | None -> None
+        | Some r ->
+          List.fold_left
+            (fun best (i : job) ->
+              if i.index <> j.index && i.dst_reg = Some r
+                 && i.read + i.latency < j.read + j.latency
+              then
+                match best with
+                | Some (bw, _) when bw >= i.read + i.latency -> best
+                | _ -> Some (i.read + i.latency, i.index)
+              else best)
+            None jobs
+          |> Option.map snd)
+      jobs
+    |> Array.of_list
+  in
+  (* accumulator units: the k-th read must stay the k-th read (the
+     state folds over reads in step order; hold-on-idle units are
+     insensitive to the gaps, reset-on-idle ones were pinned above) *)
+  let stateful_prev =
+    List.map
+      (fun (j : job) ->
+        if not j.fu_stateful then None
+        else
+          List.fold_left
+            (fun best (i : job) ->
+              if i.index <> j.index && i.fu = j.fu && i.read < j.read then
+                match best with
+                | Some (br, _) when br >= i.read -> best
+                | _ -> Some (i.read, i.index)
+              else best)
+            None jobs
+          |> Option.map snd)
+      jobs
+    |> Array.of_list
+  in
+  let placed = Array.make (List.length jobs) false in
+  (* resource feasibility of read step [r] for job [j], against
+     already-placed jobs only (unplaced jobs will avoid us later) *)
+  let resources_ok (j : job) r =
+    List.for_all
+      (fun (other : job) ->
+        (not placed.(other.index)) || other.index = j.index
+        ||
+        let ro = reads.(other.index) in
+        let wo = ro + other.latency in
+        let w = r + j.latency in
+        (* bus read sides *)
+        (ro <> r
+         || not
+              (List.exists (fun b -> List.mem b other.read_buses)
+                 j.read_buses))
+        (* bus write sides *)
+        && (wo <> w
+            || j.write_bus = None || other.write_bus = None
+            || j.write_bus <> other.write_bus)
+        (* one operand set per unit per step; latency window for
+           non-pipelined units *)
+        && (other.fu <> j.fu
+            ||
+            if j.fu_pipelined then ro <> r
+            else r + j.fu_latency <= ro || ro + other.fu_latency <= r))
+      jobs
+  in
+  let order =
+    List.sort
+      (fun (a : job) (b : job) ->
+        let c = Int.compare a.read b.read in
+        if c <> 0 then c else Int.compare a.index b.index)
+      jobs
+  in
+  List.iter
+    (fun (j : job) ->
+      if not j.movable then placed.(j.index) <- true
+      else begin
+        let lower_raw =
+          List.fold_left
+            (fun acc i -> max acc (reads.(i) + (List.nth jobs i).latency + 1))
+            1 raw_deps.(j.index)
+        in
+        let lower_waw =
+          match waw_prev.(j.index) with
+          | None -> 1
+          | Some i ->
+            (* strictly later write than the previous writer *)
+            reads.(i) + (List.nth jobs i).latency + 1 - j.latency
+        in
+        let lower_stateful =
+          match stateful_prev.(j.index) with
+          | None -> 1
+          | Some i -> reads.(i) + 1
+        in
+        let lower_war =
+          (* our write must not land before any reader of the value we
+             overwrite: write >= their read, i.e. read >= r_j - lat *)
+          List.fold_left
+            (fun acc i ->
+              if i = j.index then acc
+              else max acc (reads.(i) - j.latency))
+            1 war_readers.(j.index)
+        in
+        let rec place r =
+          if r > j.read then j.read  (* never move later *)
+          else if resources_ok j r then r
+          else place (r + 1)
+        in
+        let r' =
+          place
+            (max 1
+               (max lower_raw
+                  (max lower_waw (max lower_war lower_stateful))))
+        in
+        reads.(j.index) <- r';
+        placed.(j.index) <- true
+      end)
+    order;
+  let transfers =
+    List.map
+      (fun (j : job) ->
+        if not j.movable then j.tuple
+        else
+          { j.tuple with
+            Transfer.read_step = Some reads.(j.index);
+            write_step = Some (reads.(j.index) + j.latency) })
+      jobs
+  in
+  let cs_max =
+    List.fold_left
+      (fun acc (t : Transfer.t) ->
+        let acc =
+          match t.read_step with Some r -> max acc r | None -> acc
+        in
+        match t.write_step with Some w -> max acc w | None -> acc)
+      1 transfers
+  in
+  let m' = { m with Model.transfers; cs_max = max cs_max 1 } in
+  Model.validate_exn m';
+  (match Conflict.check m' with
+   | [] -> ()
+   | cs ->
+     invalid_arg
+       (Printf.sprintf
+          "Reschedule.compact: internal error, produced a conflict (%s)"
+          (Conflict.to_string (List.hd cs))));
+  m'
+
+let compaction m =
+  let m' = compact m in
+  (m.Model.cs_max, m'.Model.cs_max)

@@ -1,0 +1,41 @@
+(** Schedule transformations on clock-free models.
+
+    The paper's stated goal is "to map formal timing abstraction
+    mechanisms to transformations on VHDL subsets" (§2.7); this module
+    provides the canonical such transformation: {e compaction} —
+    re-embedding the same transfers into the earliest control steps
+    that preserve behaviour, with resource bindings (buses, units,
+    registers) unchanged.
+
+    A tuple may move earlier as long as
+    - it still reads each register {e after} the write that produced
+      the value it consumed (read-after-write),
+    - every reader of the value it overwrites still reads {e before}
+      the overwrite lands (write-after-read; a read and a write of one
+      register may share a step — reads happen at [ra], latches at
+      [cr]),
+    - writers of one register keep their order (write-after-write),
+    - no two tuples drive one bus's read side or write side in the
+      same step, units accept at most one operand set per step
+      (non-pipelined ones keep their latency window exclusive),
+    - reads of an accumulator unit keep their order (hold-on-idle
+      state folds over reads in step order); units whose state can
+      reset on idle steps (a stateful operation alongside others) are
+      pinned entirely,
+    - tuples reading schedule-driven inputs, and partial tuples, stay
+      where they are (their meaning depends on the step).
+
+    Placement is a single earliest-feasible pass in original read
+    order; each bound taken from a not-yet-moved tuple only relaxes
+    when that tuple later moves, so the pass is sound.  The result is
+    validated and statically conflict-free; the test suite
+    additionally proves behaviour preservation symbolically
+    ({!Csrtl_verify.Symsim} term equality). *)
+
+val compact : Model.t -> Model.t
+(** Earliest-feasible rescheduling; [cs_max] shrinks to the last
+    write step.  Raises [Invalid_argument] if the input model does
+    not validate or has static conflicts. *)
+
+val compaction : Model.t -> int * int
+(** [(original cs_max, compacted cs_max)] — the headline numbers. *)

@@ -1,0 +1,34 @@
+let combine a b =
+  if Word.is_disc a then b
+  else if Word.is_disc b then a
+  else Word.illegal
+
+let resolve values = Array.fold_left combine Word.disc values
+let resolve_list values = List.fold_left combine Word.disc values
+
+let incremental () =
+  (* DISC contributes nothing; exactly one natural resolves to that
+     natural (recovered from the running sum); anything else is a
+     conflict. *)
+  let nat_count = ref 0 in
+  let illegal_count = ref 0 in
+  let sum = ref 0 in
+  let shift v delta =
+    if Word.is_nat v then begin
+      nat_count := !nat_count + delta;
+      sum := !sum + (delta * v)
+    end
+    else if Word.is_illegal v then illegal_count := !illegal_count + delta
+  in
+  { Csrtl_kernel.Types.incr_add = (fun v -> shift v 1);
+    incr_remove = (fun v -> shift v (-1));
+    incr_read =
+      (fun () ->
+        if !illegal_count > 0 then Word.illegal
+        else
+          match !nat_count with
+          | 0 -> Word.disc
+          | 1 -> !sum
+          | _ -> Word.illegal) }
+
+let kernel_resolution = Csrtl_kernel.Types.Incremental incremental

@@ -1,0 +1,26 @@
+(** The paper's resolution function for buses and input ports.
+
+    "The resolution function combining a list of integer values
+    computes to DISC if all integers in the list are DISC.  It
+    computes to ILLEGAL if at least one integer is ILLEGAL or if at
+    least two integers are not DISC.  In this manner, it only computes
+    to a natural number if exactly one natural number is in the list
+    and all other values are DISC." *)
+
+val resolve : Word.t array -> Word.t
+val resolve_list : Word.t list -> Word.t
+
+val combine : Word.t -> Word.t -> Word.t
+(** Binary combination; [resolve] is its fold.  Commutative and
+    associative with unit [Word.disc] — properties the test suite
+    checks. *)
+
+val incremental : unit -> Csrtl_kernel.Types.incr_state
+(** Kernel-incremental form of {!resolve}: counts the natural and
+    ILLEGAL contributions and keeps their running sum, so a bus with
+    hundreds of drivers resolves in O(1) per update instead of O(n).
+    Exactly equivalent to {!resolve} (property-tested). *)
+
+val kernel_resolution : Csrtl_kernel.Types.resolution
+(** [Incremental incremental], what {!Elaborate} attaches to buses,
+    unit ports and register inputs. *)

@@ -1,0 +1,242 @@
+exception Parse_error of int * string
+
+let fail line fmt = Format.kasprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | None -> s
+  | Some i -> String.sub s 0 i
+
+let parse_word line s =
+  match Word.of_string s with
+  | Some w -> w
+  | None -> fail line "expected a value (natural, DISC or ILLEGAL): %s" s
+
+let parse_op line s =
+  match Ops.of_string s with
+  | Some op -> op
+  | None -> fail line "unknown operation %s" s
+
+(* [FU] or [FU:op] *)
+let parse_fu_field line s =
+  match String.index_opt s ':' with
+  | None -> (s, None)
+  | Some i ->
+    let fu = String.sub s 0 i in
+    let op = String.sub s (i + 1) (String.length s - i - 1) in
+    (fu, Some (parse_op line op))
+
+let parse_source s =
+  if s = "-" then None
+  else if String.length s > 1 && s.[String.length s - 1] = '!' then
+    Some (Transfer.From_input (String.sub s 0 (String.length s - 1)))
+  else Some (Transfer.From_reg s)
+
+let parse_dest s =
+  if s = "-" then None
+  else if String.length s > 1 && s.[String.length s - 1] = '!' then
+    Some (Transfer.To_output (String.sub s 0 (String.length s - 1)))
+  else Some (Transfer.To_reg s)
+
+let parse_opt_field s = if s = "-" then None else Some s
+
+let parse_opt_int line s =
+  if s = "-" then None
+  else
+    match int_of_string_opt s with
+    | Some n -> Some n
+    | None -> fail line "expected a step number or -: %s" s
+
+let parse_unit_attrs line words =
+  let ops = ref [] in
+  let latency = ref 1 in
+  let pipelined = ref true in
+  let sticky = ref true in
+  let rec go = function
+    | [] -> ()
+    | "ops" :: spec :: rest ->
+      ops :=
+        List.map (parse_op line) (String.split_on_char ',' spec);
+      go rest
+    | "latency" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some v -> latency := v
+       | None -> fail line "bad latency %s" n);
+      go rest
+    | "nonpipelined" :: rest ->
+      pipelined := false;
+      go rest
+    | "pipelined" :: rest ->
+      pipelined := true;
+      go rest
+    | "transparent-illegal" :: rest ->
+      sticky := false;
+      go rest
+    | w :: _ -> fail line "unknown unit attribute %s" w
+  in
+  go words;
+  if !ops = [] then fail line "unit needs an ops list";
+  (!ops, !latency, !pipelined, !sticky)
+
+let parse_input_drive line words =
+  match words with
+  | [ "const"; v ] -> Model.Const (parse_word line v)
+  | "schedule" :: entries when entries <> [] ->
+    let parse_entry e =
+      match String.index_opt e ':' with
+      | None -> fail line "schedule entry must be step:value, got %s" e
+      | Some i ->
+        let s = String.sub e 0 i in
+        let v = String.sub e (i + 1) (String.length e - i - 1) in
+        (match int_of_string_opt s with
+         | Some step -> (step, parse_word line v)
+         | None -> fail line "bad step in schedule entry %s" e)
+    in
+    Model.Schedule (List.sort Stdlib.compare (List.map parse_entry entries))
+  | [] -> Model.Const Word.disc
+  | w :: _ -> fail line "unknown input drive %s" w
+
+let of_string text =
+  let name = ref "model" in
+  let cs_max = ref None in
+  let registers = ref [] in
+  let fus = ref [] in
+  let buses = ref [] in
+  let inputs = ref [] in
+  let outputs = ref [] in
+  let transfers = ref [] in
+  let handle_line lineno raw =
+    let words = split_words (strip_comment raw) in
+    match words with
+    | [] -> ()
+    | [ "model"; n ] -> name := n
+    | [ "csmax"; n ] | [ "cs_max"; n ] ->
+      (match int_of_string_opt n with
+       | Some v -> cs_max := Some v
+       | None -> fail lineno "bad csmax %s" n)
+    | [ "reg"; n ] -> registers := Model.register n :: !registers
+    | [ "reg"; n; "init"; v ] ->
+      registers :=
+        Model.register ~init:(parse_word lineno v) n :: !registers
+    | "unit" :: n :: attrs ->
+      let ops, latency, pipelined, sticky_illegal =
+        parse_unit_attrs lineno attrs
+      in
+      fus :=
+        Model.fu ~latency ~pipelined ~sticky_illegal ~ops n :: !fus
+    | [ "bus"; n ] -> buses := n :: !buses
+    | "bus" :: ns when ns <> [] -> buses := List.rev ns @ !buses
+    | "input" :: n :: drive ->
+      inputs :=
+        { Model.in_name = n; drive = parse_input_drive lineno drive }
+        :: !inputs
+    | [ "output"; n ] -> outputs := n :: !outputs
+    | [ "transfer"; sa; ba; sb; bb; rs; fu_field; ws; wb; dst ] ->
+      let fu, op = parse_fu_field lineno fu_field in
+      transfers :=
+        { Transfer.src_a = parse_source sa;
+          bus_a = parse_opt_field ba;
+          src_b = parse_source sb;
+          bus_b = parse_opt_field bb;
+          read_step = parse_opt_int lineno rs;
+          fu; op;
+          write_step = parse_opt_int lineno ws;
+          write_bus = parse_opt_field wb;
+          dst = parse_dest dst }
+        :: !transfers
+    | "transfer" :: _ ->
+      fail lineno "transfer needs 9 tuple fields"
+    | w :: _ -> fail lineno "unknown directive %s" w
+  in
+  List.iteri
+    (fun i l -> handle_line (i + 1) l)
+    (String.split_on_char '\n' text);
+  let cs_max =
+    match !cs_max with
+    | Some v -> v
+    | None -> raise (Parse_error (0, "missing csmax directive"))
+  in
+  { Model.name = !name; cs_max;
+    registers = List.rev !registers;
+    fus = List.rev !fus;
+    buses = List.rev !buses;
+    inputs = List.rev !inputs;
+    outputs = List.rev !outputs;
+    transfers = List.rev !transfers }
+
+let of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text
+
+let render_source = function
+  | None -> "-"
+  | Some (Transfer.From_reg r) -> r
+  | Some (Transfer.From_input i) -> i ^ "!"
+
+let render_dest = function
+  | None -> "-"
+  | Some (Transfer.To_reg r) -> r
+  | Some (Transfer.To_output o) -> o ^ "!"
+
+let render_opt = function None -> "-" | Some s -> s
+let render_opt_int = function None -> "-" | Some n -> string_of_int n
+
+let to_string (m : Model.t) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Format.kasprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "model %s" m.name;
+  line "csmax %d" m.cs_max;
+  List.iter
+    (fun (r : Model.register) ->
+      if Word.is_disc r.init then line "reg %s" r.reg_name
+      else line "reg %s init %s" r.reg_name (Word.to_string r.init))
+    m.registers;
+  List.iter
+    (fun (f : Model.fu) ->
+      line "unit %s ops %s latency %d%s%s" f.fu_name
+        (String.concat "," (List.map Ops.to_string f.ops))
+        f.latency
+        (if f.pipelined then "" else " nonpipelined")
+        (if f.sticky_illegal then "" else " transparent-illegal"))
+    m.fus;
+  List.iter (fun b -> line "bus %s" b) m.buses;
+  List.iter
+    (fun (i : Model.input) ->
+      match i.drive with
+      | Model.Const v -> line "input %s const %s" i.in_name (Word.to_string v)
+      | Model.Schedule entries ->
+        line "input %s schedule %s" i.in_name
+          (String.concat " "
+             (List.map
+                (fun (s, v) -> Printf.sprintf "%d:%s" s (Word.to_string v))
+                entries)))
+    m.inputs;
+  List.iter (fun o -> line "output %s" o) m.outputs;
+  List.iter
+    (fun (t : Transfer.t) ->
+      let fu_field =
+        match t.op with
+        | None -> t.fu
+        | Some op -> t.fu ^ ":" ^ Ops.to_string op
+      in
+      line "transfer %s %s %s %s %s %s %s %s %s"
+        (render_source t.src_a) (render_opt t.bus_a)
+        (render_source t.src_b) (render_opt t.bus_b)
+        (render_opt_int t.read_step) fu_field
+        (render_opt_int t.write_step) (render_opt t.write_bus)
+        (render_dest t.dst))
+    m.transfers;
+  Buffer.contents buf
+
+let to_file m path =
+  let oc = open_out path in
+  output_string oc (to_string m);
+  close_out oc

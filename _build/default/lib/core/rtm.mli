@@ -1,0 +1,37 @@
+(** Textual exchange format for clock-free models (".rtm").
+
+    A line-based format mirroring the paper's tuple notation, used by
+    the [csrtl] command-line tool and the test corpus:
+
+    {v
+    model fig1
+    csmax 7
+    reg R1 init 3
+    reg R2 init 4
+    bus B1
+    bus B2
+    unit ADD ops add latency 1
+    # srcA busA srcB busB read fu[:op] write wbus dst
+    transfer R1 B1 R2 B2 5 ADD 6 B1 R1
+    v}
+
+    Sources named [X!] refer to input ports, destinations [Y!] to
+    output ports; ["-"] marks an absent tuple field.  [unit]
+    attributes: [ops <op>[,<op>...]], [latency <n>], [nonpipelined],
+    [transparent-illegal].  [input] drives: [const <w>] or
+    [schedule <step>:<w> ...].  [#] starts a comment. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val of_string : string -> Model.t
+(** Parse; the result is {e not} validated (use {!Model.validate} so
+    tools can report conflicts in invalid files). *)
+
+val of_file : string -> Model.t
+
+val to_string : Model.t -> string
+(** Render a model; [of_string (to_string m)] equals [m] up to input
+    schedule normalization. *)
+
+val to_file : Model.t -> string -> unit

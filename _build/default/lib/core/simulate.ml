@@ -1,0 +1,126 @@
+open Csrtl_kernel
+
+type result = {
+  obs : Observation.t;
+  cycles : int;
+  stats : Types.stats;
+  elaborated : Elaborate.t;
+}
+
+let src = Logs.Src.create "csrtl.sim" ~doc:"clock-free model simulation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let expected_cycles (m : Model.t) =
+  (* A [wb] leg in the final step releases its driver during the last
+     [cr] cycle, and a latching register schedules its output update
+     there too: either adds one trailing cycle. *)
+  let wb_leg_in_last_step =
+    List.exists
+      (fun (t : Transfer.t) ->
+        t.write_step = Some m.cs_max && t.dst <> None)
+      m.transfers
+  in
+  (Phase.count * m.cs_max) + if wb_leg_in_last_step then 1 else 0
+
+let run ?vcd ?(trace = false) ?wait_impl ?resolution_impl (m : Model.t) =
+  let e = Elaborate.build ?wait_impl ?resolution_impl m in
+  let k = e.kernel in
+  let cs = e.ctrl.cs and ph = e.ctrl.ph in
+  (* ILLEGAL localization on resolved sinks. *)
+  let resolved_sinks = Hashtbl.create 32 in
+  let remember name =
+    match (try Some (e.signal_of (Transfer.Bus name)) with Not_found -> None)
+    with
+    | Some s -> Hashtbl.replace resolved_sinks (Signal.id s) name
+    | None -> ()
+  in
+  List.iter remember m.buses;
+  List.iter remember m.outputs;
+  List.iter
+    (fun (r : Model.register) -> remember (r.reg_name ^ ".in"))
+    m.registers;
+  List.iter
+    (fun (f : Model.fu) ->
+      remember (f.fu_name ^ ".in1");
+      remember (f.fu_name ^ ".in2");
+      remember (f.fu_name ^ ".op"))
+    m.fus;
+  let conflicts = ref [] in
+  Scheduler.on_event k (fun s ->
+      if Word.is_illegal (Signal.value s) then
+        match Hashtbl.find_opt resolved_sinks (Signal.id s) with
+        | Some name ->
+          let step = Signal.value cs in
+          let phase = Phase.of_int_exn (Signal.value ph) in
+          conflicts := (step, phase, name) :: !conflicts
+        | None -> ());
+  if trace then
+    Scheduler.on_event k (fun s ->
+        Log.debug (fun f ->
+            f "[cycle %d cs=%d ph=%s] %a" (Scheduler.delta_count k)
+              (Signal.value cs)
+              (Controller.phase_printer (Signal.value ph))
+              Signal.pp s));
+  (match vcd with
+   | Some buf -> ignore (Vcd.attach k ~out:buf [])
+   | None -> ());
+  (* Register snapshots: at each [ra] the previous step's latches have
+     just matured. *)
+  let reg_signals = Elaborate.register_outputs e in
+  let snapshots = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _) ->
+      Hashtbl.replace snapshots name (Array.make m.cs_max Word.disc))
+    reg_signals;
+  let snapshot step =
+    if step >= 1 && step <= m.cs_max then
+      List.iter
+        (fun (name, s) ->
+          (Hashtbl.find snapshots name).(step - 1) <- Signal.value s)
+        reg_signals
+  in
+  ignore
+    (Scheduler.add_process k ~name:"$monitor_regs" (fun () ->
+         while true do
+           Process.wait_keyed ph (Phase.to_int Phase.Ra);
+           snapshot (Signal.value cs - 1)
+         done));
+  (* Output-port sampling at [cr]. *)
+  let out_ports = Elaborate.output_ports e in
+  let out_writes = ref [] in
+  if out_ports <> [] then
+    ignore
+      (Scheduler.add_process k ~name:"$monitor_outs" (fun () ->
+           while true do
+             Process.wait_keyed ph (Phase.to_int Phase.Cr);
+             let step = Signal.value cs in
+             List.iter
+               (fun (name, s) ->
+                 let v = Signal.value s in
+                 if not (Word.is_disc v) then
+                   out_writes := (name, (step, v)) :: !out_writes)
+               out_ports
+           done));
+  Scheduler.run k;
+  (* The final step's register updates mature in the very last cycle;
+     sample them from the quiescent signal state. *)
+  snapshot m.cs_max;
+  let obs =
+    { Observation.model_name = m.name; cs_max = m.cs_max;
+      regs =
+        List.map (fun (name, _) -> (name, Hashtbl.find snapshots name))
+          reg_signals;
+      outputs =
+        List.map
+          (fun (o, _) ->
+            ( o,
+              List.rev
+                (List.filter_map
+                   (fun (name, w) -> if name = o then Some w else None)
+                   !out_writes) ))
+          out_ports;
+      conflicts = List.rev !conflicts }
+  in
+  { obs; cycles = Scheduler.delta_count k; stats = Scheduler.stats k;
+    elaborated = e }

@@ -1,0 +1,27 @@
+(** Event-driven simulation of a clock-free model with observation.
+
+    Elaborates the model onto the kernel, attaches monitors (register
+    snapshots at the start of each step, output-port sampling at [cr],
+    ILLEGAL localization on every resolved sink), runs to quiescence,
+    and packages an {!Observation.t} plus kernel statistics. *)
+
+type result = {
+  obs : Observation.t;
+  cycles : int;  (** simulation cycles executed: [6 * cs_max], plus one
+                     when a transfer writes back in the final step *)
+  stats : Csrtl_kernel.Types.stats;
+  elaborated : Elaborate.t;
+}
+
+val run :
+  ?vcd:Buffer.t -> ?trace:bool -> ?wait_impl:[ `Keyed | `Predicate ] ->
+  ?resolution_impl:[ `Incremental | `Fold ] ->
+  Model.t -> result
+(** [vcd] streams a waveform of all signals (delta-cycle axis).
+    [trace] additionally prints each event to the [csrtl.sim] log
+    source (debug level). *)
+
+val expected_cycles : Model.t -> int
+(** The paper's delta-cycle law for this model: [6 * cs_max], plus the
+    trailing driver-release/register-update cycle if any transfer
+    writes back in step [cs_max]. *)

@@ -1,0 +1,150 @@
+let changes_at (obs : Observation.t) =
+  (* steps (1-based) where any register changes value *)
+  let interesting = Hashtbl.create 16 in
+  List.iter
+    (fun (_, arr) ->
+      Array.iteri
+        (fun i v ->
+          let prev = if i = 0 then Word.disc else arr.(i - 1) in
+          if not (Word.equal v prev) then
+            Hashtbl.replace interesting (i + 1) ())
+        arr)
+    obs.Observation.regs;
+  List.iter
+    (fun (_, writes) ->
+      List.iter (fun (s, _) -> Hashtbl.replace interesting s ()) writes)
+    obs.Observation.outputs;
+  List.iter
+    (fun (s, _, _) -> Hashtbl.replace interesting s ())
+    obs.Observation.conflicts;
+  interesting
+
+let pick_steps ~max_steps (obs : Observation.t) =
+  let all = List.init obs.Observation.cs_max (fun i -> i + 1) in
+  if List.length all <= max_steps then all
+  else begin
+    let interesting = changes_at obs in
+    let marked = List.filter (fun s -> Hashtbl.mem interesting s) all in
+    let head = List.filteri (fun i _ -> i < 2) all in
+    let chosen = List.sort_uniq Int.compare (head @ marked) in
+    (* still too many: keep the first max_steps *)
+    List.filteri (fun i _ -> i < max_steps) chosen
+  end
+
+let render_steps (obs : Observation.t) steps =
+  let buf = Buffer.create 1024 in
+  let cell v = Word.to_string v in
+  (* column widths *)
+  let col_values =
+    List.map
+      (fun s ->
+        let vals =
+          List.map
+            (fun (_, arr) -> cell arr.(s - 1))
+            obs.Observation.regs
+          @ List.concat_map
+              (fun (_, writes) ->
+                List.filter_map
+                  (fun (w, v) -> if w = s then Some (cell v) else None)
+                  writes)
+              obs.Observation.outputs
+        in
+        let width =
+          List.fold_left
+            (fun acc str -> max acc (String.length str))
+            (String.length (string_of_int s))
+            vals
+        in
+        (s, width))
+      steps
+  in
+  let name_width =
+    List.fold_left
+      (fun acc (n, _) -> max acc (String.length n))
+      4
+      (obs.Observation.regs
+       @ List.map (fun (n, _) -> (n, [||])) obs.Observation.outputs)
+  in
+  let pad w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let header =
+    pad name_width "step"
+    :: List.map (fun (s, w) -> pad w (string_of_int s)) col_values
+  in
+  Buffer.add_string buf (String.concat "  " header);
+  Buffer.add_char buf '\n';
+  (* registers: elide values unchanged since the previous column *)
+  List.iter
+    (fun (name, arr) ->
+      let last = ref None in
+      let row =
+        pad name_width name
+        :: List.map
+             (fun (s, w) ->
+               let v = arr.(s - 1) in
+               let shown =
+                 match !last with
+                 | Some p when Word.equal p v -> pad w "."
+                 | Some _ | None -> pad w (cell v)
+               in
+               last := Some v;
+               shown)
+             col_values
+      in
+      Buffer.add_string buf (String.concat "  " row);
+      Buffer.add_char buf '\n')
+    obs.Observation.regs;
+  (* outputs: value only at their write steps *)
+  List.iter
+    (fun (name, writes) ->
+      let row =
+        pad name_width name
+        :: List.map
+             (fun (s, w) ->
+               match List.assoc_opt s writes with
+               | Some v -> pad w (cell v)
+               | None -> pad w "")
+             col_values
+      in
+      Buffer.add_string buf (String.concat "  " row);
+      Buffer.add_char buf '\n')
+    obs.Observation.outputs;
+  (* conflicts *)
+  List.iter
+    (fun (s, p, n) ->
+      Buffer.add_string buf
+        (Printf.sprintf "!! ILLEGAL on %s at step %d phase %s\n" n s
+           (Phase.to_string p)))
+    obs.Observation.conflicts;
+  Buffer.contents buf
+
+let render ?(max_steps = 32) obs =
+  render_steps obs (pick_steps ~max_steps obs)
+
+let render_full (obs : Observation.t) =
+  render_steps obs (List.init obs.Observation.cs_max (fun i -> i + 1))
+
+let pp ppf obs = Format.pp_print_string ppf (render obs)
+
+let phase_view ?(from_step = 1) ?to_step (m : Model.t) =
+  let to_step = Option.value ~default:m.Model.cs_max to_step in
+  let entries = ref [] in
+  let hook ~step ~phase ~sink v =
+    if step >= from_step && step <= to_step && not (Word.is_disc v) then
+      entries := (step, phase, sink, v) :: !entries
+  in
+  ignore (Interp.run_with_hook ~on_visible:hook m);
+  let buf = Buffer.create 1024 in
+  let current = ref (-1) in
+  List.iter
+    (fun (step, phase, sink, v) ->
+      if step <> !current then begin
+        current := step;
+        Buffer.add_string buf (Printf.sprintf "step %d\n" step)
+      end;
+      Buffer.add_string buf
+        (Printf.sprintf "  %-3s %-16s %s%s\n" (Phase.to_string phase) sink
+           (Word.to_string v)
+           (if Word.is_illegal v then "   <-- conflict" else "")))
+    (List.rev !entries);
+  if Buffer.length buf = 0 then "(no sink activity in the window)\n"
+  else Buffer.contents buf

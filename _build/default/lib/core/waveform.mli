@@ -1,0 +1,27 @@
+(** Text waveforms of control-step observations.
+
+    Renders an {!Observation.t} as a step-by-step table — registers as
+    rows, control steps as columns, repeated values elided — with
+    output-port writes and ILLEGAL locations annotated.  The paper
+    argues its models make simulation results easy to read ("there is
+    a straightforward way of identifying register transfers"); this is
+    that reading, in a terminal. *)
+
+val render : ?max_steps:int -> Observation.t -> string
+(** At most [max_steps] columns (default 32); longer runs are windowed
+    around activity (first steps, then steps where any register
+    changes). *)
+
+val render_full : Observation.t -> string
+(** Every step, no windowing. *)
+
+val pp : Format.formatter -> Observation.t -> unit
+(** [render] with defaults. *)
+
+val phase_view : ?from_step:int -> ?to_step:int -> Model.t -> string
+(** Re-runs the model with the interpreter and renders the resolved
+    sink values (buses, unit ports, register inputs) phase by phase
+    for the chosen step window — the debugging view the paper promises:
+    "simulation results allow easily to locate design errors ... in
+    specific simulation cycles associated with a specific phase of a
+    specific control step". *)

@@ -1,0 +1,51 @@
+type t = int
+
+let disc = -1
+let illegal = -2
+
+let nat n =
+  if n < 0 then invalid_arg "Word.nat: negative"
+  else n
+
+let zero = 0
+let one = 1
+
+let is_nat v = v >= 0
+let is_disc v = v = disc
+let is_illegal v = v = illegal
+
+let to_nat v = if v >= 0 then Some v else None
+
+let to_nat_exn v =
+  if v >= 0 then v
+  else invalid_arg ("Word.to_nat_exn: " ^ if v = disc then "DISC" else "ILLEGAL")
+
+let width = 32
+let modulus = 1 lsl width
+let mask n = n land (modulus - 1)
+
+let to_signed v =
+  if v < 0 then v
+  else if v land (1 lsl (width - 1)) <> 0 then v - modulus
+  else v
+
+let of_signed = mask
+
+let equal = Int.equal
+let compare = Int.compare
+
+let to_string v =
+  if v = disc then "DISC"
+  else if v = illegal then "ILLEGAL"
+  else string_of_int v
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let of_string s =
+  match s with
+  | "DISC" | "disc" -> Some disc
+  | "ILLEGAL" | "illegal" -> Some illegal
+  | _ ->
+    (match int_of_string_opt s with
+     | Some n when n >= 0 -> Some n
+     | Some _ | None -> None)

@@ -1,0 +1,52 @@
+(** Data values of the clock-free RT model.
+
+    The paper models all data as VHDL [Integer]: natural numbers are
+    regular values; two negative sentinels encode "no value" ([DISC],
+    -1) and "conflict" ([ILLEGAL], -2).  This module keeps exactly
+    that encoding so values pass through the kernel unchanged. *)
+
+type t = int
+
+val disc : t
+(** "No value": the default contribution of every inactive driver. *)
+
+val illegal : t
+(** "Conflict": produced by the resolution function and propagated by
+    functional units. *)
+
+val nat : int -> t
+(** Inject a natural number.  Raises [Invalid_argument] on negatives. *)
+
+val zero : t
+val one : t
+
+val is_nat : t -> bool
+val is_disc : t -> bool
+val is_illegal : t -> bool
+
+val to_nat : t -> int option
+val to_nat_exn : t -> int
+
+val width : int
+(** Bit width of regular values (32).  Arithmetic in {!Ops} wraps
+    modulo [2 ^ width], so every operation result is again a natural
+    number and can never collide with the sentinels. *)
+
+val mask : int -> t
+(** Wrap an arbitrary integer into [0, 2^width): the two's-complement
+    reading used by signed operations. *)
+
+val to_signed : t -> int
+(** Interpret a natural as a [width]-bit two's-complement integer.
+    Sentinels map to themselves (callers test [is_nat] first). *)
+
+val of_signed : int -> t
+(** Inverse of {!to_signed} (same as {!mask}). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t option
+(** Parses ["DISC"], ["ILLEGAL"], or a natural literal. *)

@@ -1,0 +1,1 @@
+lib/handshake/channel.ml: Csrtl_core Csrtl_kernel Process Scheduler Signal

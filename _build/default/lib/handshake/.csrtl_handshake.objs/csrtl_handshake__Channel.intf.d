@@ -1,0 +1,1 @@
+lib/handshake/channel.mli: Csrtl_core Csrtl_kernel

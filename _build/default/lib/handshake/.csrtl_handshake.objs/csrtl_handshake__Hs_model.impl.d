@@ -1,0 +1,1 @@
+lib/handshake/hs_model.ml: Array Channel Csrtl_core Csrtl_kernel Hashtbl List Option Printf Process Scheduler Signal Types

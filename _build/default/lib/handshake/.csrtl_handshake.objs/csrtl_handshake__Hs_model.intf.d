@@ -1,0 +1,1 @@
+lib/handshake/hs_model.mli: Csrtl_core Csrtl_kernel Stdlib

@@ -1,0 +1,49 @@
+open Csrtl_kernel
+module C = Csrtl_core
+
+type t = { req : Signal.t; ack : Signal.t; data : Signal.t }
+
+let create k name =
+  { req = Scheduler.signal k ~name:(name ^ ".req") ~init:0 ();
+    ack = Scheduler.signal k ~name:(name ^ ".ack") ~init:0 ();
+    data =
+      Scheduler.signal k ~printer:C.Word.to_string ~name:(name ^ ".data")
+        ~init:C.Word.disc () }
+
+let send k ch v =
+  Scheduler.assign k ch.data v;
+  Scheduler.assign k ch.req 1;
+  Process.wait_until [ ch.ack ] (fun () -> Signal.value ch.ack = 1);
+  Scheduler.assign k ch.req 0;
+  Process.wait_until [ ch.ack ] (fun () -> Signal.value ch.ack = 0)
+
+let recv k ch =
+  if Signal.value ch.req <> 1 then
+    Process.wait_until [ ch.req ] (fun () -> Signal.value ch.req = 1);
+  let v = Signal.value ch.data in
+  Scheduler.assign k ch.ack 1;
+  Process.wait_until [ ch.req ] (fun () -> Signal.value ch.req = 0);
+  Scheduler.assign k ch.ack 0;
+  v
+
+let request k ch =
+  Scheduler.assign k ch.req 1;
+  Process.wait_until [ ch.ack ] (fun () -> Signal.value ch.ack = 1);
+  let v = Signal.value ch.data in
+  Scheduler.assign k ch.req 0;
+  Process.wait_until [ ch.ack ] (fun () -> Signal.value ch.ack = 0);
+  v
+
+let serve k ch f =
+  if Signal.value ch.req <> 1 then
+    Process.wait_until [ ch.req ] (fun () -> Signal.value ch.req = 1);
+  Scheduler.assign k ch.data (f ());
+  Scheduler.assign k ch.ack 1;
+  Process.wait_until [ ch.req ] (fun () -> Signal.value ch.req = 0);
+  Scheduler.assign k ch.ack 0
+
+let events_per_transaction = 6
+
+let req ch = ch.req
+let ack ch = ch.ack
+let data ch = ch.data

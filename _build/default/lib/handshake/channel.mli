@@ -1,0 +1,36 @@
+(** Four-phase request/acknowledge channels on the kernel.
+
+    The paper's §2.7 contrast: "execution is very fast, because we
+    need not deal with asynchronous handshake, as it is often used
+    for exchanging values between modules when more abstract timing
+    is modeled by means of VHDL without introducing physical time."
+    This module implements exactly that style — a req/ack wire pair
+    plus a data wire, return-to-zero signalling — so the benchmark
+    can measure what the clock-free discipline saves. *)
+
+type t
+
+val create : Csrtl_kernel.Scheduler.t -> string -> t
+
+val send : Csrtl_kernel.Scheduler.t -> t -> Csrtl_core.Word.t -> unit
+(** Producer side: place data, raise req, await ack, return to zero.
+    Four signal events per transaction.  Must run inside a process. *)
+
+val recv : Csrtl_kernel.Scheduler.t -> t -> Csrtl_core.Word.t
+(** Consumer side, blocking. *)
+
+val request : Csrtl_kernel.Scheduler.t -> t -> Csrtl_core.Word.t
+(** Pull-style: raise req, the server answers with data on ack. *)
+
+val serve : Csrtl_kernel.Scheduler.t -> t -> (unit -> Csrtl_core.Word.t) -> unit
+(** Pull-style server side: await req, publish [f ()], complete the
+    handshake.  One transaction; call in a loop to keep serving. *)
+
+val events_per_transaction : int
+(** Kernel signal events a complete 4-phase transaction costs (6:
+    data, req up, ack up, req down, ack down — data may coincide). *)
+
+val req : t -> Csrtl_kernel.Signal.t
+val ack : t -> Csrtl_kernel.Signal.t
+val data : t -> Csrtl_kernel.Signal.t
+(** Raw wires, for servers multiplexing several channels. *)

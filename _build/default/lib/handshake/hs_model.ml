@@ -1,0 +1,216 @@
+open Csrtl_kernel
+module C = Csrtl_core
+
+exception Not_sequential of string
+
+type result = {
+  final_regs : (string * C.Word.t) list;
+  outputs : (string * (int * C.Word.t) list) list;
+  transactions : int;
+  stats : Types.stats;
+}
+
+let ordered_tuples (m : C.Model.t) =
+  List.sort C.Transfer.compare m.transfers
+
+(* Sequential execution is faithful unless a later-ordered tuple
+   reads a register before an earlier-ordered tuple has written it in
+   the clock-free schedule (a pipelining hazard the one-at-a-time
+   handshake executor cannot express). *)
+let check_sequential (m : C.Model.t) =
+  let tuples = Array.of_list (ordered_tuples m) in
+  let n = Array.length tuples in
+  let reads_reg (t : C.Transfer.t) reg =
+    let is_reg = function
+      | Some (C.Transfer.From_reg r) -> r = reg
+      | Some (C.Transfer.From_input _) | None -> false
+    in
+    is_reg t.src_a || is_reg t.src_b
+  in
+  let error = ref None in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = tuples.(i) and b = tuples.(j) in
+      match a.C.Transfer.write_step, a.C.Transfer.dst, b.C.Transfer.read_step
+      with
+      | Some w, Some (C.Transfer.To_reg reg), Some r
+        when w > r && reads_reg b reg && !error = None ->
+        error :=
+          Some
+            (Printf.sprintf
+               "%s writes %s at step %d after %s reads it at step %d: \
+                schedule is overlapped"
+               (C.Transfer.to_string a) reg w (C.Transfer.to_string b) r)
+      | _, _, _ -> ()
+    done
+  done;
+  match !error with None -> Ok () | Some msg -> Error msg
+
+(* A register server: answers pull requests on [get] with the stored
+   value and accepts stores on [put]. *)
+let reg_server k ~name ~init get put =
+  let value = ref init in
+  let at_zero s () = Signal.value s = 0 in
+  ignore
+    (Scheduler.add_process k ~name (fun () ->
+         while true do
+           let greq = Channel.req get and preq = Channel.req put in
+           if Signal.value greq <> 1 && Signal.value preq <> 1 then
+             Process.wait_until [ greq; preq ] (fun () ->
+                 Signal.value greq = 1 || Signal.value preq = 1);
+           if Signal.value greq = 1 then begin
+             Scheduler.assign k (Channel.data get) !value;
+             Scheduler.assign k (Channel.ack get) 1;
+             Process.wait_until [ greq ] (at_zero greq);
+             Scheduler.assign k (Channel.ack get) 0
+           end
+           else begin
+             value := Signal.value (Channel.data put);
+             Scheduler.assign k (Channel.ack put) 1;
+             Process.wait_until [ preq ] (at_zero preq);
+             Scheduler.assign k (Channel.ack put) 0
+           end
+         done));
+  value
+
+(* A functional-unit server: receives an operation index and the
+   operands, computes, and answers the result request. *)
+let fu_server k (f : C.Model.fu) ~op_ch ~a_ch ~b_ch ~res_ch =
+  let state = ref C.Word.disc in
+  ignore
+    (Scheduler.add_process k ~name:("FU_" ^ f.fu_name) (fun () ->
+         while true do
+           let op_index = Channel.recv k op_ch in
+           let op =
+             match List.nth_opt f.ops op_index with
+             | Some op -> op
+             | None -> List.hd f.ops
+           in
+           let a =
+             if C.Ops.arity op >= 1 then Channel.recv k a_ch else C.Word.disc
+           in
+           let b =
+             if C.Ops.arity op >= 2 then Channel.recv k b_ch else C.Word.disc
+           in
+           let res = C.Ops.apply op ~prev:!state a b in
+           state := res;
+           Channel.serve k res_ch (fun () -> res)
+         done))
+
+let run (m : C.Model.t) =
+  C.Model.validate_exn m;
+  (match check_sequential m with
+   | Ok () -> ()
+   | Error msg -> raise (Not_sequential msg));
+  let k = Scheduler.create () in
+  let transactions = ref 0 in
+  let tick () = incr transactions in
+  let reg_chans = Hashtbl.create 16 in
+  let reg_values = Hashtbl.create 16 in
+  List.iter
+    (fun (r : C.Model.register) ->
+      let get = Channel.create k (r.reg_name ^ ".get") in
+      let put = Channel.create k (r.reg_name ^ ".put") in
+      Hashtbl.replace reg_chans r.reg_name (get, put);
+      Hashtbl.replace reg_values r.reg_name
+        (reg_server k ~name:("REG_" ^ r.reg_name) ~init:r.init get put))
+    m.registers;
+  let fu_chans = Hashtbl.create 8 in
+  List.iter
+    (fun (f : C.Model.fu) ->
+      let op_ch = Channel.create k (f.fu_name ^ ".op") in
+      let a_ch = Channel.create k (f.fu_name ^ ".a") in
+      let b_ch = Channel.create k (f.fu_name ^ ".b") in
+      let res_ch = Channel.create k (f.fu_name ^ ".res") in
+      Hashtbl.replace fu_chans f.fu_name (op_ch, a_ch, b_ch, res_ch);
+      fu_server k f ~op_ch ~a_ch ~b_ch ~res_ch)
+    m.fus;
+  let out_writes = ref [] in
+  let tuples = ordered_tuples m in
+  ignore
+    (Scheduler.add_process k ~name:"sequencer" (fun () ->
+         List.iter
+           (fun (t : C.Transfer.t) ->
+             match C.Model.find_fu m t.fu, C.Model.effective_op m t with
+             | Some f, Some op ->
+               let op_ch, a_ch, b_ch, res_ch =
+                 Hashtbl.find fu_chans f.fu_name
+               in
+               let op_index =
+                 let rec find i = function
+                   | [] -> 0
+                   | o :: rest ->
+                     if C.Ops.equal o op then i else find (i + 1) rest
+                 in
+                 find 0 f.ops
+               in
+               let fetch = function
+                 | C.Transfer.From_reg r ->
+                   let get, _ = Hashtbl.find reg_chans r in
+                   tick ();
+                   Channel.request k get
+                 | C.Transfer.From_input i ->
+                   (match
+                      List.find_opt
+                        (fun (x : C.Model.input) -> x.in_name = i)
+                        m.inputs
+                    with
+                    | Some inp ->
+                      C.Model.input_value inp
+                        (Option.value ~default:1 t.read_step)
+                    | None -> C.Word.disc)
+               in
+               tick ();
+               Channel.send k op_ch op_index;
+               (match C.Ops.arity op, t.src_a, t.src_b with
+                | 0, _, _ -> ()
+                | 1, Some a, _ ->
+                  let va = fetch a in
+                  tick ();
+                  Channel.send k a_ch va
+                | 2, Some a, Some b ->
+                  let va = fetch a in
+                  tick ();
+                  Channel.send k a_ch va;
+                  let vb = fetch b in
+                  tick ();
+                  Channel.send k b_ch vb
+                | _, _, _ -> ());
+               tick ();
+               let res = Channel.request k res_ch in
+               (match t.dst with
+                | Some (C.Transfer.To_reg r) ->
+                  let _, put = Hashtbl.find reg_chans r in
+                  if not (C.Word.is_disc res) then begin
+                    tick ();
+                    Channel.send k put res
+                  end
+                | Some (C.Transfer.To_output o) ->
+                  if not (C.Word.is_disc res) then
+                    out_writes :=
+                      (o, (Option.value ~default:0 t.write_step, res))
+                      :: !out_writes
+                | None -> ())
+             | _, _ -> ())
+           tuples;
+         raise Scheduler.Stop))
+  ;
+  Scheduler.run k;
+  let final_regs =
+    List.map
+      (fun (r : C.Model.register) ->
+        (r.reg_name, !(Hashtbl.find reg_values r.reg_name)))
+      m.registers
+  in
+  let outputs =
+    List.map
+      (fun o ->
+        ( o,
+          List.rev
+            (List.filter_map
+               (fun (name, w) -> if name = o then Some w else None)
+               !out_writes) ))
+      m.outputs
+  in
+  { final_regs; outputs; transactions = !transactions;
+    stats = Scheduler.stats k }

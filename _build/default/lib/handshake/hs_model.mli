@@ -1,0 +1,30 @@
+(** Handshake-style execution of a register-transfer schedule.
+
+    The abstract-timing baseline: every resource is a kernel process
+    — one server per register (get/put channels), one per functional
+    unit (operation, operand and result channels) — and each transfer
+    tuple becomes a sequence of 4-phase channel transactions driven
+    by a sequencer.  No physical time, no clock, and also no control
+    steps: synchronization is entirely by handshake, which is what
+    the paper's §2.7 identifies as the expensive alternative.
+
+    The executor runs tuples in schedule order, so it supports
+    {e sequential} schedules: each tuple's write completes before the
+    next tuple reads ([Not_sequential] otherwise).  That covers the
+    chain workloads of the speed benchmarks; overlapped (pipelined)
+    schedules have no faithful sequential-handshake equivalent, which
+    is itself part of the paper's point. *)
+
+exception Not_sequential of string
+
+type result = {
+  final_regs : (string * Csrtl_core.Word.t) list;
+  outputs : (string * (int * Csrtl_core.Word.t) list) list;
+  transactions : int;  (** completed 4-phase transactions *)
+  stats : Csrtl_kernel.Types.stats;
+}
+
+val run : Csrtl_core.Model.t -> result
+(** Validates, checks sequentiality, executes. *)
+
+val check_sequential : Csrtl_core.Model.t -> (unit, string) Stdlib.result

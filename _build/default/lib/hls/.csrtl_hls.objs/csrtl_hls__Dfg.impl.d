@@ -1,0 +1,1 @@
+lib/hls/dfg.ml: Array Csrtl_core Format Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/hls/dfg.mli: Csrtl_core Format Ir

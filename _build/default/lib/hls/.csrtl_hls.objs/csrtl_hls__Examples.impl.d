@@ -1,0 +1,1 @@
+lib/hls/examples.ml: Csrtl_core Ir List Printf

@@ -1,0 +1,1 @@
+lib/hls/fds.ml: Array Csrtl_core Dfg Format Hashtbl List Option Sched String

@@ -1,0 +1,1 @@
+lib/hls/fds.mli: Dfg Sched

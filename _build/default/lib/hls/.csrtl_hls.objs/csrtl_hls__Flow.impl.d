@@ -1,0 +1,1 @@
+lib/hls/flow.ml: Csrtl_core Dfg Fds Format Ir List Sched String Synth

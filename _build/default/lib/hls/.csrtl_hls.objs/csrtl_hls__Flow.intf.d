@@ -1,0 +1,1 @@
+lib/hls/flow.mli: Csrtl_core Dfg Ir Sched Synth

@@ -1,0 +1,1 @@
+lib/hls/ir.ml: Csrtl_core Format Hashtbl List String

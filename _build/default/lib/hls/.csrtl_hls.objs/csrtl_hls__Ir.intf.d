@@ -1,0 +1,1 @@
+lib/hls/ir.mli: Csrtl_core Format

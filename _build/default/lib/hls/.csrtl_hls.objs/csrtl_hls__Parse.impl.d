@@ -1,0 +1,1 @@
+lib/hls/parse.ml: Buffer Csrtl_core Format Ir List Printf String

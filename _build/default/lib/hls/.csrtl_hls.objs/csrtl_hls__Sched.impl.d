@@ -1,0 +1,1 @@
+lib/hls/sched.ml: Array Csrtl_core Dfg Format Hashtbl Int Ir List Option Printf String

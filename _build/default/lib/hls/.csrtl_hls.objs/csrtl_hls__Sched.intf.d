@@ -1,0 +1,1 @@
+lib/hls/sched.mli: Csrtl_core Dfg Format

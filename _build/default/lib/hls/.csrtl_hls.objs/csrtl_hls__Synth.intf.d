@@ -1,0 +1,1 @@
+lib/hls/synth.mli: Csrtl_core Format Sched

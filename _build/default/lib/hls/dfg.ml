@@ -1,0 +1,86 @@
+module C = Csrtl_core
+
+type operand = Node of int | In of string | Lit of int
+type node = { id : int; op : C.Ops.t; args : operand list }
+
+type t = {
+  program : Ir.program;
+  nodes : node array;
+  out_map : (string * operand) list;
+}
+
+let of_program (p : Ir.program) =
+  Ir.validate p;
+  let nodes = ref [] in
+  let n = ref 0 in
+  let fresh op args =
+    let id = !n in
+    incr n;
+    nodes := { id; op; args } :: !nodes;
+    Node id
+  in
+  (* current value of each source-level variable *)
+  let env = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace env i (In i)) p.inputs;
+  let rec build = function
+    | Ir.Var v -> Hashtbl.find env v
+    | Ir.Lit c -> Lit c
+    | Ir.Bin (op, a, b) ->
+      let va = build a in
+      let vb = build b in
+      fresh op [ va; vb ]
+    | Ir.Un (op, a) ->
+      let va = build a in
+      fresh op [ va ]
+  in
+  List.iter
+    (fun (s : Ir.stmt) -> Hashtbl.replace env s.def (build s.rhs))
+    p.stmts;
+  let out_map = List.map (fun o -> (o, Hashtbl.find env o)) p.outputs in
+  { program = p; nodes = Array.of_list (List.rev !nodes); out_map }
+
+let preds node =
+  List.filter_map
+    (function Node i -> Some i | In _ | Lit _ -> None)
+    node.args
+
+let succs t id =
+  Array.to_list t.nodes
+  |> List.filter_map (fun nd ->
+         if List.mem id (preds nd) then Some nd.id else None)
+
+let depth t =
+  let n = Array.length t.nodes in
+  let d = Array.make n 0 in
+  Array.iter
+    (fun nd ->
+      let pd =
+        List.fold_left (fun acc p -> max acc d.(p)) 0 (preds nd)
+      in
+      d.(nd.id) <- pd + 1)
+    t.nodes;
+  Array.fold_left max 0 d
+
+let size t = Array.length t.nodes
+
+let pp_operand ppf = function
+  | Node i -> Format.fprintf ppf "n%d" i
+  | In s -> Format.pp_print_string ppf s
+  | Lit c -> Format.pp_print_int ppf c
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>dfg of %s (%d nodes, depth %d)@," t.program.pname
+    (size t) (depth t);
+  Array.iter
+    (fun nd ->
+      Format.fprintf ppf "  n%d := %s(%a)@," nd.id
+        (C.Ops.to_string nd.op)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_operand)
+        nd.args)
+    t.nodes;
+  List.iter
+    (fun (o, v) -> Format.fprintf ppf "  out %s := %a@," o pp_operand v)
+    t.out_map;
+  Format.fprintf ppf "@]"

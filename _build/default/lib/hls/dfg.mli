@@ -1,0 +1,37 @@
+(** Dataflow graphs extracted from IR programs.
+
+    One node per operation; variable reassignment is resolved by
+    renaming during construction, so the graph is in SSA form.
+    Trivial copies ([x := y], [x := 5]) are forwarded away. *)
+
+type operand =
+  | Node of int  (** result of another node *)
+  | In of string  (** program input *)
+  | Lit of int  (** literal constant *)
+
+type node = {
+  id : int;
+  op : Csrtl_core.Ops.t;
+  args : operand list;  (** length = arity *)
+}
+
+type t = {
+  program : Ir.program;
+  nodes : node array;  (** topologically ordered: args refer backwards *)
+  out_map : (string * operand) list;  (** program output -> producing value *)
+}
+
+val of_program : Ir.program -> t
+
+val preds : node -> int list
+(** Ids of nodes feeding this node. *)
+
+val succs : t -> int -> int list
+(** Ids of nodes consuming node [id]. *)
+
+val depth : t -> int
+(** Longest dependency chain (in nodes). *)
+
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

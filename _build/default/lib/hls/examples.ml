@@ -1,0 +1,107 @@
+(** Standard HLS benchmark programs.
+
+    [diffeq] is the HAL differential-equation benchmark (Paulin &
+    Knight) that 1990s high-level-synthesis papers — the flows the
+    paper's §4 targets — schedule as their running example: one body
+    iteration of the Euler solver for y'' + 3xy' + 3y = 0. *)
+
+module C = Csrtl_core
+
+let diffeq =
+  { Ir.pname = "diffeq";
+    inputs = [ "x"; "y"; "u"; "dx"; "a" ];
+    stmts =
+      [ { Ir.def = "t1"; rhs = Ir.Bin (C.Ops.Mul, Lit 3, Var "x") };
+        { def = "t2"; rhs = Bin (C.Ops.Mul, Var "u", Var "dx") };
+        { def = "t1u"; rhs = Bin (C.Ops.Mul, Var "t1", Var "u") };
+        { def = "t3"; rhs = Bin (C.Ops.Mul, Var "t1u", Var "dx") };
+        { def = "t4"; rhs = Bin (C.Ops.Mul, Lit 3, Var "y") };
+        { def = "t5"; rhs = Bin (C.Ops.Mul, Var "t4", Var "dx") };
+        { def = "x1"; rhs = Bin (C.Ops.Add, Var "x", Var "dx") };
+        { def = "t6"; rhs = Bin (C.Ops.Sub, Var "u", Var "t3") };
+        { def = "u1"; rhs = Bin (C.Ops.Sub, Var "t6", Var "t5") };
+        { def = "y1"; rhs = Bin (C.Ops.Add, Var "y", Var "t2") };
+        { def = "c"; rhs = Bin (C.Ops.Lt, Var "x1", Var "a") } ];
+    outputs = [ "x1"; "y1"; "u1"; "c" ] }
+
+(* An 8-tap FIR filter: y = sum c_i * x_i. *)
+let fir taps =
+  let inputs = List.init taps (fun i -> Printf.sprintf "x%d" i) in
+  let coeffs = [ 7; -3; 12; 5; -8; 2; 9; -1; 4; 6; -2; 11 ] in
+  let coeff i = List.nth coeffs (i mod List.length coeffs) in
+  let products =
+    List.init taps (fun i ->
+        { Ir.def = Printf.sprintf "p%d" i;
+          rhs =
+            Ir.Bin (C.Ops.Mul, Ir.Lit (C.Word.mask (coeff i)),
+                    Ir.Var (Printf.sprintf "x%d" i)) })
+  in
+  let rec sums i acc stmts =
+    if i >= taps then (acc, List.rev stmts)
+    else
+      let def = Printf.sprintf "s%d" i in
+      let stmt =
+        { Ir.def;
+          rhs = Ir.Bin (C.Ops.Add, Ir.Var acc, Ir.Var (Printf.sprintf "p%d" i)) }
+      in
+      sums (i + 1) def (stmt :: stmts)
+  in
+  let last, sum_stmts = sums 1 "p0" [] in
+  { Ir.pname = Printf.sprintf "fir%d" taps;
+    inputs;
+    stmts = products @ sum_stmts @ [ { Ir.def = "y"; rhs = Ir.Var last } ];
+    outputs = [ "y" ] }
+
+(* Horner evaluation of a degree-n polynomial. *)
+let horner degree =
+  let coeff i = ((i * 13) mod 21) + 1 in
+  let rec go i acc stmts =
+    if i > degree then (acc, List.rev stmts)
+    else
+      let tdef = Printf.sprintf "t%d" i in
+      let sdef = Printf.sprintf "s%d" i in
+      let stmts =
+        { Ir.def = sdef;
+          rhs = Ir.Bin (C.Ops.Add, Ir.Var tdef, Ir.Lit (coeff i)) }
+        :: { Ir.def = tdef; rhs = Ir.Bin (C.Ops.Mul, Ir.Var acc, Ir.Var "x") }
+        :: stmts
+      in
+      go (i + 1) sdef stmts
+  in
+  let last, stmts = go 1 "c0" [] in
+  { Ir.pname = Printf.sprintf "horner%d" degree;
+    inputs = [ "x" ];
+    stmts =
+      ({ Ir.def = "c0"; rhs = Ir.Lit (coeff 0) } :: stmts);
+    outputs = [ last ] }
+
+(* A 4-point decimation-in-time FFT over pairs (re, im): the classic
+   DSP kernel after FIR.  Twiddles for N=4 are 1 and -j, so the body
+   is adds/subs plus the final swap-negate of the -j branch. *)
+let fft4 =
+  let v op a b = Ir.Bin (op, Ir.Var a, Ir.Var b) in
+  { Ir.pname = "fft4";
+    inputs =
+      [ "x0r"; "x0i"; "x1r"; "x1i"; "x2r"; "x2i"; "x3r"; "x3i" ];
+    stmts =
+      [ (* stage 1: butterflies (x0,x2) and (x1,x3) *)
+        { Ir.def = "a0r"; rhs = v C.Ops.Add "x0r" "x2r" };
+        { def = "a0i"; rhs = v C.Ops.Add "x0i" "x2i" };
+        { def = "a1r"; rhs = v C.Ops.Sub "x0r" "x2r" };
+        { def = "a1i"; rhs = v C.Ops.Sub "x0i" "x2i" };
+        { def = "a2r"; rhs = v C.Ops.Add "x1r" "x3r" };
+        { def = "a2i"; rhs = v C.Ops.Add "x1i" "x3i" };
+        { def = "a3r"; rhs = v C.Ops.Sub "x1r" "x3r" };
+        { def = "a3i"; rhs = v C.Ops.Sub "x1i" "x3i" };
+        (* stage 2: (a0,a2) with twiddle 1; (a1,a3) with twiddle -j:
+           -j * (r + j i) = i - j r *)
+        { def = "y0r"; rhs = v C.Ops.Add "a0r" "a2r" };
+        { def = "y0i"; rhs = v C.Ops.Add "a0i" "a2i" };
+        { def = "y2r"; rhs = v C.Ops.Sub "a0r" "a2r" };
+        { def = "y2i"; rhs = v C.Ops.Sub "a0i" "a2i" };
+        { def = "y1r"; rhs = v C.Ops.Add "a1r" "a3i" };
+        { def = "y1i"; rhs = v C.Ops.Sub "a1i" "a3r" };
+        { def = "y3r"; rhs = v C.Ops.Sub "a1r" "a3i" };
+        { def = "y3i"; rhs = v C.Ops.Add "a1i" "a3r" } ];
+    outputs =
+      [ "y0r"; "y0i"; "y1r"; "y1i"; "y2r"; "y2i"; "y3r"; "y3i" ] }

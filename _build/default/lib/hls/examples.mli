@@ -1,0 +1,17 @@
+(** Standard HLS benchmark programs. *)
+
+val diffeq : Ir.program
+(** The HAL differential-equation benchmark (one Euler iteration of
+    y'' + 3xy' + 3y = 0): 10 operations, 6 multiplications. *)
+
+val fir : int -> Ir.program
+(** An n-tap FIR filter with fixed coefficients. *)
+
+val horner : int -> Ir.program
+(** Horner evaluation of a degree-n polynomial with fixed
+    coefficients. *)
+
+val fft4 : Ir.program
+(** A 4-point decimation-in-time FFT (adds/subs only for N = 4):
+    16 operations, 8 inputs, 8 outputs — a wide, shallow contrast to
+    the deep diffeq graph. *)

@@ -1,0 +1,245 @@
+module C = Csrtl_core
+
+exception Infeasible of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Infeasible m)) fmt
+
+(* Maximum concurrent occupancy per class (pipelined units occupy
+   their read step; non-pipelined ones their whole latency window). *)
+let units_needed (s : Sched.t) =
+  let usage = Hashtbl.create 16 in
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      let cls = Sched.class_of s.Sched.resources nd.Dfg.op in
+      let r = s.Sched.read_step.(nd.id) in
+      let steps =
+        if cls.Sched.pipelined then [ r ]
+        else List.init cls.Sched.latency (fun i -> r + i)
+      in
+      List.iter
+        (fun t ->
+          let key = (cls.Sched.cls_name, t) in
+          Hashtbl.replace usage key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt usage key)))
+        steps)
+    s.Sched.dfg.Dfg.nodes;
+  let per_class = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (cls, _) n ->
+      Hashtbl.replace per_class cls
+        (max n (Option.value ~default:0 (Hashtbl.find_opt per_class cls))))
+    usage;
+  Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) per_class []
+  |> List.sort compare
+
+let rec schedule_internal ?horizon ?(auto_extend = false)
+    (res : Sched.resources) (dfg : Dfg.t) =
+  let n = Array.length dfg.Dfg.nodes in
+  if n = 0 then
+    ({ Sched.dfg; resources = res; read_step = [||]; n_steps = 0 }, res)
+  else begin
+    let cls_of id = Sched.class_of res dfg.Dfg.nodes.(id).Dfg.op in
+    let lat id = (cls_of id).Sched.latency in
+    let asap0 = Sched.asap res dfg in
+    let min_horizon =
+      Array.fold_left max 1 (Array.mapi (fun i r -> r + lat i) asap0)
+    in
+    let user_fixed = horizon <> None && not auto_extend in
+    let horizon =
+      match horizon with
+      | None -> min_horizon
+      | Some h ->
+        if h < min_horizon then
+          fail "horizon %d below the critical path %d" h min_horizon
+        else h
+    in
+    (* When the bus budget is infeasible at this latency, a longer
+       schedule spreads the transfers out; retry with one more step
+       unless the caller pinned the horizon. *)
+    let retry () =
+      if user_fixed || horizon > min_horizon + (8 * n) then None
+      else
+        Some
+          (schedule_internal ~horizon:(horizon + 1) ~auto_extend:true res dfg)
+    in
+    try
+    let fixed = Array.make n 0 in
+    let is_fixed = Array.make n false in
+    (* current time frames under the fixed assignments *)
+    let asap = Array.make n 1 in
+    let alap = Array.make n 1 in
+    let recompute_frames () =
+      Array.iter
+        (fun (nd : Dfg.node) ->
+          let dep =
+            List.fold_left
+              (fun acc p -> max acc (asap.(p) + lat p + 1))
+              1 (Dfg.preds nd)
+          in
+          asap.(nd.id) <- (if is_fixed.(nd.id) then fixed.(nd.id) else dep))
+        dfg.Dfg.nodes;
+      for i = n - 1 downto 0 do
+        let nd = dfg.Dfg.nodes.(i) in
+        let latest =
+          List.fold_left
+            (fun acc s -> min acc (alap.(s) - lat i - 1))
+            (horizon - lat i)
+            (Dfg.succs dfg nd.Dfg.id)
+        in
+        alap.(i) <- (if is_fixed.(i) then fixed.(i) else latest)
+      done
+    in
+    recompute_frames ();
+    (* bus slots are a hard constraint, as in the list scheduler *)
+    let bus_reads = Hashtbl.create 32 in
+    let bus_writes = Hashtbl.create 32 in
+    let used tbl t = Option.value ~default:0 (Hashtbl.find_opt tbl t) in
+    let bus_ok id t =
+      let arity = C.Ops.arity dfg.Dfg.nodes.(id).Dfg.op in
+      used bus_reads t + arity <= res.Sched.buses
+      && used bus_writes (t + lat id) + 1 <= res.Sched.buses
+    in
+    let bus_commit id t =
+      let arity = C.Ops.arity dfg.Dfg.nodes.(id).Dfg.op in
+      Hashtbl.replace bus_reads t (used bus_reads t + arity);
+      Hashtbl.replace bus_writes (t + lat id)
+        (used bus_writes (t + lat id) + 1)
+    in
+    (* distribution graph of one class at one step *)
+    let dg cls t =
+      Array.fold_left
+        (fun acc (nd : Dfg.node) ->
+          let c = cls_of nd.Dfg.id in
+          if c.Sched.cls_name <> cls then acc
+          else if is_fixed.(nd.id) then
+            if fixed.(nd.id) = t then acc +. 1.0 else acc
+          else if asap.(nd.id) <= t && t <= alap.(nd.id) then
+            acc +. (1.0 /. float_of_int (alap.(nd.id) - asap.(nd.id) + 1))
+          else acc)
+        0.0 dfg.Dfg.nodes
+    in
+    (* average DG of a class over a frame *)
+    let avg_dg cls lo hi =
+      if hi < lo then 0.0
+      else begin
+        let sum = ref 0.0 in
+        for t = lo to hi do
+          sum := !sum +. dg cls t
+        done;
+        !sum /. float_of_int (hi - lo + 1)
+      end
+    in
+    (* self force of assigning node id to step t *)
+    let self_force id t =
+      let cls = (cls_of id).Sched.cls_name in
+      dg cls t -. avg_dg cls asap.(id) alap.(id)
+    in
+    (* first-order neighbour forces: the frame narrowing a tentative
+       assignment imposes on direct predecessors and successors *)
+    let neighbour_force id t =
+      let nd = dfg.Dfg.nodes.(id) in
+      let pred_force p =
+        let new_hi = min alap.(p) (t - lat p - 1) in
+        if is_fixed.(p) || new_hi >= alap.(p) then 0.0
+        else
+          let cls = (cls_of p).Sched.cls_name in
+          avg_dg cls asap.(p) new_hi -. avg_dg cls asap.(p) alap.(p)
+      in
+      let succ_force s =
+        let new_lo = max asap.(s) (t + lat id + 1) in
+        if is_fixed.(s) || new_lo <= asap.(s) then 0.0
+        else
+          let cls = (cls_of s).Sched.cls_name in
+          avg_dg cls new_lo alap.(s) -. avg_dg cls asap.(s) alap.(s)
+      in
+      List.fold_left (fun acc p -> acc +. pred_force p) 0.0 (Dfg.preds nd)
+      +. List.fold_left
+           (fun acc s -> acc +. succ_force s)
+           0.0
+           (Dfg.succs dfg nd.Dfg.id)
+    in
+    let remaining = ref n in
+    let fix id t =
+      fixed.(id) <- t;
+      is_fixed.(id) <- true;
+      bus_commit id t;
+      decr remaining;
+      recompute_frames ()
+    in
+    (* Constraint propagation: a node whose frame collapsed to one
+       step is implicitly scheduled; commit it immediately (its self
+       force is zero, so force selection would defer it while other
+       assignments exhaust its only slot's buses). *)
+    let rec propagate_forced () =
+      let forced = ref None in
+      Array.iter
+        (fun (nd : Dfg.node) ->
+          if
+            (not is_fixed.(nd.id))
+            && asap.(nd.id) = alap.(nd.id)
+            && !forced = None
+          then forced := Some nd.id)
+        dfg.Dfg.nodes;
+      match !forced with
+      | None -> ()
+      | Some id ->
+        let t = asap.(id) in
+        if not (bus_ok id t) then
+          fail "forced assignment of node %d to step %d exceeds the bus \
+                budget"
+            id t;
+        fix id t;
+        propagate_forced ()
+    in
+    while !remaining > 0 do
+      propagate_forced ();
+      if !remaining > 0 then begin
+      let best = ref None in
+      Array.iter
+        (fun (nd : Dfg.node) ->
+          if not is_fixed.(nd.id) then
+            for t = asap.(nd.id) to alap.(nd.id) do
+              if bus_ok nd.id t then begin
+                let force = self_force nd.id t +. neighbour_force nd.id t in
+                match !best with
+                | Some (_, _, f) when f <= force -> ()
+                | Some _ | None -> best := Some (nd.id, t, force)
+              end
+            done)
+        dfg.Dfg.nodes;
+      (match !best with
+       | None ->
+         fail "no feasible assignment under the bus budget (%d buses)"
+           res.Sched.buses
+       | Some (id, t, _) -> fix id t)
+      end
+    done;
+    let n_steps =
+      Array.to_list dfg.Dfg.nodes
+      |> List.fold_left
+           (fun acc (nd : Dfg.node) -> max acc (fixed.(nd.id) + lat nd.id))
+           1
+    in
+    let sched =
+      { Sched.dfg; resources = res; read_step = fixed; n_steps }
+    in
+    let needed = units_needed sched in
+    let resources =
+      { res with
+        Sched.classes =
+          List.map
+            (fun (cls : Sched.fu_class) ->
+              match List.assoc_opt cls.Sched.cls_name needed with
+              | Some count when count > 0 -> { cls with Sched.count }
+              | Some _ | None -> cls)
+            res.Sched.classes }
+    in
+    (match Sched.verify { sched with Sched.resources } with
+     | Ok () -> ()
+     | Error es -> fail "internal: %s" (String.concat "; " es));
+    ({ sched with Sched.resources }, resources)
+    with Infeasible _ as e ->
+      (match retry () with Some result -> result | None -> raise e)
+  end
+
+let schedule ?horizon res dfg = schedule_internal ?horizon res dfg

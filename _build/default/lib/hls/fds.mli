@@ -1,0 +1,32 @@
+(** Force-directed scheduling (Paulin & Knight).
+
+    The classic {e time-constrained} companion to list scheduling: given
+    a latency bound (horizon), balance the expected concurrency of each
+    unit class across control steps so that the schedule needs as few
+    units as possible.  Paulin & Knight introduced both the algorithm
+    and the HAL differential-equation benchmark this library ships
+    ({!Examples.diffeq}); 1990s HLS systems — the flows the paper's §4
+    feeds from — used exactly this pairing.
+
+    The implementation follows the standard formulation: time frames
+    from ASAP/ALAP, distribution graphs per class, self force
+    [DG(t) - avg(DG over frame)] plus first-order predecessor/successor
+    forces from the frame narrowing a tentative assignment causes; the
+    lowest-force feasible (operation, step) pair is fixed each round.
+    Bus capacity (reads and result writes per step, as in {!Sched}) is
+    respected as a hard feasibility constraint. *)
+
+exception Infeasible of string
+
+val schedule :
+  ?horizon:int -> Sched.resources -> Dfg.t -> Sched.t * Sched.resources
+(** [schedule res dfg] treats [res] class {e counts} as outputs, not
+    constraints: the returned resources carry the number of instances
+    of each class the balanced schedule actually needs (its maximum
+    concurrent occupancy), with [res]'s bus budget enforced.  The
+    default horizon is the resource-blind critical path (ASAP length),
+    i.e. the fastest possible schedule.  The result satisfies
+    {!Sched.verify} against the returned resources. *)
+
+val units_needed : Sched.t -> (string * int) list
+(** Maximum concurrent occupancy per class of any schedule. *)

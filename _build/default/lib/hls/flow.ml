@@ -1,0 +1,64 @@
+module C = Csrtl_core
+
+type t = {
+  program : Ir.program;
+  dfg : Dfg.t;
+  schedule : Sched.t;
+  binding : Synth.binding;
+}
+
+let compile ?(resources = Sched.default_resources ())
+    ?(scheduler = `List) program =
+  let dfg = Dfg.of_program program in
+  let schedule =
+    match scheduler with
+    | `List -> Sched.list_schedule resources dfg
+    | `Force_directed -> fst (Fds.schedule resources dfg)
+  in
+  (match Sched.verify schedule with
+   | Ok () -> ()
+   | Error es ->
+     raise (Sched.Unschedulable (String.concat "; " es)));
+  let binding = Synth.synthesize schedule in
+  { program; dfg; schedule; binding }
+
+let with_inputs (m : C.Model.t) values =
+  { m with
+    inputs =
+      List.map
+        (fun (i : C.Model.input) ->
+          match List.assoc_opt i.in_name values with
+          | Some v -> { i with drive = C.Model.Const (C.Word.mask v) }
+          | None -> i)
+        m.inputs }
+
+let output_values flow ~inputs =
+  let m = with_inputs flow.binding.Synth.model inputs in
+  let obs = C.Interp.run m in
+  List.map
+    (fun o ->
+      match C.Observation.output_writes obs o with
+      | [] -> (o, C.Word.disc)
+      | writes ->
+        let _, v = List.nth writes (List.length writes - 1) in
+        (o, v))
+    flow.program.Ir.outputs
+
+let check flow ~inputs =
+  let expected = Ir.eval flow.program inputs in
+  let m = with_inputs flow.binding.Synth.model inputs in
+  let obs = C.Interp.run m in
+  let errors = ref [] in
+  let say fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  if C.Observation.has_conflict obs then
+    say "generated model has resource conflicts";
+  let actual = output_values flow ~inputs in
+  List.iter
+    (fun (o, want) ->
+      match List.assoc_opt o actual with
+      | Some got when C.Word.equal got want -> ()
+      | Some got ->
+        say "output %s: model %s, program %d" o (C.Word.to_string got) want
+      | None -> say "output %s missing" o)
+    expected;
+  match List.rev !errors with [] -> Ok () | es -> Error es

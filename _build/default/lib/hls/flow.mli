@@ -1,0 +1,36 @@
+(** The end-to-end HLS flow of paper §4: program -> dataflow graph ->
+    schedule -> binding -> clock-free RT model -> simulation check.
+
+    "High level synthesis results are translated into our subset and
+    can then be simulated at a high level before the next synthesis
+    steps translate to a more concrete implementation.  We are using
+    this method in order to verify the correctness of high level
+    synthesis results at an early stage." *)
+
+type t = {
+  program : Ir.program;
+  dfg : Dfg.t;
+  schedule : Sched.t;
+  binding : Synth.binding;
+}
+
+val compile :
+  ?resources:Sched.resources ->
+  ?scheduler:[ `List | `Force_directed ] ->
+  Ir.program -> t
+(** [`List] (default): resource-constrained priority list scheduling;
+    [`Force_directed]: time-constrained {!Fds} — the class counts of
+    [resources] are then treated as outputs (how many units the
+    balanced schedule needs), only the bus budget constrains. *)
+
+val with_inputs : Csrtl_core.Model.t -> (string * int) list -> Csrtl_core.Model.t
+(** Instantiate the model's input ports with concrete values. *)
+
+val check : t -> inputs:(string * int) list -> (unit, string list) result
+(** Simulate the generated model ({!Csrtl_core.Interp}) on the inputs
+    and compare every output port against {!Ir.eval} — the paper's
+    early-stage verification of HLS results. *)
+
+val output_values :
+  t -> inputs:(string * int) list -> (string * Csrtl_core.Word.t) list
+(** Output-port values produced by the model simulation. *)

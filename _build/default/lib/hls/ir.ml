@@ -1,0 +1,89 @@
+module C = Csrtl_core
+
+type expr =
+  | Var of string
+  | Lit of int
+  | Bin of C.Ops.t * expr * expr
+  | Un of C.Ops.t * expr
+
+type stmt = { def : string; rhs : expr }
+
+type program = {
+  pname : string;
+  inputs : string list;
+  stmts : stmt list;
+  outputs : string list;
+}
+
+exception Ill_formed of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Ill_formed m)) fmt
+
+let rec free_vars = function
+  | Var v -> [ v ]
+  | Lit _ -> []
+  | Bin (_, a, b) -> free_vars a @ free_vars b
+  | Un (_, a) -> free_vars a
+
+let validate p =
+  if p.stmts = [] then fail "program %s has no statements" p.pname;
+  let defined = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace defined i ()) p.inputs;
+  let rec check_expr = function
+    | Var v ->
+      if not (Hashtbl.mem defined v) then
+        fail "variable %s used before definition" v
+    | Lit _ -> ()
+    | Bin (op, a, b) ->
+      if C.Ops.arity op <> 2 then
+        fail "operation %s is not binary" (C.Ops.to_string op);
+      check_expr a;
+      check_expr b
+    | Un (op, a) ->
+      if C.Ops.arity op <> 1 then
+        fail "operation %s is not unary" (C.Ops.to_string op);
+      check_expr a
+  in
+  List.iter
+    (fun s ->
+      check_expr s.rhs;
+      Hashtbl.replace defined s.def ())
+    p.stmts;
+  List.iter
+    (fun o ->
+      if not (Hashtbl.mem defined o) then fail "output %s never assigned" o)
+    p.outputs
+
+let eval p input_values =
+  validate p;
+  let env = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      match List.assoc_opt i input_values with
+      | Some v -> Hashtbl.replace env i (C.Word.mask v)
+      | None -> fail "missing input value for %s" i)
+    p.inputs;
+  let rec go = function
+    | Var v -> Hashtbl.find env v
+    | Lit c -> C.Word.mask c
+    | Bin (op, a, b) -> C.Ops.eval op [| go a; go b |]
+    | Un (op, a) -> C.Ops.eval op [| go a |]
+  in
+  List.iter (fun s -> Hashtbl.replace env s.def (go s.rhs)) p.stmts;
+  List.map (fun o -> (o, Hashtbl.find env o)) p.outputs
+
+let rec pp_expr ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Lit c -> Format.pp_print_int ppf c
+  | Bin (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (C.Ops.to_string op) pp_expr b
+  | Un (op, a) -> Format.fprintf ppf "%s(%a)" (C.Ops.to_string op) pp_expr a
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>program %s(%s) -> (%s)@," p.pname
+    (String.concat ", " p.inputs)
+    (String.concat ", " p.outputs);
+  List.iter
+    (fun s -> Format.fprintf ppf "  %s := %a@," s.def pp_expr s.rhs)
+    p.stmts;
+  Format.fprintf ppf "@]"

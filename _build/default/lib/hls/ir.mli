@@ -1,0 +1,36 @@
+(** Algorithmic-level input language of the HLS flow.
+
+    Straight-line arithmetic programs — the "algorithmic level" the
+    paper's top-down design starts from (§1, §4: "high level
+    synthesis, where the result of scheduling and allocation is given
+    as a register transfer model").  Variables may be reassigned; the
+    dataflow graph builder renames them internally. *)
+
+type expr =
+  | Var of string
+  | Lit of int
+  | Bin of Csrtl_core.Ops.t * expr * expr
+  | Un of Csrtl_core.Ops.t * expr
+
+type stmt = { def : string; rhs : expr }
+
+type program = {
+  pname : string;
+  inputs : string list;
+  stmts : stmt list;
+  outputs : string list;  (** variables visible as entity outputs *)
+}
+
+exception Ill_formed of string
+
+val validate : program -> unit
+(** Raises {!Ill_formed} on use of undefined variables, outputs never
+    assigned, arity mismatches, or empty programs. *)
+
+val eval : program -> (string * int) list -> (string * int) list
+(** Reference interpreter: given input values, the output values
+    (word arithmetic, same as {!Csrtl_core.Ops.eval}). *)
+
+val free_vars : expr -> string list
+
+val pp : Format.formatter -> program -> unit

@@ -1,0 +1,269 @@
+module C = Csrtl_core
+
+exception Parse_error of int * string
+
+let fail line fmt =
+  Format.kasprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+(* -- tokenizer (per line) ------------------------------------------------- *)
+
+type token =
+  | Tid of string
+  | Tnum of int
+  | Tplus | Tminus | Tstar
+  | Tlt | Tlts | Teq_eq
+  | Tlparen | Trparen | Tcomma
+  | Tassign
+
+let tokenize line_no s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  let is_id c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '#' then i := n
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done;
+      out := Tnum (int_of_string (String.sub s start (!i - start))) :: !out
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while !i < n && is_id s.[!i] do
+        incr i
+      done;
+      out := Tid (String.sub s start (!i - start)) :: !out
+    end
+    else begin
+      let two = if !i + 1 < n then Some (String.sub s !i 2) else None in
+      match two with
+      | Some "<s" ->
+        out := Tlts :: !out;
+        i := !i + 2
+      | Some "==" ->
+        out := Teq_eq :: !out;
+        i := !i + 2
+      | _ ->
+        (match c with
+         | '+' -> out := Tplus :: !out
+         | '-' -> out := Tminus :: !out
+         | '*' -> out := Tstar :: !out
+         | '<' -> out := Tlt :: !out
+         | '(' -> out := Tlparen :: !out
+         | ')' -> out := Trparen :: !out
+         | ',' -> out := Tcomma :: !out
+         | '=' -> out := Tassign :: !out
+         | _ -> fail line_no "unexpected character %C" c);
+        incr i
+    end
+  done;
+  List.rev !out
+
+(* -- expression parser ----------------------------------------------------- *)
+
+let named_ops =
+  [ ("max", (C.Ops.Max, 2)); ("min", (C.Ops.Min, 2));
+    ("abs", (C.Ops.Abs, 1)); ("and", (C.Ops.Band, 2));
+    ("or", (C.Ops.Bor, 2)); ("xor", (C.Ops.Bxor, 2));
+    ("shl", (C.Ops.Shl, 2)); ("shr", (C.Ops.Shr, 2));
+    ("asr", (C.Ops.Asr, 2)); ("pass", (C.Ops.Pass, 1));
+    ("not", (C.Ops.Bnot, 1)); ("neg", (C.Ops.Neg, 1)) ]
+
+type pstate = { line : int; mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.toks with
+  | [] -> fail st.line "unexpected end of line"
+  | t :: rest ->
+    st.toks <- rest;
+    t
+
+let expect st t what =
+  if advance st <> t then fail st.line "expected %s" what
+
+let rec parse_cmp st =
+  let a = parse_add st in
+  match peek st with
+  | Some Tlt ->
+    ignore (advance st);
+    Ir.Bin (C.Ops.Lt, a, parse_add st)
+  | Some Tlts ->
+    ignore (advance st);
+    Ir.Bin (C.Ops.Lts, a, parse_add st)
+  | Some Teq_eq ->
+    ignore (advance st);
+    Ir.Bin (C.Ops.Eq, a, parse_add st)
+  | _ -> a
+
+and parse_add st =
+  let rec go a =
+    match peek st with
+    | Some Tplus ->
+      ignore (advance st);
+      go (Ir.Bin (C.Ops.Add, a, parse_mul st))
+    | Some Tminus ->
+      ignore (advance st);
+      go (Ir.Bin (C.Ops.Sub, a, parse_mul st))
+    | _ -> a
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go a =
+    match peek st with
+    | Some Tstar ->
+      ignore (advance st);
+      go (Ir.Bin (C.Ops.Mul, a, parse_unary st))
+    | _ -> a
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Some Tminus ->
+    ignore (advance st);
+    Ir.Un (C.Ops.Neg, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match advance st with
+  | Tnum n -> Ir.Lit n
+  | Tlparen ->
+    let e = parse_cmp st in
+    expect st Trparen ")";
+    e
+  | Tid name -> (
+      match peek st with
+      | Some Tlparen -> (
+          ignore (advance st);
+          let rec args acc =
+            let e = parse_cmp st in
+            match advance st with
+            | Tcomma -> args (e :: acc)
+            | Trparen -> List.rev (e :: acc)
+            | _ -> fail st.line "expected , or ) in arguments"
+          in
+          let actuals = args [] in
+          match List.assoc_opt name named_ops, actuals with
+          | Some (op, 2), [ a; b ] -> Ir.Bin (op, a, b)
+          | Some (op, 1), [ a ] -> Ir.Un (op, a)
+          | Some (_, k), _ ->
+            fail st.line "%s takes %d argument(s)" name k
+          | None, _ -> fail st.line "unknown operation %s" name)
+      | _ -> Ir.Var name)
+  | _ -> fail st.line "expected an expression"
+
+(* -- program parser ---------------------------------------------------------- *)
+
+let program_of_string text =
+  let pname = ref "program" in
+  let inputs = ref [] in
+  let outputs = ref [] in
+  let stmts = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let line_no = idx + 1 in
+      match tokenize line_no raw with
+      | [] -> ()
+      | [ Tid "program"; Tid n ] -> pname := n
+      | Tid "inputs" :: rest ->
+        inputs :=
+          !inputs
+          @ List.map
+              (function
+                | Tid n -> n
+                | _ -> fail line_no "inputs takes identifiers")
+              rest
+      | Tid "outputs" :: rest ->
+        outputs :=
+          !outputs
+          @ List.map
+              (function
+                | Tid n -> n
+                | _ -> fail line_no "outputs takes identifiers")
+              rest
+      | Tid def :: Tassign :: rest ->
+        let st = { line = line_no; toks = rest } in
+        let rhs = parse_cmp st in
+        if st.toks <> [] then fail line_no "trailing tokens";
+        stmts := { Ir.def; rhs } :: !stmts
+      | _ -> fail line_no "expected 'name = expression'")
+    (String.split_on_char '\n' text);
+  let p =
+    { Ir.pname = !pname; inputs = !inputs; stmts = List.rev !stmts;
+      outputs = !outputs }
+  in
+  (try Ir.validate p
+   with Ir.Ill_formed m -> raise (Parse_error (0, m)));
+  p
+
+let program_of_file path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  program_of_string text
+
+(* -- printer ------------------------------------------------------------------ *)
+
+let rec expr_to_string (e : Ir.expr) =
+  match e with
+  | Ir.Var v -> v
+  | Ir.Lit n -> string_of_int n
+  | Ir.Bin (op, a, b) -> (
+      let inline sym = Printf.sprintf "(%s %s %s)" (expr_to_string a) sym (expr_to_string b) in
+      match op with
+      | C.Ops.Add -> inline "+"
+      | C.Ops.Sub -> inline "-"
+      | C.Ops.Mul -> inline "*"
+      | C.Ops.Lt -> inline "<"
+      | C.Ops.Lts -> inline "<s"
+      | C.Ops.Eq -> inline "=="
+      | other -> (
+          match
+            List.find_opt (fun (_, (op', _)) -> C.Ops.equal op' other)
+              named_ops
+          with
+          | Some (name, _) ->
+            Printf.sprintf "%s(%s, %s)" name (expr_to_string a)
+              (expr_to_string b)
+          | None ->
+            Printf.sprintf "%s(%s, %s)" (C.Ops.to_string other)
+              (expr_to_string a) (expr_to_string b)))
+  | Ir.Un (op, a) -> (
+      match op with
+      | C.Ops.Neg -> Printf.sprintf "(-%s)" (expr_to_string a)
+      | other -> (
+          match
+            List.find_opt (fun (_, (op', _)) -> C.Ops.equal op' other)
+              named_ops
+          with
+          | Some (name, _) ->
+            Printf.sprintf "%s(%s)" name (expr_to_string a)
+          | None ->
+            Printf.sprintf "%s(%s)" (C.Ops.to_string other)
+              (expr_to_string a)))
+
+let to_string (p : Ir.program) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "program %s\n" p.Ir.pname);
+  if p.Ir.inputs <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "inputs %s\n" (String.concat " " p.Ir.inputs));
+  if p.Ir.outputs <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "outputs %s\n" (String.concat " " p.Ir.outputs));
+  List.iter
+    (fun (s : Ir.stmt) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s\n" s.Ir.def (expr_to_string s.Ir.rhs)))
+    p.Ir.stmts;
+  Buffer.contents buf

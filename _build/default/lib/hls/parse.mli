@@ -1,0 +1,32 @@
+(** Text format for algorithmic programs (".alg").
+
+    A small expression language for feeding custom programs to the
+    HLS flow from the command line:
+
+    {v
+    program diffeq
+    inputs x y u dx a
+    outputs x1 y1 u1 c
+    x1 = x + dx
+    u1 = u - 3 * x * u * dx - 3 * y * dx
+    y1 = y + u * dx
+    c  = x1 < a
+    v}
+
+    Operators, loosest to tightest: comparisons [< <s == ] (unsigned,
+    signed, equality), additive [+ -], multiplicative [*], unary [-].
+    Named operations for the rest: [max(a,b)], [min(a,b)], [abs(a)],
+    [and(a,b)], [or(a,b)], [xor(a,b)], [shl(a,b)], [shr(a,b)],
+    [asr(a,b)], [pass(a)].  [#] starts a comment.  Assignments may
+    reuse a name (sequential semantics, as in {!Ir}). *)
+
+exception Parse_error of int * string
+
+val program_of_string : string -> Ir.program
+(** Parsed and validated. *)
+
+val program_of_file : string -> Ir.program
+
+val to_string : Ir.program -> string
+(** Render a program in the same format;
+    [program_of_string (to_string p)] is equivalent to [p]. *)

@@ -1,0 +1,256 @@
+module C = Csrtl_core
+
+type fu_class = {
+  cls_name : string;
+  cls_ops : C.Ops.t list;
+  count : int;
+  latency : int;
+  pipelined : bool;
+}
+
+type resources = { classes : fu_class list; buses : int }
+
+let default_resources ?(alus = 1) ?(mults = 1) ?(mult_latency = 2)
+    ?(buses = 2) () =
+  { classes =
+      [ { cls_name = "ALU";
+          cls_ops =
+            [ C.Ops.Add; C.Ops.Sub; C.Ops.Min; C.Ops.Max; C.Ops.Band;
+              C.Ops.Bor; C.Ops.Bxor; C.Ops.Shl; C.Ops.Shr; C.Ops.Asr;
+              C.Ops.Neg; C.Ops.Abs; C.Ops.Bnot; C.Ops.Eq; C.Ops.Lt;
+              C.Ops.Lts ];
+          count = alus; latency = 1; pipelined = true };
+        { cls_name = "MULT"; cls_ops = [ C.Ops.Mul ]; count = mults;
+          latency = mult_latency; pipelined = true } ];
+    buses }
+
+exception Unschedulable of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Unschedulable m)) fmt
+
+let implements cls op =
+  List.exists (C.Ops.equal op) cls.cls_ops
+  ||
+  (* immediate forms belong to the class of their base operation *)
+  (match op with
+   | C.Ops.Addi _ | C.Ops.Subi _ ->
+     List.exists (C.Ops.equal C.Ops.Add) cls.cls_ops
+   | C.Ops.Muli _ -> List.exists (C.Ops.equal C.Ops.Mul) cls.cls_ops
+   | C.Ops.Shli _ | C.Ops.Shri _ | C.Ops.Asri _ ->
+     List.exists (C.Ops.equal C.Ops.Shl) cls.cls_ops
+   | _ -> false)
+
+let class_of res op =
+  match List.find_opt (fun cls -> implements cls op) res.classes with
+  | Some cls -> cls
+  | None -> fail "no unit class implements %s" (C.Ops.to_string op)
+
+type t = {
+  dfg : Dfg.t;
+  resources : resources;
+  read_step : int array;
+  n_steps : int;
+}
+
+let node_class t id = class_of t.resources t.dfg.Dfg.nodes.(id).Dfg.op
+
+let write_step t id = t.read_step.(id) + (node_class t id).latency
+
+let asap res (dfg : Dfg.t) =
+  let n = Array.length dfg.nodes in
+  let read = Array.make n 1 in
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      let earliest =
+        List.fold_left
+          (fun acc p ->
+            let lat = (class_of res dfg.nodes.(p).Dfg.op).latency in
+            max acc (read.(p) + lat + 1))
+          1 (Dfg.preds nd)
+      in
+      read.(nd.id) <- earliest)
+    dfg.nodes;
+  read
+
+let alap res (dfg : Dfg.t) ~horizon =
+  let n = Array.length dfg.nodes in
+  let read = Array.make n 0 in
+  (* process in reverse topological order *)
+  for i = n - 1 downto 0 do
+    let nd = dfg.nodes.(i) in
+    let lat = (class_of res nd.Dfg.op).latency in
+    let latest_from_succs =
+      List.fold_left
+        (fun acc s -> min acc (read.(s) - lat - 1))
+        (horizon - lat) (Dfg.succs dfg nd.id)
+    in
+    read.(i) <- latest_from_succs
+  done;
+  read
+
+let reads_at t step =
+  Array.to_list t.dfg.Dfg.nodes
+  |> List.filter_map (fun (nd : Dfg.node) ->
+         if t.read_step.(nd.id) = step then Some nd.id else None)
+
+(* Usage bookkeeping shared by the scheduler and the verifier. *)
+type usage = {
+  class_busy : (string * int, int) Hashtbl.t;  (* class, step -> readers *)
+  bus_reads : (int, int) Hashtbl.t;  (* step -> operand transfers *)
+  bus_writes : (int, int) Hashtbl.t;  (* step -> result transfers *)
+}
+
+let fresh_usage () =
+  { class_busy = Hashtbl.create 32; bus_reads = Hashtbl.create 32;
+    bus_writes = Hashtbl.create 32 }
+
+let bump tbl key by =
+  Hashtbl.replace tbl key (by + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let get tbl key = Option.value ~default:0 (Hashtbl.find_opt tbl key)
+
+let occupancy_steps cls step =
+  if cls.pipelined then [ step ]
+  else List.init cls.latency (fun i -> step + i)
+
+let fits res usage (nd : Dfg.node) cls step =
+  let arity = C.Ops.arity nd.Dfg.op in
+  List.for_all
+    (fun s -> get usage.class_busy (cls.cls_name, s) < cls.count)
+    (occupancy_steps cls step)
+  && get usage.bus_reads step + arity <= res.buses
+  && get usage.bus_writes (step + cls.latency) + 1 <= res.buses
+
+let commit usage (nd : Dfg.node) cls step =
+  List.iter
+    (fun s -> bump usage.class_busy (cls.cls_name, s) 1)
+    (occupancy_steps cls step);
+  bump usage.bus_reads step (C.Ops.arity nd.Dfg.op);
+  bump usage.bus_writes (step + cls.latency) 1
+
+let list_schedule res (dfg : Dfg.t) =
+  let n = Array.length dfg.nodes in
+  (* feasibility of single operations *)
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      let cls = class_of res nd.Dfg.op in
+      if C.Ops.arity nd.Dfg.op > res.buses then
+        fail "operation %s needs %d buses but only %d exist"
+          (C.Ops.to_string nd.Dfg.op)
+          (C.Ops.arity nd.Dfg.op) res.buses;
+      ignore cls)
+    dfg.nodes;
+  if n = 0 then { dfg; resources = res; read_step = [||]; n_steps = 0 }
+  else begin
+    let asap_steps = asap res dfg in
+    let horizon =
+      Array.fold_left max 1
+        (Array.mapi
+           (fun i r -> r + (class_of res dfg.nodes.(i).Dfg.op).latency)
+           asap_steps)
+    in
+    let alap_steps = alap res dfg ~horizon in
+    let read = Array.make n 0 in
+    let scheduled = Array.make n false in
+    let usage = fresh_usage () in
+    let remaining = ref n in
+    let step = ref 1 in
+    while !remaining > 0 do
+      let ready =
+        Array.to_list dfg.nodes
+        |> List.filter_map (fun (nd : Dfg.node) ->
+               if scheduled.(nd.id) then None
+               else
+                 let ok =
+                   List.for_all
+                     (fun p ->
+                       scheduled.(p)
+                       && read.(p)
+                          + (class_of res dfg.nodes.(p).Dfg.op).latency
+                          < !step)
+                     (Dfg.preds nd)
+                 in
+                 if ok then Some nd else None)
+        |> List.sort (fun a b ->
+               Int.compare alap_steps.(a.Dfg.id) alap_steps.(b.Dfg.id))
+      in
+      List.iter
+        (fun (nd : Dfg.node) ->
+          let cls = class_of res nd.Dfg.op in
+          if fits res usage nd cls !step then begin
+            commit usage nd cls !step;
+            read.(nd.id) <- !step;
+            scheduled.(nd.id) <- true;
+            decr remaining
+          end)
+        ready;
+      incr step;
+      if !step > (4 * horizon) + (4 * n) + 8 then
+        fail "list scheduling did not converge (infeasible resources?)"
+    done;
+    let n_steps =
+      Array.to_list dfg.nodes
+      |> List.fold_left
+           (fun acc (nd : Dfg.node) ->
+             max acc (read.(nd.id) + (class_of res nd.Dfg.op).latency))
+           1
+    in
+    { dfg; resources = res; read_step = read; n_steps }
+  end
+
+let verify t =
+  let errors = ref [] in
+  let say fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in
+  let usage = fresh_usage () in
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      let cls = node_class t nd.Dfg.id in
+      let r = t.read_step.(nd.id) in
+      if r < 1 then say "node %d scheduled before step 1" nd.id;
+      List.iter
+        (fun p ->
+          if write_step t p >= r then
+            say "node %d reads at %d but its operand %d is written at %d"
+              nd.id r p (write_step t p))
+        (Dfg.preds nd);
+      commit usage nd cls r)
+    t.dfg.Dfg.nodes;
+  Hashtbl.iter
+    (fun (cls_name, step) used ->
+      let cls =
+        List.find (fun c -> c.cls_name = cls_name) t.resources.classes
+      in
+      if used > cls.count then
+        say "class %s oversubscribed at step %d (%d > %d)" cls_name step
+          used cls.count)
+    usage.class_busy;
+  Hashtbl.iter
+    (fun step used ->
+      if used > t.resources.buses then
+        say "too many operand transfers at step %d (%d > %d)" step used
+          t.resources.buses)
+    usage.bus_reads;
+  Hashtbl.iter
+    (fun step used ->
+      if used > t.resources.buses then
+        say "too many result transfers at step %d (%d > %d)" step used
+          t.resources.buses)
+    usage.bus_writes;
+  match List.rev !errors with [] -> Ok () | es -> Error es
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule of %s in %d steps@,"
+    t.dfg.Dfg.program.Ir.pname t.n_steps;
+  for s = 1 to t.n_steps do
+    match reads_at t s with
+    | [] -> ()
+    | ids ->
+      Format.fprintf ppf "  step %d: %s@," s
+        (String.concat " "
+           (List.map
+              (fun id ->
+                Printf.sprintf "n%d(%s)" id
+                  (C.Ops.to_string t.dfg.Dfg.nodes.(id).Dfg.op))
+              ids))
+  done;
+  Format.fprintf ppf "@]"

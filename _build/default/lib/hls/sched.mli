@@ -1,0 +1,65 @@
+(** Resource-constrained scheduling of dataflow graphs onto control
+    steps.
+
+    Produces the paper's timing substrate: each operation gets a read
+    step; its result is written [latency] steps later and is readable
+    from the following step on (registers latch at [cr], reads happen
+    at [ra]).  Implements ASAP, ALAP and priority list scheduling
+    under functional-unit and bus constraints.
+
+    The bus constraint reflects the six-phase discipline: a bus
+    carries one operand during [ra]/[rb] {e and} one result during
+    [wa]/[wb] of the same step, so reads and writes are budgeted
+    separately per step. *)
+
+type fu_class = {
+  cls_name : string;
+  cls_ops : Csrtl_core.Ops.t list;
+  count : int;  (** instances available *)
+  latency : int;
+  pipelined : bool;
+}
+
+type resources = { classes : fu_class list; buses : int }
+
+val default_resources :
+  ?alus:int -> ?mults:int -> ?mult_latency:int -> ?buses:int -> unit ->
+  resources
+(** An ALU class (add/sub/min/max/shifts/logic, latency 1) and a
+    multiplier class (mul, default latency 2, pipelined).  Defaults:
+    1 ALU, 1 multiplier, 2 buses. *)
+
+exception Unschedulable of string
+(** No class implements an operation, or a constraint is infeasible
+    (e.g. fewer buses than a single operation needs). *)
+
+val class_of : resources -> Csrtl_core.Ops.t -> fu_class
+
+type t = {
+  dfg : Dfg.t;
+  resources : resources;
+  read_step : int array;  (** node id -> control step of operand read *)
+  n_steps : int;  (** last write step of the schedule *)
+}
+
+val write_step : t -> int -> int
+(** [read_step + latency] of the node's class. *)
+
+val asap : resources -> Dfg.t -> int array
+(** Dependency-only earliest read steps (resource-blind). *)
+
+val alap : resources -> Dfg.t -> horizon:int -> int array
+(** Latest read steps meeting the horizon. *)
+
+val list_schedule : resources -> Dfg.t -> t
+(** Priority list scheduling (least ALAP slack first) under the
+    class and bus constraints. *)
+
+val verify : t -> (unit, string list) result
+(** Check all dependency, class-count, occupancy and bus constraints
+    of a schedule (used by the property tests). *)
+
+val reads_at : t -> int -> int list
+(** Nodes reading at the given step. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,293 @@
+module C = Csrtl_core
+
+type binding = {
+  schedule : Sched.t;
+  model : C.Model.t;
+  node_fu : (int * string) list;
+  node_reg : (int * string) list;
+  registers_used : int;
+  copy_steps : int;
+}
+
+let fail fmt = Format.kasprintf (fun m -> raise (Sched.Unschedulable m)) fmt
+
+(* per-step bus slot bookkeeping (reads and writes budgeted apart) *)
+type bus_slots = {
+  buses : int;
+  reads : (int, int) Hashtbl.t;
+  writes : (int, int) Hashtbl.t;
+}
+
+let fresh_slots buses =
+  { buses; reads = Hashtbl.create 32; writes = Hashtbl.create 32 }
+
+let used tbl step = Option.value ~default:0 (Hashtbl.find_opt tbl step)
+
+let take_read slots step =
+  let slot = used slots.reads step in
+  if slot >= slots.buses then fail "bus overflow (reads) at step %d" step;
+  Hashtbl.replace slots.reads step (slot + 1);
+  slot
+
+let take_write slots step =
+  let slot = used slots.writes step in
+  if slot >= slots.buses then fail "bus overflow (writes) at step %d" step;
+  Hashtbl.replace slots.writes step (slot + 1);
+  slot
+
+let can_read slots step = used slots.reads step < slots.buses
+let can_write slots step = used slots.writes step < slots.buses
+
+let synthesize ?(reg_alloc = `Left_edge) (sched : Sched.t) =
+  let dfg = sched.Sched.dfg in
+  let res = sched.Sched.resources in
+  let nodes = dfg.Dfg.nodes in
+  let n = Array.length nodes in
+  (* ---- unit binding: first fit within each class ---- *)
+  let instance_windows : (string, (int * int) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let node_fu = Array.make n "" in
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      let cls = Sched.class_of res nd.Dfg.op in
+      let r = sched.Sched.read_step.(nd.id) in
+      let window =
+        if cls.Sched.pipelined then (r, r)
+        else (r, r + cls.Sched.latency - 1)
+      in
+      let rec try_instance i =
+        if i >= cls.Sched.count then
+          fail "class %s has no free instance for node %d" cls.Sched.cls_name
+            nd.id
+        else begin
+          let name = Printf.sprintf "%s%d" cls.Sched.cls_name i in
+          let windows =
+            match Hashtbl.find_opt instance_windows name with
+            | Some w -> w
+            | None ->
+              let w = ref [] in
+              Hashtbl.replace instance_windows name w;
+              w
+          in
+          let overlap (a1, a2) (b1, b2) = a1 <= b2 && b1 <= a2 in
+          if List.exists (overlap window) !windows then try_instance (i + 1)
+          else begin
+            windows := window :: !windows;
+            node_fu.(nd.id) <- name
+          end
+        end
+      in
+      try_instance 0)
+    nodes;
+  (* ---- output copy scheduling (COPY unit, one instance) ---- *)
+  let slots = fresh_slots res.Sched.buses in
+  (* replay the main schedule's bus usage *)
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      let cls = Sched.class_of res nd.Dfg.op in
+      let r = sched.Sched.read_step.(nd.id) in
+      for _ = 1 to C.Ops.arity nd.Dfg.op do
+        ignore (take_read slots r)
+      done;
+      ignore (take_write slots (r + cls.Sched.latency)))
+    nodes;
+  let copy_busy = Hashtbl.create 8 in
+  let copy_sched =
+    List.map
+      (fun (o, operand) ->
+        let earliest =
+          match operand with
+          | Dfg.Node i ->
+            Sched.write_step sched i + 1
+          | Dfg.In _ | Dfg.Lit _ -> 1
+        in
+        let rec place s =
+          if
+            can_read slots s
+            && can_write slots (s + 1)
+            && not (Hashtbl.mem copy_busy s)
+          then begin
+            ignore (take_read slots s);
+            ignore (take_write slots (s + 1));
+            Hashtbl.replace copy_busy s ();
+            (o, operand, s)
+          end
+          else place (s + 1)
+        in
+        place earliest)
+      dfg.Dfg.out_map
+  in
+  let main_steps = sched.Sched.n_steps in
+  let cs_max =
+    List.fold_left
+      (fun acc (_, _, s) -> max acc (s + 1))
+      (max main_steps 1) copy_sched
+  in
+  (* ---- liveness and left-edge register allocation ---- *)
+  let last_use = Array.make n 0 in
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      List.iter
+        (fun p ->
+          last_use.(p) <- max last_use.(p) sched.Sched.read_step.(nd.id))
+        (Dfg.preds nd))
+    nodes;
+  List.iter
+    (fun (_, operand, s) ->
+      match operand with
+      | Dfg.Node i -> last_use.(i) <- max last_use.(i) s
+      | Dfg.In _ | Dfg.Lit _ -> ())
+    copy_sched;
+  let intervals =
+    Array.to_list nodes
+    |> List.map (fun (nd : Dfg.node) ->
+           let birth = Sched.write_step sched nd.id in
+           (nd.id, birth, max birth last_use.(nd.id)))
+    |> List.sort (fun (_, b1, _) (_, b2, _) -> Int.compare b1 b2)
+  in
+  (* Left-edge with two constraints: the previous value's reads must
+     be over (death <= birth — a read at [ra] and a latch at [cr] may
+     share a step), and the write steps must differ (two latches into
+     one register in the same step conflict). *)
+  let reg_state = ref [] in  (* per register: (last write step, death) *)
+  let node_reg = Array.make n "" in
+  List.iter
+    (fun (id, birth, death) ->
+      let rec fit = function
+        | [] ->
+          let idx = List.length !reg_state in
+          reg_state := !reg_state @ [ ref (birth, death) ];
+          idx
+        | st :: rest ->
+          let last_write, d = !st in
+          if d <= birth && last_write < birth then begin
+            st := (birth, death);
+            List.length !reg_state - List.length rest - 1
+          end
+          else fit rest
+      in
+      let idx =
+        match reg_alloc with
+        | `Left_edge -> fit !reg_state
+        | `Naive ->
+          (* one register per value: the sharing baseline the
+             left-edge ablation is measured against *)
+          let idx = List.length !reg_state in
+          reg_state := !reg_state @ [ ref (birth, death) ];
+          idx
+      in
+      node_reg.(id) <- Printf.sprintf "r%d" idx)
+    intervals;
+  let registers_used = List.length !reg_state in
+  (* ---- literal pool ---- *)
+  let literals = Hashtbl.create 8 in
+  let note_lit c = if not (Hashtbl.mem literals c) then
+      Hashtbl.replace literals c (Printf.sprintf "c%d" (Hashtbl.length literals))
+  in
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      List.iter
+        (function Dfg.Lit c -> note_lit c | Dfg.Node _ | Dfg.In _ -> ())
+        nd.Dfg.args)
+    nodes;
+  List.iter
+    (fun (_, operand, _) ->
+      match operand with
+      | Dfg.Lit c -> note_lit c
+      | Dfg.Node _ | Dfg.In _ -> ())
+    copy_sched;
+  let source_of = function
+    | Dfg.Node i -> C.Transfer.From_reg node_reg.(i)
+    | Dfg.In x -> C.Transfer.From_input x
+    | Dfg.Lit c -> C.Transfer.From_reg (Hashtbl.find literals c)
+  in
+  (* ---- emit the model ---- *)
+  let b =
+    C.Builder.create ~name:dfg.Dfg.program.Ir.pname ~cs_max ()
+  in
+  List.iter (fun x -> C.Builder.input b x) dfg.Dfg.program.Ir.inputs;
+  List.iter (fun o -> C.Builder.output b o) dfg.Dfg.program.Ir.outputs;
+  for i = 0 to registers_used - 1 do
+    C.Builder.reg b (Printf.sprintf "r%d" i)
+  done;
+  Hashtbl.fold (fun c name acc -> (name, c) :: acc) literals []
+  |> List.sort compare
+  |> List.iter (fun (name, c) -> C.Builder.reg b ~init:(C.Word.mask c) name);
+  for i = 0 to res.Sched.buses - 1 do
+    C.Builder.bus b (Printf.sprintf "b%d" i)
+  done;
+  (* unit declarations: the operations each instance actually runs *)
+  let instance_ops = Hashtbl.create 8 in
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      let name = node_fu.(nd.id) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt instance_ops name) in
+      if not (List.exists (C.Ops.equal nd.Dfg.op) prev) then
+        Hashtbl.replace instance_ops name (prev @ [ nd.Dfg.op ]))
+    nodes;
+  let sorted_instances =
+    Hashtbl.fold (fun name ops acc -> (name, ops) :: acc) instance_ops []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ops) ->
+      let cls =
+        List.find
+          (fun (c : Sched.fu_class) ->
+            String.length name >= String.length c.Sched.cls_name
+            && String.sub name 0 (String.length c.Sched.cls_name)
+               = c.Sched.cls_name)
+          res.Sched.classes
+      in
+      C.Builder.unit_ b ~latency:cls.Sched.latency
+        ~pipelined:cls.Sched.pipelined ~ops name)
+    sorted_instances;
+  if copy_sched <> [] then C.Builder.unit_ b ~ops:[ C.Ops.Pass ] "COPY";
+  (* transfers, taking bus slots in the same per-step order *)
+  Hashtbl.reset slots.reads;
+  Hashtbl.reset slots.writes;
+  let bus_name i = Printf.sprintf "b%d" i in
+  Array.iter
+    (fun (nd : Dfg.node) ->
+      let r = sched.Sched.read_step.(nd.id) in
+      let w = Sched.write_step sched nd.id in
+      let wbus = bus_name (take_write slots w) in
+      let dst = C.Transfer.To_reg node_reg.(nd.id) in
+      match nd.Dfg.args with
+      | [ a ] ->
+        C.Builder.unary ~op:nd.Dfg.op b ~fu:node_fu.(nd.id)
+          ~a:(source_of a, bus_name (take_read slots r))
+          ~read:r ~write:(w, wbus) ~dst
+      | [ a; b2 ] ->
+        C.Builder.binary ~op:nd.Dfg.op b ~fu:node_fu.(nd.id)
+          ~a:(source_of a, bus_name (take_read slots r))
+          ~b:(source_of b2, bus_name (take_read slots r))
+          ~read:r ~write:(w, wbus) ~dst
+      | [] | _ :: _ :: _ :: _ ->
+        fail "node %d has unsupported arity" nd.id)
+    nodes;
+  List.iter
+    (fun (o, operand, s) ->
+      C.Builder.unary ~op:C.Ops.Pass b ~fu:"COPY"
+        ~a:(source_of operand, bus_name (take_read slots s))
+        ~read:s
+        ~write:(s + 1, bus_name (take_write slots (s + 1)))
+        ~dst:(C.Transfer.To_output o))
+    copy_sched;
+  let model = C.Builder.finish b in
+  { schedule = sched; model;
+    node_fu = Array.to_list (Array.mapi (fun i f -> (i, f)) node_fu);
+    node_reg = Array.to_list (Array.mapi (fun i r -> (i, r)) node_reg);
+    registers_used;
+    copy_steps = cs_max - main_steps }
+
+let pp_report ppf b =
+  Format.fprintf ppf
+    "@[<v>%s: %d ops in %d steps (+%d copy), %d registers, %d buses, units: %s@]"
+    b.schedule.Sched.dfg.Dfg.program.Ir.pname
+    (Array.length b.schedule.Sched.dfg.Dfg.nodes)
+    b.schedule.Sched.n_steps b.copy_steps b.registers_used
+    b.schedule.Sched.resources.Sched.buses
+    (String.concat ", "
+       (List.sort_uniq String.compare (List.map snd b.node_fu)))

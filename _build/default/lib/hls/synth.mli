@@ -1,0 +1,39 @@
+(** Binding and model generation: schedule -> clock-free RT model.
+
+    Performs the allocation steps the paper assumes upstream of its
+    subset (§4: "high level synthesis results are translated into our
+    subset and can then be simulated at a high level"):
+
+    - {b unit binding}: nodes map to numbered instances of their
+      class ([ALU0], [MULT1], ...), first-fit within each step;
+    - {b register allocation}: node results live from their write
+      step until their last consumer's read step; the left-edge
+      algorithm packs them into registers [r0..rN] (a value read and
+      a value written in the same step may share a register, because
+      reads happen at [ra] and latches at [cr]);
+    - {b literal pooling}: each distinct constant becomes a register
+      with that initial value;
+    - {b bus binding}: operand transfers get buses per read slot,
+      result transfers per write slot;
+    - {b output copies}: program outputs are copied to entity output
+      ports through a dedicated [COPY] unit in trailing steps (the
+      same trick the paper's IKS model uses for direct links).
+
+    The generated model is validated and conflict-free by
+    construction; {!Flow.run} checks it against the IR semantics. *)
+
+type binding = {
+  schedule : Sched.t;
+  model : Csrtl_core.Model.t;
+  node_fu : (int * string) list;  (** node -> unit instance name *)
+  node_reg : (int * string) list;  (** node -> result register *)
+  registers_used : int;
+  copy_steps : int;  (** trailing steps appended for output copies *)
+}
+
+val synthesize : ?reg_alloc:[ `Left_edge | `Naive ] -> Sched.t -> binding
+(** [`Left_edge] (default) packs values into shared registers;
+    [`Naive] gives every value its own register — the ablation
+    baseline quantifying what lifetime analysis saves. *)
+
+val pp_report : Format.formatter -> binding -> unit

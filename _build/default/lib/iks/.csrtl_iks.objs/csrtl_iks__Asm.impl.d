@@ -1,0 +1,1 @@
+lib/iks/asm.ml: Csrtl_core Datapath Fixed Hashtbl List Microcode Option

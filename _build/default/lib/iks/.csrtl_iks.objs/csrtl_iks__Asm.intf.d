@@ -1,0 +1,1 @@
+lib/iks/asm.mli: Csrtl_core Datapath Fixed Microcode

@@ -1,0 +1,1 @@
+lib/iks/cordic.ml: Array Fixed

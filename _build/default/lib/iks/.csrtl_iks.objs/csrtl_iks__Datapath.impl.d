@@ -1,0 +1,1 @@
+lib/iks/datapath.ml: Cordic Csrtl_core Fixed List Printf

@@ -1,0 +1,1 @@
+lib/iks/datapath.mli: Csrtl_core

@@ -1,0 +1,1 @@
+lib/iks/fixed.ml: Csrtl_core Float Printf

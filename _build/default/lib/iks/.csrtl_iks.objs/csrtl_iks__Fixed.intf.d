@@ -1,0 +1,1 @@
+lib/iks/fixed.mli:

@@ -1,0 +1,1 @@
+lib/iks/golden.ml: Cordic Fixed Float

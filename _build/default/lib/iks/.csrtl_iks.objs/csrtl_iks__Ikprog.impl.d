@@ -1,0 +1,1 @@
+lib/iks/ikprog.ml: Array Asm Cordic Csrtl_core Datapath Fixed Golden List Microcode Printf Translate

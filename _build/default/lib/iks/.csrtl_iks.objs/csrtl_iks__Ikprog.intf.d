@@ -1,0 +1,1 @@
+lib/iks/ikprog.mli: Csrtl_core Datapath Fixed Golden Microcode

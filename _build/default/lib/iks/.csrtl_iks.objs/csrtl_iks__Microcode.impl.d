@@ -1,0 +1,1 @@
+lib/iks/microcode.ml: Csrtl_core Datapath Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/iks/microcode.mli: Csrtl_core Datapath Format

@@ -1,0 +1,1 @@
+lib/iks/translate.ml: Csrtl_core Datapath List Microcode

@@ -1,0 +1,1 @@
+lib/iks/translate.mli: Csrtl_core Datapath Microcode

@@ -1,0 +1,106 @@
+module C = Csrtl_core
+
+type t = {
+  mutable next_addr : int;
+  mutable rev_instrs : Microcode.instr list;
+  values : (Datapath.loc, Fixed.t) Hashtbl.t;
+  mutable free_regs : Datapath.loc list;
+  mutable consts : (Fixed.t * Datapath.loc) list;
+  mutable next_const : int;
+  inputs : (string * Fixed.t) list;
+}
+
+exception Out_of_registers
+exception Out_of_constants
+
+let create ?(inputs = []) () =
+  { next_addr = 1; rev_instrs = []; values = Hashtbl.create 64;
+    free_regs = List.init 16 (fun i -> Datapath.R i);
+    consts = []; next_const = 0; inputs }
+
+let value t (loc : Datapath.loc) =
+  match loc with
+  | Datapath.In name ->
+    (* tracking is best-effort: generators of data-independent
+       programs (e.g. the workspace check) reference input ports
+       without supplying values *)
+    Option.value ~default:Fixed.zero (List.assoc_opt name t.inputs)
+  | _ ->
+    (match Hashtbl.find_opt t.values loc with
+     | Some v -> v
+     | None -> Fixed.zero)
+
+let const t v =
+  match List.assoc_opt v t.consts with
+  | Some loc -> loc
+  | None ->
+    if t.next_const >= 32 then raise Out_of_constants;
+    let loc = Datapath.M t.next_const in
+    t.next_const <- t.next_const + 1;
+    t.consts <- (v, loc) :: t.consts;
+    Hashtbl.replace t.values loc v;
+    loc
+
+let alloc t =
+  match t.free_regs with
+  | [] -> raise Out_of_registers
+  | loc :: rest ->
+    t.free_regs <- rest;
+    loc
+
+let free t loc = t.free_regs <- loc :: t.free_regs
+
+(* A result written at step [addr + latency] is latched at that
+   step's [cr] and readable from the following step on, so sequential
+   issues are spaced by latency + 1. *)
+let emit t (issues : Microcode.issue list) latency =
+  t.rev_instrs <- { Microcode.addr = t.next_addr; issues } :: t.rev_instrs;
+  t.next_addr <- t.next_addr + latency + 1
+
+let track t dst op args =
+  Hashtbl.replace t.values dst (C.Ops.eval op args)
+
+let op2 t ?dst unit_ op a b =
+  let dst = match dst with Some d -> d | None -> alloc t in
+  let va = value t a and vb = value t b in
+  emit t
+    [ Microcode.issue
+        ~a:(Microcode.reg ~route:Microcode.Bus_a a)
+        ~b:(Microcode.reg ~route:Microcode.Bus_b b)
+        ~dst ~wb:Microcode.Bus_a ~op unit_ ]
+    (Datapath.unit_latency unit_);
+  track t dst op [| va; vb |];
+  dst
+
+let op1 t ?dst unit_ op a =
+  let dst = match dst with Some d -> d | None -> alloc t in
+  let va = value t a in
+  emit t
+    [ Microcode.issue
+        ~a:(Microcode.reg ~route:Microcode.Bus_a a)
+        ~dst ~wb:Microcode.Bus_b ~op unit_ ]
+    (Datapath.unit_latency unit_);
+  track t dst op [| va |];
+  dst
+
+let op0 t ?dst unit_ op =
+  let dst = match dst with Some d -> d | None -> alloc t in
+  emit t
+    [ Microcode.issue ~dst ~wb:Microcode.Bus_a ~op unit_ ]
+    (Datapath.unit_latency unit_);
+  track t dst op [||];
+  dst
+
+let mov t ~src ~dst =
+  ignore (op1 t ~dst Datapath.COPY C.Ops.Pass src)
+
+let words t = List.length t.rev_instrs
+
+let finish t ~name =
+  let program =
+    { Microcode.pname = name; instrs = List.rev t.rev_instrs }
+  in
+  Microcode.check program;
+  let inputs = List.map (fun (n, v) -> (n, (v : Fixed.t))) t.inputs in
+  let reg_init = List.map (fun (v, loc) -> (loc, (v : Fixed.t))) t.consts in
+  (program, inputs, reg_init)

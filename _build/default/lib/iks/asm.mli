@@ -1,0 +1,70 @@
+(** Microprogram macro-assembler for the IKS datapath.
+
+    The generation side of the paper's §3 flow: where the authors
+    extracted transfers from the book's microcode listing, we
+    generate the microcode itself and let {!Translate} turn it into
+    transfers.  The assembler
+
+    - issues one operation per word, sequentially, spacing addresses
+      by the issuing unit's latency so results are always ready (the
+      microcode programmer's hazard discipline, automated);
+    - pools constants into the coefficient file M (initial values);
+    - allocates temporaries from the register file R with explicit
+      {!free};
+    - tracks the concrete value of every register as it would be
+      computed, so that data-dependent control decisions (CORDIC
+      rotation directions, division steps, Newton seeds) can be
+      resolved at generation time — the straight-line microcode for a
+      {e given} input, which is exactly the form the paper's extracted
+      transfer schedules have.  {!value} exposes the tracked values
+      and doubles as the expected result. *)
+
+type t
+
+exception Out_of_registers
+exception Out_of_constants
+
+val create : ?inputs:(string * Fixed.t) list -> unit -> t
+
+val const : t -> Fixed.t -> Datapath.loc
+(** Pool a constant into the M file. *)
+
+val alloc : t -> Datapath.loc
+(** A free R-file temporary. *)
+
+val free : t -> Datapath.loc -> unit
+
+val op2 :
+  t -> ?dst:Datapath.loc -> Datapath.unit_sel -> Csrtl_core.Ops.t ->
+  Datapath.loc -> Datapath.loc -> Datapath.loc
+(** Emit a binary issue (operands via buses A and B, result via bus
+    A); allocates the destination unless given.  Returns where the
+    result lives. *)
+
+val op1 :
+  t -> ?dst:Datapath.loc -> Datapath.unit_sel -> Csrtl_core.Ops.t ->
+  Datapath.loc -> Datapath.loc
+
+val op0 :
+  t -> ?dst:Datapath.loc -> Datapath.unit_sel -> Csrtl_core.Ops.t ->
+  Datapath.loc
+
+val mov : t -> src:Datapath.loc -> dst:Datapath.loc -> unit
+(** Register-to-register move through the COPY unit. *)
+
+val value : t -> Datapath.loc -> Fixed.t
+(** Tracked content (input ports included; inputs without a supplied
+    value read as zero — fine for data-independent generators, fatal
+    precision only matters to trace-resolved ones, which must supply
+    all inputs). *)
+
+val words : t -> int
+(** Instructions emitted so far. *)
+
+val finish :
+  t -> name:string ->
+  Microcode.program
+  * (string * Csrtl_core.Word.t) list
+  * (Datapath.loc * Csrtl_core.Word.t) list
+(** The program, the input-port drives, and the register initial
+    values (constant pool). *)

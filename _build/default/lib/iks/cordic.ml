@@ -1,0 +1,117 @@
+let iterations = 20
+
+let pi = Fixed.of_float (4.0 *. atan 1.0)
+
+let atan_table =
+  Array.init iterations (fun i ->
+      Fixed.of_float (atan (ldexp 1.0 (-i))))
+
+let gain =
+  let k = ref 1.0 in
+  for i = 0 to iterations - 1 do
+    k := !k *. sqrt (1.0 +. ldexp 1.0 (-2 * i))
+  done;
+  Fixed.of_float !k
+
+let inv_gain = Fixed.div Fixed.one gain
+
+let vector ~x ~y =
+  let x = ref x and y = ref y and z = ref Fixed.zero in
+  for i = 0 to iterations - 1 do
+    let dx = Fixed.asr_ !y i in
+    let dy = Fixed.asr_ !x i in
+    if Fixed.is_neg !y then begin
+      (* rotate counter-clockwise *)
+      x := Fixed.sub !x dx;
+      y := Fixed.add !y dy;
+      z := Fixed.sub !z atan_table.(i)
+    end
+    else begin
+      x := Fixed.add !x dx;
+      y := Fixed.sub !y dy;
+      z := Fixed.add !z atan_table.(i)
+    end
+  done;
+  (!x, !z)
+
+let rotate ~x ~y ~angle =
+  let x = ref x and y = ref y and z = ref angle in
+  for i = 0 to iterations - 1 do
+    let dx = Fixed.asr_ !y i in
+    let dy = Fixed.asr_ !x i in
+    if Fixed.is_neg !z then begin
+      x := Fixed.add !x dx;
+      y := Fixed.sub !y dy;
+      z := Fixed.add !z atan_table.(i)
+    end
+    else begin
+      x := Fixed.sub !x dx;
+      y := Fixed.add !y dy;
+      z := Fixed.sub !z atan_table.(i)
+    end
+  done;
+  (!x, !y)
+
+let atan2 ~y ~x =
+  if Fixed.signed x = 0 && Fixed.signed y = 0 then Fixed.zero
+  else if Fixed.is_neg x then begin
+    (* pre-rotate by pi: atan2 y x = atan2 (-y) (-x) +- pi *)
+    let _, a = vector ~x:(Fixed.neg x) ~y:(Fixed.neg y) in
+    if Fixed.is_neg y then Fixed.sub a pi else Fixed.add a pi
+  end
+  else
+    let _, a = vector ~x ~y in
+    a
+
+let magnitude ~x ~y =
+  let x = Fixed.abs_ x in
+  let m, _ = vector ~x ~y in
+  Fixed.mul m inv_gain
+
+let range_bits = 8
+
+let divide ~y ~x =
+  (* Linear vectoring: drive y to 0 by adding/subtracting x shifted;
+     the quotient accumulates the matching powers of two.  Iterations
+     start at -range_bits to cover quotients up to 2^range_bits. *)
+  let y = ref y and q = ref Fixed.zero in
+  for i = -range_bits to iterations - 1 do
+    let dx = if i >= 0 then Fixed.asr_ x i else Fixed.shl x (-i) in
+    let dq =
+      if i >= 0 then Fixed.asr_ Fixed.one i else Fixed.shl Fixed.one (-i)
+    in
+    if Fixed.is_neg !y then begin
+      y := Fixed.add !y dx;
+      q := Fixed.sub !q dq
+    end
+    else begin
+      y := Fixed.sub !y dx;
+      q := Fixed.add !q dq
+    end
+  done;
+  (* the loop overshoots by up to one last step; recenter *)
+  if Fixed.is_neg !y then Fixed.sub !q (Fixed.asr_ Fixed.one (iterations - 1))
+  else !q
+
+let newton_iterations = 6
+
+let sqrt_ v =
+  if Fixed.signed v <= 0 then Fixed.zero
+  else begin
+    (* seed: 2^(floor(log2 v)/2) in fixed point, then Newton *)
+    let s = Fixed.signed v in
+    let msb =
+      let rec go i = if s lsr i = 0 then i - 1 else go (i + 1) in
+      go 0
+    in
+    (* v ~ 2^(msb-16) in real terms; sqrt ~ 2^((msb-16)/2) *)
+    let e = (msb - Fixed.frac_bits) / 2 in
+    let x0 =
+      if e >= 0 then Fixed.shl Fixed.one e else Fixed.asr_ Fixed.one (-e)
+    in
+    let x = ref x0 in
+    for _ = 1 to newton_iterations do
+      x := Fixed.asr_ (Fixed.add !x (divide ~y:v ~x:!x)) 1
+    done;
+    !x
+  end

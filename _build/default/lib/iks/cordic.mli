@@ -1,0 +1,54 @@
+(** CORDIC — the IKS chip's angle engine (paper §3: "we have modeled
+    resources (called MACC ... and cordic core)").
+
+    Classic integer CORDIC over {!Fixed} Q16.16 values.  Angles are
+    radians in Q16.16.  Both modes are implemented with plain shifts,
+    adds and sign tests, so the microcode generator can replay the
+    exact operation sequence on the datapath. *)
+
+val iterations : int
+(** 20 — enough for ~1e-4 radian accuracy in Q16.16. *)
+
+val atan_table : Fixed.t array
+(** [atan (2^-i)] for each iteration, Q16.16 radians. *)
+
+val gain : Fixed.t
+(** The CORDIC gain K = prod sqrt(1 + 2^-2i) for {!iterations}. *)
+
+val inv_gain : Fixed.t
+(** 1/K, used to compensate magnitudes. *)
+
+val vector : x:Fixed.t -> y:Fixed.t -> Fixed.t * Fixed.t
+(** Vectoring mode: rotate [(x, y)] onto the positive x axis.
+    Returns [(magnitude, angle)] = [(K * sqrt(x^2+y^2), atan2 y x)].
+    [x] must be positive (the callers pre-rotate; the golden model's
+    {!atan2} handles all quadrants). *)
+
+val rotate : x:Fixed.t -> y:Fixed.t -> angle:Fixed.t -> Fixed.t * Fixed.t
+(** Rotation mode: rotate [(x, y)] by [angle]; results carry the gain
+    K. *)
+
+val atan2 : y:Fixed.t -> x:Fixed.t -> Fixed.t
+(** Full-quadrant atan2 via pre-rotation + {!vector}. *)
+
+val magnitude : x:Fixed.t -> y:Fixed.t -> Fixed.t
+(** sqrt(x^2 + y^2), gain-compensated. *)
+
+val divide : y:Fixed.t -> x:Fixed.t -> Fixed.t
+(** Linear-mode vectoring: [y / x] for [x > 0], |y/x| < 2^{!range_bits}.
+    The IKS chip has no divider; quotients are computed by the CORDIC
+    core in linear mode, shift-add iterations only, which is what the
+    microcode generator replays. *)
+
+val range_bits : int
+(** Pre-scaling iterations of {!divide}: quotients up to 2^8. *)
+
+val newton_iterations : int
+(** Newton steps in {!sqrt_} (6). *)
+
+val sqrt_ : Fixed.t -> Fixed.t
+(** Non-negative square root by Newton iteration with a shift-based
+    seed; divisions via {!divide} so the datapath replay is
+    bit-exact. *)
+
+val pi : Fixed.t

@@ -1,0 +1,84 @@
+module C = Csrtl_core
+
+type loc =
+  | P | Z | Y | X | F
+  | R of int
+  | J of int
+  | M of int
+  | In of string
+
+type unit_sel = MULT | ZADD | YADD | XADD | COPY | FLAG
+
+let loc_name = function
+  | P -> "P"
+  | Z -> "Z"
+  | Y -> "Y"
+  | X -> "X"
+  | F -> "F"
+  | R i -> Printf.sprintf "R%d" i
+  | J i -> Printf.sprintf "J%d" i
+  | M i -> Printf.sprintf "M%d" i
+  | In s -> s
+
+let unit_name = function
+  | MULT -> "MULT"
+  | ZADD -> "ZADD"
+  | YADD -> "YADD"
+  | XADD -> "XADD"
+  | COPY -> "COPY"
+  | FLAG -> "FLAG"
+
+let unit_latency = function
+  | MULT -> 2
+  | ZADD | YADD | XADD | COPY | FLAG -> 1
+
+let shift_ops =
+  List.concat
+    (List.init (Cordic.range_bits + 1) (fun i ->
+         if i = 0 then []
+         else [ C.Ops.Shli i ]))
+  @ List.init Cordic.iterations (fun i -> C.Ops.Asri i)
+
+let adder_ops =
+  [ C.Ops.Add; C.Ops.Sub; C.Ops.Pass; C.Ops.Neg; C.Ops.Abs; C.Ops.Const 0;
+    C.Ops.Lts; C.Ops.Band ]
+  @ shift_ops
+
+let unit_ops = function
+  | MULT -> [ C.Ops.Mul; C.Ops.Mulfx Fixed.frac_bits ]
+  | ZADD | YADD | XADD -> adder_ops
+  | COPY -> [ C.Ops.Pass ]
+  | FLAG -> [ C.Ops.Const 0; C.Ops.Const 1 ]
+
+let bus_a = "BusA"
+let bus_b = "BusB"
+
+let all_register_locs =
+  [ P; Z; Y; X; F ]
+  @ List.init 16 (fun i -> R i)
+  @ List.init 6 (fun i -> J i)
+  @ List.init 32 (fun i -> M i)
+
+let base_builder ?(inputs = []) ?(reg_init = []) ~name ~cs_max () =
+  let b = C.Builder.create ~name ~cs_max () in
+  List.iter
+    (fun loc ->
+      let init = List.assoc_opt loc reg_init in
+      C.Builder.reg b ?init (loc_name loc))
+    all_register_locs;
+  List.iter
+    (fun (port, v) -> C.Builder.input b ~value:v port)
+    inputs;
+  C.Builder.buses b [ bus_a; bus_b ];
+  List.iter
+    (fun u ->
+      C.Builder.unit_ b ~latency:(unit_latency u) ~ops:(unit_ops u)
+        (unit_name u))
+    [ MULT; ZADD; YADD; XADD; COPY; FLAG ];
+  b
+
+let direct_operand_bus ~src u ~port =
+  Printf.sprintf "%s_to_%s%d" (loc_name src) (unit_name u) port
+
+let direct_result_bus u ~dst =
+  Printf.sprintf "%s_to_%s" (unit_name u) (loc_name dst)

@@ -1,0 +1,50 @@
+(** The IKS chip's RT structure (paper Fig. 3).
+
+    Resources: the dual-port register file R (16 words), coefficient
+    files J (6) and M (8), working registers P, Z, Y, X and the flag
+    F; a 2-stage pipelined multiplier; three single-cycle multi-
+    operation adders (Z-ADD, Y-ADD, X-ADD); buses A and B.  Direct
+    links (e.g. register P to Z-ADD's right port, Z to the R file)
+    are modeled as extra buses and a copy module, following the
+    paper: "it is better to model more resources than to extend the
+    VHDL subset".
+
+    One sizing liberty, recorded in DESIGN.md: the coefficient file M
+    holds 32 words here (the CORDIC arctangent table and the other
+    constants the inverse-kinematics microprogram needs); the paper
+    does not state its size and the original book is unavailable. *)
+
+type loc =
+  | P | Z | Y | X | F
+  | R of int  (** 0..15 *)
+  | J of int  (** 0..5 *)
+  | M of int  (** 0..31 *)
+  | In of string  (** entity input port *)
+
+type unit_sel = MULT | ZADD | YADD | XADD | COPY | FLAG
+
+val loc_name : loc -> string
+val unit_name : unit_sel -> string
+val unit_latency : unit_sel -> int
+val unit_ops : unit_sel -> Csrtl_core.Ops.t list
+(** Adders: add/sub/pass/neg/abs/const-zero plus immediate shifts (the paper's
+    [Rshift(x2, i)]); MULT: [mul] and fixed-point [mulfx]; COPY:
+    [pass]; FLAG: [const 0], [const 1]. *)
+
+val bus_a : string
+val bus_b : string
+
+val all_register_locs : loc list
+
+val base_builder :
+  ?inputs:(string * Csrtl_core.Word.t) list ->
+  ?reg_init:(loc * Csrtl_core.Word.t) list ->
+  name:string -> cs_max:int -> unit -> Csrtl_core.Builder.t
+(** Declare every Fig. 3 resource (registers, units, buses A/B) on a
+    fresh builder; transfers are added by {!Translate}. *)
+
+val direct_operand_bus : src:loc -> unit_sel -> port:int -> string
+(** Canonical name of the dedicated bus modeling a direct operand
+    link. *)
+
+val direct_result_bus : unit_sel -> dst:loc -> string

@@ -1,0 +1,36 @@
+module W = Csrtl_core.Word
+
+type t = int
+
+let frac_bits = 16
+let one = 1 lsl frac_bits
+let zero = 0
+let of_int n = W.mask (n lsl frac_bits)
+
+let of_float f =
+  W.mask (int_of_float (Float.round (f *. float_of_int one)))
+
+let to_float v = float_of_int (W.to_signed v) /. float_of_int one
+
+let add a b = W.mask (W.to_signed a + W.to_signed b)
+let sub a b = W.mask (W.to_signed a - W.to_signed b)
+let neg a = W.mask (- W.to_signed a)
+
+let mul a b =
+  (* The datapath multiplier produces the full signed product and the
+     shifter renormalizes; OCaml's 63-bit ints hold the intermediate
+     exactly. *)
+  W.mask ((W.to_signed a * W.to_signed b) asr frac_bits)
+
+let div a b =
+  let sb = W.to_signed b in
+  if sb = 0 then raise Division_by_zero
+  else W.mask (W.to_signed a * one / sb)
+
+let asr_ a n = W.mask (W.to_signed a asr n)
+let shl a n = W.mask (W.to_signed a lsl n)
+let lt a b = W.to_signed a < W.to_signed b
+let is_neg a = W.to_signed a < 0
+let abs_ a = W.mask (abs (W.to_signed a))
+let signed = W.to_signed
+let to_string v = Printf.sprintf "%.5f" (to_float v)

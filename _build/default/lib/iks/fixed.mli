@@ -1,0 +1,43 @@
+(** Q16.16 fixed-point arithmetic on 32-bit words.
+
+    The IKS chip computes in fixed point; this module is the numeric
+    substrate shared by the golden model and the microcode
+    generator.  Values are 32-bit two's-complement words as stored in
+    model registers (naturals in {!Csrtl_core.Word} terms); all
+    operations mask back into the word domain, so a golden-model
+    computation and the same operation sequence on the datapath agree
+    bit-for-bit. *)
+
+type t = int
+(** A 32-bit word (non-negative int, two's-complement reading). *)
+
+val frac_bits : int
+(** 16. *)
+
+val one : t
+val zero : t
+val of_int : int -> t
+val of_float : float -> t
+val to_float : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** Fixed-point product: [(a * b) >> frac_bits], computed exactly the
+    way the datapath does it — full product then arithmetic shift. *)
+
+val div : t -> t -> t
+(** Fixed-point quotient [(a << frac_bits) / b], truncating toward
+    zero.  Raises [Division_by_zero] when [b] is 0. *)
+
+val asr_ : t -> int -> t
+val shl : t -> int -> t
+
+val lt : t -> t -> bool
+(** Signed comparison. *)
+
+val is_neg : t -> bool
+val abs_ : t -> t
+val signed : t -> int
+val to_string : t -> string

@@ -1,0 +1,70 @@
+type solution = {
+  theta1 : Fixed.t;
+  theta2 : Fixed.t;
+  reachable : bool;
+}
+
+let solve ~l1 ~l2 ~px ~py =
+  let open Fixed in
+  let px2 = mul px px in
+  let py2 = mul py py in
+  let l12 = mul l1 l1 in
+  let l22 = mul l2 l2 in
+  let num = sub (sub (add px2 py2) l12) l22 in
+  let den = shl (mul l1 l2) 1 in
+  let d = Cordic.divide ~y:num ~x:den in
+  let one_minus_d2 = sub one (mul d d) in
+  if Fixed.is_neg one_minus_d2 then
+    { theta1 = zero; theta2 = zero; reachable = false }
+  else begin
+    let s = Cordic.sqrt_ one_minus_d2 in
+    let theta2 = Cordic.atan2 ~y:s ~x:d in
+    let sin2 = s in
+    let cos2 = d in
+    let wx = add l1 (mul l2 cos2) in
+    let wy = mul l2 sin2 in
+    let theta1 =
+      sub (Cordic.atan2 ~y:py ~x:px) (Cordic.atan2 ~y:wy ~x:wx)
+    in
+    { theta1; theta2; reachable = true }
+  end
+
+let solve_float ~l1 ~l2 ~px ~py =
+  let d =
+    ((px *. px) +. (py *. py) -. (l1 *. l1) -. (l2 *. l2))
+    /. (2.0 *. l1 *. l2)
+  in
+  if Float.abs d > 1.0 then None
+  else begin
+    let t2 = atan2 (sqrt (1.0 -. (d *. d))) d in
+    let t1 =
+      atan2 py px -. atan2 (l2 *. sin t2) (l1 +. (l2 *. cos t2))
+    in
+    Some (t1, t2)
+  end
+
+let forward ~l1 ~l2 ~theta1 ~theta2 =
+  let x = (l1 *. cos theta1) +. (l2 *. cos (theta1 +. theta2)) in
+  let y = (l1 *. sin theta1) +. (l2 *. sin (theta1 +. theta2)) in
+  (x, y)
+
+let forward_fixed ~l1 ~l2 ~theta1 ~theta2 =
+  let open Fixed in
+  (* unit vectors from rotation mode, gain-compensated via the seed *)
+  let cos_sin angle =
+    Cordic.rotate ~x:Cordic.inv_gain ~y:Fixed.zero ~angle
+  in
+  let c1, s1 = cos_sin theta1 in
+  let c12, s12 = cos_sin (add theta1 theta2) in
+  let x = add (mul l1 c1) (mul l2 c12) in
+  let y = add (mul l1 s1) (mul l2 s12) in
+  (x, y)
+
+let in_workspace ~l1 ~l2 ~px ~py =
+  let open Fixed in
+  let r2 = add (mul px px) (mul py py) in
+  let inner = sub l1 l2 in
+  let lo = mul inner inner in
+  let outer = add l1 l2 in
+  let hi = mul outer outer in
+  (not (lt r2 lo)) && not (lt hi r2)

@@ -1,0 +1,44 @@
+(** Algorithmic-level golden model of the inverse kinematics solution.
+
+    The paper verifies the abstract-RT IKS model "against a
+    description at the algorithmic level" (§4).  This module is that
+    algorithmic description: closed-form inverse kinematics of a
+    2-link planar arm in Q16.16 fixed point, built from the exact
+    {!Fixed}/{!Cordic} operation repertoire the datapath offers —
+    so the microcode replay ({!Ikprog}) matches it bit-for-bit.
+    [solve_float] is an independent floating-point reference used to
+    bound the fixed-point error in the tests. *)
+
+type solution = {
+  theta1 : Fixed.t;  (** shoulder angle, Q16.16 radians *)
+  theta2 : Fixed.t;  (** elbow angle *)
+  reachable : bool;
+}
+
+val solve :
+  l1:Fixed.t -> l2:Fixed.t -> px:Fixed.t -> py:Fixed.t -> solution
+(** Elbow-down solution: theta2 = atan2(+sqrt(1 - D^2), D) with
+    D = (px^2 + py^2 - l1^2 - l2^2) / (2 l1 l2);
+    theta1 = atan2 py px - atan2 (l2 sin t2) (l1 + l2 cos t2).
+    [reachable] is false when |D| > 1 (target outside the annulus);
+    the angles are then meaningless. *)
+
+val solve_float :
+  l1:float -> l2:float -> px:float -> py:float -> (float * float) option
+
+val forward :
+  l1:float -> l2:float -> theta1:float -> theta2:float -> float * float
+(** Forward kinematics, for round-trip checking. *)
+
+val forward_fixed :
+  l1:Fixed.t -> l2:Fixed.t -> theta1:Fixed.t -> theta2:Fixed.t ->
+  Fixed.t * Fixed.t
+(** Fixed-point forward kinematics built from the datapath's operation
+    repertoire (CORDIC rotation mode for the trigonometry), mirrored
+    operation-for-operation by {!Ikprog.build_fk}. *)
+
+val in_workspace :
+  l1:Fixed.t -> l2:Fixed.t -> px:Fixed.t -> py:Fixed.t -> bool
+(** Annulus check (l1-l2)^2 <= px^2+py^2 <= (l1+l2)^2 — the fully
+    data-independent part of the IKS computation ({!Ikprog.build_workspace}
+    generates static microcode for it). *)

@@ -1,0 +1,364 @@
+module C = Csrtl_core
+module D = Datapath
+
+type t = {
+  program : Microcode.program;
+  inputs : (string * C.Word.t) list;
+  reg_init : (Datapath.loc * C.Word.t) list;
+  expected : Golden.solution;
+}
+
+let theta1_loc = D.J 0
+let theta2_loc = D.J 1
+let flag_loc = D.F
+
+let shift_op i =
+  if i >= 0 then C.Ops.Asri i else C.Ops.Shli (-i)
+
+(* Quotient y/x as a CORDIC linear-vectoring loop (cf. Cordic.divide):
+   per iteration, shift x and 1 by the iteration index, then add or
+   subtract depending on the sign of the running y. *)
+let emit_divide a ~y ~x =
+  let one_c = Asm.const a Fixed.one in
+  let yw = Asm.op1 a D.COPY C.Ops.Pass y in
+  let q = Asm.op0 a D.ZADD (C.Ops.Const 0) in
+  let dx = Asm.alloc a in
+  let dq = Asm.alloc a in
+  for i = -Cordic.range_bits to Cordic.iterations - 1 do
+    ignore (Asm.op1 a ~dst:dx D.XADD (shift_op i) x);
+    ignore (Asm.op1 a ~dst:dq D.XADD (shift_op i) one_c);
+    if Fixed.is_neg (Asm.value a yw) then begin
+      ignore (Asm.op2 a ~dst:yw D.ZADD C.Ops.Add yw dx);
+      ignore (Asm.op2 a ~dst:q D.YADD C.Ops.Sub q dq)
+    end
+    else begin
+      ignore (Asm.op2 a ~dst:yw D.ZADD C.Ops.Sub yw dx);
+      ignore (Asm.op2 a ~dst:q D.YADD C.Ops.Add q dq)
+    end
+  done;
+  if Fixed.is_neg (Asm.value a yw) then begin
+    ignore
+      (Asm.op1 a ~dst:dq D.XADD (C.Ops.Asri (Cordic.iterations - 1)) one_c);
+    ignore (Asm.op2 a ~dst:q D.YADD C.Ops.Sub q dq)
+  end;
+  Asm.free a dx;
+  Asm.free a dq;
+  Asm.free a yw;
+  q
+
+(* Newton square root mirroring Cordic.sqrt_: shift-based seed from
+   the tracked magnitude, then x <- (x + v/x) / 2. *)
+let emit_sqrt a v =
+  let one_c = Asm.const a Fixed.one in
+  let vv = Fixed.signed (Asm.value a v) in
+  if vv <= 0 then Asm.op0 a D.ZADD (C.Ops.Const 0)
+  else begin
+    let msb =
+      let rec go i = if vv lsr i = 0 then i - 1 else go (i + 1) in
+      go 0
+    in
+    let e = (msb - Fixed.frac_bits) / 2 in
+    let x = Asm.op1 a D.XADD (shift_op (-e)) one_c in
+    for _ = 1 to Cordic.newton_iterations do
+      let d = emit_divide a ~y:v ~x in
+      let s = Asm.op2 a D.ZADD C.Ops.Add x d in
+      ignore (Asm.op1 a ~dst:x D.XADD (C.Ops.Asri 1) s);
+      Asm.free a d;
+      Asm.free a s
+    done;
+    x
+  end
+
+(* Circular vectoring mirroring Cordic.vector; returns the angle
+   accumulator (the magnitude in x is freed). *)
+let emit_vector_angle a ~x ~y =
+  let xw = Asm.op1 a D.COPY C.Ops.Pass x in
+  let yw = Asm.op1 a D.COPY C.Ops.Pass y in
+  let z = Asm.op0 a D.ZADD (C.Ops.Const 0) in
+  let dx = Asm.alloc a in
+  let dy = Asm.alloc a in
+  for i = 0 to Cordic.iterations - 1 do
+    let at = Asm.const a Cordic.atan_table.(i) in
+    ignore (Asm.op1 a ~dst:dx D.XADD (C.Ops.Asri i) yw);
+    ignore (Asm.op1 a ~dst:dy D.XADD (C.Ops.Asri i) xw);
+    if Fixed.is_neg (Asm.value a yw) then begin
+      ignore (Asm.op2 a ~dst:xw D.ZADD C.Ops.Sub xw dx);
+      ignore (Asm.op2 a ~dst:yw D.YADD C.Ops.Add yw dy);
+      ignore (Asm.op2 a ~dst:z D.ZADD C.Ops.Sub z at)
+    end
+    else begin
+      ignore (Asm.op2 a ~dst:xw D.ZADD C.Ops.Add xw dx);
+      ignore (Asm.op2 a ~dst:yw D.YADD C.Ops.Sub yw dy);
+      ignore (Asm.op2 a ~dst:z D.ZADD C.Ops.Add z at)
+    end
+  done;
+  Asm.free a dx;
+  Asm.free a dy;
+  Asm.free a xw;
+  Asm.free a yw;
+  z
+
+(* Full-quadrant atan2 mirroring Cordic.atan2. *)
+let emit_atan2 a ~y ~x =
+  let pi_c = Asm.const a Cordic.pi in
+  let vx = Asm.value a x and vy = Asm.value a y in
+  if Fixed.signed vx = 0 && Fixed.signed vy = 0 then
+    Asm.op0 a D.ZADD (C.Ops.Const 0)
+  else if Fixed.is_neg vx then begin
+    let nx = Asm.op1 a D.YADD C.Ops.Neg x in
+    let ny = Asm.op1 a D.YADD C.Ops.Neg y in
+    let z = emit_vector_angle a ~x:nx ~y:ny in
+    Asm.free a nx;
+    Asm.free a ny;
+    let r =
+      if Fixed.is_neg vy then Asm.op2 a D.ZADD C.Ops.Sub z pi_c
+      else Asm.op2 a D.ZADD C.Ops.Add z pi_c
+    in
+    Asm.free a z;
+    r
+  end
+  else emit_vector_angle a ~x ~y
+
+let build ~l1 ~l2 ~px ~py =
+  let expected = Golden.solve ~l1 ~l2 ~px ~py in
+  let a =
+    Asm.create
+      ~inputs:[ ("L1", l1); ("L2", l2); ("PX", px); ("PY", py) ]
+      ()
+  in
+  let inl1 = D.In "L1" and inl2 = D.In "L2" in
+  let inpx = D.In "PX" and inpy = D.In "PY" in
+  let one_c = Asm.const a Fixed.one in
+  let mulf x y = Asm.op2 a D.MULT (C.Ops.Mulfx Fixed.frac_bits) x y in
+  let px2 = mulf inpx inpx in
+  let py2 = mulf inpy inpy in
+  let l12 = mulf inl1 inl1 in
+  let l22 = mulf inl2 inl2 in
+  let sum = Asm.op2 a D.ZADD C.Ops.Add px2 py2 in
+  Asm.free a px2;
+  Asm.free a py2;
+  let t = Asm.op2 a D.YADD C.Ops.Sub sum l12 in
+  Asm.free a sum;
+  Asm.free a l12;
+  let num = Asm.op2 a D.YADD C.Ops.Sub t l22 in
+  Asm.free a t;
+  Asm.free a l22;
+  let l1l2 = mulf inl1 inl2 in
+  let den = Asm.op1 a D.XADD (C.Ops.Shli 1) l1l2 in
+  Asm.free a l1l2;
+  let d = emit_divide a ~y:num ~x:den in
+  Asm.free a num;
+  Asm.free a den;
+  let d2 = mulf d d in
+  let omd = Asm.op2 a D.YADD C.Ops.Sub one_c d2 in
+  Asm.free a d2;
+  if Fixed.is_neg (Asm.value a omd) then begin
+    (* target out of reach: zero the results, clear the flag *)
+    ignore (Asm.op0 a ~dst:theta1_loc D.ZADD (C.Ops.Const 0));
+    ignore (Asm.op0 a ~dst:theta2_loc D.YADD (C.Ops.Const 0));
+    ignore (Asm.op0 a ~dst:flag_loc D.FLAG (C.Ops.Const 0))
+  end
+  else begin
+    let s = emit_sqrt a omd in
+    let theta2 = emit_atan2 a ~y:s ~x:d in
+    let l2cos = mulf inl2 d in
+    let wx = Asm.op2 a D.ZADD C.Ops.Add inl1 l2cos in
+    Asm.free a l2cos;
+    let wy = mulf inl2 s in
+    Asm.free a s;
+    Asm.free a d;
+    let t1a = emit_atan2 a ~y:inpy ~x:inpx in
+    let t1b = emit_atan2 a ~y:wy ~x:wx in
+    Asm.free a wx;
+    Asm.free a wy;
+    let theta1 = Asm.op2 a D.YADD C.Ops.Sub t1a t1b in
+    Asm.free a t1a;
+    Asm.free a t1b;
+    Asm.mov a ~src:theta1 ~dst:theta1_loc;
+    Asm.mov a ~src:theta2 ~dst:theta2_loc;
+    Asm.free a theta1;
+    Asm.free a theta2;
+    ignore (Asm.op0 a ~dst:flag_loc D.FLAG (C.Ops.Const 1))
+  end;
+  Asm.free a omd;
+  let program, inputs, reg_init = Asm.finish a ~name:"iks_ik" in
+  { program; inputs; reg_init; expected }
+
+let run t =
+  Translate.run ~inputs:t.inputs ~reg_init:t.reg_init t.program
+
+let solve_on_datapath ~l1 ~l2 ~px ~py =
+  let t = build ~l1 ~l2 ~px ~py in
+  let obs = run t in
+  { Golden.theta1 = Translate.final_loc obs theta1_loc;
+    theta2 = Translate.final_loc obs theta2_loc;
+    reachable = C.Word.equal (Translate.final_loc obs flag_loc) C.Word.one }
+
+(* Rotation-mode CORDIC mirroring Cordic.rotate: starts from the
+   gain-compensated unit vector, returns (cos, sin) of the angle. *)
+let emit_cos_sin a ~angle =
+  let invk = Asm.const a Cordic.inv_gain in
+  let xw = Asm.op1 a D.COPY C.Ops.Pass invk in
+  let yw = Asm.op0 a D.YADD (C.Ops.Const 0) in
+  let zw = Asm.op1 a D.COPY C.Ops.Pass angle in
+  let dx = Asm.alloc a in
+  let dy = Asm.alloc a in
+  for i = 0 to Cordic.iterations - 1 do
+    let at = Asm.const a Cordic.atan_table.(i) in
+    ignore (Asm.op1 a ~dst:dx D.XADD (C.Ops.Asri i) yw);
+    ignore (Asm.op1 a ~dst:dy D.XADD (C.Ops.Asri i) xw);
+    if Fixed.is_neg (Asm.value a zw) then begin
+      ignore (Asm.op2 a ~dst:xw D.ZADD C.Ops.Add xw dx);
+      ignore (Asm.op2 a ~dst:yw D.YADD C.Ops.Sub yw dy);
+      ignore (Asm.op2 a ~dst:zw D.ZADD C.Ops.Add zw at)
+    end
+    else begin
+      ignore (Asm.op2 a ~dst:xw D.ZADD C.Ops.Sub xw dx);
+      ignore (Asm.op2 a ~dst:yw D.YADD C.Ops.Add yw dy);
+      ignore (Asm.op2 a ~dst:zw D.ZADD C.Ops.Sub zw at)
+    end
+  done;
+  Asm.free a dx;
+  Asm.free a dy;
+  Asm.free a zw;
+  (xw, yw)
+
+let build_fk ~l1 ~l2 ~theta1 ~theta2 =
+  let fx, fy = Golden.forward_fixed ~l1 ~l2 ~theta1 ~theta2 in
+  let a =
+    Asm.create
+      ~inputs:[ ("L1", l1); ("L2", l2); ("TH1", theta1); ("TH2", theta2) ]
+      ()
+  in
+  let mulf x y = Asm.op2 a D.MULT (C.Ops.Mulfx Fixed.frac_bits) x y in
+  let th1 = D.In "TH1" and th2 = D.In "TH2" in
+  let th12 = Asm.op2 a D.ZADD C.Ops.Add th1 th2 in
+  let c1, s1 = emit_cos_sin a ~angle:th1 in
+  let c12, s12 = emit_cos_sin a ~angle:th12 in
+  Asm.free a th12;
+  let xa = mulf (D.In "L1") c1 in
+  let xb = mulf (D.In "L2") c12 in
+  Asm.free a c1;
+  Asm.free a c12;
+  let x = Asm.op2 a D.ZADD C.Ops.Add xa xb in
+  Asm.free a xa;
+  Asm.free a xb;
+  let ya = mulf (D.In "L1") s1 in
+  let yb = mulf (D.In "L2") s12 in
+  Asm.free a s1;
+  Asm.free a s12;
+  let y = Asm.op2 a D.YADD C.Ops.Add ya yb in
+  Asm.free a ya;
+  Asm.free a yb;
+  Asm.mov a ~src:x ~dst:theta1_loc;
+  Asm.mov a ~src:y ~dst:theta2_loc;
+  Asm.free a x;
+  Asm.free a y;
+  ignore (Asm.op0 a ~dst:flag_loc D.FLAG (C.Ops.Const 1));
+  let program, inputs, reg_init = Asm.finish a ~name:"iks_fk" in
+  { program; inputs; reg_init;
+    expected = { Golden.theta1 = fx; theta2 = fy; reachable = true } }
+
+let forward_on_datapath ~l1 ~l2 ~theta1 ~theta2 =
+  let t = build_fk ~l1 ~l2 ~theta1 ~theta2 in
+  let obs = run t in
+  (Translate.final_loc obs theta1_loc, Translate.final_loc obs theta2_loc)
+
+(* The annulus test needs no data-dependent decisions at all: the same
+   microcode words run for every input, like the paper's extracted
+   schedules. *)
+let build_workspace () =
+  let a = Asm.create ~inputs:[] () in
+  let mulf x y = Asm.op2 a D.MULT (C.Ops.Mulfx Fixed.frac_bits) x y in
+  let l1 = D.In "L1" and l2 = D.In "L2" in
+  let px = D.In "PX" and py = D.In "PY" in
+  let px2 = mulf px px in
+  let py2 = mulf py py in
+  let r2 = Asm.op2 a D.ZADD C.Ops.Add px2 py2 in
+  Asm.free a px2;
+  Asm.free a py2;
+  let inner = Asm.op2 a D.YADD C.Ops.Sub l1 l2 in
+  let lo = mulf inner inner in
+  Asm.free a inner;
+  let outer = Asm.op2 a D.YADD C.Ops.Add l1 l2 in
+  let hi = mulf outer outer in
+  Asm.free a outer;
+  (* in = (not r2 < lo) and (not hi < r2) = (1 - (r2<lo)) * (1 - (hi<r2)) *)
+  let below = Asm.op2 a D.XADD C.Ops.Lts r2 lo in
+  let above = Asm.op2 a D.XADD C.Ops.Lts hi r2 in
+  Asm.free a r2;
+  Asm.free a lo;
+  Asm.free a hi;
+  let one_c = Asm.const a (C.Word.nat 1) in
+  let not_below = Asm.op2 a D.ZADD C.Ops.Sub one_c below in
+  let not_above = Asm.op2 a D.YADD C.Ops.Sub one_c above in
+  Asm.free a below;
+  Asm.free a above;
+  let inside = Asm.op2 a D.XADD C.Ops.Band not_below not_above in
+  Asm.free a not_below;
+  Asm.free a not_above;
+  Asm.mov a ~src:inside ~dst:flag_loc;
+  Asm.free a inside;
+  let program, _, reg_init = Asm.finish a ~name:"iks_workspace" in
+  (program, reg_init)
+
+let workspace_on_datapath ~l1 ~l2 ~px ~py =
+  let program, reg_init = build_workspace () in
+  let obs =
+    Translate.run
+      ~inputs:[ ("L1", l1); ("L2", l2); ("PX", px); ("PY", py) ]
+      ~reg_init program
+  in
+  C.Word.equal (Translate.final_loc obs flag_loc) C.Word.one
+
+(* FIR dot product: the datapath's bread-and-butter DSP use.  The
+   coefficients live in the constant pool; samples arrive as input
+   ports X0..Xn-1. *)
+let build_fir ~coeffs ~xs =
+  if List.length coeffs <> List.length xs then
+    invalid_arg "Ikprog.build_fir: coefficient/sample count mismatch";
+  let inputs =
+    List.mapi (fun i x -> (Printf.sprintf "X%d" i, (x : Fixed.t))) xs
+  in
+  let a = Asm.create ~inputs () in
+  let mulf x y = Asm.op2 a D.MULT (C.Ops.Mulfx Fixed.frac_bits) x y in
+  let acc =
+    List.mapi
+      (fun i c ->
+        let cl = Asm.const a c in
+        (i, cl))
+      coeffs
+    |> List.fold_left
+         (fun acc (i, cl) ->
+           let p = mulf (D.In (Printf.sprintf "X%d" i)) cl in
+           match acc with
+           | None ->
+             Some p
+           | Some sum ->
+             let s = Asm.op2 a D.ZADD C.Ops.Add sum p in
+             Asm.free a sum;
+             Asm.free a p;
+             Some s)
+         None
+  in
+  let expected_value =
+    List.fold_left2
+      (fun s c x -> Fixed.add s (Fixed.mul c x))
+      Fixed.zero coeffs xs
+  in
+  (match acc with
+   | Some sum ->
+     Asm.mov a ~src:sum ~dst:theta1_loc;
+     Asm.free a sum
+   | None -> ignore (Asm.op0 a ~dst:theta1_loc D.ZADD (C.Ops.Const 0)));
+  ignore (Asm.op0 a ~dst:flag_loc D.FLAG (C.Ops.Const 1));
+  let program, inputs, reg_init = Asm.finish a ~name:"iks_fir" in
+  { program; inputs; reg_init;
+    expected =
+      { Golden.theta1 = expected_value; theta2 = Fixed.zero;
+        reachable = true } }
+
+let fir_on_datapath ~coeffs ~xs =
+  let t = build_fir ~coeffs ~xs in
+  let obs = run t in
+  Translate.final_loc obs theta1_loc

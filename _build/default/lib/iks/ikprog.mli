@@ -1,0 +1,63 @@
+(** The inverse-kinematics microprogram.
+
+    Generates IKS microcode computing the 2-link planar-arm inverse
+    kinematics for a given target, mirroring {!Golden.solve}
+    operation by operation (products on MULT, sums/shifts on the
+    three adders, quotients and angles as CORDIC shift-add loops).
+    Data-dependent rotation directions are resolved at generation
+    time from the tracked values ({!Asm}), producing the straight-
+    line transfer schedule the paper's §3 works with; the golden
+    model and the datapath run therefore agree {e bit-for-bit},
+    which the test suite asserts.
+
+    Results land in the J file: J0 = theta1, J1 = theta2, F = 1 when
+    the target is reachable (F = 0 and zero angles otherwise). *)
+
+type t = {
+  program : Microcode.program;
+  inputs : (string * Csrtl_core.Word.t) list;  (** L1 L2 PX PY drives *)
+  reg_init : (Datapath.loc * Csrtl_core.Word.t) list;  (** constant pool *)
+  expected : Golden.solution;  (** golden-model result *)
+}
+
+val build : l1:Fixed.t -> l2:Fixed.t -> px:Fixed.t -> py:Fixed.t -> t
+
+val theta1_loc : Datapath.loc
+val theta2_loc : Datapath.loc
+val flag_loc : Datapath.loc
+
+val run : t -> Csrtl_core.Observation.t
+(** Translate to a model and execute with the interpreter. *)
+
+val solve_on_datapath :
+  l1:Fixed.t -> l2:Fixed.t -> px:Fixed.t -> py:Fixed.t -> Golden.solution
+(** End to end: generate, translate, simulate, read the J file. *)
+
+val build_fk :
+  l1:Fixed.t -> l2:Fixed.t -> theta1:Fixed.t -> theta2:Fixed.t -> t
+(** Forward kinematics: rotation-mode CORDIC for cos/sin, mirroring
+    {!Golden.forward_fixed} bit-for-bit.  Results: J0 = x, J1 = y,
+    F = 1.  The [expected] field carries (x, y) in the theta slots. *)
+
+val forward_on_datapath :
+  l1:Fixed.t -> l2:Fixed.t -> theta1:Fixed.t -> theta2:Fixed.t ->
+  Fixed.t * Fixed.t
+
+val build_workspace :
+  unit -> Microcode.program * (Datapath.loc * Csrtl_core.Word.t) list
+(** The annulus check of {!Golden.in_workspace} as {e fully static}
+    microcode (plus its constant pool): no trace-resolved decisions at
+    all, the same words run for every input.  Inputs L1 L2 PX PY; F
+    ends 1 iff the target is inside the workspace. *)
+
+val workspace_on_datapath :
+  l1:Fixed.t -> l2:Fixed.t -> px:Fixed.t -> py:Fixed.t -> bool
+
+val build_fir :
+  coeffs:Fixed.t list -> xs:Fixed.t list -> t
+(** An FIR dot-product microprogram on the same datapath — the MACC
+    idiom the chip's multiplier/accumulator structure exists for:
+    y = sum coeffs_i * xs_i, accumulated through the MULT and Z adder.
+    Result in J0; [expected] carries it in the theta1 slot. *)
+
+val fir_on_datapath : coeffs:Fixed.t list -> xs:Fixed.t list -> Fixed.t

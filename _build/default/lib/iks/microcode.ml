@@ -1,0 +1,132 @@
+module C = Csrtl_core
+
+type route = Bus_a | Bus_b | Direct
+type operand = { src : Datapath.loc; route : route }
+
+type issue = {
+  unit_ : Datapath.unit_sel;
+  op : C.Ops.t;
+  a : operand option;
+  b : operand option;
+  dst : Datapath.loc option;
+  wb : route;
+}
+
+type instr = { addr : int; issues : issue list }
+type program = { pname : string; instrs : instr list }
+
+let issue ?a ?b ?dst ?(wb = Bus_a) ~op unit_ = { unit_; op; a; b; dst; wb }
+let reg ?(route = Bus_a) src = { src; route }
+
+let paper_addr7 =
+  { addr = 7;
+    issues =
+      [ (* (J[6], BusA, y2, 1): J[6] via bus A into the Y adder;
+           Y := 0 + y2 *)
+        issue ~a:(reg ~route:Bus_a (Datapath.J 5)) ~dst:Datapath.Y
+          ~wb:Bus_b ~op:C.Ops.Pass Datapath.YADD;
+        (* (Y, direct, x2, 1): Y via the direct link into the X adder;
+           X := 0 + Rshift(x2, i) *)
+        issue ~a:(reg ~route:Direct Datapath.Y) ~dst:Datapath.X ~wb:Direct
+          ~op:(C.Ops.Asri 1) Datapath.XADD;
+        (* Z := 0 + 0 *)
+        issue ~dst:Datapath.Z ~wb:Direct ~op:(C.Ops.Const 0) Datapath.ZADD;
+        (* F := 1 *)
+        issue ~dst:Datapath.F ~wb:Direct ~op:(C.Ops.Const 1) Datapath.FLAG ]
+  }
+
+exception Bad_microcode of int * string
+
+let fail addr fmt =
+  Format.kasprintf (fun m -> raise (Bad_microcode (addr, m))) fmt
+
+let check (p : program) =
+  let last_addr = ref 0 in
+  (* write-side bus slots across instruction boundaries *)
+  let write_slots = Hashtbl.create 32 in
+  let read_slots = Hashtbl.create 32 in
+  List.iter
+    (fun (ins : instr) ->
+      if ins.addr <= !last_addr then
+        fail ins.addr "addresses must be positive and strictly increasing";
+      last_addr := ins.addr;
+      let seen_units = ref [] in
+      List.iter
+        (fun (is : issue) ->
+          if List.mem is.unit_ !seen_units then
+            fail ins.addr "unit %s issued twice"
+              (Datapath.unit_name is.unit_);
+          seen_units := is.unit_ :: !seen_units;
+          if not (List.exists (C.Ops.equal is.op) (Datapath.unit_ops is.unit_))
+          then
+            fail ins.addr "unit %s cannot perform %s"
+              (Datapath.unit_name is.unit_)
+              (C.Ops.to_string is.op);
+          let supplied =
+            (if is.a <> None then 1 else 0) + if is.b <> None then 1 else 0
+          in
+          if supplied <> C.Ops.arity is.op then
+            fail ins.addr "%s needs %d operand(s), %d routed"
+              (C.Ops.to_string is.op) (C.Ops.arity is.op) supplied;
+          let note_read route =
+            match route with
+            | Direct -> ()
+            | Bus_a | Bus_b ->
+              let key = (ins.addr, route) in
+              if Hashtbl.mem read_slots key then
+                fail ins.addr "bus %s carries two operands"
+                  (if route = Bus_a then "A" else "B");
+              Hashtbl.replace read_slots key ()
+          in
+          Option.iter (fun (o : operand) -> note_read o.route) is.a;
+          Option.iter (fun (o : operand) -> note_read o.route) is.b;
+          match is.dst, is.wb with
+          | None, _ -> ()
+          | Some _, Direct -> ()
+          | Some _, (Bus_a | Bus_b) ->
+            let w = ins.addr + Datapath.unit_latency is.unit_ in
+            let key = (w, is.wb) in
+            if Hashtbl.mem write_slots key then
+              fail ins.addr
+                "result bus %s already carries a value at step %d"
+                (if is.wb = Bus_a then "A" else "B")
+                w;
+            Hashtbl.replace write_slots key ())
+        ins.issues)
+    p.instrs
+
+let pp_operand ppf (o : operand) =
+  Format.fprintf ppf "%s%s"
+    (Datapath.loc_name o.src)
+    (match o.route with
+     | Bus_a -> "@A"
+     | Bus_b -> "@B"
+     | Direct -> "@direct")
+
+let pp_issue ppf (is : issue) =
+  Format.fprintf ppf "%s.%s(%s)%s"
+    (Datapath.unit_name is.unit_)
+    (C.Ops.to_string is.op)
+    (String.concat ", "
+       (List.filter_map
+          (Option.map (Format.asprintf "%a" pp_operand))
+          [ is.a; is.b ]))
+    (match is.dst with
+     | None -> ""
+     | Some d ->
+       Printf.sprintf " -> %s%s" (Datapath.loc_name d)
+         (match is.wb with
+          | Bus_a -> "@A"
+          | Bus_b -> "@B"
+          | Direct -> "@direct"))
+
+let pp_instr ppf (ins : instr) =
+  Format.fprintf ppf "%4d: %s" ins.addr
+    (String.concat " | "
+       (List.map (Format.asprintf "%a" pp_issue) ins.issues))
+
+let pp_program ppf (p : program) =
+  Format.fprintf ppf "@[<v>microprogram %s (%d words)@,%a@]" p.pname
+    (List.length p.instrs)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_instr)
+    p.instrs

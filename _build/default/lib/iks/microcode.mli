@@ -1,0 +1,53 @@
+(** IKS microcode words.
+
+    The paper's §3 microcode tables pair an address with operation
+    codes (opc1/opc2) whose code maps name bus sources/destinations
+    and the operation each adder performs.  Here a microinstruction
+    is that information made structural: a set of {e issues}, each
+    naming the unit, the operation, the operand routes (bus A, bus B
+    or a direct link) and the destination register.  The paper's
+    worked example — store address 7, opc1 = 20, opc2 = 2 — is
+    provided as {!paper_addr7}. *)
+
+type route = Bus_a | Bus_b | Direct
+type operand = { src : Datapath.loc; route : route }
+
+type issue = {
+  unit_ : Datapath.unit_sel;
+  op : Csrtl_core.Ops.t;
+  a : operand option;
+  b : operand option;
+  dst : Datapath.loc option;  (** [None]: result not written back *)
+  wb : route;  (** route of the result transfer *)
+}
+
+type instr = { addr : int; issues : issue list }
+type program = { pname : string; instrs : instr list }
+
+val issue :
+  ?a:operand -> ?b:operand -> ?dst:Datapath.loc -> ?wb:route ->
+  op:Csrtl_core.Ops.t -> Datapath.unit_sel -> issue
+(** [wb] defaults to [Bus_a]. *)
+
+val reg : ?route:route -> Datapath.loc -> operand
+(** Operand from a register/file/input; route defaults to [Bus_a]. *)
+
+val paper_addr7 : instr
+(** The paper's microprogram word at store address 7: J[6] to the
+    Y-adder via bus A ([Y := 0 + y2]), Y to the X-adder via the
+    direct link ([X := 0 + Rshift(x2, i)], here i = 1), [Z := 0 + 0],
+    [F := 1]. *)
+
+exception Bad_microcode of int * string
+(** Instruction address and problem. *)
+
+val check : program -> unit
+(** Structural checks: positive, strictly increasing addresses; at
+    most one use of each bus per word (operand side and result side
+    counted per the six-phase discipline); operand count matching the
+    operation arity; units not double-issued; non-overlapping
+    multiplier results on a shared write route. *)
+
+val pp_issue : Format.formatter -> issue -> unit
+val pp_instr : Format.formatter -> instr -> unit
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,105 @@
+module C = Csrtl_core
+
+let source_of (loc : Datapath.loc) =
+  match loc with
+  | Datapath.In s -> C.Transfer.From_input s
+  | Datapath.P | Datapath.Z | Datapath.Y | Datapath.X | Datapath.F
+  | Datapath.R _ | Datapath.J _ | Datapath.M _ ->
+    C.Transfer.From_reg (Datapath.loc_name loc)
+
+let dest_of (loc : Datapath.loc) =
+  match loc with
+  | Datapath.In s ->
+    invalid_arg ("Translate: input port " ^ s ^ " as destination")
+  | Datapath.P | Datapath.Z | Datapath.Y | Datapath.X | Datapath.F
+  | Datapath.R _ | Datapath.J _ | Datapath.M _ ->
+    C.Transfer.To_reg (Datapath.loc_name loc)
+
+let operand_bus (is : Microcode.issue) port (o : Microcode.operand) =
+  match o.route with
+  | Microcode.Bus_a -> Datapath.bus_a
+  | Microcode.Bus_b -> Datapath.bus_b
+  | Microcode.Direct ->
+    Datapath.direct_operand_bus ~src:o.src is.unit_ ~port
+
+let result_bus (is : Microcode.issue) dst =
+  match is.wb with
+  | Microcode.Bus_a -> Datapath.bus_a
+  | Microcode.Bus_b -> Datapath.bus_b
+  | Microcode.Direct -> Datapath.direct_result_bus is.unit_ ~dst
+
+let tuple_of_issue addr (is : Microcode.issue) =
+  let src_a, bus_a =
+    match is.a with
+    | None -> (None, None)
+    | Some o -> (Some (source_of o.src), Some (operand_bus is 1 o))
+  in
+  let src_b, bus_b =
+    match is.b with
+    | None -> (None, None)
+    | Some o -> (Some (source_of o.src), Some (operand_bus is 2 o))
+  in
+  let write_step = addr + Datapath.unit_latency is.unit_ in
+  let write_bus, dst =
+    match is.dst with
+    | None -> (None, None)
+    | Some d -> (Some (result_bus is d), Some (dest_of d))
+  in
+  { C.Transfer.src_a; bus_a; src_b; bus_b;
+    read_step = Some addr;
+    fu = Datapath.unit_name is.unit_;
+    op = Some is.op;
+    write_step = (if is.dst = None then None else Some write_step);
+    write_bus; dst }
+
+let tuples_of_instr (ins : Microcode.instr) =
+  List.map (tuple_of_issue ins.addr) ins.issues
+
+let direct_buses (p : Microcode.program) =
+  let buses = ref [] in
+  let note b = if not (List.mem b !buses) then buses := b :: !buses in
+  List.iter
+    (fun (ins : Microcode.instr) ->
+      List.iter
+        (fun (is : Microcode.issue) ->
+          (match is.a with
+           | Some ({ route = Microcode.Direct; _ } as o) ->
+             note (Datapath.direct_operand_bus ~src:o.src is.unit_ ~port:1)
+           | Some _ | None -> ());
+          (match is.b with
+           | Some ({ route = Microcode.Direct; _ } as o) ->
+             note (Datapath.direct_operand_bus ~src:o.src is.unit_ ~port:2)
+           | Some _ | None -> ());
+          match is.dst, is.wb with
+          | Some d, Microcode.Direct ->
+            note (Datapath.direct_result_bus is.unit_ ~dst:d)
+          | _, _ -> ())
+        ins.issues)
+    p.instrs;
+  List.rev !buses
+
+let to_model ?(inputs = []) ?(reg_init = []) (p : Microcode.program) =
+  Microcode.check p;
+  let cs_max =
+    List.fold_left
+      (fun acc (ins : Microcode.instr) ->
+        List.fold_left
+          (fun acc (is : Microcode.issue) ->
+            max acc (ins.addr + Datapath.unit_latency is.unit_))
+          acc ins.issues)
+      1 p.instrs
+  in
+  let b = Datapath.base_builder ~inputs ~reg_init ~name:p.pname ~cs_max () in
+  List.iter (C.Builder.bus b) (direct_buses p);
+  List.iter
+    (fun (ins : Microcode.instr) ->
+      List.iter (fun t -> C.Builder.transfer b t) (tuples_of_instr ins))
+    p.instrs;
+  C.Builder.finish b
+
+let run ?inputs ?reg_init p = C.Interp.run (to_model ?inputs ?reg_init p)
+
+let final_loc obs loc =
+  match C.Observation.final_reg obs (Datapath.loc_name loc) with
+  | Some v -> v
+  | None -> C.Word.disc

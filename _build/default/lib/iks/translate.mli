@@ -1,0 +1,33 @@
+(** Microcode-to-transfers translation.
+
+    "We have extracted the register transfers from the microcode ...
+    This could be easily automated.  We have written a C program,
+    that translates the microcode tables given in [10] to transfer
+    process instances" (paper §3).  This module is that translator:
+    each microinstruction at address [n] becomes tuples reading at
+    control step [n] and writing at [n + unit latency]; operands
+    routed over a direct link get a dedicated bus (named by
+    {!Datapath.direct_operand_bus}), exactly the paper's modeling of
+    direct links as extra resources. *)
+
+val to_model :
+  ?inputs:(string * Csrtl_core.Word.t) list ->
+  ?reg_init:(Datapath.loc * Csrtl_core.Word.t) list ->
+  Microcode.program -> Csrtl_core.Model.t
+(** Runs {!Microcode.check}, builds the Fig. 3 datapath, adds the
+    direct-link buses the program uses, and emits one transfer tuple
+    per issue.  The result is validated. *)
+
+val tuples_of_instr : Microcode.instr -> Csrtl_core.Transfer.t list
+(** The tuples a single word contributes — the paper's table-row to
+    tuple mapping, usable without building a whole model. *)
+
+val run :
+  ?inputs:(string * Csrtl_core.Word.t) list ->
+  ?reg_init:(Datapath.loc * Csrtl_core.Word.t) list ->
+  Microcode.program -> Csrtl_core.Observation.t
+(** Translate and execute with the reference interpreter. *)
+
+val final_loc :
+  Csrtl_core.Observation.t -> Datapath.loc -> Csrtl_core.Word.t
+(** Final register-file/register content after the run. *)

@@ -1,0 +1,1 @@
+lib/kernel/scheduler.ml: Effect Format Hashtbl Int List Option Printf Process Signal Time Time_map Types

@@ -1,0 +1,1 @@
+lib/kernel/signal.ml: Array Format List Types

@@ -1,0 +1,1 @@
+lib/kernel/types.ml: Effect Hashtbl Int Map Time

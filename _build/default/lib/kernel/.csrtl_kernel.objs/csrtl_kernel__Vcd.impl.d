@@ -1,0 +1,1 @@
+lib/kernel/vcd.ml: Buffer Char Hashtbl List Printf Scheduler Signal String

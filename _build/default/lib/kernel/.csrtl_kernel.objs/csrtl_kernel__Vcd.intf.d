@@ -1,0 +1,1 @@
+lib/kernel/vcd.mli: Buffer Scheduler Signal

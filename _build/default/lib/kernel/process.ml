@@ -1,0 +1,29 @@
+type wait_spec = {
+  on : Types.signal list;
+  until : (unit -> bool) option;
+  for_ : Time.t option;
+  keyed : (Types.signal * Types.value * (Types.signal * Types.value) option)
+          option;
+}
+
+type _ Effect.t += Wait : wait_spec -> unit Effect.t
+
+let wait_on sigs =
+  Effect.perform (Wait { on = sigs; until = None; for_ = None; keyed = None })
+
+let wait_until sigs pred =
+  Effect.perform
+    (Wait { on = sigs; until = Some pred; for_ = None; keyed = None })
+
+let wait_for t =
+  Effect.perform (Wait { on = []; until = None; for_ = Some t; keyed = None })
+
+let wait_forever () =
+  Effect.perform (Wait { on = []; until = None; for_ = None; keyed = None })
+
+let wait_keyed ?extra s v =
+  Effect.perform
+    (Wait { on = []; until = None; for_ = None; keyed = Some (s, v, extra) })
+
+let name (p : Types.process) = p.pname
+let activations (p : Types.process) = p.activations

@@ -1,0 +1,409 @@
+open Types
+
+type t = Types.t
+
+exception Stop
+
+let create ?(max_deltas_per_time = 1_000_000) () =
+  { now = Time.zero; next_sid = 0; next_pid = 0; processes = [];
+    signals = []; running = None; delta_drivers = []; dirty_signals = [];
+    ready_procs = []; future = Time_map.empty; timeouts = Time_map.empty;
+    stop_requested = false; event_hooks = []; stats = fresh_stats ();
+    max_deltas_per_time }
+
+let signal k ?resolution ?(printer = string_of_int) ~name ~init () =
+  let incr =
+    match resolution with
+    | Some (Incremental mk) -> Some (mk ())
+    | Some (Fold _) | None -> None
+  in
+  let s =
+    { sid = k.next_sid; sname = name; current = init;
+      last_event_delta = -1; resolution; incr; drivers = [];
+      waiters = Hashtbl.create 4; keyed_waiters = Hashtbl.create 4;
+      printer; dirty = false; traced = false }
+  in
+  k.next_sid <- k.next_sid + 1;
+  k.signals <- s :: k.signals;
+  s
+
+let add_process k ~name body =
+  let p =
+    { pid = k.next_pid; pname = name; body = Some body; cont = None;
+      wait_sigs = []; wait_pred = None; keyed_at = None; keyed_extra = None;
+      wake_at = None; terminated = false; ready = false;
+      own_drivers = Hashtbl.create 4; activations = 0; handler = None }
+  in
+  k.next_pid <- k.next_pid + 1;
+  k.processes <- p :: k.processes;
+  p
+
+(* A hidden process owning the drivers used by [drive_external]. *)
+let external_owner k =
+  match List.find_opt (fun p -> p.pname = "$external") k.processes with
+  | Some p -> p
+  | None ->
+    let p =
+      { pid = -1; pname = "$external"; body = None; cont = None;
+        wait_sigs = []; wait_pred = None; keyed_at = None;
+        keyed_extra = None; wake_at = None; terminated = true;
+        ready = false; own_drivers = Hashtbl.create 4; activations = 0;
+        handler = None }
+    in
+    k.processes <- p :: k.processes;
+    p
+
+let get_driver (p : process) (s : Signal.t) =
+  match Hashtbl.find_opt p.own_drivers s.sid with
+  | Some d -> d
+  | None ->
+    (match s.drivers, s.resolution with
+     | _ :: _, None ->
+       raise (Multiple_drivers
+                (Printf.sprintf
+                   "signal %s is unresolved but %s adds a second driver"
+                   s.sname p.pname))
+     | _, _ -> ());
+    let d =
+      { d_owner = p; d_signal = s; d_value = s.current; d_next = None;
+        d_future = []; d_queued = false }
+    in
+    (match s.incr with
+     | Some st -> st.incr_add d.d_value
+     | None -> ());
+    s.drivers <- d :: s.drivers;
+    Hashtbl.replace p.own_drivers s.sid d;
+    d
+
+let queue_delta k d =
+  if not d.d_queued then begin
+    d.d_queued <- true;
+    k.delta_drivers <- d :: k.delta_drivers
+  end
+
+let current_process k =
+  match k.running with
+  | Some p -> p
+  | None -> invalid_arg "Scheduler: signal assignment outside a process"
+
+let assign k s v =
+  let d = get_driver (current_process k) s in
+  d.d_next <- Some v;
+  queue_delta k d
+
+let assign_after k s v t =
+  if t <= 0 then assign k s v
+  else begin
+    let d = get_driver (current_process k) s in
+    let at = Time.add k.now t in
+    (* Transport delay: drop transactions at >= the new time, both
+       from the driver and from the kernel agenda (otherwise the
+       simulation would still advance to the cancelled slot). *)
+    let cancelled, kept =
+      List.partition (fun (t', _) -> t' >= at) d.d_future
+    in
+    d.d_future <- kept @ [ (at, v) ];
+    List.iter
+      (fun (t', _) ->
+        match Time_map.find_opt t' k.future with
+        | None -> ()
+        | Some ds ->
+          (match List.filter (fun d' -> d' != d) ds with
+           | [] -> k.future <- Time_map.remove t' k.future
+           | ds' -> k.future <- Time_map.add t' ds' k.future))
+      cancelled;
+    let prev = Option.value ~default:[] (Time_map.find_opt at k.future) in
+    k.future <- Time_map.add at (d :: prev) k.future
+  end
+
+let drive_external k s v =
+  let p = external_owner k in
+  let d = get_driver p s in
+  d.d_next <- Some v;
+  queue_delta k d
+
+let now k = k.now
+let delta_count k = k.stats.total_deltas
+let stats k = k.stats
+let signals k = List.rev k.signals
+let on_event k f = k.event_hooks <- f :: k.event_hooks
+
+(* -- wait registration ------------------------------------------------ *)
+
+let register_wait k p (spec : Process.wait_spec) =
+  (match spec.keyed with
+   | Some (s, v, extra) ->
+     p.keyed_at <- Some (s, v);
+     p.keyed_extra <- extra;
+     let bucket =
+       Option.value ~default:[] (Hashtbl.find_opt s.keyed_waiters v)
+     in
+     Hashtbl.replace s.keyed_waiters v (p :: bucket)
+   | None -> ());
+  p.wait_sigs <- spec.on;
+  p.wait_pred <- spec.until;
+  List.iter (fun (s : signal) -> Hashtbl.replace s.waiters p.pid p) spec.on;
+  match spec.for_ with
+  | None -> ()
+  | Some t ->
+    let at = Time.add k.now t in
+    p.wake_at <- Some at;
+    let prev = Option.value ~default:[] (Time_map.find_opt at k.timeouts) in
+    k.timeouts <- Time_map.add at (p :: prev) k.timeouts
+
+let clear_wait (p : process) =
+  List.iter (fun (s : signal) -> Hashtbl.remove s.waiters p.pid) p.wait_sigs;
+  (match p.keyed_at with
+   | Some (s, v) ->
+     (match Hashtbl.find_opt s.keyed_waiters v with
+      | Some bucket ->
+        (match List.filter (fun q -> q != p) bucket with
+         | [] -> Hashtbl.remove s.keyed_waiters v
+         | rest -> Hashtbl.replace s.keyed_waiters v rest)
+      | None -> ())
+   | None -> ());
+  p.keyed_at <- None;
+  p.keyed_extra <- None;
+  p.wait_sigs <- [];
+  p.wait_pred <- None;
+  p.wake_at <- None
+
+let make_ready k p =
+  if not p.ready && not p.terminated then begin
+    clear_wait p;
+    p.ready <- true;
+    k.ready_procs <- p :: k.ready_procs
+  end
+
+(* -- process execution ------------------------------------------------ *)
+
+let resume k p =
+  k.running <- Some p;
+  p.activations <- p.activations + 1;
+  k.stats.process_runs <- k.stats.process_runs + 1;
+  let handler =
+    match p.handler with
+    | Some h -> h
+    | None ->
+      let h : (unit, unit) Effect.Deep.handler =
+        { retc = (fun () -> p.terminated <- true);
+          exnc = (fun e -> k.running <- None; raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Process.Wait spec ->
+                Some
+                  (fun (cont : (a, unit) Effect.Deep.continuation) ->
+                    p.cont <- Some cont;
+                    register_wait k p spec)
+              | _ -> None) }
+      in
+      p.handler <- Some h;
+      h
+  in
+  (match p.body with
+   | Some f ->
+     p.body <- None;
+     Effect.Deep.match_with f () handler
+   | None ->
+     (match p.cont with
+      | Some cnt ->
+        p.cont <- None;
+        Effect.Deep.continue cnt ()
+      | None -> ()));
+  k.running <- None
+
+let exec_ready k =
+  let ready = List.sort (fun a b -> Int.compare a.pid b.pid) k.ready_procs in
+  k.ready_procs <- [];
+  List.iter (fun p -> p.ready <- false) ready;
+  List.iter (fun p -> resume k p) ready
+
+(* -- update phase ------------------------------------------------------ *)
+
+let mark_dirty k (s : signal) =
+  if not s.dirty then begin
+    s.dirty <- true;
+    k.dirty_signals <- s :: k.dirty_signals
+  end
+
+let mature_delta_driver k d =
+  d.d_queued <- false;
+  match d.d_next with
+  | None -> ()
+  | Some v ->
+    d.d_next <- None;
+    k.stats.transactions <- k.stats.transactions + 1;
+    if v <> d.d_value then begin
+      (match d.d_signal.incr with
+       | Some st ->
+         st.incr_remove d.d_value;
+         st.incr_add v
+       | None -> ());
+      d.d_value <- v;
+      mark_dirty k d.d_signal
+    end
+    else
+      (* A transaction without a value change still triggers
+         re-resolution (VHDL: the signal is active). *)
+      mark_dirty k d.d_signal
+
+let mature_future_driver k d =
+  let due, later = List.partition (fun (t, _) -> t <= k.now) d.d_future in
+  d.d_future <- later;
+  match List.rev due with
+  | [] -> ()
+  | (_, v) :: _ ->
+    k.stats.transactions <- k.stats.transactions + 1;
+    (match d.d_signal.incr with
+     | Some st when v <> d.d_value ->
+       st.incr_remove d.d_value;
+       st.incr_add v
+     | Some _ | None -> ());
+    d.d_value <- v;
+    mark_dirty k d.d_signal
+
+let fire_events k =
+  (* Resolve all dirty signals first, then wake waiters, so that
+     predicates over several signals updated in the same cycle (the
+     paper's [CS = S and PH = P]) see a consistent state. *)
+  let dirty = k.dirty_signals in
+  k.dirty_signals <- [];
+  let changed =
+    List.filter_map
+      (fun s ->
+        s.dirty <- false;
+        let v = Signal.resolve k s in
+        if v <> s.current then begin
+          s.current <- v;
+          s.last_event_delta <- k.stats.total_deltas;
+          k.stats.events <- k.stats.events + 1;
+          Some s
+        end
+        else None)
+      dirty
+  in
+  List.iter
+    (fun s -> List.iter (fun hook -> hook s) k.event_hooks)
+    (List.rev changed);
+  List.iter
+    (fun (s : signal) ->
+      let waiting = Hashtbl.fold (fun _ p acc -> p :: acc) s.waiters [] in
+      List.iter
+        (fun p ->
+          if not p.ready then
+            match p.wait_pred with
+            | None -> make_ready k p
+            | Some pred -> if pred () then make_ready k p)
+        waiting;
+      (* value-keyed waiters: only the bucket for the new value is
+         scanned; entries whose extra condition fails stay put *)
+      match Hashtbl.find_opt s.keyed_waiters s.current with
+      | None -> ()
+      | Some bucket ->
+        let fire, stay =
+          List.partition
+            (fun p ->
+              (not p.ready)
+              &&
+              match p.keyed_extra with
+              | None -> true
+              | Some (s2, v2) -> s2.current = v2)
+            bucket
+        in
+        if fire <> [] then begin
+          (match stay with
+           | [] -> Hashtbl.remove s.keyed_waiters s.current
+           | _ -> Hashtbl.replace s.keyed_waiters s.current stay);
+          (* make_ready's clear_wait no longer finds them in the
+             bucket, which is fine: removal is idempotent *)
+          List.iter
+            (fun p ->
+              p.keyed_at <- None;
+              make_ready k p)
+            fire
+        end)
+    changed
+
+(* -- main loop --------------------------------------------------------- *)
+
+let next_time k =
+  let t1 = Time_map.min_binding_opt k.future |> Option.map fst in
+  let t2 = Time_map.min_binding_opt k.timeouts |> Option.map fst in
+  match t1, t2 with
+  | None, None -> None
+  | Some t, None | None, Some t -> Some t
+  | Some a, Some b -> Some (min a b)
+
+let advance_time k t =
+  k.now <- t;
+  k.stats.delta_cycles_at_time <- 0;
+  k.stats.time_advances <- k.stats.time_advances + 1;
+  (match Time_map.find_opt t k.future with
+   | None -> ()
+   | Some ds ->
+     k.future <- Time_map.remove t k.future;
+     List.iter (mature_future_driver k) (List.rev ds));
+  match Time_map.find_opt t k.timeouts with
+  | None -> ()
+  | Some ps ->
+    k.timeouts <- Time_map.remove t k.timeouts;
+    List.iter
+      (fun p ->
+        match p.wake_at with
+        | Some at when at = t -> make_ready k p
+        | Some _ | None -> ())
+      (List.rev ps)
+
+let run ?max_time ?max_cycles k =
+  let budget_left () =
+    match max_cycles with
+    | None -> true
+    | Some n -> k.stats.total_deltas < n
+  in
+  (try
+     (* Initialization: every process runs once, in creation order. *)
+     if k.stats.total_deltas = 0 && k.stats.process_runs = 0 then begin
+       List.iter
+         (fun p -> if not p.terminated then make_ready k p)
+         (List.rev k.processes);
+       exec_ready k
+     end;
+     let continue = ref true in
+     while !continue && (not k.stop_requested) && budget_left () do
+       if k.delta_drivers <> [] then begin
+         (* Delta cycle at the current time. *)
+         k.stats.total_deltas <- k.stats.total_deltas + 1;
+         k.stats.delta_cycles_at_time <- k.stats.delta_cycles_at_time + 1;
+         if k.stats.delta_cycles_at_time > k.max_deltas_per_time then
+           raise
+             (Delta_overflow
+                (Printf.sprintf "at %s after %d delta cycles"
+                   (Time.to_string k.now) k.stats.delta_cycles_at_time));
+         let ds = k.delta_drivers in
+         k.delta_drivers <- [];
+         List.iter (mature_delta_driver k) (List.rev ds);
+         fire_events k;
+         exec_ready k
+       end
+       else
+         match next_time k with
+         | None -> continue := false
+         | Some t ->
+           (match max_time with
+            | Some limit when t > limit -> continue := false
+            | Some _ | None ->
+              k.stats.total_deltas <- k.stats.total_deltas + 1;
+              advance_time k t;
+              fire_events k;
+              exec_ready k)
+     done
+   with Stop -> k.running <- None);
+  ()
+
+let pp_stats ppf (st : stats) =
+  Format.fprintf ppf
+    "@[<v>cycles: %d@ events: %d@ transactions: %d@ resolutions: %d@ \
+     process runs: %d@ time advances: %d@]"
+    st.total_deltas st.events st.transactions st.resolutions st.process_runs
+    st.time_advances

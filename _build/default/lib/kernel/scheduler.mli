@@ -1,0 +1,73 @@
+(** The delta-cycle simulation scheduler.
+
+    Implements the VHDL simulation cycle the paper's semantics relies
+    on: processes run, schedule transactions on their drivers, the
+    kernel matures transactions between cycles, resolves signals,
+    detects events and resumes sensitive processes.  Cycles that do
+    not advance physical time are delta cycles; the paper's clock-free
+    models advance {e only} in delta time. *)
+
+type t = Types.t
+
+exception Stop
+(** May be raised inside a process to terminate the simulation. *)
+
+val create : ?max_deltas_per_time:int -> unit -> t
+(** Fresh kernel.  [max_deltas_per_time] (default 1_000_000) bounds
+    consecutive delta cycles at one physical time; exceeding it raises
+    {!Types.Delta_overflow}, diagnosing combinational oscillation. *)
+
+val signal :
+  t ->
+  ?resolution:Types.resolution ->
+  ?printer:(Types.value -> string) ->
+  name:string ->
+  init:Types.value ->
+  unit ->
+  Signal.t
+(** Declare a signal.  With [resolution] the signal accepts any number
+    of drivers (VHDL resolved signal); without, a second driver raises
+    {!Types.Multiple_drivers}.  [Types.Fold f] recomputes from all
+    driver values on each update; [Types.Incremental mk] maintains
+    per-signal state fed with driver transitions, giving O(1)
+    resolution for heavily multi-driven signals such as the paper's
+    buses. *)
+
+val add_process : t -> name:string -> (unit -> unit) -> Types.process
+(** Register a process.  Bodies run once at initialization (before
+    physical time 0 ends) and thereafter resume according to their
+    {!Process} wait calls.  Must be called before {!run}. *)
+
+val assign : t -> Signal.t -> Types.value -> unit
+(** Signal assignment with delta delay ([s <= v] in VHDL): the calling
+    process's driver takes the value in the next delta cycle.  A later
+    [assign] in the same cycle overrides an earlier one. *)
+
+val assign_after : t -> Signal.t -> Types.value -> Time.t -> unit
+(** Transport-delayed assignment ([s <= transport v after t]).
+    Scheduling a transaction deletes previously scheduled transactions
+    at the same or later times, as VHDL transport delay does. *)
+
+val drive_external : t -> Signal.t -> Types.value -> unit
+(** Drive a signal from outside any process (testbench poke); the
+    value is applied in the next delta cycle through a dedicated
+    external driver. *)
+
+val now : t -> Time.t
+val delta_count : t -> int
+(** Simulation cycles executed so far, excluding initialization. *)
+
+val stats : t -> Types.stats
+val signals : t -> Signal.t list
+(** All signals in creation order. *)
+
+val on_event : t -> (Signal.t -> unit) -> unit
+(** Register a hook called on every signal event (after the value
+    change is visible). *)
+
+val run : ?max_time:Time.t -> ?max_cycles:int -> t -> unit
+(** Run until quiescence (no pending transactions or timeouts), until
+    [max_time] is passed, until [max_cycles] simulation cycles have
+    executed, or until a process raises {!Stop}. *)
+
+val pp_stats : Format.formatter -> Types.stats -> unit

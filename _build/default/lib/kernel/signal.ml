@@ -1,0 +1,32 @@
+open Types
+
+type t = signal
+
+let value s = s.current
+let name s = s.sname
+let id s = s.sid
+let print_value s v = s.printer v
+
+let resolve (k : Types.t) (s : t) =
+  match s.incr with
+  | Some st ->
+    k.stats.resolutions <- k.stats.resolutions + 1;
+    st.incr_read ()
+  | None ->
+    (match s.drivers, s.resolution with
+     | [], _ -> s.current
+     | [ d ], None -> d.d_value
+     | _ :: _ :: _, None -> raise (Multiple_drivers s.sname)
+     | ds, Some (Fold f) ->
+       k.stats.resolutions <- k.stats.resolutions + 1;
+       (* Drivers are kept in reverse creation order; resolution
+          functions in this code base are commutative, but we restore
+          creation order anyway so behaviour is reproducible. *)
+       let arr = Array.of_list (List.rev_map (fun d -> d.d_value) ds) in
+       f arr
+     | _, Some (Incremental _) ->
+       (* unreachable: Incremental signals carry [incr] state *)
+       s.current)
+
+let pp ppf s =
+  Format.fprintf ppf "%s=%s" s.sname (s.printer s.current)

@@ -1,0 +1,26 @@
+(** Signals: named, possibly resolved, simulation state variables.
+
+    A signal follows VHDL semantics: processes contribute values
+    through private drivers; the effective value of a resolved signal
+    is computed by its resolution function over all driver values, and
+    changes to the effective value are events that wake sensitive
+    processes.  Signal creation lives in {!Scheduler} (signals must be
+    registered with a kernel); this module holds the pure accessors. *)
+
+type t = Types.signal
+
+val value : t -> Types.value
+(** Effective value as of the current delta cycle. *)
+
+val name : t -> string
+val id : t -> int
+
+val resolve : Types.t -> t -> Types.value
+(** Recompute the effective value from the drivers.  Raises
+    {!Types.Multiple_drivers} when an unresolved signal has more than
+    one driver.  Updates kernel statistics. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [name=value] using the signal's printer. *)
+
+val print_value : t -> Types.value -> string

@@ -1,0 +1,26 @@
+type t = int
+
+let zero = 0
+let fs n = n
+let ps n = n * 1_000
+let ns n = n * 1_000_000
+let us n = n * 1_000_000_000
+let ms n = n * 1_000_000_000_000
+let add = ( + )
+let compare = Int.compare
+
+(* Render using the largest unit that divides the value exactly, the
+   way VHDL simulators print time stamps. *)
+let to_string t =
+  let units = [ (1_000_000_000_000, "ms"); (1_000_000_000, "us");
+                (1_000_000, "ns"); (1_000, "ps"); (1, "fs") ] in
+  if t = 0 then "0fs"
+  else
+    let rec pick = function
+      | [] -> (1, "fs")
+      | (k, u) :: rest -> if t mod k = 0 then (k, u) else pick rest
+    in
+    let k, u = pick units in
+    Printf.sprintf "%d%s" (t / k) u
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,22 @@
+(** Physical simulation time.
+
+    The kernel counts physical time in femtoseconds, stored in an
+    OCaml [int].  Clock-free models per the paper never advance
+    physical time; clocked baselines do.  63-bit ints give ~2.5 hours
+    of simulated time at femtosecond resolution, far beyond any model
+    in this repository. *)
+
+type t = int
+
+val zero : t
+val fs : int -> t
+val ps : int -> t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+
+val add : t -> t -> t
+val compare : t -> t -> int
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+type entry = {
+  cycle : int;
+  at : Time.t;
+  signal : Signal.t;
+  value : Types.value;
+}
+
+type t = {
+  kernel : Scheduler.t;
+  selected : (int, unit) Hashtbl.t option;  (* None = trace everything *)
+  mutable rev_entries : entry list;
+  mutable count : int;
+}
+
+let attach k sigs =
+  let selected =
+    match sigs with
+    | [] -> None
+    | _ ->
+      let h = Hashtbl.create (List.length sigs) in
+      List.iter (fun s -> Hashtbl.replace h (Signal.id s) ()) sigs;
+      Some h
+  in
+  let t = { kernel = k; selected; rev_entries = []; count = 0 } in
+  Scheduler.on_event k (fun s ->
+      let wanted =
+        match t.selected with
+        | None -> true
+        | Some h -> Hashtbl.mem h (Signal.id s)
+      in
+      if wanted then begin
+        t.rev_entries <-
+          { cycle = Scheduler.delta_count k; at = Scheduler.now k;
+            signal = s; value = Signal.value s }
+          :: t.rev_entries;
+        t.count <- t.count + 1
+      end);
+  t
+
+let entries t = List.rev t.rev_entries
+let length t = t.count
+
+let history t s =
+  List.rev
+    (List.filter_map
+       (fun e ->
+         if Signal.id e.signal = Signal.id s then Some (e.cycle, e.value)
+         else None)
+       t.rev_entries)
+
+let value_at_cycle t s cycle =
+  (* rev_entries is newest-first: the first matching entry with
+     cycle <= requested is the latest one. *)
+  let rec find = function
+    | [] -> None
+    | e :: rest ->
+      if Signal.id e.signal = Signal.id s && e.cycle <= cycle then
+        Some e.value
+      else find rest
+  in
+  find t.rev_entries
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[cycle %4d %a] %s <- %s" e.cycle Time.pp e.at
+    (Signal.name e.signal)
+    (Signal.print_value e.signal e.value)
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_entry ppf
+    (entries t)

@@ -1,0 +1,35 @@
+(** In-memory event traces.
+
+    Records every event (value change) on a chosen set of signals,
+    stamped with physical time and the kernel cycle counter.  The
+    paper relies on exactly this view: "simulation results allow
+    easily to locate design errors ... in specific simulation cycles
+    associated with a specific phase of a specific control step". *)
+
+type entry = {
+  cycle : int;  (** kernel simulation-cycle number *)
+  at : Time.t;
+  signal : Signal.t;
+  value : Types.value;
+}
+
+type t
+
+val attach : Scheduler.t -> Signal.t list -> t
+(** Start recording events on the given signals (empty list = all
+    signals existing at attach time). *)
+
+val entries : t -> entry list
+(** Events in chronological order. *)
+
+val length : t -> int
+
+val history : t -> Signal.t -> (int * Types.value) list
+(** [(cycle, value)] changes of one signal, chronological. *)
+
+val value_at_cycle : t -> Signal.t -> int -> Types.value option
+(** Last recorded value of the signal at or before the given cycle;
+    [None] if the signal had not yet changed. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,116 @@
+(** Shared mutable types of the simulation kernel.
+
+    All kernel records live here so that [Signal], [Process] and
+    [Scheduler] can share them without circular module dependencies.
+    User code should not touch these fields directly; use the
+    functions exported by {!Signal} and {!Scheduler}. *)
+
+(** Kernel values are plain integers.  Layers above the kernel encode
+    their domains into [int] (the paper itself models all data as
+    VHDL [Integer] with the sentinels DISC = -1 and ILLEGAL = -2);
+    each signal carries a printer so traces stay readable. *)
+type value = int
+
+(** Incremental resolution state: the kernel feeds it driver-value
+    transitions and reads the resolved value in O(1), instead of
+    folding over all drivers on every update ([Fold]).  The paper's
+    resolution function is counter-maintainable this way; see
+    {!Csrtl_core.Resolve.incremental}. *)
+type incr_state = {
+  incr_add : value -> unit;
+  incr_remove : value -> unit;
+  incr_read : unit -> value;
+}
+
+type resolution =
+  | Fold of (value array -> value)
+  | Incremental of (unit -> incr_state)
+
+type signal = {
+  sid : int;
+  sname : string;
+  mutable current : value;
+  mutable last_event_delta : int;  (* total_deltas stamp of last event *)
+  resolution : resolution option;
+      (* [None]: at most one driver is allowed. *)
+  incr : incr_state option;
+      (* instantiated state when resolution is [Incremental] *)
+  mutable drivers : driver list;  (* reverse creation order *)
+  waiters : (int, process) Hashtbl.t;  (* pid -> waiting process *)
+  keyed_waiters : (value, process list) Hashtbl.t;
+      (* value -> processes to wake when an event sets that value *)
+  printer : value -> string;
+  mutable dirty : bool;  (* queued for resolution in this update phase *)
+  mutable traced : bool;
+}
+
+and driver = {
+  d_owner : process;
+  d_signal : signal;
+  mutable d_value : value;  (* value currently contributed *)
+  mutable d_next : value option;  (* delta-delayed transaction *)
+  mutable d_future : (Time.t * value) list;  (* sorted by time, transport *)
+  mutable d_queued : bool;  (* already in the kernel's delta queue *)
+}
+
+and process = {
+  pid : int;
+  pname : string;
+  mutable body : (unit -> unit) option;  (* [Some f] before first run *)
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable wait_sigs : signal list;
+  mutable wait_pred : (unit -> bool) option;
+  mutable keyed_at : (signal * value) option;
+      (* registered in that signal's keyed_waiters under that value *)
+  mutable keyed_extra : (signal * value) option;
+      (* additional condition checked at wake time *)
+  mutable wake_at : Time.t option;
+  mutable terminated : bool;
+  mutable ready : bool;  (* queued for execution in this delta *)
+  own_drivers : (int, driver) Hashtbl.t;  (* signal id -> driver *)
+  mutable activations : int;
+  mutable handler : (unit, unit) Effect.Deep.handler option;
+      (* effect handler, built once on first resume *)
+}
+
+type stats = {
+  mutable total_deltas : int;
+  mutable delta_cycles_at_time : int;  (* deltas within the current time *)
+  mutable events : int;  (* signal value changes *)
+  mutable transactions : int;  (* driver updates, incl. no-change *)
+  mutable resolutions : int;  (* resolution-function invocations *)
+  mutable process_runs : int;
+  mutable time_advances : int;
+}
+
+module Time_map = Map.Make (Int)
+
+type t = {
+  mutable now : Time.t;
+  mutable next_sid : int;
+  mutable next_pid : int;
+  mutable processes : process list;  (* reverse creation order *)
+  mutable signals : signal list;  (* reverse creation order *)
+  mutable running : process option;
+  mutable delta_drivers : driver list;  (* transactions maturing next delta *)
+  mutable dirty_signals : signal list;
+  mutable ready_procs : process list;
+  mutable future : driver list Time_map.t;
+  mutable timeouts : process list Time_map.t;
+  mutable stop_requested : bool;
+  mutable event_hooks : (signal -> unit) list;
+  stats : stats;
+  max_deltas_per_time : int;
+}
+
+exception Multiple_drivers of string
+(** Raised when a second process drives an unresolved signal. *)
+
+exception Delta_overflow of string
+(** Raised when more than [max_deltas_per_time] delta cycles occur
+    without physical time advancing: the model oscillates. *)
+
+let fresh_stats () =
+  { total_deltas = 0; delta_cycles_at_time = 0; events = 0;
+    transactions = 0; resolutions = 0; process_runs = 0;
+    time_advances = 0 }

@@ -1,0 +1,92 @@
+type axis = [ `Cycle | `Time ]
+
+type t = {
+  kernel : Scheduler.t;
+  out : Buffer.t;
+  axis : axis;
+  codes : (int, string) Hashtbl.t;  (* signal id -> VCD id code *)
+  mutable last_stamp : int;
+  mutable stamped : bool;
+}
+
+(* VCD identifier codes: printable ASCII 33..126, shortest first. *)
+let code_of_index i =
+  let base = 94 in
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let width = 32
+
+let emit_value buf code v =
+  (* 32-bit two's-complement binary vector. *)
+  Buffer.add_char buf 'b';
+  for bit = width - 1 downto 0 do
+    Buffer.add_char buf (if (v lsr bit) land 1 = 1 then '1' else '0')
+  done;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf code;
+  Buffer.add_char buf '\n'
+
+let stamp t =
+  let here =
+    match t.axis with
+    | `Cycle -> Scheduler.delta_count t.kernel
+    | `Time -> Scheduler.now t.kernel
+  in
+  if (not t.stamped) || here <> t.last_stamp then begin
+    Buffer.add_string t.out (Printf.sprintf "#%d\n" here);
+    t.last_stamp <- here;
+    t.stamped <- true
+  end
+
+let attach ?(axis = `Cycle) k ~out sigs =
+  let sigs = match sigs with [] -> Scheduler.signals k | l -> l in
+  let t =
+    { kernel = k; out; axis; codes = Hashtbl.create 16; last_stamp = 0;
+      stamped = false }
+  in
+  Buffer.add_string out "$date csrtl $end\n";
+  Buffer.add_string out "$version csrtl kernel $end\n";
+  Buffer.add_string out
+    (match axis with
+     | `Cycle -> "$timescale 1ns $end\n$comment axis=delta-cycles $end\n"
+     | `Time -> "$timescale 1fs $end\n");
+  Buffer.add_string out "$scope module top $end\n";
+  List.iteri
+    (fun i s ->
+      let code = code_of_index i in
+      Hashtbl.replace t.codes (Signal.id s) code;
+      Buffer.add_string out
+        (Printf.sprintf "$var integer %d %s %s $end\n" width code
+           (Signal.name s)))
+    sigs;
+  Buffer.add_string out "$upscope $end\n$enddefinitions $end\n";
+  Buffer.add_string out "$dumpvars\n";
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt t.codes (Signal.id s) with
+      | Some code -> emit_value out code (Signal.value s)
+      | None -> ())
+    sigs;
+  Buffer.add_string out "$end\n";
+  Scheduler.on_event k (fun s ->
+      match Hashtbl.find_opt t.codes (Signal.id s) with
+      | None -> ()
+      | Some code ->
+        stamp t;
+        emit_value t.out code (Signal.value s));
+  t
+
+let finish t =
+  t.stamped <- false;
+  stamp t
+
+let to_file t path =
+  finish t;
+  let oc = open_out path in
+  Buffer.output_buffer oc t.out;
+  close_out oc

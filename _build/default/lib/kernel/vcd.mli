@@ -1,0 +1,22 @@
+(** Value Change Dump (IEEE 1364) waveform output.
+
+    Clock-free models never advance physical time, so by default the
+    VCD time axis is the kernel {e cycle} counter (one VCD tick per
+    simulation cycle), which renders the paper's phase/step timeline
+    directly in any waveform viewer.  [~axis:`Time] uses physical
+    time instead, for clocked models. *)
+
+type axis = [ `Cycle | `Time ]
+
+type t
+
+val attach :
+  ?axis:axis -> Scheduler.t -> out:Buffer.t -> Signal.t list -> t
+(** Write a VCD header for the listed signals (empty = all existing)
+    and stream their events into [out]. *)
+
+val finish : t -> unit
+(** Flush the final timestamp. *)
+
+val to_file : t -> string -> unit
+(** [finish] and write the buffer to a file. *)

@@ -1,0 +1,1 @@
+lib/verify/consist.ml: Csrtl_core List Printf Random

@@ -1,0 +1,1 @@
+lib/verify/consist.mli: Csrtl_core

@@ -1,0 +1,1 @@
+lib/verify/equiv.ml: Csrtl_core Csrtl_hls Format Hashtbl List Printf Random String Sym Symsim

@@ -1,0 +1,1 @@
+lib/verify/equiv.mli: Csrtl_core Csrtl_hls Format Sym

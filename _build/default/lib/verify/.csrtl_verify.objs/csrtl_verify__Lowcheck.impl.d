@@ -1,0 +1,1 @@
+lib/verify/lowcheck.ml: Array Csrtl_clocked Csrtl_core Format List Printf Sym Symsim

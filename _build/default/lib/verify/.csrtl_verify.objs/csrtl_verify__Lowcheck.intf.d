@@ -1,0 +1,1 @@
+lib/verify/lowcheck.mli: Csrtl_clocked Csrtl_core Format Sym

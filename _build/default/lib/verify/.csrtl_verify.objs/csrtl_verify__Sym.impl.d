@@ -1,0 +1,1 @@
+lib/verify/sym.ml: Array Csrtl_core Format Int List Printf Stdlib String

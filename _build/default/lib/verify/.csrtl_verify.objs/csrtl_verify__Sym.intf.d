@@ -1,0 +1,1 @@
+lib/verify/sym.mli: Csrtl_core Format

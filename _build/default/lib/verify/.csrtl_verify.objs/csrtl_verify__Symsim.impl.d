@@ -1,0 +1,1 @@
+lib/verify/symsim.ml: Array Csrtl_core Hashtbl List Option Sym

@@ -1,0 +1,1 @@
+lib/verify/symsim.mli: Csrtl_core Sym

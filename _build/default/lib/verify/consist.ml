@@ -1,0 +1,103 @@
+module C = Csrtl_core
+
+let random_model ?(conflict = false) ?(size = 8) seed =
+  let rnd = Random.State.make [| seed; 0xC0C0 |] in
+  let n_regs = 2 + Random.State.int rnd 3 in
+  let buses = [ "BA"; "BB"; "BC" ] in
+  let b =
+    C.Builder.create
+      ~name:(Printf.sprintf "consist%d%s" seed (if conflict then "c" else ""))
+      ~cs_max:((size * 3) + 2)
+      ()
+  in
+  for i = 0 to n_regs - 1 do
+    C.Builder.reg b
+      ~init:(C.Word.nat (Random.State.int rnd 64))
+      (Printf.sprintf "R%d" i)
+  done;
+  (if Random.State.int rnd 3 = 0 then
+     (* step-scheduled input: the port value changes mid-run *)
+     C.Builder.input b
+       ~schedule:
+         [ (1, C.Word.nat (Random.State.int rnd 64));
+           (1 + Random.State.int rnd (size * 2),
+            C.Word.nat (Random.State.int rnd 64)) ]
+       "X"
+   else C.Builder.input b ~value:(C.Word.nat (Random.State.int rnd 64)) "X");
+  C.Builder.output b "OUT";
+  C.Builder.buses b buses;
+  C.Builder.unit_ b ~ops:[ C.Ops.Add; C.Ops.Sub; C.Ops.Max; C.Ops.Bxor ]
+    "ALU";
+  C.Builder.unit_ b ~latency:2 ~ops:[ C.Ops.Mul ] "MULT";
+  C.Builder.unit_ b ~ops:[ C.Ops.Pass; C.Ops.Neg ] "COPY";
+  let reg i = Printf.sprintf "R%d" (i mod n_regs) in
+  (* One tuple per odd step: reads at step, writes at step+latency;
+     steps spaced by 3 so even two-step units never overlap a bus or
+     the writer of their destination. *)
+  for i = 0 to size - 1 do
+    let read = (i * 3) + 1 in
+    let use_mult = Random.State.int rnd 4 = 0 in
+    let fu, op, latency =
+      if use_mult then ("MULT", C.Ops.Mul, 2)
+      else
+        ( "ALU",
+          (match Random.State.int rnd 4 with
+           | 0 -> C.Ops.Add
+           | 1 -> C.Ops.Sub
+           | 2 -> C.Ops.Max
+           | _ -> C.Ops.Bxor),
+          1 )
+    in
+    let src_a =
+      if Random.State.int rnd 5 = 0 then C.Transfer.From_input "X"
+      else C.Transfer.From_reg (reg (Random.State.int rnd n_regs))
+    in
+    let src_b = C.Transfer.From_reg (reg (Random.State.int rnd n_regs)) in
+    let dst =
+      if i = size - 1 then C.Transfer.To_output "OUT"
+      else C.Transfer.To_reg (reg (Random.State.int rnd n_regs))
+    in
+    C.Builder.binary b ~op ~fu ~a:(src_a, "BA") ~b:(src_b, "BB") ~read
+      ~write:(read + latency, "BC")
+      ~dst
+  done;
+  if conflict then begin
+    (* deliberate double drive of BA in some step *)
+    let read = (3 * (1 + Random.State.int rnd (size - 1))) + 1 in
+    C.Builder.unary b ~op:C.Ops.Pass ~fu:"COPY"
+      ~a:(C.Transfer.From_reg (reg 0), "BA")
+      ~read
+      ~write:(read + 1, "BA")
+      ~dst:(C.Transfer.To_reg (reg 1))
+  end;
+  C.Builder.finish_unchecked b
+
+let check (m : C.Model.t) =
+  match C.Model.validate m with
+  | _ :: _ as errs ->
+    Error (List.map (fun (e : C.Model.error) -> e.C.Model.message) errs)
+  | [] ->
+    let kr = C.Simulate.run m in
+    let io = C.Interp.run m in
+    let errors = ref [] in
+    (match C.Observation.diff kr.C.Simulate.obs io with
+     | [] -> ()
+     | diffs -> errors := diffs);
+    if kr.C.Simulate.cycles <> C.Simulate.expected_cycles m then
+      errors :=
+        Printf.sprintf "delta-cycle law violated: %d cycles, expected %d"
+          kr.C.Simulate.cycles
+          (C.Simulate.expected_cycles m)
+        :: !errors;
+    (match !errors with [] -> Ok () | es -> Error es)
+
+let run_batch ?(conflict_every = 4) ~seed ~count () =
+  let failures = ref [] in
+  for i = 0 to count - 1 do
+    let conflict = conflict_every > 0 && i mod conflict_every = 0 && i > 0 in
+    let m = random_model ~conflict (seed + i) in
+    match check m with
+    | Ok () -> ()
+    | Error es -> failures := (seed + i, es) :: !failures
+  done;
+  List.rev !failures

@@ -1,0 +1,27 @@
+(** Consistency of the control-step semantics with the delta-cycle
+    simulation semantics.
+
+    Paper §2.7: "The close relationship of the register transfer
+    model to the VHDL simulation delta cycle allows to prove the
+    consistency of the dedicated semantics ... with VHDL simulation
+    semantics."  Here the theorem is checked empirically and at
+    scale: random models — conflict-free and deliberately conflicted
+    — run through both {!Csrtl_core.Simulate} (event kernel) and
+    {!Csrtl_core.Interp} (direct semantics), and the observations
+    must be identical, including where ILLEGAL surfaces. *)
+
+val random_model : ?conflict:bool -> ?size:int -> int -> Csrtl_core.Model.t
+(** Deterministic pseudo-random model from a seed: several registers,
+    multi-op units with mixed latencies, inputs, outputs, and a
+    conflict-free schedule (bus slots and unit uses tracked during
+    generation).  [conflict] injects a deliberate double drive. *)
+
+val check : Csrtl_core.Model.t -> (unit, string list) result
+(** Kernel observation vs interpreter observation, plus the
+    delta-cycle law [cycles = expected_cycles]. *)
+
+val run_batch :
+  ?conflict_every:int -> seed:int -> count:int -> unit ->
+  (int * string list) list
+(** Check [count] random models (every [conflict_every]-th with an
+    injected conflict, default 4); returns the failures. *)

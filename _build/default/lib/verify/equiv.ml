@@ -1,0 +1,67 @@
+module C = Csrtl_core
+module H = Csrtl_hls
+
+type verdict =
+  | Proved
+  | Refuted of (string * int) list
+  | Unproven of string
+
+let equal_terms ?(trials = 64) ?(seed = 0x5eed) a b =
+  let na = Sym.normalize a and nb = Sym.normalize b in
+  if Sym.equal na nb then Proved
+  else begin
+    let vars = List.sort_uniq String.compare (Sym.vars na @ Sym.vars nb) in
+    let rnd = Random.State.make [| seed |] in
+    let rec try_trial i =
+      if i >= trials then
+        Unproven
+          (Printf.sprintf "normal forms differ: %s vs %s" (Sym.to_string na)
+             (Sym.to_string nb))
+      else begin
+        let assignment =
+          List.map (fun v -> (v, Random.State.int rnd 1_000_000)) vars
+        in
+        let env v = List.assoc v assignment in
+        if C.Word.equal (Sym.eval env na) (Sym.eval env nb) then
+          try_trial (i + 1)
+        else Refuted assignment
+      end
+    in
+    try_trial 0
+  end
+
+let ir_term (p : H.Ir.program) output =
+  H.Ir.validate p;
+  let env = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace env i (Sym.Sym i)) p.inputs;
+  let rec go = function
+    | H.Ir.Var v -> Hashtbl.find env v
+    | H.Ir.Lit c -> Sym.nat c
+    | H.Ir.Bin (op, a, b) -> Sym.normalize (Sym.App (op, [ go a; go b ]))
+    | H.Ir.Un (op, a) -> Sym.normalize (Sym.App (op, [ go a ]))
+  in
+  List.iter (fun (s : H.Ir.stmt) -> Hashtbl.replace env s.def (go s.rhs)) p.stmts;
+  Sym.normalize (Hashtbl.find env output)
+
+let check_program ?trials (p : H.Ir.program) (m : C.Model.t) =
+  let res = Symsim.run m in
+  List.map
+    (fun o ->
+      match Symsim.last_output res o with
+      | None -> (o, Unproven "model never writes this output")
+      | Some term -> (o, equal_terms ?trials (ir_term p o) term))
+    p.outputs
+
+let check_flow ?trials (flow : H.Flow.t) =
+  check_program ?trials flow.H.Flow.program flow.H.Flow.binding.H.Synth.model
+
+let all_proved verdicts =
+  List.for_all (fun (_, v) -> v = Proved) verdicts
+
+let pp_verdict ppf = function
+  | Proved -> Format.pp_print_string ppf "proved"
+  | Refuted assignment ->
+    Format.fprintf ppf "refuted under {%s}"
+      (String.concat ", "
+         (List.map (fun (v, n) -> Printf.sprintf "%s=%d" v n) assignment))
+  | Unproven why -> Format.fprintf ppf "unproven (%s)" why

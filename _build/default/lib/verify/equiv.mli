@@ -1,0 +1,37 @@
+(** Equivalence of an RT model against an algorithmic description.
+
+    The paper §4: "This register transfer level description is to be
+    verified against a description at the algorithmic level ... An
+    automatic proving procedure has been implemented, that performs
+    the verification task."  Here the procedure is: symbolically
+    simulate the model ({!Symsim}), symbolically evaluate the
+    algorithmic program ({!Csrtl_hls.Ir}), normalize both terms
+    ({!Sym.normalize}) and compare.  When normal forms differ the
+    verdict falls back to randomized testing: a differing assignment
+    refutes, agreement on all trials stays [Unproven] (normalization
+    is sound but incomplete). *)
+
+type verdict =
+  | Proved  (** normal forms are equal *)
+  | Refuted of (string * int) list  (** counterexample assignment *)
+  | Unproven of string  (** terms differ syntactically; no refutation found *)
+
+val equal_terms : ?trials:int -> ?seed:int -> Sym.t -> Sym.t -> verdict
+
+val ir_term : Csrtl_hls.Ir.program -> string -> Sym.t
+(** Symbolic value of one program output over symbols named after the
+    program inputs. *)
+
+val check_program :
+  ?trials:int -> Csrtl_hls.Ir.program -> Csrtl_core.Model.t ->
+  (string * verdict) list
+(** Per program output: the model's final write to the same-named
+    output port versus the program's term.  Model inputs must be the
+    program inputs (left symbolic). *)
+
+val check_flow : ?trials:int -> Csrtl_hls.Flow.t -> (string * verdict) list
+(** {!check_program} applied to an HLS flow's generated model. *)
+
+val all_proved : (string * verdict) list -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,159 @@
+module C = Csrtl_core
+module CL = Csrtl_clocked
+
+type verdict =
+  | Proved
+  | Mismatch of {
+      at_step : int;
+      reg : string;
+      clock_free : Sym.t;
+      clocked : Sym.t;
+    }
+
+exception Control_not_concrete of string
+
+let input_term (m : C.Model.t) name step =
+  match
+    List.find_opt (fun (i : C.Model.input) -> i.C.Model.in_name = name)
+      m.C.Model.inputs
+  with
+  | None -> Sym.nat 0
+  | Some i ->
+    (match i.C.Model.drive with
+     | C.Model.Const v when C.Word.is_disc v -> Sym.Sym name
+     | C.Model.Const v -> Sym.of_word v
+     | C.Model.Schedule _ ->
+       let v = C.Model.input_value i step in
+       if C.Word.is_nat v then Sym.of_word v else Sym.nat 0)
+
+let as_nat = function
+  | Sym.Nat n -> Some n
+  | Sym.Disc | Sym.Illegal | Sym.Sym _ | Sym.App _ -> None
+
+(* One symbolic clock cycle: combinational terms, then the edge. *)
+let eval_cycle (m : C.Model.t) net order reg_state values ~step =
+  Array.iter
+    (fun id ->
+      values.(id) <-
+        (match CL.Netlist.node net id with
+         | CL.Netlist.Input name -> input_term m name step
+         | CL.Netlist.Const v -> Sym.nat v
+         | CL.Netlist.Reg_q slot -> reg_state.(slot)
+         | CL.Netlist.Op (op, args) ->
+           let a i = values.(List.nth args i) in
+           (match op, List.length args with
+            | C.Ops.Mac, 3 ->
+              (* the netlist threads the accumulator explicitly; build
+                 the same shape Symsim's MAC produces *)
+              Sym.normalize
+                (Sym.App
+                   ( C.Ops.Add,
+                     [ a 2; Sym.App (C.Ops.Mul, [ a 0; a 1 ]) ] ))
+            | _, _ ->
+              Sym.normalize
+                (Sym.App (op, List.map (fun x -> values.(x)) args)))
+         | CL.Netlist.Eq_const (a, v) ->
+           (match as_nat values.(a) with
+            | Some n -> Sym.nat (if n = v then 1 else 0)
+            | None ->
+              raise
+                (Control_not_concrete
+                   (Printf.sprintf "comparator n%d has a symbolic operand"
+                      id)))
+         | CL.Netlist.Mux { sel; cases; default } ->
+           (match as_nat values.(sel) with
+            | Some s ->
+              (match List.assoc_opt s cases with
+               | Some c -> values.(c)
+               | None -> values.(default))
+            | None ->
+              raise
+                (Control_not_concrete
+                   (Printf.sprintf "mux n%d has a symbolic select" id)))))
+    order
+
+let edge net regs reg_state values =
+  let pending =
+    List.mapi
+      (fun slot (_, (r : CL.Netlist.register)) ->
+        let load =
+          match r.CL.Netlist.enable with
+          | None -> true
+          | Some e ->
+            (match as_nat values.(e) with
+             | Some n -> n <> 0
+             | None ->
+               raise (Control_not_concrete "symbolic register enable"))
+        in
+        if load && r.CL.Netlist.next >= 0 then
+          Some (slot, values.(r.CL.Netlist.next))
+        else None)
+      regs
+  in
+  ignore net;
+  List.iter
+    (function
+      | Some (slot, v) -> reg_state.(slot) <- v
+      | None -> ())
+    pending
+
+let check ?scheme (m : C.Model.t) =
+  let low = CL.Lower.lower ?scheme m in
+  let net = low.CL.Lower.net in
+  let order = CL.Netlist.comb_order net in
+  let regs = CL.Netlist.registers net in
+  let cps = low.CL.Lower.cycles_per_step in
+  let reg_state =
+    Array.of_list
+      (List.map (fun (_, (r : CL.Netlist.register)) -> Sym.nat r.CL.Netlist.init) regs)
+  in
+  let values = Array.make (CL.Netlist.size net) Sym.Disc in
+  let sym = Symsim.run m in
+  let arch_regs =
+    (* netlist register slots that correspond to model registers *)
+    List.mapi (fun slot (name, _) -> (slot, name)) regs
+    |> List.filter (fun (_, name) ->
+           List.exists
+             (fun (r : C.Model.register) -> r.C.Model.reg_name = name)
+             m.C.Model.registers)
+  in
+  let result = ref Proved in
+  (try
+     for cycle = 1 to CL.Lower.cycles_needed low do
+       let step = ((cycle - 1) / cps) + 1 in
+       eval_cycle m net order reg_state values ~step;
+       edge net regs reg_state values;
+       if cycle mod cps = 0 && !result = Proved then
+         (* end of control step [step]: compare architectural registers *)
+         List.iter
+           (fun (slot, name) ->
+             match !result with
+             | Mismatch _ -> ()
+             | Proved ->
+               let cf =
+                 match List.assoc_opt name sym.Symsim.reg_at with
+                 | Some arr -> arr.(step - 1)
+                 | None -> Sym.Disc
+               in
+               if cf <> Sym.Disc && cf <> Sym.Illegal then begin
+                 let hw = Sym.normalize reg_state.(slot) in
+                 if not (Sym.equal cf hw) then
+                   result :=
+                     Mismatch
+                       { at_step = step; reg = name; clock_free = cf;
+                         clocked = hw }
+               end)
+           arch_regs
+     done
+   with Control_not_concrete why ->
+     result :=
+       Mismatch
+         { at_step = 0; reg = why; clock_free = Sym.Disc;
+           clocked = Sym.Disc });
+  !result
+
+let pp_verdict ppf = function
+  | Proved -> Format.pp_print_string ppf "proved (all inputs)"
+  | Mismatch { at_step; reg; clock_free; clocked } ->
+    Format.fprintf ppf "step %d, %s: clock-free %s vs clocked %s" at_step
+      reg (Sym.to_string clock_free) (Sym.to_string clocked)

@@ -1,0 +1,33 @@
+(** Translation validation for the clocked lowering.
+
+    {!Csrtl_clocked.Equiv} checks the lowering numerically, on one
+    input vector.  This module checks it {e symbolically}: the clocked
+    netlist is evaluated over symbolic inputs (control stays concrete
+    — the step counter, the decoded enables and the multiplexer
+    selections all fold to constants, so data terms never blow up),
+    and after each control step every architectural register's term
+    must equal the clock-free model's term from {!Symsim}, for every
+    step where the clock-free value is not DISC (don't-care).
+
+    A [Proved] verdict holds for {e all} input values at once — the
+    paper's "transformation ... can be performed automatically"
+    upgraded with a per-run correctness certificate. *)
+
+type verdict =
+  | Proved
+  | Mismatch of {
+      at_step : int;
+      reg : string;
+      clock_free : Sym.t;
+      clocked : Sym.t;
+    }
+
+val check :
+  ?scheme:Csrtl_clocked.Lower.scheme -> Csrtl_core.Model.t -> verdict
+(** Lower the model, run both symbolic simulations, compare normalized
+    terms per (step, register).  Raises
+    {!Csrtl_clocked.Lower.Lowering_error} on conflicted models, like
+    the lowering itself.  Models whose inputs have [Const DISC] drives
+    are treated as fully symbolic (as in {!Symsim}). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

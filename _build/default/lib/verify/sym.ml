@@ -1,0 +1,202 @@
+module C = Csrtl_core
+
+type t =
+  | Disc
+  | Illegal
+  | Nat of int
+  | Sym of string
+  | App of C.Ops.t * t list
+
+let nat n = Nat (C.Word.mask n)
+let sym s = Sym s
+
+let of_word w =
+  if C.Word.is_disc w then Disc
+  else if C.Word.is_illegal w then Illegal
+  else Nat w
+
+let rec compare_t a b =
+  match a, b with
+  | Nat x, Nat y -> Int.compare x y
+  | Nat _, _ -> -1
+  | _, Nat _ -> 1
+  | Sym x, Sym y -> String.compare x y
+  | Sym _, _ -> -1
+  | _, Sym _ -> 1
+  | Disc, Disc -> 0
+  | Disc, _ -> -1
+  | _, Disc -> 1
+  | Illegal, Illegal -> 0
+  | Illegal, _ -> -1
+  | _, Illegal -> 1
+  | App (o1, a1), App (o2, a2) ->
+    let c = Stdlib.compare o1 o2 in
+    if c <> 0 then c else List.compare compare_t a1 a2
+
+(* Immediate forms are folded into their general forms so that, e.g.,
+   [Addi 3 x] and [Add x 3] normalize identically. *)
+let generalize op args =
+  match op, args with
+  | C.Ops.Addi n, [ a ] -> (C.Ops.Add, [ a; Nat (C.Word.mask n) ])
+  | C.Ops.Subi n, [ a ] -> (C.Ops.Sub, [ a; Nat (C.Word.mask n) ])
+  | C.Ops.Muli n, [ a ] -> (C.Ops.Mul, [ a; Nat (C.Word.mask n) ])
+  | C.Ops.Shli n, [ a ] -> (C.Ops.Shl, [ a; Nat (C.Word.mask n) ])
+  | C.Ops.Shri n, [ a ] -> (C.Ops.Shr, [ a; Nat (C.Word.mask n) ])
+  | C.Ops.Asri n, [ a ] -> (C.Ops.Asr, [ a; Nat (C.Word.mask n) ])
+  | _, _ -> (op, args)
+
+let associative = function
+  | C.Ops.Add | C.Ops.Mul | C.Ops.Band | C.Ops.Bor | C.Ops.Bxor
+  | C.Ops.Min | C.Ops.Max ->
+    true
+  | _ -> false
+
+let neutral = function
+  | C.Ops.Add | C.Ops.Bor | C.Ops.Bxor -> Some 0
+  | C.Ops.Mul -> Some 1
+  | C.Ops.Band -> Some (C.Word.mask (-1))
+  | _ -> None
+
+let absorbing = function
+  | C.Ops.Mul | C.Ops.Band -> Some 0
+  | C.Ops.Bor -> Some (C.Word.mask (-1))
+  | _ -> None
+
+let rec normalize t =
+  match t with
+  | Disc | Illegal | Nat _ | Sym _ -> t
+  | App (op, args) ->
+    let args = List.map normalize args in
+    let op, args = generalize op args in
+    if List.exists (fun a -> a = Illegal) args then Illegal
+    else if List.for_all (function Nat _ -> true | _ -> false) args then
+      (* fully concrete: fold *)
+      let ints =
+        Array.of_list
+          (List.map (function Nat n -> n | _ -> assert false) args)
+      in
+      Nat (C.Ops.eval op ints)
+    else if associative op then begin
+      (* flatten nested applications of the same operator *)
+      let operands =
+        List.concat_map
+          (fun a ->
+            match a with
+            | App (op', args') when op' = op -> args'
+            | _ -> [ a ])
+          args
+      in
+      (* fold the concrete part *)
+      let nats, others =
+        List.partition (function Nat _ -> true | _ -> false) operands
+      in
+      let folded =
+        match nats with
+        | [] -> None
+        | Nat first :: rest ->
+          Some
+            (List.fold_left
+               (fun acc a ->
+                 match a with
+                 | Nat n -> C.Ops.eval op [| acc; n |]
+                 | _ -> acc)
+               first rest)
+        | _ -> None
+      in
+      (match folded, absorbing op with
+       | Some v, Some z when v = z -> Nat z
+       | _, _ ->
+         let keep_const =
+           match folded, neutral op with
+           | None, _ -> []
+           | Some v, Some n when v = n -> []
+           | Some v, _ -> [ Nat v ]
+         in
+         let operands = List.sort compare_t (others @ keep_const) in
+         (match operands with
+          | [] ->
+            (match neutral op with Some n -> Nat n | None -> App (op, []))
+          | [ one ] -> one
+          | _ -> App (op, operands)))
+    end
+    else
+      (match op, args with
+       | C.Ops.Pass, [ a ] -> a
+       | C.Ops.Sub, [ a; Nat 0 ] -> a
+       | C.Ops.Sub, [ a; b ] when compare_t a b = 0 -> Nat 0
+       | C.Ops.Shl, [ a; Nat 0 ]
+       | C.Ops.Shr, [ a; Nat 0 ]
+       | C.Ops.Asr, [ a; Nat 0 ] ->
+         a
+       | _, _ -> App (op, args))
+
+let apply op ~prev x y =
+  let arity = C.Ops.arity op in
+  let operands = match arity with 0 -> [] | 1 -> [ x ] | _ -> [ x; y ] in
+  if List.exists (fun a -> a = Illegal) operands then Illegal
+  else if arity > 0 && List.for_all (fun a -> a = Disc) operands then
+    if C.Ops.is_stateful op then prev else Disc
+  else if List.exists (fun a -> a = Disc) operands then Illegal
+  else
+    match op with
+    | C.Ops.Mac ->
+      if prev = Illegal then Illegal
+      else
+        let acc = if prev = Disc then Nat 0 else prev in
+        normalize (App (C.Ops.Add, [ acc; App (C.Ops.Mul, [ x; y ]) ]))
+    | C.Ops.Const c -> Nat (C.Word.mask c)
+    | _ -> normalize (App (op, operands))
+
+let resolve values =
+  let contributing = List.filter (fun v -> v <> Disc) values in
+  if List.exists (fun v -> v = Illegal) contributing then Illegal
+  else
+    match contributing with
+    | [] -> Disc
+    | [ one ] -> one
+    | _ :: _ :: _ -> Illegal
+
+let equal a b = compare_t (normalize a) (normalize b) = 0
+
+let rec eval env t =
+  match t with
+  | Disc -> C.Word.disc
+  | Illegal -> C.Word.illegal
+  | Nat n -> n
+  | Sym s -> C.Word.mask (env s)
+  | App (op, args) ->
+    let vals = List.map (eval env) args in
+    if List.exists C.Word.is_illegal vals then C.Word.illegal
+    else if List.exists C.Word.is_disc vals then C.Word.illegal
+    else
+      (match op, Array.of_list vals with
+       | _, arr when Array.length arr = C.Ops.arity op -> C.Ops.eval op arr
+       | o, arr when associative o && Array.length arr > 2 ->
+         (* flattened n-ary application *)
+         Array.fold_left
+           (fun acc v -> C.Ops.eval o [| acc; v |])
+           arr.(0)
+           (Array.sub arr 1 (Array.length arr - 1))
+       | _, _ -> C.Word.illegal)
+
+let rec vars_acc acc = function
+  | Disc | Illegal | Nat _ -> acc
+  | Sym s -> s :: acc
+  | App (_, args) -> List.fold_left vars_acc acc args
+
+let vars t = List.sort_uniq String.compare (vars_acc [] t)
+
+let rec size = function
+  | Disc | Illegal | Nat _ | Sym _ -> 1
+  | App (_, args) -> List.fold_left (fun acc a -> acc + size a) 1 args
+
+let rec to_string = function
+  | Disc -> "DISC"
+  | Illegal -> "ILLEGAL"
+  | Nat n -> string_of_int n
+  | Sym s -> s
+  | App (op, args) ->
+    Printf.sprintf "%s(%s)" (C.Ops.to_string op)
+      (String.concat ", " (List.map to_string args))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

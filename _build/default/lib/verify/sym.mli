@@ -1,0 +1,48 @@
+(** Symbolic word values with normalization.
+
+    Plays the role of the "computer algebra simplification tool" the
+    paper cites (Arditi & Collavizza) for relating abstraction
+    levels: register contents become terms over the input symbols,
+    and two descriptions agree when their normalized terms do.
+    Sentinels are part of the domain, mirroring {!Csrtl_core.Word}:
+    a symbolic value is either definitely DISC/ILLEGAL, a known
+    natural, a free symbol, or an applied operation. *)
+
+type t =
+  | Disc
+  | Illegal
+  | Nat of int
+  | Sym of string
+  | App of Csrtl_core.Ops.t * t list
+
+val nat : int -> t
+val sym : string -> t
+val of_word : Csrtl_core.Word.t -> t
+
+val apply : Csrtl_core.Ops.t -> prev:t -> t -> t -> t
+(** Symbolic counterpart of {!Csrtl_core.Ops.apply}: concrete
+    sentinel behaviour when decidable, otherwise a normalized
+    application term. *)
+
+val resolve : t list -> t
+(** Symbolic counterpart of the resolution function.  Symbols denote
+    naturals, so two potentially-driving terms resolve to ILLEGAL. *)
+
+val normalize : t -> t
+(** Constant folding; neutral/absorbing elements ([x+0], [x*1],
+    [x*0], [pass x]); flattening and sorting of associative-
+    commutative operators ([Add], [Mul], bit operations); immediate
+    operations folded into their general forms. *)
+
+val equal : t -> t -> bool
+(** Equality of normal forms. *)
+
+val eval : (string -> int) -> t -> Csrtl_core.Word.t
+(** Evaluate under an assignment of the free symbols. *)
+
+val vars : t -> string list
+(** Free symbols, sorted, without duplicates. *)
+
+val size : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

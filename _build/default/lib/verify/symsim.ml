@@ -1,0 +1,247 @@
+module C = Csrtl_core
+
+type result = {
+  reg_final : (string * Sym.t) list;
+  reg_at : (string * Sym.t array) list;
+  out_writes : (string * (int * Sym.t) list) list;
+  illegal_at : (int * C.Phase.t * string) list;
+}
+
+(* Symbolic functional-unit pipeline mirroring Fu_state. *)
+type fu_pipe = { fu : C.Model.fu; slots : Sym.t array }
+
+let fu_create (fu : C.Model.fu) =
+  { fu; slots = Array.make fu.latency Sym.Disc }
+
+let fu_busy u =
+  let n = Array.length u.slots in
+  let rec check i = i < n - 1 && (u.slots.(i) <> Sym.Disc || check (i + 1)) in
+  n > 1 && check 0
+
+let fu_step u ~op_index a b =
+  let prev = u.slots.(0) in
+  let no_operands = a = Sym.Disc && b = Sym.Disc in
+  let next =
+    if u.fu.C.Model.sticky_illegal && prev = Sym.Illegal then Sym.Illegal
+    else if C.Word.is_illegal op_index then Sym.Illegal
+    else if a = Sym.Illegal || b = Sym.Illegal then Sym.Illegal
+    else if no_operands && C.Word.is_disc op_index then
+      (match u.fu.C.Model.ops with
+       | op :: _ when C.Ops.is_stateful op && List.length u.fu.C.Model.ops = 1
+         ->
+         prev
+       | _ -> Sym.Disc)
+    else
+      let op =
+        if C.Word.is_disc op_index then None
+        else List.nth_opt u.fu.C.Model.ops op_index
+      in
+      match op with
+      | None -> Sym.Illegal
+      | Some op ->
+        if (not u.fu.C.Model.pipelined) && fu_busy u && not no_operands then
+          Sym.Illegal
+        else Sym.apply op ~prev a b
+  in
+  let n = Array.length u.slots in
+  let out = u.slots.(n - 1) in
+  for i = n - 1 downto 1 do
+    u.slots.(i) <- u.slots.(i - 1)
+  done;
+  u.slots.(0) <- next;
+  out
+
+let input_sym (i : C.Model.input) step =
+  match i.drive with
+  | C.Model.Const v when C.Word.is_disc v -> Sym.Sym i.in_name
+  | C.Model.Const v -> Sym.of_word v
+  | C.Model.Schedule _ -> Sym.of_word (C.Model.input_value i step)
+
+let run (m : C.Model.t) =
+  C.Model.validate_exn m;
+  let regs = Hashtbl.create 16 in
+  List.iter
+    (fun (r : C.Model.register) ->
+      Hashtbl.replace regs r.reg_name (Sym.of_word r.init))
+    m.registers;
+  let fus = Hashtbl.create 8 in
+  let fu_out = Hashtbl.create 8 in
+  let op_index_of = Hashtbl.create 8 in
+  List.iter
+    (fun (f : C.Model.fu) ->
+      Hashtbl.replace fus f.fu_name (fu_create f);
+      Hashtbl.replace fu_out f.fu_name Sym.Disc;
+      Hashtbl.replace op_index_of f.fu_name (fun op ->
+          let rec find i = function
+            | [] -> C.Word.illegal
+            | o :: rest -> if C.Ops.equal o op then i else find (i + 1) rest
+          in
+          find 0 f.ops))
+    m.fus;
+  let legs, selects = C.Model.all_legs m in
+  let legs_at = Hashtbl.create 32 in
+  List.iter
+    (fun (l : C.Transfer.leg) ->
+      let key = (l.step, C.Phase.to_int l.phase) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt legs_at key) in
+      Hashtbl.replace legs_at key (prev @ [ l ]))
+    legs;
+  let selects_at = Hashtbl.create 16 in
+  List.iter
+    (fun (s : C.Transfer.op_select) ->
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt selects_at s.sel_step)
+      in
+      Hashtbl.replace selects_at s.sel_step (prev @ [ s ]))
+    selects;
+  (* data contributions are symbolic; op-select contributions concrete *)
+  let contribs : (string, Sym.t list) Hashtbl.t ref = ref (Hashtbl.create 16) in
+  let op_contribs : (string, C.Word.t list) Hashtbl.t ref =
+    ref (Hashtbl.create 8)
+  in
+  let visible = ref (Hashtbl.create 16) in
+  let op_visible = ref (Hashtbl.create 8) in
+  let illegal_at = ref [] in
+  let out_writes = ref [] in
+  let reg_trace = Hashtbl.create 16 in
+  List.iter
+    (fun (r : C.Model.register) ->
+      Hashtbl.replace reg_trace r.reg_name (Array.make m.cs_max Sym.Disc))
+    m.registers;
+  let contribute sink v =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt !contribs sink) in
+    Hashtbl.replace !contribs sink (v :: prev)
+  in
+  let op_contribute sink v =
+    let prev =
+      Option.value ~default:[] (Hashtbl.find_opt !op_contribs sink)
+    in
+    Hashtbl.replace !op_contribs sink (v :: prev)
+  in
+  let get_visible sink =
+    Option.value ~default:Sym.Disc (Hashtbl.find_opt !visible sink)
+  in
+  let get_op_visible sink =
+    Option.value ~default:C.Word.disc (Hashtbl.find_opt !op_visible sink)
+  in
+  let flip step phase =
+    let nv = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun sink vs ->
+        let v = Sym.resolve vs in
+        Hashtbl.replace nv sink v;
+        if v = Sym.Illegal && get_visible sink <> Sym.Illegal then
+          illegal_at := (step, phase, sink) :: !illegal_at)
+      !contribs;
+    visible := nv;
+    contribs := Hashtbl.create 16;
+    let nov = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun sink vs ->
+        let v = C.Resolve.resolve_list vs in
+        Hashtbl.replace nov sink v;
+        if C.Word.is_illegal v && not (C.Word.is_illegal (get_op_visible sink))
+        then illegal_at := (step, phase, sink) :: !illegal_at)
+      !op_contribs;
+    op_visible := nov;
+    op_contribs := Hashtbl.create 8
+  in
+  let source_value step = function
+    | C.Transfer.Reg_out r ->
+      Option.value ~default:Sym.Disc (Hashtbl.find_opt regs r)
+    | C.Transfer.In_port i ->
+      (match
+         List.find_opt (fun (x : C.Model.input) -> x.in_name = i) m.inputs
+       with
+       | Some inp -> input_sym inp step
+       | None -> Sym.Disc)
+    | C.Transfer.Bus b -> get_visible b
+    | C.Transfer.Fu_out f ->
+      Option.value ~default:Sym.Disc (Hashtbl.find_opt fu_out f)
+    | C.Transfer.Reg_in _ | C.Transfer.Fu_in _ | C.Transfer.Out_port _ ->
+      Sym.Disc
+  in
+  for step = 1 to m.cs_max do
+    List.iter
+      (fun phase ->
+        flip step phase;
+        let ls =
+          Option.value ~default:[]
+            (Hashtbl.find_opt legs_at (step, C.Phase.to_int phase))
+        in
+        List.iter
+          (fun (l : C.Transfer.leg) ->
+            contribute
+              (C.Transfer.endpoint_name l.dst)
+              (source_value step l.src))
+          ls;
+        match phase with
+        | C.Phase.Rb ->
+          List.iter
+            (fun (s : C.Transfer.op_select) ->
+              match Hashtbl.find_opt op_index_of s.sel_fu with
+              | Some index ->
+                op_contribute (s.sel_fu ^ ".op") (index s.sel_op)
+              | None -> ())
+            (Option.value ~default:[] (Hashtbl.find_opt selects_at step))
+        | C.Phase.Cm ->
+          List.iter
+            (fun (f : C.Model.fu) ->
+              let u = Hashtbl.find fus f.fu_name in
+              let out =
+                fu_step u
+                  ~op_index:(get_op_visible (f.fu_name ^ ".op"))
+                  (get_visible (f.fu_name ^ ".in1"))
+                  (get_visible (f.fu_name ^ ".in2"))
+              in
+              Hashtbl.replace fu_out f.fu_name out)
+            m.fus
+        | C.Phase.Cr ->
+          List.iter
+            (fun (r : C.Model.register) ->
+              let v = get_visible (r.reg_name ^ ".in") in
+              if v <> Sym.Disc then Hashtbl.replace regs r.reg_name v)
+            m.registers;
+          List.iter
+            (fun o ->
+              let v = get_visible o in
+              if v <> Sym.Disc then
+                out_writes := (o, (step, v)) :: !out_writes)
+            m.outputs;
+          List.iter
+            (fun (r : C.Model.register) ->
+              (Hashtbl.find reg_trace r.reg_name).(step - 1) <-
+                Hashtbl.find regs r.reg_name)
+            m.registers
+        | C.Phase.Ra | C.Phase.Wa | C.Phase.Wb -> ())
+      C.Phase.all
+  done;
+  { reg_at =
+      List.map
+        (fun (r : C.Model.register) ->
+          ( r.reg_name,
+            Array.map Sym.normalize (Hashtbl.find reg_trace r.reg_name) ))
+        m.registers;
+    reg_final =
+      List.map
+        (fun (r : C.Model.register) ->
+          (r.reg_name, Sym.normalize (Hashtbl.find regs r.reg_name)))
+        m.registers;
+    out_writes =
+      List.map
+        (fun o ->
+          ( o,
+            List.rev
+              (List.filter_map
+                 (fun (name, (s, v)) ->
+                   if name = o then Some (s, Sym.normalize v) else None)
+                 !out_writes) ))
+        m.outputs;
+    illegal_at = List.rev !illegal_at }
+
+let last_output res o =
+  match List.assoc_opt o res.out_writes with
+  | None | Some [] -> None
+  | Some writes ->
+    let _, v = List.nth writes (List.length writes - 1) in
+    Some v

@@ -1,0 +1,28 @@
+(** Symbolic simulation of clock-free models.
+
+    Runs the control-step semantics of {!Csrtl_core.Interp} with
+    {!Sym.t} data: unconstrained inputs become free symbols, register
+    contents become terms over them.  Operation selections and the
+    transfer schedule stay concrete (they are static in the model),
+    so the result is exact — per register and output port, the term
+    the model computes.  This is the machinery behind the paper's §4
+    claim that "formal semantics of initial algorithmic description
+    and resulting register transfer level description are defined"
+    and compared by "an automatic proving procedure". *)
+
+type result = {
+  reg_final : (string * Sym.t) list;
+  reg_at : (string * Sym.t array) list;
+      (** per register, the normalized term at the end of each control
+          step (index [step - 1]) — what {!Lowcheck} compares against *)
+  out_writes : (string * (int * Sym.t) list) list;
+  illegal_at : (int * Csrtl_core.Phase.t * string) list;
+      (** sinks that definitely become ILLEGAL *)
+}
+
+val run : Csrtl_core.Model.t -> result
+(** Inputs driven with [Const DISC] become symbols named after the
+    port; all other drives stay concrete. *)
+
+val last_output : result -> string -> Sym.t option
+(** The final value written to an output port. *)

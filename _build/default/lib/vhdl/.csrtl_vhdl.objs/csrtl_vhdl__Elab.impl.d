@@ -1,0 +1,1 @@
+lib/vhdl/elab.ml: Array Ast Csrtl_core Csrtl_kernel Format Hashtbl List Option Parser Printf Process Scheduler Signal String Types

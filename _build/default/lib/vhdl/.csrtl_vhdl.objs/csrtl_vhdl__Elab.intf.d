@@ -1,0 +1,1 @@
+lib/vhdl/elab.mli: Ast Csrtl_kernel

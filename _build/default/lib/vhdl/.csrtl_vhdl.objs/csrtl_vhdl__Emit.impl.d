@@ -1,0 +1,1 @@
+lib/vhdl/emit.ml: Array Ast Csrtl_core List Pp Printf String

@@ -1,0 +1,1 @@
+lib/vhdl/emit.mli: Ast Csrtl_core

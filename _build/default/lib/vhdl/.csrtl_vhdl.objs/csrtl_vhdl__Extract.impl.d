@@ -1,0 +1,1 @@
+lib/vhdl/extract.ml: Ast Csrtl_core Emit Format Hashtbl List Parser String

@@ -1,0 +1,1 @@
+lib/vhdl/extract.mli: Ast Csrtl_core

@@ -1,0 +1,1 @@
+lib/vhdl/lexer.ml: Array Buffer List Printf String

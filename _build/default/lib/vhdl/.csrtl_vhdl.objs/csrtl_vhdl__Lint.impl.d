@@ -1,0 +1,1 @@
+lib/vhdl/lint.ml: Ast Format Hashtbl Lexer List Parser Printf String

@@ -1,0 +1,1 @@
+lib/vhdl/lint.mli: Ast Format

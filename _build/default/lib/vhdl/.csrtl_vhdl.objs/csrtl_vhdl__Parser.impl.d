@@ -1,0 +1,1 @@
+lib/vhdl/parser.ml: Array Ast Buffer Format Lexer List String

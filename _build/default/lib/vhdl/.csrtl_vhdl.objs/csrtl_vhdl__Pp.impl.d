@@ -1,0 +1,1 @@
+lib/vhdl/pp.ml: Ast Format List String

@@ -1,0 +1,1 @@
+lib/vhdl/pp.mli: Ast Format

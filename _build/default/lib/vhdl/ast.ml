@@ -1,0 +1,112 @@
+type binop =
+  | And | Or
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | Add | Sub | Mul
+  | Concat
+
+type unop = Not | Neg
+
+type expr =
+  | Int of int
+  | Str of string
+  | Name of string
+  | Attr of string * string
+  | Attr_call of string * string * expr list
+  | Index of string * expr
+  | Call of string * expr list
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Paren of expr
+
+type type_name = { base : string; resolution : string option }
+type mode = In | Out | Inout
+
+type port = {
+  port_name : string;
+  mode : mode;
+  port_type : type_name;
+  port_default : expr option;
+}
+
+type generic = {
+  gen_name : string;
+  gen_type : string;
+  gen_default : expr option;
+}
+
+type stmt =
+  | Wait
+  | Wait_on of string list
+  | Wait_until of expr
+  | Signal_assign of string * expr
+  | Var_assign of string * expr
+  | If of (expr * stmt list) list * stmt list
+  | For of string * expr * expr * stmt list
+  | Return of expr
+  | Assert_stmt of expr * string
+      (** [assert cond report "message" severity error;] *)
+  | Null_stmt
+
+type object_decl =
+  | Signal_decl of string list * type_name * expr option
+  | Variable_decl of string list * type_name * expr option
+  | Constant_decl of string * type_name * expr
+
+type process = {
+  proc_label : string option;
+  sensitivity : string list;
+  proc_decls : object_decl list;
+  body : stmt list;
+}
+
+type assoc = (string option * expr) list
+
+type concurrent =
+  | Proc of process
+  | Instance of {
+      inst_label : string;
+      component : string;
+      generic_map : assoc;
+      port_map : assoc;
+    }
+  | Concurrent_assign of string * expr
+
+type subprogram = {
+  fun_name : string;
+  fun_params : (string list * type_name) list;
+  fun_return : string;
+  fun_decls : object_decl list;
+  fun_body : stmt list;
+}
+
+type package_decl =
+  | Pkg_type_enum of string * string list
+  | Pkg_type_array of string * string * string
+      (** [type Name is array (Index range <>) of Elem] *)
+  | Pkg_subtype of string * type_name
+  | Pkg_constant of string * type_name * expr
+  | Pkg_function of subprogram
+  | Pkg_function_decl of string
+  | Pkg_comment of string
+
+type design_unit =
+  | Entity of {
+      ent_name : string;
+      generics : generic list;
+      ports : port list;
+    }
+  | Architecture of {
+      arch_name : string;
+      arch_entity : string;
+      arch_decls : object_decl list;
+      arch_stmts : concurrent list;
+    }
+  | Package of { pkg_name : string; pkg_decls : package_decl list }
+  | Package_body of { pkgb_name : string; pkgb_decls : package_decl list }
+  | Use_clause of string
+  | Comment of string
+
+type design_file = design_unit list
+
+let plain base = { base; resolution = None }
+let resolved f base = { base; resolution = Some f }

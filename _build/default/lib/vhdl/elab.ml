@@ -1,0 +1,654 @@
+open Csrtl_kernel
+
+exception Elab_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Elab_error m)) fmt
+let lc = String.lowercase_ascii
+
+type t = {
+  kernel : Scheduler.t;
+  lookup : string -> Signal.t;
+  failures : string list ref;
+}
+
+(* Interpreter values: the subset computes over integers; array values
+   appear only inside resolution-function calls. *)
+type value = V_int of int | V_arr of int array
+
+let as_int = function
+  | V_int n -> n
+  | V_arr _ -> fail "array value where an integer is expected"
+
+(* Static design database. *)
+type design = {
+  enums : (string, string array) Hashtbl.t;  (* type -> constructors *)
+  enum_lits : (string, int) Hashtbl.t;  (* constructor -> position *)
+  consts : (string, int) Hashtbl.t;
+  funs : (string, Ast.subprogram) Hashtbl.t;
+  entities : (string, Ast.generic list * Ast.port list) Hashtbl.t;
+  archs : (string, Ast.object_decl list * Ast.concurrent list) Hashtbl.t;
+      (* entity -> (decls, stmts) of its last architecture *)
+}
+
+let load_design (units : Ast.design_file) =
+  let d =
+    { enums = Hashtbl.create 8; enum_lits = Hashtbl.create 16;
+      consts = Hashtbl.create 16; funs = Hashtbl.create 8;
+      entities = Hashtbl.create 16; archs = Hashtbl.create 16 }
+  in
+  let load_pkg_decl decl =
+    match decl with
+    | Ast.Pkg_type_enum (n, items) ->
+      Hashtbl.replace d.enums (lc n) (Array.of_list items);
+      List.iteri (fun i item -> Hashtbl.replace d.enum_lits (lc item) i) items
+    | Ast.Pkg_constant (n, _, e) ->
+      let v =
+        match e with
+        | Ast.Int n -> n
+        | Ast.Unop (Ast.Neg, Ast.Int n) -> -n
+        | _ -> fail "package constant %s must be an integer literal" n
+      in
+      Hashtbl.replace d.consts (lc n) v
+    | Ast.Pkg_function f -> Hashtbl.replace d.funs (lc f.Ast.fun_name) f
+    | Ast.Pkg_type_array _ | Ast.Pkg_subtype _ | Ast.Pkg_function_decl _
+    | Ast.Pkg_comment _ ->
+      ()
+  in
+  List.iter
+    (fun u ->
+      match u with
+      | Ast.Package { pkg_decls; _ } | Ast.Package_body { pkgb_decls = pkg_decls; _ }
+        ->
+        List.iter load_pkg_decl pkg_decls
+      | Ast.Entity { ent_name; generics; ports } ->
+        Hashtbl.replace d.entities (lc ent_name) (generics, ports)
+      | Ast.Architecture { arch_entity; arch_decls; arch_stmts; _ } ->
+        Hashtbl.replace d.archs (lc arch_entity) (arch_decls, arch_stmts)
+      | Ast.Use_clause _ | Ast.Comment _ -> ())
+    units;
+  d
+
+(* One elaborated scope: constants/generics and visible signals. *)
+type scope = {
+  design : design;
+  k : Scheduler.t;
+  values : (string, int) Hashtbl.t;  (* generics + package constants *)
+  sigs : (string, Signal.t) Hashtbl.t;
+  failures : string list ref;
+}
+
+exception Return_value of value
+
+let rec eval_expr (sc : scope) (locals : (string, value ref) Hashtbl.t) e :
+  value =
+  let int_of e = as_int (eval_expr sc locals e) in
+  match e with
+  | Ast.Int n -> V_int n
+  | Ast.Str _ -> fail "string value in an expression"
+  | Ast.Paren e -> eval_expr sc locals e
+  | Ast.Name n -> (
+      let n = lc n in
+      match Hashtbl.find_opt locals n with
+      | Some r -> !r
+      | None ->
+        (match Hashtbl.find_opt sc.values n with
+         | Some v -> V_int v
+         | None ->
+           (match Hashtbl.find_opt sc.sigs n with
+            | Some s -> V_int (Signal.value s)
+            | None ->
+              (match Hashtbl.find_opt sc.design.enum_lits n with
+               | Some i -> V_int i
+               | None ->
+                 (match Hashtbl.find_opt sc.design.consts n with
+                  | Some v -> V_int v
+                  | None -> fail "unbound name %s" n)))))
+  | Ast.Attr (n, attr) -> (
+      match Hashtbl.find_opt locals (lc n) with
+      | Some { contents = V_arr a } -> (
+          match lc attr with
+          | "low" -> V_int 0
+          | "high" -> V_int (Array.length a - 1)
+          | "length" -> V_int (Array.length a)
+          | _ -> fail "unsupported array attribute '%s" attr)
+      | _ -> (
+          match Hashtbl.find_opt sc.design.enums (lc n) with
+          | Some items -> (
+              match lc attr with
+              | "low" | "left" -> V_int 0
+              | "high" | "right" -> V_int (Array.length items - 1)
+              | _ -> fail "unsupported attribute %s'%s" n attr)
+          | None -> fail "attribute on unknown name %s" n))
+  | Ast.Attr_call (n, attr, [ arg ]) -> (
+      match Hashtbl.find_opt sc.design.enums (lc n), lc attr with
+      | Some items, "succ" ->
+        let v = int_of arg in
+        if v + 1 >= Array.length items then
+          fail "%s'Succ beyond the last constructor" n
+        else V_int (v + 1)
+      | Some items, "pred" ->
+        let v = int_of arg in
+        if v = 0 then fail "%s'Pred below the first constructor" n
+        else V_int (v - 1) |> fun x -> ignore items; x
+      | _, _ -> fail "unsupported attribute call %s'%s" n attr)
+  | Ast.Attr_call (n, attr, _) ->
+    fail "attribute call %s'%s arity" n attr
+  | Ast.Index (n, i) -> (
+      (* array indexing when the name is a local array, otherwise a
+         unary function call *)
+      match Hashtbl.find_opt locals (lc n) with
+      | Some { contents = V_arr a } ->
+        let idx = int_of i in
+        if idx < 0 || idx >= Array.length a then
+          fail "index %d out of bounds for %s" idx n
+        else V_int a.(idx)
+      | _ -> call_function sc n [ eval_expr sc locals i ])
+  | Ast.Call (f, args) ->
+    call_function sc f (List.map (eval_expr sc locals) args)
+  | Ast.Unop (Ast.Neg, e) -> V_int (-int_of e)
+  | Ast.Unop (Ast.Not, e) -> V_int (if int_of e = 0 then 1 else 0)
+  | Ast.Binop (op, a, b) ->
+    let bi f = V_int (f (int_of a) (int_of b)) in
+    let bb f = V_int (if f (int_of a) (int_of b) then 1 else 0) in
+    (match op with
+     | Ast.Add -> bi ( + )
+     | Ast.Sub -> bi ( - )
+     | Ast.Mul -> bi ( * )
+     | Ast.Eq -> bb ( = )
+     | Ast.Neq -> bb ( <> )
+     | Ast.Lt -> bb ( < )
+     | Ast.Le -> bb ( <= )
+     | Ast.Gt -> bb ( > )
+     | Ast.Ge -> bb ( >= )
+     | Ast.And -> bb (fun x y -> x <> 0 && y <> 0)
+     | Ast.Or -> bb (fun x y -> x <> 0 || y <> 0)
+     | Ast.Concat -> fail "concatenation is outside the subset")
+
+(* The emitted architectures reference helper functions for
+   operations VHDL expressions cannot spell (shifts, bitwise, the
+   fixed-point multiply); like a simulator's builtin library, the
+   elaborator supplies their semantics directly. *)
+and builtin name (args : value list) : value option =
+  let prefix = "csrtl_" in
+  let n = String.length prefix in
+  if String.length name <= n || String.sub (lc name) 0 n <> prefix then None
+  else begin
+    let base = String.sub (lc name) n (String.length name - n) in
+    let candidates =
+      base
+      :: (match String.rindex_opt base '_' with
+          | Some i ->
+            [ String.sub base 0 i ^ ":"
+              ^ String.sub base (i + 1) (String.length base - i - 1) ]
+          | None -> [])
+    in
+    let op = List.find_map Csrtl_core.Ops.of_string candidates in
+    match op with
+    | None -> None
+    | Some op ->
+      let ints = Array.of_list (List.map as_int args) in
+      let arity = Csrtl_core.Ops.arity op in
+      let ints =
+        if Array.length ints >= arity then Array.sub ints 0 (max arity 1)
+        else ints
+      in
+      Some (V_int (Csrtl_core.Ops.eval op ints))
+  end
+
+and call_function (sc : scope) name (args : value list) : value =
+  match Hashtbl.find_opt sc.design.funs (lc name) with
+  | None -> (
+      match builtin name args with
+      | Some v -> v
+      | None -> fail "call of undeclared function %s" name)
+  | Some f ->
+    let locals : (string, value ref) Hashtbl.t = Hashtbl.create 8 in
+    let formals = List.concat_map (fun (ns, _) -> ns) f.Ast.fun_params in
+    (try
+       List.iter2
+         (fun formal arg -> Hashtbl.replace locals (lc formal) (ref arg))
+         formals args
+     with Invalid_argument _ ->
+       fail "function %s arity mismatch" name);
+    List.iter
+      (fun d ->
+        match d with
+        | Ast.Variable_decl (ns, _, init) ->
+          let v =
+            match init with
+            | Some e -> eval_expr sc locals e
+            | None -> V_int 0
+          in
+          List.iter (fun n -> Hashtbl.replace locals (lc n) (ref v)) ns
+        | Ast.Signal_decl _ | Ast.Constant_decl _ ->
+          fail "unsupported declaration in function %s" name)
+      f.Ast.fun_decls;
+    (try
+       exec_function_body sc locals f.Ast.fun_body;
+       fail "function %s returned without a value" name
+     with Return_value v -> v)
+
+and exec_function_body sc locals stmts =
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s with
+      | Ast.Var_assign (n, e) -> (
+          match Hashtbl.find_opt locals (lc n) with
+          | Some r -> r := eval_expr sc locals e
+          | None -> fail "assignment to undeclared variable %s" n)
+      | Ast.If (branches, els) ->
+        let rec pick = function
+          | [] -> exec_function_body sc locals els
+          | (c, body) :: rest ->
+            if as_int (eval_expr sc locals c) <> 0 then
+              exec_function_body sc locals body
+            else pick rest
+        in
+        pick branches
+      | Ast.For (v, lo, hi, body) ->
+        let lo = as_int (eval_expr sc locals lo) in
+        let hi = as_int (eval_expr sc locals hi) in
+        let r = ref (V_int lo) in
+        Hashtbl.replace locals (lc v) r;
+        for i = lo to hi do
+          r := V_int i;
+          exec_function_body sc locals body
+        done;
+        Hashtbl.remove locals (lc v)
+      | Ast.Return e -> raise (Return_value (eval_expr sc locals e))
+      | Ast.Null_stmt -> ()
+      | Ast.Assert_stmt _ | Ast.Wait | Ast.Wait_on _ | Ast.Wait_until _
+      | Ast.Signal_assign _ ->
+        fail "unsupported statement in a function body")
+    stmts
+
+(* Default initial value by type: VHDL would use Integer'left; the
+   subset's integers are DISC-based, so DISC is the faithful default
+   for Integer, 0 for Natural, the first constructor for enums. *)
+let default_init (sc : scope) (ty : Ast.type_name) =
+  match lc ty.Ast.base with
+  | "integer" ->
+    Option.value ~default:(-1) (Hashtbl.find_opt sc.design.consts "disc")
+  | "natural" -> 0
+  | other -> if Hashtbl.mem sc.design.enums other then 0 else 0
+
+let signals_in_expr (sc : scope) e =
+  let rec names (e : Ast.expr) =
+    match e with
+    | Ast.Int _ | Ast.Str _ -> []
+    | Ast.Name n -> [ n ]
+    | Ast.Attr _ -> []
+    | Ast.Attr_call (_, _, args) -> List.concat_map names args
+    | Ast.Index (_, i) -> names i
+    | Ast.Call (_, args) -> List.concat_map names args
+    | Ast.Binop (_, a, b) -> names a @ names b
+    | Ast.Unop (_, a) -> names a
+    | Ast.Paren a -> names a
+  in
+  List.filter_map
+    (fun n -> Hashtbl.find_opt sc.sigs (lc n))
+    (names e)
+  |> List.sort_uniq compare
+
+(* Execute one process statement inside a kernel process. *)
+let rec exec_stmt (sc : scope) locals (s : Ast.stmt) =
+  match s with
+  | Ast.Wait -> Process.wait_forever ()
+  | Ast.Wait_on names ->
+    let sigs =
+      List.map
+        (fun n ->
+          match Hashtbl.find_opt sc.sigs (lc n) with
+          | Some s -> s
+          | None -> fail "wait on unknown signal %s" n)
+        names
+    in
+    Process.wait_on sigs
+  | Ast.Wait_until e -> (
+      (* Fast path for the paper's TRANS/REG idiom: conditions of the
+         shape [SIG = const] or [SIG1 = c1 and SIG2 = c2] wake through
+         the kernel's value-keyed index instead of re-evaluating the
+         interpreted predicate on every control event. *)
+      let is_const_rhs rhs =
+        match rhs with
+        | Ast.Int _ | Ast.Attr _ -> true
+        | Ast.Name m -> not (Hashtbl.mem sc.sigs (lc m))
+        | _ -> false
+      in
+      let keyed_pair n rhs =
+        if Hashtbl.mem sc.sigs (lc n) && is_const_rhs rhs then
+          match eval_expr sc locals rhs with
+          | V_int v -> Some (lc n, Hashtbl.find sc.sigs (lc n), v)
+          | V_arr _ -> None
+          | exception Elab_error _ -> None
+        else None
+      in
+      let keyed_leg leg =
+        match leg with
+        | Ast.Binop (Ast.Eq, Ast.Name n, rhs) -> keyed_pair n rhs
+        | Ast.Binop (Ast.Eq, lhs, Ast.Name n) when is_const_rhs lhs ->
+          keyed_pair n lhs
+        | _ -> None
+      in
+      let fast =
+        match e with
+        | Ast.Binop (Ast.And, a, b) -> (
+            (* sound only for the paper's idiom [CS = S and PH = P]:
+               CS and PH receive their events in the same delta cycle
+               (the CONTROLLER drives both), so keying on PH with CS
+               as the extra condition cannot miss a wake.  Arbitrary
+               conjunctions fall back to the predicate path. *)
+            match keyed_leg a, keyed_leg b with
+            | Some ("cs", _, v1), Some ("ph", s2, v2) ->
+              let cs_sig = Hashtbl.find sc.sigs "cs" in
+              Some (s2, v2, Some (cs_sig, v1))
+            | _, _ -> None)
+        | _ -> (
+            (* a single equality over one signal is always sound: the
+               condition can only change on that signal's events *)
+            match keyed_leg e with
+            | Some (_, s, v) -> Some (s, v, None)
+            | None -> None)
+      in
+      match fast with
+      | Some (s, v, extra) ->
+        (* loop: the keyed wake guarantees [s = v] and the extra
+           equality, which is the whole condition *)
+        let rec wait () =
+          Process.wait_keyed ?extra s v;
+          if as_int (eval_expr sc locals e) = 0 then wait ()
+        in
+        wait ()
+      | None ->
+        let sigs = signals_in_expr sc e in
+        if sigs = [] then
+          fail "wait until with no signals in the condition";
+        Process.wait_until sigs (fun () ->
+            as_int (eval_expr sc locals e) <> 0))
+  | Ast.Signal_assign (n, e) -> (
+      match Hashtbl.find_opt sc.sigs (lc n) with
+      | Some s -> Scheduler.assign sc.k s (as_int (eval_expr sc locals e))
+      | None -> fail "assignment to unknown signal %s" n)
+  | Ast.Var_assign (n, e) -> (
+      match Hashtbl.find_opt locals (lc n) with
+      | Some r -> r := eval_expr sc locals e
+      | None -> fail "assignment to undeclared variable %s" n)
+  | Ast.If (branches, els) ->
+    let rec pick = function
+      | [] -> List.iter (exec_stmt sc locals) els
+      | (c, body) :: rest ->
+        if as_int (eval_expr sc locals c) <> 0 then
+          List.iter (exec_stmt sc locals) body
+        else pick rest
+    in
+    pick branches
+  | Ast.For (v, lo, hi, body) ->
+    let lo = as_int (eval_expr sc locals lo) in
+    let hi = as_int (eval_expr sc locals hi) in
+    let r = ref (V_int lo) in
+    Hashtbl.replace locals (lc v) r;
+    for i = lo to hi do
+      r := V_int i;
+      List.iter (exec_stmt sc locals) body
+    done;
+    Hashtbl.remove locals (lc v)
+  | Ast.Assert_stmt (c, msg) ->
+    if as_int (eval_expr sc locals c) = 0 then
+      sc.failures := msg :: !(sc.failures)
+  | Ast.Return _ -> fail "return outside a function"
+  | Ast.Null_stmt -> ()
+
+let add_process (sc : scope) (p : Ast.process) =
+  let locals : (string, value ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Variable_decl (ns, _, init) ->
+        List.iter
+          (fun n ->
+            let v =
+              match init with
+              | Some e -> eval_expr sc locals e
+              | None -> V_int 0
+            in
+            Hashtbl.replace locals (lc n) (ref v))
+          ns
+      | Ast.Signal_decl _ | Ast.Constant_decl _ ->
+        fail "unsupported declaration in a process")
+    p.Ast.proc_decls;
+  let name = Option.value ~default:"process" p.Ast.proc_label in
+  match p.Ast.sensitivity with
+  | [] ->
+    ignore
+      (Scheduler.add_process sc.k ~name (fun () ->
+           while true do
+             List.iter (exec_stmt sc locals) p.Ast.body
+           done))
+  | sens ->
+    let sigs =
+      List.map
+        (fun n ->
+          match Hashtbl.find_opt sc.sigs (lc n) with
+          | Some s -> s
+          | None -> fail "sensitivity to unknown signal %s" n)
+        sens
+    in
+    ignore
+      (Scheduler.add_process sc.k ~name (fun () ->
+           while true do
+             List.iter (exec_stmt sc locals) p.Ast.body;
+             Process.wait_on sigs
+           done))
+
+(* Elaborate the architecture of [entity] into a fresh scope whose
+   signal table starts from the port connections. *)
+let rec elaborate_entity (d : design) k failures ~prefix entity
+    ~(generic_values : (string * int) list)
+    ~(port_signals : (string * Signal.t) list) =
+  let decls, stmts =
+    match Hashtbl.find_opt d.archs (lc entity) with
+    | Some a -> a
+    | None -> fail "no architecture for entity %s" entity
+  in
+  let sc =
+    { design = d; k; values = Hashtbl.create 8; sigs = Hashtbl.create 16;
+      failures }
+  in
+  List.iter
+    (fun (n, v) -> Hashtbl.replace sc.values (lc n) v)
+    generic_values;
+  List.iter
+    (fun (n, s) -> Hashtbl.replace sc.sigs (lc n) s)
+    port_signals;
+  (* architecture signals *)
+  List.iter
+    (fun decl ->
+      match decl with
+      | Ast.Signal_decl (names, ty, init) ->
+        let resolution =
+          match ty.Ast.resolution with
+          | None -> None
+          | Some f ->
+            let fname = f in
+            Some
+              (Types.Fold
+                 (fun arr ->
+                   as_int (call_function sc fname [ V_arr arr ])))
+        in
+        let init_v =
+          match init with
+          | Some e -> as_int (eval_expr sc (Hashtbl.create 1) e)
+          | None -> default_init sc ty
+        in
+        List.iter
+          (fun n ->
+            let s =
+              Scheduler.signal k ?resolution ~name:(prefix ^ n) ~init:init_v
+                ()
+            in
+            Hashtbl.replace sc.sigs (lc n) s)
+          names
+      | Ast.Constant_decl (n, _, e) ->
+        Hashtbl.replace sc.values (lc n)
+          (as_int (eval_expr sc (Hashtbl.create 1) e))
+      | Ast.Variable_decl _ ->
+        fail "variable declaration outside a process")
+    decls;
+  (* concurrent statements *)
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.Proc p -> add_process sc p
+      | Ast.Concurrent_assign (n, e) ->
+        (* a <= expr;  ==  process (signals of expr) begin a <= expr; *)
+        let sigs = signals_in_expr sc e in
+        let target =
+          match Hashtbl.find_opt sc.sigs (lc n) with
+          | Some s -> s
+          | None -> fail "concurrent assignment to unknown signal %s" n
+        in
+        ignore
+          (Scheduler.add_process sc.k ~name:("assign_" ^ n) (fun () ->
+               while true do
+                 Scheduler.assign sc.k target
+                   (as_int (eval_expr sc (Hashtbl.create 1) e));
+                 if sigs = [] then Process.wait_forever ()
+                 else Process.wait_on sigs
+               done))
+      | Ast.Instance { inst_label; component; generic_map; port_map } ->
+        let gens, ports =
+          match Hashtbl.find_opt d.entities (lc component) with
+          | Some x -> x
+          | None -> fail "instantiation of unknown entity %s" component
+        in
+        let bind formals actuals what =
+          (* positional or named association *)
+          List.mapi
+            (fun i (formal : string) ->
+              let actual =
+                match
+                  List.find_opt
+                    (fun (name, _) ->
+                      match name with
+                      | Some n -> lc n = lc formal
+                      | None -> false)
+                    actuals
+                with
+                | Some (_, e) -> Some e
+                | None ->
+                  (match List.nth_opt actuals i with
+                   | Some (None, e) -> Some e
+                   | _ -> None)
+              in
+              (formal, actual, what))
+            formals
+        in
+        let generic_values =
+          List.map
+            (fun (formal, actual, _) ->
+              match actual with
+              | Some e ->
+                (formal, as_int (eval_expr sc (Hashtbl.create 1) e))
+              | None -> fail "generic %s of %s unbound" formal inst_label)
+            (bind (List.map (fun g -> g.Ast.gen_name) gens) generic_map
+               "generic")
+        in
+        let port_signals =
+          List.map
+            (fun (formal, actual, _) ->
+              match actual with
+              | Some (Ast.Name n) -> (
+                  match Hashtbl.find_opt sc.sigs (lc n) with
+                  | Some s -> (formal, s)
+                  | None -> fail "port actual %s of %s unknown" n inst_label)
+              | Some e ->
+                (* a literal actual: materialize a constant signal *)
+                let v = as_int (eval_expr sc (Hashtbl.create 1) e) in
+                let s =
+                  Scheduler.signal k
+                    ~name:(prefix ^ inst_label ^ "." ^ formal)
+                    ~init:v ()
+                in
+                (formal, s)
+              | None ->
+                (* open port: a fresh local signal with the default *)
+                let port =
+                  List.find (fun p -> lc p.Ast.port_name = lc formal) ports
+                in
+                let init =
+                  match port.Ast.port_default with
+                  | Some e -> as_int (eval_expr sc (Hashtbl.create 1) e)
+                  | None -> default_init sc port.Ast.port_type
+                in
+                let s =
+                  Scheduler.signal k
+                    ~name:(prefix ^ inst_label ^ "." ^ formal)
+                    ~init ()
+                in
+                (formal, s))
+            (bind
+               (List.map (fun p -> p.Ast.port_name) ports)
+               port_map "port")
+        in
+        ignore
+          (elaborate_entity d k failures
+             ~prefix:(prefix ^ inst_label ^ ".")
+             component ~generic_values ~port_signals))
+    stmts;
+  sc
+
+let elaborate ?(generics = []) ~top units =
+  let d = load_design units in
+  let k = Scheduler.create () in
+  let failures = ref [] in
+  let _, ports =
+    match Hashtbl.find_opt d.entities (lc top) with
+    | Some x -> x
+    | None -> fail "no entity %s" top
+  in
+  (* top ports become free-standing signals, drivable externally *)
+  let tmp_sc =
+    { design = d; k; values = Hashtbl.create 1; sigs = Hashtbl.create 1;
+      failures }
+  in
+  let port_signals =
+    List.map
+      (fun (p : Ast.port) ->
+        let init =
+          match p.Ast.port_default with
+          | Some e -> as_int (eval_expr tmp_sc (Hashtbl.create 1) e)
+          | None -> default_init tmp_sc p.Ast.port_type
+        in
+        ( p.Ast.port_name,
+          Scheduler.signal k ~name:p.Ast.port_name ~init () ))
+      ports
+  in
+  let sc =
+    elaborate_entity d k failures ~prefix:"" top ~generic_values:generics
+      ~port_signals
+  in
+  { kernel = k;
+    lookup =
+      (fun n ->
+        match Hashtbl.find_opt sc.sigs (lc n) with
+        | Some s -> s
+        | None -> raise Not_found);
+    failures =
+      (failures := List.rev !failures;
+       failures) }
+
+let run ?(max_cycles = 1_000_000) t =
+  Scheduler.run ~max_cycles t.kernel;
+  t.failures := List.rev !(t.failures)
+
+let elaborate_and_run ?generics ~top src =
+  match Parser.design_file src with
+  | exception Parser.Parse_error (l, m) ->
+    Error (Printf.sprintf "parse error at line %d: %s" l m)
+  | units -> (
+      match elaborate ?generics ~top units with
+      | exception Elab_error m -> Error m
+      | t ->
+        (match run t with
+         | () -> Ok t
+         | exception Elab_error m -> Error m))

@@ -1,0 +1,52 @@
+(** Elaboration and execution of subset VHDL on the kernel.
+
+    Where {!Extract} recovers a model from the structural text, this
+    module {e runs the VHDL itself}: entities and architectures are
+    elaborated hierarchically (generic and port maps bound, component
+    instances recursed into), processes become kernel processes whose
+    statement lists are interpreted directly — including [wait until]
+    with the condition's signals as sensitivity, sensitivity-list
+    processes, process variables, assertions — and resolved signals
+    call the {e parsed} resolution function's body, not a built-in.
+
+    The paper's §2.2–2.6 entity texts therefore execute exactly as
+    printed, and the self-checking architectures {!Emit.self_checking}
+    produces replay their embedded expectations here: the emitted VHDL
+    is validated by running it, closing the loop
+    model → VHDL → execution ≡ model.
+
+    Deviations from full VHDL, documented: values are integers (the
+    subset's only data), an uninitialized [Integer] signal starts at
+    DISC rather than [Integer'left], [assert] failures are collected
+    rather than printed, and [csrtl_*] helper functions without a
+    parsed body take their semantics from {!Csrtl_core.Ops} (the
+    builtin library).  Native [+ - *] follow VHDL Integer arithmetic
+    (unbounded here), while the core masks to 32-bit words — emitted
+    models agree with {!Csrtl_core.Simulate} as long as values stay
+    within naturals, which the paper's models (and this repository's
+    corpus) do. *)
+
+exception Elab_error of string
+
+type t = {
+  kernel : Csrtl_kernel.Scheduler.t;
+  lookup : string -> Csrtl_kernel.Signal.t;
+      (** top architecture's signals and top entity ports, by
+          (case-insensitive) name; raises [Not_found] *)
+  failures : string list ref;  (** failed assertion messages, in order *)
+}
+
+val elaborate :
+  ?generics:(string * int) list -> top:string -> Ast.design_file -> t
+(** Build the hierarchy under the (last) architecture of entity
+    [top].  [generics] bind the top entity's generics, if any. *)
+
+val run : ?max_cycles:int -> t -> unit
+(** {!Csrtl_kernel.Scheduler.run} with a safety bound
+    (default 1_000_000 cycles). *)
+
+val elaborate_and_run :
+  ?generics:(string * int) list -> top:string -> string ->
+  (t, string) result
+(** Parse, elaborate, run; [Error] carries parse/elaboration
+    messages. *)

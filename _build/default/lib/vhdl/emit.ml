@@ -1,0 +1,537 @@
+open Ast
+module C = Csrtl_core
+
+let mangle name = String.map (fun c -> if c = '.' then '_' else c) name
+
+let word_expr (w : C.Word.t) =
+  if C.Word.is_disc w then Name "DISC"
+  else if C.Word.is_illegal w then Name "ILLEGAL"
+  else Int w
+
+let phase_name p = C.Phase.to_string p
+
+let integer = plain "Integer"
+let natural = plain "Natural"
+let phase_t = plain "Phase"
+let resolved_integer = resolved "resolve" "Integer"
+
+(* -- support package ---------------------------------------------------- *)
+
+let resolve_function =
+  (* The paper's resolution function, §2.3. *)
+  let s i = Index ("s", i) in
+  { fun_name = "resolve";
+    fun_params = [ ([ "s" ], plain "Integer_Vector") ];
+    fun_return = "Integer";
+    fun_decls = [ Variable_decl ([ "result" ], integer, Some (Name "DISC")) ];
+    fun_body =
+      [ For
+          ( "i", Attr ("s", "Low"), Attr ("s", "High"),
+            [ If
+                ( [ ( Binop (Eq, s (Name "i"), Name "ILLEGAL"),
+                      [ Var_assign ("result", Name "ILLEGAL") ] );
+                    ( Binop (Neq, s (Name "i"), Name "DISC"),
+                      [ If
+                          ( [ ( Binop (Eq, Name "result", Name "DISC"),
+                                [ Var_assign ("result", s (Name "i")) ] ) ],
+                            [ Var_assign ("result", Name "ILLEGAL") ] ) ] ) ],
+                  [] ) ] ) ;
+        Return (Name "result") ] }
+
+let support_package =
+  [ Package
+      { pkg_name = "csrtl_rt";
+        pkg_decls =
+          [ Pkg_type_enum
+              ("Phase", List.map phase_name C.Phase.all);
+            Pkg_constant ("DISC", integer, Int (-1));
+            Pkg_constant ("ILLEGAL", integer, Int (-2));
+            Pkg_type_array ("Integer_Vector", "Natural", "Integer");
+            Pkg_function resolve_function ] } ]
+
+(* -- base entities (paper text) ------------------------------------------ *)
+
+let controller_entity =
+  Entity
+    { ent_name = "CONTROLLER";
+      generics = [ { gen_name = "CS_MAX"; gen_type = "Natural";
+                     gen_default = None } ];
+      ports =
+        [ { port_name = "CS"; mode = Inout; port_type = natural;
+            port_default = Some (Int 0) };
+          { port_name = "PH"; mode = Inout; port_type = phase_t;
+            port_default = Some (Attr ("Phase", "High")) } ] }
+
+let controller_arch =
+  Architecture
+    { arch_name = "transfer"; arch_entity = "CONTROLLER"; arch_decls = [];
+      arch_stmts =
+        [ Proc
+            { proc_label = None; sensitivity = [ "PH" ]; proc_decls = [];
+              body =
+                [ If
+                    ( [ ( Binop (Eq, Name "PH", Attr ("Phase", "High")),
+                          [ If
+                              ( [ ( Binop (Lt, Name "CS", Name "CS_MAX"),
+                                    [ Signal_assign
+                                        ("CS", Binop (Add, Name "CS", Int 1));
+                                      Signal_assign
+                                        ("PH", Attr ("Phase", "Low")) ] ) ],
+                                [] ) ] ) ],
+                      [ Signal_assign
+                          ( "PH",
+                            Attr_call ("Phase", "Succ", [ Name "PH" ]) ) ] )
+                ] } ] }
+
+let trans_entity =
+  Entity
+    { ent_name = "TRANS";
+      generics =
+        [ { gen_name = "S"; gen_type = "Natural"; gen_default = None };
+          { gen_name = "P"; gen_type = "Phase"; gen_default = None } ];
+      ports =
+        [ { port_name = "CS"; mode = In; port_type = natural;
+            port_default = None };
+          { port_name = "PH"; mode = In; port_type = phase_t;
+            port_default = None };
+          { port_name = "InS"; mode = In; port_type = integer;
+            port_default = None };
+          { port_name = "OutS"; mode = Out; port_type = integer;
+            port_default = Some (Name "DISC") } ] }
+
+let trans_arch =
+  let at p =
+    Binop
+      ( And,
+        Binop (Eq, Name "CS", Name "S"),
+        Binop (Eq, Name "PH", p) )
+  in
+  Architecture
+    { arch_name = "transfer"; arch_entity = "TRANS"; arch_decls = [];
+      arch_stmts =
+        [ Proc
+            { proc_label = None; sensitivity = []; proc_decls = [];
+              body =
+                [ Wait_until (at (Name "P"));
+                  Signal_assign ("OutS", Name "InS");
+                  Wait_until (at (Attr_call ("Phase", "Succ", [ Name "P" ])));
+                  Signal_assign ("OutS", Name "DISC");
+                  Wait ] } ] }
+
+let reg_entity =
+  Entity
+    { ent_name = "REG";
+      generics = [];
+      ports =
+        [ { port_name = "PH"; mode = In; port_type = phase_t;
+            port_default = None };
+          { port_name = "R_in"; mode = In; port_type = integer;
+            port_default = None };
+          { port_name = "R_out"; mode = Out; port_type = integer;
+            port_default = Some (Name "DISC") } ] }
+
+let reg_arch =
+  Architecture
+    { arch_name = "transfer"; arch_entity = "REG"; arch_decls = [];
+      arch_stmts =
+        [ Proc
+            { proc_label = None; sensitivity = []; proc_decls = [];
+              body =
+                [ Wait_until (Binop (Eq, Name "PH", Name "cr"));
+                  If
+                    ( [ ( Binop (Neq, Name "R_in", Name "DISC"),
+                          [ Signal_assign ("R_out", Name "R_in") ] ) ],
+                      [] ) ] } ] }
+
+let base_entities =
+  [ controller_entity; controller_arch; trans_entity; trans_arch;
+    reg_entity; reg_arch ]
+
+(* -- functional-unit entities -------------------------------------------- *)
+
+let fu_entity_name fu_name = "FU_" ^ fu_name
+
+(* A VHDL expression computing [op in1 in2] where the operation is
+   directly expressible; otherwise a call to a named helper function
+   (declared, not defined — the OCaml semantics in Fu_state is
+   authoritative and Extract reads operations from the pragmas). *)
+let op_expr (op : C.Ops.t) =
+  let a = Name "IN1" and b = Name "IN2" in
+  match op with
+  | C.Ops.Add -> Binop (Add, a, b)
+  | C.Ops.Sub -> Binop (Sub, a, b)
+  | C.Ops.Mul -> Binop (Mul, a, b)
+  | C.Ops.Addi n -> Binop (Add, a, Int n)
+  | C.Ops.Subi n -> Binop (Sub, a, Int n)
+  | C.Ops.Muli n -> Binop (Mul, a, Int n)
+  | C.Ops.Pass -> a
+  | C.Ops.Neg -> Unop (Neg, a)
+  | C.Ops.Const c -> Int c
+  | C.Ops.Mac -> Binop (Add, Name "m0", Binop (Mul, a, b))
+  | other ->
+    let sanitized =
+      String.map
+        (fun c -> if c = ':' then '_' else c)
+        (C.Ops.to_string other)
+    in
+    Call ("csrtl_" ^ sanitized, [ a; b ])
+
+let fu_arch (fu : C.Model.fu) =
+  let l = fu.latency in
+  let m i = Printf.sprintf "m%d" i in
+  let vars =
+    [ Variable_decl
+        ( List.init l m, integer, Some (Name "DISC") ) ]
+  in
+  let shift =
+    List.init (l - 1) (fun i ->
+        let dst = l - 1 - i in
+        Var_assign (m dst, Name (m (dst - 1))))
+  in
+  let op_branches =
+    List.mapi
+      (fun idx op ->
+        let body =
+          match op with
+          | C.Ops.Mac ->
+            (* accumulate, treating a DISC accumulator as zero *)
+            [ If
+                ( [ ( Binop (Eq, Name "m0", Name "DISC"),
+                      [ Var_assign
+                          ("m0", Binop (Mul, Name "IN1", Name "IN2")) ] ) ],
+                  [ Var_assign
+                      ( "m0",
+                        Binop
+                          ( Add,
+                            Name "m0",
+                            Binop (Mul, Name "IN1", Name "IN2") ) ) ] ) ]
+          | _ -> [ Var_assign ("m0", op_expr op) ]
+        in
+        (Binop (Eq, Name "OP", Int idx), body))
+      fu.ops
+  in
+  let stateful_singleton =
+    match fu.ops with
+    | [ op ] -> C.Ops.is_stateful op
+    | _ -> List.exists C.Ops.is_stateful fu.ops && false
+  in
+  let idle_body =
+    (* hold-on-idle for a pure accumulator unit, reset otherwise
+       (Fu_state semantics) *)
+    if stateful_singleton then [ Null_stmt ]
+    else [ Var_assign ("m0", Name "DISC") ]
+  in
+  let compute =
+    If
+      ( [ ( Binop
+              ( Or,
+                Binop (Eq, Name "OP", Name "ILLEGAL"),
+                Paren
+                  (Binop
+                     ( Or,
+                       Binop (Eq, Name "IN1", Name "ILLEGAL"),
+                       Binop (Eq, Name "IN2", Name "ILLEGAL") )) ),
+            [ Var_assign ("m0", Name "ILLEGAL") ] );
+          ( Binop
+              ( And,
+                Binop (Eq, Name "IN1", Name "DISC"),
+                Binop
+                  ( And,
+                    Binop (Eq, Name "IN2", Name "DISC"),
+                    Binop (Eq, Name "OP", Name "DISC") ) ),
+            idle_body ) ]
+        @ op_branches,
+        [ Var_assign ("m0", Name "ILLEGAL") ] )
+  in
+  let body =
+    [ Wait_until (Binop (Eq, Name "PH", Name "cm"));
+      Signal_assign ("O", Name (m (l - 1))) ]
+    @ shift
+    @ [ (if fu.sticky_illegal then
+           If
+             ( [ ( Binop (Neq, Name "m0", Name "ILLEGAL"),
+                   [ compute ] ) ],
+               [] )
+         else compute) ]
+  in
+  Architecture
+    { arch_name = "transfer"; arch_entity = fu_entity_name fu.fu_name;
+      arch_decls = [];
+      arch_stmts =
+        [ Proc
+            { proc_label = None; sensitivity = []; proc_decls = vars; body }
+        ] }
+
+let fu_entity (fu : C.Model.fu) =
+  Entity
+    { ent_name = fu_entity_name fu.fu_name;
+      generics = [];
+      ports =
+        [ { port_name = "PH"; mode = In; port_type = phase_t;
+            port_default = None };
+          { port_name = "OP"; mode = In; port_type = integer;
+            port_default = None };
+          { port_name = "IN1"; mode = In; port_type = integer;
+            port_default = None };
+          { port_name = "IN2"; mode = In; port_type = integer;
+            port_default = None };
+          { port_name = "O"; mode = Out; port_type = integer;
+            port_default = Some (Name "DISC") } ] }
+
+let fu_units (m : C.Model.t) =
+  List.concat_map (fun fu -> [ fu_entity fu; fu_arch fu ]) m.fus
+
+(* -- top-level structural architecture ----------------------------------- *)
+
+let top (m : C.Model.t) =
+  let ports =
+    List.map
+      (fun (i : C.Model.input) ->
+        { port_name = mangle i.in_name; mode = In; port_type = integer;
+          port_default = Some (Name "DISC") })
+      m.inputs
+    @ List.map
+        (fun o ->
+          { port_name = mangle o; mode = Out; port_type = resolved_integer;
+            port_default = Some (Name "DISC") })
+        m.outputs
+  in
+  let entity = Entity { ent_name = mangle m.name; generics = []; ports } in
+  let decls =
+    [ Signal_decl ([ "CS" ], natural, Some (Int 0));
+      Signal_decl ([ "PH" ], phase_t, Some (Attr ("Phase", "High"))) ]
+    @ List.map
+        (fun b -> Signal_decl ([ mangle b ], resolved_integer, None))
+        m.buses
+    @ List.concat_map
+        (fun (r : C.Model.register) ->
+          [ Signal_decl
+              ([ mangle (r.reg_name ^ ".in") ], resolved_integer, None);
+            Signal_decl
+              ([ mangle (r.reg_name ^ ".out") ], integer,
+               Some (word_expr r.init)) ])
+        m.registers
+    @ List.concat_map
+        (fun (f : C.Model.fu) ->
+          [ Signal_decl
+              ( [ mangle (f.fu_name ^ ".in1"); mangle (f.fu_name ^ ".in2");
+                  mangle (f.fu_name ^ ".op") ],
+                resolved_integer, None );
+            Signal_decl ([ mangle (f.fu_name ^ ".out") ], integer, None) ])
+        m.fus
+  in
+  let reg_instances =
+    List.map
+      (fun (r : C.Model.register) ->
+        Instance
+          { inst_label = mangle r.reg_name ^ "_proc"; component = "REG";
+            generic_map = [];
+            port_map =
+              [ (None, Name "PH");
+                (None, Name (mangle (r.reg_name ^ ".in")));
+                (None, Name (mangle (r.reg_name ^ ".out"))) ] })
+      m.registers
+  in
+  let fu_instances =
+    List.map
+      (fun (f : C.Model.fu) ->
+        Instance
+          { inst_label = mangle f.fu_name ^ "_proc";
+            component = fu_entity_name f.fu_name;
+            generic_map = [];
+            port_map =
+              [ (None, Name "PH");
+                (None, Name (mangle (f.fu_name ^ ".op")));
+                (None, Name (mangle (f.fu_name ^ ".in1")));
+                (None, Name (mangle (f.fu_name ^ ".in2")));
+                (None, Name (mangle (f.fu_name ^ ".out"))) ] })
+      m.fus
+  in
+  let legs, selects = C.Model.all_legs m in
+  let trans_instances =
+    List.mapi
+      (fun idx (l : C.Transfer.leg) ->
+        let src = mangle (C.Transfer.endpoint_name l.src) in
+        let dst = mangle (C.Transfer.endpoint_name l.dst) in
+        Instance
+          { inst_label = Printf.sprintf "%s_%s_%d_%d" src dst l.step idx;
+            component = "TRANS";
+            generic_map =
+              [ (None, Int l.step); (None, Name (phase_name l.phase)) ];
+            port_map =
+              [ (None, Name "CS"); (None, Name "PH"); (None, Name src);
+                (None, Name dst) ] })
+      legs
+  in
+  let select_instances =
+    List.mapi
+      (fun idx (s : C.Transfer.op_select) ->
+        let index =
+          match C.Model.find_fu m s.sel_fu with
+          | None -> -2
+          | Some f ->
+            let rec find i = function
+              | [] -> -2
+              | op :: rest ->
+                if C.Ops.equal op s.sel_op then i else find (i + 1) rest
+            in
+            find 0 f.ops
+        in
+        Instance
+          { inst_label =
+              Printf.sprintf "opsel_%s_%d_%d" (mangle s.sel_fu) s.sel_step
+                idx;
+            component = "TRANS";
+            generic_map =
+              [ (None, Int s.sel_step); (None, Name (phase_name C.Phase.Rb)) ];
+            port_map =
+              [ (None, Name "CS"); (None, Name "PH"); (None, Int index);
+                (None, Name (mangle (s.sel_fu ^ ".op"))) ] })
+      selects
+  in
+  let controller_instance =
+    Instance
+      { inst_label = "CONTROL"; component = "CONTROLLER";
+        generic_map = [ (None, Int m.cs_max) ];
+        port_map = [ (None, Name "CS"); (None, Name "PH") ] }
+  in
+  let arch =
+    Architecture
+      { arch_name = "transfer"; arch_entity = mangle m.name;
+        arch_decls = decls;
+        arch_stmts =
+          reg_instances @ fu_instances @ trans_instances @ select_instances
+          @ [ controller_instance ] }
+  in
+  [ entity; arch ]
+
+(* -- pragmas -------------------------------------------------------------- *)
+
+let pragmas (m : C.Model.t) =
+  (* The resource inventory in Rtm directive syntax; transfers and
+     cs_max are real VHDL content and are NOT duplicated here. *)
+  let rtm_lines =
+    C.Rtm.to_string { m with transfers = [] }
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+    (* cs_max lives in the CONTROLLER generic *)
+    |> List.filter (fun l ->
+           not (String.length l >= 5 && String.sub l 0 5 = "csmax"))
+  in
+  List.map (fun l -> Comment ("csrtl " ^ l)) rtm_lines
+
+let design_file (m : C.Model.t) =
+  pragmas m
+  @ support_package
+  @ [ Use_clause "work.csrtl_rt.all" ]
+  @ base_entities
+  @ fu_units m
+  @ top m
+
+let to_string m = Pp.to_string (design_file m)
+
+(* -- self-checking architecture ------------------------------------------- *)
+
+(* A checker process asserting the reference observation: at the first
+   cycle of each following step the previous step's register updates
+   are visible, so the expectations from [obs] can be compared
+   directly.  Only changes are asserted, keeping testbenches for long
+   runs compact. *)
+let checker_process (m : C.Model.t) (obs : C.Observation.t) =
+  let at_step_ra s =
+    Binop
+      ( And,
+        Binop (Eq, Name "CS", Int s),
+        Binop (Eq, Name "PH", Name (phase_name C.Phase.Ra)) )
+  in
+  let stmts = ref [] in
+  let emit s = stmts := s :: !stmts in
+  for s = 1 to m.cs_max - 1 do
+    let asserts =
+      List.filter_map
+        (fun (name, arr) ->
+          let v = arr.(s - 1) in
+          let prev = if s = 1 then C.Word.disc else arr.(s - 2) in
+          if C.Word.equal v prev then None
+          else
+            Some
+              (Assert_stmt
+                 ( Binop (Eq, Name (mangle (name ^ ".out")), word_expr v),
+                   Printf.sprintf "step %d: %s /= %s" s name
+                     (C.Word.to_string v) )))
+        obs.C.Observation.regs
+    in
+    if asserts <> [] then begin
+      emit (Wait_until (at_step_ra (s + 1)));
+      List.iter emit asserts
+    end
+  done;
+  emit Wait;
+  Proc
+    { proc_label = Some "checker"; sensitivity = []; proc_decls = [];
+      body = List.rev !stmts }
+
+(* Input drives as subset VHDL: entity inputs become architecture
+   signals driven by unrolled processes, closing the design into a
+   self-contained testbench any conformant simulator can run. *)
+let input_driver (m : C.Model.t) (i : C.Model.input) =
+  let name = mangle i.in_name in
+  let body =
+    match i.drive with
+    | C.Model.Const v -> [ Signal_assign (name, word_expr v); Wait ]
+    | C.Model.Schedule _ ->
+      let assigns = ref [ Signal_assign (name, word_expr (C.Model.input_value i 1)) ] in
+      for s = 2 to m.cs_max do
+        let v = C.Model.input_value i s in
+        if not (C.Word.equal v (C.Model.input_value i (s - 1))) then
+          assigns :=
+            Signal_assign (name, word_expr v)
+            :: Wait_until
+                 (Binop
+                    ( And,
+                      Binop (Eq, Name "CS", Int (s - 1)),
+                      Binop (Eq, Name "PH", Name (phase_name C.Phase.Cr)) ))
+            :: !assigns
+      done;
+      List.rev (Wait :: !assigns)
+  in
+  Proc
+    { proc_label = Some ("drive_" ^ name); sensitivity = [];
+      proc_decls = []; body }
+
+let self_checking (m : C.Model.t) (obs : C.Observation.t) =
+  let top = mangle m.name in
+  List.map
+    (fun unit_ ->
+      match unit_ with
+      | Entity e when e.ent_name = top ->
+        (* close the design: inputs turn into internal signals *)
+        Entity
+          { e with
+            ports =
+              List.filter
+                (fun (p : port) ->
+                  not
+                    (List.exists
+                       (fun (i : C.Model.input) ->
+                         mangle i.in_name = p.port_name)
+                       m.inputs))
+                e.ports }
+      | Architecture a when a.arch_entity = top ->
+        Architecture
+          { a with
+            arch_decls =
+              a.arch_decls
+              @ List.map
+                  (fun (i : C.Model.input) ->
+                    Signal_decl
+                      ([ mangle i.in_name ], integer, Some (Name "DISC")))
+                  m.inputs;
+            arch_stmts =
+              List.map (fun (i : C.Model.input) -> input_driver m i) m.inputs
+              @ a.arch_stmts
+              @ [ checker_process m obs ] }
+      | _ -> unit_)
+    (design_file m)
+
+let self_checking_to_string m obs = Pp.to_string (self_checking m obs)

@@ -1,0 +1,52 @@
+(** Emit paper-style VHDL from a clock-free model.
+
+    The generated design file contains:
+    - [csrtl] pragma comments carrying the resource inventory in
+      [Rtm] directive syntax (workload data such as input drives and
+      unit attributes have no standard VHDL encoding, so they ride
+      along as structured comments; {!Extract} reads them back);
+    - the support package [csrtl_rt]: the [Phase] enumeration, the
+      [DISC]/[ILLEGAL] constants and the paper's resolution function;
+    - the generic entities [CONTROLLER], [TRANS] and [REG], bodies
+      exactly as printed in the paper (§2.2, §2.4, §2.5);
+    - one entity+architecture per functional unit (§2.6 style:
+      pipeline variables, compute at [cm]);
+    - the top entity and its structural [transfer] architecture:
+      resolved signal declarations and one component instantiation
+      per register, unit, transfer leg and operation selection —
+      the paper's §2.7 shape.
+
+    Everything emitted parses back with {!Parser} and extracts back
+    with {!Extract} (round-trip tested). *)
+
+val support_package : Ast.design_unit list
+(** [csrtl_rt] package alone. *)
+
+val base_entities : Ast.design_unit list
+(** CONTROLLER, TRANS, REG entities and architectures. *)
+
+val fu_units : Csrtl_core.Model.t -> Ast.design_unit list
+(** One entity/architecture pair per functional unit of the model. *)
+
+val top : Csrtl_core.Model.t -> Ast.design_unit list
+(** Top entity + structural architecture. *)
+
+val design_file : Csrtl_core.Model.t -> Ast.design_file
+(** Pragmas + package + entities + top, in dependency order. *)
+
+val to_string : Csrtl_core.Model.t -> string
+
+val mangle : string -> string
+(** Canonical signal-name mangling, ["R1.in"] -> ["R1_in"]. *)
+
+val self_checking :
+  Csrtl_core.Model.t -> Csrtl_core.Observation.t -> Ast.design_file
+(** A closed, self-checking testbench: input ports become internal
+    signals with driver processes replaying the model's drives, and a
+    [checker] process asserts the register values a reference run
+    observed (changes only) at the first cycle of each following
+    step.  Any conformant simulator — including {!Elab} — can run it
+    unassisted.  Stays inside the subset ({!Lint}-clean). *)
+
+val self_checking_to_string :
+  Csrtl_core.Model.t -> Csrtl_core.Observation.t -> string

@@ -1,0 +1,188 @@
+module C = Csrtl_core
+
+exception Extract_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Extract_error m)) fmt
+
+let pragma_lines src =
+  String.split_on_char '\n' src
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         let prefix = "-- csrtl " in
+         let n = String.length prefix in
+         if String.length line > n && String.sub line 0 n = prefix then
+           Some (String.sub line n (String.length line - n))
+         else None)
+
+(* Skeleton model (resources, no transfers) from pragma payloads. *)
+let skeleton pragmas =
+  let text = String.concat "\n" ("csmax 1" :: pragmas) in
+  try C.Rtm.of_string text
+  with C.Rtm.Parse_error (l, m) ->
+    fail "bad csrtl pragma (line %d of pragma block): %s" l m
+
+type classification =
+  | Endpoint of C.Transfer.endpoint
+  | Op_port of string  (* functional unit name *)
+  | Control  (* CS / PH *)
+
+let classify_table (m : C.Model.t) =
+  let table = Hashtbl.create 32 in
+  let put name c = Hashtbl.replace table (Emit.mangle name) c in
+  put "CS" Control;
+  put "PH" Control;
+  List.iter (fun b -> put b (Endpoint (C.Transfer.Bus b))) m.buses;
+  List.iter
+    (fun (r : C.Model.register) ->
+      put (r.reg_name ^ ".in") (Endpoint (C.Transfer.Reg_in r.reg_name));
+      put (r.reg_name ^ ".out") (Endpoint (C.Transfer.Reg_out r.reg_name)))
+    m.registers;
+  List.iter
+    (fun (f : C.Model.fu) ->
+      put (f.fu_name ^ ".in1") (Endpoint (C.Transfer.Fu_in (f.fu_name, 1)));
+      put (f.fu_name ^ ".in2") (Endpoint (C.Transfer.Fu_in (f.fu_name, 2)));
+      put (f.fu_name ^ ".out") (Endpoint (C.Transfer.Fu_out f.fu_name));
+      put (f.fu_name ^ ".op") (Op_port f.fu_name))
+    m.fus;
+  List.iter
+    (fun (i : C.Model.input) ->
+      put i.in_name (Endpoint (C.Transfer.In_port i.in_name)))
+    m.inputs;
+  List.iter (fun o -> put o (Endpoint (C.Transfer.Out_port o))) m.outputs;
+  table
+
+let positional assoc_list =
+  List.map
+    (fun (name, e) ->
+      match name with
+      | None -> e
+      | Some n ->
+        fail "named associations are not produced by Emit (%s =>)" n)
+    assoc_list
+
+let int_of_expr = function
+  | Ast.Int n -> Some n
+  | Ast.Unop (Ast.Neg, Ast.Int n) -> Some (-n)
+  | _ -> None
+
+let phase_of_expr = function
+  | Ast.Name n -> C.Phase.of_string (String.lowercase_ascii n)
+  | _ -> None
+
+let model_of_ast ~pragmas units =
+  let skel = skeleton pragmas in
+  let table = classify_table skel in
+  let top_name = Emit.mangle skel.name in
+  let arch_stmts =
+    List.find_map
+      (function
+        | Ast.Architecture { arch_entity; arch_stmts; _ }
+          when arch_entity = top_name ->
+          Some arch_stmts
+        | _ -> None)
+      units
+  in
+  let arch_stmts =
+    match arch_stmts with
+    | Some stmts -> stmts
+    | None -> fail "no architecture of entity %s found" top_name
+  in
+  let cs_max = ref None in
+  let legs = ref [] in
+  let selects = ref [] in
+  let regs_seen = ref [] in
+  let classify name =
+    match Hashtbl.find_opt table name with
+    | Some c -> c
+    | None -> fail "signal %s is not declared by the pragma inventory" name
+  in
+  let handle_trans generic_map port_map =
+    let step, phase =
+      match positional generic_map with
+      | [ s; p ] ->
+        (match int_of_expr s, phase_of_expr p with
+         | Some s, Some p -> (s, p)
+         | _, _ -> fail "bad TRANS generic map")
+      | _ -> fail "TRANS needs generic map (S, P)"
+    in
+    match positional port_map with
+    | [ _cs; _ph; src; dst ] ->
+      (match src, dst with
+       | Ast.Int index, Ast.Name dst_name ->
+         (* A literal source drives an op-select port. *)
+         (match classify dst_name with
+          | Op_port fu ->
+            let op =
+              match C.Model.find_fu skel fu with
+              | Some f -> List.nth_opt f.ops index
+              | None -> None
+            in
+            (match op with
+             | Some op ->
+               selects :=
+                 { C.Transfer.sel_step = step; sel_fu = fu; sel_op = op }
+                 :: !selects
+             | None ->
+               fail "op index %d out of range for unit %s" index fu)
+          | Endpoint _ | Control ->
+            fail "literal TRANS source must target an op port")
+       | Ast.Name src_name, Ast.Name dst_name ->
+         (match classify src_name, classify dst_name with
+          | Endpoint src, Endpoint dst ->
+            legs := { C.Transfer.step; phase; src; dst } :: !legs
+          | _, _ -> fail "TRANS endpoints must be data signals")
+       | _, _ -> fail "unsupported TRANS port map shape")
+    | _ -> fail "TRANS needs port map (CS, PH, src, dst)"
+  in
+  List.iter
+    (function
+      | Ast.Instance { component; generic_map; port_map; _ } ->
+        (match String.uppercase_ascii component with
+         | "CONTROLLER" ->
+           (match positional generic_map with
+            | [ e ] ->
+              (match int_of_expr e with
+               | Some n -> cs_max := Some n
+               | None -> fail "CONTROLLER generic must be an integer")
+            | _ -> fail "CONTROLLER needs generic map (CS_MAX)")
+         | "TRANS" -> handle_trans generic_map port_map
+         | "REG" ->
+           (match positional port_map with
+            | [ _ph; _in; Ast.Name out_name ] ->
+              (match classify out_name with
+               | Endpoint (C.Transfer.Reg_out r) ->
+                 regs_seen := r :: !regs_seen
+               | _ -> fail "REG output %s is not a register" out_name)
+            | _ -> fail "REG needs port map (PH, R_in, R_out)")
+         | _ ->
+           (* functional-unit instances carry no tuple information *)
+           ())
+      | Ast.Proc _ | Ast.Concurrent_assign _ -> ())
+    arch_stmts;
+  let cs_max =
+    match !cs_max with
+    | Some n -> n
+    | None -> fail "no CONTROLLER instance found"
+  in
+  (* Cross-check: every pragma register has a REG instance. *)
+  List.iter
+    (fun (r : C.Model.register) ->
+      if not (List.mem r.reg_name !regs_seen) then
+        fail "register %s has no REG instance" r.reg_name)
+    skel.registers;
+  let tuples =
+    C.Transfer.merge
+      ~latency_of:(C.Model.fu_latency skel)
+      (C.Transfer.compose (List.rev !legs) (List.rev !selects))
+  in
+  let m = { skel with cs_max; transfers = tuples } in
+  C.Model.validate_exn m;
+  m
+
+let model_of_string src =
+  let pragmas = pragma_lines src in
+  let units =
+    try Parser.design_file src
+    with Parser.Parse_error (l, m) -> fail "parse error at line %d: %s" l m
+  in
+  model_of_ast ~pragmas units

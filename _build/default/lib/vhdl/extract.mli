@@ -1,0 +1,25 @@
+(** Recover a clock-free model from its VHDL text.
+
+    The inverse of {!Emit}, implementing the paper's §2.7 direction
+    "if we know the transfer process, the tuples can be easily
+    constructed": TRANS instances (step and phase generics, source
+    and sink port associations) become legs, legs recompose into
+    tuples ({!Csrtl_core.Transfer.compose}) and merge into full
+    9-tuples using unit latencies; the CONTROLLER generic yields
+    [cs_max]; REG instances are cross-checked against the register
+    inventory.  Resource attributes without VHDL syntax (operation
+    lists, latencies, input drives) are read from the [-- csrtl]
+    pragma comments. *)
+
+exception Extract_error of string
+
+val model_of_string : string -> Csrtl_core.Model.t
+(** Parse, extract, and return the model (validated). *)
+
+val model_of_ast :
+  pragmas:string list -> Ast.design_file -> Csrtl_core.Model.t
+(** Extraction from a parsed design file; [pragmas] are the [csrtl]
+    directive payloads (without the comment marker). *)
+
+val pragma_lines : string -> string list
+(** The [csrtl] pragma payloads of a source text. *)

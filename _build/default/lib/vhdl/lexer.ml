@@ -1,0 +1,131 @@
+type token =
+  | Id of string
+  | Num of int
+  | Str of string
+  | Tick
+  | Lparen | Rparen | Semi | Colon | Comma
+  | Arrow
+  | Assign
+  | Leq
+  | Eq | Neq | Lt | Gt | Geq
+  | Plus | Minus | Star | Amp | Dot
+  | Eof
+
+exception Lex_error of int * string
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_id_char c =
+  is_id_start c || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let emit t = out := (t, !line) :: !out in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_id_start c then begin
+      let start = !i in
+      while !i < n && is_id_char src.[!i] do
+        incr i
+      done;
+      emit (Id (String.sub src start (!i - start)))
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && ((src.[!i] >= '0' && src.[!i] <= '9') || src.[!i] = '_')
+      do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      let text = String.concat "" (String.split_on_char '_' text) in
+      emit (Num (int_of_string text))
+    end
+    else if c = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let finished = ref false in
+      while not !finished do
+        if !i >= n then raise (Lex_error (!line, "unterminated string"));
+        if src.[!i] = '"' then begin
+          finished := true;
+          incr i
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      emit (Str (Buffer.contents buf))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some "=>" -> emit Arrow; i := !i + 2
+      | Some ":=" -> emit Assign; i := !i + 2
+      | Some "<=" -> emit Leq; i := !i + 2
+      | Some "/=" -> emit Neq; i := !i + 2
+      | Some ">=" -> emit Geq; i := !i + 2
+      | Some _ | None ->
+        (match c with
+         | '\'' -> emit Tick; incr i
+         | '(' -> emit Lparen; incr i
+         | ')' -> emit Rparen; incr i
+         | ';' -> emit Semi; incr i
+         | ':' -> emit Colon; incr i
+         | ',' -> emit Comma; incr i
+         | '=' -> emit Eq; incr i
+         | '<' -> emit Lt; incr i
+         | '>' -> emit Gt; incr i
+         | '+' -> emit Plus; incr i
+         | '-' -> emit Minus; incr i
+         | '*' -> emit Star; incr i
+         | '&' -> emit Amp; incr i
+         | '.' -> emit Dot; incr i
+         | _ ->
+           raise
+             (Lex_error (!line, Printf.sprintf "unexpected character %C" c)))
+    end
+  done;
+  emit Eof;
+  Array.of_list (List.rev !out)
+
+let token_to_string = function
+  | Id s -> s
+  | Num n -> string_of_int n
+  | Str s -> Printf.sprintf "%S" s
+  | Tick -> "'"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Semi -> ";"
+  | Colon -> ":"
+  | Comma -> ","
+  | Arrow -> "=>"
+  | Assign -> ":="
+  | Leq -> "<="
+  | Eq -> "="
+  | Neq -> "/="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Geq -> ">="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Amp -> "&"
+  | Dot -> "."
+  | Eof -> "<eof>"

@@ -1,0 +1,23 @@
+(** Lexer for the VHDL subset. *)
+
+type token =
+  | Id of string  (** identifier, original case preserved *)
+  | Num of int
+  | Str of string
+  | Tick
+  | Lparen | Rparen | Semi | Colon | Comma
+  | Arrow  (** [=>] *)
+  | Assign  (** [:=] *)
+  | Leq  (** [<=], both assignment and comparison *)
+  | Eq | Neq | Lt | Gt | Geq
+  | Plus | Minus | Star | Amp | Dot
+  | Eof
+
+exception Lex_error of int * string
+(** Line number and message. *)
+
+val tokenize : string -> (token * int) array
+(** Tokens with their 1-based line numbers; comments ([-- ...]) are
+    skipped.  Raises {!Lex_error} on unexpected characters. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,245 @@
+type severity = Error | Warning
+
+type finding = {
+  severity : severity;
+  rule : string;
+  where : string;
+  message : string;
+}
+
+let lc = String.lowercase_ascii
+
+let clock_like name =
+  let n = lc name in
+  let has frag =
+    let nh = String.length n and nn = String.length frag in
+    let rec go i = i + nn <= nh && (String.sub n i nn = frag || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  has "clk" || has "clock"
+
+let paper_phases = [ "ra"; "rb"; "cm"; "wa"; "wb"; "cr" ]
+
+(* Names an expression mentions. *)
+let rec expr_names (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Str _ -> []
+  | Ast.Name n -> [ n ]
+  | Ast.Attr (n, _) -> [ n ]
+  | Ast.Attr_call (n, _, args) -> n :: List.concat_map expr_names args
+  | Ast.Index (n, i) -> n :: expr_names i
+  | Ast.Call (n, args) -> n :: List.concat_map expr_names args
+  | Ast.Binop (_, a, b) -> expr_names a @ expr_names b
+  | Ast.Unop (_, a) -> expr_names a
+  | Ast.Paren a -> expr_names a
+
+let rec stmt_has_wait (s : Ast.stmt) =
+  match s with
+  | Ast.Wait | Ast.Wait_on _ | Ast.Wait_until _ -> true
+  | Ast.If (branches, els) ->
+    List.exists (fun (_, body) -> List.exists stmt_has_wait body) branches
+    || List.exists stmt_has_wait els
+  | Ast.For (_, _, _, body) -> List.exists stmt_has_wait body
+  | Ast.Signal_assign _ | Ast.Var_assign _ | Ast.Return _ | Ast.Assert_stmt _
+  | Ast.Null_stmt ->
+    false
+
+let rec collect_waits (s : Ast.stmt) =
+  match s with
+  | Ast.Wait -> [ `Plain ]
+  | Ast.Wait_on sigs -> [ `On sigs ]
+  | Ast.Wait_until e -> [ `Until e ]
+  | Ast.If (branches, els) ->
+    List.concat_map (fun (_, body) -> List.concat_map collect_waits body)
+      branches
+    @ List.concat_map collect_waits els
+  | Ast.For (_, _, _, body) -> List.concat_map collect_waits body
+  | Ast.Signal_assign _ | Ast.Var_assign _ | Ast.Return _ | Ast.Assert_stmt _
+  | Ast.Null_stmt ->
+    []
+
+let check (units : Ast.design_file) =
+  let findings = ref [] in
+  let add severity rule where fmt =
+    Format.kasprintf
+      (fun message -> findings := { severity; rule; where; message } :: !findings)
+      fmt
+  in
+  (* inventory of declared entities for instantiation checking *)
+  let entities = Hashtbl.create 16 in
+  List.iter
+    (fun u ->
+      match u with
+      | Ast.Entity { ent_name; generics; ports } ->
+        Hashtbl.replace entities (lc ent_name)
+          (List.length generics, List.length ports)
+      | Ast.Architecture _ | Ast.Package _ | Ast.Package_body _
+      | Ast.Use_clause _ | Ast.Comment _ ->
+        ())
+    units;
+  let known_functions = ref [ "resolve" ] in
+  let check_signal_decl where (d : Ast.object_decl) =
+    match d with
+    | Ast.Signal_decl (names, ty, _) ->
+      List.iter
+        (fun n ->
+          if clock_like n then
+            add Error "no-clocks" where
+              "signal %s looks like a clock; the subset has no clock \
+               signals"
+              n)
+        names;
+      (match ty.Ast.resolution with
+       | Some f when not (List.mem (lc f) (List.map lc !known_functions)) ->
+         add Error "resolved-signals" where
+           "resolution function %s is not declared" f
+       | Some _ | None -> ())
+    | Ast.Variable_decl _ | Ast.Constant_decl _ -> ()
+  in
+  let check_process where (p : Ast.process) =
+    let has_waits = List.exists stmt_has_wait p.Ast.body in
+    (match p.Ast.sensitivity, has_waits with
+     | _ :: _, true ->
+       add Error "process-shape" where
+         "process has both a sensitivity list and wait statements"
+     | [], false ->
+       add Warning "process-shape" where
+         "process neither suspends nor has a sensitivity list; it would \
+          loop forever"
+     | _, _ -> ());
+    List.iter
+      (fun w ->
+        match w with
+        | `Plain -> ()
+        | `On sigs ->
+          List.iter
+            (fun s ->
+              if clock_like s then
+                add Error "no-clocks" where "process waits on clock %s" s)
+            sigs
+        | `Until e ->
+          let names = List.map lc (expr_names e) in
+          List.iter
+            (fun n ->
+              if clock_like n then
+                add Error "no-clocks" where
+                  "wait condition mentions clock-like name %s" n)
+            names;
+          if List.exists (fun n -> n = "rising_edge" || n = "falling_edge")
+               names
+          then
+            add Error "no-clocks" where "edge idiom in a wait condition";
+          (* the control-step discipline: conditions range over the
+             control signals and generics *)
+          if
+            not
+              (List.exists
+                 (fun n -> n = "cs" || n = "ph")
+                 names)
+          then
+            add Warning "control-steps" where
+              "wait condition does not mention the control signals CS/PH")
+      (List.concat_map collect_waits p.Ast.body)
+  in
+  List.iter
+    (fun u ->
+      match u with
+      | Ast.Package { pkg_name; pkg_decls } ->
+        List.iter
+          (fun d ->
+            match d with
+            | Ast.Pkg_type_enum (n, items) when lc n = "phase" ->
+              if List.map lc items <> paper_phases then
+                add Error "phase-enum" pkg_name
+                  "type Phase must be (ra, rb, cm, wa, wb, cr); found (%s)"
+                  (String.concat ", " items)
+            | Ast.Pkg_constant (n, _, e) when lc n = "disc" ->
+              if e <> Ast.Int (-1) && e <> Ast.Unop (Ast.Neg, Ast.Int 1) then
+                add Error "sentinels" pkg_name "DISC must be -1"
+            | Ast.Pkg_constant (n, _, e) when lc n = "illegal" ->
+              if e <> Ast.Int (-2) && e <> Ast.Unop (Ast.Neg, Ast.Int 2) then
+                add Error "sentinels" pkg_name "ILLEGAL must be -2"
+            | Ast.Pkg_function f ->
+              known_functions := f.Ast.fun_name :: !known_functions
+            | Ast.Pkg_function_decl n -> known_functions := n :: !known_functions
+            | Ast.Pkg_type_enum _ | Ast.Pkg_type_array _ | Ast.Pkg_subtype _
+            | Ast.Pkg_constant _ | Ast.Pkg_comment _ ->
+              ())
+          pkg_decls
+      | Ast.Entity { ent_name; ports; _ } ->
+        List.iter
+          (fun (p : Ast.port) ->
+            if clock_like p.Ast.port_name then
+              add Error "no-clocks" ent_name "port %s looks like a clock"
+                p.Ast.port_name)
+          ports
+      | Ast.Architecture { arch_name; arch_entity; arch_decls; arch_stmts } ->
+        let where = Printf.sprintf "%s(%s)" arch_name arch_entity in
+        if not (Hashtbl.mem entities (lc arch_entity)) then
+          add Warning "structure" where
+            "architecture of undeclared entity %s" arch_entity;
+        List.iter (check_signal_decl where) arch_decls;
+        List.iter
+          (fun stmt ->
+            match stmt with
+            | Ast.Proc p -> check_process where p
+            | Ast.Concurrent_assign _ -> ()
+            | Ast.Instance { inst_label; component; generic_map; port_map }
+              -> (
+                let iwhere = where ^ "/" ^ inst_label in
+                match Hashtbl.find_opt entities (lc component) with
+                | None ->
+                  add Error "structure" iwhere
+                    "instantiation of undeclared entity %s" component
+                | Some (ngen, nports) ->
+                  if List.length generic_map > ngen then
+                    add Error "structure" iwhere
+                      "%d generics supplied, entity %s declares %d"
+                      (List.length generic_map) component ngen;
+                  if List.length port_map > nports then
+                    add Error "structure" iwhere
+                      "%d ports supplied, entity %s declares %d"
+                      (List.length port_map) component nports;
+                  if lc component = "trans" then begin
+                    match generic_map with
+                    | [ (_, step); (_, phase) ] ->
+                      (match step with
+                       | Ast.Int s when s >= 1 -> ()
+                       | _ ->
+                         add Error "trans-generics" iwhere
+                           "TRANS step generic must be a positive literal");
+                      (match phase with
+                       | Ast.Name p when List.mem (lc p) paper_phases -> ()
+                       | _ ->
+                         add Error "trans-generics" iwhere
+                           "TRANS phase generic must be one of the six \
+                            phases")
+                    | _ ->
+                      add Error "trans-generics" iwhere
+                        "TRANS needs generic map (S, P)"
+                  end))
+          arch_stmts
+      | Ast.Package_body _ | Ast.Use_clause _ | Ast.Comment _ -> ())
+    units;
+  List.stable_sort
+    (fun a b ->
+      compare
+        (match a.severity with Error -> 0 | Warning -> 1)
+        (match b.severity with Error -> 0 | Warning -> 1))
+    (List.rev !findings)
+
+let check_source src =
+  match Parser.design_file src with
+  | units -> Ok (check units)
+  | exception Parser.Parse_error (line, msg) ->
+    Error (Printf.sprintf "line %d: %s (outside the subset grammar)" line msg)
+  | exception Lexer.Lex_error (line, msg) ->
+    Error (Printf.sprintf "line %d: %s (outside the subset lexicon)" line msg)
+
+let conformant findings =
+  not (List.exists (fun f -> f.severity = Error) findings)
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s[%s] %s: %s"
+    (match f.severity with Error -> "error" | Warning -> "warning")
+    f.rule f.where f.message

@@ -1,0 +1,51 @@
+(** Subset-conformance checking for clock-free RT VHDL.
+
+    The paper's §1 frames the work as defining "a systematic but
+    general way based on VHDL subsets" (citing the EVSWG Level-0
+    effort): a description is portable exactly when it stays inside
+    the subset.  This linter checks a parsed design file against the
+    clock-free RT rules of §2:
+
+    - no physical timing: no [wait for], no [after] (unrepresentable
+      in the subset AST, reported if a foreign construct slipped
+      through), and no clock-shaped signals (names like [clk],
+      [clock], edge idioms);
+    - processes are either sensitivity-list processes without wait
+      statements or wait-statement processes without a sensitivity
+      list, never both (VHDL legality) — and their waits are [wait
+      until] conditions over the control signals [CS]/[PH] or plain
+      [wait];
+    - the phase enumeration, when declared, is exactly the paper's
+      six phases in order;
+    - the sentinel constants DISC/ILLEGAL, when declared, have the
+      paper's values;
+    - resolved signal declarations name a declared resolution
+      function;
+    - component instantiations reference declared entities (or the
+      paper's CONTROLLER/TRANS/REG), with matching generic/port
+      counts;
+    - TRANS instances carry a (step, phase) generic pair.
+
+    Violations are warnings or errors; a file is {e conformant} when
+    it has no errors. *)
+
+type severity = Error | Warning
+
+type finding = {
+  severity : severity;
+  rule : string;  (** short rule identifier, e.g. ["no-clocks"] *)
+  where : string;  (** design unit / label the finding points into *)
+  message : string;
+}
+
+val check : Ast.design_file -> finding list
+(** All findings, errors first. *)
+
+val check_source : string -> (finding list, string) result
+(** Parse then {!check}; [Error] is a parse failure (which itself
+    means the text leaves the subset grammar). *)
+
+val conformant : finding list -> bool
+(** No [Error]-severity findings. *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,708 @@
+exception Parse_error of int * string
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st fmt =
+  Format.kasprintf (fun m -> raise (Parse_error (line st, m))) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st "expected %s, found %s"
+      (Lexer.token_to_string tok)
+      (Lexer.token_to_string (peek st))
+
+let lc = String.lowercase_ascii
+
+(* Keyword test: identifiers match case-insensitively. *)
+let at_kw st kw =
+  match peek st with Lexer.Id s -> lc s = kw | _ -> false
+
+let expect_kw st kw =
+  if at_kw st kw then advance st
+  else
+    fail st "expected keyword %s, found %s" kw
+      (Lexer.token_to_string (peek st))
+
+let ident st =
+  match peek st with
+  | Lexer.Id s ->
+    advance st;
+    s
+  | t -> fail st "expected identifier, found %s" (Lexer.token_to_string t)
+
+let ident_list st =
+  let rec go acc =
+    let id = ident st in
+    if peek st = Lexer.Comma then begin
+      advance st;
+      go (id :: acc)
+    end
+    else List.rev (id :: acc)
+  in
+  go []
+
+let keywords =
+  [ "entity"; "architecture"; "package"; "body"; "is"; "begin"; "end";
+    "process"; "signal"; "variable"; "constant"; "type"; "subtype"; "port";
+    "generic"; "map"; "wait"; "until"; "on"; "if"; "then"; "elsif"; "else";
+    "for"; "loop"; "return"; "null"; "function"; "in"; "out"; "inout";
+    "and"; "or"; "not"; "to"; "use"; "of"; "array"; "range";
+    "assert"; "report"; "severity" ]
+
+let is_keyword s = List.mem (lc s) keywords
+
+(* -- expressions -------------------------------------------------------- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let a = parse_and st in
+  if at_kw st "or" then begin
+    advance st;
+    Ast.Binop (Ast.Or, a, parse_or st)
+  end
+  else a
+
+and parse_and st =
+  let a = parse_rel st in
+  if at_kw st "and" then begin
+    advance st;
+    Ast.Binop (Ast.And, a, parse_and st)
+  end
+  else a
+
+and parse_rel st =
+  let a = parse_add st in
+  let op =
+    match peek st with
+    | Lexer.Eq -> Some Ast.Eq
+    | Lexer.Neq -> Some Ast.Neq
+    | Lexer.Lt -> Some Ast.Lt
+    | Lexer.Leq -> Some Ast.Le
+    | Lexer.Gt -> Some Ast.Gt
+    | Lexer.Geq -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> a
+  | Some op ->
+    advance st;
+    Ast.Binop (op, a, parse_add st)
+
+and parse_add st =
+  let rec go a =
+    match peek st with
+    | Lexer.Plus ->
+      advance st;
+      go (Ast.Binop (Ast.Add, a, parse_mul st))
+    | Lexer.Minus ->
+      advance st;
+      go (Ast.Binop (Ast.Sub, a, parse_mul st))
+    | Lexer.Amp ->
+      advance st;
+      go (Ast.Binop (Ast.Concat, a, parse_mul st))
+    | _ -> a
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go a =
+    match peek st with
+    | Lexer.Star ->
+      advance st;
+      go (Ast.Binop (Ast.Mul, a, parse_unary st))
+    | _ -> a
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  if at_kw st "not" then begin
+    advance st;
+    Ast.Unop (Ast.Not, parse_unary st)
+  end
+  else
+    match peek st with
+    | Lexer.Minus ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_unary st)
+    | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Num n ->
+    advance st;
+    Ast.Int n
+  | Lexer.Str s ->
+    advance st;
+    Ast.Str s
+  | Lexer.Lparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.Rparen;
+    Ast.Paren e
+  | Lexer.Id _ ->
+    let name = ident st in
+    (match peek st with
+     | Lexer.Tick ->
+       advance st;
+       let attr = ident st in
+       if peek st = Lexer.Lparen then begin
+         advance st;
+         let args = parse_args st in
+         expect st Lexer.Rparen;
+         Ast.Attr_call (name, attr, args)
+       end
+       else Ast.Attr (name, attr)
+     | Lexer.Lparen ->
+       advance st;
+       let args = parse_args st in
+       expect st Lexer.Rparen;
+       (match args with
+        | [ one ] -> Ast.Index (name, one)
+        | _ -> Ast.Call (name, args))
+     | _ -> Ast.Name name)
+  | t -> fail st "expected expression, found %s" (Lexer.token_to_string t)
+
+and parse_args st =
+  let rec go acc =
+    let e = parse_expr st in
+    if peek st = Lexer.Comma then begin
+      advance st;
+      go (e :: acc)
+    end
+    else List.rev (e :: acc)
+  in
+  go []
+
+(* -- types & declarations ------------------------------------------------ *)
+
+let parse_type_name st =
+  let first = ident st in
+  (* Two consecutive identifiers: resolution function + base type. *)
+  match peek st with
+  | Lexer.Id s when not (is_keyword s) ->
+    advance st;
+    { Ast.base = s; resolution = Some first }
+  | _ -> { Ast.base = first; resolution = None }
+
+let parse_init_opt st =
+  if peek st = Lexer.Assign then begin
+    advance st;
+    Some (parse_expr st)
+  end
+  else None
+
+let parse_object_decl st =
+  if at_kw st "signal" then begin
+    advance st;
+    let names = ident_list st in
+    expect st Lexer.Colon;
+    let t = parse_type_name st in
+    let init = parse_init_opt st in
+    expect st Lexer.Semi;
+    Some (Ast.Signal_decl (names, t, init))
+  end
+  else if at_kw st "variable" then begin
+    advance st;
+    let names = ident_list st in
+    expect st Lexer.Colon;
+    let t = parse_type_name st in
+    let init = parse_init_opt st in
+    expect st Lexer.Semi;
+    Some (Ast.Variable_decl (names, t, init))
+  end
+  else if at_kw st "constant" then begin
+    advance st;
+    let name = ident st in
+    expect st Lexer.Colon;
+    let t = parse_type_name st in
+    expect st Lexer.Assign;
+    let e = parse_expr st in
+    expect st Lexer.Semi;
+    Some (Ast.Constant_decl (name, t, e))
+  end
+  else None
+
+(* -- statements ----------------------------------------------------------- *)
+
+let rec parse_stmt st =
+  if at_kw st "wait" then begin
+    advance st;
+    if at_kw st "until" then begin
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.Semi;
+      Ast.Wait_until e
+    end
+    else if at_kw st "on" then begin
+      advance st;
+      let sigs = ident_list st in
+      expect st Lexer.Semi;
+      Ast.Wait_on sigs
+    end
+    else begin
+      expect st Lexer.Semi;
+      Ast.Wait
+    end
+  end
+  else if at_kw st "if" then parse_if st
+  else if at_kw st "for" then begin
+    advance st;
+    let v = ident st in
+    expect_kw st "in";
+    let lo = parse_expr st in
+    expect_kw st "to";
+    let hi = parse_expr st in
+    expect_kw st "loop";
+    let body = parse_stmts st in
+    expect_kw st "end";
+    expect_kw st "loop";
+    expect st Lexer.Semi;
+    Ast.For (v, lo, hi, body)
+  end
+  else if at_kw st "return" then begin
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.Semi;
+    Ast.Return e
+  end
+  else if at_kw st "assert" then begin
+    advance st;
+    let cond = parse_expr st in
+    expect_kw st "report";
+    let msg =
+      match peek st with
+      | Lexer.Str s ->
+        advance st;
+        s
+      | t -> fail st "expected a report string, found %s"
+               (Lexer.token_to_string t)
+    in
+    expect_kw st "severity";
+    let _level = ident st in
+    expect st Lexer.Semi;
+    Ast.Assert_stmt (cond, msg)
+  end
+  else if at_kw st "null" then begin
+    advance st;
+    expect st Lexer.Semi;
+    Ast.Null_stmt
+  end
+  else begin
+    let name = ident st in
+    match peek st with
+    | Lexer.Leq ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.Semi;
+      Ast.Signal_assign (name, e)
+    | Lexer.Assign ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.Semi;
+      Ast.Var_assign (name, e)
+    | t ->
+      fail st "expected <= or := after %s, found %s" name
+        (Lexer.token_to_string t)
+  end
+
+and parse_if st =
+  expect_kw st "if";
+  let cond = parse_expr st in
+  expect_kw st "then";
+  let body = parse_stmts st in
+  let rec branches acc =
+    if at_kw st "elsif" then begin
+      advance st;
+      let c = parse_expr st in
+      expect_kw st "then";
+      let b = parse_stmts st in
+      branches ((c, b) :: acc)
+    end
+    else if at_kw st "else" then begin
+      advance st;
+      let b = parse_stmts st in
+      expect_kw st "end";
+      expect_kw st "if";
+      expect st Lexer.Semi;
+      (List.rev acc, b)
+    end
+    else begin
+      expect_kw st "end";
+      expect_kw st "if";
+      expect st Lexer.Semi;
+      (List.rev acc, [])
+    end
+  in
+  let rest, els = branches [] in
+  Ast.If ((cond, body) :: rest, els)
+
+and at_stmt_start st =
+  match peek st with
+  | Lexer.Id s ->
+    not
+      (List.mem (lc s)
+         [ "end"; "elsif"; "else"; "begin"; "process"; "entity";
+           "architecture" ])
+  | _ -> false
+
+and parse_stmts st =
+  let rec go acc =
+    if at_stmt_start st then go (parse_stmt st :: acc) else List.rev acc
+  in
+  go []
+
+(* -- concurrent statements -------------------------------------------------- *)
+
+let parse_assoc st =
+  let rec go acc =
+    (* Named association: Id => expr; otherwise positional. *)
+    let item =
+      match peek st, fst st.toks.(st.pos + 1) with
+      | Lexer.Id n, Lexer.Arrow ->
+        advance st;
+        advance st;
+        (Some n, parse_expr st)
+      | _, _ -> (None, parse_expr st)
+    in
+    if peek st = Lexer.Comma then begin
+      advance st;
+      go (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  go []
+
+let parse_process st label =
+  expect_kw st "process";
+  let sensitivity =
+    if peek st = Lexer.Lparen then begin
+      advance st;
+      let l = ident_list st in
+      expect st Lexer.Rparen;
+      l
+    end
+    else []
+  in
+  if at_kw st "is" then advance st;
+  let rec decls acc =
+    match parse_object_decl st with
+    | Some d -> decls (d :: acc)
+    | None -> List.rev acc
+  in
+  let proc_decls = decls [] in
+  expect_kw st "begin";
+  let body = parse_stmts st in
+  expect_kw st "end";
+  expect_kw st "process";
+  (match peek st with
+   | Lexer.Id s when not (is_keyword s) -> advance st
+   | _ -> ());
+  expect st Lexer.Semi;
+  Ast.Proc { proc_label = label; sensitivity; proc_decls; body }
+
+let parse_instance st label =
+  let component = ident st in
+  let generic_map =
+    if at_kw st "generic" then begin
+      advance st;
+      expect_kw st "map";
+      expect st Lexer.Lparen;
+      let a = parse_assoc st in
+      expect st Lexer.Rparen;
+      a
+    end
+    else []
+  in
+  let port_map =
+    if at_kw st "port" then begin
+      advance st;
+      expect_kw st "map";
+      expect st Lexer.Lparen;
+      let a = parse_assoc st in
+      expect st Lexer.Rparen;
+      a
+    end
+    else []
+  in
+  expect st Lexer.Semi;
+  Ast.Instance { inst_label = label; component; generic_map; port_map }
+
+let parse_concurrent st =
+  if at_kw st "process" then parse_process st None
+  else begin
+    let name = ident st in
+    match peek st with
+    | Lexer.Colon ->
+      advance st;
+      if at_kw st "process" then parse_process st (Some name)
+      else parse_instance st name
+    | Lexer.Leq ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.Semi;
+      Ast.Concurrent_assign (name, e)
+    | t ->
+      fail st "expected : or <= after %s, found %s" name
+        (Lexer.token_to_string t)
+  end
+
+(* -- design units -------------------------------------------------------- *)
+
+let parse_generics st =
+  if at_kw st "generic" then begin
+    advance st;
+    expect st Lexer.Lparen;
+    let rec go acc =
+      let name = ident st in
+      expect st Lexer.Colon;
+      let ty = ident st in
+      let default = parse_init_opt st in
+      let g = { Ast.gen_name = name; gen_type = ty; gen_default = default } in
+      if peek st = Lexer.Semi then begin
+        advance st;
+        go (g :: acc)
+      end
+      else List.rev (g :: acc)
+    in
+    let gs = go [] in
+    expect st Lexer.Rparen;
+    expect st Lexer.Semi;
+    gs
+  end
+  else []
+
+let parse_ports st =
+  if at_kw st "port" then begin
+    advance st;
+    expect st Lexer.Lparen;
+    let rec go acc =
+      let names = ident_list st in
+      expect st Lexer.Colon;
+      let mode =
+        if at_kw st "in" then (advance st; Ast.In)
+        else if at_kw st "out" then (advance st; Ast.Out)
+        else if at_kw st "inout" then (advance st; Ast.Inout)
+        else Ast.In
+      in
+      let ty = parse_type_name st in
+      let default = parse_init_opt st in
+      let ps =
+        List.map
+          (fun n ->
+            { Ast.port_name = n; mode; port_type = ty;
+              port_default = default })
+          names
+      in
+      let acc = acc @ ps in
+      if peek st = Lexer.Semi then begin
+        advance st;
+        go acc
+      end
+      else acc
+    in
+    let ps = go [] in
+    expect st Lexer.Rparen;
+    expect st Lexer.Semi;
+    ps
+  end
+  else []
+
+let parse_entity st =
+  expect_kw st "entity";
+  let name = ident st in
+  expect_kw st "is";
+  let generics = parse_generics st in
+  let ports = parse_ports st in
+  expect_kw st "end";
+  (match peek st with
+   | Lexer.Id s when not (is_keyword s) -> advance st
+   | Lexer.Id s when lc s = "entity" -> advance st
+   | _ -> ());
+  expect st Lexer.Semi;
+  Ast.Entity { ent_name = name; generics; ports }
+
+let parse_architecture st =
+  expect_kw st "architecture";
+  let arch_name = ident st in
+  expect_kw st "of";
+  let arch_entity = ident st in
+  expect_kw st "is";
+  let rec decls acc =
+    match parse_object_decl st with
+    | Some d -> decls (d :: acc)
+    | None -> List.rev acc
+  in
+  let arch_decls = decls [] in
+  expect_kw st "begin";
+  let rec stmts acc =
+    if at_kw st "end" then List.rev acc
+    else stmts (parse_concurrent st :: acc)
+  in
+  let arch_stmts = stmts [] in
+  expect_kw st "end";
+  (match peek st with
+   | Lexer.Id s when not (is_keyword s) -> advance st
+   | _ -> ());
+  expect st Lexer.Semi;
+  Ast.Architecture { arch_name; arch_entity; arch_decls; arch_stmts }
+
+let parse_subprogram st =
+  expect_kw st "function";
+  let fun_name = ident st in
+  expect st Lexer.Lparen;
+  let rec params acc =
+    let names = ident_list st in
+    expect st Lexer.Colon;
+    let t = parse_type_name st in
+    let p = (names, t) in
+    if peek st = Lexer.Semi then begin
+      advance st;
+      params (p :: acc)
+    end
+    else List.rev (p :: acc)
+  in
+  let fun_params = params [] in
+  expect st Lexer.Rparen;
+  expect_kw st "return";
+  let fun_return = ident st in
+  if at_kw st "is" then begin
+    advance st;
+    let rec decls acc =
+      match parse_object_decl st with
+      | Some d -> decls (d :: acc)
+      | None -> List.rev acc
+    in
+    let fun_decls = decls [] in
+    expect_kw st "begin";
+    let fun_body = parse_stmts st in
+    expect_kw st "end";
+    (match peek st with
+     | Lexer.Id s when not (is_keyword s) -> advance st
+     | _ -> ());
+    expect st Lexer.Semi;
+    Ast.Pkg_function { fun_name; fun_params; fun_return; fun_decls; fun_body }
+  end
+  else begin
+    expect st Lexer.Semi;
+    Ast.Pkg_function_decl fun_name
+  end
+
+let parse_package_decl st =
+  if at_kw st "type" then begin
+    advance st;
+    let name = ident st in
+    expect_kw st "is";
+    if at_kw st "array" then begin
+      advance st;
+      expect st Lexer.Lparen;
+      let index = ident st in
+      expect_kw st "range";
+      expect st Lexer.Lt;
+      expect st Lexer.Gt;
+      expect st Lexer.Rparen;
+      expect_kw st "of";
+      let elem = ident st in
+      expect st Lexer.Semi;
+      Some (Ast.Pkg_type_array (name, index, elem))
+    end
+    else begin
+      expect st Lexer.Lparen;
+      let items = ident_list st in
+      expect st Lexer.Rparen;
+      expect st Lexer.Semi;
+      Some (Ast.Pkg_type_enum (name, items))
+    end
+  end
+  else if at_kw st "subtype" then begin
+    advance st;
+    let name = ident st in
+    expect_kw st "is";
+    let t = parse_type_name st in
+    expect st Lexer.Semi;
+    Some (Ast.Pkg_subtype (name, t))
+  end
+  else if at_kw st "constant" then begin
+    advance st;
+    let name = ident st in
+    expect st Lexer.Colon;
+    let t = parse_type_name st in
+    expect st Lexer.Assign;
+    let e = parse_expr st in
+    expect st Lexer.Semi;
+    Some (Ast.Pkg_constant (name, t, e))
+  end
+  else if at_kw st "function" then Some (parse_subprogram st)
+  else None
+
+let parse_package st =
+  expect_kw st "package";
+  let is_body = at_kw st "body" in
+  if is_body then advance st;
+  let name = ident st in
+  expect_kw st "is";
+  let rec decls acc =
+    match parse_package_decl st with
+    | Some d -> decls (d :: acc)
+    | None -> List.rev acc
+  in
+  let ds = decls [] in
+  expect_kw st "end";
+  (match peek st with
+   | Lexer.Id s when not (is_keyword s) -> advance st
+   | _ -> ());
+  expect st Lexer.Semi;
+  if is_body then Ast.Package_body { pkgb_name = name; pkgb_decls = ds }
+  else Ast.Package { pkg_name = name; pkg_decls = ds }
+
+let parse_use st =
+  expect_kw st "use";
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf (ident st);
+  let rec go () =
+    match peek st with
+    | Lexer.Dot ->
+      advance st;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf (ident st);
+      go ()
+    | _ -> ()
+  in
+  go ();
+  expect st Lexer.Semi;
+  Ast.Use_clause (Buffer.contents buf)
+
+let parse_design_file st =
+  let rec go acc =
+    if peek st = Lexer.Eof then List.rev acc
+    else if at_kw st "entity" then go (parse_entity st :: acc)
+    else if at_kw st "architecture" then go (parse_architecture st :: acc)
+    else if at_kw st "package" then go (parse_package st :: acc)
+    else if at_kw st "use" then go (parse_use st :: acc)
+    else fail st "expected a design unit, found %s"
+        (Lexer.token_to_string (peek st))
+  in
+  go []
+
+let design_file src =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Lex_error (l, m) -> raise (Parse_error (l, m))
+  in
+  let st = { toks; pos = 0 } in
+  parse_design_file st
+
+let expr src =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Lex_error (l, m) -> raise (Parse_error (l, m))
+  in
+  let st = { toks; pos = 0 } in
+  let e = parse_expr st in
+  if peek st <> Lexer.Eof then fail st "trailing tokens after expression";
+  e

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the VHDL subset.
+
+    Accepts everything {!Emit} produces (and the paper's hand-written
+    style): packages with enumeration types, constants and resolution
+    functions; entities; architectures with signal declarations,
+    processes and component instantiations.  Keywords are recognized
+    case-insensitively; identifier case is preserved. *)
+
+exception Parse_error of int * string
+
+val design_file : string -> Ast.design_file
+val expr : string -> Ast.expr
+(** Parse a single expression (testing convenience). *)

@@ -1,0 +1,196 @@
+open Ast
+
+let binop_str = function
+  | And -> "and"
+  | Or -> "or"
+  | Eq -> "="
+  | Neq -> "/="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Concat -> "&"
+
+let rec expr ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Name n -> Format.pp_print_string ppf n
+  | Attr (n, a) -> Format.fprintf ppf "%s'%s" n a
+  | Attr_call (n, a, args) ->
+    Format.fprintf ppf "%s'%s(%a)" n a expr_list args
+  | Index (n, i) -> Format.fprintf ppf "%s(%a)" n expr i
+  | Call (f, args) -> Format.fprintf ppf "%s(%a)" f expr_list args
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "%a %s %a" expr a (binop_str op) expr b
+  | Unop (Not, e) -> Format.fprintf ppf "not %a" expr e
+  | Unop (Neg, e) -> Format.fprintf ppf "-%a" expr e
+  | Paren e -> Format.fprintf ppf "(%a)" expr e
+
+and expr_list ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    expr ppf args
+
+let type_name ppf (t : type_name) =
+  match t.resolution with
+  | None -> Format.pp_print_string ppf t.base
+  | Some f -> Format.fprintf ppf "%s %s" f t.base
+
+let mode_str = function In -> "in" | Out -> "out" | Inout -> "inout"
+
+let init_part ppf = function
+  | None -> ()
+  | Some e -> Format.fprintf ppf " := %a" expr e
+
+let rec stmt ppf = function
+  | Wait -> Format.fprintf ppf "wait;"
+  | Wait_on sigs ->
+    Format.fprintf ppf "wait on %s;" (String.concat ", " sigs)
+  | Wait_until e -> Format.fprintf ppf "wait until %a;" expr e
+  | Signal_assign (n, e) -> Format.fprintf ppf "%s <= %a;" n expr e
+  | Var_assign (n, e) -> Format.fprintf ppf "%s := %a;" n expr e
+  | If (branches, els) ->
+    (match branches with
+     | [] -> ()
+     | (c, body) :: rest ->
+       Format.fprintf ppf "@[<v 2>if %a then@,%a@]" expr c stmts body;
+       List.iter
+         (fun (c, body) ->
+           Format.fprintf ppf "@,@[<v 2>elsif %a then@,%a@]" expr c stmts
+             body)
+         rest;
+       (match els with
+        | [] -> ()
+        | _ -> Format.fprintf ppf "@,@[<v 2>else@,%a@]" stmts els);
+       Format.fprintf ppf "@,end if;")
+  | For (v, lo, hi, body) ->
+    Format.fprintf ppf "@[<v 2>for %s in %a to %a loop@,%a@]@,end loop;" v
+      expr lo expr hi stmts body
+  | Return e -> Format.fprintf ppf "return %a;" expr e
+  | Assert_stmt (c, msg) ->
+    Format.fprintf ppf "assert %a report %S severity error;" expr c msg
+  | Null_stmt -> Format.fprintf ppf "null;"
+
+and stmts ppf body =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut stmt ppf body
+
+let object_decl ppf = function
+  | Signal_decl (names, t, init) ->
+    Format.fprintf ppf "signal %s: %a%a;" (String.concat ", " names)
+      type_name t init_part init
+  | Variable_decl (names, t, init) ->
+    Format.fprintf ppf "variable %s: %a%a;" (String.concat ", " names)
+      type_name t init_part init
+  | Constant_decl (n, t, e) ->
+    Format.fprintf ppf "constant %s: %a := %a;" n type_name t expr e
+
+let decls ppf ds =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut object_decl ppf ds
+
+let generic ppf (g : generic) =
+  Format.fprintf ppf "%s: %s%a" g.gen_name g.gen_type init_part g.gen_default
+
+let port ppf (p : port) =
+  Format.fprintf ppf "%s: %s %a%a" p.port_name (mode_str p.mode) type_name
+    p.port_type init_part p.port_default
+
+let semi_list pp_elt ppf xs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@,")
+    pp_elt ppf xs
+
+let assoc ppf (a : assoc) =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+    (fun ppf (name, e) ->
+      match name with
+      | None -> expr ppf e
+      | Some n -> Format.fprintf ppf "%s => %a" n expr e)
+    ppf a
+
+let process_pp ppf (p : process) =
+  let label ppf = function
+    | None -> ()
+    | Some l -> Format.fprintf ppf "%s: " l
+  in
+  let sens ppf = function
+    | [] -> ()
+    | l -> Format.fprintf ppf " (%s)" (String.concat ", " l)
+  in
+  Format.fprintf ppf "@[<v>%aprocess%a@," label p.proc_label sens
+    p.sensitivity;
+  if p.proc_decls <> [] then Format.fprintf ppf "%a@," decls p.proc_decls;
+  Format.fprintf ppf "@[<v 2>begin@,%a@]@,end process;@]" stmts p.body
+
+let concurrent ppf = function
+  | Proc p -> process_pp ppf p
+  | Instance { inst_label; component; generic_map; port_map } ->
+    Format.fprintf ppf "@[<v 2>%s: %s" inst_label component;
+    if generic_map <> [] then
+      Format.fprintf ppf "@,generic map (%a)" assoc generic_map;
+    if port_map <> [] then Format.fprintf ppf "@,port map (%a)" assoc port_map;
+    Format.fprintf ppf ";@]"
+  | Concurrent_assign (n, e) -> Format.fprintf ppf "%s <= %a;" n expr e
+
+let subprogram ppf (f : subprogram) =
+  let param ppf (names, t) =
+    Format.fprintf ppf "%s: %a" (String.concat ", " names) type_name t
+  in
+  Format.fprintf ppf "@[<v>@[<v 2>function %s (%a) return %s is@,%a@]@,"
+    f.fun_name (semi_list param) f.fun_params f.fun_return decls f.fun_decls;
+  Format.fprintf ppf "@[<v 2>begin@,%a@]@,end %s;@]" stmts f.fun_body
+    f.fun_name
+
+let package_decl ppf = function
+  | Pkg_type_enum (n, items) ->
+    Format.fprintf ppf "type %s is (%s);" n (String.concat ", " items)
+  | Pkg_type_array (n, index, elem) ->
+    Format.fprintf ppf "type %s is array (%s range <>) of %s;" n index elem
+  | Pkg_subtype (n, t) ->
+    Format.fprintf ppf "subtype %s is %a;" n type_name t
+  | Pkg_constant (n, t, e) ->
+    Format.fprintf ppf "constant %s: %a := %a;" n type_name t expr e
+  | Pkg_function f -> subprogram ppf f
+  | Pkg_function_decl sig_text ->
+    Format.fprintf ppf "function %s;" sig_text
+  | Pkg_comment c -> Format.fprintf ppf "-- %s" c
+
+let design_unit ppf = function
+  | Entity { ent_name; generics; ports } ->
+    Format.fprintf ppf "@[<v 2>entity %s is" ent_name;
+    if generics <> [] then
+      Format.fprintf ppf "@,@[<v 2>generic (@,%a);@]" (semi_list generic)
+        generics;
+    if ports <> [] then
+      Format.fprintf ppf "@,@[<v 2>port (@,%a);@]" (semi_list port) ports;
+    Format.fprintf ppf "@]@,end %s;" ent_name
+  | Architecture { arch_name; arch_entity; arch_decls; arch_stmts } ->
+    Format.fprintf ppf "@[<v>@[<v 2>architecture %s of %s is" arch_name
+      arch_entity;
+    if arch_decls <> [] then Format.fprintf ppf "@,%a" decls arch_decls;
+    Format.fprintf ppf "@]@,@[<v 2>begin@,%a@]@,end %s;@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut concurrent)
+      arch_stmts arch_name
+  | Package { pkg_name; pkg_decls } ->
+    Format.fprintf ppf "@[<v>@[<v 2>package %s is@,%a@]@,end %s;@]" pkg_name
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut package_decl)
+      pkg_decls pkg_name
+  | Package_body { pkgb_name; pkgb_decls } ->
+    Format.fprintf ppf "@[<v>@[<v 2>package body %s is@,%a@]@,end %s;@]"
+      pkgb_name
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut package_decl)
+      pkgb_decls pkgb_name
+  | Use_clause u -> Format.fprintf ppf "use %s;" u
+  | Comment c -> Format.fprintf ppf "-- %s" c
+
+let design_file ppf units =
+  Format.fprintf ppf "@[<v>%a@]@."
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,")
+       design_unit)
+    units
+
+let to_string units = Format.asprintf "%a" design_file units

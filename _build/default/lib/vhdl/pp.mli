@@ -1,0 +1,11 @@
+(** VHDL source rendering.
+
+    Produces conventional VHDL'87-style text from the subset AST; the
+    output of {!Emit} pretty-printed here parses back with {!Parser}
+    (round-trip tested). *)
+
+val expr : Format.formatter -> Ast.expr -> unit
+val stmt : Format.formatter -> Ast.stmt -> unit
+val design_unit : Format.formatter -> Ast.design_unit -> unit
+val design_file : Format.formatter -> Ast.design_file -> unit
+val to_string : Ast.design_file -> string

@@ -1,0 +1,41 @@
+  $ cat > fig1.rtm <<'RTM'
+  > model fig1
+  > csmax 7
+  > reg R1 init 3
+  > reg R2 init 4
+  > bus B1 B2
+  > unit ADD ops add latency 1
+  > transfer R1 B1 R2 B2 5 ADD 6 B1 R1
+  > RTM
+  $ csrtl check fig1.rtm
+  $ csrtl sim fig1.rtm --engine interp
+  $ csrtl sim fig1.rtm | grep cycles
+  $ csrtl info fig1.rtm | tail -2
+  $ csrtl compact fig1.rtm | head -1
+  $ csrtl coverage fig1.rtm | head -3
+  $ csrtl export-vhdl fig1.rtm -o fig1.vhd
+  $ csrtl lint fig1.vhd
+  $ csrtl import-vhdl fig1.vhd | tail -1
+  $ csrtl export-vhdl fig1.rtm --self-check -o fig1_tb.vhd
+  $ csrtl run-vhdl fig1_tb.vhd --top fig1 --show R1_out
+  $ csrtl selfcheck fig1.rtm
+  $ csrtl lower fig1.rtm --vhdl fig1_rtl.vhd | tail -2
+  $ csrtl lint fig1_rtl.vhd > /dev/null 2>&1; echo "exit $?"
+  $ cat > clash.rtm <<'RTM'
+  > model clash
+  > csmax 6
+  > reg R1 init 1
+  > reg R2 init 2
+  > reg R3
+  > reg R4
+  > bus B1 B2 B3
+  > unit ADD ops add latency 1
+  > unit SUB ops sub latency 1
+  > transfer R1 B1 R2 B2 2 ADD 3 B1 R3
+  > transfer R2 B1 R1 B3 2 SUB 3 B2 R4
+  > RTM
+  $ csrtl check clash.rtm
+  $ csrtl trace clash.rtm --from 2 --to 2 | grep conflict
+  $ csrtl check nonexistent.rtm 2>&1 | tail -1
+  $ printf 'model broken\n' > broken.rtm
+  $ csrtl sim broken.rtm

@@ -1,0 +1,1 @@
+test/test_clocked.ml: Alcotest Csrtl_clocked Csrtl_core Csrtl_kernel Csrtl_vhdl Emit_vhdl Equiv Eval Format Kernel_sim List Lower Netlist Printf QCheck QCheck_alcotest Random String

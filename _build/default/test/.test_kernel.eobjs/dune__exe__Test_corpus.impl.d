@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Csrtl_clocked Csrtl_core Csrtl_kernel Csrtl_verify Csrtl_vhdl Filename Format List Printf String Sys

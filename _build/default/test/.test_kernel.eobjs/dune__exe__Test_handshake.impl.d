@@ -1,0 +1,1 @@
+test/test_handshake.ml: Alcotest Channel Csrtl_core Csrtl_handshake Csrtl_kernel Fmt Hs_model List

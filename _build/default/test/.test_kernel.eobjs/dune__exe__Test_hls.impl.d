@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Csrtl_clocked Csrtl_core Csrtl_hls Csrtl_verify Dfg Examples Fds Flow Format Int Ir List Parse Printf QCheck QCheck_alcotest Random Sched String Synth

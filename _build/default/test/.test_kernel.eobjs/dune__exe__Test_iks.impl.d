@@ -1,0 +1,1 @@
+test/test_iks.ml: Alcotest Cordic Csrtl_core Csrtl_iks Datapath Fixed Float Golden Ikprog List Microcode Printf Random Translate

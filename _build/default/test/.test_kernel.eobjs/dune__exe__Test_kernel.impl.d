@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Buffer Csrtl_kernel Printf Process Scheduler Signal String Time Trace Types Vcd

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Consist Csrtl_clocked Csrtl_core Csrtl_hls Csrtl_verify Equiv Format Hashtbl List Lowcheck Option Printf QCheck QCheck_alcotest String Sym Symsim

@@ -1,0 +1,1 @@
+test/test_vhdl.ml: Alcotest Array Ast Csrtl_core Csrtl_kernel Csrtl_verify Csrtl_vhdl Elab Emit Extract Format Lexer Lint List Parser Pp Printf QCheck QCheck_alcotest Random String

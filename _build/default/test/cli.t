@@ -1,0 +1,119 @@
+Shell-level tests of the csrtl command-line tool, on the paper's
+Fig. 1 example.
+
+  $ cat > fig1.rtm <<'RTM'
+  > model fig1
+  > csmax 7
+  > reg R1 init 3
+  > reg R2 init 4
+  > bus B1 B2
+  > unit ADD ops add latency 1
+  > transfer R1 B1 R2 B2 5 ADD 6 B1 R1
+  > RTM
+
+Validation and simulation:
+
+  $ csrtl check fig1.rtm
+  fig1: ok (1 transfers, cs_max 7)
+
+  $ csrtl sim fig1.rtm --engine interp
+  observation of fig1 (cs_max=7)
+    R1: 3 3 3 3 3 7 7
+    R2: 4 4 4 4 4 4 4
+  
+
+The delta-cycle law (6 cycles per step):
+
+  $ csrtl sim fig1.rtm | grep cycles
+  simulation cycles: 42 (expected 42)
+
+Structure and schedule tools:
+
+  $ csrtl info fig1.rtm | tail -2
+  2 registers, 1 units, 2 buses, 1 transfers -> 6 TRANS instances + 1 op selections
+  expected simulation cycles: 42
+
+  $ csrtl compact fig1.rtm | head -1
+  schedule: 7 -> 2 control steps
+
+  $ csrtl coverage fig1.rtm | head -3
+  coverage over 7 control steps
+    bus B1            28.6%
+    bus B2            14.3%
+
+VHDL round trip, subset conformance, and interpreted execution:
+
+  $ csrtl export-vhdl fig1.rtm -o fig1.vhd
+  wrote fig1.vhd
+
+  $ csrtl lint fig1.vhd
+  fig1.vhd conforms to the clock-free RT subset
+
+  $ csrtl import-vhdl fig1.vhd | tail -1
+  transfer R1 B1 R2 B2 5 ADD:add 6 B1 R1
+
+  $ csrtl export-vhdl fig1.rtm --self-check -o fig1_tb.vhd
+  wrote fig1_tb.vhd
+
+  $ csrtl run-vhdl fig1_tb.vhd --top fig1 --show R1_out
+  simulation cycles: 42
+  R1_out = 7
+  assertions: all passed
+
+The whole validation loop in one command:
+
+  $ csrtl selfcheck fig1.rtm
+  self-check of fig1
+    validation                         ok
+    static conflict analysis           ok
+    kernel = interpreter               ok
+    delta-cycle law                    ok (42 cycles)
+    emitted VHDL lints clean           ok
+    VHDL extract round trip            ok
+    self-checking VHDL executes        ok (0 assertion failures)
+    clocked lowering (both schemes)    ok
+    symbolic lowering proof            ok (all inputs)
+
+The succeeding synthesis step; its clocked VHDL is outside the subset:
+
+  $ csrtl lower fig1.rtm --vhdl fig1_rtl.vhd | tail -2
+  wrote fig1_rtl.vhd
+  equivalent to the clock-free model
+
+  $ csrtl lint fig1_rtl.vhd > /dev/null 2>&1; echo "exit $?"
+  exit 2
+
+A conflicted schedule is diagnosed, statically and dynamically:
+
+  $ cat > clash.rtm <<'RTM'
+  > model clash
+  > csmax 6
+  > reg R1 init 1
+  > reg R2 init 2
+  > reg R3
+  > reg R4
+  > bus B1 B2 B3
+  > unit ADD ops add latency 1
+  > unit SUB ops sub latency 1
+  > transfer R1 B1 R2 B2 2 ADD 3 B1 R3
+  > transfer R2 B1 R1 B3 2 SUB 3 B2 R4
+  > RTM
+
+  $ csrtl check clash.rtm
+  conflict: double drive of B1 at step 2 phase ra (sources: R1.out, R2.out); ILLEGAL visible at phase rb
+  [2]
+
+  $ csrtl trace clash.rtm --from 2 --to 2 | grep conflict
+    rb  B1               ILLEGAL   <-- conflict
+    cm  SUB.in1          ILLEGAL   <-- conflict
+    cm  ADD.in1          ILLEGAL   <-- conflict
+
+Error handling:
+
+  $ csrtl check nonexistent.rtm 2>&1 | tail -1
+  Try 'csrtl check --help' or 'csrtl --help' for more information.
+
+  $ printf 'model broken\n' > broken.rtm
+  $ csrtl sim broken.rtm
+  parse error at line 0: missing csmax directive
+  [1]

@@ -1,0 +1,333 @@
+(* Tests of the clocked lowering: netlist construction, levelized
+   evaluation, both control-step implementation schemes, the
+   refinement-equivalence checker, and the event-driven clocked
+   baseline. *)
+
+module C = Csrtl_core
+open Csrtl_clocked
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- netlist + eval ------------------------------------------------------- *)
+
+let test_netlist_counter () =
+  (* A free-running counter: q' = q + 1. *)
+  let net = Netlist.create () in
+  let q = Netlist.reg net ~name:"q" ~init:0 in
+  let next = Netlist.op net C.Ops.Add [ q; Netlist.const net 1 ] in
+  Netlist.connect_reg net q ~next ~enable:None;
+  Netlist.tap net "q" q;
+  let res = Eval.run net ~cycles:5 in
+  Alcotest.(check (list (pair string int))) "final" [ ("q", 5) ]
+    res.Eval.final_regs;
+  let taps =
+    List.map
+      (fun (s : Eval.snapshot) -> List.assoc "q" s.Eval.tap_values)
+      res.Eval.snapshots
+  in
+  Alcotest.(check (list int)) "ramp" [ 0; 1; 2; 3; 4 ] taps
+
+let test_netlist_enable_and_mux () =
+  (* Load 7 only when cycle counter equals 3 (via eq + enable). *)
+  let net = Netlist.create () in
+  let cnt = Netlist.reg net ~name:"cnt" ~init:1 in
+  Netlist.connect_reg net cnt
+    ~next:(Netlist.op net C.Ops.Add [ cnt; Netlist.const net 1 ])
+    ~enable:None;
+  let r = Netlist.reg net ~name:"r" ~init:0 in
+  let en = Netlist.eq_const net cnt 3 in
+  Netlist.connect_reg net r ~next:(Netlist.const net 7) ~enable:(Some en);
+  let res = Eval.run net ~cycles:5 in
+  Alcotest.(check (list (pair string int))) "final"
+    [ ("cnt", 6); ("r", 7) ]
+    res.Eval.final_regs;
+  (* r loads exactly at the edge of cycle 3 *)
+  let r_after =
+    List.map
+      (fun (s : Eval.snapshot) -> List.assoc "r" s.Eval.regs_after_edge)
+      res.Eval.snapshots
+  in
+  Alcotest.(check (list int)) "r timeline" [ 0; 0; 7; 7; 7 ] r_after
+
+let test_netlist_hash_consing () =
+  let net = Netlist.create () in
+  let a = Netlist.input net "a" in
+  let x = Netlist.op net C.Ops.Add [ a; Netlist.const net 1 ] in
+  let y = Netlist.op net C.Ops.Add [ a; Netlist.const net 1 ] in
+  check_int "shared node" x y
+
+let test_netlist_inputs () =
+  let net = Netlist.create () in
+  let a = Netlist.input net "a" in
+  let r = Netlist.reg net ~name:"r" ~init:0 in
+  Netlist.connect_reg net r ~next:a ~enable:None;
+  let res =
+    Eval.run ~inputs:(fun _ cycle -> 10 * cycle) net ~cycles:3
+  in
+  Alcotest.(check (list (pair string int))) "final" [ ("r", 30) ]
+    res.Eval.final_regs
+
+(* -- lowering fig1 ----------------------------------------------------------- *)
+
+let test_lower_fig1_one_cycle () =
+  let m = C.Builder.fig1 () in
+  let low = Lower.lower m in
+  check_int "cycles" 7 (Lower.cycles_needed low);
+  let res = Lower.run low in
+  check_int "R1 after step 6" 7
+    (Lower.reg_value_after_step low res ~step:6 "R1");
+  check_int "R1 before write" 3
+    (Lower.reg_value_after_step low res ~step:5 "R1");
+  check_int "R2 untouched" 4
+    (Lower.reg_value_after_step low res ~step:7 "R2")
+
+let test_lower_rejects_conflicts () =
+  let b = C.Builder.create ~name:"clash" ~cs_max:6 () in
+  C.Builder.reg b ~init:(C.Word.nat 1) "R1";
+  C.Builder.reg b ~init:(C.Word.nat 2) "R2";
+  C.Builder.reg b "R3";
+  C.Builder.buses b [ "B1"; "B2" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Add ] "ADD";
+  C.Builder.binary b ~fu:"ADD"
+    ~a:(C.Transfer.From_reg "R1", "B1")
+    ~b:(C.Transfer.From_reg "R2", "B2")
+    ~read:2 ~write:(3, "B1") ~dst:(C.Transfer.To_reg "R3");
+  C.Builder.binary b ~fu:"ADD"
+    ~a:(C.Transfer.From_reg "R2", "B1")
+    ~b:(C.Transfer.From_reg "R1", "B2")
+    ~read:2 ~write:(3, "B2") ~dst:(C.Transfer.To_reg "R3");
+  let m = C.Builder.finish_unchecked b in
+  match Lower.lower m with
+  | exception Lower.Lowering_error _ -> ()
+  | _ -> Alcotest.fail "expected Lowering_error"
+
+(* -- equivalence ---------------------------------------------------------------- *)
+
+let mixed_model () =
+  let b = C.Builder.create ~name:"mixed" ~cs_max:10 () in
+  C.Builder.input b ~value:(C.Word.nat 5) "X";
+  C.Builder.reg b ~init:(C.Word.nat 2) "R1";
+  C.Builder.reg b "R2";
+  C.Builder.reg b "R3";
+  C.Builder.output b "Y";
+  C.Builder.buses b [ "BA"; "BB" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Add; C.Ops.Sub ] "ALU";
+  C.Builder.unit_ b ~latency:2 ~ops:[ C.Ops.Mul ] "MULT";
+  C.Builder.binary b ~op:C.Ops.Add ~fu:"ALU"
+    ~a:(C.Transfer.From_input "X", "BA")
+    ~b:(C.Transfer.From_reg "R1", "BB")
+    ~read:1 ~write:(2, "BA") ~dst:(C.Transfer.To_reg "R2");
+  C.Builder.binary b ~fu:"MULT"
+    ~a:(C.Transfer.From_reg "R2", "BA")
+    ~b:(C.Transfer.From_reg "R2", "BB")
+    ~read:3 ~write:(5, "BA") ~dst:(C.Transfer.To_reg "R3");
+  C.Builder.binary b ~op:C.Ops.Sub ~fu:"ALU"
+    ~a:(C.Transfer.From_reg "R3", "BA")
+    ~b:(C.Transfer.From_reg "R2", "BB")
+    ~read:6 ~write:(7, "BB") ~dst:(C.Transfer.To_output "Y");
+  C.Builder.finish b
+
+let test_equiv_one_cycle () =
+  match Equiv.check (mixed_model ()) with
+  | Ok () -> ()
+  | Error ms ->
+    Alcotest.fail
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" Equiv.pp_mismatch) ms))
+
+let test_equiv_two_phase () =
+  match Equiv.check ~scheme:Lower.Two_phase (mixed_model ()) with
+  | Ok () -> ()
+  | Error ms ->
+    Alcotest.fail
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" Equiv.pp_mismatch) ms))
+
+let test_equiv_mac () =
+  (* Accumulating unit: R1 accumulates X*2 twice. *)
+  let b = C.Builder.create ~name:"macs" ~cs_max:8 () in
+  C.Builder.input b ~value:(C.Word.nat 3) "X";
+  C.Builder.reg b ~init:(C.Word.nat 2) "K";
+  C.Builder.reg b "ACC";
+  C.Builder.buses b [ "BA"; "BB" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Mac ] "MACC";
+  C.Builder.binary b ~fu:"MACC"
+    ~a:(C.Transfer.From_input "X", "BA")
+    ~b:(C.Transfer.From_reg "K", "BB")
+    ~read:1 ~write:(2, "BA") ~dst:(C.Transfer.To_reg "ACC");
+  C.Builder.binary b ~fu:"MACC"
+    ~a:(C.Transfer.From_input "X", "BA")
+    ~b:(C.Transfer.From_reg "K", "BB")
+    ~read:3 ~write:(4, "BA") ~dst:(C.Transfer.To_reg "ACC");
+  let m = C.Builder.finish b in
+  (* clock-free semantics: ACC = 6 then 12 *)
+  let obs = C.Interp.run m in
+  Alcotest.(check (option int)) "interp acc" (Some 12)
+    (C.Observation.final_reg obs "ACC");
+  match Equiv.check_all_schemes m with
+  | [ (_, Ok ()); (_, Ok ()) ] -> ()
+  | results ->
+    let bad =
+      List.filter_map
+        (fun (_, r) -> match r with Ok () -> None | Error ms -> Some ms)
+        results
+    in
+    Alcotest.fail
+      (String.concat "; "
+         (List.concat_map
+            (List.map (Format.asprintf "%a" Equiv.pp_mismatch))
+            bad))
+
+let random_chain seed =
+  let rnd = Random.State.make [| seed |] in
+  let steps = 2 + Random.State.int rnd 5 in
+  let cs_max = (steps * 2) + 2 in
+  let b = C.Builder.create ~name:(Printf.sprintf "rc%d" seed) ~cs_max () in
+  C.Builder.reg b ~init:(C.Word.nat (1 + Random.State.int rnd 40)) "R0";
+  C.Builder.reg b ~init:(C.Word.nat (1 + Random.State.int rnd 40)) "R1";
+  C.Builder.buses b [ "BA"; "BB" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Add; C.Ops.Mul; C.Ops.Max ] "ALU";
+  for i = 0 to steps - 1 do
+    let op =
+      match Random.State.int rnd 3 with
+      | 0 -> C.Ops.Add
+      | 1 -> C.Ops.Mul
+      | _ -> C.Ops.Max
+    in
+    let read = (i * 2) + 1 in
+    C.Builder.binary b ~op ~fu:"ALU"
+      ~a:(C.Transfer.From_reg "R0", "BA")
+      ~b:(C.Transfer.From_reg "R1", "BB")
+      ~read ~write:(read + 1, "BA")
+      ~dst:(C.Transfer.To_reg (if i mod 2 = 0 then "R1" else "R0"))
+  done;
+  C.Builder.finish b
+
+let prop_equiv_random =
+  QCheck.Test.make ~name:"lowering is equivalent on random chains (both schemes)"
+    ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let m = random_chain seed in
+      List.for_all
+        (fun (_, r) -> r = Ok ())
+        (Equiv.check_all_schemes m))
+
+(* -- event-driven clocked baseline ------------------------------------------- *)
+
+let test_kernel_sim_matches_eval () =
+  let m = mixed_model () in
+  let low = Lower.lower m in
+  let cycles = Lower.cycles_needed low in
+  let ev = Eval.run ~inputs:(Lower.input_function low) low.Lower.net ~cycles in
+  let ks =
+    Kernel_sim.run ~inputs:(Lower.input_function low) low.Lower.net ~cycles
+  in
+  List.iter
+    (fun (name, v) ->
+      check_int ("reg " ^ name) v (List.assoc name ks.Kernel_sim.final_regs))
+    ev.Eval.final_regs;
+  (* the event-driven run advanced physical time; the clock-free model
+     never would *)
+  check_bool "time advanced" true (ks.Kernel_sim.sim_time > 0)
+
+let test_kernel_sim_costs_more_events () =
+  (* DESIGN.md C3: the clocked event-driven simulation needs more
+     kernel activity than the clock-free discipline for the same
+     schedule. *)
+  let m = mixed_model () in
+  let cf = C.Simulate.run m in
+  let low = Lower.lower m in
+  let ks =
+    Kernel_sim.run ~inputs:(Lower.input_function low) low.Lower.net
+      ~cycles:(Lower.cycles_needed low)
+  in
+  check_bool "clocked >= clock-free process runs" true
+    (ks.Kernel_sim.stats.Csrtl_kernel.Types.process_runs
+     >= cf.C.Simulate.stats.Csrtl_kernel.Types.process_runs)
+
+(* -- clocked VHDL emission ------------------------------------------------- *)
+
+let test_emit_vhdl_parses_and_is_outside_subset () =
+  let m = mixed_model () in
+  let low = Lower.lower m in
+  let text = Emit_vhdl.to_string ~name:"mixed" low in
+  (* parses with our own subset grammar *)
+  (match Csrtl_vhdl.Parser.design_file text with
+   | units -> check_bool "has units" true (List.length units >= 2)
+   | exception Csrtl_vhdl.Parser.Parse_error (l, msg) ->
+     Alcotest.fail (Printf.sprintf "line %d: %s" l msg));
+  (* ...but is outside the clock-free subset: the linter must flag
+     the clock idioms, which is exactly the boundary the paper draws *)
+  match Csrtl_vhdl.Lint.check_source text with
+  | Ok findings ->
+    check_bool "not conformant" false (Csrtl_vhdl.Lint.conformant findings);
+    check_bool "no-clocks findings" true
+      (List.exists
+         (fun (f : Csrtl_vhdl.Lint.finding) ->
+           f.Csrtl_vhdl.Lint.rule = "no-clocks")
+         findings)
+  | Error msg -> Alcotest.fail msg
+
+let test_emit_vhdl_structure () =
+  let m = C.Builder.fig1 () in
+  let low = Lower.lower m in
+  let text = Emit_vhdl.to_string ~name:"fig1" low in
+  let contains frag =
+    let nh = String.length text and nn = String.length frag in
+    let rec go i = i + nn <= nh && (String.sub text i nn = frag || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  List.iter
+    (fun frag -> check_bool frag true (contains frag))
+    [ "entity fig1_rtl is";
+      "clk: in Integer";
+      "architecture rtl of fig1_rtl is";
+      "wait until clk = 1;";
+      "reg_SC: process";
+      "reg_R1: process" ];
+  (* one register process per netlist register *)
+  let regs = List.length (Netlist.registers low.Lower.net) in
+  let count_occurrences needle =
+    let nl = String.length needle in
+    let rec go i acc =
+      if i + nl > String.length text then acc
+      else if String.sub text i nl = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check_int "one clocked process per register" regs
+    (count_occurrences "wait until clk = 1;")
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "clocked"
+    [ ( "netlist",
+        [ Alcotest.test_case "counter" `Quick test_netlist_counter;
+          Alcotest.test_case "enable and mux" `Quick
+            test_netlist_enable_and_mux;
+          Alcotest.test_case "hash consing" `Quick test_netlist_hash_consing;
+          Alcotest.test_case "inputs" `Quick test_netlist_inputs ] );
+      ( "lower",
+        [ Alcotest.test_case "fig1 one-cycle" `Quick
+            test_lower_fig1_one_cycle;
+          Alcotest.test_case "rejects conflicts" `Quick
+            test_lower_rejects_conflicts ] );
+      ( "equiv",
+        [ Alcotest.test_case "one cycle per step" `Quick test_equiv_one_cycle;
+          Alcotest.test_case "two phase" `Quick test_equiv_two_phase;
+          Alcotest.test_case "mac accumulator" `Quick test_equiv_mac ] );
+      qsuite "equiv-props" [ prop_equiv_random ];
+      ( "emit-vhdl",
+        [ Alcotest.test_case "parses; outside the subset" `Quick
+            test_emit_vhdl_parses_and_is_outside_subset;
+          Alcotest.test_case "structure" `Quick test_emit_vhdl_structure ] );
+      ( "kernel-sim",
+        [ Alcotest.test_case "matches levelized" `Quick
+            test_kernel_sim_matches_eval;
+          Alcotest.test_case "costs more events" `Quick
+            test_kernel_sim_costs_more_events ] ) ]

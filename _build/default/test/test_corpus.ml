@@ -1,0 +1,136 @@
+(* Regression corpus: every .rtm model under corpus/ is parsed,
+   simulated on both execution paths, compared against its golden
+   .expected observation dump, round-tripped through the VHDL
+   emitter/extractor, and (when conflict-free) lowered and checked.
+   To add a case: drop model.rtm into test/corpus/ and run with
+   CSRTL_BLESS=1 once to record the golden file. *)
+
+module C = Csrtl_core
+
+let corpus_dir = "corpus"
+
+let corpus_files () =
+  Sys.readdir corpus_dir
+  |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".rtm")
+  |> List.sort String.compare
+
+let read_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let golden_path rtm =
+  Filename.concat corpus_dir (Filename.chop_suffix rtm ".rtm" ^ ".expected")
+
+let bless = Sys.getenv_opt "CSRTL_BLESS" = Some "1"
+
+let render obs = Format.asprintf "%a" C.Observation.pp obs
+
+let check_case rtm () =
+  let m = C.Rtm.of_file (Filename.concat corpus_dir rtm) in
+  Alcotest.(check (list string))
+    "validates" []
+    (List.map
+       (fun (e : C.Model.error) -> e.C.Model.message)
+       (C.Model.validate m));
+  let kr = C.Simulate.run m in
+  let io = C.Interp.run m in
+  Alcotest.(check (list string)) "kernel = interpreter" []
+    (C.Observation.diff kr.C.Simulate.obs io);
+  (* all four kernel configurations agree (keyed/predicate waits x
+     incremental/fold resolution) *)
+  List.iter
+    (fun (wait_impl, resolution_impl) ->
+      Alcotest.(check (list string)) "kernel configuration agrees" []
+        (C.Observation.diff
+           (C.Simulate.run ~wait_impl ~resolution_impl m).C.Simulate.obs io))
+    [ (`Keyed, `Fold); (`Predicate, `Incremental); (`Predicate, `Fold) ];
+  (* deterministic efficiency guard: the keyed kernel must not regress
+     to super-linear process activity (see the ablation benches) *)
+  let legs, selects = C.Model.all_legs m in
+  let bound =
+    (4 * (List.length legs + List.length selects))
+    + (8 * m.C.Model.cs_max)
+    + (8 * m.C.Model.cs_max
+       * (List.length m.C.Model.registers + List.length m.C.Model.fus
+          + List.length m.C.Model.inputs))
+    + 64
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "process runs %d within bound %d"
+       kr.C.Simulate.stats.Csrtl_kernel.Types.process_runs bound)
+    true
+    (kr.C.Simulate.stats.Csrtl_kernel.Types.process_runs <= bound);
+  Alcotest.(check int) "delta-cycle law" (C.Simulate.expected_cycles m)
+    kr.C.Simulate.cycles;
+  (* golden observation *)
+  let actual = render io in
+  let gpath = golden_path rtm in
+  if bless then begin
+    let oc = open_out gpath in
+    output_string oc actual;
+    close_out oc
+  end
+  else if Sys.file_exists gpath then
+    Alcotest.(check string) "matches golden observation" (read_file gpath)
+      actual
+  else
+    Alcotest.fail
+      (Printf.sprintf "no golden file %s (run with CSRTL_BLESS=1)" gpath);
+  (* VHDL round trip preserves behaviour *)
+  let back = Csrtl_vhdl.Extract.model_of_string (Csrtl_vhdl.Emit.to_string m) in
+  let io' = C.Interp.run back in
+  Alcotest.(check (list string)) "VHDL round trip" []
+    (C.Observation.diff
+       { io with C.Observation.model_name = "x" }
+       { io' with C.Observation.model_name = "x" });
+  (* the emitted self-checking VHDL also EXECUTES as VHDL (Elab), its
+     embedded assertions all pass, and the final register values match *)
+  let self_check = Csrtl_vhdl.Emit.self_checking_to_string m io in
+  (match
+     Csrtl_vhdl.Elab.elaborate_and_run ~top:m.C.Model.name self_check
+   with
+   | Error msg -> Alcotest.fail ("Elab: " ^ msg)
+   | Ok t ->
+     Alcotest.(check (list string)) "embedded assertions pass" []
+       !(t.Csrtl_vhdl.Elab.failures);
+     List.iter
+       (fun (r : C.Model.register) ->
+         Alcotest.(check (option int))
+           ("Elab register " ^ r.C.Model.reg_name)
+           (C.Observation.final_reg io r.C.Model.reg_name)
+           (Some
+              (Csrtl_kernel.Signal.value
+                 (t.Csrtl_vhdl.Elab.lookup (r.C.Model.reg_name ^ "_out")))))
+       m.C.Model.registers);
+  (* conflict-free models also lower and verify *)
+  if C.Conflict.check m = [] then begin
+    (match Csrtl_clocked.Equiv.check m with
+     | Ok () -> ()
+     | Error ms ->
+       Alcotest.fail
+         (String.concat "; "
+            (List.map
+               (Format.asprintf "%a" Csrtl_clocked.Equiv.pp_mismatch)
+               ms)));
+    match Csrtl_verify.Lowcheck.check m with
+    | Csrtl_verify.Lowcheck.Proved -> ()
+    | v ->
+      Alcotest.fail
+        (Format.asprintf "lowering not proved: %a"
+           Csrtl_verify.Lowcheck.pp_verdict v)
+  end
+  else
+    (* conflicted corpus entries must be diagnosed dynamically too *)
+    Alcotest.(check bool) "conflict diagnosed" true
+      (C.Observation.has_conflict io)
+
+let () =
+  let cases =
+    List.map
+      (fun rtm -> Alcotest.test_case rtm `Quick (check_case rtm))
+      (corpus_files ())
+  in
+  Alcotest.run "corpus" [ ("models", cases) ]

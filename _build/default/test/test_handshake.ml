@@ -1,0 +1,202 @@
+(* Tests of the asynchronous-handshake baseline: channel protocol,
+   model execution fidelity, and the cost contrast with the
+   clock-free discipline (the paper's §2.7 speed argument). *)
+
+open Csrtl_handshake
+module C = Csrtl_core
+module K = Csrtl_kernel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let word = Alcotest.testable (Fmt.of_to_string C.Word.to_string) C.Word.equal
+
+(* -- channels ------------------------------------------------------------- *)
+
+let test_channel_send_recv () =
+  let k = K.Scheduler.create () in
+  let ch = Channel.create k "c" in
+  let got = ref [] in
+  let _ =
+    K.Scheduler.add_process k ~name:"producer" (fun () ->
+        List.iter (fun v -> Channel.send k ch v) [ 1; 2; 3 ])
+  in
+  let _ =
+    K.Scheduler.add_process k ~name:"consumer" (fun () ->
+        for _ = 1 to 3 do
+          got := Channel.recv k ch :: !got
+        done)
+  in
+  K.Scheduler.run k;
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3 ] (List.rev !got)
+
+let test_channel_request_serve () =
+  let k = K.Scheduler.create () in
+  let ch = Channel.create k "c" in
+  let counter = ref 10 in
+  let answers = ref [] in
+  let _ =
+    K.Scheduler.add_process k ~name:"server" (fun () ->
+        while true do
+          Channel.serve k ch (fun () ->
+              incr counter;
+              !counter)
+        done)
+  in
+  let _ =
+    K.Scheduler.add_process k ~name:"client" (fun () ->
+        for _ = 1 to 3 do
+          answers := Channel.request k ch :: !answers
+        done;
+        raise K.Scheduler.Stop)
+  in
+  K.Scheduler.run k;
+  Alcotest.(check (list int)) "served" [ 11; 12; 13 ] (List.rev !answers)
+
+let test_channel_event_cost () =
+  (* A transaction costs several kernel events — this is what the
+     clock-free model avoids. *)
+  let k = K.Scheduler.create () in
+  let ch = Channel.create k "c" in
+  let _ =
+    K.Scheduler.add_process k ~name:"p" (fun () -> Channel.send k ch 5)
+  in
+  let _ =
+    K.Scheduler.add_process k ~name:"q" (fun () -> ignore (Channel.recv k ch))
+  in
+  K.Scheduler.run k;
+  check_bool "at least 5 events" true
+    ((K.Scheduler.stats k).K.Types.events >= 5)
+
+(* -- model execution -------------------------------------------------------- *)
+
+let chain_model n =
+  (* n sequential add steps over two registers *)
+  let b = C.Builder.create ~name:"chain" ~cs_max:((2 * n) + 1) () in
+  C.Builder.reg b ~init:(C.Word.nat 1) "R0";
+  C.Builder.reg b ~init:(C.Word.nat 2) "R1";
+  C.Builder.buses b [ "BA"; "BB" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Add ] "ADD";
+  for i = 0 to n - 1 do
+    let read = (2 * i) + 1 in
+    C.Builder.binary b ~fu:"ADD"
+      ~a:(C.Transfer.From_reg "R0", "BA")
+      ~b:(C.Transfer.From_reg "R1", "BB")
+      ~read ~write:(read + 1, "BA")
+      ~dst:(C.Transfer.To_reg (if i mod 2 = 0 then "R1" else "R0"))
+  done;
+  C.Builder.finish b
+
+let test_fig1_matches_clock_free () =
+  let m = C.Builder.fig1 () in
+  let hs = Hs_model.run m in
+  let cf = (C.Simulate.run m).C.Simulate.obs in
+  Alcotest.check word "R1" (C.Word.nat 7)
+    (List.assoc "R1" hs.Hs_model.final_regs);
+  Alcotest.(check (option word)) "same as clock-free"
+    (Some (List.assoc "R1" hs.Hs_model.final_regs))
+    (C.Observation.final_reg cf "R1")
+
+let test_chain_matches_clock_free () =
+  let m = chain_model 6 in
+  let hs = Hs_model.run m in
+  let cf = (C.Simulate.run m).C.Simulate.obs in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check (option word)) name (Some v)
+        (C.Observation.final_reg cf name))
+    hs.Hs_model.final_regs
+
+let test_transactions_counted () =
+  let m = C.Builder.fig1 () in
+  let hs = Hs_model.run m in
+  (* fig1: 2 operand fetches + op + 2 operand sends + result + store *)
+  check_int "transactions" 7 hs.Hs_model.transactions
+
+let test_handshake_costs_more () =
+  (* DESIGN.md C3: handshake modeling needs far more kernel events
+     per transfer than the control-step discipline. *)
+  let m = chain_model 8 in
+  let hs = Hs_model.run m in
+  let cf = C.Simulate.run m in
+  check_bool "handshake events > clock-free events" true
+    (hs.Hs_model.stats.K.Types.events > cf.C.Simulate.stats.K.Types.events)
+
+let test_overlapped_rejected () =
+  (* P1 is read at step 2, before its write at step 3 completes: in
+     the clock-free semantics the read sees DISC, but a sequential
+     handshake replay would see the written value — a genuine hazard
+     the executor must refuse. *)
+  let b = C.Builder.create ~name:"pipe" ~cs_max:8 () in
+  C.Builder.reg b ~init:(C.Word.nat 3) "A";
+  C.Builder.reg b "P1";
+  C.Builder.reg b "P2";
+  C.Builder.buses b [ "BA"; "BB" ];
+  C.Builder.unit_ b ~latency:2 ~ops:[ C.Ops.Mul ] "MULT";
+  C.Builder.binary b ~fu:"MULT"
+    ~a:(C.Transfer.From_reg "A", "BA") ~b:(C.Transfer.From_reg "A", "BB")
+    ~read:1 ~write:(3, "BA") ~dst:(C.Transfer.To_reg "P1");
+  C.Builder.binary b ~fu:"MULT"
+    ~a:(C.Transfer.From_reg "P1", "BA") ~b:(C.Transfer.From_reg "A", "BB")
+    ~read:2 ~write:(4, "BB") ~dst:(C.Transfer.To_reg "P2");
+  let m = C.Builder.finish b in
+  check_bool "detected" true (Hs_model.check_sequential m <> Ok ());
+  (match Hs_model.run m with
+   | exception Hs_model.Not_sequential _ -> ()
+   | _ -> Alcotest.fail "expected Not_sequential");
+  (* independent parallel transfers, by contrast, are accepted *)
+  let b2 = C.Builder.create ~name:"par" ~cs_max:4 () in
+  C.Builder.reg b2 ~init:(C.Word.nat 1) "X1";
+  C.Builder.reg b2 ~init:(C.Word.nat 2) "X2";
+  C.Builder.reg b2 "Y1";
+  C.Builder.reg b2 "Y2";
+  C.Builder.buses b2 [ "B1"; "B2"; "B3"; "B4" ];
+  C.Builder.unit_ b2 ~ops:[ C.Ops.Add ] "A1";
+  C.Builder.unit_ b2 ~ops:[ C.Ops.Add ] "A2";
+  C.Builder.binary b2 ~fu:"A1"
+    ~a:(C.Transfer.From_reg "X1", "B1") ~b:(C.Transfer.From_reg "X1", "B2")
+    ~read:1 ~write:(2, "B1") ~dst:(C.Transfer.To_reg "Y1");
+  C.Builder.binary b2 ~fu:"A2"
+    ~a:(C.Transfer.From_reg "X2", "B3") ~b:(C.Transfer.From_reg "X2", "B4")
+    ~read:1 ~write:(2, "B3") ~dst:(C.Transfer.To_reg "Y2");
+  let m2 = C.Builder.finish b2 in
+  check_bool "parallel accepted" true (Hs_model.check_sequential m2 = Ok ());
+  let hs = Hs_model.run m2 in
+  Alcotest.check word "Y1" (C.Word.nat 2) (List.assoc "Y1" hs.Hs_model.final_regs);
+  Alcotest.check word "Y2" (C.Word.nat 4) (List.assoc "Y2" hs.Hs_model.final_regs)
+
+let test_inputs_and_outputs () =
+  let b = C.Builder.create ~name:"io" ~cs_max:4 () in
+  C.Builder.input b ~value:(C.Word.nat 20) "X";
+  C.Builder.reg b ~init:(C.Word.nat 22) "R1";
+  C.Builder.output b "Y";
+  C.Builder.buses b [ "BA"; "BB" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Add ] "ADD";
+  C.Builder.binary b ~fu:"ADD"
+    ~a:(C.Transfer.From_input "X", "BA")
+    ~b:(C.Transfer.From_reg "R1", "BB")
+    ~read:1 ~write:(2, "BA") ~dst:(C.Transfer.To_output "Y");
+  let m = C.Builder.finish b in
+  let hs = Hs_model.run m in
+  Alcotest.(check (list (pair int word))) "output" [ (2, C.Word.nat 42) ]
+    (List.assoc "Y" hs.Hs_model.outputs)
+
+let () =
+  Alcotest.run "handshake"
+    [ ( "channel",
+        [ Alcotest.test_case "send/recv" `Quick test_channel_send_recv;
+          Alcotest.test_case "request/serve" `Quick
+            test_channel_request_serve;
+          Alcotest.test_case "event cost" `Quick test_channel_event_cost ] );
+      ( "model",
+        [ Alcotest.test_case "fig1 matches clock-free" `Quick
+            test_fig1_matches_clock_free;
+          Alcotest.test_case "chain matches clock-free" `Quick
+            test_chain_matches_clock_free;
+          Alcotest.test_case "transactions counted" `Quick
+            test_transactions_counted;
+          Alcotest.test_case "handshake costs more" `Quick
+            test_handshake_costs_more;
+          Alcotest.test_case "overlapped schedules rejected" `Quick
+            test_overlapped_rejected;
+          Alcotest.test_case "inputs and outputs" `Quick
+            test_inputs_and_outputs ] ) ]

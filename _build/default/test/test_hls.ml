@@ -1,0 +1,535 @@
+(* Tests of the high-level-synthesis substrate: IR evaluation, DFG
+   construction, ASAP/ALAP/list scheduling under resource
+   constraints, binding, and the end-to-end flow check against the
+   algorithmic semantics (paper §4). *)
+
+open Csrtl_hls
+module C = Csrtl_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let simple_program =
+  (* s = (a+b) * (a-b); d = s + 1 *)
+  { Ir.pname = "simple";
+    inputs = [ "a"; "b" ];
+    stmts =
+      [ { Ir.def = "p"; rhs = Ir.Bin (C.Ops.Add, Var "a", Var "b") };
+        { def = "q"; rhs = Bin (C.Ops.Sub, Var "a", Var "b") };
+        { def = "s"; rhs = Bin (C.Ops.Mul, Var "p", Var "q") };
+        { def = "d"; rhs = Bin (C.Ops.Add, Var "s", Lit 1) } ];
+    outputs = [ "s"; "d" ] }
+
+(* -- IR -------------------------------------------------------------------- *)
+
+let test_ir_eval () =
+  let out = Ir.eval simple_program [ ("a", 7); ("b", 3) ] in
+  Alcotest.(check (list (pair string int))) "outputs"
+    [ ("s", 40); ("d", 41) ] out
+
+let test_ir_validate () =
+  let bad =
+    { Ir.pname = "bad"; inputs = [];
+      stmts = [ { Ir.def = "x"; rhs = Ir.Var "nope" } ];
+      outputs = [ "x" ] }
+  in
+  (match Ir.validate bad with
+   | exception Ir.Ill_formed _ -> ()
+   | () -> Alcotest.fail "expected Ill_formed");
+  let bad_arity =
+    { Ir.pname = "bad2"; inputs = [ "a" ];
+      stmts = [ { Ir.def = "x"; rhs = Ir.Un (C.Ops.Add, Var "a") } ];
+      outputs = [ "x" ] }
+  in
+  match Ir.validate bad_arity with
+  | exception Ir.Ill_formed _ -> ()
+  | () -> Alcotest.fail "expected arity error"
+
+let test_ir_reassignment () =
+  let p =
+    { Ir.pname = "reassign"; inputs = [ "a" ];
+      stmts =
+        [ { Ir.def = "x"; rhs = Ir.Bin (C.Ops.Add, Var "a", Lit 1) };
+          { def = "x"; rhs = Bin (C.Ops.Mul, Var "x", Lit 2) } ];
+      outputs = [ "x" ] }
+  in
+  Alcotest.(check (list (pair string int))) "sequential semantics"
+    [ ("x", 22) ]
+    (Ir.eval p [ ("a", 10) ])
+
+(* -- DFG -------------------------------------------------------------------- *)
+
+let test_dfg_shape () =
+  let g = Dfg.of_program simple_program in
+  check_int "four nodes" 4 (Dfg.size g);
+  check_int "depth three" 3 (Dfg.depth g);
+  (* out s is node 2, out d is node 3 *)
+  Alcotest.(check bool) "outputs resolved" true
+    (List.length g.Dfg.out_map = 2)
+
+let test_dfg_copy_forwarding () =
+  let p =
+    { Ir.pname = "copies"; inputs = [ "a" ];
+      stmts =
+        [ { Ir.def = "x"; rhs = Ir.Var "a" };
+          { def = "y"; rhs = Var "x" };
+          { def = "z"; rhs = Bin (C.Ops.Add, Var "y", Var "y") } ];
+      outputs = [ "z" ] }
+  in
+  let g = Dfg.of_program p in
+  check_int "copies forwarded away" 1 (Dfg.size g)
+
+let test_dfg_diffeq () =
+  let g = Dfg.of_program Examples.diffeq in
+  check_int "eleven operations" 11 (Dfg.size g);
+  check_bool "multiplications present" true
+    (Array.exists
+       (fun (nd : Dfg.node) -> nd.Dfg.op = C.Ops.Mul)
+       g.Dfg.nodes)
+
+(* -- scheduling --------------------------------------------------------------- *)
+
+let test_asap_alap () =
+  let res = Sched.default_resources () in
+  let g = Dfg.of_program simple_program in
+  let asap = Sched.asap res g in
+  (* p,q at 1; s reads at 3 (alu lat 1 + 1); d at 6 (mul lat 2 + 1) *)
+  Alcotest.(check (list int)) "asap" [ 1; 1; 3; 6 ] (Array.to_list asap);
+  let alap = Sched.alap res g ~horizon:8 in
+  check_int "d as late as possible" 7 alap.(3);
+  check_bool "alap >= asap" true
+    (List.for_all2 ( <= ) (Array.to_list asap) (Array.to_list alap))
+
+let test_list_schedule_respects_constraints () =
+  let res = Sched.default_resources ~alus:1 ~mults:1 ~buses:2 () in
+  let g = Dfg.of_program Examples.diffeq in
+  let s = Sched.list_schedule res g in
+  Alcotest.(check (result unit (list string))) "verifies" (Ok ())
+    (Sched.verify s);
+  (* 6 multiplications on one multiplier: at least 6 distinct steps *)
+  let mult_steps =
+    Array.to_list g.Dfg.nodes
+    |> List.filter_map (fun (nd : Dfg.node) ->
+           if nd.Dfg.op = C.Ops.Mul then Some s.Sched.read_step.(nd.id)
+           else None)
+  in
+  check_int "six mults serialized" 6
+    (List.length (List.sort_uniq Int.compare mult_steps))
+
+let test_more_resources_shorter_schedule () =
+  (* diffeq is critical-path bound: more units must not hurt.  FIR is
+     multiplier bound: more multipliers must shorten the schedule. *)
+  let g = Dfg.of_program Examples.diffeq in
+  let slow =
+    Sched.list_schedule (Sched.default_resources ~alus:1 ~mults:1 ()) g
+  in
+  let fast =
+    Sched.list_schedule
+      (Sched.default_resources ~alus:2 ~mults:3 ~buses:6 ())
+      g
+  in
+  check_bool "more units do not hurt" true
+    (fast.Sched.n_steps <= slow.Sched.n_steps);
+  let fir = Dfg.of_program (Examples.fir 8) in
+  let fir_slow =
+    Sched.list_schedule (Sched.default_resources ~mults:1 ()) fir
+  in
+  let fir_fast =
+    Sched.list_schedule
+      (Sched.default_resources ~mults:4 ~buses:8 ())
+      fir
+  in
+  check_bool "parallel multipliers help fir" true
+    (fir_fast.Sched.n_steps < fir_slow.Sched.n_steps)
+
+let test_unschedulable_detected () =
+  let g = Dfg.of_program simple_program in
+  let no_mult =
+    { Sched.classes =
+        [ { Sched.cls_name = "ALU"; cls_ops = [ C.Ops.Add; C.Ops.Sub ];
+            count = 1; latency = 1; pipelined = true } ];
+      buses = 2 }
+  in
+  match Sched.list_schedule no_mult g with
+  | exception Sched.Unschedulable _ -> ()
+  | _ -> Alcotest.fail "expected Unschedulable"
+
+(* -- synthesis + flow ----------------------------------------------------------- *)
+
+let test_flow_simple () =
+  let flow = Flow.compile simple_program in
+  Alcotest.(check (result unit (list string))) "matches IR semantics"
+    (Ok ())
+    (Flow.check flow ~inputs:[ ("a", 7); ("b", 3) ])
+
+let test_flow_diffeq () =
+  let flow = Flow.compile Examples.diffeq in
+  let inputs = [ ("x", 2); ("y", 5); ("u", 3); ("dx", 1); ("a", 100) ] in
+  Alcotest.(check (result unit (list string))) "diffeq verified" (Ok ())
+    (Flow.check flow ~inputs);
+  (* x1 = 3, y1 = y + u*dx = 8, u1 = u - 3xu dx - 3y dx = 3-18-15 *)
+  let outs = Flow.output_values flow ~inputs in
+  Alcotest.(check int) "x1" 3 (List.assoc "x1" outs);
+  Alcotest.(check int) "y1" 8 (List.assoc "y1" outs);
+  Alcotest.(check int) "u1" (C.Word.mask (3 - 18 - 15))
+    (List.assoc "u1" outs);
+  Alcotest.(check int) "c" 1 (List.assoc "c" outs)
+
+let test_flow_fir () =
+  let p = Examples.fir 8 in
+  let flow = Flow.compile ~resources:(Sched.default_resources ~mults:2 ()) p in
+  let inputs = List.init 8 (fun i -> (Printf.sprintf "x%d" i, i + 1)) in
+  Alcotest.(check (result unit (list string))) "fir verified" (Ok ())
+    (Flow.check flow ~inputs)
+
+let test_flow_horner () =
+  let flow = Flow.compile (Examples.horner 6) in
+  Alcotest.(check (result unit (list string))) "horner verified" (Ok ())
+    (Flow.check flow ~inputs:[ ("x", 3) ])
+
+let test_flow_kernel_matches_interp () =
+  (* The generated models also satisfy the kernel/interp consistency. *)
+  let flow = Flow.compile simple_program in
+  let m =
+    Flow.with_inputs flow.Flow.binding.Synth.model [ ("a", 9); ("b", 4) ]
+  in
+  let k = (C.Simulate.run m).C.Simulate.obs in
+  let i = C.Interp.run m in
+  Alcotest.(check (list string)) "consistent" [] (C.Observation.diff k i)
+
+let test_flow_lowers_to_clocked () =
+  (* §4 chain: algorithm -> clock-free RT -> clocked RTL. *)
+  let flow = Flow.compile simple_program in
+  let m =
+    Flow.with_inputs flow.Flow.binding.Synth.model [ ("a", 6); ("b", 2) ]
+  in
+  match Csrtl_clocked.Equiv.check m with
+  | Ok () -> ()
+  | Error ms ->
+    Alcotest.fail
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" Csrtl_clocked.Equiv.pp_mismatch) ms))
+
+let prop_random_programs_verified =
+  (* random straight-line programs synthesize to models matching the
+     IR semantics under random resource budgets *)
+  let gen_program seed =
+    let rnd = Random.State.make [| seed |] in
+    let n_stmts = 3 + Random.State.int rnd 8 in
+    let vars = ref [ "a"; "b" ] in
+    let stmts =
+      List.init n_stmts (fun i ->
+          let pick () =
+            List.nth !vars (Random.State.int rnd (List.length !vars))
+          in
+          let op =
+            match Random.State.int rnd 4 with
+            | 0 -> C.Ops.Add
+            | 1 -> C.Ops.Sub
+            | 2 -> C.Ops.Mul
+            | _ -> C.Ops.Max
+          in
+          let rhs =
+            if Random.State.int rnd 5 = 0 then
+              Ir.Bin (op, Ir.Var (pick ()), Ir.Lit (Random.State.int rnd 20))
+            else Ir.Bin (op, Ir.Var (pick ()), Ir.Var (pick ()))
+          in
+          let def = Printf.sprintf "v%d" i in
+          vars := def :: !vars;
+          { Ir.def; rhs })
+    in
+    let outputs = [ (List.hd stmts).Ir.def; Printf.sprintf "v%d" (n_stmts - 1) ]
+    in
+    let outputs = List.sort_uniq String.compare outputs in
+    ( { Ir.pname = Printf.sprintf "rand%d" seed; inputs = [ "a"; "b" ];
+        stmts; outputs },
+      rnd )
+  in
+  QCheck.Test.make ~name:"random programs synthesize correctly" ~count:30
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let p, rnd = gen_program seed in
+      let resources =
+        Sched.default_resources
+          ~alus:(1 + Random.State.int rnd 2)
+          ~mults:(1 + Random.State.int rnd 2)
+          ~buses:(2 + Random.State.int rnd 3)
+          ()
+      in
+      let flow = Flow.compile ~resources p in
+      Flow.check flow
+        ~inputs:[ ("a", Random.State.int rnd 100); ("b", Random.State.int rnd 100) ]
+      = Ok ())
+
+let prop_schedules_verify =
+  QCheck.Test.make ~name:"list schedules always satisfy constraints" ~count:30
+    QCheck.(pair (int_range 4 16) (int_range 1 3))
+    (fun (taps, mults) ->
+      let g = Dfg.of_program (Examples.fir taps) in
+      let res = Sched.default_resources ~mults ~buses:2 () in
+      let s = Sched.list_schedule res g in
+      Sched.verify s = Ok ())
+
+(* -- force-directed scheduling --------------------------------------------- *)
+
+let test_fds_diffeq_balances_units () =
+  (* The Paulin & Knight result: at the critical-path latency the
+     balanced schedule needs 1 ALU + 1 multiplier where greedy list
+     scheduling with abundant units uses 2 + 2. *)
+  let g = Dfg.of_program Examples.diffeq in
+  let res = Sched.default_resources ~buses:4 () in
+  let fds, fds_res = Fds.schedule res g in
+  Alcotest.(check (result unit (list string))) "verifies" (Ok ())
+    (Sched.verify fds);
+  Alcotest.(check (list (pair string int))) "balanced units"
+    [ ("ALU", 1); ("MULT", 1) ]
+    (Fds.units_needed fds);
+  let greedy =
+    Sched.list_schedule
+      (Sched.default_resources ~alus:8 ~mults:8 ~buses:4 ())
+      g
+  in
+  check_int "same latency as greedy" greedy.Sched.n_steps fds.Sched.n_steps;
+  check_bool "fewer or equal units everywhere" true
+    (List.for_all
+       (fun (cls, n) ->
+         match List.assoc_opt cls (Fds.units_needed greedy) with
+         | Some m -> n <= m
+         | None -> true)
+       (Fds.units_needed fds));
+  (* the returned resources carry the output counts *)
+  check_bool "resource counts updated" true
+    (List.for_all
+       (fun (c : Sched.fu_class) -> c.Sched.count >= 1)
+       fds_res.Sched.classes)
+
+let test_fds_horizon_validation () =
+  let g = Dfg.of_program Examples.diffeq in
+  match Fds.schedule ~horizon:3 (Sched.default_resources ()) g with
+  | exception Fds.Infeasible _ -> ()
+  | _ -> Alcotest.fail "horizon below the critical path must fail"
+
+let test_fds_relaxed_horizon_never_needs_more () =
+  let g = Dfg.of_program (Examples.fir 8) in
+  let res = Sched.default_resources ~buses:4 () in
+  let tight, _ = Fds.schedule res g in
+  let relaxed, _ =
+    Fds.schedule ~horizon:(tight.Sched.n_steps + 6) res g
+  in
+  Alcotest.(check (result unit (list string))) "relaxed verifies" (Ok ())
+    (Sched.verify relaxed);
+  let total s =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 (Fds.units_needed s)
+  in
+  check_bool "more time, no more units" true (total relaxed <= total tight)
+
+let test_fds_flow_end_to_end () =
+  List.iter
+    (fun p ->
+      let flow = Flow.compile ~scheduler:`Force_directed p in
+      Alcotest.(check (result unit (list string)))
+        (p.Ir.pname ^ " matches IR semantics")
+        (Ok ())
+        (Flow.check flow
+           ~inputs:
+             (List.map (fun i -> (i, 3 + String.length i)) p.Ir.inputs)))
+    [ Examples.diffeq; Examples.fir 6; Examples.horner 4; simple_program ]
+
+let prop_fds_schedules_verify =
+  QCheck.Test.make ~name:"FDS schedules always satisfy constraints" ~count:25
+    QCheck.(pair (int_range 4 14) (int_range 2 5))
+    (fun (taps, buses) ->
+      (* QCheck shrinking can escape int_range bounds; clamp *)
+      let taps = max 4 taps and buses = max 2 buses in
+      let g = Dfg.of_program (Examples.fir taps) in
+      let res = Sched.default_resources ~buses () in
+      let s, _ = Fds.schedule res g in
+      Sched.verify s = Ok ())
+
+(* -- fft4 ---------------------------------------------------------------------- *)
+
+let test_fft4_against_dft () =
+  (* the straight-line FFT equals the direct DFT (exact for N = 4:
+     twiddles are +-1 and +-j) *)
+  let xs = [ (5, 1); (2, -3); (-4, 2); (7, 0) ] in
+  let inputs =
+    List.concat
+      (List.mapi
+         (fun k (re, im) ->
+           [ (Printf.sprintf "x%dr" k, C.Word.mask re);
+             (Printf.sprintf "x%di" k, C.Word.mask im) ])
+         xs)
+  in
+  let outs = Ir.eval Examples.fft4 inputs in
+  (* direct DFT: X_k = sum_n x_n * exp(-2 pi i k n / 4) *)
+  let dft k =
+    let re = ref 0 and im = ref 0 in
+    List.iteri
+      (fun n (xr, xi) ->
+        match k * n mod 4 with
+        | 0 -> re := !re + xr; im := !im + xi
+        | 1 -> (* * -j: (r+ji)(-j) = i - jr *)
+          re := !re + xi; im := !im - xr
+        | 2 -> re := !re - xr; im := !im - xi
+        | _ -> re := !re - xi; im := !im + xr)
+      xs;
+    (!re, !im)
+  in
+  List.iteri
+    (fun k _ ->
+      let er, ei = dft k in
+      check_int (Printf.sprintf "X%d re" k) (C.Word.mask er)
+        (List.assoc (Printf.sprintf "y%dr" k) outs);
+      check_int (Printf.sprintf "X%d im" k) (C.Word.mask ei)
+        (List.assoc (Printf.sprintf "y%di" k) outs))
+    xs
+
+let test_fft4_flow () =
+  (* wide and shallow: benefits from parallel ALUs *)
+  let narrow = Flow.compile Examples.fft4 in
+  let wide =
+    Flow.compile
+      ~resources:(Sched.default_resources ~alus:4 ~buses:8 ())
+      Examples.fft4
+  in
+  check_bool "parallelism helps fft4" true
+    (wide.Flow.schedule.Sched.n_steps < narrow.Flow.schedule.Sched.n_steps);
+  let inputs =
+    List.map (fun i -> (i, 3 + (7 * String.length i))) Examples.fft4.Ir.inputs
+  in
+  Alcotest.(check (result unit (list string))) "narrow verified" (Ok ())
+    (Flow.check narrow ~inputs);
+  Alcotest.(check (result unit (list string))) "wide verified" (Ok ())
+    (Flow.check wide ~inputs);
+  check_bool "symbolically proved" true
+    (Csrtl_verify.Equiv.all_proved (Csrtl_verify.Equiv.check_flow wide))
+
+let test_reg_alloc_ablation () =
+  (* left-edge register sharing versus one-register-per-value *)
+  let sched =
+    Sched.list_schedule (Sched.default_resources ()) (Dfg.of_program Examples.diffeq)
+  in
+  let le = Synth.synthesize ~reg_alloc:`Left_edge sched in
+  let naive = Synth.synthesize ~reg_alloc:`Naive sched in
+  check_bool
+    (Printf.sprintf "left-edge %d < naive %d" le.Synth.registers_used
+       naive.Synth.registers_used)
+    true
+    (le.Synth.registers_used < naive.Synth.registers_used);
+  check_int "naive = one per value" (Dfg.size le.Synth.schedule.Sched.dfg)
+    naive.Synth.registers_used;
+  (* both are correct *)
+  let inputs = [ ("x", 2); ("y", 5); ("u", 3); ("dx", 1); ("a", 100) ] in
+  List.iter
+    (fun (b : Synth.binding) ->
+      let m = Flow.with_inputs b.Synth.model inputs in
+      let obs = C.Interp.run m in
+      check_bool "conflict-free" false (C.Observation.has_conflict obs))
+    [ le; naive ]
+
+(* -- the .alg text format ------------------------------------------------- *)
+
+let test_alg_parse_and_flow () =
+  let src =
+    {|program gcd_step   # one straight-line round
+inputs a b
+outputs hi lo d
+hi = max(a, b)
+lo = min(a, b)
+d  = hi - lo
+|}
+  in
+  let p = Parse.program_of_string src in
+  Alcotest.(check string) "name" "gcd_step" p.Ir.pname;
+  Alcotest.(check (list (pair string int))) "eval"
+    [ ("hi", 21); ("lo", 9); ("d", 12) ]
+    (Ir.eval p [ ("a", 9); ("b", 21) ]);
+  let flow = Flow.compile p in
+  Alcotest.(check (result unit (list string))) "flows" (Ok ())
+    (Flow.check flow ~inputs:[ ("a", 9); ("b", 21) ])
+
+let test_alg_roundtrip () =
+  List.iter
+    (fun p ->
+      let p' = Parse.program_of_string (Parse.to_string p) in
+      (* same meaning on a vector *)
+      let inputs = List.map (fun i -> (i, 5 + String.length i)) p.Ir.inputs in
+      Alcotest.(check (list (pair string int)))
+        (p.Ir.pname ^ " roundtrip")
+        (Ir.eval p inputs) (Ir.eval p' inputs))
+    [ Examples.diffeq; Examples.fir 5; Examples.fft4 ]
+
+let test_alg_errors () =
+  let expect src frag =
+    match Parse.program_of_string src with
+    | exception Parse.Parse_error (_, msg) ->
+      check_bool
+        (Printf.sprintf "%S mentions %S" msg frag)
+        true
+        (let nh = String.length msg and nn = String.length frag in
+         let rec go i =
+           i + nn <= nh && (String.sub msg i nn = frag || go (i + 1))
+         in
+         nn = 0 || go 0)
+    | _ -> Alcotest.fail ("no error for " ^ src)
+  in
+  expect "x = $\n" "unexpected character";
+  expect "inputs a\nx = y + 1\noutputs x\n" "used before definition";
+  expect "x = max(1)\noutputs x\n" "takes 2 argument";
+  expect "x = frob(1, 2)\noutputs x\n" "unknown operation"
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "hls"
+    [ ( "ir",
+        [ Alcotest.test_case "eval" `Quick test_ir_eval;
+          Alcotest.test_case "validation" `Quick test_ir_validate;
+          Alcotest.test_case "reassignment" `Quick test_ir_reassignment ] );
+      ( "dfg",
+        [ Alcotest.test_case "shape" `Quick test_dfg_shape;
+          Alcotest.test_case "copy forwarding" `Quick
+            test_dfg_copy_forwarding;
+          Alcotest.test_case "diffeq" `Quick test_dfg_diffeq ] );
+      ( "sched",
+        [ Alcotest.test_case "asap/alap" `Quick test_asap_alap;
+          Alcotest.test_case "list schedule constraints" `Quick
+            test_list_schedule_respects_constraints;
+          Alcotest.test_case "more resources, shorter schedule" `Quick
+            test_more_resources_shorter_schedule;
+          Alcotest.test_case "unschedulable detected" `Quick
+            test_unschedulable_detected ] );
+      ( "flow",
+        [ Alcotest.test_case "simple" `Quick test_flow_simple;
+          Alcotest.test_case "diffeq" `Quick test_flow_diffeq;
+          Alcotest.test_case "fir" `Quick test_flow_fir;
+          Alcotest.test_case "horner" `Quick test_flow_horner;
+          Alcotest.test_case "kernel consistency" `Quick
+            test_flow_kernel_matches_interp;
+          Alcotest.test_case "lowers to clocked" `Quick
+            test_flow_lowers_to_clocked ] );
+      ( "alg-format",
+        [ Alcotest.test_case "parse and flow" `Quick test_alg_parse_and_flow;
+          Alcotest.test_case "print/parse roundtrip" `Quick
+            test_alg_roundtrip;
+          Alcotest.test_case "errors" `Quick test_alg_errors ] );
+      ( "ablation",
+        [ Alcotest.test_case "left-edge vs naive registers" `Quick
+            test_reg_alloc_ablation ] );
+      ( "fft4",
+        [ Alcotest.test_case "equals the direct DFT" `Quick
+            test_fft4_against_dft;
+          Alcotest.test_case "flow, narrow and wide" `Quick test_fft4_flow ] );
+      ( "fds",
+        [ Alcotest.test_case "diffeq balances units" `Quick
+            test_fds_diffeq_balances_units;
+          Alcotest.test_case "horizon validation" `Quick
+            test_fds_horizon_validation;
+          Alcotest.test_case "relaxed horizon" `Quick
+            test_fds_relaxed_horizon_never_needs_more;
+          Alcotest.test_case "flow end to end" `Quick
+            test_fds_flow_end_to_end ] );
+      qsuite "props"
+        [ prop_random_programs_verified; prop_schedules_verify;
+          prop_fds_schedules_verify ] ]

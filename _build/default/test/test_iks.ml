@@ -1,0 +1,434 @@
+(* Tests of the IKS application (paper §3): fixed point, CORDIC,
+   the golden inverse-kinematics model, the Fig. 3 datapath, the
+   microcode translator (the paper's table-entry example), and the
+   end-to-end bit-exact agreement of the generated microprogram on
+   the clock-free datapath with the algorithmic golden model. *)
+
+open Csrtl_iks
+module C = Csrtl_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let close ?(tol = 2e-3) msg expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.5f, got %.5f" msg expected actual
+
+(* -- fixed point -------------------------------------------------------------- *)
+
+let test_fixed_roundtrip () =
+  List.iter
+    (fun f -> close ~tol:1e-4 "roundtrip" f (Fixed.to_float (Fixed.of_float f)))
+    [ 0.0; 1.0; -1.0; 3.14159; -2.71828; 100.125; -0.0001 ];
+  check_int "one" 65536 Fixed.one;
+  check_int "of_int" (3 * 65536) (Fixed.of_int 3)
+
+let test_fixed_arith () =
+  let a = Fixed.of_float 2.5 and b = Fixed.of_float (-1.25) in
+  close "add" 1.25 (Fixed.to_float (Fixed.add a b));
+  close "sub" 3.75 (Fixed.to_float (Fixed.sub a b));
+  close "mul" (-3.125) (Fixed.to_float (Fixed.mul a b));
+  close "div" (-2.0) (Fixed.to_float (Fixed.div a b));
+  close "neg" 1.25 (Fixed.to_float (Fixed.neg b));
+  check_bool "lt signed" true (Fixed.lt b a);
+  check_bool "is_neg" true (Fixed.is_neg b);
+  close "asr" 1.25 (Fixed.to_float (Fixed.asr_ a 1))
+
+let test_fixed_matches_datapath_ops () =
+  (* Fixed.mul and the Mulfx op agree bit-for-bit. *)
+  let cases = [ (2.5, -1.25); (0.001, 300.0); (-7.5, -7.5); (1.0, 1.0) ] in
+  List.iter
+    (fun (x, y) ->
+      let a = Fixed.of_float x and b = Fixed.of_float y in
+      check_int
+        (Printf.sprintf "mulfx %.3f*%.3f" x y)
+        (Fixed.mul a b)
+        (C.Ops.eval (C.Ops.Mulfx Fixed.frac_bits) [| a; b |]))
+    cases
+
+(* -- cordic -------------------------------------------------------------------- *)
+
+let test_cordic_atan2 () =
+  List.iter
+    (fun (y, x) ->
+      let a =
+        Cordic.atan2 ~y:(Fixed.of_float y) ~x:(Fixed.of_float x)
+      in
+      close
+        (Printf.sprintf "atan2 %.2f %.2f" y x)
+        (atan2 y x) (Fixed.to_float a))
+    [ (1.0, 1.0); (0.5, 2.0); (-1.0, 1.5); (1.0, -1.0); (-2.0, -0.5);
+      (0.0, 1.0); (3.0, 0.1) ]
+
+let test_cordic_magnitude () =
+  List.iter
+    (fun (x, y) ->
+      let m =
+        Cordic.magnitude ~x:(Fixed.of_float x) ~y:(Fixed.of_float y)
+      in
+      close
+        (Printf.sprintf "mag %.2f %.2f" x y)
+        (sqrt ((x *. x) +. (y *. y)))
+        (Fixed.to_float m))
+    [ (3.0, 4.0); (1.0, 1.0); (0.5, -0.7); (10.0, 0.0) ]
+
+let test_cordic_rotate () =
+  (* rotating (1, 0) by t gives K*(cos t, sin t) *)
+  let t = 0.7 in
+  let x, y =
+    Cordic.rotate ~x:Fixed.one ~y:Fixed.zero ~angle:(Fixed.of_float t)
+  in
+  let k = Fixed.to_float Cordic.gain in
+  close "cos" (k *. cos t) (Fixed.to_float x);
+  close "sin" (k *. sin t) (Fixed.to_float y)
+
+let test_cordic_divide () =
+  List.iter
+    (fun (y, x) ->
+      let q =
+        Cordic.divide ~y:(Fixed.of_float y) ~x:(Fixed.of_float x)
+      in
+      close ~tol:5e-3 (Printf.sprintf "div %.2f/%.2f" y x) (y /. x)
+        (Fixed.to_float q))
+    [ (1.0, 2.0); (-3.0, 4.0); (10.0, 0.7); (100.0, 3.0); (0.01, 5.0);
+      (-120.0, 1.1) ]
+
+let test_cordic_sqrt () =
+  List.iter
+    (fun v ->
+      close ~tol:5e-3
+        (Printf.sprintf "sqrt %.3f" v)
+        (sqrt v)
+        (Fixed.to_float (Cordic.sqrt_ (Fixed.of_float v))))
+    [ 1.0; 2.0; 0.25; 16.0; 0.01; 120.0 ];
+  check_int "sqrt 0" 0 (Cordic.sqrt_ Fixed.zero)
+
+(* -- golden -------------------------------------------------------------------- *)
+
+let golden_cases =
+  [ (2.0, 1.5, 2.5, 1.0); (1.0, 1.0, 1.2, 0.8); (3.0, 2.0, -2.5, 3.0);
+    (2.0, 2.0, 1.0, -2.8); (1.5, 1.0, 0.7, 2.0) ]
+
+let test_golden_against_float () =
+  List.iter
+    (fun (l1, l2, px, py) ->
+      match Golden.solve_float ~l1 ~l2 ~px ~py with
+      | None -> Alcotest.fail "case should be reachable"
+      | Some (t1, t2) ->
+        let s =
+          Golden.solve ~l1:(Fixed.of_float l1) ~l2:(Fixed.of_float l2)
+            ~px:(Fixed.of_float px) ~py:(Fixed.of_float py)
+        in
+        check_bool "reachable" true s.Golden.reachable;
+        close ~tol:6e-3
+          (Printf.sprintf "theta1 (%.1f,%.1f)" px py)
+          t1
+          (Fixed.to_float s.Golden.theta1);
+        close ~tol:6e-3 "theta2" t2 (Fixed.to_float s.Golden.theta2))
+    golden_cases
+
+let test_golden_forward_roundtrip () =
+  List.iter
+    (fun (l1, l2, px, py) ->
+      let s =
+        Golden.solve ~l1:(Fixed.of_float l1) ~l2:(Fixed.of_float l2)
+          ~px:(Fixed.of_float px) ~py:(Fixed.of_float py)
+      in
+      let x, y =
+        Golden.forward ~l1 ~l2
+          ~theta1:(Fixed.to_float s.Golden.theta1)
+          ~theta2:(Fixed.to_float s.Golden.theta2)
+      in
+      close ~tol:2e-2 "fk x" px x;
+      close ~tol:2e-2 "fk y" py y)
+    golden_cases
+
+let test_golden_unreachable () =
+  let s =
+    Golden.solve ~l1:(Fixed.of_float 1.0) ~l2:(Fixed.of_float 1.0)
+      ~px:(Fixed.of_float 5.0) ~py:(Fixed.of_float 0.0)
+  in
+  check_bool "unreachable" false s.Golden.reachable
+
+(* -- microcode & translation ------------------------------------------------- *)
+
+let test_paper_addr7_tuples () =
+  (* The paper's §3 worked example: the table row at store address 7
+     yields the transfers (J[6],BusA,y2,1), (Y,direct,x2,1) and the
+     operations Y := 0 + y2, X := 0 + Rshift(x2,i), Z := 0+0, F := 1. *)
+  let tuples = Translate.tuples_of_instr Microcode.paper_addr7 in
+  let strs = List.map C.Transfer.to_string tuples in
+  Alcotest.(check (list string)) "derived tuples"
+    [ "(J5,BusA,-,-,7,YADD:pass,8,BusB,Y)";
+      "(Y,Y_to_XADD1,-,-,7,XADD:asri:1,8,XADD_to_X,X)";
+      "(-,-,-,-,7,ZADD:const:0,8,ZADD_to_Z,Z)";
+      "(-,-,-,-,7,FLAG:const:1,8,FLAG_to_F,F)" ]
+    strs
+
+let test_paper_addr7_executes () =
+  (* run the single word on the datapath: Y gets J[6], X gets the old
+     Y shifted, Z zeroed, F set *)
+  let prog =
+    { Microcode.pname = "addr7"; instrs = [ Microcode.paper_addr7 ] }
+  in
+  let obs =
+    Translate.run
+      ~reg_init:
+        [ (Datapath.J 5, C.Word.nat 40); (Datapath.Y, C.Word.nat 12);
+          (Datapath.Z, C.Word.nat 99) ]
+      prog
+  in
+  check_int "Y := J[6]" 40 (Translate.final_loc obs Datapath.Y);
+  check_int "X := old Y >> 1" 6 (Translate.final_loc obs Datapath.X);
+  check_int "Z := 0" 0 (Translate.final_loc obs Datapath.Z);
+  check_int "F := 1" 1 (Translate.final_loc obs Datapath.F)
+
+let test_microcode_check_rejects () =
+  let bad_bus =
+    { Microcode.pname = "bad";
+      instrs =
+        [ { Microcode.addr = 1;
+            issues =
+              [ Microcode.issue
+                  ~a:(Microcode.reg ~route:Microcode.Bus_a (Datapath.R 0))
+                  ~b:(Microcode.reg ~route:Microcode.Bus_a (Datapath.R 1))
+                  ~dst:Datapath.Z ~op:C.Ops.Add Datapath.ZADD ] } ] }
+  in
+  (match Microcode.check bad_bus with
+   | exception Microcode.Bad_microcode (1, _) -> ()
+   | () -> Alcotest.fail "bus double use not caught");
+  let bad_op =
+    { Microcode.pname = "bad2";
+      instrs =
+        [ { Microcode.addr = 1;
+            issues =
+              [ Microcode.issue
+                  ~a:(Microcode.reg (Datapath.R 0))
+                  ~b:(Microcode.reg ~route:Microcode.Bus_b (Datapath.R 1))
+                  ~dst:Datapath.Z ~op:C.Ops.Mul Datapath.ZADD ] } ] }
+  in
+  match Microcode.check bad_op with
+  | exception Microcode.Bad_microcode (1, _) -> ()
+  | () -> Alcotest.fail "wrong unit op not caught"
+
+let test_translated_model_is_clean () =
+  let t =
+    Ikprog.build ~l1:(Fixed.of_float 2.0) ~l2:(Fixed.of_float 1.5)
+      ~px:(Fixed.of_float 2.5) ~py:(Fixed.of_float 1.0)
+  in
+  let m = Translate.to_model ~inputs:t.Ikprog.inputs
+      ~reg_init:t.Ikprog.reg_init t.Ikprog.program
+  in
+  Alcotest.(check (list string)) "no static conflicts" []
+    (List.map C.Conflict.to_string (C.Conflict.check m));
+  let obs = C.Interp.run m in
+  check_bool "no dynamic conflicts" false (C.Observation.has_conflict obs)
+
+(* -- end to end ----------------------------------------------------------------- *)
+
+let test_ik_on_datapath_matches_golden_bitexact () =
+  List.iter
+    (fun (l1, l2, px, py) ->
+      let l1 = Fixed.of_float l1 and l2 = Fixed.of_float l2 in
+      let px = Fixed.of_float px and py = Fixed.of_float py in
+      let golden = Golden.solve ~l1 ~l2 ~px ~py in
+      let dp = Ikprog.solve_on_datapath ~l1 ~l2 ~px ~py in
+      check_bool "reachable agrees" golden.Golden.reachable
+        dp.Golden.reachable;
+      check_int "theta1 bit-exact" golden.Golden.theta1 dp.Golden.theta1;
+      check_int "theta2 bit-exact" golden.Golden.theta2 dp.Golden.theta2)
+    golden_cases
+
+let test_ik_unreachable_on_datapath () =
+  let f = Fixed.of_float in
+  let dp =
+    Ikprog.solve_on_datapath ~l1:(f 1.0) ~l2:(f 1.0) ~px:(f 5.0)
+      ~py:(f 0.0)
+  in
+  check_bool "flag cleared" false dp.Golden.reachable;
+  check_int "theta1 zeroed" 0 dp.Golden.theta1
+
+let test_ik_accuracy_vs_float () =
+  let l1 = 2.0 and l2 = 1.5 and px = 2.5 and py = 1.0 in
+  let dp =
+    Ikprog.solve_on_datapath ~l1:(Fixed.of_float l1)
+      ~l2:(Fixed.of_float l2) ~px:(Fixed.of_float px)
+      ~py:(Fixed.of_float py)
+  in
+  match Golden.solve_float ~l1 ~l2 ~px ~py with
+  | None -> Alcotest.fail "reachable"
+  | Some (t1, t2) ->
+    close ~tol:6e-3 "theta1 vs float" t1 (Fixed.to_float dp.Golden.theta1);
+    close ~tol:6e-3 "theta2 vs float" t2 (Fixed.to_float dp.Golden.theta2)
+
+let test_ik_program_shape () =
+  let t =
+    Ikprog.build ~l1:(Fixed.of_float 2.0) ~l2:(Fixed.of_float 1.5)
+      ~px:(Fixed.of_float 2.5) ~py:(Fixed.of_float 1.0)
+  in
+  let n = List.length t.Ikprog.program.Microcode.instrs in
+  check_bool (Printf.sprintf "substantial program (%d words)" n) true
+    (n > 500);
+  (* the event kernel and the interpreter agree on the FULL program:
+     ~5700 TRANS processes, ~14k delta cycles *)
+  let m =
+    Translate.to_model ~inputs:t.Ikprog.inputs ~reg_init:t.Ikprog.reg_init
+      t.Ikprog.program
+  in
+  let kr = C.Simulate.run m in
+  let iobs = C.Interp.run m in
+  Alcotest.(check (list string)) "kernel/interp agree on full IK" []
+    (C.Observation.diff kr.C.Simulate.obs iobs);
+  check_int "delta-cycle law at scale" (C.Simulate.expected_cycles m)
+    kr.C.Simulate.cycles
+
+(* -- forward kinematics and workspace check -------------------------------- *)
+
+let test_fk_on_datapath_bitexact () =
+  let f = Fixed.of_float in
+  List.iter
+    (fun (l1, l2, t1, t2) ->
+      let l1 = f l1 and l2 = f l2 and t1 = f t1 and t2 = f t2 in
+      let gx, gy = Golden.forward_fixed ~l1 ~l2 ~theta1:t1 ~theta2:t2 in
+      let dx, dy = Ikprog.forward_on_datapath ~l1 ~l2 ~theta1:t1 ~theta2:t2 in
+      check_int "x bit-exact" gx dx;
+      check_int "y bit-exact" gy dy)
+    [ (2.0, 1.5, 0.3, 0.9); (1.0, 1.0, -0.5, 1.2); (3.0, 2.0, 1.7, -0.4) ]
+
+let test_fk_accuracy_vs_float () =
+  let l1 = 2.0 and l2 = 1.5 and t1 = 0.3 and t2 = 0.9 in
+  let f = Fixed.of_float in
+  let dx, dy =
+    Ikprog.forward_on_datapath ~l1:(f l1) ~l2:(f l2) ~theta1:(f t1)
+      ~theta2:(f t2)
+  in
+  let ex, ey = Golden.forward ~l1 ~l2 ~theta1:t1 ~theta2:t2 in
+  close ~tol:5e-3 "fk x" ex (Fixed.to_float dx);
+  close ~tol:5e-3 "fk y" ey (Fixed.to_float dy)
+
+let test_ik_fk_roundtrip_on_datapath () =
+  (* solve inverse kinematics, feed the angles to forward kinematics,
+     recover the target -- all on the datapath *)
+  let f = Fixed.of_float in
+  let l1 = f 2.0 and l2 = f 1.5 in
+  let px = f 2.5 and py = f 1.0 in
+  let s = Ikprog.solve_on_datapath ~l1 ~l2 ~px ~py in
+  check_bool "reachable" true s.Golden.reachable;
+  let rx, ry =
+    Ikprog.forward_on_datapath ~l1 ~l2 ~theta1:s.Golden.theta1
+      ~theta2:s.Golden.theta2
+  in
+  close ~tol:2e-2 "recovered x" 2.5 (Fixed.to_float rx);
+  close ~tol:2e-2 "recovered y" 1.0 (Fixed.to_float ry)
+
+let test_workspace_program_is_static () =
+  (* the same words for every input: generation is data-independent *)
+  let p1, _ = Ikprog.build_workspace () in
+  let p2, _ = Ikprog.build_workspace () in
+  check_bool "identical programs" true (p1 = p2);
+  check_bool "small and static" true
+    (List.length p1.Microcode.instrs < 20)
+
+let test_workspace_on_datapath () =
+  let f = Fixed.of_float in
+  List.iter
+    (fun (l1, l2, px, py, expected) ->
+      let l1 = f l1 and l2 = f l2 and px = f px and py = f py in
+      check_bool "matches golden" (Golden.in_workspace ~l1 ~l2 ~px ~py)
+        (Ikprog.workspace_on_datapath ~l1 ~l2 ~px ~py);
+      check_bool "matches expectation" expected
+        (Ikprog.workspace_on_datapath ~l1 ~l2 ~px ~py))
+    [ (2.0, 1.5, 2.5, 1.0, true);  (* inside the annulus *)
+      (1.0, 1.0, 5.0, 0.0, false); (* beyond the outer radius *)
+      (3.0, 1.0, 0.5, 0.5, false); (* inside the inner hole *)
+      (2.0, 2.0, 0.1, 0.0, true)   (* inner radius 0: reachable *) ]
+
+let test_ik_random_targets_bitexact () =
+  (* random targets inside the annulus: generate, run, compare *)
+  let rnd = Random.State.make [| 0x1C5 |] in
+  for _ = 1 to 12 do
+    let l1 = 1.0 +. Random.State.float rnd 2.0 in
+    let l2 = 0.8 +. Random.State.float rnd 1.5 in
+    (* pick a reachable target via forward kinematics *)
+    let t1 = Random.State.float rnd 6.28 -. 3.14 in
+    let t2 = 0.2 +. Random.State.float rnd 2.5 in
+    let px, py = Golden.forward ~l1 ~l2 ~theta1:t1 ~theta2:t2 in
+    let f = Fixed.of_float in
+    let l1 = f l1 and l2 = f l2 and px = f px and py = f py in
+    let golden = Golden.solve ~l1 ~l2 ~px ~py in
+    if golden.Golden.reachable then begin
+      let dp = Ikprog.solve_on_datapath ~l1 ~l2 ~px ~py in
+      check_bool "reachable agrees" golden.Golden.reachable
+        dp.Golden.reachable;
+      check_int "theta1" golden.Golden.theta1 dp.Golden.theta1;
+      check_int "theta2" golden.Golden.theta2 dp.Golden.theta2
+    end
+  done
+
+let test_fir_on_datapath () =
+  let f = Fixed.of_float in
+  let coeffs = List.map f [ 0.5; -0.25; 1.5; 0.125 ] in
+  let xs = List.map f [ 2.0; 4.0; -1.0; 8.0 ] in
+  let expected =
+    List.fold_left2
+      (fun s c x -> Fixed.add s (Fixed.mul c x))
+      Fixed.zero coeffs xs
+  in
+  let got = Ikprog.fir_on_datapath ~coeffs ~xs in
+  check_int "dot product bit-exact" expected got;
+  close ~tol:1e-4 "value" (-0.5) (Fixed.to_float got);
+  (* no samples: zero *)
+  check_int "empty" 0 (Ikprog.fir_on_datapath ~coeffs:[] ~xs:[])
+
+let () =
+  Alcotest.run "iks"
+    [ ( "fixed",
+        [ Alcotest.test_case "roundtrip" `Quick test_fixed_roundtrip;
+          Alcotest.test_case "arithmetic" `Quick test_fixed_arith;
+          Alcotest.test_case "matches datapath ops" `Quick
+            test_fixed_matches_datapath_ops ] );
+      ( "cordic",
+        [ Alcotest.test_case "atan2" `Quick test_cordic_atan2;
+          Alcotest.test_case "magnitude" `Quick test_cordic_magnitude;
+          Alcotest.test_case "rotate" `Quick test_cordic_rotate;
+          Alcotest.test_case "divide" `Quick test_cordic_divide;
+          Alcotest.test_case "sqrt" `Quick test_cordic_sqrt ] );
+      ( "golden",
+        [ Alcotest.test_case "against float reference" `Quick
+            test_golden_against_float;
+          Alcotest.test_case "forward kinematics roundtrip" `Quick
+            test_golden_forward_roundtrip;
+          Alcotest.test_case "unreachable" `Quick test_golden_unreachable ] );
+      ( "microcode",
+        [ Alcotest.test_case "paper addr-7 tuples" `Quick
+            test_paper_addr7_tuples;
+          Alcotest.test_case "paper addr-7 executes" `Quick
+            test_paper_addr7_executes;
+          Alcotest.test_case "checker rejects bad words" `Quick
+            test_microcode_check_rejects;
+          Alcotest.test_case "translated model is conflict-free" `Quick
+            test_translated_model_is_clean ] );
+      ( "fk-workspace",
+        [ Alcotest.test_case "forward kinematics bit-exact" `Quick
+            test_fk_on_datapath_bitexact;
+          Alcotest.test_case "forward kinematics vs float" `Quick
+            test_fk_accuracy_vs_float;
+          Alcotest.test_case "IK -> FK roundtrip on the datapath" `Quick
+            test_ik_fk_roundtrip_on_datapath;
+          Alcotest.test_case "workspace microcode is static" `Quick
+            test_workspace_program_is_static;
+          Alcotest.test_case "workspace check on the datapath" `Quick
+            test_workspace_on_datapath ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "datapath = golden, bit-exact" `Quick
+            test_ik_on_datapath_matches_golden_bitexact;
+          Alcotest.test_case "random reachable targets, bit-exact" `Quick
+            test_ik_random_targets_bitexact;
+          Alcotest.test_case "FIR dot product on the datapath" `Quick
+            test_fir_on_datapath;
+          Alcotest.test_case "unreachable target" `Quick
+            test_ik_unreachable_on_datapath;
+          Alcotest.test_case "accuracy vs float" `Quick
+            test_ik_accuracy_vs_float;
+          Alcotest.test_case "program shape + kernel parity" `Quick
+            test_ik_program_shape ] ) ]

@@ -1,0 +1,547 @@
+(* Tests of the discrete-event kernel: delta cycles, resolution,
+   process semantics, physical time, tracing. *)
+
+open Csrtl_kernel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* -- signals and drivers ---------------------------------------------- *)
+
+let test_single_driver () =
+  let k = Scheduler.create () in
+  let s = Scheduler.signal k ~name:"s" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Scheduler.assign k s 42)
+  in
+  Scheduler.run k;
+  check_int "value" 42 (Signal.value s)
+
+let test_unresolved_two_drivers_rejected () =
+  let k = Scheduler.create () in
+  let s = Scheduler.signal k ~name:"s" ~init:0 () in
+  let _ = Scheduler.add_process k ~name:"p1" (fun () -> Scheduler.assign k s 1) in
+  let _ = Scheduler.add_process k ~name:"p2" (fun () -> Scheduler.assign k s 2) in
+  Alcotest.check_raises "second driver"
+    (Types.Multiple_drivers
+       "signal s is unresolved but p2 adds a second driver")
+    (fun () -> Scheduler.run k)
+
+let test_resolved_two_drivers () =
+  let k = Scheduler.create () in
+  (* wired-or resolution *)
+  let s =
+    Scheduler.signal k ~resolution:(Types.Fold (Array.fold_left ( lor ) 0)) ~name:"s"
+      ~init:0 ()
+  in
+  let _ = Scheduler.add_process k ~name:"p1" (fun () -> Scheduler.assign k s 1) in
+  let _ = Scheduler.add_process k ~name:"p2" (fun () -> Scheduler.assign k s 2) in
+  Scheduler.run k;
+  check_int "wired or" 3 (Signal.value s)
+
+let test_assignment_visible_next_delta () =
+  let k = Scheduler.create () in
+  let s = Scheduler.signal k ~name:"s" ~init:0 () in
+  let seen_immediately = ref (-1) in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Scheduler.assign k s 7;
+        (* VHDL: the new value is not visible until the next cycle *)
+        seen_immediately := Signal.value s)
+  in
+  Scheduler.run k;
+  check_int "old value during assigning cycle" 0 !seen_immediately;
+  check_int "new value after" 7 (Signal.value s)
+
+let test_last_assignment_wins () =
+  let k = Scheduler.create () in
+  let s = Scheduler.signal k ~name:"s" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Scheduler.assign k s 1;
+        Scheduler.assign k s 2)
+  in
+  Scheduler.run k;
+  check_int "override" 2 (Signal.value s)
+
+(* -- wait semantics ----------------------------------------------------- *)
+
+let test_wait_on_wakes_on_event () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let b = Scheduler.signal k ~name:"b" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"producer" (fun () ->
+        Scheduler.assign k a 5)
+  in
+  let _ =
+    Scheduler.add_process k ~name:"consumer" (fun () ->
+        Process.wait_on [ a ];
+        Scheduler.assign k b (Signal.value a * 2))
+  in
+  Scheduler.run k;
+  check_int "b" 10 (Signal.value b)
+
+let test_wait_until_predicate () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let hits = ref 0 in
+  let _ =
+    Scheduler.add_process k ~name:"counter" (fun () ->
+        while true do
+          (if Signal.value a < 5 then Scheduler.assign k a (Signal.value a + 1));
+          Process.wait_on [ a ]
+        done)
+  in
+  let _ =
+    Scheduler.add_process k ~name:"watcher" (fun () ->
+        Process.wait_until [ a ] (fun () -> Signal.value a = 3);
+        incr hits)
+  in
+  Scheduler.run k;
+  check_int "woken exactly once" 1 !hits;
+  check_int "a reached 5" 5 (Signal.value a)
+
+let test_wait_until_suspends_even_if_true () =
+  (* VHDL wait until always suspends first. *)
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:1 () in
+  let resumed = ref false in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Process.wait_until [ a ] (fun () -> Signal.value a = 1);
+        resumed := true)
+  in
+  Scheduler.run k;
+  check_bool "no event, no resume" false !resumed
+
+let test_no_event_on_same_value () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:9 () in
+  let woken = ref false in
+  let _ =
+    Scheduler.add_process k ~name:"writer" (fun () ->
+        Scheduler.assign k a 9)
+  in
+  let _ =
+    Scheduler.add_process k ~name:"watcher" (fun () ->
+        Process.wait_on [ a ];
+        woken := true)
+  in
+  Scheduler.run k;
+  check_bool "transaction without event" false !woken
+
+let test_wait_keyed_fires_on_value () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let woken_at = ref (-1) in
+  let _ =
+    Scheduler.add_process k ~name:"counter" (fun () ->
+        while true do
+          (if Signal.value a < 6 then
+             Scheduler.assign k a (Signal.value a + 1));
+          Process.wait_on [ a ]
+        done)
+  in
+  let _ =
+    Scheduler.add_process k ~name:"watcher" (fun () ->
+        Process.wait_keyed a 4;
+        woken_at := Signal.value a)
+  in
+  Scheduler.run k;
+  check_int "woken exactly at 4" 4 !woken_at
+
+let test_wait_keyed_extra_condition () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let b = Scheduler.signal k ~name:"b" ~init:0 () in
+  let hits = ref [] in
+  (* a cycles 0..2 repeatedly; b counts cycles *)
+  let _ =
+    Scheduler.add_process k ~name:"driver" (fun () ->
+        for round = 1 to 3 do
+          Scheduler.assign k b round;
+          for v = 1 to 2 do
+            Scheduler.assign k a v;
+            Process.wait_on [ a ]
+          done;
+          Scheduler.assign k a 0;
+          Process.wait_on [ a ]
+        done)
+  in
+  let _ =
+    Scheduler.add_process k ~name:"watcher" (fun () ->
+        (* fire when a becomes 2 while b = 2: stays registered through
+           round 1, fires in round 2 only *)
+        Process.wait_keyed ~extra:(b, 2) a 2;
+        hits := (Signal.value a, Signal.value b) :: !hits)
+  in
+  Scheduler.run k;
+  Alcotest.(check (list (pair int int))) "fired once, in round 2"
+    [ (2, 2) ] !hits
+
+let test_wait_keyed_never_matches () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let woken = ref false in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () -> Scheduler.assign k a 1)
+  in
+  let _ =
+    Scheduler.add_process k ~name:"w" (fun () ->
+        Process.wait_keyed a 99;
+        woken := true)
+  in
+  Scheduler.run k;
+  check_bool "sleeps forever" false !woken
+
+let test_incremental_resolution_kernel () =
+  (* an Incremental resolution behaving like wired-sum *)
+  let mk () =
+    let sum = ref 0 in
+    { Types.incr_add = (fun v -> sum := !sum + v);
+      incr_remove = (fun v -> sum := !sum - v);
+      incr_read = (fun () -> !sum) }
+  in
+  let k = Scheduler.create () in
+  let s =
+    Scheduler.signal k ~resolution:(Types.Incremental mk) ~name:"s" ~init:0 ()
+  in
+  let _ = Scheduler.add_process k ~name:"p1" (fun () -> Scheduler.assign k s 5) in
+  let _ = Scheduler.add_process k ~name:"p2" (fun () -> Scheduler.assign k s 7) in
+  Scheduler.run k;
+  check_int "summed" 12 (Signal.value s)
+
+let test_process_exception_propagates () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"boomer" (fun () ->
+        Process.wait_on [ a ];
+        failwith "boom")
+  in
+  let _ =
+    Scheduler.add_process k ~name:"driver" (fun () ->
+        Scheduler.assign k a 1)
+  in
+  (match Scheduler.run k with
+   | () -> Alcotest.fail "expected Failure"
+   | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+  (* the kernel is not left with a phantom running process *)
+  check_int "value applied before the crash" 1 (Signal.value a)
+
+let test_exception_during_initialization () =
+  let k = Scheduler.create () in
+  let _ =
+    Scheduler.add_process k ~name:"early" (fun () -> failwith "early")
+  in
+  match Scheduler.run k with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ()
+
+(* -- delta cycles -------------------------------------------------------- *)
+
+let test_delta_chain_count () =
+  (* A chain of n processes, each forwarding an event, costs n deltas. *)
+  let n = 10 in
+  let k = Scheduler.create () in
+  let sigs =
+    Array.init (n + 1) (fun i ->
+        Scheduler.signal k ~name:(Printf.sprintf "s%d" i) ~init:0 ())
+  in
+  for i = 0 to n - 1 do
+    ignore
+      (Scheduler.add_process k ~name:(Printf.sprintf "fwd%d" i) (fun () ->
+           Process.wait_on [ sigs.(i) ];
+           Scheduler.assign k sigs.(i + 1) (Signal.value sigs.(i) + 1)))
+  done;
+  let _ =
+    Scheduler.add_process k ~name:"start" (fun () ->
+        Scheduler.assign k sigs.(0) 1)
+  in
+  Scheduler.run k;
+  check_int "value rippled" (1 + n) (Signal.value sigs.(n));
+  check_int "one delta per stage plus the initial assignment" (n + 1)
+    (Scheduler.delta_count k)
+
+let test_delta_overflow_detected () =
+  let k = Scheduler.create ~max_deltas_per_time:100 () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"osc" (fun () ->
+        Scheduler.assign k a 1;
+        while true do
+          Process.wait_on [ a ];
+          Scheduler.assign k a (1 - Signal.value a)
+        done)
+  in
+  (match Scheduler.run k with
+   | () -> Alcotest.fail "expected Delta_overflow"
+   | exception Types.Delta_overflow _ -> ())
+
+(* -- physical time ------------------------------------------------------- *)
+
+let test_wait_for_advances_time () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Process.wait_for (Time.ns 10);
+        Scheduler.assign k a 1;
+        Process.wait_for (Time.ns 5);
+        Scheduler.assign k a 2)
+  in
+  Scheduler.run k;
+  check_int "time" (Time.ns 15) (Scheduler.now k);
+  check_int "value" 2 (Signal.value a)
+
+let test_assign_after () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let at_5 = ref (-1) in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Scheduler.assign_after k a 7 (Time.ns 10))
+  in
+  let _ =
+    Scheduler.add_process k ~name:"obs" (fun () ->
+        Process.wait_for (Time.ns 5);
+        at_5 := Signal.value a)
+  in
+  Scheduler.run k;
+  check_int "not yet at 5ns" 0 !at_5;
+  check_int "after 10ns" 7 (Signal.value a)
+
+let test_transport_override () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Scheduler.assign_after k a 1 (Time.ns 20);
+        (* scheduling at 10ns deletes the 20ns transaction *)
+        Scheduler.assign_after k a 2 (Time.ns 10))
+  in
+  Scheduler.run k;
+  check_int "only the earlier survives" 2 (Signal.value a);
+  check_int "final time" (Time.ns 10) (Scheduler.now k)
+
+let test_clock_generator () =
+  let k = Scheduler.create () in
+  let clk = Scheduler.signal k ~name:"clk" ~init:0 () in
+  let edges = ref 0 in
+  let _ =
+    Scheduler.add_process k ~name:"clkgen" (fun () ->
+        while true do
+          Process.wait_for (Time.ns 5);
+          Scheduler.assign k clk (1 - Signal.value clk)
+        done)
+  in
+  let _ =
+    Scheduler.add_process k ~name:"counter" (fun () ->
+        while true do
+          Process.wait_until [ clk ] (fun () -> Signal.value clk = 1);
+          incr edges
+        done)
+  in
+  Scheduler.run ~max_time:(Time.ns 100) k;
+  check_int "rising edges in 100ns" 10 !edges
+
+(* -- external drive and trace -------------------------------------------- *)
+
+let test_drive_external () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let doubled = ref 0 in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Process.wait_on [ a ];
+        doubled := 2 * Signal.value a)
+  in
+  Scheduler.drive_external k a 21;
+  Scheduler.run k;
+  check_int "externally driven" 42 !doubled
+
+let test_trace_records_events () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let b = Scheduler.signal k ~name:"b" ~init:0 () in
+  let t = Trace.attach k [ a ] in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Scheduler.assign k a 1;
+        Scheduler.assign k b 1;
+        Process.wait_on [ a ];
+        Scheduler.assign k a 2)
+  in
+  Scheduler.run k;
+  check_int "only a's events" 2 (Trace.length t);
+  let hist = Trace.history t a in
+  Alcotest.(check (list (pair int int))) "history" [ (1, 1); (2, 2) ] hist
+
+let test_trace_value_at_cycle () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let t = Trace.attach k [ a ] in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Scheduler.assign k a 1;
+        Process.wait_on [ a ];
+        Scheduler.assign k a 2;
+        Process.wait_on [ a ];
+        Scheduler.assign k a 3)
+  in
+  Scheduler.run k;
+  Alcotest.(check (option int)) "before first event" None
+    (Trace.value_at_cycle t a 0);
+  Alcotest.(check (option int)) "at cycle 1" (Some 1)
+    (Trace.value_at_cycle t a 1);
+  Alcotest.(check (option int)) "between" (Some 2)
+    (Trace.value_at_cycle t a 2);
+  Alcotest.(check (option int)) "after" (Some 3)
+    (Trace.value_at_cycle t a 99)
+
+let test_vcd_time_axis () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let buf = Buffer.create 256 in
+  let v = Vcd.attach ~axis:`Time k ~out:buf [ a ] in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Process.wait_for (Time.ns 5);
+        Scheduler.assign k a 1)
+  in
+  Scheduler.run k;
+  Vcd.finish v;
+  let text = Buffer.contents buf in
+  check_bool "fs timescale" true (contains text "$timescale 1fs");
+  (* the event is stamped at 5ns = 5_000_000 fs *)
+  check_bool "time stamp" true (contains text "#5000000")
+
+let test_vcd_output () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let buf = Buffer.create 256 in
+  let v = Vcd.attach k ~out:buf [ a ] in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () -> Scheduler.assign k a 3)
+  in
+  Scheduler.run k;
+  Vcd.finish v;
+  let text = Buffer.contents buf in
+  check_bool "header" true (contains text "$enddefinitions");
+  check_bool "var decl" true (contains text "$var integer 32");
+  check_bool "value change" true
+    (contains text "b00000000000000000000000000000011")
+
+let test_stats_populated () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Scheduler.assign k a 1;
+        Process.wait_on [ a ];
+        Scheduler.assign k a 2)
+  in
+  Scheduler.run k;
+  let st = Scheduler.stats k in
+  check_int "events" 2 st.Types.events;
+  check_int "transactions" 2 st.Types.transactions;
+  check_bool "process runs counted" true (st.Types.process_runs >= 2)
+
+let test_stop_exception () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Scheduler.assign k a 1;
+        Process.wait_on [ a ];
+        raise Scheduler.Stop)
+  in
+  Scheduler.run k;
+  check_int "ran until stop" 1 (Signal.value a)
+
+let test_max_cycles () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"osc" (fun () ->
+        Scheduler.assign k a 1;
+        while true do
+          Process.wait_on [ a ];
+          Scheduler.assign k a (1 - Signal.value a)
+        done)
+  in
+  Scheduler.run ~max_cycles:50 k;
+  check_int "bounded" 50 (Scheduler.delta_count k)
+
+let test_time_to_string () =
+  Alcotest.(check string) "ns" "10ns" (Time.to_string (Time.ns 10));
+  Alcotest.(check string) "mixed" "1001ps" (Time.to_string (Time.ps 1001));
+  Alcotest.(check string) "zero" "0fs" (Time.to_string Time.zero);
+  Alcotest.(check string) "ms" "2ms" (Time.to_string (Time.ms 2))
+
+let () =
+  Alcotest.run "kernel"
+    [ ( "signals",
+        [ Alcotest.test_case "single driver" `Quick test_single_driver;
+          Alcotest.test_case "unresolved rejects two drivers" `Quick
+            test_unresolved_two_drivers_rejected;
+          Alcotest.test_case "resolution combines drivers" `Quick
+            test_resolved_two_drivers;
+          Alcotest.test_case "assignment visible next delta" `Quick
+            test_assignment_visible_next_delta;
+          Alcotest.test_case "last assignment wins" `Quick
+            test_last_assignment_wins ] );
+      ( "waits",
+        [ Alcotest.test_case "wait_on wakes on event" `Quick
+            test_wait_on_wakes_on_event;
+          Alcotest.test_case "wait_until predicate" `Quick
+            test_wait_until_predicate;
+          Alcotest.test_case "wait_until suspends even if true" `Quick
+            test_wait_until_suspends_even_if_true;
+          Alcotest.test_case "no event on same value" `Quick
+            test_no_event_on_same_value ] );
+      ( "keyed",
+        [ Alcotest.test_case "fires on value" `Quick
+            test_wait_keyed_fires_on_value;
+          Alcotest.test_case "extra condition" `Quick
+            test_wait_keyed_extra_condition;
+          Alcotest.test_case "never matches" `Quick
+            test_wait_keyed_never_matches;
+          Alcotest.test_case "incremental resolution" `Quick
+            test_incremental_resolution_kernel ] );
+      ( "failure-injection",
+        [ Alcotest.test_case "exception propagates" `Quick
+            test_process_exception_propagates;
+          Alcotest.test_case "exception at initialization" `Quick
+            test_exception_during_initialization ] );
+      ( "delta",
+        [ Alcotest.test_case "delta chain count" `Quick
+            test_delta_chain_count;
+          Alcotest.test_case "delta overflow detected" `Quick
+            test_delta_overflow_detected ] );
+      ( "time",
+        [ Alcotest.test_case "wait_for advances time" `Quick
+            test_wait_for_advances_time;
+          Alcotest.test_case "assign_after" `Quick test_assign_after;
+          Alcotest.test_case "transport override" `Quick
+            test_transport_override;
+          Alcotest.test_case "clock generator" `Quick test_clock_generator;
+          Alcotest.test_case "time printing" `Quick test_time_to_string ] );
+      ( "misc",
+        [ Alcotest.test_case "drive_external" `Quick test_drive_external;
+          Alcotest.test_case "trace records events" `Quick
+            test_trace_records_events;
+          Alcotest.test_case "trace value_at_cycle" `Quick
+            test_trace_value_at_cycle;
+          Alcotest.test_case "vcd output" `Quick test_vcd_output;
+          Alcotest.test_case "vcd time axis" `Quick test_vcd_time_axis;
+          Alcotest.test_case "stats populated" `Quick test_stats_populated;
+          Alcotest.test_case "stop exception" `Quick test_stop_exception;
+          Alcotest.test_case "max cycles bound" `Quick test_max_cycles ] ) ]

@@ -1,0 +1,392 @@
+(* Tests of the verification library: symbolic normalization,
+   symbolic simulation, the algorithmic-vs-RT equivalence procedure
+   (paper §4), and the kernel/interpreter consistency theorem
+   (paper §2.7). *)
+
+open Csrtl_verify
+module C = Csrtl_core
+module H = Csrtl_hls
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* -- Sym --------------------------------------------------------------------- *)
+
+let test_normalize_folding () =
+  let t = Sym.App (C.Ops.Add, [ Sym.nat 2; Sym.nat 3 ]) in
+  check_str "fold" "5" (Sym.to_string (Sym.normalize t));
+  let t =
+    Sym.App (C.Ops.Mul, [ Sym.sym "x"; Sym.nat 0 ])
+  in
+  check_str "absorb" "0" (Sym.to_string (Sym.normalize t));
+  let t = Sym.App (C.Ops.Add, [ Sym.sym "x"; Sym.nat 0 ]) in
+  check_str "neutral" "x" (Sym.to_string (Sym.normalize t))
+
+let test_normalize_commutative () =
+  let a =
+    Sym.App (C.Ops.Add, [ Sym.sym "y"; Sym.App (C.Ops.Add, [ Sym.nat 1; Sym.sym "x" ]) ])
+  in
+  let b =
+    Sym.App (C.Ops.Add, [ Sym.sym "x"; Sym.App (C.Ops.Add, [ Sym.sym "y"; Sym.nat 1 ]) ])
+  in
+  check_bool "flatten + sort" true (Sym.equal a b);
+  let c = Sym.App (C.Ops.Sub, [ Sym.sym "x"; Sym.sym "y" ]) in
+  let d = Sym.App (C.Ops.Sub, [ Sym.sym "y"; Sym.sym "x" ]) in
+  check_bool "sub not commutative" false (Sym.equal c d)
+
+let test_normalize_immediates () =
+  let a = Sym.App (C.Ops.Addi 3, [ Sym.sym "x" ]) in
+  let b = Sym.App (C.Ops.Add, [ Sym.sym "x"; Sym.nat 3 ]) in
+  check_bool "addi = add const" true (Sym.equal a b)
+
+let test_sym_eval () =
+  let t =
+    Sym.App (C.Ops.Mul, [ Sym.sym "x"; Sym.App (C.Ops.Add, [ Sym.sym "y"; Sym.nat 1 ]) ])
+  in
+  let env = function "x" -> 6 | _ -> 4 in
+  Alcotest.(check int) "eval" 30 (Sym.eval env (Sym.normalize t));
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] (Sym.vars t)
+
+let test_sym_apply_sentinels () =
+  check_bool "disc+disc" true
+    (Sym.apply C.Ops.Add ~prev:Sym.Disc Sym.Disc Sym.Disc = Sym.Disc);
+  check_bool "partial" true
+    (Sym.apply C.Ops.Add ~prev:Sym.Disc (Sym.sym "x") Sym.Disc = Sym.Illegal);
+  check_bool "illegal poisons" true
+    (Sym.apply C.Ops.Add ~prev:Sym.Disc Sym.Illegal (Sym.sym "x")
+     = Sym.Illegal)
+
+let prop_normalize_sound =
+  (* normalization preserves meaning on concrete assignments *)
+  let gen =
+    QCheck.Gen.(
+      let rec term depth =
+        if depth = 0 then
+          oneof
+            [ map (fun n -> Sym.nat n) (int_range 0 50);
+              map (fun i -> Sym.sym (Printf.sprintf "v%d" i)) (int_range 0 3) ]
+        else
+          let* op =
+            oneofl [ C.Ops.Add; C.Ops.Mul; C.Ops.Sub; C.Ops.Max; C.Ops.Bxor ]
+          in
+          let* a = term (depth - 1) in
+          let* b = term (depth - 1) in
+          return (Sym.App (op, [ a; b ]))
+      in
+      term 4)
+  in
+  QCheck.Test.make ~name:"normalization preserves evaluation" ~count:300
+    (QCheck.make gen)
+    (fun t ->
+      let env v = (Hashtbl.hash v * 7919) mod 1000 in
+      C.Word.equal (Sym.eval env t) (Sym.eval env (Sym.normalize t)))
+
+(* -- Symsim -------------------------------------------------------------------- *)
+
+let symbolic_io_model () =
+  (* OUT = (X + R1) * X with R1 init 5, X symbolic *)
+  let b = C.Builder.create ~name:"symio" ~cs_max:8 () in
+  C.Builder.input b "X";
+  C.Builder.reg b ~init:(C.Word.nat 5) "R1";
+  C.Builder.reg b "T";
+  C.Builder.output b "OUT";
+  C.Builder.buses b [ "BA"; "BB" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Add ] "ADD";
+  C.Builder.unit_ b ~latency:2 ~ops:[ C.Ops.Mul ] "MULT";
+  C.Builder.binary b ~fu:"ADD"
+    ~a:(C.Transfer.From_input "X", "BA")
+    ~b:(C.Transfer.From_reg "R1", "BB")
+    ~read:1 ~write:(2, "BA") ~dst:(C.Transfer.To_reg "T");
+  C.Builder.binary b ~fu:"MULT"
+    ~a:(C.Transfer.From_reg "T", "BA")
+    ~b:(C.Transfer.From_input "X", "BB")
+    ~read:3 ~write:(5, "BA") ~dst:(C.Transfer.To_output "OUT");
+  C.Builder.finish b
+
+let test_symsim_symbolic_output () =
+  let res = Symsim.run (symbolic_io_model ()) in
+  match Symsim.last_output res "OUT" with
+  | None -> Alcotest.fail "no output"
+  | Some term ->
+    let expected =
+      Sym.App
+        (C.Ops.Mul,
+         [ Sym.sym "X"; Sym.App (C.Ops.Add, [ Sym.sym "X"; Sym.nat 5 ]) ])
+    in
+    check_bool
+      (Printf.sprintf "term %s" (Sym.to_string term))
+      true
+      (Sym.equal term expected)
+
+let test_symsim_agrees_with_concrete () =
+  let m = symbolic_io_model () in
+  let res = Symsim.run m in
+  let term = Option.get (Symsim.last_output res "OUT") in
+  (* plug X = 7 concretely and compare with Interp *)
+  let m7 = H.Flow.with_inputs m [ ("X", 7) ] in
+  let obs = C.Interp.run m7 in
+  let concrete =
+    match C.Observation.output_writes obs "OUT" with
+    | [ (_, v) ] -> v
+    | _ -> C.Word.illegal
+  in
+  Alcotest.(check int) "symbolic eval = concrete run" concrete
+    (Sym.eval (fun _ -> 7) term)
+
+let test_symsim_detects_conflict () =
+  let b = C.Builder.create ~name:"clash" ~cs_max:6 () in
+  C.Builder.input b "X";
+  C.Builder.reg b ~init:(C.Word.nat 1) "R1";
+  C.Builder.reg b "R2";
+  C.Builder.buses b [ "BA"; "BB" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Add ] "ADD";
+  C.Builder.binary b ~fu:"ADD"
+    ~a:(C.Transfer.From_input "X", "BA")
+    ~b:(C.Transfer.From_reg "R1", "BB")
+    ~read:1 ~write:(2, "BA") ~dst:(C.Transfer.To_reg "R2");
+  C.Builder.binary b ~fu:"ADD"
+    ~a:(C.Transfer.From_reg "R1", "BA")
+    ~b:(C.Transfer.From_reg "R1", "BB")
+    ~read:1 ~write:(2, "BB") ~dst:(C.Transfer.To_reg "R2");
+  let m = C.Builder.finish_unchecked b in
+  let res = Symsim.run m in
+  check_bool "illegal located" true (res.Symsim.illegal_at <> [])
+
+(* -- Equiv ---------------------------------------------------------------------- *)
+
+let test_equiv_proved_for_hls_flows () =
+  List.iter
+    (fun p ->
+      let flow = H.Flow.compile p in
+      let verdicts = Equiv.check_flow flow in
+      check_bool
+        (p.H.Ir.pname ^ ": "
+         ^ String.concat "; "
+             (List.map
+                (fun (o, v) ->
+                  Format.asprintf "%s %a" o Equiv.pp_verdict v)
+                verdicts))
+        true
+        (Equiv.all_proved verdicts))
+    [ H.Examples.diffeq; H.Examples.fir 6; H.Examples.horner 4 ]
+
+let test_equiv_refutes_wrong_model () =
+  (* model computes (x - y), program says (x + y): refuted *)
+  let p =
+    { H.Ir.pname = "wrong"; inputs = [ "x"; "y" ];
+      stmts = [ { H.Ir.def = "s"; rhs = H.Ir.Bin (C.Ops.Add, Var "x", Var "y") } ];
+      outputs = [ "s" ] }
+  in
+  let b = C.Builder.create ~name:"wrong" ~cs_max:4 () in
+  C.Builder.input b "x";
+  C.Builder.input b "y";
+  C.Builder.output b "s";
+  C.Builder.buses b [ "BA"; "BB" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Sub ] "ALU";
+  C.Builder.binary b ~fu:"ALU"
+    ~a:(C.Transfer.From_input "x", "BA")
+    ~b:(C.Transfer.From_input "y", "BB")
+    ~read:1 ~write:(2, "BA") ~dst:(C.Transfer.To_output "s");
+  let m = C.Builder.finish b in
+  match Equiv.check_program p m with
+  | [ ("s", Equiv.Refuted _) ] -> ()
+  | [ ("s", v) ] ->
+    Alcotest.fail (Format.asprintf "expected refutation, got %a"
+                     Equiv.pp_verdict v)
+  | _ -> Alcotest.fail "unexpected verdict shape"
+
+let test_equiv_equal_terms_api () =
+  let x = Sym.sym "x" in
+  check_bool "identical" true
+    (Equiv.equal_terms
+       (Sym.App (C.Ops.Add, [ x; Sym.nat 1 ]))
+       (Sym.App (C.Ops.Addi 1, [ x ]))
+     = Equiv.Proved);
+  (match
+     Equiv.equal_terms
+       (Sym.App (C.Ops.Add, [ x; Sym.nat 1 ]))
+       (Sym.App (C.Ops.Add, [ x; Sym.nat 2 ]))
+   with
+   | Equiv.Refuted _ -> ()
+   | _ -> Alcotest.fail "expected refutation");
+  (* (x+y)^2 vs x^2 + 2xy + y^2: equal but not syntactically *)
+  let y = Sym.sym "y" in
+  let sq t = Sym.App (C.Ops.Mul, [ t; t ]) in
+  let lhs = sq (Sym.App (C.Ops.Add, [ x; y ])) in
+  let rhs =
+    Sym.App
+      (C.Ops.Add,
+       [ sq x; Sym.App (C.Ops.Mul, [ Sym.nat 2; x; y ]); sq y ])
+  in
+  match Equiv.equal_terms lhs rhs with
+  | Equiv.Unproven _ -> ()
+  | Equiv.Proved -> Alcotest.fail "normalization is not that strong"
+  | Equiv.Refuted a ->
+    Alcotest.fail
+      (Format.asprintf "wrongly refuted: %a" Equiv.pp_verdict
+         (Equiv.Refuted a))
+
+(* -- Consist -------------------------------------------------------------------- *)
+
+let test_consist_fig1 () =
+  Alcotest.(check (result unit (list string))) "fig1 consistent" (Ok ())
+    (Consist.check (C.Builder.fig1 ()))
+
+let test_consist_batch () =
+  let failures = Consist.run_batch ~seed:42 ~count:60 () in
+  check_bool
+    (String.concat "; "
+       (List.concat_map (fun (s, es) ->
+            List.map (Printf.sprintf "seed %d: %s" s) es)
+          failures))
+    true (failures = [])
+
+let test_consist_conflict_models_agree () =
+  (* even with injected conflicts, both semantics see the same ILLEGALs *)
+  let m = Consist.random_model ~conflict:true 7 in
+  let obs = C.Interp.run m in
+  check_bool "conflict present" true (C.Observation.has_conflict obs);
+  Alcotest.(check (result unit (list string))) "still consistent" (Ok ())
+    (Consist.check m)
+
+(* -- Lowcheck: symbolic translation validation ------------------------------ *)
+
+let test_lowcheck_proves_hls_lowerings () =
+  List.iter
+    (fun p ->
+      let flow = H.Flow.compile p in
+      let m = flow.H.Flow.binding.H.Synth.model in
+      List.iter
+        (fun scheme ->
+          match Lowcheck.check ~scheme m with
+          | Lowcheck.Proved -> ()
+          | v ->
+            Alcotest.fail
+              (Format.asprintf "%s: %a" p.H.Ir.pname Lowcheck.pp_verdict v))
+        [ Csrtl_clocked.Lower.One_cycle_per_step;
+          Csrtl_clocked.Lower.Two_phase ])
+    [ H.Examples.diffeq; H.Examples.fir 6; H.Examples.horner 4 ]
+
+let test_lowcheck_fig1 () =
+  match Lowcheck.check (C.Builder.fig1 ()) with
+  | Lowcheck.Proved -> ()
+  | v -> Alcotest.fail (Format.asprintf "%a" Lowcheck.pp_verdict v)
+
+let test_lowcheck_symbolic_io_model () =
+  (* fully symbolic inputs: the proof covers every input at once *)
+  let b = C.Builder.create ~name:"symio2" ~cs_max:8 () in
+  C.Builder.input b "X";
+  C.Builder.input b "Y";
+  C.Builder.reg b ~init:(C.Word.nat 5) "R1";
+  C.Builder.reg b "T";
+  C.Builder.reg b "U";
+  C.Builder.buses b [ "BA"; "BB" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Add; C.Ops.Sub ] "ALU";
+  C.Builder.unit_ b ~latency:2 ~ops:[ C.Ops.Mul ] "MULT";
+  C.Builder.binary b ~op:C.Ops.Add ~fu:"ALU"
+    ~a:(C.Transfer.From_input "X", "BA")
+    ~b:(C.Transfer.From_reg "R1", "BB")
+    ~read:1 ~write:(2, "BA") ~dst:(C.Transfer.To_reg "T");
+  C.Builder.binary b ~fu:"MULT"
+    ~a:(C.Transfer.From_reg "T", "BA")
+    ~b:(C.Transfer.From_input "Y", "BB")
+    ~read:3 ~write:(5, "BA") ~dst:(C.Transfer.To_reg "U");
+  C.Builder.binary b ~op:C.Ops.Sub ~fu:"ALU"
+    ~a:(C.Transfer.From_reg "U", "BA")
+    ~b:(C.Transfer.From_reg "T", "BB")
+    ~read:6 ~write:(7, "BB") ~dst:(C.Transfer.To_reg "T");
+  let m = C.Builder.finish b in
+  (match Lowcheck.check m with
+   | Lowcheck.Proved -> ()
+   | v -> Alcotest.fail (Format.asprintf "%a" Lowcheck.pp_verdict v));
+  (* sanity: the symbolic terms involved really are symbolic *)
+  let sym = Symsim.run m in
+  match List.assoc_opt "U" sym.Symsim.reg_final with
+  | Some term -> check_bool "symbolic result" true (Sym.vars term = [ "X"; "Y" ])
+  | None -> Alcotest.fail "no U"
+
+let prop_lowcheck_random_chains =
+  QCheck.Test.make ~name:"lowering proved symbolically on random chains"
+    ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let m = Consist.random_model ~size:5 seed in
+      match C.Conflict.check m with
+      | _ :: _ -> QCheck.assume_fail ()
+      | [] -> Lowcheck.check m = Lowcheck.Proved)
+
+let test_compaction_preserved_symbolically () =
+  (* compaction is dataflow-preserving for every input at once *)
+  List.iter
+    (fun p ->
+      let flow = H.Flow.compile p in
+      let m = flow.H.Flow.binding.H.Synth.model in
+      let m2 = C.Reschedule.compact m in
+      let s1 = Symsim.run m and s2 = Symsim.run m2 in
+      List.iter2
+        (fun (n1, t1) (n2, t2) ->
+          check_bool (p.H.Ir.pname ^ ": " ^ n1) true
+            (n1 = n2 && Sym.equal t1 t2))
+        s1.Symsim.reg_final s2.Symsim.reg_final;
+      (* outputs keep their value sequences *)
+      List.iter2
+        (fun (o1, ws1) (o2, ws2) ->
+          check_bool (p.H.Ir.pname ^ " out " ^ o1) true
+            (o1 = o2
+             && List.map snd ws1 = List.map snd ws2))
+        s1.Symsim.out_writes s2.Symsim.out_writes)
+    [ H.Examples.diffeq; H.Examples.fir 6; H.Examples.horner 4 ]
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "verify"
+    [ ( "sym",
+        [ Alcotest.test_case "folding" `Quick test_normalize_folding;
+          Alcotest.test_case "commutative normal form" `Quick
+            test_normalize_commutative;
+          Alcotest.test_case "immediates" `Quick test_normalize_immediates;
+          Alcotest.test_case "eval" `Quick test_sym_eval;
+          Alcotest.test_case "sentinels" `Quick test_sym_apply_sentinels ] );
+      qsuite "sym-props" [ prop_normalize_sound ];
+      ( "symsim",
+        [ Alcotest.test_case "symbolic output term" `Quick
+            test_symsim_symbolic_output;
+          Alcotest.test_case "agrees with concrete" `Quick
+            test_symsim_agrees_with_concrete;
+          Alcotest.test_case "locates conflicts" `Quick
+            test_symsim_detects_conflict ] );
+      ( "equiv",
+        [ Alcotest.test_case "HLS flows proved" `Quick
+            test_equiv_proved_for_hls_flows;
+          Alcotest.test_case "wrong model refuted" `Quick
+            test_equiv_refutes_wrong_model;
+          Alcotest.test_case "equal_terms verdicts" `Quick
+            test_equiv_equal_terms_api ] );
+      ( "reschedule",
+        [ Alcotest.test_case "compaction preserved symbolically" `Quick
+            test_compaction_preserved_symbolically ] );
+      ( "lowcheck",
+        [ Alcotest.test_case "HLS lowerings proved, both schemes" `Quick
+            test_lowcheck_proves_hls_lowerings;
+          Alcotest.test_case "fig1" `Quick test_lowcheck_fig1;
+          Alcotest.test_case "fully symbolic model" `Quick
+            test_lowcheck_symbolic_io_model ] );
+      qsuite "lowcheck-props" [ prop_lowcheck_random_chains ];
+      ( "consist",
+        [ Alcotest.test_case "fig1" `Quick test_consist_fig1;
+          Alcotest.test_case "large-model soak" `Slow
+            (fun () ->
+              (* bigger random models than the quick batch *)
+              let failures = ref [] in
+              for seed = 500 to 519 do
+                match Consist.check (Consist.random_model ~size:20 seed) with
+                | Ok () -> ()
+                | Error es -> failures := (seed, es) :: !failures
+              done;
+              Alcotest.(check int) "no disagreements" 0
+                (List.length !failures));
+          Alcotest.test_case "random batch" `Quick test_consist_batch;
+          Alcotest.test_case "conflicted models agree" `Quick
+            test_consist_conflict_models_agree ] ) ]

@@ -1,0 +1,946 @@
+(* Tests of the VHDL subset library: lexing, parsing, pretty-printer
+   round trips, emission of the paper-style VHDL, and model
+   extraction (the paper's tuple <-> TRANS instance mapping). *)
+
+open Csrtl_vhdl
+module C = Csrtl_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* -- lexer ---------------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "R1_out <= 42; -- comment\nB /= Phase'Succ(PH)" in
+  let strs =
+    Array.to_list toks |> List.map (fun (t, _) -> Lexer.token_to_string t)
+  in
+  Alcotest.(check (list string)) "tokens"
+    [ "R1_out"; "<="; "42"; ";"; "B"; "/="; "Phase"; "'"; "Succ"; "(";
+      "PH"; ")"; "<eof>" ]
+    strs
+
+let test_lexer_lines () =
+  let toks = Lexer.tokenize "a\nb\n\nc" in
+  let lines = Array.to_list toks |> List.map snd in
+  Alcotest.(check (list int)) "line numbers" [ 1; 2; 4; 4 ] lines
+
+let test_lexer_error () =
+  match Lexer.tokenize "a ? b" with
+  | exception Lexer.Lex_error (1, _) -> ()
+  | _ -> Alcotest.fail "expected lex error"
+
+(* -- expression parsing ----------------------------------------------------- *)
+
+let roundtrip_expr s =
+  Format.asprintf "%a" Pp.expr (Parser.expr s)
+
+let test_expr_parsing () =
+  check_str "precedence" "1 + 2 * 3" (roundtrip_expr "1 + 2 * 3");
+  check_str "relational" "CS = S and PH = P" (roundtrip_expr "CS = S and PH = P");
+  check_str "attr" "Phase'High" (roundtrip_expr "Phase'High");
+  check_str "attr call" "Phase'Succ(PH)" (roundtrip_expr "Phase'Succ(PH)");
+  check_str "paren" "(a + b) * c" (roundtrip_expr "(a + b) * c");
+  check_str "unary" "not (a and b)" (roundtrip_expr "not (a and b)");
+  check_str "neq" "R_in /= DISC" (roundtrip_expr "R_in /= DISC")
+
+let test_expr_error_position () =
+  match Parser.expr "1 +" with
+  | exception Parser.Parse_error (1, _) -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+(* -- design unit parsing ------------------------------------------------------ *)
+
+let paper_controller =
+  {|
+entity CONTROLLER is
+  generic (CS_MAX: Natural);
+  port (CS: inout Natural := 0;
+        PH: inout Phase := Phase'High);
+end CONTROLLER;
+
+architecture transfer of CONTROLLER is
+begin
+  process (PH)
+  begin
+    if PH = Phase'High then
+      if CS < CS_MAX then
+        CS <= CS + 1;
+        PH <= Phase'Low;
+      end if;
+    else
+      PH <= Phase'Succ(PH);
+    end if;
+  end process;
+end transfer;
+|}
+
+let test_parse_paper_controller () =
+  match Parser.design_file paper_controller with
+  | [ Ast.Entity { ent_name; generics; ports };
+      Ast.Architecture { arch_stmts; _ } ] ->
+    check_str "name" "CONTROLLER" ent_name;
+    check_int "one generic" 1 (List.length generics);
+    check_int "two ports" 2 (List.length ports);
+    (match ports with
+     | [ cs; ph ] ->
+       check_bool "CS inout" true (cs.Ast.mode = Ast.Inout);
+       check_bool "PH default" true
+         (ph.Ast.port_default = Some (Ast.Attr ("Phase", "High")))
+     | _ -> Alcotest.fail "ports");
+    (match arch_stmts with
+     | [ Ast.Proc p ] ->
+       Alcotest.(check (list string)) "sensitivity" [ "PH" ] p.Ast.sensitivity;
+       check_int "one if" 1 (List.length p.Ast.body)
+     | _ -> Alcotest.fail "architecture body")
+  | _ -> Alcotest.fail "expected entity + architecture"
+
+let paper_trans =
+  {|
+entity TRANS is
+  generic (S: Natural; P: Phase);
+  port (CS: in Natural; PH: in Phase;
+        InS: in Integer; OutS: out Integer := DISC);
+end TRANS;
+
+architecture transfer of TRANS is
+begin
+  process
+  begin
+    wait until CS = S and PH = P;
+    OutS <= InS;
+    wait until CS = S and PH = Phase'Succ(P);
+    OutS <= DISC;
+  end process;
+end transfer;
+|}
+
+let test_parse_paper_trans () =
+  match Parser.design_file paper_trans with
+  | [ Ast.Entity _; Ast.Architecture { arch_stmts = [ Ast.Proc p ]; _ } ] ->
+    (match p.Ast.body with
+     | [ Ast.Wait_until _; Ast.Signal_assign ("OutS", Ast.Name "InS");
+         Ast.Wait_until _; Ast.Signal_assign ("OutS", Ast.Name "DISC") ] ->
+       ()
+     | _ -> Alcotest.fail "TRANS body shape")
+  | _ -> Alcotest.fail "expected entity + architecture"
+
+let test_parse_instance () =
+  let src =
+    {|
+architecture transfer of example is
+  signal B1: resolve Integer;
+  signal R1_out: Integer := DISC;
+begin
+  R1_out_B1_5: TRANS generic map (5, ra) port map (CS, PH, R1_out, B1);
+  CONTROL: CONTROLLER generic map (7) port map (CS, PH);
+end transfer;
+|}
+  in
+  match Parser.design_file src with
+  | [ Ast.Architecture { arch_decls; arch_stmts; _ } ] ->
+    check_int "two signal decls" 2 (List.length arch_decls);
+    (match arch_decls with
+     | Ast.Signal_decl (_, t, _) :: _ ->
+       check_bool "resolved" true (t.Ast.resolution = Some "resolve")
+     | _ -> Alcotest.fail "decl");
+    (match arch_stmts with
+     | [ Ast.Instance { component = "TRANS"; generic_map; _ };
+         Ast.Instance { component = "CONTROLLER"; _ } ] ->
+       check_int "generics" 2 (List.length generic_map)
+     | _ -> Alcotest.fail "instances")
+  | _ -> Alcotest.fail "architecture"
+
+let test_parse_package () =
+  let src =
+    {|
+package csrtl_rt is
+  type Phase is (ra, rb, cm, wa, wb, cr);
+  constant DISC: Integer := -1;
+  type Integer_Vector is array (Natural range <>) of Integer;
+  function resolve (s: Integer_Vector) return Integer is
+    variable result: Integer := DISC;
+  begin
+    for i in s'Low to s'High loop
+      if s(i) = ILLEGAL then
+        result := ILLEGAL;
+      end if;
+    end loop;
+    return result;
+  end resolve;
+end csrtl_rt;
+|}
+  in
+  match Parser.design_file src with
+  | [ Ast.Package { pkg_decls; _ } ] ->
+    check_int "four decls" 4 (List.length pkg_decls);
+    (match pkg_decls with
+     | [ Ast.Pkg_type_enum ("Phase", phases); _; _; Ast.Pkg_function f ] ->
+       check_int "six phases" 6 (List.length phases);
+       check_str "fn name" "resolve" f.Ast.fun_name;
+       check_int "body stmts" 2 (List.length f.Ast.fun_body)
+     | _ -> Alcotest.fail "package decls")
+  | _ -> Alcotest.fail "package"
+
+(* -- pretty-printer round trip ------------------------------------------------- *)
+
+let test_pp_parse_roundtrip () =
+  (* parse, print, parse again: ASTs must match (stable fixpoint) *)
+  let check_src src =
+    let ast1 = Parser.design_file src in
+    let printed = Pp.to_string ast1 in
+    let ast2 = Parser.design_file printed in
+    check_bool "fixpoint" true (ast1 = ast2)
+  in
+  check_src paper_controller;
+  check_src paper_trans
+
+(* -- emission ---------------------------------------------------------------- *)
+
+let test_emit_contains_paper_shapes () =
+  let m = C.Builder.fig1 () in
+  let text = Emit.to_string m in
+  List.iter
+    (fun frag -> check_bool frag true (contains text frag))
+    [ "type Phase is (ra, rb, cm, wa, wb, cr);";
+      "constant DISC: Integer := -1;";
+      "constant ILLEGAL: Integer := -2;";
+      "entity CONTROLLER is";
+      "entity TRANS is";
+      "entity REG is";
+      "wait until CS = S and PH = P;";
+      "generic map (5, ra)";
+      "generic map (6, wa)";
+      "generic map (7)";
+      "signal B1: resolve Integer;";
+      "R1_proc: REG";
+      "entity fig1 is" ]
+
+let test_emit_parses () =
+  let m = C.Builder.fig1 () in
+  let text = Emit.to_string m in
+  match Parser.design_file text with
+  | units -> check_bool "nonempty" true (List.length units > 5)
+  | exception Parser.Parse_error (l, msg) ->
+    Alcotest.fail (Printf.sprintf "line %d: %s" l msg)
+
+(* -- extraction (the paper's reverse mapping) --------------------------------- *)
+
+let test_extract_fig1 () =
+  let m = C.Builder.fig1 () in
+  let text = Emit.to_string m in
+  let m' = Extract.model_of_string text in
+  check_str "name" "fig1" m'.C.Model.name;
+  check_int "cs_max" 7 m'.C.Model.cs_max;
+  check_int "one tuple" 1 (List.length m'.C.Model.transfers);
+  check_str "the paper tuple" "(R1,B1,R2,B2,5,ADD:add,6,B1,R1)"
+    (C.Transfer.to_string (List.hd m'.C.Model.transfers));
+  (* semantics preserved *)
+  let o1 = C.Interp.run m in
+  let o2 = C.Interp.run m' in
+  Alcotest.(check (list string)) "same behaviour"
+    [] (C.Observation.diff { o1 with model_name = "x" }
+          { o2 with model_name = "x" })
+
+let roundtrip_model m =
+  let text = Emit.to_string m in
+  let m' = Extract.model_of_string text in
+  let o1 = C.Interp.run m in
+  let o2 = C.Interp.run m' in
+  C.Observation.equal
+    { o1 with model_name = "x" }
+    { o2 with model_name = "x" }
+
+let test_extract_multi_op_and_io () =
+  let b = C.Builder.create ~name:"mixed" ~cs_max:9 () in
+  C.Builder.input b ~value:(C.Word.nat 5) "X";
+  C.Builder.reg b ~init:(C.Word.nat 2) "R1";
+  C.Builder.reg b "R2";
+  C.Builder.output b "Y";
+  C.Builder.buses b [ "BA"; "BB" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Add; C.Ops.Sub ] "ALU";
+  C.Builder.unit_ b ~latency:2 ~ops:[ C.Ops.Mul ] "MULT";
+  C.Builder.binary b ~op:C.Ops.Sub ~fu:"ALU"
+    ~a:(C.Transfer.From_input "X", "BA")
+    ~b:(C.Transfer.From_reg "R1", "BB")
+    ~read:1 ~write:(2, "BA") ~dst:(C.Transfer.To_reg "R2");
+  C.Builder.binary b ~fu:"MULT"
+    ~a:(C.Transfer.From_reg "R2", "BA")
+    ~b:(C.Transfer.From_reg "R2", "BB")
+    ~read:3 ~write:(5, "BB") ~dst:(C.Transfer.To_output "Y");
+  let m = C.Builder.finish b in
+  check_bool "roundtrip preserves semantics" true (roundtrip_model m);
+  let m' = Extract.model_of_string (Emit.to_string m) in
+  check_int "two tuples" 2 (List.length m'.C.Model.transfers)
+
+let test_extract_rejects_garbage () =
+  (match Extract.model_of_string "entity x is end x;" with
+   | exception Extract.Extract_error _ -> ()
+   | _ -> Alcotest.fail "expected extract error");
+  let m = C.Builder.fig1 () in
+  let text = Emit.to_string m in
+  (* strip pragmas: extraction must fail loudly, not guess *)
+  let no_pragmas =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> not (contains l "-- csrtl"))
+    |> String.concat "\n"
+  in
+  match Extract.model_of_string no_pragmas with
+  | exception Extract.Extract_error _ -> ()
+  | _ -> Alcotest.fail "expected extract error without pragmas"
+
+let test_pragma_lines () =
+  let m = C.Builder.fig1 () in
+  let text = Emit.to_string m in
+  let ps = Extract.pragma_lines text in
+  check_bool "model pragma" true (List.mem "model fig1" ps);
+  check_bool "unit pragma" true
+    (List.exists (fun l -> contains l "unit ADD ops add") ps)
+
+(* -- lint: subset conformance ---------------------------------------------- *)
+
+let test_lint_emitted_is_conformant () =
+  let m = C.Builder.fig1 () in
+  match Lint.check_source (Emit.to_string m) with
+  | Ok findings ->
+    check_bool
+      (String.concat "; "
+         (List.map (Format.asprintf "%a" Lint.pp_finding) findings))
+      true (Lint.conformant findings)
+  | Error msg -> Alcotest.fail msg
+
+let test_lint_flags_clock_signal () =
+  let src =
+    {|
+entity bad is
+  port (clk: in Integer; x: in Integer);
+end bad;
+architecture rtl of bad is
+  signal q: Integer := 0;
+begin
+  process
+  begin
+    wait until clk = 1;
+    q <= x;
+  end process;
+end rtl;
+|}
+  in
+  match Lint.check_source src with
+  | Ok findings ->
+    check_bool "not conformant" false (Lint.conformant findings);
+    check_bool "no-clocks fired" true
+      (List.exists (fun (f : Lint.finding) -> f.Lint.rule = "no-clocks")
+         findings)
+  | Error msg -> Alcotest.fail msg
+
+let test_lint_flags_bad_phase_enum () =
+  let src =
+    {|
+package p is
+  type Phase is (ra, rb, wa, wb, cr);
+  constant DISC: Integer := -1;
+  constant ILLEGAL: Integer := -3;
+end p;
+|}
+  in
+  match Lint.check_source src with
+  | Ok findings ->
+    let rules = List.map (fun (f : Lint.finding) -> f.Lint.rule) findings in
+    check_bool "phase-enum" true (List.mem "phase-enum" rules);
+    check_bool "sentinels" true (List.mem "sentinels" rules)
+  | Error msg -> Alcotest.fail msg
+
+let test_lint_flags_mixed_process_and_bad_trans () =
+  let src =
+    {|
+entity TRANS is
+  generic (S: Natural; P: Phase);
+  port (CS: in Natural; PH: in Phase; InS: in Integer; OutS: out Integer);
+end TRANS;
+entity top is
+end top;
+architecture transfer of top is
+  signal B1: Integer;
+begin
+  broken: process (B1)
+  begin
+    wait until B1 = 1;
+  end process;
+  t1: TRANS generic map (0, frobnicate) port map (CS, PH, B1, B1);
+  t2: NOSUCH port map (B1);
+end transfer;
+|}
+  in
+  match Lint.check_source src with
+  | Ok findings ->
+    let rules = List.map (fun (f : Lint.finding) -> f.Lint.rule) findings in
+    check_bool "process-shape" true (List.mem "process-shape" rules);
+    check_bool "trans-generics" true (List.mem "trans-generics" rules);
+    check_bool "undeclared entity" true (List.mem "structure" rules)
+  | Error msg -> Alcotest.fail msg
+
+let test_lint_rejects_nonsubset_grammar () =
+  match
+    Lint.check_source
+      "architecture a of x is begin process begin q <= b after 10 ns; end \
+       process; end a;"
+  with
+  | Error _ -> ()  (* [after] is not even in the subset grammar *)
+  | Ok fs ->
+    Alcotest.fail
+      (Printf.sprintf "expected grammar rejection, got %d findings"
+         (List.length fs))
+
+let prop_vhdl_roundtrip_random_models =
+  (* random conflict-free models: emit -> parse -> extract preserves
+     behaviour and the tuple set *)
+  QCheck.Test.make ~name:"emit/extract preserves random models" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let m = Csrtl_verify.Consist.random_model ~size:5 seed in
+      match C.Conflict.check m with
+      | _ :: _ -> QCheck.assume_fail ()
+      | [] ->
+        let back = Extract.model_of_string (Emit.to_string m) in
+        let o1 = C.Interp.run m and o2 = C.Interp.run back in
+        C.Observation.equal
+          { o1 with C.Observation.model_name = "x" }
+          { o2 with C.Observation.model_name = "x" }
+        && List.length back.C.Model.transfers
+           = List.length m.C.Model.transfers)
+
+let prop_lint_accepts_all_emitted =
+  QCheck.Test.make ~name:"every emitted model lints clean" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let m = Csrtl_verify.Consist.random_model ~size:4 seed in
+      match Lint.check_source (Emit.to_string m) with
+      | Ok findings -> Lint.conformant findings
+      | Error _ -> false)
+
+let test_self_checking_emission () =
+  let m = C.Builder.fig1 () in
+  let obs = C.Interp.run m in
+  let text = Emit.self_checking_to_string m obs in
+  check_bool "has checker" true (contains text "checker: process");
+  check_bool "asserts the result" true
+    (contains text "assert R1_out = 7 report \"step 6: R1 /= 7\"");
+  (* parses and stays in the subset *)
+  (match Parser.design_file text with
+   | units -> check_bool "parses" true (List.length units > 5)
+   | exception Parser.Parse_error (l, msg) ->
+     Alcotest.fail (Printf.sprintf "line %d: %s" l msg));
+  match Lint.check_source text with
+  | Ok findings ->
+    check_bool "lint-clean" true (Lint.conformant findings)
+  | Error msg -> Alcotest.fail msg
+
+let test_assert_statement_roundtrip () =
+  let src =
+    {|
+architecture transfer of x is
+begin
+  checker: process
+  begin
+    wait until CS = 2 and PH = ra;
+    assert R1_out = 7 report "oops" severity error;
+    wait;
+  end process;
+end transfer;
+|}
+  in
+  match Parser.design_file src with
+  | [ Ast.Architecture { arch_stmts = [ Ast.Proc p ]; _ } ] ->
+    (match p.Ast.body with
+     | [ Ast.Wait_until _; Ast.Assert_stmt (_, "oops"); Ast.Wait ] -> ()
+     | _ -> Alcotest.fail "assert body shape");
+    (* print/parse fixpoint *)
+    let printed = Pp.to_string (Parser.design_file src) in
+    check_bool "fixpoint" true
+      (Parser.design_file printed = Parser.design_file src)
+  | _ -> Alcotest.fail "architecture"
+
+(* -- AST fuzzing: print/parse is the identity on generated ASTs ------------- *)
+
+let gen_ident =
+  QCheck.Gen.(
+    let* head = oneofl [ "sig"; "reg"; "bus"; "port"; "x"; "ctl" ] in
+    let* n = int_range 0 99 in
+    return (Printf.sprintf "%s%d" head n))
+
+let gen_expr =
+  QCheck.Gen.(
+    let rec go depth =
+      if depth = 0 then
+        oneof
+          [ map (fun n -> Ast.Int n) (int_range 0 500);
+            map (fun s -> Ast.Name s) gen_ident ]
+      else
+        oneof
+          [ map (fun n -> Ast.Int n) (int_range 0 500);
+            map (fun s -> Ast.Name s) gen_ident;
+            (let* op =
+               oneofl
+                 [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Eq; Ast.Neq; Ast.Lt;
+                   Ast.And; Ast.Or ]
+             in
+             let* a = go (depth - 1) in
+             let* b = go (depth - 1) in
+             (* parenthesize operands: the printer does not reinsert
+                precedence parens, so flat chains only *)
+             return (Ast.Binop (op, Ast.Paren a, Ast.Paren b)));
+            map (fun s -> Ast.Attr (s, "High")) gen_ident ]
+    in
+    go 2)
+
+let gen_stmt =
+  QCheck.Gen.(
+    let* which = int_range 0 4 in
+    let* name = gen_ident in
+    let* e = gen_expr in
+    match which with
+    | 0 -> return (Ast.Signal_assign (name, e))
+    | 1 -> return (Ast.Var_assign (name, e))
+    | 2 -> return (Ast.Wait_until e)
+    | 3 ->
+      let* msg = oneofl [ "boom"; "bad value"; "x" ] in
+      return (Ast.Assert_stmt (e, msg))
+    | _ ->
+      let* body = list_size (int_range 1 3) (return (Ast.Signal_assign (name, e))) in
+      return (Ast.If ([ (e, body) ], [ Ast.Null_stmt ])))
+
+let gen_unit =
+  QCheck.Gen.(
+    let* which = int_range 0 2 in
+    match which with
+    | 0 ->
+      let* name = gen_ident in
+      let* nports = int_range 1 4 in
+      let* ports =
+        list_repeat nports
+          (let* pname = gen_ident in
+           let* mode = oneofl [ Ast.In; Ast.Out; Ast.Inout ] in
+           return
+             { Ast.port_name = pname; mode;
+               port_type = Ast.plain "Integer"; port_default = None })
+      in
+      (* port names must be unique for parse stability *)
+      let ports =
+        List.mapi
+          (fun i p -> { p with Ast.port_name = Printf.sprintf "%s_%d" p.Ast.port_name i })
+          ports
+      in
+      return (Ast.Entity { ent_name = name; generics = []; ports })
+    | 1 ->
+      let* aname = gen_ident in
+      let* ename = gen_ident in
+      let* body = list_size (int_range 1 4) gen_stmt in
+      return
+        (Ast.Architecture
+           { arch_name = aname; arch_entity = ename;
+             arch_decls =
+               [ Ast.Signal_decl ([ "s0"; "s1" ], Ast.plain "Integer",
+                                  Some (Ast.Int 0)) ];
+             arch_stmts =
+               [ Ast.Proc
+                   { proc_label = Some "p0"; sensitivity = [];
+                     proc_decls = []; body = body @ [ Ast.Wait ] } ] })
+    | _ ->
+      let* pname = gen_ident in
+      let* items = list_size (int_range 2 5) gen_ident in
+      let items = List.mapi (fun i s -> Printf.sprintf "%s_%d" s i) items in
+      return
+        (Ast.Package
+           { pkg_name = pname;
+             pkg_decls =
+               [ Ast.Pkg_type_enum ("T0", items);
+                 Ast.Pkg_constant ("K0", Ast.plain "Integer", Ast.Int 7) ] }))
+
+let prop_pp_parse_identity =
+  QCheck.Test.make ~name:"parse (print ast) = ast" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 3) gen_unit))
+    (fun units ->
+      let printed = Pp.to_string units in
+      match Parser.design_file printed with
+      | parsed -> parsed = units
+      | exception Parser.Parse_error (l, m) ->
+        QCheck.Test.fail_reportf "line %d: %s in:\n%s" l m printed)
+
+(* -- Elab: executing the VHDL itself ----------------------------------------- *)
+
+let paper_literal_example =
+  (* the paper's sections 2.2-2.7 text, assembled: support package,
+     CONTROLLER / TRANS / REG as printed, an ADD module, and the
+     example architecture with the six TRANS instances of Fig. 1 *)
+  {|
+package csrtl_rt is
+  type Phase is (ra, rb, cm, wa, wb, cr);
+  constant DISC: Integer := -1;
+  constant ILLEGAL: Integer := -2;
+  type Integer_Vector is array (Natural range <>) of Integer;
+  function resolve (s: Integer_Vector) return Integer is
+    variable result: Integer := DISC;
+  begin
+    for i in s'Low to s'High loop
+      if s(i) = ILLEGAL then
+        result := ILLEGAL;
+      elsif s(i) /= DISC then
+        if result = DISC then
+          result := s(i);
+        else
+          result := ILLEGAL;
+        end if;
+      end if;
+    end loop;
+    return result;
+  end resolve;
+end csrtl_rt;
+
+entity CONTROLLER is
+  generic (CS_MAX: Natural);
+  port (CS: inout Natural := 0; PH: inout Phase := Phase'High);
+end CONTROLLER;
+architecture transfer of CONTROLLER is
+begin
+  process (PH)
+  begin
+    if PH = Phase'High then
+      if CS < CS_MAX then
+        CS <= CS + 1;
+        PH <= Phase'Low;
+      end if;
+    else
+      PH <= Phase'Succ(PH);
+    end if;
+  end process;
+end transfer;
+
+entity TRANS is
+  generic (S: Natural; P: Phase);
+  port (CS: in Natural; PH: in Phase;
+        InS: in Integer; OutS: out Integer := DISC);
+end TRANS;
+architecture transfer of TRANS is
+begin
+  process
+  begin
+    wait until CS = S and PH = P;
+    OutS <= InS;
+    wait until CS = S and PH = Phase'Succ(P);
+    OutS <= DISC;
+    wait;
+  end process;
+end transfer;
+
+entity REG is
+  port (PH: in Phase; R_in: in Integer; R_out: out Integer := DISC);
+end REG;
+architecture transfer of REG is
+begin
+  process
+  begin
+    wait until PH = cr;
+    if R_in /= DISC then
+      R_out <= R_in;
+    end if;
+  end process;
+end transfer;
+
+entity ADD is
+  port (PH: in Phase; M_in1, M_in2: in Integer;
+        M_out: out Integer := DISC);
+end ADD;
+architecture transfer of ADD is
+begin
+  process
+    variable M: Integer := DISC;
+  begin
+    wait until PH = cm;
+    M_out <= M;
+    if M /= ILLEGAL then
+      if M_in1 = DISC and M_in2 = DISC then
+        M := DISC;
+      elsif M_in1 /= DISC and M_in2 /= DISC then
+        M := M_in1 + M_in2;
+      else
+        M := ILLEGAL;
+      end if;
+    end if;
+  end process;
+end transfer;
+
+entity example is
+end example;
+architecture transfer of example is
+  signal CS: Natural := 0;
+  signal PH: Phase := Phase'High;
+  signal ADD_in1, ADD_in2: resolve Integer;
+  signal ADD_out: Integer;
+  signal R1_in, R2_in: resolve Integer;
+  signal R1_out, R2_out: Integer := 3;
+  signal B1, B2: resolve Integer;
+begin
+  ADD_proc: ADD port map (PH, ADD_in1, ADD_in2, ADD_out);
+  R1_proc: REG port map (PH, R1_in, R1_out);
+  R2_proc: REG port map (PH, R2_in, R2_out);
+  R1_out_B1_5: TRANS generic map (5, ra) port map (CS, PH, R1_out, B1);
+  B1_ADD_in1_5: TRANS generic map (5, rb) port map (CS, PH, B1, ADD_in1);
+  R2_out_B2_5: TRANS generic map (5, ra) port map (CS, PH, R2_out, B2);
+  B2_ADD_in2_5: TRANS generic map (5, rb) port map (CS, PH, B2, ADD_in2);
+  ADD_out_B1_6: TRANS generic map (6, wa) port map (CS, PH, ADD_out, B1);
+  B1_R1_in_6: TRANS generic map (6, wb) port map (CS, PH, B1, R1_in);
+  CONTROL: CONTROLLER generic map (7) port map (CS, PH);
+end transfer;
+|}
+
+let test_elab_paper_literal () =
+  (* the paper's code, as printed, runs: both registers start at 3,
+     so R1 ends at 3 + 3 = 6 after step 6, in 6*7 cycles *)
+  match Elab.elaborate_and_run ~top:"example" paper_literal_example with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    check_int "paper delta-cycle law" 42
+      (Csrtl_kernel.Scheduler.delta_count t.Elab.kernel);
+    check_int "R1 = 3 + 3" 6
+      (Csrtl_kernel.Signal.value (t.Elab.lookup "R1_out"));
+    check_int "no assertions" 0 (List.length !(t.Elab.failures))
+
+let test_elab_emitted_fig1 () =
+  let m = C.Builder.fig1 () in
+  match Elab.elaborate_and_run ~top:"fig1" (Emit.to_string m) with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    check_int "42 cycles" 42
+      (Csrtl_kernel.Scheduler.delta_count t.Elab.kernel);
+    check_int "R1 = 7" 7
+      (Csrtl_kernel.Signal.value (t.Elab.lookup "R1_out"))
+
+let test_elab_self_checking_passes () =
+  let m = C.Builder.fig1 () in
+  let text = Emit.self_checking_to_string m (C.Interp.run m) in
+  match Elab.elaborate_and_run ~top:"fig1" text with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    Alcotest.(check (list string)) "no assertion failures" []
+      !(t.Elab.failures)
+
+let test_elab_detects_tampered_expectation () =
+  let m = C.Builder.fig1 () in
+  let obs = C.Interp.run m in
+  (* corrupt the expectation: pretend R1 becomes 9 *)
+  let tampered =
+    { obs with
+      C.Observation.regs =
+        List.map
+          (fun (n, arr) ->
+            ( n,
+              if n = "R1" then
+                Array.map
+                  (fun v -> if C.Word.equal v (C.Word.nat 7) then C.Word.nat 9 else v)
+                  arr
+              else arr ))
+          obs.C.Observation.regs }
+  in
+  let text = Emit.self_checking_to_string m tampered in
+  match Elab.elaborate_and_run ~top:"fig1" text with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    check_bool "assertion fired" true (!(t.Elab.failures) <> []);
+    check_bool "names the register" true
+      (List.exists
+         (fun msg ->
+           let nn = String.length "R1" in
+           let nh = String.length msg in
+           let rec go i =
+             i + nn <= nh && (String.sub msg i nn = "R1" || go (i + 1))
+           in
+           go 0)
+         !(t.Elab.failures))
+
+let test_elab_resolution_conflict () =
+  (* two conflicting drivers: the parsed resolution function must
+     produce ILLEGAL, which the REG then latches *)
+  let b = C.Builder.create ~name:"clash2" ~cs_max:6 () in
+  C.Builder.reg b ~init:(C.Word.nat 1) "R1";
+  C.Builder.reg b ~init:(C.Word.nat 2) "R2";
+  C.Builder.reg b "R3";
+  C.Builder.buses b [ "B1"; "B2"; "B3" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Add ] "ADD1";
+  C.Builder.unit_ b ~ops:[ C.Ops.Sub ] "SUB1";
+  C.Builder.binary b ~fu:"ADD1"
+    ~a:(C.Transfer.From_reg "R1", "B1")
+    ~b:(C.Transfer.From_reg "R2", "B2")
+    ~read:2 ~write:(3, "B1") ~dst:(C.Transfer.To_reg "R3");
+  C.Builder.binary b ~fu:"SUB1"
+    ~a:(C.Transfer.From_reg "R2", "B1")
+    ~b:(C.Transfer.From_reg "R1", "B3")
+    ~read:2 ~write:(3, "B2") ~dst:(C.Transfer.To_reg "R3");
+  let m = C.Builder.finish_unchecked b in
+  match Elab.elaborate_and_run ~top:"clash2" (Emit.to_string m) with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    check_int "R3 latched ILLEGAL" C.Word.illegal
+      (Csrtl_kernel.Signal.value (t.Elab.lookup "R3_out"))
+
+let test_elab_matches_core_on_corpus_style_model () =
+  (* a model exercising op selection, MAC state and helper builtins *)
+  let b = C.Builder.create ~name:"mix" ~cs_max:10 () in
+  C.Builder.reg b ~init:(C.Word.nat 9) "A";
+  C.Builder.reg b ~init:(C.Word.nat 3) "B";
+  C.Builder.reg b "ACC";
+  C.Builder.reg b "MX";
+  C.Builder.buses b [ "BA"; "BB" ];
+  C.Builder.unit_ b ~ops:[ C.Ops.Mac ] "MACC";
+  C.Builder.unit_ b ~ops:[ C.Ops.Max; C.Ops.Band ] "MISC";
+  C.Builder.binary b ~fu:"MACC"
+    ~a:(C.Transfer.From_reg "A", "BA")
+    ~b:(C.Transfer.From_reg "B", "BB")
+    ~read:1 ~write:(2, "BA") ~dst:(C.Transfer.To_reg "ACC");
+  C.Builder.binary b ~op:C.Ops.Max ~fu:"MISC"
+    ~a:(C.Transfer.From_reg "ACC", "BA")
+    ~b:(C.Transfer.From_reg "A", "BB")
+    ~read:3 ~write:(4, "BA") ~dst:(C.Transfer.To_reg "MX");
+  C.Builder.binary b ~op:C.Ops.Band ~fu:"MISC"
+    ~a:(C.Transfer.From_reg "MX", "BA")
+    ~b:(C.Transfer.From_reg "ACC", "BB")
+    ~read:5 ~write:(6, "BA") ~dst:(C.Transfer.To_reg "MX");
+  let m = C.Builder.finish b in
+  let obs = C.Interp.run m in
+  match Elab.elaborate_and_run ~top:"mix" (Emit.to_string m) with
+  | Error msg -> Alcotest.fail msg
+  | Ok t ->
+    List.iter
+      (fun (r : C.Model.register) ->
+        Alcotest.(check (option int))
+          (r.C.Model.reg_name ^ " matches core")
+          (C.Observation.final_reg obs r.C.Model.reg_name)
+          (Some
+             (Csrtl_kernel.Signal.value
+                (t.Elab.lookup (r.C.Model.reg_name ^ "_out")))))
+      m.C.Model.registers
+
+let test_elab_errors () =
+  (match Elab.elaborate_and_run ~top:"nope" "entity x is end x;" with
+   | Error msg ->
+     check_bool "unknown entity" true
+       (String.length msg > 0)
+   | Ok _ -> Alcotest.fail "expected error");
+  match
+    Elab.elaborate_and_run ~top:"x"
+      "entity x is end x; architecture a of x is begin p: y port map (z); \
+       end a;"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unknown-entity error"
+
+let prop_elab_matches_core =
+  (* random wrap-free models (add/max on small naturals): the emitted
+     VHDL, executed by the elaborator, ends with the same register
+     values as the core semantics *)
+  QCheck.Test.make ~name:"Elab-executed VHDL = core semantics" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rnd = Random.State.make [| seed; 0xE1AB |] in
+      let steps = 2 + Random.State.int rnd 4 in
+      let b =
+        C.Builder.create ~name:"rnd" ~cs_max:((steps * 2) + 1) ()
+      in
+      C.Builder.reg b ~init:(C.Word.nat (Random.State.int rnd 1000)) "R0";
+      C.Builder.reg b ~init:(C.Word.nat (Random.State.int rnd 1000)) "R1";
+      C.Builder.buses b [ "BA"; "BB" ];
+      C.Builder.unit_ b ~ops:[ C.Ops.Add; C.Ops.Max ] "ALU";
+      for i = 0 to steps - 1 do
+        let read = (2 * i) + 1 in
+        let op =
+          if Random.State.bool rnd then C.Ops.Add else C.Ops.Max
+        in
+        C.Builder.binary b ~op ~fu:"ALU"
+          ~a:(C.Transfer.From_reg "R0", "BA")
+          ~b:(C.Transfer.From_reg "R1", "BB")
+          ~read ~write:(read + 1, "BA")
+          ~dst:(C.Transfer.To_reg (if i mod 2 = 0 then "R1" else "R0"))
+      done;
+      let m = C.Builder.finish b in
+      let obs = C.Interp.run m in
+      match Elab.elaborate_and_run ~top:"rnd" (Emit.to_string m) with
+      | Error msg -> QCheck.Test.fail_reportf "Elab: %s" msg
+      | Ok t ->
+        List.for_all
+          (fun r ->
+            C.Observation.final_reg obs r
+            = Some (Csrtl_kernel.Signal.value (t.Elab.lookup (r ^ "_out"))))
+          [ "R0"; "R1" ])
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "vhdl"
+    [ ( "lexer",
+        [ Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "line numbers" `Quick test_lexer_lines;
+          Alcotest.test_case "error" `Quick test_lexer_error ] );
+      ( "expr",
+        [ Alcotest.test_case "parsing" `Quick test_expr_parsing;
+          Alcotest.test_case "error position" `Quick
+            test_expr_error_position ] );
+      ( "units",
+        [ Alcotest.test_case "paper CONTROLLER" `Quick
+            test_parse_paper_controller;
+          Alcotest.test_case "paper TRANS" `Quick test_parse_paper_trans;
+          Alcotest.test_case "instances" `Quick test_parse_instance;
+          Alcotest.test_case "package + resolution fn" `Quick
+            test_parse_package ] );
+      ( "pp",
+        [ Alcotest.test_case "print/parse fixpoint" `Quick
+            test_pp_parse_roundtrip ] );
+      ( "emit",
+        [ Alcotest.test_case "paper shapes present" `Quick
+            test_emit_contains_paper_shapes;
+          Alcotest.test_case "emitted text parses" `Quick test_emit_parses;
+          Alcotest.test_case "self-checking architecture" `Quick
+            test_self_checking_emission;
+          Alcotest.test_case "assert statement" `Quick
+            test_assert_statement_roundtrip ] );
+      ( "lint",
+        [ Alcotest.test_case "emitted VHDL is conformant" `Quick
+            test_lint_emitted_is_conformant;
+          Alcotest.test_case "clock signals flagged" `Quick
+            test_lint_flags_clock_signal;
+          Alcotest.test_case "bad phase enum and sentinels" `Quick
+            test_lint_flags_bad_phase_enum;
+          Alcotest.test_case "process shape and TRANS generics" `Quick
+            test_lint_flags_mixed_process_and_bad_trans;
+          Alcotest.test_case "non-subset grammar rejected" `Quick
+            test_lint_rejects_nonsubset_grammar ] );
+      qsuite "props"
+        [ prop_vhdl_roundtrip_random_models; prop_lint_accepts_all_emitted;
+          prop_pp_parse_identity; prop_elab_matches_core ];
+      ( "elab",
+        [ Alcotest.test_case "the paper's literal code runs" `Quick
+            test_elab_paper_literal;
+          Alcotest.test_case "emitted fig1 executes" `Quick
+            test_elab_emitted_fig1;
+          Alcotest.test_case "self-checking passes" `Quick
+            test_elab_self_checking_passes;
+          Alcotest.test_case "tampered expectation caught" `Quick
+            test_elab_detects_tampered_expectation;
+          Alcotest.test_case "parsed resolution function conflicts" `Quick
+            test_elab_resolution_conflict;
+          Alcotest.test_case "matches the core semantics" `Quick
+            test_elab_matches_core_on_corpus_style_model;
+          Alcotest.test_case "errors" `Quick test_elab_errors ] );
+      ( "extract",
+        [ Alcotest.test_case "fig1 roundtrip" `Quick test_extract_fig1;
+          Alcotest.test_case "multi-op and io roundtrip" `Quick
+            test_extract_multi_op_and_io;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_extract_rejects_garbage;
+          Alcotest.test_case "pragma lines" `Quick test_pragma_lines ] ) ]
