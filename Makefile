@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench report examples doc clean
+.PHONY: all build test check bench report examples doc clean
 
 all: build
 
@@ -9,6 +9,26 @@ build:
 
 test:
 	dune runtest
+
+# Full sanity pass: build everything, run the test suites, then sweep
+# the corpus through the CLI validators.  `csrtl check` exits 2 on a
+# model whose schedule conflicts (conflict.rtm does, by design), so
+# both 0 and 2 count as a clean diagnosis here; any other exit fails.
+check: build test
+	@mkdir -p _build/check
+	@for f in test/corpus/*.rtm; do \
+	  dune exec --no-build csrtl -- check $$f > /dev/null 2>&1; rc=$$?; \
+	  if [ $$rc -ne 0 ] && [ $$rc -ne 2 ]; then \
+	    echo "check FAILED ($$rc): $$f"; exit 1; fi; \
+	  dune exec --no-build csrtl -- export-vhdl $$f \
+	    -o _build/check/$$(basename $$f .rtm).vhd > /dev/null; \
+	  dune exec --no-build csrtl -- lint \
+	    _build/check/$$(basename $$f .rtm).vhd > /dev/null || \
+	    { echo "lint FAILED: $$f"; exit 1; }; \
+	  echo "checked $$f"; \
+	done
+	@dune exec --no-build csrtl -- inject test/corpus/fig1.rtm
+	@echo "make check: all corpus models validated"
 
 bench:
 	dune exec bench/main.exe

@@ -439,6 +439,57 @@ let claim_vhdl () =
        (List.length !(t.Csrtl_vhdl.Elab.failures))
    | Error msg -> Format.printf "Elab failed: %s@." msg)
 
+(* -- C9: fault-injection campaigns ----------------------------------------------- *)
+
+let fault_mask_src =
+  "model fault_mask\ncsmax 5\nreg R1 init 6\nreg RC\nbus B1 B2\n\
+   unit CP ops pass latency 1\n\
+   transfer R1 B1 - - 1 CP:pass 2 B2 RC\n\
+   transfer R1 B1 - - 3 CP:pass 4 B2 RC\n"
+
+let fault_chain_src =
+  "model fault_chain\ncsmax 7\ninput X const 4\nreg Z init 0\nreg R1\n\
+   reg R2\noutput OUT\nbus BA BB\nunit ALU ops add,pass latency 1\n\
+   transfer X! BA Z BB 1 ALU:add 2 BA R1\n\
+   transfer R1 BA - - 3 ALU:pass 4 BA R2\n\
+   transfer R2 BA - - 5 ALU:pass 6 BB OUT!\n"
+
+let claim_fault () =
+  section "C9" "single-fault campaigns: coverage on both execution paths";
+  let iks =
+    let t =
+      Csrtl_iks.Ikprog.build ~l1:(Csrtl_iks.Fixed.of_float 2.0)
+        ~l2:(Csrtl_iks.Fixed.of_float 1.5)
+        ~px:(Csrtl_iks.Fixed.of_float 2.5)
+        ~py:(Csrtl_iks.Fixed.of_float 1.0)
+    in
+    Csrtl_iks.Translate.to_model ~inputs:t.Csrtl_iks.Ikprog.inputs
+      ~reg_init:t.Csrtl_iks.Ikprog.reg_init t.Csrtl_iks.Ikprog.program
+  in
+  Format.printf "%12s %7s %7s %9s %10s %5s %8s %6s %10s@." "model" "faults"
+    "masked" "detected" "corrupted" "hung" "coverage" "agree" "law";
+  List.iter
+    (fun (name, m, limit) ->
+      let r = Csrtl_fault.Campaign.run ?limit m in
+      Format.printf "%12s %7d %7d %9d %10d %5d %8s %3d/%-3d %10s@." name
+        r.Csrtl_fault.Campaign.total r.Csrtl_fault.Campaign.masked
+        r.Csrtl_fault.Campaign.detected r.Csrtl_fault.Campaign.corrupted
+        r.Csrtl_fault.Campaign.hung
+        (match r.Csrtl_fault.Campaign.coverage with
+         | None -> "n/a"
+         | Some c -> Printf.sprintf "%.1f%%" (100. *. c))
+        (r.Csrtl_fault.Campaign.total
+         - r.Csrtl_fault.Campaign.disagreements)
+        r.Csrtl_fault.Campaign.total
+        (if r.Csrtl_fault.Campaign.law_violations = 0 then "held"
+         else
+           Printf.sprintf "%d broken" r.Csrtl_fault.Campaign.law_violations))
+    [ ("fig1", C.Builder.fig1 (), None);
+      ("fault_mask", C.Rtm.of_string fault_mask_src, None);
+      ("fault_chain", C.Rtm.of_string fault_chain_src, None);
+      ("chain8", Workloads.chain 8, Some 60);
+      ("iks", iks, Some 60) ]
+
 let run () =
   Format.printf
     "csrtl experiment report - regenerates the paper's figures, table and \
@@ -455,4 +506,5 @@ let run () =
   claim_transform ();
   claim_consistency ();
   claim_verify ();
-  claim_vhdl ()
+  claim_vhdl ();
+  claim_fault ()

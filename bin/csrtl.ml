@@ -538,6 +538,100 @@ let selfcheck_cmd =
   in
   Cmd.v (Cmd.info "selfcheck" ~doc) Term.(const run $ model_arg)
 
+(* -- inject ------------------------------------------------------------------ *)
+
+let inject_cmd =
+  let list_flag =
+    Arg.(value & flag
+         & info [ "list" ]
+             ~doc:"List the enumerated faults with their indices and exit.")
+  in
+  let fault_idx =
+    let doc =
+      "Run only fault $(docv) (an index from $(b,--list)).  The exit code \
+       classifies the outcome: 0 masked, 2 detected, 3 silently corrupted, \
+       4 hung, 5 crashed or kernel/interpreter disagreement."
+    in
+    Arg.(value & opt (some int) None & info [ "fault" ] ~docv:"N" ~doc)
+  in
+  let limit =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"K"
+             ~doc:"Subsample the fault list to at most $(docv) entries.")
+  in
+  let table =
+    Arg.(value & flag
+         & info [ "table" ] ~doc:"Print the per-fault table, not only the \
+                                  campaign summary.")
+  in
+  let run path list_flag fault_idx limit table =
+    handle_errors (fun () ->
+        (match limit with
+         | Some k when k < 1 ->
+           Format.eprintf "--limit must be at least 1 (got %d)@." k;
+           exit 1
+         | _ -> ());
+        let m = load_model path in
+        C.Model.validate_exn m;
+        let faults = Csrtl_fault.Fault.enumerate ?limit m in
+        if list_flag then
+          List.iteri
+            (fun i f ->
+              Format.printf "%3d  %a@." i Csrtl_fault.Fault.pp f)
+            faults
+        else
+          match fault_idx with
+          | Some n ->
+            (match List.nth_opt faults n with
+             | None ->
+               Format.eprintf "no fault #%d (the model enumerates %d)@." n
+                 (List.length faults);
+               exit 1
+             | Some f ->
+               let r = Csrtl_fault.Campaign.run ~faults:[ f ] m in
+               let e = List.hd r.Csrtl_fault.Campaign.entries in
+               Format.printf "%a@." Csrtl_fault.Campaign.pp_entry e;
+               let agree =
+                 Csrtl_fault.Campaign.outcomes_agree
+                   e.Csrtl_fault.Campaign.kernel_outcome
+                   e.Csrtl_fault.Campaign.interp_outcome
+               in
+               let code =
+                 if not agree then 5
+                 else
+                   match e.Csrtl_fault.Campaign.kernel_outcome with
+                   | Csrtl_fault.Campaign.Masked -> 0
+                   | Csrtl_fault.Campaign.Detected _ -> 2
+                   | Csrtl_fault.Campaign.Corrupted _ -> 3
+                   | Csrtl_fault.Campaign.Hung _ -> 4
+                   | Csrtl_fault.Campaign.Crashed _ -> 5
+               in
+               exit code)
+          | None ->
+            let r = Csrtl_fault.Campaign.run ~faults m in
+            if table then
+              List.iter
+                (fun e ->
+                  Format.printf "%a@." Csrtl_fault.Campaign.pp_entry e)
+                r.Csrtl_fault.Campaign.entries;
+            Format.printf "%a@." Csrtl_fault.Campaign.pp_report r;
+            if
+              r.Csrtl_fault.Campaign.crashed > 0
+              || r.Csrtl_fault.Campaign.disagreements > 0
+              || r.Csrtl_fault.Campaign.law_violations > 0
+            then exit 5)
+  in
+  let doc =
+    "Run a single-fault injection campaign: every enumerated fault is \
+     injected into both execution paths and classified as masked, \
+     detected (with its exact conflict point), silently corrupting, or \
+     hung.  The summary reports fault coverage and kernel/interpreter \
+     agreement."
+  in
+  Cmd.v
+    (Cmd.info "inject" ~doc)
+    Term.(const run $ model_arg $ list_flag $ fault_idx $ limit $ table)
+
 (* -- info -------------------------------------------------------------------- *)
 
 let info_cmd =
@@ -568,4 +662,5 @@ let () =
        (Cmd.group info
           [ sim_cmd; check_cmd; export_cmd; import_cmd; lint_cmd;
             run_vhdl_cmd; lower_cmd; compact_cmd; trace_cmd; coverage_cmd;
-            selfcheck_cmd; hls_cmd; iks_cmd; dot_cmd; info_cmd ]))
+            selfcheck_cmd; hls_cmd; iks_cmd; dot_cmd; inject_cmd;
+            info_cmd ]))

@@ -142,7 +142,7 @@ let run ?(period = Time.ns 10) ?(inputs = fun _ _ -> 0) net ~cycles =
            Scheduler.assign k clk 0;
            incr cycle
          done));
-  Scheduler.run k;
+  let (_ : Scheduler.run_result) = Scheduler.run k in
   let final_regs =
     List.mapi
       (fun slot (name, _) ->

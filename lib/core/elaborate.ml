@@ -5,6 +5,7 @@ type t = {
   model : Model.t;
   ctrl : Controller.t;
   signal_of : Transfer.endpoint -> Signal.t;
+  find_signal : string -> Signal.t option;
 }
 
 let word_printer = Word.to_string
@@ -18,7 +19,7 @@ let op_printer (ops : Ops.t list) v =
     | None -> Printf.sprintf "?op:%d" v
 
 let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
-    (m : Model.t) =
+    ?(inject = Inject.none) ?(degrade_illegal = false) (m : Model.t) =
   Model.validate_exn m;
   let resolution =
     match resolution_impl with
@@ -28,6 +29,27 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
   let k = match kernel with Some k -> k | None -> Scheduler.create () in
   let ctrl = Controller.add k ~cs_max:m.cs_max in
   let cs = ctrl.cs and ph = ctrl.ph in
+  (* An injected tamper rewrites the resolution output at the moment
+     the value becomes visible; the control signals carry the lowest
+     sids, so they are already resolved (see Scheduler.fire_events)
+     and [cs]/[ph] read the visibility point. *)
+  let tampered_resolution (tam : Inject.tamper) base =
+    let apply v =
+      tam ~step:(Signal.value cs)
+        ~phase:(Phase.of_int_exn (Signal.value ph))
+        v
+    in
+    match base with
+    | Csrtl_kernel.Types.Fold f ->
+      Csrtl_kernel.Types.Fold (fun arr -> apply (f arr))
+    | Csrtl_kernel.Types.Incremental mk ->
+      Csrtl_kernel.Types.Incremental
+        (fun () ->
+          let st = mk () in
+          { st with
+            Csrtl_kernel.Types.incr_read =
+              (fun () -> apply (st.Csrtl_kernel.Types.incr_read ())) })
+  in
   let table : (string, Signal.t) Hashtbl.t = Hashtbl.create 64 in
   let declare ?resolution ?printer name init =
     let s = Scheduler.signal k ?resolution ?printer ~name ~init () in
@@ -35,11 +57,29 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
     s
   in
   let resolved ?printer name =
+    let resolution =
+      match Inject.tamper_for inject name with
+      | None -> resolution
+      | Some tam -> tampered_resolution tam resolution
+    in
     declare ~resolution
       ~printer:(Option.value ~default:word_printer printer) name Word.disc
   in
   let plain ?printer name init =
-    declare ~printer:(Option.value ~default:word_printer printer) name init
+    match Inject.tamper_for inject name with
+    | None ->
+      declare ~printer:(Option.value ~default:word_printer printer) name init
+    | Some tam ->
+      (* A tampered single-driver signal (a register output) becomes a
+         one-driver resolved signal so the tamper sits at the same
+         place as on a bus: the resolution output. *)
+      let res =
+        tampered_resolution tam
+          (Csrtl_kernel.Types.Fold
+             (fun arr -> if Array.length arr = 0 then init else arr.(0)))
+      in
+      declare ~resolution:res
+        ~printer:(Option.value ~default:word_printer printer) name init
   in
   (* Signals. *)
   List.iter (fun b -> ignore (resolved b)) m.buses;
@@ -59,12 +99,19 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
     (fun (i : Model.input) -> ignore (plain i.in_name Word.disc))
     m.inputs;
   List.iter (fun o -> ignore (resolved o)) m.outputs;
-  let sig_named n =
+  let sig_named ?(site = "elaboration") n =
     match Hashtbl.find_opt table n with
     | Some s -> s
-    | None -> raise Not_found
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Elaborate: model %s declares no resource signal %S \
+            (referenced by %s)"
+           m.name n site)
   in
-  let signal_of ep = sig_named (Transfer.endpoint_name ep) in
+  let signal_of ep =
+    sig_named ~site:"a signal_of lookup" (Transfer.endpoint_name ep)
+  in
   (* Wait for a phase (any step), with either implementation. *)
   let wait_phase phase =
     match wait_impl with
@@ -128,7 +175,13 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
              while true do
                wait_phase Phase.Cr;
                let v = Signal.value r_in in
-               if not (Word.is_disc v) then Scheduler.assign k r_out v
+               (* fail-soft policy: under [degrade_illegal] a conflict
+                  is recorded but never latched, so the register keeps
+                  its last good value *)
+               if
+                 (not (Word.is_disc v))
+                 && not (degrade_illegal && Word.is_illegal v)
+               then Scheduler.assign k r_out v
              done)))
     m.registers;
   (* Module processes (paper §2.6). *)
@@ -138,7 +191,12 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
       let in2 = sig_named (f.fu_name ^ ".in2") in
       let out = sig_named (f.fu_name ^ ".out") in
       let op = sig_named (f.fu_name ^ ".op") in
-      let st = Fu_state.create f in
+      let st =
+        Fu_state.create
+          (match Inject.latency_for inject f.fu_name with
+           | Some latency -> { f with latency }
+           | None -> f)
+      in
       ignore
         (Scheduler.add_process k ~name:("FU_" ^ f.fu_name) (fun () ->
              while true do
@@ -154,15 +212,18 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
   let legs, selects = Model.all_legs m in
   List.iteri
     (fun idx (l : Transfer.leg) ->
-      let src = signal_of l.src in
-      let dst = signal_of l.dst in
-      let name = "TRANS" ^ string_of_int idx in
-      ignore
-        (Scheduler.add_process k ~name (fun () ->
-             wait_first l.step l.phase;
-             Scheduler.assign k dst (Signal.value src);
-             wait_release l.step (Phase.succ l.phase);
-             Scheduler.assign k dst Word.disc)))
+      if not (Inject.drops_leg inject idx) then begin
+        let site = Format.asprintf "TRANS leg %a" Transfer.pp_leg l in
+        let src = sig_named ~site (Transfer.endpoint_name l.src) in
+        let dst = sig_named ~site (Transfer.endpoint_name l.dst) in
+        let name = "TRANS" ^ string_of_int idx in
+        ignore
+          (Scheduler.add_process k ~name (fun () ->
+               wait_first l.step l.phase;
+               Scheduler.assign k dst (Signal.value src);
+               wait_release l.step (Phase.succ l.phase);
+               Scheduler.assign k dst Word.disc))
+      end)
     legs;
   List.iteri
     (fun idx (s : Transfer.op_select) ->
@@ -185,16 +246,26 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
                wait_release s.sel_step Phase.Cm;
                Scheduler.assign k op_sig Word.disc)))
     selects;
-  { kernel = k; model = m; ctrl; signal_of }
+  (* Saboteur processes: spurious extra drivers, shaped exactly like a
+     TRANS leg (drive during the phase, release one phase later) so an
+     injected driver obeys the same visibility discipline. *)
+  List.iteri
+    (fun idx (sb : Inject.saboteur) ->
+      let s = sig_named ~site:"an injected saboteur" sb.sab_sink in
+      let name = "SAB" ^ string_of_int idx in
+      ignore
+        (Scheduler.add_process k ~name (fun () ->
+             wait_first sb.sab_step sb.sab_phase;
+             Scheduler.assign k s sb.sab_value;
+             wait_release sb.sab_step (Phase.succ sb.sab_phase);
+             Scheduler.assign k s Word.disc)))
+    inject.Inject.saboteurs;
+  { kernel = k; model = m; ctrl; signal_of;
+    find_signal = Hashtbl.find_opt table }
 
 let lookup t names =
   List.filter_map
-    (fun n ->
-      match
-        (try Some (t.signal_of (Transfer.Bus n)) with Not_found -> None)
-      with
-      | Some s -> Some (n, s)
-      | None -> None)
+    (fun n -> Option.map (fun s -> (n, s)) (t.find_signal n))
     names
 
 let bus_signals t = lookup t t.model.buses

@@ -12,13 +12,19 @@ type t = {
   model : Model.t;
   ctrl : Controller.t;
   signal_of : Transfer.endpoint -> Csrtl_kernel.Signal.t;
-      (** lookup by endpoint; raises [Not_found] for unknown names *)
+      (** lookup by endpoint; raises [Invalid_argument] naming the
+          resource and the reference site for unknown names *)
+  find_signal : string -> Csrtl_kernel.Signal.t option;
+      (** non-raising lookup by canonical signal name ([R.out],
+          [ADD.in1], bus and port names, ...) *)
 }
 
 val build :
   ?kernel:Csrtl_kernel.Scheduler.t ->
   ?wait_impl:[ `Keyed | `Predicate ] ->
   ?resolution_impl:[ `Incremental | `Fold ] ->
+  ?inject:Inject.t ->
+  ?degrade_illegal:bool ->
   Model.t -> t
 (** Validates the model ({!Model.validate_exn}) and instantiates all
     processes on a fresh kernel (or the given one).  Running the
@@ -33,7 +39,16 @@ val build :
     O(1) counter-based bus resolution ([`Incremental], default) or a
     fold over all drivers per update ([`Fold]).  All four combinations
     are observably identical (tested); the ablation benches quantify
-    the differences. *)
+    the differences.
+
+    [inject] realizes a fault-injection plan ({!Inject}) on the
+    kernel without touching the model: tampers wrap the resolution
+    functions of the named sinks, dropped legs skip their TRANS
+    instantiation, saboteurs become extra driver processes, and
+    latency overrides replace the per-unit pipeline depth.
+    [degrade_illegal] switches the REG processes to fail-soft
+    latching: an ILLEGAL register input is ignored instead of stored
+    (used by {!Simulate}'s [Degrade] policy). *)
 
 val bus_signals : t -> (string * Csrtl_kernel.Signal.t) list
 val register_outputs : t -> (string * Csrtl_kernel.Signal.t) list

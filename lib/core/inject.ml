@@ -1,0 +1,55 @@
+type tamper = step:int -> phase:Phase.t -> Word.t -> Word.t
+
+type saboteur = {
+  sab_sink : string;
+  sab_step : int;
+  sab_phase : Phase.t;
+  sab_value : Word.t;
+}
+
+type t = {
+  tampers : (string * tamper) list;
+  drop_legs : int list;
+  saboteurs : saboteur list;
+  fu_latency : (string * int) list;
+}
+
+let none = { tampers = []; drop_legs = []; saboteurs = []; fu_latency = [] }
+
+let is_none i =
+  i.tampers = [] && i.drop_legs = [] && i.saboteurs = [] && i.fu_latency = []
+
+let tamper_for i name = List.assoc_opt name i.tampers
+let latency_for i name = List.assoc_opt name i.fu_latency
+let drops_leg i idx = List.mem idx i.drop_legs
+
+let stuck v : tamper = fun ~step:_ ~phase:_ _ -> v
+
+let transient ~step ~phase v : tamper =
+ fun ~step:s ~phase:p clean ->
+  if s = step && Phase.equal p phase then v else clean
+
+let stuck_sink ~sink v = { none with tampers = [ (sink, stuck v) ] }
+
+let transient_sink ~sink ~step ~phase v =
+  { none with tampers = [ (sink, transient ~step ~phase v) ] }
+
+let dropped_leg idx = { none with drop_legs = [ idx ] }
+
+let extra_driver ~sink ~step ~phase v =
+  if Phase.equal phase Phase.Cr then
+    invalid_arg "Inject.extra_driver: a driver cannot be released past cr";
+  { none with
+    saboteurs =
+      [ { sab_sink = sink; sab_step = step; sab_phase = phase;
+          sab_value = v } ] }
+
+let fu_latency ~fu latency =
+  if latency < 1 then invalid_arg "Inject.fu_latency: latency < 1";
+  { none with fu_latency = [ (fu, latency) ] }
+
+let merge a b =
+  { tampers = a.tampers @ b.tampers;
+    drop_legs = a.drop_legs @ b.drop_legs;
+    saboteurs = a.saboteurs @ b.saboteurs;
+    fu_latency = a.fu_latency @ b.fu_latency }

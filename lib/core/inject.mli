@@ -1,0 +1,64 @@
+(** Fault-injection plans, applied to both execution paths.
+
+    An injection describes how to corrupt a run of a clean model
+    {e without modifying the model}: {!Elaborate.build} realizes it
+    with wrapped resolution functions and saboteur processes on the
+    kernel, and {!Interp.run} applies the same corruption at its
+    phase flips, so a faulted model still has one semantics checkable
+    on both paths.  {!Csrtl_fault} enumerates injections from a fault
+    taxonomy and runs golden-vs-faulted campaigns. *)
+
+type tamper = step:int -> phase:Phase.t -> Word.t -> Word.t
+(** A tamper rewrites the {e resolved} value of a sink at the moment
+    it becomes visible — the (step, phase) arguments are the
+    visibility point, exactly where the paper's resolution function
+    output appears.  It is applied only when the sink actually
+    resolves (a value or release transaction occurred); a sink whose
+    drivers are silent keeps its previous — possibly tampered —
+    value, on both paths. *)
+
+type saboteur = {
+  sab_sink : string;  (** resolved sink to drive (a bus) *)
+  sab_step : int;
+  sab_phase : Phase.t;
+      (** phase {e during} which the spurious driver contributes; its
+          value is visible at the successor phase.  Must not be [Cr]
+          (there is no later phase in the step to release in). *)
+  sab_value : Word.t;
+}
+
+type t = {
+  tampers : (string * tamper) list;  (** per-sink resolution wraps *)
+  drop_legs : int list;
+      (** indices into the leg list of {!Model.all_legs}: these TRANS
+          instances are not instantiated *)
+  saboteurs : saboteur list;
+  fu_latency : (string * int) list;
+      (** forced pipeline depth per functional unit, replacing the
+          model's latency without re-validating the schedule *)
+}
+
+val none : t
+val is_none : t -> bool
+
+val tamper_for : t -> string -> tamper option
+val latency_for : t -> string -> int option
+val drops_leg : t -> int -> bool
+
+val stuck : Word.t -> tamper
+(** Resolution always yields the given word. *)
+
+val transient : step:int -> phase:Phase.t -> Word.t -> tamper
+(** Resolution yields the given word only at one visibility slot. *)
+
+val stuck_sink : sink:string -> Word.t -> t
+val transient_sink : sink:string -> step:int -> phase:Phase.t -> Word.t -> t
+val dropped_leg : int -> t
+
+val extra_driver : sink:string -> step:int -> phase:Phase.t -> Word.t -> t
+(** Raises [Invalid_argument] if [phase] is [Cr]. *)
+
+val fu_latency : fu:string -> int -> t
+(** Raises [Invalid_argument] if the latency is below 1. *)
+
+val merge : t -> t -> t

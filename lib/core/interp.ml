@@ -2,30 +2,65 @@ type hook = step:int -> phase:Phase.t -> sink:string -> Word.t -> unit
 
 type state = {
   model : Model.t;
+  inject : Inject.t;
   regs : (string, Word.t) Hashtbl.t;
+  (* visible (possibly tampered) register-output values; only
+     populated for registers whose [.out] carries a tamper *)
+  reg_vis : (string, Word.t) Hashtbl.t;
   fus : (string, Fu_state.t) Hashtbl.t;
   fu_out : (string, Word.t) Hashtbl.t;
   legs_at : (int * int, Transfer.leg list) Hashtbl.t;
   selects_at : (int, Transfer.op_select list) Hashtbl.t;
+  sabs_at : (int * int, Inject.saboteur list) Hashtbl.t;
   op_index : (string, Ops.t -> Word.t) Hashtbl.t;
   (* one-phase-lagged resolved view of all contribution sinks *)
   mutable contribs : (string, Word.t list) Hashtbl.t;
   mutable visible : (string, Word.t) Hashtbl.t;
+  (* sinks contributed during the previous phase: their drivers
+     release in the current phase, so the sink re-resolves (to DISC
+     before tampering) at the next flip *)
+  mutable last_contributed : (string, unit) Hashtbl.t;
   mutable conflicts : (int * Phase.t * string) list;
   reg_trace : (string, Word.t array) Hashtbl.t;
   mutable out_writes : (string * (int * Word.t)) list;
 }
 
-let init (m : Model.t) =
+let apply_tamper st sink ~step ~phase v =
+  match Inject.tamper_for st.inject sink with
+  | None -> v
+  | Some tam -> tam ~step ~phase v
+
+let init ~inject (m : Model.t) =
   let regs = Hashtbl.create 16 in
   List.iter
     (fun (r : Model.register) -> Hashtbl.replace regs r.reg_name r.init)
+    m.registers;
+  let reg_vis = Hashtbl.create 4 in
+  List.iter
+    (fun (r : Model.register) ->
+      match Inject.tamper_for inject (r.reg_name ^ ".out") with
+      | None -> ()
+      | Some tam ->
+        (* the kernel's REG process only drives the output when the
+           initial value is not DISC, so the tamper only fires then;
+           register-output tampers are step/phase-insensitive (stuck
+           faults), so the exact point reported here is immaterial *)
+        let v =
+          if Word.is_disc r.init then Word.disc
+          else tam ~step:1 ~phase:Phase.Ra r.init
+        in
+        Hashtbl.replace reg_vis r.reg_name v)
     m.registers;
   let fus = Hashtbl.create 8 in
   let fu_out = Hashtbl.create 8 in
   let op_index = Hashtbl.create 8 in
   List.iter
     (fun (f : Model.fu) ->
+      let f =
+        match Inject.latency_for inject f.fu_name with
+        | Some latency -> { f with latency }
+        | None -> f
+      in
       Hashtbl.replace fus f.fu_name (Fu_state.create f);
       Hashtbl.replace fu_out f.fu_name Word.disc;
       Hashtbl.replace op_index f.fu_name (fun op ->
@@ -37,11 +72,13 @@ let init (m : Model.t) =
     m.fus;
   let legs, selects = Model.all_legs m in
   let legs_at = Hashtbl.create 32 in
-  List.iter
-    (fun (l : Transfer.leg) ->
-      let key = (l.step, Phase.to_int l.phase) in
-      let prev = Option.value ~default:[] (Hashtbl.find_opt legs_at key) in
-      Hashtbl.replace legs_at key (prev @ [ l ]))
+  List.iteri
+    (fun idx (l : Transfer.leg) ->
+      if not (Inject.drops_leg inject idx) then begin
+        let key = (l.step, Phase.to_int l.phase) in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt legs_at key) in
+        Hashtbl.replace legs_at key (prev @ [ l ])
+      end)
     legs;
   let selects_at = Hashtbl.create 16 in
   List.iter
@@ -51,13 +88,21 @@ let init (m : Model.t) =
       in
       Hashtbl.replace selects_at s.sel_step (prev @ [ s ]))
     selects;
+  let sabs_at = Hashtbl.create 4 in
+  List.iter
+    (fun (sb : Inject.saboteur) ->
+      let key = (sb.Inject.sab_step, Phase.to_int sb.Inject.sab_phase) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt sabs_at key) in
+      Hashtbl.replace sabs_at key (prev @ [ sb ]))
+    inject.Inject.saboteurs;
   let reg_trace = Hashtbl.create 16 in
   List.iter
     (fun (r : Model.register) ->
       Hashtbl.replace reg_trace r.reg_name (Array.make m.cs_max Word.disc))
     m.registers;
-  { model = m; regs; fus; fu_out; legs_at; selects_at; op_index;
-    contribs = Hashtbl.create 16; visible = Hashtbl.create 16;
+  { model = m; inject; regs; reg_vis; fus; fu_out; legs_at; selects_at;
+    sabs_at; op_index; contribs = Hashtbl.create 16;
+    visible = Hashtbl.create 16; last_contributed = Hashtbl.create 16;
     conflicts = []; reg_trace; out_writes = [] }
 
 let contribute st sink v =
@@ -68,25 +113,50 @@ let visible st sink =
   Option.value ~default:Word.disc (Hashtbl.find_opt st.visible sink)
 
 (* Turn last phase's contributions into this phase's visible values,
-   recording sinks that newly become ILLEGAL. *)
+   recording sinks that newly become ILLEGAL.  A sink re-resolves at a
+   flip in exactly two cases, mirroring the kernel: its drivers
+   contributed during the previous phase (a value resolution), or they
+   contributed during the phase before that and released since (a DISC
+   resolution).  Each re-resolution passes through the sink's tamper,
+   if any; sinks with no transaction keep their previous — possibly
+   tampered — value untouched, exactly like an undisturbed kernel
+   signal. *)
 let flip_phase ?on_visible st ~step ~phase =
-  let new_visible = Hashtbl.create 16 in
+  let new_visible = Hashtbl.copy st.visible in
+  let newly_illegal sink v =
+    if Word.is_illegal v && not (Word.is_illegal (visible st sink)) then
+      st.conflicts <- (step, phase, sink) :: st.conflicts
+  in
+  Hashtbl.iter
+    (fun sink () ->
+      if not (Hashtbl.mem st.contribs sink) then begin
+        let v = apply_tamper st sink ~step ~phase Word.disc in
+        newly_illegal sink v;
+        Hashtbl.replace new_visible sink v
+      end)
+    st.last_contributed;
   Hashtbl.iter
     (fun sink vs ->
-      let v = Resolve.resolve_list vs in
+      let v = apply_tamper st sink ~step ~phase (Resolve.resolve_list vs) in
       Hashtbl.replace new_visible sink v;
       (match on_visible with
        | Some f -> f ~step ~phase ~sink v
        | None -> ());
-      if Word.is_illegal v && not (Word.is_illegal (visible st sink)) then
-        st.conflicts <- (step, phase, sink) :: st.conflicts)
+      newly_illegal sink v)
     st.contribs;
+  let consumed = Hashtbl.create 16 in
+  Hashtbl.iter (fun sink _ -> Hashtbl.replace consumed sink ()) st.contribs;
+  st.last_contributed <- consumed;
   st.visible <- new_visible;
   st.contribs <- Hashtbl.create 16
 
+let reg_out_view st r =
+  match Hashtbl.find_opt st.reg_vis r with
+  | Some v -> v
+  | None -> Option.value ~default:Word.disc (Hashtbl.find_opt st.regs r)
+
 let source_value st step = function
-  | Transfer.Reg_out r ->
-    Option.value ~default:Word.disc (Hashtbl.find_opt st.regs r)
+  | Transfer.Reg_out r -> reg_out_view st r
   | Transfer.In_port i ->
     (match
        List.find_opt (fun (x : Model.input) -> x.in_name = i)
@@ -111,6 +181,13 @@ let run_phase st ~step ~(phase : Phase.t) =
         (Transfer.endpoint_name l.dst)
         (source_value st step l.src))
     legs;
+  (match Hashtbl.find_opt st.sabs_at (step, Phase.to_int phase) with
+   | Some sabs ->
+     List.iter
+       (fun (sb : Inject.saboteur) ->
+         contribute st sb.Inject.sab_sink sb.Inject.sab_value)
+       sabs
+   | None -> ());
   match phase with
   | Phase.Rb ->
     let selects =
@@ -138,7 +215,16 @@ let run_phase st ~step ~(phase : Phase.t) =
     List.iter
       (fun (r : Model.register) ->
         let v = visible st (r.reg_name ^ ".in") in
-        if not (Word.is_disc v) then Hashtbl.replace st.regs r.reg_name v)
+        if not (Word.is_disc v) then begin
+          Hashtbl.replace st.regs r.reg_name v;
+          if Hashtbl.mem st.reg_vis r.reg_name then
+            (* a latch drives the (tampered) output signal: it
+               re-resolves at the next visibility point *)
+            let vis_step = if step < st.model.cs_max then step + 1 else step in
+            Hashtbl.replace st.reg_vis r.reg_name
+              (apply_tamper st (r.reg_name ^ ".out") ~step:vis_step
+                 ~phase:Phase.Ra v)
+        end)
       st.model.registers;
     List.iter
       (fun o ->
@@ -149,13 +235,13 @@ let run_phase st ~step ~(phase : Phase.t) =
     List.iter
       (fun (r : Model.register) ->
         let arr = Hashtbl.find st.reg_trace r.reg_name in
-        arr.(step - 1) <- Hashtbl.find st.regs r.reg_name)
+        arr.(step - 1) <- reg_out_view st r.reg_name)
       st.model.registers
   | Phase.Ra | Phase.Wa | Phase.Wb -> ()
 
-let run_with_hook ?on_visible (m : Model.t) =
+let run_with_hook ?on_visible ?(inject = Inject.none) (m : Model.t) =
   Model.validate_exn m;
-  let st = init m in
+  let st = init ~inject m in
   for step = 1 to m.cs_max do
     List.iter
       (fun phase ->
@@ -182,4 +268,4 @@ let run_with_hook ?on_visible (m : Model.t) =
     outputs;
     conflicts = List.rev st.conflicts }
 
-let run m = run_with_hook m
+let run ?inject m = run_with_hook ?inject m

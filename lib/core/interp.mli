@@ -11,11 +11,22 @@
     {!Simulate}.  The interpreter is also the fast execution path
     (see the [speed/kernel-vs-interp] ablation bench). *)
 
-val run : Model.t -> Observation.t
-(** Validates and runs the model for [cs_max] control steps. *)
+val run : ?inject:Inject.t -> Model.t -> Observation.t
+(** Validates and runs the model for [cs_max] control steps.
+
+    [inject] applies the same fault-injection plan the kernel path
+    realizes in {!Elaborate.build}: sink tampers rewrite each
+    re-resolution (value or driver-release) at its visibility flip,
+    dropped legs never contribute, saboteurs contribute like an extra
+    transfer leg, and latency overrides reshape the unit pipelines.
+    Tampers are supported on buses, ports and register outputs;
+    register-output tampers must be step/phase-insensitive (stuck
+    faults) for the two paths to agree on the reported conflict
+    point. *)
 
 type hook = step:int -> phase:Phase.t -> sink:string -> Word.t -> unit
 
-val run_with_hook : ?on_visible:hook -> Model.t -> Observation.t
+val run_with_hook :
+  ?on_visible:hook -> ?inject:Inject.t -> Model.t -> Observation.t
 (** Like {!run}, also reporting every resolved sink value as it
     becomes visible (used by the symbolic/diagnostic layers). *)

@@ -1,10 +1,19 @@
 open Csrtl_kernel
 
+type illegal_policy = Halt | Record | Degrade
+
+type outcome =
+  | Finished
+  | Halted of int * Phase.t * string
+  | Watchdog_tripped of int
+  | Kernel_overflow of Types.delta_overflow
+
 type result = {
   obs : Observation.t;
   cycles : int;
   stats : Types.stats;
   elaborated : Elaborate.t;
+  outcome : outcome;
 }
 
 let src = Logs.Src.create "csrtl.sim" ~doc:"clock-free model simulation"
@@ -23,17 +32,29 @@ let expected_cycles (m : Model.t) =
   in
   (Phase.count * m.cs_max) + if wb_leg_in_last_step then 1 else 0
 
-let run ?vcd ?(trace = false) ?wait_impl ?resolution_impl (m : Model.t) =
-  let e = Elaborate.build ?wait_impl ?resolution_impl m in
+let watchdog_slack = 16
+
+let run ?vcd ?(trace = false) ?wait_impl ?resolution_impl ?inject
+    ?(on_illegal = Record) ?(watchdog = false) (m : Model.t) =
+  let e =
+    Elaborate.build ?wait_impl ?resolution_impl ?inject
+      ~degrade_illegal:(on_illegal = Degrade) m
+  in
   let k = e.kernel in
   let cs = e.ctrl.cs and ph = e.ctrl.ph in
   (* ILLEGAL localization on resolved sinks. *)
   let resolved_sinks = Hashtbl.create 32 in
   let remember name =
-    match (try Some (e.signal_of (Transfer.Bus name)) with Not_found -> None)
-    with
+    match e.Elaborate.find_signal name with
     | Some s -> Hashtbl.replace resolved_sinks (Signal.id s) name
-    | None -> ()
+    | None ->
+      (* every monitored name comes from the validated model, so a
+         miss is an elaboration bug — fail loudly, never silently
+         drop a conflict sink *)
+      invalid_arg
+        (Printf.sprintf
+           "Simulate: elaboration of %s produced no signal %S to monitor"
+           m.name name)
   in
   List.iter remember m.buses;
   List.iter remember m.outputs;
@@ -53,7 +74,8 @@ let run ?vcd ?(trace = false) ?wait_impl ?resolution_impl (m : Model.t) =
         | Some name ->
           let step = Signal.value cs in
           let phase = Phase.of_int_exn (Signal.value ph) in
-          conflicts := (step, phase, name) :: !conflicts
+          conflicts := (step, phase, name) :: !conflicts;
+          if on_illegal = Halt then Scheduler.request_stop k
         | None -> ());
   if trace then
     Scheduler.on_event k (fun s ->
@@ -98,11 +120,32 @@ let run ?vcd ?(trace = false) ?wait_impl ?resolution_impl (m : Model.t) =
              List.iter
                (fun (name, s) ->
                  let v = Signal.value s in
-                 if not (Word.is_disc v) then
-                   out_writes := (name, (step, v)) :: !out_writes)
+                 if
+                   (not (Word.is_disc v))
+                   && not (on_illegal = Degrade && Word.is_illegal v)
+                 then out_writes := (name, (step, v)) :: !out_writes)
                out_ports
            done));
-  Scheduler.run k;
+  let run_result =
+    if watchdog then
+      (* Control-step watchdog: the delta-cycle law bounds a healthy
+         run, so anything past the law plus slack is a hang. *)
+      Scheduler.run ~max_cycles:(expected_cycles m + watchdog_slack) k
+    else Scheduler.run k
+  in
+  let outcome =
+    match run_result with
+    | Scheduler.Completed | Scheduler.Stopped Scheduler.Stop_raised
+    | Scheduler.Stopped Scheduler.Max_time ->
+      Finished
+    | Scheduler.Stopped Scheduler.Stop_requested ->
+      (match List.rev !conflicts with
+       | (s, p, n) :: _ -> Halted (s, p, n)
+       | [] -> Finished)
+    | Scheduler.Stopped Scheduler.Max_cycles ->
+      Watchdog_tripped (Scheduler.delta_count k)
+    | Scheduler.Overflow ov -> Kernel_overflow ov
+  in
   (* The final step's register updates mature in the very last cycle;
      sample them from the quiescent signal state. *)
   snapshot m.cs_max;
@@ -123,4 +166,13 @@ let run ?vcd ?(trace = false) ?wait_impl ?resolution_impl (m : Model.t) =
       conflicts = List.rev !conflicts }
   in
   { obs; cycles = Scheduler.delta_count k; stats = Scheduler.stats k;
-    elaborated = e }
+    elaborated = e; outcome }
+
+let pp_outcome ppf = function
+  | Finished -> Format.pp_print_string ppf "finished"
+  | Halted (s, p, n) ->
+    Format.fprintf ppf "halted on ILLEGAL at step %d phase %s on %s" s
+      (Phase.to_string p) n
+  | Watchdog_tripped cycles ->
+    Format.fprintf ppf "watchdog tripped after %d cycles" cycles
+  | Kernel_overflow ov -> Types.pp_delta_overflow ppf ov

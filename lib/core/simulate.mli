@@ -5,23 +5,57 @@
     ILLEGAL localization on every resolved sink), runs to quiescence,
     and packages an {!Observation.t} plus kernel statistics. *)
 
+type illegal_policy =
+  | Halt  (** stop the kernel at the first localized conflict *)
+  | Record  (** keep simulating, collect every conflict (default) *)
+  | Degrade
+      (** fail-soft: conflicts are recorded but registers refuse to
+          latch ILLEGAL and output ports refuse to sample it, so the
+          machine keeps its last good state *)
+
+type outcome =
+  | Finished  (** ran to quiescence *)
+  | Halted of int * Phase.t * string
+      (** [Halt] policy stopped the run at the first conflict —
+          (control step, phase, sink) of that conflict *)
+  | Watchdog_tripped of int
+      (** the watchdog cut the run after this many delta cycles *)
+  | Kernel_overflow of Csrtl_kernel.Types.delta_overflow
+      (** runaway delta iteration within one time point; the kernel is
+          poisoned (see {!Csrtl_kernel.Scheduler.run}) but the partial
+          observation is still reported *)
+
 type result = {
   obs : Observation.t;
   cycles : int;  (** simulation cycles executed: [6 * cs_max], plus one
                      when a transfer writes back in the final step *)
   stats : Csrtl_kernel.Types.stats;
   elaborated : Elaborate.t;
+  outcome : outcome;
 }
 
 val run :
   ?vcd:Buffer.t -> ?trace:bool -> ?wait_impl:[ `Keyed | `Predicate ] ->
-  ?resolution_impl:[ `Incremental | `Fold ] ->
+  ?resolution_impl:[ `Incremental | `Fold ] -> ?inject:Inject.t ->
+  ?on_illegal:illegal_policy -> ?watchdog:bool ->
   Model.t -> result
 (** [vcd] streams a waveform of all signals (delta-cycle axis).
     [trace] additionally prints each event to the [csrtl.sim] log
-    source (debug level). *)
+    source (debug level).  [inject] realizes a fault-injection plan
+    ({!Inject}) during elaboration.  [on_illegal] selects the failure
+    policy (default [Record], today's behaviour).  [watchdog] (default
+    off) bounds the run at {!expected_cycles} plus a fixed slack, so a
+    fault that stalls or livelocks the controller surfaces as
+    [Watchdog_tripped] instead of a hang.  Never raises for in-model
+    failures: kernel delta overflow comes back as [Kernel_overflow]. *)
 
 val expected_cycles : Model.t -> int
 (** The paper's delta-cycle law for this model: [6 * cs_max], plus the
     trailing driver-release/register-update cycle if any transfer
     writes back in step [cs_max]. *)
+
+val watchdog_slack : int
+(** Delta cycles of grace beyond {!expected_cycles} before the
+    watchdog classifies a run as hung. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

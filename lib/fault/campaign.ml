@@ -1,0 +1,175 @@
+open Csrtl_core
+
+type outcome =
+  | Masked
+  | Detected of int * Phase.t * string
+  | Corrupted of string list
+  | Hung of string
+  | Crashed of string
+
+type entry = {
+  fault : Fault.t;
+  kernel_outcome : outcome;
+  interp_outcome : outcome;
+  kernel_cycles : int;
+  law_ok : bool;
+}
+
+type report = {
+  model : string;
+  total : int;
+  masked : int;
+  detected : int;
+  corrupted : int;
+  hung : int;
+  crashed : int;
+  disagreements : int;
+  law_violations : int;
+  coverage : float option;
+  entries : entry list;
+}
+
+let outcomes_agree a b =
+  match a, b with
+  | Masked, Masked -> true
+  | Detected (s1, p1, n1), Detected (s2, p2, n2) ->
+    s1 = s2 && Phase.equal p1 p2 && n1 = n2
+  | Corrupted _, Corrupted _ -> true
+  (* the interpreter cannot hang (fixed iteration count), so a kernel
+     hang is intrinsically a disagreement unless the interpreter
+     crashed trying *)
+  | Hung _, Hung _ -> true
+  | Crashed _, Crashed _ -> true
+  | _, _ -> false
+
+(* A fault is detected iff it produces a conflict the golden run does
+   not have; the first chronological new conflict is the diagnosis
+   point.  Anything else that changes the observation is silent data
+   corruption. *)
+let classify ~golden (faulted : Observation.t) =
+  let fresh =
+    List.filter
+      (fun c -> not (List.mem c golden.Observation.conflicts))
+      faulted.Observation.conflicts
+    (* several sinks can turn ILLEGAL in the same delta; the paths
+       report them in different (but equivalent) orders, so the
+       diagnosis point is the least (step, phase, sink) *)
+    |> List.sort
+         (fun (s1, p1, n1) (s2, p2, n2) ->
+           compare
+             (s1, Phase.to_int p1, n1)
+             (s2, Phase.to_int p2, n2))
+  in
+  match fresh with
+  | (s, p, n) :: _ -> Detected (s, p, n)
+  | [] ->
+    let strip o = { o with Observation.conflicts = [] } in
+    (match Observation.diff (strip golden) (strip faulted) with
+     | [] -> Masked
+     | ds -> Corrupted ds)
+
+let kernel_entry ~golden m inj =
+  match Simulate.run ~inject:inj ~watchdog:true m with
+  | r ->
+    (match r.Simulate.outcome with
+     | Simulate.Watchdog_tripped c ->
+       (Hung (Printf.sprintf "watchdog tripped after %d cycles" c),
+        r.Simulate.cycles)
+     | Simulate.Kernel_overflow ov ->
+       (Hung (Format.asprintf "%a" Csrtl_kernel.Types.pp_delta_overflow ov),
+        r.Simulate.cycles)
+     | Simulate.Finished | Simulate.Halted _ ->
+       (classify ~golden r.Simulate.obs, r.Simulate.cycles))
+  | exception e -> (Crashed (Printexc.to_string e), 0)
+
+let interp_entry ~golden m inj =
+  match Interp.run ~inject:inj m with
+  | o -> classify ~golden o
+  | exception e -> Crashed (Printexc.to_string e)
+
+let run ?limit ?faults (m : Model.t) =
+  let faults =
+    match faults with
+    | Some fs -> fs
+    | None -> Fault.enumerate ?limit m
+  in
+  let golden_k = (Simulate.run ~watchdog:true m).Simulate.obs in
+  let golden_i = Interp.run m in
+  let expected = Simulate.expected_cycles m in
+  let entries =
+    List.map
+      (fun fault ->
+        let inj = Fault.to_inject fault in
+        let kernel_outcome, kernel_cycles =
+          kernel_entry ~golden:golden_k m inj
+        in
+        let interp_outcome = interp_entry ~golden:golden_i m inj in
+        let law_ok =
+          (* the delta-cycle law must keep holding when the fault is
+             masked; the one-cycle slack covers the trailing
+             driver-release edge an injection can add or remove *)
+          match kernel_outcome with
+          | Masked -> abs (kernel_cycles - expected) <= 1
+          | _ -> true
+        in
+        { fault; kernel_outcome; interp_outcome; kernel_cycles; law_ok })
+      faults
+  in
+  let count p = List.length (List.filter p entries) in
+  let masked = count (fun e -> e.kernel_outcome = Masked) in
+  let detected =
+    count (fun e -> match e.kernel_outcome with Detected _ -> true | _ -> false)
+  in
+  let corrupted =
+    count (fun e ->
+        match e.kernel_outcome with Corrupted _ -> true | _ -> false)
+  in
+  let hung =
+    count (fun e -> match e.kernel_outcome with Hung _ -> true | _ -> false)
+  in
+  let crashed =
+    count (fun e -> match e.kernel_outcome with Crashed _ -> true | _ -> false)
+  in
+  let total = List.length entries in
+  let coverage =
+    if total - masked = 0 then None
+    else Some (float_of_int detected /. float_of_int (total - masked))
+  in
+  { model = m.Model.name; total; masked; detected; corrupted; hung; crashed;
+    disagreements =
+      count (fun e -> not (outcomes_agree e.kernel_outcome e.interp_outcome));
+    law_violations = count (fun e -> not e.law_ok);
+    coverage;
+    entries }
+
+let pp_outcome ppf = function
+  | Masked -> Format.pp_print_string ppf "masked"
+  | Detected (s, p, n) ->
+    Format.fprintf ppf "detected at (%d, %s) on %s" s (Phase.to_string p) n
+  | Corrupted ds ->
+    Format.fprintf ppf "silent corruption (%d differences)" (List.length ds)
+  | Hung why -> Format.fprintf ppf "hung: %s" why
+  | Crashed why -> Format.fprintf ppf "crashed: %s" why
+
+let pp_entry ppf e =
+  Format.fprintf ppf "@[<h>%-50s kernel: %a | interp: %a%s@]"
+    (Fault.to_string e.fault) pp_outcome e.kernel_outcome pp_outcome
+    e.interp_outcome
+    (if outcomes_agree e.kernel_outcome e.interp_outcome then ""
+     else "  << DISAGREE")
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>fault campaign: %s (%d faults)@ \
+     masked %d | detected %d | corrupted %d | hung %d | crashed %d@ \
+     coverage (detected / non-masked): %s@ \
+     kernel/interp agreement: %d/%d@ \
+     delta-cycle law on masked runs: %s@]"
+    r.model r.total r.masked r.detected r.corrupted r.hung r.crashed
+    (match r.coverage with
+     | None -> "n/a (all faults masked)"
+     | Some c -> Printf.sprintf "%.1f%%" (100. *. c))
+    (r.total - r.disagreements)
+    r.total
+    (if r.law_violations = 0 then "held"
+     else Printf.sprintf "%d violations" r.law_violations)

@@ -1,0 +1,60 @@
+(** Golden-vs-faulted campaigns over both execution paths.
+
+    For every enumerated fault, the campaign runs the faulted model on
+    the event kernel ({!Csrtl_core.Simulate}, watchdog armed) and on
+    the reference interpreter ({!Csrtl_core.Interp}), compares each
+    against its own clean golden run, and classifies the outcome.  A
+    campaign never raises for in-model failures: anything escaping a
+    run is reported as [Crashed]. *)
+
+open Csrtl_core
+
+type outcome =
+  | Masked  (** observation identical to the golden run *)
+  | Detected of int * Phase.t * string
+      (** a conflict the golden run does not have, localized to the
+          first (control step, phase, sink) where it became visible *)
+  | Corrupted of string list
+      (** silent data corruption: no new conflict, but the observation
+          differs (the differences, human-readable) *)
+  | Hung of string  (** watchdog trip or kernel delta overflow *)
+  | Crashed of string  (** an exception escaped the run *)
+
+type entry = {
+  fault : Fault.t;
+  kernel_outcome : outcome;
+  interp_outcome : outcome;
+  kernel_cycles : int;
+  law_ok : bool;
+      (** for masked kernel runs: delta cycles within one of
+          {!Simulate.expected_cycles} (trailing-release slack) *)
+}
+
+type report = {
+  model : string;
+  total : int;
+  masked : int;
+  detected : int;
+  corrupted : int;
+  hung : int;
+  crashed : int;  (** counts over kernel outcomes *)
+  disagreements : int;  (** entries where the two paths differ in class *)
+  law_violations : int;
+  coverage : float option;
+      (** [detected / (total - masked)]; [None] if all masked *)
+  entries : entry list;
+}
+
+val run : ?limit:int -> ?faults:Fault.t list -> Model.t -> report
+(** [faults] overrides {!Fault.enumerate} (then [limit] is unused). *)
+
+val outcomes_agree : outcome -> outcome -> bool
+(** Same class; [Detected] additionally requires the same localization. *)
+
+val classify : golden:Observation.t -> Observation.t -> outcome
+(** Classification of one faulted observation against a golden one
+    (no Hung/Crashed cases — those come from the runner). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp_report : Format.formatter -> report -> unit

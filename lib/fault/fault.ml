@@ -1,0 +1,147 @@
+open Csrtl_core
+
+type t =
+  | Stuck_sink of { sink : string; value : Word.t }
+  | Dropped_leg of { index : int; desc : string }
+  | Extra_driver of { sink : string; step : int; phase : Phase.t; value : Word.t }
+  | Fu_latency of { fu : string; latency : int }
+  | Transient of { sink : string; step : int; phase : Phase.t; value : Word.t }
+
+(* Arbitrary but fixed corruption payloads, chosen to be unlikely to
+   collide with real datapath values in the corpus models. *)
+let stuck_payload = 13
+let driver_payload = 7
+let transient_payload = 11
+let reg_payload = 9
+
+let to_inject = function
+  | Stuck_sink { sink; value } -> Inject.stuck_sink ~sink value
+  | Dropped_leg { index; _ } -> Inject.dropped_leg index
+  | Extra_driver { sink; step; phase; value } ->
+    Inject.extra_driver ~sink ~step ~phase value
+  | Fu_latency { fu; latency } -> Inject.fu_latency ~fu latency
+  | Transient { sink; step; phase; value } ->
+    Inject.transient_sink ~sink ~step ~phase value
+
+let pp ppf = function
+  | Stuck_sink { sink; value } ->
+    Format.fprintf ppf "stuck-at %s on %s" (Word.to_string value) sink
+  | Dropped_leg { index; desc } ->
+    Format.fprintf ppf "dropped leg #%d (%s)" index desc
+  | Extra_driver { sink; step; phase; value } ->
+    Format.fprintf ppf "extra driver %s on %s during (%d, %s)"
+      (Word.to_string value) sink step (Phase.to_string phase)
+  | Fu_latency { fu; latency } ->
+    Format.fprintf ppf "latency of %s forced to %d" fu latency
+  | Transient { sink; step; phase; value } ->
+    Format.fprintf ppf "transient %s on %s at (%d, %s)"
+      (Word.to_string value) sink step (Phase.to_string phase)
+
+let to_string f = Format.asprintf "%a" pp f
+
+(* Deterministic stride subsample preserving enumeration order. *)
+let subsample limit l =
+  if limit < 1 then
+    invalid_arg (Printf.sprintf "Fault.enumerate: limit %d < 1" limit);
+  let n = List.length l in
+  if n <= limit then l
+  else
+    let stride = (n + limit - 1) / limit in
+    List.filteri (fun i _ -> i mod stride = 0) l
+
+let enumerate ?limit (m : Model.t) =
+  let legs, _ = Model.all_legs m in
+  let legs_writing b =
+    List.filter
+      (fun (l : Transfer.leg) -> Transfer.endpoint_name l.dst = b)
+      legs
+  in
+  let stuck_faults =
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun value -> Stuck_sink { sink = b; value })
+          [ Word.disc; Word.illegal; stuck_payload ])
+      m.buses
+    @ List.concat_map
+        (fun (r : Model.register) ->
+          List.map
+            (fun value -> Stuck_sink { sink = r.reg_name ^ ".out"; value })
+            [ Word.disc; Word.illegal; reg_payload ])
+        m.registers
+  in
+  let drop_faults =
+    List.mapi
+      (fun index l ->
+        Dropped_leg
+          { index; desc = Format.asprintf "%a" Transfer.pp_leg l })
+      legs
+  in
+  let driver_faults =
+    List.concat_map
+      (fun b ->
+        let writers = legs_writing b in
+        let active =
+          match writers with
+          | (l : Transfer.leg) :: _ ->
+            [ Extra_driver
+                { sink = b; step = l.step; phase = l.phase;
+                  value = driver_payload } ]
+          | [] -> []
+        in
+        (* one spurious driver on a slot where nothing legitimately
+           writes the bus: the corruption flows silently if any reader
+           samples it *)
+        let phases = [ Phase.Ra; Phase.Rb; Phase.Wa; Phase.Wb ] in
+        let slot_used step phase =
+          List.exists
+            (fun (l : Transfer.leg) ->
+              l.step = step && Phase.equal l.phase phase)
+            writers
+        in
+        let idle =
+          let rec find step =
+            if step > m.cs_max then []
+            else
+              match
+                List.find_opt (fun ph -> not (slot_used step ph)) phases
+              with
+              | Some phase ->
+                [ Extra_driver
+                    { sink = b; step; phase; value = driver_payload } ]
+              | None -> find (step + 1)
+          in
+          find 1
+        in
+        active @ idle)
+      m.buses
+  in
+  let latency_faults =
+    List.concat_map
+      (fun (f : Model.fu) ->
+        let candidates = [ f.latency + 1; f.latency - 1 ] in
+        List.filter_map
+          (fun latency ->
+            if latency >= 1 && latency <> f.latency then
+              Some (Fu_latency { fu = f.fu_name; latency })
+            else None)
+          candidates)
+      m.fus
+  in
+  let transient_faults =
+    List.concat_map
+      (fun b ->
+        match legs_writing b with
+        | (l : Transfer.leg) :: _ ->
+          (* the visibility slot of the first legitimate write *)
+          let step = l.step and phase = Phase.succ l.phase in
+          [ Transient { sink = b; step; phase; value = Word.illegal };
+            Transient { sink = b; step; phase; value = transient_payload } ]
+        | [] -> [])
+      m.buses
+  in
+  let all =
+    stuck_faults @ drop_faults @ driver_faults @ latency_faults
+    @ transient_faults
+  in
+  match limit with None -> all | Some n -> subsample n all

@@ -1,0 +1,42 @@
+(** Fault taxonomy over clock-free models.
+
+    A fault names a single structural corruption of a model's
+    realization — not of the model text — and compiles to an
+    {!Csrtl_core.Inject.t} plan that both execution paths apply
+    identically (kernel: wrapped resolutions and saboteur processes;
+    interpreter: tampered phase flips). *)
+
+open Csrtl_core
+
+type t =
+  | Stuck_sink of { sink : string; value : Word.t }
+      (** every resolution of the sink yields [value]; [sink] is a bus
+          or a register output ([R.out]).  Stuck-at-ILLEGAL models a
+          permanently conflicting net, stuck-at-DISC a net whose
+          drivers never connect. *)
+  | Dropped_leg of { index : int; desc : string }
+      (** the [index]-th transfer leg of {!Model.all_legs} is never
+          instantiated: an open switch in the interconnect *)
+  | Extra_driver of { sink : string; step : int; phase : Phase.t; value : Word.t }
+      (** a spurious driver contributes [value] to [sink] during
+          (step, phase), releasing one phase later — a short between
+          control lines *)
+  | Fu_latency of { fu : string; latency : int }
+      (** the unit's pipeline depth differs from what the schedule was
+          validated against *)
+  | Transient of { sink : string; step : int; phase : Phase.t; value : Word.t }
+      (** a single-(step, phase) corruption of one resolution — an SEU
+          at an exact visibility slot *)
+
+val enumerate : ?limit:int -> Model.t -> t list
+(** Deterministic single-fault list for a model: three stuck values
+    per bus and per register output, every dropped leg, an extra
+    driver on an active and on an idle slot per bus, latency [±1] per
+    unit, and an ILLEGAL plus a value transient at the first write
+    slot of each bus.  [limit] stride-subsamples the list (order
+    preserved) for large models. *)
+
+val to_inject : t -> Inject.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

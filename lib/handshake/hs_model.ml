@@ -195,7 +195,7 @@ let run (m : C.Model.t) =
            tuples;
          raise Scheduler.Stop))
   ;
-  Scheduler.run k;
+  let (_ : Scheduler.run_result) = Scheduler.run k in
   let final_regs =
     List.map
       (fun (r : C.Model.register) ->

@@ -58,11 +58,11 @@ let get_driver (p : process) (s : Signal.t) =
   | Some d -> d
   | None ->
     (match s.drivers, s.resolution with
-     | _ :: _, None ->
+     | (_ :: _ as held), None ->
        raise (Multiple_drivers
-                (Printf.sprintf
-                   "signal %s is unresolved but %s adds a second driver"
-                   s.sname p.pname))
+                { dc_signal = s.sname; dc_offender = p.pname;
+                  dc_holders =
+                    List.rev_map (fun d -> d.d_owner.pname) held })
      | _, _ -> ());
     let d =
       { d_owner = p; d_signal = s; d_value = s.current; d_next = None;
@@ -124,6 +124,7 @@ let drive_external k s v =
 
 let now k = k.now
 let delta_count k = k.stats.total_deltas
+let request_stop k = k.stop_requested <- true
 let stats k = k.stats
 let signals k = List.rev k.signals
 let on_event k f = k.event_hooks <- f :: k.event_hooks
@@ -266,8 +267,17 @@ let mature_future_driver k d =
 let fire_events k =
   (* Resolve all dirty signals first, then wake waiters, so that
      predicates over several signals updated in the same cycle (the
-     paper's [CS = S and PH = P]) see a consistent state. *)
-  let dirty = k.dirty_signals in
+     paper's [CS = S and PH = P]) see a consistent state.  Resolution
+     runs in creation (sid) order: per-signal resolution is
+     independent, and the fixed order lets a resolution function read
+     already-resolved control state — the CONTROLLER's PH and CS carry
+     the lowest sids, so a data signal resolving in the same cycle as
+     a phase change sees the phase at which its value becomes
+     visible (fault injection relies on this). *)
+  let dirty =
+    List.sort (fun (a : signal) b -> Int.compare a.sid b.sid)
+      k.dirty_signals
+  in
   k.dirty_signals <- [];
   let changed =
     List.filter_map
@@ -285,7 +295,7 @@ let fire_events k =
   in
   List.iter
     (fun s -> List.iter (fun hook -> hook s) k.event_hooks)
-    (List.rev changed);
+    changed;
   List.iter
     (fun (s : signal) ->
       let waiting = Hashtbl.fold (fun _ p acc -> p :: acc) s.waiters [] in
@@ -355,12 +365,29 @@ let advance_time k t =
         | Some _ | None -> ())
       (List.rev ps)
 
+type stop_reason = Stop_raised | Stop_requested | Max_cycles | Max_time
+
+type run_result =
+  | Completed
+  | Stopped of stop_reason
+  | Overflow of Types.delta_overflow
+
+let overflow_context k =
+  let pending =
+    List.rev k.delta_drivers
+    |> List.map (fun d -> d.d_signal.sname)
+    |> List.sort_uniq String.compare
+  in
+  { ov_time = k.now; ov_deltas = k.stats.delta_cycles_at_time;
+    ov_signals = pending; ov_stats = copy_stats k.stats }
+
 let run ?max_time ?max_cycles k =
   let budget_left () =
     match max_cycles with
     | None -> true
     | Some n -> k.stats.total_deltas < n
   in
+  let result = ref Completed in
   (try
      (* Initialization: every process runs once, in creation order. *)
      if k.stats.total_deltas = 0 && k.stats.process_runs = 0 then begin
@@ -375,31 +402,49 @@ let run ?max_time ?max_cycles k =
          (* Delta cycle at the current time. *)
          k.stats.total_deltas <- k.stats.total_deltas + 1;
          k.stats.delta_cycles_at_time <- k.stats.delta_cycles_at_time + 1;
-         if k.stats.delta_cycles_at_time > k.max_deltas_per_time then
-           raise
-             (Delta_overflow
-                (Printf.sprintf "at %s after %d delta cycles"
-                   (Time.to_string k.now) k.stats.delta_cycles_at_time));
-         let ds = k.delta_drivers in
-         k.delta_drivers <- [];
-         List.iter (mature_delta_driver k) (List.rev ds);
-         fire_events k;
-         exec_ready k
+         if k.stats.delta_cycles_at_time > k.max_deltas_per_time then begin
+           (* Oscillation: stop with the pending transactions still
+              queued (the kernel is poisoned; a re-run overflows
+              again immediately) and report the context instead of
+              unwinding from half-matured state. *)
+           result := Overflow (overflow_context k);
+           continue := false
+         end
+         else begin
+           let ds = k.delta_drivers in
+           k.delta_drivers <- [];
+           List.iter (mature_delta_driver k) (List.rev ds);
+           fire_events k;
+           exec_ready k
+         end
        end
        else
          match next_time k with
          | None -> continue := false
          | Some t ->
            (match max_time with
-            | Some limit when t > limit -> continue := false
+            | Some limit when t > limit ->
+              result := Stopped Max_time;
+              continue := false
             | Some _ | None ->
               k.stats.total_deltas <- k.stats.total_deltas + 1;
               advance_time k t;
               fire_events k;
               exec_ready k)
-     done
-   with Stop -> k.running <- None);
-  ()
+     done;
+     if !result = Completed then
+       if k.stop_requested then begin
+         k.stop_requested <- false;
+         result := Stopped Stop_requested
+       end
+       else if
+         (not (budget_left ()))
+         && (k.delta_drivers <> [] || next_time k <> None)
+       then result := Stopped Max_cycles
+   with Stop ->
+     k.running <- None;
+     result := Stopped Stop_raised);
+  !result
 
 let pp_stats ppf (st : stats) =
   Format.fprintf ppf

@@ -14,8 +14,10 @@ exception Stop
 
 val create : ?max_deltas_per_time:int -> unit -> t
 (** Fresh kernel.  [max_deltas_per_time] (default 1_000_000) bounds
-    consecutive delta cycles at one physical time; exceeding it raises
-    {!Types.Delta_overflow}, diagnosing combinational oscillation. *)
+    consecutive delta cycles at one physical time; exceeding it makes
+    {!run} return {!run_result.Overflow} with a
+    {!Types.delta_overflow} context, diagnosing combinational
+    oscillation. *)
 
 val signal :
   t ->
@@ -65,9 +67,36 @@ val on_event : t -> (Signal.t -> unit) -> unit
 (** Register a hook called on every signal event (after the value
     change is visible). *)
 
-val run : ?max_time:Time.t -> ?max_cycles:int -> t -> unit
-(** Run until quiescence (no pending transactions or timeouts), until
-    [max_time] is passed, until [max_cycles] simulation cycles have
-    executed, or until a process raises {!Stop}. *)
+type stop_reason =
+  | Stop_raised  (** a process raised {!Stop} *)
+  | Stop_requested  (** {!request_stop} was called *)
+  | Max_cycles  (** the [max_cycles] budget ran out with work pending *)
+  | Max_time  (** the next scheduled time lies beyond [max_time] *)
+
+type run_result =
+  | Completed  (** quiescence: no pending transactions or timeouts *)
+  | Stopped of stop_reason
+  | Overflow of Types.delta_overflow
+      (** more than [max_deltas_per_time] delta cycles at one time —
+          the model oscillates.  The kernel stops {e before} maturing
+          the overflowing transactions, so signal values are from the
+          last consistent cycle; the pending set stays queued and any
+          further {!run} returns [Overflow] again (the kernel is
+          poisoned — discard it). *)
+
+val run : ?max_time:Time.t -> ?max_cycles:int -> t -> run_result
+(** Run until quiescence, until [max_time] is passed, until
+    [max_cycles] simulation cycles have executed, until a process
+    raises {!Stop} or {!request_stop} is called, or until the
+    delta-cycle budget at one physical time overflows.  The result
+    says which of these ended the run; no kernel-originated exception
+    escapes ({!Types.Multiple_drivers} raised by a running process
+    still propagates — see its documentation for the reusability
+    contract). *)
+
+val request_stop : t -> unit
+(** Ask a running (or about-to-run) kernel to stop at the next cycle
+    boundary; {!run} then returns [Stopped Stop_requested].  Safe to
+    call from event hooks and processes. *)
 
 val pp_stats : Format.formatter -> Types.stats -> unit

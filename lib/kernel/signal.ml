@@ -16,7 +16,12 @@ let resolve (k : Types.t) (s : t) =
     (match s.drivers, s.resolution with
      | [], _ -> s.current
      | [ d ], None -> d.d_value
-     | _ :: _ :: _, None -> raise (Multiple_drivers s.sname)
+     | (_ :: _ :: _ as held), None ->
+       raise
+         (Multiple_drivers
+            { dc_signal = s.sname; dc_offender = "";
+              dc_holders =
+                List.rev_map (fun d -> d.d_owner.pname) held })
      | ds, Some (Fold f) ->
        k.stats.resolutions <- k.stats.resolutions + 1;
        (* Drivers are kept in reverse creation order; resolution

@@ -103,14 +103,62 @@ type t = {
   max_deltas_per_time : int;
 }
 
-exception Multiple_drivers of string
-(** Raised when a second process drives an unresolved signal. *)
+type driver_conflict = {
+  dc_signal : string;  (** name of the unresolved signal *)
+  dc_offender : string;
+      (** process attaching the extra driver; [""] when the conflict
+          is only discovered at resolution time *)
+  dc_holders : string list;  (** processes already driving the signal *)
+}
 
-exception Delta_overflow of string
-(** Raised when more than [max_deltas_per_time] delta cycles occur
-    without physical time advancing: the model oscillates. *)
+exception Multiple_drivers of driver_conflict
+(** Raised when a second process drives an unresolved signal.  The
+    kernel itself stays consistent: the offending driver is never
+    attached, and the raising process is dead afterwards, so a
+    subsequent {!Scheduler.run} completes with the surviving drivers —
+    but results produced after the exception should be treated as
+    suspect and the kernel discarded. *)
+
+type delta_overflow = {
+  ov_time : Time.t;  (** physical time at which the deltas piled up *)
+  ov_deltas : int;  (** delta cycles executed at [ov_time] *)
+  ov_signals : string list;
+      (** signals with transactions still pending — the oscillating
+          set, deduplicated, in creation order *)
+  ov_stats : stats;  (** snapshot of the kernel statistics *)
+}
+
+exception Delta_overflow of delta_overflow
+(** More than [max_deltas_per_time] delta cycles occurred without
+    physical time advancing: the model oscillates.
+    {!Scheduler.run} does not raise this; it returns the payload in
+    its result (see {!Scheduler.run_result}).  The exception form
+    exists for layers that want to re-raise the structured context.
+    A kernel that overflowed is poisoned: its pending transactions are
+    left queued, so running it again returns [Overflow] immediately. *)
 
 let fresh_stats () =
   { total_deltas = 0; delta_cycles_at_time = 0; events = 0;
     transactions = 0; resolutions = 0; process_runs = 0;
     time_advances = 0 }
+
+let copy_stats (s : stats) =
+  { total_deltas = s.total_deltas;
+    delta_cycles_at_time = s.delta_cycles_at_time; events = s.events;
+    transactions = s.transactions; resolutions = s.resolutions;
+    process_runs = s.process_runs; time_advances = s.time_advances }
+
+let pp_driver_conflict ppf (dc : driver_conflict) =
+  Format.fprintf ppf "signal %s is unresolved but %s adds a second driver%s"
+    dc.dc_signal
+    (if dc.dc_offender = "" then "a process" else dc.dc_offender)
+    (match dc.dc_holders with
+     | [] -> ""
+     | hs -> " (already driven by " ^ String.concat ", " hs ^ ")")
+
+let pp_delta_overflow ppf (ov : delta_overflow) =
+  Format.fprintf ppf "delta overflow at %s after %d delta cycles%s"
+    (Time.to_string ov.ov_time) ov.ov_deltas
+    (match ov.ov_signals with
+     | [] -> ""
+     | ss -> "; still oscillating: " ^ String.concat ", " ss)

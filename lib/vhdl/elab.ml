@@ -638,7 +638,7 @@ let elaborate ?(generics = []) ~top units =
        failures) }
 
 let run ?(max_cycles = 1_000_000) t =
-  Scheduler.run ~max_cycles t.kernel;
+  let (_ : Scheduler.run_result) = Scheduler.run ~max_cycles t.kernel in
   t.failures := List.rev !(t.failures)
 
 let elaborate_and_run ?generics ~top src =

@@ -108,6 +108,40 @@ A conflicted schedule is diagnosed, statically and dynamically:
     cm  SUB.in1          ILLEGAL   <-- conflict
     cm  ADD.in1          ILLEGAL   <-- conflict
 
+Fault injection.  A full campaign classifies every enumerated single
+fault on both engines and reports coverage:
+
+  $ csrtl inject fig1.rtm
+  fault campaign: fig1 (27 faults)
+  masked 2 | detected 15 | corrupted 10 | hung 0 | crashed 0
+  coverage (detected / non-masked): 60.0%
+  kernel/interp agreement: 27/27
+  delta-cycle law on masked runs: held
+
+  $ csrtl inject fig1.rtm --list | head -4
+    0  stuck-at DISC on B1
+    1  stuck-at ILLEGAL on B1
+    2  stuck-at 13 on B1
+    3  stuck-at DISC on B2
+
+A single fault's outcome class is the exit code (0 masked, 2 detected,
+3 corrupted, 4 hung, 5 crashed or paths disagree):
+
+  $ csrtl inject fig1.rtm --fault 1
+  stuck-at ILLEGAL on B1                             kernel: detected at (5, rb) on B1 | interp: detected at (5, rb) on B1
+  [2]
+
+  $ csrtl inject fig1.rtm --fault 2
+  stuck-at 13 on B1                                  kernel: silent corruption (2 differences) | interp: silent corruption (2 differences)
+  [3]
+
+  $ csrtl inject fig1.rtm --fault 19
+  extra driver 7 on B1 during (1, ra)                kernel: masked | interp: masked
+
+  $ csrtl inject fig1.rtm --fault 99
+  no fault #99 (the model enumerates 27)
+  [1]
+
 Error handling:
 
   $ csrtl check nonexistent.rtm 2>&1 | tail -1

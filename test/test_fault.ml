@@ -1,0 +1,228 @@
+(* Tests of the fault-injection subsystem: the taxonomy, the campaign
+   classifier, exact conflict localization, kernel/interpreter
+   agreement on faulted runs, and the Simulate failure policies. *)
+
+module C = Csrtl_core
+module F = Csrtl_fault
+module V = Csrtl_verify
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fig1 () = C.Rtm.of_file (Filename.concat "corpus" "fig1.rtm")
+
+(* -- campaign over fig1 ---------------------------------------------------- *)
+
+let test_fig1_campaign_classifies_everything () =
+  let m = fig1 () in
+  let r = F.Campaign.run m in
+  check_bool "enumerated some faults" true (r.F.Campaign.total > 10);
+  check_int "no fault crashed either path" 0 r.F.Campaign.crashed;
+  check_int "no fault hung the kernel" 0 r.F.Campaign.hung;
+  check_int "kernel and interpreter agree on every fault" 0
+    r.F.Campaign.disagreements;
+  check_int "delta-cycle law held on all masked runs" 0
+    r.F.Campaign.law_violations;
+  check_bool "something was detected" true (r.F.Campaign.detected > 0);
+  (* every stuck-at-ILLEGAL bus fault must be detected: the conflict
+     monitor sits exactly on the resolution output *)
+  List.iter
+    (fun (e : F.Campaign.entry) ->
+      match e.F.Campaign.fault with
+      | F.Fault.Stuck_sink { sink; value }
+        when C.Word.is_illegal value && List.mem sink m.C.Model.buses ->
+        (match e.F.Campaign.kernel_outcome with
+         | F.Campaign.Detected (_, _, s) ->
+           Alcotest.(check string) "localized on the stuck sink" sink s
+         | o ->
+           Alcotest.failf "stuck-ILLEGAL on %s not detected: %a" sink
+             F.Campaign.pp_outcome o)
+      | _ -> ())
+    r.F.Campaign.entries
+
+let test_transient_localization () =
+  (* a transient ILLEGAL at one visibility slot must be reported at
+     exactly that (step, phase, sink) by both paths *)
+  let m = fig1 () in
+  let legs, _ = C.Model.all_legs m in
+  let l =
+    List.find
+      (fun (l : C.Transfer.leg) ->
+        List.mem (C.Transfer.endpoint_name l.dst) m.C.Model.buses)
+      legs
+  in
+  let sink = C.Transfer.endpoint_name l.dst in
+  let step = l.C.Transfer.step and phase = C.Phase.succ l.C.Transfer.phase in
+  let inject = C.Inject.transient_sink ~sink ~step ~phase C.Word.illegal in
+  let kr = C.Simulate.run ~inject m in
+  let io = C.Interp.run ~inject m in
+  let conflict =
+    Alcotest.testable
+      (fun ppf (s, p, n) ->
+        Format.fprintf ppf "(%d, %s, %s)" s (C.Phase.to_string p) n)
+      ( = )
+  in
+  let sort =
+    List.sort (fun (s1, p1, n1) (s2, p2, n2) ->
+        compare (s1, C.Phase.to_int p1, n1) (s2, C.Phase.to_int p2, n2))
+  in
+  let kc = sort kr.C.Simulate.obs.C.Observation.conflicts in
+  let ic = sort io.C.Observation.conflicts in
+  (* the earliest conflict is exactly the injected visibility slot;
+     later entries are legitimate downstream ILLEGAL propagation *)
+  (match kc with
+   | first :: _ ->
+     Alcotest.(check conflict) "kernel localizes the hit slot"
+       (step, phase, sink) first
+   | [] -> Alcotest.fail "kernel saw no conflict");
+  Alcotest.(check (list conflict))
+    "interpreter reports the identical conflict set" kc ic
+
+let test_dropped_legs_never_hang () =
+  (* an open switch either masks, corrupts, or surfaces as a conflict
+     through sentinel lifting (a unit fed DISC computes ILLEGAL) — it
+     must never hang or crash the kernel, and the campaign must
+     observe at least one actual corruption on fig1 *)
+  let m = fig1 () in
+  let r = F.Campaign.run m in
+  let drops =
+    List.filter
+      (fun (e : F.Campaign.entry) ->
+        match e.F.Campaign.fault with
+        | F.Fault.Dropped_leg _ -> true
+        | _ -> false)
+      r.F.Campaign.entries
+  in
+  check_bool "has dropped-leg faults" true (drops <> []);
+  List.iter
+    (fun (e : F.Campaign.entry) ->
+      match e.F.Campaign.kernel_outcome with
+      | F.Campaign.Masked | F.Campaign.Corrupted _ | F.Campaign.Detected _ ->
+        ()
+      | o ->
+        Alcotest.failf "dropped leg should not hang or crash, got %a"
+          F.Campaign.pp_outcome o)
+    drops;
+  check_bool "at least one drop visibly changes the run" true
+    (List.exists
+       (fun (e : F.Campaign.entry) -> e.F.Campaign.kernel_outcome <> F.Campaign.Masked)
+       drops)
+
+(* -- Simulate failure policies --------------------------------------------- *)
+
+let stuck_illegal_on_first_bus m =
+  C.Inject.stuck_sink ~sink:(List.hd m.C.Model.buses) C.Word.illegal
+
+let test_halt_policy_stops_at_first_conflict () =
+  let m = fig1 () in
+  let inject = stuck_illegal_on_first_bus m in
+  let recorded = C.Simulate.run ~inject m in
+  let halted = C.Simulate.run ~inject ~on_illegal:C.Simulate.Halt m in
+  match
+    recorded.C.Simulate.obs.C.Observation.conflicts,
+    halted.C.Simulate.outcome
+  with
+  | (s, p, n) :: _, C.Simulate.Halted (s', p', n') ->
+    check_int "same step" s s';
+    check_bool "same phase" true (C.Phase.equal p p');
+    Alcotest.(check string) "same sink" n n';
+    check_bool "halted earlier than the full run" true
+      (halted.C.Simulate.cycles <= recorded.C.Simulate.cycles)
+  | [], _ -> Alcotest.fail "expected the stuck fault to conflict"
+  | _, o ->
+    Alcotest.failf "expected Halted, got %a" C.Simulate.pp_outcome o
+
+let test_degrade_policy_keeps_last_good_state () =
+  let m = fig1 () in
+  let inject = stuck_illegal_on_first_bus m in
+  let r = C.Simulate.run ~inject ~on_illegal:C.Simulate.Degrade m in
+  check_bool "still records the conflicts" true
+    (r.C.Simulate.obs.C.Observation.conflicts <> []);
+  List.iter
+    (fun (reg, arr) ->
+      Array.iteri
+        (fun i v ->
+          check_bool
+            (Printf.sprintf "%s[%d] never latches ILLEGAL" reg i)
+            false (C.Word.is_illegal v))
+        arr)
+    r.C.Simulate.obs.C.Observation.regs;
+  List.iter
+    (fun (out, writes) ->
+      List.iter
+        (fun (_, v) ->
+          check_bool
+            (Printf.sprintf "%s never samples ILLEGAL" out)
+            false (C.Word.is_illegal v))
+        writes)
+    r.C.Simulate.obs.C.Observation.outputs
+
+let test_watchdog_quiet_on_clean_run () =
+  let m = fig1 () in
+  let r = C.Simulate.run ~watchdog:true m in
+  (match r.C.Simulate.outcome with
+   | C.Simulate.Finished -> ()
+   | o -> Alcotest.failf "expected Finished, got %a" C.Simulate.pp_outcome o);
+  check_int "law" (C.Simulate.expected_cycles m) r.C.Simulate.cycles
+
+let test_unknown_saboteur_sink_rejected () =
+  let m = fig1 () in
+  let inject =
+    C.Inject.extra_driver ~sink:"NO_SUCH_BUS" ~step:1 ~phase:C.Phase.Ra 1
+  in
+  match C.Simulate.run ~inject m with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+      in
+      go 0
+    in
+    check_bool "names the missing resource" true
+      (contains msg "NO_SUCH_BUS")
+
+(* -- kernel/interpreter agreement on random models x faults ---------------- *)
+
+let agreement_property =
+  QCheck.Test.make ~name:"kernel and interpreter agree on fault outcomes"
+    ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let m = V.Consist.random_model seed in
+      let r = F.Campaign.run ~limit:8 m in
+      if r.F.Campaign.crashed <> 0 then
+        QCheck.Test.fail_reportf "a fault crashed on model seed %d" seed;
+      if r.F.Campaign.disagreements <> 0 then
+        QCheck.Test.fail_reportf
+          "kernel/interp disagreement on model seed %d:@ %a" seed
+          (Format.pp_print_list F.Campaign.pp_entry)
+          (List.filter
+             (fun (e : F.Campaign.entry) ->
+               not
+                 (F.Campaign.outcomes_agree e.F.Campaign.kernel_outcome
+                    e.F.Campaign.interp_outcome))
+             r.F.Campaign.entries);
+      true)
+
+let () =
+  Alcotest.run "fault"
+    [ ( "campaign",
+        [ Alcotest.test_case "fig1 classifies everything" `Quick
+            test_fig1_campaign_classifies_everything;
+          Alcotest.test_case "transient localization" `Quick
+            test_transient_localization;
+          Alcotest.test_case "dropped legs never hang" `Quick
+            test_dropped_legs_never_hang ] );
+      ( "policies",
+        [ Alcotest.test_case "halt stops at first conflict" `Quick
+            test_halt_policy_stops_at_first_conflict;
+          Alcotest.test_case "degrade keeps last good state" `Quick
+            test_degrade_policy_keeps_last_good_state;
+          Alcotest.test_case "watchdog quiet on clean run" `Quick
+            test_watchdog_quiet_on_clean_run;
+          Alcotest.test_case "unknown saboteur sink rejected" `Quick
+            test_unknown_saboteur_sink_rejected ] );
+      ( "agreement",
+        [ QCheck_alcotest.to_alcotest ~long:false agreement_property ] ) ]

@@ -26,7 +26,7 @@ let test_channel_send_recv () =
           got := Channel.recv k ch :: !got
         done)
   in
-  K.Scheduler.run k;
+  let (_ : K.Scheduler.run_result) = K.Scheduler.run k in
   Alcotest.(check (list int)) "in order" [ 1; 2; 3 ] (List.rev !got)
 
 let test_channel_request_serve () =
@@ -49,7 +49,7 @@ let test_channel_request_serve () =
         done;
         raise K.Scheduler.Stop)
   in
-  K.Scheduler.run k;
+  let (_ : K.Scheduler.run_result) = K.Scheduler.run k in
   Alcotest.(check (list int)) "served" [ 11; 12; 13 ] (List.rev !answers)
 
 let test_channel_event_cost () =
@@ -63,7 +63,7 @@ let test_channel_event_cost () =
   let _ =
     K.Scheduler.add_process k ~name:"q" (fun () -> ignore (Channel.recv k ch))
   in
-  K.Scheduler.run k;
+  let (_ : K.Scheduler.run_result) = K.Scheduler.run k in
   check_bool "at least 5 events" true
     ((K.Scheduler.stats k).K.Types.events >= 5)
 

@@ -11,6 +11,11 @@ let contains haystack needle =
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
   nn = 0 || go 0
 
+let run_quiescent k =
+  match Scheduler.run k with
+  | Scheduler.Completed -> ()
+  | _ -> Alcotest.fail "expected the run to complete to quiescence"
+
 (* -- signals and drivers ---------------------------------------------- *)
 
 let test_single_driver () =
@@ -20,7 +25,7 @@ let test_single_driver () =
     Scheduler.add_process k ~name:"p" (fun () ->
         Scheduler.assign k s 42)
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "value" 42 (Signal.value s)
 
 let test_unresolved_two_drivers_rejected () =
@@ -28,10 +33,17 @@ let test_unresolved_two_drivers_rejected () =
   let s = Scheduler.signal k ~name:"s" ~init:0 () in
   let _ = Scheduler.add_process k ~name:"p1" (fun () -> Scheduler.assign k s 1) in
   let _ = Scheduler.add_process k ~name:"p2" (fun () -> Scheduler.assign k s 2) in
-  Alcotest.check_raises "second driver"
-    (Types.Multiple_drivers
-       "signal s is unresolved but p2 adds a second driver")
-    (fun () -> Scheduler.run k)
+  (match Scheduler.run k with
+   | _ -> Alcotest.fail "expected Multiple_drivers"
+   | exception Types.Multiple_drivers dc ->
+     Alcotest.(check string) "signal" "s" dc.Types.dc_signal;
+     Alcotest.(check string) "offender" "p2" dc.Types.dc_offender;
+     Alcotest.(check (list string)) "holders" [ "p1" ] dc.Types.dc_holders);
+  (* the offending driver was never attached and the raising process is
+     dead, so the kernel can finish the run (results are suspect but
+     the structure is intact -- see Types.Multiple_drivers) *)
+  run_quiescent k;
+  check_int "first driver still in effect" 1 (Signal.value s)
 
 let test_resolved_two_drivers () =
   let k = Scheduler.create () in
@@ -42,7 +54,7 @@ let test_resolved_two_drivers () =
   in
   let _ = Scheduler.add_process k ~name:"p1" (fun () -> Scheduler.assign k s 1) in
   let _ = Scheduler.add_process k ~name:"p2" (fun () -> Scheduler.assign k s 2) in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "wired or" 3 (Signal.value s)
 
 let test_assignment_visible_next_delta () =
@@ -55,7 +67,7 @@ let test_assignment_visible_next_delta () =
         (* VHDL: the new value is not visible until the next cycle *)
         seen_immediately := Signal.value s)
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "old value during assigning cycle" 0 !seen_immediately;
   check_int "new value after" 7 (Signal.value s)
 
@@ -67,7 +79,7 @@ let test_last_assignment_wins () =
         Scheduler.assign k s 1;
         Scheduler.assign k s 2)
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "override" 2 (Signal.value s)
 
 (* -- wait semantics ----------------------------------------------------- *)
@@ -85,7 +97,7 @@ let test_wait_on_wakes_on_event () =
         Process.wait_on [ a ];
         Scheduler.assign k b (Signal.value a * 2))
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "b" 10 (Signal.value b)
 
 let test_wait_until_predicate () =
@@ -104,7 +116,7 @@ let test_wait_until_predicate () =
         Process.wait_until [ a ] (fun () -> Signal.value a = 3);
         incr hits)
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "woken exactly once" 1 !hits;
   check_int "a reached 5" 5 (Signal.value a)
 
@@ -118,7 +130,7 @@ let test_wait_until_suspends_even_if_true () =
         Process.wait_until [ a ] (fun () -> Signal.value a = 1);
         resumed := true)
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_bool "no event, no resume" false !resumed
 
 let test_no_event_on_same_value () =
@@ -134,7 +146,7 @@ let test_no_event_on_same_value () =
         Process.wait_on [ a ];
         woken := true)
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_bool "transaction without event" false !woken
 
 let test_wait_keyed_fires_on_value () =
@@ -154,7 +166,7 @@ let test_wait_keyed_fires_on_value () =
         Process.wait_keyed a 4;
         woken_at := Signal.value a)
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "woken exactly at 4" 4 !woken_at
 
 let test_wait_keyed_extra_condition () =
@@ -182,7 +194,7 @@ let test_wait_keyed_extra_condition () =
         Process.wait_keyed ~extra:(b, 2) a 2;
         hits := (Signal.value a, Signal.value b) :: !hits)
   in
-  Scheduler.run k;
+  run_quiescent k;
   Alcotest.(check (list (pair int int))) "fired once, in round 2"
     [ (2, 2) ] !hits
 
@@ -198,7 +210,7 @@ let test_wait_keyed_never_matches () =
         Process.wait_keyed a 99;
         woken := true)
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_bool "sleeps forever" false !woken
 
 let test_incremental_resolution_kernel () =
@@ -215,7 +227,7 @@ let test_incremental_resolution_kernel () =
   in
   let _ = Scheduler.add_process k ~name:"p1" (fun () -> Scheduler.assign k s 5) in
   let _ = Scheduler.add_process k ~name:"p2" (fun () -> Scheduler.assign k s 7) in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "summed" 12 (Signal.value s)
 
 let test_process_exception_propagates () =
@@ -231,7 +243,7 @@ let test_process_exception_propagates () =
         Scheduler.assign k a 1)
   in
   (match Scheduler.run k with
-   | () -> Alcotest.fail "expected Failure"
+   | _ -> Alcotest.fail "expected Failure"
    | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
   (* the kernel is not left with a phantom running process *)
   check_int "value applied before the crash" 1 (Signal.value a)
@@ -242,7 +254,7 @@ let test_exception_during_initialization () =
     Scheduler.add_process k ~name:"early" (fun () -> failwith "early")
   in
   match Scheduler.run k with
-  | () -> Alcotest.fail "expected Failure"
+  | _ -> Alcotest.fail "expected Failure"
   | exception Failure _ -> ()
 
 (* -- delta cycles -------------------------------------------------------- *)
@@ -265,7 +277,7 @@ let test_delta_chain_count () =
     Scheduler.add_process k ~name:"start" (fun () ->
         Scheduler.assign k sigs.(0) 1)
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "value rippled" (1 + n) (Signal.value sigs.(n));
   check_int "one delta per stage plus the initial assignment" (n + 1)
     (Scheduler.delta_count k)
@@ -282,8 +294,18 @@ let test_delta_overflow_detected () =
         done)
   in
   (match Scheduler.run k with
-   | () -> Alcotest.fail "expected Delta_overflow"
-   | exception Types.Delta_overflow _ -> ())
+   | Scheduler.Overflow ov ->
+     check_int "deltas past the budget" 101 ov.Types.ov_deltas;
+     check_bool "oscillating signal listed" true
+       (List.mem "a" ov.Types.ov_signals);
+     Alcotest.(check int) "at time zero" Time.zero ov.Types.ov_time
+   | _ -> Alcotest.fail "expected an Overflow result");
+  (* the kernel is poisoned: pending transactions stay queued, so a
+     re-run overflows again immediately instead of pretending the
+     oscillation resolved *)
+  (match Scheduler.run k with
+   | Scheduler.Overflow _ -> ()
+   | _ -> Alcotest.fail "kernel should stay poisoned after overflow")
 
 (* -- physical time ------------------------------------------------------- *)
 
@@ -297,7 +319,7 @@ let test_wait_for_advances_time () =
         Process.wait_for (Time.ns 5);
         Scheduler.assign k a 2)
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "time" (Time.ns 15) (Scheduler.now k);
   check_int "value" 2 (Signal.value a)
 
@@ -314,7 +336,7 @@ let test_assign_after () =
         Process.wait_for (Time.ns 5);
         at_5 := Signal.value a)
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "not yet at 5ns" 0 !at_5;
   check_int "after 10ns" 7 (Signal.value a)
 
@@ -327,9 +349,68 @@ let test_transport_override () =
         (* scheduling at 10ns deletes the 20ns transaction *)
         Scheduler.assign_after k a 2 (Time.ns 10))
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "only the earlier survives" 2 (Signal.value a);
   check_int "final time" (Time.ns 10) (Scheduler.now k)
+
+let test_transport_cancel_cleans_agenda () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"p" (fun () ->
+        Scheduler.assign_after k a 1 (Time.ns 20);
+        Scheduler.assign_after k a 2 (Time.ns 10))
+  in
+  run_quiescent k;
+  check_int "value" 2 (Signal.value a);
+  (* the cancelled 20ns transaction must also leave the kernel agenda:
+     exactly one time advance, no spurious hop to the empty slot *)
+  check_int "single time advance" 1
+    (Scheduler.stats k).Types.time_advances;
+  check_int "stopped at 10ns" (Time.ns 10) (Scheduler.now k)
+
+let test_transport_cancel_shared_slot () =
+  (* two drivers share the 20ns slot; cancelling one of them must keep
+     the other's transaction alive *)
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let b = Scheduler.signal k ~name:"b" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"pa" (fun () ->
+        Scheduler.assign_after k a 1 (Time.ns 20);
+        Scheduler.assign_after k a 2 (Time.ns 10))
+  in
+  let _ =
+    Scheduler.add_process k ~name:"pb" (fun () ->
+        Scheduler.assign_after k b 5 (Time.ns 20))
+  in
+  run_quiescent k;
+  check_int "a took the rescheduled value" 2 (Signal.value a);
+  check_int "b's shared-slot transaction survived" 5 (Signal.value b);
+  check_int "two time advances" 2 (Scheduler.stats k).Types.time_advances;
+  check_int "ran to 20ns" (Time.ns 20) (Scheduler.now k)
+
+let test_request_stop () =
+  let k = Scheduler.create () in
+  let a = Scheduler.signal k ~name:"a" ~init:0 () in
+  let _ =
+    Scheduler.add_process k ~name:"osc" (fun () ->
+        Scheduler.assign k a 1;
+        while true do
+          Process.wait_on [ a ];
+          if Signal.value a = 3 then Scheduler.request_stop k;
+          Scheduler.assign k a (Signal.value a + 1)
+        done)
+  in
+  (match Scheduler.run k with
+   | Scheduler.Stopped Scheduler.Stop_requested -> ()
+   | _ -> Alcotest.fail "expected Stop_requested");
+  check_int "stopped at the requesting cycle" 3 (Signal.value a);
+  (* the flag is consumed: a re-run proceeds (and here oscillates
+     forever, so bound it) *)
+  match Scheduler.run ~max_cycles:10 k with
+  | Scheduler.Stopped Scheduler.Max_cycles -> ()
+  | _ -> Alcotest.fail "expected the re-run to proceed to the bound"
 
 let test_clock_generator () =
   let k = Scheduler.create () in
@@ -349,7 +430,9 @@ let test_clock_generator () =
           incr edges
         done)
   in
-  Scheduler.run ~max_time:(Time.ns 100) k;
+  (match Scheduler.run ~max_time:(Time.ns 100) k with
+   | Scheduler.Stopped Scheduler.Max_time -> ()
+   | _ -> Alcotest.fail "expected the time bound to stop the run");
   check_int "rising edges in 100ns" 10 !edges
 
 (* -- external drive and trace -------------------------------------------- *)
@@ -364,7 +447,7 @@ let test_drive_external () =
         doubled := 2 * Signal.value a)
   in
   Scheduler.drive_external k a 21;
-  Scheduler.run k;
+  run_quiescent k;
   check_int "externally driven" 42 !doubled
 
 let test_trace_records_events () =
@@ -379,7 +462,7 @@ let test_trace_records_events () =
         Process.wait_on [ a ];
         Scheduler.assign k a 2)
   in
-  Scheduler.run k;
+  run_quiescent k;
   check_int "only a's events" 2 (Trace.length t);
   let hist = Trace.history t a in
   Alcotest.(check (list (pair int int))) "history" [ (1, 1); (2, 2) ] hist
@@ -396,7 +479,7 @@ let test_trace_value_at_cycle () =
         Process.wait_on [ a ];
         Scheduler.assign k a 3)
   in
-  Scheduler.run k;
+  run_quiescent k;
   Alcotest.(check (option int)) "before first event" None
     (Trace.value_at_cycle t a 0);
   Alcotest.(check (option int)) "at cycle 1" (Some 1)
@@ -416,7 +499,7 @@ let test_vcd_time_axis () =
         Process.wait_for (Time.ns 5);
         Scheduler.assign k a 1)
   in
-  Scheduler.run k;
+  run_quiescent k;
   Vcd.finish v;
   let text = Buffer.contents buf in
   check_bool "fs timescale" true (contains text "$timescale 1fs");
@@ -431,7 +514,7 @@ let test_vcd_output () =
   let _ =
     Scheduler.add_process k ~name:"p" (fun () -> Scheduler.assign k a 3)
   in
-  Scheduler.run k;
+  run_quiescent k;
   Vcd.finish v;
   let text = Buffer.contents buf in
   check_bool "header" true (contains text "$enddefinitions");
@@ -448,7 +531,7 @@ let test_stats_populated () =
         Process.wait_on [ a ];
         Scheduler.assign k a 2)
   in
-  Scheduler.run k;
+  run_quiescent k;
   let st = Scheduler.stats k in
   check_int "events" 2 st.Types.events;
   check_int "transactions" 2 st.Types.transactions;
@@ -463,7 +546,9 @@ let test_stop_exception () =
         Process.wait_on [ a ];
         raise Scheduler.Stop)
   in
-  Scheduler.run k;
+  (match Scheduler.run k with
+   | Scheduler.Stopped Scheduler.Stop_raised -> ()
+   | _ -> Alcotest.fail "expected Stop_raised");
   check_int "ran until stop" 1 (Signal.value a)
 
 let test_max_cycles () =
@@ -477,7 +562,9 @@ let test_max_cycles () =
           Scheduler.assign k a (1 - Signal.value a)
         done)
   in
-  Scheduler.run ~max_cycles:50 k;
+  (match Scheduler.run ~max_cycles:50 k with
+   | Scheduler.Stopped Scheduler.Max_cycles -> ()
+   | _ -> Alcotest.fail "expected the cycle budget to stop the run");
   check_int "bounded" 50 (Scheduler.delta_count k)
 
 let test_time_to_string () =
@@ -532,6 +619,10 @@ let () =
           Alcotest.test_case "assign_after" `Quick test_assign_after;
           Alcotest.test_case "transport override" `Quick
             test_transport_override;
+          Alcotest.test_case "transport cancel cleans agenda" `Quick
+            test_transport_cancel_cleans_agenda;
+          Alcotest.test_case "transport cancel shared slot" `Quick
+            test_transport_cancel_shared_slot;
           Alcotest.test_case "clock generator" `Quick test_clock_generator;
           Alcotest.test_case "time printing" `Quick test_time_to_string ] );
       ( "misc",
@@ -544,4 +635,5 @@ let () =
           Alcotest.test_case "vcd time axis" `Quick test_vcd_time_axis;
           Alcotest.test_case "stats populated" `Quick test_stats_populated;
           Alcotest.test_case "stop exception" `Quick test_stop_exception;
+          Alcotest.test_case "request_stop" `Quick test_request_stop;
           Alcotest.test_case "max cycles bound" `Quick test_max_cycles ] ) ]
