@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench report examples doc clean
+.PHONY: all build test check bench bench-smoke report examples doc clean
 
 all: build
 
@@ -10,11 +10,14 @@ build:
 test:
 	dune runtest
 
-# Full sanity pass: build everything, run the test suites, then sweep
-# the corpus through the CLI validators.  `csrtl check` exits 2 on a
-# model whose schedule conflicts (conflict.rtm does, by design), so
-# both 0 and 2 count as a clean diagnosis here; any other exit fails.
-check: build test
+# Full sanity pass: build everything, run the test suites with
+# backtraces on, then sweep the corpus through the CLI validators.
+# `csrtl check` exits 2 on a model whose schedule conflicts
+# (conflict.rtm does, by design), so both 0 and 2 count as a clean
+# diagnosis here; any other exit fails.  The closing inject run shards
+# across two domains, smoking the worker pool end to end.
+check: build
+	OCAMLRUNPARAM=b dune runtest
 	@mkdir -p _build/check
 	@for f in test/corpus/*.rtm; do \
 	  dune exec --no-build csrtl -- check $$f > /dev/null 2>&1; rc=$$?; \
@@ -27,11 +30,17 @@ check: build test
 	    { echo "lint FAILED: $$f"; exit 1; }; \
 	  echo "checked $$f"; \
 	done
-	@dune exec --no-build csrtl -- inject test/corpus/fig1.rtm
+	@dune exec --no-build csrtl -- inject test/corpus/fig1.rtm --jobs 2
 	@echo "make check: all corpus models validated"
 
 bench:
 	dune exec bench/main.exe
+
+# The C10 workloads (engine throughput + campaign scaling) at tiny
+# sizes: a seconds-long sanity run of the compiled engine and the
+# domain pool, not a measurement.
+bench-smoke:
+	dune exec bench/main.exe -- smoke
 
 report:
 	dune exec bench/main.exe -- report

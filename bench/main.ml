@@ -9,7 +9,8 @@
 
    Run with: dune exec bench/main.exe            (report + benches)
              dune exec bench/main.exe -- report  (report only)
-             dune exec bench/main.exe -- bench   (benches only) *)
+             dune exec bench/main.exe -- bench   (benches only)
+             dune exec bench/main.exe -- smoke   (C10 at tiny sizes) *)
 
 open Bechamel
 open Toolkit
@@ -41,6 +42,10 @@ let tests =
     (* C3: speed - same 64-transfer chain on each execution path *)
     Test.make ~name:"speed/clock-free-kernel"
       (Staged.stage (fun () -> ignore (C.Simulate.run chain64)));
+    (* C10: the phase-compiled fast path, plan reused across runs *)
+    (let plan = C.Compiled.of_model chain64 in
+     Test.make ~name:"speed/phase-compiled"
+       (Staged.stage (fun () -> ignore (C.Compiled.run plan))));
     Test.make ~name:"speed/interpreter"
       (Staged.stage (fun () -> ignore (C.Interp.run chain64)));
     Test.make ~name:"speed/handshake"
@@ -177,5 +182,8 @@ let run_benches () =
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  if mode = "report" || mode = "all" then Report.run ();
-  if mode = "bench" || mode = "all" then run_benches ()
+  if mode = "smoke" then Report.claim_multicore ~smoke:true ()
+  else begin
+    if mode = "report" || mode = "all" then Report.run ();
+    if mode = "bench" || mode = "all" then run_benches ()
+  end

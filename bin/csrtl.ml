@@ -41,11 +41,17 @@ let handle_errors f =
 let sim_cmd =
   let engine =
     let doc =
-      "Execution engine: $(b,kernel) (event-driven delta cycles) or \
-       $(b,interp) (direct control-step interpreter)."
+      "Execution engine: $(b,kernel) (event-driven delta cycles), \
+       $(b,interp) (direct control-step interpreter), $(b,compiled) \
+       (phase-compiled static schedule, fastest), or $(b,auto) \
+       (compiled when the run permits it, kernel otherwise)."
     in
-    Arg.(value & opt (enum [ ("kernel", `Kernel); ("interp", `Interp) ])
-           `Kernel
+    Arg.(value
+         & opt
+             (enum
+                [ ("kernel", `Kernel); ("interp", `Interp);
+                  ("compiled", `Compiled); ("auto", `Auto) ])
+             `Kernel
          & info [ "engine" ] ~doc)
   in
   let vcd =
@@ -63,7 +69,36 @@ let sim_cmd =
     handle_errors (fun () ->
         let m = load_model path in
         C.Model.validate_exn m;
+        let engine =
+          (* [auto] prefers the compiled schedule; VCD streaming and
+             non-static features need the kernel *)
+          match engine with
+          | `Auto ->
+            if vcd = None && C.Compiled.compilable m = Ok () then `Compiled
+            else `Kernel
+          | e -> e
+        in
         match engine with
+        | `Auto -> assert false
+        | `Compiled ->
+          (match vcd with
+           | Some _ ->
+             Format.eprintf
+               "the compiled engine does not stream VCD; use --engine \
+                kernel@.";
+             exit 1
+           | None -> ());
+          let plan = C.Compiled.of_model m in
+          let obs = C.Compiled.run plan in
+          Format.printf "%a@." C.Observation.pp obs;
+          if wave then Format.printf "@.%s@." (C.Waveform.render obs);
+          Format.printf "simulation cycles: %d (expected %d)@."
+            (C.Compiled.cycles plan)
+            (C.Simulate.expected_cycles m);
+          if stats then
+            Format.printf "%a@." C.Compiled.pp_stats
+              (C.Compiled.last_stats plan);
+          if C.Observation.has_conflict obs then exit 2
         | `Interp ->
           let obs = C.Interp.run m in
           Format.printf "%a@." C.Observation.pp obs;
@@ -564,11 +599,23 @@ let inject_cmd =
          & info [ "table" ] ~doc:"Print the per-fault table, not only the \
                                   campaign summary.")
   in
-  let run path list_flag fault_idx limit table =
+  let jobs =
+    let doc =
+      "Shard the campaign across $(docv) domains.  The report is \
+       byte-identical at any job count; 0 means one per core."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let run path list_flag fault_idx limit table jobs =
     handle_errors (fun () ->
         (match limit with
          | Some k when k < 1 ->
            Format.eprintf "--limit must be at least 1 (got %d)@." k;
+           exit 1
+         | _ -> ());
+        (match jobs with
+         | Some j when j < 0 ->
+           Format.eprintf "--jobs must be at least 0 (got %d)@." j;
            exit 1
          | _ -> ());
         let m = load_model path in
@@ -608,7 +655,12 @@ let inject_cmd =
                in
                exit code)
           | None ->
-            let r = Csrtl_fault.Campaign.run ~faults m in
+            let r =
+              match jobs with
+              | None | Some 1 -> Csrtl_fault.Campaign.run ~faults m
+              | Some 0 -> Csrtl_fault.Campaign.run_parallel ~faults m
+              | Some j -> Csrtl_fault.Campaign.run_parallel ~jobs:j ~faults m
+            in
             if table then
               List.iter
                 (fun e ->
@@ -630,7 +682,8 @@ let inject_cmd =
   in
   Cmd.v
     (Cmd.info "inject" ~doc)
-    Term.(const run $ model_arg $ list_flag $ fault_idx $ limit $ table)
+    Term.(const run $ model_arg $ list_flag $ fault_idx $ limit $ table
+          $ jobs)
 
 (* -- info -------------------------------------------------------------------- *)
 

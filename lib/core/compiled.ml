@@ -1,0 +1,359 @@
+(* The phase-compiled executor.  Compilation lowers the model's legs
+   and op-selections onto integer sink ids and flattens them into one
+   action array per (control step, phase) slot; execution walks the
+   6 * cs_max slots replaying {!Interp}'s one-phase-lagged visibility
+   discipline over preallocated arrays.  The only allocations after
+   [of_model] are conflict report entries and the final observation. *)
+
+type src =
+  | Sconst of Word.t  (* input-port reads and op-select indices *)
+  | Sreg of int  (* register file index *)
+  | Sbus of int  (* sink id (a bus is also a sink) *)
+  | Sfu of int  (* functional-unit output latch index *)
+
+type action = { src : src; dst : int }
+
+type fu_spec = {
+  fu_state : Fu_state.t;
+  op_sink : int;
+  in1_sink : int;
+  in2_sink : int;
+}
+
+type stats = {
+  static_actions : int;
+  contributions : int;
+  resolutions : int;
+  fu_evals : int;
+  latches : int;
+}
+
+type t = {
+  model : Model.t;
+  cycles : int;
+  nsinks : int;
+  sink_name : string array;
+  slots : action array array;  (* index (step - 1) * Phase.count + phase *)
+  static_actions : int;
+  fus : fu_spec array;
+  reg_init : Word.t array;
+  reg_in_sink : int array;
+  out_sink : int array;  (* per model output, in declaration order *)
+  (* ---- per-run state, preallocated and reset by [run] ---- *)
+  visible : Word.t array;
+  regs : Word.t array;
+  fu_out : Word.t array;
+  (* pending contributions of the current phase: [acc] accumulates via
+     the resolution monoid, [pend_ids]/[pend_n] list the touched sinks,
+     [in_pending] dedups.  At each flip the pending set becomes the
+     live set (whose drivers release one phase later) and the arrays
+     swap — a double buffer, no allocation. *)
+  acc : Word.t array;
+  in_pending : bool array;
+  mutable pend_ids : int array;
+  mutable pend_n : int;
+  mutable live_ids : int array;
+  mutable live_n : int;
+  traces : Word.t array array;  (* register index -> per-step values *)
+  out_steps : int array array;  (* output index -> steps written *)
+  out_vals : Word.t array array;
+  out_n : int array;
+  mutable conflicts : (int * Phase.t * string) list;
+  mutable st_contributions : int;
+  mutable st_resolutions : int;
+  mutable st_fu_evals : int;
+  mutable st_latches : int;
+}
+
+let model t = t.model
+let cycles t = t.cycles
+
+let compilable ?(inject = Inject.none) ?(config = Simulate.default)
+    (_ : Model.t) =
+  if not (Inject.is_none inject) then
+    Error
+      "fault injection is dynamic: tampers, saboteurs, oscillators and \
+       dropped legs need the event kernel or the interpreter"
+  else
+    match config.Simulate.on_illegal with
+    | Simulate.Record -> Ok ()
+    | Simulate.Halt ->
+      Error "the Halt conflict policy stops mid-schedule; use the kernel"
+    | Simulate.Degrade ->
+      Error "the Degrade conflict policy is not static; use the kernel"
+
+let of_model (m : Model.t) =
+  Model.validate_exn m;
+  let sink_ids = Hashtbl.create 64 in
+  let names = ref [] in
+  let add_sink n =
+    if not (Hashtbl.mem sink_ids n) then begin
+      Hashtbl.add sink_ids n (Hashtbl.length sink_ids);
+      names := n :: !names
+    end
+  in
+  List.iter add_sink m.buses;
+  List.iter
+    (fun (r : Model.register) -> add_sink (r.reg_name ^ ".in"))
+    m.registers;
+  List.iter
+    (fun (f : Model.fu) ->
+      add_sink (f.fu_name ^ ".in1");
+      add_sink (f.fu_name ^ ".in2");
+      add_sink (f.fu_name ^ ".op"))
+    m.fus;
+  List.iter add_sink m.outputs;
+  let nsinks = Hashtbl.length sink_ids in
+  let sink_name = Array.make (max nsinks 1) "" in
+  List.iter (fun n -> sink_name.(Hashtbl.find sink_ids n) <- n) !names;
+  let sink_id site n =
+    match Hashtbl.find_opt sink_ids n with
+    | Some i -> i
+    | None ->
+      (* validated models only reference declared resources, so this
+         is a compiler bug — mirror the elaboration diagnostic *)
+      invalid_arg
+        (Printf.sprintf
+           "Compiled: model %s declares no resource signal %S \
+            (referenced by %s)"
+           m.name n site)
+  in
+  let reg_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (r : Model.register) -> Hashtbl.replace reg_index r.reg_name i)
+    m.registers;
+  let fu_index = Hashtbl.create 8 in
+  List.iteri
+    (fun i (f : Model.fu) -> Hashtbl.replace fu_index f.fu_name i)
+    m.fus;
+  let compile_src (l : Transfer.leg) =
+    match l.src with
+    | Transfer.Reg_out r -> Sreg (Hashtbl.find reg_index r)
+    | Transfer.In_port i ->
+      (* input-port values are a pure function of the control step, so
+         the read folds to a constant at compile time *)
+      let v =
+        match
+          List.find_opt (fun (x : Model.input) -> x.in_name = i) m.inputs
+        with
+        | Some inp -> Model.input_value inp l.step
+        | None -> Word.disc
+      in
+      Sconst v
+    | Transfer.Bus b -> Sbus (sink_id "a transfer leg" b)
+    | Transfer.Fu_out f -> Sfu (Hashtbl.find fu_index f)
+    | Transfer.Reg_in _ | Transfer.Fu_in _ | Transfer.Out_port _ ->
+      Sconst Word.disc
+  in
+  let nslots = m.cs_max * Phase.count in
+  let slot_rev = Array.make nslots [] in
+  let slot_of step phase = ((step - 1) * Phase.count) + Phase.to_int phase in
+  let legs, selects = Model.all_legs m in
+  List.iter
+    (fun (l : Transfer.leg) ->
+      let a =
+        { src = compile_src l;
+          dst = sink_id "a transfer leg" (Transfer.endpoint_name l.dst) }
+      in
+      let s = slot_of l.step l.phase in
+      slot_rev.(s) <- a :: slot_rev.(s))
+    legs;
+  List.iter
+    (fun (s : Transfer.op_select) ->
+      match Hashtbl.find_opt fu_index s.sel_fu with
+      | None -> ()
+      | Some fi ->
+        let f = List.nth m.fus fi in
+        let rec find i = function
+          | [] -> Word.illegal
+          | o :: rest -> if Ops.equal o s.sel_op then i else find (i + 1) rest
+        in
+        let a =
+          { src = Sconst (find 0 f.ops);
+            dst = sink_id "an op selection" (s.sel_fu ^ ".op") }
+        in
+        let k = slot_of s.sel_step Phase.Rb in
+        slot_rev.(k) <- a :: slot_rev.(k))
+    selects;
+  let slots = Array.map (fun l -> Array.of_list (List.rev l)) slot_rev in
+  let static_actions =
+    Array.fold_left (fun n a -> n + Array.length a) 0 slots
+  in
+  let fus =
+    Array.of_list
+      (List.map
+         (fun (f : Model.fu) ->
+           { fu_state = Fu_state.create f;
+             op_sink = sink_id "a unit" (f.fu_name ^ ".op");
+             in1_sink = sink_id "a unit" (f.fu_name ^ ".in1");
+             in2_sink = sink_id "a unit" (f.fu_name ^ ".in2") })
+         m.fus)
+  in
+  let nregs = List.length m.registers in
+  let n1 = max nsinks 1 in
+  { model = m; cycles = Simulate.expected_cycles m; nsinks; sink_name;
+    slots; static_actions; fus;
+    reg_init =
+      Array.of_list
+        (List.map (fun (r : Model.register) -> r.init) m.registers);
+    reg_in_sink =
+      Array.of_list
+        (List.map
+           (fun (r : Model.register) ->
+             sink_id "a register" (r.reg_name ^ ".in"))
+           m.registers);
+    out_sink =
+      Array.of_list (List.map (sink_id "an output port") m.outputs);
+    visible = Array.make n1 Word.disc;
+    regs = Array.make (max nregs 1) Word.disc;
+    fu_out = Array.make (max (Array.length fus) 1) Word.disc;
+    acc = Array.make n1 Word.disc; in_pending = Array.make n1 false;
+    pend_ids = Array.make n1 0; pend_n = 0; live_ids = Array.make n1 0;
+    live_n = 0;
+    traces =
+      Array.init (max nregs 1) (fun _ -> Array.make m.cs_max Word.disc);
+    out_steps =
+      Array.init
+        (max (List.length m.outputs) 1)
+        (fun _ -> Array.make m.cs_max 0);
+    out_vals =
+      Array.init
+        (max (List.length m.outputs) 1)
+        (fun _ -> Array.make m.cs_max Word.disc);
+    out_n = Array.make (max (List.length m.outputs) 1) 0;
+    conflicts = []; st_contributions = 0; st_resolutions = 0;
+    st_fu_evals = 0; st_latches = 0 }
+
+let reset t =
+  Array.fill t.visible 0 (Array.length t.visible) Word.disc;
+  Array.fill t.acc 0 (Array.length t.acc) Word.disc;
+  Array.fill t.in_pending 0 (Array.length t.in_pending) false;
+  t.pend_n <- 0;
+  t.live_n <- 0;
+  Array.blit t.reg_init 0 t.regs 0 (Array.length t.reg_init);
+  Array.iter (fun (f : fu_spec) -> Fu_state.reset f.fu_state) t.fus;
+  Array.fill t.fu_out 0 (Array.length t.fu_out) Word.disc;
+  Array.iter (fun a -> Array.fill a 0 (Array.length a) Word.disc) t.traces;
+  Array.fill t.out_n 0 (Array.length t.out_n) 0;
+  t.conflicts <- [];
+  t.st_contributions <- 0;
+  t.st_resolutions <- 0;
+  t.st_fu_evals <- 0;
+  t.st_latches <- 0
+
+let[@inline] contribute t s v =
+  t.st_contributions <- t.st_contributions + 1;
+  if t.in_pending.(s) then t.acc.(s) <- Resolve.combine t.acc.(s) v
+  else begin
+    t.in_pending.(s) <- true;
+    t.acc.(s) <- v;
+    t.pend_ids.(t.pend_n) <- s;
+    t.pend_n <- t.pend_n + 1
+  end
+
+(* Resolve last phase's contributions into this phase's visible values:
+   live sinks not re-contributed release to DISC, pending sinks take
+   their accumulated resolution, and a sink newly becoming ILLEGAL is
+   localized as a conflict — the same two re-resolution cases as
+   [Interp.flip_phase], over a swap of preallocated id arrays. *)
+let flip t ~step ~phase =
+  for i = 0 to t.live_n - 1 do
+    let s = t.live_ids.(i) in
+    if not t.in_pending.(s) then begin
+      t.visible.(s) <- Word.disc;
+      t.st_resolutions <- t.st_resolutions + 1
+    end
+  done;
+  for i = 0 to t.pend_n - 1 do
+    let s = t.pend_ids.(i) in
+    let v = t.acc.(s) in
+    if Word.is_illegal v && not (Word.is_illegal t.visible.(s)) then
+      t.conflicts <- (step, phase, t.sink_name.(s)) :: t.conflicts;
+    t.visible.(s) <- v;
+    t.st_resolutions <- t.st_resolutions + 1
+  done;
+  let freed = t.live_ids in
+  t.live_ids <- t.pend_ids;
+  t.live_n <- t.pend_n;
+  t.pend_ids <- freed;
+  t.pend_n <- 0;
+  for i = 0 to t.live_n - 1 do
+    let s = t.live_ids.(i) in
+    t.in_pending.(s) <- false;
+    t.acc.(s) <- Word.disc
+  done
+
+let run t =
+  reset t;
+  let cm = Phase.to_int Phase.Cm and cr = Phase.to_int Phase.Cr in
+  for step = 1 to t.model.cs_max do
+    for pi = 0 to Phase.count - 1 do
+      let phase = Phase.of_int_exn pi in
+      flip t ~step ~phase;
+      let acts = t.slots.(((step - 1) * Phase.count) + pi) in
+      for a = 0 to Array.length acts - 1 do
+        let { src; dst } = acts.(a) in
+        let v =
+          match src with
+          | Sconst w -> w
+          | Sreg r -> t.regs.(r)
+          | Sbus s -> t.visible.(s)
+          | Sfu f -> t.fu_out.(f)
+        in
+        contribute t dst v
+      done;
+      if pi = cm then
+        for f = 0 to Array.length t.fus - 1 do
+          let u = t.fus.(f) in
+          t.fu_out.(f) <-
+            Fu_state.step u.fu_state ~op_index:t.visible.(u.op_sink)
+              t.visible.(u.in1_sink) t.visible.(u.in2_sink);
+          t.st_fu_evals <- t.st_fu_evals + 1
+        done
+      else if pi = cr then begin
+        for r = 0 to Array.length t.reg_in_sink - 1 do
+          let v = t.visible.(t.reg_in_sink.(r)) in
+          if not (Word.is_disc v) then begin
+            t.regs.(r) <- v;
+            t.st_latches <- t.st_latches + 1
+          end
+        done;
+        for o = 0 to Array.length t.out_sink - 1 do
+          let v = t.visible.(t.out_sink.(o)) in
+          if not (Word.is_disc v) then begin
+            let n = t.out_n.(o) in
+            t.out_steps.(o).(n) <- step;
+            t.out_vals.(o).(n) <- v;
+            t.out_n.(o) <- n + 1
+          end
+        done;
+        for r = 0 to Array.length t.reg_in_sink - 1 do
+          t.traces.(r).(step - 1) <- t.regs.(r)
+        done
+      end
+    done
+  done;
+  { Observation.model_name = t.model.name; cs_max = t.model.cs_max;
+    regs =
+      List.mapi
+        (fun i (r : Model.register) -> (r.reg_name, Array.copy t.traces.(i)))
+        t.model.registers;
+    outputs =
+      List.mapi
+        (fun o name ->
+          ( name,
+            List.init t.out_n.(o) (fun k ->
+                (t.out_steps.(o).(k), t.out_vals.(o).(k))) ))
+        t.model.outputs;
+    conflicts = List.rev t.conflicts }
+
+let last_stats t =
+  { static_actions = t.static_actions; contributions = t.st_contributions;
+    resolutions = t.st_resolutions; fu_evals = t.st_fu_evals;
+    latches = t.st_latches }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "@[<v>schedule actions : %d@,contributions    : %d@,resolutions      \
+     : %d@,unit evaluations : %d@,register latches : %d@]"
+    s.static_actions s.contributions s.resolutions s.fu_evals s.latches

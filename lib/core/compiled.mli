@@ -1,0 +1,63 @@
+(** Phase-compiled execution of static models — the fast path.
+
+    A conflict-free clock-free model has a {e static} schedule: the
+    paper's delta-cycle law pins every activity to one (control step,
+    phase) slot, so the event queue, the waiter tables and the process
+    machinery of the kernel are pure overhead.  [of_model] flattens an
+    elaborated model into per-(step, phase) action arrays — bus
+    drives, operation selections, unit evaluations, register latches —
+    over integer-indexed value buffers; [run] executes that schedule
+    with no event queue, no closures and no allocation in the hot loop
+    (conflicts, when they happen, allocate their report entries).
+
+    The executor implements exactly the dedicated semantics of
+    {!Interp} (one-phase-lagged visibility, the resolution monoid,
+    newly-ILLEGAL conflict localization), so for every model the three
+    engines agree on the full {!Observation.t}; the differential
+    qcheck suite ([test/test_compiled.ml]) pins this.
+
+    What the compiler cannot prove static falls back to the kernel:
+    fault injection (tampers, saboteurs, oscillators, dropped legs,
+    latency overrides), tracing, VCD streaming, and the [Halt] /
+    [Degrade] conflict policies — see {!compilable} and the dispatch
+    in [bin/csrtl.ml] and {!Csrtl_fault.Campaign}. *)
+
+type t
+(** A compiled plan: the static schedule plus preallocated run-state
+    buffers.  Reusable — each {!run} resets the buffers — but not
+    shareable between domains; compile one plan per domain. *)
+
+type stats = {
+  static_actions : int;  (** contribute actions in the flattened schedule *)
+  contributions : int;  (** dynamic sink contributions of the last run *)
+  resolutions : int;  (** visibility flips applied to some sink *)
+  fu_evals : int;
+  latches : int;  (** register latches that stored a value *)
+}
+
+val compilable :
+  ?inject:Inject.t -> ?config:Simulate.config -> Model.t ->
+  (unit, string) result
+(** [Ok ()] when the model/run combination has a static schedule the
+    compiler covers; [Error why] names the first feature that forces
+    the kernel path (an injection plan, or a conflict policy other
+    than [Record]). *)
+
+val of_model : Model.t -> t
+(** Validates ({!Model.validate_exn}) and compiles.  Models with
+    dynamic conflicts are fine — resolution and ILLEGAL localization
+    are part of the schedule; only {e injections} are not. *)
+
+val model : t -> Model.t
+val cycles : t -> int
+(** What the kernel would report: {!Simulate.expected_cycles} — the
+    law is the compiler's soundness argument, and the differential
+    suite checks the kernel agrees. *)
+
+val run : t -> Observation.t
+(** Execute the schedule once from the model's initial state.  The
+    returned observation owns fresh arrays (safe to keep across
+    subsequent runs of the same plan). *)
+
+val last_stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -260,6 +260,26 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
              wait_release sb.sab_step (Phase.succ sb.sab_phase);
              Scheduler.assign k s Word.disc)))
     inject.Inject.saboteurs;
+  (* Oscillator processes: a metastable net.  From the trigger slot on,
+     the process re-triggers itself through a private toggle signal
+     every delta cycle, so the run never reaches quiescence — the
+     bounded realization of "this driver set has no fixpoint". *)
+  List.iteri
+    (fun idx (o : Inject.oscillator) ->
+      let s = sig_named ~site:"an injected oscillator" o.Inject.osc_sink in
+      let name = "OSC" ^ string_of_int idx in
+      let tick = Scheduler.signal k ~name:(name ^ ".tick") ~init:0 () in
+      ignore
+        (Scheduler.add_process k ~name (fun () ->
+             wait_first o.Inject.osc_step o.Inject.osc_phase;
+             let v = ref 0 in
+             while true do
+               Scheduler.assign k s !v;
+               v := 1 - !v;
+               Scheduler.assign k tick (1 - Signal.value tick);
+               Process.wait_on [ tick ]
+             done)))
+    inject.Inject.oscillators;
   { kernel = k; model = m; ctrl; signal_of;
     find_signal = Hashtbl.find_opt table }
 

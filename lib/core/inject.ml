@@ -7,17 +7,27 @@ type saboteur = {
   sab_value : Word.t;
 }
 
+type oscillator = {
+  osc_sink : string;
+  osc_step : int;
+  osc_phase : Phase.t;
+}
+
 type t = {
   tampers : (string * tamper) list;
   drop_legs : int list;
   saboteurs : saboteur list;
   fu_latency : (string * int) list;
+  oscillators : oscillator list;
 }
 
-let none = { tampers = []; drop_legs = []; saboteurs = []; fu_latency = [] }
+let none =
+  { tampers = []; drop_legs = []; saboteurs = []; fu_latency = [];
+    oscillators = [] }
 
 let is_none i =
-  i.tampers = [] && i.drop_legs = [] && i.saboteurs = [] && i.fu_latency = []
+  i.tampers = [] && i.drop_legs = [] && i.saboteurs = []
+  && i.fu_latency = [] && i.oscillators = []
 
 let tamper_for i name = List.assoc_opt name i.tampers
 let latency_for i name = List.assoc_opt name i.fu_latency
@@ -48,8 +58,13 @@ let fu_latency ~fu latency =
   if latency < 1 then invalid_arg "Inject.fu_latency: latency < 1";
   { none with fu_latency = [ (fu, latency) ] }
 
+let oscillator ~sink ~step ~phase =
+  { none with
+    oscillators = [ { osc_sink = sink; osc_step = step; osc_phase = phase } ] }
+
 let merge a b =
   { tampers = a.tampers @ b.tampers;
     drop_legs = a.drop_legs @ b.drop_legs;
     saboteurs = a.saboteurs @ b.saboteurs;
-    fu_latency = a.fu_latency @ b.fu_latency }
+    fu_latency = a.fu_latency @ b.fu_latency;
+    oscillators = a.oscillators @ b.oscillators }

@@ -27,6 +27,21 @@ type saboteur = {
   sab_value : Word.t;
 }
 
+type oscillator = {
+  osc_sink : string;  (** resolved sink whose driver set never settles *)
+  osc_step : int;
+  osc_phase : Phase.t;
+      (** first (step, phase) at which the metastable driver engages;
+          from then on the net re-evaluates on every delta cycle and
+          never reaches quiescence *)
+}
+(** A metastable net.  The kernel realizes it as a self-retriggering
+    process, so the run livelocks (caught by the {!Simulate} watchdog
+    or the kernel's delta-overflow bound); the interpreter, which
+    computes one fixpoint per phase, {e proves} there is none and
+    raises {!Interp.Unstable} at the trigger slot.  Both paths
+    classify as hung in a campaign. *)
+
 type t = {
   tampers : (string * tamper) list;  (** per-sink resolution wraps *)
   drop_legs : int list;
@@ -36,6 +51,7 @@ type t = {
   fu_latency : (string * int) list;
       (** forced pipeline depth per functional unit, replacing the
           model's latency without re-validating the schedule *)
+  oscillators : oscillator list;
 }
 
 val none : t
@@ -60,5 +76,9 @@ val extra_driver : sink:string -> step:int -> phase:Phase.t -> Word.t -> t
 
 val fu_latency : fu:string -> int -> t
 (** Raises [Invalid_argument] if the latency is below 1. *)
+
+val oscillator : sink:string -> step:int -> phase:Phase.t -> t
+(** A metastable driver on [sink] engaging at (step, phase) — see
+    {!type:oscillator}. *)
 
 val merge : t -> t -> t

@@ -1,5 +1,16 @@
 type hook = step:int -> phase:Phase.t -> sink:string -> Word.t -> unit
 
+exception Unstable of int * Phase.t * string
+
+let () =
+  Printexc.register_printer (function
+    | Unstable (step, phase, sink) ->
+      Some
+        (Printf.sprintf
+           "Interp.Unstable(no fixpoint at step %d phase %s on %s)" step
+           (Phase.to_string phase) sink)
+    | _ -> None)
+
 type state = {
   model : Model.t;
   inject : Inject.t;
@@ -12,6 +23,7 @@ type state = {
   legs_at : (int * int, Transfer.leg list) Hashtbl.t;
   selects_at : (int, Transfer.op_select list) Hashtbl.t;
   sabs_at : (int * int, Inject.saboteur list) Hashtbl.t;
+  oscs_at : (int * int, Inject.oscillator list) Hashtbl.t;
   op_index : (string, Ops.t -> Word.t) Hashtbl.t;
   (* one-phase-lagged resolved view of all contribution sinks *)
   mutable contribs : (string, Word.t list) Hashtbl.t;
@@ -31,6 +43,27 @@ let apply_tamper st sink ~step ~phase v =
   | Some tam -> tam ~step ~phase v
 
 let init ~inject (m : Model.t) =
+  (* Injection sinks must exist, with the same diagnosis the kernel
+     elaboration gives — a campaign classifies the failure identically
+     on both paths. *)
+  let declared = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace declared n ()) (Model.signal_names m);
+  let check_sink site n =
+    if not (Hashtbl.mem declared n) then
+      invalid_arg
+        (Printf.sprintf
+           "Interp: model %s declares no resource signal %S (referenced \
+            by %s)"
+           m.name n site)
+  in
+  List.iter
+    (fun (sb : Inject.saboteur) ->
+      check_sink "an injected saboteur" sb.Inject.sab_sink)
+    inject.Inject.saboteurs;
+  List.iter
+    (fun (o : Inject.oscillator) ->
+      check_sink "an injected oscillator" o.Inject.osc_sink)
+    inject.Inject.oscillators;
   let regs = Hashtbl.create 16 in
   List.iter
     (fun (r : Model.register) -> Hashtbl.replace regs r.reg_name r.init)
@@ -95,13 +128,20 @@ let init ~inject (m : Model.t) =
       let prev = Option.value ~default:[] (Hashtbl.find_opt sabs_at key) in
       Hashtbl.replace sabs_at key (prev @ [ sb ]))
     inject.Inject.saboteurs;
+  let oscs_at = Hashtbl.create 4 in
+  List.iter
+    (fun (o : Inject.oscillator) ->
+      let key = (o.Inject.osc_step, Phase.to_int o.Inject.osc_phase) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt oscs_at key) in
+      Hashtbl.replace oscs_at key (prev @ [ o ]))
+    inject.Inject.oscillators;
   let reg_trace = Hashtbl.create 16 in
   List.iter
     (fun (r : Model.register) ->
       Hashtbl.replace reg_trace r.reg_name (Array.make m.cs_max Word.disc))
     m.registers;
   { model = m; inject; regs; reg_vis; fus; fu_out; legs_at; selects_at;
-    sabs_at; op_index; contribs = Hashtbl.create 16;
+    sabs_at; oscs_at; op_index; contribs = Hashtbl.create 16;
     visible = Hashtbl.create 16; last_contributed = Hashtbl.create 16;
     conflicts = []; reg_trace; out_writes = [] }
 
@@ -171,6 +211,12 @@ let source_value st step = function
     Word.disc
 
 let run_phase st ~step ~(phase : Phase.t) =
+  (* The interpreter computes one fixpoint per phase; a metastable
+     driver has none, so the run cannot continue — the dedicated
+     semantics proves the livelock the kernel merely exhibits. *)
+  (match Hashtbl.find_opt st.oscs_at (step, Phase.to_int phase) with
+   | Some (o :: _) -> raise (Unstable (step, phase, o.Inject.osc_sink))
+   | Some [] | None -> ());
   let legs =
     Option.value ~default:[]
       (Hashtbl.find_opt st.legs_at (step, Phase.to_int phase))

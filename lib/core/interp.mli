@@ -11,6 +11,14 @@
     {!Simulate}.  The interpreter is also the fast execution path
     (see the [speed/kernel-vs-interp] ablation bench). *)
 
+exception Unstable of int * Phase.t * string
+(** Raised at the trigger slot of an injected {!Inject.oscillator}:
+    the phase the oscillating driver engages in has no fixpoint, so
+    the dedicated semantics cannot assign the run a meaning.  The
+    kernel path exhibits the same fault as a livelock (watchdog trip
+    or delta overflow); {!Csrtl_fault.Campaign} classifies both as
+    hung. *)
+
 val run : ?inject:Inject.t -> Model.t -> Observation.t
 (** Validates and runs the model for [cs_max] control steps.
 
@@ -22,7 +30,9 @@ val run : ?inject:Inject.t -> Model.t -> Observation.t
     Tampers are supported on buses, ports and register outputs;
     register-output tampers must be step/phase-insensitive (stuck
     faults) for the two paths to agree on the reported conflict
-    point. *)
+    point.  Saboteur and oscillator sinks must exist in the model
+    ([Invalid_argument] otherwise, mirroring the kernel elaboration);
+    oscillators raise {!Unstable}. *)
 
 type hook = step:int -> phase:Phase.t -> sink:string -> Word.t -> unit
 

@@ -42,6 +42,20 @@ let input_value i step =
        (* entries are kept sorted by step; the last applicable wins *)
        v)
 
+let signal_names m =
+  List.concat
+    [ m.buses;
+      List.concat_map
+        (fun r -> [ r.reg_name ^ ".in"; r.reg_name ^ ".out" ])
+        m.registers;
+      List.concat_map
+        (fun f ->
+          [ f.fu_name ^ ".in1"; f.fu_name ^ ".in2"; f.fu_name ^ ".out";
+            f.fu_name ^ ".op" ])
+        m.fus;
+      List.map (fun i -> i.in_name) m.inputs;
+      m.outputs ]
+
 let find_register m name =
   List.find_opt (fun r -> r.reg_name = name) m.registers
 

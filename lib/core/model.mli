@@ -49,6 +49,12 @@ val fu :
 val input_value : input -> int -> Word.t
 (** Value the input port presents during the given control step. *)
 
+val signal_names : t -> string list
+(** Every resource-signal name the elaboration declares for this
+    model: buses, [R.in]/[R.out] per register, [F.in1]/[F.in2]/[F.out]/
+    [F.op] per unit, input and output ports.  Both execution paths use
+    it to reject injections on nonexistent sinks identically. *)
+
 val find_register : t -> string -> register option
 val find_fu : t -> string -> fu option
 val fu_latency : t -> string -> int

@@ -2,6 +2,17 @@ open Csrtl_kernel
 
 type illegal_policy = Halt | Record | Degrade
 
+type config = {
+  wait_impl : [ `Keyed | `Predicate ];
+  resolution_impl : [ `Incremental | `Fold ];
+  on_illegal : illegal_policy;
+  watchdog : bool;
+}
+
+let default =
+  { wait_impl = `Keyed; resolution_impl = `Incremental;
+    on_illegal = Record; watchdog = false }
+
 type outcome =
   | Finished
   | Halted of int * Phase.t * string
@@ -34,10 +45,10 @@ let expected_cycles (m : Model.t) =
 
 let watchdog_slack = 16
 
-let run ?vcd ?(trace = false) ?wait_impl ?resolution_impl ?inject
-    ?(on_illegal = Record) ?(watchdog = false) (m : Model.t) =
+let run_cfg ?vcd ?(trace = false) ?inject ?(config = default) (m : Model.t) =
+  let { wait_impl; resolution_impl; on_illegal; watchdog } = config in
   let e =
-    Elaborate.build ?wait_impl ?resolution_impl ?inject
+    Elaborate.build ~wait_impl ~resolution_impl ?inject
       ~degrade_illegal:(on_illegal = Degrade) m
   in
   let k = e.kernel in
@@ -167,6 +178,17 @@ let run ?vcd ?(trace = false) ?wait_impl ?resolution_impl ?inject
   in
   { obs; cycles = Scheduler.delta_count k; stats = Scheduler.stats k;
     elaborated = e; outcome }
+
+let run ?vcd ?trace ?wait_impl ?resolution_impl ?inject ?on_illegal
+    ?watchdog m =
+  let pick v dflt = Option.value ~default:dflt v in
+  let config =
+    { wait_impl = pick wait_impl default.wait_impl;
+      resolution_impl = pick resolution_impl default.resolution_impl;
+      on_illegal = pick on_illegal default.on_illegal;
+      watchdog = pick watchdog default.watchdog }
+  in
+  run_cfg ?vcd ?trace ?inject ~config m
 
 let pp_outcome ppf = function
   | Finished -> Format.pp_print_string ppf "finished"

@@ -25,6 +25,22 @@ type outcome =
           poisoned (see {!Csrtl_kernel.Scheduler.run}) but the partial
           observation is still reported *)
 
+type config = {
+  wait_impl : [ `Keyed | `Predicate ];
+  resolution_impl : [ `Incremental | `Fold ];
+  on_illegal : illegal_policy;
+  watchdog : bool;
+}
+(** Everything about a kernel run that is policy rather than model:
+    the wait and resolution implementations (ablation choices), the
+    conflict policy, and the watchdog.  Collected in one record so
+    campaign drivers, the parallel engine and the CLI thread a single
+    value instead of four optional arguments. *)
+
+val default : config
+(** [`Keyed], [`Incremental], [Record], watchdog off — the defaults
+    {!run} has always had. *)
+
 type result = {
   obs : Observation.t;
   cycles : int;  (** simulation cycles executed: [6 * cs_max], plus one
@@ -33,6 +49,12 @@ type result = {
   elaborated : Elaborate.t;
   outcome : outcome;
 }
+
+val run_cfg :
+  ?vcd:Buffer.t -> ?trace:bool -> ?inject:Inject.t -> ?config:config ->
+  Model.t -> result
+(** Like {!run}, with the four policy choices bundled in a {!config}
+    (default {!default}). *)
 
 val run :
   ?vcd:Buffer.t -> ?trace:bool -> ?wait_impl:[ `Keyed | `Predicate ] ->

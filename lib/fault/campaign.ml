@@ -68,8 +68,11 @@ let classify ~golden (faulted : Observation.t) =
      | [] -> Masked
      | ds -> Corrupted ds)
 
-let kernel_entry ~golden m inj =
-  match Simulate.run ~inject:inj ~watchdog:true m with
+let kernel_entry ~config ~golden m inj =
+  (* campaigns always arm the watchdog: a fault that stalls the
+     controller must classify as Hung, not hang the campaign *)
+  let config = { config with Simulate.watchdog = true } in
+  match Simulate.run_cfg ~inject:inj ~config m with
   | r ->
     (match r.Simulate.outcome with
      | Simulate.Watchdog_tripped c ->
@@ -85,36 +88,43 @@ let kernel_entry ~golden m inj =
 let interp_entry ~golden m inj =
   match Interp.run ~inject:inj m with
   | o -> classify ~golden o
+  | exception Interp.Unstable (step, phase, sink) ->
+    (* the kernel path livelocks on the same fault and trips the
+       watchdog: both paths classify as hung *)
+    Hung
+      (Printf.sprintf "no fixpoint at step %d phase %s on %s" step
+         (Phase.to_string phase) sink)
   | exception e -> Crashed (Printexc.to_string e)
 
-let run ?limit ?faults (m : Model.t) =
-  let faults =
-    match faults with
-    | Some fs -> fs
-    | None -> Fault.enumerate ?limit m
+(* The campaign's goldens: the kernel side takes the phase-compiled
+   fast path when the configuration stays on its schedule (fault runs
+   themselves always need the kernel or the interpreter — injection is
+   dynamic).  The differential suite pins Compiled = Simulate on the
+   full observation, so classification is unchanged. *)
+let golden_kernel ~config m =
+  match Compiled.compilable ~config m with
+  | Ok () -> Compiled.run (Compiled.of_model m)
+  | Error _ ->
+    (Simulate.run_cfg ~config:{ config with Simulate.watchdog = true } m)
+      .Simulate.obs
+
+let entry_of_fault ~config ~golden_k ~golden_i ~expected m fault =
+  let inj = Fault.to_inject fault in
+  let kernel_outcome, kernel_cycles =
+    kernel_entry ~config ~golden:golden_k m inj
   in
-  let golden_k = (Simulate.run ~watchdog:true m).Simulate.obs in
-  let golden_i = Interp.run m in
-  let expected = Simulate.expected_cycles m in
-  let entries =
-    List.map
-      (fun fault ->
-        let inj = Fault.to_inject fault in
-        let kernel_outcome, kernel_cycles =
-          kernel_entry ~golden:golden_k m inj
-        in
-        let interp_outcome = interp_entry ~golden:golden_i m inj in
-        let law_ok =
-          (* the delta-cycle law must keep holding when the fault is
-             masked; the one-cycle slack covers the trailing
-             driver-release edge an injection can add or remove *)
-          match kernel_outcome with
-          | Masked -> abs (kernel_cycles - expected) <= 1
-          | _ -> true
-        in
-        { fault; kernel_outcome; interp_outcome; kernel_cycles; law_ok })
-      faults
+  let interp_outcome = interp_entry ~golden:golden_i m inj in
+  let law_ok =
+    (* the delta-cycle law must keep holding when the fault is
+       masked; the one-cycle slack covers the trailing
+       driver-release edge an injection can add or remove *)
+    match kernel_outcome with
+    | Masked -> abs (kernel_cycles - expected) <= 1
+    | _ -> true
   in
+  { fault; kernel_outcome; interp_outcome; kernel_cycles; law_ok }
+
+let summarize (m : Model.t) entries =
   let count p = List.length (List.filter p entries) in
   let masked = count (fun e -> e.kernel_outcome = Masked) in
   let detected =
@@ -141,6 +151,40 @@ let run ?limit ?faults (m : Model.t) =
     law_violations = count (fun e -> not e.law_ok);
     coverage;
     entries }
+
+let fault_list ?limit ?faults m =
+  match faults with Some fs -> fs | None -> Fault.enumerate ?limit m
+
+let run ?(config = Simulate.default) ?limit ?faults (m : Model.t) =
+  let faults = fault_list ?limit ?faults m in
+  let golden_k = golden_kernel ~config m in
+  let golden_i = Interp.run m in
+  let expected = Simulate.expected_cycles m in
+  summarize m
+    (List.map (entry_of_fault ~config ~golden_k ~golden_i ~expected m) faults)
+
+let run_parallel ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
+    ?faults (m : Model.t) =
+  let faults = fault_list ?limit ?faults m in
+  (* goldens computed once in the caller and shared read-only with
+     every domain; each faulted run owns all its mutable state *)
+  let golden_k = golden_kernel ~config m in
+  let golden_i = Interp.run m in
+  let expected = Simulate.expected_cycles m in
+  let compute = entry_of_fault ~config ~golden_k ~golden_i ~expected m in
+  let entries =
+    match pool with
+    | Some p -> Csrtl_par.Par.map ?chunks p compute faults
+    | None ->
+      let jobs =
+        match jobs with
+        | Some j -> j
+        | None -> Csrtl_par.Par.default_jobs ()
+      in
+      Csrtl_par.Par.with_pool ~jobs (fun p ->
+          Csrtl_par.Par.map ?chunks p compute faults)
+  in
+  summarize m entries
 
 let pp_outcome ppf = function
   | Masked -> Format.pp_print_string ppf "masked"

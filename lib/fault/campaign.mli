@@ -45,8 +45,29 @@ type report = {
   entries : entry list;
 }
 
-val run : ?limit:int -> ?faults:Fault.t list -> Model.t -> report
-(** [faults] overrides {!Fault.enumerate} (then [limit] is unused). *)
+val run :
+  ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
+  Model.t -> report
+(** [faults] overrides {!Fault.enumerate} (then [limit] is unused).
+    [config] selects the kernel policies of every run (default
+    {!Simulate.default}); the watchdog is always forced on so a
+    stalling fault classifies as [Hung] instead of hanging the
+    campaign.  The clean kernel golden takes the phase-compiled fast
+    path when [config] permits. *)
+
+val run_parallel :
+  ?pool:Csrtl_par.Par.t -> ?jobs:int -> ?chunks:int ->
+  ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
+  Model.t -> report
+(** {!run} with the fault list sharded across a domain pool.  The
+    goldens are computed once in the caller; each faulted run owns its
+    kernel/interpreter state, so runs are embarrassingly parallel.
+    Entry order follows the fault list regardless of scheduling: the
+    report is {e identical} to {!run}'s — same bytes from
+    {!pp_report} at any [jobs]/[chunks] — which the determinism suite
+    checks.  [pool] reuses an existing pool (then [jobs] is ignored);
+    otherwise a pool of [jobs] (default
+    {!Csrtl_par.Par.default_jobs}) is created for the call. *)
 
 val outcomes_agree : outcome -> outcome -> bool
 (** Same class; [Detected] additionally requires the same localization. *)

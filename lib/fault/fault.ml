@@ -6,6 +6,7 @@ type t =
   | Extra_driver of { sink : string; step : int; phase : Phase.t; value : Word.t }
   | Fu_latency of { fu : string; latency : int }
   | Transient of { sink : string; step : int; phase : Phase.t; value : Word.t }
+  | Oscillator of { sink : string; step : int; phase : Phase.t }
 
 (* Arbitrary but fixed corruption payloads, chosen to be unlikely to
    collide with real datapath values in the corpus models. *)
@@ -22,6 +23,7 @@ let to_inject = function
   | Fu_latency { fu; latency } -> Inject.fu_latency ~fu latency
   | Transient { sink; step; phase; value } ->
     Inject.transient_sink ~sink ~step ~phase value
+  | Oscillator { sink; step; phase } -> Inject.oscillator ~sink ~step ~phase
 
 let pp ppf = function
   | Stuck_sink { sink; value } ->
@@ -36,6 +38,9 @@ let pp ppf = function
   | Transient { sink; step; phase; value } ->
     Format.fprintf ppf "transient %s on %s at (%d, %s)"
       (Word.to_string value) sink step (Phase.to_string phase)
+  | Oscillator { sink; step; phase } ->
+    Format.fprintf ppf "oscillator on %s from (%d, %s)" sink step
+      (Phase.to_string phase)
 
 let to_string f = Format.asprintf "%a" pp f
 

@@ -27,6 +27,14 @@ type t =
   | Transient of { sink : string; step : int; phase : Phase.t; value : Word.t }
       (** a single-(step, phase) corruption of one resolution — an SEU
           at an exact visibility slot *)
+  | Oscillator of { sink : string; step : int; phase : Phase.t }
+      (** from (step, phase) on, a metastable driver toggles [sink]
+          every delta cycle and never settles.  The kernel path
+          livelocks (watchdog trip); the interpreter proves the
+          missing fixpoint ({!Interp.Unstable}); a campaign classifies
+          both as [Hung].  Not part of {!enumerate} — single-fault
+          lists stay settle-able; inject it explicitly via
+          [Campaign.run ~faults]. *)
 
 val enumerate : ?limit:int -> Model.t -> t list
 (** Deterministic single-fault list for a model: three stuck values

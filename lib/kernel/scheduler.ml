@@ -125,7 +125,7 @@ let drive_external k s v =
 let now k = k.now
 let delta_count k = k.stats.total_deltas
 let request_stop k = k.stop_requested <- true
-let stats k = k.stats
+let stats k = Types.copy_stats k.stats
 let signals k = List.rev k.signals
 let on_event k f = k.event_hooks <- f :: k.event_hooks
 

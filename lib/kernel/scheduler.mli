@@ -60,6 +60,10 @@ val delta_count : t -> int
 (** Simulation cycles executed so far, excluding initialization. *)
 
 val stats : t -> Types.stats
+(** Snapshot (a copy) of the kernel counters.  Because it shares no
+    mutable state with the kernel, the snapshot is safe to move across
+    domains — parallel fault campaigns aggregate these. *)
+
 val signals : t -> Signal.t list
 (** All signals in creation order. *)
 

@@ -1,0 +1,164 @@
+(* Fork-join fan-out over Domain.  The pool keeps its workers parked
+   on a condition variable; each [map] publishes one job (a chunked
+   index space plus an atomic claim counter), wakes everyone, works
+   its own share, and waits for the chunk-completion count.  Results
+   land in per-index slots, so ordering never depends on which domain
+   ran what. *)
+
+type worker_stat = { w_chunks : int; w_items : int; w_busy : float }
+
+let zero_stat = { w_chunks = 0; w_items = 0; w_busy = 0. }
+
+type job = {
+  nchunks : int;
+  next : int Atomic.t;  (* chunk claim counter *)
+  failed : bool Atomic.t;  (* fast-path check to stop claiming *)
+  mutable completed : int;  (* under the pool mutex *)
+  mutable failure : exn option;  (* first failure, under the pool mutex *)
+  run_chunk : worker:int -> int -> unit;
+}
+
+type t = {
+  njobs : int;
+  mutex : Mutex.t;
+  wake : Condition.t;  (* workers: a new job or shutdown *)
+  finished : Condition.t;  (* caller: all chunks completed *)
+  mutable gen : int;
+  mutable job : job option;
+  mutable stop : bool;
+  mutable shut : bool;
+  mutable in_map : bool;
+  stats : worker_stat array;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+let jobs t = t.njobs
+
+let run_chunks t (j : job) w =
+  let continue = ref true in
+  while !continue do
+    let c = Atomic.fetch_and_add j.next 1 in
+    if c >= j.nchunks then continue := false
+    else begin
+      (* every claimed chunk is counted completed, even when skipped
+         after a failure — the caller's wait would deadlock otherwise *)
+      if not (Atomic.get j.failed) then (
+        try j.run_chunk ~worker:w c
+        with e ->
+          Atomic.set j.failed true;
+          Mutex.lock t.mutex;
+          if j.failure = None then j.failure <- Some e;
+          Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      j.completed <- j.completed + 1;
+      if j.completed = j.nchunks then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let rec worker_loop t w last_gen =
+  Mutex.lock t.mutex;
+  while (not t.stop) && t.gen = last_gen do
+    Condition.wait t.wake t.mutex
+  done;
+  if t.stop then Mutex.unlock t.mutex
+  else begin
+    let gen = t.gen in
+    (* the published job is never cleared, only replaced: a worker
+       waking after the caller already drained it just finds the claim
+       counter exhausted and goes back to sleep *)
+    match t.job with
+    | None ->
+      Mutex.unlock t.mutex;
+      worker_loop t w gen
+    | Some j ->
+      Mutex.unlock t.mutex;
+      run_chunks t j w;
+      worker_loop t w gen
+  end
+
+let create ~jobs =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Par.create: jobs must be >= 1 (got %d)" jobs);
+  let t =
+    { njobs = jobs; mutex = Mutex.create (); wake = Condition.create ();
+      finished = Condition.create (); gen = 0; job = None; stop = false;
+      shut = false; in_map = false; stats = Array.make jobs zero_stat;
+      domains = [] }
+  in
+  t.domains <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1) 0));
+  t
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map ?chunks t f xs =
+  match xs with
+  | [] -> []
+  | _ ->
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let nchunks =
+      min n (max 1 (Option.value chunks ~default:(4 * t.njobs)))
+    in
+    (* contiguous chunk [c] covers [c*n/nchunks, (c+1)*n/nchunks) *)
+    let run_chunk ~worker c =
+      let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
+      let t0 = Unix.gettimeofday () in
+      for i = lo to hi - 1 do
+        results.(i) <- Some (f arr.(i))
+      done;
+      let s = t.stats.(worker) in
+      t.stats.(worker) <-
+        { w_chunks = s.w_chunks + 1; w_items = s.w_items + (hi - lo);
+          w_busy = s.w_busy +. (Unix.gettimeofday () -. t0) }
+    in
+    Array.fill t.stats 0 t.njobs zero_stat;
+    if t.njobs = 1 || t.in_map || t.shut then begin
+      (* solo pool, nested call from a worker, or a dead pool: run
+         inline in the caller — same results, no hand-off *)
+      for c = 0 to nchunks - 1 do
+        run_chunk ~worker:0 c
+      done;
+      Array.to_list (Array.map Option.get results)
+    end
+    else begin
+      let j =
+        { nchunks; next = Atomic.make 0; failed = Atomic.make false;
+          completed = 0; failure = None; run_chunk }
+      in
+      t.in_map <- true;
+      Mutex.lock t.mutex;
+      t.job <- Some j;
+      t.gen <- t.gen + 1;
+      Condition.broadcast t.wake;
+      Mutex.unlock t.mutex;
+      run_chunks t j 0;
+      Mutex.lock t.mutex;
+      while j.completed < j.nchunks do
+        Condition.wait t.finished t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      t.in_map <- false;
+      match j.failure with
+      | Some e -> raise e
+      | None -> Array.to_list (Array.map Option.get results)
+    end
+
+let last_stats t = Array.copy t.stats

@@ -1,0 +1,60 @@
+(** Deterministic fan-out over OCaml 5 domains.
+
+    A {!pool} owns [jobs - 1] worker domains (the caller is worker 0);
+    {!map} splits the index space into contiguous chunks that workers
+    grab from a shared atomic counter and writes each result into its
+    input's slot, so the {e result order is a pure function of the
+    input} — independent of scheduling, of [jobs], and of [chunks].
+    Campaign drivers rely on this: the same seed produces a
+    byte-identical report at [--jobs 1] and [--jobs 8].
+
+    The pool is a plain fork-join primitive: no work stealing, no
+    nested parallelism ({!map} from inside a worker runs inline), and
+    exceptions from workers are re-raised in the caller after all
+    workers have drained. *)
+
+type t
+(** A pool of worker domains.  One {!map} runs at a time; the workers
+    sleep on a condition variable between jobs. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the core count the runtime
+    advertises. *)
+
+val create : jobs:int -> t
+(** Spawn [jobs - 1] worker domains ([Invalid_argument] when
+    [jobs < 1]).  A [jobs = 1] pool has no domains and {!map} runs
+    entirely in the caller. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; the pool is unusable after. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)
+
+val map : ?chunks:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** Apply [f] to every element, fanning chunks out across the pool.
+    [chunks] defaults to [4 * jobs] (bounded by the list length) —
+    small enough to amortize hand-off, large enough to rebalance when
+    items vary in cost.  The result list matches the input order
+    exactly.  If any application raises, the first exception (by
+    completion time) is re-raised after all workers finish their
+    in-flight chunks.
+
+    [f] runs on arbitrary domains: it must not touch shared mutable
+    state.  Kernel/interpreter/compiled runs are safe — each run owns
+    its state — but a single {!Csrtl_core.Compiled.t} plan must not be
+    shared across items. *)
+
+type worker_stat = {
+  w_chunks : int;  (** chunks this worker executed *)
+  w_items : int;  (** items this worker executed *)
+  w_busy : float;  (** seconds spent inside [f] *)
+}
+
+val last_stats : t -> worker_stat array
+(** Per-worker accounting of the most recent {!map} (index 0 is the
+    caller).  Wall-clock based, so only meaningful for reporting —
+    never fold it into deterministic output. *)

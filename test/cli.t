@@ -27,6 +27,25 @@ The delta-cycle law (6 cycles per step):
   $ csrtl sim fig1.rtm | grep cycles
   simulation cycles: 42 (expected 42)
 
+The phase-compiled engine prints the same observation and obeys the
+same law without running the event kernel; auto picks it for static
+runs:
+
+  $ csrtl sim fig1.rtm --engine compiled
+  observation of fig1 (cs_max=7)
+    R1: 3 3 3 3 3 7 7
+    R2: 4 4 4 4 4 4 4
+  
+  simulation cycles: 42 (expected 42)
+
+
+  $ csrtl sim fig1.rtm --engine auto | grep cycles
+  simulation cycles: 42 (expected 42)
+
+  $ csrtl sim fig1.rtm --engine compiled --vcd wave.vcd
+  the compiled engine does not stream VCD; use --engine kernel
+  [1]
+
 Structure and schedule tools:
 
   $ csrtl info fig1.rtm | tail -2
@@ -141,6 +160,20 @@ A single fault's outcome class is the exit code (0 masked, 2 detected,
   $ csrtl inject fig1.rtm --fault 99
   no fault #99 (the model enumerates 27)
   [1]
+
+A campaign sharded across domains is byte-identical to the
+sequential one — determinism does not depend on the job count:
+
+  $ csrtl inject fig1.rtm --table > seq.out
+  $ csrtl inject fig1.rtm --table --jobs 2 > par.out
+  $ cmp seq.out par.out && echo identical
+  identical
+
+  $ csrtl inject fig1.rtm --jobs 2 | tail -4
+  masked 2 | detected 15 | corrupted 10 | hung 0 | crashed 0
+  coverage (detected / non-masked): 60.0%
+  kernel/interp agreement: 27/27
+  delta-cycle law on masked runs: held
 
 Error handling:
 

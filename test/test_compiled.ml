@@ -1,0 +1,101 @@
+(* Differential lockdown of the phase-compiled executor: for any
+   model the three engines — event kernel (Simulate), dedicated
+   semantics (Interp), compiled schedule (Compiled) — must agree on
+   the full observation, and the compiled cycle count must obey the
+   delta-cycle law the kernel measures. *)
+
+open Csrtl_core
+module Consist = Csrtl_verify.Consist
+
+let check_bool = Alcotest.(check bool)
+
+let obs_pp ppf o = Observation.pp ppf o
+
+let agree name a b =
+  if not (Observation.equal a b) then
+    Alcotest.failf "%s disagree:@.%a@.vs@.%a@.diff: %s" name obs_pp a
+      obs_pp b
+      (String.concat "; " (Observation.diff a b))
+
+let three_way m =
+  let plan = Compiled.of_model m in
+  let compiled = Compiled.run plan in
+  let interp = Interp.run m in
+  let kernel = Simulate.run m in
+  agree "compiled/interp" compiled interp;
+  agree "compiled/kernel" compiled kernel.Simulate.obs;
+  if Compiled.cycles plan <> kernel.Simulate.cycles then
+    Alcotest.failf "cycle law: compiled says %d, kernel ran %d"
+      (Compiled.cycles plan) kernel.Simulate.cycles
+
+let test_fig1 () = three_way (Builder.fig1 ())
+
+let test_plan_reuse () =
+  (* one plan, many runs: the preallocated state resets fully *)
+  let m = Builder.fig1 () in
+  let plan = Compiled.of_model m in
+  let first = Compiled.run plan in
+  for _ = 1 to 5 do
+    check_bool "rerun identical" true
+      (Observation.equal first (Compiled.run plan))
+  done;
+  let s = Compiled.last_stats plan in
+  check_bool "schedule non-empty" true (s.Compiled.static_actions > 0);
+  check_bool "did work" true
+    (s.Compiled.contributions > 0 && s.Compiled.fu_evals > 0
+     && s.Compiled.latches > 0)
+
+let test_conflicted_model () =
+  (* deliberate double drive: the compiled path localizes the same
+     ILLEGAL the other engines do *)
+  let m = Consist.random_model ~conflict:true 7 in
+  let obs = Compiled.run (Compiled.of_model m) in
+  check_bool "conflict surfaced" true (Observation.has_conflict obs);
+  three_way m
+
+let test_compilable () =
+  let m = Builder.fig1 () in
+  check_bool "clean model compiles" true (Compiled.compilable m = Ok ());
+  check_bool "injection falls back" true
+    (Result.is_error
+       (Compiled.compilable
+          ~inject:(Inject.stuck_sink ~sink:"B1" Word.illegal) m));
+  check_bool "Degrade falls back" true
+    (Result.is_error
+       (Compiled.compilable
+          ~config:{ Simulate.default with on_illegal = Simulate.Degrade }
+          m))
+
+(* The load-bearing property: 500+ random models, every fourth with a
+   deliberate conflict, must agree across all three engines.  Seeds
+   are the qcheck-generated integers, so failures print reproducibly. *)
+let prop_three_engines_agree =
+  QCheck.Test.make ~name:"compiled = interp = kernel on random models"
+    ~count:510
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let m = Consist.random_model ~conflict:(seed mod 4 = 0) seed in
+      three_way m;
+      true)
+
+let prop_cycles_law =
+  QCheck.Test.make ~name:"compiled cycle count = expected_cycles"
+    ~count:100
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let m = Consist.random_model seed in
+      Compiled.cycles (Compiled.of_model m) = Simulate.expected_cycles m)
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "compiled"
+    [ ( "engine",
+        [ Alcotest.test_case "fig1 three-way" `Quick test_fig1;
+          Alcotest.test_case "plan reuse" `Quick test_plan_reuse;
+          Alcotest.test_case "conflicted model" `Quick
+            test_conflicted_model;
+          Alcotest.test_case "compilable gate" `Quick test_compilable ] );
+      qsuite "differential"
+        [ prop_three_engines_agree; prop_cycles_law ] ]

@@ -183,6 +183,83 @@ let test_unknown_saboteur_sink_rejected () =
     check_bool "names the missing resource" true
       (contains msg "NO_SUCH_BUS")
 
+(* -- outcome-constructor coverage ------------------------------------------ *)
+
+(* Every [Campaign.outcome] constructor, exercised on BOTH engines.
+   fig1's enumerated faults cover Masked/Detected/Corrupted; an
+   oscillator (metastable net) covers Hung — kernel watchdog trip,
+   interpreter missing-fixpoint proof; an injection on an undeclared
+   sink covers Crashed with the same diagnostic on both paths. *)
+
+let test_hung_outcome_on_both_engines () =
+  let m = fig1 () in
+  let fault =
+    F.Fault.Oscillator
+      { sink = List.hd m.C.Model.buses; step = 1; phase = C.Phase.Ra }
+  in
+  let r = F.Campaign.run ~faults:[ fault ] m in
+  check_int "classified hung" 1 r.F.Campaign.hung;
+  check_int "both engines agree" 0 r.F.Campaign.disagreements;
+  match r.F.Campaign.entries with
+  | [ e ] ->
+    (match e.F.Campaign.kernel_outcome, e.F.Campaign.interp_outcome with
+     | F.Campaign.Hung _, F.Campaign.Hung _ -> ()
+     | k, i ->
+       Alcotest.failf "expected Hung/Hung, got %a / %a"
+         F.Campaign.pp_outcome k F.Campaign.pp_outcome i)
+  | es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+
+let test_crashed_outcome_on_both_engines () =
+  let m = fig1 () in
+  let fault =
+    F.Fault.Extra_driver
+      { sink = "NO_SUCH_BUS"; step = 1; phase = C.Phase.Ra; value = 1 }
+  in
+  let r = F.Campaign.run ~faults:[ fault ] m in
+  check_int "classified crashed" 1 r.F.Campaign.crashed;
+  check_int "both engines agree" 0 r.F.Campaign.disagreements;
+  match r.F.Campaign.entries with
+  | [ e ] ->
+    (match e.F.Campaign.kernel_outcome, e.F.Campaign.interp_outcome with
+     | F.Campaign.Crashed _, F.Campaign.Crashed _ -> ()
+     | k, i ->
+       Alcotest.failf "expected Crashed/Crashed, got %a / %a"
+         F.Campaign.pp_outcome k F.Campaign.pp_outcome i)
+  | es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+
+let test_every_outcome_constructor_covered () =
+  let m = fig1 () in
+  let faults =
+    F.Fault.enumerate m
+    @ [ F.Fault.Oscillator
+          { sink = List.hd m.C.Model.buses; step = 1; phase = C.Phase.Ra };
+        F.Fault.Extra_driver
+          { sink = "NO_SUCH_BUS"; step = 1; phase = C.Phase.Ra; value = 1 } ]
+  in
+  let r = F.Campaign.run ~faults m in
+  check_int "engines agree on every entry" 0 r.F.Campaign.disagreements;
+  List.iter
+    (fun (engine, pick) ->
+      let covered name pred =
+        check_bool
+          (Printf.sprintf "%s present in %s outcomes" name engine)
+          true
+          (List.exists
+             (fun (e : F.Campaign.entry) -> pred (pick e))
+             r.F.Campaign.entries)
+      in
+      covered "Masked" (function F.Campaign.Masked -> true | _ -> false);
+      covered "Detected" (function
+        | F.Campaign.Detected _ -> true
+        | _ -> false);
+      covered "Corrupted" (function
+        | F.Campaign.Corrupted _ -> true
+        | _ -> false);
+      covered "Hung" (function F.Campaign.Hung _ -> true | _ -> false);
+      covered "Crashed" (function F.Campaign.Crashed _ -> true | _ -> false))
+    [ ("kernel", fun (e : F.Campaign.entry) -> e.F.Campaign.kernel_outcome);
+      ("interp", fun (e : F.Campaign.entry) -> e.F.Campaign.interp_outcome) ]
+
 (* -- kernel/interpreter agreement on random models x faults ---------------- *)
 
 let agreement_property =
@@ -224,5 +301,12 @@ let () =
             test_watchdog_quiet_on_clean_run;
           Alcotest.test_case "unknown saboteur sink rejected" `Quick
             test_unknown_saboteur_sink_rejected ] );
+      ( "outcomes",
+        [ Alcotest.test_case "hung on both engines" `Quick
+            test_hung_outcome_on_both_engines;
+          Alcotest.test_case "crashed on both engines" `Quick
+            test_crashed_outcome_on_both_engines;
+          Alcotest.test_case "every constructor covered" `Quick
+            test_every_outcome_constructor_covered ] );
       ( "agreement",
         [ QCheck_alcotest.to_alcotest ~long:false agreement_property ] ) ]

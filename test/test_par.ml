@@ -1,0 +1,136 @@
+(* The domain pool and the parallel campaign driver.  The contract
+   under test is determinism: result order is a pure function of the
+   input — independent of jobs, chunks and scheduling — so a parallel
+   campaign report is byte-identical to the sequential one. *)
+
+module Par = Csrtl_par.Par
+module C = Csrtl_core
+module F = Csrtl_fault
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_map_is_map () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> x * x) xs in
+  List.iter
+    (fun jobs ->
+      Par.with_pool ~jobs (fun p ->
+          List.iter
+            (fun chunks ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "jobs=%d chunks=%d" jobs chunks)
+                expected
+                (Par.map ~chunks p (fun x -> x * x) xs))
+            [ 1; 3; 7; 64; 200 ]))
+    [ 1; 2; 4 ]
+
+let test_edge_sizes () =
+  Par.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check (list int)) "empty" [] (Par.map p succ []);
+      Alcotest.(check (list int)) "singleton" [ 42 ] (Par.map p succ [ 41 ]);
+      (* more chunks than items *)
+      Alcotest.(check (list int)) "tiny list, many chunks" [ 1; 2 ]
+        (Par.map ~chunks:32 p succ [ 0; 1 ]))
+
+let test_exception_propagates () =
+  Par.with_pool ~jobs:4 (fun p ->
+      (match
+         Par.map p
+           (fun x -> if x = 13 then failwith "poison" else x)
+           (List.init 50 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected the worker exception to re-raise"
+      | exception Failure msg ->
+        Alcotest.(check string) "first failure" "poison" msg);
+      (* the pool survives a failed job *)
+      Alcotest.(check (list int)) "pool reusable" [ 2; 3 ]
+        (Par.map p succ [ 1; 2 ]))
+
+let test_nested_map_runs_inline () =
+  Par.with_pool ~jobs:3 (fun p ->
+      let res =
+        Par.map p
+          (fun x ->
+            (* a worker fanning out again must not deadlock on the
+               pool it is running on *)
+            List.fold_left ( + ) 0 (Par.map p (fun y -> x * y) [ 1; 2; 3 ]))
+          [ 1; 10 ]
+      in
+      Alcotest.(check (list int)) "nested" [ 6; 60 ] res)
+
+let test_worker_stats_account_for_everything () =
+  Par.with_pool ~jobs:2 (fun p ->
+      let xs = List.init 37 Fun.id in
+      ignore (Par.map p succ xs);
+      let stats = Par.last_stats p in
+      check_int "one slot per worker" 2 (Array.length stats);
+      check_int "items accounted" 37
+        (Array.fold_left (fun n s -> n + s.Par.w_items) 0 stats))
+
+let test_invalid_jobs () =
+  match Par.create ~jobs:0 with
+  | _ -> Alcotest.fail "jobs=0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* -- parallel campaigns ------------------------------------------------------- *)
+
+let report_string r = Format.asprintf "%a" F.Campaign.pp_report r
+
+let entries_string r =
+  String.concat "\n"
+    (List.map
+       (fun e -> Format.asprintf "%a" F.Campaign.pp_entry e)
+       r.F.Campaign.entries)
+
+let test_campaign_parallel_matches_sequential () =
+  let m = C.Builder.fig1 () in
+  let seq = F.Campaign.run m in
+  let par = F.Campaign.run_parallel ~jobs:3 m in
+  Alcotest.(check string) "report bytes" (report_string seq)
+    (report_string par);
+  Alcotest.(check string) "entry bytes" (entries_string seq)
+    (entries_string par)
+
+let test_campaign_jobs_invariance () =
+  (* same seed, different shard counts: byte-identical reports *)
+  let m = C.Builder.fig1 () in
+  let at jobs = F.Campaign.run_parallel ~jobs ~chunks:(2 * jobs) m in
+  let r1 = at 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=1 vs jobs=%d" jobs)
+        (report_string r1 ^ entries_string r1)
+        (let r = at jobs in
+         report_string r ^ entries_string r))
+    [ 2; 8 ]
+
+let test_campaign_shared_pool () =
+  let m = C.Builder.fig1 () in
+  Par.with_pool ~jobs:2 (fun pool ->
+      let r1 = F.Campaign.run_parallel ~pool m in
+      let r2 = F.Campaign.run_parallel ~pool ~limit:5 m in
+      check_bool "full campaign" true (r1.F.Campaign.total > 5);
+      check_int "limited campaign" 5 r2.F.Campaign.total)
+
+let () =
+  Alcotest.run "par"
+    [ ( "pool",
+        [ Alcotest.test_case "map = List.map at any fan-out" `Quick
+            test_map_is_map;
+          Alcotest.test_case "edge sizes" `Quick test_edge_sizes;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "nested map inline" `Quick
+            test_nested_map_runs_inline;
+          Alcotest.test_case "worker stats" `Quick
+            test_worker_stats_account_for_everything;
+          Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs ] );
+      ( "campaign",
+        [ Alcotest.test_case "parallel = sequential" `Quick
+            test_campaign_parallel_matches_sequential;
+          Alcotest.test_case "jobs invariance" `Quick
+            test_campaign_jobs_invariance;
+          Alcotest.test_case "shared pool" `Quick
+            test_campaign_shared_pool ] ) ]
