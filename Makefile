@@ -31,6 +31,29 @@ check: build
 	  echo "checked $$f"; \
 	done
 	@dune exec --no-build csrtl -- inject test/corpus/fig1.rtm --jobs 2
+	@echo "kill-and-resume smoke:"
+	@CSRTL=_build/default/bin/csrtl.exe; \
+	{ echo "model smoke"; echo "csmax 33"; \
+	  echo "reg R0 init 1"; echo "reg R1 init 2"; \
+	  echo "bus BA BB"; echo "unit ADD ops add latency 1"; \
+	  i=0; while [ $$i -lt 16 ]; do r=$$((2 * i + 1)); \
+	    d=R1; [ $$((i % 2)) -eq 1 ] && d=R0; \
+	    echo "transfer R0 BA R1 BB $$r ADD $$((r + 1)) BA $$d"; \
+	    i=$$((i + 1)); done; } > _build/check/smoke.rtm; \
+	rm -f _build/check/smoke.jsonl; \
+	$$CSRTL inject _build/check/smoke.rtm > _build/check/smoke_clean.out || true; \
+	( $$CSRTL inject _build/check/smoke.rtm --jobs 2 \
+	    --journal _build/check/smoke.jsonl > /dev/null 2>&1 & \
+	  pid=$$!; sleep 0.1; kill -9 $$pid 2> /dev/null; \
+	  wait $$pid 2> /dev/null; true ); \
+	$$CSRTL inject _build/check/smoke.rtm --jobs 2 \
+	    --resume _build/check/smoke.jsonl \
+	    > _build/check/smoke_resumed.out 2> _build/check/smoke_resume.err \
+	  || true; \
+	sed 's/^/  /' _build/check/smoke_resume.err; \
+	cmp _build/check/smoke_clean.out _build/check/smoke_resumed.out || \
+	  { echo "kill-and-resume smoke FAILED"; exit 1; }; \
+	echo "  SIGKILLed journaled campaign resumed to a byte-identical report"
 	@echo "make check: all corpus models validated"
 
 bench:

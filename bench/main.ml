@@ -3,7 +3,7 @@
    Two parts:
    - the experiment report (bench/report.ml): regenerates every
      figure, table and claim of the paper's evaluation as printed
-     tables (DESIGN.md experiments F1-F3, T1, C1-C8);
+     tables (DESIGN.md experiments F1-F3, T1, C1-C11);
    - Bechamel micro-benchmarks: one Test.make per measured table
      row family, timing the competing execution paths.
 

@@ -560,6 +560,41 @@ let claim_multicore ?(smoke = false) () =
     \ extra domains only add hand-off cost; utilization comes from\n\
     \ Par.last_stats and never feeds into the deterministic report)@."
 
+(* -- C11: checkpoint-restore campaigns ----------------------------------------- *)
+
+let claim_checkpoint () =
+  section "C11" "checkpoint restore: campaigns resume mid-schedule, not from 0";
+  let module F = Csrtl_fault in
+  Format.printf
+    "%12s %7s | %12s %12s %8s %10s@." "model" "faults" "scratch us"
+    "restore us" "speedup" "report";
+  List.iter
+    (fun (name, m, limit) ->
+      let scratch, t0 =
+        Workloads.time_it (fun () -> F.Campaign.run ?limit ~restore:false m)
+      in
+      let restored, t1 =
+        Workloads.time_it (fun () -> F.Campaign.run ?limit ~restore:true m)
+      in
+      let same =
+        String.equal
+          (Format.asprintf "%a" F.Campaign.pp_report scratch)
+          (Format.asprintf "%a" F.Campaign.pp_report restored)
+      in
+      Format.printf "%12s %7d | %12.1f %12.1f %7.2fx %10s@." name
+        scratch.F.Campaign.total t0 t1 (t0 /. t1)
+        (if same then "identical" else "DIFFERS"))
+    [ ("fig1", C.Builder.fig1 (), None);
+      ("fault_chain", C.Rtm.of_string fault_chain_src, None);
+      ("chain16", Workloads.chain 16, Some 80);
+      ("lanes8x24", Workloads.parallel_lanes ~lanes:8 ~steps:24, Some 80) ];
+  Format.printf
+    "(a fault whose first divergent step is s restores the golden-run\n\
+    \ checkpoint at boundary s-1 instead of replaying steps 1..s-1, so\n\
+    \ late faults in long schedules gain the most; the classification\n\
+    \ report is byte-identical either way, which is also qcheck-locked\n\
+    \ in test/test_fault.ml)@."
+
 let run () =
   Format.printf
     "csrtl experiment report - regenerates the paper's figures, table and \
@@ -578,4 +613,5 @@ let run () =
   claim_verify ();
   claim_vhdl ();
   claim_fault ();
-  claim_multicore ()
+  claim_multicore ();
+  claim_checkpoint ()

@@ -65,10 +65,71 @@ let sim_cmd =
     Arg.(value & flag
          & info [ "wave" ] ~doc:"Render a text waveform of the run.")
   in
-  let run path engine vcd stats wave =
+  let snapshot_at =
+    let doc =
+      "Capture the machine state at control-step boundary $(docv) (0 = \
+       initial state) instead of printing the observation.  All engines \
+       produce byte-identical snapshots."
+    in
+    Arg.(value & opt (some int) None
+         & info [ "snapshot-at" ] ~docv:"STEP" ~doc)
+  in
+  let snapshot_out =
+    Arg.(value & opt (some string) None
+         & info [ "snapshot-out" ] ~docv:"FILE"
+             ~doc:"Write the $(b,--snapshot-at) state to $(docv) instead \
+                   of stdout.")
+  in
+  let from_snapshot =
+    let doc =
+      "Resume from a snapshot file instead of the initial state: the \
+       printed observation is identical to an uninterrupted run's."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "from-snapshot" ] ~docv:"FILE" ~doc)
+  in
+  let run path engine vcd stats wave snapshot_at snapshot_out from_snapshot =
     handle_errors (fun () ->
         let m = load_model path in
         C.Model.validate_exn m;
+        (match snapshot_at, from_snapshot with
+         | Some _, Some _ ->
+           Format.eprintf
+             "--snapshot-at and --from-snapshot are mutually exclusive@.";
+           exit 1
+         | _ -> ());
+        (match snapshot_at with
+         | Some s when s < 0 || s > m.C.Model.cs_max ->
+           Format.eprintf
+             "--snapshot-at must be a boundary between 0 and cs_max = %d \
+              (got %d)@."
+             m.C.Model.cs_max s;
+           exit 1
+         | _ -> ());
+        let resume_from =
+          match from_snapshot with
+          | None -> None
+          | Some file ->
+            (match C.Snapshot.load file with
+             | Ok s ->
+               (match C.Snapshot.validate m s with
+                | Ok () -> Some s
+                | Error msg ->
+                  Format.eprintf "snapshot %s does not fit %s: %s@." file
+                    m.C.Model.name msg;
+                  exit 1)
+             | Error msg ->
+               Format.eprintf "cannot load snapshot %s: %s@." file msg;
+               exit 1)
+        in
+        let emit_snapshot snap =
+          match snapshot_out with
+          | None -> print_string (C.Snapshot.to_string snap)
+          | Some file ->
+            C.Snapshot.save file snap;
+            Format.printf "wrote %s (boundary %d of %s)@." file
+              snap.C.Snapshot.step snap.C.Snapshot.model_name
+        in
         let engine =
           (* [auto] prefers the compiled schedule; VCD streaming and
              non-static features need the kernel *)
@@ -89,48 +150,84 @@ let sim_cmd =
              exit 1
            | None -> ());
           let plan = C.Compiled.of_model m in
-          let obs = C.Compiled.run plan in
-          Format.printf "%a@." C.Observation.pp obs;
-          if wave then Format.printf "@.%s@." (C.Waveform.render obs);
-          Format.printf "simulation cycles: %d (expected %d)@."
-            (C.Compiled.cycles plan)
-            (C.Simulate.expected_cycles m);
-          if stats then
-            Format.printf "%a@." C.Compiled.pp_stats
-              (C.Compiled.last_stats plan);
-          if C.Observation.has_conflict obs then exit 2
+          (match snapshot_at with
+           | Some step -> emit_snapshot (C.Compiled.snapshot_at plan ~step)
+           | None ->
+             let obs =
+               match resume_from with
+               | Some from -> C.Compiled.resume plan ~from
+               | None -> C.Compiled.run plan
+             in
+             Format.printf "%a@." C.Observation.pp obs;
+             if wave then Format.printf "@.%s@." (C.Waveform.render obs);
+             (match resume_from with
+              | None ->
+                Format.printf "simulation cycles: %d (expected %d)@."
+                  (C.Compiled.cycles plan)
+                  (C.Simulate.expected_cycles m)
+              | Some from ->
+                Format.printf "resumed at boundary %d@."
+                  from.C.Snapshot.step);
+             if stats then
+               Format.printf "%a@." C.Compiled.pp_stats
+                 (C.Compiled.last_stats plan);
+             if C.Observation.has_conflict obs then exit 2)
         | `Interp ->
-          let obs = C.Interp.run m in
-          Format.printf "%a@." C.Observation.pp obs;
-          if wave then Format.printf "@.%s@." (C.Waveform.render obs);
-          if C.Observation.has_conflict obs then exit 2
+          (match snapshot_at with
+           | Some step -> emit_snapshot (C.Interp.snapshot_at ~step m)
+           | None ->
+             let obs =
+               match resume_from with
+               | Some from ->
+                 Format.printf "resumed at boundary %d@." from.C.Snapshot.step;
+                 C.Interp.resume ~from m
+               | None -> C.Interp.run m
+             in
+             Format.printf "%a@." C.Observation.pp obs;
+             if wave then Format.printf "@.%s@." (C.Waveform.render obs);
+             if C.Observation.has_conflict obs then exit 2)
         | `Kernel ->
-          let buf = Buffer.create 4096 in
-          let r =
-            match vcd with
-            | Some _ -> C.Simulate.run ~vcd:buf m
-            | None -> C.Simulate.run m
-          in
-          (match vcd with
-           | Some file ->
-             let oc = open_out file in
-             Buffer.output_buffer oc buf;
-             close_out oc;
-             Format.printf "wrote %s@." file
-           | None -> ());
-          Format.printf "%a@." C.Observation.pp r.C.Simulate.obs;
-          if wave then
-            Format.printf "@.%s@." (C.Waveform.render r.C.Simulate.obs);
-          Format.printf "simulation cycles: %d (expected %d)@."
-            r.C.Simulate.cycles (C.Simulate.expected_cycles m);
-          if stats then
-            Format.printf "%a@." Csrtl_kernel.Scheduler.pp_stats
-              r.C.Simulate.stats;
-          if C.Observation.has_conflict r.C.Simulate.obs then exit 2)
+          (match snapshot_at with
+           | Some step -> emit_snapshot (C.Simulate.snapshot_at ~step m)
+           | None ->
+             let buf = Buffer.create 4096 in
+             let r =
+               match resume_from, vcd with
+               | Some from, Some _ -> C.Simulate.resume ~vcd:buf ~from m
+               | Some from, None -> C.Simulate.resume ~from m
+               | None, Some _ -> C.Simulate.run ~vcd:buf m
+               | None, None -> C.Simulate.run m
+             in
+             (match vcd with
+              | Some file ->
+                let oc = open_out file in
+                Buffer.output_buffer oc buf;
+                close_out oc;
+                Format.printf "wrote %s@." file
+              | None -> ());
+             Format.printf "%a@." C.Observation.pp r.C.Simulate.obs;
+             if wave then
+               Format.printf "@.%s@." (C.Waveform.render r.C.Simulate.obs);
+             (match resume_from with
+              | None ->
+                Format.printf "simulation cycles: %d (expected %d)@."
+                  r.C.Simulate.cycles (C.Simulate.expected_cycles m)
+              | Some from ->
+                Format.printf
+                  "simulation cycles: %d (expected %d for the segment from \
+                   boundary %d)@."
+                  r.C.Simulate.cycles
+                  (C.Simulate.expected_cycles_from m from.C.Snapshot.step)
+                  from.C.Snapshot.step);
+             if stats then
+               Format.printf "%a@." Csrtl_kernel.Scheduler.pp_stats
+                 r.C.Simulate.stats;
+             if C.Observation.has_conflict r.C.Simulate.obs then exit 2))
   in
   let doc = "Simulate a clock-free model and print the observation." in
   Cmd.v (Cmd.info "sim" ~doc)
-    Term.(const run $ model_arg $ engine $ vcd $ stats $ wave)
+    Term.(const run $ model_arg $ engine $ vcd $ stats $ wave $ snapshot_at
+          $ snapshot_out $ from_snapshot)
 
 (* -- check ---------------------------------------------------------------- *)
 
@@ -606,7 +703,46 @@ let inject_cmd =
     in
     Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
   in
-  let run path list_flag fault_idx limit table jobs =
+  let journal =
+    let doc =
+      "Append each finished fault to the JSONL journal $(docv) (truncated \
+       first), so a killed campaign can be picked up with $(b,--resume)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume =
+    let doc =
+      "Resume a journaled campaign from $(docv): completed entries are \
+       reused, torn or missing ones re-run (and appended).  The final \
+       report is byte-identical to an uninterrupted run's."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Also exit non-zero when any fault silently corrupts \
+                   the observation.")
+  in
+  let budget =
+    let doc =
+      "Wall-clock budget per fault run in seconds; a run that overruns \
+       twice classifies as hung instead of stalling the campaign."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "budget" ] ~docv:"SECONDS" ~doc)
+  in
+  let no_restore =
+    Arg.(value & flag
+         & info [ "no-restore" ]
+             ~doc:"Re-simulate every fault run from step 0 instead of \
+                   restoring the golden checkpoint at the fault's \
+                   activation boundary (same classifications, slower).")
+  in
+  let run path list_flag fault_idx limit table jobs journal resume strict
+      budget no_restore =
     handle_errors (fun () ->
         (match limit with
          | Some k when k < 1 ->
@@ -616,6 +752,18 @@ let inject_cmd =
         (match jobs with
          | Some j when j < 0 ->
            Format.eprintf "--jobs must be at least 0 (got %d)@." j;
+           exit 1
+         | _ -> ());
+        (match budget with
+         | Some b when b <= 0. ->
+           Format.eprintf "--budget must be positive (got %g)@." b;
+           exit 1
+         | _ -> ());
+        (match journal, resume with
+         | Some _, Some _ ->
+           Format.eprintf
+             "--journal and --resume are mutually exclusive (--resume \
+              already names the journal)@.";
            exit 1
          | _ -> ());
         let m = load_model path in
@@ -635,7 +783,10 @@ let inject_cmd =
                  (List.length faults);
                exit 1
              | Some f ->
-               let r = Csrtl_fault.Campaign.run ~faults:[ f ] m in
+               let r =
+                 Csrtl_fault.Campaign.run ~faults:[ f ] ?budget
+                   ~restore:(not no_restore) m
+               in
                let e = List.hd r.Csrtl_fault.Campaign.entries in
                Format.printf "%a@." Csrtl_fault.Campaign.pp_entry e;
                let agree =
@@ -655,11 +806,44 @@ let inject_cmd =
                in
                exit code)
           | None ->
+            let restore = not no_restore in
             let r =
-              match jobs with
-              | None | Some 1 -> Csrtl_fault.Campaign.run ~faults m
-              | Some 0 -> Csrtl_fault.Campaign.run_parallel ~faults m
-              | Some j -> Csrtl_fault.Campaign.run_parallel ~jobs:j ~faults m
+              match journal, resume with
+              | None, None ->
+                (match jobs with
+                 | None | Some 1 ->
+                   Csrtl_fault.Campaign.run ~faults ?budget ~restore m
+                 | Some 0 ->
+                   Csrtl_fault.Campaign.run_parallel ~faults ?budget
+                     ~restore m
+                 | Some j ->
+                   Csrtl_fault.Campaign.run_parallel ~jobs:j ~faults ?budget
+                     ~restore m)
+              | _ ->
+                let journal_path, resuming =
+                  match journal, resume with
+                  | Some f, None -> (f, false)
+                  | None, Some f -> (f, true)
+                  | _ -> assert false
+                in
+                (match
+                   Csrtl_fault.Campaign.run_journaled
+                     ?jobs:(match jobs with Some 0 -> None | j -> j)
+                     ~faults ?budget ~restore ~journal:journal_path
+                     ~resume:resuming m
+                 with
+                 | Ok (r, info) ->
+                   (* progress chatter goes to stderr so the report on
+                      stdout stays byte-identical to a clean run *)
+                   Format.eprintf
+                     "journal %s: %d reused, %d re-run, %d torn@."
+                     journal_path info.Csrtl_fault.Campaign.reused
+                     info.Csrtl_fault.Campaign.rerun
+                     info.Csrtl_fault.Campaign.torn;
+                   r
+                 | Error msg ->
+                   Format.eprintf "%s@." msg;
+                   exit 1)
             in
             if table then
               List.iter
@@ -671,19 +855,24 @@ let inject_cmd =
               r.Csrtl_fault.Campaign.crashed > 0
               || r.Csrtl_fault.Campaign.disagreements > 0
               || r.Csrtl_fault.Campaign.law_violations > 0
-            then exit 5)
+            then exit 5
+            else if r.Csrtl_fault.Campaign.hung > 0 then exit 4
+            else if strict && r.Csrtl_fault.Campaign.corrupted > 0 then
+              exit 3)
   in
   let doc =
     "Run a single-fault injection campaign: every enumerated fault is \
      injected into both execution paths and classified as masked, \
      detected (with its exact conflict point), silently corrupting, or \
      hung.  The summary reports fault coverage and kernel/interpreter \
-     agreement."
+     agreement.  Campaign exit codes: 5 when any run crashed, the paths \
+     disagree, or the delta-cycle law broke; 4 when any run hung; 3 \
+     under $(b,--strict) when any fault silently corrupted; 0 otherwise."
   in
   Cmd.v
     (Cmd.info "inject" ~doc)
     Term.(const run $ model_arg $ list_flag $ fault_idx $ limit $ table
-          $ jobs)
+          $ jobs $ journal $ resume $ strict $ budget $ no_restore)
 
 (* -- info -------------------------------------------------------------------- *)
 

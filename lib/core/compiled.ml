@@ -283,10 +283,9 @@ let flip t ~step ~phase =
     t.acc.(s) <- Word.disc
   done
 
-let run t =
-  reset t;
+let exec_step t step =
   let cm = Phase.to_int Phase.Cm and cr = Phase.to_int Phase.Cr in
-  for step = 1 to t.model.cs_max do
+  begin
     for pi = 0 to Phase.count - 1 do
       let phase = Phase.of_int_exn pi in
       flip t ~step ~phase;
@@ -332,7 +331,9 @@ let run t =
         done
       end
     done
-  done;
+  end
+
+let observation t =
   { Observation.model_name = t.model.name; cs_max = t.model.cs_max;
     regs =
       List.mapi
@@ -346,6 +347,110 @@ let run t =
                 (t.out_steps.(o).(k), t.out_vals.(o).(k))) ))
         t.model.outputs;
     conflicts = List.rev t.conflicts }
+
+let run t =
+  reset t;
+  for step = 1 to t.model.cs_max do
+    exec_step t step
+  done;
+  observation t
+
+(* ---- control-step snapshots ------------------------------------- *)
+
+(* The per-port write arrays, re-serialized as the single
+   chronological list {!Interp} accumulates: per step, ports in
+   declaration order. *)
+let out_writes_upto t ~step =
+  let nports = List.length t.model.outputs in
+  let cursor = Array.make (max nports 1) 0 in
+  let acc = ref [] in
+  for s = 1 to step do
+    List.iteri
+      (fun o name ->
+        let k = cursor.(o) in
+        if k < t.out_n.(o) && t.out_steps.(o).(k) = s then begin
+          acc := (name, (s, t.out_vals.(o).(k))) :: !acc;
+          cursor.(o) <- k + 1
+        end)
+      t.model.outputs
+  done;
+  List.rev !acc
+
+let capture t ~digest ~step =
+  let m = t.model in
+  { Snapshot.model_name = m.name;
+    digest;
+    step;
+    regs =
+      List.mapi
+        (fun i (r : Model.register) -> (r.reg_name, t.regs.(i)))
+        m.registers;
+    fu_out =
+      List.mapi (fun i (f : Model.fu) -> (f.fu_name, t.fu_out.(i))) m.fus;
+    fu_slots =
+      List.mapi
+        (fun i (f : Model.fu) -> (f.fu_name, Fu_state.slots t.fus.(i).fu_state))
+        m.fus;
+    trace =
+      List.mapi
+        (fun i (r : Model.register) ->
+          (r.reg_name, Array.sub t.traces.(i) 0 step))
+        m.registers;
+    out_writes = out_writes_upto t ~step;
+    conflicts = Snapshot.sort_conflicts t.conflicts }
+
+let snapshots_at t ~steps =
+  List.iter
+    (fun s ->
+      if s < 0 || s > t.model.cs_max then
+        invalid_arg
+          (Printf.sprintf "Compiled.snapshots_at: step %d outside [0, %d]" s
+             t.model.cs_max))
+    steps;
+  let want = List.sort_uniq compare steps in
+  let digest = Snapshot.digest_of_model t.model in
+  reset t;
+  let snaps = ref [] in
+  if List.mem 0 want then snaps := capture t ~digest ~step:0 :: !snaps;
+  for step = 1 to t.model.cs_max do
+    exec_step t step;
+    if List.mem step want then snaps := capture t ~digest ~step :: !snaps
+  done;
+  List.rev !snaps
+
+let snapshot_at t ~step =
+  match snapshots_at t ~steps:[ step ] with
+  | [ s ] -> s
+  | _ -> assert false
+
+let resume t ~(from : Snapshot.t) =
+  Snapshot.validate_exn t.model from;
+  reset t;
+  List.iteri (fun i (_, v) -> t.regs.(i) <- v) from.regs;
+  List.iteri (fun i (_, v) -> t.fu_out.(i) <- v) from.fu_out;
+  List.iteri
+    (fun i (_, slots) -> Fu_state.restore t.fus.(i).fu_state slots)
+    from.fu_slots;
+  List.iteri
+    (fun i (_, a) -> Array.blit a 0 t.traces.(i) 0 (Array.length a))
+    from.trace;
+  List.iter
+    (fun (name, (s, v)) ->
+      List.iteri
+        (fun o n ->
+          if n = name then begin
+            let k = t.out_n.(o) in
+            t.out_steps.(o).(k) <- s;
+            t.out_vals.(o).(k) <- v;
+            t.out_n.(o) <- k + 1
+          end)
+        t.model.outputs)
+    from.out_writes;
+  t.conflicts <- List.rev from.conflicts;
+  for step = from.step + 1 to t.model.cs_max do
+    exec_step t step
+  done;
+  observation t
 
 let last_stats t =
   { static_actions = t.static_actions; contributions = t.st_contributions;

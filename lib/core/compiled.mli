@@ -59,5 +59,20 @@ val run : t -> Observation.t
     returned observation owns fresh arrays (safe to keep across
     subsequent runs of the same plan). *)
 
+val snapshot_at : t -> step:int -> Snapshot.t
+(** Execute from the initial state through control step [step] and
+    capture the machine state at that boundary (0 captures the initial
+    state).  Raises [Invalid_argument] outside [0, cs_max]. *)
+
+val snapshots_at : t -> steps:int list -> Snapshot.t list
+(** One run, capturing every requested boundary; ascending order,
+    duplicates removed. *)
+
+val resume : t -> from:Snapshot.t -> Observation.t
+(** Reinstall a snapshot (from any engine) and execute the remaining
+    control steps; equals the uninterrupted {!run} observation.
+    Raises [Invalid_argument] when the snapshot does not validate
+    against the plan's model. *)
+
 val last_stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit

@@ -7,12 +7,12 @@ let phase_printer v =
   | Some p -> Phase.to_string p
   | None -> Printf.sprintf "?phase:%d" v
 
-let add k ~cs_max =
+let add ?(init_step = 0) k ~cs_max =
   let ph =
     Scheduler.signal k ~printer:phase_printer ~name:"PH"
       ~init:(Phase.to_int Phase.high) ()
   in
-  let cs = Scheduler.signal k ~name:"CS" ~init:0 () in
+  let cs = Scheduler.signal k ~name:"CS" ~init:init_step () in
   (* VHDL sensitivity-list process: the body runs once at
      initialization and then after every event on PH. *)
   let _p =

@@ -12,8 +12,11 @@ type t = {
   ph : Csrtl_kernel.Signal.t;  (** current phase, encoded via {!Phase.to_int} *)
 }
 
-val add : Csrtl_kernel.Scheduler.t -> cs_max:int -> t
-(** Instantiate the controller process and its two signals. *)
+val add : ?init_step:int -> Csrtl_kernel.Scheduler.t -> cs_max:int -> t
+(** Instantiate the controller process and its two signals.
+    [init_step] (default 0) starts [CS] at a later boundary — the
+    controller then drives steps [init_step + 1 .. cs_max], which is
+    how {!Simulate.resume} re-enters the schedule mid-run. *)
 
 val current_step : t -> int
 val current_phase : t -> Phase.t

@@ -6,6 +6,7 @@ type t = {
   ctrl : Controller.t;
   signal_of : Transfer.endpoint -> Signal.t;
   find_signal : string -> Signal.t option;
+  fu_states : (string * Fu_state.t) list;
 }
 
 let word_printer = Word.to_string
@@ -19,15 +20,21 @@ let op_printer (ops : Ops.t list) v =
     | None -> Printf.sprintf "?op:%d" v
 
 let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
-    ?(inject = Inject.none) ?(degrade_illegal = false) (m : Model.t) =
+    ?(inject = Inject.none) ?(degrade_illegal = false) ?from (m : Model.t) =
   Model.validate_exn m;
+  (match from with Some s -> Snapshot.validate_exn m s | None -> ());
+  (* Resuming from a control-step boundary: the controller starts at
+     the snapshot step, restored state becomes each process's initial
+     assignment, and every statically-scheduled process whose slot lies
+     at or before the boundary is simply not elaborated. *)
+  let s0 = match from with Some s -> s.Snapshot.step | None -> 0 in
   let resolution =
     match resolution_impl with
     | `Incremental -> Resolve.kernel_resolution
     | `Fold -> Csrtl_kernel.Types.Fold Resolve.resolve
   in
   let k = match kernel with Some k -> k | None -> Scheduler.create () in
-  let ctrl = Controller.add k ~cs_max:m.cs_max in
+  let ctrl = Controller.add ~init_step:s0 k ~cs_max:m.cs_max in
   let cs = ctrl.cs and ph = ctrl.ph in
   (* An injected tamper rewrites the resolution output at the moment
      the value becomes visible; the control signals carry the lowest
@@ -156,7 +163,7 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
       | Model.Schedule _ ->
         ignore
           (Scheduler.add_process k ~name:("IN_" ^ i.in_name) (fun () ->
-               Scheduler.assign k s (Model.input_value i 1);
+               Scheduler.assign k s (Model.input_value i (s0 + 1));
                while true do
                  wait_phase Phase.Cr;
                  let next = Signal.value cs + 1 in
@@ -169,9 +176,14 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
     (fun (r : Model.register) ->
       let r_in = sig_named (r.reg_name ^ ".in") in
       let r_out = sig_named (r.reg_name ^ ".out") in
+      let init_v =
+        match from with
+        | None -> r.init
+        | Some snap -> List.assoc r.reg_name snap.Snapshot.regs
+      in
       ignore
         (Scheduler.add_process k ~name:("REG_" ^ r.reg_name) (fun () ->
-             if not (Word.is_disc r.init) then Scheduler.assign k r_out r.init;
+             if not (Word.is_disc init_v) then Scheduler.assign k r_out init_v;
              while true do
                wait_phase Phase.Cr;
                let v = Signal.value r_in in
@@ -185,34 +197,45 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
              done)))
     m.registers;
   (* Module processes (paper §2.6). *)
-  List.iter
-    (fun (f : Model.fu) ->
-      let in1 = sig_named (f.fu_name ^ ".in1") in
-      let in2 = sig_named (f.fu_name ^ ".in2") in
-      let out = sig_named (f.fu_name ^ ".out") in
-      let op = sig_named (f.fu_name ^ ".op") in
-      let st =
-        Fu_state.create
-          (match Inject.latency_for inject f.fu_name with
-           | Some latency -> { f with latency }
-           | None -> f)
-      in
-      ignore
-        (Scheduler.add_process k ~name:("FU_" ^ f.fu_name) (fun () ->
-             while true do
-               wait_phase Phase.Cm;
-               let v =
-                 Fu_state.step st ~op_index:(Signal.value op)
-                   (Signal.value in1) (Signal.value in2)
-               in
-               Scheduler.assign k out v
-             done)))
-    m.fus;
+  let fu_states =
+    List.map
+      (fun (f : Model.fu) ->
+        let in1 = sig_named (f.fu_name ^ ".in1") in
+        let in2 = sig_named (f.fu_name ^ ".in2") in
+        let out = sig_named (f.fu_name ^ ".out") in
+        let op = sig_named (f.fu_name ^ ".op") in
+        let st =
+          Fu_state.create
+            (match Inject.latency_for inject f.fu_name with
+             | Some latency -> { f with latency }
+             | None -> f)
+        in
+        let out0 =
+          match from with
+          | None -> Word.disc
+          | Some snap ->
+            Fu_state.restore st (List.assoc f.fu_name snap.Snapshot.fu_slots);
+            List.assoc f.fu_name snap.Snapshot.fu_out
+        in
+        ignore
+          (Scheduler.add_process k ~name:("FU_" ^ f.fu_name) (fun () ->
+               if not (Word.is_disc out0) then Scheduler.assign k out out0;
+               while true do
+                 wait_phase Phase.Cm;
+                 let v =
+                   Fu_state.step st ~op_index:(Signal.value op)
+                     (Signal.value in1) (Signal.value in2)
+                 in
+                 Scheduler.assign k out v
+               done));
+        (f.fu_name, st))
+      m.fus
+  in
   (* Transfer processes, one per leg (paper §2.4), plus op selection. *)
   let legs, selects = Model.all_legs m in
   List.iteri
     (fun idx (l : Transfer.leg) ->
-      if not (Inject.drops_leg inject idx) then begin
+      if l.step > s0 && not (Inject.drops_leg inject idx) then begin
         let site = Format.asprintf "TRANS leg %a" Transfer.pp_leg l in
         let src = sig_named ~site (Transfer.endpoint_name l.src) in
         let dst = sig_named ~site (Transfer.endpoint_name l.dst) in
@@ -228,6 +251,7 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
   List.iteri
     (fun idx (s : Transfer.op_select) ->
       match Model.find_fu m s.sel_fu with
+      | _ when s.sel_step <= s0 -> ()
       | None -> ()
       | Some f ->
         let op_sig = sig_named (f.fu_name ^ ".op") in
@@ -252,13 +276,15 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
   List.iteri
     (fun idx (sb : Inject.saboteur) ->
       let s = sig_named ~site:"an injected saboteur" sb.sab_sink in
-      let name = "SAB" ^ string_of_int idx in
-      ignore
-        (Scheduler.add_process k ~name (fun () ->
-             wait_first sb.sab_step sb.sab_phase;
-             Scheduler.assign k s sb.sab_value;
-             wait_release sb.sab_step (Phase.succ sb.sab_phase);
-             Scheduler.assign k s Word.disc)))
+      if sb.Inject.sab_step > s0 then begin
+        let name = "SAB" ^ string_of_int idx in
+        ignore
+          (Scheduler.add_process k ~name (fun () ->
+               wait_first sb.sab_step sb.sab_phase;
+               Scheduler.assign k s sb.sab_value;
+               wait_release sb.sab_step (Phase.succ sb.sab_phase);
+               Scheduler.assign k s Word.disc))
+      end)
     inject.Inject.saboteurs;
   (* Oscillator processes: a metastable net.  From the trigger slot on,
      the process re-triggers itself through a private toggle signal
@@ -267,21 +293,23 @@ let build ?kernel ?(wait_impl = `Keyed) ?(resolution_impl = `Incremental)
   List.iteri
     (fun idx (o : Inject.oscillator) ->
       let s = sig_named ~site:"an injected oscillator" o.Inject.osc_sink in
-      let name = "OSC" ^ string_of_int idx in
-      let tick = Scheduler.signal k ~name:(name ^ ".tick") ~init:0 () in
-      ignore
-        (Scheduler.add_process k ~name (fun () ->
-             wait_first o.Inject.osc_step o.Inject.osc_phase;
-             let v = ref 0 in
-             while true do
-               Scheduler.assign k s !v;
-               v := 1 - !v;
-               Scheduler.assign k tick (1 - Signal.value tick);
-               Process.wait_on [ tick ]
-             done)))
+      if o.Inject.osc_step > s0 then begin
+        let name = "OSC" ^ string_of_int idx in
+        let tick = Scheduler.signal k ~name:(name ^ ".tick") ~init:0 () in
+        ignore
+          (Scheduler.add_process k ~name (fun () ->
+               wait_first o.Inject.osc_step o.Inject.osc_phase;
+               let v = ref 0 in
+               while true do
+                 Scheduler.assign k s !v;
+                 v := 1 - !v;
+                 Scheduler.assign k tick (1 - Signal.value tick);
+                 Process.wait_on [ tick ]
+               done))
+      end)
     inject.Inject.oscillators;
   { kernel = k; model = m; ctrl; signal_of;
-    find_signal = Hashtbl.find_opt table }
+    find_signal = Hashtbl.find_opt table; fu_states }
 
 let lookup t names =
   List.filter_map

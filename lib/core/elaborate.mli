@@ -17,6 +17,9 @@ type t = {
   find_signal : string -> Csrtl_kernel.Signal.t option;
       (** non-raising lookup by canonical signal name ([R.out],
           [ADD.in1], bus and port names, ...) *)
+  fu_states : (string * Fu_state.t) list;
+      (** the pipeline state each module process closes over, in
+          declaration order — read by {!Simulate.snapshot_at} *)
 }
 
 val build :
@@ -25,6 +28,7 @@ val build :
   ?resolution_impl:[ `Incremental | `Fold ] ->
   ?inject:Inject.t ->
   ?degrade_illegal:bool ->
+  ?from:Snapshot.t ->
   Model.t -> t
 (** Validates the model ({!Model.validate_exn}) and instantiates all
     processes on a fresh kernel (or the given one).  Running the
@@ -48,7 +52,18 @@ val build :
     latency overrides replace the per-unit pipeline depth.
     [degrade_illegal] switches the REG processes to fail-soft
     latching: an ILLEGAL register input is ignored instead of stored
-    (used by {!Simulate}'s [Degrade] policy). *)
+    (used by {!Simulate}'s [Degrade] policy).
+
+    [from] resumes from a control-step boundary: the controller starts
+    at the snapshot step, register and unit-output initial assignments
+    come from the snapshot (the unit pipelines are restored in place),
+    scheduled inputs begin at the boundary's value, and every
+    statically-scheduled process (TRANS leg, op selection, saboteur,
+    oscillator) whose slot lies at or before the boundary is not
+    elaborated — the quiescence property of SEMANTICS §10 makes this
+    complete.  Raises [Invalid_argument] when the snapshot does not
+    validate against the model, or when a latency override conflicts
+    with the snapshot's pipeline depth. *)
 
 val bus_signals : t -> (string * Csrtl_kernel.Signal.t) list
 val register_outputs : t -> (string * Csrtl_kernel.Signal.t) list

@@ -16,6 +16,15 @@ let busy u =
 
 let peek_output u = u.slots.(Array.length u.slots - 1)
 
+let slots u = Array.copy u.slots
+
+let restore u slots =
+  if Array.length slots <> Array.length u.slots then
+    invalid_arg
+      (Printf.sprintf "Fu_state.restore: %s expects %d slots, got %d"
+         u.fu.fu_name (Array.length u.slots) (Array.length slots));
+  Array.blit slots 0 u.slots 0 (Array.length slots)
+
 let compute u ~op_index a b =
   let prev = u.slots.(0) in
   let no_operands = Word.is_disc a && Word.is_disc b in

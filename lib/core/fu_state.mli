@@ -37,3 +37,11 @@ val busy : t -> bool
 
 val peek_output : t -> Word.t
 (** The value the unit would output at the next [cm] (oldest slot). *)
+
+val slots : t -> Word.t array
+(** A copy of the pipeline slots, newest first — the unit's entire
+    mutable state, used by control-step snapshots. *)
+
+val restore : t -> Word.t array -> unit
+(** Reinstall pipeline slots captured by {!slots}.  Raises
+    [Invalid_argument] on a latency mismatch. *)

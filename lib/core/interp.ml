@@ -285,16 +285,17 @@ let run_phase st ~step ~(phase : Phase.t) =
       st.model.registers
   | Phase.Ra | Phase.Wa | Phase.Wb -> ()
 
-let run_with_hook ?on_visible ?(inject = Inject.none) (m : Model.t) =
-  Model.validate_exn m;
-  let st = init ~inject m in
-  for step = 1 to m.cs_max do
+let exec ?on_visible st ~from_step =
+  for step = from_step + 1 to st.model.cs_max do
     List.iter
       (fun phase ->
         flip_phase ?on_visible st ~step ~phase;
         run_phase st ~step ~phase)
       Phase.all
-  done;
+  done
+
+let finish st =
+  let m = st.model in
   let outputs =
     List.map
       (fun o ->
@@ -314,4 +315,103 @@ let run_with_hook ?on_visible ?(inject = Inject.none) (m : Model.t) =
     outputs;
     conflicts = List.rev st.conflicts }
 
+let run_with_hook ?on_visible ?inject (m : Model.t) =
+  Model.validate_exn m;
+  let inject = Option.value ~default:Inject.none inject in
+  let st = init ~inject m in
+  exec ?on_visible st ~from_step:0;
+  finish st
+
 let run ?inject m = run_with_hook ?inject m
+
+(* ---- control-step snapshots ------------------------------------- *)
+
+let capture st ~digest ~step =
+  let m = st.model in
+  { Snapshot.model_name = m.name;
+    digest;
+    step;
+    regs =
+      List.map
+        (fun (r : Model.register) ->
+          (r.reg_name, Hashtbl.find st.regs r.reg_name))
+        m.registers;
+    fu_out =
+      List.map
+        (fun (f : Model.fu) -> (f.fu_name, Hashtbl.find st.fu_out f.fu_name))
+        m.fus;
+    fu_slots =
+      List.map
+        (fun (f : Model.fu) ->
+          (f.fu_name, Fu_state.slots (Hashtbl.find st.fus f.fu_name)))
+        m.fus;
+    trace =
+      List.map
+        (fun (r : Model.register) ->
+          (r.reg_name, Array.sub (Hashtbl.find st.reg_trace r.reg_name) 0 step))
+        m.registers;
+    out_writes = List.rev st.out_writes;
+    conflicts = Snapshot.sort_conflicts st.conflicts }
+
+let snapshots_at ~steps (m : Model.t) =
+  Model.validate_exn m;
+  List.iter
+    (fun s ->
+      if s < 0 || s > m.cs_max then
+        invalid_arg
+          (Printf.sprintf "Interp.snapshots_at: step %d outside [0, %d]" s
+             m.cs_max))
+    steps;
+  let want = List.sort_uniq compare steps in
+  let digest = Snapshot.digest_of_model m in
+  let st = init ~inject:Inject.none m in
+  let snaps = ref [] in
+  if List.mem 0 want then snaps := capture st ~digest ~step:0 :: !snaps;
+  for step = 1 to m.cs_max do
+    List.iter
+      (fun phase ->
+        flip_phase st ~step ~phase;
+        run_phase st ~step ~phase)
+      Phase.all;
+    if List.mem step want then snaps := capture st ~digest ~step :: !snaps
+  done;
+  List.rev !snaps
+
+let snapshot_at ~step m =
+  match snapshots_at ~steps:[ step ] m with
+  | [ s ] -> s
+  | _ -> assert false
+
+let resume ?inject ~(from : Snapshot.t) (m : Model.t) =
+  Model.validate_exn m;
+  Snapshot.validate_exn m from;
+  let inject = Option.value ~default:Inject.none inject in
+  let st = init ~inject m in
+  List.iter (fun (n, v) -> Hashtbl.replace st.regs n v) from.regs;
+  List.iter
+    (fun (r : Model.register) ->
+      if Hashtbl.mem st.reg_vis r.reg_name then begin
+        (* same rule as a latch in the uninterrupted run: the tampered
+           output view re-resolves from the current register value *)
+        let v = List.assoc r.reg_name from.regs in
+        let vis =
+          if Word.is_disc v then Word.disc
+          else
+            apply_tamper st (r.reg_name ^ ".out") ~step:(from.step + 1)
+              ~phase:Phase.Ra v
+        in
+        Hashtbl.replace st.reg_vis r.reg_name vis
+      end)
+    m.registers;
+  List.iter (fun (n, v) -> Hashtbl.replace st.fu_out n v) from.fu_out;
+  List.iter
+    (fun (n, slots) -> Fu_state.restore (Hashtbl.find st.fus n) slots)
+    from.fu_slots;
+  List.iter
+    (fun (n, a) ->
+      Array.blit a 0 (Hashtbl.find st.reg_trace n) 0 (Array.length a))
+    from.trace;
+  st.out_writes <- List.rev from.out_writes;
+  st.conflicts <- List.rev from.conflicts;
+  exec st ~from_step:from.step;
+  finish st

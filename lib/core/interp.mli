@@ -40,3 +40,24 @@ val run_with_hook :
   ?on_visible:hook -> ?inject:Inject.t -> Model.t -> Observation.t
 (** Like {!run}, also reporting every resolved sink value as it
     becomes visible (used by the symbolic/diagnostic layers). *)
+
+val snapshot_at : step:int -> Model.t -> Snapshot.t
+(** Run the model uninjected through control step [step] (0 means
+    before the first step) and capture the machine state at that
+    boundary.  Raises [Invalid_argument] when [step] is outside
+    [0, cs_max]. *)
+
+val snapshots_at : steps:int list -> Model.t -> Snapshot.t list
+(** One golden run, capturing every requested boundary; returned in
+    ascending step order with duplicates removed. *)
+
+val resume : ?inject:Inject.t -> from:Snapshot.t -> Model.t -> Observation.t
+(** Reinstall a snapshot and run the remaining [cs_max - from.step]
+    control steps.  Without [inject], the result equals the
+    uninterrupted {!run} observation-for-observation.  With [inject],
+    this is only meaningful when the injection cannot act before the
+    snapshot boundary (the campaign guarantees it via
+    {!Csrtl_fault.Fault.first_step}); latency overrides that reshape a
+    unit pipeline are rejected with [Invalid_argument].  Raises
+    [Invalid_argument] when the snapshot does not validate against the
+    model. *)

@@ -31,7 +31,7 @@ let src = Logs.Src.create "csrtl.sim" ~doc:"clock-free model simulation"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-let expected_cycles (m : Model.t) =
+let expected_cycles_from (m : Model.t) s0 =
   (* A [wb] leg in the final step releases its driver during the last
      [cr] cycle, and a latching register schedules its output update
      there too: either adds one trailing cycle. *)
@@ -41,16 +41,20 @@ let expected_cycles (m : Model.t) =
         t.write_step = Some m.cs_max && t.dst <> None)
       m.transfers
   in
-  (Phase.count * m.cs_max) + if wb_leg_in_last_step then 1 else 0
+  (Phase.count * (m.cs_max - s0)) + if wb_leg_in_last_step then 1 else 0
+
+let expected_cycles m = expected_cycles_from m 0
 
 let watchdog_slack = 16
 
-let run_cfg ?vcd ?(trace = false) ?inject ?(config = default) (m : Model.t) =
+let run_internal ?vcd ?(trace = false) ?inject ?(config = default) ?from
+    ?capture_at (m : Model.t) =
   let { wait_impl; resolution_impl; on_illegal; watchdog } = config in
   let e =
     Elaborate.build ~wait_impl ~resolution_impl ?inject
-      ~degrade_illegal:(on_illegal = Degrade) m
+      ~degrade_illegal:(on_illegal = Degrade) ?from m
   in
+  let s0 = match from with Some s -> s.Snapshot.step | None -> 0 in
   let k = e.kernel in
   let cs = e.ctrl.cs and ph = e.ctrl.ph in
   (* ILLEGAL localization on resolved sinks. *)
@@ -78,7 +82,9 @@ let run_cfg ?vcd ?(trace = false) ?inject ?(config = default) (m : Model.t) =
       remember (f.fu_name ^ ".in2");
       remember (f.fu_name ^ ".op"))
     m.fus;
-  let conflicts = ref [] in
+  let conflicts =
+    ref (match from with Some s -> List.rev s.Snapshot.conflicts | None -> [])
+  in
   Scheduler.on_event k (fun s ->
       if Word.is_illegal (Signal.value s) then
         match Hashtbl.find_opt resolved_sinks (Signal.id s) with
@@ -104,7 +110,13 @@ let run_cfg ?vcd ?(trace = false) ?inject ?(config = default) (m : Model.t) =
   let snapshots = Hashtbl.create 16 in
   List.iter
     (fun (name, _) ->
-      Hashtbl.replace snapshots name (Array.make m.cs_max Word.disc))
+      let arr = Array.make m.cs_max Word.disc in
+      (match from with
+       | Some s ->
+         let prefix = List.assoc name s.Snapshot.trace in
+         Array.blit prefix 0 arr 0 (Array.length prefix)
+       | None -> ());
+      Hashtbl.replace snapshots name arr)
     reg_signals;
   let snapshot step =
     if step >= 1 && step <= m.cs_max then
@@ -121,7 +133,9 @@ let run_cfg ?vcd ?(trace = false) ?inject ?(config = default) (m : Model.t) =
          done));
   (* Output-port sampling at [cr]. *)
   let out_ports = Elaborate.output_ports e in
-  let out_writes = ref [] in
+  let out_writes =
+    ref (match from with Some s -> List.rev s.Snapshot.out_writes | None -> [])
+  in
   if out_ports <> [] then
     ignore
       (Scheduler.add_process k ~name:"$monitor_outs" (fun () ->
@@ -137,13 +151,56 @@ let run_cfg ?vcd ?(trace = false) ?inject ?(config = default) (m : Model.t) =
                  then out_writes := (name, (step, v)) :: !out_writes)
                out_ports
            done));
+  (* Boundary capture: at the [ra] cycle of step [s + 1] every sink
+     has been released (SEMANTICS §10), so the machine state is the
+     register file plus the unit pipelines and output latches.  The
+     trace cell of step [s] is read from the matured register signals
+     rather than the monitor table, so capture does not depend on
+     process ordering against [$monitor_regs]. *)
+  let captured = ref None in
+  let capture step =
+    { Snapshot.model_name = m.name;
+      digest = Snapshot.digest_of_model m;
+      step;
+      regs = List.map (fun (n, s) -> (n, Signal.value s)) reg_signals;
+      fu_out =
+        List.map
+          (fun (f : Model.fu) ->
+            match e.Elaborate.find_signal (f.fu_name ^ ".out") with
+            | Some s -> (f.fu_name, Signal.value s)
+            | None -> (f.fu_name, Word.disc))
+          m.fus;
+      fu_slots =
+        List.map (fun (n, st) -> (n, Fu_state.slots st)) e.Elaborate.fu_states;
+      trace =
+        List.map
+          (fun (n, s) ->
+            let a = Array.sub (Hashtbl.find snapshots n) 0 step in
+            if step > 0 then a.(step - 1) <- Signal.value s;
+            (n, a))
+          reg_signals;
+      out_writes = List.rev !out_writes;
+      conflicts = Snapshot.sort_conflicts !conflicts }
+  in
+  (match capture_at with
+   | Some step when step < m.cs_max ->
+     ignore
+       (Scheduler.add_process k ~name:"$capture" (fun () ->
+            Process.wait_keyed cs (step + 1);
+            captured := Some (capture step)))
+   | Some _ | None -> ());
   let run_result =
     if watchdog then
       (* Control-step watchdog: the delta-cycle law bounds a healthy
          run, so anything past the law plus slack is a hang. *)
-      Scheduler.run ~max_cycles:(expected_cycles m + watchdog_slack) k
+      Scheduler.run ~max_cycles:(expected_cycles_from m s0 + watchdog_slack) k
     else Scheduler.run k
   in
+  (match capture_at with
+   | Some step when step = m.cs_max && !captured = None ->
+     (* the final boundary is the quiescent post-run state *)
+     captured := Some (capture step)
+   | Some _ | None -> ());
   let outcome =
     match run_result with
     | Scheduler.Completed | Scheduler.Stopped Scheduler.Stop_raised
@@ -176,8 +233,27 @@ let run_cfg ?vcd ?(trace = false) ?inject ?(config = default) (m : Model.t) =
           out_ports;
       conflicts = List.rev !conflicts }
   in
-  { obs; cycles = Scheduler.delta_count k; stats = Scheduler.stats k;
-    elaborated = e; outcome }
+  ( { obs; cycles = Scheduler.delta_count k; stats = Scheduler.stats k;
+      elaborated = e; outcome },
+    !captured )
+
+let run_cfg ?vcd ?trace ?inject ?config m =
+  fst (run_internal ?vcd ?trace ?inject ?config m)
+
+let snapshot_at ?(config = default) ~step (m : Model.t) =
+  if step < 0 || step > m.cs_max then
+    invalid_arg
+      (Printf.sprintf "Simulate.snapshot_at: step %d outside [0, %d]" step
+         m.cs_max);
+  match run_internal ~config ~capture_at:step m with
+  | _, Some s -> s
+  | _, None ->
+    (* only reachable when the run aborted before the boundary, which
+       an uninjected model cannot do *)
+    invalid_arg "Simulate.snapshot_at: run ended before the boundary"
+
+let resume ?vcd ?trace ?inject ?config ~from m =
+  fst (run_internal ?vcd ?trace ?inject ?config ~from m)
 
 let run ?vcd ?trace ?wait_impl ?resolution_impl ?inject ?on_illegal
     ?watchdog m =

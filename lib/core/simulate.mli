@@ -76,6 +76,30 @@ val expected_cycles : Model.t -> int
     trailing driver-release/register-update cycle if any transfer
     writes back in step [cs_max]. *)
 
+val expected_cycles_from : Model.t -> int -> int
+(** The law for the segment of a run resumed at boundary [s0]:
+    [6 * (cs_max - s0)] plus the same trailing cycle.
+    [expected_cycles m = expected_cycles_from m 0]. *)
+
+val snapshot_at : ?config:config -> step:int -> Model.t -> Snapshot.t
+(** Run the model uninjected through control step [step] (0 means the
+    initial state) and capture the machine state at that boundary —
+    the kernel realization of {!Interp.snapshot_at}; for the same
+    model and step all engines produce byte-identical serializations.
+    Raises [Invalid_argument] when [step] is outside [0, cs_max]. *)
+
+val resume :
+  ?vcd:Buffer.t -> ?trace:bool -> ?inject:Inject.t -> ?config:config ->
+  from:Snapshot.t -> Model.t -> result
+(** Reinstall a snapshot (from any engine) and run the remaining
+    control steps on the kernel.  Without [inject] the observation
+    equals the uninterrupted run's; the reported [cycles] cover only
+    the resumed segment ({!expected_cycles_from}).  With [inject] the
+    result is meaningful when the fault cannot act at or before the
+    boundary ({!Csrtl_fault.Fault.first_step}); the watchdog, when
+    enabled, bounds the segment by its own law.  Raises
+    [Invalid_argument] when the snapshot does not validate. *)
+
 val watchdog_slack : int
 (** Delta cycles of grace beyond {!expected_cycles} before the
     watchdog classifies a run as hung. *)

@@ -1,6 +1,6 @@
 open Csrtl_core
 
-type outcome =
+type outcome = Outcome.t =
   | Masked
   | Detected of int * Phase.t * string
   | Corrupted of string list
@@ -29,18 +29,7 @@ type report = {
   entries : entry list;
 }
 
-let outcomes_agree a b =
-  match a, b with
-  | Masked, Masked -> true
-  | Detected (s1, p1, n1), Detected (s2, p2, n2) ->
-    s1 = s2 && Phase.equal p1 p2 && n1 = n2
-  | Corrupted _, Corrupted _ -> true
-  (* the interpreter cannot hang (fixed iteration count), so a kernel
-     hang is intrinsically a disagreement unless the interpreter
-     crashed trying *)
-  | Hung _, Hung _ -> true
-  | Crashed _, Crashed _ -> true
-  | _, _ -> false
+let outcomes_agree = Outcome.agree
 
 (* A fault is detected iff it produces a conflict the golden run does
    not have; the first chronological new conflict is the diagnosis
@@ -68,34 +57,6 @@ let classify ~golden (faulted : Observation.t) =
      | [] -> Masked
      | ds -> Corrupted ds)
 
-let kernel_entry ~config ~golden m inj =
-  (* campaigns always arm the watchdog: a fault that stalls the
-     controller must classify as Hung, not hang the campaign *)
-  let config = { config with Simulate.watchdog = true } in
-  match Simulate.run_cfg ~inject:inj ~config m with
-  | r ->
-    (match r.Simulate.outcome with
-     | Simulate.Watchdog_tripped c ->
-       (Hung (Printf.sprintf "watchdog tripped after %d cycles" c),
-        r.Simulate.cycles)
-     | Simulate.Kernel_overflow ov ->
-       (Hung (Format.asprintf "%a" Csrtl_kernel.Types.pp_delta_overflow ov),
-        r.Simulate.cycles)
-     | Simulate.Finished | Simulate.Halted _ ->
-       (classify ~golden r.Simulate.obs, r.Simulate.cycles))
-  | exception e -> (Crashed (Printexc.to_string e), 0)
-
-let interp_entry ~golden m inj =
-  match Interp.run ~inject:inj m with
-  | o -> classify ~golden o
-  | exception Interp.Unstable (step, phase, sink) ->
-    (* the kernel path livelocks on the same fault and trips the
-       watchdog: both paths classify as hung *)
-    Hung
-      (Printf.sprintf "no fixpoint at step %d phase %s on %s" step
-         (Phase.to_string phase) sink)
-  | exception e -> Crashed (Printexc.to_string e)
-
 (* The campaign's goldens: the kernel side takes the phase-compiled
    fast path when the configuration stays on its schedule (fault runs
    themselves always need the kernel or the interpreter — injection is
@@ -108,12 +69,105 @@ let golden_kernel ~config m =
     (Simulate.run_cfg ~config:{ config with Simulate.watchdog = true } m)
       .Simulate.obs
 
-let entry_of_fault ~config ~golden_k ~golden_i ~expected m fault =
-  let inj = Fault.to_inject fault in
-  let kernel_outcome, kernel_cycles =
-    kernel_entry ~config ~golden:golden_k m inj
+(* Shared read-only state for every fault run of one campaign: the
+   goldens, plus golden checkpoints at each boundary some fault wants
+   to resume from.  Computed once in the caller, read concurrently by
+   the pool domains. *)
+type ctx = {
+  m : Model.t;
+  config : Simulate.config;
+  golden_k : Observation.t;
+  golden_i : Observation.t;
+  checkpoints : (int, Snapshot.t) Hashtbl.t;
+  budget : float option;
+}
+
+let boundary_of_fault (m : Model.t) f =
+  min (Fault.first_step m f - 1) m.Model.cs_max
+
+let make_ctx ~config ?budget ~restore ~faults (m : Model.t) =
+  let golden_k = golden_kernel ~config m in
+  let golden_i = Interp.run m in
+  let checkpoints = Hashtbl.create 16 in
+  (* Checkpoints are only sound when the golden kernel state equals
+     the interpreter state at every boundary — true under [Record]
+     (the differential suite pins it); [Halt]/[Degrade] goldens
+     diverge, so those campaigns re-simulate from step 0. *)
+  (if restore && config.Simulate.on_illegal = Simulate.Record then
+     let boundaries =
+       List.sort_uniq compare
+         (List.filter_map
+            (fun f ->
+              let b = boundary_of_fault m f in
+              if b >= 1 then Some b else None)
+            faults)
+     in
+     if boundaries <> [] then
+       let snaps =
+         match Compiled.compilable ~config m with
+         | Ok () ->
+           Compiled.snapshots_at (Compiled.of_model m) ~steps:boundaries
+         | Error _ -> Interp.snapshots_at ~steps:boundaries m
+       in
+       List.iter
+         (fun (s : Snapshot.t) -> Hashtbl.replace checkpoints s.Snapshot.step s)
+         snaps);
+  { m; config; golden_k; golden_i; checkpoints; budget }
+
+let kernel_entry ~ctx ~snap inj =
+  (* campaigns always arm the watchdog: a fault that stalls the
+     controller must classify as Hung, not hang the campaign *)
+  let config = { ctx.config with Simulate.watchdog = true } in
+  let full_expected = Simulate.expected_cycles ctx.m in
+  let run () =
+    match snap with
+    | Some from ->
+      ( Simulate.resume ~inject:inj ~config ~from ctx.m,
+        Simulate.expected_cycles_from ctx.m from.Snapshot.step )
+    | None -> (Simulate.run_cfg ~inject:inj ~config ctx.m, full_expected)
   in
-  let interp_outcome = interp_entry ~golden:golden_i m inj in
+  match run () with
+  | r, expected ->
+    (match r.Simulate.outcome with
+     | Simulate.Watchdog_tripped c ->
+       (Hung (Printf.sprintf "watchdog tripped after %d cycles" c),
+        r.Simulate.cycles, expected)
+     | Simulate.Kernel_overflow ov ->
+       (Hung (Format.asprintf "%a" Csrtl_kernel.Types.pp_delta_overflow ov),
+        r.Simulate.cycles, expected)
+     | Simulate.Finished | Simulate.Halted _ ->
+       (classify ~golden:ctx.golden_k r.Simulate.obs, r.Simulate.cycles,
+        expected))
+  | exception e -> (Crashed (Printexc.to_string e), 0, full_expected)
+
+let interp_entry ~ctx ~snap inj =
+  let run () =
+    match snap with
+    | Some from -> Interp.resume ~inject:inj ~from ctx.m
+    | None -> Interp.run ~inject:inj ctx.m
+  in
+  match run () with
+  | o -> classify ~golden:ctx.golden_i o
+  | exception Interp.Unstable (step, phase, sink) ->
+    (* the kernel path livelocks on the same fault and trips the
+       watchdog: both paths classify as hung *)
+    Hung
+      (Printf.sprintf "no fixpoint at step %d phase %s on %s" step
+         (Phase.to_string phase) sink)
+  | exception e -> Crashed (Printexc.to_string e)
+
+let entry_of_fault ~ctx fault =
+  let inj = Fault.to_inject fault in
+  let snap =
+    (* resume both engines from the latest golden checkpoint strictly
+       before the fault can first act ({!Fault.first_step} is a sound
+       lower bound), skipping the steps the fault provably cannot
+       touch *)
+    let b = boundary_of_fault ctx.m fault in
+    if b < 1 then None else Hashtbl.find_opt ctx.checkpoints b
+  in
+  let kernel_outcome, kernel_cycles, expected = kernel_entry ~ctx ~snap inj in
+  let interp_outcome = interp_entry ~ctx ~snap inj in
   let law_ok =
     (* the delta-cycle law must keep holding when the fault is
        masked; the one-cycle slack covers the trailing
@@ -123,6 +177,25 @@ let entry_of_fault ~config ~golden_k ~golden_i ~expected m fault =
     | _ -> true
   in
   { fault; kernel_outcome; interp_outcome; kernel_cycles; law_ok }
+
+(* One fault run under supervision: a raise is retried once and then
+   classified as Crashed, a budget overrun as Hung — the campaign and
+   the pool keep going either way.  [entry_of_fault] already fences
+   per-engine exceptions, so the supervisor only sees failures of the
+   harness itself (e.g. [Out_of_memory]). *)
+let supervised_entry ~ctx fault =
+  match
+    Csrtl_par.Par.run_supervised ?budget:ctx.budget ~retries:1 (fun () ->
+        entry_of_fault ~ctx fault)
+  with
+  | Csrtl_par.Par.Done e -> e
+  | Csrtl_par.Par.Crashed { error; _ } ->
+    { fault; kernel_outcome = Crashed error; interp_outcome = Crashed error;
+      kernel_cycles = 0; law_ok = true }
+  | Csrtl_par.Par.Over_budget { budget; _ } ->
+    let why = Printf.sprintf "work budget of %gs exceeded" budget in
+    { fault; kernel_outcome = Hung why; interp_outcome = Hung why;
+      kernel_cycles = 0; law_ok = true }
 
 let summarize (m : Model.t) entries =
   let count p = List.length (List.filter p entries) in
@@ -155,45 +228,130 @@ let summarize (m : Model.t) entries =
 let fault_list ?limit ?faults m =
   match faults with Some fs -> fs | None -> Fault.enumerate ?limit m
 
-let run ?(config = Simulate.default) ?limit ?faults (m : Model.t) =
+let run ?(config = Simulate.default) ?limit ?faults ?budget ?(restore = true)
+    (m : Model.t) =
   let faults = fault_list ?limit ?faults m in
-  let golden_k = golden_kernel ~config m in
-  let golden_i = Interp.run m in
-  let expected = Simulate.expected_cycles m in
-  summarize m
-    (List.map (entry_of_fault ~config ~golden_k ~golden_i ~expected m) faults)
+  let ctx = make_ctx ~config ?budget ~restore ~faults m in
+  summarize m (List.map (fun f -> supervised_entry ~ctx f) faults)
+
+let map_faults ?pool ?jobs ?chunks compute faults =
+  match pool with
+  | Some p -> Csrtl_par.Par.map ?chunks p compute faults
+  | None ->
+    let jobs =
+      match jobs with
+      | Some j -> j
+      | None -> Csrtl_par.Par.default_jobs ()
+    in
+    Csrtl_par.Par.with_pool ~jobs (fun p ->
+        Csrtl_par.Par.map ?chunks p compute faults)
 
 let run_parallel ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
-    ?faults (m : Model.t) =
+    ?faults ?budget ?(restore = true) (m : Model.t) =
   let faults = fault_list ?limit ?faults m in
-  (* goldens computed once in the caller and shared read-only with
-     every domain; each faulted run owns all its mutable state *)
-  let golden_k = golden_kernel ~config m in
-  let golden_i = Interp.run m in
-  let expected = Simulate.expected_cycles m in
-  let compute = entry_of_fault ~config ~golden_k ~golden_i ~expected m in
+  (* goldens and checkpoints computed once in the caller and shared
+     read-only with every domain; each faulted run owns all its
+     mutable state *)
+  let ctx = make_ctx ~config ?budget ~restore ~faults m in
   let entries =
-    match pool with
-    | Some p -> Csrtl_par.Par.map ?chunks p compute faults
-    | None ->
-      let jobs =
-        match jobs with
-        | Some j -> j
-        | None -> Csrtl_par.Par.default_jobs ()
-      in
-      Csrtl_par.Par.with_pool ~jobs (fun p ->
-          Csrtl_par.Par.map ?chunks p compute faults)
+    map_faults ?pool ?jobs ?chunks (fun f -> supervised_entry ~ctx f) faults
   in
   summarize m entries
 
-let pp_outcome ppf = function
-  | Masked -> Format.pp_print_string ppf "masked"
-  | Detected (s, p, n) ->
-    Format.fprintf ppf "detected at (%d, %s) on %s" s (Phase.to_string p) n
-  | Corrupted ds ->
-    Format.fprintf ppf "silent corruption (%d differences)" (List.length ds)
-  | Hung why -> Format.fprintf ppf "hung: %s" why
-  | Crashed why -> Format.fprintf ppf "crashed: %s" why
+type resume_info = { reused : int; rerun : int; torn : int }
+
+let run_journaled ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
+    ?faults ?budget ?(restore = true) ~journal ~resume (m : Model.t) =
+  let faults = fault_list ?limit ?faults m in
+  let labels = List.map Fault.to_string faults in
+  let total = List.length faults in
+  let header =
+    { Journal.model = m.Model.name;
+      digest = Snapshot.digest_of_model m;
+      config = Journal.config_tag config;
+      total;
+      faults_digest = Journal.faults_digest labels }
+  in
+  let fault_arr = Array.of_list faults in
+  let label_arr = Array.of_list labels in
+  let reuse =
+    if not resume then Ok ([], 0)
+    else
+      match Journal.read journal with
+      | Error msg ->
+        Error (Printf.sprintf "cannot resume from %s: %s" journal msg)
+      | Ok (h, entries, torn) ->
+        if h <> header then
+          Error
+            (Printf.sprintf
+               "journal %s was written for a different campaign: it records \
+                model %s, %d faults, config %s, but this run is model %s, %d \
+                faults, config %s"
+               journal h.Journal.model h.Journal.total h.Journal.config
+               header.Journal.model header.Journal.total header.Journal.config)
+        else
+          (* an entry whose label disagrees with the fault at its
+             index is as untrustworthy as a torn line *)
+          let good, bad =
+            List.partition
+              (fun (e : Journal.entry) ->
+                e.Journal.fault_label = label_arr.(e.Journal.index))
+              entries
+          in
+          Ok (good, torn + List.length bad)
+  in
+  match reuse with
+  | Error _ as e -> e
+  | Ok (reused_entries, torn) ->
+    let done_tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Journal.entry) -> Hashtbl.replace done_tbl e.Journal.index e)
+      reused_entries;
+    let todo =
+      List.filter
+        (fun i -> not (Hashtbl.mem done_tbl i))
+        (List.init total Fun.id)
+    in
+    let w =
+      if resume then Journal.reopen journal header
+      else Journal.start journal header
+    in
+    Fun.protect ~finally:(fun () -> Journal.close w) @@ fun () ->
+    let ctx =
+      (* checkpoints only for the faults actually re-run *)
+      make_ctx ~config ?budget ~restore
+        ~faults:(List.map (fun i -> fault_arr.(i)) todo)
+        m
+    in
+    let compute i =
+      let e = supervised_entry ~ctx fault_arr.(i) in
+      Journal.append w
+        { Journal.index = i; fault_label = label_arr.(i);
+          kernel = e.kernel_outcome; interp = e.interp_outcome;
+          cycles = e.kernel_cycles; law_ok = e.law_ok };
+      (i, e)
+    in
+    let computed = map_faults ?pool ?jobs ?chunks compute todo in
+    let computed_tbl = Hashtbl.create 64 in
+    List.iter (fun (i, e) -> Hashtbl.replace computed_tbl i e) computed;
+    let entries =
+      List.init total (fun i ->
+          match Hashtbl.find_opt computed_tbl i with
+          | Some e -> e
+          | None ->
+            let je = Hashtbl.find done_tbl i in
+            { fault = fault_arr.(i);
+              kernel_outcome = je.Journal.kernel;
+              interp_outcome = je.Journal.interp;
+              kernel_cycles = je.Journal.cycles;
+              law_ok = je.Journal.law_ok })
+    in
+    Ok
+      ( summarize m entries,
+        { reused = List.length reused_entries; rerun = List.length todo; torn }
+      )
+
+let pp_outcome = Outcome.pp
 
 let pp_entry ppf e =
   Format.fprintf ppf "@[<h>%-50s kernel: %a | interp: %a%s@]"

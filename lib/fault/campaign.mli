@@ -5,11 +5,24 @@
     the reference interpreter ({!Csrtl_core.Interp}), compares each
     against its own clean golden run, and classifies the outcome.  A
     campaign never raises for in-model failures: anything escaping a
-    run is reported as [Crashed]. *)
+    run is reported as [Crashed].
+
+    Two robustness layers wrap every fault run:
+
+    - {b checkpoint restore}: under the default [Record] policy both
+      engines resume from a golden checkpoint at the last boundary
+      before the fault can act ({!Fault.first_step}), instead of
+      re-simulating the healthy prefix from step 0.  Classifications
+      are unchanged — SEMANTICS §10's quiescence property makes the
+      restored state indistinguishable from the simulated one;
+    - {b supervision}: a run that raises is retried once then
+      classified [Crashed]; with [budget], a run exceeding its
+      wall-clock budget classifies as [Hung] — neither aborts the
+      campaign or its pool. *)
 
 open Csrtl_core
 
-type outcome =
+type outcome = Outcome.t =
   | Masked  (** observation identical to the golden run *)
   | Detected of int * Phase.t * string
       (** a conflict the golden run does not have, localized to the
@@ -17,7 +30,8 @@ type outcome =
   | Corrupted of string list
       (** silent data corruption: no new conflict, but the observation
           differs (the differences, human-readable) *)
-  | Hung of string  (** watchdog trip or kernel delta overflow *)
+  | Hung of string  (** watchdog trip, kernel delta overflow, or
+                        work-budget overrun *)
   | Crashed of string  (** an exception escaped the run *)
 
 type entry = {
@@ -26,8 +40,9 @@ type entry = {
   interp_outcome : outcome;
   kernel_cycles : int;
   law_ok : bool;
-      (** for masked kernel runs: delta cycles within one of
-          {!Simulate.expected_cycles} (trailing-release slack) *)
+      (** for masked kernel runs: delta cycles within one of the
+          law for the simulated segment ({!Simulate.expected_cycles},
+          or {!Simulate.expected_cycles_from} the restored boundary) *)
 }
 
 type report = {
@@ -47,27 +62,60 @@ type report = {
 
 val run :
   ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
+  ?budget:float -> ?restore:bool ->
   Model.t -> report
 (** [faults] overrides {!Fault.enumerate} (then [limit] is unused).
     [config] selects the kernel policies of every run (default
     {!Simulate.default}); the watchdog is always forced on so a
     stalling fault classifies as [Hung] instead of hanging the
     campaign.  The clean kernel golden takes the phase-compiled fast
-    path when [config] permits. *)
+    path when [config] permits.  [budget] bounds each fault run's wall
+    clock (seconds; overruns classify as [Hung]).  [restore] (default
+    on) enables the checkpoint fast path; it only engages under the
+    [Record] policy, where golden checkpoints are engine-independent. *)
 
 val run_parallel :
   ?pool:Csrtl_par.Par.t -> ?jobs:int -> ?chunks:int ->
   ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
+  ?budget:float -> ?restore:bool ->
   Model.t -> report
 (** {!run} with the fault list sharded across a domain pool.  The
-    goldens are computed once in the caller; each faulted run owns its
-    kernel/interpreter state, so runs are embarrassingly parallel.
-    Entry order follows the fault list regardless of scheduling: the
-    report is {e identical} to {!run}'s — same bytes from
-    {!pp_report} at any [jobs]/[chunks] — which the determinism suite
-    checks.  [pool] reuses an existing pool (then [jobs] is ignored);
-    otherwise a pool of [jobs] (default
-    {!Csrtl_par.Par.default_jobs}) is created for the call. *)
+    goldens and checkpoints are computed once in the caller; each
+    faulted run owns its kernel/interpreter state, so runs are
+    embarrassingly parallel.  Entry order follows the fault list
+    regardless of scheduling: the report is {e identical} to {!run}'s
+    — same bytes from {!pp_report} at any [jobs]/[chunks] — which the
+    determinism suite checks.  [pool] reuses an existing pool (then
+    [jobs] is ignored); otherwise a pool of [jobs] (default
+    {!Csrtl_par.Par.default_jobs}) is created for the call; when the
+    runtime cannot provide the requested domains the pool shrinks
+    gracefully down to sequential ({!Csrtl_par.Par.create}). *)
+
+type resume_info = {
+  reused : int;  (** journal entries accepted without re-running *)
+  rerun : int;  (** faults (re)computed this invocation *)
+  torn : int;  (** journal lines discarded: truncated by a crash,
+                   failed their integrity hash, out of range,
+                   duplicated, or label-mismatched *)
+}
+
+val run_journaled :
+  ?pool:Csrtl_par.Par.t -> ?jobs:int -> ?chunks:int ->
+  ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
+  ?budget:float -> ?restore:bool ->
+  journal:string -> resume:bool ->
+  Model.t -> (report * resume_info, string) result
+(** {!run_parallel} with crash durability: every finished fault is
+    appended to the JSONL [journal] ({!Journal}) before the campaign
+    moves on.  With [resume] false the journal is truncated and the
+    whole campaign runs.  With [resume] true the journal is read
+    first: entries that parse, pass their integrity hash and match
+    the fault list are reused verbatim; torn or missing entries are
+    re-run (and appended).  The resumed report is byte-identical to
+    an uninterrupted run's — reused entries round-trip through the
+    journal losslessly.  [Error] when the journal is unreadable,
+    malformed, or was written for a different campaign (model digest,
+    config tag, or fault-list digest disagree). *)
 
 val outcomes_agree : outcome -> outcome -> bool
 (** Same class; [Detected] additionally requires the same localization. *)

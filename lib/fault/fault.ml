@@ -44,6 +44,63 @@ let pp ppf = function
 
 let to_string f = Format.asprintf "%a" pp f
 
+(* Earliest control step at which the fault can make the realization
+   diverge from the golden run — a sound lower bound, used by the
+   campaign to pick the latest golden checkpoint it may resume from
+   (the boundary [first_step - 1]).  Soundness argument per case:
+
+   - a latency override changes the unit pipeline from the first
+     step, so 1;
+   - a dropped leg first withholds its contribution at the leg's
+     read/write slot;
+   - a saboteur or oscillator is scheduled at its (step, phase) and
+     contributes nothing before it;
+   - a transient tampers the sink's re-resolutions at its exact
+     (step, phase); a slot at [ra] can coincide with the release
+     resolution of step-1 drivers, so it conservatively reaches back
+     one step;
+   - a stuck register output first differs when the register first
+     drives: immediately when its init is not DISC, otherwise at the
+     first write into [R.in];
+   - a stuck bus (or unit input) yields [value] at every resolution,
+     but before the first legitimate write the sink has no resolution
+     events, so it still reads DISC on both paths. *)
+let first_step (m : Model.t) fault =
+  let legs, _ = Model.all_legs m in
+  let first_write sink =
+    List.fold_left
+      (fun acc (l : Transfer.leg) ->
+        if Transfer.endpoint_name l.dst = sink then min acc l.step else acc)
+      (m.cs_max + 1) legs
+  in
+  match fault with
+  | Fu_latency _ -> 1
+  | Dropped_leg { index; _ } ->
+    (match List.nth_opt legs index with
+     | Some l -> l.Transfer.step
+     | None -> 1)
+  | Extra_driver { step; _ } | Oscillator { step; _ } -> step
+  | Transient { step; phase; _ } ->
+    if Phase.equal phase Phase.Ra then max 1 (step - 1) else step
+  | Stuck_sink { sink; _ } ->
+    let reg_of_out =
+      if Filename.check_suffix sink ".out" then
+        Model.find_register m (Filename.chop_suffix sink ".out")
+      else None
+    in
+    (match reg_of_out with
+     | Some r ->
+       if not (Word.is_disc r.Model.init) then 1
+       else first_write (r.Model.reg_name ^ ".in")
+     | None ->
+       if
+         List.mem sink m.buses
+         || List.exists
+              (fun (l : Transfer.leg) -> Transfer.endpoint_name l.dst = sink)
+              legs
+       then first_write sink
+       else 1)
+
 (* Deterministic stride subsample preserving enumeration order. *)
 let subsample limit l =
   if limit < 1 then

@@ -46,5 +46,14 @@ val enumerate : ?limit:int -> Model.t -> t list
 
 val to_inject : t -> Inject.t
 
+val first_step : Model.t -> t -> int
+(** Earliest control step at which the fault can make the faulted run
+    diverge from the golden one — a {e sound lower bound}, never an
+    exact answer.  A campaign may therefore restore a golden
+    checkpoint of any boundary strictly below it instead of
+    re-simulating from step 0; [first_step m f - 1] is the latest such
+    boundary.  Returns [cs_max + 1] when the fault can never act
+    (e.g. a stuck bus that nothing writes). *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

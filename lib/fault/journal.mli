@@ -1,0 +1,62 @@
+(** Crash-durable campaign journal (JSONL).
+
+    A campaign appends one line per finished fault and flushes
+    immediately, so a killed run loses at most the line being written.
+    The header line pins the campaign identity (model name, model
+    digest, kernel-config tag, fault count, digest of the fault
+    labels); each entry line carries an md5 integrity hash over the
+    model digest and the entry body.  {!read} treats any line that
+    fails to parse, fails its hash, is out of range, or duplicates an
+    index as {e torn}: reported by count and re-run on resume, never
+    folded into a report. *)
+
+open Csrtl_core
+
+type header = {
+  model : string;
+  digest : string;  (** {!Csrtl_core.Snapshot.digest_of_model} *)
+  config : string;  (** {!config_tag} of the campaign's kernel config *)
+  total : int;  (** faults in the campaign *)
+  faults_digest : string;  (** {!faults_digest} of the fault labels *)
+}
+
+type entry = {
+  index : int;  (** position in the campaign's fault list *)
+  fault_label : string;  (** {!Fault.to_string}, cross-checked on resume *)
+  kernel : Outcome.t;
+  interp : Outcome.t;
+  cycles : int;
+  law_ok : bool;
+}
+
+val config_tag : Simulate.config -> string
+(** Stable tag of the config fields that shape outcomes, e.g.
+    ["keyed+incr+record"].  (The watchdog flag is excluded: campaigns
+    always force it on.) *)
+
+val faults_digest : string list -> string
+(** md5 over the newline-joined fault labels — resuming against a
+    different fault list (other [--limit], edited model) must be
+    rejected, not silently misindexed. *)
+
+type writer
+(** Append handle; thread-safe (one mutex-protected write+flush per
+    entry), shared across pool domains. *)
+
+val start : string -> header -> writer
+(** Truncate/create the file and write the header line. *)
+
+val reopen : string -> header -> writer
+(** Open for append, trusting the caller verified the on-disk header
+    (see {!read}).  If a crash left a torn final line without its
+    newline, a newline is inserted first so the torn line stays an
+    isolated parse failure. *)
+
+val append : writer -> entry -> unit
+val close : writer -> unit
+
+val read : string -> (header * entry list * int, string) result
+(** [Ok (header, entries, torn)] — [entries] are the lines that
+    parsed and passed their integrity hash, first occurrence winning
+    per index; [torn] counts the rest.  [Error] for an unreadable
+    file or a malformed/alien header line. *)

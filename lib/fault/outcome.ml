@@ -1,0 +1,35 @@
+(* Fault-run classification, shared by {!Campaign} (which produces
+   outcomes) and {!Journal} (which persists them).  A separate module
+   only to break the dependency cycle; {!Campaign} re-exports the
+   constructors, so [Campaign.Masked] keeps working everywhere. *)
+
+open Csrtl_core
+
+type t =
+  | Masked
+  | Detected of int * Phase.t * string
+  | Corrupted of string list
+  | Hung of string
+  | Crashed of string
+
+let agree a b =
+  match a, b with
+  | Masked, Masked -> true
+  | Detected (s1, p1, n1), Detected (s2, p2, n2) ->
+    s1 = s2 && Phase.equal p1 p2 && n1 = n2
+  | Corrupted _, Corrupted _ -> true
+  (* the interpreter cannot hang (fixed iteration count), so a kernel
+     hang is intrinsically a disagreement unless the interpreter
+     crashed trying *)
+  | Hung _, Hung _ -> true
+  | Crashed _, Crashed _ -> true
+  | _, _ -> false
+
+let pp ppf = function
+  | Masked -> Format.pp_print_string ppf "masked"
+  | Detected (s, p, n) ->
+    Format.fprintf ppf "detected at (%d, %s) on %s" s (Phase.to_string p) n
+  | Corrupted ds ->
+    Format.fprintf ppf "silent corruption (%d differences)" (List.length ds)
+  | Hung why -> Format.fprintf ppf "hung: %s" why
+  | Crashed why -> Format.fprintf ppf "crashed: %s" why

@@ -5,6 +5,14 @@
    land in per-index slots, so ordering never depends on which domain
    ran what. *)
 
+exception Task_error of int * exn
+
+let () =
+  Printexc.register_printer (function
+    | Task_error (i, e) ->
+      Some (Printf.sprintf "Par.Task_error(task %d: %s)" i (Printexc.to_string e))
+    | _ -> None)
+
 type worker_stat = { w_chunks : int; w_items : int; w_busy : float }
 
 let zero_stat = { w_chunks = 0; w_items = 0; w_busy = 0. }
@@ -19,7 +27,7 @@ type job = {
 }
 
 type t = {
-  njobs : int;
+  mutable njobs : int;
   mutex : Mutex.t;
   wake : Condition.t;  (* workers: a new job or shutdown *)
   finished : Condition.t;  (* caller: all chunks completed *)
@@ -87,9 +95,18 @@ let create ~jobs =
       shut = false; in_map = false; stats = Array.make jobs zero_stat;
       domains = [] }
   in
-  t.domains <-
-    List.init (jobs - 1) (fun i ->
-        Domain.spawn (fun () -> worker_loop t (i + 1) 0));
+  (* Degrade gracefully when the runtime cannot give us [jobs - 1]
+     domains (Domain.spawn raises past the domain cap): keep the
+     domains we got and shrink the pool — map still completes, just
+     with less parallelism, down to fully sequential. *)
+  let spawned = ref [] in
+  (try
+     for i = 1 to jobs - 1 do
+       spawned := Domain.spawn (fun () -> worker_loop t i 0) :: !spawned
+     done
+   with _ -> ());
+  t.domains <- !spawned;
+  t.njobs <- List.length !spawned + 1;
   t
 
 let shutdown t =
@@ -122,7 +139,12 @@ let map ?chunks t f xs =
       let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
       let t0 = Unix.gettimeofday () in
       for i = lo to hi - 1 do
-        results.(i) <- Some (f arr.(i))
+        (* carry the failing input's index: a campaign supervisor can
+           then point at the task, not just the pool *)
+        match f arr.(i) with
+        | v -> results.(i) <- Some v
+        | exception (Task_error _ as e) -> raise e
+        | exception e -> raise (Task_error (i, e))
       done;
       let s = t.stats.(worker) in
       t.stats.(worker) <-
@@ -162,3 +184,26 @@ let map ?chunks t f xs =
     end
 
 let last_stats t = Array.copy t.stats
+
+(* ---- per-task supervision --------------------------------------- *)
+
+type 'a task_outcome =
+  | Done of 'a
+  | Crashed of { attempts : int; error : string }
+  | Over_budget of { attempts : int; budget : float }
+
+let run_supervised ?budget ?(retries = 1) f =
+  let rec go attempt =
+    let t0 = Unix.gettimeofday () in
+    match f () with
+    | v -> (
+        match budget with
+        | Some b when Unix.gettimeofday () -. t0 > b ->
+          if attempt <= retries then go (attempt + 1)
+          else Over_budget { attempts = attempt; budget = b }
+        | _ -> Done v)
+    | exception e ->
+      if attempt <= retries then go (attempt + 1)
+      else Crashed { attempts = attempt; error = Printexc.to_string e }
+  in
+  go 1

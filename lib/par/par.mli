@@ -17,6 +17,11 @@ type t
 (** A pool of worker domains.  One {!map} runs at a time; the workers
     sleep on a condition variable between jobs. *)
 
+exception Task_error of int * exn
+(** A {!map} application raised: the 0-based index of the failing
+    input, and the exception it raised.  Without the index a campaign
+    cannot tell {e which} fault run died. *)
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the core count the runtime
     advertises. *)
@@ -24,7 +29,11 @@ val default_jobs : unit -> int
 val create : jobs:int -> t
 (** Spawn [jobs - 1] worker domains ([Invalid_argument] when
     [jobs < 1]).  A [jobs = 1] pool has no domains and {!map} runs
-    entirely in the caller. *)
+    entirely in the caller.  When the runtime cannot provide all the
+    requested domains (the [Domain.spawn] cap), the pool keeps the
+    domains it got and shrinks — degrading gracefully down to a
+    sequential pool instead of raising; {!jobs} reports the effective
+    count. *)
 
 val jobs : t -> int
 
@@ -39,9 +48,10 @@ val map : ?chunks:int -> t -> ('a -> 'b) -> 'a list -> 'b list
     [chunks] defaults to [4 * jobs] (bounded by the list length) —
     small enough to amortize hand-off, large enough to rebalance when
     items vary in cost.  The result list matches the input order
-    exactly.  If any application raises, the first exception (by
+    exactly.  If any application raises, the first failure (by
     completion time) is re-raised after all workers finish their
-    in-flight chunks.
+    in-flight chunks, wrapped as {!Task_error} carrying the failing
+    input's index.
 
     [f] runs on arbitrary domains: it must not touch shared mutable
     state.  Kernel/interpreter/compiled runs are safe — each run owns
@@ -58,3 +68,25 @@ val last_stats : t -> worker_stat array
 (** Per-worker accounting of the most recent {!map} (index 0 is the
     caller).  Wall-clock based, so only meaningful for reporting —
     never fold it into deterministic output. *)
+
+(** {1 Per-task supervision}
+
+    A supervisor around one unit of work: run it, retry a failure or a
+    budget trip a bounded number of times, and classify the survivor
+    instead of letting the exception abort the pool. *)
+
+type 'a task_outcome =
+  | Done of 'a
+  | Crashed of { attempts : int; error : string }
+      (** every attempt raised; [error] prints the last exception *)
+  | Over_budget of { attempts : int; budget : float }
+      (** every attempt exceeded the wall-clock budget (seconds) *)
+
+val run_supervised :
+  ?budget:float -> ?retries:int -> (unit -> 'a) -> 'a task_outcome
+(** Run [f] with at most [retries] (default 1) re-runs after a raise
+    or a budget overrun.  The budget is checked {e after} the run — a
+    cooperative bound for work whose inner loops are already bounded
+    (the campaign kernel watchdog bounds delta cycles; this bounds
+    wall clock).  [Over_budget] reports the configured budget, not the
+    measured time, so classifications stay byte-stable. *)

@@ -175,6 +175,104 @@ sequential one — determinism does not depend on the job count:
   kernel/interp agreement: 27/27
   delta-cycle law on masked runs: held
 
+Control-step checkpointing.  A snapshot captured at any boundary
+resumes to exactly the uninterrupted observation, and all engines
+agree on the snapshot bytes:
+
+  $ csrtl sim fig1.rtm --snapshot-at 5 --snapshot-out s5.snap
+  wrote s5.snap (boundary 5 of fig1)
+
+  $ csrtl sim fig1.rtm --engine interp --snapshot-at 5 > s5i.snap
+  $ csrtl sim fig1.rtm --engine compiled --snapshot-at 5 > s5c.snap
+  $ cmp s5.snap s5i.snap && cmp s5.snap s5c.snap && echo engines agree
+  engines agree
+
+  $ head -4 s5.snap | sed 's/digest .*/digest <md5>/'
+  csrtl-snapshot 1
+  model fig1
+  digest <md5>
+  step 5
+
+  $ csrtl sim fig1.rtm > full.out
+  $ csrtl sim fig1.rtm --from-snapshot s5.snap | head -4
+  observation of fig1 (cs_max=7)
+    R1: 3 3 3 3 3 7 7
+    R2: 4 4 4 4 4 4 4
+  
+
+  $ csrtl sim fig1.rtm --from-snapshot s5.snap | grep cycles
+  simulation cycles: 12 (expected 12 for the segment from boundary 5)
+
+Snapshot misuse gets a clear diagnosis, not a crash:
+
+  $ csrtl sim fig1.rtm --snapshot-at=-3
+  --snapshot-at must be a boundary between 0 and cs_max = 7 (got -3)
+  [1]
+
+  $ csrtl sim fig1.rtm --snapshot-at 99
+  --snapshot-at must be a boundary between 0 and cs_max = 7 (got 99)
+  [1]
+
+  $ csrtl sim clash.rtm --from-snapshot s5.snap 2>&1 | head -1
+  snapshot s5.snap does not fit clash: snapshot is of model fig1, not clash
+
+Crash-resumable campaigns.  A journaled run streams per-fault results
+to disk; the report on stdout is byte-identical to a plain run's:
+
+  $ csrtl inject fig1.rtm > plain.out
+  $ csrtl inject fig1.rtm --journal camp.jsonl > journaled.out 2> progress.err
+  $ cmp plain.out journaled.out && echo identical
+  identical
+  $ cat progress.err
+  journal camp.jsonl: 0 reused, 27 re-run, 0 torn
+
+Simulate a crash by tearing the journal mid-entry, then resume: the
+completed prefix is reused, the torn line is re-run, and the final
+report is still byte-identical:
+
+  $ head -c $(( $(head -15 camp.jsonl | wc -c) - 20 )) camp.jsonl > torn.jsonl
+  $ csrtl inject fig1.rtm --resume torn.jsonl > resumed.out 2> resumed.err
+  $ cmp plain.out resumed.out && echo identical
+  identical
+  $ cat resumed.err
+  journal torn.jsonl: 13 reused, 14 re-run, 1 torn
+
+  $ csrtl inject fig1.rtm --resume torn.jsonl > again.out 2> again.err
+  $ cmp plain.out again.out && echo identical
+  identical
+  $ cat again.err
+  journal torn.jsonl: 27 reused, 0 re-run, 1 torn
+
+A journal from a different campaign (other model, other fault list) is
+rejected outright, as is a malformed one:
+
+  $ csrtl inject clash.rtm --resume camp.jsonl 2>&1 | head -1
+  journal camp.jsonl was written for a different campaign: it records model fig1, 27 faults, config keyed+incr+record, but this run is model clash, 47 faults, config keyed+incr+record
+
+  $ echo "not a journal" > garbage.jsonl
+  $ csrtl inject fig1.rtm --resume garbage.jsonl 2>&1 | head -1
+  cannot resume from garbage.jsonl: bad journal header: expected a JSON value at offset 0
+
+Exit-code policy: hung or crashed runs fail the campaign; --strict
+also fails on silent corruption (fig1 has 10 corrupting faults):
+
+  $ csrtl inject fig1.rtm > /dev/null; echo "exit $?"
+  exit 0
+  $ csrtl inject fig1.rtm --strict > /dev/null; echo "exit $?"
+  exit 3
+
+Campaign argument validation:
+
+  $ csrtl inject fig1.rtm --jobs=-2
+  --jobs must be at least 0 (got -2)
+  [1]
+  $ csrtl inject fig1.rtm --budget 0
+  --budget must be positive (got 0)
+  [1]
+  $ csrtl inject fig1.rtm --journal a.jsonl --resume b.jsonl
+  --journal and --resume are mutually exclusive (--resume already names the journal)
+  [1]
+
 Error handling:
 
   $ csrtl check nonexistent.rtm 2>&1 | tail -1

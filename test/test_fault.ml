@@ -260,7 +260,176 @@ let test_every_outcome_constructor_covered () =
     [ ("kernel", fun (e : F.Campaign.entry) -> e.F.Campaign.kernel_outcome);
       ("interp", fun (e : F.Campaign.entry) -> e.F.Campaign.interp_outcome) ]
 
+(* -- checkpoint restore ----------------------------------------------------- *)
+
+let report_string r = Format.asprintf "%a" F.Campaign.pp_report r
+
+let entries_string r =
+  String.concat "\n"
+    (List.map
+       (fun e -> Format.asprintf "%a" F.Campaign.pp_entry e)
+       r.F.Campaign.entries)
+
+let test_restore_matches_scratch () =
+  (* the checkpoint fast path must not change a single classification:
+     same report, same per-fault table *)
+  let m = fig1 () in
+  let on = F.Campaign.run ~restore:true m in
+  let off = F.Campaign.run ~restore:false m in
+  Alcotest.(check string) "report bytes" (report_string off)
+    (report_string on);
+  Alcotest.(check string) "table bytes" (entries_string off)
+    (entries_string on)
+
+let test_first_step_sound () =
+  (* soundness of the resume boundary: injecting the fault into a run
+     resumed at [first_step - 1] classifies identically to a scratch
+     run — checked implicitly by restore_matches_scratch; here the
+     bound itself is sanity-checked against the schedule *)
+  let m = fig1 () in
+  List.iter
+    (fun f ->
+      let fs = F.Fault.first_step m f in
+      check_bool
+        (Format.asprintf "%a: first_step %d in range" F.Fault.pp f fs)
+        true
+        (fs >= 1 && fs <= m.C.Model.cs_max + 1))
+    (F.Fault.enumerate m);
+  (* a transient at (s, ra) can coincide with step s-1 releases *)
+  check_int "ra transient reaches back" 4
+    (F.Fault.first_step m
+       (F.Fault.Transient
+          { sink = "B1"; step = 5; phase = C.Phase.Ra; value = 3 }))
+
+(* -- journal ---------------------------------------------------------------- *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "csrtl_journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let run_journaled ?faults ?limit ~journal ~resume m =
+  match F.Campaign.run_journaled ?faults ?limit ~journal ~resume m with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "run_journaled: %s" e
+
+let test_journal_clean_run_matches_plain () =
+  let m = fig1 () in
+  let plain = F.Campaign.run m in
+  with_temp_journal (fun path ->
+      let r, info = run_journaled ~journal:path ~resume:false m in
+      Alcotest.(check string) "report bytes" (report_string plain)
+        (report_string r);
+      check_int "nothing reused" 0 info.F.Campaign.reused;
+      check_int "all faults ran" r.F.Campaign.total info.F.Campaign.rerun;
+      (* the journal round-trips every outcome payload losslessly *)
+      match Csrtl_fault.Journal.read path with
+      | Ok (h, entries, torn) ->
+        check_int "all entries persisted" r.F.Campaign.total
+          (List.length entries);
+        check_int "no torn lines" 0 torn;
+        Alcotest.(check string) "header names the model" "fig1"
+          h.Csrtl_fault.Journal.model
+      | Error e -> Alcotest.failf "journal unreadable after a run: %s" e)
+
+let test_journal_resume_after_truncation () =
+  (* simulate a crash: keep the header, a prefix of entries, and a torn
+     half-line; the resumed report must be byte-identical *)
+  let m = fig1 () in
+  let plain = F.Campaign.run m in
+  with_temp_journal (fun path ->
+      ignore (run_journaled ~journal:path ~resume:false m);
+      let lines =
+        let ic = open_in path in
+        let rec go acc =
+          match input_line ic with
+          | l -> go (l :: acc)
+          | exception End_of_file -> close_in ic; List.rev acc
+        in
+        go []
+      in
+      let keep = 1 + ((List.length lines - 1) / 2) in
+      let oc = open_out path in
+      List.iteri
+        (fun i l ->
+          if i < keep then (output_string oc l; output_char oc '\n')
+          else if i = keep then
+            output_string oc (String.sub l 0 (String.length l / 2)))
+        lines;
+      close_out oc;
+      let r, info = run_journaled ~journal:path ~resume:true m in
+      Alcotest.(check string) "byte-identical report" (report_string plain)
+        (report_string r);
+      Alcotest.(check string) "byte-identical table" (entries_string plain)
+        (entries_string r);
+      check_int "prefix reused" (keep - 1) info.F.Campaign.reused;
+      check_int "torn line detected" 1 info.F.Campaign.torn;
+      check_int "remainder re-ran"
+        (r.F.Campaign.total - (keep - 1))
+        info.F.Campaign.rerun;
+      (* a second resume reuses everything *)
+      let r2, info2 = run_journaled ~journal:path ~resume:true m in
+      Alcotest.(check string) "still identical" (report_string plain)
+        (report_string r2);
+      check_int "nothing re-ran" 0 info2.F.Campaign.rerun)
+
+let test_journal_rejects_foreign_campaign () =
+  let m = fig1 () in
+  with_temp_journal (fun path ->
+      ignore (run_journaled ~journal:path ~resume:false m);
+      (* different fault list (another limit) → different campaign *)
+      (match F.Campaign.run_journaled ~limit:3 ~journal:path ~resume:true m with
+       | Ok _ -> Alcotest.fail "foreign fault list accepted"
+       | Error _ -> ());
+      (* different model → different campaign *)
+      let other = V.Consist.random_model 5 in
+      (match F.Campaign.run_journaled ~journal:path ~resume:true other with
+       | Ok _ -> Alcotest.fail "foreign model accepted"
+       | Error _ -> ());
+      (* garbage header → clear error, not a crash *)
+      let oc = open_out path in
+      output_string oc "not json at all\n";
+      close_out oc;
+      match F.Campaign.run_journaled ~journal:path ~resume:true m with
+      | Ok _ -> Alcotest.fail "garbage journal accepted"
+      | Error msg ->
+        check_bool "error mentions the journal" true
+          (String.length msg > 0))
+
+let test_journal_outcome_round_trip () =
+  (* Hung and Crashed payloads (the stringy ones) survive the journal:
+     resume must rebuild the exact entry lines *)
+  let m = fig1 () in
+  let faults =
+    [ F.Fault.Oscillator
+        { sink = List.hd m.C.Model.buses; step = 1; phase = C.Phase.Ra };
+      F.Fault.Extra_driver
+        { sink = "NO_SUCH_BUS"; step = 1; phase = C.Phase.Ra; value = 1 };
+      List.hd (F.Fault.enumerate m) ]
+  in
+  let plain = F.Campaign.run ~faults m in
+  with_temp_journal (fun path ->
+      ignore (run_journaled ~faults ~journal:path ~resume:false m);
+      let r, info = run_journaled ~faults ~journal:path ~resume:true m in
+      check_int "all reused" 3 info.F.Campaign.reused;
+      Alcotest.(check string) "entries rebuilt byte-identically"
+        (entries_string plain) (entries_string r))
+
 (* -- kernel/interpreter agreement on random models x faults ---------------- *)
+
+let restore_property =
+  QCheck.Test.make
+    ~name:"checkpoint restore never changes a classification" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let m = V.Consist.random_model ~conflict:(seed mod 3 = 0) seed in
+      let on = F.Campaign.run ~limit:8 ~restore:true m in
+      let off = F.Campaign.run ~limit:8 ~restore:false m in
+      if entries_string on <> entries_string off then
+        QCheck.Test.fail_reportf
+          "restore changed the table on model seed %d:@ %s@ vs@ %s" seed
+          (entries_string on) (entries_string off);
+      true)
 
 let agreement_property =
   QCheck.Test.make ~name:"kernel and interpreter agree on fault outcomes"
@@ -308,5 +477,20 @@ let () =
             test_crashed_outcome_on_both_engines;
           Alcotest.test_case "every constructor covered" `Quick
             test_every_outcome_constructor_covered ] );
+      ( "checkpointing",
+        [ Alcotest.test_case "restore matches scratch" `Quick
+            test_restore_matches_scratch;
+          Alcotest.test_case "first_step is sound and in range" `Quick
+            test_first_step_sound;
+          QCheck_alcotest.to_alcotest ~long:false restore_property ] );
+      ( "journal",
+        [ Alcotest.test_case "clean journaled run = plain run" `Quick
+            test_journal_clean_run_matches_plain;
+          Alcotest.test_case "resume after truncation" `Quick
+            test_journal_resume_after_truncation;
+          Alcotest.test_case "foreign campaigns rejected" `Quick
+            test_journal_rejects_foreign_campaign;
+          Alcotest.test_case "outcome payloads round-trip" `Quick
+            test_journal_outcome_round_trip ] );
       ( "agreement",
         [ QCheck_alcotest.to_alcotest ~long:false agreement_property ] ) ]

@@ -41,11 +41,43 @@ let test_exception_propagates () =
            (List.init 50 Fun.id)
        with
       | _ -> Alcotest.fail "expected the worker exception to re-raise"
-      | exception Failure msg ->
+      | exception Par.Task_error (idx, Failure msg) ->
+        (* the wrapper names the failing input, so a campaign knows
+           which fault run died *)
+        check_int "failing index" 13 idx;
         Alcotest.(check string) "first failure" "poison" msg);
       (* the pool survives a failed job *)
       Alcotest.(check (list int)) "pool reusable" [ 2; 3 ]
         (Par.map p succ [ 1; 2 ]))
+
+let test_run_supervised () =
+  (match Par.run_supervised (fun () -> 41 + 1) with
+   | Par.Done 42 -> ()
+   | _ -> Alcotest.fail "healthy task must come back Done");
+  (* a flaky task succeeds on the retry *)
+  let tries = ref 0 in
+  (match
+     Par.run_supervised ~retries:1 (fun () ->
+         incr tries;
+         if !tries = 1 then failwith "flake" else !tries)
+   with
+   | Par.Done 2 -> ()
+   | _ -> Alcotest.fail "retry must rescue a one-off failure");
+  (* a persistent crash is classified, not raised *)
+  (match Par.run_supervised ~retries:1 (fun () -> failwith "always") with
+   | Par.Crashed { attempts = 2; error } ->
+     check_bool "error names the exception" true
+       (String.length error > 0)
+   | _ -> Alcotest.fail "persistent failure must classify as Crashed");
+  (* a zero budget trips on any measurable run and reports the
+     configured budget, not the measured time *)
+  match
+    Par.run_supervised ~budget:0. ~retries:0 (fun () ->
+        ignore (Sys.opaque_identity (Digest.string (String.make 1_000_000 'x'))))
+  with
+  | Par.Over_budget { attempts = 1; budget } ->
+    check_bool "configured budget reported" true (budget = 0.)
+  | _ -> Alcotest.fail "zero budget must classify as Over_budget"
 
 let test_nested_map_runs_inline () =
   Par.with_pool ~jobs:3 (fun p ->
@@ -122,6 +154,7 @@ let () =
           Alcotest.test_case "edge sizes" `Quick test_edge_sizes;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagates;
+          Alcotest.test_case "supervised tasks" `Quick test_run_supervised;
           Alcotest.test_case "nested map inline" `Quick
             test_nested_map_runs_inline;
           Alcotest.test_case "worker stats" `Quick
