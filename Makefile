@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-smoke report examples doc clean
+.PHONY: all build test check bench bench-smoke bench-json report examples doc clean
 
 all: build
 
@@ -54,6 +54,20 @@ check: build
 	cmp _build/check/smoke_clean.out _build/check/smoke_resumed.out || \
 	  { echo "kill-and-resume smoke FAILED"; exit 1; }; \
 	echo "  SIGKILLed journaled campaign resumed to a byte-identical report"
+	@echo "batched-campaign smoke (2 domains, lockstep vs kernel path):"
+	@CSRTL=_build/default/bin/csrtl.exe; \
+	$$CSRTL inject _build/check/smoke.rtm --engine kernel --jobs 1 --table \
+	  > _build/check/smoke_kernel.out; \
+	$$CSRTL inject _build/check/smoke.rtm --engine auto --jobs 2 --table \
+	  > _build/check/smoke_batched.out; \
+	cmp _build/check/smoke_kernel.out _build/check/smoke_batched.out || \
+	  { echo "batched-campaign smoke FAILED: reports differ"; exit 1; }; \
+	echo "  2-domain batched campaign is byte-identical to the kernel path"
+	@echo "BENCH_batch.json schema smoke:"
+	@dune exec --no-build bench/main.exe -- bench-json \
+	  _build/check/BENCH_batch.json smoke
+	@dune exec --no-build bench/main.exe -- json-check \
+	  _build/check/BENCH_batch.json
 	@echo "make check: all corpus models validated"
 
 bench:
@@ -64,6 +78,12 @@ bench:
 # domain pool, not a measurement.
 bench-smoke:
 	dune exec bench/main.exe -- smoke
+
+# The C12 matrix (faults/sec: kernel vs batched lockstep at
+# K in {1,8,32,64}, per jobs count) as machine-readable JSON.
+bench-json:
+	dune exec bench/main.exe -- bench-json BENCH_batch.json
+	dune exec bench/main.exe -- json-check BENCH_batch.json
 
 report:
 	dune exec bench/main.exe -- report

@@ -10,7 +10,11 @@
    Run with: dune exec bench/main.exe            (report + benches)
              dune exec bench/main.exe -- report  (report only)
              dune exec bench/main.exe -- bench   (benches only)
-             dune exec bench/main.exe -- smoke   (C10 at tiny sizes) *)
+             dune exec bench/main.exe -- smoke   (C10/C12 at tiny sizes)
+             dune exec bench/main.exe -- bench-json [OUT] [smoke]
+                                        (emit the C12 matrix as JSON)
+             dune exec bench/main.exe -- json-check FILE
+                                        (schema-validate such a file) *)
 
 open Bechamel
 open Toolkit
@@ -181,9 +185,31 @@ let run_benches () =
     rows
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  if mode = "smoke" then Report.claim_multicore ~smoke:true ()
-  else begin
+  let argv = Sys.argv in
+  let mode = if Array.length argv > 1 then argv.(1) else "all" in
+  match mode with
+  | "smoke" ->
+    Report.claim_multicore ~smoke:true ();
+    Report.claim_batch ~smoke:true ()
+  | "bench-json" ->
+    let rest = Array.to_list (Array.sub argv 2 (Array.length argv - 2)) in
+    let smoke = List.mem "smoke" rest in
+    let out =
+      match List.filter (fun a -> a <> "smoke") rest with
+      | o :: _ -> o
+      | [] -> "BENCH_batch.json"
+    in
+    Report.bench_json ~smoke ~out ()
+  | "json-check" ->
+    if Array.length argv < 3 then begin
+      prerr_endline "usage: main.exe json-check FILE";
+      exit 2
+    end;
+    (match Report.json_check argv.(2) with
+     | Ok msg -> print_endline msg
+     | Error e ->
+       Printf.eprintf "%s: schema check FAILED: %s\n" argv.(2) e;
+       exit 1)
+  | _ ->
     if mode = "report" || mode = "all" then Report.run ();
     if mode = "bench" || mode = "all" then run_benches ()
-  end

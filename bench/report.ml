@@ -595,6 +595,403 @@ let claim_checkpoint () =
     \ report is byte-identical either way, which is also qcheck-locked\n\
     \ in test/test_fault.ml)@."
 
+(* -- C12: batched lockstep fault campaigns ------------------------------- *)
+
+(* One measured campaign configuration.  [bp_batch] is 0 on the kernel
+   path (the PR 3 checkpoint-restore reference); [bp_identical] says the
+   full report (summary + every entry) printed the same bytes as the
+   sequential kernel reference — the determinism claim, re-checked on
+   the benchmark matrix itself. *)
+type c12_point = {
+  bp_engine : string;  (* "kernel" or "batched" *)
+  bp_jobs : int;
+  bp_batch : int;
+  bp_wall_us : float;
+  bp_fps : float;  (* faults per second *)
+  bp_batched : int;  (* faults dispatched to the lockstep executor *)
+  bp_retired : int;  (* batched variants retired before cs_max *)
+  bp_identical : bool;
+}
+
+type c12_model = {
+  bm_name : string;
+  bm_faults : int;
+  bm_points : c12_point list;
+}
+
+(* The campaign corpus: every .rtm under test/corpus when run from the
+   repository root (the Makefile's working directory), else the two
+   embedded campaign models. *)
+let corpus_models () =
+  let dir = Filename.concat "test" "corpus" in
+  let from_disk =
+    if Sys.file_exists dir && Sys.is_directory dir then
+      Sys.readdir dir |> Array.to_list |> List.sort compare
+      |> List.filter (fun f -> Filename.check_suffix f ".rtm")
+      |> List.filter_map (fun f ->
+             try Some (C.Rtm.of_file (Filename.concat dir f))
+             with _ -> None)
+    else []
+  in
+  match from_disk with
+  | [] -> [ C.Rtm.of_string fault_mask_src; C.Rtm.of_string fault_chain_src ]
+  | ms -> ms
+
+(* "Widest" = the corpus model with the largest enumerated fault list:
+   the one whose campaign exercises the most sinks and legs. *)
+let widest_corpus_model () =
+  let module F = Csrtl_fault in
+  corpus_models ()
+  |> List.map (fun m -> (List.length (F.Fault.enumerate m), m))
+  |> List.sort (fun ((a : int), _) (b, _) -> compare b a)
+  |> List.hd |> snd
+
+let c12_measure ?limit ~smoke (m : C.Model.t) =
+  let module F = Csrtl_fault in
+  let full (r : F.Campaign.report) =
+    Format.asprintf "%a@.%a" F.Campaign.pp_report r
+      (Format.pp_print_list F.Campaign.pp_entry)
+      r.F.Campaign.entries
+  in
+  let reference = full (F.Campaign.run ?limit ~engine:`Kernel m) in
+  let jobs_list = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let faults = ref 0 in
+  let point ~engine ~jobs ~batch =
+    let rep = ref None and stats = ref None in
+    let t =
+      Workloads.wall_us (fun () ->
+          let r, s = F.Campaign.run_with_stats ?limit ~jobs ~engine ~batch m in
+          rep := Some r;
+          stats := Some s)
+    in
+    let r = Option.get !rep and s = Option.get !stats in
+    faults := r.F.Campaign.total;
+    { bp_engine = (match engine with `Kernel -> "kernel" | _ -> "batched");
+      bp_jobs = jobs;
+      bp_batch = (match engine with `Kernel -> 0 | _ -> batch);
+      bp_wall_us = t;
+      bp_fps = float_of_int r.F.Campaign.total /. (t *. 1e-6);
+      bp_batched = s.F.Campaign.batched;
+      bp_retired = s.F.Campaign.retired_early;
+      bp_identical = String.equal (full r) reference }
+  in
+  let points =
+    List.concat_map
+      (fun jobs ->
+        point ~engine:`Kernel ~jobs ~batch:32
+        :: List.map
+             (fun k -> point ~engine:`Auto ~jobs ~batch:k)
+             [ 1; 8; 32; 64 ])
+      jobs_list
+  in
+  { bm_name = m.C.Model.name; bm_faults = !faults; bm_points = points }
+
+let c12_models ~smoke () =
+  let widest = c12_measure ~smoke (widest_corpus_model ()) in
+  if smoke then [ widest ]
+  else
+    [ widest;
+      c12_measure ~smoke ~limit:120
+        (Workloads.parallel_lanes ~lanes:8 ~steps:24) ]
+
+let claim_batch ?(smoke = false) () =
+  section "C12" "batched lockstep campaigns: throughput and early retirement";
+  let models = c12_models ~smoke () in
+  List.iter
+    (fun bm ->
+      Format.printf
+        "%s, %d faults (kernel = PR 3 checkpoint-restore path, K = lockstep \
+         batch size):@."
+        bm.bm_name bm.bm_faults;
+      Format.printf "%6s %8s %4s | %12s %12s %9s %9s %10s@." "jobs" "engine"
+        "K" "wall us" "faults/s" "speedup" "retired" "report";
+      let kernel_walls = ref [] in
+      List.iter
+        (fun p ->
+          if p.bp_engine = "kernel" then
+            kernel_walls := (p.bp_jobs, p.bp_wall_us) :: !kernel_walls;
+          let speedup =
+            match List.assoc_opt p.bp_jobs !kernel_walls with
+            | Some t0 -> Printf.sprintf "%8.2fx" (t0 /. p.bp_wall_us)
+            | None -> Printf.sprintf "%9s" "-"
+          in
+          let retired =
+            if p.bp_batched = 0 then Printf.sprintf "%9s" "-"
+            else
+              Printf.sprintf "%8.0f%%"
+                (100. *. float_of_int p.bp_retired
+                 /. float_of_int (max 1 bm.bm_faults))
+          in
+          Format.printf "%6d %8s %4s | %12.1f %12.1f %s %s %10s@." p.bp_jobs
+            p.bp_engine
+            (if p.bp_batch = 0 then "-" else string_of_int p.bp_batch)
+            p.bp_wall_us p.bp_fps speedup retired
+            (if p.bp_identical then "identical" else "DIFFERS"))
+        bm.bm_points;
+      Format.printf "@.")
+    models;
+  Format.printf
+    "(one batched pass computes both engines' classifications from the\n\
+    \ shared observation, so the speedup compounds: no per-fault kernel\n\
+    \ run, no per-fault interpreter run, and a variant that re-converges\n\
+    \ to the golden row retires as masked before the schedule ends;\n\
+    \ 'report' re-checks that every cell printed the same bytes as the\n\
+    \ sequential kernel reference)@."
+
+(* -- BENCH_batch.json: the machine-readable C12 matrix -------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let bench_json ?(smoke = false) ~out () =
+  let models = c12_models ~smoke () in
+  let oc = open_out out in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"csrtl-bench-batch/1\",\n";
+  p "  \"smoke\": %b,\n" smoke;
+  p "  \"models\": [\n";
+  List.iteri
+    (fun i bm ->
+      p "    {\n";
+      p "      \"model\": \"%s\",\n" (json_escape bm.bm_name);
+      p "      \"faults\": %d,\n" bm.bm_faults;
+      p "      \"points\": [\n";
+      List.iteri
+        (fun j pt ->
+          p
+            "        {\"engine\": \"%s\", \"jobs\": %d, \"batch\": %d, \
+             \"wall_us\": %.1f, \"faults_per_sec\": %.1f, \"batched\": %d, \
+             \"retired_early\": %d, \"identical\": %b}%s\n"
+            pt.bp_engine pt.bp_jobs pt.bp_batch pt.bp_wall_us pt.bp_fps
+            pt.bp_batched pt.bp_retired pt.bp_identical
+            (if j = List.length bm.bm_points - 1 then "" else ","))
+        bm.bm_points;
+      p "      ]\n";
+      p "    }%s\n" (if i = List.length models - 1 then "" else ","))
+    models;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s: %d models, %d points@." out (List.length models)
+    (List.fold_left (fun n bm -> n + List.length bm.bm_points) 0 models)
+
+(* A dependency-free JSON reader, enough to schema-check the file the
+   emitter above writes (the toolchain has no JSON library). *)
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jlist of json list
+  | Jobj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () =
+    if !pos >= n then fail "unexpected end";
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if next () <> c then fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    String.iter (fun c -> expect c) word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+        (match next () with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'n' -> Buffer.add_char b '\n'
+         | 't' -> Buffer.add_char b '\t'
+         | 'r' -> Buffer.add_char b '\r'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'u' ->
+           let h = String.init 4 (fun _ -> next ()) in
+           (try Buffer.add_char b (Char.chr (int_of_string ("0x" ^ h) land 0xff))
+            with _ -> fail "bad \\u escape")
+         | _ -> fail "bad escape");
+        go ()
+      | c -> Buffer.add_char b c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      incr pos
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then (incr pos; Jobj [])
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match next () with
+          | ',' -> members ((k, v) :: acc)
+          | '}' -> Jobj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+    | Some '[' ->
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then (incr pos; Jlist [])
+      else
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match next () with
+          | ',' -> elems (v :: acc)
+          | ']' -> Jlist (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems []
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+    | None -> fail "unexpected end"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* Schema: {schema: "csrtl-bench-batch/1", smoke: bool, models:
+   [{model: str, faults: int >= 0, points: [{engine: kernel|batched,
+   jobs >= 1, batch (0 iff kernel), wall_us > 0, faults_per_sec >= 0,
+   batched >= 0, retired_early >= 0, identical: true}+]}+]}.
+   [identical] must be [true] everywhere: a benchmark point that
+   printed different report bytes is not a data point, it is a bug. *)
+let json_check path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let field name = function
+      | Jobj kvs ->
+        (match List.assoc_opt name kvs with
+         | Some v -> v
+         | None -> raise (Bad_json (Printf.sprintf "missing field %S" name)))
+      | _ -> raise (Bad_json (Printf.sprintf "expected an object at %S" name))
+    in
+    let str name j =
+      match field name j with
+      | Jstr s -> s
+      | _ -> raise (Bad_json (Printf.sprintf "%S must be a string" name))
+    in
+    let num name j =
+      match field name j with
+      | Jnum f -> f
+      | _ -> raise (Bad_json (Printf.sprintf "%S must be a number" name))
+    in
+    let bool_ name j =
+      match field name j with
+      | Jbool b -> b
+      | _ -> raise (Bad_json (Printf.sprintf "%S must be a boolean" name))
+    in
+    let nonempty name = function
+      | Jlist [] -> raise (Bad_json (Printf.sprintf "%S must not be empty" name))
+      | Jlist xs -> xs
+      | _ -> raise (Bad_json (Printf.sprintf "%S must be a list" name))
+    in
+    let root = parse_json text in
+    if str "schema" root <> "csrtl-bench-batch/1" then
+      raise (Bad_json "unknown schema tag");
+    ignore (bool_ "smoke" root);
+    let models = nonempty "models" (field "models" root) in
+    let npoints = ref 0 in
+    List.iter
+      (fun bm ->
+        let name = str "model" bm in
+        if num "faults" bm < 0. then
+          raise (Bad_json (name ^ ": negative fault count"));
+        let points = nonempty "points" (field "points" bm) in
+        List.iter
+          (fun pt ->
+            incr npoints;
+            let engine = str "engine" pt in
+            if engine <> "kernel" && engine <> "batched" then
+              raise (Bad_json (name ^ ": engine must be kernel|batched"));
+            if num "jobs" pt < 1. then
+              raise (Bad_json (name ^ ": jobs must be >= 1"));
+            let batch = num "batch" pt in
+            if (engine = "kernel") <> (batch = 0.) then
+              raise (Bad_json (name ^ ": batch must be 0 iff engine=kernel"));
+            if num "wall_us" pt <= 0. then
+              raise (Bad_json (name ^ ": wall_us must be positive"));
+            if num "faults_per_sec" pt < 0. then
+              raise (Bad_json (name ^ ": negative faults_per_sec"));
+            if num "batched" pt < 0. || num "retired_early" pt < 0. then
+              raise (Bad_json (name ^ ": negative dispatch counters"));
+            if not (bool_ "identical" pt) then
+              raise
+                (Bad_json
+                   (name ^ ": a point reported non-identical report bytes")))
+          points)
+      models;
+    Ok
+      (Printf.sprintf "%s: schema csrtl-bench-batch/1 ok (%d models, %d points)"
+         path (List.length models) !npoints)
+  with
+  | Bad_json e -> Error e
+  | Sys_error e -> Error e
+
 let run () =
   Format.printf
     "csrtl experiment report - regenerates the paper's figures, table and \
@@ -614,4 +1011,5 @@ let run () =
   claim_vhdl ();
   claim_fault ();
   claim_multicore ();
-  claim_checkpoint ()
+  claim_checkpoint ();
+  claim_batch ()

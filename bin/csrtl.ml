@@ -673,6 +673,32 @@ let selfcheck_cmd =
 (* -- inject ------------------------------------------------------------------ *)
 
 let inject_cmd =
+  let engine =
+    let doc =
+      "Engine for the faulted runs: $(b,kernel) (event kernel + \
+       interpreter per fault, the reference path), $(b,compiled) \
+       (faults batched in lockstep on the compiled schedule; faults \
+       with no static schedule fall back to the kernel with a \
+       diagnosis on stderr), or $(b,auto) (compiled when the fault \
+       permits it, kernel otherwise).  The report is byte-identical \
+       whichever engine computes it."
+    in
+    Arg.(value
+         & opt
+             (enum
+                [ ("kernel", `Kernel); ("compiled", `Compiled);
+                  ("auto", `Auto) ])
+             `Auto
+         & info [ "engine" ] ~doc)
+  in
+  let batch =
+    let doc =
+      "Lockstep batch size K for the compiled engine: K faulted \
+       variants plus the golden run share one pass over the schedule.  \
+       The report does not depend on it."
+    in
+    Arg.(value & opt int 32 & info [ "batch" ] ~docv:"K" ~doc)
+  in
   let list_flag =
     Arg.(value & flag
          & info [ "list" ]
@@ -741,14 +767,18 @@ let inject_cmd =
                    restoring the golden checkpoint at the fault's \
                    activation boundary (same classifications, slower).")
   in
-  let run path list_flag fault_idx limit table jobs journal resume strict
-      budget no_restore =
+  let run path engine batch list_flag fault_idx limit table jobs journal
+      resume strict budget no_restore =
     handle_errors (fun () ->
         (match limit with
          | Some k when k < 1 ->
            Format.eprintf "--limit must be at least 1 (got %d)@." k;
            exit 1
          | _ -> ());
+        if batch < 1 then begin
+          Format.eprintf "--batch must be at least 1 (got %d)@." batch;
+          exit 1
+        end;
         (match jobs with
          | Some j when j < 0 ->
            Format.eprintf "--jobs must be at least 0 (got %d)@." j;
@@ -769,6 +799,24 @@ let inject_cmd =
         let m = load_model path in
         C.Model.validate_exn m;
         let faults = Csrtl_fault.Fault.enumerate ?limit m in
+        (* under an explicit --engine compiled, say exactly which
+           faults cannot take the compiled path and why — they run on
+           the kernel instead of failing the campaign *)
+        let diagnose_fallbacks fs =
+          if engine = `Compiled then
+            List.iter
+              (fun f ->
+                match
+                  C.Compiled.compilable
+                    ~inject:(Csrtl_fault.Fault.to_inject f) m
+                with
+                | Ok () -> ()
+                | Error why ->
+                  Format.eprintf
+                    "fault `%a' falls back to the kernel engine: %s@."
+                    Csrtl_fault.Fault.pp f why)
+              fs
+        in
         if list_flag then
           List.iteri
             (fun i f ->
@@ -783,9 +831,10 @@ let inject_cmd =
                  (List.length faults);
                exit 1
              | Some f ->
+               diagnose_fallbacks [ f ];
                let r =
                  Csrtl_fault.Campaign.run ~faults:[ f ] ?budget
-                   ~restore:(not no_restore) m
+                   ~restore:(not no_restore) ~engine ~batch m
                in
                let e = List.hd r.Csrtl_fault.Campaign.entries in
                Format.printf "%a@." Csrtl_fault.Campaign.pp_entry e;
@@ -807,18 +856,20 @@ let inject_cmd =
                exit code)
           | None ->
             let restore = not no_restore in
+            diagnose_fallbacks faults;
             let r =
               match journal, resume with
               | None, None ->
                 (match jobs with
                  | None | Some 1 ->
-                   Csrtl_fault.Campaign.run ~faults ?budget ~restore m
+                   Csrtl_fault.Campaign.run ~faults ?budget ~restore ~engine
+                     ~batch m
                  | Some 0 ->
                    Csrtl_fault.Campaign.run_parallel ~faults ?budget
-                     ~restore m
+                     ~restore ~engine ~batch m
                  | Some j ->
                    Csrtl_fault.Campaign.run_parallel ~jobs:j ~faults ?budget
-                     ~restore m)
+                     ~restore ~engine ~batch m)
               | _ ->
                 let journal_path, resuming =
                   match journal, resume with
@@ -829,8 +880,8 @@ let inject_cmd =
                 (match
                    Csrtl_fault.Campaign.run_journaled
                      ?jobs:(match jobs with Some 0 -> None | j -> j)
-                     ~faults ?budget ~restore ~journal:journal_path
-                     ~resume:resuming m
+                     ~faults ?budget ~restore ~engine ~batch
+                     ~journal:journal_path ~resume:resuming m
                  with
                  | Ok (r, info) ->
                    (* progress chatter goes to stderr so the report on
@@ -871,8 +922,9 @@ let inject_cmd =
   in
   Cmd.v
     (Cmd.info "inject" ~doc)
-    Term.(const run $ model_arg $ list_flag $ fault_idx $ limit $ table
-          $ jobs $ journal $ resume $ strict $ budget $ no_restore)
+    Term.(const run $ model_arg $ engine $ batch $ list_flag $ fault_idx
+          $ limit $ table $ jobs $ journal $ resume $ strict $ budget
+          $ no_restore)
 
 (* -- info -------------------------------------------------------------------- *)
 

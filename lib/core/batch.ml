@@ -1,0 +1,362 @@
+(* Lockstep execution of K fault variants plus the golden run over the
+   shared static schedule.  Each variant owns one state row (flat
+   arrays over sink/register/unit indices); the step function is the
+   same slot walk as {!Compiled}'s, and the differential suite pins
+   the two executors (and the kernel, and the interpreter) against
+   each other on the full observation. *)
+
+type variant_spec = { inject : Inject.t; join : int; settle : int }
+
+type verdict = Finished of Observation.t | Converged of int
+
+type result = { verdict : verdict; cycles : int }
+
+(* One state row: everything a run mutates.  [pend]/[live] double
+   buffer the contribution sets exactly as in {!Compiled}. *)
+type row = {
+  sched : Sched.t;
+  visible : Word.t array;
+  acc : Word.t array;
+  in_pending : bool array;
+  mutable pend_ids : int array;
+  mutable pend_n : int;
+  mutable live_ids : int array;
+  mutable live_n : int;
+  regs : Word.t array;
+  reg_vis : Word.t array;
+  fu_states : Fu_state.t array;
+  fu_out : Word.t array;
+  traces : Word.t array array;
+  out_steps : int array array;
+  out_vals : Word.t array array;
+  out_n : int array;
+  mutable conflicts : (int * Phase.t * string) list;
+}
+
+type state = Waiting | Running | Retired of int
+
+type variant = {
+  spec : variant_spec;
+  row : row;
+  retire_from : int;
+      (* first boundary s such that every slot from (s, wb) on is
+         physically shared with the golden plan — from there the live
+         driver set and the remaining schedule are the golden ones *)
+  mutable state : state;
+  mutable obs_dirty : bool;
+      (* an already-recorded observable (trace cell, output write)
+         differs from the golden row's: the final observation cannot
+         equal the golden one, so retirement is off the table *)
+}
+
+let make_row (sched : Sched.t) (m : Model.t) =
+  let n1 = max sched.Sched.nsinks 1 in
+  { sched;
+    visible = Array.make n1 Word.disc;
+    acc = Array.make n1 Word.disc;
+    in_pending = Array.make n1 false;
+    pend_ids = Array.make n1 0; pend_n = 0;
+    live_ids = Array.make n1 0; live_n = 0;
+    regs = Array.make (max sched.Sched.nregs 1) Word.disc;
+    reg_vis = Array.make (max sched.Sched.nregs 1) Word.disc;
+    fu_states =
+      Array.map (fun (p : Sched.fu_plan) -> Fu_state.create p.Sched.fu)
+        sched.Sched.fu_plans;
+    fu_out = Array.make (max (Array.length sched.Sched.fu_plans) 1) Word.disc;
+    traces =
+      Array.init (max sched.Sched.nregs 1) (fun _ ->
+          Array.make m.Model.cs_max Word.disc);
+    out_steps =
+      Array.init
+        (max (Array.length sched.Sched.out_sink) 1)
+        (fun _ -> Array.make m.Model.cs_max 0);
+    out_vals =
+      Array.init
+        (max (Array.length sched.Sched.out_sink) 1)
+        (fun _ -> Array.make m.Model.cs_max Word.disc);
+    out_n = Array.make (max (Array.length sched.Sched.out_sink) 1) 0;
+    conflicts = [] }
+
+let reset_row (r : row) =
+  Array.fill r.visible 0 (Array.length r.visible) Word.disc;
+  Array.fill r.acc 0 (Array.length r.acc) Word.disc;
+  Array.fill r.in_pending 0 (Array.length r.in_pending) false;
+  r.pend_n <- 0;
+  r.live_n <- 0;
+  Array.blit r.sched.Sched.reg_init 0 r.regs 0 r.sched.Sched.nregs;
+  for i = 0 to r.sched.Sched.nregs - 1 do
+    r.reg_vis.(i) <- Sched.reg_view_init r.sched i
+  done;
+  Array.iter Fu_state.reset r.fu_states;
+  Array.fill r.fu_out 0 (Array.length r.fu_out) Word.disc;
+  Array.iter (fun a -> Array.fill a 0 (Array.length a) Word.disc) r.traces;
+  Array.fill r.out_n 0 (Array.length r.out_n) 0;
+  r.conflicts <- []
+
+let[@inline] contribute (r : row) s v =
+  if r.in_pending.(s) then r.acc.(s) <- Resolve.combine r.acc.(s) v
+  else begin
+    r.in_pending.(s) <- true;
+    r.acc.(s) <- v;
+    r.pend_ids.(r.pend_n) <- s;
+    r.pend_n <- r.pend_n + 1
+  end
+
+let flip (r : row) ~step ~phase =
+  for i = 0 to r.live_n - 1 do
+    let s = r.live_ids.(i) in
+    if not r.in_pending.(s) then begin
+      let v = Sched.resolve_release r.sched s ~step ~phase in
+      if Word.is_illegal v && not (Word.is_illegal r.visible.(s)) then
+        r.conflicts <- (step, phase, r.sched.Sched.sink_name.(s)) :: r.conflicts;
+      r.visible.(s) <- v
+    end
+  done;
+  for i = 0 to r.pend_n - 1 do
+    let s = r.pend_ids.(i) in
+    let v = Sched.resolve_value r.sched s ~step ~phase r.acc.(s) in
+    if Word.is_illegal v && not (Word.is_illegal r.visible.(s)) then
+      r.conflicts <- (step, phase, r.sched.Sched.sink_name.(s)) :: r.conflicts;
+    r.visible.(s) <- v
+  done;
+  let freed = r.live_ids in
+  r.live_ids <- r.pend_ids;
+  r.live_n <- r.pend_n;
+  r.pend_ids <- freed;
+  r.pend_n <- 0;
+  for i = 0 to r.live_n - 1 do
+    let s = r.live_ids.(i) in
+    r.in_pending.(s) <- false;
+    r.acc.(s) <- Word.disc
+  done
+
+let exec_step (r : row) step =
+  let cm = Phase.to_int Phase.Cm and cr = Phase.to_int Phase.Cr in
+  for pi = 0 to Phase.count - 1 do
+    let phase = Phase.of_int_exn pi in
+    flip r ~step ~phase;
+    let acts = r.sched.Sched.slots.(((step - 1) * Phase.count) + pi) in
+    for a = 0 to Array.length acts - 1 do
+      let { Sched.src; dst } = acts.(a) in
+      let v =
+        match src with
+        | Sched.Const w -> w
+        | Sched.Reg i -> r.reg_vis.(i)
+        | Sched.Bus s -> r.visible.(s)
+        | Sched.Fu f -> r.fu_out.(f)
+      in
+      contribute r dst v
+    done;
+    if pi = cm then
+      for f = 0 to Array.length r.fu_states - 1 do
+        let u = r.sched.Sched.fu_plans.(f) in
+        r.fu_out.(f) <-
+          Fu_state.step r.fu_states.(f)
+            ~op_index:r.visible.(u.Sched.op_sink)
+            r.visible.(u.Sched.in1_sink) r.visible.(u.Sched.in2_sink)
+      done
+    else if pi = cr then begin
+      for i = 0 to r.sched.Sched.nregs - 1 do
+        let v = r.visible.(r.sched.Sched.reg_in_sink.(i)) in
+        if not (Word.is_disc v) then begin
+          r.regs.(i) <- v;
+          r.reg_vis.(i) <- Sched.reg_view_latch r.sched i ~step v
+        end
+      done;
+      for o = 0 to Array.length r.sched.Sched.out_sink - 1 do
+        let v = r.visible.(r.sched.Sched.out_sink.(o)) in
+        if not (Word.is_disc v) then begin
+          let n = r.out_n.(o) in
+          r.out_steps.(o).(n) <- step;
+          r.out_vals.(o).(n) <- v;
+          r.out_n.(o) <- n + 1
+        end
+      done;
+      for i = 0 to r.sched.Sched.nregs - 1 do
+        r.traces.(i).(step - 1) <- r.reg_vis.(i)
+      done
+    end
+  done
+
+(* Copy the golden row's state at boundary [b] into a variant — the
+   in-memory equivalent of restoring a golden checkpoint: raw machine
+   state verbatim, the register view re-resolved through the variant's
+   tamper at its next visibility point (the kernel's resume rule), the
+   conflict prefix in the snapshot's sorted order. *)
+let join_row ~(golden : row) (v : row) ~boundary =
+  Array.blit golden.visible 0 v.visible 0 (Array.length golden.visible);
+  Array.blit golden.live_ids 0 v.live_ids 0 golden.live_n;
+  v.live_n <- golden.live_n;
+  v.pend_n <- 0;
+  Array.blit golden.regs 0 v.regs 0 (Array.length golden.regs);
+  for i = 0 to v.sched.Sched.nregs - 1 do
+    v.reg_vis.(i) <- Sched.reg_view_resume v.sched i ~boundary v.regs.(i)
+  done;
+  Array.blit golden.fu_out 0 v.fu_out 0 (Array.length golden.fu_out);
+  Array.iteri
+    (fun i st -> Fu_state.restore v.fu_states.(i) (Fu_state.slots st))
+    golden.fu_states;
+  Array.iteri
+    (fun i tr -> Array.blit tr 0 v.traces.(i) 0 boundary)
+    golden.traces;
+  Array.iteri
+    (fun o steps ->
+      Array.blit steps 0 v.out_steps.(o) 0 golden.out_n.(o);
+      Array.blit golden.out_vals.(o) 0 v.out_vals.(o) 0 golden.out_n.(o);
+      v.out_n.(o) <- golden.out_n.(o))
+    golden.out_steps;
+  v.conflicts <- List.rev (Snapshot.sort_conflicts golden.conflicts)
+
+let observation (r : row) =
+  let m = r.sched.Sched.model in
+  { Observation.model_name = m.Model.name; cs_max = m.Model.cs_max;
+    regs =
+      List.mapi
+        (fun i (reg : Model.register) ->
+          (reg.reg_name, Array.copy r.traces.(i)))
+        m.Model.registers;
+    outputs =
+      List.mapi
+        (fun o name ->
+          ( name,
+            List.init r.out_n.(o) (fun k ->
+                (r.out_steps.(o).(k), r.out_vals.(o).(k))) ))
+        m.Model.outputs;
+    conflicts = List.rev r.conflicts }
+
+(* First boundary from which every remaining slot — including the
+   boundary step's own (step, wb) slot, whose drivers are the live set
+   crossing it — is physically the golden array. *)
+let retire_from_of (golden : Sched.t) (s : Sched.t) (m : Model.t) =
+  let wb = Phase.to_int Phase.Wb in
+  let last_patched = ref (-1) in
+  Array.iteri
+    (fun k a -> if a != golden.Sched.slots.(k) then last_patched := k)
+    s.Sched.slots;
+  let rec find step =
+    if step > m.Model.cs_max then step
+    else if ((step - 1) * Phase.count) + wb > !last_patched then step
+    else find (step + 1)
+  in
+  find 1
+
+let rows_equal (g : row) (v : row) =
+  let arrays_eq a b =
+    let n = Array.length a in
+    let rec go i = i >= n || (Word.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+  in
+  (* component bits of the divergence mask, cheapest first; all clear
+     means the rows cannot diverge again *)
+  arrays_eq g.regs v.regs
+  && arrays_eq g.reg_vis v.reg_vis
+  && arrays_eq g.fu_out v.fu_out
+  && arrays_eq g.visible v.visible
+  && (let n = Array.length g.fu_states in
+      let rec go i =
+        i >= n
+        || (Fu_state.slots g.fu_states.(i) = Fu_state.slots v.fu_states.(i)
+            && go (i + 1))
+      in
+      go 0)
+  && Snapshot.sort_conflicts g.conflicts = Snapshot.sort_conflicts v.conflicts
+
+(* Exact per-boundary check that the observables recorded {e this}
+   step equal the golden row's; once any differs the flag latches and
+   the variant must run to completion. *)
+let update_obs_dirty ~(golden : row) (var : variant) ~step =
+  let v = var.row in
+  if not var.obs_dirty then begin
+    let dirty = ref false in
+    for i = 0 to v.sched.Sched.nregs - 1 do
+      if not (Word.equal v.traces.(i).(step - 1) golden.traces.(i).(step - 1))
+      then dirty := true
+    done;
+    for o = 0 to Array.length v.out_n - 1 do
+      if v.out_n.(o) <> golden.out_n.(o) then dirty := true
+      else if
+        v.out_n.(o) > 0
+        && v.out_steps.(o).(v.out_n.(o) - 1) = step
+        && not (Word.equal v.out_vals.(o).(v.out_n.(o) - 1)
+                  golden.out_vals.(o).(golden.out_n.(o) - 1))
+      then dirty := true
+    done;
+    if !dirty then var.obs_dirty <- true
+  end
+
+let prepare (m : Model.t) specs =
+  Model.validate_exn m;
+  List.iter
+    (fun { inject; join; settle = _ } ->
+      (match Compiled.compilable ~inject m with
+       | Ok () -> ()
+       | Error why ->
+         invalid_arg (Printf.sprintf "Batch: model %s: %s" m.Model.name why));
+      if join < 0 || join > m.Model.cs_max then
+        invalid_arg
+          (Printf.sprintf "Batch: join boundary %d outside [0, %d]" join
+             m.Model.cs_max))
+    specs;
+  let golden_sched = Sched.compile m in
+  let golden = make_row golden_sched m in
+  reset_row golden;
+  let variants =
+    List.map
+      (fun spec ->
+        let sched = Sched.compile ~inject:spec.inject m in
+        Sched.share_slots ~base:golden_sched sched;
+        let row = make_row sched m in
+        reset_row row;
+        { spec; row;
+          retire_from = retire_from_of golden_sched sched m;
+          state = (if spec.join = 0 then Running else Waiting);
+          obs_dirty = false })
+      specs
+  in
+  (golden, variants)
+
+let golden (m : Model.t) specs =
+  let golden, variants = prepare m specs in
+  for step = 1 to m.Model.cs_max do
+    List.iter
+      (fun v ->
+        if v.state = Waiting && v.spec.join = step - 1 then begin
+          join_row ~golden v.row ~boundary:(step - 1);
+          v.state <- Running
+        end)
+      variants;
+    exec_step golden step;
+    List.iter
+      (fun v ->
+        if v.state = Running then begin
+          exec_step v.row step;
+          update_obs_dirty ~golden v ~step;
+          if
+            (not v.obs_dirty) && step < m.Model.cs_max
+            && step >= v.spec.settle && step >= v.retire_from
+            && rows_equal golden v.row
+          then v.state <- Retired step
+        end)
+      variants
+  done;
+  let results =
+    List.map
+      (fun v ->
+        let verdict =
+          match v.state with
+          | Retired s -> Converged s
+          | Running -> Finished (observation v.row)
+          | Waiting ->
+            (* joined at the final boundary: the fault never acts, the
+               observation is the golden one by construction *)
+            Converged m.Model.cs_max
+        in
+        { verdict;
+          cycles =
+            Simulate.expected_cycles_injected ~inject:v.spec.inject m
+              v.spec.join })
+      variants
+  in
+  (observation golden, results)
+
+let run m specs = snd (golden m specs)

@@ -1,0 +1,73 @@
+(** Batched lockstep execution of fault variants on the compiled
+    schedule.
+
+    A fault campaign runs the same model hundreds of times, each run
+    differing from the golden one by a small injection overlay.  This
+    executor runs K faulted variants {e plus} the golden run in one
+    pass over the shared static schedule ({!Sched}): one state row per
+    variant (flat [Word.t] arrays — unboxed int rows), the golden row
+    stepped first, every variant stepped in lockstep over slots that
+    are physically shared with the golden plan except where its
+    overlay patched them ({!Sched.share_slots}).
+
+    Two campaign-shaped shortcuts make this faster than K independent
+    compiled runs:
+
+    - {e joining}: a variant whose fault provably cannot act before
+      control step [join + 1] ({!Csrtl_fault.Fault.first_step}) skips
+      its prefix entirely — at boundary [join] the golden row's state
+      is copied into it (the in-memory equivalent of restoring a
+      golden checkpoint, including the tampered register view and the
+      snapshot's sorted conflict prefix, so its observation is
+      byte-identical to a kernel resumed from that snapshot);
+    - {e early retirement}: a variant whose fault can no longer act
+      (past [settle] and past its last patched slot) and whose state
+      row has re-converged with the golden row — with no observable
+      delta accrued — is retired as {!Converged}: its remaining
+      future is the golden row's, so its full observation equals the
+      golden observation and a campaign classifies it masked without
+      executing the tail.
+
+    Soundness of retirement rests on the static schedule: at a step
+    boundary the pending set is empty and the live driver set is
+    exactly the destination set of the (step, [wb]) slot, so physical
+    slot sharing plus state-row equality implies equal futures.  The
+    differential suite ([test/test_batch.ml]) pins batched results
+    against the kernel, the interpreter and the per-variant compiled
+    overlay. *)
+
+type variant_spec = {
+  inject : Inject.t;  (** must be compilable ({!Compiled.compilable}) *)
+  join : int;
+      (** golden boundary to join from, [0 .. cs_max]; must be strictly
+          below the first step the injection can act in ([0] = run the
+          variant from reset) *)
+  settle : int;
+      (** last control step the injection can act in
+          ({!Csrtl_fault.Fault.last_step}); the variant is not
+          considered for retirement before this boundary *)
+}
+
+type verdict =
+  | Finished of Observation.t  (** ran (or joined and ran) to [cs_max] *)
+  | Converged of int
+      (** retired at this boundary: the full observation provably
+          equals the golden run's *)
+
+type result = {
+  verdict : verdict;
+  cycles : int;
+      (** what the kernel would report for this variant resumed at
+          [join]: {!Simulate.expected_cycles_injected} *)
+}
+
+val run : Model.t -> variant_spec list -> result list
+(** Execute the golden run and every variant in lockstep; results are
+    in input order.  Raises [Invalid_argument] when the model does not
+    validate or a spec's injection has no static schedule
+    ({!Compiled.compilable}); campaigns route those variants to the
+    kernel instead. *)
+
+val golden : Model.t -> variant_spec list -> Observation.t * result list
+(** Like {!run}, also returning the golden row's observation (equal to
+    {!Compiled.run} of the uninjected plan). *)

@@ -1,24 +1,10 @@
-(* The phase-compiled executor.  Compilation lowers the model's legs
-   and op-selections onto integer sink ids and flattens them into one
-   action array per (control step, phase) slot; execution walks the
-   6 * cs_max slots replaying {!Interp}'s one-phase-lagged visibility
-   discipline over preallocated arrays.  The only allocations after
-   [of_model] are conflict report entries and the final observation. *)
-
-type src =
-  | Sconst of Word.t  (* input-port reads and op-select indices *)
-  | Sreg of int  (* register file index *)
-  | Sbus of int  (* sink id (a bus is also a sink) *)
-  | Sfu of int  (* functional-unit output latch index *)
-
-type action = { src : src; dst : int }
-
-type fu_spec = {
-  fu_state : Fu_state.t;
-  op_sink : int;
-  in1_sink : int;
-  in2_sink : int;
-}
+(* The phase-compiled executor.  Compilation ({!Sched}) lowers the
+   model's legs, op-selections and injection overlay onto integer sink
+   ids and flattens them into one action array per (control step,
+   phase) slot; execution walks the 6 * cs_max slots replaying
+   {!Interp}'s one-phase-lagged visibility discipline over
+   preallocated arrays.  The only allocations after [of_model] are
+   conflict report entries and the final observation. *)
 
 type stats = {
   static_actions : int;
@@ -29,19 +15,15 @@ type stats = {
 }
 
 type t = {
-  model : Model.t;
+  sched : Sched.t;
   cycles : int;
-  nsinks : int;
-  sink_name : string array;
-  slots : action array array;  (* index (step - 1) * Phase.count + phase *)
-  static_actions : int;
-  fus : fu_spec array;
-  reg_init : Word.t array;
-  reg_in_sink : int array;
-  out_sink : int array;  (* per model output, in declaration order *)
+  fu_states : Fu_state.t array;
   (* ---- per-run state, preallocated and reset by [run] ---- *)
   visible : Word.t array;
   regs : Word.t array;
+  reg_vis : Word.t array;
+      (* the latched output view the datapath reads — equals [regs]
+         except under a register-output tamper ({!Sched.reg_tamper}) *)
   fu_out : Word.t array;
   (* pending contributions of the current phase: [acc] accumulates via
      the resolution monoid, [pend_ids]/[pend_n] list the touched sinks,
@@ -65,148 +47,55 @@ type t = {
   mutable st_latches : int;
 }
 
-let model t = t.model
+let model t = t.sched.Sched.model
 let cycles t = t.cycles
+
+let blockers ~(inject : Inject.t) ~(config : Simulate.config) =
+  let b = ref [] in
+  let add why = b := why :: !b in
+  if inject.Inject.oscillators <> [] then
+    add
+      "an injected oscillator never settles, so no static schedule \
+       exists";
+  if
+    List.exists
+      (fun (sb : Inject.saboteur) -> Phase.equal sb.Inject.sab_phase Phase.Cr)
+      inject.Inject.saboteurs
+  then
+    add
+      "a spurious driver contributing during cr releases into the next \
+       control step, off the static schedule";
+  (match config.Simulate.on_illegal with
+   | Simulate.Record -> ()
+   | Simulate.Halt ->
+     add "the Halt conflict policy stops mid-schedule; use the kernel"
+   | Simulate.Degrade ->
+     add "the Degrade conflict policy is not static; use the kernel");
+  List.rev !b
 
 let compilable ?(inject = Inject.none) ?(config = Simulate.default)
     (_ : Model.t) =
-  if not (Inject.is_none inject) then
-    Error
-      "fault injection is dynamic: tampers, saboteurs, oscillators and \
-       dropped legs need the event kernel or the interpreter"
-  else
-    match config.Simulate.on_illegal with
-    | Simulate.Record -> Ok ()
-    | Simulate.Halt ->
-      Error "the Halt conflict policy stops mid-schedule; use the kernel"
-    | Simulate.Degrade ->
-      Error "the Degrade conflict policy is not static; use the kernel"
+  match blockers ~inject ~config with
+  | [] -> Ok ()
+  | bs -> Error (String.concat "; " bs)
 
-let of_model (m : Model.t) =
+let of_model ?(inject = Inject.none) (m : Model.t) =
   Model.validate_exn m;
-  let sink_ids = Hashtbl.create 64 in
-  let names = ref [] in
-  let add_sink n =
-    if not (Hashtbl.mem sink_ids n) then begin
-      Hashtbl.add sink_ids n (Hashtbl.length sink_ids);
-      names := n :: !names
-    end
-  in
-  List.iter add_sink m.buses;
-  List.iter
-    (fun (r : Model.register) -> add_sink (r.reg_name ^ ".in"))
-    m.registers;
-  List.iter
-    (fun (f : Model.fu) ->
-      add_sink (f.fu_name ^ ".in1");
-      add_sink (f.fu_name ^ ".in2");
-      add_sink (f.fu_name ^ ".op"))
-    m.fus;
-  List.iter add_sink m.outputs;
-  let nsinks = Hashtbl.length sink_ids in
-  let sink_name = Array.make (max nsinks 1) "" in
-  List.iter (fun n -> sink_name.(Hashtbl.find sink_ids n) <- n) !names;
-  let sink_id site n =
-    match Hashtbl.find_opt sink_ids n with
-    | Some i -> i
-    | None ->
-      (* validated models only reference declared resources, so this
-         is a compiler bug — mirror the elaboration diagnostic *)
-      invalid_arg
-        (Printf.sprintf
-           "Compiled: model %s declares no resource signal %S \
-            (referenced by %s)"
-           m.name n site)
-  in
-  let reg_index = Hashtbl.create 16 in
-  List.iteri
-    (fun i (r : Model.register) -> Hashtbl.replace reg_index r.reg_name i)
-    m.registers;
-  let fu_index = Hashtbl.create 8 in
-  List.iteri
-    (fun i (f : Model.fu) -> Hashtbl.replace fu_index f.fu_name i)
-    m.fus;
-  let compile_src (l : Transfer.leg) =
-    match l.src with
-    | Transfer.Reg_out r -> Sreg (Hashtbl.find reg_index r)
-    | Transfer.In_port i ->
-      (* input-port values are a pure function of the control step, so
-         the read folds to a constant at compile time *)
-      let v =
-        match
-          List.find_opt (fun (x : Model.input) -> x.in_name = i) m.inputs
-        with
-        | Some inp -> Model.input_value inp l.step
-        | None -> Word.disc
-      in
-      Sconst v
-    | Transfer.Bus b -> Sbus (sink_id "a transfer leg" b)
-    | Transfer.Fu_out f -> Sfu (Hashtbl.find fu_index f)
-    | Transfer.Reg_in _ | Transfer.Fu_in _ | Transfer.Out_port _ ->
-      Sconst Word.disc
-  in
-  let nslots = m.cs_max * Phase.count in
-  let slot_rev = Array.make nslots [] in
-  let slot_of step phase = ((step - 1) * Phase.count) + Phase.to_int phase in
-  let legs, selects = Model.all_legs m in
-  List.iter
-    (fun (l : Transfer.leg) ->
-      let a =
-        { src = compile_src l;
-          dst = sink_id "a transfer leg" (Transfer.endpoint_name l.dst) }
-      in
-      let s = slot_of l.step l.phase in
-      slot_rev.(s) <- a :: slot_rev.(s))
-    legs;
-  List.iter
-    (fun (s : Transfer.op_select) ->
-      match Hashtbl.find_opt fu_index s.sel_fu with
-      | None -> ()
-      | Some fi ->
-        let f = List.nth m.fus fi in
-        let rec find i = function
-          | [] -> Word.illegal
-          | o :: rest -> if Ops.equal o s.sel_op then i else find (i + 1) rest
-        in
-        let a =
-          { src = Sconst (find 0 f.ops);
-            dst = sink_id "an op selection" (s.sel_fu ^ ".op") }
-        in
-        let k = slot_of s.sel_step Phase.Rb in
-        slot_rev.(k) <- a :: slot_rev.(k))
-    selects;
-  let slots = Array.map (fun l -> Array.of_list (List.rev l)) slot_rev in
-  let static_actions =
-    Array.fold_left (fun n a -> n + Array.length a) 0 slots
-  in
-  let fus =
-    Array.of_list
-      (List.map
-         (fun (f : Model.fu) ->
-           { fu_state = Fu_state.create f;
-             op_sink = sink_id "a unit" (f.fu_name ^ ".op");
-             in1_sink = sink_id "a unit" (f.fu_name ^ ".in1");
-             in2_sink = sink_id "a unit" (f.fu_name ^ ".in2") })
-         m.fus)
-  in
-  let nregs = List.length m.registers in
+  let sched = Sched.compile ~inject m in
+  let nsinks = sched.Sched.nsinks in
+  let nregs = sched.Sched.nregs in
   let n1 = max nsinks 1 in
-  { model = m; cycles = Simulate.expected_cycles m; nsinks; sink_name;
-    slots; static_actions; fus;
-    reg_init =
-      Array.of_list
-        (List.map (fun (r : Model.register) -> r.init) m.registers);
-    reg_in_sink =
-      Array.of_list
-        (List.map
-           (fun (r : Model.register) ->
-             sink_id "a register" (r.reg_name ^ ".in"))
-           m.registers);
-    out_sink =
-      Array.of_list (List.map (sink_id "an output port") m.outputs);
+  let fu_states =
+    Array.map (fun (p : Sched.fu_plan) -> Fu_state.create p.Sched.fu)
+      sched.Sched.fu_plans
+  in
+  { sched;
+    cycles = Simulate.expected_cycles_injected ~inject m 0;
+    fu_states;
     visible = Array.make n1 Word.disc;
     regs = Array.make (max nregs 1) Word.disc;
-    fu_out = Array.make (max (Array.length fus) 1) Word.disc;
+    reg_vis = Array.make (max nregs 1) Word.disc;
+    fu_out = Array.make (max (Array.length fu_states) 1) Word.disc;
     acc = Array.make n1 Word.disc; in_pending = Array.make n1 false;
     pend_ids = Array.make n1 0; pend_n = 0; live_ids = Array.make n1 0;
     live_n = 0;
@@ -230,8 +119,11 @@ let reset t =
   Array.fill t.in_pending 0 (Array.length t.in_pending) false;
   t.pend_n <- 0;
   t.live_n <- 0;
-  Array.blit t.reg_init 0 t.regs 0 (Array.length t.reg_init);
-  Array.iter (fun (f : fu_spec) -> Fu_state.reset f.fu_state) t.fus;
+  Array.blit t.sched.Sched.reg_init 0 t.regs 0 t.sched.Sched.nregs;
+  for r = 0 to t.sched.Sched.nregs - 1 do
+    t.reg_vis.(r) <- Sched.reg_view_init t.sched r
+  done;
+  Array.iter Fu_state.reset t.fu_states;
   Array.fill t.fu_out 0 (Array.length t.fu_out) Word.disc;
   Array.iter (fun a -> Array.fill a 0 (Array.length a) Word.disc) t.traces;
   Array.fill t.out_n 0 (Array.length t.out_n) 0;
@@ -255,20 +147,25 @@ let[@inline] contribute t s v =
    live sinks not re-contributed release to DISC, pending sinks take
    their accumulated resolution, and a sink newly becoming ILLEGAL is
    localized as a conflict — the same two re-resolution cases as
-   [Interp.flip_phase], over a swap of preallocated id arrays. *)
+   [Interp.flip_phase], over a swap of preallocated id arrays.  Each
+   re-resolution passes through the sink's tamper, if any; sinks with
+   no transaction keep their previous — possibly tampered — value. *)
 let flip t ~step ~phase =
   for i = 0 to t.live_n - 1 do
     let s = t.live_ids.(i) in
     if not t.in_pending.(s) then begin
-      t.visible.(s) <- Word.disc;
+      let v = Sched.resolve_release t.sched s ~step ~phase in
+      if Word.is_illegal v && not (Word.is_illegal t.visible.(s)) then
+        t.conflicts <- (step, phase, t.sched.Sched.sink_name.(s)) :: t.conflicts;
+      t.visible.(s) <- v;
       t.st_resolutions <- t.st_resolutions + 1
     end
   done;
   for i = 0 to t.pend_n - 1 do
     let s = t.pend_ids.(i) in
-    let v = t.acc.(s) in
+    let v = Sched.resolve_value t.sched s ~step ~phase t.acc.(s) in
     if Word.is_illegal v && not (Word.is_illegal t.visible.(s)) then
-      t.conflicts <- (step, phase, t.sink_name.(s)) :: t.conflicts;
+      t.conflicts <- (step, phase, t.sched.Sched.sink_name.(s)) :: t.conflicts;
     t.visible.(s) <- v;
     t.st_resolutions <- t.st_resolutions + 1
   done;
@@ -289,36 +186,38 @@ let exec_step t step =
     for pi = 0 to Phase.count - 1 do
       let phase = Phase.of_int_exn pi in
       flip t ~step ~phase;
-      let acts = t.slots.(((step - 1) * Phase.count) + pi) in
+      let acts = t.sched.Sched.slots.(((step - 1) * Phase.count) + pi) in
       for a = 0 to Array.length acts - 1 do
-        let { src; dst } = acts.(a) in
+        let { Sched.src; dst } = acts.(a) in
         let v =
           match src with
-          | Sconst w -> w
-          | Sreg r -> t.regs.(r)
-          | Sbus s -> t.visible.(s)
-          | Sfu f -> t.fu_out.(f)
+          | Sched.Const w -> w
+          | Sched.Reg r -> t.reg_vis.(r)
+          | Sched.Bus s -> t.visible.(s)
+          | Sched.Fu f -> t.fu_out.(f)
         in
         contribute t dst v
       done;
       if pi = cm then
-        for f = 0 to Array.length t.fus - 1 do
-          let u = t.fus.(f) in
+        for f = 0 to Array.length t.fu_states - 1 do
+          let u = t.sched.Sched.fu_plans.(f) in
           t.fu_out.(f) <-
-            Fu_state.step u.fu_state ~op_index:t.visible.(u.op_sink)
-              t.visible.(u.in1_sink) t.visible.(u.in2_sink);
+            Fu_state.step t.fu_states.(f)
+              ~op_index:t.visible.(u.Sched.op_sink)
+              t.visible.(u.Sched.in1_sink) t.visible.(u.Sched.in2_sink);
           t.st_fu_evals <- t.st_fu_evals + 1
         done
       else if pi = cr then begin
-        for r = 0 to Array.length t.reg_in_sink - 1 do
-          let v = t.visible.(t.reg_in_sink.(r)) in
+        for r = 0 to t.sched.Sched.nregs - 1 do
+          let v = t.visible.(t.sched.Sched.reg_in_sink.(r)) in
           if not (Word.is_disc v) then begin
             t.regs.(r) <- v;
+            t.reg_vis.(r) <- Sched.reg_view_latch t.sched r ~step v;
             t.st_latches <- t.st_latches + 1
           end
         done;
-        for o = 0 to Array.length t.out_sink - 1 do
-          let v = t.visible.(t.out_sink.(o)) in
+        for o = 0 to Array.length t.sched.Sched.out_sink - 1 do
+          let v = t.visible.(t.sched.Sched.out_sink.(o)) in
           if not (Word.is_disc v) then begin
             let n = t.out_n.(o) in
             t.out_steps.(o).(n) <- step;
@@ -326,31 +225,32 @@ let exec_step t step =
             t.out_n.(o) <- n + 1
           end
         done;
-        for r = 0 to Array.length t.reg_in_sink - 1 do
-          t.traces.(r).(step - 1) <- t.regs.(r)
+        for r = 0 to t.sched.Sched.nregs - 1 do
+          t.traces.(r).(step - 1) <- t.reg_vis.(r)
         done
       end
     done
   end
 
 let observation t =
-  { Observation.model_name = t.model.name; cs_max = t.model.cs_max;
+  let m = model t in
+  { Observation.model_name = m.Model.name; cs_max = m.Model.cs_max;
     regs =
       List.mapi
         (fun i (r : Model.register) -> (r.reg_name, Array.copy t.traces.(i)))
-        t.model.registers;
+        m.Model.registers;
     outputs =
       List.mapi
         (fun o name ->
           ( name,
             List.init t.out_n.(o) (fun k ->
                 (t.out_steps.(o).(k), t.out_vals.(o).(k))) ))
-        t.model.outputs;
+        m.Model.outputs;
     conflicts = List.rev t.conflicts }
 
 let run t =
   reset t;
-  for step = 1 to t.model.cs_max do
+  for step = 1 to (model t).Model.cs_max do
     exec_step t step
   done;
   observation t
@@ -361,7 +261,8 @@ let run t =
    chronological list {!Interp} accumulates: per step, ports in
    declaration order. *)
 let out_writes_upto t ~step =
-  let nports = List.length t.model.outputs in
+  let m = model t in
+  let nports = List.length m.Model.outputs in
   let cursor = Array.make (max nports 1) 0 in
   let acc = ref [] in
   for s = 1 to step do
@@ -372,47 +273,49 @@ let out_writes_upto t ~step =
           acc := (name, (s, t.out_vals.(o).(k))) :: !acc;
           cursor.(o) <- k + 1
         end)
-      t.model.outputs
+      m.Model.outputs
   done;
   List.rev !acc
 
 let capture t ~digest ~step =
-  let m = t.model in
-  { Snapshot.model_name = m.name;
+  let m = model t in
+  { Snapshot.model_name = m.Model.name;
     digest;
     step;
     regs =
       List.mapi
         (fun i (r : Model.register) -> (r.reg_name, t.regs.(i)))
-        m.registers;
+        m.Model.registers;
     fu_out =
-      List.mapi (fun i (f : Model.fu) -> (f.fu_name, t.fu_out.(i))) m.fus;
+      List.mapi (fun i (f : Model.fu) -> (f.fu_name, t.fu_out.(i)))
+        m.Model.fus;
     fu_slots =
       List.mapi
-        (fun i (f : Model.fu) -> (f.fu_name, Fu_state.slots t.fus.(i).fu_state))
-        m.fus;
+        (fun i (f : Model.fu) -> (f.fu_name, Fu_state.slots t.fu_states.(i)))
+        m.Model.fus;
     trace =
       List.mapi
         (fun i (r : Model.register) ->
           (r.reg_name, Array.sub t.traces.(i) 0 step))
-        m.registers;
+        m.Model.registers;
     out_writes = out_writes_upto t ~step;
     conflicts = Snapshot.sort_conflicts t.conflicts }
 
 let snapshots_at t ~steps =
+  let m = model t in
   List.iter
     (fun s ->
-      if s < 0 || s > t.model.cs_max then
+      if s < 0 || s > m.Model.cs_max then
         invalid_arg
           (Printf.sprintf "Compiled.snapshots_at: step %d outside [0, %d]" s
-             t.model.cs_max))
+             m.Model.cs_max))
     steps;
   let want = List.sort_uniq compare steps in
-  let digest = Snapshot.digest_of_model t.model in
+  let digest = Snapshot.digest_of_model m in
   reset t;
   let snaps = ref [] in
   if List.mem 0 want then snaps := capture t ~digest ~step:0 :: !snaps;
-  for step = 1 to t.model.cs_max do
+  for step = 1 to m.Model.cs_max do
     exec_step t step;
     if List.mem step want then snaps := capture t ~digest ~step :: !snaps
   done;
@@ -424,12 +327,19 @@ let snapshot_at t ~step =
   | _ -> assert false
 
 let resume t ~(from : Snapshot.t) =
-  Snapshot.validate_exn t.model from;
+  let m = model t in
+  Snapshot.validate_exn m from;
   reset t;
   List.iteri (fun i (_, v) -> t.regs.(i) <- v) from.regs;
+  for r = 0 to t.sched.Sched.nregs - 1 do
+    (* same rule as a latch in the uninterrupted run: the tampered
+       output view re-resolves from the current register value *)
+    t.reg_vis.(r) <-
+      Sched.reg_view_resume t.sched r ~boundary:from.step t.regs.(r)
+  done;
   List.iteri (fun i (_, v) -> t.fu_out.(i) <- v) from.fu_out;
   List.iteri
-    (fun i (_, slots) -> Fu_state.restore t.fus.(i).fu_state slots)
+    (fun i (_, slots) -> Fu_state.restore t.fu_states.(i) slots)
     from.fu_slots;
   List.iteri
     (fun i (_, a) -> Array.blit a 0 t.traces.(i) 0 (Array.length a))
@@ -444,16 +354,17 @@ let resume t ~(from : Snapshot.t) =
             t.out_vals.(o).(k) <- v;
             t.out_n.(o) <- k + 1
           end)
-        t.model.outputs)
+        m.Model.outputs)
     from.out_writes;
   t.conflicts <- List.rev from.conflicts;
-  for step = from.step + 1 to t.model.cs_max do
+  for step = from.step + 1 to m.Model.cs_max do
     exec_step t step
   done;
   observation t
 
 let last_stats t =
-  { static_actions = t.static_actions; contributions = t.st_contributions;
+  { static_actions = t.sched.Sched.static_actions;
+    contributions = t.st_contributions;
     resolutions = t.st_resolutions; fu_evals = t.st_fu_evals;
     latches = t.st_latches }
 

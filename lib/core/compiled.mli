@@ -4,11 +4,12 @@
     paper's delta-cycle law pins every activity to one (control step,
     phase) slot, so the event queue, the waiter tables and the process
     machinery of the kernel are pure overhead.  [of_model] flattens an
-    elaborated model into per-(step, phase) action arrays — bus
-    drives, operation selections, unit evaluations, register latches —
-    over integer-indexed value buffers; [run] executes that schedule
-    with no event queue, no closures and no allocation in the hot loop
-    (conflicts, when they happen, allocate their report entries).
+    elaborated model (via {!Sched}) into per-(step, phase) action
+    arrays — bus drives, operation selections, unit evaluations,
+    register latches — over integer-indexed value buffers; [run]
+    executes that schedule with no event queue, no closures and no
+    allocation in the hot loop (conflicts, when they happen, allocate
+    their report entries).
 
     The executor implements exactly the dedicated semantics of
     {!Interp} (one-phase-lagged visibility, the resolution monoid,
@@ -16,11 +17,15 @@
     engines agree on the full {!Observation.t}; the differential
     qcheck suite ([test/test_compiled.ml]) pins this.
 
-    What the compiler cannot prove static falls back to the kernel:
-    fault injection (tampers, saboteurs, oscillators, dropped legs,
-    latency overrides), tracing, VCD streaming, and the [Halt] /
-    [Degrade] conflict policies — see {!compilable} and the dispatch
-    in [bin/csrtl.ml] and {!Csrtl_fault.Campaign}. *)
+    Most injection plans compile into the schedule as an overlay
+    (see {!Sched}): dropped legs vanish from their slots, saboteurs
+    become extra constant actions, tampers wrap re-resolutions and the
+    latched register view, latency overrides rewrite unit pipelines.
+    What remains kernel-only: oscillators (no static schedule),
+    saboteurs contributing during [cr] (they release into the next
+    step), and the [Halt] / [Degrade] conflict policies — see
+    {!compilable} and the dispatch in [bin/csrtl.ml] and
+    {!Csrtl_fault.Campaign}. *)
 
 type t
 (** A compiled plan: the static schedule plus preallocated run-state
@@ -39,20 +44,24 @@ val compilable :
   ?inject:Inject.t -> ?config:Simulate.config -> Model.t ->
   (unit, string) result
 (** [Ok ()] when the model/run combination has a static schedule the
-    compiler covers; [Error why] names the first feature that forces
-    the kernel path (an injection plan, or a conflict policy other
-    than [Record]). *)
+    compiler covers; [Error why] names {e every} feature that forces
+    the kernel path ("; "-separated): an oscillator in the plan, a
+    saboteur contributing during [cr], or a conflict policy other than
+    [Record].  Tampers, dropped legs, non-[cr] saboteurs and latency
+    overrides compile. *)
 
-val of_model : Model.t -> t
-(** Validates ({!Model.validate_exn}) and compiles.  Models with
-    dynamic conflicts are fine — resolution and ILLEGAL localization
-    are part of the schedule; only {e injections} are not. *)
+val of_model : ?inject:Inject.t -> Model.t -> t
+(** Validates ({!Model.validate_exn}) and compiles, realizing [inject]
+    as a schedule overlay.  Models with dynamic conflicts are fine —
+    resolution and ILLEGAL localization are part of the schedule.
+    Raises [Invalid_argument] on plans {!compilable} rejects. *)
 
 val model : t -> Model.t
+
 val cycles : t -> int
-(** What the kernel would report: {!Simulate.expected_cycles} — the
-    law is the compiler's soundness argument, and the differential
-    suite checks the kernel agrees. *)
+(** What the kernel would report: {!Simulate.expected_cycles_injected}
+    — the law is the compiler's soundness argument, and the
+    differential suite checks the kernel agrees. *)
 
 val run : t -> Observation.t
 (** Execute the schedule once from the model's initial state.  The

@@ -1,0 +1,223 @@
+type src = Const of Word.t | Reg of int | Bus of int | Fu of int
+
+type action = { src : src; dst : int }
+
+type fu_plan = {
+  fu : Model.fu;
+  op_sink : int;
+  in1_sink : int;
+  in2_sink : int;
+}
+
+type t = {
+  model : Model.t;
+  inject : Inject.t;
+  nsinks : int;
+  sink_name : string array;
+  slots : action array array;
+  static_actions : int;
+  fu_plans : fu_plan array;
+  nregs : int;
+  reg_init : Word.t array;
+  reg_in_sink : int array;
+  out_sink : int array;
+  sink_tamper : Inject.tamper option array;
+  reg_tamper : Inject.tamper option array;
+}
+
+let compile ?(inject = Inject.none) (m : Model.t) =
+  if inject.Inject.oscillators <> [] then
+    invalid_arg
+      (Printf.sprintf
+         "Compiled: model %s: an injected oscillator never settles, so \
+          there is no static schedule; use the kernel or the interpreter"
+         m.name);
+  let sink_ids = Hashtbl.create 64 in
+  let names = ref [] in
+  let add_sink n =
+    if not (Hashtbl.mem sink_ids n) then begin
+      Hashtbl.add sink_ids n (Hashtbl.length sink_ids);
+      names := n :: !names
+    end
+  in
+  List.iter add_sink m.buses;
+  List.iter
+    (fun (r : Model.register) -> add_sink (r.reg_name ^ ".in"))
+    m.registers;
+  List.iter
+    (fun (f : Model.fu) ->
+      add_sink (f.fu_name ^ ".in1");
+      add_sink (f.fu_name ^ ".in2");
+      add_sink (f.fu_name ^ ".op"))
+    m.fus;
+  List.iter add_sink m.outputs;
+  let nsinks = Hashtbl.length sink_ids in
+  let sink_name = Array.make (max nsinks 1) "" in
+  List.iter (fun n -> sink_name.(Hashtbl.find sink_ids n) <- n) !names;
+  let sink_id site n =
+    match Hashtbl.find_opt sink_ids n with
+    | Some i -> i
+    | None ->
+      (* validated models only reference declared resources, so this
+         is a compiler bug — mirror the elaboration diagnostic.
+         Injected saboteurs also land here: their sinks are arbitrary
+         user input, checked with the same message as the kernel's. *)
+      invalid_arg
+        (Printf.sprintf
+           "Compiled: model %s declares no resource signal %S \
+            (referenced by %s)"
+           m.name n site)
+  in
+  let reg_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (r : Model.register) -> Hashtbl.replace reg_index r.reg_name i)
+    m.registers;
+  let fu_index = Hashtbl.create 8 in
+  List.iteri
+    (fun i (f : Model.fu) -> Hashtbl.replace fu_index f.fu_name i)
+    m.fus;
+  let compile_src (l : Transfer.leg) =
+    match l.src with
+    | Transfer.Reg_out r -> Reg (Hashtbl.find reg_index r)
+    | Transfer.In_port i ->
+      (* input-port values are a pure function of the control step, so
+         the read folds to a constant at compile time *)
+      let v =
+        match
+          List.find_opt (fun (x : Model.input) -> x.in_name = i) m.inputs
+        with
+        | Some inp -> Model.input_value inp l.step
+        | None -> Word.disc
+      in
+      Const v
+    | Transfer.Bus b -> Bus (sink_id "a transfer leg" b)
+    | Transfer.Fu_out f -> Fu (Hashtbl.find fu_index f)
+    | Transfer.Reg_in _ | Transfer.Fu_in _ | Transfer.Out_port _ ->
+      Const Word.disc
+  in
+  let nslots = m.cs_max * Phase.count in
+  let slot_rev = Array.make nslots [] in
+  let slot_of step phase = ((step - 1) * Phase.count) + Phase.to_int phase in
+  let legs, selects = Model.all_legs m in
+  List.iteri
+    (fun idx (l : Transfer.leg) ->
+      if not (Inject.drops_leg inject idx) then begin
+        let a =
+          { src = compile_src l;
+            dst = sink_id "a transfer leg" (Transfer.endpoint_name l.dst) }
+        in
+        let s = slot_of l.step l.phase in
+        slot_rev.(s) <- a :: slot_rev.(s)
+      end)
+    legs;
+  List.iter
+    (fun (s : Transfer.op_select) ->
+      match Hashtbl.find_opt fu_index s.sel_fu with
+      | None -> ()
+      | Some fi ->
+        let f = List.nth m.fus fi in
+        let rec find i = function
+          | [] -> Word.illegal
+          | o :: rest -> if Ops.equal o s.sel_op then i else find (i + 1) rest
+        in
+        let a =
+          { src = Const (find 0 f.ops);
+            dst = sink_id "an op selection" (s.sel_fu ^ ".op") }
+        in
+        let k = slot_of s.sel_step Phase.Rb in
+        slot_rev.(k) <- a :: slot_rev.(k))
+    selects;
+  List.iter
+    (fun (sb : Inject.saboteur) ->
+      let dst = sink_id "an injected saboteur" sb.Inject.sab_sink in
+      if sb.Inject.sab_step >= 1 && sb.Inject.sab_step <= m.cs_max then begin
+        let k = slot_of sb.Inject.sab_step sb.Inject.sab_phase in
+        slot_rev.(k) <- { src = Const sb.Inject.sab_value; dst } :: slot_rev.(k)
+      end)
+    inject.Inject.saboteurs;
+  let slots = Array.map (fun l -> Array.of_list (List.rev l)) slot_rev in
+  let static_actions =
+    Array.fold_left (fun n a -> n + Array.length a) 0 slots
+  in
+  let fu_plans =
+    Array.of_list
+      (List.map
+         (fun (f : Model.fu) ->
+           let f =
+             match Inject.latency_for inject f.fu_name with
+             | Some latency -> { f with Model.latency }
+             | None -> f
+           in
+           { fu = f;
+             op_sink = sink_id "a unit" (f.fu_name ^ ".op");
+             in1_sink = sink_id "a unit" (f.fu_name ^ ".in1");
+             in2_sink = sink_id "a unit" (f.fu_name ^ ".in2") })
+         m.fus)
+  in
+  let sink_tamper = Array.make (max nsinks 1) None in
+  Array.iteri
+    (fun i n ->
+      if n <> "" then sink_tamper.(i) <- Inject.tamper_for inject n)
+    sink_name;
+  let reg_tamper =
+    Array.of_list
+      (List.map
+         (fun (r : Model.register) ->
+           Inject.tamper_for inject (r.reg_name ^ ".out"))
+         m.registers)
+  in
+  { model = m; inject; nsinks; sink_name; slots; static_actions; fu_plans;
+    nregs = List.length m.registers;
+    reg_init =
+      Array.of_list
+        (List.map (fun (r : Model.register) -> r.init) m.registers);
+    reg_in_sink =
+      Array.of_list
+        (List.map
+           (fun (r : Model.register) ->
+             sink_id "a register" (r.reg_name ^ ".in"))
+           m.registers);
+    out_sink =
+      Array.of_list (List.map (sink_id "an output port") m.outputs);
+    sink_tamper; reg_tamper }
+
+let share_slots ~base t =
+  Array.iteri
+    (fun k a -> if a != base.slots.(k) && a = base.slots.(k) then
+        t.slots.(k) <- base.slots.(k))
+    t.slots
+
+let resolve_value t id ~step ~phase v =
+  match t.sink_tamper.(id) with
+  | None -> v
+  | Some tam -> tam ~step ~phase v
+
+let resolve_release t id ~step ~phase =
+  match t.sink_tamper.(id) with
+  | None -> Word.disc
+  | Some tam -> tam ~step ~phase Word.disc
+
+(* The kernel's REG process only drives the output when the initial
+   value is not DISC, so the tamper only fires then; register-output
+   tampers are step/phase-insensitive (stuck faults), so the exact
+   point reported is immaterial — the same convention as {!Interp}. *)
+let reg_view_init t r =
+  match t.reg_tamper.(r) with
+  | None -> t.reg_init.(r)
+  | Some tam ->
+    if Word.is_disc t.reg_init.(r) then Word.disc
+    else tam ~step:1 ~phase:Phase.Ra t.reg_init.(r)
+
+let reg_view_latch t r ~step v =
+  match t.reg_tamper.(r) with
+  | None -> v
+  | Some tam ->
+    let vis_step = if step < t.model.cs_max then step + 1 else step in
+    tam ~step:vis_step ~phase:Phase.Ra v
+
+let reg_view_resume t r ~boundary v =
+  match t.reg_tamper.(r) with
+  | None -> v
+  | Some tam ->
+    if Word.is_disc v then Word.disc
+    else tam ~step:(boundary + 1) ~phase:Phase.Ra v

@@ -45,6 +45,40 @@ let expected_cycles_from (m : Model.t) s0 =
 
 let expected_cycles m = expected_cycles_from m 0
 
+(* An injection never changes how many deltas a run takes except at
+   the trailing edge: tampers and latency overrides rewrite values,
+   not transactions; a dropped leg removes a contribute/release pair
+   that matured within its own step; a saboteur adds one that does.
+   The only transactions that can mature after the final [cr] are the
+   releases of drivers contributing during the last [wb] — a
+   legitimate final-step [wb] leg or a saboteur scheduled there — so
+   the faulted count is the law for the segment plus one exactly when
+   some such driver survives the injection.  The batch executor emits
+   this prediction as the run's kernel cycle count, and the
+   differential suite ([test/test_batch.ml]) pins it against the
+   event kernel. *)
+let expected_cycles_injected ~(inject : Inject.t) (m : Model.t) s0 =
+  let legs, _ = Model.all_legs m in
+  let surviving_wb_leg =
+    let i = ref (-1) in
+    List.exists
+      (fun (l : Transfer.leg) ->
+        incr i;
+        l.Transfer.step = m.cs_max
+        && Phase.equal l.Transfer.phase Phase.Wb
+        && not (Inject.drops_leg inject !i))
+      legs
+  in
+  let wb_saboteur =
+    List.exists
+      (fun (sb : Inject.saboteur) ->
+        sb.Inject.sab_step = m.cs_max
+        && Phase.equal sb.Inject.sab_phase Phase.Wb)
+      inject.Inject.saboteurs
+  in
+  (Phase.count * (m.cs_max - s0))
+  + if surviving_wb_leg || wb_saboteur then 1 else 0
+
 let watchdog_slack = 16
 
 let run_internal ?vcd ?(trace = false) ?inject ?(config = default) ?from

@@ -81,6 +81,18 @@ val expected_cycles_from : Model.t -> int -> int
     [6 * (cs_max - s0)] plus the same trailing cycle.
     [expected_cycles m = expected_cycles_from m 0]. *)
 
+val expected_cycles_injected : inject:Inject.t -> Model.t -> int -> int
+(** The law for a {e faulted} segment resumed at boundary [s0]: an
+    injection moves only the trailing driver-release edge, so the
+    count is [6 * (cs_max - s0)] plus one exactly when a final-step
+    [wb] driver survives it — a [wb] leg the plan does not drop, or a
+    saboteur contributing at [(cs_max, wb)].  Tampers and latency
+    overrides never change the count (they rewrite values, not
+    transactions).  This is what the batch executor reports as a
+    variant's kernel cycles; the differential suite pins it against
+    the event kernel.  [expected_cycles_injected ~inject:Inject.none m
+    s0 = expected_cycles_from m s0]. *)
+
 val snapshot_at : ?config:config -> step:int -> Model.t -> Snapshot.t
 (** Run the model uninjected through control step [step] (0 means the
     initial state) and capture the machine state at that boundary —

@@ -197,6 +197,145 @@ let supervised_entry ~ctx fault =
     { fault; kernel_outcome = Hung why; interp_outcome = Hung why;
       kernel_cycles = 0; law_ok = true }
 
+(* ---- the batched fast path ------------------------------------- *)
+
+type engine = [ `Auto | `Kernel | `Compiled ]
+
+type batch_stats = {
+  batched : int;
+  kernel_path : int;
+  retired_early : int;
+}
+
+let no_stats = { batched = 0; kernel_path = 0; retired_early = 0 }
+
+let add_stats a b =
+  { batched = a.batched + b.batched;
+    kernel_path = a.kernel_path + b.kernel_path;
+    retired_early = a.retired_early + b.retired_early }
+
+(* A fault rides the batched executor when its injection has a static
+   schedule under this campaign's config — the same gate the golden
+   takes, evaluated per overlay. *)
+let batchable ~ctx f =
+  Compiled.compilable ~inject:(Fault.to_inject f) ~config:ctx.config ctx.m
+  = Ok ()
+
+(* The variant spec mirrors the kernel path decision for the same
+   fault: join at the checkpoint boundary exactly when [kernel_entry]
+   would restore a snapshot there, else run from reset. *)
+let batch_spec ~ctx f =
+  let b = boundary_of_fault ctx.m f in
+  let join = if b >= 1 && Hashtbl.mem ctx.checkpoints b then b else 0 in
+  { Batch.inject = Fault.to_inject f; join; settle = Fault.last_step ctx.m f }
+
+(* Entry from a batched verdict, byte-compatible with what
+   [entry_of_fault] computes for the same fault: a retired variant's
+   observation provably equals the golden one, so both engines
+   classify it masked without materializing it; a finished variant's
+   observation classifies against each engine's own golden (the
+   differential suite pins the batched observation against both
+   engines).  The cycle count is the law's prediction — which the
+   suite pins against the cycles the kernel actually runs. *)
+let entry_of_verdict ~ctx fault (spec : Batch.variant_spec)
+    (r : Batch.result) =
+  let kernel_outcome, interp_outcome =
+    match r.Batch.verdict with
+    | Batch.Converged _ -> (Masked, Masked)
+    | Batch.Finished obs ->
+      (classify ~golden:ctx.golden_k obs, classify ~golden:ctx.golden_i obs)
+  in
+  let law_ok =
+    match kernel_outcome with
+    | Masked ->
+      let expected = Simulate.expected_cycles_from ctx.m spec.Batch.join in
+      abs (r.Batch.cycles - expected) <= 1
+    | _ -> true
+  in
+  { fault; kernel_outcome; interp_outcome; kernel_cycles = r.Batch.cycles;
+    law_ok }
+
+(* One unit of campaign work: a lockstep batch of compilable faults,
+   or a single fault on the kernel path. *)
+type work =
+  | Chunk of (int * Fault.t) list
+  | Single of (int * Fault.t)
+
+let plan_work ~ctx ~engine ~batch indexed =
+  if batch < 1 then
+    invalid_arg (Printf.sprintf "Campaign: batch size %d < 1" batch);
+  let work =
+    match engine with
+    | `Kernel -> List.map (fun x -> Single x) indexed
+    | `Auto | `Compiled ->
+      let fast, slow = List.partition (fun (_, f) -> batchable ~ctx f) indexed in
+      let rec chunk acc = function
+        | [] -> List.rev acc
+        | l ->
+          let rec take n = function
+            | x :: rest when n > 0 ->
+              let t, d = take (n - 1) rest in
+              (x :: t, d)
+            | rest -> ([], rest)
+          in
+          let c, rest = take batch l in
+          chunk (Chunk c :: acc) rest
+      in
+      chunk [] fast @ List.map (fun x -> Single x) slow
+  in
+  (* keep work in fault order by first index, so sequential runs and
+     journals visit faults in a predictable order *)
+  let first = function
+    | Chunk ((i, _) :: _) -> i
+    | Chunk [] -> max_int
+    | Single (i, _) -> i
+  in
+  List.sort (fun a b -> compare (first a) (first b)) work
+
+(* A batch that crashes or overruns the budget falls back to the
+   per-fault kernel path, whose entries the batched ones are
+   byte-compatible with — so pathological chunks degrade to exactly
+   the unbatched campaign. *)
+let compute_work ~ctx ~on_entry = function
+  | Single (i, f) ->
+    let e = supervised_entry ~ctx f in
+    on_entry i e;
+    ([ (i, e) ], { no_stats with kernel_path = 1 })
+  | Chunk ifs ->
+    let specs = List.map (fun (_, f) -> batch_spec ~ctx f) ifs in
+    (match
+       Csrtl_par.Par.run_supervised ?budget:ctx.budget ~retries:1 (fun () ->
+           Batch.run ctx.m specs)
+     with
+     | Csrtl_par.Par.Done results ->
+       let entries =
+         List.map2
+           (fun (i, f) (spec, r) -> (i, entry_of_verdict ~ctx f spec r))
+           ifs (List.combine specs results)
+       in
+       List.iter (fun (i, e) -> on_entry i e) entries;
+       let retired =
+         List.length
+           (List.filter
+              (fun (r : Batch.result) ->
+                match r.Batch.verdict with
+                | Batch.Converged _ -> true
+                | Batch.Finished _ -> false)
+              results)
+       in
+       ( entries,
+         { no_stats with batched = List.length ifs; retired_early = retired } )
+     | Csrtl_par.Par.Crashed _ | Csrtl_par.Par.Over_budget _ ->
+       let entries =
+         List.map
+           (fun (i, f) ->
+             let e = supervised_entry ~ctx f in
+             on_entry i e;
+             (i, e))
+           ifs
+       in
+       (entries, { no_stats with kernel_path = List.length ifs }))
+
 let summarize (m : Model.t) entries =
   let count p = List.length (List.filter p entries) in
   let masked = count (fun e -> e.kernel_outcome = Masked) in
@@ -228,12 +367,6 @@ let summarize (m : Model.t) entries =
 let fault_list ?limit ?faults m =
   match faults with Some fs -> fs | None -> Fault.enumerate ?limit m
 
-let run ?(config = Simulate.default) ?limit ?faults ?budget ?(restore = true)
-    (m : Model.t) =
-  let faults = fault_list ?limit ?faults m in
-  let ctx = make_ctx ~config ?budget ~restore ~faults m in
-  summarize m (List.map (fun f -> supervised_entry ~ctx f) faults)
-
 let map_faults ?pool ?jobs ?chunks compute faults =
   match pool with
   | Some p -> Csrtl_par.Par.map ?chunks p compute faults
@@ -246,22 +379,62 @@ let map_faults ?pool ?jobs ?chunks compute faults =
     Csrtl_par.Par.with_pool ~jobs (fun p ->
         Csrtl_par.Par.map ?chunks p compute faults)
 
-let run_parallel ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
-    ?faults ?budget ?(restore = true) (m : Model.t) =
+(* Shard the planned work across the pool (or run it inline), then
+   reassemble entries in fault order — the report is independent of
+   jobs, chunking and batch size. *)
+let compute_all ?pool ?jobs ?chunks ~par ~ctx ~engine ~batch ~on_entry
+    indexed =
+  let work = plan_work ~ctx ~engine ~batch indexed in
+  let results =
+    if par then
+      map_faults ?pool ?jobs ?chunks (compute_work ~ctx ~on_entry) work
+    else List.map (compute_work ~ctx ~on_entry) work
+  in
+  let entries =
+    List.sort
+      (fun (i, _) (j, _) -> compare (i : int) j)
+      (List.concat_map fst results)
+  in
+  (List.map snd entries,
+   List.fold_left (fun a (_, s) -> add_stats a s) no_stats results)
+
+let run ?(config = Simulate.default) ?limit ?faults ?budget ?(restore = true)
+    ?(engine : engine = `Auto) ?(batch = 32) (m : Model.t) =
+  let faults = fault_list ?limit ?faults m in
+  let ctx = make_ctx ~config ?budget ~restore ~faults m in
+  let entries, _ =
+    compute_all ~par:false ~ctx ~engine ~batch
+      ~on_entry:(fun _ _ -> ())
+      (List.mapi (fun i f -> (i, f)) faults)
+  in
+  summarize m entries
+
+let run_with_stats ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
+    ?faults ?budget ?(restore = true) ?(engine : engine = `Auto)
+    ?(batch = 32) (m : Model.t) =
   let faults = fault_list ?limit ?faults m in
   (* goldens and checkpoints computed once in the caller and shared
      read-only with every domain; each faulted run owns all its
      mutable state *)
   let ctx = make_ctx ~config ?budget ~restore ~faults m in
-  let entries =
-    map_faults ?pool ?jobs ?chunks (fun f -> supervised_entry ~ctx f) faults
+  let entries, stats =
+    compute_all ?pool ?jobs ?chunks ~par:true ~ctx ~engine ~batch
+      ~on_entry:(fun _ _ -> ())
+      (List.mapi (fun i f -> (i, f)) faults)
   in
-  summarize m entries
+  (summarize m entries, stats)
+
+let run_parallel ?pool ?jobs ?chunks ?config ?limit ?faults ?budget ?restore
+    ?engine ?batch (m : Model.t) =
+  fst
+    (run_with_stats ?pool ?jobs ?chunks ?config ?limit ?faults ?budget
+       ?restore ?engine ?batch m)
 
 type resume_info = { reused : int; rerun : int; torn : int }
 
 let run_journaled ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
-    ?faults ?budget ?(restore = true) ~journal ~resume (m : Model.t) =
+    ?faults ?budget ?(restore = true) ?(engine : engine = `Auto)
+    ?(batch = 32) ~journal ~resume (m : Model.t) =
   let faults = fault_list ?limit ?faults m in
   let labels = List.map Fault.to_string faults in
   let total = List.length faults in
@@ -323,17 +496,23 @@ let run_journaled ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
         ~faults:(List.map (fun i -> fault_arr.(i)) todo)
         m
     in
-    let compute i =
-      let e = supervised_entry ~ctx fault_arr.(i) in
+    (* every finished fault is journaled before its work item returns
+       — batched chunks append their entries as a group, so a crash
+       loses at most the chunk in flight *)
+    let on_entry i (e : entry) =
       Journal.append w
         { Journal.index = i; fault_label = label_arr.(i);
           kernel = e.kernel_outcome; interp = e.interp_outcome;
-          cycles = e.kernel_cycles; law_ok = e.law_ok };
-      (i, e)
+          cycles = e.kernel_cycles; law_ok = e.law_ok }
     in
-    let computed = map_faults ?pool ?jobs ?chunks compute todo in
+    let computed, _ =
+      compute_all ?pool ?jobs ?chunks ~par:true ~ctx ~engine ~batch ~on_entry
+        (List.map (fun i -> (i, fault_arr.(i))) todo)
+    in
     let computed_tbl = Hashtbl.create 64 in
-    List.iter (fun (i, e) -> Hashtbl.replace computed_tbl i e) computed;
+    List.iter2
+      (fun i e -> Hashtbl.replace computed_tbl i e)
+      todo computed;
     let entries =
       List.init total (fun i ->
           match Hashtbl.find_opt computed_tbl i with

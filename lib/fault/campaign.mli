@@ -60,9 +60,34 @@ type report = {
   entries : entry list;
 }
 
+type engine = [ `Auto | `Kernel | `Compiled ]
+(** Which realization runs the faulted observations.  [`Kernel] is the
+    event kernel plus the interpreter per fault — the reference path.
+    [`Auto] (the default) and [`Compiled] batch every fault whose
+    injection compiles into the static schedule
+    ({!Csrtl_core.Compiled.compilable}) onto the lockstep executor
+    ({!Csrtl_core.Batch}) and derive both engines' outcomes from the
+    one batched observation; faults with no static schedule
+    (oscillators, [cr] saboteurs) and non-[Record] configs stay on the
+    kernel path either way.  Reports, journals and classifications are
+    byte-identical across engines — the batched path is a pure
+    optimization, pinned by the determinism suite. *)
+
+type batch_stats = {
+  batched : int;  (** faults that ran on the batched lockstep path *)
+  kernel_path : int;  (** faults that ran the reference path *)
+  retired_early : int;
+      (** batched variants retired at a re-convergence boundary
+          before [cs_max] ({!Csrtl_core.Batch.Converged}) *)
+}
+
+val boundary_of_fault : Model.t -> Fault.t -> int
+(** The latest golden boundary a run of this fault may restore from:
+    [min (Fault.first_step m f - 1) cs_max]. *)
+
 val run :
   ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
-  ?budget:float -> ?restore:bool ->
+  ?budget:float -> ?restore:bool -> ?engine:engine -> ?batch:int ->
   Model.t -> report
 (** [faults] overrides {!Fault.enumerate} (then [limit] is unused).
     [config] selects the kernel policies of every run (default
@@ -70,22 +95,26 @@ val run :
     stalling fault classifies as [Hung] instead of hanging the
     campaign.  The clean kernel golden takes the phase-compiled fast
     path when [config] permits.  [budget] bounds each fault run's wall
-    clock (seconds; overruns classify as [Hung]).  [restore] (default
-    on) enables the checkpoint fast path; it only engages under the
-    [Record] policy, where golden checkpoints are engine-independent. *)
+    clock (seconds; overruns classify as [Hung]; a batched chunk that
+    overruns falls back to budgeted per-fault kernel runs).  [restore]
+    (default on) enables the checkpoint fast path; it only engages
+    under the [Record] policy, where golden checkpoints are
+    engine-independent.  [engine] (default [`Auto]) selects the
+    batched fast path; [batch] (default 32) is the lockstep batch
+    size K — results do not depend on it. *)
 
 val run_parallel :
   ?pool:Csrtl_par.Par.t -> ?jobs:int -> ?chunks:int ->
   ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
-  ?budget:float -> ?restore:bool ->
+  ?budget:float -> ?restore:bool -> ?engine:engine -> ?batch:int ->
   Model.t -> report
 (** {!run} with the fault list sharded across a domain pool.  The
     goldens and checkpoints are computed once in the caller; each
     faulted run owns its kernel/interpreter state, so runs are
     embarrassingly parallel.  Entry order follows the fault list
     regardless of scheduling: the report is {e identical} to {!run}'s
-    — same bytes from {!pp_report} at any [jobs]/[chunks] — which the
-    determinism suite checks.  [pool] reuses an existing pool (then
+    — same bytes from {!pp_report} at any [jobs]/[chunks]/[batch] —
+    which the determinism suite checks.  [pool] reuses an existing pool (then
     [jobs] is ignored); otherwise a pool of [jobs] (default
     {!Csrtl_par.Par.default_jobs}) is created for the call; when the
     runtime cannot provide the requested domains the pool shrinks
@@ -102,7 +131,7 @@ type resume_info = {
 val run_journaled :
   ?pool:Csrtl_par.Par.t -> ?jobs:int -> ?chunks:int ->
   ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
-  ?budget:float -> ?restore:bool ->
+  ?budget:float -> ?restore:bool -> ?engine:engine -> ?batch:int ->
   journal:string -> resume:bool ->
   Model.t -> (report * resume_info, string) result
 (** {!run_parallel} with crash durability: every finished fault is
@@ -116,6 +145,15 @@ val run_journaled :
     journal losslessly.  [Error] when the journal is unreadable,
     malformed, or was written for a different campaign (model digest,
     config tag, or fault-list digest disagree). *)
+
+val run_with_stats :
+  ?pool:Csrtl_par.Par.t -> ?jobs:int -> ?chunks:int ->
+  ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
+  ?budget:float -> ?restore:bool -> ?engine:engine -> ?batch:int ->
+  Model.t -> report * batch_stats
+(** {!run_parallel}, additionally reporting how the faults were
+    dispatched — the bench harness uses the early-retirement hit rate
+    and the batched/kernel split for the C12 table. *)
 
 val outcomes_agree : outcome -> outcome -> bool
 (** Same class; [Detected] additionally requires the same localization. *)

@@ -101,6 +101,26 @@ let first_step (m : Model.t) fault =
        then first_write sink
        else 1)
 
+(* Last step the fault's mechanism can act in — the dual bound to
+   [first_step], used by the batched executor as the earliest
+   retirement boundary.  A transient tampers exactly one (step,
+   phase) resolution; an extra driver's contribution and release both
+   mature within its step (the campaign only batches compilable
+   faults, and a [cr] saboteur is not compilable); a dropped leg
+   withholds exactly its slot's contribution.  Stuck sinks and
+   latency overrides rewrite the transition function permanently, so
+   re-converged state does not imply a converged future: [cs_max]. *)
+let last_step (m : Model.t) fault =
+  let clamp s = min (max s 1) m.cs_max in
+  match fault with
+  | Stuck_sink _ | Fu_latency _ | Oscillator _ -> m.cs_max
+  | Dropped_leg { index; _ } ->
+    let legs, _ = Model.all_legs m in
+    (match List.nth_opt legs index with
+     | Some l -> clamp l.Transfer.step
+     | None -> 1)
+  | Extra_driver { step; _ } | Transient { step; _ } -> clamp step
+
 (* Deterministic stride subsample preserving enumeration order. *)
 let subsample limit l =
   if limit < 1 then

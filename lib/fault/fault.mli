@@ -55,5 +55,16 @@ val first_step : Model.t -> t -> int
     boundary.  Returns [cs_max + 1] when the fault can never act
     (e.g. a stuck bus that nothing writes). *)
 
+val last_step : Model.t -> t -> int
+(** Last control step in which the fault's mechanism can still act —
+    a {e sound upper bound}, the dual of {!first_step}.  Past this
+    boundary the faulted realization has the golden transition
+    function again, so a batched lockstep run ({!Csrtl_core.Batch})
+    whose state row has re-converged with the golden row may retire
+    the variant early.  Point faults (a transient, an extra driver, a
+    dropped leg) end at their slot's step; faults that rewrite the
+    realization permanently (stuck sinks, latency overrides,
+    oscillators) return [cs_max] — they are never retired early. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -1,0 +1,276 @@
+(* Differential lockdown of the batched lockstep executor: for every
+   compilable fault the four realizations — event kernel, interpreter,
+   per-variant compiled overlay, batched lockstep — must agree on the
+   full observation, the batched cycle prediction must equal what the
+   kernel actually ran, and a variant retired early must provably be
+   masked.  The campaign suites then lock report and journal bytes on
+   top of this. *)
+
+open Csrtl_core
+module Consist = Csrtl_verify.Consist
+module Fault = Csrtl_fault.Fault
+module Campaign = Csrtl_fault.Campaign
+
+let agree name fault a b =
+  if not (Observation.equal a b) then
+    Alcotest.failf "%s disagree on %s:@.diff: %s" name
+      (Fault.to_string fault)
+      (String.concat "; " (Observation.diff a b))
+
+let compilable_faults m =
+  List.filter
+    (fun f -> Compiled.compilable ~inject:(Fault.to_inject f) m = Ok ())
+    (Fault.enumerate m)
+
+(* One model, all its compilable faults, all four engines from step 0
+   — plus the kernel resumed from the fault's golden boundary, which
+   the batched join must reproduce byte-for-byte. *)
+let four_way (m : Model.t) =
+  let faults = compilable_faults m in
+  if faults <> [] then begin
+    let golden_compiled = Compiled.run (Compiled.of_model m) in
+    let specs =
+      List.map
+        (fun f ->
+          { Batch.inject = Fault.to_inject f; join = 0;
+            settle = Fault.last_step m f })
+        faults
+    in
+    let golden_batch, results = Batch.golden m specs in
+    agree "batch-golden/compiled-golden"
+      (List.hd faults) golden_batch golden_compiled;
+    List.iter2
+      (fun f (r : Batch.result) ->
+        let inj = Fault.to_inject f in
+        let batched =
+          match r.Batch.verdict with
+          | Batch.Finished o -> o
+          | Batch.Converged _ -> golden_batch
+        in
+        let kernel = Simulate.run_cfg ~inject:inj m in
+        agree "batch/kernel" f batched kernel.Simulate.obs;
+        agree "batch/interp" f batched (Interp.run ~inject:inj m);
+        agree "batch/compiled-overlay" f batched
+          (Compiled.run (Compiled.of_model ~inject:inj m));
+        if r.Batch.cycles <> kernel.Simulate.cycles then
+          Alcotest.failf "cycle law on %s: batch predicts %d, kernel ran %d"
+            (Fault.to_string f) r.Batch.cycles kernel.Simulate.cycles)
+      faults results
+  end
+
+(* Joined variants: batch with join at the fault's golden boundary
+   must equal the kernel resumed from the golden snapshot there. *)
+let join_parity (m : Model.t) =
+  let faults =
+    List.filter
+      (fun f -> Campaign.boundary_of_fault m f >= 1)
+      (compilable_faults m)
+  in
+  if faults <> [] then begin
+    let specs =
+      List.map
+        (fun f ->
+          { Batch.inject = Fault.to_inject f;
+            join = Campaign.boundary_of_fault m f;
+            settle = Fault.last_step m f })
+        faults
+    in
+    let golden_batch, results = Batch.golden m specs in
+    let snap_cache = Hashtbl.create 8 in
+    let snapshot b =
+      match Hashtbl.find_opt snap_cache b with
+      | Some s -> s
+      | None ->
+        let s = Simulate.snapshot_at ~step:b m in
+        Hashtbl.replace snap_cache b s;
+        s
+    in
+    List.iter2
+      (fun f (r : Batch.result) ->
+        let inj = Fault.to_inject f in
+        let b = Campaign.boundary_of_fault m f in
+        let batched =
+          match r.Batch.verdict with
+          | Batch.Finished o -> o
+          | Batch.Converged _ -> golden_batch
+        in
+        let kernel =
+          Simulate.resume ~inject:inj ~from:(snapshot (min b m.Model.cs_max)) m
+        in
+        agree "joined-batch/kernel-resume" f batched kernel.Simulate.obs;
+        if r.Batch.cycles <> kernel.Simulate.cycles then
+          Alcotest.failf
+            "resumed cycle law on %s: batch predicts %d, kernel ran %d"
+            (Fault.to_string f) r.Batch.cycles kernel.Simulate.cycles)
+      faults results
+  end
+
+(* A retired variant claims its observation equals the golden one —
+   so both engines must classify it masked. *)
+let retirement_sound (m : Model.t) =
+  let faults = compilable_faults m in
+  if faults <> [] then begin
+    let specs =
+      List.map
+        (fun f ->
+          { Batch.inject = Fault.to_inject f;
+            join = Campaign.boundary_of_fault m f;
+            settle = Fault.last_step m f })
+        faults
+    in
+    let results = Batch.run m specs in
+    List.iter2
+      (fun f (r : Batch.result) ->
+        match r.Batch.verdict with
+        | Batch.Finished _ -> ()
+        | Batch.Converged _ ->
+          let inj = Fault.to_inject f in
+          let kernel = (Simulate.run_cfg ~inject:inj m).Simulate.obs in
+          let golden = (Simulate.run_cfg m).Simulate.obs in
+          (match Campaign.classify ~golden kernel with
+           | Campaign.Masked -> ()
+           | o ->
+             Alcotest.failf "retired %s but kernel classifies %a"
+               (Fault.to_string f) Campaign.pp_outcome o))
+      faults results
+  end
+
+let test_fig1 () = four_way (Builder.fig1 ())
+let test_fig1_join () = join_parity (Builder.fig1 ())
+let test_fig1_retire () = retirement_sound (Builder.fig1 ())
+
+(* ---- campaign determinism: the batched path is invisible -------- *)
+
+let full_report_string (r : Campaign.report) =
+  Format.asprintf "%a@.%a" Campaign.pp_report r
+    (Format.pp_print_list Campaign.pp_entry)
+    r.Campaign.entries
+
+(* One reference campaign on the kernel path; every (engine, jobs,
+   batch) combination must print the same bytes. *)
+let campaign_invariance (m : Model.t) =
+  let reference = full_report_string (Campaign.run ~engine:`Kernel m) in
+  List.iter
+    (fun (engine, name) ->
+      let seq = full_report_string (Campaign.run ~engine m) in
+      if seq <> reference then
+        Alcotest.failf "sequential %s report differs from kernel path" name)
+    [ (`Auto, "auto"); (`Compiled, "compiled") ];
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun jobs ->
+          let r =
+            full_report_string
+              (Campaign.run_parallel ~jobs ~engine:`Auto ~batch m)
+          in
+          if r <> reference then
+            Alcotest.failf "report differs at jobs=%d batch=%d" jobs batch)
+        [ 1; 2 ])
+    [ 1; 8; 64 ]
+
+let test_invariance () = campaign_invariance (Builder.fig1 ())
+
+let prop_invariance =
+  QCheck.Test.make ~name:"report bytes invariant under engine/jobs/batch"
+    ~count:6
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      campaign_invariance (Consist.random_model seed);
+      true)
+
+(* An oscillator in the fault list must classify Hung on the kernel
+   path without disturbing the batched entries around it. *)
+let test_oscillator_in_batch () =
+  let m = Builder.fig1 () in
+  let faults =
+    Fault.enumerate m
+    @ [ Fault.Oscillator { sink = "B1"; step = 1; phase = Phase.Ra } ]
+  in
+  let auto = Campaign.run_parallel ~jobs:2 ~engine:`Auto ~faults m in
+  let kernel = Campaign.run_parallel ~jobs:2 ~engine:`Kernel ~faults m in
+  if full_report_string auto <> full_report_string kernel then
+    Alcotest.fail "oscillator campaign differs between engines";
+  match List.rev auto.Campaign.entries with
+  | last :: _ ->
+    (match last.Campaign.kernel_outcome with
+     | Campaign.Hung _ -> ()
+     | o ->
+       Alcotest.failf "oscillator classified %a, expected Hung"
+         Campaign.pp_outcome o)
+  | [] -> Alcotest.fail "empty campaign"
+
+(* Journals carry the same entries whichever engine computed them;
+   append order is scheduling-dependent, so compare them as the sets
+   they are (sorted lines). *)
+let test_journal_parity () =
+  let m = Builder.fig1 () in
+  let sorted_lines path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    List.sort compare (String.split_on_char '\n' s)
+  in
+  let with_tmp f =
+    let path = Filename.temp_file "csrtl_batch" ".jsonl" in
+    Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+  in
+  with_tmp @@ fun j_kernel ->
+  with_tmp @@ fun j_auto ->
+  let run ~engine journal =
+    match
+      Campaign.run_journaled ~jobs:2 ~engine ~journal ~resume:false m
+    with
+    | Ok (r, _) -> r
+    | Error e -> Alcotest.failf "journaled campaign failed: %s" e
+  in
+  let rk = run ~engine:`Kernel j_kernel in
+  let ra = run ~engine:`Auto j_auto in
+  if full_report_string ra <> full_report_string rk then
+    Alcotest.fail "journaled reports differ between engines";
+  if sorted_lines j_auto <> sorted_lines j_kernel then
+    Alcotest.fail "journal contents differ between engines"
+
+let prop_four_engines =
+  QCheck.Test.make ~name:"batch = compiled = interp = kernel under faults"
+    ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      four_way (Consist.random_model seed);
+      true)
+
+let prop_join_parity =
+  QCheck.Test.make ~name:"joined batch = kernel resumed from checkpoint"
+    ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      join_parity (Consist.random_model seed);
+      true)
+
+let prop_retirement =
+  QCheck.Test.make ~name:"early retirement only on masked faults"
+    ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      retirement_sound (Consist.random_model seed);
+      true)
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "batch"
+    [ ( "engines",
+        [ Alcotest.test_case "fig1 four-way" `Quick test_fig1;
+          Alcotest.test_case "fig1 join parity" `Quick test_fig1_join;
+          Alcotest.test_case "fig1 retirement" `Quick test_fig1_retire ] );
+      ( "campaign",
+        [ Alcotest.test_case "fig1 engine/jobs/batch invariance" `Quick
+            test_invariance;
+          Alcotest.test_case "oscillator rides the kernel path" `Quick
+            test_oscillator_in_batch;
+          Alcotest.test_case "journal parity" `Quick test_journal_parity ] );
+      qsuite "differential"
+        [ prop_four_engines; prop_join_parity; prop_retirement;
+          prop_invariance ] ]

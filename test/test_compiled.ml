@@ -56,15 +56,45 @@ let test_conflicted_model () =
 let test_compilable () =
   let m = Builder.fig1 () in
   check_bool "clean model compiles" true (Compiled.compilable m = Ok ());
-  check_bool "injection falls back" true
+  check_bool "stuck tamper compiles" true
+    (Compiled.compilable ~inject:(Inject.stuck_sink ~sink:"B1" Word.illegal) m
+     = Ok ());
+  check_bool "oscillator falls back" true
     (Result.is_error
        (Compiled.compilable
-          ~inject:(Inject.stuck_sink ~sink:"B1" Word.illegal) m));
+          ~inject:(Inject.oscillator ~sink:"B1" ~step:1 ~phase:Phase.Ra) m));
+  check_bool "wb saboteur compiles" true
+    (Compiled.compilable
+       ~inject:
+         (Inject.extra_driver ~sink:"B1" ~step:1 ~phase:Phase.Wb (Word.one))
+       m
+     = Ok ());
+  check_bool "cr saboteur falls back" true
+    (Result.is_error
+       (Compiled.compilable
+          ~inject:
+            { Inject.none with
+              Inject.saboteurs =
+                [ { Inject.sab_sink = "B1"; sab_step = 1;
+                    sab_phase = Phase.Cr; sab_value = Word.one } ] }
+          m));
   check_bool "Degrade falls back" true
     (Result.is_error
        (Compiled.compilable
           ~config:{ Simulate.default with on_illegal = Simulate.Degrade }
-          m))
+          m));
+  (* every blocker is reported, "; "-joined *)
+  match
+    Compiled.compilable
+      ~inject:(Inject.oscillator ~sink:"B1" ~step:1 ~phase:Phase.Ra)
+      ~config:{ Simulate.default with on_illegal = Simulate.Halt }
+      m
+  with
+  | Ok () -> Alcotest.fail "two blockers accepted"
+  | Error why ->
+    check_bool "all blockers listed" true
+      (String.length why > 0
+       && String.index_opt why ';' <> None)
 
 (* The load-bearing property: 500+ random models, every fourth with a
    deliberate conflict, must agree across all three engines.  Seeds
