@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check bench bench-smoke bench-json report examples doc clean
+.PHONY: all build test check fuzz-smoke bench bench-smoke bench-json report examples doc clean
 
 all: build
 
@@ -12,16 +12,16 @@ test:
 
 # Full sanity pass: build everything, run the test suites with
 # backtraces on, then sweep the corpus through the CLI validators.
-# `csrtl check` exits 2 on a model whose schedule conflicts
-# (conflict.rtm does, by design), so both 0 and 2 count as a clean
+# `csrtl check` exits 1 on a model whose schedule conflicts
+# (conflict.rtm does, by design), so both 0 and 1 count as a clean
 # diagnosis here; any other exit fails.  The closing inject run shards
 # across two domains, smoking the worker pool end to end.
-check: build
+check: build fuzz-smoke
 	OCAMLRUNPARAM=b dune runtest
 	@mkdir -p _build/check
 	@for f in test/corpus/*.rtm; do \
 	  dune exec --no-build csrtl -- check $$f > /dev/null 2>&1; rc=$$?; \
-	  if [ $$rc -ne 0 ] && [ $$rc -ne 2 ]; then \
+	  if [ $$rc -ne 0 ] && [ $$rc -ne 1 ]; then \
 	    echo "check FAILED ($$rc): $$f"; exit 1; fi; \
 	  dune exec --no-build csrtl -- export-vhdl $$f \
 	    -o _build/check/$$(basename $$f .rtm).vhd > /dev/null; \
@@ -69,6 +69,14 @@ check: build
 	@dune exec --no-build bench/main.exe -- json-check \
 	  _build/check/BENCH_batch.json
 	@echo "make check: all corpus models validated"
+
+# Deterministic fuzz pass over the untrusted-input frontier (VHDL,
+# .rtm, .alg): a fixed seed, so the run is reproducible everywhere;
+# any escaped exception fails the build and leaves a shrunk
+# reproducer under _build/fuzz/.
+fuzz-smoke: build
+	@dune exec --no-build csrtl -- fuzz --seed 42 --runs 2000 \
+	  --out _build/fuzz
 
 bench:
 	dune exec bench/main.exe

@@ -6,35 +6,95 @@
 
 open Cmdliner
 module C = Csrtl_core
+module Diag = Csrtl_diag.Diag
+
+(* Exit-code contract (docs/DIAGNOSTICS.md): 0 success, 1 findings or
+   a verification failure, 2 bad input (diagnostics on stderr), 3
+   internal bug.  `inject` additionally keeps its documented
+   fault-classification codes. *)
+
+let exit_findings = 1
+let exit_bad_input = 2
+let exit_bug = 3
+
+let die_diags ?source diags =
+  prerr_string (Diag.render_all ?source diags);
+  exit exit_bad_input
+
+let die2 fmt =
+  Format.kasprintf
+    (fun m ->
+      Format.eprintf "error: %s@." m;
+      exit exit_bad_input)
+    fmt
+
+let warn_diags ?source diags =
+  if diags <> [] then prerr_string (Diag.render_all ?source diags)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  text
 
 let load_model path =
+  let text = read_file path in
   if Filename.check_suffix path ".vhd" || Filename.check_suffix path ".vhdl"
-  then begin
-    let ic = open_in path in
-    let text = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    Csrtl_vhdl.Extract.model_of_string text
-  end
-  else C.Rtm.of_file path
+  then
+    match Csrtl_vhdl.Extract.model_of_string_diag ~file:path text with
+    | Ok (m, warns) ->
+      warn_diags ~source:text warns;
+      m
+    | Error diags -> die_diags ~source:text diags
+  else
+    match C.Rtm.parse ~file:path text with
+    | Ok (m, warns) ->
+      warn_diags ~source:text warns;
+      m
+    | Error diags -> die_diags ~source:text diags
 
 let model_arg =
   let doc = "Model file (.rtm, or .vhd/.vhdl emitted by export-vhdl)." in
   Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc)
 
+let contains_bug_marker msg =
+  let n = String.length msg in
+  let rec go i = i + 4 <= n && (String.sub msg i 4 = "Bug:" || go (i + 1)) in
+  go 0
+
 let handle_errors f =
   try f () with
   | C.Rtm.Parse_error (line, msg) ->
-    Format.eprintf "parse error at line %d: %s@." line msg;
-    exit 1
-  | Csrtl_vhdl.Extract.Extract_error msg ->
-    Format.eprintf "VHDL extraction failed: %s@." msg;
-    exit 1
+    Format.eprintf "error[rtm.parse]: line %d: %s@." line msg;
+    exit exit_bad_input
+  | Csrtl_vhdl.Lexer.Lex_error (line, msg) ->
+    Format.eprintf "error[vhdl.lex]: line %d: %s@." line msg;
+    exit exit_bad_input
   | Csrtl_vhdl.Parser.Parse_error (line, msg) ->
-    Format.eprintf "VHDL parse error at line %d: %s@." line msg;
-    exit 1
-  | Invalid_argument msg ->
-    Format.eprintf "invalid model: %s@." msg;
-    exit 1
+    Format.eprintf "error[vhdl.syntax]: line %d: %s@." line msg;
+    exit exit_bad_input
+  | Csrtl_vhdl.Extract.Extract_error msg ->
+    Format.eprintf "error[vhdl.extract]: %s@." msg;
+    exit exit_bad_input
+  | Csrtl_vhdl.Elab.Elab_error msg ->
+    Format.eprintf "error[vhdl.elab]: %s@." msg;
+    exit exit_bad_input
+  | Csrtl_hls.Parse.Parse_error (line, msg) ->
+    Format.eprintf "error[alg.parse]: line %d: %s@." line msg;
+    exit exit_bad_input
+  | Csrtl_clocked.Lower.Lowering_error msg ->
+    Format.eprintf "error[lower]: %s@." msg;
+    exit exit_bad_input
+  | Invalid_argument msg when not (contains_bug_marker msg) ->
+    Format.eprintf "error[model.validate]: %s@." msg;
+    exit exit_bad_input
+  | Sys_error msg ->
+    Format.eprintf "error: %s@." msg;
+    exit exit_bad_input
+  | e ->
+    Format.eprintf "internal error (a bug, please report): %s@."
+      (Printexc.to_string e);
+    exit exit_bug
 
 (* -- sim ------------------------------------------------------------------ *)
 
@@ -96,7 +156,7 @@ let sim_cmd =
          | Some _, Some _ ->
            Format.eprintf
              "--snapshot-at and --from-snapshot are mutually exclusive@.";
-           exit 1
+           exit exit_bad_input
          | _ -> ());
         (match snapshot_at with
          | Some s when s < 0 || s > m.C.Model.cs_max ->
@@ -104,7 +164,7 @@ let sim_cmd =
              "--snapshot-at must be a boundary between 0 and cs_max = %d \
               (got %d)@."
              m.C.Model.cs_max s;
-           exit 1
+           exit exit_bad_input
          | _ -> ());
         let resume_from =
           match from_snapshot with
@@ -117,10 +177,10 @@ let sim_cmd =
                 | Error msg ->
                   Format.eprintf "snapshot %s does not fit %s: %s@." file
                     m.C.Model.name msg;
-                  exit 1)
+                  exit exit_bad_input)
              | Error msg ->
                Format.eprintf "cannot load snapshot %s: %s@." file msg;
-               exit 1)
+               exit exit_bad_input)
         in
         let emit_snapshot snap =
           match snapshot_out with
@@ -171,7 +231,7 @@ let sim_cmd =
              if stats then
                Format.printf "%a@." C.Compiled.pp_stats
                  (C.Compiled.last_stats plan);
-             if C.Observation.has_conflict obs then exit 2)
+             if C.Observation.has_conflict obs then exit exit_findings)
         | `Interp ->
           (match snapshot_at with
            | Some step -> emit_snapshot (C.Interp.snapshot_at ~step m)
@@ -185,7 +245,7 @@ let sim_cmd =
              in
              Format.printf "%a@." C.Observation.pp obs;
              if wave then Format.printf "@.%s@." (C.Waveform.render obs);
-             if C.Observation.has_conflict obs then exit 2)
+             if C.Observation.has_conflict obs then exit exit_findings)
         | `Kernel ->
           (match snapshot_at with
            | Some step -> emit_snapshot (C.Simulate.snapshot_at ~step m)
@@ -222,7 +282,7 @@ let sim_cmd =
              if stats then
                Format.printf "%a@." Csrtl_kernel.Scheduler.pp_stats
                  r.C.Simulate.stats;
-             if C.Observation.has_conflict r.C.Simulate.obs then exit 2))
+             if C.Observation.has_conflict r.C.Simulate.obs then exit exit_findings))
   in
   let doc = "Simulate a clock-free model and print the observation." in
   Cmd.v (Cmd.info "sim" ~doc)
@@ -247,7 +307,7 @@ let check_cmd =
           Format.printf "%s: ok (%d transfers, cs_max %d)@." m.C.Model.name
             (List.length m.C.Model.transfers)
             m.C.Model.cs_max
-        else exit 2)
+        else exit exit_findings)
   in
   let doc = "Validate a model and report static resource conflicts." in
   Cmd.v (Cmd.info "check" ~doc) Term.(const run $ model_arg)
@@ -320,8 +380,8 @@ let run_vhdl_cmd =
         close_in ic;
         match Csrtl_vhdl.Elab.elaborate_and_run ~top text with
         | Error msg ->
-          Format.eprintf "%s@." msg;
-          exit 1
+          Format.eprintf "error[vhdl.elab]: %s@." msg;
+          exit exit_bad_input
         | Ok t ->
           Format.printf "simulation cycles: %d@."
             (Csrtl_kernel.Scheduler.delta_count t.Csrtl_vhdl.Elab.kernel);
@@ -337,7 +397,7 @@ let run_vhdl_cmd =
            | [] -> Format.printf "assertions: all passed@."
            | fs ->
              List.iter (Format.printf "assertion failed: %s@.") fs;
-             exit 2))
+             exit exit_findings))
   in
   let doc =
     "Elaborate and execute a subset VHDL design directly (interpreted      processes, parsed resolution functions, assertions)."
@@ -348,25 +408,34 @@ let run_vhdl_cmd =
 (* -- lint ------------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run path =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit findings as a JSON array on stdout instead of text.")
+  in
+  let run path json =
     handle_errors (fun () ->
-        let ic = open_in path in
-        let text = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        match Csrtl_vhdl.Lint.check_source text with
-        | Error msg ->
-          Format.printf "outside the subset grammar: %s@." msg;
-          exit 2
-        | Ok findings ->
+        let text = read_file path in
+        let findings, parse_diags =
+          Csrtl_vhdl.Lint.check_source_diags ~file:path text
+        in
+        if Diag.has_errors parse_diags then
+          die_diags ~source:text parse_diags;
+        warn_diags ~source:text parse_diags;
+        if json then
+          print_endline
+            (Diag.list_to_json (List.map Csrtl_vhdl.Lint.to_diag findings))
+        else
           List.iter
             (fun f -> Format.printf "%a@." Csrtl_vhdl.Lint.pp_finding f)
             findings;
-          if Csrtl_vhdl.Lint.conformant findings then
-            Format.printf "%s conforms to the clock-free RT subset@." path
-          else exit 2)
+        if Csrtl_vhdl.Lint.conformant findings then (
+          if not json then
+            Format.printf "%s conforms to the clock-free RT subset@." path)
+        else exit exit_findings)
   in
   let doc = "Check a VHDL file against the clock-free RT subset rules." in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ model_arg)
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ model_arg $ json)
 
 (* -- lower ----------------------------------------------------------------- *)
 
@@ -410,7 +479,7 @@ let lower_cmd =
               Format.printf "MISMATCH %a@." Csrtl_clocked.Equiv.pp_mismatch
                 mm)
             ms;
-          exit 2)
+          exit exit_findings)
   in
   let doc =
     "Lower a model to a clocked netlist and check per-step equivalence."
@@ -440,21 +509,26 @@ let hls_cmd =
   in
   let run name alus mults buses scheduler out =
     handle_errors (fun () ->
+        let tap n =
+          match int_of_string_opt n with
+          | Some v when v > 0 -> v
+          | _ -> die2 "%s: tap count must be a positive integer" name
+        in
         let program =
-          if Filename.check_suffix name ".alg" then
-            try Csrtl_hls.Parse.program_of_file name
-            with Csrtl_hls.Parse.Parse_error (line, msg) ->
-              Format.eprintf "%s:%d: %s@." name line msg;
-              exit 1
+          if Filename.check_suffix name ".alg" then (
+            let text = read_file name in
+            match Csrtl_hls.Parse.parse ~file:name text with
+            | Ok (p, warns) ->
+              warn_diags ~source:text warns;
+              p
+            | Error diags -> die_diags ~source:text diags)
           else
             match String.split_on_char ':' name with
             | [ "diffeq" ] -> Csrtl_hls.Examples.diffeq
-            | [ "fir"; n ] -> Csrtl_hls.Examples.fir (int_of_string n)
-            | [ "horner"; n ] -> Csrtl_hls.Examples.horner (int_of_string n)
+            | [ "fir"; n ] -> Csrtl_hls.Examples.fir (tap n)
+            | [ "horner"; n ] -> Csrtl_hls.Examples.horner (tap n)
             | [ "fft4" ] -> Csrtl_hls.Examples.fft4
-            | _ ->
-              Format.eprintf "unknown program %s@." name;
-              exit 1
+            | _ -> die2 "unknown program %s" name
         in
         let resources =
           Csrtl_hls.Sched.default_resources ~alus ~mults ~buses ()
@@ -497,7 +571,7 @@ let iks_cmd =
     in
     if not s.Csrtl_iks.Golden.reachable then begin
       Format.printf "target out of reach@.";
-      exit 2
+      exit exit_findings
     end;
     Format.printf "theta1 = %s rad@."
       (Csrtl_iks.Fixed.to_string s.Csrtl_iks.Golden.theta1);
@@ -663,7 +737,7 @@ let selfcheck_cmd =
           | exception Csrtl_clocked.Lower.Lowering_error msg ->
             say "symbolic lowering proof" false msg
         end;
-        if not !ok then exit 2)
+        if not !ok then exit exit_findings)
   in
   let doc =
     "Run the full validation loop on a model: both simulators, the      delta-cycle law, VHDL round trips (lint, extract, interpreted      self-checking execution), and the clocked lowering with its      symbolic proof."
@@ -773,28 +847,28 @@ let inject_cmd =
         (match limit with
          | Some k when k < 1 ->
            Format.eprintf "--limit must be at least 1 (got %d)@." k;
-           exit 1
+           exit exit_bad_input
          | _ -> ());
         if batch < 1 then begin
           Format.eprintf "--batch must be at least 1 (got %d)@." batch;
-          exit 1
+          exit exit_bad_input
         end;
         (match jobs with
          | Some j when j < 0 ->
            Format.eprintf "--jobs must be at least 0 (got %d)@." j;
-           exit 1
+           exit exit_bad_input
          | _ -> ());
         (match budget with
          | Some b when b <= 0. ->
            Format.eprintf "--budget must be positive (got %g)@." b;
-           exit 1
+           exit exit_bad_input
          | _ -> ());
         (match journal, resume with
          | Some _, Some _ ->
            Format.eprintf
              "--journal and --resume are mutually exclusive (--resume \
               already names the journal)@.";
-           exit 1
+           exit exit_bad_input
          | _ -> ());
         let m = load_model path in
         C.Model.validate_exn m;
@@ -829,7 +903,7 @@ let inject_cmd =
              | None ->
                Format.eprintf "no fault #%d (the model enumerates %d)@." n
                  (List.length faults);
-               exit 1
+               exit exit_bad_input
              | Some f ->
                diagnose_fallbacks [ f ];
                let r =
@@ -894,7 +968,7 @@ let inject_cmd =
                    r
                  | Error msg ->
                    Format.eprintf "%s@." msg;
-                   exit 1)
+                   exit exit_bad_input)
             in
             if table then
               List.iter
@@ -928,6 +1002,72 @@ let inject_cmd =
 
 (* -- info -------------------------------------------------------------------- *)
 
+(* -- fuzz -------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let module F = Csrtl_fuzz.Fuzz in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"PRNG seed; the whole run is a pure function of it.")
+  in
+  let runs =
+    Arg.(value & opt int 2000
+         & info [ "runs" ] ~docv:"N" ~doc:"Number of inputs to execute.")
+  in
+  let targets =
+    let doc =
+      "Frontier to fuzz: $(b,vhdl), $(b,rtm) or $(b,alg) (repeatable; \
+       default all three)."
+    in
+    Arg.(value & opt_all string [] & info [ "target" ] ~docv:"TARGET" ~doc)
+  in
+  let out_dir =
+    Arg.(value & opt string "_build/fuzz"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory for shrunk crash reproducers.")
+  in
+  let budget =
+    Arg.(value & opt float 5.0
+         & info [ "budget" ] ~docv:"SECONDS"
+             ~doc:"Supervision bound per input; exceeding it counts as a \
+                   crash.")
+  in
+  let run seed runs targets out_dir budget =
+    handle_errors (fun () ->
+        if runs < 1 then die2 "--runs must be at least 1 (got %d)" runs;
+        if budget <= 0. then
+          die2 "--budget must be positive (got %g)" budget;
+        let targets =
+          match targets with
+          | [] -> F.all_targets
+          | names ->
+            List.map
+              (fun n ->
+                match F.target_of_string n with
+                | Some t -> t
+                | None -> die2 "unknown fuzz target %s (vhdl|rtm|alg)" n)
+              names
+        in
+        let progress done_ crashes =
+          Format.eprintf "fuzz: %d/%d inputs, %d distinct crash(es)@." done_
+            runs crashes
+        in
+        let report =
+          F.run ~budget ~out_dir ~progress ~seed ~runs targets
+        in
+        Format.printf "%a@." F.pp_report report;
+        if report.F.crashes <> [] then exit exit_findings)
+  in
+  let doc =
+    "Deterministically fuzz the untrusted-input frontier (parsers, \
+     validation, one bounded simulation step).  Any escaped exception is \
+     a bug: the input is shrunk, written under $(b,--out), and the exit \
+     code is 1."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ seed $ runs $ targets $ out_dir $ budget)
+
 let info_cmd =
   let run path =
     handle_errors (fun () ->
@@ -957,4 +1097,4 @@ let () =
           [ sim_cmd; check_cmd; export_cmd; import_cmd; lint_cmd;
             run_vhdl_cmd; lower_cmd; compact_cmd; trace_cmd; coverage_cmd;
             selfcheck_cmd; hls_cmd; iks_cmd; dot_cmd; inject_cmd;
-            info_cmd ]))
+            fuzz_cmd; info_cmd ]))

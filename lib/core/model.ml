@@ -207,6 +207,35 @@ let validate_exn m =
     invalid_arg
       (Printf.sprintf "model %s: %s" m.name (String.concat "; " msgs))
 
+let error_to_diag m (e : error) =
+  let module Diag = Csrtl_diag.Diag in
+  let where =
+    match e.transfer with
+    | None -> m.name
+    | Some t -> Printf.sprintf "%s transfer via %s" m.name t.Transfer.fu
+  in
+  Diag.error ~rule:"model.validate" "%s: %s" where e.message
+
+let check_limits ?(limits = Csrtl_diag.Diag.Limits.default) m =
+  let module Diag = Csrtl_diag.Diag in
+  let out = ref [] in
+  let cap what count cap =
+    if count > cap then
+      out :=
+        Diag.error ~rule:"limits.model" "model %s: %d %s exceed the limit %d"
+          m.name count what cap
+        :: !out
+  in
+  cap "registers" (List.length m.registers) limits.Diag.Limits.max_registers;
+  cap "units" (List.length m.fus) limits.Diag.Limits.max_fus;
+  cap "buses" (List.length m.buses) limits.Diag.Limits.max_buses;
+  cap "control steps" m.cs_max limits.Diag.Limits.max_steps;
+  cap "transfers" (List.length m.transfers) limits.Diag.Limits.max_transfers;
+  List.rev !out
+
+let validate_diags ?limits m =
+  check_limits ?limits m @ List.map (error_to_diag m) (validate m)
+
 let all_legs m =
   let legs, selects =
     List.fold_left

@@ -79,6 +79,22 @@ val validate_exn : t -> unit
 (** Raises [Invalid_argument] with all messages if {!validate} is
     nonempty. *)
 
+val error_to_diag : t -> error -> Csrtl_diag.Diag.t
+(** A validation error in the shared diagnostic type (rule
+    [model.validate]); the message names the model and, for tuple
+    errors, the transfer's unit. *)
+
+val check_limits :
+  ?limits:Csrtl_diag.Diag.Limits.t -> t -> Csrtl_diag.Diag.t list
+(** Resource-guard check of the elaborated size — registers, units,
+    buses, control steps, transfers — against the caps (rule
+    [limits.model]).  Empty when the model is within bounds. *)
+
+val validate_diags :
+  ?limits:Csrtl_diag.Diag.Limits.t -> t -> Csrtl_diag.Diag.t list
+(** {!check_limits} followed by {!validate}, all as diagnostics; the
+    no-crash entry point for untrusted models. *)
+
 val all_legs : t -> Transfer.leg list * Transfer.op_select list
 (** Decomposition of every transfer, with operation defaults filled
     in from the units. *)

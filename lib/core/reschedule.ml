@@ -295,7 +295,7 @@ let compact (m : Model.t) =
    | cs ->
      invalid_arg
        (Printf.sprintf
-          "Reschedule.compact: internal error, produced a conflict (%s)"
+          "Bug: Reschedule.compact produced a conflict (%s)"
           (Conflict.to_string (List.hd cs))));
   m'
 

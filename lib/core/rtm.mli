@@ -24,9 +24,22 @@
 exception Parse_error of int * string
 (** Line number (1-based) and message. *)
 
+val parse :
+  ?limits:Csrtl_diag.Diag.Limits.t -> ?file:string -> string ->
+  (Model.t * Csrtl_diag.Diag.t list, Csrtl_diag.Diag.t list) result
+(** Total multi-error parse for untrusted input: never raises; each
+    broken line yields one located diagnostic (rule [rtm.parse]) and
+    parsing continues on the next line, so one pass reports them all.
+    Resource guards cap input bytes, declared resources, steps and
+    transfers (rules [limits.input-bytes], [limits.model]).  [Ok]
+    carries any non-fatal diagnostics; the model is {e not} validated
+    (use {!Model.validate_diags}). *)
+
 val of_string : string -> Model.t
 (** Parse; the result is {e not} validated (use {!Model.validate} so
-    tools can report conflicts in invalid files). *)
+    tools can report conflicts in invalid files).  Raises
+    {!Parse_error} with the first diagnostic; prefer {!parse} on
+    untrusted input. *)
 
 val of_file : string -> Model.t
 

@@ -1,0 +1,186 @@
+type severity = Error | Warning | Note
+
+type span = {
+  file : string option;
+  line : int;
+  col : int;
+  len : int;
+}
+
+type t = {
+  severity : severity;
+  rule : string;
+  span : span option;
+  message : string;
+}
+
+type diag = t
+
+let span ?file ?(len = 1) ~line ~col () =
+  { file; line = max 1 line; col = max 1 col; len = max 1 len }
+
+let make severity ?span ~rule fmt =
+  Format.kasprintf (fun message -> { severity; rule; span; message }) fmt
+
+let error ?span ~rule fmt = make Error ?span ~rule fmt
+let warning ?span ~rule fmt = make Warning ?span ~rule fmt
+let note ?span ~rule fmt = make Note ?span ~rule fmt
+
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Note -> 2
+
+let by_position a b =
+  let key d =
+    match d.span with
+    | None -> ("", max_int, max_int)
+    | Some s -> ((match s.file with None -> "" | Some f -> f), s.line, s.col)
+  in
+  let c = compare (key a) (key b) in
+  if c <> 0 then c
+  else
+    let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+    if c <> 0 then c else compare a.rule b.rule
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let pp ppf d =
+  (match d.span with
+   | Some s ->
+     (match s.file with
+      | Some f -> Format.fprintf ppf "%s:%d:%d: " f s.line s.col
+      | None -> Format.fprintf ppf "%d:%d: " s.line s.col)
+   | None -> ());
+  Format.fprintf ppf "%s[%s]: %s" (severity_to_string d.severity) d.rule
+    d.message
+
+(* The offending source line, windowed and sanitized, with a caret
+   marker.  Bytes outside printable ASCII become '.' so arbitrary
+   input cannot smuggle control sequences into the terminal. *)
+let snippet source s =
+  let lines = String.split_on_char '\n' source in
+  match List.nth_opt lines (s.line - 1) with
+  | None -> None
+  | Some raw ->
+    let raw =
+      String.map (fun c -> if c >= ' ' && c <= '~' then c else '.') raw
+    in
+    let width = 72 in
+    let n = String.length raw in
+    let col0 = s.col - 1 in
+    if col0 > n then None
+    else begin
+      let start = if col0 <= width - 8 then 0 else col0 - (width - 8) in
+      let visible = min (n - start) width in
+      let text = String.sub raw start visible in
+      let prefix = if start > 0 then "..." else "" in
+      let suffix = if start + visible < n then "..." else "" in
+      let caret_col = String.length prefix + (col0 - start) in
+      let caret_len = max 1 (min s.len (width - (col0 - start))) in
+      Some
+        (Printf.sprintf "  %s%s%s\n  %s%s" prefix text suffix
+           (String.make caret_col ' ')
+           (String.make caret_len '^'))
+    end
+
+let render ?source d =
+  let head = Format.asprintf "%a" pp d in
+  match source, d.span with
+  | Some src, Some s ->
+    (match snippet src s with
+     | Some snip -> head ^ "\n" ^ snip
+     | None -> head)
+  | _ -> head
+
+let render_all ?source ds =
+  let ds = List.stable_sort by_position ds in
+  String.concat "" (List.map (fun d -> render ?source d ^ "\n") ds)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when c < ' ' || c >= '\127' ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"severity\":\"%s\",\"rule\":\"%s\""
+       (severity_to_string d.severity)
+       (json_escape d.rule));
+  (match d.span with
+   | None -> ()
+   | Some s ->
+     (match s.file with
+      | Some f ->
+        Buffer.add_string buf
+          (Printf.sprintf ",\"file\":\"%s\"" (json_escape f))
+      | None -> ());
+     Buffer.add_string buf
+       (Printf.sprintf ",\"line\":%d,\"col\":%d,\"len\":%d" s.line s.col
+          s.len));
+  Buffer.add_string buf
+    (Printf.sprintf ",\"message\":\"%s\"}" (json_escape d.message));
+  Buffer.contents buf
+
+let list_to_json ds =
+  let ds = List.stable_sort by_position ds in
+  "[" ^ String.concat "," (List.map to_json ds) ^ "]"
+
+let exit_code ds = if has_errors ds then 2 else 0
+
+module Limits = struct
+  type t = {
+    max_input_bytes : int;
+    max_tokens : int;
+    max_nesting : int;
+    max_registers : int;
+    max_fus : int;
+    max_buses : int;
+    max_steps : int;
+    max_transfers : int;
+  }
+
+  let default =
+    { max_input_bytes = 8 * 1024 * 1024;
+      max_tokens = 1_000_000;
+      max_nesting = 200;
+      max_registers = 4_096;
+      max_fus = 4_096;
+      max_buses = 4_096;
+      max_steps = 1_000_000;
+      max_transfers = 100_000 }
+
+  let unlimited =
+    { max_input_bytes = max_int;
+      max_tokens = max_int;
+      max_nesting = max_int;
+      max_registers = max_int;
+      max_fus = max_int;
+      max_buses = max_int;
+      max_steps = max_int;
+      max_transfers = max_int }
+
+  let check_input_bytes ?file t src =
+    if String.length src > t.max_input_bytes then
+      Some
+        (error
+           ~span:(span ?file ~line:1 ~col:1 ())
+           ~rule:"limits.input-bytes"
+           "input is %d bytes; the limit is %d" (String.length src)
+           t.max_input_bytes)
+    else None
+end

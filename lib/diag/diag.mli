@@ -1,0 +1,97 @@
+(** Structured diagnostics for every untrusted entry point.
+
+    The parse / lint / elaborate pipeline is the trust boundary of the
+    whole system: a description is valid exactly when it stays inside
+    the paper's subset, so hostile or merely broken text must come
+    back as {e located, structured findings} — never as an escaped
+    exception, an OOM or a stack overflow.  Every frontend (VHDL
+    lexer/parser, [.rtm] reader, [.alg] reader, model validation)
+    reports through this one type; the CLI renders the list to stderr
+    in one format and maps it to one exit-code contract (see
+    [docs/DIAGNOSTICS.md]).
+
+    Internal invariants keep their exceptions, but with [Bug:]-prefixed
+    messages: an escaped exception is a defect of this repository, not
+    of the input. *)
+
+type severity = Error | Warning | Note
+
+type span = {
+  file : string option;  (** source path, when known *)
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based column of the first offending byte *)
+  len : int;  (** bytes the caret underlines; at least 1 *)
+}
+
+type t = {
+  severity : severity;
+  rule : string;  (** stable machine-readable id, e.g. ["vhdl.syntax"] *)
+  span : span option;  (** [None] only for whole-file findings *)
+  message : string;
+}
+
+type diag = t
+
+val span : ?file:string -> ?len:int -> line:int -> col:int -> unit -> span
+
+val error : ?span:span -> rule:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+val warning : ?span:span -> rule:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+val note : ?span:span -> rule:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val has_errors : t list -> bool
+(** Any [Error]-severity entry. *)
+
+val by_position : t -> t -> int
+(** Source order: (file, line, col), then severity, then rule. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [file:line:col: error[rule]: message]. *)
+
+val render : ?source:string -> t -> string
+(** {!pp}, plus — when [source] is the original text and the span is
+    in range — the offending source line with a caret marker under the
+    span.  Tab-safe; long lines are windowed around the span; bytes
+    outside printable ASCII are shown as [.] so non-UTF8 input cannot
+    corrupt the terminal. *)
+
+val render_all : ?source:string -> t list -> string
+(** Every diagnostic through {!render}, in {!by_position} order,
+    newline-separated (trailing newline included when nonempty). *)
+
+val to_json : t -> string
+(** One-object JSON encoding (hand-rolled, no dependencies):
+    [{"severity":"error","rule":"...","file":...,"line":N,"col":N,
+    "len":N,"message":"..."}]. *)
+
+val list_to_json : t list -> string
+(** JSON array of {!to_json} objects, in {!by_position} order. *)
+
+val exit_code : t list -> int
+(** The CLI contract for a frontend result: [2] when the list has
+    errors (bad input), [0] otherwise. *)
+
+(** {1 Resource guards}
+
+    Configurable caps applied {e at} the boundary, so oversized or
+    adversarial inputs surface as diagnostics instead of OOM or stack
+    overflow.  A cap of [max_int] disables the guard. *)
+
+module Limits : sig
+  type t = {
+    max_input_bytes : int;  (** bytes of source text accepted *)
+    max_tokens : int;  (** tokens a lexer will produce *)
+    max_nesting : int;  (** parser recursion depth (parens, if/for) *)
+    max_registers : int;
+    max_fus : int;
+    max_buses : int;
+    max_steps : int;  (** elaborated [cs_max] *)
+    max_transfers : int;
+  }
+
+  val default : t
+  val unlimited : t
+
+  val check_input_bytes : ?file:string -> t -> string -> diag option
+  (** [Some] error diagnostic (rule [limits.input-bytes]) when the
+      text exceeds [max_input_bytes]. *)
+end

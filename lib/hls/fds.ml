@@ -236,7 +236,7 @@ let rec schedule_internal ?horizon ?(auto_extend = false)
     in
     (match Sched.verify { sched with Sched.resources } with
      | Ok () -> ()
-     | Error es -> fail "internal: %s" (String.concat "; " es));
+     | Error es -> fail "Bug: FDS emitted an unverifiable schedule: %s" (String.concat "; " es));
     ({ sched with Sched.resources }, resources)
     with Infeasible _ as e ->
       (match retry () with Some result -> result | None -> raise e)

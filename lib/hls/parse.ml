@@ -1,9 +1,14 @@
 module C = Csrtl_core
+module Diag = Csrtl_diag.Diag
 
 exception Parse_error of int * string
 
-let fail line fmt =
-  Format.kasprintf (fun m -> raise (Parse_error (line, m))) fmt
+(* Internal: column + length + message; the drivers turn it into a
+   located diagnostic (diagnostic parse) or a {!Parse_error}. *)
+exception Line_error of int * int * string
+
+let err_at ?(len = 1) col fmt =
+  Format.kasprintf (fun m -> raise (Line_error (col, len, m))) fmt
 
 (* -- tokenizer (per line) ------------------------------------------------- *)
 
@@ -15,7 +20,8 @@ type token =
   | Tlparen | Trparen | Tcomma
   | Tassign
 
-let tokenize line_no s =
+(* Tokens with their 1-based starting column. *)
+let tokenize s =
   let n = String.length s in
   let out = ref [] in
   let i = ref 0 in
@@ -23,44 +29,51 @@ let tokenize line_no s =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
     || (c >= '0' && c <= '9') || c = '_'
   in
+  let emit start t = out := (t, start + 1) :: !out in
   while !i < n do
     let c = s.[!i] in
-    if c = ' ' || c = '\t' then incr i
+    if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '#' then i := n
     else if c >= '0' && c <= '9' then begin
       let start = !i in
       while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
         incr i
       done;
-      out := Tnum (int_of_string (String.sub s start (!i - start))) :: !out
+      let text = String.sub s start (!i - start) in
+      match int_of_string_opt text with
+      | Some v -> emit start (Tnum v)
+      | None ->
+        err_at ~len:(!i - start) (start + 1)
+          "number literal %s does not fit a machine int" text
     end
     else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
       let start = !i in
       while !i < n && is_id s.[!i] do
         incr i
       done;
-      out := Tid (String.sub s start (!i - start)) :: !out
+      emit start (Tid (String.sub s start (!i - start)))
     end
     else begin
       let two = if !i + 1 < n then Some (String.sub s !i 2) else None in
+      let start = !i in
       match two with
       | Some "<s" ->
-        out := Tlts :: !out;
+        emit start Tlts;
         i := !i + 2
       | Some "==" ->
-        out := Teq_eq :: !out;
+        emit start Teq_eq;
         i := !i + 2
       | _ ->
         (match c with
-         | '+' -> out := Tplus :: !out
-         | '-' -> out := Tminus :: !out
-         | '*' -> out := Tstar :: !out
-         | '<' -> out := Tlt :: !out
-         | '(' -> out := Tlparen :: !out
-         | ')' -> out := Trparen :: !out
-         | ',' -> out := Tcomma :: !out
-         | '=' -> out := Tassign :: !out
-         | _ -> fail line_no "unexpected character %C" c);
+         | '+' -> emit start Tplus
+         | '-' -> emit start Tminus
+         | '*' -> emit start Tstar
+         | '<' -> emit start Tlt
+         | '(' -> emit start Tlparen
+         | ')' -> emit start Trparen
+         | ',' -> emit start Tcomma
+         | '=' -> emit start Tassign
+         | _ -> err_at (start + 1) "unexpected character %C" c);
         incr i
     end
   done;
@@ -76,19 +89,22 @@ let named_ops =
     ("asr", (C.Ops.Asr, 2)); ("pass", (C.Ops.Pass, 1));
     ("not", (C.Ops.Bnot, 1)); ("neg", (C.Ops.Neg, 1)) ]
 
-type pstate = { line : int; mutable toks : token list }
+type pstate = { mutable toks : (token * int) list; mutable last_col : int }
 
-let peek st = match st.toks with [] -> None | t :: _ -> Some t
+let peek st = match st.toks with [] -> None | (t, _) :: _ -> Some t
+
+let fail st fmt = err_at st.last_col fmt
 
 let advance st =
   match st.toks with
-  | [] -> fail st.line "unexpected end of line"
-  | t :: rest ->
+  | [] -> err_at (st.last_col + 1) "unexpected end of line"
+  | (t, c) :: rest ->
     st.toks <- rest;
+    st.last_col <- c;
     t
 
 let expect st t what =
-  if advance st <> t then fail st.line "expected %s" what
+  if advance st <> t then fail st "expected %s" what
 
 let rec parse_cmp st =
   let a = parse_add st in
@@ -150,61 +166,90 @@ and parse_primary st =
             match advance st with
             | Tcomma -> args (e :: acc)
             | Trparen -> List.rev (e :: acc)
-            | _ -> fail st.line "expected , or ) in arguments"
+            | _ -> fail st "expected , or ) in arguments"
           in
           let actuals = args [] in
           match List.assoc_opt name named_ops, actuals with
           | Some (op, 2), [ a; b ] -> Ir.Bin (op, a, b)
           | Some (op, 1), [ a ] -> Ir.Un (op, a)
           | Some (_, k), _ ->
-            fail st.line "%s takes %d argument(s)" name k
-          | None, _ -> fail st.line "unknown operation %s" name)
+            fail st "%s takes %d argument(s)" name k
+          | None, _ -> fail st "unknown operation %s" name)
       | _ -> Ir.Var name)
-  | _ -> fail st.line "expected an expression"
+  | _ -> fail st "expected an expression"
 
 (* -- program parser ---------------------------------------------------------- *)
 
-let program_of_string text =
-  let pname = ref "program" in
-  let inputs = ref [] in
-  let outputs = ref [] in
-  let stmts = ref [] in
-  List.iteri
-    (fun idx raw ->
-      let line_no = idx + 1 in
-      match tokenize line_no raw with
+let parse ?(limits = Diag.Limits.default) ?file text =
+  match Diag.Limits.check_input_bytes ?file limits text with
+  | Some d -> Error [ d ]
+  | None ->
+    let diags = ref [] in
+    let pname = ref "program" in
+    let inputs = ref [] in
+    let outputs = ref [] in
+    let stmts = ref [] in
+    let handle_line raw =
+      match tokenize raw with
       | [] -> ()
-      | [ Tid "program"; Tid n ] -> pname := n
-      | Tid "inputs" :: rest ->
+      | [ (Tid "program", _); (Tid n, _) ] -> pname := n
+      | (Tid "inputs", _) :: rest ->
         inputs :=
           !inputs
           @ List.map
               (function
-                | Tid n -> n
-                | _ -> fail line_no "inputs takes identifiers")
+                | Tid n, _ -> n
+                | _, col -> err_at col "inputs takes identifiers")
               rest
-      | Tid "outputs" :: rest ->
+      | (Tid "outputs", _) :: rest ->
         outputs :=
           !outputs
           @ List.map
               (function
-                | Tid n -> n
-                | _ -> fail line_no "outputs takes identifiers")
+                | Tid n, _ -> n
+                | _, col -> err_at col "outputs takes identifiers")
               rest
-      | Tid def :: Tassign :: rest ->
-        let st = { line = line_no; toks = rest } in
+      | (Tid def, _) :: (Tassign, acol) :: rest ->
+        let st = { toks = rest; last_col = acol } in
         let rhs = parse_cmp st in
-        if st.toks <> [] then fail line_no "trailing tokens";
+        (match st.toks with
+         | (_, col) :: _ -> err_at col "trailing tokens"
+         | [] -> ());
         stmts := { Ir.def; rhs } :: !stmts
-      | _ -> fail line_no "expected 'name = expression'")
-    (String.split_on_char '\n' text);
-  let p =
-    { Ir.pname = !pname; inputs = !inputs; stmts = List.rev !stmts;
-      outputs = !outputs }
-  in
-  (try Ir.validate p
-   with Ir.Ill_formed m -> raise (Parse_error (0, m)));
-  p
+      | (_, col) :: _ -> err_at col "expected 'name = expression'"
+    in
+    List.iteri
+      (fun idx raw ->
+        try handle_line raw
+        with Line_error (col, len, m) ->
+          diags :=
+            Diag.error
+              ~span:(Diag.span ?file ~len ~line:(idx + 1) ~col ())
+              ~rule:"alg.parse" "%s" m
+            :: !diags)
+      (String.split_on_char '\n' text);
+    let p =
+      { Ir.pname = !pname; inputs = !inputs; stmts = List.rev !stmts;
+        outputs = !outputs }
+    in
+    (* semantic validation only makes sense on a fully parsed program:
+       a failed line would otherwise show up again as a bogus
+       undefined-variable error *)
+    (if !diags = [] then
+       match Ir.validate p with
+       | () -> ()
+       | exception Ir.Ill_formed m ->
+         diags := Diag.error ~rule:"alg.validate" "%s" m :: !diags);
+    let diags = List.stable_sort Diag.by_position (List.rev !diags) in
+    if Diag.has_errors diags then Error diags else Ok (p, diags)
+
+let program_of_string text =
+  match parse ~limits:Diag.Limits.unlimited text with
+  | Ok (p, _) -> p
+  | Error diags ->
+    let d = List.find (fun d -> d.Diag.severity = Diag.Error) diags in
+    let line = match d.Diag.span with Some s -> s.Diag.line | None -> 0 in
+    raise (Parse_error (line, d.Diag.message))
 
 let program_of_file path =
   let ic = open_in path in

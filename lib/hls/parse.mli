@@ -22,8 +22,18 @@
 
 exception Parse_error of int * string
 
+val parse :
+  ?limits:Csrtl_diag.Diag.Limits.t -> ?file:string -> string ->
+  (Ir.program * Csrtl_diag.Diag.t list, Csrtl_diag.Diag.t list) result
+(** Total multi-error parse for untrusted input: never raises; each
+    broken line yields one located diagnostic (rule [alg.parse]) and
+    parsing continues, so one pass reports them all.  Semantic
+    problems surface as rule [alg.validate]; resource guards cap the
+    input size (rule [limits.input-bytes]). *)
+
 val program_of_string : string -> Ir.program
-(** Parsed and validated. *)
+(** Parsed and validated.  Raises {!Parse_error} with the first
+    diagnostic; prefer {!parse} on untrusted input. *)
 
 val program_of_file : string -> Ir.program
 

@@ -339,8 +339,7 @@ let rec exec_stmt (sc : scope) locals (s : Ast.stmt) =
                as the extra condition cannot miss a wake.  Arbitrary
                conjunctions fall back to the predicate path. *)
             match keyed_leg a, keyed_leg b with
-            | Some ("cs", _, v1), Some ("ph", s2, v2) ->
-              let cs_sig = Hashtbl.find sc.sigs "cs" in
+            | Some ("cs", cs_sig, v1), Some ("ph", s2, v2) ->
               Some (s2, v2, Some (cs_sig, v1))
             | _, _ -> None)
         | _ -> (

@@ -186,3 +186,15 @@ let model_of_string src =
     with Parser.Parse_error (l, m) -> fail "parse error at line %d: %s" l m
   in
   model_of_ast ~pragmas units
+
+let model_of_string_diag ?limits ?file src =
+  let module Diag = Csrtl_diag.Diag in
+  let r = Parser.parse ?limits ?file src in
+  if Diag.has_errors r.Parser.diags then Error r.Parser.diags
+  else
+    match model_of_ast ~pragmas:(pragma_lines src) r.Parser.units with
+    | m -> Ok (m, r.Parser.diags)
+    | exception Extract_error m ->
+      Error (r.Parser.diags @ [ Diag.error ~rule:"vhdl.extract" "%s" m ])
+    | exception Invalid_argument m ->
+      Error (r.Parser.diags @ [ Diag.error ~rule:"model.validate" "%s" m ])

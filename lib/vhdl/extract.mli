@@ -16,6 +16,15 @@ exception Extract_error of string
 val model_of_string : string -> Csrtl_core.Model.t
 (** Parse, extract, and return the model (validated). *)
 
+val model_of_string_diag :
+  ?limits:Csrtl_diag.Diag.Limits.t -> ?file:string -> string ->
+  (Csrtl_core.Model.t * Csrtl_diag.Diag.t list, Csrtl_diag.Diag.t list)
+    result
+(** Total variant for untrusted input: never raises.  [Ok] carries
+    the model plus any non-fatal parse diagnostics; [Error] carries
+    the parse / extraction / validation diagnostics (rules
+    [vhdl.syntax], [vhdl.extract], [model.validate]). *)
+
 val model_of_ast :
   pragmas:string list -> Ast.design_file -> Csrtl_core.Model.t
 (** Extraction from a parsed design file; [pragmas] are the [csrtl]

@@ -1,3 +1,5 @@
+module Diag = Csrtl_diag.Diag
+
 type token =
   | Id of string
   | Num of int
@@ -11,6 +13,8 @@ type token =
   | Plus | Minus | Star | Amp | Dot
   | Eof
 
+type pos = { line : int; col : int }
+
 exception Lex_error of int * string
 
 let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
@@ -18,92 +22,150 @@ let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 let is_id_char c =
   is_id_start c || (c >= '0' && c <= '9') || c = '_'
 
+let tokenize_all ?(limits = Diag.Limits.default) ?file src =
+  let diags = ref [] in
+  let diag ~line ~col ?(len = 1) ~rule fmt =
+    Format.kasprintf
+      (fun m ->
+        diags :=
+          Diag.error ~span:(Diag.span ?file ~len ~line ~col ()) ~rule "%s" m
+          :: !diags)
+      fmt
+  in
+  match Diag.Limits.check_input_bytes ?file limits src with
+  | Some d -> ([| (Eof, { line = 1; col = 1 }) |], [ d ])
+  | None ->
+    let n = String.length src in
+    let out = ref [] in
+    let count = ref 0 in
+    let line = ref 1 in
+    let bol = ref 0 in  (* byte offset of the current line's start *)
+    let i = ref 0 in
+    let col_of off = off - !bol + 1 in
+    let emit_at off t =
+      incr count;
+      out := (t, { line = !line; col = col_of off }) :: !out
+    in
+    let over_budget = ref false in
+    (* one extra slot is kept for Eof, so the guard fires strictly
+       before the cap is reached *)
+    while !i < n && not !over_budget do
+      let c = src.[!i] in
+      if !count >= limits.Diag.Limits.max_tokens then begin
+        diag ~line:!line ~col:(col_of !i) ~rule:"limits.tokens"
+          "more than %d tokens; giving up on the rest of the input"
+          limits.Diag.Limits.max_tokens;
+        over_budget := true
+      end
+      else if c = '\n' then begin
+        incr line;
+        incr i;
+        bol := !i
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then incr i
+      else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
+        (* comment to end of line *)
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done
+      end
+      else if is_id_start c then begin
+        let start = !i in
+        while !i < n && is_id_char src.[!i] do
+          incr i
+        done;
+        emit_at start (Id (String.sub src start (!i - start)))
+      end
+      else if c >= '0' && c <= '9' then begin
+        let start = !i in
+        while !i < n && ((src.[!i] >= '0' && src.[!i] <= '9') || src.[!i] = '_')
+        do
+          incr i
+        done;
+        let text = String.sub src start (!i - start) in
+        let text = String.concat "" (String.split_on_char '_' text) in
+        (match int_of_string_opt text with
+         | Some v -> emit_at start (Num v)
+         | None ->
+           diag ~line:!line ~col:(col_of start) ~len:(!i - start)
+             ~rule:"vhdl.lex" "number literal %s does not fit a machine int"
+             (if String.length text > 24 then String.sub text 0 24 ^ "..."
+              else text);
+           emit_at start (Num 0))
+      end
+      else if c = '"' then begin
+        let start = !i in
+        let start_line = !line and start_col = col_of !i in
+        let buf = Buffer.create 16 in
+        incr i;
+        let finished = ref false in
+        while not !finished do
+          if !i >= n then begin
+            diag ~line:start_line ~col:start_col ~rule:"vhdl.lex"
+              "unterminated string";
+            finished := true
+          end
+          else if src.[!i] = '"' then begin
+            finished := true;
+            incr i
+          end
+          else if src.[!i] = '\n' then begin
+            (* a VHDL string cannot span lines: diagnose and resume
+               lexing at the newline *)
+            diag ~line:start_line ~col:start_col ~rule:"vhdl.lex"
+              "unterminated string";
+            finished := true
+          end
+          else begin
+            Buffer.add_char buf src.[!i];
+            incr i
+          end
+        done;
+        emit_at start (Str (Buffer.contents buf))
+      end
+      else begin
+        let two =
+          if !i + 1 < n then Some (String.sub src !i 2) else None
+        in
+        let start = !i in
+        match two with
+        | Some "=>" -> emit_at start Arrow; i := !i + 2
+        | Some ":=" -> emit_at start Assign; i := !i + 2
+        | Some "<=" -> emit_at start Leq; i := !i + 2
+        | Some "/=" -> emit_at start Neq; i := !i + 2
+        | Some ">=" -> emit_at start Geq; i := !i + 2
+        | Some _ | None ->
+          (match c with
+           | '\'' -> emit_at start Tick; incr i
+           | '(' -> emit_at start Lparen; incr i
+           | ')' -> emit_at start Rparen; incr i
+           | ';' -> emit_at start Semi; incr i
+           | ':' -> emit_at start Colon; incr i
+           | ',' -> emit_at start Comma; incr i
+           | '=' -> emit_at start Eq; incr i
+           | '<' -> emit_at start Lt; incr i
+           | '>' -> emit_at start Gt; incr i
+           | '+' -> emit_at start Plus; incr i
+           | '-' -> emit_at start Minus; incr i
+           | '*' -> emit_at start Star; incr i
+           | '&' -> emit_at start Amp; incr i
+           | '.' -> emit_at start Dot; incr i
+           | _ ->
+             diag ~line:!line ~col:(col_of start) ~rule:"vhdl.lex"
+               "unexpected character %C" c;
+             incr i)
+      end
+    done;
+    out := (Eof, { line = !line; col = col_of (min !i n) }) :: !out;
+    (Array.of_list (List.rev !out), List.rev !diags)
+
 let tokenize src =
-  let n = String.length src in
-  let out = ref [] in
-  let line = ref 1 in
-  let emit t = out := (t, !line) :: !out in
-  let i = ref 0 in
-  while !i < n do
-    let c = src.[!i] in
-    if c = '\n' then begin
-      incr line;
-      incr i
-    end
-    else if c = ' ' || c = '\t' || c = '\r' then incr i
-    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then begin
-      (* comment to end of line *)
-      while !i < n && src.[!i] <> '\n' do
-        incr i
-      done
-    end
-    else if is_id_start c then begin
-      let start = !i in
-      while !i < n && is_id_char src.[!i] do
-        incr i
-      done;
-      emit (Id (String.sub src start (!i - start)))
-    end
-    else if c >= '0' && c <= '9' then begin
-      let start = !i in
-      while !i < n && ((src.[!i] >= '0' && src.[!i] <= '9') || src.[!i] = '_')
-      do
-        incr i
-      done;
-      let text = String.sub src start (!i - start) in
-      let text = String.concat "" (String.split_on_char '_' text) in
-      emit (Num (int_of_string text))
-    end
-    else if c = '"' then begin
-      let buf = Buffer.create 16 in
-      incr i;
-      let finished = ref false in
-      while not !finished do
-        if !i >= n then raise (Lex_error (!line, "unterminated string"));
-        if src.[!i] = '"' then begin
-          finished := true;
-          incr i
-        end
-        else begin
-          Buffer.add_char buf src.[!i];
-          incr i
-        end
-      done;
-      emit (Str (Buffer.contents buf))
-    end
-    else begin
-      let two =
-        if !i + 1 < n then Some (String.sub src !i 2) else None
-      in
-      match two with
-      | Some "=>" -> emit Arrow; i := !i + 2
-      | Some ":=" -> emit Assign; i := !i + 2
-      | Some "<=" -> emit Leq; i := !i + 2
-      | Some "/=" -> emit Neq; i := !i + 2
-      | Some ">=" -> emit Geq; i := !i + 2
-      | Some _ | None ->
-        (match c with
-         | '\'' -> emit Tick; incr i
-         | '(' -> emit Lparen; incr i
-         | ')' -> emit Rparen; incr i
-         | ';' -> emit Semi; incr i
-         | ':' -> emit Colon; incr i
-         | ',' -> emit Comma; incr i
-         | '=' -> emit Eq; incr i
-         | '<' -> emit Lt; incr i
-         | '>' -> emit Gt; incr i
-         | '+' -> emit Plus; incr i
-         | '-' -> emit Minus; incr i
-         | '*' -> emit Star; incr i
-         | '&' -> emit Amp; incr i
-         | '.' -> emit Dot; incr i
-         | _ ->
-           raise
-             (Lex_error (!line, Printf.sprintf "unexpected character %C" c)))
-    end
-  done;
-  emit Eof;
-  Array.of_list (List.rev !out)
+  let toks, diags = tokenize_all ~limits:Diag.Limits.unlimited src in
+  match List.find_opt (fun d -> d.Diag.severity = Diag.Error) diags with
+  | Some d ->
+    let line = match d.Diag.span with Some s -> s.Diag.line | None -> 0 in
+    raise (Lex_error (line, d.Diag.message))
+  | None -> Array.map (fun (t, p) -> (t, p.line)) toks
 
 let token_to_string = function
   | Id s -> s

@@ -1,4 +1,10 @@
-(** Lexer for the VHDL subset. *)
+(** Lexer for the VHDL subset.
+
+    The lexer is {e total} over arbitrary bytes: {!tokenize_all} never
+    raises, whatever the input — unexpected bytes, unterminated
+    strings and oversized literals come back as located diagnostics,
+    and resource guards ({!Csrtl_diag.Diag.Limits}) cap the bytes read
+    and tokens produced so hostile input cannot exhaust memory. *)
 
 type token =
   | Id of string  (** identifier, original case preserved *)
@@ -13,11 +19,24 @@ type token =
   | Plus | Minus | Star | Amp | Dot
   | Eof
 
+type pos = { line : int; col : int }
+(** 1-based source position of the token's first byte. *)
+
+val tokenize_all :
+  ?limits:Csrtl_diag.Diag.Limits.t -> ?file:string -> string ->
+  (token * pos) array * Csrtl_diag.Diag.t list
+(** Tokens with positions; comments ([-- ...]) are skipped.  Total:
+    the array always ends in {!Eof} and lexical problems are reported
+    as diagnostics (rules [vhdl.lex], [limits.input-bytes],
+    [limits.tokens]) rather than exceptions.  Bytes that cannot start
+    a token are skipped after being diagnosed. *)
+
 exception Lex_error of int * string
-(** Line number and message. *)
+(** Line number and message — compatibility surface for {!tokenize}. *)
 
 val tokenize : string -> (token * int) array
-(** Tokens with their 1-based line numbers; comments ([-- ...]) are
-    skipped.  Raises {!Lex_error} on unexpected characters. *)
+(** Tokens with their 1-based line numbers.  Raises {!Lex_error} on
+    the first lexical diagnostic; prefer {!tokenize_all} on untrusted
+    input. *)
 
 val token_to_string : token -> string

@@ -1,9 +1,12 @@
+module Diag = Csrtl_diag.Diag
+
 type severity = Error | Warning
 
 type finding = {
   severity : severity;
   rule : string;
   where : string;
+  span : Diag.span option;
   message : string;
 }
 
@@ -58,11 +61,17 @@ let rec collect_waits (s : Ast.stmt) =
   | Ast.Null_stmt ->
     []
 
-let check (units : Ast.design_file) =
+let check ?spans (units : Ast.design_file) =
+  let find_span key =
+    match spans with
+    | None -> None
+    | Some tbl -> Parser.spans_find tbl key
+  in
   let findings = ref [] in
-  let add severity rule where fmt =
+  let add ?span severity rule where fmt =
     Format.kasprintf
-      (fun message -> findings := { severity; rule; where; message } :: !findings)
+      (fun message ->
+        findings := { severity; rule; where; span; message } :: !findings)
       fmt
   in
   (* inventory of declared entities for instantiation checking *)
@@ -78,7 +87,8 @@ let check (units : Ast.design_file) =
         ())
     units;
   let known_functions = ref [ "resolve" ] in
-  let check_signal_decl where (d : Ast.object_decl) =
+  let check_signal_decl span where (d : Ast.object_decl) =
+    let add sev rule where fmt = add ?span sev rule where fmt in
     match d with
     | Ast.Signal_decl (names, ty, _) ->
       List.iter
@@ -96,7 +106,8 @@ let check (units : Ast.design_file) =
        | Some _ | None -> ())
     | Ast.Variable_decl _ | Ast.Constant_decl _ -> ()
   in
-  let check_process where (p : Ast.process) =
+  let check_process span where (p : Ast.process) =
+    let add sev rule where fmt = add ?span sev rule where fmt in
     let has_waits = List.exists stmt_has_wait p.Ast.body in
     (match p.Ast.sensitivity, has_waits with
      | _ :: _, true ->
@@ -145,6 +156,10 @@ let check (units : Ast.design_file) =
     (fun u ->
       match u with
       | Ast.Package { pkg_name; pkg_decls } ->
+        let add sev rule where fmt =
+          add ?span:(find_span (Parser.key_package pkg_name)) sev rule where
+            fmt
+        in
         List.iter
           (fun d ->
             match d with
@@ -167,6 +182,9 @@ let check (units : Ast.design_file) =
               ())
           pkg_decls
       | Ast.Entity { ent_name; ports; _ } ->
+        let add sev rule where fmt =
+          add ?span:(find_span (Parser.key_entity ent_name)) sev rule where fmt
+        in
         List.iter
           (fun (p : Ast.port) ->
             if clock_like p.Ast.port_name then
@@ -175,18 +193,39 @@ let check (units : Ast.design_file) =
           ports
       | Ast.Architecture { arch_name; arch_entity; arch_decls; arch_stmts } ->
         let where = Printf.sprintf "%s(%s)" arch_name arch_entity in
+        let aspan = find_span (Parser.key_architecture arch_name) in
         if not (Hashtbl.mem entities (lc arch_entity)) then
-          add Warning "structure" where
+          add ?span:aspan Warning "structure" where
             "architecture of undeclared entity %s" arch_entity;
-        List.iter (check_signal_decl where) arch_decls;
+        List.iter (check_signal_decl aspan where) arch_decls;
         List.iter
           (fun stmt ->
             match stmt with
-            | Ast.Proc p -> check_process where p
+            | Ast.Proc p ->
+              let pspan =
+                match p.Ast.proc_label with
+                | Some l -> (
+                  match find_span (Parser.key_process ~arch:arch_name l) with
+                  | Some _ as s -> s
+                  | None -> aspan)
+                | None -> aspan
+              in
+              check_process pspan where p
             | Ast.Concurrent_assign _ -> ()
             | Ast.Instance { inst_label; component; generic_map; port_map }
               -> (
                 let iwhere = where ^ "/" ^ inst_label in
+                let add sev rule where fmt =
+                  add
+                    ?span:
+                      (match
+                         find_span
+                           (Parser.key_instance ~arch:arch_name inst_label)
+                       with
+                       | Some _ as s -> s
+                       | None -> aspan)
+                    sev rule where fmt
+                in
                 match Hashtbl.find_opt entities (lc component) with
                 | None ->
                   add Error "structure" iwhere
@@ -236,8 +275,22 @@ let check_source src =
   | exception Lexer.Lex_error (line, msg) ->
     Error (Printf.sprintf "line %d: %s (outside the subset lexicon)" line msg)
 
+let check_source_diags ?limits ?file src =
+  let r = Parser.parse ?limits ?file src in
+  let findings = check ~spans:r.Parser.spans r.Parser.units in
+  (findings, r.Parser.diags)
+
 let conformant findings =
   not (List.exists (fun f -> f.severity = Error) findings)
+
+let to_diag f =
+  {
+    Diag.severity =
+      (match f.severity with Error -> Diag.Error | Warning -> Diag.Warning);
+    rule = "lint." ^ f.rule;
+    span = f.span;
+    message = Printf.sprintf "%s: %s" f.where f.message;
+  }
 
 let pp_finding ppf f =
   Format.fprintf ppf "%s[%s] %s: %s"

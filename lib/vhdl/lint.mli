@@ -35,17 +35,33 @@ type finding = {
   severity : severity;
   rule : string;  (** short rule identifier, e.g. ["no-clocks"] *)
   where : string;  (** design unit / label the finding points into *)
+  span : Csrtl_diag.Diag.span option;
+      (** source span of the enclosing construct, when the parse
+          recorded one (see {!Parser.span_table}) *)
   message : string;
 }
 
-val check : Ast.design_file -> finding list
-(** All findings, errors first. *)
+val check : ?spans:Parser.span_table -> Ast.design_file -> finding list
+(** All findings, errors first.  With [spans] (from {!Parser.parse})
+    findings carry the source span of their enclosing design unit,
+    instance or process. *)
 
 val check_source : string -> (finding list, string) result
 (** Parse then {!check}; [Error] is a parse failure (which itself
     means the text leaves the subset grammar). *)
 
+val check_source_diags :
+  ?limits:Csrtl_diag.Diag.Limits.t -> ?file:string -> string ->
+  finding list * Csrtl_diag.Diag.t list
+(** Total variant for untrusted input: parse with recovery, then
+    {!check} whatever units survived.  Returns the findings (with
+    spans) alongside the parse diagnostics; never raises. *)
+
 val conformant : finding list -> bool
 (** No [Error]-severity findings. *)
+
+val to_diag : finding -> Csrtl_diag.Diag.t
+(** Render a finding in the shared diagnostic type (rule prefixed
+    with ["lint."], [where] folded into the message). *)
 
 val pp_finding : Format.formatter -> finding -> unit

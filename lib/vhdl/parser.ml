@@ -1,13 +1,99 @@
+module Diag = Csrtl_diag.Diag
+
 exception Parse_error of int * string
 
-type state = { toks : (Lexer.token * int) array; mutable pos : int }
+type span_table = (string, Diag.span) Hashtbl.t
 
-let peek st = fst st.toks.(st.pos)
-let line st = snd st.toks.(st.pos)
-let advance st = st.pos <- st.pos + 1
+let lc = String.lowercase_ascii
+
+let key_entity n = "entity:" ^ lc n
+let key_architecture n = "architecture:" ^ lc n
+let key_package n = "package:" ^ lc n
+let key_instance ~arch n = "instance:" ^ lc arch ^ "/" ^ lc n
+let key_process ~arch n = "process:" ^ lc arch ^ "/" ^ lc n
+
+let spans_find t k = Hashtbl.find_opt t k
+
+type parse_result = {
+  units : Ast.design_file;
+  diags : Diag.t list;
+  spans : span_table;
+}
+
+type state = {
+  toks : (Lexer.token * Lexer.pos) array;
+  mutable pos : int;
+  mutable diags : Diag.t list;  (* reverse order *)
+  mutable errors : int;
+  mutable fuel : int;
+  mutable depth : int;
+  max_depth : int;
+  file : string option;
+  spans : span_table;
+}
+
+(* A syntax error inside one construct: recovered at the enclosing
+   statement / concurrent-statement / design-unit loop. *)
+exception Syntax_err of Diag.t
+
+(* Fuel or error budget exhausted: unwind to the top and stop. *)
+exception Give_up
+
+let last st = Array.length st.toks - 1
+
+let peek st =
+  if st.pos > last st then Lexer.Eof else fst st.toks.(min st.pos (last st))
+
+let peek2 st =
+  if st.pos + 1 > last st then Lexer.Eof else fst st.toks.(st.pos + 1)
+
+let cur_pos st =
+  if last st < 0 then { Lexer.line = 1; col = 1 }
+  else snd st.toks.(min st.pos (last st))
+
+let advance st = if st.pos <= last st then st.pos <- st.pos + 1
+
+let token_len = function
+  | Lexer.Id s -> max 1 (String.length s)
+  | Lexer.Num n -> max 1 (String.length (string_of_int n))
+  | Lexer.Str s -> String.length s + 2
+  | Lexer.Arrow | Lexer.Assign | Lexer.Leq | Lexer.Neq | Lexer.Geq -> 2
+  | _ -> 1
+
+let cur_span st =
+  let p = cur_pos st in
+  Diag.span ?file:st.file ~len:(token_len (peek st)) ~line:p.Lexer.line
+    ~col:p.Lexer.col ()
+
+let record st d =
+  st.diags <- d :: st.diags;
+  if d.Diag.severity = Diag.Error then st.errors <- st.errors + 1;
+  if st.errors > 200 then raise Give_up
 
 let fail st fmt =
-  Format.kasprintf (fun m -> raise (Parse_error (line st, m))) fmt
+  Format.kasprintf
+    (fun m ->
+      raise
+        (Syntax_err (Diag.error ~span:(cur_span st) ~rule:"vhdl.syntax" "%s" m)))
+    fmt
+
+let check_fuel st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel < 0 then begin
+    record st
+      (Diag.error ~span:(cur_span st) ~rule:"limits.fuel"
+         "parser fuel exhausted; the input is pathological — stopping");
+    raise Give_up
+  end
+
+let with_depth st f =
+  st.depth <- st.depth + 1;
+  if st.depth > st.max_depth then begin
+    st.depth <- st.depth - 1;
+    fail st "nesting deeper than %d levels" st.max_depth
+  end
+  else
+    Fun.protect ~finally:(fun () -> st.depth <- st.depth - 1) f
 
 let expect st tok =
   if peek st = tok then advance st
@@ -15,8 +101,6 @@ let expect st tok =
     fail st "expected %s, found %s"
       (Lexer.token_to_string tok)
       (Lexer.token_to_string (peek st))
-
-let lc = String.lowercase_ascii
 
 (* Keyword test: identifiers match case-insensitively. *)
 let at_kw st kw =
@@ -61,6 +145,7 @@ let is_keyword s = List.mem (lc s) keywords
 let rec parse_expr st = parse_or st
 
 and parse_or st =
+  with_depth st @@ fun () ->
   let a = parse_and st in
   if at_kw st "or" then begin
     advance st;
@@ -69,6 +154,7 @@ and parse_or st =
   else a
 
 and parse_and st =
+  with_depth st @@ fun () ->
   let a = parse_rel st in
   if at_kw st "and" then begin
     advance st;
@@ -121,6 +207,7 @@ and parse_mul st =
   go (parse_unary st)
 
 and parse_unary st =
+  with_depth st @@ fun () ->
   if at_kw st "not" then begin
     advance st;
     Ast.Unop (Ast.Not, parse_unary st)
@@ -141,6 +228,7 @@ and parse_primary st =
     advance st;
     Ast.Str s
   | Lexer.Lparen ->
+    with_depth st @@ fun () ->
     advance st;
     let e = parse_expr st in
     expect st Lexer.Rparen;
@@ -228,9 +316,59 @@ let parse_object_decl st =
   end
   else None
 
+(* -- recovery ------------------------------------------------------------- *)
+
+(* Panic-mode resynchronization after a statement-level error: make
+   progress, then skip to just after the next [;], stopping early at
+   tokens that close the enclosing construct. *)
+let stmt_stopper st =
+  match peek st with
+  | Lexer.Eof -> true
+  | Lexer.Id s ->
+    List.mem (lc s)
+      [ "end"; "elsif"; "else"; "begin"; "entity"; "architecture";
+        "package" ]
+  | _ -> false
+
+let sync_stmt st before =
+  if st.pos = before then advance st;
+  let rec go () =
+    check_fuel st;
+    if stmt_stopper st then ()
+    else if peek st = Lexer.Semi then advance st
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+(* After a failed design unit: skip to the next token that can start a
+   design unit and follows a [;] (so [end entity;] does not fool the
+   sync), or to Eof. *)
+let sync_unit st before =
+  if st.pos = before then advance st;
+  let unit_start () =
+    match peek st with
+    | Lexer.Id s -> List.mem (lc s) [ "entity"; "architecture"; "package"; "use" ]
+    | _ -> false
+  in
+  let prev_semi () = st.pos > 0 && fst st.toks.(st.pos - 1) = Lexer.Semi in
+  let rec go () =
+    check_fuel st;
+    if peek st = Lexer.Eof then ()
+    else if unit_start () && prev_semi () then ()
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
 (* -- statements ----------------------------------------------------------- *)
 
 let rec parse_stmt st =
+  with_depth st @@ fun () ->
   if at_kw st "wait" then begin
     advance st;
     if at_kw st "until" then begin
@@ -353,7 +491,17 @@ and at_stmt_start st =
 
 and parse_stmts st =
   let rec go acc =
-    if at_stmt_start st then go (parse_stmt st :: acc) else List.rev acc
+    check_fuel st;
+    if at_stmt_start st then begin
+      let before = st.pos in
+      match parse_stmt st with
+      | s -> go (s :: acc)
+      | exception Syntax_err d ->
+        record st d;
+        sync_stmt st before;
+        go acc
+    end
+    else List.rev acc
   in
   go []
 
@@ -363,7 +511,7 @@ let parse_assoc st =
   let rec go acc =
     (* Named association: Id => expr; otherwise positional. *)
     let item =
-      match peek st, fst st.toks.(st.pos + 1) with
+      match peek st, peek2 st with
       | Lexer.Id n, Lexer.Arrow ->
         advance st;
         advance st;
@@ -378,8 +526,12 @@ let parse_assoc st =
   in
   go []
 
-let parse_process st label =
+let parse_process st ~arch label =
+  let sp = cur_span st in
   expect_kw st "process";
+  (match label with
+   | Some l -> Hashtbl.replace st.spans (key_process ~arch l) sp
+   | None -> ());
   let sensitivity =
     if peek st = Lexer.Lparen then begin
       advance st;
@@ -406,7 +558,7 @@ let parse_process st label =
   expect st Lexer.Semi;
   Ast.Proc { proc_label = label; sensitivity; proc_decls; body }
 
-let parse_instance st label =
+let parse_instance st ~arch label =
   let component = ident st in
   let generic_map =
     if at_kw st "generic" then begin
@@ -431,17 +583,20 @@ let parse_instance st label =
     else []
   in
   expect st Lexer.Semi;
+  ignore arch;
   Ast.Instance { inst_label = label; component; generic_map; port_map }
 
-let parse_concurrent st =
-  if at_kw st "process" then parse_process st None
+let parse_concurrent st ~arch =
+  if at_kw st "process" then parse_process st ~arch None
   else begin
+    let sp = cur_span st in
     let name = ident st in
     match peek st with
     | Lexer.Colon ->
       advance st;
-      if at_kw st "process" then parse_process st (Some name)
-      else parse_instance st name
+      Hashtbl.replace st.spans (key_instance ~arch name) sp;
+      if at_kw st "process" then parse_process st ~arch (Some name)
+      else parse_instance st ~arch name
     | Lexer.Leq ->
       advance st;
       let e = parse_expr st in
@@ -515,7 +670,9 @@ let parse_ports st =
 
 let parse_entity st =
   expect_kw st "entity";
+  let sp = cur_span st in
   let name = ident st in
+  Hashtbl.replace st.spans (key_entity name) sp;
   expect_kw st "is";
   let generics = parse_generics st in
   let ports = parse_ports st in
@@ -529,7 +686,9 @@ let parse_entity st =
 
 let parse_architecture st =
   expect_kw st "architecture";
+  let sp = cur_span st in
   let arch_name = ident st in
+  Hashtbl.replace st.spans (key_architecture arch_name) sp;
   expect_kw st "of";
   let arch_entity = ident st in
   expect_kw st "is";
@@ -541,8 +700,17 @@ let parse_architecture st =
   let arch_decls = decls [] in
   expect_kw st "begin";
   let rec stmts acc =
-    if at_kw st "end" then List.rev acc
-    else stmts (parse_concurrent st :: acc)
+    check_fuel st;
+    if at_kw st "end" || peek st = Lexer.Eof then List.rev acc
+    else begin
+      let before = st.pos in
+      match parse_concurrent st ~arch:arch_name with
+      | s -> stmts (s :: acc)
+      | exception Syntax_err d ->
+        record st d;
+        sync_stmt st before;
+        stmts acc
+    end
   in
   let arch_stmts = stmts [] in
   expect_kw st "end";
@@ -644,9 +812,12 @@ let parse_package st =
   expect_kw st "package";
   let is_body = at_kw st "body" in
   if is_body then advance st;
+  let sp = cur_span st in
   let name = ident st in
+  Hashtbl.replace st.spans (key_package name) sp;
   expect_kw st "is";
   let rec decls acc =
+    check_fuel st;
     match parse_package_decl st with
     | Some d -> decls (d :: acc)
     | None -> List.rev acc
@@ -678,31 +849,96 @@ let parse_use st =
   Ast.Use_clause (Buffer.contents buf)
 
 let parse_design_file st =
-  let rec go acc =
-    if peek st = Lexer.Eof then List.rev acc
-    else if at_kw st "entity" then go (parse_entity st :: acc)
-    else if at_kw st "architecture" then go (parse_architecture st :: acc)
-    else if at_kw st "package" then go (parse_package st :: acc)
-    else if at_kw st "use" then go (parse_use st :: acc)
-    else fail st "expected a design unit, found %s"
-        (Lexer.token_to_string (peek st))
+  let acc = ref [] in
+  let unit_guard f =
+    let before = st.pos in
+    match f st with
+    | u -> acc := u :: !acc
+    | exception Syntax_err d ->
+      record st d;
+      sync_unit st before
   in
-  go []
+  (try
+     let continue = ref true in
+     while !continue do
+       check_fuel st;
+       if peek st = Lexer.Eof then continue := false
+       else if at_kw st "entity" then unit_guard parse_entity
+       else if at_kw st "architecture" then unit_guard parse_architecture
+       else if at_kw st "package" then unit_guard parse_package
+       else if at_kw st "use" then unit_guard parse_use
+       else
+         unit_guard (fun st ->
+             fail st "expected a design unit, found %s"
+               (Lexer.token_to_string (peek st)))
+     done
+   with Give_up -> ());
+  List.rev !acc
+
+let state_of_tokens ?(limits = Diag.Limits.default) ?file toks lex_diags =
+  let toks =
+    (* a missing trailing Eof (arbitrary token streams) is tolerated *)
+    let n = Array.length toks in
+    if n > 0 && fst toks.(n - 1) = Lexer.Eof then toks
+    else
+      Array.append toks [| (Lexer.Eof, { Lexer.line = 1; col = 1 }) |]
+  in
+  { toks;
+    pos = 0;
+    diags = List.rev lex_diags;
+    errors = List.length (List.filter Diag.(fun d -> d.severity = Error) lex_diags);
+    fuel = 64 + (16 * Array.length toks);
+    depth = 0;
+    max_depth = limits.Diag.Limits.max_nesting;
+    file;
+    spans = Hashtbl.create 32 }
+
+let result_of st units =
+  { units; diags = List.rev st.diags; spans = st.spans }
+
+let parse_tokens ?limits ?file toks =
+  let st = state_of_tokens ?limits ?file toks [] in
+  let units = parse_design_file st in
+  result_of st units
+
+let parse ?(limits = Diag.Limits.default) ?file src =
+  let toks, lex_diags = Lexer.tokenize_all ~limits ?file src in
+  let st = state_of_tokens ~limits ?file toks lex_diags in
+  let units = parse_design_file st in
+  result_of st units
+
+(* -- compatibility surface ------------------------------------------------- *)
+
+let raise_first diags =
+  match
+    List.find_opt (fun d -> d.Diag.severity = Diag.Error)
+      (List.stable_sort Diag.by_position diags)
+  with
+  | Some d ->
+    let line = match d.Diag.span with Some s -> s.Diag.line | None -> 0 in
+    raise (Parse_error (line, d.Diag.message))
+  | None -> ()
 
 let design_file src =
-  let toks =
-    try Lexer.tokenize src
-    with Lexer.Lex_error (l, m) -> raise (Parse_error (l, m))
-  in
-  let st = { toks; pos = 0 } in
-  parse_design_file st
+  let r = parse ~limits:Diag.Limits.unlimited src in
+  raise_first r.diags;
+  r.units
 
 let expr src =
   let toks =
     try Lexer.tokenize src
     with Lexer.Lex_error (l, m) -> raise (Parse_error (l, m))
   in
-  let st = { toks; pos = 0 } in
-  let e = parse_expr st in
-  if peek st <> Lexer.Eof then fail st "trailing tokens after expression";
-  e
+  let toks = Array.map (fun (t, l) -> (t, { Lexer.line = l; col = 1 })) toks in
+  let st = state_of_tokens ~limits:Diag.Limits.unlimited toks [] in
+  match
+    (fun () ->
+      let e = parse_expr st in
+      if peek st <> Lexer.Eof then fail st "trailing tokens after expression";
+      e)
+      ()
+  with
+  | e -> e
+  | exception Syntax_err d ->
+    let line = match d.Diag.span with Some s -> s.Diag.line | None -> 0 in
+    raise (Parse_error (line, d.Diag.message))

@@ -4,10 +4,55 @@
     style): packages with enumeration types, constants and resolution
     functions; entities; architectures with signal declarations,
     processes and component instantiations.  Keywords are recognized
-    case-insensitively; identifier case is preserved. *)
+    case-insensitively; identifier case is preserved.
+
+    {!parse} is the untrusted-input entry point: it is {e total} —
+    panic-mode recovery resynchronizes at [;] / [end] / design-unit
+    boundaries, so one pass reports {e all} independent syntax errors
+    as located diagnostics instead of dying at the first one.  A fuel
+    bound and a nesting-depth guard ({!Csrtl_diag.Diag.Limits})
+    guarantee termination and bounded stack on arbitrary token
+    streams. *)
+
+type span_table
+(** Source spans of the named constructs a parse found, for
+    diagnostics produced by later passes ({!Lint}).  Keys are built
+    with the [key_*] functions below. *)
+
+val key_entity : string -> string
+val key_architecture : string -> string
+val key_package : string -> string
+val key_instance : arch:string -> string -> string
+val key_process : arch:string -> string -> string
+(** Keys are case-insensitive in all name components. *)
+
+val spans_find : span_table -> string -> Csrtl_diag.Diag.span option
+
+type parse_result = {
+  units : Ast.design_file;
+      (** the units that parsed; partial when [diags] has errors *)
+  diags : Csrtl_diag.Diag.t list;  (** lexical + syntax, source order *)
+  spans : span_table;
+}
+
+val parse :
+  ?limits:Csrtl_diag.Diag.Limits.t -> ?file:string -> string ->
+  parse_result
+(** Never raises, never loops: errors come back in [diags]
+    (rule [vhdl.syntax], plus the lexer's rules). *)
+
+val parse_tokens :
+  ?limits:Csrtl_diag.Diag.Limits.t -> ?file:string ->
+  (Lexer.token * Lexer.pos) array -> parse_result
+(** {!parse} over a pre-lexed (arbitrary) token stream.  A missing
+    trailing {!Lexer.Eof} is tolerated. *)
 
 exception Parse_error of int * string
+(** Compatibility surface for {!design_file} / {!expr}. *)
 
 val design_file : string -> Ast.design_file
+(** [parse], raising {!Parse_error} with the first error diagnostic.
+    Prefer {!parse} on untrusted input. *)
+
 val expr : string -> Ast.expr
 (** Parse a single expression (testing convenience). *)

@@ -100,7 +100,7 @@ The succeeding synthesis step; its clocked VHDL is outside the subset:
   equivalent to the clock-free model
 
   $ csrtl lint fig1_rtl.vhd > /dev/null 2>&1; echo "exit $?"
-  exit 2
+  exit 1
 
 A conflicted schedule is diagnosed, statically and dynamically:
 
@@ -120,7 +120,7 @@ A conflicted schedule is diagnosed, statically and dynamically:
 
   $ csrtl check clash.rtm
   conflict: double drive of B1 at step 2 phase ra (sources: R1.out, R2.out); ILLEGAL visible at phase rb
-  [2]
+  [1]
 
   $ csrtl trace clash.rtm --from 2 --to 2 | grep conflict
     rb  B1               ILLEGAL   <-- conflict
@@ -159,7 +159,7 @@ A single fault's outcome class is the exit code (0 masked, 2 detected,
 
   $ csrtl inject fig1.rtm --fault 99
   no fault #99 (the model enumerates 27)
-  [1]
+  [2]
 
 A campaign sharded across domains is byte-identical to the
 sequential one — determinism does not depend on the job count:
@@ -207,11 +207,11 @@ Snapshot misuse gets a clear diagnosis, not a crash:
 
   $ csrtl sim fig1.rtm --snapshot-at=-3
   --snapshot-at must be a boundary between 0 and cs_max = 7 (got -3)
-  [1]
+  [2]
 
   $ csrtl sim fig1.rtm --snapshot-at 99
   --snapshot-at must be a boundary between 0 and cs_max = 7 (got 99)
-  [1]
+  [2]
 
   $ csrtl sim clash.rtm --from-snapshot s5.snap 2>&1 | head -1
   snapshot s5.snap does not fit clash: snapshot is of model fig1, not clash
@@ -265,13 +265,13 @@ Campaign argument validation:
 
   $ csrtl inject fig1.rtm --jobs=-2
   --jobs must be at least 0 (got -2)
-  [1]
+  [2]
   $ csrtl inject fig1.rtm --budget 0
   --budget must be positive (got 0)
-  [1]
+  [2]
   $ csrtl inject fig1.rtm --journal a.jsonl --resume b.jsonl
   --journal and --resume are mutually exclusive (--resume already names the journal)
-  [1]
+  [2]
 
 Error handling:
 
@@ -280,5 +280,54 @@ Error handling:
 
   $ printf 'model broken\n' > broken.rtm
   $ csrtl sim broken.rtm
-  parse error at line 0: missing csmax directive
-  [1]
+  broken.rtm:1:1: error[rtm.parse]: missing csmax directive
+    model broken
+    ^
+  [2]
+
+Multi-error recovery: one pass over a doubly broken file reports every
+independent error, each with line and column:
+
+  $ printf 'model multi\ncsmax 2\nreg A init 1\nreg A\nunit P ops frobnicate latency 0\n' > multi.rtm
+  $ csrtl check multi.rtm
+  multi.rtm:4:5: error[rtm.parse]: register A is declared twice
+    reg A
+        ^
+  multi.rtm:5:12: error[rtm.parse]: unknown operation frobnicate
+    unit P ops frobnicate latency 0
+               ^^^^^^^^^^
+  [2]
+
+The recovering VHDL parser also reports all syntax errors at once:
+
+  $ printf 'entity e is port (a : in bit;\nend e;\nentity f is port (b : bit)\nend f;\n' > multi.vhd
+  $ csrtl lint multi.vhd 2>&1 | grep -c 'error\[vhdl.syntax\]'
+  2
+  $ csrtl lint multi.vhd > /dev/null 2>&1; echo "exit $?"
+  exit 2
+
+An internal bug marker routes to exit 3, never 2 — the message tells
+the user to report it:
+
+Deterministic fuzzing of the whole frontier; a fixed seed gives a
+byte-identical report, and zero crashes is the contract:
+
+  $ csrtl fuzz --runs 120 --seed 7 --out fuzz-out 2> /dev/null
+  fuzzed 120 inputs: 2 accepted, 118 rejected with diagnostics, 0 crash signature(s)
+
+  $ csrtl fuzz --runs 0
+  error: --runs must be at least 1 (got 0)
+  [2]
+
+Bad .alg programs get located diagnostics too:
+
+  $ printf 'program p\ninputs a\noutputs z\nz = a +\n' > bad.alg
+  $ csrtl hls bad.alg
+  bad.alg:4:8: error[alg.parse]: unexpected end of line
+    z = a +
+           ^
+  [2]
+
+  $ csrtl hls fir:banana
+  error: fir:banana: tap count must be a positive integer
+  [2]

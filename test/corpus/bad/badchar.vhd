@@ -1,0 +1,3 @@
+entity g is
+  port (Ã(ÿ : in bit);
+end g;

@@ -1,0 +1,5 @@
+entity e is port (a : in bit;
+end e;
+
+entity f is port (b : bit)
+end f;

@@ -1,0 +1,2 @@
+entity trunc is
+  port (a : in bit;

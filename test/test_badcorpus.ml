@@ -1,0 +1,156 @@
+(* Bad-input corpus: every file under corpus/bad/ is deliberately
+   broken and must come back as error diagnostics — located (line and
+   column), rendered stably against a golden .expected file, and
+   mapping to exit code 2.  Multi-error files must report every
+   independent error in one pass, which the golden files lock.  To add
+   a case: drop the file into test/corpus/bad/ and run once with
+   CSRTL_BLESS=1.  Resource-guard cases (a 10 MB line, deep nesting)
+   are generated here rather than committed. *)
+
+module C = Csrtl_core
+module Diag = Csrtl_diag.Diag
+
+let bad_dir = Filename.concat "corpus" "bad"
+let bless = Sys.getenv_opt "CSRTL_BLESS" = Some "1"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let bad_files () =
+  Sys.readdir bad_dir
+  |> Array.to_list
+  |> List.filter (fun f -> not (Filename.check_suffix f ".expected"))
+  |> List.sort String.compare
+
+(* Diagnostics for one corpus file, through the same entry point the
+   CLI uses for that extension. *)
+let diags_of file =
+  let path = Filename.concat bad_dir file in
+  let text = read_file path in
+  let diags =
+    if Filename.check_suffix file ".vhd" then
+      let _, parse_diags =
+        Csrtl_vhdl.Lint.check_source_diags ~file text
+      in
+      parse_diags
+    else if Filename.check_suffix file ".alg" then
+      match Csrtl_hls.Parse.parse ~file text with
+      | Ok (_, warns) -> warns
+      | Error diags -> diags
+    else
+      match C.Rtm.parse ~file text with
+      | Ok (_, warns) -> warns
+      | Error diags -> diags
+  in
+  (text, diags)
+
+let check_case file () =
+  let text, diags = diags_of file in
+  Alcotest.(check bool)
+    (file ^ " has at least one error diagnostic")
+    true (Diag.has_errors diags);
+  Alcotest.(check int) (file ^ " maps to exit code 2") 2
+    (Diag.exit_code diags);
+  (* located: every error names the file and points at a line and a
+     column, both 1-based *)
+  List.iter
+    (fun (d : Diag.t) ->
+      if d.Diag.severity = Diag.Error then begin
+        match d.Diag.span with
+        | None ->
+          Alcotest.fail
+            (Printf.sprintf "%s: diagnostic without a span: %s" file
+               d.Diag.message)
+        | Some s ->
+          Alcotest.(check (option string))
+            (file ^ " span names the file") (Some file)
+            (Option.map Filename.basename s.Diag.file);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: line %d, col %d are positive" file
+               s.Diag.line s.Diag.col)
+            true
+            (s.Diag.line >= 1 && s.Diag.col >= 1)
+      end)
+    diags;
+  (* the rendering (with caret snippets) is locked against a golden *)
+  let actual = Diag.render_all ~source:text diags in
+  let gpath = Filename.concat bad_dir (file ^ ".expected") in
+  if bless then begin
+    let oc = open_out gpath in
+    output_string oc actual;
+    close_out oc
+  end
+  else if Sys.file_exists gpath then
+    Alcotest.(check string) (file ^ " matches golden diagnostics")
+      (read_file gpath) actual
+  else
+    Alcotest.fail
+      (Printf.sprintf "no golden file %s (run with CSRTL_BLESS=1)" gpath)
+
+(* Multi-error acceptance: the doubly broken files really do report
+   each independent error in a single pass. *)
+let test_multi_error () =
+  let count file =
+    let _, diags = diags_of file in
+    List.length (List.filter (fun d -> d.Diag.severity = Diag.Error) diags)
+  in
+  Alcotest.(check bool) "multi_err.vhd reports both syntax errors" true
+    (count "multi_err.vhd" >= 2);
+  Alcotest.(check bool) "double_decl.rtm reports both duplicates" true
+    (count "double_decl.rtm" >= 2);
+  Alcotest.(check bool) "bad_steps.rtm reports both bad steps" true
+    (count "bad_steps.rtm" >= 2);
+  Alcotest.(check bool) "bad.alg reports both broken lines" true
+    (count "bad.alg" >= 2)
+
+(* Resource guards: oversized and deeply nested inputs come back as
+   diagnostics, not OOM or stack overflow.  Generated, not committed. *)
+let test_huge_line () =
+  let line = String.make (10 * 1024 * 1024) 'x' in
+  let check name diags =
+    Alcotest.(check bool) (name ^ " rejected") true (Diag.has_errors diags);
+    Alcotest.(check bool)
+      (name ^ " capped by limits.input-bytes") true
+      (List.exists (fun d -> d.Diag.rule = "limits.input-bytes") diags)
+  in
+  (match C.Rtm.parse line with
+   | Ok _ -> Alcotest.fail "10MB rtm accepted"
+   | Error diags -> check "rtm" diags);
+  (match Csrtl_hls.Parse.parse line with
+   | Ok _ -> Alcotest.fail "10MB alg accepted"
+   | Error diags -> check "alg" diags);
+  let r = Csrtl_vhdl.Parser.parse line in
+  check "vhdl" r.Csrtl_vhdl.Parser.diags
+
+let test_deep_nesting () =
+  (* 100k nested parentheses in an expression: the parser must answer
+     with a diagnostic, not blow the stack *)
+  let b = Buffer.create (1 lsl 20) in
+  Buffer.add_string b
+    "entity deep is\n  port (a : in bit; z : out bit);\nend deep;\n\
+     architecture rtl of deep is\nbegin\n  process (a)\n  begin\n\
+     z <= ";
+  for _ = 1 to 100_000 do Buffer.add_char b '(' done;
+  Buffer.add_char b 'a';
+  for _ = 1 to 100_000 do Buffer.add_char b ')' done;
+  Buffer.add_string b ";\n  end process;\nend rtl;\n";
+  let r = Csrtl_vhdl.Parser.parse (Buffer.contents b) in
+  Alcotest.(check bool) "deep nesting rejected with diagnostics" true
+    (Diag.has_errors r.Csrtl_vhdl.Parser.diags)
+
+let () =
+  let cases =
+    List.map
+      (fun f -> Alcotest.test_case f `Quick (check_case f))
+      (bad_files ())
+  in
+  Alcotest.run "badcorpus"
+    [ ("files", cases);
+      ( "contract",
+        [ Alcotest.test_case "multi-error single pass" `Quick
+            test_multi_error;
+          Alcotest.test_case "10MB line" `Quick test_huge_line;
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting ] ) ]

@@ -878,6 +878,71 @@ let prop_elab_matches_core =
             = Some (Csrtl_kernel.Signal.value (t.Elab.lookup (r ^ "_out"))))
           [ "R0"; "R1" ])
 
+let prop_lexer_total =
+  (* the no-crash contract at the byte level: any string lexes to a
+     token array ending in Eof, problems come back as diagnostics *)
+  QCheck.Test.make ~name:"lexer total on arbitrary bytes" ~count:500
+    QCheck.(string_gen Gen.(char_range '\x00' '\xff'))
+    (fun s ->
+      let toks, _diags = Lexer.tokenize_all s in
+      Array.length toks > 0 && fst toks.(Array.length toks - 1) = Lexer.Eof)
+
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser total on arbitrary bytes" ~count:500
+    QCheck.(string_gen Gen.(char_range '\x00' '\xff'))
+    (fun s ->
+      let r = Parser.parse s in
+      (* partial units are fine; the call simply must not raise *)
+      ignore r.Parser.units;
+      true)
+
+let gen_token =
+  QCheck.Gen.(
+    frequency
+      [ (4, map (fun s -> Lexer.Id s)
+           (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)));
+        (2, map (fun n -> Lexer.Num n) small_nat);
+        (1, map (fun s -> Lexer.Str s)
+           (string_size ~gen:(char_range 'a' 'z') (int_range 0 4)));
+        (12, oneofl
+           [ Lexer.Tick; Lexer.Lparen; Lexer.Rparen; Lexer.Semi;
+             Lexer.Colon; Lexer.Comma; Lexer.Arrow; Lexer.Assign;
+             Lexer.Leq; Lexer.Eq; Lexer.Neq; Lexer.Lt; Lexer.Gt;
+             Lexer.Geq; Lexer.Plus; Lexer.Minus; Lexer.Star; Lexer.Amp;
+             Lexer.Dot; Lexer.Eof ]);
+        (3, oneofl
+           (List.map (fun k -> Lexer.Id k)
+              [ "entity"; "architecture"; "process"; "begin"; "end";
+                "is"; "port"; "of"; "if"; "then"; "wait"; "package" ])) ])
+
+let prop_parse_tokens_total =
+  (* fuel-bounded recovery: an arbitrary token stream (keywords,
+     punctuation, missing Eof, the lot) must come back as partial
+     units + diagnostics, never an exception or a hang *)
+  QCheck.Test.make ~name:"parser total on arbitrary token streams"
+    ~count:500
+    QCheck.(list_of_size (Gen.int_range 0 60) (make gen_token))
+    (fun toks ->
+      let arr =
+        Array.of_list
+          (List.mapi
+             (fun i t -> (t, { Lexer.line = 1; col = i + 1 }))
+             toks)
+      in
+      let r = Parser.parse_tokens arr in
+      ignore r.Parser.units;
+      true)
+
+let prop_emit_parse_diag_free =
+  (* our own emitter must be on the happy path of our own parser:
+     emitted VHDL parses with zero diagnostics of any severity *)
+  QCheck.Test.make ~name:"emit -> parse is diagnostic-free" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let m = Csrtl_verify.Consist.random_model ~size:5 seed in
+      let r = Parser.parse (Emit.to_string m) in
+      r.Parser.diags = [])
+
 let qsuite name tests =
   (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
 
@@ -922,7 +987,9 @@ let () =
             test_lint_rejects_nonsubset_grammar ] );
       qsuite "props"
         [ prop_vhdl_roundtrip_random_models; prop_lint_accepts_all_emitted;
-          prop_pp_parse_identity; prop_elab_matches_core ];
+          prop_pp_parse_identity; prop_elab_matches_core;
+          prop_lexer_total; prop_parser_total; prop_parse_tokens_total;
+          prop_emit_parse_diag_free ];
       ( "elab",
         [ Alcotest.test_case "the paper's literal code runs" `Quick
             test_elab_paper_literal;
