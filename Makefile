@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check fuzz-smoke bench bench-smoke bench-json report examples doc clean
+.PHONY: all build test check fuzz-smoke serve-smoke bench bench-smoke bench-json report examples doc clean
 
 all: build
 
@@ -16,7 +16,7 @@ test:
 # (conflict.rtm does, by design), so both 0 and 1 count as a clean
 # diagnosis here; any other exit fails.  The closing inject run shards
 # across two domains, smoking the worker pool end to end.
-check: build fuzz-smoke
+check: build fuzz-smoke serve-smoke
 	OCAMLRUNPARAM=b dune runtest
 	@mkdir -p _build/check
 	@for f in test/corpus/*.rtm; do \
@@ -68,6 +68,11 @@ check: build fuzz-smoke
 	  _build/check/BENCH_batch.json smoke
 	@dune exec --no-build bench/main.exe -- json-check \
 	  _build/check/BENCH_batch.json
+	@echo "BENCH_serve.json schema smoke:"
+	@dune exec --no-build bench/main.exe -- serve-json \
+	  _build/check/BENCH_serve.json smoke
+	@dune exec --no-build bench/main.exe -- json-check-serve \
+	  _build/check/BENCH_serve.json
 	@echo "make check: all corpus models validated"
 
 # Deterministic fuzz pass over the untrusted-input frontier (VHDL,
@@ -77,6 +82,78 @@ check: build fuzz-smoke
 fuzz-smoke: build
 	@dune exec --no-build csrtl -- fuzz --seed 42 --runs 2000 \
 	  --out _build/fuzz
+
+# The campaign-as-a-service lifecycle against a real daemon
+# (docs/SERVICE.md): cold + cached request pair byte-compared against
+# offline inject, an engine/batch differential, SIGKILL mid-campaign
+# followed by a restart that resumes from the journal, 10k fuzzed
+# request frames (the acceptance bar: zero crash signatures), and a
+# graceful shutdown.  The socket lives under /tmp to stay inside the
+# ~108-byte sun_path cap.
+serve-smoke: build
+	@echo "serve smoke (daemon lifecycle):"
+	@CSRTL=_build/default/bin/csrtl.exe; \
+	SOCK=/tmp/csrtl-smoke-$$$$.sock; STATE=_build/check/serve-state; \
+	mkdir -p _build/check; rm -rf $$STATE; rm -f $$SOCK; \
+	trap 'rm -f '"$$SOCK" EXIT; \
+	{ echo "model smoke"; echo "csmax 65"; \
+	  echo "reg R0 init 1"; echo "reg R1 init 2"; \
+	  echo "bus BA BB"; echo "unit ADD ops add latency 1"; \
+	  i=0; while [ $$i -lt 32 ]; do r=$$((2 * i + 1)); \
+	    d=R1; [ $$((i % 2)) -eq 1 ] && d=R0; \
+	    echo "transfer R0 BA R1 BB $$r ADD $$((r + 1)) BA $$d"; \
+	    i=$$((i + 1)); done; } > _build/check/serve_smoke.rtm; \
+	$$CSRTL inject _build/check/serve_smoke.rtm \
+	  > _build/check/serve_offline.out; \
+	$$CSRTL inject _build/check/serve_smoke.rtm --engine kernel --batch 1 \
+	  --table > _build/check/serve_offline_k.out; \
+	$$CSRTL serve --socket $$SOCK --state-dir $$STATE --quiet & \
+	SERVE_PID=$$!; \
+	$$CSRTL request --socket $$SOCK --retry 100 --ping > /dev/null || \
+	  { echo "serve smoke FAILED: daemon never answered ping"; exit 1; }; \
+	$$CSRTL request --socket $$SOCK _build/check/serve_smoke.rtm \
+	  > _build/check/serve_cold.out 2> /dev/null; \
+	cmp _build/check/serve_offline.out _build/check/serve_cold.out || \
+	  { echo "serve smoke FAILED: cold response differs from offline"; \
+	    exit 1; }; \
+	$$CSRTL request --socket $$SOCK _build/check/serve_smoke.rtm \
+	  > _build/check/serve_cached.out 2> _build/check/serve_cached.err; \
+	cmp _build/check/serve_offline.out _build/check/serve_cached.out || \
+	  { echo "serve smoke FAILED: cached response differs"; exit 1; }; \
+	grep -q "model cached" _build/check/serve_cached.err || \
+	  { echo "serve smoke FAILED: second request missed the cache"; \
+	    exit 1; }; \
+	$$CSRTL request --socket $$SOCK _build/check/serve_smoke.rtm \
+	  --engine kernel --batch 1 --table \
+	  > _build/check/serve_k.out 2> /dev/null; \
+	cmp _build/check/serve_offline_k.out _build/check/serve_k.out || \
+	  { echo "serve smoke FAILED: engine/batch differential"; exit 1; }; \
+	echo "  cold + cached + kernel/batch=1 responses byte-identical"; \
+	( $$CSRTL request --socket $$SOCK _build/check/serve_smoke.rtm \
+	    --no-resume --engine kernel --batch 1 > /dev/null 2>&1 & \
+	  cpid=$$!; sleep 0.05; kill -9 $$SERVE_PID 2> /dev/null; \
+	  wait $$cpid 2> /dev/null; true ); \
+	wait $$SERVE_PID 2> /dev/null; rm -f $$SOCK; \
+	$$CSRTL serve --socket $$SOCK --state-dir $$STATE --quiet & \
+	SERVE_PID=$$!; \
+	$$CSRTL request --socket $$SOCK --retry 100 \
+	  _build/check/serve_smoke.rtm \
+	  > _build/check/serve_resumed.out 2> _build/check/serve_resumed.err; \
+	cmp _build/check/serve_offline.out _build/check/serve_resumed.out || \
+	  { echo "serve smoke FAILED: post-SIGKILL resume differs"; exit 1; }; \
+	sed 's/^/  /' _build/check/serve_resumed.err; \
+	echo "  SIGKILLed daemon restarted and resumed to a byte-identical report"; \
+	$$CSRTL request --socket $$SOCK --shutdown > /dev/null || \
+	  { echo "serve smoke FAILED: shutdown request"; exit 1; }; \
+	wait $$SERVE_PID; rc=$$?; \
+	[ $$rc -eq 0 ] || \
+	  { echo "serve smoke FAILED: daemon exit $$rc"; exit 1; }; \
+	test ! -e $$SOCK || \
+	  { echo "serve smoke FAILED: socket left behind"; exit 1; }; \
+	echo "  graceful shutdown: exit 0, socket removed"
+	@echo "wire-frame fuzz (10k frames, zero-crash acceptance bar):"
+	@dune exec --no-build csrtl -- fuzz --target frame --seed 42 \
+	  --runs 10000 --out _build/fuzz-frames
 
 bench:
 	dune exec bench/main.exe
@@ -88,10 +165,14 @@ bench-smoke:
 	dune exec bench/main.exe -- smoke
 
 # The C12 matrix (faults/sec: kernel vs batched lockstep at
-# K in {1,8,32,64}, per jobs count) as machine-readable JSON.
+# K in {1,8,32,64}, per jobs count) and the C13 serve matrix
+# (requests/sec at N clients, cold vs cached, responses byte-compared
+# against offline inject) as machine-readable JSON.
 bench-json:
 	dune exec bench/main.exe -- bench-json BENCH_batch.json
 	dune exec bench/main.exe -- json-check BENCH_batch.json
+	dune exec bench/main.exe -- serve-json BENCH_serve.json
+	dune exec bench/main.exe -- json-check-serve BENCH_serve.json
 
 report:
 	dune exec bench/main.exe -- report

@@ -200,6 +200,25 @@ let () =
       | [] -> "BENCH_batch.json"
     in
     Report.bench_json ~smoke ~out ()
+  | "serve-json" ->
+    let rest = Array.to_list (Array.sub argv 2 (Array.length argv - 2)) in
+    let smoke = List.mem "smoke" rest in
+    let out =
+      match List.filter (fun a -> a <> "smoke") rest with
+      | o :: _ -> o
+      | [] -> "BENCH_serve.json"
+    in
+    Report.serve_json ~smoke ~out ()
+  | "json-check-serve" ->
+    if Array.length argv < 3 then begin
+      prerr_endline "usage: main.exe json-check-serve FILE";
+      exit 2
+    end;
+    (match Report.json_check_serve argv.(2) with
+     | Ok msg -> print_endline msg
+     | Error e ->
+       Printf.eprintf "%s: schema check FAILED: %s\n" argv.(2) e;
+       exit 1)
   | "json-check" ->
     if Array.length argv < 3 then begin
       prerr_endline "usage: main.exe json-check FILE";

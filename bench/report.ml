@@ -992,6 +992,236 @@ let json_check path =
   | Bad_json e -> Error e
   | Sys_error e -> Error e
 
+(* -- C13: campaign-as-a-service throughput --------------------------------- *)
+
+(* Requests/sec against a live csrtl-serve daemon, N concurrent
+   clients, cold (every request a fresh model, compile-cache miss) vs
+   cached (one model repeated).  The daemon runs in-process on a
+   thread with signal handling off; clients speak the real socket
+   protocol through Csrtl_serve.Client, so the measured path is the
+   shipped one end to end.  Every response is byte-compared against
+   the offline report — a fast wrong answer is not a data point. *)
+
+type serve_point = {
+  sp_clients : int;
+  sp_mode : string;  (* "cold" | "cached" *)
+  sp_requests : int;
+  sp_wall_us : float;
+  sp_rps : float;
+  sp_identical : bool;
+}
+
+let serve_points ~smoke () =
+  let module S = Csrtl_serve in
+  let base = Workloads.chain (if smoke then 4 else 8) in
+  let model_named name = { base with C.Model.name = name } in
+  let state_dir = Filename.temp_file "csrtl_bench" ".state" in
+  Sys.remove state_dir;
+  let sock = Filename.temp_file "csrtl" ".sock" in
+  Sys.remove sock;
+  let config =
+    { Csrtl_serve.Server.default_config with
+      socket_path = sock; signals = false;
+      engine =
+        { Csrtl_serve.Engine.default_config with
+          state_dir; max_pending = 64 } }
+  in
+  let server = Thread.create (fun () -> S.Server.serve ~config ()) () in
+  (match S.Client.connect ~retries:500 ~delay:0.01 sock with
+   | Ok c -> S.Client.close c
+   | Error e -> failwith ("serve bench: daemon never came up: " ^ e));
+  let expected_cache = Hashtbl.create 16 in
+  let expected_lock = Mutex.create () in
+  let expected name =
+    Mutex.lock expected_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock expected_lock) (fun () ->
+        match Hashtbl.find_opt expected_cache name with
+        | Some t -> t
+        | None ->
+          let t =
+            S.Engine.render_report ~table:false
+              (Csrtl_fault.Campaign.run (model_named name))
+          in
+          Hashtbl.replace expected_cache name t;
+          t)
+  in
+  let rec await_report conn =
+    match S.Client.next conn with
+    | None -> Error "daemon closed the connection"
+    | Some (_, Ok (S.Frame.Report { text; _ })) -> Ok text
+    | Some (_, Ok (S.Frame.Refused _)) -> Error "request refused"
+    | Some (_, Ok (S.Frame.Drained _)) -> Error "campaign drained"
+    | Some (_, Ok _) -> await_report conn
+    | Some (_, Error _) -> Error "undecodable response"
+  in
+  let run_point idx clients mode =
+    let per = if smoke then 2 else 6 in
+    let identical = Atomic.make true in
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.init clients (fun ci ->
+          Thread.create
+            (fun () ->
+              match S.Client.connect sock with
+              | Error _ -> Atomic.set identical false
+              | Ok conn ->
+                Fun.protect
+                  ~finally:(fun () -> S.Client.close conn)
+                  (fun () ->
+                    for r = 0 to per - 1 do
+                      let name =
+                        match mode with
+                        | `Cold -> Printf.sprintf "cold_%d_%d_%d" idx ci r
+                        | `Cached -> "cached_chain"
+                      in
+                      let q =
+                        { S.Frame.model = C.Rtm.to_string (model_named name);
+                          engine = `Auto; batch = 32; limit = None;
+                          budget_ms = None; deadline_ms = None;
+                          table = false; stream = false; resume = false }
+                      in
+                      match S.Client.send conn (S.Frame.Inject q) with
+                      | Error _ -> Atomic.set identical false
+                      | Ok () ->
+                        (match await_report conn with
+                         | Ok text when text = expected name -> ()
+                         | Ok _ | Error _ -> Atomic.set identical false)
+                    done))
+            ())
+    in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let requests = clients * per in
+    { sp_clients = clients;
+      sp_mode = (match mode with `Cold -> "cold" | `Cached -> "cached");
+      sp_requests = requests; sp_wall_us = wall *. 1e6;
+      sp_rps = (if wall > 0. then float_of_int requests /. wall else 0.);
+      sp_identical = Atomic.get identical }
+  in
+  let fan = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let points =
+    List.concat_map
+      (fun clients ->
+        List.mapi
+          (fun i mode -> run_point ((clients * 2) + i) clients mode)
+          [ `Cold; `Cached ])
+      fan
+  in
+  (* drain the daemon and reclaim its state *)
+  (match S.Client.connect sock with
+   | Ok c ->
+     ignore (S.Client.send c S.Frame.Shutdown);
+     (match S.Client.next c with _ -> ());
+     S.Client.close c
+   | Error _ -> ());
+  Thread.join server;
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter
+        (fun f -> rm_rf (Filename.concat path f))
+        (Sys.readdir path);
+      Unix.rmdir path
+    | _ -> Unix.unlink path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  in
+  rm_rf state_dir;
+  points
+
+let serve_json ?(smoke = false) ~out () =
+  let points = serve_points ~smoke () in
+  let oc = open_out out in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"csrtl-bench-serve/1\",\n";
+  p "  \"smoke\": %b,\n" smoke;
+  p "  \"points\": [\n";
+  List.iteri
+    (fun i pt ->
+      p
+        "    {\"clients\": %d, \"mode\": \"%s\", \"requests\": %d, \
+         \"wall_us\": %.1f, \"requests_per_sec\": %.2f, \"identical\": %b}%s\n"
+        pt.sp_clients pt.sp_mode pt.sp_requests pt.sp_wall_us pt.sp_rps
+        pt.sp_identical
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Format.printf "wrote %s: %d points@." out (List.length points);
+  Format.printf "  %-8s %-7s %10s %14s %10s@." "clients" "mode" "requests"
+    "req/s" "identical";
+  List.iter
+    (fun pt ->
+      Format.printf "  %-8d %-7s %10d %14.2f %10b@." pt.sp_clients pt.sp_mode
+        pt.sp_requests pt.sp_rps pt.sp_identical)
+    points
+
+(* Schema: {schema: "csrtl-bench-serve/1", smoke: bool, points:
+   [{clients >= 1, mode: cold|cached, requests >= 1, wall_us > 0,
+   requests_per_sec >= 0, identical: true}+]}.  As with the batch
+   matrix, [identical] must be [true] everywhere. *)
+let json_check_serve path =
+  try
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let field name = function
+      | Jobj kvs ->
+        (match List.assoc_opt name kvs with
+         | Some v -> v
+         | None -> raise (Bad_json (Printf.sprintf "missing field %S" name)))
+      | _ -> raise (Bad_json (Printf.sprintf "expected an object at %S" name))
+    in
+    let str name j =
+      match field name j with
+      | Jstr s -> s
+      | _ -> raise (Bad_json (Printf.sprintf "%S must be a string" name))
+    in
+    let num name j =
+      match field name j with
+      | Jnum f -> f
+      | _ -> raise (Bad_json (Printf.sprintf "%S must be a number" name))
+    in
+    let bool_ name j =
+      match field name j with
+      | Jbool b -> b
+      | _ -> raise (Bad_json (Printf.sprintf "%S must be a boolean" name))
+    in
+    let root = parse_json text in
+    if str "schema" root <> "csrtl-bench-serve/1" then
+      raise (Bad_json "unknown schema tag");
+    ignore (bool_ "smoke" root);
+    let points =
+      match field "points" root with
+      | Jlist [] -> raise (Bad_json "\"points\" must not be empty")
+      | Jlist xs -> xs
+      | _ -> raise (Bad_json "\"points\" must be a list")
+    in
+    List.iter
+      (fun pt ->
+        if num "clients" pt < 1. then
+          raise (Bad_json "clients must be >= 1");
+        let mode = str "mode" pt in
+        if mode <> "cold" && mode <> "cached" then
+          raise (Bad_json "mode must be cold|cached");
+        if num "requests" pt < 1. then
+          raise (Bad_json "requests must be >= 1");
+        if num "wall_us" pt <= 0. then
+          raise (Bad_json "wall_us must be positive");
+        if num "requests_per_sec" pt < 0. then
+          raise (Bad_json "negative requests_per_sec");
+        if not (bool_ "identical" pt) then
+          raise (Bad_json "a point reported non-identical report bytes"))
+      points;
+    Ok
+      (Printf.sprintf "%s: schema csrtl-bench-serve/1 ok (%d points)" path
+         (List.length points))
+  with
+  | Bad_json e -> Error e
+  | Sys_error e -> Error e
+
 let run () =
   Format.printf
     "csrtl experiment report - regenerates the paper's figures, table and \

@@ -1046,7 +1046,7 @@ let fuzz_cmd =
               (fun n ->
                 match F.target_of_string n with
                 | Some t -> t
-                | None -> die2 "unknown fuzz target %s (vhdl|rtm|alg)" n)
+                | None -> die2 "unknown fuzz target %s (vhdl|rtm|alg|frame)" n)
               names
         in
         let progress done_ crashes =
@@ -1067,6 +1067,328 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const run $ seed $ runs $ targets $ out_dir $ budget)
+
+(* -- serve / request -------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(value & opt string "csrtl.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix socket path the daemon listens on.")
+
+let serve_cmd =
+  let module Serve = Csrtl_serve in
+  let state_dir =
+    Arg.(value & opt string "csrtl-serve-state"
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:"Directory for campaign journals (one per resume \
+                   token); created if missing.  Surviving a restart is \
+                   the point: journals here make crash recovery a \
+                   resend.")
+  in
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Domain-pool width shared by all campaigns; 0 means \
+                   one per core.")
+  in
+  let cache =
+    Arg.(value & opt int 64
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Compile-cache capacity in models (bounded LRU).")
+  in
+  let max_pending =
+    Arg.(value & opt int 4
+         & info [ "max-pending" ] ~docv:"N"
+             ~doc:"Campaigns admitted concurrently; excess requests \
+                   are refused with status 1 instead of queuing \
+                   without bound.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Server-wide wall-clock deadline per request; a \
+                   campaign still running at the deadline drains to \
+                   its journal and answers with a resume token.")
+  in
+  let max_request_bytes =
+    Arg.(value & opt int (64 * 1024 * 1024)
+         & info [ "max-request-bytes" ] ~docv:"N"
+             ~doc:"Transport cap per request line; longer lines are \
+                   discarded and refused with a diagnostic.")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet" ] ~doc:"Suppress lifecycle notes on stderr.")
+  in
+  let run socket state_dir jobs cache max_pending deadline_ms
+      max_request_bytes quiet =
+    handle_errors (fun () ->
+        if cache < 1 then die2 "--cache must be at least 1 (got %d)" cache;
+        if max_pending < 1 then
+          die2 "--max-pending must be at least 1 (got %d)" max_pending;
+        if max_request_bytes < 1024 then
+          die2 "--max-request-bytes must be at least 1024 (got %d)"
+            max_request_bytes;
+        (match deadline_ms with
+         | Some ms when ms < 0 ->
+           die2 "--deadline-ms must be >= 0 (got %d)" ms
+         | _ -> ());
+        let config =
+          { Serve.Server.engine =
+              { Serve.Engine.default_config with
+                state_dir; jobs; cache_capacity = cache; max_pending;
+                default_deadline_ms = deadline_ms };
+            socket_path = socket; max_request_bytes; signals = true;
+            log =
+              (if quiet then fun _ -> ()
+               else fun msg -> Format.eprintf "serve: %s@." msg) }
+        in
+        Serve.Server.serve ~config ())
+  in
+  let doc =
+    "Run the campaign-as-a-service daemon: line-delimited JSON over a \
+     Unix socket (see docs/SERVICE.md).  Campaign responses are \
+     byte-identical to offline $(b,csrtl inject) output; every \
+     campaign is journaled under $(b,--state-dir) and resumable by \
+     resending the request.  SIGTERM/SIGINT drain in-flight campaigns \
+     to their journal checkpoint and exit cleanly."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ state_dir $ jobs $ cache $ max_pending
+          $ deadline_ms $ max_request_bytes $ quiet)
+
+let request_cmd =
+  let module Serve = Csrtl_serve in
+  let model_pos =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"MODEL"
+             ~doc:"Model file (.rtm) to run a campaign on.")
+  in
+  let ping =
+    Arg.(value & flag
+         & info [ "ping" ] ~doc:"Health-check the daemon and exit.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print daemon counters (requests, cache hits, drains) \
+                   and exit.")
+  in
+  let shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Ask the daemon to drain in-flight campaigns and \
+                   exit.")
+  in
+  let raw =
+    Arg.(value & opt (some string) None
+         & info [ "raw" ] ~docv:"LINE"
+             ~doc:"Send $(docv) verbatim as one request frame and print \
+                   the raw response lines — protocol debugging.")
+  in
+  let engine =
+    Arg.(value
+         & opt
+             (enum
+                [ ("kernel", `Kernel); ("compiled", `Compiled);
+                  ("auto", `Auto) ])
+             `Auto
+         & info [ "engine" ]
+             ~doc:"Engine for the faulted runs (as in $(b,csrtl \
+                   inject)); the report is byte-identical whichever \
+                   engine computes it.")
+  in
+  let batch =
+    Arg.(value & opt int 32 & info [ "batch" ] ~docv:"K"
+         ~doc:"Lockstep batch size K for the compiled engine.")
+  in
+  let limit =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"K"
+             ~doc:"Subsample the fault list to at most $(docv) entries.")
+  in
+  let budget_ms =
+    Arg.(value & opt (some int) None
+         & info [ "budget-ms" ] ~docv:"MS"
+             ~doc:"Per-fault wall-clock budget; overruns classify as \
+                   hung.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Whole-request deadline; on expiry the daemon drains \
+                   the campaign to its journal and answers with a \
+                   resume token (0 = drain immediately).")
+  in
+  let table =
+    Arg.(value & flag
+         & info [ "table" ]
+             ~doc:"Include the per-fault table in the report.")
+  in
+  let jsonl =
+    Arg.(value & flag
+         & info [ "jsonl" ]
+             ~doc:"Stream raw JSONL response frames (including per-fault \
+                   entries) to stdout instead of the rendered report.")
+  in
+  let no_resume =
+    Arg.(value & flag
+         & info [ "no-resume" ]
+             ~doc:"Recompute from scratch even when the daemon holds a \
+                   journal for this request.")
+  in
+  let retry =
+    Arg.(value & opt int 0
+         & info [ "retry" ] ~docv:"N"
+             ~doc:"Retry a refused or missing socket up to $(docv) \
+                   times (50 ms apart) — for scripts racing the \
+                   daemon's startup.")
+  in
+  let run socket model_pos ping stats shutdown raw engine batch limit
+      budget_ms deadline_ms table jsonl no_resume retry =
+    handle_errors (fun () ->
+        let conn =
+          match Serve.Client.connect ~retries:retry socket with
+          | Ok c -> c
+          | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            exit exit_bad_input
+        in
+        let finish_with_status status = exit status in
+        let rec drain_responses ~jsonl ~on_report =
+          match Serve.Client.next conn with
+          | None ->
+            Format.eprintf
+              "error: the daemon closed the connection mid-request; any \
+               completed faults are journaled and resumable@.";
+            exit exit_bug
+          | Some (raw_line, decoded) ->
+            (match decoded with
+             | Error diags ->
+               prerr_string (Diag.render_all diags);
+               exit exit_bug
+             | Ok resp ->
+               (match resp with
+                | Serve.Frame.Pong { version } ->
+                  Format.printf "pong %s@." version;
+                  finish_with_status 0
+                | Serve.Frame.Stats_reply s ->
+                  Format.printf
+                    "requests %d | campaigns %d | drained %d | refused %d@ \
+                     cache: %d hits, %d misses, %d evictions (%d/%d \
+                     models)@."
+                    s.Serve.Frame.requests s.Serve.Frame.campaigns
+                    s.Serve.Frame.drained s.Serve.Frame.refused
+                    s.Serve.Frame.hits s.Serve.Frame.misses
+                    s.Serve.Frame.evictions s.Serve.Frame.entries
+                    s.Serve.Frame.capacity;
+                  finish_with_status 0
+                | Serve.Frame.Bye ->
+                  Format.printf "bye@.";
+                  finish_with_status 0
+                | Serve.Frame.Started { token; total; cached } ->
+                  Format.eprintf "request %s: %d fault(s)%s@." token total
+                    (if cached then ", model cached" else "");
+                  drain_responses ~jsonl ~on_report
+                | Serve.Frame.Entry _ ->
+                  if jsonl then print_endline raw_line;
+                  drain_responses ~jsonl ~on_report
+                | Serve.Frame.Report
+                    { status; reused; rerun; torn; text; _ } ->
+                  if jsonl then print_endline raw_line
+                  else on_report text;
+                  Format.eprintf "journal: %d reused, %d re-run, %d torn@."
+                    reused rerun torn;
+                  finish_with_status status
+                | Serve.Frame.Drained
+                    { status; token; completed; total; reason } ->
+                  if jsonl then print_endline raw_line
+                  else
+                    Format.printf "drained (%s); resume token %s@." reason
+                      token;
+                  Format.eprintf
+                    "campaign drained after %d/%d fault(s); resend the \
+                     request to resume@."
+                    completed total;
+                  finish_with_status status
+                | Serve.Frame.Refused { status; diags } ->
+                  prerr_string (Diag.render_all diags);
+                  finish_with_status status))
+        in
+        let send_or_die r =
+          match r with
+          | Ok () -> ()
+          | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            exit exit_bug
+        in
+        match raw with
+        | Some line ->
+          send_or_die (Serve.Client.send_raw conn line);
+          (* raw mode prints whatever comes back, undecoded *)
+          let rec raw_loop () =
+            match Serve.Client.next conn with
+            | None -> exit exit_bug
+            | Some (raw_line, decoded) ->
+              print_endline raw_line;
+              (match decoded with
+               | Ok (Serve.Frame.Started _ | Serve.Frame.Entry _) ->
+                 raw_loop ()
+               | Ok
+                   ( Serve.Frame.Report { status; _ }
+                   | Serve.Frame.Drained { status; _ }
+                   | Serve.Frame.Refused { status; _ } ) -> exit status
+               | Ok _ -> exit 0
+               | Error _ -> exit exit_bug)
+          in
+          raw_loop ()
+        | None ->
+          if ping then begin
+            send_or_die (Serve.Client.send conn Serve.Frame.Ping);
+            drain_responses ~jsonl ~on_report:print_string
+          end
+          else if stats then begin
+            send_or_die (Serve.Client.send conn Serve.Frame.Stats);
+            drain_responses ~jsonl ~on_report:print_string
+          end
+          else if shutdown then begin
+            send_or_die (Serve.Client.send conn Serve.Frame.Shutdown);
+            drain_responses ~jsonl ~on_report:print_string
+          end
+          else
+            match model_pos with
+            | None ->
+              die2
+                "a MODEL argument is required (or one of --ping, --stats, \
+                 --shutdown, --raw)"
+            | Some path ->
+              if
+                Filename.check_suffix path ".vhd"
+                || Filename.check_suffix path ".vhdl"
+              then
+                die2
+                  "serve requests carry .rtm text; convert VHDL first \
+                   (csrtl import-vhdl)";
+              let model = read_file path in
+              send_or_die
+                (Serve.Client.send conn
+                   (Serve.Frame.Inject
+                      { Serve.Frame.model; engine; batch; limit;
+                        budget_ms; deadline_ms; table;
+                        stream = jsonl; resume = not no_resume }));
+              drain_responses ~jsonl ~on_report:print_string)
+  in
+  let doc =
+    "Send one request to a running $(b,csrtl serve) daemon.  Campaign \
+     reports are byte-identical to offline $(b,csrtl inject) output for \
+     the same model and options.  Exit status follows the wire status \
+     code: 0 clean, 1 findings/busy/drained, 2 bad input, 3 daemon or \
+     transport failure."
+  in
+  Cmd.v (Cmd.info "request" ~doc)
+    Term.(const run $ socket_arg $ model_pos $ ping $ stats $ shutdown
+          $ raw $ engine $ batch $ limit $ budget_ms $ deadline_ms $ table
+          $ jsonl $ no_resume $ retry)
 
 let info_cmd =
   let run path =
@@ -1097,4 +1419,4 @@ let () =
           [ sim_cmd; check_cmd; export_cmd; import_cmd; lint_cmd;
             run_vhdl_cmd; lower_cmd; compact_cmd; trace_cmd; coverage_cmd;
             selfcheck_cmd; hls_cmd; iks_cmd; dot_cmd; inject_cmd;
-            fuzz_cmd; info_cmd ]))
+            serve_cmd; request_cmd; fuzz_cmd; info_cmd ]))

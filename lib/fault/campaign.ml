@@ -381,22 +381,28 @@ let map_faults ?pool ?jobs ?chunks compute faults =
 
 (* Shard the planned work across the pool (or run it inline), then
    reassemble entries in fault order — the report is independent of
-   jobs, chunking and batch size. *)
-let compute_all ?pool ?jobs ?chunks ~par ~ctx ~engine ~batch ~on_entry
-    indexed =
+   jobs, chunking and batch size.  [should_stop] is polled before each
+   work item: once it answers true, remaining items are skipped (their
+   faults simply produce no entry), which is how a daemon drains an
+   in-flight campaign to its journal checkpoint without killing the
+   pool.  Completed items are never discarded, so a drained campaign
+   plus its resumption is byte-identical to an uninterrupted one. *)
+let compute_all ?pool ?jobs ?chunks ?(should_stop = fun () -> false) ~par
+    ~ctx ~engine ~batch ~on_entry indexed =
   let work = plan_work ~ctx ~engine ~batch indexed in
+  let compute w =
+    if should_stop () then ([], no_stats) else compute_work ~ctx ~on_entry w
+  in
   let results =
-    if par then
-      map_faults ?pool ?jobs ?chunks (compute_work ~ctx ~on_entry) work
-    else List.map (compute_work ~ctx ~on_entry) work
+    if par then map_faults ?pool ?jobs ?chunks compute work
+    else List.map compute work
   in
   let entries =
     List.sort
       (fun (i, _) (j, _) -> compare (i : int) j)
       (List.concat_map fst results)
   in
-  (List.map snd entries,
-   List.fold_left (fun a (_, s) -> add_stats a s) no_stats results)
+  (entries, List.fold_left (fun a (_, s) -> add_stats a s) no_stats results)
 
 let run ?(config = Simulate.default) ?limit ?faults ?budget ?(restore = true)
     ?(engine : engine = `Auto) ?(batch = 32) (m : Model.t) =
@@ -407,7 +413,7 @@ let run ?(config = Simulate.default) ?limit ?faults ?budget ?(restore = true)
       ~on_entry:(fun _ _ -> ())
       (List.mapi (fun i f -> (i, f)) faults)
   in
-  summarize m entries
+  summarize m (List.map snd entries)
 
 let run_with_stats ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
     ?faults ?budget ?(restore = true) ?(engine : engine = `Auto)
@@ -422,7 +428,7 @@ let run_with_stats ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
       ~on_entry:(fun _ _ -> ())
       (List.mapi (fun i f -> (i, f)) faults)
   in
-  (summarize m entries, stats)
+  (summarize m (List.map snd entries), stats)
 
 let run_parallel ?pool ?jobs ?chunks ?config ?limit ?faults ?budget ?restore
     ?engine ?batch (m : Model.t) =
@@ -430,11 +436,12 @@ let run_parallel ?pool ?jobs ?chunks ?config ?limit ?faults ?budget ?restore
     (run_with_stats ?pool ?jobs ?chunks ?config ?limit ?faults ?budget
        ?restore ?engine ?batch m)
 
-type resume_info = { reused : int; rerun : int; torn : int }
+type resume_info = { reused : int; rerun : int; torn : int; remaining : int }
 
 let run_journaled ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
     ?faults ?budget ?(restore = true) ?(engine : engine = `Auto)
-    ?(batch = 32) ~journal ~resume (m : Model.t) =
+    ?(batch = 32) ?should_stop ?on_entry:user_on_entry ~journal ~resume
+    (m : Model.t) =
   let faults = fault_list ?limit ?faults m in
   let labels = List.map Fault.to_string faults in
   let total = List.length faults in
@@ -498,37 +505,51 @@ let run_journaled ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
     in
     (* every finished fault is journaled before its work item returns
        — batched chunks append their entries as a group, so a crash
-       loses at most the chunk in flight *)
+       loses at most the chunk in flight.  The user callback (a daemon
+       streaming entries to its client) fires after the journal write:
+       a streamed entry is always recoverable from disk *)
     let on_entry i (e : entry) =
       Journal.append w
         { Journal.index = i; fault_label = label_arr.(i);
           kernel = e.kernel_outcome; interp = e.interp_outcome;
-          cycles = e.kernel_cycles; law_ok = e.law_ok }
+          cycles = e.kernel_cycles; law_ok = e.law_ok };
+      match user_on_entry with None -> () | Some f -> f i e
     in
     let computed, _ =
-      compute_all ?pool ?jobs ?chunks ~par:true ~ctx ~engine ~batch ~on_entry
+      compute_all ?pool ?jobs ?chunks ?should_stop ~par:true ~ctx ~engine
+        ~batch ~on_entry
         (List.map (fun i -> (i, fault_arr.(i))) todo)
     in
+    Journal.sync w;
     let computed_tbl = Hashtbl.create 64 in
-    List.iter2
-      (fun i e -> Hashtbl.replace computed_tbl i e)
-      todo computed;
+    List.iter
+      (fun (i, e) -> Hashtbl.replace computed_tbl i e)
+      computed;
+    (* a drained run leaves faults with neither a reused nor a computed
+       entry; they are simply absent from the (partial) report and
+       counted in [remaining] *)
     let entries =
-      List.init total (fun i ->
+      List.filter_map
+        (fun i ->
           match Hashtbl.find_opt computed_tbl i with
-          | Some e -> e
+          | Some e -> Some e
           | None ->
-            let je = Hashtbl.find done_tbl i in
-            { fault = fault_arr.(i);
-              kernel_outcome = je.Journal.kernel;
-              interp_outcome = je.Journal.interp;
-              kernel_cycles = je.Journal.cycles;
-              law_ok = je.Journal.law_ok })
+            (match Hashtbl.find_opt done_tbl i with
+             | Some je ->
+               Some
+                 { fault = fault_arr.(i);
+                   kernel_outcome = je.Journal.kernel;
+                   interp_outcome = je.Journal.interp;
+                   kernel_cycles = je.Journal.cycles;
+                   law_ok = je.Journal.law_ok }
+             | None -> None))
+        (List.init total Fun.id)
     in
+    let rerun = List.length computed in
     Ok
       ( summarize m entries,
-        { reused = List.length reused_entries; rerun = List.length todo; torn }
-      )
+        { reused = List.length reused_entries; rerun; torn;
+          remaining = total - List.length reused_entries - rerun } )
 
 let pp_outcome = Outcome.pp
 

@@ -126,25 +126,42 @@ type resume_info = {
   torn : int;  (** journal lines discarded: truncated by a crash,
                    failed their integrity hash, out of range,
                    duplicated, or label-mismatched *)
+  remaining : int;
+      (** faults left unrun because [should_stop] drained the
+          campaign; [0] for a completed run.  When non-zero the
+          report is partial — its [total] counts only the entries it
+          has — and re-invoking with [resume:true] finishes it. *)
 }
 
 val run_journaled :
   ?pool:Csrtl_par.Par.t -> ?jobs:int -> ?chunks:int ->
   ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
   ?budget:float -> ?restore:bool -> ?engine:engine -> ?batch:int ->
+  ?should_stop:(unit -> bool) -> ?on_entry:(int -> entry -> unit) ->
   journal:string -> resume:bool ->
   Model.t -> (report * resume_info, string) result
 (** {!run_parallel} with crash durability: every finished fault is
     appended to the JSONL [journal] ({!Journal}) before the campaign
-    moves on.  With [resume] false the journal is truncated and the
-    whole campaign runs.  With [resume] true the journal is read
-    first: entries that parse, pass their integrity hash and match
-    the fault list are reused verbatim; torn or missing entries are
-    re-run (and appended).  The resumed report is byte-identical to
-    an uninterrupted run's — reused entries round-trip through the
-    journal losslessly.  [Error] when the journal is unreadable,
-    malformed, or was written for a different campaign (model digest,
-    config tag, or fault-list digest disagree). *)
+    moves on, and the journal is fsynced ({!Journal.sync}) when the
+    campaign completes or drains.  With [resume] false the journal is
+    truncated and the whole campaign runs.  With [resume] true the
+    journal is read first: entries that parse, pass their integrity
+    hash and match the fault list are reused verbatim; torn or
+    missing entries are re-run (and appended).  The resumed report is
+    byte-identical to an uninterrupted run's — reused entries
+    round-trip through the journal losslessly.  [Error] when the
+    journal is unreadable, malformed, or was written for a different
+    campaign (model digest, config tag, or fault-list digest
+    disagree).
+
+    [should_stop] is polled between work items (from pool domains —
+    it must be thread-safe and cheap, e.g. an [Atomic.t] read or a
+    deadline comparison); once true, unstarted items are skipped and
+    the run returns early with [resume_info.remaining] counting the
+    skipped faults — the daemon's graceful-drain path.  [on_entry]
+    fires after each computed entry has been journaled (also from
+    pool domains), so a streaming consumer never sees an entry the
+    journal could lose. *)
 
 val run_with_stats :
   ?pool:Csrtl_par.Par.t -> ?jobs:int -> ?chunks:int ->

@@ -16,14 +16,15 @@ open Csrtl_core
 (* JSON subset                                                        *)
 (* ------------------------------------------------------------------ *)
 
-type json =
-  | Bool of bool
-  | Int of int
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
 
-let buf_add_escaped b s =
+  let buf_add_escaped b s =
   String.iter
     (fun c ->
       match c with
@@ -37,7 +38,7 @@ let buf_add_escaped b s =
       | c -> Buffer.add_char b c)
     s
 
-let rec buf_add_json b = function
+  let rec buf_add_json b = function
   | Bool v -> Buffer.add_string b (if v then "true" else "false")
   | Int i -> Buffer.add_string b (string_of_int i)
   | Str s ->
@@ -63,15 +64,19 @@ let rec buf_add_json b = function
       fields;
     Buffer.add_char b '}'
 
-let json_to_string v =
-  let b = Buffer.create 128 in
-  buf_add_json b v;
-  Buffer.contents b
+  let to_string v =
+    let b = Buffer.create 128 in
+    buf_add_json b v;
+    Buffer.contents b
 
-exception Bad of string
+  exception Bad of string
 
-let parse_json (s : string) : json =
-  let n = String.length s in
+  (* [max_depth] bounds container nesting: this parser also sits on the
+     serve daemon's wire frontier, where an adversarial ["[[[[..."] line
+     must yield a [Bad] diagnostic, not a stack overflow.  Journal lines
+     nest two levels deep; the default leaves ample headroom. *)
+  let parse ?(max_depth = 64) (s : string) : t =
+    let n = String.length s in
   let pos = ref 0 in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let advance () = incr pos in
@@ -128,80 +133,91 @@ let parse_json (s : string) : json =
     loop ();
     Buffer.contents b
   in
-  let rec parse_value () =
+    let rec parse_value depth =
+      if depth > max_depth then fail "nesting too deep";
+      skip_ws ();
+      match peek () with
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); fields ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          fields []
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else
+          let rec items acc =
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); items (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          items []
+      | Some ('-' | '0' .. '9') ->
+        let start = !pos in
+        if peek () = Some '-' then advance ();
+        while
+          !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false
+        do
+          advance ()
+        done;
+        (match int_of_string_opt (String.sub s start (!pos - start)) with
+         | Some i -> Int i
+         | None -> fail "bad integer")
+      | _ -> fail "expected a JSON value"
+    in
+    let v = parse_value 0 in
     skip_ws ();
-    match peek () with
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then (advance (); Obj [])
-      else
-        let rec fields acc =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' -> advance (); fields ((k, v) :: acc)
-          | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
-          | _ -> fail "expected , or }"
-        in
-        fields []
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then (advance (); Arr [])
-      else
-        let rec items acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' -> advance (); items (v :: acc)
-          | Some ']' -> advance (); Arr (List.rev (v :: acc))
-          | _ -> fail "expected , or ]"
-        in
-        items []
-    | Some ('-' | '0' .. '9') ->
-      let start = !pos in
-      if peek () = Some '-' then advance ();
-      while
-        !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false
-      do
-        advance ()
-      done;
-      (match int_of_string_opt (String.sub s start (!pos - start)) with
-       | Some i -> Int i
-       | None -> fail "bad integer")
-    | _ -> fail "expected a JSON value"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
+    if !pos <> n then fail "trailing garbage";
+    v
 
-let field name = function
-  | Obj fields -> List.assoc_opt name fields
-  | _ -> None
+  let field name = function
+    | Obj fields -> List.assoc_opt name fields
+    | _ -> None
 
-let str_field name j =
-  match field name j with
-  | Some (Str s) -> s
-  | _ -> raise (Bad (Printf.sprintf "missing string field %S" name))
+  let str_field name j =
+    match field name j with
+    | Some (Str s) -> s
+    | _ -> raise (Bad (Printf.sprintf "missing string field %S" name))
 
-let int_field name j =
-  match field name j with
-  | Some (Int i) -> i
-  | _ -> raise (Bad (Printf.sprintf "missing integer field %S" name))
+  let int_field name j =
+    match field name j with
+    | Some (Int i) -> i
+    | _ -> raise (Bad (Printf.sprintf "missing integer field %S" name))
 
-let bool_field name j =
-  match field name j with
-  | Some (Bool v) -> v
-  | _ -> raise (Bad (Printf.sprintf "missing boolean field %S" name))
+  let bool_field name j =
+    match field name j with
+    | Some (Bool v) -> v
+    | _ -> raise (Bad (Printf.sprintf "missing boolean field %S" name))
+end
+
+open Json
+
+let json_to_string = Json.to_string
+let parse_json s = Json.parse s
+let field = Json.field
+let str_field = Json.str_field
+let int_field = Json.int_field
+let bool_field = Json.bool_field
 
 (* ------------------------------------------------------------------ *)
 (* Wire types                                                         *)
@@ -353,7 +369,13 @@ type writer = {
 }
 
 let start path (h : header) =
-  let oc = open_out path in
+  (* O_APPEND even for a fresh journal: if two daemons race on the same
+     path (or a stale writer survives a partial shutdown), appends from
+     both interleave at line granularity instead of overwriting each
+     other — the reader's integrity hash then sorts out any torn line *)
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_append ] 0o644 path
+  in
   output_string oc (header_line h);
   output_char oc '\n';
   flush oc;
@@ -389,6 +411,19 @@ let append w (e : entry) =
       output_string w.oc line;
       output_char w.oc '\n';
       flush w.oc)
+
+let sync w =
+  Mutex.lock w.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.lock)
+    (fun () ->
+      flush w.oc;
+      (* flush hands the bytes to the kernel; fsync pins them to the
+         platter.  Called at checkpoint boundaries (campaign completion,
+         daemon drain) — per-entry fsync would serialize the campaign on
+         disk latency for durability nobody asked for *)
+      try Unix.fsync (Unix.descr_of_out_channel w.oc)
+      with Unix.Unix_error (_, _, _) -> ())
 
 let close w = close_out w.oc
 

@@ -12,6 +12,39 @@
 
 open Csrtl_core
 
+(** The JSON subset the journal speaks (objects, arrays, strings,
+    integers, booleans) — there is no JSON library in the toolchain, so
+    this generator/parser pair is shared with the serve daemon's wire
+    frames.  {!Json.parse} is total modulo {!Json.Bad}: malformed
+    input, over-deep nesting, and non-ASCII escapes all raise [Bad],
+    never anything else. *)
+module Json : sig
+  type t =
+    | Bool of bool
+    | Int of int
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  val to_string : t -> string
+
+  val parse : ?max_depth:int -> string -> t
+  (** Parse one value spanning the whole string (trailing garbage is
+      [Bad]).  [max_depth] (default 64) bounds container nesting so a
+      hostile ["[[[[..."] frame cannot overflow the stack. *)
+
+  val field : string -> t -> t option
+  (** [field k (Obj ...)] — [None] for a missing key or a non-object. *)
+
+  val str_field : string -> t -> string
+  (** Raise {!Bad} when missing or not a string; similarly below. *)
+
+  val int_field : string -> t -> int
+  val bool_field : string -> t -> bool
+end
+
 type header = {
   model : string;
   digest : string;  (** {!Csrtl_core.Snapshot.digest_of_model} *)
@@ -39,9 +72,18 @@ val faults_digest : string list -> string
     different fault list (other [--limit], edited model) must be
     rejected, not silently misindexed. *)
 
+val json_of_outcome : Outcome.t -> Json.t
+
+val outcome_of_json : Json.t -> Outcome.t
+(** Raises {!Json.Bad} on anything {!json_of_outcome} would not
+    produce.  Exposed so the serve daemon can stream journal-shaped
+    entry objects over the wire without a second codec. *)
+
 type writer
 (** Append handle; thread-safe (one mutex-protected write+flush per
-    entry), shared across pool domains. *)
+    entry), shared across pool domains.  The file is opened with
+    [O_APPEND], so concurrent writers interleave at line granularity
+    instead of clobbering each other's offsets. *)
 
 val start : string -> header -> writer
 (** Truncate/create the file and write the header line. *)
@@ -53,6 +95,15 @@ val reopen : string -> header -> writer
     isolated parse failure. *)
 
 val append : writer -> entry -> unit
+
+val sync : writer -> unit
+(** Flush and [fsync] — a checkpoint boundary.  Appends are flushed
+    per entry (crash loses at most the line being written); [sync]
+    additionally survives the machine dying, so campaigns call it at
+    completion and the daemon at drain points.  fsync failure (e.g. a
+    filesystem that refuses it) is swallowed: durability degrades, the
+    journal stays usable. *)
+
 val close : writer -> unit
 
 val read : string -> (header * entry list * int, string) result

@@ -2,6 +2,7 @@ module Diag = Csrtl_diag.Diag
 module C = Csrtl_core
 module V = Csrtl_vhdl
 module H = Csrtl_hls
+module S = Csrtl_serve
 module Par = Csrtl_par.Par
 
 (* -- deterministic PRNG (splitmix64) -------------------------------------- *)
@@ -38,22 +39,28 @@ end
 
 (* -- targets ---------------------------------------------------------------- *)
 
-type target = Vhdl | Rtm | Alg
+type target = Vhdl | Rtm | Alg | Frame
 
-let all_targets = [ Vhdl; Rtm; Alg ]
+let all_targets = [ Vhdl; Rtm; Alg; Frame ]
 
 let target_to_string = function
   | Vhdl -> "vhdl"
   | Rtm -> "rtm"
   | Alg -> "alg"
+  | Frame -> "frame"
 
 let target_of_string = function
   | "vhdl" -> Some Vhdl
   | "rtm" -> Some Rtm
   | "alg" -> Some Alg
+  | "frame" -> Some Frame
   | _ -> None
 
-let extension = function Vhdl -> ".vhd" | Rtm -> ".rtm" | Alg -> ".alg"
+let extension = function
+  | Vhdl -> ".vhd"
+  | Rtm -> ".rtm"
+  | Alg -> ".alg"
+  | Frame -> ".json"
 
 (* -- seed corpus ------------------------------------------------------------ *)
 
@@ -110,6 +117,17 @@ let alg_fragments =
     "program"; "inputs"; "outputs"; "="; "+"; "-"; "*"; "<"; "<s"; "==";
     "("; ")"; ","; "max"; "min"; "abs"; "pass"; "shl"; "x"; "y"; "u";
     "dx"; "3"; "0"; "#c"; "\n";
+  |]
+
+let frame_fragments =
+  [|
+    "{"; "}"; "["; "]"; ":"; ","; "\"csrtl\""; "\"req\""; "\"resp\"";
+    "\"v\""; "1"; "2"; "-3"; "\"op\""; "\"ping\""; "\"stats\"";
+    "\"shutdown\""; "\"inject\""; "\"model\""; "\"engine\"";
+    "\"kernel\""; "\"compiled\""; "\"batch\""; "\"limit\"";
+    "\"budget_ms\""; "\"deadline_ms\""; "\"table\""; "\"stream\"";
+    "\"resume\""; "true"; "false"; "null"; "32"; "\\n"; "\\u0041"; "\\";
+    "\"";
   |]
 
 (* grammar-aware generation: assemble plausible lines, most of them
@@ -234,11 +252,74 @@ let gen_alg r =
   done;
   Buffer.contents b
 
+(* request frames the daemon must accept: the seeds are valid wire
+   lines, so the mutators start from deep inside the decoder *)
+let gen_frame r =
+  match Rng.int r 3 with
+  | 0 ->
+    (* a well-formed request straight from the encoder *)
+    let req =
+      match Rng.int r 4 with
+      | 0 -> S.Frame.Ping
+      | 1 -> S.Frame.Stats
+      | 2 -> S.Frame.Shutdown
+      | _ ->
+        S.Frame.Inject
+          { S.Frame.model =
+              (if Rng.bool r then C.Rtm.to_string tiny_model else gen_rtm r);
+            engine = Rng.pick r [| `Auto; `Kernel; `Compiled |];
+            batch = 1 + Rng.int r 64;
+            limit = (if Rng.bool r then None else Some (1 + Rng.int r 99));
+            budget_ms =
+              (if Rng.bool r then None else Some (1 + Rng.int r 999));
+            deadline_ms = (if Rng.bool r then None else Some (Rng.int r 999));
+            table = Rng.bool r; stream = Rng.bool r; resume = Rng.bool r }
+    in
+    S.Frame.encode_request req
+  | 1 ->
+    (* hand-assembled object: valid header, shuffled tail *)
+    let b = Buffer.create 128 in
+    Buffer.add_string b "{\"csrtl\":\"req\",\"v\":1";
+    let key () =
+      Rng.pick r
+        [| "op"; "model"; "engine"; "batch"; "limit"; "budget_ms";
+           "deadline_ms"; "table"; "stream"; "resume"; "x" |]
+    in
+    let value () =
+      Rng.pick r
+        [| "\"ping\""; "\"stats\""; "\"inject\"";
+           "\"model m\\ncsmax 2\\nreg A\\n\""; "\"auto\""; "\"kernel\"";
+           "\"frobnicate\""; "1"; "32"; "-3"; "true"; "false"; "null";
+           "[]"; "{}"; "[1,2]" |]
+    in
+    let n = Rng.int r 8 in
+    for _ = 1 to n do
+      Buffer.add_string b (Printf.sprintf ",%S:%s" (key ()) (value ()))
+    done;
+    Buffer.add_char b '}';
+    Buffer.contents b
+  | _ ->
+    (* token soup *)
+    let b = Buffer.create 64 in
+    let k = 2 + Rng.int r 24 in
+    for _ = 1 to k do
+      Buffer.add_string b (Rng.pick r frame_fragments)
+    done;
+    Buffer.contents b
+
 let seeds target =
   match target with
   | Vhdl -> [ V.Emit.to_string tiny_model; "entity e is\nend e;\n" ]
   | Rtm -> [ C.Rtm.to_string tiny_model; "model m\ncsmax 2\nreg A\n" ]
   | Alg -> [ "program p\ninputs x\noutputs y\ny = x + 1\n" ]
+  | Frame ->
+    [ S.Frame.encode_request
+        (S.Frame.Inject
+           { S.Frame.model = C.Rtm.to_string tiny_model; engine = `Auto;
+             batch = 32; limit = None; budget_ms = None; deadline_ms = None;
+             table = false; stream = false; resume = true });
+      S.Frame.encode_request S.Frame.Ping;
+      "{\"csrtl\":\"req\",\"v\":1,\"op\":\"stats\"}" ]
 
 (* -- mutation --------------------------------------------------------------- *)
 
@@ -265,10 +346,11 @@ let mutate r s =
       let i = Rng.int r (n + 1) in
       let frag =
         Rng.pick r
-          (match Rng.int r 3 with
+          (match Rng.int r 4 with
            | 0 -> vhdl_fragments
            | 1 -> rtm_fragments
-           | _ -> alg_fragments)
+           | 2 -> alg_fragments
+           | _ -> frame_fragments)
       in
       String.sub s 0 i ^ frag ^ String.sub s i (n - i)
     | 4 ->
@@ -288,20 +370,22 @@ let mutate r s =
       let i = Rng.int r n in
       String.sub s i (n - i) ^ String.sub s 0 i
 
+let gen_fresh r = function
+  | Vhdl -> gen_vhdl r
+  | Rtm -> gen_rtm r
+  | Alg -> gen_alg r
+  | Frame -> gen_frame r
+
 let gen_input r target =
   match Rng.int r 4 with
   | 0 ->
     (* fresh grammar-aware generation *)
-    (match target with Vhdl -> gen_vhdl r | Rtm -> gen_rtm r | Alg -> gen_alg r)
+    gen_fresh r target
   | _ ->
     (* mutate a seed (or a fresh generation) a few times *)
     let base =
       if Rng.bool r then Rng.pick_list r (seeds target)
-      else
-        match target with
-        | Vhdl -> gen_vhdl r
-        | Rtm -> gen_rtm r
-        | Alg -> gen_alg r
+      else gen_fresh r target
     in
     let rec go s k = if k = 0 then s else go (mutate r s) (k - 1) in
     go base (1 + Rng.int r 4)
@@ -344,6 +428,21 @@ let exercise ?(limits = Diag.Limits.default) target (src : string) =
      | Ok (p, _) ->
        ignore (H.Dfg.of_program p);
        `Clean)
+  | Frame ->
+    (* the response decoder must be total on the same bytes *)
+    ignore (S.Frame.decode_response ~limits src);
+    (match S.Frame.decode_request ~limits src with
+     | Error [] -> failwith "Bug: frame rejected without diagnostics"
+     | Error _ -> `Rejected
+     | Ok req ->
+       (* accepted frames must survive an encode/decode round trip:
+          the daemon journals and the client replays what the encoder
+          emits, so drift here silently corrupts resume *)
+       let line = S.Frame.encode_request req in
+       (match S.Frame.decode_request ~limits line with
+        | Ok req2 when req2 = req -> `Clean
+        | Ok _ -> failwith "Bug: request round-trip changed the frame"
+        | Error _ -> failwith "Bug: re-encoded request rejected"))
 
 (* -- crash bookkeeping ------------------------------------------------------ *)
 

@@ -2,7 +2,8 @@
 
     Every entry point that accepts bytes from outside — the VHDL
     lexer/parser/linter/extractor, the [.rtm] corpus reader, the
-    [.alg] program parser, model validation and one bounded simulation
+    [.alg] program parser, the serve daemon's wire-frame decoder,
+    model validation and one bounded simulation
     step — promises to return diagnostics instead of raising.  This
     harness hammers that promise: seeded grammar-aware generation plus
     byte-level mutation produce inputs, each input is pushed through
@@ -15,7 +16,7 @@
     deduplicated by signature (exception text with digits masked) and
     shrunk greedily before being reported or written out. *)
 
-type target = Vhdl | Rtm | Alg
+type target = Vhdl | Rtm | Alg | Frame
 
 val target_of_string : string -> target option
 val target_to_string : target -> string
@@ -42,8 +43,12 @@ val exercise :
 (** One pipeline pass over one input: parse, lint, extract/validate,
     and — when everything is accepted — one bounded simulation under
     the watchdog.  [`Rejected] means error diagnostics came back.
-    Raising is precisely the bug the fuzzer exists to find; the
-    {!run} driver supervises this call, tests may call it directly. *)
+    The [Frame] target drives the serve daemon's wire codec instead:
+    both decoders must be total, a rejected frame must carry
+    diagnostics, and an accepted request must survive an
+    encode/decode round trip unchanged.  Raising is precisely the bug
+    the fuzzer exists to find; the {!run} driver supervises this
+    call, tests may call it directly. *)
 
 val run :
   ?limits:Csrtl_diag.Diag.Limits.t ->

@@ -190,20 +190,32 @@ let last_stats t = Array.copy t.stats
 type 'a task_outcome =
   | Done of 'a
   | Crashed of { attempts : int; error : string }
-  | Over_budget of { attempts : int; budget : float }
+  | Over_budget of { attempts : int; budget : float; elapsed : float }
 
 let run_supervised ?budget ?(retries = 1) f =
+  let start = Unix.gettimeofday () in
+  (* the budget doubles as an overall deadline: an attempt that burned
+     the whole budget must not buy itself a retry, or a pathological
+     task holds the caller for (retries + 1) * budget wall-clock *)
+  let past_deadline () =
+    match budget with
+    | None -> false
+    | Some b -> Unix.gettimeofday () -. start > b
+  in
   let rec go attempt =
     let t0 = Unix.gettimeofday () in
     match f () with
     | v -> (
         match budget with
         | Some b when Unix.gettimeofday () -. t0 > b ->
-          if attempt <= retries then go (attempt + 1)
-          else Over_budget { attempts = attempt; budget = b }
+          if attempt <= retries && not (past_deadline ()) then go (attempt + 1)
+          else
+            Over_budget
+              { attempts = attempt; budget = b;
+                elapsed = Unix.gettimeofday () -. start }
         | _ -> Done v)
     | exception e ->
-      if attempt <= retries then go (attempt + 1)
+      if attempt <= retries && not (past_deadline ()) then go (attempt + 1)
       else Crashed { attempts = attempt; error = Printexc.to_string e }
   in
   go 1

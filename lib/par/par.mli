@@ -79,14 +79,23 @@ type 'a task_outcome =
   | Done of 'a
   | Crashed of { attempts : int; error : string }
       (** every attempt raised; [error] prints the last exception *)
-  | Over_budget of { attempts : int; budget : float }
-      (** every attempt exceeded the wall-clock budget (seconds) *)
+  | Over_budget of { attempts : int; budget : float; elapsed : float }
+      (** the last attempt exceeded the wall-clock budget (seconds);
+          [elapsed] is the measured time across all attempts,
+          [budget] the configured bound *)
 
 val run_supervised :
   ?budget:float -> ?retries:int -> (unit -> 'a) -> 'a task_outcome
 (** Run [f] with at most [retries] (default 1) re-runs after a raise
-    or a budget overrun.  The budget is checked {e after} the run — a
+    or a budget overrun.  The budget is checked {e after} each run — a
     cooperative bound for work whose inner loops are already bounded
     (the campaign kernel watchdog bounds delta cycles; this bounds
-    wall clock).  [Over_budget] reports the configured budget, not the
-    measured time, so classifications stay byte-stable. *)
+    wall clock).  The budget also acts as an overall deadline checked
+    {e between} attempts: once total elapsed time exceeds it, no
+    further retry is granted — a crashing task is classified
+    [Crashed] immediately, and an attempt that itself overran the
+    budget never re-runs, so the caller waits at most roughly one
+    budget, not [(retries + 1)] of them.  [Over_budget] carries both
+    the configured [budget] (byte-stable for classification messages)
+    and the measured [elapsed] time (for operator-facing reporting
+    only — never fold it into deterministic output). *)

@@ -1,0 +1,69 @@
+(* Bounded LRU keyed by string, protected by one mutex: the daemon's
+   compile cache sees a handful of lookups per request, so a
+   last-used-stamp scan on eviction (O(capacity)) beats carrying a
+   doubly-linked list for capacities in the tens. *)
+
+type 'a slot = { value : 'a; mutable used : int }
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a slot) Hashtbl.t;
+  lock : Mutex.t;
+  mutable clock : int;  (* monotonic last-use stamp *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int;
+               capacity : int }
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg
+      (Printf.sprintf "Cache.create: capacity must be >= 1 (got %d)" capacity);
+  { capacity; tbl = Hashtbl.create (2 * capacity); lock = Mutex.create ();
+    clock = 0; hits = 0; misses = 0; evictions = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some s ->
+        t.clock <- t.clock + 1;
+        s.used <- t.clock;
+        t.hits <- t.hits + 1;
+        Some s.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k s ->
+      match !victim with
+      | Some (_, used) when used <= s.used -> ()
+      | _ -> victim := Some (k, s.used))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key value =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.tbl key) then begin
+        if Hashtbl.length t.tbl >= t.capacity then evict_oldest t;
+        t.clock <- t.clock + 1;
+        Hashtbl.replace t.tbl key { value; used = t.clock }
+      end)
+
+let stats t =
+  locked t (fun () ->
+      { hits = t.hits; misses = t.misses; evictions = t.evictions;
+        entries = Hashtbl.length t.tbl; capacity = t.capacity })

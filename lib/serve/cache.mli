@@ -1,0 +1,31 @@
+(** Bounded, thread-safe LRU for the daemon's compile cache.
+
+    Keys are content digests (the md5 of the raw model text), values
+    the elaborated model plus its structural digest — so a repeated
+    request skips parse and validation entirely.  The size bound is a
+    robustness feature, not a tuning knob: a client cycling through
+    unique models must evict, never grow the daemon without bound.
+    Hit/miss/eviction counts feed the [stats] wire response. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** currently resident *)
+  capacity : int;
+}
+
+val create : capacity:int -> 'a t
+(** [Invalid_argument] when [capacity < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Refreshes the entry's LRU stamp; counts a hit or a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert, evicting the least-recently-used entry at capacity.
+    An existing key is left untouched (first writer wins — values are
+    content-addressed, so a second insert is byte-equal anyway). *)
+
+val stats : 'a t -> stats

@@ -1,0 +1,50 @@
+(* Client-side plumbing for the daemon: connect (with startup retry),
+   send one request line, iterate response lines.  Used by the
+   [csrtl request] subcommand, the cram lifecycle test and the C13
+   bench — all three speak through here, so they exercise the same
+   framing the daemon sees. *)
+
+type conn = { fd : Unix.file_descr; reader : Lineio.reader }
+
+let connect ?(retries = 0) ?(delay = 0.05) path =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; reader = Lineio.reader fd }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      if attempt < retries then begin
+        (* daemon still starting: the socket file appears before
+           listen, so refusals and absences both deserve patience *)
+        Unix.sleepf delay;
+        go (attempt + 1)
+      end
+      else
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" path
+             (Unix.error_message e))
+  in
+  go 0
+
+let send conn req =
+  if Lineio.write_line conn.fd (Frame.encode_request req) then Ok ()
+  else Error "connection lost while sending the request"
+
+(* for protocol poking and tests: ship a line as-is *)
+let send_raw conn line =
+  if Lineio.write_line conn.fd line then Ok ()
+  else Error "connection lost while sending the request"
+
+(* Each response arrives as (raw line, decoded frame): the raw line is
+   what [--jsonl] consumers print, the decoded frame is what drives
+   the client state machine. *)
+let next ?limits conn =
+  match Lineio.read_line conn.reader with
+  | Lineio.Eof -> None
+  | Lineio.Too_long ->
+    Some ("", Error [ Frame.Diag.error ~rule:"serve.frame"
+                        "response line exceeds the client's line cap" ])
+  | Lineio.Line line -> Some (line, Frame.decode_response ?limits line)
+
+let close conn =
+  try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ()

@@ -1,0 +1,25 @@
+(** Client plumbing for the daemon socket, shared by the [csrtl
+    request] subcommand, the lifecycle tests and the C13 bench. *)
+
+type conn
+
+val connect :
+  ?retries:int -> ?delay:float -> string -> (conn, string) result
+(** Connect to the Unix socket at the given path, retrying a refused
+    or missing socket [retries] times (default 0) every [delay]
+    seconds — the "wait for the daemon to come up" loop. *)
+
+val send : conn -> Frame.request -> (unit, string) result
+
+val send_raw : conn -> string -> (unit, string) result
+(** Ship one line verbatim (no validation) — for protocol poking:
+    the daemon must answer any byte salad with a status-coded
+    [Refused], never a dead socket. *)
+
+val next :
+  ?limits:Frame.Diag.Limits.t -> conn ->
+  (string * (Frame.response, Frame.Diag.t list) result) option
+(** The next response line: [None] at EOF (daemon gone), otherwise
+    the raw line plus its decoded frame. *)
+
+val close : conn -> unit

@@ -1,0 +1,278 @@
+(* The daemon's brain, socket-free: state plus a total [handle]
+   function from request to emitted responses.  Keeping the socket out
+   means the differential tests and the frame fuzzer drive the exact
+   code the daemon runs, and the server layer reduces to line framing
+   plus thread bookkeeping. *)
+
+module C = Csrtl_core
+module Diag = Csrtl_diag.Diag
+module F = Csrtl_fault
+module Par = Csrtl_par.Par
+
+type config = {
+  state_dir : string;
+  jobs : int;
+  cache_capacity : int;
+  limits : Diag.Limits.t;
+  max_pending : int;
+  default_deadline_ms : int option;
+}
+
+let default_config =
+  { state_dir = "csrtl-serve-state"; jobs = 0; cache_capacity = 64;
+    limits = Diag.Limits.default; max_pending = 4;
+    default_deadline_ms = None }
+
+type compiled = { model : C.Model.t; digest : string }
+
+type counters = {
+  mutable requests : int;
+  mutable campaigns : int;
+  mutable drained : int;
+  mutable refused : int;
+}
+
+type t = {
+  cfg : config;
+  pool : Par.t;
+  cache : compiled Cache.t;
+  stop : bool Atomic.t;
+  pending : int Atomic.t;
+  (* campaigns run one at a time on the shared pool: admission happens
+     at [pending], fairness at this lock *)
+  campaign_lock : Mutex.t;
+  counters_lock : Mutex.t;
+  counters : counters;
+}
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create cfg =
+  mkdir_p cfg.state_dir;
+  let jobs = if cfg.jobs <= 0 then Par.default_jobs () else cfg.jobs in
+  { cfg; pool = Par.create ~jobs;
+    cache = Cache.create ~capacity:cfg.cache_capacity;
+    stop = Atomic.make false; pending = Atomic.make 0;
+    campaign_lock = Mutex.create (); counters_lock = Mutex.create ();
+    counters = { requests = 0; campaigns = 0; drained = 0; refused = 0 } }
+
+let dispose t = Par.shutdown t.pool
+let request_stop t = Atomic.set t.stop true
+let stopping t = Atomic.get t.stop
+
+let bump t f =
+  Mutex.lock t.counters_lock;
+  f t.counters;
+  Mutex.unlock t.counters_lock
+
+(* ---- report rendering -------------------------------------------- *)
+
+(* Byte-identical to what offline [csrtl inject] writes to stdout:
+   one [pp_entry] line per fault under [--table], then the [pp_report]
+   block.  Both printers use h/v boxes only, so the rendering is
+   margin-independent and [asprintf] reproduces [printf] exactly —
+   the differential suite pins this against the real binary. *)
+let render_report ~table (r : F.Campaign.report) =
+  let b = Buffer.create 1024 in
+  if table then
+    List.iter
+      (fun e ->
+        Buffer.add_string b (Format.asprintf "%a" F.Campaign.pp_entry e);
+        Buffer.add_char b '\n')
+      r.F.Campaign.entries;
+  Buffer.add_string b (Format.asprintf "%a" F.Campaign.pp_report r);
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* The offline exit-code contract for a finished campaign (without
+   [--strict]): hard evidence of a defect is 5, hangs are 4. *)
+let inject_code (r : F.Campaign.report) =
+  if r.F.Campaign.crashed > 0 || r.F.Campaign.disagreements > 0
+     || r.F.Campaign.law_violations > 0
+  then 5
+  else if r.F.Campaign.hung > 0 then 4
+  else 0
+
+(* ---- resume tokens ----------------------------------------------- *)
+
+(* A token names a campaign, not a connection: md5 over (model
+   structural digest, config tag, fault-list digest), truncated for
+   human handling.  The same request always maps to the same token and
+   journal file, which is what makes crash recovery a no-op: resend
+   the request and the daemon resumes whatever the journal holds. *)
+let token_of ~digest ~config_tag ~faults_digest =
+  String.sub
+    (Digest.to_hex
+       (Digest.string (digest ^ "|" ^ config_tag ^ "|" ^ faults_digest)))
+    0 16
+
+let journal_path t token = Filename.concat t.cfg.state_dir ("inj-" ^ token ^ ".jsonl")
+
+(* ---- request handling -------------------------------------------- *)
+
+let refuse t ~emit status diags =
+  bump t (fun c -> c.refused <- c.refused + 1);
+  emit (Frame.Refused { status; diags })
+
+let compile t (q : Frame.inject) =
+  let key = Digest.to_hex (Digest.string q.Frame.model) in
+  match Cache.find t.cache key with
+  | Some c -> (true, Ok c)
+  | None ->
+    (match C.Rtm.parse ~limits:t.cfg.limits ~file:"<request>" q.Frame.model with
+     | Error diags -> (false, Error diags)
+     | Ok (model, _warnings) ->
+       let diags = C.Model.validate_diags ~limits:t.cfg.limits model in
+       if Diag.has_errors diags then (false, Error diags)
+       else begin
+         let c = { model; digest = C.Snapshot.digest_of_model model } in
+         Cache.add t.cache key c;
+         (false, Ok c)
+       end)
+
+let handle_inject t (q : Frame.inject) ~emit =
+  let t0 = Unix.gettimeofday () in
+  if stopping t then
+    refuse t ~emit 1
+      [ Diag.error ~rule:"serve.draining"
+          "daemon is draining; resend the request to the next instance" ]
+  else
+    match Diag.Limits.check_input_bytes ~file:"<request>" t.cfg.limits
+            q.Frame.model with
+    | Some d -> refuse t ~emit 2 [ d ]
+    | None ->
+      let admitted = Atomic.fetch_and_add t.pending 1 in
+      Fun.protect ~finally:(fun () -> ignore (Atomic.fetch_and_add t.pending (-1)))
+      @@ fun () ->
+      if admitted >= t.cfg.max_pending then
+        refuse t ~emit 1
+          [ Diag.error ~rule:"serve.busy"
+              "daemon at capacity (%d campaigns queued); retry later"
+              admitted ]
+      else begin
+        let cached, compiled = compile t q in
+        match compiled with
+        | Error diags -> refuse t ~emit 2 diags
+        | Ok { model; digest } ->
+          let faults = F.Fault.enumerate ?limit:q.Frame.limit model in
+          let labels = List.map F.Fault.to_string faults in
+          let label_arr = Array.of_list labels in
+          let total = List.length faults in
+          let config_tag = F.Journal.config_tag C.Simulate.default in
+          let faults_digest = F.Journal.faults_digest labels in
+          let token = token_of ~digest ~config_tag ~faults_digest in
+          let journal = journal_path t token in
+          emit (Frame.Started { token; total; cached });
+          let deadline =
+            match
+              (match q.Frame.deadline_ms with
+               | Some _ as d -> d
+               | None -> t.cfg.default_deadline_ms)
+            with
+            | None -> None
+            | Some 0 -> Some neg_infinity  (* already expired: drain now *)
+            | Some ms -> Some (t0 +. (float_of_int ms /. 1000.))
+          in
+          let should_stop () =
+            Atomic.get t.stop
+            || (match deadline with
+                | Some d -> Unix.gettimeofday () > d
+                | None -> false)
+          in
+          let on_entry =
+            if not q.Frame.stream then None
+            else
+              Some
+                (fun i (e : F.Campaign.entry) ->
+                  emit
+                    (Frame.Entry
+                       { F.Journal.index = i; fault_label = label_arr.(i);
+                         kernel = e.F.Campaign.kernel_outcome;
+                         interp = e.F.Campaign.interp_outcome;
+                         cycles = e.F.Campaign.kernel_cycles;
+                         law_ok = e.F.Campaign.law_ok }))
+          in
+          let budget =
+            Option.map (fun ms -> float_of_int ms /. 1000.) q.Frame.budget_ms
+          in
+          let run ~resume =
+            Mutex.lock t.campaign_lock;
+            Fun.protect ~finally:(fun () -> Mutex.unlock t.campaign_lock)
+            @@ fun () ->
+            F.Campaign.run_journaled ~pool:t.pool ~faults ?budget
+              ~engine:q.Frame.engine ~batch:q.Frame.batch ~should_stop
+              ?on_entry ~journal ~resume model
+          in
+          let resume = q.Frame.resume && Sys.file_exists journal in
+          let result =
+            match run ~resume with
+            | Error _ when resume ->
+              (* a stale or alien journal at this token (e.g. the
+                 state dir survived a config change): degrade to a
+                 fresh run instead of failing the request *)
+              run ~resume:false
+            | r -> r
+          in
+          (match result with
+           | Error msg ->
+             refuse t ~emit 2 [ Diag.error ~rule:"serve.journal" "%s" msg ]
+           | Ok (report, info) ->
+             if info.F.Campaign.remaining > 0 then begin
+               bump t (fun c -> c.drained <- c.drained + 1);
+               emit
+                 (Frame.Drained
+                    { status = 1; token;
+                      completed = info.F.Campaign.reused + info.F.Campaign.rerun;
+                      total;
+                      reason =
+                        (if Atomic.get t.stop then "shutdown" else "deadline")
+                    })
+             end
+             else begin
+               bump t (fun c -> c.campaigns <- c.campaigns + 1);
+               let code = inject_code report in
+               emit
+                 (Frame.Report
+                    { status = (if code = 0 then 0 else 1); code; token;
+                      reused = info.F.Campaign.reused;
+                      rerun = info.F.Campaign.rerun;
+                      torn = info.F.Campaign.torn;
+                      text = render_report ~table:q.Frame.table report })
+             end)
+      end
+
+let stats t =
+  let cs = Cache.stats t.cache in
+  Mutex.lock t.counters_lock;
+  let c = t.counters in
+  let r =
+    { Frame.requests = c.requests; campaigns = c.campaigns;
+      drained = c.drained; refused = c.refused; hits = cs.Cache.hits;
+      misses = cs.Cache.misses; evictions = cs.Cache.evictions;
+      entries = cs.Cache.entries; capacity = cs.Cache.capacity }
+  in
+  Mutex.unlock t.counters_lock;
+  r
+
+let handle t (req : Frame.request) ~emit =
+  bump t (fun c -> c.requests <- c.requests + 1);
+  match req with
+  | Frame.Ping -> emit (Frame.Pong { version = "csrtl-serve/1" })
+  | Frame.Stats -> emit (Frame.Stats_reply (stats t))
+  | Frame.Shutdown ->
+    request_stop t;
+    emit Frame.Bye
+  | Frame.Inject q ->
+    (try handle_inject t q ~emit
+     with e ->
+       (* the [Bug:] marker: an escaped exception here is a defect of
+          the daemon, not of the request *)
+       refuse t ~emit 3
+         [ Diag.error ~rule:"serve.bug" "Bug: unexpected exception: %s"
+             (Printexc.to_string e) ])

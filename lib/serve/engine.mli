@@ -1,0 +1,66 @@
+(** The daemon's request engine, socket-free.
+
+    {!handle} maps one decoded request to a sequence of emitted
+    responses and {e never raises}: admission failures, bad models,
+    stale journals and even daemon bugs all come back as status-coded
+    [Refused] frames.  The server layer adds line framing and threads;
+    the differential and fuzz suites drive [handle] directly, so the
+    bytes they pin are the bytes the socket carries.
+
+    Campaign responses are byte-identical to offline [csrtl inject]
+    stdout for the same (model, fault list, config) — the report
+    renderer is margin-independent, and campaigns reuse
+    {!Csrtl_fault.Campaign.run_journaled} unchanged. *)
+
+module Diag = Csrtl_diag.Diag
+module F = Csrtl_fault
+
+type config = {
+  state_dir : string;  (** journals live here, one per resume token *)
+  jobs : int;  (** pool width; [<= 0] means {!Csrtl_par.Par.default_jobs} *)
+  cache_capacity : int;  (** compile-cache entries (LRU beyond that) *)
+  limits : Diag.Limits.t;  (** applied to every request's model text *)
+  max_pending : int;
+      (** campaigns admitted concurrently (queued on the shared pool);
+          excess requests are refused with status 1, rule [serve.busy] *)
+  default_deadline_ms : int option;
+      (** server-wide per-request deadline when the request names none *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+(** Creates the state directory and spawns the domain pool. *)
+
+val dispose : t -> unit
+(** Join the pool.  The engine is unusable after. *)
+
+val request_stop : t -> unit
+(** Flip the drain flag: in-flight campaigns checkpoint at the next
+    work-item boundary and answer [Drained]; new inject requests are
+    refused.  Signal-handler safe (one atomic store). *)
+
+val stopping : t -> bool
+
+val handle : t -> Frame.request -> emit:(Frame.response -> unit) -> unit
+(** Process one request, calling [emit] for each response frame in
+    order.  Never raises; [emit] may be called from pool domains while
+    a streamed campaign runs, so it must be thread-safe. *)
+
+val stats : t -> Frame.stats
+
+val render_report : table:bool -> F.Campaign.report -> string
+(** Exactly the bytes offline [csrtl inject] writes to stdout for this
+    report (entry table when [table], then the summary block). *)
+
+val inject_code : F.Campaign.report -> int
+(** The offline exit code for a finished campaign: 5 for crashes,
+    disagreements or law violations; 4 for hangs; else 0. *)
+
+val token_of :
+  digest:string -> config_tag:string -> faults_digest:string -> string
+(** The deterministic resume token: truncated md5 over the campaign
+    identity.  Same request, same token, same journal — crash recovery
+    is "resend the request". *)

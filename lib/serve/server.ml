@@ -1,0 +1,153 @@
+(* The Unix-socket daemon: accept loop on the main thread, one thread
+   per connection, the engine doing all the thinking.  Built for
+   graceful degradation end to end:
+
+   - SIGTERM/SIGINT flip the engine's drain flag; the accept loop
+     notices within its select timeout, stops accepting, shuts down
+     every connection's read side, and joins the client threads.
+     In-flight campaigns checkpoint to their journal and answer
+     [Drained] with a resume token before the join completes.
+   - SIGPIPE is ignored and every write failure just marks the
+     connection dead: a vanished client never kills the daemon, and
+     its campaign keeps journaling so the work is resumable.
+   - Oversized request lines are swallowed by the bounded reader and
+     answered with a status-2 diagnostic — the connection survives. *)
+
+module Diag = Csrtl_diag.Diag
+
+type config = {
+  engine : Engine.config;
+  socket_path : string;
+  max_request_bytes : int;  (* per-line transport cap *)
+  signals : bool;  (* install SIGTERM/SIGINT handlers *)
+  log : string -> unit;
+}
+
+let default_config =
+  { engine = Engine.default_config; socket_path = "csrtl.sock";
+    max_request_bytes = 64 * 1024 * 1024; signals = true;
+    log = (fun _ -> ()) }
+
+type conn = {
+  id : int;
+  fd : Unix.file_descr;
+  wlock : Mutex.t;
+  dead : bool Atomic.t;
+}
+
+type server = {
+  cfg : config;
+  eng : Engine.t;
+  conns : (int, conn) Hashtbl.t;  (* keyed by conn id, under lock *)
+  conns_lock : Mutex.t;
+  next_id : int Atomic.t;
+}
+
+let emit_to conn resp =
+  if not (Atomic.get conn.dead) then begin
+    Mutex.lock conn.wlock;
+    let ok =
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock conn.wlock)
+        (fun () -> Lineio.write_line conn.fd (Frame.encode_response resp))
+    in
+    if not ok then Atomic.set conn.dead true
+  end
+
+let too_long_diags max_bytes =
+  [ Diag.error ~rule:"serve.frame"
+      "request frame exceeds the %d-byte line cap" max_bytes ]
+
+let client_loop srv conn =
+  let r = Lineio.reader ~max_line:srv.cfg.max_request_bytes conn.fd in
+  let rec loop () =
+    match Lineio.read_line r with
+    | Lineio.Eof -> ()
+    | Lineio.Too_long ->
+      emit_to conn
+        (Frame.Refused
+           { status = 2; diags = too_long_diags srv.cfg.max_request_bytes });
+      loop ()
+    | Lineio.Line line ->
+      (match Frame.decode_request ~limits:srv.cfg.engine.Engine.limits line with
+       | Error diags -> emit_to conn (Frame.Refused { status = 2; diags })
+       | Ok req -> Engine.handle srv.eng req ~emit:(emit_to conn));
+      (* after a drain request (or a shutdown from another client) the
+         daemon stops reading: the main loop is about to close us *)
+      if not (Engine.stopping srv.eng) then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock srv.conns_lock;
+      Hashtbl.remove srv.conns conn.id;
+      Mutex.unlock srv.conns_lock;
+      Atomic.set conn.dead true;
+      try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ())
+    loop
+
+let shutdown_reads srv =
+  Mutex.lock srv.conns_lock;
+  let cs = Hashtbl.fold (fun _ c acc -> c :: acc) srv.conns [] in
+  Mutex.unlock srv.conns_lock;
+  List.iter
+    (fun c ->
+      (* stop the reader (it sees EOF); pending writes still flow, so
+         a draining campaign can deliver its [Drained] frame first *)
+      try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error (_, _, _) -> ())
+    cs
+
+let serve ?(config = default_config) () =
+  let srv =
+    { cfg = config; eng = Engine.create config.engine;
+      conns = Hashtbl.create 16; conns_lock = Mutex.create ();
+      next_id = Atomic.make 0 }
+  in
+  let log = config.log in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if config.signals then begin
+    let stop _ = Engine.request_stop srv.eng in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+  end;
+  (* a stale socket file from a SIGKILLed daemon would fail the bind *)
+  (try Unix.unlink config.socket_path with Unix.Unix_error (_, _, _) -> ());
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lfd with Unix.Unix_error (_, _, _) -> ());
+      (try Unix.unlink config.socket_path
+       with Unix.Unix_error (_, _, _) -> ());
+      Engine.dispose srv.eng)
+  @@ fun () ->
+  Unix.bind lfd (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen lfd 64;
+  log (Printf.sprintf "listening on %s" config.socket_path);
+  let threads = ref [] in
+  let rec accept_loop () =
+    if not (Engine.stopping srv.eng) then begin
+      (match Unix.select [ lfd ] [] [] 0.2 with
+       | [], _, _ -> ()
+       | _ ->
+         (match Unix.accept lfd with
+          | fd, _ ->
+            let conn =
+              { id = Atomic.fetch_and_add srv.next_id 1; fd;
+                wlock = Mutex.create (); dead = Atomic.make false }
+            in
+            Mutex.lock srv.conns_lock;
+            Hashtbl.replace srv.conns conn.id conn;
+            Mutex.unlock srv.conns_lock;
+            threads := Thread.create (client_loop srv) conn :: !threads
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ())
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  log "draining: no longer accepting connections";
+  shutdown_reads srv;
+  List.iter Thread.join !threads;
+  log "drained; all connections closed"

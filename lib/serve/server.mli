@@ -1,0 +1,32 @@
+(** The [csrtl serve] daemon: line-delimited JSON over a Unix socket.
+
+    Accept loop on the calling thread, one thread per connection,
+    {!Engine.handle} behind each.  Returns after a graceful drain:
+    SIGTERM/SIGINT (or a [shutdown] request) stop the accept loop,
+    checkpoint in-flight campaigns to their journals, deliver their
+    [Drained] frames with resume tokens, close every connection, and
+    remove the socket file.  A SIGKILL instead loses nothing but the
+    entries in flight — resending a request resumes its journal.
+
+    A dead client (reset, full buffer, vanished) only marks its own
+    connection; the campaign it started keeps journaling to
+    completion, so the work is never wasted. *)
+
+type config = {
+  engine : Engine.config;
+  socket_path : string;
+  max_request_bytes : int;
+      (** transport cap per request line; an over-long line is
+          discarded and answered with a status-2 diagnostic, and the
+          connection stays up *)
+  signals : bool;
+      (** install SIGTERM/SIGINT drain handlers (default true; the
+          in-process bench harness turns it off) *)
+  log : string -> unit;  (** lifecycle notes; default drops them *)
+}
+
+val default_config : config
+
+val serve : ?config:config -> unit -> unit
+(** Run until drained.  Binds [socket_path] (unlinking any stale
+    socket first), ignores SIGPIPE for the whole process. *)

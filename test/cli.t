@@ -313,7 +313,7 @@ Deterministic fuzzing of the whole frontier; a fixed seed gives a
 byte-identical report, and zero crashes is the contract:
 
   $ csrtl fuzz --runs 120 --seed 7 --out fuzz-out 2> /dev/null
-  fuzzed 120 inputs: 2 accepted, 118 rejected with diagnostics, 0 crash signature(s)
+  fuzzed 120 inputs: 7 accepted, 113 rejected with diagnostics, 0 crash signature(s)
 
   $ csrtl fuzz --runs 0
   error: --runs must be at least 1 (got 0)

@@ -1,0 +1,117 @@
+The campaign-as-a-service lifecycle over a real Unix socket
+(docs/SERVICE.md): daemon start, byte-identical campaign responses, a
+concurrent second client, graceful SIGTERM drain, and resume from the
+journal after a restart.
+
+A short socket path outside the sandbox dodges the ~108-byte
+sun_path cap on Unix socket addresses:
+
+  $ SOCK=/tmp/csrtl-serve-$$.sock
+  $ trap 'rm -f $SOCK' EXIT
+
+  $ cat > fig1.rtm <<'RTM'
+  > model fig1
+  > csmax 7
+  > reg R1 init 3
+  > reg R2 init 4
+  > bus B1 B2
+  > unit ADD ops add latency 1
+  > transfer R1 B1 R2 B2 5 ADD 6 B1 R1
+  > RTM
+
+  $ csrtl serve --socket $SOCK --state-dir state --quiet &
+  $ SERVE_PID=$!
+
+The client retries while the daemon is still binding:
+
+  $ csrtl request --socket $SOCK --retry 100 --ping
+  pong csrtl-serve/1
+
+A served campaign is byte-identical to offline inject output, at any
+engine and batch size; the resume token is a pure function of the
+campaign identity, so it is stable across machines:
+
+  $ csrtl inject fig1.rtm > offline.out
+  $ csrtl request --socket $SOCK fig1.rtm > served.out 2> served.err
+  $ cmp offline.out served.out
+  $ cat served.err
+  request 0ffd54ff25253b4d: 27 fault(s)
+  journal: 0 reused, 27 re-run, 0 torn
+
+  $ csrtl inject fig1.rtm --engine kernel --batch 1 --table > offline_k.out
+  $ csrtl request --socket $SOCK fig1.rtm --engine kernel --batch 1 --table 2>/dev/null > served_k.out
+  $ cmp offline_k.out served_k.out
+
+A second identical request hits the compile cache and reuses the
+journal wholesale:
+
+  $ csrtl request --socket $SOCK fig1.rtm > served2.out 2> served2.err
+  $ cmp offline.out served2.out
+  $ cat served2.err
+  request 0ffd54ff25253b4d: 27 fault(s), model cached
+  journal: 27 reused, 0 re-run, 0 torn
+
+Two clients at once, both answered correctly:
+
+  $ csrtl request --socket $SOCK fig1.rtm > c1.out 2>/dev/null &
+  $ C1_PID=$!
+  $ csrtl request --socket $SOCK fig1.rtm --no-resume > c2.out 2>/dev/null
+  $ wait $C1_PID
+  $ cmp offline.out c1.out
+  $ cmp offline.out c2.out
+
+Malformed frames are refused with a status-coded diagnostic on the
+same connection — never a dead socket:
+
+  $ csrtl request --socket $SOCK --raw 'garbage {'
+  {"csrtl":"resp","v":1,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.frame","message":"bad frame: expected a JSON value at offset 0"}]}
+  [2]
+  $ csrtl request --socket $SOCK --raw '{"csrtl":"req","v":1,"op":"frobnicate"}'
+  {"csrtl":"resp","v":1,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.request","message":"unknown op \"frobnicate\""}]}
+  [2]
+
+An already-expired deadline drains the campaign to its journal
+checkpoint and hands back the resume token:
+
+  $ csrtl request --socket $SOCK fig1.rtm --no-resume --deadline-ms 0
+  request 0ffd54ff25253b4d: 27 fault(s), model cached
+  drained (deadline); resume token 0ffd54ff25253b4d
+  campaign drained after 0/27 fault(s); resend the request to resume
+  [1]
+
+Resending the request resumes from the journal and completes:
+
+  $ csrtl request --socket $SOCK fig1.rtm > resumed.out 2>/dev/null
+  $ cmp offline.out resumed.out
+
+Daemon counters tell the story:
+
+  $ csrtl request --socket $SOCK --stats
+  requests 9 | campaigns 6 | drained 1 | refused 0
+  cache: 6 hits, 1 misses, 0 evictions (1/64 models)
+
+SIGTERM drains gracefully — exit 0, socket removed, journals kept:
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ test ! -e $SOCK
+  $ ls state
+  inj-0ffd54ff25253b4d.jsonl
+
+A restarted daemon serves the same journal: the resumed report is
+still byte-identical:
+
+  $ csrtl serve --socket $SOCK --state-dir state --quiet &
+  $ SERVE_PID=$!
+  $ csrtl request --socket $SOCK --retry 100 fig1.rtm > after.out 2> after.err
+  $ cmp offline.out after.out
+  $ cat after.err
+  request 0ffd54ff25253b4d: 27 fault(s)
+  journal: 27 reused, 0 re-run, 0 torn
+
+A shutdown request drains it too:
+
+  $ csrtl request --socket $SOCK --shutdown
+  bye
+  $ wait $SERVE_PID
+  $ test ! -e $SOCK

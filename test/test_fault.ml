@@ -396,6 +396,76 @@ let test_journal_rejects_foreign_campaign () =
         check_bool "error mentions the journal" true
           (String.length msg > 0))
 
+(* writer-level regressions for the append hardening: O_APPEND +
+   newline repair on reopen, and line-granular interleaving when pool
+   domains share one writer *)
+
+let mk_header total =
+  { Csrtl_fault.Journal.model = "regress"; digest = "d0"; config = "c0";
+    total; faults_digest = "f0" }
+
+let mk_entry i =
+  { Csrtl_fault.Journal.index = i;
+    fault_label = Printf.sprintf "fault-%d" i;
+    kernel = Csrtl_fault.Outcome.Masked;
+    interp = Csrtl_fault.Outcome.Detected (1, C.Phase.Ra, "B1");
+    cycles = 6 * (i + 1); law_ok = i mod 2 = 0 }
+
+let test_journal_torn_tail_then_append () =
+  let module J = Csrtl_fault.Journal in
+  with_temp_journal (fun path ->
+      let h = mk_header 10 in
+      let w = J.start path h in
+      for i = 0 to 4 do J.append w (mk_entry i) done;
+      J.sync w;
+      J.close w;
+      (* crash mid-write: the last line loses its tail and newline *)
+      let len = (Unix.stat path).Unix.st_size in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      Unix.ftruncate fd (len - 17);
+      Unix.close fd;
+      (* a resumed campaign appends through a fresh writer *)
+      let w = J.reopen path h in
+      for i = 5 to 9 do J.append w (mk_entry i) done;
+      J.sync w;
+      J.close w;
+      match J.read path with
+      | Error e -> Alcotest.failf "journal unreadable after repair: %s" e
+      | Ok (_, entries, torn) ->
+        check_int "exactly the torn line discarded" 1 torn;
+        let idxs =
+          List.sort compare
+            (List.map (fun (e : J.entry) -> e.J.index) entries)
+        in
+        (* entry 4 was torn; nothing glued to its fragment, nothing
+           duplicated, every append after the crash landed *)
+        Alcotest.(check (list int)) "surviving indices"
+          [ 0; 1; 2; 3; 5; 6; 7; 8; 9 ] idxs)
+
+let test_journal_concurrent_appends () =
+  let module J = Csrtl_fault.Journal in
+  with_temp_journal (fun path ->
+      let n_threads = 4 and per = 25 in
+      let w = J.start path (mk_header (n_threads * per)) in
+      let ts =
+        List.init n_threads (fun t ->
+            Thread.create
+              (fun () ->
+                for k = 0 to per - 1 do
+                  J.append w (mk_entry ((t * per) + k))
+                done)
+              ())
+      in
+      List.iter Thread.join ts;
+      J.sync w;
+      J.close w;
+      match J.read path with
+      | Error e -> Alcotest.failf "journal unreadable: %s" e
+      | Ok (_, entries, torn) ->
+        check_int "no torn lines under concurrency" 0 torn;
+        check_int "every append landed exactly once" (n_threads * per)
+          (List.length entries))
+
 let test_journal_outcome_round_trip () =
   (* Hung and Crashed payloads (the stringy ones) survive the journal:
      resume must rebuild the exact entry lines *)
@@ -490,6 +560,10 @@ let () =
             test_journal_resume_after_truncation;
           Alcotest.test_case "foreign campaigns rejected" `Quick
             test_journal_rejects_foreign_campaign;
+          Alcotest.test_case "torn tail then append" `Quick
+            test_journal_torn_tail_then_append;
+          Alcotest.test_case "concurrent appends stay line-granular" `Quick
+            test_journal_concurrent_appends;
           Alcotest.test_case "outcome payloads round-trip" `Quick
             test_journal_outcome_round_trip ] );
       ( "agreement",

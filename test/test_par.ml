@@ -70,14 +70,39 @@ let test_run_supervised () =
        (String.length error > 0)
    | _ -> Alcotest.fail "persistent failure must classify as Crashed");
   (* a zero budget trips on any measurable run and reports the
-     configured budget, not the measured time *)
+     configured budget alongside the measured elapsed time *)
+  (match
+     Par.run_supervised ~budget:0. ~retries:0 (fun () ->
+         ignore (Sys.opaque_identity (Digest.string (String.make 1_000_000 'x'))))
+   with
+   | Par.Over_budget { attempts = 1; budget; elapsed } ->
+     check_bool "configured budget reported" true (budget = 0.);
+     check_bool "measured elapsed reported" true (elapsed > 0.)
+   | _ -> Alcotest.fail "zero budget must classify as Over_budget");
+  (* an attempt that burned the whole budget earns no retry: the
+     deadline between attempts fires even with retries to spare *)
+  let tries = ref 0 in
+  (match
+     Par.run_supervised ~budget:0. ~retries:5 (fun () ->
+         incr tries;
+         ignore (Sys.opaque_identity (Digest.string (String.make 1_000_000 'x'))))
+   with
+   | Par.Over_budget { attempts = 1; _ } ->
+     check_int "no retry past the deadline" 1 !tries
+   | _ -> Alcotest.fail "budget overrun past deadline must not retry");
+  (* same for a crash once the deadline has passed: classified
+     immediately instead of retrying a task that cannot make it *)
+  let tries = ref 0 in
   match
-    Par.run_supervised ~budget:0. ~retries:0 (fun () ->
-        ignore (Sys.opaque_identity (Digest.string (String.make 1_000_000 'x'))))
+    Par.run_supervised ~budget:0. ~retries:5 (fun () ->
+        incr tries;
+        ignore (Sys.opaque_identity (Digest.string (String.make 1_000_000 'x')));
+        failwith "slow crash")
   with
-  | Par.Over_budget { attempts = 1; budget } ->
-    check_bool "configured budget reported" true (budget = 0.)
-  | _ -> Alcotest.fail "zero budget must classify as Over_budget"
+  | Par.Crashed { attempts = 1; error } ->
+    check_int "no crash retry past the deadline" 1 !tries;
+    check_bool "error kept" true (String.length error > 0)
+  | _ -> Alcotest.fail "crash past deadline must classify immediately"
 
 let test_nested_map_runs_inline () =
   Par.with_pool ~jobs:3 (fun p ->

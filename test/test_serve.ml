@@ -1,0 +1,438 @@
+(* The campaign-as-a-service layer, socket-free: the wire codec's
+   round-trip and totality contracts (qcheck), and the engine's
+   differential promise — responses byte-identical to offline inject
+   output, drains resumable, admission control status-coded.  The cram
+   test covers the same flows through a real socket; here the bytes
+   are pinned without a daemon process in the loop. *)
+
+module S = Csrtl_serve
+module F = Csrtl_fault
+module C = Csrtl_core
+module Diag = Csrtl_diag.Diag
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -- generators ------------------------------------------------------------- *)
+
+(* full byte range: the model field carries whatever the client read
+   from disk, so the codec must round-trip control bytes and non-UTF8 *)
+let gen_bytes n = QCheck.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound n))
+
+let gen_opt_int ~min bound =
+  QCheck.Gen.(
+    oneof [ return None; map (fun i -> Some (min + i)) (int_bound bound) ])
+
+let gen_inject =
+  let open QCheck.Gen in
+  let* model = gen_bytes 200 in
+  let* engine = oneofl [ `Auto; `Kernel; `Compiled ] in
+  let* batch = map succ (int_bound 100) in
+  let* limit = gen_opt_int ~min:1 100 in
+  let* budget_ms = gen_opt_int ~min:1 10_000 in
+  let* deadline_ms = gen_opt_int ~min:0 10_000 in
+  let* table = bool and* stream = bool and* resume = bool in
+  return
+    (S.Frame.Inject
+       { S.Frame.model; engine; batch; limit; budget_ms; deadline_ms;
+         table; stream; resume })
+
+let gen_request =
+  QCheck.Gen.(
+    frequency
+      [ (1, return S.Frame.Ping); (1, return S.Frame.Stats);
+        (1, return S.Frame.Shutdown); (5, gen_inject) ])
+
+let gen_outcome =
+  let open QCheck.Gen in
+  let* s = gen_bytes 30 in
+  let* step = int_bound 20 in
+  let* phase = oneofl [ C.Phase.Ra; Rb; Cm; Wa; Wb; Cr ] in
+  oneofl
+    [ F.Campaign.Masked; Detected (step, phase, s);
+      Corrupted [ s; "x" ]; Hung s; Crashed s ]
+
+let gen_entry =
+  let open QCheck.Gen in
+  let* index = int_bound 1000 in
+  let* fault_label = gen_bytes 60 in
+  let* kernel = gen_outcome and* interp = gen_outcome in
+  let* cycles = int_bound 100_000 in
+  let* law_ok = bool in
+  return
+    { F.Journal.index; fault_label; kernel; interp; cycles; law_ok }
+
+let gen_diag =
+  let open QCheck.Gen in
+  let* severity = oneofl [ Diag.Error; Diag.Warning; Diag.Note ] in
+  let* rule = gen_bytes 20 and* message = gen_bytes 60 in
+  let* span =
+    oneof
+      [ return None;
+        (let* file =
+           oneof [ return None; map Option.some (gen_bytes 20) ]
+         in
+         let* line = int_bound 500 and* col = int_bound 100 in
+         let* len = int_bound 40 in
+         return (Some { Diag.file; line; col; len })) ]
+  in
+  return { Diag.severity; rule; span; message }
+
+let gen_response =
+  let open QCheck.Gen in
+  let str = gen_bytes 60 in
+  let nat = int_bound 10_000 in
+  frequency
+    [ (1, map (fun v -> S.Frame.Pong { version = v }) str);
+      ( 2,
+        let* token = str and* total = nat and* cached = bool in
+        return (S.Frame.Started { token; total; cached }) );
+      (3, map (fun e -> S.Frame.Entry e) gen_entry);
+      ( 3,
+        let* status = int_bound 3 and* code = int_bound 5 in
+        let* token = str and* reused = nat and* rerun = nat in
+        let* torn = nat and* text = gen_bytes 400 in
+        return
+          (S.Frame.Report { status; code; token; reused; rerun; torn; text })
+      );
+      ( 2,
+        let* status = int_bound 3 and* token = str in
+        let* completed = nat and* total = nat in
+        let* reason = oneofl [ "deadline"; "shutdown" ] in
+        return (S.Frame.Drained { status; token; completed; total; reason })
+      );
+      ( 2,
+        let* status = int_bound 3 in
+        let* diags = list_size (int_bound 4) gen_diag in
+        return (S.Frame.Refused { status; diags }) );
+      ( 1,
+        let* requests = nat and* campaigns = nat and* drained = nat in
+        let* refused = nat and* hits = nat and* misses = nat in
+        let* evictions = nat and* entries = nat and* capacity = nat in
+        return
+          (S.Frame.Stats_reply
+             { requests; campaigns; drained; refused; hits; misses;
+               evictions; entries; capacity }) );
+      (1, return S.Frame.Bye) ]
+
+(* -- codec properties ------------------------------------------------------- *)
+
+let request_round_trip =
+  QCheck.Test.make ~name:"request encode/decode identity" ~count:500
+    (QCheck.make gen_request) (fun req ->
+      match S.Frame.decode_request (S.Frame.encode_request req) with
+      | Ok req2 -> req2 = req
+      | Error ds ->
+        QCheck.Test.fail_reportf "own encoding rejected: %s"
+          (Diag.render_all ds))
+
+let response_round_trip =
+  QCheck.Test.make ~name:"response encode/decode identity" ~count:500
+    (QCheck.make gen_response) (fun resp ->
+      match S.Frame.decode_response (S.Frame.encode_response resp) with
+      | Ok r2 -> r2 = resp
+      | Error ds ->
+        QCheck.Test.fail_reportf "own encoding rejected: %s"
+          (Diag.render_all ds))
+
+let decode_total =
+  QCheck.Test.make ~name:"decoders are total on arbitrary bytes" ~count:1000
+    (QCheck.make (gen_bytes 300)) (fun s ->
+      (match S.Frame.decode_request s with
+       | Ok _ -> ()
+       | Error [] -> QCheck.Test.fail_report "rejected without diagnostics"
+       | Error _ -> ());
+      (match S.Frame.decode_response s with
+       | Ok _ -> ()
+       | Error [] -> QCheck.Test.fail_report "rejected without diagnostics"
+       | Error _ -> ());
+      true)
+
+let test_decode_hostile () =
+  (* nesting bombs must come back as diagnostics, not stack overflows *)
+  let bomb = String.make 200_000 '[' in
+  (match S.Frame.decode_request bomb with
+   | Ok _ -> Alcotest.fail "nesting bomb accepted"
+   | Error ds -> check_bool "diagnostic produced" true (ds <> []));
+  (* trailing garbage after a valid frame is transport rot *)
+  (match
+     S.Frame.decode_request
+       "{\"csrtl\":\"req\",\"v\":1,\"op\":\"ping\"} extra"
+   with
+   | Ok _ -> Alcotest.fail "trailing garbage accepted"
+   | Error _ -> ());
+  (* wrong version is refused deterministically *)
+  match S.Frame.decode_request "{\"csrtl\":\"req\",\"v\":2,\"op\":\"ping\"}" with
+  | Ok _ -> Alcotest.fail "future protocol version accepted"
+  | Error ds ->
+    check_bool "names the version" true
+      (List.exists
+         (fun (d : Diag.t) ->
+           d.Diag.rule = "serve.request"
+           &&
+           match String.index_opt d.Diag.message '2' with
+           | Some _ -> true
+           | None -> false)
+         ds)
+
+(* -- engine differential ---------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+let fig1_text () =
+  (* dune runtest runs in test/; dune exec wherever it was invoked *)
+  if Sys.file_exists "corpus/fig1.rtm" then read_file "corpus/fig1.rtm"
+  else read_file "test/corpus/fig1.rtm"
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_engine ?(tweak = fun c -> c) f =
+  let dir = Filename.temp_file "csrtl_serve" ".state" in
+  Sys.remove dir;
+  let cfg = tweak { S.Engine.default_config with state_dir = dir } in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () ->
+      let t = S.Engine.create cfg in
+      Fun.protect ~finally:(fun () -> S.Engine.dispose t) (fun () -> f t))
+
+(* collect every emitted frame, in order; emit may fire from pool
+   domains, so the accumulator is locked like the socket writer is *)
+let collect t req =
+  let acc = ref [] and lock = Mutex.create () in
+  S.Engine.handle t req ~emit:(fun r ->
+      Mutex.lock lock;
+      acc := r :: !acc;
+      Mutex.unlock lock);
+  List.rev !acc
+
+let basic_inject model =
+  { S.Frame.model; engine = `Auto; batch = 32; limit = None;
+    budget_ms = None; deadline_ms = None; table = false; stream = false;
+    resume = true }
+
+type rep = { status : int; code : int; reused : int; text : string }
+
+let report_of = function
+  | [ S.Frame.Started _;
+      S.Frame.Report { status; code; reused; text; _ } ] ->
+    { status; code; reused; text }
+  | rs ->
+    Alcotest.failf "expected Started; Report, got %d frame(s)"
+      (List.length rs)
+
+let test_engine_matches_offline () =
+  let text = fig1_text () in
+  let m, _ = Result.get_ok (C.Rtm.parse text) in
+  with_engine (fun t ->
+      List.iter
+        (fun (engine, batch, table) ->
+          let q = { (basic_inject text) with engine; batch; table } in
+          let rs = collect t (S.Frame.Inject { q with resume = false }) in
+          let r = report_of rs in
+          let offline = F.Campaign.run ~engine ~batch m in
+          Alcotest.(check string)
+            (Printf.sprintf "bytes at engine=%s batch=%d table=%b"
+               (match engine with
+                | `Auto -> "auto"
+                | `Kernel -> "kernel"
+                | `Compiled -> "compiled")
+               batch table)
+            (S.Engine.render_report ~table offline)
+            r.text;
+          check_int "offline exit code" (S.Engine.inject_code offline) r.code;
+          check_int "status is the diag contract"
+            (if r.code = 0 then 0 else 1)
+            r.status)
+        [ (`Auto, 32, false); (`Kernel, 1, false); (`Compiled, 8, true);
+          (`Kernel, 32, true) ])
+
+let test_cache_and_token_stability () =
+  let text = fig1_text () in
+  with_engine (fun t ->
+      let q = basic_inject text in
+      let started = function
+        | S.Frame.Started { token; total = _; cached } :: _ ->
+          (token, cached)
+        | _ -> Alcotest.fail "no Started frame"
+      in
+      let tok1, cached1 = started (collect t (S.Frame.Inject q)) in
+      check_bool "first compile misses" false cached1;
+      let tok2, cached2 = started (collect t (S.Frame.Inject q)) in
+      check_bool "second compile hits" true cached2;
+      check_bool "token is stable" true (tok1 = tok2);
+      check_int "token is 16 hex chars" 16 (String.length tok1);
+      let stats = S.Engine.stats t in
+      check_int "one miss" 1 stats.S.Frame.misses;
+      check_int "one hit" 1 stats.S.Frame.hits;
+      (* tokens key the campaign identity, not the raw bytes: a
+         comment-only edit keeps the token (and its journal), while a
+         different fault list gets its own *)
+      let tok3, cached3 =
+        started
+          (collect t (S.Frame.Inject (basic_inject (text ^ "# tail\n"))))
+      in
+      check_bool "comment-only edit keeps the token" true (tok3 = tok1);
+      check_bool "but recompiles (cache keys raw bytes)" false cached3;
+      let tok4, _ =
+        started
+          (collect t (S.Frame.Inject { q with limit = Some 3 }))
+      in
+      check_bool "different fault list, different token" true (tok4 <> tok1))
+
+let test_deadline_drain_then_resume () =
+  let text = fig1_text () in
+  let m, _ = Result.get_ok (C.Rtm.parse text) in
+  let offline = F.Campaign.run m in
+  with_engine (fun t ->
+      let q = basic_inject text in
+      (* deadline 0: already expired, drains before the first fault *)
+      (match
+         collect t (S.Frame.Inject { q with deadline_ms = Some 0 })
+       with
+       | [ S.Frame.Started s; S.Frame.Drained d ] ->
+         check_int "drained with status 1" 1 d.status;
+         check_bool "token matches Started" true (d.token = s.token);
+         check_int "nothing completed" 0 d.completed;
+         Alcotest.(check string) "reason" "deadline" d.reason
+       | _ -> Alcotest.fail "expected Started; Drained");
+      (* resending without the deadline completes from the journal *)
+      let r = report_of (collect t (S.Frame.Inject q)) in
+      Alcotest.(check string) "resumed report = offline bytes"
+        (S.Engine.render_report ~table:false offline)
+        r.text)
+
+let test_shutdown_drain_then_resume () =
+  let text = fig1_text () in
+  let m, _ = Result.get_ok (C.Rtm.parse text) in
+  let offline = F.Campaign.run ~engine:`Kernel m in
+  let dir = Filename.temp_file "csrtl_serve" ".state" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let cfg = { S.Engine.default_config with state_dir = dir } in
+  (* kernel path computes fault-by-fault, so stopping after the first
+     streamed entry drains mid-campaign with work still remaining *)
+  let q =
+    { (basic_inject text) with engine = `Kernel; stream = true }
+  in
+  let t1 = S.Engine.create cfg in
+  let drained =
+    Fun.protect ~finally:(fun () -> S.Engine.dispose t1) (fun () ->
+        let acc = ref [] and lock = Mutex.create () in
+        S.Engine.handle t1 (S.Frame.Inject q) ~emit:(fun r ->
+            Mutex.lock lock;
+            acc := r :: !acc;
+            Mutex.unlock lock;
+            match r with
+            | S.Frame.Entry _ -> S.Engine.request_stop t1
+            | _ -> ());
+        List.rev !acc)
+  in
+  (match List.rev drained with
+   | S.Frame.Drained d :: _ ->
+     check_bool "some work completed" true (d.completed >= 1);
+     check_bool "work remains" true (d.completed < d.total);
+     Alcotest.(check string) "reason" "shutdown" d.reason
+   | _ -> Alcotest.fail "expected a Drained tail after request_stop");
+  (* a fresh engine over the same state dir resumes to the full,
+     byte-identical report *)
+  let t2 = S.Engine.create cfg in
+  Fun.protect ~finally:(fun () -> S.Engine.dispose t2) @@ fun () ->
+  let r = report_of (collect t2 (S.Frame.Inject { q with stream = false })) in
+  check_bool "journal prefix reused" true (r.reused >= 1);
+  Alcotest.(check string) "resumed report = offline bytes"
+    (S.Engine.render_report ~table:false offline)
+    r.text
+
+let refused = function
+  | [ S.Frame.Refused { status; diags } ] -> (status, diags)
+  | rs ->
+    Alcotest.failf "expected a single Refused, got %d frame(s)"
+      (List.length rs)
+
+let rule_of (r : S.Frame.response) =
+  match r with
+  | S.Frame.Refused { diags = d :: _; _ } -> d.Diag.rule
+  | _ -> ""
+
+let test_admission_control () =
+  let text = fig1_text () in
+  (* an over-large model is limits-checked before compilation *)
+  with_engine
+    ~tweak:(fun c ->
+      { c with
+        S.Engine.limits =
+          { c.S.Engine.limits with Diag.Limits.max_input_bytes = 16 } })
+    (fun t ->
+      let status, diags =
+        refused (collect t (S.Frame.Inject (basic_inject text)))
+      in
+      check_int "status 2: bad input" 2 status;
+      check_bool "diags name the limit" true (diags <> []));
+  (* a saturated daemon refuses instead of queueing without bound *)
+  with_engine
+    ~tweak:(fun c -> { c with S.Engine.max_pending = 0 })
+    (fun t ->
+      let rs = collect t (S.Frame.Inject (basic_inject text)) in
+      let status, _ = refused rs in
+      check_int "status 1: busy" 1 status;
+      Alcotest.(check string) "rule" "serve.busy" (rule_of (List.hd rs)));
+  (* a model that does not parse is a status-2 refusal with located
+     diagnostics, exactly like offline inject *)
+  with_engine (fun t ->
+      let status, diags =
+        refused (collect t (S.Frame.Inject (basic_inject "not a model")))
+      in
+      check_int "status 2" 2 status;
+      check_bool "parser diagnostics forwarded" true (diags <> []));
+  (* a draining engine refuses new campaigns *)
+  with_engine (fun t ->
+      S.Engine.request_stop t;
+      let rs = collect t (S.Frame.Inject (basic_inject text)) in
+      check_int "status 1" 1 (fst (refused rs));
+      Alcotest.(check string) "rule" "serve.draining" (rule_of (List.hd rs)))
+
+let test_control_requests () =
+  with_engine (fun t ->
+      (match collect t S.Frame.Ping with
+       | [ S.Frame.Pong _ ] -> ()
+       | _ -> Alcotest.fail "ping answered wrongly");
+      (match collect t S.Frame.Stats with
+       | [ S.Frame.Stats_reply s ] ->
+         (* ping + stats themselves are counted *)
+         check_bool "requests counted" true (s.S.Frame.requests >= 2)
+       | _ -> Alcotest.fail "stats answered wrongly");
+      match collect t S.Frame.Shutdown with
+      | [ S.Frame.Bye ] -> check_bool "now draining" true (S.Engine.stopping t)
+      | _ -> Alcotest.fail "shutdown answered wrongly")
+
+let () =
+  Alcotest.run "serve"
+    [ ( "codec",
+        [ QCheck_alcotest.to_alcotest ~long:false request_round_trip;
+          QCheck_alcotest.to_alcotest ~long:false response_round_trip;
+          QCheck_alcotest.to_alcotest ~long:false decode_total;
+          Alcotest.test_case "hostile frames" `Quick test_decode_hostile ] );
+      ( "differential",
+        [ Alcotest.test_case "responses = offline inject bytes" `Quick
+            test_engine_matches_offline ] );
+      ( "cache",
+        [ Alcotest.test_case "hit accounting and token stability" `Quick
+            test_cache_and_token_stability ] );
+      ( "drain",
+        [ Alcotest.test_case "deadline drain then resume" `Quick
+            test_deadline_drain_then_resume;
+          Alcotest.test_case "shutdown drain then resume" `Quick
+            test_shutdown_drain_then_resume ] );
+      ( "admission",
+        [ Alcotest.test_case "limits, busy, draining" `Quick
+            test_admission_control;
+          Alcotest.test_case "ping, stats, shutdown" `Quick
+            test_control_requests ] ) ]
