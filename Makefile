@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check fuzz-smoke serve-smoke bench bench-smoke bench-json report examples doc clean
+.PHONY: all build test check fuzz-smoke serve-smoke scaling-smoke bench bench-smoke bench-json report examples doc clean
 
 all: build
 
@@ -16,7 +16,7 @@ test:
 # (conflict.rtm does, by design), so both 0 and 1 count as a clean
 # diagnosis here; any other exit fails.  The closing inject run shards
 # across two domains, smoking the worker pool end to end.
-check: build fuzz-smoke serve-smoke
+check: build fuzz-smoke serve-smoke scaling-smoke
 	OCAMLRUNPARAM=b dune runtest
 	@mkdir -p _build/check
 	@for f in test/corpus/*.rtm; do \
@@ -154,6 +154,13 @@ serve-smoke: build
 	@echo "wire-frame fuzz (10k frames, zero-crash acceptance bar):"
 	@dune exec --no-build csrtl -- fuzz --target frame --seed 42 \
 	  --runs 10000 --out _build/fuzz-frames
+
+# The multicore scaling gate: a 2-worker campaign on the widest
+# corpus model must reach efficiency >= 0.6 against the sequential
+# run (normalized by the host's core count, so a 1-core container
+# passes on overhead alone) with byte-identical reports.
+scaling-smoke: build
+	@dune exec --no-build bench/main.exe -- scaling-check
 
 bench:
 	dune exec bench/main.exe

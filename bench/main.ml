@@ -14,7 +14,10 @@
              dune exec bench/main.exe -- bench-json [OUT] [smoke]
                                         (emit the C12 matrix as JSON)
              dune exec bench/main.exe -- json-check FILE
-                                        (schema-validate such a file) *)
+                                        (schema-validate such a file)
+             dune exec bench/main.exe -- scaling-check
+                                        (gate: 2-worker campaign efficiency
+                                         >= 0.6 with byte-identical reports) *)
 
 open Bechamel
 open Toolkit
@@ -218,6 +221,12 @@ let () =
      | Ok msg -> print_endline msg
      | Error e ->
        Printf.eprintf "%s: schema check FAILED: %s\n" argv.(2) e;
+       exit 1)
+  | "scaling-check" ->
+    (match Report.scaling_check () with
+     | Ok () -> ()
+     | Error e ->
+       Printf.eprintf "%s\n" e;
        exit 1)
   | "json-check" ->
     if Array.length argv < 3 then begin

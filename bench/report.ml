@@ -611,7 +611,16 @@ type c12_point = {
   bp_batched : int;  (* faults dispatched to the lockstep executor *)
   bp_retired : int;  (* batched variants retired before cs_max *)
   bp_identical : bool;
+  bp_eff : float;
+      (* scaling efficiency against the same engine/batch at jobs=1,
+         normalized by the parallelism the host can actually deliver:
+         fps(jobs=N) / (min(N, host cores) * fps(jobs=1)).  1.0 =
+         perfect scaling; the pool clamps its domains to the cores, so
+         a request for more jobs than cores should still sit near 1.0
+         instead of inverting. *)
 }
+
+let host_domains () = Domain.recommended_domain_count ()
 
 type c12_model = {
   bm_name : string;
@@ -673,7 +682,8 @@ let c12_measure ?limit ~smoke (m : C.Model.t) =
       bp_fps = float_of_int r.F.Campaign.total /. (t *. 1e-6);
       bp_batched = s.F.Campaign.batched;
       bp_retired = s.F.Campaign.retired_early;
-      bp_identical = String.equal (full r) reference }
+      bp_identical = String.equal (full r) reference;
+      bp_eff = 1. }
   in
   let points =
     List.concat_map
@@ -683,6 +693,26 @@ let c12_measure ?limit ~smoke (m : C.Model.t) =
              (fun k -> point ~engine:`Auto ~jobs ~batch:k)
              [ 1; 8; 32; 64 ])
       jobs_list
+  in
+  (* efficiency is a view over the matrix — each point against its own
+     engine/batch column's jobs=1 base, normalized by what the host
+     can parallelize (jobs=1 points come out exactly 1.0) *)
+  let host = host_domains () in
+  let points =
+    List.map
+      (fun p ->
+        match
+          List.find_opt
+            (fun q ->
+              q.bp_jobs = 1 && q.bp_engine = p.bp_engine
+              && q.bp_batch = p.bp_batch)
+            points
+        with
+        | Some base when base.bp_fps > 0. ->
+          let epar = float_of_int (max 1 (min p.bp_jobs host)) in
+          { p with bp_eff = p.bp_fps /. (epar *. base.bp_fps) }
+        | _ -> p)
+      points
   in
   { bm_name = m.C.Model.name; bm_faults = !faults; bm_points = points }
 
@@ -703,8 +733,8 @@ let claim_batch ?(smoke = false) () =
         "%s, %d faults (kernel = PR 3 checkpoint-restore path, K = lockstep \
          batch size):@."
         bm.bm_name bm.bm_faults;
-      Format.printf "%6s %8s %4s | %12s %12s %9s %9s %10s@." "jobs" "engine"
-        "K" "wall us" "faults/s" "speedup" "retired" "report";
+      Format.printf "%6s %8s %4s | %12s %12s %9s %6s %9s %10s@." "jobs"
+        "engine" "K" "wall us" "faults/s" "speedup" "eff" "retired" "report";
       let kernel_walls = ref [] in
       List.iter
         (fun p ->
@@ -722,10 +752,10 @@ let claim_batch ?(smoke = false) () =
                 (100. *. float_of_int p.bp_retired
                  /. float_of_int (max 1 bm.bm_faults))
           in
-          Format.printf "%6d %8s %4s | %12.1f %12.1f %s %s %10s@." p.bp_jobs
-            p.bp_engine
+          Format.printf "%6d %8s %4s | %12.1f %12.1f %s %6.2f %s %10s@."
+            p.bp_jobs p.bp_engine
             (if p.bp_batch = 0 then "-" else string_of_int p.bp_batch)
-            p.bp_wall_us p.bp_fps speedup retired
+            p.bp_wall_us p.bp_fps speedup p.bp_eff retired
             (if p.bp_identical then "identical" else "DIFFERS"))
         bm.bm_points;
       Format.printf "@.")
@@ -735,8 +765,11 @@ let claim_batch ?(smoke = false) () =
     \ shared observation, so the speedup compounds: no per-fault kernel\n\
     \ run, no per-fault interpreter run, and a variant that re-converges\n\
     \ to the golden row retires as masked before the schedule ends;\n\
+    \ 'eff' is scaling efficiency, faults/s at jobs=N over\n\
+    \ min(N, %d host cores) x faults/s at jobs=1;\n\
     \ 'report' re-checks that every cell printed the same bytes as the\n\
     \ sequential kernel reference)@."
+    (host_domains ())
 
 (* -- BENCH_batch.json: the machine-readable C12 matrix -------------------- *)
 
@@ -759,8 +792,9 @@ let bench_json ?(smoke = false) ~out () =
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"csrtl-bench-batch/1\",\n";
+  p "  \"schema\": \"csrtl-bench-batch/2\",\n";
   p "  \"smoke\": %b,\n" smoke;
+  p "  \"host_domains\": %d,\n" (host_domains ());
   p "  \"models\": [\n";
   List.iteri
     (fun i bm ->
@@ -772,10 +806,11 @@ let bench_json ?(smoke = false) ~out () =
         (fun j pt ->
           p
             "        {\"engine\": \"%s\", \"jobs\": %d, \"batch\": %d, \
-             \"wall_us\": %.1f, \"faults_per_sec\": %.1f, \"batched\": %d, \
+             \"wall_us\": %.1f, \"faults_per_sec\": %.1f, \
+             \"efficiency\": %.3f, \"batched\": %d, \
              \"retired_early\": %d, \"identical\": %b}%s\n"
             pt.bp_engine pt.bp_jobs pt.bp_batch pt.bp_wall_us pt.bp_fps
-            pt.bp_batched pt.bp_retired pt.bp_identical
+            pt.bp_eff pt.bp_batched pt.bp_retired pt.bp_identical
             (if j = List.length bm.bm_points - 1 then "" else ","))
         bm.bm_points;
       p "      ]\n";
@@ -911,10 +946,13 @@ let parse_json (s : string) : json =
   if !pos <> n then fail "trailing garbage";
   v
 
-(* Schema: {schema: "csrtl-bench-batch/1", smoke: bool, models:
-   [{model: str, faults: int >= 0, points: [{engine: kernel|batched,
-   jobs >= 1, batch (0 iff kernel), wall_us > 0, faults_per_sec >= 0,
-   batched >= 0, retired_early >= 0, identical: true}+]}+]}.
+(* Schema: {schema: "csrtl-bench-batch/2", smoke: bool,
+   host_domains: int >= 1, models: [{model: str, faults: int >= 0,
+   points: [{engine: kernel|batched, jobs >= 1, batch (0 iff kernel),
+   wall_us > 0, faults_per_sec >= 0, efficiency > 0 (exactly 1 at
+   jobs=1 — each point normalizes against its own engine/batch
+   column's jobs=1 base), batched >= 0, retired_early >= 0,
+   identical: true}+]}+]}.
    [identical] must be [true] everywhere: a benchmark point that
    printed different report bytes is not a data point, it is a bug. *)
 let json_check path =
@@ -951,9 +989,11 @@ let json_check path =
       | _ -> raise (Bad_json (Printf.sprintf "%S must be a list" name))
     in
     let root = parse_json text in
-    if str "schema" root <> "csrtl-bench-batch/1" then
+    if str "schema" root <> "csrtl-bench-batch/2" then
       raise (Bad_json "unknown schema tag");
     ignore (bool_ "smoke" root);
+    if num "host_domains" root < 1. then
+      raise (Bad_json "host_domains must be >= 1");
     let models = nonempty "models" (field "models" root) in
     let npoints = ref 0 in
     List.iter
@@ -977,6 +1017,15 @@ let json_check path =
               raise (Bad_json (name ^ ": wall_us must be positive"));
             if num "faults_per_sec" pt < 0. then
               raise (Bad_json (name ^ ": negative faults_per_sec"));
+            let eff = num "efficiency" pt in
+            if eff <= 0. then
+              raise (Bad_json (name ^ ": efficiency must be positive"));
+            if num "jobs" pt = 1. && eff <> 1. then
+              raise
+                (Bad_json
+                   (name
+                    ^ ": a jobs=1 point is its own efficiency base and must \
+                       report exactly 1.000"));
             if num "batched" pt < 0. || num "retired_early" pt < 0. then
               raise (Bad_json (name ^ ": negative dispatch counters"));
             if not (bool_ "identical" pt) then
@@ -986,11 +1035,75 @@ let json_check path =
           points)
       models;
     Ok
-      (Printf.sprintf "%s: schema csrtl-bench-batch/1 ok (%d models, %d points)"
+      (Printf.sprintf "%s: schema csrtl-bench-batch/2 ok (%d models, %d points)"
          path (List.length models) !npoints)
   with
   | Bad_json e -> Error e
   | Sys_error e -> Error e
+
+(* -- scaling smoke: the CI gate on multicore campaign throughput ---------- *)
+
+(* Asserts the tentpole property on the machine actually running the
+   checks: adding a second worker must deliver >= 60% of a perfect
+   second core — normalized by the cores the host has, so on a
+   single-core runner the bound degenerates to "jobs=2 must not be
+   slower than jobs=1" (the inverted-scaling regression this guards
+   against).  Reports are byte-compared against the sequential kernel
+   reference first: a fast wrong campaign is a bug, not a pass. *)
+let scaling_check () =
+  let module F = Csrtl_fault in
+  let m = widest_corpus_model () in
+  let full (r : F.Campaign.report) =
+    Format.asprintf "%a@.%a" F.Campaign.pp_report r
+      (Format.pp_print_list F.Campaign.pp_entry)
+      r.F.Campaign.entries
+  in
+  let reference = full (F.Campaign.run ~engine:`Kernel m) in
+  let host = host_domains () in
+  let epar = float_of_int (max 1 (min 2 host)) in
+  let measure jobs =
+    (* best of three: the gate bounds capability, not scheduler luck *)
+    let best = ref infinity and rep = ref None in
+    for _ = 1 to 3 do
+      let t =
+        Workloads.wall_us (fun () ->
+            rep := Some (F.Campaign.run_parallel ~jobs ~engine:`Auto ~batch:32 m))
+      in
+      if t < !best then best := t
+    done;
+    (Option.get !rep, !best)
+  in
+  let attempt () =
+    let r1, t1 = measure 1 in
+    let r2, t2 = measure 2 in
+    let eff = t1 /. (epar *. t2) in
+    let identical =
+      String.equal (full r1) reference && String.equal (full r2) reference
+    in
+    (eff, t1, t2, identical)
+  in
+  let eff, t1, t2, identical = attempt () in
+  (* one retry before failing on the bound alone: wall-clock noise on
+     a loaded runner is not a scaling regression *)
+  let eff, t1, t2, identical =
+    if identical && eff < 0.6 then attempt () else (eff, t1, t2, identical)
+  in
+  Format.printf
+    "scaling smoke on %s: host %d domain%s, jobs=1 %.0f us, jobs=2 %.0f us, \
+     efficiency %.2f, reports %s@."
+    m.C.Model.name host
+    (if host = 1 then "" else "s")
+    t1 t2 eff
+    (if identical then "identical" else "DIFFER");
+  if not identical then
+    Error "scaling smoke: report bytes differ from the kernel reference"
+  else if eff < 0.6 then
+    Error
+      (Printf.sprintf
+         "scaling smoke: 2-worker efficiency %.2f < 0.6 (jobs=1 %.0f us, \
+          jobs=2 %.0f us, %d-domain host)"
+         eff t1 t2 host)
+  else Ok ()
 
 (* -- C13: campaign-as-a-service throughput --------------------------------- *)
 

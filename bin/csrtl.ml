@@ -803,6 +803,14 @@ let inject_cmd =
     in
     Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N" ~doc)
   in
+  let chunks =
+    let doc =
+      "Split the sharded work into $(docv) pool chunks.  The report is \
+       byte-identical at any chunk count; by default the campaign plans \
+       the count from the measured per-fault cost."
+    in
+    Arg.(value & opt (some int) None & info [ "chunks" ] ~docv:"N" ~doc)
+  in
   let journal =
     let doc =
       "Append each finished fault to the JSONL journal $(docv) (truncated \
@@ -841,8 +849,8 @@ let inject_cmd =
                    restoring the golden checkpoint at the fault's \
                    activation boundary (same classifications, slower).")
   in
-  let run path engine batch list_flag fault_idx limit table jobs journal
-      resume strict budget no_restore =
+  let run path engine batch list_flag fault_idx limit table jobs chunks
+      journal resume strict budget no_restore =
     handle_errors (fun () ->
         (match limit with
          | Some k when k < 1 ->
@@ -856,6 +864,11 @@ let inject_cmd =
         (match jobs with
          | Some j when j < 0 ->
            Format.eprintf "--jobs must be at least 0 (got %d)@." j;
+           exit exit_bad_input
+         | _ -> ());
+        (match chunks with
+         | Some c when c < 1 ->
+           Format.eprintf "--chunks must be at least 1 (got %d)@." c;
            exit exit_bad_input
          | _ -> ());
         (match budget with
@@ -939,11 +952,11 @@ let inject_cmd =
                    Csrtl_fault.Campaign.run ~faults ?budget ~restore ~engine
                      ~batch m
                  | Some 0 ->
-                   Csrtl_fault.Campaign.run_parallel ~faults ?budget
+                   Csrtl_fault.Campaign.run_parallel ?chunks ~faults ?budget
                      ~restore ~engine ~batch m
                  | Some j ->
-                   Csrtl_fault.Campaign.run_parallel ~jobs:j ~faults ?budget
-                     ~restore ~engine ~batch m)
+                   Csrtl_fault.Campaign.run_parallel ~jobs:j ?chunks ~faults
+                     ?budget ~restore ~engine ~batch m)
               | _ ->
                 let journal_path, resuming =
                   match journal, resume with
@@ -954,7 +967,7 @@ let inject_cmd =
                 (match
                    Csrtl_fault.Campaign.run_journaled
                      ?jobs:(match jobs with Some 0 -> None | j -> j)
-                     ~faults ?budget ~restore ~engine ~batch
+                     ?chunks ~faults ?budget ~restore ~engine ~batch
                      ~journal:journal_path ~resume:resuming m
                  with
                  | Ok (r, info) ->
@@ -997,8 +1010,8 @@ let inject_cmd =
   Cmd.v
     (Cmd.info "inject" ~doc)
     Term.(const run $ model_arg $ engine $ batch $ list_flag $ fault_idx
-          $ limit $ table $ jobs $ journal $ resume $ strict $ budget
-          $ no_restore)
+          $ limit $ table $ jobs $ chunks $ journal $ resume $ strict
+          $ budget $ no_restore)
 
 (* -- info -------------------------------------------------------------------- *)
 

@@ -1,9 +1,19 @@
 (* Lockstep execution of K fault variants plus the golden run over the
-   shared static schedule.  Each variant owns one state row (flat
-   arrays over sink/register/unit indices); the step function is the
-   same slot walk as {!Compiled}'s, and the differential suite pins
-   the two executors (and the kernel, and the interpreter) against
-   each other on the full observation. *)
+   shared static schedule, on a structure-of-arrays arena.
+
+   All per-variant machine state lives in flat unboxed-int arrays, one
+   contiguous row per variant (row 0 is the golden run): sink values,
+   registers, FU pipelines, traces and output writes are all
+   [row * stride + index] into a handful of big [int array]s, so the
+   lockstep inner loop walks memory linearly and allocates nothing —
+   no per-step boxing, no GC traffic, no pointer chasing across K
+   heap-separate rows.  The arena itself is cached per domain
+   ({!Domain.DLS}) and rebound per chunk, so a campaign's thousands of
+   chunks reuse one allocation per worker.
+
+   The step function is the same slot walk as {!Compiled}'s, and the
+   differential suite pins the two executors (and the kernel, and the
+   interpreter) against each other on the full observation. *)
 
 type variant_spec = { inject : Inject.t; join : int; settle : int }
 
@@ -11,281 +21,163 @@ type verdict = Finished of Observation.t | Converged of int
 
 type result = { verdict : verdict; cycles : int }
 
-(* One state row: everything a run mutates.  [pend]/[live] double
-   buffer the contribution sets exactly as in {!Compiled}. *)
-type row = {
-  sched : Sched.t;
-  visible : Word.t array;
-  acc : Word.t array;
-  in_pending : bool array;
-  mutable pend_ids : int array;
-  mutable pend_n : int;
-  mutable live_ids : int array;
-  mutable live_n : int;
-  regs : Word.t array;
-  reg_vis : Word.t array;
-  fu_states : Fu_state.t array;
-  fu_out : Word.t array;
-  traces : Word.t array array;
-  out_steps : int array array;
-  out_vals : Word.t array array;
-  out_n : int array;
-  mutable conflicts : (int * Phase.t * string) list;
+(* A reusable compile of the golden schedule plus the per-unit
+   profiles — everything about the model that is shared, read-only,
+   across every chunk and every domain of a campaign. *)
+type plan = {
+  pmodel : Model.t;
+  base : Sched.t;
+  profs : Fu_state.profile array;
+  pid : int;
 }
 
-type state = Waiting | Running | Retired of int
+let plan_ids = Atomic.make 0
 
-type variant = {
-  spec : variant_spec;
-  row : row;
-  retire_from : int;
-      (* first boundary s such that every slot from (s, wb) on is
-         physically shared with the golden plan — from there the live
-         driver set and the remaining schedule are the golden ones *)
-  mutable state : state;
-  mutable obs_dirty : bool;
+let plan (m : Model.t) =
+  Model.validate_exn m;
+  let base = Sched.compile m in
+  { pmodel = m; base;
+    profs =
+      Array.map
+        (fun (p : Sched.fu_plan) -> Fu_state.profile p.Sched.fu)
+        base.Sched.fu_plans;
+    pid = Atomic.fetch_and_add plan_ids 1 }
+
+let base_sched p = p.base
+
+(* Variant lifecycle, encoded in an int so the dispatch loop reads a
+   flat array: -2 waiting to join, -1 running, s >= 0 retired at s. *)
+let st_waiting = -2
+let st_running = -1
+
+type arena = {
+  pid : int;
+  ns : int;  (* sinks *)
+  nr : int;  (* registers *)
+  nf : int;  (* functional units *)
+  np : int;  (* output ports *)
+  cs : int;  (* cs_max *)
+  rows : int;  (* row capacity, golden included *)
+  mutable profs : Fu_state.profile array;
+  (* -- sink state, stride [ns] -- *)
+  visible : Word.t array;
+  acc : Word.t array;
+  in_pending : Bytes.t;
+  (* pend/live double buffer: per-row id scratch, swapped by pointer *)
+  pend_ids : int array array;
+  live_ids : int array array;
+  pend_n : int array;
+  live_n : int array;
+  (* -- register state, stride [nr] -- *)
+  regs : Word.t array;
+  reg_vis : Word.t array;
+  (* -- unit state -- *)
+  fu_out : Word.t array;  (* stride [nf] *)
+  fu_lat : int array;  (* stride [nf]: this row's pipeline depth *)
+  mutable fu_cap : int array;  (* shared per-unit slot capacity *)
+  mutable fu_off : int array;  (* nf + 1 prefix sums of [fu_cap] *)
+  mutable fu_row : int;  (* = fu_off.(nf) *)
+  mutable fu_slots : Word.t array;  (* stride [fu_row] *)
+  (* -- observables -- *)
+  traces : Word.t array;  (* (row * nr + reg) * cs + (step - 1) *)
+  out_steps : int array;  (* (row * np + port) * cs + write index *)
+  out_vals : Word.t array;
+  out_n : int array;  (* stride [np] *)
+  conflicts : (int * Phase.t * string) list array;  (* per row *)
+  (* -- per-row dispatch state (index 0 unused except [scheds]) -- *)
+  scheds : Sched.t array;
+  v_join : int array;
+  v_settle : int array;
+  v_retire : int array;
+  v_state : int array;
+  v_dirty : Bytes.t;
       (* an already-recorded observable (trace cell, output write)
          differs from the golden row's: the final observation cannot
          equal the golden one, so retirement is off the table *)
 }
 
-let make_row (sched : Sched.t) (m : Model.t) =
-  let n1 = max sched.Sched.nsinks 1 in
-  { sched;
-    visible = Array.make n1 Word.disc;
-    acc = Array.make n1 Word.disc;
-    in_pending = Array.make n1 false;
-    pend_ids = Array.make n1 0; pend_n = 0;
-    live_ids = Array.make n1 0; live_n = 0;
-    regs = Array.make (max sched.Sched.nregs 1) Word.disc;
-    reg_vis = Array.make (max sched.Sched.nregs 1) Word.disc;
-    fu_states =
-      Array.map (fun (p : Sched.fu_plan) -> Fu_state.create p.Sched.fu)
-        sched.Sched.fu_plans;
-    fu_out = Array.make (max (Array.length sched.Sched.fu_plans) 1) Word.disc;
-    traces =
-      Array.init (max sched.Sched.nregs 1) (fun _ ->
-          Array.make m.Model.cs_max Word.disc);
-    out_steps =
-      Array.init
-        (max (Array.length sched.Sched.out_sink) 1)
-        (fun _ -> Array.make m.Model.cs_max 0);
-    out_vals =
-      Array.init
-        (max (Array.length sched.Sched.out_sink) 1)
-        (fun _ -> Array.make m.Model.cs_max Word.disc);
-    out_n = Array.make (max (Array.length sched.Sched.out_sink) 1) 0;
-    conflicts = [] }
-
-let reset_row (r : row) =
-  Array.fill r.visible 0 (Array.length r.visible) Word.disc;
-  Array.fill r.acc 0 (Array.length r.acc) Word.disc;
-  Array.fill r.in_pending 0 (Array.length r.in_pending) false;
-  r.pend_n <- 0;
-  r.live_n <- 0;
-  Array.blit r.sched.Sched.reg_init 0 r.regs 0 r.sched.Sched.nregs;
-  for i = 0 to r.sched.Sched.nregs - 1 do
-    r.reg_vis.(i) <- Sched.reg_view_init r.sched i
+let make_arena (plan : plan) rows =
+  let b = plan.base in
+  let ns = b.Sched.nsinks and nr = b.Sched.nregs in
+  let nf = Array.length b.Sched.fu_plans in
+  let np = Array.length b.Sched.out_sink in
+  let cs = plan.pmodel.Model.cs_max in
+  let fu_cap =
+    Array.map
+      (fun (p : Sched.fu_plan) -> p.Sched.fu.Model.latency)
+      b.Sched.fu_plans
+  in
+  let fu_off = Array.make (nf + 1) 0 in
+  for f = 0 to nf - 1 do
+    fu_off.(f + 1) <- fu_off.(f) + fu_cap.(f)
   done;
-  Array.iter Fu_state.reset r.fu_states;
-  Array.fill r.fu_out 0 (Array.length r.fu_out) Word.disc;
-  Array.iter (fun a -> Array.fill a 0 (Array.length a) Word.disc) r.traces;
-  Array.fill r.out_n 0 (Array.length r.out_n) 0;
-  r.conflicts <- []
+  let fu_row = fu_off.(nf) in
+  { pid = plan.pid; ns; nr; nf; np; cs; rows;
+    profs = plan.profs;
+    visible = Array.make (rows * ns) Word.disc;
+    acc = Array.make (rows * ns) Word.disc;
+    in_pending = Bytes.make (max (rows * ns) 1) '\000';
+    pend_ids = Array.init rows (fun _ -> Array.make ns 0);
+    live_ids = Array.init rows (fun _ -> Array.make ns 0);
+    pend_n = Array.make rows 0;
+    live_n = Array.make rows 0;
+    regs = Array.make (rows * nr) Word.disc;
+    reg_vis = Array.make (rows * nr) Word.disc;
+    fu_out = Array.make (rows * nf) Word.disc;
+    fu_lat = Array.make (rows * nf) 0;
+    fu_cap; fu_off; fu_row;
+    fu_slots = Array.make (rows * fu_row) Word.disc;
+    traces = Array.make (rows * nr * cs) Word.disc;
+    out_steps = Array.make (rows * np * cs) 0;
+    out_vals = Array.make (rows * np * cs) Word.disc;
+    out_n = Array.make (rows * np) 0;
+    conflicts = Array.make rows [];
+    scheds = Array.make rows b;
+    v_join = Array.make rows 0;
+    v_settle = Array.make rows 0;
+    v_retire = Array.make rows 0;
+    v_state = Array.make rows st_waiting;
+    v_dirty = Bytes.make rows '\000' }
 
-let[@inline] contribute (r : row) s v =
-  if r.in_pending.(s) then r.acc.(s) <- Resolve.combine r.acc.(s) v
-  else begin
-    r.in_pending.(s) <- true;
-    r.acc.(s) <- v;
-    r.pend_ids.(r.pend_n) <- s;
-    r.pend_n <- r.pend_n + 1
-  end
+(* One arena per domain, rebound in place chunk after chunk as long as
+   the campaign keeps the same plan and the batch fits.  Domain-local,
+   so pool workers never share scratch; callers that multiplex
+   system threads on one domain must serialize their campaigns (the
+   serve daemon's admission control already does). *)
+let arena_slot : arena option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let flip (r : row) ~step ~phase =
-  for i = 0 to r.live_n - 1 do
-    let s = r.live_ids.(i) in
-    if not r.in_pending.(s) then begin
-      let v = Sched.resolve_release r.sched s ~step ~phase in
-      if Word.is_illegal v && not (Word.is_illegal r.visible.(s)) then
-        r.conflicts <- (step, phase, r.sched.Sched.sink_name.(s)) :: r.conflicts;
-      r.visible.(s) <- v
-    end
-  done;
-  for i = 0 to r.pend_n - 1 do
-    let s = r.pend_ids.(i) in
-    let v = Sched.resolve_value r.sched s ~step ~phase r.acc.(s) in
-    if Word.is_illegal v && not (Word.is_illegal r.visible.(s)) then
-      r.conflicts <- (step, phase, r.sched.Sched.sink_name.(s)) :: r.conflicts;
-    r.visible.(s) <- v
-  done;
-  let freed = r.live_ids in
-  r.live_ids <- r.pend_ids;
-  r.live_n <- r.pend_n;
-  r.pend_ids <- freed;
-  r.pend_n <- 0;
-  for i = 0 to r.live_n - 1 do
-    let s = r.live_ids.(i) in
-    r.in_pending.(s) <- false;
-    r.acc.(s) <- Word.disc
-  done
-
-let exec_step (r : row) step =
-  let cm = Phase.to_int Phase.Cm and cr = Phase.to_int Phase.Cr in
-  for pi = 0 to Phase.count - 1 do
-    let phase = Phase.of_int_exn pi in
-    flip r ~step ~phase;
-    let acts = r.sched.Sched.slots.(((step - 1) * Phase.count) + pi) in
-    for a = 0 to Array.length acts - 1 do
-      let { Sched.src; dst } = acts.(a) in
-      let v =
-        match src with
-        | Sched.Const w -> w
-        | Sched.Reg i -> r.reg_vis.(i)
-        | Sched.Bus s -> r.visible.(s)
-        | Sched.Fu f -> r.fu_out.(f)
-      in
-      contribute r dst v
-    done;
-    if pi = cm then
-      for f = 0 to Array.length r.fu_states - 1 do
-        let u = r.sched.Sched.fu_plans.(f) in
-        r.fu_out.(f) <-
-          Fu_state.step r.fu_states.(f)
-            ~op_index:r.visible.(u.Sched.op_sink)
-            r.visible.(u.Sched.in1_sink) r.visible.(u.Sched.in2_sink)
-      done
-    else if pi = cr then begin
-      for i = 0 to r.sched.Sched.nregs - 1 do
-        let v = r.visible.(r.sched.Sched.reg_in_sink.(i)) in
-        if not (Word.is_disc v) then begin
-          r.regs.(i) <- v;
-          r.reg_vis.(i) <- Sched.reg_view_latch r.sched i ~step v
-        end
-      done;
-      for o = 0 to Array.length r.sched.Sched.out_sink - 1 do
-        let v = r.visible.(r.sched.Sched.out_sink.(o)) in
-        if not (Word.is_disc v) then begin
-          let n = r.out_n.(o) in
-          r.out_steps.(o).(n) <- step;
-          r.out_vals.(o).(n) <- v;
-          r.out_n.(o) <- n + 1
-        end
-      done;
-      for i = 0 to r.sched.Sched.nregs - 1 do
-        r.traces.(i).(step - 1) <- r.reg_vis.(i)
-      done
-    end
-  done
-
-(* Copy the golden row's state at boundary [b] into a variant — the
-   in-memory equivalent of restoring a golden checkpoint: raw machine
-   state verbatim, the register view re-resolved through the variant's
-   tamper at its next visibility point (the kernel's resume rule), the
-   conflict prefix in the snapshot's sorted order. *)
-let join_row ~(golden : row) (v : row) ~boundary =
-  Array.blit golden.visible 0 v.visible 0 (Array.length golden.visible);
-  Array.blit golden.live_ids 0 v.live_ids 0 golden.live_n;
-  v.live_n <- golden.live_n;
-  v.pend_n <- 0;
-  Array.blit golden.regs 0 v.regs 0 (Array.length golden.regs);
-  for i = 0 to v.sched.Sched.nregs - 1 do
-    v.reg_vis.(i) <- Sched.reg_view_resume v.sched i ~boundary v.regs.(i)
-  done;
-  Array.blit golden.fu_out 0 v.fu_out 0 (Array.length golden.fu_out);
-  Array.iteri
-    (fun i st -> Fu_state.restore v.fu_states.(i) (Fu_state.slots st))
-    golden.fu_states;
-  Array.iteri
-    (fun i tr -> Array.blit tr 0 v.traces.(i) 0 boundary)
-    golden.traces;
-  Array.iteri
-    (fun o steps ->
-      Array.blit steps 0 v.out_steps.(o) 0 golden.out_n.(o);
-      Array.blit golden.out_vals.(o) 0 v.out_vals.(o) 0 golden.out_n.(o);
-      v.out_n.(o) <- golden.out_n.(o))
-    golden.out_steps;
-  v.conflicts <- List.rev (Snapshot.sort_conflicts golden.conflicts)
-
-let observation (r : row) =
-  let m = r.sched.Sched.model in
-  { Observation.model_name = m.Model.name; cs_max = m.Model.cs_max;
-    regs =
-      List.mapi
-        (fun i (reg : Model.register) ->
-          (reg.reg_name, Array.copy r.traces.(i)))
-        m.Model.registers;
-    outputs =
-      List.mapi
-        (fun o name ->
-          ( name,
-            List.init r.out_n.(o) (fun k ->
-                (r.out_steps.(o).(k), r.out_vals.(o).(k))) ))
-        m.Model.outputs;
-    conflicts = List.rev r.conflicts }
+let get_arena (plan : plan) k =
+  let slot = Domain.DLS.get arena_slot in
+  let rows = k + 1 in
+  match !slot with
+  | Some a when a.pid = plan.pid && a.rows >= rows ->
+    a.profs <- plan.profs;
+    a
+  | _ ->
+    let a = make_arena plan rows in
+    slot := Some a;
+    a
 
 (* First boundary from which every remaining slot — including the
    boundary step's own (step, wb) slot, whose drivers are the live set
-   crossing it — is physically the golden array. *)
-let retire_from_of (golden : Sched.t) (s : Sched.t) (m : Model.t) =
+   crossing it — is physically the golden array.  [Sched.overlay]
+   hands us the highest patched slot directly. *)
+let retire_from_of (m : Model.t) last_patched =
   let wb = Phase.to_int Phase.Wb in
-  let last_patched = ref (-1) in
-  Array.iteri
-    (fun k a -> if a != golden.Sched.slots.(k) then last_patched := k)
-    s.Sched.slots;
   let rec find step =
     if step > m.Model.cs_max then step
-    else if ((step - 1) * Phase.count) + wb > !last_patched then step
+    else if ((step - 1) * Phase.count) + wb > last_patched then step
     else find (step + 1)
   in
   find 1
 
-let rows_equal (g : row) (v : row) =
-  let arrays_eq a b =
-    let n = Array.length a in
-    let rec go i = i >= n || (Word.equal a.(i) b.(i) && go (i + 1)) in
-    go 0
-  in
-  (* component bits of the divergence mask, cheapest first; all clear
-     means the rows cannot diverge again *)
-  arrays_eq g.regs v.regs
-  && arrays_eq g.reg_vis v.reg_vis
-  && arrays_eq g.fu_out v.fu_out
-  && arrays_eq g.visible v.visible
-  && (let n = Array.length g.fu_states in
-      let rec go i =
-        i >= n
-        || (Fu_state.slots g.fu_states.(i) = Fu_state.slots v.fu_states.(i)
-            && go (i + 1))
-      in
-      go 0)
-  && Snapshot.sort_conflicts g.conflicts = Snapshot.sort_conflicts v.conflicts
-
-(* Exact per-boundary check that the observables recorded {e this}
-   step equal the golden row's; once any differs the flag latches and
-   the variant must run to completion. *)
-let update_obs_dirty ~(golden : row) (var : variant) ~step =
-  let v = var.row in
-  if not var.obs_dirty then begin
-    let dirty = ref false in
-    for i = 0 to v.sched.Sched.nregs - 1 do
-      if not (Word.equal v.traces.(i).(step - 1) golden.traces.(i).(step - 1))
-      then dirty := true
-    done;
-    for o = 0 to Array.length v.out_n - 1 do
-      if v.out_n.(o) <> golden.out_n.(o) then dirty := true
-      else if
-        v.out_n.(o) > 0
-        && v.out_steps.(o).(v.out_n.(o) - 1) = step
-        && not (Word.equal v.out_vals.(o).(v.out_n.(o) - 1)
-                  golden.out_vals.(o).(golden.out_n.(o) - 1))
-      then dirty := true
-    done;
-    if !dirty then var.obs_dirty <- true
-  end
-
-let prepare (m : Model.t) specs =
-  Model.validate_exn m;
+(* Bind K specs onto the arena: overlay schedules, per-row pipeline
+   depths (growing the shared slot capacity under a latency override),
+   and a full state reset of rows 0..K.  Everything here is per-chunk
+   cost — the step loop below does the per-step work. *)
+let bind (plan : plan) specs =
+  let m = plan.pmodel in
   List.iter
     (fun { inject; join; settle = _ } ->
       (match Compiled.compilable ~inject m with
@@ -297,66 +189,362 @@ let prepare (m : Model.t) specs =
           (Printf.sprintf "Batch: join boundary %d outside [0, %d]" join
              m.Model.cs_max))
     specs;
-  let golden_sched = Sched.compile m in
-  let golden = make_row golden_sched m in
-  reset_row golden;
-  let variants =
-    List.map
-      (fun spec ->
-        let sched = Sched.compile ~inject:spec.inject m in
-        Sched.share_slots ~base:golden_sched sched;
-        let row = make_row sched m in
-        reset_row row;
-        { spec; row;
-          retire_from = retire_from_of golden_sched sched m;
-          state = (if spec.join = 0 then Running else Waiting);
-          obs_dirty = false })
-      specs
-  in
-  (golden, variants)
-
-let golden (m : Model.t) specs =
-  let golden, variants = prepare m specs in
-  for step = 1 to m.Model.cs_max do
-    List.iter
-      (fun v ->
-        if v.state = Waiting && v.spec.join = step - 1 then begin
-          join_row ~golden v.row ~boundary:(step - 1);
-          v.state <- Running
-        end)
-      variants;
-    exec_step golden step;
-    List.iter
-      (fun v ->
-        if v.state = Running then begin
-          exec_step v.row step;
-          update_obs_dirty ~golden v ~step;
-          if
-            (not v.obs_dirty) && step < m.Model.cs_max
-            && step >= v.spec.settle && step >= v.retire_from
-            && rows_equal golden v.row
-          then v.state <- Retired step
-        end)
-      variants
+  let k = List.length specs in
+  let a = get_arena plan k in
+  a.scheds.(0) <- plan.base;
+  List.iteri
+    (fun i spec ->
+      let sched = Sched.overlay plan.base spec.inject in
+      a.scheds.(i + 1) <- sched;
+      a.v_join.(i + 1) <- spec.join;
+      a.v_settle.(i + 1) <- spec.settle;
+      a.v_retire.(i + 1) <- retire_from_of m sched.Sched.last_patched;
+      a.v_state.(i + 1) <-
+        (if spec.join = 0 then st_running else st_waiting))
+    specs;
+  Bytes.fill a.v_dirty 0 (k + 1) '\000';
+  (* pipeline depths; a latency override above the shared capacity
+     grows every row's unit region (rare: one realloc per campaign) *)
+  let grew = ref false in
+  for r = 0 to k do
+    let plans = a.scheds.(r).Sched.fu_plans in
+    for f = 0 to a.nf - 1 do
+      let lat = plans.(f).Sched.fu.Model.latency in
+      a.fu_lat.((r * a.nf) + f) <- lat;
+      if lat > a.fu_cap.(f) then begin
+        a.fu_cap.(f) <- lat;
+        grew := true
+      end
+    done
   done;
+  if !grew then begin
+    for f = 0 to a.nf - 1 do
+      a.fu_off.(f + 1) <- a.fu_off.(f) + a.fu_cap.(f)
+    done;
+    a.fu_row <- a.fu_off.(a.nf);
+    a.fu_slots <- Array.make (a.rows * a.fu_row) Word.disc
+  end;
+  (* state reset of the bound rows *)
+  let nrows = k + 1 in
+  Array.fill a.visible 0 (nrows * a.ns) Word.disc;
+  Array.fill a.acc 0 (nrows * a.ns) Word.disc;
+  if a.ns > 0 then Bytes.fill a.in_pending 0 (nrows * a.ns) '\000';
+  Array.fill a.pend_n 0 nrows 0;
+  Array.fill a.live_n 0 nrows 0;
+  for r = 0 to k do
+    let sch = a.scheds.(r) in
+    Array.blit sch.Sched.reg_init 0 a.regs (r * a.nr) a.nr;
+    for i = 0 to a.nr - 1 do
+      a.reg_vis.((r * a.nr) + i) <- Sched.reg_view_init sch i
+    done
+  done;
+  Array.fill a.fu_out 0 (nrows * a.nf) Word.disc;
+  Array.fill a.fu_slots 0 (nrows * a.fu_row) Word.disc;
+  Array.fill a.traces 0 (nrows * a.nr * a.cs) Word.disc;
+  Array.fill a.out_n 0 (nrows * a.np) 0;
+  Array.fill a.conflicts 0 nrows [];
+  (a, k)
+
+let phase_table = Array.of_list Phase.all
+let cm_i = Phase.to_int Phase.Cm
+let cr_i = Phase.to_int Phase.Cr
+
+(* One control step of one row.  Zero allocation on the happy path:
+   conflict records are the only conses, and only when a sink newly
+   turns ILLEGAL. *)
+let exec_row (a : arena) (sch : Sched.t) ~row ~step =
+  let ns = a.ns in
+  let sb = row * ns in
+  let rb = row * a.nr in
+  let fb = row * a.nf in
+  for pi = 0 to Phase.count - 1 do
+    let phase = phase_table.(pi) in
+    (* flip: resolve last phase's contributions into this phase's
+       visible values — live sinks not re-contributed release, pending
+       sinks take their accumulated resolution, and a sink newly
+       becoming ILLEGAL is localized as a conflict *)
+    let live = a.live_ids.(row) in
+    let ln = a.live_n.(row) in
+    for i = 0 to ln - 1 do
+      let s = live.(i) in
+      if Bytes.get a.in_pending (sb + s) = '\000' then begin
+        let v = Sched.resolve_release sch s ~step ~phase in
+        if Word.is_illegal v && not (Word.is_illegal a.visible.(sb + s))
+        then
+          a.conflicts.(row) <-
+            (step, phase, sch.Sched.sink_name.(s)) :: a.conflicts.(row);
+        a.visible.(sb + s) <- v
+      end
+    done;
+    let pend = a.pend_ids.(row) in
+    let pn = a.pend_n.(row) in
+    for i = 0 to pn - 1 do
+      let s = pend.(i) in
+      let v = Sched.resolve_value sch s ~step ~phase a.acc.(sb + s) in
+      if Word.is_illegal v && not (Word.is_illegal a.visible.(sb + s)) then
+        a.conflicts.(row) <-
+          (step, phase, sch.Sched.sink_name.(s)) :: a.conflicts.(row);
+      a.visible.(sb + s) <- v
+    done;
+    a.live_ids.(row) <- pend;
+    a.live_n.(row) <- pn;
+    a.pend_ids.(row) <- live;
+    a.pend_n.(row) <- 0;
+    for i = 0 to pn - 1 do
+      let s = pend.(i) in
+      Bytes.set a.in_pending (sb + s) '\000';
+      a.acc.(sb + s) <- Word.disc
+    done;
+    (* this slot's contributions *)
+    let acts = sch.Sched.slots.(((step - 1) * Phase.count) + pi) in
+    for i = 0 to Array.length acts - 1 do
+      let { Sched.src; dst } = acts.(i) in
+      let v =
+        match src with
+        | Sched.Const w -> w
+        | Sched.Reg r -> a.reg_vis.(rb + r)
+        | Sched.Bus s -> a.visible.(sb + s)
+        | Sched.Fu f -> a.fu_out.(fb + f)
+      in
+      if Bytes.get a.in_pending (sb + dst) = '\001' then
+        a.acc.(sb + dst) <- Resolve.combine a.acc.(sb + dst) v
+      else begin
+        Bytes.set a.in_pending (sb + dst) '\001';
+        a.acc.(sb + dst) <- v;
+        let p = a.pend_ids.(row) in
+        p.(a.pend_n.(row)) <- dst;
+        a.pend_n.(row) <- a.pend_n.(row) + 1
+      end
+    done;
+    if pi = cm_i then begin
+      let fob = row * a.fu_row in
+      for f = 0 to a.nf - 1 do
+        let u = sch.Sched.fu_plans.(f) in
+        a.fu_out.(fb + f) <-
+          Fu_state.step_flat a.profs.(f) ~slots:a.fu_slots
+            ~off:(fob + a.fu_off.(f))
+            ~lat:a.fu_lat.(fb + f)
+            ~op_index:a.visible.(sb + u.Sched.op_sink)
+            a.visible.(sb + u.Sched.in1_sink)
+            a.visible.(sb + u.Sched.in2_sink)
+      done
+    end
+    else if pi = cr_i then begin
+      for i = 0 to a.nr - 1 do
+        let v = a.visible.(sb + sch.Sched.reg_in_sink.(i)) in
+        if not (Word.is_disc v) then begin
+          a.regs.(rb + i) <- v;
+          a.reg_vis.(rb + i) <- Sched.reg_view_latch sch i ~step v
+        end
+      done;
+      let ob = row * a.np in
+      for o = 0 to a.np - 1 do
+        let v = a.visible.(sb + sch.Sched.out_sink.(o)) in
+        if not (Word.is_disc v) then begin
+          let n = a.out_n.(ob + o) in
+          a.out_steps.(((ob + o) * a.cs) + n) <- step;
+          a.out_vals.(((ob + o) * a.cs) + n) <- v;
+          a.out_n.(ob + o) <- n + 1
+        end
+      done;
+      let tb = rb * a.cs in
+      for i = 0 to a.nr - 1 do
+        a.traces.(tb + (i * a.cs) + (step - 1)) <- a.reg_vis.(rb + i)
+      done
+    end
+  done
+
+(* Copy the golden row's state at boundary [b] into a variant — the
+   in-memory equivalent of restoring a golden checkpoint: raw machine
+   state verbatim, the register view re-resolved through the variant's
+   tamper at its next visibility point (the kernel's resume rule), the
+   conflict prefix in the snapshot's sorted order. *)
+let join_row (a : arena) ~row ~boundary =
+  let sb = row * a.ns and rb = row * a.nr and fb = row * a.nf in
+  Array.blit a.visible 0 a.visible sb a.ns;
+  Array.blit a.live_ids.(0) 0 a.live_ids.(row) 0 a.live_n.(0);
+  a.live_n.(row) <- a.live_n.(0);
+  a.pend_n.(row) <- 0;
+  Array.blit a.regs 0 a.regs rb a.nr;
+  let sch = a.scheds.(row) in
+  for i = 0 to a.nr - 1 do
+    a.reg_vis.(rb + i) <- Sched.reg_view_resume sch i ~boundary a.regs.(rb + i)
+  done;
+  Array.blit a.fu_out 0 a.fu_out fb a.nf;
+  let fob = row * a.fu_row in
+  for f = 0 to a.nf - 1 do
+    let lat_g = a.fu_lat.(f) and lat_v = a.fu_lat.(fb + f) in
+    if lat_g <> lat_v then
+      (* the historical restore-from-snapshot error: a variant whose
+         pipeline depth differs cannot adopt golden state (campaigns
+         give latency overrides join = 0, so they never land here) *)
+      invalid_arg
+        (Printf.sprintf "Fu_state.restore: %s expects %d slots, got %d"
+           sch.Sched.fu_plans.(f).Sched.fu.Model.fu_name lat_v lat_g);
+    Array.blit a.fu_slots a.fu_off.(f) a.fu_slots (fob + a.fu_off.(f)) lat_g
+  done;
+  for i = 0 to a.nr - 1 do
+    Array.blit a.traces (i * a.cs) a.traces ((rb + i) * a.cs) boundary
+  done;
+  for o = 0 to a.np - 1 do
+    let n = a.out_n.(o) in
+    Array.blit a.out_steps (o * a.cs) a.out_steps (((row * a.np) + o) * a.cs) n;
+    Array.blit a.out_vals (o * a.cs) a.out_vals (((row * a.np) + o) * a.cs) n;
+    a.out_n.((row * a.np) + o) <- n
+  done;
+  a.conflicts.(row) <- List.rev (Snapshot.sort_conflicts a.conflicts.(0))
+
+let observation (a : arena) row =
+  let m = a.scheds.(row).Sched.model in
+  let rb = row * a.nr and ob = row * a.np in
+  { Observation.model_name = m.Model.name; cs_max = m.Model.cs_max;
+    regs =
+      List.mapi
+        (fun i (reg : Model.register) ->
+          (reg.reg_name, Array.sub a.traces ((rb + i) * a.cs) a.cs))
+        m.Model.registers;
+    outputs =
+      List.mapi
+        (fun o name ->
+          ( name,
+            List.init a.out_n.(ob + o) (fun k ->
+                ( a.out_steps.(((ob + o) * a.cs) + k),
+                  a.out_vals.(((ob + o) * a.cs) + k) )) ))
+        m.Model.outputs;
+    conflicts = List.rev a.conflicts.(row) }
+
+(* Helpers of [rows_equal], at top level so the per-step retirement
+   check allocates no closures. *)
+let rec eq_range (arr : Word.t array) base n i =
+  i >= n || (Word.equal arr.(i) arr.(base + i) && eq_range arr base n (i + 1))
+
+let rec slots_eq (slots : Word.t array) off0 offr lat i =
+  i >= lat
+  || (Word.equal slots.(off0 + i) slots.(offr + i)
+      && slots_eq slots off0 offr lat (i + 1))
+
+let rec fus_eq (a : arena) row fob f =
+  f >= a.nf
+  || (a.fu_lat.(f) = a.fu_lat.((row * a.nf) + f)
+      && slots_eq a.fu_slots a.fu_off.(f) (fob + a.fu_off.(f)) a.fu_lat.(f) 0
+      && fus_eq a row fob (f + 1))
+
+(* State-row equality against the golden row, cheapest component
+   first; all equal (with no observable delta accrued) means the rows
+   cannot diverge again. *)
+let rows_equal (a : arena) row =
+  eq_range a.regs (row * a.nr) a.nr 0
+  && eq_range a.reg_vis (row * a.nr) a.nr 0
+  && eq_range a.fu_out (row * a.nf) a.nf 0
+  && eq_range a.visible (row * a.ns) a.ns 0
+  && fus_eq a row (row * a.fu_row) 0
+  && (match (a.conflicts.(0), a.conflicts.(row)) with
+     | [], [] -> true  (* the conflict-free fast path must not reach
+                          [List.sort_uniq], which allocates its merge
+                          closures even for empty input *)
+     | c0, cr -> Snapshot.sort_conflicts c0 = Snapshot.sort_conflicts cr)
+
+exception Obs_differs
+
+(* Exact per-boundary check that the observables recorded {e this}
+   step equal the golden row's; once any differs the flag latches and
+   the variant must run to completion.  The constant exception keeps
+   the check allocation-free (a [ref] cell would be a minor-heap
+   allocation per variant per step). *)
+let update_obs_dirty (a : arena) row ~step =
+  if Bytes.get a.v_dirty row = '\000' then begin
+    let rb = row * a.nr and ob = row * a.np in
+    try
+      for i = 0 to a.nr - 1 do
+        if
+          not
+            (Word.equal
+               a.traces.(((rb + i) * a.cs) + (step - 1))
+               a.traces.((i * a.cs) + (step - 1)))
+        then raise_notrace Obs_differs
+      done;
+      for o = 0 to a.np - 1 do
+        let vn = a.out_n.(ob + o) and gn = a.out_n.(o) in
+        if vn <> gn then raise_notrace Obs_differs
+        else if
+          vn > 0
+          && a.out_steps.(((ob + o) * a.cs) + vn - 1) = step
+          && not
+               (Word.equal
+                  a.out_vals.(((ob + o) * a.cs) + vn - 1)
+                  a.out_vals.((o * a.cs) + gn - 1))
+        then raise_notrace Obs_differs
+      done
+    with Obs_differs -> Bytes.set a.v_dirty row '\001'
+  end
+
+let run_arena (a : arena) k =
+  let cs = a.cs in
+  for step = 1 to cs do
+    for r = 1 to k do
+      if a.v_state.(r) = st_waiting && a.v_join.(r) = step - 1 then begin
+        join_row a ~row:r ~boundary:(step - 1);
+        a.v_state.(r) <- st_running
+      end
+    done;
+    exec_row a a.scheds.(0) ~row:0 ~step;
+    for r = 1 to k do
+      if a.v_state.(r) = st_running then begin
+        exec_row a a.scheds.(r) ~row:r ~step;
+        update_obs_dirty a r ~step;
+        if
+          Bytes.get a.v_dirty r = '\000'
+          && step < cs
+          && step >= a.v_settle.(r)
+          && step >= a.v_retire.(r)
+          && rows_equal a r
+        then a.v_state.(r) <- step
+      end
+    done
+  done
+
+let golden_with (plan : plan) specs =
+  let a, k = bind plan specs in
+  run_arena a k;
   let results =
-    List.map
-      (fun v ->
+    List.mapi
+      (fun i spec ->
+        let r = i + 1 in
         let verdict =
-          match v.state with
-          | Retired s -> Converged s
-          | Running -> Finished (observation v.row)
-          | Waiting ->
+          match a.v_state.(r) with
+          | -1 -> Finished (observation a r)
+          | -2 ->
             (* joined at the final boundary: the fault never acts, the
                observation is the golden one by construction *)
-            Converged m.Model.cs_max
+            Converged plan.pmodel.Model.cs_max
+          | s -> Converged s
         in
         { verdict;
           cycles =
-            Simulate.expected_cycles_injected ~inject:v.spec.inject m
-              v.spec.join })
-      variants
+            Simulate.expected_cycles_injected ~inject:spec.inject plan.pmodel
+              spec.join })
+      specs
   in
-  (observation golden, results)
+  (observation a 0, results)
+
+let run_with plan specs = snd (golden_with plan specs)
+
+let golden (m : Model.t) specs = golden_with (plan m) specs
 
 let run m specs = snd (golden m specs)
+
+(* The pinned-law probe: minor-heap words allocated by the lockstep
+   step loop alone — bind and result materialization excluded.  The
+   scaling suite asserts this is 0 for conflict-free specs. *)
+let alloc_probe plan specs =
+  let a, k = bind plan specs in
+  (* [Gc.minor_words] boxes its float result on the minor heap, so a
+     naive before/after delta can never read 0.  Calibrate that
+     overhead with an empty probe first and subtract it. *)
+  let b0 = Gc.minor_words () in
+  let b1 = Gc.minor_words () in
+  let overhead = b1 -. b0 in
+  let w0 = Gc.minor_words () in
+  run_arena a k;
+  let w1 = Gc.minor_words () in
+  (w1 -. w0) -. overhead

@@ -4,11 +4,20 @@
     A fault campaign runs the same model hundreds of times, each run
     differing from the golden one by a small injection overlay.  This
     executor runs K faulted variants {e plus} the golden run in one
-    pass over the shared static schedule ({!Sched}): one state row per
-    variant (flat [Word.t] arrays — unboxed int rows), the golden row
-    stepped first, every variant stepped in lockstep over slots that
-    are physically shared with the golden plan except where its
-    overlay patched them ({!Sched.share_slots}).
+    pass over the shared static schedule ({!Sched}): the per-variant
+    state lives in one structure-of-arrays {e arena} — flat unboxed
+    [Word.t] (and [int]) arrays with one contiguous row per variant,
+    the golden run in row 0 — stepped in lockstep over slots that are
+    physically shared with the golden plan except where each variant's
+    overlay patched them ({!Sched.overlay}).
+
+    The arena is preallocated and cached per domain ({!Domain.DLS}):
+    consecutive campaign chunks dispatched to the same worker reuse
+    the same rows (grown monotonically, never shrunk), so the steady
+    state of a campaign performs {e zero} minor-heap allocation in the
+    step loop — the law {!alloc_probe} exposes and the scaling suite
+    pins.  Rows are row-major and stride-contiguous, so a variant's
+    whole state is cache-linear and no step boxes a value.
 
     Two campaign-shaped shortcuts make this faster than K independent
     compiled runs:
@@ -32,9 +41,11 @@
     boundary the pending set is empty and the live driver set is
     exactly the destination set of the (step, [wb]) slot, so physical
     slot sharing plus state-row equality implies equal futures.  The
+    arena layout itself is observation-invariant (SEMANTICS §10): the
     differential suite ([test/test_batch.ml]) pins batched results
     against the kernel, the interpreter and the per-variant compiled
-    overlay. *)
+    overlay, and the scaling suite ([test/test_scaling.ml]) pins
+    report bytes across every (engine, jobs, batch) combination. *)
 
 type variant_spec = {
   inject : Inject.t;  (** must be compilable ({!Compiled.compilable}) *)
@@ -61,13 +72,41 @@ type result = {
           [join]: {!Simulate.expected_cycles_injected} *)
 }
 
-val run : Model.t -> variant_spec list -> result list
-(** Execute the golden run and every variant in lockstep; results are
-    in input order.  Raises [Invalid_argument] when the model does not
-    validate or a spec's injection has no static schedule
+type plan
+(** The reusable per-model part: the validated model, its compiled
+    base schedule and the per-unit pipeline profiles.  Building one
+    per campaign (instead of per chunk) is what lets parallel workers
+    share the compilation work — only the arena is per-domain. *)
+
+val plan : Model.t -> plan
+(** Validate and compile the model once.  Raises [Invalid_argument]
+    when the model does not validate. *)
+
+val base_sched : plan -> Sched.t
+(** The plan's uninjected compiled schedule — campaigns derive their
+    golden fast path ({!Compiled.of_sched}) and checkpoints from it
+    instead of recompiling. *)
+
+val run_with : plan -> variant_spec list -> result list
+(** Execute the golden run and every variant in lockstep on the
+    calling domain's cached arena; results are in input order.  Raises
+    [Invalid_argument] when a spec's injection has no static schedule
     ({!Compiled.compilable}); campaigns route those variants to the
     kernel instead. *)
 
+val golden_with : plan -> variant_spec list -> Observation.t * result list
+(** Like {!run_with}, also returning the golden row's observation
+    (equal to {!Compiled.run} of the uninjected plan). *)
+
+val run : Model.t -> variant_spec list -> result list
+(** [run m specs] is [run_with (plan m) specs]. *)
+
 val golden : Model.t -> variant_spec list -> Observation.t * result list
-(** Like {!run}, also returning the golden row's observation (equal to
-    {!Compiled.run} of the uninjected plan). *)
+(** [golden m specs] is [golden_with (plan m) specs]. *)
+
+val alloc_probe : plan -> variant_spec list -> float
+(** Minor-heap words allocated by the lockstep step loop alone — arena
+    binding and result materialization excluded, the probe's own
+    bookkeeping calibrated out.  The scaling suite asserts this is [0.]
+    for conflict-free specs; recording a conflict is the one step-loop
+    path allowed to allocate (it conses the localization). *)

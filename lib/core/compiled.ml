@@ -79,9 +79,9 @@ let compilable ?(inject = Inject.none) ?(config = Simulate.default)
   | [] -> Ok ()
   | bs -> Error (String.concat "; " bs)
 
-let of_model ?(inject = Inject.none) (m : Model.t) =
-  Model.validate_exn m;
-  let sched = Sched.compile ~inject m in
+let of_sched (sched : Sched.t) =
+  let m = sched.Sched.model in
+  let inject = sched.Sched.inject in
   let nsinks = sched.Sched.nsinks in
   let nregs = sched.Sched.nregs in
   let n1 = max nsinks 1 in
@@ -112,6 +112,10 @@ let of_model ?(inject = Inject.none) (m : Model.t) =
     out_n = Array.make (max (List.length m.outputs) 1) 0;
     conflicts = []; st_contributions = 0; st_resolutions = 0;
     st_fu_evals = 0; st_latches = 0 }
+
+let of_model ?(inject = Inject.none) (m : Model.t) =
+  Model.validate_exn m;
+  of_sched (Sched.compile ~inject m)
 
 let reset t =
   Array.fill t.visible 0 (Array.length t.visible) Word.disc;

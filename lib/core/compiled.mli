@@ -56,6 +56,13 @@ val of_model : ?inject:Inject.t -> Model.t -> t
     resolution and ILLEGAL localization are part of the schedule.
     Raises [Invalid_argument] on plans {!compilable} rejects. *)
 
+val of_sched : Sched.t -> t
+(** Executor state over an already-compiled schedule — {!of_model}
+    minus the compile.  The schedule must come from {!Sched.compile}
+    (or {!Sched.overlay}) of a validated model; campaigns use this to
+    run the golden plan they already compiled for the batch executor
+    instead of compiling it again. *)
+
 val model : t -> Model.t
 
 val cycles : t -> int

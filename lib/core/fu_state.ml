@@ -1,18 +1,48 @@
+(* The pipeline semantics live in [compute_flat], written over a flat
+   slot slice (array + offset + latency) so the record-based executors
+   and the batched structure-of-arrays arena share one implementation.
+   Nothing on this path allocates: the op table is a precomputed array
+   (not the model's list), and idle/illegal classification is pure
+   integer work — the batched inner loop relies on this. *)
+
+type profile = {
+  ops : Ops.t array;
+  sticky : bool;
+  pipelined : bool;
+  solo_stateful : bool;
+      (* exactly one op and it is stateful: an idle step holds the
+         accumulator instead of releasing to DISC *)
+}
+
+let profile (fu : Model.fu) =
+  { ops = Array.of_list fu.ops;
+    sticky = fu.sticky_illegal;
+    pipelined = fu.pipelined;
+    solo_stateful =
+      (match fu.ops with [ op ] -> Ops.is_stateful op | _ -> false) }
+
 type t = {
   fu : Model.fu;
+  prof : profile;
   slots : Word.t array;  (* slots.(0) = newest, slots.(latency-1) = oldest *)
 }
 
-let create (fu : Model.fu) = { fu; slots = Array.make fu.latency Word.disc }
+let create (fu : Model.fu) =
+  { fu; prof = profile fu; slots = Array.make fu.latency Word.disc }
 
 let reset u = Array.fill u.slots 0 (Array.length u.slots) Word.disc
 
-let busy u =
-  (* A non-pipelined unit is busy while any slot other than the one
-     being output this step still holds a value. *)
-  let n = Array.length u.slots in
-  let rec check i = i < n - 1 && (not (Word.is_disc u.slots.(i)) || check (i + 1)) in
-  n > 1 && check 0
+(* A non-pipelined unit is busy while any slot other than the one
+   being output this step still holds a value.  Top-level recursion,
+   not a local [let rec]: a local closure would capture slots/off/lat
+   and allocate on every call from the batched inner loop. *)
+let rec busy_scan (slots : Word.t array) off lat i =
+  i < lat - 1
+  && ((not (Word.is_disc slots.(off + i))) || busy_scan slots off lat (i + 1))
+
+let busy_flat slots off lat = lat > 1 && busy_scan slots off lat 0
+
+let busy u = busy_flat u.slots 0 (Array.length u.slots)
 
 let peek_output u = u.slots.(Array.length u.slots - 1)
 
@@ -22,39 +52,44 @@ let restore u slots =
   if Array.length slots <> Array.length u.slots then
     invalid_arg
       (Printf.sprintf "Fu_state.restore: %s expects %d slots, got %d"
-         u.fu.fu_name (Array.length u.slots) (Array.length slots));
-  Array.blit slots 0 u.slots 0 (Array.length slots)
+         u.fu.fu_name (Array.length u.slots) (Array.length slots))
+  else Array.blit slots 0 u.slots 0 (Array.length slots)
 
-let compute u ~op_index a b =
-  let prev = u.slots.(0) in
+let compute_flat (p : profile) ~slots ~off ~lat ~op_index a b =
+  let prev = slots.(off) in
   let no_operands = Word.is_disc a && Word.is_disc b in
-  if u.fu.sticky_illegal && Word.is_illegal prev then Word.illegal
+  if p.sticky && Word.is_illegal prev then Word.illegal
   else if Word.is_illegal op_index then Word.illegal
   else if Word.is_illegal a || Word.is_illegal b then Word.illegal
   else if no_operands && Word.is_disc op_index then
     (* Idle step: nothing selected, nothing supplied. *)
-    (match u.fu.ops with
-     | op :: _ when Ops.is_stateful op && List.length u.fu.ops = 1 -> prev
-     | _ -> Word.disc)
+    if p.solo_stateful then prev else Word.disc
+  else if Word.is_disc op_index then
+    (* Operands without a selection. *)
+    Word.illegal
+  else if op_index < 0 then
+    (* a saboteur can drive an arbitrary negative onto the .op sink;
+       the historical list lookup raised here, and campaign reports
+       pin the resulting Crashed classification byte-for-byte *)
+    invalid_arg "List.nth"
+  else if op_index >= Array.length p.ops then
+    (* out-of-range index *)
+    Word.illegal
   else
-    let op =
-      if Word.is_disc op_index then None
-      else List.nth_opt u.fu.ops op_index
-    in
-    match op with
-    | None ->
-      (* Operands without a selection, or an out-of-range index. *)
+    let op = p.ops.(op_index) in
+    if (not p.pipelined) && busy_flat slots off lat && not no_operands then
       Word.illegal
-    | Some op ->
-      if (not u.fu.pipelined) && busy u && not no_operands then Word.illegal
-      else Ops.apply op ~prev a b
+    else Ops.apply op ~prev a b
+
+let step_flat (p : profile) ~slots ~off ~lat ~op_index a b =
+  let out = slots.(off + lat - 1) in
+  let next = compute_flat p ~slots ~off ~lat ~op_index a b in
+  for i = lat - 1 downto 1 do
+    slots.(off + i) <- slots.(off + i - 1)
+  done;
+  slots.(off) <- next;
+  out
 
 let step u ~op_index a b =
-  let n = Array.length u.slots in
-  let out = u.slots.(n - 1) in
-  let next = compute u ~op_index a b in
-  for i = n - 1 downto 1 do
-    u.slots.(i) <- u.slots.(i - 1)
-  done;
-  u.slots.(0) <- next;
-  out
+  step_flat u.prof ~slots:u.slots ~off:0 ~lat:(Array.length u.slots) ~op_index
+    a b

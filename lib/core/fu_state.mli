@@ -11,8 +11,33 @@
 
 type t
 
+type profile
+(** The per-unit facts {!step} branches on — op table as a flat array,
+    stickiness, pipelining, the solo-stateful idle rule — precomputed
+    once so the hot path does no list traversal and no allocation. *)
+
+val profile : Model.fu -> profile
+(** Latency-independent: a latency override changes the slot count a
+    unit binds ({!step_flat}'s [lat]), never its profile. *)
+
 val create : Model.fu -> t
 val reset : t -> unit
+
+val step_flat :
+  profile ->
+  slots:Word.t array ->
+  off:int ->
+  lat:int ->
+  op_index:Word.t ->
+  Word.t ->
+  Word.t ->
+  Word.t
+(** {!step} over a flat pipeline slice: the unit's [lat] slots live at
+    [slots.(off) .. slots.(off + lat - 1)], newest first.  This is the
+    single implementation of the pipeline semantics — {!step} is this
+    applied to the record's own slot array — and it allocates nothing,
+    which the batched executor's structure-of-arrays inner loop
+    ([Batch]) depends on. *)
 
 val step : t -> op_index:Word.t -> Word.t -> Word.t -> Word.t
 (** [step u ~op_index a b] processes one [cm] phase.  [op_index] is

@@ -67,17 +67,65 @@ let eval op (args : int array) =
   | Const c -> m c
   | Mac -> m (a 2 + (a 0 * a 1))
 
+(* [eval] without the operand array: the batched executor calls this
+   once per unit per step per variant, so it must not allocate. *)
+let eval2 op x y =
+  let m = Word.mask in
+  match op with
+  | Add -> m (x + y)
+  | Sub -> m (x - y)
+  | Mul -> m (x * y)
+  | Band -> x land y
+  | Bor -> x lor y
+  | Bxor -> x lxor y
+  | Shl -> m (x lsl clamp_shift y)
+  | Shr -> x lsr clamp_shift y
+  | Asr -> m (Word.to_signed x asr clamp_shift y)
+  | Shli n -> m (x lsl clamp_shift n)
+  | Shri n -> x lsr clamp_shift n
+  | Asri n -> m (Word.to_signed x asr clamp_shift n)
+  | Addi n -> m (x + n)
+  | Subi n -> m (x - n)
+  | Muli n -> m (x * n)
+  | Mulfx n -> m ((Word.to_signed x * Word.to_signed y) asr clamp_shift n)
+  | Min -> min x y
+  | Max -> max x y
+  | Eq -> bool_word (x = y)
+  | Lt -> bool_word (x < y)
+  | Lts -> bool_word (Word.to_signed x < Word.to_signed y)
+  | Pass -> x
+  | Neg -> m (- Word.to_signed x)
+  | Bnot -> m (lnot x)
+  | Abs -> m (abs (Word.to_signed x))
+  | Const c -> m c
+  | Mac -> m (x * y)  (* accumulator folded in by [apply] *)
+
 let apply op ~prev x y =
   let n = arity op in
-  let operands = match n with 0 -> [||] | 1 -> [| x |] | _ -> [| x; y |] in
-  let any p = Array.exists p operands in
-  let all p = Array.for_all p operands in
-  if any Word.is_illegal then Word.illegal
-  else if all Word.is_disc && n > 0 then
+  let any_illegal =
+    match n with
+    | 0 -> false
+    | 1 -> Word.is_illegal x
+    | _ -> Word.is_illegal x || Word.is_illegal y
+  in
+  let all_disc =
+    match n with
+    | 0 -> false
+    | 1 -> Word.is_disc x
+    | _ -> Word.is_disc x && Word.is_disc y
+  in
+  let any_disc =
+    match n with
+    | 0 -> false
+    | 1 -> Word.is_disc x
+    | _ -> Word.is_disc x || Word.is_disc y
+  in
+  if any_illegal then Word.illegal
+  else if all_disc then
     (* Paper ADD: both operands DISC -> DISC.  A MAC with no new
        operands holds its accumulator. *)
     if is_stateful op then prev else Word.disc
-  else if any Word.is_disc then
+  else if any_disc then
     (* "either both operand values are natural values or both are
        DISC" — a partial supply is a scheduling error. *)
     Word.illegal
@@ -87,11 +135,11 @@ let apply op ~prev x y =
       if Word.is_illegal prev then Word.illegal
       else
         let acc = if Word.is_disc prev then 0 else prev in
-        eval op [| x; y; acc |]
+        Word.mask (acc + (x * y))
     | Add | Sub | Mul | Band | Bor | Bxor | Shl | Shr | Asr | Shli _
     | Shri _ | Asri _ | Addi _ | Subi _ | Muli _ | Mulfx _ | Min | Max
     | Eq | Lt | Lts | Pass | Neg | Bnot | Abs | Const _ ->
-      eval op operands
+      eval2 op x y
 
 let to_string = function
   | Add -> "add"

@@ -14,7 +14,9 @@ type t = {
   inject : Inject.t;
   nsinks : int;
   sink_name : string array;
+  sink_index : (string, int) Hashtbl.t;
   slots : action array array;
+  slot_prov : int array array;
   static_actions : int;
   fu_plans : fu_plan array;
   nregs : int;
@@ -23,15 +25,35 @@ type t = {
   out_sink : int array;
   sink_tamper : Inject.tamper option array;
   reg_tamper : Inject.tamper option array;
+  mutable last_patched : int;
 }
 
-let compile ?(inject = Inject.none) (m : Model.t) =
-  if inject.Inject.oscillators <> [] then
+let oscillator_error (m : Model.t) =
+  invalid_arg
+    (Printf.sprintf
+       "Compiled: model %s: an injected oscillator never settles, so \
+        there is no static schedule; use the kernel or the interpreter"
+       m.name)
+
+let sink_id_in (m : Model.t) sink_index site n =
+  match Hashtbl.find_opt sink_index n with
+  | Some i -> i
+  | None ->
+    (* validated models only reference declared resources, so this
+       is a compiler bug — mirror the elaboration diagnostic.
+       Injected saboteurs also land here: their sinks are arbitrary
+       user input, checked with the same message as the kernel's. *)
     invalid_arg
       (Printf.sprintf
-         "Compiled: model %s: an injected oscillator never settles, so \
-          there is no static schedule; use the kernel or the interpreter"
-         m.name);
+         "Compiled: model %s declares no resource signal %S \
+          (referenced by %s)"
+         m.name n site)
+
+(* Compile the clean model: every leg, every op-selection, no overlay.
+   Fault overlays are patched onto this by [overlay] — they never
+   recompile, so a campaign pays the hashtable and list walks below
+   once per model, not once per variant. *)
+let compile_base (m : Model.t) =
   let sink_ids = Hashtbl.create 64 in
   let names = ref [] in
   let add_sink n =
@@ -54,20 +76,7 @@ let compile ?(inject = Inject.none) (m : Model.t) =
   let nsinks = Hashtbl.length sink_ids in
   let sink_name = Array.make (max nsinks 1) "" in
   List.iter (fun n -> sink_name.(Hashtbl.find sink_ids n) <- n) !names;
-  let sink_id site n =
-    match Hashtbl.find_opt sink_ids n with
-    | Some i -> i
-    | None ->
-      (* validated models only reference declared resources, so this
-         is a compiler bug — mirror the elaboration diagnostic.
-         Injected saboteurs also land here: their sinks are arbitrary
-         user input, checked with the same message as the kernel's. *)
-      invalid_arg
-        (Printf.sprintf
-           "Compiled: model %s declares no resource signal %S \
-            (referenced by %s)"
-           m.name n site)
-  in
+  let sink_id site n = sink_id_in m sink_ids site n in
   let reg_index = Hashtbl.create 16 in
   List.iteri
     (fun i (r : Model.register) -> Hashtbl.replace reg_index r.reg_name i)
@@ -97,18 +106,18 @@ let compile ?(inject = Inject.none) (m : Model.t) =
   in
   let nslots = m.cs_max * Phase.count in
   let slot_rev = Array.make nslots [] in
+  let prov_rev = Array.make nslots [] in
   let slot_of step phase = ((step - 1) * Phase.count) + Phase.to_int phase in
   let legs, selects = Model.all_legs m in
   List.iteri
     (fun idx (l : Transfer.leg) ->
-      if not (Inject.drops_leg inject idx) then begin
-        let a =
-          { src = compile_src l;
-            dst = sink_id "a transfer leg" (Transfer.endpoint_name l.dst) }
-        in
-        let s = slot_of l.step l.phase in
-        slot_rev.(s) <- a :: slot_rev.(s)
-      end)
+      let a =
+        { src = compile_src l;
+          dst = sink_id "a transfer leg" (Transfer.endpoint_name l.dst) }
+      in
+      let s = slot_of l.step l.phase in
+      slot_rev.(s) <- a :: slot_rev.(s);
+      prov_rev.(s) <- idx :: prov_rev.(s))
     legs;
   List.iter
     (fun (s : Transfer.op_select) ->
@@ -125,17 +134,11 @@ let compile ?(inject = Inject.none) (m : Model.t) =
             dst = sink_id "an op selection" (s.sel_fu ^ ".op") }
         in
         let k = slot_of s.sel_step Phase.Rb in
-        slot_rev.(k) <- a :: slot_rev.(k))
+        slot_rev.(k) <- a :: slot_rev.(k);
+        prov_rev.(k) <- -1 :: prov_rev.(k))
     selects;
-  List.iter
-    (fun (sb : Inject.saboteur) ->
-      let dst = sink_id "an injected saboteur" sb.Inject.sab_sink in
-      if sb.Inject.sab_step >= 1 && sb.Inject.sab_step <= m.cs_max then begin
-        let k = slot_of sb.Inject.sab_step sb.Inject.sab_phase in
-        slot_rev.(k) <- { src = Const sb.Inject.sab_value; dst } :: slot_rev.(k)
-      end)
-    inject.Inject.saboteurs;
   let slots = Array.map (fun l -> Array.of_list (List.rev l)) slot_rev in
+  let slot_prov = Array.map (fun l -> Array.of_list (List.rev l)) prov_rev in
   let static_actions =
     Array.fold_left (fun n a -> n + Array.length a) 0 slots
   in
@@ -143,30 +146,14 @@ let compile ?(inject = Inject.none) (m : Model.t) =
     Array.of_list
       (List.map
          (fun (f : Model.fu) ->
-           let f =
-             match Inject.latency_for inject f.fu_name with
-             | Some latency -> { f with Model.latency }
-             | None -> f
-           in
            { fu = f;
              op_sink = sink_id "a unit" (f.fu_name ^ ".op");
              in1_sink = sink_id "a unit" (f.fu_name ^ ".in1");
              in2_sink = sink_id "a unit" (f.fu_name ^ ".in2") })
          m.fus)
   in
-  let sink_tamper = Array.make (max nsinks 1) None in
-  Array.iteri
-    (fun i n ->
-      if n <> "" then sink_tamper.(i) <- Inject.tamper_for inject n)
-    sink_name;
-  let reg_tamper =
-    Array.of_list
-      (List.map
-         (fun (r : Model.register) ->
-           Inject.tamper_for inject (r.reg_name ^ ".out"))
-         m.registers)
-  in
-  { model = m; inject; nsinks; sink_name; slots; static_actions; fu_plans;
+  { model = m; inject = Inject.none; nsinks; sink_name;
+    sink_index = sink_ids; slots; slot_prov; static_actions; fu_plans;
     nregs = List.length m.registers;
     reg_init =
       Array.of_list
@@ -179,13 +166,123 @@ let compile ?(inject = Inject.none) (m : Model.t) =
            m.registers);
     out_sink =
       Array.of_list (List.map (sink_id "an output port") m.outputs);
-    sink_tamper; reg_tamper }
+    sink_tamper = Array.make (max nsinks 1) None;
+    reg_tamper =
+      Array.of_list (List.map (fun (_ : Model.register) -> None) m.registers);
+    last_patched = -1 }
+
+(* Patch an injection overlay onto a clean compile.  Only the slots a
+   dropped leg or an in-range saboteur touches get fresh action
+   arrays; every other slot of the result is [base]'s array — physical
+   equality IS the "this slot is unpatched" relation the batch
+   executor's early-retirement argument needs, and [last_patched]
+   records the highest patched slot exactly.  The patched slot
+   contents replay [compile_base]'s ordering: surviving legs in leg
+   order, then op-selects, then saboteurs in plan order — so an
+   overlay is action-for-action identical to a from-scratch compile of
+   the injected model. *)
+let overlay (base : t) (inject : Inject.t) =
+  if not (Inject.is_none base.inject) then
+    invalid_arg "Sched.overlay: base must be a clean compile";
+  if Inject.is_none inject then base
+  else begin
+    let m = base.model in
+    if inject.Inject.oscillators <> [] then oscillator_error m;
+    let slots = Array.copy base.slots in
+    let last_patched = ref (-1) in
+    let note k = if k > !last_patched then last_patched := k in
+    (if inject.Inject.drop_legs <> [] then
+       Array.iteri
+         (fun k prov ->
+           let dropped = ref 0 in
+           Array.iter
+             (fun leg ->
+               if leg >= 0 && Inject.drops_leg inject leg then incr dropped)
+             prov;
+           if !dropped > 0 then begin
+             let old = base.slots.(k) in
+             let kept = Array.length old - !dropped in
+             let na =
+               if kept = 0 then [||] else Array.make kept old.(0)
+             in
+             let j = ref 0 in
+             Array.iteri
+               (fun i leg ->
+                 if leg < 0 || not (Inject.drops_leg inject leg) then begin
+                   na.(!j) <- old.(i);
+                   incr j
+                 end)
+               prov;
+             slots.(k) <- na;
+             note k
+           end)
+         base.slot_prov);
+    let slot_of step phase = ((step - 1) * Phase.count) + Phase.to_int phase in
+    List.iter
+      (fun (sb : Inject.saboteur) ->
+        let dst =
+          sink_id_in m base.sink_index "an injected saboteur"
+            sb.Inject.sab_sink
+        in
+        if sb.Inject.sab_step >= 1 && sb.Inject.sab_step <= m.cs_max then begin
+          let k = slot_of sb.Inject.sab_step sb.Inject.sab_phase in
+          slots.(k) <-
+            Array.append slots.(k)
+              [| { src = Const sb.Inject.sab_value; dst } |];
+          note k
+        end)
+      inject.Inject.saboteurs;
+    let static_actions =
+      Array.fold_left (fun n a -> n + Array.length a) 0 slots
+    in
+    let fu_plans =
+      if inject.Inject.fu_latency = [] then base.fu_plans
+      else
+        Array.map
+          (fun (p : fu_plan) ->
+            match Inject.latency_for inject p.fu.Model.fu_name with
+            | Some latency -> { p with fu = { p.fu with Model.latency } }
+            | None -> p)
+          base.fu_plans
+    in
+    let sink_tamper =
+      if inject.Inject.tampers = [] then base.sink_tamper
+      else begin
+        let st = Array.make (max base.nsinks 1) None in
+        Array.iteri
+          (fun i n -> if n <> "" then st.(i) <- Inject.tamper_for inject n)
+          base.sink_name;
+        st
+      end
+    in
+    let reg_tamper =
+      if inject.Inject.tampers = [] then base.reg_tamper
+      else
+        Array.of_list
+          (List.map
+             (fun (r : Model.register) ->
+               Inject.tamper_for inject (r.reg_name ^ ".out"))
+             m.registers)
+    in
+    { base with
+      inject; slots; static_actions; fu_plans; sink_tamper; reg_tamper;
+      last_patched = !last_patched }
+  end
+
+let compile ?(inject = Inject.none) (m : Model.t) =
+  if inject.Inject.oscillators <> [] then oscillator_error m;
+  overlay (compile_base m) inject
 
 let share_slots ~base t =
   Array.iteri
     (fun k a -> if a != base.slots.(k) && a = base.slots.(k) then
         t.slots.(k) <- base.slots.(k))
-    t.slots
+    t.slots;
+  let lp = ref (-1) in
+  Array.iteri
+    (fun k a -> if a != base.slots.(k) then lp := k)
+    t.slots;
+  t.last_patched <- !lp
 
 let resolve_value t id ~step ~phase v =
   match t.sink_tamper.(id) with

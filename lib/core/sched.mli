@@ -45,8 +45,16 @@ type t = {
   inject : Inject.t;
   nsinks : int;
   sink_name : string array;
+  sink_index : (string, int) Hashtbl.t;
+      (** name -> sink id, kept so overlays can validate saboteur
+          sinks without rebuilding the table *)
   slots : action array array;
       (** index [(step - 1) * Phase.count + phase] *)
+  slot_prov : int array array;
+      (** provenance, parallel to [slots] on a clean compile: the leg
+          index ({!Model.all_legs} order) that produced each action,
+          [-1] for op-selects and saboteurs.  Overlays patch slots
+          without maintaining it — read it only on a clean compile. *)
   static_actions : int;
   fu_plans : fu_plan array;
   nregs : int;
@@ -56,13 +64,32 @@ type t = {
   sink_tamper : Inject.tamper option array;
   reg_tamper : Inject.tamper option array;
       (** register-output tampers, by register index *)
+  mutable last_patched : int;
+      (** highest slot index where [slots] is not physically the base
+          compile's array; [-1] on a clean compile.  The batch
+          executor derives its earliest sound retirement boundary from
+          this. *)
 }
 
 val compile : ?inject:Inject.t -> Model.t -> t
 (** Flatten the model (and the injection overlay) into slots.  Raises
     [Invalid_argument] when a saboteur references an undeclared sink
     or the plan contains an oscillator.  The model is {e not}
-    validated here — executors call {!Model.validate_exn} once. *)
+    validated here — executors call {!Model.validate_exn} once.
+    [compile ~inject m] is [overlay (compile m) inject]. *)
+
+val overlay : t -> Inject.t -> t
+(** Patch an injection overlay onto a clean compile without
+    recompiling: only the slots a dropped leg or an in-range saboteur
+    touches get fresh arrays (with [compile]'s action ordering —
+    surviving legs, then op-selects, then saboteurs); every other slot
+    is physically the base's, and [last_patched] records the highest
+    patched slot.  Tamper wrappers and latency overrides rebuild only
+    their own small arrays.  Raises [Invalid_argument] on an
+    oscillator, an unknown saboteur sink (both with [compile]'s
+    messages), or a base that is itself an overlay.  A campaign
+    compiles the model once and overlays each fault, which is what
+    makes per-chunk batch setup cheap. *)
 
 val share_slots : base:t -> t -> unit
 (** Replace every slot of the second schedule that is structurally
@@ -70,7 +97,8 @@ val share_slots : base:t -> t -> unit
     physically shared between a golden plan and its fault overlays —
     the batch executor's per-variant patches are exactly the slots
     left unshared, and physical equality is its cheap "this slot is
-    unpatched" test. *)
+    unpatched" test.  Recomputes the target's [last_patched].
+    Superseded by {!overlay}, which shares by construction. *)
 
 (** {1 Overlay semantics helpers}
 

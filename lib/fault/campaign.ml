@@ -57,22 +57,11 @@ let classify ~golden (faulted : Observation.t) =
      | [] -> Masked
      | ds -> Corrupted ds)
 
-(* The campaign's goldens: the kernel side takes the phase-compiled
-   fast path when the configuration stays on its schedule (fault runs
-   themselves always need the kernel or the interpreter — injection is
-   dynamic).  The differential suite pins Compiled = Simulate on the
-   full observation, so classification is unchanged. *)
-let golden_kernel ~config m =
-  match Compiled.compilable ~config m with
-  | Ok () -> Compiled.run (Compiled.of_model m)
-  | Error _ ->
-    (Simulate.run_cfg ~config:{ config with Simulate.watchdog = true } m)
-      .Simulate.obs
-
 (* Shared read-only state for every fault run of one campaign: the
-   goldens, plus golden checkpoints at each boundary some fault wants
-   to resume from.  Computed once in the caller, read concurrently by
-   the pool domains. *)
+   goldens, the one compile of the golden schedule (the batch plan),
+   plus golden checkpoints at each boundary some fault wants to resume
+   from.  Computed once in the caller, read concurrently by the pool
+   domains. *)
 type ctx = {
   m : Model.t;
   config : Simulate.config;
@@ -80,13 +69,47 @@ type ctx = {
   golden_i : Observation.t;
   checkpoints : (int, Snapshot.t) Hashtbl.t;
   budget : float option;
+  plan : Batch.plan option;
+      (* None only when the model does not validate or compile — and
+         then no fault is batchable either, so it is never consulted *)
+  est_us : float;
+      (* measured wall cost of one golden run, the campaign's proxy
+         for per-fault cost.  Feeds only the chunk-count heuristic —
+         never report bytes, which stay wall-clock-independent. *)
 }
 
 let boundary_of_fault (m : Model.t) f =
   min (Fault.first_step m f - 1) m.Model.cs_max
 
 let make_ctx ~config ?budget ~restore ~faults (m : Model.t) =
-  let golden_k = golden_kernel ~config m in
+  (* One compile of the clean schedule serves the whole campaign: the
+     lockstep batches overlay it per fault, and the golden run and the
+     checkpoint snapshots execute it through {!Compiled.of_sched} —
+     the per-worker golden recompiles this used to pay are gone. *)
+  let plan = match Batch.plan m with p -> Some p | exception _ -> None in
+  let compiled =
+    match Compiled.compilable ~config m with
+    | Error _ -> None
+    | Ok () ->
+      Some
+        (match plan with
+         | Some p -> Compiled.of_sched (Batch.base_sched p)
+         | None -> Compiled.of_model m)
+  in
+  let t0 = Unix.gettimeofday () in
+  let golden_k =
+    (* the kernel-side golden takes the phase-compiled fast path when
+       the configuration stays on its schedule (fault runs themselves
+       always need the kernel or the interpreter — injection is
+       dynamic).  The differential suite pins Compiled = Simulate on
+       the full observation, so classification is unchanged. *)
+    match compiled with
+    | Some cp -> Compiled.run cp
+    | None ->
+      (Simulate.run_cfg ~config:{ config with Simulate.watchdog = true } m)
+        .Simulate.obs
+  in
+  let est_us = (Unix.gettimeofday () -. t0) *. 1e6 in
   let golden_i = Interp.run m in
   let checkpoints = Hashtbl.create 16 in
   (* Checkpoints are only sound when the golden kernel state equals
@@ -104,15 +127,14 @@ let make_ctx ~config ?budget ~restore ~faults (m : Model.t) =
      in
      if boundaries <> [] then
        let snaps =
-         match Compiled.compilable ~config m with
-         | Ok () ->
-           Compiled.snapshots_at (Compiled.of_model m) ~steps:boundaries
-         | Error _ -> Interp.snapshots_at ~steps:boundaries m
+         match compiled with
+         | Some cp -> Compiled.snapshots_at cp ~steps:boundaries
+         | None -> Interp.snapshots_at ~steps:boundaries m
        in
        List.iter
          (fun (s : Snapshot.t) -> Hashtbl.replace checkpoints s.Snapshot.step s)
          snaps);
-  { m; config; golden_k; golden_i; checkpoints; budget }
+  { m; config; golden_k; golden_i; checkpoints; budget; plan; est_us }
 
 let kernel_entry ~ctx ~snap inj =
   (* campaigns always arm the watchdog: a fault that stalls the
@@ -305,7 +327,11 @@ let compute_work ~ctx ~on_entry = function
     let specs = List.map (fun (_, f) -> batch_spec ~ctx f) ifs in
     (match
        Csrtl_par.Par.run_supervised ?budget:ctx.budget ~retries:1 (fun () ->
-           Batch.run ctx.m specs)
+           (* the shared plan: chunk N + 1 reuses chunk N's compile and
+              this domain's arena instead of recompiling the model *)
+           match ctx.plan with
+           | Some p -> Batch.run_with p specs
+           | None -> Batch.run ctx.m specs)
      with
      | Csrtl_par.Par.Done results ->
        let entries =
@@ -367,17 +393,38 @@ let summarize (m : Model.t) entries =
 let fault_list ?limit ?faults m =
   match faults with Some fs -> fs | None -> Fault.enumerate ?limit m
 
-let map_faults ?pool ?jobs ?chunks compute faults =
+(* A fault run allocates freely (observations, diffs, entries), so
+   campaign-owned pools give each worker a roomy nursery: fewer minor
+   collections means fewer of OCaml 5's global stop-the-world barriers
+   across the pool.  2^20 words = 8 MiB per domain. *)
+let campaign_minor_heap_words = 1 lsl 20
+
+let map_faults ?pool ?jobs ?chunks ~est_us compute work =
+  (* when the caller did not fix a chunk count, plan one from the
+     measured golden cost: a work item is one fault or one batched
+     chunk, both within a small factor of a golden run's wall time.
+     The chunk count only shapes scheduling — results are chunk-count
+     invariant (the pool's contract), so feeding it a measurement
+     keeps reports deterministic. *)
+  let planned p =
+    match chunks with
+    | Some _ -> chunks
+    | None ->
+      Some
+        (Csrtl_par.Par.plan_chunks ~jobs:(Csrtl_par.Par.jobs p)
+           ~items:(List.length work)
+           ~item_cost_us:(est_us *. 2.))
+  in
   match pool with
-  | Some p -> Csrtl_par.Par.map ?chunks p compute faults
+  | Some p -> Csrtl_par.Par.map ?chunks:(planned p) p compute work
   | None ->
     let jobs =
       match jobs with
       | Some j -> j
       | None -> Csrtl_par.Par.default_jobs ()
     in
-    Csrtl_par.Par.with_pool ~jobs (fun p ->
-        Csrtl_par.Par.map ?chunks p compute faults)
+    Csrtl_par.Par.with_pool ~minor_heap_words:campaign_minor_heap_words ~jobs
+      (fun p -> Csrtl_par.Par.map ?chunks:(planned p) p compute work)
 
 (* Shard the planned work across the pool (or run it inline), then
    reassemble entries in fault order — the report is independent of
@@ -394,7 +441,7 @@ let compute_all ?pool ?jobs ?chunks ?(should_stop = fun () -> false) ~par
     if should_stop () then ([], no_stats) else compute_work ~ctx ~on_entry w
   in
   let results =
-    if par then map_faults ?pool ?jobs ?chunks compute work
+    if par then map_faults ?pool ?jobs ?chunks ~est_us:ctx.est_us compute work
     else List.map compute work
   in
   let entries =

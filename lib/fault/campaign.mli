@@ -116,9 +116,13 @@ val run_parallel :
     — same bytes from {!pp_report} at any [jobs]/[chunks]/[batch] —
     which the determinism suite checks.  [pool] reuses an existing pool (then
     [jobs] is ignored); otherwise a pool of [jobs] (default
-    {!Csrtl_par.Par.default_jobs}) is created for the call; when the
-    runtime cannot provide the requested domains the pool shrinks
-    gracefully down to sequential ({!Csrtl_par.Par.create}). *)
+    {!Csrtl_par.Par.default_jobs}) is created for the call, sized to
+    the host's cores and with campaign-tuned worker nurseries; when
+    the runtime cannot provide the requested domains the pool shrinks
+    gracefully down to sequential ({!Csrtl_par.Par.create}).
+    [chunks], when omitted, is planned from the measured golden-run
+    cost ({!Csrtl_par.Par.plan_chunks}) — the measurement shapes
+    scheduling only, never the report bytes. *)
 
 type resume_info = {
   reused : int;  (** journal entries accepted without re-running *)

@@ -21,13 +21,14 @@ type job = {
   nchunks : int;
   next : int Atomic.t;  (* chunk claim counter *)
   failed : bool Atomic.t;  (* fast-path check to stop claiming *)
-  mutable completed : int;  (* under the pool mutex *)
+  completed : int Atomic.t;
   mutable failure : exn option;  (* first failure, under the pool mutex *)
   run_chunk : worker:int -> int -> unit;
 }
 
 type t = {
-  mutable njobs : int;
+  mutable njobs : int;  (* worker count actually running, spawned + 1 *)
+  requested : int;  (* what the caller asked for; sizes [stats] *)
   mutex : Mutex.t;
   wake : Condition.t;  (* workers: a new job or shutdown *)
   finished : Condition.t;  (* caller: all chunks completed *)
@@ -40,7 +41,8 @@ type t = {
   mutable domains : unit Domain.t list;
 }
 
-let default_jobs () = Domain.recommended_domain_count ()
+let available_parallelism () = Domain.recommended_domain_count ()
+let default_jobs = available_parallelism
 let jobs t = t.njobs
 
 let run_chunks t (j : job) w =
@@ -58,10 +60,15 @@ let run_chunks t (j : job) w =
           Mutex.lock t.mutex;
           if j.failure = None then j.failure <- Some e;
           Mutex.unlock t.mutex);
-      Mutex.lock t.mutex;
-      j.completed <- j.completed + 1;
-      if j.completed = j.nchunks then Condition.broadcast t.finished;
-      Mutex.unlock t.mutex
+      (* completion counts on an atomic so finished chunks never queue
+         on the mutex behind each other; the broadcast (the one slow
+         path) fires exactly once, on the last chunk *)
+      let done_ = 1 + Atomic.fetch_and_add j.completed 1 in
+      if done_ = j.nchunks then begin
+        Mutex.lock t.mutex;
+        Condition.broadcast t.finished;
+        Mutex.unlock t.mutex
+      end
     end
   done
 
@@ -86,23 +93,41 @@ let rec worker_loop t w last_gen =
       worker_loop t w gen
   end
 
-let create ~jobs =
+let create ?(oversubscribe = false) ?minor_heap_words ~jobs () =
   if jobs < 1 then
     invalid_arg (Printf.sprintf "Par.create: jobs must be >= 1 (got %d)" jobs);
-  let t =
-    { njobs = jobs; mutex = Mutex.create (); wake = Condition.create ();
-      finished = Condition.create (); gen = 0; job = None; stop = false;
-      shut = false; in_map = false; stats = Array.make jobs zero_stat;
-      domains = [] }
+  (* Domains beyond the machine's cores are pure overhead under OCaml
+     5's stop-the-world minor collections — oversubscribing does not
+     just waste the extra domains, it drags every domain into global
+     minor-GC barriers and INVERTS scaling.  So the spawn target is
+     clamped to the cores the runtime advertises; [stats] keeps the
+     requested width (one slot per requested worker) so accounting
+     shape is independent of the host. *)
+  let target =
+    if oversubscribe then jobs else min jobs (available_parallelism ())
   in
-  (* Degrade gracefully when the runtime cannot give us [jobs - 1]
+  let t =
+    { njobs = target; requested = jobs; mutex = Mutex.create ();
+      wake = Condition.create (); finished = Condition.create (); gen = 0;
+      job = None; stop = false; shut = false; in_map = false;
+      stats = Array.make jobs zero_stat; domains = [] }
+  in
+  (* Degrade gracefully when the runtime cannot give us [target - 1]
      domains (Domain.spawn raises past the domain cap): keep the
      domains we got and shrink the pool — map still completes, just
      with less parallelism, down to fully sequential. *)
   let spawned = ref [] in
   (try
-     for i = 1 to jobs - 1 do
-       spawned := Domain.spawn (fun () -> worker_loop t i 0) :: !spawned
+     for i = 1 to target - 1 do
+       spawned :=
+         Domain.spawn (fun () ->
+             (match minor_heap_words with
+              | None -> ()
+              | Some w -> (
+                try Gc.set { (Gc.get ()) with Gc.minor_heap_size = w }
+                with _ -> ()));
+             worker_loop t i 0)
+         :: !spawned
      done
    with _ -> ());
   t.domains <- !spawned;
@@ -120,9 +145,26 @@ let shutdown t =
     t.domains <- []
   end
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
+let with_pool ?oversubscribe ?minor_heap_words ~jobs f =
+  let t = create ?oversubscribe ?minor_heap_words ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* How many chunks a [map] over [items] tasks of roughly
+   [item_cost_us] µs each should use.  Aim for chunks big enough that
+   the claim/complete hand-off (~µs) is noise, small enough that the
+   tail rebalances: ~5 ms of work per chunk, between [jobs] and
+   [4 * jobs] chunks, never more than one chunk per item — and a job
+   whose whole cost is under ~1 ms is not worth fanning out at all. *)
+let plan_chunks ~jobs ~items ~item_cost_us =
+  if items <= 0 || jobs <= 1 then 1
+  else begin
+    let cost = if item_cost_us > 0. then item_cost_us else 1. in
+    let total = float_of_int items *. cost in
+    if total < 1000. then 1
+    else
+      let by_cost = int_of_float (total /. 5000.) in
+      min items (max jobs (min (4 * jobs) by_cost))
+  end
 
 let map ?chunks t f xs =
   match xs with
@@ -151,7 +193,10 @@ let map ?chunks t f xs =
         { w_chunks = s.w_chunks + 1; w_items = s.w_items + (hi - lo);
           w_busy = s.w_busy +. (Unix.gettimeofday () -. t0) }
     in
-    Array.fill t.stats 0 t.njobs zero_stat;
+    (* the whole array, not just the active prefix: a clamped pool has
+       fewer live workers than stat slots, and a stale tail would
+       misattribute the previous map's work *)
+    Array.fill t.stats 0 (Array.length t.stats) zero_stat;
     if t.njobs = 1 || t.in_map || t.shut then begin
       (* solo pool, nested call from a worker, or a dead pool: run
          inline in the caller — same results, no hand-off *)
@@ -163,7 +208,7 @@ let map ?chunks t f xs =
     else begin
       let j =
         { nchunks; next = Atomic.make 0; failed = Atomic.make false;
-          completed = 0; failure = None; run_chunk }
+          completed = Atomic.make 0; failure = None; run_chunk }
       in
       t.in_map <- true;
       Mutex.lock t.mutex;
@@ -173,7 +218,7 @@ let map ?chunks t f xs =
       Mutex.unlock t.mutex;
       run_chunks t j 0;
       Mutex.lock t.mutex;
-      while j.completed < j.nchunks do
+      while Atomic.get j.completed < j.nchunks do
         Condition.wait t.finished t.mutex
       done;
       Mutex.unlock t.mutex;

@@ -1,17 +1,26 @@
 (** Deterministic fan-out over OCaml 5 domains.
 
-    A {!pool} owns [jobs - 1] worker domains (the caller is worker 0);
-    {!map} splits the index space into contiguous chunks that workers
-    grab from a shared atomic counter and writes each result into its
-    input's slot, so the {e result order is a pure function of the
-    input} — independent of scheduling, of [jobs], and of [chunks].
-    Campaign drivers rely on this: the same seed produces a
-    byte-identical report at [--jobs 1] and [--jobs 8].
+    A {!pool} owns up to [jobs - 1] worker domains (the caller is
+    worker 0); {!map} splits the index space into contiguous chunks
+    that workers grab from a shared atomic counter and writes each
+    result into its input's slot, so the {e result order is a pure
+    function of the input} — independent of scheduling, of [jobs], and
+    of [chunks].  Campaign drivers rely on this: the same seed
+    produces a byte-identical report at [--jobs 1] and [--jobs 8].
 
     The pool is a plain fork-join primitive: no work stealing, no
     nested parallelism ({!map} from inside a worker runs inline), and
     exceptions from workers are re-raised in the caller after all
-    workers have drained. *)
+    workers have drained.
+
+    {b Sizing.}  Under OCaml 5's stop-the-world minor collections,
+    domains beyond the machine's cores are worse than useless: every
+    minor GC is a global barrier across all domains, so oversubscribing
+    multiplies GC synchronization while adding no compute — measured
+    campaign throughput {e inverts} (multi-job slower than [--jobs 1]).
+    {!create} therefore clamps the spawn count to
+    {!available_parallelism}; asking for more parallelism than the
+    host has quietly gives you the host's. *)
 
 type t
 (** A pool of worker domains.  One {!map} runs at a time; the workers
@@ -22,36 +31,62 @@ exception Task_error of int * exn
     input, and the exception it raised.  Without the index a campaign
     cannot tell {e which} fault run died. *)
 
-val default_jobs : unit -> int
+val available_parallelism : unit -> int
 (** [Domain.recommended_domain_count ()] — the core count the runtime
-    advertises. *)
+    advertises, and the clamp {!create} applies. *)
 
-val create : jobs:int -> t
-(** Spawn [jobs - 1] worker domains ([Invalid_argument] when
-    [jobs < 1]).  A [jobs = 1] pool has no domains and {!map} runs
-    entirely in the caller.  When the runtime cannot provide all the
-    requested domains (the [Domain.spawn] cap), the pool keeps the
+val default_jobs : unit -> int
+(** Alias of {!available_parallelism} — the default worker count. *)
+
+val create :
+  ?oversubscribe:bool -> ?minor_heap_words:int -> jobs:int -> unit -> t
+(** Spawn worker domains ([Invalid_argument] when [jobs < 1]).  The
+    spawn target is [min jobs (available_parallelism ())] unless
+    [oversubscribe] (default [false]) forces the requested count —
+    tests use that to exercise real cross-domain hand-off on small
+    hosts; production campaigns never should (see the sizing note
+    above).  [minor_heap_words], when given, sizes each {e worker}
+    domain's minor heap (best-effort; the caller's domain is left
+    alone) — allocation-heavy map bodies stretch the interval between
+    global minor-GC barriers with a larger nursery.
+
+    A [jobs = 1] (or fully clamped) pool has no domains and {!map}
+    runs entirely in the caller.  When the runtime cannot provide all
+    the target domains (the [Domain.spawn] cap), the pool keeps the
     domains it got and shrinks — degrading gracefully down to a
     sequential pool instead of raising; {!jobs} reports the effective
     count. *)
 
 val jobs : t -> int
+(** Effective worker count (caller included) after clamping and
+    degradation. *)
 
 val shutdown : t -> unit
 (** Join the worker domains.  Idempotent; the pool is unusable after. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?oversubscribe:bool -> ?minor_heap_words:int -> jobs:int ->
+  (t -> 'a) -> 'a
 (** [create], run, [shutdown] (also on exception). *)
+
+val plan_chunks : jobs:int -> items:int -> item_cost_us:float -> int
+(** Chunk count for a {!map} of [items] tasks costing roughly
+    [item_cost_us] µs each: about 5 ms of work per chunk, clamped to
+    [\[jobs, 4 * jobs\]] and to one chunk per item — and [1] when the
+    whole job is under ~1 ms (fan-out overhead would dominate) or
+    [jobs <= 1].  Deterministic in its inputs; campaigns feed it a
+    {e measured} cost, so the chunk count may vary run to run — chunk
+    count never changes {!map} results, only scheduling. *)
 
 val map : ?chunks:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** Apply [f] to every element, fanning chunks out across the pool.
     [chunks] defaults to [4 * jobs] (bounded by the list length) —
     small enough to amortize hand-off, large enough to rebalance when
-    items vary in cost.  The result list matches the input order
-    exactly.  If any application raises, the first failure (by
-    completion time) is re-raised after all workers finish their
-    in-flight chunks, wrapped as {!Task_error} carrying the failing
-    input's index.
+    items vary in cost; pass {!plan_chunks} of a measured cost to do
+    better.  The result list matches the input order exactly.  If any
+    application raises, the first failure (by completion time) is
+    re-raised after all workers finish their in-flight chunks, wrapped
+    as {!Task_error} carrying the failing input's index.
 
     [f] runs on arbitrary domains: it must not touch shared mutable
     state.  Kernel/interpreter/compiled runs are safe — each run owns
@@ -66,8 +101,11 @@ type worker_stat = {
 
 val last_stats : t -> worker_stat array
 (** Per-worker accounting of the most recent {!map} (index 0 is the
-    caller).  Wall-clock based, so only meaningful for reporting —
-    never fold it into deterministic output. *)
+    caller).  One slot per {e requested} worker — a clamped pool
+    reports the requested width with the unused slots zero, so
+    accounting shape does not depend on the host.  Wall-clock based,
+    so only meaningful for reporting — never fold it into
+    deterministic output. *)
 
 (** {1 Per-task supervision}
 

@@ -56,7 +56,7 @@ let rec mkdir_p dir =
 let create cfg =
   mkdir_p cfg.state_dir;
   let jobs = if cfg.jobs <= 0 then Par.default_jobs () else cfg.jobs in
-  { cfg; pool = Par.create ~jobs;
+  { cfg; pool = Par.create ~jobs ();
     cache = Cache.create ~capacity:cfg.cache_capacity;
     stop = Atomic.make false; pending = Atomic.make 0;
     campaign_lock = Mutex.create (); counters_lock = Mutex.create ();

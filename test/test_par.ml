@@ -126,9 +126,97 @@ let test_worker_stats_account_for_everything () =
         (Array.fold_left (fun n s -> n + s.Par.w_items) 0 stats))
 
 let test_invalid_jobs () =
-  match Par.create ~jobs:0 with
+  match Par.create ~jobs:0 () with
   | _ -> Alcotest.fail "jobs=0 must be rejected"
   | exception Invalid_argument _ -> ()
+
+let test_chunk_edges () =
+  (* oversubscribe: the point is real cross-domain hand-off even when
+     the host has one core and the clamp would make the pool solo *)
+  Par.with_pool ~oversubscribe:true ~jobs:4 (fun p ->
+      Alcotest.(check (list int)) "zero items" [] (Par.map ~chunks:8 p succ []);
+      Alcotest.(check (list int)) "one item" [ 1 ] (Par.map ~chunks:8 p succ [ 0 ]);
+      (* fewer items than worker domains: some workers find the claim
+         counter exhausted and must park again without deadlocking *)
+      Alcotest.(check (list int)) "items < domains" [ 1; 2 ]
+        (Par.map p succ [ 0; 1 ]);
+      (* non-uniform cost: late items are ~100x the early ones, so
+         chunk claiming actually rebalances; order must still be the
+         input's *)
+      let xs = List.init 48 Fun.id in
+      let expensive x =
+        let acc = ref 0 in
+        for i = 1 to x * 2000 do
+          acc := !acc lxor i
+        done;
+        ignore (Sys.opaque_identity !acc);
+        x * 3
+      in
+      Alcotest.(check (list int)) "non-uniform cost"
+        (List.map (fun x -> x * 3) xs)
+        (Par.map ~chunks:12 p expensive xs))
+
+let test_plan_chunks () =
+  let pc = Par.plan_chunks in
+  check_int "solo pool" 1 (pc ~jobs:1 ~items:1000 ~item_cost_us:1e6);
+  check_int "no items" 1 (pc ~jobs:4 ~items:0 ~item_cost_us:1e6);
+  check_int "tiny job inlines" 1 (pc ~jobs:4 ~items:10 ~item_cost_us:10.);
+  check_int "never more chunks than items" 2
+    (pc ~jobs:4 ~items:2 ~item_cost_us:1e6);
+  let c = pc ~jobs:4 ~items:1000 ~item_cost_us:1000. in
+  check_bool "at least one chunk per worker" true (c >= 4);
+  check_bool "bounded rebalancing" true (c <= 16);
+  (* a degenerate measured cost must not collapse the plan *)
+  let c0 = pc ~jobs:4 ~items:5000 ~item_cost_us:0. in
+  check_bool "zero cost still fans out" true (c0 >= 1 && c0 <= 16)
+
+let test_retry_accounting () =
+  (* regression: [attempts] must count actual runs — a task that
+     succeeds on run 3 consumed exactly 3 runs, and a task that always
+     crashes with [retries = n] runs exactly n + 1 times *)
+  let tries = ref 0 in
+  (match
+     Par.run_supervised ~retries:3 (fun () ->
+         incr tries;
+         if !tries < 3 then failwith "flaky" else !tries)
+   with
+   | Par.Done 3 -> check_int "flaky task ran thrice" 3 !tries
+   | _ -> Alcotest.fail "two flakes with three retries must succeed");
+  let tries = ref 0 in
+  match Par.run_supervised ~retries:2 (fun () -> incr tries; failwith "x") with
+  | Par.Crashed { attempts; _ } ->
+    check_int "attempts = actual runs" !tries attempts;
+    check_int "runs = retries + 1" 3 !tries
+  | _ -> Alcotest.fail "persistent crash must classify as Crashed"
+
+let test_pool_scales_no_alloc_tasks () =
+  (* N spin tasks on an N-worker pool must not serialize: the wall
+     time stays under twice a single task's.  N is the host's own
+     parallelism, so the bound is honest on any machine (on one core
+     N = 1 and the check degenerates to map overhead < one task). *)
+  let n = Par.available_parallelism () in
+  let spin () =
+    let acc = ref 0 in
+    for i = 1 to 30_000_000 do
+      acc := !acc lxor i
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let single = wall spin in
+  let batch =
+    Par.with_pool ~jobs:n (fun p ->
+        wall (fun () -> ignore (Par.map p (fun () -> spin ()) (List.init n (fun _ -> ())))))
+  in
+  check_bool
+    (Printf.sprintf "%d tasks on %d workers: %.0fms vs single %.0fms" n n
+       (batch *. 1e3) (single *. 1e3))
+    true
+    (batch < (2. *. single) +. 0.05)
 
 (* -- parallel campaigns ------------------------------------------------------- *)
 
@@ -184,7 +272,12 @@ let () =
             test_nested_map_runs_inline;
           Alcotest.test_case "worker stats" `Quick
             test_worker_stats_account_for_everything;
-          Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs ] );
+          Alcotest.test_case "invalid jobs" `Quick test_invalid_jobs;
+          Alcotest.test_case "chunk edge cases" `Quick test_chunk_edges;
+          Alcotest.test_case "chunk planning" `Quick test_plan_chunks;
+          Alcotest.test_case "retry accounting" `Quick test_retry_accounting;
+          Alcotest.test_case "no-alloc tasks scale" `Quick
+            test_pool_scales_no_alloc_tasks ] );
       ( "campaign",
         [ Alcotest.test_case "parallel = sequential" `Quick
             test_campaign_parallel_matches_sequential;

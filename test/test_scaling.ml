@@ -1,0 +1,166 @@
+(* Scaling lockdown for the structure-of-arrays lockstep executor and
+   the clamped domain pool.  The arena layout, per-domain arena reuse,
+   pool width, chunk count and batch size are scheduling and
+   representation choices: none may show up in campaign bytes at any
+   point of the (engine, jobs, batch) acceptance matrix, repeated runs
+   on one cached arena must be bit-stable, and the step loop itself is
+   pinned allocation-free on the minor heap. *)
+
+open Csrtl_core
+module Consist = Csrtl_verify.Consist
+module Fault = Csrtl_fault.Fault
+module Campaign = Csrtl_fault.Campaign
+module Par = Csrtl_par.Par
+
+let full_report_string (r : Campaign.report) =
+  Format.asprintf "%a@.%a" Campaign.pp_report r
+    (Format.pp_print_list Campaign.pp_entry)
+    r.Campaign.entries
+
+(* ---- the (engine, jobs, batch) acceptance matrix ---------------- *)
+
+(* Every engine at every jobs in {1,2,4} and batch in {1,8,32,64}
+   must print the reference (sequential kernel-path) bytes. *)
+let layout_matrix (m : Model.t) =
+  let reference = full_report_string (Campaign.run ~engine:`Kernel m) in
+  List.iter
+    (fun (engine, name) ->
+      List.iter
+        (fun jobs ->
+          List.iter
+            (fun batch ->
+              let r =
+                full_report_string
+                  (Campaign.run_parallel ~jobs ~engine ~batch m)
+              in
+              if r <> reference then
+                Alcotest.failf "%s report differs at jobs=%d batch=%d"
+                  name jobs batch)
+            [ 1; 8; 32; 64 ])
+        [ 1; 2; 4 ])
+    [ (`Kernel, "kernel"); (`Auto, "auto"); (`Compiled, "compiled") ]
+
+let test_matrix_fig1 () = layout_matrix (Builder.fig1 ())
+
+let prop_matrix =
+  QCheck.Test.make ~name:"bytes invariant over engine x jobs x batch"
+    ~count:3
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      layout_matrix (Consist.random_model seed);
+      true)
+
+(* Chunk count is likewise pure scheduling: explicit counts around and
+   beyond the planned one must reproduce the auto-planned bytes. *)
+let test_chunks_invariant () =
+  let m = Builder.fig1 () in
+  let reference =
+    full_report_string (Campaign.run_parallel ~jobs:4 ~engine:`Auto m)
+  in
+  List.iter
+    (fun chunks ->
+      let r =
+        full_report_string
+          (Campaign.run_parallel ~jobs:4 ~chunks ~engine:`Auto m)
+      in
+      if r <> reference then
+        Alcotest.failf "report differs at chunks=%d" chunks)
+    [ 1; 3; 16; 64 ]
+
+(* ---- arena reuse ------------------------------------------------ *)
+
+let result_equal (a : Batch.result) (b : Batch.result) =
+  a.Batch.cycles = b.Batch.cycles
+  &&
+  match (a.Batch.verdict, b.Batch.verdict) with
+  | Batch.Finished x, Batch.Finished y -> Observation.equal x y
+  | Batch.Converged x, Batch.Converged y -> x = y
+  | _ -> false
+
+let compilable_specs (m : Model.t) =
+  List.filter_map
+    (fun f ->
+      let inject = Fault.to_inject f in
+      if Compiled.compilable ~inject m = Ok () then
+        Some { Batch.inject; join = 0; settle = Fault.last_step m f }
+      else None)
+    (Fault.enumerate m)
+
+(* Repeated [run_with] on one plan reuses the domain-cached arena; the
+   recycled rows must keep producing the first run's results — on this
+   domain and on every worker of an (oversubscribed, so genuinely
+   multi-domain) pool. *)
+let test_arena_reuse () =
+  let m = Builder.fig1 () in
+  let plan = Batch.plan m in
+  let specs = compilable_specs m in
+  if specs = [] then Alcotest.fail "fig1 enumerates no compilable faults";
+  let first = Batch.run_with plan specs in
+  for i = 2 to 20 do
+    let again = Batch.run_with plan specs in
+    if not (List.for_all2 result_equal first again) then
+      Alcotest.failf "arena reuse diverged on sequential rerun %d" i
+  done;
+  Par.with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
+      let reruns =
+        Par.map pool ~chunks:8
+          (fun _ -> Batch.run_with plan specs)
+          (List.init 16 Fun.id)
+      in
+      List.iteri
+        (fun i again ->
+          if not (List.for_all2 result_equal first again) then
+            Alcotest.failf "arena reuse diverged on pooled rerun %d" i)
+        reruns)
+
+(* ---- the pinned zero-allocation law ----------------------------- *)
+
+(* Variants that never record a conflict exercise the whole loop
+   (retirement checks, observation dirty tracking, pipeline stepping)
+   without touching the one code path allowed to cons — recording a
+   conflict localization.  For these the lockstep step loop must not
+   allocate a single minor-heap word: the law DESIGN.md pins for the
+   SoA arena. *)
+let conflict_free_spec m f =
+  match f with
+  | Fault.Dropped_leg _ ->
+    let inject = Fault.to_inject f in
+    if Compiled.compilable ~inject m <> Ok () then None
+    else begin
+      let spec = { Batch.inject; join = 0; settle = Fault.last_step m f } in
+      match Batch.run m [ spec ] with
+      | [ { Batch.verdict = Batch.Finished o; _ } ]
+        when o.Observation.conflicts = [] ->
+        Some spec
+      | [ { Batch.verdict = Batch.Converged _; _ } ] -> Some spec
+      | _ -> None
+    end
+  | _ -> None
+
+let test_zero_alloc () =
+  let m = Builder.fig1 () in
+  let plan = Batch.plan m in
+  let specs = List.filter_map (conflict_free_spec m) (Fault.enumerate m) in
+  if specs = [] then
+    Alcotest.fail "fig1 enumerates no conflict-free dropped-leg faults";
+  (* first call warms the domain's arena (growth happens in bind) *)
+  ignore (Batch.alloc_probe plan specs);
+  let words = Batch.alloc_probe plan specs in
+  if words <> 0. then
+    Alcotest.failf "lockstep step loop allocated %.0f minor words" words
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+let () =
+  Alcotest.run "csrtl-scaling"
+    [ ( "matrix",
+        [ Alcotest.test_case "fig1 engine x jobs x batch" `Quick
+            test_matrix_fig1;
+          Alcotest.test_case "chunk count invisible" `Quick
+            test_chunks_invariant ] );
+      qsuite "matrix-random" [ prop_matrix ];
+      ( "arena",
+        [ Alcotest.test_case "per-domain arena reuse is deterministic" `Quick
+            test_arena_reuse;
+          Alcotest.test_case "step loop allocates zero minor words" `Quick
+            test_zero_alloc ] ) ]
