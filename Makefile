@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check fuzz-smoke serve-smoke scaling-smoke bench bench-smoke bench-json report examples doc clean
+.PHONY: all build test check fuzz-smoke serve-smoke scaling-smoke chaos-smoke bench bench-smoke bench-json report examples doc clean
 
 all: build
 
@@ -16,7 +16,7 @@ test:
 # (conflict.rtm does, by design), so both 0 and 1 count as a clean
 # diagnosis here; any other exit fails.  The closing inject run shards
 # across two domains, smoking the worker pool end to end.
-check: build fuzz-smoke serve-smoke scaling-smoke
+check: build fuzz-smoke serve-smoke scaling-smoke chaos-smoke
 	OCAMLRUNPARAM=b dune runtest
 	@mkdir -p _build/check
 	@for f in test/corpus/*.rtm; do \
@@ -154,6 +154,15 @@ serve-smoke: build
 	@echo "wire-frame fuzz (10k frames, zero-crash acceptance bar):"
 	@dune exec --no-build csrtl -- fuzz --target frame --seed 42 \
 	  --runs 10000 --out _build/fuzz-frames
+
+# The crash-only gate: 200 seeded failure injections (worker SIGKILL,
+# torn journal tails, ENOSPC/EIO on journal writes, delayed frames)
+# against a real forked-worker engine; every recovered report must be
+# byte-identical to offline inject and the engine must keep answering.
+# Fixed seed, bounded wall time (~10s on one core).
+chaos-smoke: build
+	@echo "chaos smoke (crash-only recovery, 200 seeded injections):"
+	@dune exec --no-build csrtl -- chaos --seed 42 --runs 200 --quiet
 
 # The multicore scaling gate: a 2-worker campaign on the widest
 # corpus model must reach efficiency >= 0.6 against the sequential

@@ -1109,15 +1109,23 @@ let scaling_check () =
 
 (* Requests/sec against a live csrtl-serve daemon, N concurrent
    clients, cold (every request a fresh model, compile-cache miss) vs
-   cached (one model repeated).  The daemon runs in-process on a
-   thread with signal handling off; clients speak the real socket
-   protocol through Csrtl_serve.Client, so the measured path is the
-   shipped one end to end.  Every response is byte-compared against
-   the offline report — a fast wrong answer is not a data point. *)
+   cached (one model repeated) vs recovery (forked workers with a 10%
+   injected worker-kill rate — the crash-only restart path priced
+   against the clean runs).  The clean columns run the daemon
+   in-process on a thread with in-process isolation; the recovery
+   column spawns the real csrtl binary as a separate daemon process
+   with CSRTL_SERVE_KILL_NTH=10, because Unix.fork from this process —
+   full of busy client threads — can deadlock the worker child on an
+   inherited runtime lock (see lib/serve/worker.ml).  Either way
+   clients speak the real socket protocol through Csrtl_serve.Client,
+   so the measured path is the shipped one end to end.  Every response
+   is byte-compared against the offline report — a fast wrong answer
+   is not a data point, and neither is a crash the supervisor failed
+   to recover. *)
 
 type serve_point = {
   sp_clients : int;
-  sp_mode : string;  (* "cold" | "cached" *)
+  sp_mode : string;  (* "cold" | "cached" | "recovery" *)
   sp_requests : int;
   sp_wall_us : float;
   sp_rps : float;
@@ -1132,17 +1140,29 @@ let serve_points ~smoke () =
   Sys.remove state_dir;
   let sock = Filename.temp_file "csrtl" ".sock" in
   Sys.remove sock;
-  let config =
-    { Csrtl_serve.Server.default_config with
-      socket_path = sock; signals = false;
-      engine =
-        { Csrtl_serve.Engine.default_config with
-          state_dir; max_pending = 64 } }
+  let with_daemon tweak f =
+    let config =
+      { Csrtl_serve.Server.default_config with
+        socket_path = sock; signals = false;
+        engine =
+          tweak
+            { Csrtl_serve.Engine.default_config with
+              state_dir; max_pending = 64 } }
+    in
+    let server = Thread.create (fun () -> S.Server.serve ~config ()) () in
+    (match S.Client.connect ~retries:500 ~delay:0.01 sock with
+     | Ok c -> S.Client.close c
+     | Error e -> failwith ("serve bench: daemon never came up: " ^ e));
+    let r = f () in
+    (match S.Client.connect sock with
+     | Ok c ->
+       ignore (S.Client.send c S.Frame.Shutdown);
+       (match S.Client.next c with _ -> ());
+       S.Client.close c
+     | Error _ -> ());
+    Thread.join server;
+    r
   in
-  let server = Thread.create (fun () -> S.Server.serve ~config ()) () in
-  (match S.Client.connect ~retries:500 ~delay:0.01 sock with
-   | Ok c -> S.Client.close c
-   | Error e -> failwith ("serve bench: daemon never came up: " ^ e));
   let expected_cache = Hashtbl.create 16 in
   let expected_lock = Mutex.create () in
   let expected name =
@@ -1167,8 +1187,8 @@ let serve_points ~smoke () =
     | Some (_, Ok _) -> await_report conn
     | Some (_, Error _) -> Error "undecodable response"
   in
+  let per = if smoke then 2 else 6 in
   let run_point idx clients mode =
-    let per = if smoke then 2 else 6 in
     let identical = Atomic.make true in
     let t0 = Unix.gettimeofday () in
     let threads =
@@ -1186,19 +1206,30 @@ let serve_points ~smoke () =
                         match mode with
                         | `Cold -> Printf.sprintf "cold_%d_%d_%d" idx ci r
                         | `Cached -> "cached_chain"
+                        | `Recovery -> Printf.sprintf "rec_%d_%d_%d" idx ci r
                       in
-                      let q =
+                      let q resume =
                         { S.Frame.model = C.Rtm.to_string (model_named name);
                           engine = `Auto; batch = 32; limit = None;
                           budget_ms = None; deadline_ms = None;
-                          table = false; stream = false; resume = false }
+                          table = false; stream = false; resume }
                       in
-                      match S.Client.send conn (S.Frame.Inject q) with
-                      | Error _ -> Atomic.set identical false
-                      | Ok () ->
-                        (match await_report conn with
-                         | Ok text when text = expected name -> ()
-                         | Ok _ | Error _ -> Atomic.set identical false)
+                      (* under injected kills a request may come back
+                         Refused (serve.worker); resending resumes the
+                         journal — that round trip is part of the
+                         recovery price being measured *)
+                      let rec request tries resume =
+                        match S.Client.send conn (S.Frame.Inject (q resume))
+                        with
+                        | Error _ -> Atomic.set identical false
+                        | Ok () ->
+                          (match await_report conn with
+                           | Ok text when text = expected name -> ()
+                           | Error "request refused" when tries < 3 ->
+                             request (tries + 1) true
+                           | Ok _ | Error _ -> Atomic.set identical false)
+                      in
+                      request 0 false
                     done))
             ())
     in
@@ -1206,28 +1237,84 @@ let serve_points ~smoke () =
     let wall = Unix.gettimeofday () -. t0 in
     let requests = clients * per in
     { sp_clients = clients;
-      sp_mode = (match mode with `Cold -> "cold" | `Cached -> "cached");
+      sp_mode =
+        (match mode with
+         | `Cold -> "cold"
+         | `Cached -> "cached"
+         | `Recovery -> "recovery");
       sp_requests = requests; sp_wall_us = wall *. 1e6;
       sp_rps = (if wall > 0. then float_of_int requests /. wall else 0.);
       sp_identical = Atomic.get identical }
   in
   let fan = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
-  let points =
-    List.concat_map
-      (fun clients ->
-        List.mapi
-          (fun i mode -> run_point ((clients * 2) + i) clients mode)
-          [ `Cold; `Cached ])
-      fan
+  let clean_points =
+    with_daemon
+      (fun e -> { e with Csrtl_serve.Engine.isolation = `In_process })
+      (fun () ->
+        List.concat_map
+          (fun clients ->
+            List.mapi
+              (fun i mode -> run_point ((clients * 2) + i) clients mode)
+              [ `Cold; `Cached ])
+          fan)
   in
-  (* drain the daemon and reclaim its state *)
-  (match S.Client.connect sock with
-   | Ok c ->
-     ignore (S.Client.send c S.Frame.Shutdown);
-     (match S.Client.next c with _ -> ());
-     S.Client.close c
-   | Error _ -> ());
-  Thread.join server;
+  (* recovery column: a real csrtl-serve daemon process with forked
+     workers, every 10th spawn SIGKILLed by the daemon's own chaos
+     knob.  The offline expectations are computed up front so the
+     timed loop prices recovery round trips, not Campaign.run. *)
+  List.iter
+    (fun clients ->
+      for ci = 0 to clients - 1 do
+        for r = 0 to per - 1 do
+          ignore (expected (Printf.sprintf "rec_%d_%d_%d" (clients * 16) ci r))
+        done
+      done)
+    fan;
+  let csrtl_exe =
+    List.fold_left Filename.concat
+      (Filename.dirname Sys.executable_name)
+      [ Filename.parent_dir_name; "bin"; "csrtl.exe" ]
+  in
+  let with_external_daemon f =
+    if not (Sys.file_exists csrtl_exe) then
+      failwith ("serve bench: csrtl binary not found at " ^ csrtl_exe);
+    let pid =
+      Unix.create_process_env csrtl_exe
+        [| csrtl_exe; "serve"; "--socket"; sock; "--state-dir"; state_dir;
+           "--quiet"; "--jobs"; "1"; "--max-pending"; "64";
+           "--isolation"; "forked"; "--max-restarts"; "3";
+           "--quarantine-after"; "0" |]
+        (Array.append (Unix.environment ()) [| "CSRTL_SERVE_KILL_NTH=10" |])
+        Unix.stdin Unix.stdout Unix.stderr
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        (try ignore (Unix.waitpid [ Unix.WNOHANG ] pid)
+         with Unix.Unix_error _ -> ()))
+      (fun () ->
+        (match S.Client.connect ~retries:500 ~delay:0.01 sock with
+         | Ok c -> S.Client.close c
+         | Error e ->
+           (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+           ignore (Unix.waitpid [] pid);
+           failwith ("serve bench: recovery daemon never came up: " ^ e));
+        let r = f () in
+        (match S.Client.connect sock with
+         | Ok c ->
+           ignore (S.Client.send c S.Frame.Shutdown);
+           (match S.Client.next c with _ -> ());
+           S.Client.close c
+         | Error _ ->
+           try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        r)
+  in
+  let recovery_points =
+    with_external_daemon (fun () ->
+        List.map (fun clients -> run_point (clients * 16) clients `Recovery)
+          fan)
+  in
+  let points = clean_points @ recovery_points in
   let rec rm_rf path =
     match Unix.lstat path with
     | { Unix.st_kind = Unix.S_DIR; _ } ->
@@ -1246,7 +1333,7 @@ let serve_json ?(smoke = false) ~out () =
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"csrtl-bench-serve/1\",\n";
+  p "  \"schema\": \"csrtl-bench-serve/2\",\n";
   p "  \"smoke\": %b,\n" smoke;
   p "  \"points\": [\n";
   List.iteri
@@ -1270,10 +1357,12 @@ let serve_json ?(smoke = false) ~out () =
         pt.sp_requests pt.sp_rps pt.sp_identical)
     points
 
-(* Schema: {schema: "csrtl-bench-serve/1", smoke: bool, points:
-   [{clients >= 1, mode: cold|cached, requests >= 1, wall_us > 0,
-   requests_per_sec >= 0, identical: true}+]}.  As with the batch
-   matrix, [identical] must be [true] everywhere. *)
+(* Schema: {schema: "csrtl-bench-serve/2", smoke: bool, points:
+   [{clients >= 1, mode: cold|cached|recovery, requests >= 1,
+   wall_us > 0, requests_per_sec >= 0, identical: true}+]}.  As with
+   the batch matrix, [identical] must be [true] everywhere — in
+   recovery mode that asserts every injected worker kill was
+   recovered to byte-identical bytes. *)
 let json_check_serve path =
   try
     let ic = open_in_bin path in
@@ -1303,7 +1392,7 @@ let json_check_serve path =
       | _ -> raise (Bad_json (Printf.sprintf "%S must be a boolean" name))
     in
     let root = parse_json text in
-    if str "schema" root <> "csrtl-bench-serve/1" then
+    if str "schema" root <> "csrtl-bench-serve/2" then
       raise (Bad_json "unknown schema tag");
     ignore (bool_ "smoke" root);
     let points =
@@ -1317,8 +1406,8 @@ let json_check_serve path =
         if num "clients" pt < 1. then
           raise (Bad_json "clients must be >= 1");
         let mode = str "mode" pt in
-        if mode <> "cold" && mode <> "cached" then
-          raise (Bad_json "mode must be cold|cached");
+        if mode <> "cold" && mode <> "cached" && mode <> "recovery" then
+          raise (Bad_json "mode must be cold|cached|recovery");
         if num "requests" pt < 1. then
           raise (Bad_json "requests must be >= 1");
         if num "wall_us" pt <= 0. then
@@ -1329,7 +1418,7 @@ let json_check_serve path =
           raise (Bad_json "a point reported non-identical report bytes"))
       points;
     Ok
-      (Printf.sprintf "%s: schema csrtl-bench-serve/1 ok (%d points)" path
+      (Printf.sprintf "%s: schema csrtl-bench-serve/2 ok (%d points)" path
          (List.length points))
   with
   | Bad_json e -> Error e

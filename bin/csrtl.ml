@@ -1112,9 +1112,46 @@ let serve_cmd =
   let max_pending =
     Arg.(value & opt int 4
          & info [ "max-pending" ] ~docv:"N"
-             ~doc:"Campaigns admitted concurrently; excess requests \
-                   are refused with status 1 instead of queuing \
-                   without bound.")
+             ~doc:"Campaigns running concurrently; excess requests wait \
+                   in the fair admission queue.")
+  in
+  let max_queue =
+    Arg.(value & opt int 16
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Requests waiting in the admission queue (round-robin \
+                   fair across clients); past this the daemon refuses \
+                   with status 1 and a retry_after_ms hint.")
+  in
+  let isolation =
+    Arg.(value
+         & opt (enum [ ("forked", `Forked); ("in-process", `In_process) ])
+             `Forked
+         & info [ "isolation" ] ~docv:"MODE"
+             ~doc:"$(b,forked) (default) runs each campaign in a \
+                   supervised worker process — a crashing campaign is \
+                   restarted from its journal, never takes the daemon \
+                   down.  $(b,in-process) shares the daemon's domain \
+                   pool (lower overhead, no crash isolation).")
+  in
+  let max_restarts =
+    Arg.(value & opt int 3
+         & info [ "max-restarts" ] ~docv:"N"
+             ~doc:"Crash-restarts per request (each resumes from the \
+                   journal checkpoint, with capped exponential backoff) \
+                   before refusing with rule serve.worker.")
+  in
+  let quarantine_after =
+    Arg.(value & opt int 3
+         & info [ "quarantine-after" ] ~docv:"N"
+             ~doc:"Consecutive worker crashes per model that open its \
+                   circuit breaker (rule serve.quarantined); 0 disables \
+                   quarantine.")
+  in
+  let quarantine_cooloff_ms =
+    Arg.(value & opt int 30_000
+         & info [ "quarantine-cooloff-ms" ] ~docv:"MS"
+             ~doc:"How long an open circuit breaker refuses a model \
+                   before letting a probe request through.")
   in
   let deadline_ms =
     Arg.(value & opt (some int) None
@@ -1133,12 +1170,22 @@ let serve_cmd =
     Arg.(value & flag
          & info [ "quiet" ] ~doc:"Suppress lifecycle notes on stderr.")
   in
-  let run socket state_dir jobs cache max_pending deadline_ms
+  let run socket state_dir jobs cache max_pending max_queue isolation
+      max_restarts quarantine_after quarantine_cooloff_ms deadline_ms
       max_request_bytes quiet =
     handle_errors (fun () ->
         if cache < 1 then die2 "--cache must be at least 1 (got %d)" cache;
         if max_pending < 1 then
           die2 "--max-pending must be at least 1 (got %d)" max_pending;
+        if max_queue < 0 then
+          die2 "--max-queue must be >= 0 (got %d)" max_queue;
+        if max_restarts < 0 then
+          die2 "--max-restarts must be >= 0 (got %d)" max_restarts;
+        if quarantine_after < 0 then
+          die2 "--quarantine-after must be >= 0 (got %d)" quarantine_after;
+        if quarantine_cooloff_ms < 0 then
+          die2 "--quarantine-cooloff-ms must be >= 0 (got %d)"
+            quarantine_cooloff_ms;
         if max_request_bytes < 1024 then
           die2 "--max-request-bytes must be at least 1024 (got %d)"
             max_request_bytes;
@@ -1146,10 +1193,31 @@ let serve_cmd =
          | Some ms when ms < 0 ->
            die2 "--deadline-ms must be >= 0 (got %d)" ms
          | _ -> ());
+        (* chaos knob (docs/SERVICE.md): CSRTL_SERVE_KILL_NTH=n
+           SIGKILLs every nth worker spawn, exercising the
+           crash-restart path from outside.  Unset means disabled. *)
+        let on_worker =
+          match
+            Option.bind
+              (Sys.getenv_opt "CSRTL_SERVE_KILL_NTH")
+              int_of_string_opt
+          with
+          | Some n when n > 0 ->
+            let spawns = Atomic.make 0 in
+            Some
+              (fun ~pid ~token:_ ->
+                if Atomic.fetch_and_add spawns 1 mod n = 0 then
+                  try Unix.kill pid Sys.sigkill
+                  with Unix.Unix_error _ -> ())
+          | _ -> None
+        in
         let config =
           { Serve.Server.engine =
               { Serve.Engine.default_config with
                 state_dir; jobs; cache_capacity = cache; max_pending;
+                max_queue; isolation; max_restarts;
+                quarantine_threshold = quarantine_after;
+                quarantine_cooloff_ms; on_worker;
                 default_deadline_ms = deadline_ms };
             socket_path = socket; max_request_bytes; signals = true;
             log =
@@ -1163,12 +1231,17 @@ let serve_cmd =
      Unix socket (see docs/SERVICE.md).  Campaign responses are \
      byte-identical to offline $(b,csrtl inject) output; every \
      campaign is journaled under $(b,--state-dir) and resumable by \
-     resending the request.  SIGTERM/SIGINT drain in-flight campaigns \
-     to their journal checkpoint and exit cleanly."
+     resending the request.  The daemon is crash-only: campaigns run \
+     in supervised worker processes restarted from their journal on a \
+     crash, admission is a bounded per-client-fair queue, and \
+     SIGTERM/SIGINT drain in-flight campaigns to their journal \
+     checkpoint and exit cleanly."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ socket_arg $ state_dir $ jobs $ cache $ max_pending
-          $ deadline_ms $ max_request_bytes $ quiet)
+          $ max_queue $ isolation $ max_restarts $ quarantine_after
+          $ quarantine_cooloff_ms $ deadline_ms $ max_request_bytes
+          $ quiet)
 
 let request_cmd =
   let module Serve = Csrtl_serve in
@@ -1253,22 +1326,30 @@ let request_cmd =
   let retry =
     Arg.(value & opt int 0
          & info [ "retry" ] ~docv:"N"
-             ~doc:"Retry a refused or missing socket up to $(docv) \
-                   times (50 ms apart) — for scripts racing the \
-                   daemon's startup.")
+             ~doc:"Retry up to $(docv) times: a refused or missing \
+                   socket (50 ms apart, for scripts racing the daemon's \
+                   startup), and transient busy/quarantined/draining \
+                   refusals (exponential backoff with jitter, honouring \
+                   the daemon's retry_after_ms hint).")
   in
   let run socket model_pos ping stats shutdown raw engine batch limit
       budget_ms deadline_ms table jsonl no_resume retry =
     handle_errors (fun () ->
-        let conn =
+        Random.self_init ();
+        let connect_or_die () =
           match Serve.Client.connect ~retries:retry socket with
           | Ok c -> c
           | Error msg ->
             Format.eprintf "error: %s@." msg;
             exit exit_bad_input
         in
+        let conn = connect_or_die () in
         let finish_with_status status = exit status in
-        let rec drain_responses ~jsonl ~on_report =
+        (* a transient refusal (busy/quarantined/draining) with retry
+           budget left unwinds to the resend loop instead of exiting *)
+        let exception Retry_refused of int option in
+        let rec drain_responses ?(can_retry = false) ~conn ~jsonl ~on_report
+            () =
           match Serve.Client.next conn with
           | None ->
             Format.eprintf
@@ -1287,11 +1368,18 @@ let request_cmd =
                   finish_with_status 0
                 | Serve.Frame.Stats_reply s ->
                   Format.printf
-                    "requests %d | campaigns %d | drained %d | refused %d@ \
-                     cache: %d hits, %d misses, %d evictions (%d/%d \
-                     models)@."
+                    "requests %d | campaigns %d | drained %d | refused %d@."
                     s.Serve.Frame.requests s.Serve.Frame.campaigns
-                    s.Serve.Frame.drained s.Serve.Frame.refused
+                    s.Serve.Frame.drained s.Serve.Frame.refused;
+                  Format.printf
+                    "workers: %d crashes, %d restarts, %d quarantined | \
+                     queue: %d active, %d waiting@."
+                    s.Serve.Frame.crashes s.Serve.Frame.restarts
+                    s.Serve.Frame.quarantined s.Serve.Frame.active
+                    s.Serve.Frame.queued;
+                  Format.printf
+                    "cache: %d hits, %d misses, %d evictions (%d/%d \
+                     models)@."
                     s.Serve.Frame.hits s.Serve.Frame.misses
                     s.Serve.Frame.evictions s.Serve.Frame.entries
                     s.Serve.Frame.capacity;
@@ -1302,10 +1390,16 @@ let request_cmd =
                 | Serve.Frame.Started { token; total; cached } ->
                   Format.eprintf "request %s: %d fault(s)%s@." token total
                     (if cached then ", model cached" else "");
-                  drain_responses ~jsonl ~on_report
+                  drain_responses ~can_retry ~conn ~jsonl ~on_report ()
+                | Serve.Frame.Queued { position; retry_after_ms } ->
+                  if jsonl then print_endline raw_line;
+                  Format.eprintf
+                    "queued at position %d (estimated wait %d ms)@."
+                    position retry_after_ms;
+                  drain_responses ~can_retry ~conn ~jsonl ~on_report ()
                 | Serve.Frame.Entry _ ->
                   if jsonl then print_endline raw_line;
-                  drain_responses ~jsonl ~on_report
+                  drain_responses ~can_retry ~conn ~jsonl ~on_report ()
                 | Serve.Frame.Report
                     { status; reused; rerun; torn; text; _ } ->
                   if jsonl then print_endline raw_line
@@ -1324,9 +1418,15 @@ let request_cmd =
                      request to resume@."
                     completed total;
                   finish_with_status status
-                | Serve.Frame.Refused { status; diags } ->
-                  prerr_string (Diag.render_all diags);
-                  finish_with_status status))
+                | Serve.Frame.Refused { status; diags; _ } ->
+                  (match
+                     (if can_retry then Serve.Client.retryable resp
+                      else None)
+                   with
+                   | Some hint -> raise (Retry_refused hint)
+                   | None ->
+                     prerr_string (Diag.render_all diags);
+                     finish_with_status status)))
         in
         let send_or_die r =
           match r with
@@ -1345,7 +1445,9 @@ let request_cmd =
             | Some (raw_line, decoded) ->
               print_endline raw_line;
               (match decoded with
-               | Ok (Serve.Frame.Started _ | Serve.Frame.Entry _) ->
+               | Ok
+                   ( Serve.Frame.Started _ | Serve.Frame.Entry _
+                   | Serve.Frame.Queued _ ) ->
                  raw_loop ()
                | Ok
                    ( Serve.Frame.Report { status; _ }
@@ -1358,15 +1460,15 @@ let request_cmd =
         | None ->
           if ping then begin
             send_or_die (Serve.Client.send conn Serve.Frame.Ping);
-            drain_responses ~jsonl ~on_report:print_string
+            drain_responses ~conn ~jsonl ~on_report:print_string ()
           end
           else if stats then begin
             send_or_die (Serve.Client.send conn Serve.Frame.Stats);
-            drain_responses ~jsonl ~on_report:print_string
+            drain_responses ~conn ~jsonl ~on_report:print_string ()
           end
           else if shutdown then begin
             send_or_die (Serve.Client.send conn Serve.Frame.Shutdown);
-            drain_responses ~jsonl ~on_report:print_string
+            drain_responses ~conn ~jsonl ~on_report:print_string ()
           end
           else
             match model_pos with
@@ -1383,13 +1485,37 @@ let request_cmd =
                   "serve requests carry .rtm text; convert VHDL first \
                    (csrtl import-vhdl)";
               let model = read_file path in
-              send_or_die
-                (Serve.Client.send conn
-                   (Serve.Frame.Inject
-                      { Serve.Frame.model; engine; batch; limit;
-                        budget_ms; deadline_ms; table;
-                        stream = jsonl; resume = not no_resume }));
-              drain_responses ~jsonl ~on_report:print_string)
+              let inject =
+                Serve.Frame.Inject
+                  { Serve.Frame.model; engine; batch; limit; budget_ms;
+                    deadline_ms; table; stream = jsonl;
+                    resume = not no_resume }
+              in
+              (* request-level retry: transient refusals (busy, draining,
+                 quarantined) back off with jitter and resend on a fresh
+                 connection, honouring the daemon's retry_after hint *)
+              let rec attempt conn n =
+                send_or_die (Serve.Client.send conn inject);
+                match
+                  drain_responses ~can_retry:(n < retry) ~conn ~jsonl
+                    ~on_report:print_string ()
+                with
+                | () -> ()
+                | exception Retry_refused hint ->
+                  Serve.Client.close conn;
+                  let d =
+                    Serve.Client.backoff_delay ~attempt:n
+                      ~retry_after_ms:hint (fun () -> Random.float 1.0)
+                  in
+                  Format.eprintf
+                    "daemon refused transiently; retrying in %d ms \
+                     (attempt %d/%d)@."
+                    (int_of_float (d *. 1000.))
+                    (n + 1) retry;
+                  Unix.sleepf d;
+                  attempt (connect_or_die ()) (n + 1)
+              in
+              attempt conn 0)
   in
   let doc =
     "Send one request to a running $(b,csrtl serve) daemon.  Campaign \
@@ -1402,6 +1528,59 @@ let request_cmd =
     Term.(const run $ socket_arg $ model_pos $ ping $ stats $ shutdown
           $ raw $ engine $ batch $ limit $ budget_ms $ deadline_ms $ table
           $ jsonl $ no_resume $ retry)
+
+let chaos_cmd =
+  let module Ch = Csrtl_chaos.Chaos in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"PRNG seed; the whole fault sequence is a pure function \
+                   of it.")
+  in
+  let runs =
+    Arg.(value & opt int 200
+         & info [ "runs" ] ~docv:"N"
+             ~doc:"Number of seeded failure scenarios to inject.")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet" ] ~doc:"Suppress per-scenario progress lines.")
+  in
+  let run seed runs quiet =
+    handle_errors (fun () ->
+        if runs < 1 then die2 "--runs must be at least 1 (got %d)" runs;
+        let log =
+          if quiet then None
+          else Some (fun line -> Format.eprintf "chaos: %s@." line)
+        in
+        let s = Ch.run ?log ~seed ~runs () in
+        Format.printf
+          "chaos: %d scenario(s) | %d worker kill(s), %d torn tail(s), %d \
+           ENOSPC, %d EIO, %d frame delay(s)@."
+          s.Ch.runs s.Ch.kills s.Ch.torn s.Ch.enospc s.Ch.eio s.Ch.delays;
+        Format.printf
+          "chaos: supervisor observed %d crash(es), %d restart(s); %d \
+           healthy concurrent campaign(s) unharmed@."
+          s.Ch.crashes s.Ch.restarts s.Ch.healthy;
+        match s.Ch.violations with
+        | [] ->
+          Format.printf
+            "chaos: every recovered report byte-identical to offline \
+             inject@."
+        | vs ->
+          List.iter (fun v -> Format.eprintf "violation: %s@." v) vs;
+          Format.eprintf "chaos: %d invariant violation(s) (seed %d)@."
+            (List.length vs) seed;
+          exit exit_bug)
+  in
+  let doc =
+    "Deterministic chaos harness for the crash-only daemon: drive a real \
+     forked-worker serve engine through seeded failures (worker SIGKILL, \
+     torn journal tails, ENOSPC/EIO on journal writes, delayed frames) \
+     and assert every recovered report is byte-identical to offline \
+     $(b,csrtl inject) output.  Exit code 3 on any violation."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ seed $ runs $ quiet)
 
 let info_cmd =
   let run path =
@@ -1432,4 +1611,4 @@ let () =
           [ sim_cmd; check_cmd; export_cmd; import_cmd; lint_cmd;
             run_vhdl_cmd; lower_cmd; compact_cmd; trace_cmd; coverage_cmd;
             selfcheck_cmd; hls_cmd; iks_cmd; dot_cmd; inject_cmd;
-            serve_cmd; request_cmd; fuzz_cmd; info_cmd ]))
+            serve_cmd; request_cmd; chaos_cmd; fuzz_cmd; info_cmd ]))

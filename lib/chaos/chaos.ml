@@ -1,0 +1,397 @@
+(* Deterministic chaos harness for the crash-only daemon.
+
+   The signature invariant of the service (docs/SERVICE.md): after ANY
+   injected failure sequence, the recovered campaign report is
+   byte-identical to what undisturbed offline [csrtl inject] prints,
+   and the daemon itself keeps answering.  This module drives a real
+   [`Forked] engine — the exact code [csrtl serve] runs, minus the
+   socket — through seeded sequences of:
+
+   - worker SIGKILL at a random point in the campaign lifecycle
+     (before the journal opens, mid-append, after completion);
+   - torn journal tails (truncate a random number of bytes off the
+     end, including mid-line tears);
+   - ENOSPC on the Nth journal append and EIO on the checkpoint fsync
+     (via the {!Csrtl_fault.Journal.chaos} seam, inherited by the
+     forked worker);
+   - per-frame delivery delays on a streamed campaign.
+
+   Everything derives from one splitmix64 seed, so a failure is a
+   reproducible failure.  Interleaved with the chaos, a healthy client
+   runs campaigns on an untouched model and must always complete —
+   the "never drops a healthy client" half of the invariant. *)
+
+module C = Csrtl_core
+module F = Csrtl_fault
+module S = Csrtl_serve
+
+(* -- deterministic PRNG (splitmix64, same construction as lib/fuzz) -- *)
+
+module Rng = struct
+  type t = { mutable s : int64 }
+
+  let make seed = { s = Int64.of_int seed }
+
+  let next r =
+    let open Int64 in
+    r.s <- add r.s 0x9E3779B97F4A7C15L;
+    let z = r.s in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+
+  let int r bound =
+    if bound <= 0 then 0
+    else
+      Int64.to_int
+        (Int64.rem (Int64.logand (next r) Int64.max_int) (Int64.of_int bound))
+end
+
+(* -- the corpus ----------------------------------------------------- *)
+
+(* Same shape as the Makefile smoke model: an ADD chain alternating its
+   destination register.  Different transfer counts give structurally
+   distinct models — distinct digests, tokens, and journals — so chaos
+   aimed at one model cannot splash onto the healthy one. *)
+let model_text ~name ~transfers =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "model %s\n" name;
+  Printf.bprintf b "csmax %d\n" ((2 * transfers) + 1);
+  Buffer.add_string b "reg R0 init 1\n";
+  Buffer.add_string b "reg R1 init 2\n";
+  Buffer.add_string b "bus BA BB\n";
+  Buffer.add_string b "unit ADD ops add latency 1\n";
+  for i = 0 to transfers - 1 do
+    let r = (2 * i) + 1 in
+    let d = if i mod 2 = 1 then "R0" else "R1" in
+    Printf.bprintf b "transfer R0 BA R1 BB %d ADD %d BA %s\n" r (r + 1) d
+  done;
+  Buffer.contents b
+
+type target = {
+  text : string;
+  expected : string;  (* offline inject stdout, the oracle *)
+  mutable token : string;  (* learned from the priming run *)
+  mutable journal : string;
+}
+
+(* -- fault plan ----------------------------------------------------- *)
+
+type fault =
+  | Worker_kill of int  (* SIGKILL the worker after ~n ms *)
+  | Torn_tail of int  (* truncate n bytes off the journal tail *)
+  | Journal_enospc of int  (* the nth append raises ENOSPC *)
+  | Journal_eio  (* the checkpoint fsync raises EIO *)
+  | Frame_delay of int  (* delay each streamed frame by n ms *)
+
+let fault_label = function
+  | Worker_kill ms -> Printf.sprintf "worker-kill@%dms" ms
+  | Torn_tail n -> Printf.sprintf "torn-tail-%db" n
+  | Journal_enospc n -> Printf.sprintf "enospc@append-%d" n
+  | Journal_eio -> "eio@sync"
+  | Frame_delay ms -> Printf.sprintf "frame-delay-%dms" ms
+
+let pick_fault rng =
+  match Rng.int rng 5 with
+  | 0 -> Worker_kill (Rng.int rng 16)
+  | 1 -> Torn_tail (1 + Rng.int rng 200)
+  | 2 -> Journal_enospc (1 + Rng.int rng 10)
+  | 3 -> Journal_eio
+  | _ -> Frame_delay (1 + Rng.int rng 3)
+
+type summary = {
+  runs : int;
+  kills : int;
+  torn : int;
+  enospc : int;
+  eio : int;
+  delays : int;
+  crashes : int;  (* worker deaths the supervisor observed *)
+  restarts : int;  (* journal-checkpoint restarts it performed *)
+  healthy : int;  (* concurrent healthy campaigns completed *)
+  violations : string list;  (* empty = invariant held everywhere *)
+}
+
+(* -- harness -------------------------------------------------------- *)
+
+let base_inject model =
+  { S.Frame.model; engine = `Auto; batch = 32; limit = None;
+    budget_ms = None; deadline_ms = None; table = false; stream = false;
+    resume = true }
+
+let run ?(log = fun _ -> ()) ~seed ~runs () =
+  let rng = Rng.make seed in
+  let state_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "csrtl-chaos-%d" (Unix.getpid ()))
+  in
+  (* the kill hook: arm (token, delay, shots) before a scenario; every
+     worker spawned for that token gets a delayed SIGKILL from a side
+     thread until the shots run out.  Filtering by token keeps the
+     healthy model's workers safe *)
+  let arm_lock = Mutex.create () in
+  let armed : (string * int * int ref) option ref = ref None in
+  let on_worker ~pid ~token =
+    Mutex.lock arm_lock;
+    let fire =
+      match !armed with
+      | Some (t, delay_ms, shots) when t = token && !shots > 0 ->
+        decr shots;
+        Some delay_ms
+      | _ -> None
+    in
+    Mutex.unlock arm_lock;
+    match fire with
+    | None -> ()
+    | Some delay_ms ->
+      ignore
+        (Thread.create
+           (fun () ->
+             Thread.delay (float_of_int delay_ms /. 1000.);
+             try Unix.kill pid Sys.sigkill
+             with Unix.Unix_error (_, _, _) -> ())
+           ())
+  in
+  let eng =
+    S.Engine.create
+      { S.Engine.default_config with
+        state_dir; jobs = 1; cache_capacity = 8; max_pending = 2;
+        isolation = `Forked;
+        (* one restart then give up: chaos wants to see both the
+           recovery path and the exhausted-restarts refusal quickly *)
+        max_restarts = 1; backoff_base_ms = 10; backoff_cap_ms = 50;
+        (* quarantine off: the harness injects crash storms on purpose
+           and must keep being served; the breaker has its own unit
+           tests *)
+        quarantine_threshold = 0; worker_grace_ms = 500;
+        on_worker = Some on_worker }
+  in
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf
+      (fun msg ->
+        violations := msg :: !violations;
+        log ("VIOLATION: " ^ msg))
+      fmt
+  in
+  let request ?(tap = fun _ -> ()) q =
+    let frames = ref [] in
+    let lock = Mutex.create () in
+    S.Engine.handle eng (S.Frame.Inject q)
+      ~emit:(fun r ->
+        tap r;
+        Mutex.lock lock;
+        frames := r :: !frames;
+        Mutex.unlock lock);
+    List.rev !frames
+  in
+  let final frames =
+    match List.rev frames with f :: _ -> Some f | [] -> None
+  in
+  let report_text frames =
+    match final frames with
+    | Some (S.Frame.Report { text; _ }) -> Some text
+    | _ -> None
+  in
+  (* resend until a Report lands: transient chaos (exhausted restarts,
+     still-armed injectors the scenario has since disarmed) heals by
+     resending the request, exactly as a real client would *)
+  let recover ~label (target : target) =
+    let rec go attempt =
+      if attempt > 4 then
+        violate "%s: no report after %d recovery resends" label attempt
+      else
+        let frames = request (base_inject target.text) in
+        match report_text frames with
+        | Some text ->
+          if text <> target.expected then
+            violate "%s: recovered report differs from offline inject" label
+        | None -> go (attempt + 1)
+    in
+    go 0
+  in
+  let ping_alive label =
+    let got = ref false in
+    S.Engine.handle eng S.Frame.Ping
+      ~emit:(fun r -> if r = S.Frame.Pong { version = "csrtl-serve/1" } then got := true);
+    if not !got then violate "%s: daemon stopped answering ping" label
+  in
+  (* -- corpus + priming --------------------------------------------- *)
+  let mk name transfers =
+    let text = model_text ~name ~transfers in
+    let expected =
+      match C.Rtm.parse ~file:"<chaos>" text with
+      | Ok (m, _) ->
+        S.Engine.render_report ~table:false
+          (F.Campaign.run ~engine:`Auto ~batch:32 m)
+      | Error _ -> failwith "chaos: corpus model failed to parse"
+    in
+    { text; expected; token = ""; journal = "" }
+  in
+  let corpus = [| mk "chaos_a" 3; mk "chaos_b" 4; mk "chaos_c" 5 |] in
+  let healthy_t = mk "chaos_healthy" 6 in
+  let prime (target : target) =
+    let frames = request { (base_inject target.text) with resume = false } in
+    (match
+       List.find_map
+         (function
+           | S.Frame.Started { token; _ } -> Some token
+           | _ -> None)
+         frames
+     with
+     | Some token ->
+       target.token <- token;
+       target.journal <-
+         Filename.concat state_dir ("inj-" ^ token ^ ".jsonl")
+     | None -> failwith "chaos: priming run produced no Started frame");
+    match report_text frames with
+    | Some text when text = target.expected -> ()
+    | _ -> failwith "chaos: priming run did not match offline inject"
+  in
+  Array.iter prime corpus;
+  prime healthy_t;
+  let kills = ref 0 and torn = ref 0 and enospc = ref 0 in
+  let eio = ref 0 and delays = ref 0 and healthy_done = ref 0 in
+  (* -- one scenario ------------------------------------------------- *)
+  let scenario i =
+    let target = corpus.(Rng.int rng (Array.length corpus)) in
+    let fault = pick_fault rng in
+    let label = Printf.sprintf "run %d [%s]" i (fault_label fault) in
+    (* every 4th run, a healthy client works the untouched model
+       concurrently with the chaos — it must always complete *)
+    let healthy_thread =
+      if i mod 4 <> 0 then None
+      else
+        Some
+          (Thread.create
+             (fun () ->
+               let frames = request (base_inject healthy_t.text) in
+               match report_text frames with
+               | Some text when text = healthy_t.expected ->
+                 incr healthy_done
+               | _ ->
+                 violate "%s: healthy concurrent campaign disturbed" label)
+             ())
+    in
+    (match fault with
+     | Worker_kill delay_ms ->
+       incr kills;
+       Mutex.lock arm_lock;
+       armed := Some (target.token, delay_ms, ref 1);
+       Mutex.unlock arm_lock;
+       let frames = request { (base_inject target.text) with resume = false } in
+       Mutex.lock arm_lock;
+       armed := None;
+       Mutex.unlock arm_lock;
+       (match report_text frames with
+        | Some text ->
+          if text <> target.expected then
+            violate "%s: report differs from offline inject" label
+        | None -> recover ~label target)
+     | Torn_tail n ->
+       incr torn;
+       (* make sure the journal is complete, then tear its tail *)
+       (match Sys.file_exists target.journal with
+        | true -> ()
+        | false -> ignore (request (base_inject target.text)));
+       (match open_in_bin target.journal with
+        | ic ->
+          let size = in_channel_length ic in
+          let header_end =
+            let rec scan i =
+              if i >= size then size
+              else if (seek_in ic i; input_char ic) = '\n' then i + 1
+              else scan (i + 1)
+            in
+            scan 0
+          in
+          close_in ic;
+          let keep = max header_end (size - n) in
+          (try Unix.truncate target.journal keep
+           with Unix.Unix_error (_, _, _) -> ());
+          let frames = request (base_inject target.text) in
+          (match report_text frames with
+           | Some text ->
+             if text <> target.expected then
+               violate "%s: resumed report differs after tear" label
+           | None -> recover ~label target)
+        | exception Sys_error _ ->
+          violate "%s: journal vanished before tear" label)
+     | Journal_enospc n ->
+       incr enospc;
+       let count = ref 0 in
+       F.Journal.chaos :=
+         Some
+           (fun op ->
+             match op with
+             | `Append path when path = target.journal ->
+               incr count;
+               if !count = n then
+                 raise (Unix.Unix_error (Unix.ENOSPC, "write", path))
+             | _ -> ());
+       let frames = request { (base_inject target.text) with resume = false } in
+       F.Journal.chaos := None;
+       (match report_text frames with
+        | Some text ->
+          if text <> target.expected then
+            violate "%s: report differs from offline inject" label
+        | None ->
+          (* the injector outlived the restart budget: disk "full"
+             until now — a resend must recover everything journaled *)
+          recover ~label target)
+     | Journal_eio ->
+       incr eio;
+       let fired = ref false in
+       F.Journal.chaos :=
+         Some
+           (fun op ->
+             match op with
+             | `Sync path when path = target.journal && not !fired ->
+               fired := true;
+               raise (Unix.Unix_error (Unix.EIO, "fsync", path))
+             | _ -> ());
+       let frames = request { (base_inject target.text) with resume = false } in
+       F.Journal.chaos := None;
+       (match report_text frames with
+        | Some text ->
+          if text <> target.expected then
+            violate "%s: report differs from offline inject" label
+        | None -> recover ~label target)
+     | Frame_delay ms ->
+       incr delays;
+       let frames =
+         request
+           ~tap:(fun r ->
+             match r with
+             | S.Frame.Entry _ -> Thread.delay (float_of_int ms /. 1000.)
+             | _ -> ())
+           { (base_inject target.text) with stream = true; resume = false }
+       in
+       (match report_text frames with
+        | Some text ->
+          if text <> target.expected then
+            violate "%s: slow-consumer report differs" label
+        | None -> recover ~label target));
+    ping_alive label;
+    (match healthy_thread with Some th -> Thread.join th | None -> ());
+    if (i + 1) mod 25 = 0 then
+      log
+        (Printf.sprintf "chaos: %d/%d scenarios, %d violation(s)" (i + 1)
+           runs (List.length !violations))
+  in
+  for i = 0 to runs - 1 do
+    scenario i
+  done;
+  let stats = S.Engine.stats eng in
+  S.Engine.dispose eng;
+  (* best-effort scrub of the scratch state dir *)
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat state_dir f) with _ -> ())
+       (Sys.readdir state_dir);
+     Unix.rmdir state_dir
+   with _ -> ());
+  { runs; kills = !kills; torn = !torn; enospc = !enospc; eio = !eio;
+    delays = !delays; crashes = stats.S.Frame.crashes;
+    restarts = stats.S.Frame.restarts; healthy = !healthy_done;
+    violations = List.rev !violations }

@@ -362,13 +362,39 @@ let entry_of_line ~digest line =
 (* Writer                                                             *)
 (* ------------------------------------------------------------------ *)
 
+type io_op = [ `Create of string | `Append of string | `Sync of string ]
+
+(* Fault-injection seam for the chaos harness: consulted before each
+   journal I/O operation, [None] in production (one load per append).
+   A hook that raises (say ENOSPC) makes the write fail exactly as a
+   full disk would, so the daemon's crash-only recovery path can be
+   driven deterministically. *)
+let chaos : (io_op -> unit) option ref = ref None
+
+let chaos_poke op = match !chaos with None -> () | Some f -> f op
+
 type writer = {
   oc : out_channel;
+  path : string;
   digest : string;
   lock : Mutex.t;
 }
 
+(* Durability of the file's *existence*: creating and fsyncing a file
+   pins its bytes, but the name lives in the directory — until the
+   directory is fsynced too, a crash can forget the journal entirely
+   and a resumed campaign silently starts from zero. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ())
+  | exception Unix.Unix_error (_, _, _) -> ()
+
 let start path (h : header) =
+  chaos_poke (`Create path);
   (* O_APPEND even for a fresh journal: if two daemons race on the same
      path (or a stale writer survives a partial shutdown), appends from
      both interleave at line granularity instead of overwriting each
@@ -379,7 +405,8 @@ let start path (h : header) =
   output_string oc (header_line h);
   output_char oc '\n';
   flush oc;
-  { oc; digest = h.digest; lock = Mutex.create () }
+  fsync_dir path;
+  { oc; path; digest = h.digest; lock = Mutex.create () }
 
 let reopen path (h : header) =
   (* a crash can leave a torn final line without its newline; seal it
@@ -400,7 +427,7 @@ let reopen path (h : header) =
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   if needs_newline then (output_char oc '\n'; flush oc);
-  { oc; digest = h.digest; lock = Mutex.create () }
+  { oc; path; digest = h.digest; lock = Mutex.create () }
 
 let append w (e : entry) =
   let line = entry_line ~digest:w.digest e in
@@ -408,6 +435,7 @@ let append w (e : entry) =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock w.lock)
     (fun () ->
+      chaos_poke (`Append w.path);
       output_string w.oc line;
       output_char w.oc '\n';
       flush w.oc)
@@ -417,6 +445,7 @@ let sync w =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock w.lock)
     (fun () ->
+      chaos_poke (`Sync w.path);
       flush w.oc;
       (* flush hands the bytes to the kernel; fsync pins them to the
          platter.  Called at checkpoint boundaries (campaign completion,

@@ -85,8 +85,26 @@ type writer
     [O_APPEND], so concurrent writers interleave at line granularity
     instead of clobbering each other's offsets. *)
 
+type io_op = [ `Create of string | `Append of string | `Sync of string ]
+(** A journal I/O operation about to happen, carrying the journal
+    path so an injector can target one campaign and leave concurrent
+    healthy ones alone. *)
+
+val chaos : (io_op -> unit) option ref
+(** Fault-injection seam for the chaos harness ([lib/chaos]): when
+    set, called before every create/append/sync.  A hook that raises
+    (say [Unix.Unix_error (ENOSPC, ...)]) makes the operation fail
+    exactly as a full or dying disk would.  [None] in production —
+    the cost is one pointer load per append.  Set only from tests and
+    harnesses; the hook runs under the writer lock, so it must not
+    call back into the same writer. *)
+
 val start : string -> header -> writer
-(** Truncate/create the file and write the header line. *)
+(** Truncate/create the file and write the header line.  The
+    containing directory is fsynced after creation so a crash just
+    after [start] cannot forget the file's very existence (the data
+    fsync at checkpoints would otherwise pin bytes for a name that
+    never got pinned). *)
 
 val reopen : string -> header -> writer
 (** Open for append, trusting the caller verified the on-disk header

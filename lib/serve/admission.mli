@@ -1,0 +1,52 @@
+(** Bounded, per-client-fair admission queue for campaign requests.
+
+    Replaces the hard [serve.busy] refusal: up to [max_active]
+    campaigns run concurrently, excess requests wait in per-client
+    FIFOs granted round-robin across clients (one grant per client per
+    turn), and only when the queue itself is full — overall or for
+    that client — is the request refused, carrying a [retry_after_ms]
+    backpressure hint derived from observed campaign wall times.
+
+    Thread model: called from the daemon's connection threads; waiting
+    is a 10ms poll under the lock (OCaml has no timed condition wait,
+    and waiters must observe deadlines and drains promptly). *)
+
+type t
+
+val create : max_active:int -> max_queue:int -> max_per_client:int -> unit -> t
+(** [max_active <= 0] means "always busy" — every admission attempt is
+    refused immediately (the deliberate zero-width configuration the
+    admission tests use).  [max_queue] bounds total waiters;
+    [max_per_client] bounds one client's waiters. *)
+
+type refusal = { retry_after_ms : int }
+(** Backpressure hint: roughly one queue-drain at recently observed
+    campaign wall times, clamped to [50, 60_000] ms. *)
+
+type outcome =
+  | Admitted  (** a lane is held; the caller must {!release} it *)
+  | Busy of refusal  (** queue full (or zero-width daemon) — refused *)
+  | Expired of refusal  (** the request's deadline passed while queued *)
+  | Draining  (** the daemon began draining while the request waited *)
+
+val admit :
+  t ->
+  client:int ->
+  deadline:float option ->
+  stopping:(unit -> bool) ->
+  on_queued:(position:int -> retry_after_ms:int -> unit) ->
+  outcome
+(** Blocks until a lane is granted or the wait is abandoned.
+    [deadline] is absolute ([Unix.gettimeofday] clock); [stopping] is
+    polled while waiting; [on_queued] fires once, only if the request
+    actually queued (never on the fast path), so the daemon can send a
+    [Queued] frame. *)
+
+val release : t -> wall_ms:float -> unit
+(** Return a lane.  [wall_ms] is the campaign's wall time, fed to the
+    EWMA behind [retry_after_ms]; pass a negative value to skip the
+    sample (e.g. a campaign that failed instantly). *)
+
+type snapshot = { active : int; queued : int }
+
+val snapshot : t -> snapshot

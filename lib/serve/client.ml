@@ -48,3 +48,38 @@ let next ?limits conn =
 
 let close conn =
   try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ()
+
+(* ---- request-level retry ----------------------------------------- *)
+
+(* Which refusals deserve a resend?  Exactly the transient ones: busy
+   (queue full), quarantined (cooloff running), draining (another
+   instance will pick the journal up).  Bad models and daemon bugs are
+   not transient — retrying them is just load. *)
+let retryable = function
+  | Frame.Refused { status = 1; retry_after_ms; diags } ->
+    if
+      List.exists
+        (fun d ->
+          match d.Frame.Diag.rule with
+          | "serve.busy" | "serve.quarantined" | "serve.draining" -> true
+          | _ -> false)
+        diags
+    then Some retry_after_ms
+    else None
+  | _ -> None
+
+(* Exponential backoff with full jitter: the deterministic exponent
+   curbs an individual client, the jitter decorrelates a fleet of them
+   retrying the same refusal (a synchronized herd re-arrives together
+   and gets refused together, forever).  The daemon's [retry_after_ms]
+   hint acts as a floor — it knows its queue depth, the client only
+   knows its attempt count. *)
+let backoff_delay ?(base = 0.05) ?(cap = 2.0) ~attempt ~retry_after_ms rng =
+  let exp = base *. (2. ** float_of_int (min attempt 16)) in
+  let hint =
+    match retry_after_ms with
+    | Some ms -> float_of_int ms /. 1000.
+    | None -> 0.
+  in
+  let d = Float.min cap (Float.max exp hint) in
+  (d /. 2.) +. (rng () *. d /. 2.)

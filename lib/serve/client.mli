@@ -23,3 +23,20 @@ val next :
     the raw line plus its decoded frame. *)
 
 val close : conn -> unit
+
+val retryable : Frame.response -> int option option
+(** [Some retry_after_ms] when the response is a transient refusal a
+    client should retry — [serve.busy], [serve.quarantined],
+    [serve.draining] — carrying the daemon's hint if it sent one.
+    [None] for everything else (terminal responses, bad-model and bug
+    refusals: resending those is pure load). *)
+
+val backoff_delay :
+  ?base:float -> ?cap:float -> attempt:int ->
+  retry_after_ms:int option -> (unit -> float) -> float
+(** Seconds to sleep before retry number [attempt] (0-based):
+    exponential ([base] * 2^attempt, default base 50ms, capped at
+    [cap], default 2s), floored by the daemon's [retry_after_ms] hint,
+    with full jitter (uniform in [d/2, d], drawn from [rng] returning
+    uniform [0,1) floats) so a fleet of refused clients decorrelates
+    instead of re-arriving as the same herd. *)

@@ -1,8 +1,18 @@
 (* The daemon's brain, socket-free: state plus a total [handle]
    function from request to emitted responses.  Keeping the socket out
-   means the differential tests and the frame fuzzer drive the exact
-   code the daemon runs, and the server layer reduces to line framing
-   plus thread bookkeeping. *)
+   means the differential tests, the chaos harness, and the frame
+   fuzzer drive the exact code the daemon runs, and the server layer
+   reduces to line framing plus thread bookkeeping.
+
+   Since PR 8 the engine is crash-only.  Campaigns run (by default,
+   for the CLI daemon) in forked worker processes supervised here: a
+   worker that crashes, hangs, or is killed is reaped, classified, and
+   restarted from its journal checkpoint with capped exponential
+   backoff; a model whose campaigns keep crashing trips a circuit
+   breaker and is quarantined for a cooloff.  Admission is a bounded
+   per-client-fair queue ({!Admission}) instead of a hard busy
+   refusal, and busy/quarantined refusals carry a [retry_after_ms]
+   backpressure hint. *)
 
 module C = Csrtl_core
 module Diag = Csrtl_diag.Diag
@@ -16,12 +26,29 @@ type config = {
   limits : Diag.Limits.t;
   max_pending : int;
   default_deadline_ms : int option;
+  isolation : [ `In_process | `Forked ];
+  max_queue : int;
+  max_queue_per_client : int;
+  max_restarts : int;
+  backoff_base_ms : int;
+  backoff_cap_ms : int;
+  quarantine_threshold : int;
+  quarantine_cooloff_ms : int;
+  worker_grace_ms : int;
+  worker_timeout_ms : int option;
+  on_worker : (pid:int -> token:string -> unit) option;
 }
 
 let default_config =
   { state_dir = "csrtl-serve-state"; jobs = 0; cache_capacity = 64;
     limits = Diag.Limits.default; max_pending = 4;
-    default_deadline_ms = None }
+    default_deadline_ms = None;
+    (* in-process by default so embedders (tests, bench, fuzz) get the
+       PR 6 behaviour; the CLI daemon flips to [`Forked] *)
+    isolation = `In_process; max_queue = 16; max_queue_per_client = 8;
+    max_restarts = 3; backoff_base_ms = 25; backoff_cap_ms = 1000;
+    quarantine_threshold = 3; quarantine_cooloff_ms = 30_000;
+    worker_grace_ms = 2000; worker_timeout_ms = None; on_worker = None }
 
 type compiled = { model : C.Model.t; digest : string }
 
@@ -30,17 +57,42 @@ type counters = {
   mutable campaigns : int;
   mutable drained : int;
   mutable refused : int;
+  mutable restarts : int;
+  mutable crashes : int;
+}
+
+(* Per-model circuit breaker, keyed by the compile-cache digest.
+   Consecutive worker crashes past the threshold open it; while open,
+   requests for that model are refused with [serve.quarantined] and
+   the remaining cooloff as the retry hint.  After the cooloff the
+   next request probes (half-open): success closes the breaker,
+   another crash re-opens it immediately. *)
+type breaker = {
+  mutable crashes : int;
+  mutable opened_until : float;
 }
 
 type t = {
   cfg : config;
-  pool : Par.t;
+  (* lazy: the daemon only materialises a domain pool if it actually
+     runs an in-process campaign.  In forked mode the parent stays
+     domain-free, which is what makes [Unix.fork] sound — forking a
+     multi-domain OCaml process is undefined *)
+  pool : Par.t option ref;
+  pool_lock : Mutex.t;
   cache : compiled Cache.t;
   stop : bool Atomic.t;
-  pending : int Atomic.t;
-  (* campaigns run one at a time on the shared pool: admission happens
-     at [pending], fairness at this lock *)
+  adm : Admission.t;
+  (* in-process campaigns run one at a time on the shared pool *)
   campaign_lock : Mutex.t;
+  (* one campaign per resume token at a time: two concurrent requests
+     for the same model must not interleave appends in one journal
+     from two workers; the second waits and then resumes the first's
+     completed work *)
+  inflight : (string, unit) Hashtbl.t;
+  inflight_lock : Mutex.t;
+  breakers : (string, breaker) Hashtbl.t;
+  breakers_lock : Mutex.t;
   counters_lock : Mutex.t;
   counters : counters;
 }
@@ -55,14 +107,38 @@ let rec mkdir_p dir =
 
 let create cfg =
   mkdir_p cfg.state_dir;
-  let jobs = if cfg.jobs <= 0 then Par.default_jobs () else cfg.jobs in
-  { cfg; pool = Par.create ~jobs ();
+  { cfg; pool = ref None; pool_lock = Mutex.create ();
     cache = Cache.create ~capacity:cfg.cache_capacity;
-    stop = Atomic.make false; pending = Atomic.make 0;
-    campaign_lock = Mutex.create (); counters_lock = Mutex.create ();
-    counters = { requests = 0; campaigns = 0; drained = 0; refused = 0 } }
+    stop = Atomic.make false;
+    adm =
+      Admission.create ~max_active:cfg.max_pending ~max_queue:cfg.max_queue
+        ~max_per_client:cfg.max_queue_per_client ();
+    campaign_lock = Mutex.create ();
+    inflight = Hashtbl.create 8; inflight_lock = Mutex.create ();
+    breakers = Hashtbl.create 8; breakers_lock = Mutex.create ();
+    counters_lock = Mutex.create ();
+    counters =
+      { requests = 0; campaigns = 0; drained = 0; refused = 0;
+        restarts = 0; crashes = 0 } }
 
-let dispose t = Par.shutdown t.pool
+let pool_of t =
+  Mutex.lock t.pool_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.pool_lock)
+  @@ fun () ->
+  match !(t.pool) with
+  | Some p -> p
+  | None ->
+    let jobs = if t.cfg.jobs <= 0 then Par.default_jobs () else t.cfg.jobs in
+    let p = Par.create ~jobs () in
+    t.pool := Some p;
+    p
+
+let dispose t =
+  Mutex.lock t.pool_lock;
+  (match !(t.pool) with Some p -> Par.shutdown p | None -> ());
+  t.pool := None;
+  Mutex.unlock t.pool_lock
+
 let request_stop t = Atomic.set t.stop true
 let stopping t = Atomic.get t.stop
 
@@ -112,13 +188,72 @@ let token_of ~digest ~config_tag ~faults_digest =
        (Digest.string (digest ^ "|" ^ config_tag ^ "|" ^ faults_digest)))
     0 16
 
-let journal_path t token = Filename.concat t.cfg.state_dir ("inj-" ^ token ^ ".jsonl")
+let journal_path cfg token =
+  Filename.concat cfg.state_dir ("inj-" ^ token ^ ".jsonl")
+
+(* ---- circuit breaker --------------------------------------------- *)
+
+let quarantine_check t key =
+  if t.cfg.quarantine_threshold <= 0 then `Ok
+  else begin
+    Mutex.lock t.breakers_lock;
+    let r =
+      match Hashtbl.find_opt t.breakers key with
+      | None -> `Ok
+      | Some b ->
+        let now = Unix.gettimeofday () in
+        if now < b.opened_until then
+          `Quarantined (int_of_float ((b.opened_until -. now) *. 1000.) + 1)
+        else `Ok  (* closed, or cooled off: half-open, let a probe in *)
+    in
+    Mutex.unlock t.breakers_lock;
+    r
+  end
+
+(* Returns whether this crash opened (or re-opened) the breaker. *)
+let breaker_crash t key =
+  if t.cfg.quarantine_threshold <= 0 then false
+  else begin
+    Mutex.lock t.breakers_lock;
+    let b =
+      match Hashtbl.find_opt t.breakers key with
+      | Some b -> b
+      | None ->
+        let b = { crashes = 0; opened_until = 0. } in
+        Hashtbl.replace t.breakers key b;
+        b
+    in
+    b.crashes <- b.crashes + 1;
+    let opened = b.crashes >= t.cfg.quarantine_threshold in
+    if opened then
+      b.opened_until <-
+        Unix.gettimeofday ()
+        +. (float_of_int t.cfg.quarantine_cooloff_ms /. 1000.);
+    Mutex.unlock t.breakers_lock;
+    opened
+  end
+
+let breaker_success t key =
+  Mutex.lock t.breakers_lock;
+  Hashtbl.remove t.breakers key;
+  Mutex.unlock t.breakers_lock
+
+let quarantined_count t =
+  Mutex.lock t.breakers_lock;
+  let now = Unix.gettimeofday () in
+  let n =
+    Hashtbl.fold
+      (fun _ b acc -> if now < b.opened_until then acc + 1 else acc)
+      t.breakers 0
+  in
+  Mutex.unlock t.breakers_lock;
+  n
 
 (* ---- request handling -------------------------------------------- *)
 
-let refuse t ~emit status diags =
+let refuse ?retry_after_ms t ~emit status diags =
   bump t (fun c -> c.refused <- c.refused + 1);
-  emit (Frame.Refused { status; diags })
+  emit (Frame.Refused { status; retry_after_ms; diags })
 
 let compile t (q : Frame.inject) =
   let key = Digest.to_hex (Digest.string q.Frame.model) in
@@ -136,7 +271,263 @@ let compile t (q : Frame.inject) =
          (false, Ok c)
        end)
 
-let handle_inject t (q : Frame.inject) ~emit =
+(* The campaign core, free of engine state so the forked worker and
+   the in-process path run the same code — which is what keeps their
+   reports byte-identical.  [stopping] is the drain flag only (engine
+   stop or worker SIGTERM); the deadline is computed here from [t0].
+   Returns what the terminal frame was, for the caller's counters. *)
+let exec_campaign ~runner ~stopping ~journal ~t0 ~default_deadline_ms
+    (q : Frame.inject) ~model ~faults ~labels ~token ~emit =
+  let label_arr = Array.of_list labels in
+  let total = List.length faults in
+  let deadline =
+    match
+      (match q.Frame.deadline_ms with
+       | Some _ as d -> d
+       | None -> default_deadline_ms)
+    with
+    | None -> None
+    | Some 0 -> Some neg_infinity  (* already expired: drain now *)
+    | Some ms -> Some (t0 +. (float_of_int ms /. 1000.))
+  in
+  let should_stop () =
+    stopping ()
+    || (match deadline with
+        | Some d -> Unix.gettimeofday () > d
+        | None -> false)
+  in
+  let on_entry =
+    if not q.Frame.stream then None
+    else
+      Some
+        (fun i (e : F.Campaign.entry) ->
+          emit
+            (Frame.Entry
+               { F.Journal.index = i; fault_label = label_arr.(i);
+                 kernel = e.F.Campaign.kernel_outcome;
+                 interp = e.F.Campaign.interp_outcome;
+                 cycles = e.F.Campaign.kernel_cycles;
+                 law_ok = e.F.Campaign.law_ok }))
+  in
+  let budget =
+    Option.map (fun ms -> float_of_int ms /. 1000.) q.Frame.budget_ms
+  in
+  let run ~resume =
+    match runner with
+    | `Pool (pool, lock) ->
+      Mutex.lock lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock lock)
+      @@ fun () ->
+      F.Campaign.run_journaled ~pool ~faults ?budget ~engine:q.Frame.engine
+        ~batch:q.Frame.batch ~should_stop ?on_entry ~journal ~resume model
+    | `Jobs jobs ->
+      F.Campaign.run_journaled ~jobs ~faults ?budget ~engine:q.Frame.engine
+        ~batch:q.Frame.batch ~should_stop ?on_entry ~journal ~resume model
+  in
+  let resume = q.Frame.resume && Sys.file_exists journal in
+  let result =
+    match run ~resume with
+    | Error _ when resume ->
+      (* a stale or alien journal at this token (e.g. the state dir
+         survived a config change): degrade to a fresh run instead of
+         failing the request *)
+      run ~resume:false
+    | r -> r
+  in
+  match result with
+  | Error msg ->
+    emit
+      (Frame.Refused
+         { status = 2; retry_after_ms = None;
+           diags = [ Diag.error ~rule:"serve.journal" "%s" msg ] });
+    `Refused
+  | Ok (report, info) ->
+    if info.F.Campaign.remaining > 0 then begin
+      emit
+        (Frame.Drained
+           { status = 1; token;
+             completed = info.F.Campaign.reused + info.F.Campaign.rerun;
+             total;
+             reason = (if stopping () then "shutdown" else "deadline") });
+      `Drained
+    end
+    else begin
+      let code = inject_code report in
+      emit
+        (Frame.Report
+           { status = (if code = 0 then 0 else 1); code; token;
+             reused = info.F.Campaign.reused; rerun = info.F.Campaign.rerun;
+             torn = info.F.Campaign.torn;
+             text = render_report ~table:q.Frame.table report });
+      `Report
+    end
+
+(* ---- the forked worker ------------------------------------------- *)
+
+(* Worker body.  Runs in the freshly forked child: fresh stop flag,
+   fresh journal writer, fresh width-limited pool — nothing shared
+   with the daemon beyond the pipe and the journal file (O_APPEND, so
+   even an orphan from a killed daemon interleaves safely).  The
+   parent already validated the model from the same bytes, so a parse
+   failure here is unreachable; it still exits cleanly rather than
+   trusting that. *)
+let child_main (cfg : config) (q : Frame.inject) fd =
+  let stop = Atomic.make false in
+  Sys.set_signal Sys.sigterm
+    (Sys.Signal_handle (fun _ -> Atomic.set stop true));
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let t0 = Unix.gettimeofday () in
+  let wlock = Mutex.create () in
+  let emit resp =
+    Mutex.lock wlock;
+    let ok =
+      Fun.protect ~finally:(fun () -> Mutex.unlock wlock)
+        (fun () -> Lineio.write_line fd (Frame.encode_response resp))
+    in
+    (* supervisor gone mid-campaign: keep going — every finished fault
+       still lands in the journal, so the work is not lost *)
+    ignore ok
+  in
+  match C.Rtm.parse ~limits:cfg.limits ~file:"<request>" q.Frame.model with
+  | Error _ -> Unix._exit 2
+  | Ok (model, _warnings) ->
+    if Diag.has_errors (C.Model.validate_diags ~limits:cfg.limits model)
+    then Unix._exit 2;
+    let digest = C.Snapshot.digest_of_model model in
+    let faults = F.Fault.enumerate ?limit:q.Frame.limit model in
+    let labels = List.map F.Fault.to_string faults in
+    let config_tag = F.Journal.config_tag C.Simulate.default in
+    let faults_digest = F.Journal.faults_digest labels in
+    let token = token_of ~digest ~config_tag ~faults_digest in
+    let journal = journal_path cfg token in
+    let jobs = if cfg.jobs <= 0 then Par.default_jobs () else cfg.jobs in
+    ignore
+      (exec_campaign ~runner:(`Jobs jobs)
+         ~stopping:(fun () -> Atomic.get stop) ~journal ~t0
+         ~default_deadline_ms:cfg.default_deadline_ms q ~model ~faults
+         ~labels ~token ~emit)
+
+let backoff_s cfg attempt =
+  let ms =
+    min cfg.backoff_cap_ms (cfg.backoff_base_ms * (1 lsl min attempt 16))
+  in
+  float_of_int ms /. 1000.
+
+(* Supervision loop: spawn the worker, relay its frames, and on a
+   crash restart it — resuming from the journal checkpoint — with
+   capped exponential backoff, up to [max_restarts] times or until the
+   circuit breaker opens.  The client sees at most one terminal frame;
+   entries already journaled before a crash are reused, not
+   re-streamed. *)
+let run_forked t (q : Frame.inject) ~key ~token ~emit =
+  let cfg = t.cfg in
+  let grace_s = float_of_int cfg.worker_grace_ms /. 1000. in
+  let timeout_s =
+    let deadline_ms =
+      match q.Frame.deadline_ms with
+      | Some _ as d -> d
+      | None -> cfg.default_deadline_ms
+    in
+    match deadline_ms, cfg.worker_timeout_ms with
+    | Some ms, _ ->
+      (* backstop for a worker that fails to honour its own deadline *)
+      Some ((float_of_int ms /. 1000.) +. (2. *. grace_s) +. 1.)
+    | None, Some wt -> Some (float_of_int wt /. 1000.)
+    | None, None -> None
+  in
+  let rec attempt n ~resume =
+    let terminal = ref `None in
+    let outcome =
+      Worker.supervise ?timeout_s ~grace_s
+        ~should_stop:(fun () -> Atomic.get t.stop)
+        ~on_spawn:(fun pid ->
+          match cfg.on_worker with
+          | Some f -> f ~pid ~token
+          | None -> ())
+        ~child:(fun fd -> child_main cfg { q with Frame.resume } fd)
+        ~on_line:(fun line ->
+          match Frame.decode_response ~limits:cfg.limits line with
+          | Ok (Frame.Entry _ as resp) ->
+            emit resp;
+            `Continue
+          | Ok (Frame.Report _ as resp) ->
+            terminal := `Report;
+            emit resp;
+            `Terminal
+          | Ok (Frame.Drained _ as resp) ->
+            terminal := `Drained;
+            emit resp;
+            `Terminal
+          | Ok (Frame.Refused _ as resp) ->
+            terminal := `Refused;
+            emit resp;
+            `Terminal
+          | Ok _ | Error _ ->
+            (* a worker emitting junk is a worker bug; dropping the
+               line (rather than relaying rot) keeps the client's
+               stream well-formed, and a missing terminal frame will
+               surface as a crash *)
+            `Continue)
+        ()
+    in
+    match outcome with
+    | Worker.Terminal ->
+      (match !terminal with
+       | `Report ->
+         breaker_success t key;
+         bump t (fun c -> c.campaigns <- c.campaigns + 1)
+       | `Drained -> bump t (fun c -> c.drained <- c.drained + 1)
+       | `Refused -> bump t (fun c -> c.refused <- c.refused + 1)
+       | `None -> ())
+    | Worker.Crashed crash ->
+      bump t (fun c -> c.crashes <- c.crashes + 1);
+      let opened = breaker_crash t key in
+      if (not opened) && n < cfg.max_restarts && not (Atomic.get t.stop)
+      then begin
+        bump t (fun c -> c.restarts <- c.restarts + 1);
+        Thread.delay (backoff_s cfg n);
+        attempt (n + 1) ~resume:true
+      end
+      else
+        refuse t ~emit 3
+          [ Diag.error ~rule:"serve.worker"
+              "campaign worker %s (attempt %d/%d)%s; completed work is \
+               journaled under token %s — resend the request to resume"
+              (Worker.describe crash) (n + 1) (cfg.max_restarts + 1)
+              (if opened then "; model quarantined" else "")
+              token ]
+  in
+  attempt 0 ~resume:q.Frame.resume
+
+(* ---- the front door ---------------------------------------------- *)
+
+(* One campaign per token at a time (see [t.inflight]); waiting is the
+   same cheap poll the admission queue uses.  The waiter holds an
+   admission lane meanwhile — bounded by [max_pending], so this cannot
+   deadlock, and the second request then resumes the first's journal
+   instead of racing it. *)
+let inflight_enter t token =
+  let rec wait () =
+    Mutex.lock t.inflight_lock;
+    if Hashtbl.mem t.inflight token then begin
+      Mutex.unlock t.inflight_lock;
+      Thread.delay 0.01;
+      wait ()
+    end
+    else begin
+      Hashtbl.replace t.inflight token ();
+      Mutex.unlock t.inflight_lock
+    end
+  in
+  wait ()
+
+let inflight_exit t token =
+  Mutex.lock t.inflight_lock;
+  Hashtbl.remove t.inflight token;
+  Mutex.unlock t.inflight_lock
+
+let handle_inject t (q : Frame.inject) ~client ~emit =
   let t0 = Unix.gettimeofday () in
   if stopping t then
     refuse t ~emit 1
@@ -147,120 +538,105 @@ let handle_inject t (q : Frame.inject) ~emit =
             q.Frame.model with
     | Some d -> refuse t ~emit 2 [ d ]
     | None ->
-      let admitted = Atomic.fetch_and_add t.pending 1 in
-      Fun.protect ~finally:(fun () -> ignore (Atomic.fetch_and_add t.pending (-1)))
-      @@ fun () ->
-      if admitted >= t.cfg.max_pending then
-        refuse t ~emit 1
-          [ Diag.error ~rule:"serve.busy"
-              "daemon at capacity (%d campaigns queued); retry later"
-              admitted ]
-      else begin
-        let cached, compiled = compile t q in
-        match compiled with
-        | Error diags -> refuse t ~emit 2 diags
-        | Ok { model; digest } ->
-          let faults = F.Fault.enumerate ?limit:q.Frame.limit model in
-          let labels = List.map F.Fault.to_string faults in
-          let label_arr = Array.of_list labels in
-          let total = List.length faults in
-          let config_tag = F.Journal.config_tag C.Simulate.default in
-          let faults_digest = F.Journal.faults_digest labels in
-          let token = token_of ~digest ~config_tag ~faults_digest in
-          let journal = journal_path t token in
-          emit (Frame.Started { token; total; cached });
-          let deadline =
-            match
-              (match q.Frame.deadline_ms with
-               | Some _ as d -> d
-               | None -> t.cfg.default_deadline_ms)
-            with
-            | None -> None
-            | Some 0 -> Some neg_infinity  (* already expired: drain now *)
-            | Some ms -> Some (t0 +. (float_of_int ms /. 1000.))
-          in
-          let should_stop () =
-            Atomic.get t.stop
-            || (match deadline with
-                | Some d -> Unix.gettimeofday () > d
-                | None -> false)
-          in
-          let on_entry =
-            if not q.Frame.stream then None
-            else
-              Some
-                (fun i (e : F.Campaign.entry) ->
-                  emit
-                    (Frame.Entry
-                       { F.Journal.index = i; fault_label = label_arr.(i);
-                         kernel = e.F.Campaign.kernel_outcome;
-                         interp = e.F.Campaign.interp_outcome;
-                         cycles = e.F.Campaign.kernel_cycles;
-                         law_ok = e.F.Campaign.law_ok }))
-          in
-          let budget =
-            Option.map (fun ms -> float_of_int ms /. 1000.) q.Frame.budget_ms
-          in
-          let run ~resume =
-            Mutex.lock t.campaign_lock;
-            Fun.protect ~finally:(fun () -> Mutex.unlock t.campaign_lock)
-            @@ fun () ->
-            F.Campaign.run_journaled ~pool:t.pool ~faults ?budget
-              ~engine:q.Frame.engine ~batch:q.Frame.batch ~should_stop
-              ?on_entry ~journal ~resume model
-          in
-          let resume = q.Frame.resume && Sys.file_exists journal in
-          let result =
-            match run ~resume with
-            | Error _ when resume ->
-              (* a stale or alien journal at this token (e.g. the
-                 state dir survived a config change): degrade to a
-                 fresh run instead of failing the request *)
-              run ~resume:false
-            | r -> r
-          in
-          (match result with
-           | Error msg ->
-             refuse t ~emit 2 [ Diag.error ~rule:"serve.journal" "%s" msg ]
-           | Ok (report, info) ->
-             if info.F.Campaign.remaining > 0 then begin
-               bump t (fun c -> c.drained <- c.drained + 1);
-               emit
-                 (Frame.Drained
-                    { status = 1; token;
-                      completed = info.F.Campaign.reused + info.F.Campaign.rerun;
-                      total;
-                      reason =
-                        (if Atomic.get t.stop then "shutdown" else "deadline")
-                    })
-             end
-             else begin
-               bump t (fun c -> c.campaigns <- c.campaigns + 1);
-               let code = inject_code report in
-               emit
-                 (Frame.Report
-                    { status = (if code = 0 then 0 else 1); code; token;
-                      reused = info.F.Campaign.reused;
-                      rerun = info.F.Campaign.rerun;
-                      torn = info.F.Campaign.torn;
-                      text = render_report ~table:q.Frame.table report })
-             end)
-      end
+      let key = Digest.to_hex (Digest.string q.Frame.model) in
+      (match quarantine_check t key with
+       | `Quarantined retry_after_ms ->
+         refuse t ~emit ~retry_after_ms 1
+           [ Diag.error ~rule:"serve.quarantined"
+               "model is quarantined after repeated worker crashes; retry \
+                after the cooloff" ]
+       | `Ok ->
+         let qdeadline =
+           (* the request's own deadline bounds its queue wait too;
+              deadline 0 is the deterministic drain-to-token request
+              and must reach the engine, so it queues without one *)
+           match
+             (match q.Frame.deadline_ms with
+              | Some _ as d -> d
+              | None -> t.cfg.default_deadline_ms)
+           with
+           | None | Some 0 -> None
+           | Some ms -> Some (t0 +. (float_of_int ms /. 1000.))
+         in
+         match
+           Admission.admit t.adm ~client ~deadline:qdeadline
+             ~stopping:(fun () -> Atomic.get t.stop)
+             ~on_queued:(fun ~position ~retry_after_ms ->
+               emit (Frame.Queued { position; retry_after_ms }))
+         with
+         | Admission.Busy { Admission.retry_after_ms } ->
+           refuse t ~emit ~retry_after_ms 1
+             [ Diag.error ~rule:"serve.busy"
+                 "daemon at capacity (admission queue full); retry after \
+                  the hint" ]
+         | Admission.Expired { Admission.retry_after_ms } ->
+           refuse t ~emit ~retry_after_ms 1
+             [ Diag.error ~rule:"serve.busy"
+                 "request deadline expired while queued; retry after the \
+                  hint" ]
+         | Admission.Draining ->
+           refuse t ~emit 1
+             [ Diag.error ~rule:"serve.draining"
+                 "daemon is draining; resend the request to the next \
+                  instance" ]
+         | Admission.Admitted ->
+           let started = Unix.gettimeofday () in
+           Fun.protect
+             ~finally:(fun () ->
+               Admission.release t.adm
+                 ~wall_ms:((Unix.gettimeofday () -. started) *. 1000.))
+           @@ fun () ->
+           let cached, compiled = compile t q in
+           (match compiled with
+            | Error diags -> refuse t ~emit 2 diags
+            | Ok { model; digest } ->
+              let faults = F.Fault.enumerate ?limit:q.Frame.limit model in
+              let labels = List.map F.Fault.to_string faults in
+              let total = List.length faults in
+              let config_tag = F.Journal.config_tag C.Simulate.default in
+              let faults_digest = F.Journal.faults_digest labels in
+              let token = token_of ~digest ~config_tag ~faults_digest in
+              let journal = journal_path t.cfg token in
+              emit (Frame.Started { token; total; cached });
+              inflight_enter t token;
+              Fun.protect ~finally:(fun () -> inflight_exit t token)
+              @@ fun () ->
+              (match t.cfg.isolation with
+               | `Forked -> run_forked t q ~key ~token ~emit
+               | `In_process ->
+                 (match
+                    exec_campaign
+                      ~runner:(`Pool (pool_of t, t.campaign_lock))
+                      ~stopping:(fun () -> Atomic.get t.stop) ~journal ~t0
+                      ~default_deadline_ms:t.cfg.default_deadline_ms q
+                      ~model ~faults ~labels ~token ~emit
+                  with
+                  | `Report ->
+                    bump t (fun c -> c.campaigns <- c.campaigns + 1)
+                  | `Drained ->
+                    bump t (fun c -> c.drained <- c.drained + 1)
+                  | `Refused ->
+                    bump t (fun c -> c.refused <- c.refused + 1)))))
 
 let stats t =
   let cs = Cache.stats t.cache in
+  let snap = Admission.snapshot t.adm in
+  let quarantined = quarantined_count t in
   Mutex.lock t.counters_lock;
   let c = t.counters in
   let r =
     { Frame.requests = c.requests; campaigns = c.campaigns;
-      drained = c.drained; refused = c.refused; hits = cs.Cache.hits;
-      misses = cs.Cache.misses; evictions = cs.Cache.evictions;
-      entries = cs.Cache.entries; capacity = cs.Cache.capacity }
+      drained = c.drained; refused = c.refused;
+      active = snap.Admission.active; queued = snap.Admission.queued;
+      restarts = c.restarts; crashes = c.crashes; quarantined;
+      hits = cs.Cache.hits; misses = cs.Cache.misses;
+      evictions = cs.Cache.evictions; entries = cs.Cache.entries;
+      capacity = cs.Cache.capacity }
   in
   Mutex.unlock t.counters_lock;
   r
 
-let handle t (req : Frame.request) ~emit =
+let handle ?(client = 0) t (req : Frame.request) ~emit =
   bump t (fun c -> c.requests <- c.requests + 1);
   match req with
   | Frame.Ping -> emit (Frame.Pong { version = "csrtl-serve/1" })
@@ -269,7 +645,7 @@ let handle t (req : Frame.request) ~emit =
     request_stop t;
     emit Frame.Bye
   | Frame.Inject q ->
-    (try handle_inject t q ~emit
+    (try handle_inject t q ~client ~emit
      with e ->
        (* the [Bug:] marker: an escaped exception here is a defect of
           the daemon, not of the request *)

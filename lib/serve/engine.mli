@@ -4,13 +4,21 @@
     responses and {e never raises}: admission failures, bad models,
     stale journals and even daemon bugs all come back as status-coded
     [Refused] frames.  The server layer adds line framing and threads;
-    the differential and fuzz suites drive [handle] directly, so the
-    bytes they pin are the bytes the socket carries.
+    the differential, chaos, and fuzz suites drive [handle] directly,
+    so the bytes they pin are the bytes the socket carries.
 
     Campaign responses are byte-identical to offline [csrtl inject]
     stdout for the same (model, fault list, config) — the report
     renderer is margin-independent, and campaigns reuse
-    {!Csrtl_fault.Campaign.run_journaled} unchanged. *)
+    {!Csrtl_fault.Campaign.run_journaled} unchanged.
+
+    The engine is {e crash-only}: in [`Forked] isolation each campaign
+    runs in a supervised worker process, restarted from its journal
+    checkpoint (capped exponential backoff) when it crashes, and a
+    model whose workers keep crashing is quarantined by a per-digest
+    circuit breaker.  Admission is a bounded per-client-fair queue
+    ({!Admission}); busy and quarantined refusals carry a
+    [retry_after_ms] hint. *)
 
 module Diag = Csrtl_diag.Diag
 module F = Csrtl_fault
@@ -21,33 +29,72 @@ type config = {
   cache_capacity : int;  (** compile-cache entries (LRU beyond that) *)
   limits : Diag.Limits.t;  (** applied to every request's model text *)
   max_pending : int;
-      (** campaigns admitted concurrently (queued on the shared pool);
-          excess requests are refused with status 1, rule [serve.busy] *)
+      (** campaigns running concurrently; excess requests queue.
+          [<= 0] means always busy (refuse immediately) — the
+          zero-width configuration the admission tests use *)
   default_deadline_ms : int option;
       (** server-wide per-request deadline when the request names none *)
+  isolation : [ `In_process | `Forked ];
+      (** [`Forked] (the CLI daemon's default) runs each campaign in a
+          supervised worker process — the crash-only mode.
+          [`In_process] is the PR 6 behaviour for embedders: campaigns
+          share the daemon's lazy domain pool *)
+  max_queue : int;  (** total requests waiting in the admission queue *)
+  max_queue_per_client : int;  (** one client's share of that queue *)
+  max_restarts : int;
+      (** crash-restarts per request before giving up with
+          [serve.worker]; each restart resumes from the journal *)
+  backoff_base_ms : int;  (** restart backoff: base * 2^attempt ... *)
+  backoff_cap_ms : int;  (** ... capped here *)
+  quarantine_threshold : int;
+      (** consecutive worker crashes (per model digest) that open the
+          circuit breaker; [<= 0] disables quarantine *)
+  quarantine_cooloff_ms : int;
+      (** how long an open breaker refuses the model before letting a
+          half-open probe through *)
+  worker_grace_ms : int;
+      (** SIGTERM-to-SIGKILL grace when draining or timing out a
+          worker — long enough to checkpoint, short enough to die *)
+  worker_timeout_ms : int option;
+      (** wall cap for workers on requests with no deadline; [None]
+          means no cap (deadlined requests get deadline + grace) *)
+  on_worker : (pid:int -> token:string -> unit) option;
+      (** test/chaos hook: called with each spawned worker pid *)
 }
 
 val default_config : config
+(** [`In_process], max_pending 4, queue 16 (8 per client), 3 restarts
+    with 25ms..1s backoff, quarantine after 3 crashes for 30s, 2s
+    worker grace. *)
 
 type t
 
 val create : config -> t
-(** Creates the state directory and spawns the domain pool. *)
+(** Creates the state directory.  The domain pool is lazy: it only
+    materialises when an in-process campaign runs, so a [`Forked]
+    daemon stays domain-free — the precondition for [Unix.fork]. *)
 
 val dispose : t -> unit
-(** Join the pool.  The engine is unusable after. *)
+(** Join the pool (if one materialised).  The engine is unusable
+    after. *)
 
 val request_stop : t -> unit
 (** Flip the drain flag: in-flight campaigns checkpoint at the next
-    work-item boundary and answer [Drained]; new inject requests are
-    refused.  Signal-handler safe (one atomic store). *)
+    work-item boundary and answer [Drained] (forked workers get
+    SIGTERM and the grace period to do the same); queued requests are
+    released with [serve.draining]; new inject requests are refused.
+    Signal-handler safe (one atomic store). *)
 
 val stopping : t -> bool
 
-val handle : t -> Frame.request -> emit:(Frame.response -> unit) -> unit
+val handle :
+  ?client:int -> t -> Frame.request -> emit:(Frame.response -> unit) -> unit
 (** Process one request, calling [emit] for each response frame in
-    order.  Never raises; [emit] may be called from pool domains while
-    a streamed campaign runs, so it must be thread-safe. *)
+    order.  [client] identifies the connection for queue fairness
+    (default 0 — embedders that don't multiplex clients get plain
+    FIFO).  Never raises; [emit] may be called from pool domains or
+    the worker supervisor while a streamed campaign runs, so it must
+    be thread-safe. *)
 
 val stats : t -> Frame.stats
 

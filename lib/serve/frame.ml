@@ -43,6 +43,11 @@ type stats = {
   campaigns : int;
   drained : int;
   refused : int;
+  active : int;
+  queued : int;
+  restarts : int;
+  crashes : int;
+  quarantined : int;
   hits : int;
   misses : int;
   evictions : int;
@@ -70,7 +75,14 @@ type response =
       total : int;
       reason : string;
     }
-  | Refused of { status : int; diags : Diag.t list }
+  | Queued of { position : int; retry_after_ms : int }
+  | Refused of {
+      status : int;
+      retry_after_ms : int option;
+          (* backpressure hint: how long a well-behaved client should
+             wait before resending (busy/quarantined refusals) *)
+      diags : Diag.t list;
+    }
   | Stats_reply of stats
   | Bye
 
@@ -182,19 +194,29 @@ let encode_response = function
           @ [ ("resp", Str "drained"); ("status", Int status);
               ("token", Str token); ("done", Int completed);
               ("total", Int total); ("reason", Str reason) ]))
-  | Refused { status; diags } ->
+  | Queued { position; retry_after_ms } ->
     to_string
       (Obj
          (hdr "resp"
-          @ [ ("resp", Str "refused"); ("status", Int status);
-              ("diags", Arr (List.map json_of_diag diags)) ]))
+          @ [ ("resp", Str "queued"); ("position", Int position);
+              ("retry_after_ms", Int retry_after_ms) ]))
+  | Refused { status; retry_after_ms; diags } ->
+    to_string
+      (Obj
+         (hdr "resp"
+          @ [ ("resp", Str "refused"); ("status", Int status) ]
+          @ opt_int "retry_after_ms" retry_after_ms
+          @ [ ("diags", Arr (List.map json_of_diag diags)) ]))
   | Stats_reply s ->
     to_string
       (Obj
          (hdr "resp"
           @ [ ("resp", Str "stats"); ("requests", Int s.requests);
               ("campaigns", Int s.campaigns); ("drained", Int s.drained);
-              ("refused", Int s.refused); ("hits", Int s.hits);
+              ("refused", Int s.refused); ("active", Int s.active);
+              ("queued", Int s.queued); ("restarts", Int s.restarts);
+              ("crashes", Int s.crashes);
+              ("quarantined", Int s.quarantined); ("hits", Int s.hits);
               ("misses", Int s.misses); ("evictions", Int s.evictions);
               ("entries", Int s.entries); ("capacity", Int s.capacity) ]))
   | Bye -> to_string (Obj (hdr "resp" @ [ ("resp", Str "bye") ]))
@@ -319,19 +341,27 @@ let response_of_json j =
         completed = int_field_min ~min:0 "done" j;
         total = int_field_min ~min:0 "total" j;
         reason = str_field "reason" j }
+  | "queued" ->
+    Queued
+      { position = int_field_min ~min:1 "position" j;
+        retry_after_ms = int_field_min ~min:0 "retry_after_ms" j }
   | "refused" ->
     let diags =
       match Json.field "diags" j with
       | Some (Arr ds) -> List.map diag_of_json ds
       | _ -> raise (Reject "refused response without a \"diags\" array")
     in
-    Refused { status = int_field_min ~min:0 "status" j; diags }
+    Refused
+      { status = int_field_min ~min:0 "status" j;
+        retry_after_ms = opt_int_field ~min:0 "retry_after_ms" j; diags }
   | "stats" ->
     let f name = int_field_min ~min:0 name j in
     Stats_reply
       { requests = f "requests"; campaigns = f "campaigns";
-        drained = f "drained"; refused = f "refused"; hits = f "hits";
-        misses = f "misses"; evictions = f "evictions";
+        drained = f "drained"; refused = f "refused"; active = f "active";
+        queued = f "queued"; restarts = f "restarts";
+        crashes = f "crashes"; quarantined = f "quarantined";
+        hits = f "hits"; misses = f "misses"; evictions = f "evictions";
         entries = f "entries"; capacity = f "capacity" }
   | "bye" -> Bye
   | r -> raise (Reject (Printf.sprintf "unknown response kind %S" r))

@@ -56,6 +56,11 @@ type stats = {
       (** requests the engine refused: admission control, bad models,
           draining.  (Frames the transport could not even decode are
           answered directly by the server layer and not counted.) *)
+  active : int;  (** campaigns running right now *)
+  queued : int;  (** requests waiting in the admission queue *)
+  restarts : int;  (** crashed workers restarted from their journal *)
+  crashes : int;  (** worker processes that died without a terminal frame *)
+  quarantined : int;  (** models currently held by an open circuit breaker *)
   hits : int;  (** compile-cache hits *)
   misses : int;
   evictions : int;
@@ -84,8 +89,20 @@ type response =
       total : int;
       reason : string;  (** ["deadline"] or ["shutdown"] *)
     }
-  | Refused of { status : int; diags : Diag.t list }
-      (** 1 = busy/draining, 2 = bad request or model, 3 = daemon bug *)
+  | Queued of { position : int; retry_after_ms : int }
+      (** the request is waiting in the admission queue: its position
+          (1 = next) and the estimated wait — sent once on entry so an
+          interactive client can tell backpressure from a hang *)
+  | Refused of {
+      status : int;
+      retry_after_ms : int option;
+          (** busy/quarantined refusals carry a backpressure hint: wait
+              roughly this long before resending.  [None] on refusals
+              where retrying cannot help (bad model, daemon bug). *)
+      diags : Diag.t list;
+    }
+      (** 1 = busy/quarantined/draining, 2 = bad request or model,
+          3 = daemon bug or a worker that kept crashing *)
   | Stats_reply of stats
   | Bye  (** shutdown acknowledged *)
 

@@ -40,6 +40,10 @@ type server = {
   eng : Engine.t;
   conns : (int, conn) Hashtbl.t;  (* keyed by conn id, under lock *)
   conns_lock : Mutex.t;
+  (* conn ids whose client_loop has returned and whose thread is ready
+     to join — the accept loop reaps these each pass, so a long-lived
+     daemon holds O(live connections) threads, not O(all ever) *)
+  finished : int list ref;
   next_id : int Atomic.t;
 }
 
@@ -66,12 +70,16 @@ let client_loop srv conn =
     | Lineio.Too_long ->
       emit_to conn
         (Frame.Refused
-           { status = 2; diags = too_long_diags srv.cfg.max_request_bytes });
+           { status = 2; retry_after_ms = None;
+             diags = too_long_diags srv.cfg.max_request_bytes });
       loop ()
     | Lineio.Line line ->
       (match Frame.decode_request ~limits:srv.cfg.engine.Engine.limits line with
-       | Error diags -> emit_to conn (Frame.Refused { status = 2; diags })
-       | Ok req -> Engine.handle srv.eng req ~emit:(emit_to conn));
+       | Error diags ->
+         emit_to conn
+           (Frame.Refused { status = 2; retry_after_ms = None; diags })
+       | Ok req ->
+         Engine.handle ~client:conn.id srv.eng req ~emit:(emit_to conn));
       (* after a drain request (or a shutdown from another client) the
          daemon stops reading: the main loop is about to close us *)
       if not (Engine.stopping srv.eng) then loop ()
@@ -80,6 +88,7 @@ let client_loop srv conn =
     ~finally:(fun () ->
       Mutex.lock srv.conns_lock;
       Hashtbl.remove srv.conns conn.id;
+      srv.finished := conn.id :: !(srv.finished);
       Mutex.unlock srv.conns_lock;
       Atomic.set conn.dead true;
       try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ())
@@ -101,7 +110,7 @@ let serve ?(config = default_config) () =
   let srv =
     { cfg = config; eng = Engine.create config.engine;
       conns = Hashtbl.create 16; conns_lock = Mutex.create ();
-      next_id = Atomic.make 0 }
+      finished = ref []; next_id = Atomic.make 0 }
   in
   let log = config.log in
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -123,9 +132,26 @@ let serve ?(config = default_config) () =
   Unix.bind lfd (Unix.ADDR_UNIX config.socket_path);
   Unix.listen lfd 64;
   log (Printf.sprintf "listening on %s" config.socket_path);
-  let threads = ref [] in
+  (* live connection threads, keyed by conn id; accept-loop private *)
+  let threads : (int, Thread.t) Hashtbl.t = Hashtbl.create 16 in
+  let reap () =
+    Mutex.lock srv.conns_lock;
+    let ids = !(srv.finished) in
+    srv.finished := [];
+    Mutex.unlock srv.conns_lock;
+    List.iter
+      (fun id ->
+        match Hashtbl.find_opt threads id with
+        | Some th ->
+          (* the loop already returned; this join is immediate *)
+          Thread.join th;
+          Hashtbl.remove threads id
+        | None -> ())
+      ids
+  in
   let rec accept_loop () =
     if not (Engine.stopping srv.eng) then begin
+      reap ();
       (match Unix.select [ lfd ] [] [] 0.2 with
        | [], _, _ -> ()
        | _ ->
@@ -138,7 +164,8 @@ let serve ?(config = default_config) () =
             Mutex.lock srv.conns_lock;
             Hashtbl.replace srv.conns conn.id conn;
             Mutex.unlock srv.conns_lock;
-            threads := Thread.create (client_loop srv) conn :: !threads
+            Hashtbl.replace threads conn.id
+              (Thread.create (client_loop srv) conn)
           | exception
               Unix.Unix_error
                 ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ())
@@ -149,5 +176,5 @@ let serve ?(config = default_config) () =
   accept_loop ();
   log "draining: no longer accepting connections";
   shutdown_reads srv;
-  List.iter Thread.join !threads;
+  Hashtbl.iter (fun _ th -> Thread.join th) threads;
   log "drained; all connections closed"

@@ -1,0 +1,156 @@
+(* Fork-and-supervise: run one campaign in a worker process and stream
+   its response frames back to the daemon over a pipe.
+
+   This is the crash-only boundary.  Whatever happens inside the
+   worker — an OOM kill, a segfault in a C stub, a stray signal, a
+   runaway model — the damage is confined to that process; the daemon
+   observes an EOF on the pipe, reaps the corpse, classifies how it
+   died, and decides whether to restart from the journal checkpoint.
+
+   Fork discipline: the daemon never spawns domains (its [Par] pool is
+   lazy and only materialises in in-process mode), so at [fork] time
+   the parent is a plain multi-threaded process — POSIX guarantees the
+   child gets exactly the forking thread.  The child writes frames and
+   [Unix._exit]s; it must never [exit], or it would run the parent's
+   [at_exit] handlers and flush the parent's buffered channels.
+
+   One sharp edge remains: POSIX only promises async-signal-safe calls
+   in the child of a multi-threaded fork, and the OCaml runtime is
+   not that — if another thread is mid-GC or holds a runtime lock at
+   fork time, the child can deadlock on its first allocation.  In the
+   daemon this is benign in practice because every other thread parks
+   in [select]/[read] between requests, but a host process that
+   embeds {!Server} alongside busy compute threads (the benchmark
+   harness used to) will hit it; such hosts must run the daemon as a
+   separate process instead. *)
+
+type crash =
+  | Exited of int  (* worker exited without delivering a terminal frame *)
+  | Signaled of int  (* killed by a signal (OCaml signal numbering) *)
+  | Hung  (* blew through its wall-clock cap; SIGKILLed by us *)
+
+type outcome =
+  | Terminal  (* the worker delivered Report/Drained/Refused *)
+  | Crashed of crash
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else if s = Sys.sigill then "SIGILL"
+  else if s = Sys.sigfpe then "SIGFPE"
+  else Printf.sprintf "signal %d" s
+
+let describe = function
+  | Exited n -> Printf.sprintf "exited with code %d before finishing" n
+  | Signaled s -> Printf.sprintf "was killed by %s" (signal_name s)
+  | Hung -> "missed its wall-clock cap and was killed"
+
+let ignoring_unix f = try f () with Unix.Unix_error (_, _, _) -> ()
+
+let supervise ?timeout_s ~grace_s ~should_stop ~on_spawn ~child ~on_line () =
+  let r, w = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 ->
+    (* worker: only this thread survived the fork *)
+    ignoring_unix (fun () -> Unix.close r);
+    (try child w with _ -> Unix._exit 1);
+    Unix._exit 0
+  | pid ->
+    ignoring_unix (fun () -> Unix.close w);
+    on_spawn pid;
+    let t0 = Unix.gettimeofday () in
+    let terminal = ref false in
+    let termed = ref None in  (* when we sent SIGTERM *)
+    let killed = ref false in
+    let soft_kill () =
+      match !termed with
+      | Some _ -> ()
+      | None ->
+        termed := Some (Unix.gettimeofday ());
+        ignoring_unix (fun () -> Unix.kill pid Sys.sigterm)
+    in
+    let hard_kill () =
+      if not !killed then begin
+        killed := true;
+        ignoring_unix (fun () -> Unix.kill pid Sys.sigkill)
+      end
+    in
+    (* pump complete lines to [on_line] until a terminal frame or EOF,
+       turning drain requests and wall caps into signals as we go *)
+    let pending = ref "" in
+    let feed data =
+      pending := !pending ^ data;
+      let rec split () =
+        if not !terminal then
+          match String.index_opt !pending '\n' with
+          | None -> ()
+          | Some i ->
+            let line = String.sub !pending 0 i in
+            pending :=
+              String.sub !pending (i + 1) (String.length !pending - i - 1);
+            (match on_line line with
+             | `Terminal -> terminal := true
+             | `Continue -> ());
+            split ()
+      in
+      split ()
+    in
+    let chunk = Bytes.create 65536 in
+    let rec pump () =
+      if not !terminal then begin
+        if should_stop () then soft_kill ();
+        (match timeout_s with
+         | Some cap when Unix.gettimeofday () -. t0 > cap -> soft_kill ()
+         | _ -> ());
+        (match !termed with
+         | Some at when Unix.gettimeofday () -. at > grace_s -> hard_kill ()
+         | _ -> ());
+        match Unix.select [ r ] [] [] 0.05 with
+        | [], _, _ -> pump ()
+        | _ ->
+          (match Unix.read r chunk 0 (Bytes.length chunk) with
+           | 0 -> ()  (* EOF: the worker is gone or closed its end *)
+           | n ->
+             feed (Bytes.sub_string chunk 0 n);
+             pump ()
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ()
+           | exception Unix.Unix_error (_, _, _) -> ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> pump ()
+      end
+    in
+    pump ();
+    ignoring_unix (fun () -> Unix.close r);
+    (* reap, escalating to SIGKILL if the worker lingers past grace —
+       a worker that delivered its terminal frame but will not die
+       still must not become a zombie *)
+    let rec reap deadline =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          hard_kill ();
+          match Unix.waitpid [] pid with
+          | _, st -> st
+          | exception Unix.Unix_error (_, _, _) -> Unix.WEXITED 0
+        end
+        else begin
+          Thread.delay 0.01;
+          reap deadline
+        end
+      | _, st -> st
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> Unix.WEXITED 0
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap deadline
+    in
+    let status = reap (Unix.gettimeofday () +. grace_s) in
+    if !terminal then Terminal
+    else if !killed then Crashed Hung
+    else
+      (match status with
+       | Unix.WEXITED 0 ->
+         (* protocol violation: a clean exit with no terminal frame
+            still counts as a crash — the campaign did not finish *)
+         Crashed (Exited 0)
+       | Unix.WEXITED n -> Crashed (Exited n)
+       | Unix.WSIGNALED s | Unix.WSTOPPED s -> Crashed (Signaled s))

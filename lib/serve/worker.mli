@@ -1,0 +1,47 @@
+(** Fork-and-supervise one campaign worker process.
+
+    The crash-only boundary of the daemon: the campaign runs in a
+    forked child writing newline-delimited response frames to a pipe;
+    the supervisor pumps the pipe, relays frames, and classifies how
+    the worker ended.  Any way the worker can die — crash, signal,
+    OOM kill, hang — becomes a {!crash} value in the parent instead of
+    daemon death.
+
+    Must only be called while the daemon holds no live [Par] domains
+    (forking a multi-{e domain} OCaml process is undefined; forking a
+    multi-{e threaded} one is fine — the child gets the forking thread
+    only). *)
+
+type crash =
+  | Exited of int
+      (** the worker exited with this code without delivering a
+          terminal frame ([Exited 0] is a protocol violation and still
+          a crash: the campaign did not finish) *)
+  | Signaled of int  (** killed by a signal (OCaml signal numbering) *)
+  | Hung  (** exceeded [timeout_s]; the supervisor SIGKILLed it *)
+
+type outcome =
+  | Terminal  (** the worker delivered a Report/Drained/Refused frame *)
+  | Crashed of crash
+
+val describe : crash -> string
+(** Human phrasing for diagnostics: ["was killed by SIGKILL"], ... *)
+
+val supervise :
+  ?timeout_s:float ->
+  grace_s:float ->
+  should_stop:(unit -> bool) ->
+  on_spawn:(int -> unit) ->
+  child:(Unix.file_descr -> unit) ->
+  on_line:(string -> [ `Continue | `Terminal ]) ->
+  unit ->
+  outcome
+(** Fork, run [child write_fd] in the worker (it should write frames
+    and return; the wrapper [_exit]s 0, or 1 on an escaped exception),
+    and pump lines to [on_line] in the parent until [on_line] answers
+    [`Terminal] or the pipe hits EOF.  While pumping: [should_stop]
+    true sends the worker one SIGTERM (giving it [grace_s] to drain
+    and checkpoint before SIGKILL); exceeding [timeout_s] does the
+    same and classifies the worker as {!Hung}.  [on_spawn] fires with
+    the worker pid right after fork (the chaos harness's kill hook).
+    Always reaps the child — no zombies, whatever the path out. *)

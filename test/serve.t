@@ -1,7 +1,9 @@
 The campaign-as-a-service lifecycle over a real Unix socket
 (docs/SERVICE.md): daemon start, byte-identical campaign responses, a
-concurrent second client, graceful SIGTERM drain, and resume from the
-journal after a restart.
+concurrent second client, graceful SIGTERM drain, resume from the
+journal after a restart, and crash-only recovery after SIGKILL.  The
+daemon runs campaigns in forked supervised workers by default, so
+every campaign below crosses a process boundary.
 
 A short socket path outside the sandbox dodges the ~108-byte
 sun_path cap on Unix socket addresses:
@@ -88,6 +90,7 @@ Daemon counters tell the story:
 
   $ csrtl request --socket $SOCK --stats
   requests 9 | campaigns 6 | drained 1 | refused 0
+  workers: 0 crashes, 0 restarts, 0 quarantined | queue: 0 active, 0 waiting
   cache: 6 hits, 1 misses, 0 evictions (1/64 models)
 
 SIGTERM drains gracefully — exit 0, socket removed, journals kept:
@@ -115,3 +118,34 @@ A shutdown request drains it too:
   bye
   $ wait $SERVE_PID
   $ test ! -e $SOCK
+
+Crash-only recovery: SIGKILL the daemon mid-campaign — no drain, no
+cleanup — restart it over the same state dir, and the resent request
+resumes the journal to a byte-identical report:
+
+  $ csrtl serve --socket $SOCK --state-dir state --quiet &
+  $ SERVE_PID=$!
+  $ csrtl request --socket $SOCK --retry 100 --ping
+  pong csrtl-serve/1
+  $ (csrtl request --socket $SOCK fig1.rtm --engine kernel --batch 1 --no-resume > /dev/null 2>&1; true) &
+  $ CLIENT_PID=$!
+  $ sleep 0.2
+  $ kill -9 $SERVE_PID
+  $ wait $SERVE_PID
+  [137]
+  $ wait $CLIENT_PID
+  $ rm -f $SOCK
+
+  $ csrtl serve --socket $SOCK --state-dir state --quiet &
+  $ SERVE_PID=$!
+  $ csrtl request --socket $SOCK --retry 100 fig1.rtm > sigkill.out 2> /dev/null
+  $ cmp offline.out sigkill.out
+
+The resume token named the same journal across both daemon lives:
+
+  $ ls state
+  inj-0ffd54ff25253b4d.jsonl
+
+  $ csrtl request --socket $SOCK --shutdown
+  bye
+  $ wait $SERVE_PID

@@ -103,16 +103,24 @@ let gen_response =
       );
       ( 2,
         let* status = int_bound 3 in
+        let* retry_after_ms = gen_opt_int ~min:0 60_000 in
         let* diags = list_size (int_bound 4) gen_diag in
-        return (S.Frame.Refused { status; diags }) );
+        return (S.Frame.Refused { status; retry_after_ms; diags }) );
+      ( 1,
+        let* position = map succ (int_bound 100) in
+        let* retry_after_ms = nat in
+        return (S.Frame.Queued { position; retry_after_ms }) );
       ( 1,
         let* requests = nat and* campaigns = nat and* drained = nat in
-        let* refused = nat and* hits = nat and* misses = nat in
+        let* refused = nat and* active = nat and* queued = nat in
+        let* restarts = nat and* crashes = nat and* quarantined = nat in
+        let* hits = nat and* misses = nat in
         let* evictions = nat and* entries = nat and* capacity = nat in
         return
           (S.Frame.Stats_reply
-             { requests; campaigns; drained; refused; hits; misses;
-               evictions; entries; capacity }) );
+             { requests; campaigns; drained; refused; active; queued;
+               restarts; crashes; quarantined; hits; misses; evictions;
+               entries; capacity }) );
       (1, return S.Frame.Bye) ]
 
 (* -- codec properties ------------------------------------------------------- *)
@@ -352,7 +360,7 @@ let test_shutdown_drain_then_resume () =
     r.text
 
 let refused = function
-  | [ S.Frame.Refused { status; diags } ] -> (status, diags)
+  | [ S.Frame.Refused { status; diags; _ } ] -> (status, diags)
   | rs ->
     Alcotest.failf "expected a single Refused, got %d frame(s)"
       (List.length rs)
@@ -413,6 +421,347 @@ let test_control_requests () =
       | [ S.Frame.Bye ] -> check_bool "now draining" true (S.Engine.stopping t)
       | _ -> Alcotest.fail "shutdown answered wrongly")
 
+(* -- admission queue -------------------------------------------------------- *)
+
+let admit_simple a ~client ?deadline ?(stopping = fun () -> false) () =
+  S.Admission.admit a ~client ~deadline ~stopping
+    ~on_queued:(fun ~position:_ ~retry_after_ms:_ -> ())
+
+let wait_queued a n =
+  let rec go i =
+    if (S.Admission.snapshot a).S.Admission.queued >= n then ()
+    else if i > 1000 then Alcotest.failf "queue never reached %d waiters" n
+    else begin
+      Thread.delay 0.005;
+      go (i + 1)
+    end
+  in
+  go 0
+
+let test_admission_fairness () =
+  let a =
+    S.Admission.create ~max_active:1 ~max_queue:8 ~max_per_client:4 ()
+  in
+  (match admit_simple a ~client:1 () with
+   | S.Admission.Admitted -> ()
+   | _ -> Alcotest.fail "empty queue must admit on the fast path");
+  let order = ref [] and lock = Mutex.create () in
+  let spawn label client =
+    Thread.create
+      (fun () ->
+        match admit_simple a ~client () with
+        | S.Admission.Admitted ->
+          Mutex.lock lock;
+          order := label :: !order;
+          Mutex.unlock lock;
+          S.Admission.release a ~wall_ms:(-1.)
+        | _ -> ())
+      ()
+  in
+  (* client 1 queues two requests, then client 2 queues one; the
+     grant order must interleave clients, not drain client 1 first *)
+  let t1 = spawn "A2" 1 in
+  wait_queued a 1;
+  let t2 = spawn "A3" 1 in
+  wait_queued a 2;
+  let t3 = spawn "B1" 2 in
+  wait_queued a 3;
+  S.Admission.release a ~wall_ms:(-1.);
+  List.iter Thread.join [ t1; t2; t3 ];
+  Alcotest.(check (list string))
+    "round-robin across clients" [ "A2"; "B1"; "A3" ] (List.rev !order);
+  let snap = S.Admission.snapshot a in
+  check_int "no lanes leak" 0 snap.S.Admission.active;
+  check_int "queue empty" 0 snap.S.Admission.queued
+
+let test_admission_bounds () =
+  (* a full queue refuses with a backpressure hint *)
+  let a =
+    S.Admission.create ~max_active:1 ~max_queue:0 ~max_per_client:4 ()
+  in
+  (match admit_simple a ~client:1 () with
+   | S.Admission.Admitted -> ()
+   | _ -> Alcotest.fail "first admit");
+  (match admit_simple a ~client:2 () with
+   | S.Admission.Busy { retry_after_ms } ->
+     check_bool "hint at least the floor" true (retry_after_ms >= 50)
+   | _ -> Alcotest.fail "full queue must refuse, not block");
+  S.Admission.release a ~wall_ms:100.;
+  (* a queued request whose deadline passes is abandoned as Expired *)
+  let a = S.Admission.create ~max_active:1 ~max_queue:4 ~max_per_client:4 () in
+  (match admit_simple a ~client:1 () with
+   | S.Admission.Admitted -> ()
+   | _ -> Alcotest.fail "first admit");
+  (match
+     admit_simple a ~client:2 ~deadline:(Unix.gettimeofday () -. 1.) ()
+   with
+   | S.Admission.Expired _ -> ()
+   | _ -> Alcotest.fail "past deadline must expire in the queue");
+  (* one client cannot take the whole queue, and draining releases
+     every waiter *)
+  let a = S.Admission.create ~max_active:1 ~max_queue:8 ~max_per_client:1 () in
+  (match admit_simple a ~client:1 () with
+   | S.Admission.Admitted -> ()
+   | _ -> Alcotest.fail "first admit");
+  let stop = Atomic.make false in
+  let got = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        got :=
+          Some
+            (admit_simple a ~client:2
+               ~stopping:(fun () -> Atomic.get stop)
+               ()))
+      ()
+  in
+  wait_queued a 1;
+  (match admit_simple a ~client:2 () with
+   | S.Admission.Busy _ -> ()
+   | _ -> Alcotest.fail "per-client share must refuse the second waiter");
+  Atomic.set stop true;
+  Thread.join th;
+  (match !got with
+   | Some S.Admission.Draining -> ()
+   | _ -> Alcotest.fail "drain must release the waiter as Draining");
+  check_int "queue empty after drain" 0
+    (S.Admission.snapshot a).S.Admission.queued
+
+(* -- forked workers --------------------------------------------------------- *)
+
+let forked ?(tweak = fun c -> c) f =
+  with_engine
+    ~tweak:(fun c ->
+      tweak
+        { c with
+          S.Engine.isolation = `Forked; jobs = 1; backoff_base_ms = 10;
+          backoff_cap_ms = 20 })
+    f
+
+let test_forked_matches_offline () =
+  let text = fig1_text () in
+  let m, _ = Result.get_ok (C.Rtm.parse text) in
+  let offline = F.Campaign.run ~batch:32 m in
+  forked (fun t ->
+      let r =
+        report_of
+          (collect t (S.Frame.Inject { (basic_inject text) with resume = false }))
+      in
+      Alcotest.(check string) "forked worker report = offline bytes"
+        (S.Engine.render_report ~table:false offline)
+        r.text;
+      check_int "exit code over the wire" (S.Engine.inject_code offline)
+        r.code;
+      let stats = S.Engine.stats t in
+      check_int "no crashes" 0 stats.S.Frame.crashes;
+      check_int "no restarts" 0 stats.S.Frame.restarts)
+
+let test_worker_kill_restart () =
+  let text = fig1_text () in
+  let m, _ = Result.get_ok (C.Rtm.parse text) in
+  let offline = F.Campaign.run ~batch:32 m in
+  let killed = ref false in
+  forked
+    ~tweak:(fun c ->
+      { c with
+        S.Engine.max_restarts = 2; quarantine_threshold = 0;
+        on_worker =
+          Some
+            (fun ~pid ~token:_ ->
+              if not !killed then begin
+                killed := true;
+                Unix.kill pid Sys.sigkill
+              end) })
+    (fun t ->
+      let r =
+        report_of
+          (collect t (S.Frame.Inject { (basic_inject text) with resume = false }))
+      in
+      Alcotest.(check string)
+        "report after SIGKILL + journal restart = offline bytes"
+        (S.Engine.render_report ~table:false offline)
+        r.text;
+      let stats = S.Engine.stats t in
+      check_int "one crash observed" 1 stats.S.Frame.crashes;
+      check_int "one restart performed" 1 stats.S.Frame.restarts;
+      check_int "nothing quarantined" 0 stats.S.Frame.quarantined)
+
+let test_quarantine () =
+  let text = fig1_text () in
+  let arm = ref true in
+  forked
+    ~tweak:(fun c ->
+      { c with
+        S.Engine.max_restarts = 0; quarantine_threshold = 2;
+        quarantine_cooloff_ms = 60_000;
+        on_worker =
+          Some
+            (fun ~pid ~token:_ -> if !arm then Unix.kill pid Sys.sigkill) })
+    (fun t ->
+      let ask text = collect t (S.Frame.Inject (basic_inject text)) in
+      let last rs = List.nth rs (List.length rs - 1) in
+      (* two crashing campaigns open the breaker... *)
+      (match last (ask text) with
+       | S.Frame.Refused { status; _ } as r ->
+         check_int "worker failure is a bug status" 3 status;
+         Alcotest.(check string) "rule" "serve.worker" (rule_of r)
+       | _ -> Alcotest.fail "crashing campaign must end Refused");
+      (match last (ask text) with
+       | S.Frame.Refused _ as r ->
+         Alcotest.(check string) "rule" "serve.worker" (rule_of r)
+       | _ -> Alcotest.fail "second crash must also end Refused");
+      (* ...so the third request never spawns a worker *)
+      (match ask text with
+       | [ S.Frame.Refused { status; retry_after_ms; _ } as r ] ->
+         check_int "quarantine is transient (status 1)" 1 status;
+         Alcotest.(check string) "rule" "serve.quarantined" (rule_of r);
+         check_bool "cooloff hint present" true (retry_after_ms <> None)
+       | _ -> Alcotest.fail "quarantined model must be refused pre-spawn");
+      (* an unrelated model is unaffected by the quarantine *)
+      arm := false;
+      (match last (ask (text ^ "# tail\n")) with
+       | S.Frame.Report _ -> ()
+       | _ -> Alcotest.fail "other models must keep being served");
+      let stats = S.Engine.stats t in
+      check_int "one model quarantined" 1 stats.S.Frame.quarantined;
+      check_int "crashes counted" 2 stats.S.Frame.crashes)
+
+(* -- daemon SIGKILL recovery (satellite: resume-token reuse) ---------------- *)
+
+let test_daemon_sigkill_resume () =
+  let text = fig1_text () in
+  let m, _ = Result.get_ok (C.Rtm.parse text) in
+  let offline =
+    S.Engine.render_report ~table:false (F.Campaign.run ~engine:`Kernel m)
+  in
+  let dir = Filename.temp_file "csrtl_serve" ".state" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sock = Filename.concat dir "d.sock" in
+  let state = Filename.concat dir "state" in
+  let spawn_daemon () =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         S.Server.serve
+           ~config:
+             { S.Server.default_config with
+               S.Server.socket_path = sock;
+               engine =
+                 { S.Engine.default_config with
+                   S.Engine.state_dir = state; jobs = 1;
+                   isolation = `In_process } }
+           ()
+       with _ -> ());
+      Unix._exit 0
+    | pid -> pid
+  in
+  let connect () =
+    match S.Client.connect ~retries:200 ~delay:0.02 sock with
+    | Ok c -> c
+    | Error msg -> Alcotest.failf "connect: %s" msg
+  in
+  let q =
+    { (basic_inject text) with engine = `Kernel; batch = 1; stream = true }
+  in
+  let pid1 = spawn_daemon () in
+  let c = connect () in
+  (match S.Client.send c (S.Frame.Inject q) with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "send: %s" msg);
+  (* wait for the first streamed entry so the kill lands mid-campaign *)
+  let rec await_entry () =
+    match S.Client.next c with
+    | Some (_, Ok (S.Frame.Entry _)) -> ()
+    | Some _ -> await_entry ()
+    | None -> Alcotest.fail "daemon died before streaming an entry"
+  in
+  await_entry ();
+  Unix.kill pid1 Sys.sigkill;
+  (match Unix.waitpid [] pid1 with
+   | _, Unix.WSIGNALED s ->
+     check_bool "killed by SIGKILL" true (s = Sys.sigkill)
+   | _ -> Alcotest.fail "daemon should die by signal");
+  S.Client.close c;
+  (try Sys.remove sock with Sys_error _ -> ());
+  (* restart over the same state dir; the resend resumes the journal *)
+  let pid2 = spawn_daemon () in
+  let c = connect () in
+  (match S.Client.send c (S.Frame.Inject { q with stream = false }) with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "resend: %s" msg);
+  let rec read_report () =
+    match S.Client.next c with
+    | Some (_, Ok (S.Frame.Report { reused; text; _ })) -> (reused, text)
+    | Some (_, Ok (S.Frame.Started _ | S.Frame.Entry _ | S.Frame.Queued _))
+      ->
+      read_report ()
+    | Some (_, Ok _) | Some (_, Error _) ->
+      Alcotest.fail "resent request must finish with a Report"
+    | None -> Alcotest.fail "daemon hung up during the resumed campaign"
+  in
+  let reused, report = read_report () in
+  check_bool "journal prefix survived the SIGKILL" true (reused >= 1);
+  Alcotest.(check string) "recovered report = offline bytes" offline report;
+  S.Client.close c;
+  (* graceful shutdown of the second daemon *)
+  let c = connect () in
+  (match S.Client.send c S.Frame.Shutdown with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "shutdown: %s" msg);
+  (match S.Client.next c with
+   | Some (_, Ok S.Frame.Bye) -> ()
+   | _ -> Alcotest.fail "shutdown must answer Bye");
+  S.Client.close c;
+  ignore (Unix.waitpid [] pid2)
+
+(* -- client retry policy ---------------------------------------------------- *)
+
+let test_client_retry_policy () =
+  let refusal ?retry_after_ms rule status =
+    S.Frame.Refused
+      { status; retry_after_ms;
+        diags = [ { Diag.severity = Diag.Error; rule; span = None;
+                    message = "m" } ] }
+  in
+  (match S.Client.retryable (refusal ~retry_after_ms:250 "serve.busy" 1) with
+   | Some (Some 250) -> ()
+   | _ -> Alcotest.fail "busy with hint is retryable");
+  (match S.Client.retryable (refusal "serve.draining" 1) with
+   | Some None -> ()
+   | _ -> Alcotest.fail "draining without hint is retryable");
+  (match S.Client.retryable (refusal "serve.quarantined" 1) with
+   | Some _ -> ()
+   | _ -> Alcotest.fail "quarantined is retryable");
+  (match S.Client.retryable (refusal "serve.request" 2) with
+   | None -> ()
+   | _ -> Alcotest.fail "bad input is not retryable");
+  (match S.Client.retryable (refusal "serve.worker" 3) with
+   | None -> ()
+   | _ -> Alcotest.fail "worker bugs are not retryable");
+  (match S.Client.retryable S.Frame.Bye with
+   | None -> ()
+   | _ -> Alcotest.fail "only refusals are retryable");
+  (* the delay grows with attempts, honours the hint as a floor, and
+     jitters within [d/2, d] *)
+  let d0 = S.Client.backoff_delay ~attempt:0 ~retry_after_ms:None (fun () -> 1.0) in
+  let d3 = S.Client.backoff_delay ~attempt:3 ~retry_after_ms:None (fun () -> 1.0) in
+  check_bool "exponential growth" true (d3 > d0);
+  let hinted =
+    S.Client.backoff_delay ~attempt:0 ~retry_after_ms:(Some 900)
+      (fun () -> 1.0)
+  in
+  check_bool "hint floors the delay" true (hinted >= 0.9);
+  let lo = S.Client.backoff_delay ~attempt:0 ~retry_after_ms:(Some 1000) (fun () -> 0.0) in
+  let hi = S.Client.backoff_delay ~attempt:0 ~retry_after_ms:(Some 1000) (fun () -> 1.0) in
+  check_bool "jitter lower bound is half" true (lo >= 0.49 && lo <= 0.51);
+  check_bool "jitter upper bound is full" true (hi >= 0.99 && hi <= 1.01);
+  let capped =
+    S.Client.backoff_delay ~attempt:20 ~retry_after_ms:None (fun () -> 1.0)
+  in
+  check_bool "cap holds" true (capped <= 2.0 +. 1e-9)
+
 let () =
   Alcotest.run "serve"
     [ ( "codec",
@@ -435,4 +784,20 @@ let () =
         [ Alcotest.test_case "limits, busy, draining" `Quick
             test_admission_control;
           Alcotest.test_case "ping, stats, shutdown" `Quick
-            test_control_requests ] ) ]
+            test_control_requests;
+          Alcotest.test_case "per-client round-robin fairness" `Quick
+            test_admission_fairness;
+          Alcotest.test_case "queue bounds, deadlines, drain" `Quick
+            test_admission_bounds ] );
+      ( "workers",
+        [ Alcotest.test_case "forked report = offline bytes" `Quick
+            test_forked_matches_offline;
+          Alcotest.test_case "SIGKILL mid-campaign, journal restart" `Quick
+            test_worker_kill_restart;
+          Alcotest.test_case "repeated crashes quarantine the model" `Quick
+            test_quarantine;
+          Alcotest.test_case "daemon SIGKILL, restart, token reuse" `Quick
+            test_daemon_sigkill_resume ] );
+      ( "client",
+        [ Alcotest.test_case "retry classification and backoff" `Quick
+            test_client_retry_policy ] ) ]
