@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test check fuzz-smoke serve-smoke scaling-smoke chaos-smoke bench bench-smoke bench-json report examples doc clean
+.PHONY: all build test check fuzz-smoke serve-smoke scaling-smoke chaos-smoke cache-smoke bench bench-smoke bench-json report examples doc clean
 
 all: build
 
@@ -16,7 +16,7 @@ test:
 # (conflict.rtm does, by design), so both 0 and 1 count as a clean
 # diagnosis here; any other exit fails.  The closing inject run shards
 # across two domains, smoking the worker pool end to end.
-check: build fuzz-smoke serve-smoke scaling-smoke chaos-smoke
+check: build fuzz-smoke serve-smoke scaling-smoke chaos-smoke cache-smoke
 	OCAMLRUNPARAM=b dune runtest
 	@mkdir -p _build/check
 	@for f in test/corpus/*.rtm; do \
@@ -154,6 +154,45 @@ serve-smoke: build
 	@echo "wire-frame fuzz (10k frames, zero-crash acceptance bar):"
 	@dune exec --no-build csrtl -- fuzz --target frame --seed 42 \
 	  --runs 10000 --out _build/fuzz-frames
+
+# The offline artifact cache (docs/SERVICE.md "Caching tiers"): a
+# warm `csrtl inject --artifact-cache` run must be byte-identical to
+# the cold run, and a corrupt on-disk entry must be diagnosed
+# (rule serve.artifact), rebuilt, and then serve warm hits again —
+# never crash, never change bytes.
+cache-smoke: build
+	@echo "artifact cache smoke (offline warm path):"
+	@CSRTL=_build/default/bin/csrtl.exe; \
+	DIR=_build/check/artifacts; mkdir -p _build/check; rm -rf $$DIR; \
+	$$CSRTL inject test/corpus/fig1.rtm > _build/check/cache_cold.out; \
+	$$CSRTL inject test/corpus/fig1.rtm --artifact-cache $$DIR \
+	  > _build/check/cache_miss.out 2> /dev/null; \
+	cmp _build/check/cache_cold.out _build/check/cache_miss.out || \
+	  { echo "cache smoke FAILED: miss-path report differs"; exit 1; }; \
+	ls $$DIR/art-*.txt > /dev/null 2>&1 || \
+	  { echo "cache smoke FAILED: no artifact written"; exit 1; }; \
+	$$CSRTL inject test/corpus/fig1.rtm --artifact-cache $$DIR \
+	  > _build/check/cache_warm.out 2> _build/check/cache_warm.err; \
+	cmp _build/check/cache_cold.out _build/check/cache_warm.out || \
+	  { echo "cache smoke FAILED: warm report differs from cold"; exit 1; }; \
+	[ ! -s _build/check/cache_warm.err ] || \
+	  { echo "cache smoke FAILED: warm hit diagnosed spuriously"; exit 1; }; \
+	echo "  cold, miss and warm artifact-cache reports byte-identical"; \
+	for f in $$DIR/art-*.txt; do echo "garbage" > $$f; done; \
+	$$CSRTL inject test/corpus/fig1.rtm --artifact-cache $$DIR \
+	  > _build/check/cache_corrupt.out 2> _build/check/cache_corrupt.err; \
+	cmp _build/check/cache_cold.out _build/check/cache_corrupt.out || \
+	  { echo "cache smoke FAILED: corrupt-entry report differs"; exit 1; }; \
+	grep -q "serve.artifact" _build/check/cache_corrupt.err || \
+	  { echo "cache smoke FAILED: corrupt entry not diagnosed"; exit 1; }; \
+	$$CSRTL inject test/corpus/fig1.rtm --artifact-cache $$DIR \
+	  > _build/check/cache_rewarm.out 2> _build/check/cache_rewarm.err; \
+	cmp _build/check/cache_cold.out _build/check/cache_rewarm.out || \
+	  { echo "cache smoke FAILED: rebuilt-entry report differs"; exit 1; }; \
+	[ ! -s _build/check/cache_rewarm.err ] || \
+	  { echo "cache smoke FAILED: rebuilt entry did not serve a hit"; \
+	    exit 1; }; \
+	echo "  corrupt entry diagnosed (serve.artifact), rebuilt, warm again"
 
 # The crash-only gate: 200 seeded failure injections (worker SIGKILL,
 # torn journal tails, ENOSPC/EIO on journal writes, delayed frames)

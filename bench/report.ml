@@ -1109,7 +1109,11 @@ let scaling_check () =
 
 (* Requests/sec against a live csrtl-serve daemon, N concurrent
    clients, cold (every request a fresh model, compile-cache miss) vs
-   cached (one model repeated) vs recovery (forked workers with a 10%
+   cached (one model repeated, model cache only — the artifact tiers
+   are disabled so this column keeps its pre-tier meaning) vs
+   warm_plan (the same repeated model against a daemon with the plan
+   and golden tiers on: every timed request skips compilation and the
+   golden simulations) vs recovery (forked workers with a 10%
    injected worker-kill rate — the crash-only restart path priced
    against the clean runs).  The clean columns run the daemon
    in-process on a thread with in-process isolation; the recovery
@@ -1125,7 +1129,7 @@ let scaling_check () =
 
 type serve_point = {
   sp_clients : int;
-  sp_mode : string;  (* "cold" | "cached" | "recovery" *)
+  sp_mode : string;  (* "cold" | "cached" | "warm_plan" | "recovery" *)
   sp_requests : int;
   sp_wall_us : float;
   sp_rps : float;
@@ -1134,7 +1138,16 @@ type serve_point = {
 
 let serve_points ~smoke () =
   let module S = Csrtl_serve in
-  let base = Workloads.chain (if smoke then 4 else 8) in
+  let base = Workloads.chain (if smoke then 32 else 256) in
+  (* every request campaigns a [bench_limit]-fault slice of a long
+     chain, and the cached/warm_plan modes request the same model
+     repeatedly with [resume = true] — the daemon's steady state,
+     where the journal is reused wholesale (serve.t).  On that path
+     the per-request work left is exactly what the artifact tiers
+     remove: plan compilation and the two clean golden simulations.
+     The same limit goes to every mode and to the offline expectation,
+     so the columns stay comparable. *)
+  let bench_limit = 2 in
   let model_named name = { base with C.Model.name = name } in
   let state_dir = Filename.temp_file "csrtl_bench" ".state" in
   Sys.remove state_dir;
@@ -1165,6 +1178,21 @@ let serve_points ~smoke () =
   in
   let expected_cache = Hashtbl.create 16 in
   let expected_lock = Mutex.create () in
+  (* the request text per model name, rendered once — a real client
+     holds its model file's bytes; re-rendering 256 transfers inside
+     the timed loop would bill client-side formatting to the daemon *)
+  let text_cache = Hashtbl.create 16 in
+  let text_lock = Mutex.create () in
+  let model_text name =
+    Mutex.lock text_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock text_lock) (fun () ->
+        match Hashtbl.find_opt text_cache name with
+        | Some t -> t
+        | None ->
+          let t = C.Rtm.to_string (model_named name) in
+          Hashtbl.replace text_cache name t;
+          t)
+  in
   let expected name =
     Mutex.lock expected_lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock expected_lock) (fun () ->
@@ -1173,7 +1201,8 @@ let serve_points ~smoke () =
         | None ->
           let t =
             S.Engine.render_report ~table:false
-              (Csrtl_fault.Campaign.run (model_named name))
+              (Csrtl_fault.Campaign.run ~limit:bench_limit
+                 (model_named name))
           in
           Hashtbl.replace expected_cache name t;
           t)
@@ -1206,11 +1235,12 @@ let serve_points ~smoke () =
                         match mode with
                         | `Cold -> Printf.sprintf "cold_%d_%d_%d" idx ci r
                         | `Cached -> "cached_chain"
+                        | `Warm -> "warm_chain"
                         | `Recovery -> Printf.sprintf "rec_%d_%d_%d" idx ci r
                       in
                       let q resume =
-                        { S.Frame.model = C.Rtm.to_string (model_named name);
-                          engine = `Auto; batch = 32; limit = None;
+                        { S.Frame.model = model_text name;
+                          engine = `Auto; batch = 32; limit = Some bench_limit;
                           budget_ms = None; deadline_ms = None;
                           table = false; stream = false; resume }
                       in
@@ -1229,7 +1259,12 @@ let serve_points ~smoke () =
                              request (tries + 1) true
                            | Ok _ | Error _ -> Atomic.set identical false)
                       in
-                      request 0 false
+                      let resume0 =
+                        match mode with
+                        | `Cached | `Warm -> true
+                        | `Cold | `Recovery -> false
+                      in
+                      request 0 resume0
                     done))
             ())
     in
@@ -1241,21 +1276,65 @@ let serve_points ~smoke () =
         (match mode with
          | `Cold -> "cold"
          | `Cached -> "cached"
+         | `Warm -> "warm_plan"
          | `Recovery -> "recovery");
       sp_requests = requests; sp_wall_us = wall *. 1e6;
       sp_rps = (if wall > 0. then float_of_int requests /. wall else 0.);
       sp_identical = Atomic.get identical }
   in
   let fan = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  (* one untimed request builds the named model's journal (and, when
+     the tiers are on, its plan and golden artifact), so the timed
+     cached/warm_plan requests price the daemon's steady state *)
+  let prime name =
+    match S.Client.connect sock with
+    | Error e -> failwith ("serve bench: priming connect: " ^ e)
+    | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> S.Client.close conn)
+        (fun () ->
+          (match
+             S.Client.send conn
+               (S.Frame.Inject
+                  { S.Frame.model = model_text name;
+                    engine = `Auto; batch = 32; limit = Some bench_limit;
+                    budget_ms = None; deadline_ms = None;
+                    table = false; stream = false; resume = false })
+           with
+           | Ok () -> ()
+           | Error e -> failwith ("serve bench: priming send: " ^ e));
+          match await_report conn with
+          | Ok text when text = expected name -> ()
+          | Ok _ | Error _ -> failwith "serve bench: priming request failed")
+  in
+  (* cold and cached price the pre-tier daemon: artifact tiers off, so
+     "cached" stays the model-cache-only baseline warm_plan is
+     compared against — its requests reuse the journal but still
+     rebuild the plan and re-run both goldens every time *)
   let clean_points =
     with_daemon
-      (fun e -> { e with Csrtl_serve.Engine.isolation = `In_process })
+      (fun e ->
+        { e with
+          Csrtl_serve.Engine.isolation = `In_process;
+          plan_cache_capacity = 0; golden_cache_capacity = 0 })
       (fun () ->
+        prime "cached_chain";
         List.concat_map
           (fun clients ->
             List.mapi
               (fun i mode -> run_point ((clients * 2) + i) clients mode)
               [ `Cold; `Cached ])
+          fan)
+  in
+  (* warm_plan: same requests against a daemon with the tiers on — the
+     plan and golden hits are the only difference from "cached" *)
+  let warm_points =
+    with_daemon
+      (fun e -> { e with Csrtl_serve.Engine.isolation = `In_process })
+      (fun () ->
+        prime "warm_chain";
+        List.map
+          (fun clients -> run_point ((clients * 8) + 1) clients `Warm)
           fan)
   in
   (* recovery column: a real csrtl-serve daemon process with forked
@@ -1314,7 +1393,7 @@ let serve_points ~smoke () =
         List.map (fun clients -> run_point (clients * 16) clients `Recovery)
           fan)
   in
-  let points = clean_points @ recovery_points in
+  let points = clean_points @ warm_points @ recovery_points in
   let rec rm_rf path =
     match Unix.lstat path with
     | { Unix.st_kind = Unix.S_DIR; _ } ->
@@ -1333,7 +1412,7 @@ let serve_json ?(smoke = false) ~out () =
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"csrtl-bench-serve/2\",\n";
+  p "  \"schema\": \"csrtl-bench-serve/3\",\n";
   p "  \"smoke\": %b,\n" smoke;
   p "  \"points\": [\n";
   List.iteri
@@ -1357,12 +1436,14 @@ let serve_json ?(smoke = false) ~out () =
         pt.sp_requests pt.sp_rps pt.sp_identical)
     points
 
-(* Schema: {schema: "csrtl-bench-serve/2", smoke: bool, points:
-   [{clients >= 1, mode: cold|cached|recovery, requests >= 1,
-   wall_us > 0, requests_per_sec >= 0, identical: true}+]}.  As with
-   the batch matrix, [identical] must be [true] everywhere — in
-   recovery mode that asserts every injected worker kill was
-   recovered to byte-identical bytes. *)
+(* Schema: {schema: "csrtl-bench-serve/3", smoke: bool, points:
+   [{clients >= 1, mode: cold|cached|warm_plan|recovery,
+   requests >= 1, wall_us > 0, requests_per_sec >= 0,
+   identical: true}+]}.  As with the batch matrix, [identical] must be
+   [true] everywhere — in recovery mode that asserts every injected
+   worker kill was recovered to byte-identical bytes.  The /3 schema
+   requires at least one warm_plan point: a regenerated file that
+   silently dropped the artifact-tier column must fail the check. *)
 let json_check_serve path =
   try
     let ic = open_in_bin path in
@@ -1392,7 +1473,7 @@ let json_check_serve path =
       | _ -> raise (Bad_json (Printf.sprintf "%S must be a boolean" name))
     in
     let root = parse_json text in
-    if str "schema" root <> "csrtl-bench-serve/2" then
+    if str "schema" root <> "csrtl-bench-serve/3" then
       raise (Bad_json "unknown schema tag");
     ignore (bool_ "smoke" root);
     let points =
@@ -1401,13 +1482,17 @@ let json_check_serve path =
       | Jlist xs -> xs
       | _ -> raise (Bad_json "\"points\" must be a list")
     in
+    let saw_warm = ref false in
     List.iter
       (fun pt ->
         if num "clients" pt < 1. then
           raise (Bad_json "clients must be >= 1");
         let mode = str "mode" pt in
-        if mode <> "cold" && mode <> "cached" && mode <> "recovery" then
-          raise (Bad_json "mode must be cold|cached|recovery");
+        if mode = "warm_plan" then saw_warm := true;
+        if
+          mode <> "cold" && mode <> "cached" && mode <> "warm_plan"
+          && mode <> "recovery"
+        then raise (Bad_json "mode must be cold|cached|warm_plan|recovery");
         if num "requests" pt < 1. then
           raise (Bad_json "requests must be >= 1");
         if num "wall_us" pt <= 0. then
@@ -1417,8 +1502,10 @@ let json_check_serve path =
         if not (bool_ "identical" pt) then
           raise (Bad_json "a point reported non-identical report bytes"))
       points;
+    if not !saw_warm then
+      raise (Bad_json "no warm_plan point: artifact-tier column missing");
     Ok
-      (Printf.sprintf "%s: schema csrtl-bench-serve/2 ok (%d points)" path
+      (Printf.sprintf "%s: schema csrtl-bench-serve/3 ok (%d points)" path
          (List.length points))
   with
   | Bad_json e -> Error e

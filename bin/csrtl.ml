@@ -849,8 +849,23 @@ let inject_cmd =
                    restoring the golden checkpoint at the fault's \
                    activation boundary (same classifications, slower).")
   in
+  let artifact_cache =
+    let doc =
+      "Reuse the campaign's golden work across invocations via an \
+       on-disk content-addressed store in $(docv) (created if absent): \
+       the clean golden runs of both engines plus the golden \
+       checkpoints are keyed by (model digest, config tag), so a warm \
+       campaign skips them entirely.  Editing the model changes the \
+       key — stale hits are impossible.  A corrupt or mismatched entry \
+       is diagnosed on stderr (rule $(b,serve.artifact)) and rebuilt, \
+       never trusted.  The report is byte-identical with or without \
+       the cache."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "artifact-cache" ] ~docv:"DIR" ~doc)
+  in
   let run path engine batch list_flag fault_idx limit table jobs chunks
-      journal resume strict budget no_restore =
+      journal resume strict budget no_restore artifact_cache =
     handle_errors (fun () ->
         (match limit with
          | Some k when k < 1 ->
@@ -909,7 +924,76 @@ let inject_cmd =
             (fun i f ->
               Format.printf "%3d  %a@." i Csrtl_fault.Fault.pp f)
             faults
-        else
+        else begin
+          (* --artifact-cache: reuse the campaign's golden work across
+             invocations.  The compiled plan is rebuilt (closures
+             don't serialize; compiling is cheap); the golden
+             simulations — the expensive part — load from the store
+             when a valid entry exists, else run once and are saved.
+             Chatter goes to stderr only: the report on stdout is
+             byte-identical either way. *)
+          let plan, golden =
+            match artifact_cache with
+            | None -> (None, None)
+            | Some dir ->
+              let limits = Diag.Limits.default in
+              (try
+                 if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+               with Unix.Unix_error _ -> ());
+              let config = C.Simulate.default in
+              let digest = C.Snapshot.digest_of_model m in
+              let tag = Csrtl_fault.Journal.config_tag config in
+              let file =
+                Filename.concat dir
+                  (Printf.sprintf "art-%s-%s.txt" digest tag)
+              in
+              let plan =
+                match C.Batch.plan m with
+                | p -> Some p
+                | exception _ -> None
+              in
+              let diagnose why =
+                prerr_string
+                  (Diag.render_all
+                     [ Diag.warning ~rule:"serve.artifact"
+                         "ignoring artifact-cache entry %s: %s (rebuilding)"
+                         file why ])
+              in
+              let rebuild () =
+                let a = Csrtl_fault.Campaign.prepare ~config ?plan m in
+                (try Csrtl_fault.Artifact.save file a
+                 with Sys_error _ | Unix.Unix_error _ -> ());
+                a
+              in
+              let a =
+                if not (Sys.file_exists file) then rebuild ()
+                else if
+                  (* the Diag.Limits input-size guard, applied before
+                     the entry is even read: an oversized cache file is
+                     a diagnosis, not an OOM *)
+                  (try (Unix.stat file).Unix.st_size
+                   with Unix.Unix_error _ -> 0)
+                  > limits.Diag.Limits.max_input_bytes
+                then begin
+                  diagnose
+                    (Printf.sprintf "larger than the %d-byte input limit"
+                       limits.Diag.Limits.max_input_bytes);
+                  rebuild ()
+                end
+                else
+                  match Csrtl_fault.Artifact.load file with
+                  | Error why ->
+                    diagnose why;
+                    rebuild ()
+                  | Ok a ->
+                    (match Csrtl_fault.Artifact.validate m ~config a with
+                     | Error why ->
+                       diagnose why;
+                       rebuild ()
+                     | Ok () -> a)
+              in
+              (plan, Some a)
+          in
           match fault_idx with
           | Some n ->
             (match List.nth_opt faults n with
@@ -921,7 +1005,7 @@ let inject_cmd =
                diagnose_fallbacks [ f ];
                let r =
                  Csrtl_fault.Campaign.run ~faults:[ f ] ?budget
-                   ~restore:(not no_restore) ~engine ~batch m
+                   ~restore:(not no_restore) ~engine ~batch ?plan ?golden m
                in
                let e = List.hd r.Csrtl_fault.Campaign.entries in
                Format.printf "%a@." Csrtl_fault.Campaign.pp_entry e;
@@ -950,13 +1034,13 @@ let inject_cmd =
                 (match jobs with
                  | None | Some 1 ->
                    Csrtl_fault.Campaign.run ~faults ?budget ~restore ~engine
-                     ~batch m
+                     ~batch ?plan ?golden m
                  | Some 0 ->
                    Csrtl_fault.Campaign.run_parallel ?chunks ~faults ?budget
-                     ~restore ~engine ~batch m
+                     ~restore ~engine ~batch ?plan ?golden m
                  | Some j ->
                    Csrtl_fault.Campaign.run_parallel ~jobs:j ?chunks ~faults
-                     ?budget ~restore ~engine ~batch m)
+                     ?budget ~restore ~engine ~batch ?plan ?golden m)
               | _ ->
                 let journal_path, resuming =
                   match journal, resume with
@@ -967,8 +1051,8 @@ let inject_cmd =
                 (match
                    Csrtl_fault.Campaign.run_journaled
                      ?jobs:(match jobs with Some 0 -> None | j -> j)
-                     ?chunks ~faults ?budget ~restore ~engine ~batch
-                     ~journal:journal_path ~resume:resuming m
+                     ?chunks ~faults ?budget ~restore ~engine ~batch ?plan
+                     ?golden ~journal:journal_path ~resume:resuming m
                  with
                  | Ok (r, info) ->
                    (* progress chatter goes to stderr so the report on
@@ -996,7 +1080,8 @@ let inject_cmd =
             then exit 5
             else if r.Csrtl_fault.Campaign.hung > 0 then exit 4
             else if strict && r.Csrtl_fault.Campaign.corrupted > 0 then
-              exit 3)
+              exit 3
+        end)
   in
   let doc =
     "Run a single-fault injection campaign: every enumerated fault is \
@@ -1011,7 +1096,7 @@ let inject_cmd =
     (Cmd.info "inject" ~doc)
     Term.(const run $ model_arg $ engine $ batch $ list_flag $ fault_idx
           $ limit $ table $ jobs $ chunks $ journal $ resume $ strict
-          $ budget $ no_restore)
+          $ budget $ no_restore $ artifact_cache)
 
 (* -- info -------------------------------------------------------------------- *)
 
@@ -1109,6 +1194,20 @@ let serve_cmd =
          & info [ "cache" ] ~docv:"N"
              ~doc:"Compile-cache capacity in models (bounded LRU).")
   in
+  let plan_cache =
+    Arg.(value & opt int 64
+         & info [ "plan-cache" ] ~docv:"N"
+             ~doc:"Plan-tier capacity (compiled batch plans plus fault \
+                   enumerations, keyed by structural digest); 0 \
+                   disables the tier.")
+  in
+  let golden_cache =
+    Arg.(value & opt int 64
+         & info [ "golden-cache" ] ~docv:"N"
+             ~doc:"Golden-tier capacity (golden observations and \
+                   checkpoints, keyed by structural digest); 0 \
+                   disables the tier.")
+  in
   let max_pending =
     Arg.(value & opt int 4
          & info [ "max-pending" ] ~docv:"N"
@@ -1170,11 +1269,16 @@ let serve_cmd =
     Arg.(value & flag
          & info [ "quiet" ] ~doc:"Suppress lifecycle notes on stderr.")
   in
-  let run socket state_dir jobs cache max_pending max_queue isolation
+  let run socket state_dir jobs cache plan_cache golden_cache max_pending
+      max_queue isolation
       max_restarts quarantine_after quarantine_cooloff_ms deadline_ms
       max_request_bytes quiet =
     handle_errors (fun () ->
         if cache < 1 then die2 "--cache must be at least 1 (got %d)" cache;
+        if plan_cache < 0 then
+          die2 "--plan-cache must be >= 0 (got %d)" plan_cache;
+        if golden_cache < 0 then
+          die2 "--golden-cache must be >= 0 (got %d)" golden_cache;
         if max_pending < 1 then
           die2 "--max-pending must be at least 1 (got %d)" max_pending;
         if max_queue < 0 then
@@ -1214,7 +1318,9 @@ let serve_cmd =
         let config =
           { Serve.Server.engine =
               { Serve.Engine.default_config with
-                state_dir; jobs; cache_capacity = cache; max_pending;
+                state_dir; jobs; cache_capacity = cache;
+                plan_cache_capacity = plan_cache;
+                golden_cache_capacity = golden_cache; max_pending;
                 max_queue; isolation; max_restarts;
                 quarantine_threshold = quarantine_after;
                 quarantine_cooloff_ms; on_worker;
@@ -1238,7 +1344,8 @@ let serve_cmd =
      checkpoint and exit cleanly."
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ socket_arg $ state_dir $ jobs $ cache $ max_pending
+    Term.(const run $ socket_arg $ state_dir $ jobs $ cache $ plan_cache
+          $ golden_cache $ max_pending
           $ max_queue $ isolation $ max_restarts $ quarantine_after
           $ quarantine_cooloff_ms $ deadline_ms $ max_request_bytes
           $ quiet)
@@ -1377,25 +1484,42 @@ let request_cmd =
                     s.Serve.Frame.crashes s.Serve.Frame.restarts
                     s.Serve.Frame.quarantined s.Serve.Frame.active
                     s.Serve.Frame.queued;
-                  Format.printf
-                    "cache: %d hits, %d misses, %d evictions (%d/%d \
-                     models)@."
-                    s.Serve.Frame.hits s.Serve.Frame.misses
-                    s.Serve.Frame.evictions s.Serve.Frame.entries
-                    s.Serve.Frame.capacity;
+                  let tier name (t : Serve.Frame.tier) =
+                    Format.printf
+                      "cache %s: %d hits, %d misses, %d evictions (%d/%d \
+                       entries)@."
+                      name t.Serve.Frame.hits t.Serve.Frame.misses
+                      t.Serve.Frame.evictions t.Serve.Frame.entries
+                      t.Serve.Frame.capacity
+                  in
+                  tier "model" s.Serve.Frame.model;
+                  tier "plan" s.Serve.Frame.plan;
+                  tier "golden" s.Serve.Frame.golden;
                   finish_with_status 0
                 | Serve.Frame.Bye ->
                   Format.printf "bye@.";
                   finish_with_status 0
-                | Serve.Frame.Started { token; total; cached } ->
+                | Serve.Frame.Started
+                    { token; total; cached; plan_cached; golden_cached } ->
+                  let tags =
+                    (if cached then [ "model cached" ] else [])
+                    @ (if plan_cached then [ "plan cached" ] else [])
+                    @ if golden_cached then [ "golden cached" ] else []
+                  in
                   Format.eprintf "request %s: %d fault(s)%s@." token total
-                    (if cached then ", model cached" else "");
+                    (match tags with
+                     | [] -> ""
+                     | ts -> ", " ^ String.concat ", " ts);
                   drain_responses ~can_retry ~conn ~jsonl ~on_report ()
                 | Serve.Frame.Queued { position; retry_after_ms } ->
                   if jsonl then print_endline raw_line;
                   Format.eprintf
                     "queued at position %d (estimated wait %d ms)@."
                     position retry_after_ms;
+                  drain_responses ~can_retry ~conn ~jsonl ~on_report ()
+                | Serve.Frame.Artifact _ ->
+                  (* internal worker→daemon frame; a daemon never
+                     relays one to a client — tolerate and drain on *)
                   drain_responses ~can_retry ~conn ~jsonl ~on_report ()
                 | Serve.Frame.Entry _ ->
                   if jsonl then print_endline raw_line;

@@ -68,6 +68,109 @@ let diff a b =
   end;
   List.rev !out
 
+(* ---- serialization ----------------------------------------------
+   Same line discipline as {!Snapshot}: one versioned magic line, one
+   space-separated record per line, an explicit end marker.  The
+   artifact cache embeds these bytes verbatim, so the format must
+   round-trip exactly — [of_string (to_string t) = Ok t]. *)
+
+let magic = "csrtl-observation 1"
+
+let to_string t =
+  let b = Buffer.create 512 in
+  let line fmt =
+    Printf.ksprintf
+      (fun l ->
+        Buffer.add_string b l;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  let words a = String.concat " " (List.map Word.to_string (Array.to_list a)) in
+  line "%s" magic;
+  line "model %s" t.model_name;
+  line "cs_max %d" t.cs_max;
+  List.iter
+    (fun (n, a) ->
+      if Array.length a = 0 then line "reg %s" n else line "reg %s %s" n (words a))
+    t.regs;
+  List.iter
+    (fun (n, ws) ->
+      let pairs =
+        String.concat " "
+          (List.map
+             (fun (s, v) -> Printf.sprintf "%d %s" s (Word.to_string v))
+             ws)
+      in
+      if ws = [] then line "out %s" n else line "out %s %s" n pairs)
+    t.outputs;
+  List.iter
+    (fun (s, p, n) -> line "conflict %d %s %s" s (Phase.to_string p) n)
+    t.conflicts;
+  line "end";
+  Buffer.contents b
+
+exception Bad of string
+
+let of_string text =
+  let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let word tok =
+    match Word.of_string tok with
+    | Some w -> w
+    | None -> bad "bad word %S" tok
+  in
+  let int_of tok =
+    match int_of_string_opt tok with
+    | Some i -> i
+    | None -> bad "bad integer %S" tok
+  in
+  let rec pairs = function
+    | [] -> []
+    | s :: v :: rest -> (int_of s, word v) :: pairs rest
+    | [ odd ] -> bad "dangling output token %S" odd
+  in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let fields l = String.split_on_char ' ' l |> List.filter (fun t -> t <> "") in
+  try
+    match lines with
+    | m :: rest when String.trim m = magic ->
+      let model_name = ref "" and cs_max = ref (-1) in
+      let regs = ref [] and outputs = ref [] and conflicts = ref [] in
+      let seen_end = ref false in
+      List.iter
+        (fun l ->
+          if !seen_end then bad "content after end marker";
+          match fields l with
+          | [ "model"; n ] -> model_name := n
+          | [ "cs_max"; c ] -> cs_max := int_of c
+          | "reg" :: n :: vs ->
+            regs := (n, Array.of_list (List.map word vs)) :: !regs
+          | "out" :: n :: toks -> outputs := (n, pairs toks) :: !outputs
+          | [ "conflict"; s; p; n ] ->
+            let p =
+              match Phase.of_string p with
+              | Some p -> p
+              | None -> bad "bad phase %S" p
+            in
+            conflicts := (int_of s, p, n) :: !conflicts
+          | [ "end" ] -> seen_end := true
+          | _ -> bad "unrecognized line %S" l)
+        rest;
+      if not !seen_end then bad "truncated observation (no end marker)";
+      if !model_name = "" then bad "missing model line";
+      if !cs_max < 0 then bad "missing cs_max line";
+      Ok
+        {
+          model_name = !model_name;
+          cs_max = !cs_max;
+          regs = List.rev !regs;
+          outputs = List.rev !outputs;
+          conflicts = List.rev !conflicts;
+        }
+    | _ -> Error "not a csrtl observation (bad magic line)"
+  with Bad msg -> Error msg
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>observation of %s (cs_max=%d)@," t.model_name
     t.cs_max;

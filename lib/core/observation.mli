@@ -34,4 +34,14 @@ val equal : t -> t -> bool
 val diff : t -> t -> string list
 (** Human-readable differences (empty iff {!equal}). *)
 
+val to_string : t -> string
+(** Versioned text serialization in {!Snapshot}'s line discipline
+    (magic ["csrtl-observation 1"], one record per line, explicit end
+    marker).  Round-trips exactly through {!of_string} — the on-disk
+    golden-artifact cache embeds these bytes verbatim. *)
+
+val of_string : string -> (t, string) result
+(** Total inverse of {!to_string}: any input yields [Ok] or a
+    human-readable [Error], never an exception. *)
+
 val pp : Format.formatter -> t -> unit

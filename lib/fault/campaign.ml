@@ -81,28 +81,43 @@ type ctx = {
 let boundary_of_fault (m : Model.t) f =
   min (Fault.first_step m f - 1) m.Model.cs_max
 
-let make_ctx ~config ?budget ~restore ~faults (m : Model.t) =
-  (* One compile of the clean schedule serves the whole campaign: the
-     lockstep batches overlay it per fault, and the golden run and the
-     checkpoint snapshots execute it through {!Compiled.of_sched} —
-     the per-worker golden recompiles this used to pay are gone. *)
-  let plan = match Batch.plan m with p -> Some p | exception _ -> None in
-  let compiled =
-    match Compiled.compilable ~config m with
-    | Error _ -> None
-    | Ok () ->
-      Some
-        (match plan with
-         | Some p -> Compiled.of_sched (Batch.base_sched p)
-         | None -> Compiled.of_model m)
-  in
+(* One compile of the clean schedule serves the whole campaign: the
+   lockstep batches overlay it per fault, and the golden run and the
+   checkpoint snapshots execute it through {!Compiled.of_sched} — the
+   per-worker golden recompiles this used to pay are gone.  A caller
+   holding a plan-cache hit passes it in and skips even the one. *)
+let make_plan ?plan m =
+  match plan with
+  | Some _ as p -> p
+  | None -> ( match Batch.plan m with p -> Some p | exception _ -> None)
+
+let compiled_of ~config ~plan m =
+  match Compiled.compilable ~config m with
+  | Error _ -> None
+  | Ok () ->
+    Some
+      (match plan with
+       | Some p -> Compiled.of_sched (Batch.base_sched p)
+       | None -> Compiled.of_model m)
+
+let golden_snapshots ~compiled m boundaries =
+  match compiled with
+  | Some cp -> Compiled.snapshots_at cp ~steps:boundaries
+  | None -> Interp.snapshots_at ~steps:boundaries m
+
+let boundaries_of ~faults m =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun f ->
+         let b = boundary_of_fault m f in
+         if b >= 1 then Some b else None)
+       faults)
+
+let prepare ?(config = Simulate.default) ?plan (m : Model.t) =
+  let plan = make_plan ?plan m in
+  let compiled = compiled_of ~config ~plan m in
   let t0 = Unix.gettimeofday () in
   let golden_k =
-    (* the kernel-side golden takes the phase-compiled fast path when
-       the configuration stays on its schedule (fault runs themselves
-       always need the kernel or the interpreter — injection is
-       dynamic).  The differential suite pins Compiled = Simulate on
-       the full observation, so classification is unchanged. *)
     match compiled with
     | Some cp -> Compiled.run cp
     | None ->
@@ -111,30 +126,92 @@ let make_ctx ~config ?budget ~restore ~faults (m : Model.t) =
   in
   let est_us = (Unix.gettimeofday () -. t0) *. 1e6 in
   let golden_i = Interp.run m in
-  let checkpoints = Hashtbl.create 16 in
-  (* Checkpoints are only sound when the golden kernel state equals
-     the interpreter state at every boundary — true under [Record]
-     (the differential suite pins it); [Halt]/[Degrade] goldens
-     diverge, so those campaigns re-simulate from step 0. *)
-  (if restore && config.Simulate.on_illegal = Simulate.Record then
-     let boundaries =
-       List.sort_uniq compare
-         (List.filter_map
-            (fun f ->
-              let b = boundary_of_fault m f in
-              if b >= 1 then Some b else None)
-            faults)
-     in
-     if boundaries <> [] then
-       let snaps =
-         match compiled with
-         | Some cp -> Compiled.snapshots_at cp ~steps:boundaries
-         | None -> Interp.snapshots_at ~steps:boundaries m
-       in
+  let checkpoints =
+    (* every boundary any enumerated fault can restore from — a
+       superset of what any limited or resumed campaign needs, so one
+       artifact serves them all.  Per-fault lookups are keyed by the
+       fault's own boundary, so extra checkpoints never change which
+       snapshot a given fault restores from. *)
+    if config.Simulate.on_illegal = Simulate.Record then
+      match boundaries_of ~faults:(Fault.enumerate m) m with
+      | [] -> []
+      | bs -> golden_snapshots ~compiled m bs
+    else []
+  in
+  { Artifact.digest = Snapshot.digest_of_model m;
+    config = Journal.config_tag config;
+    golden_k; golden_i; checkpoints; est_us }
+
+let make_ctx ~config ?budget ?plan:plan0 ?golden ~restore ~faults
+    (m : Model.t) =
+  let plan = make_plan ?plan:plan0 m in
+  match golden with
+  | Some (a : Artifact.t) ->
+    if
+      a.Artifact.digest <> Snapshot.digest_of_model m
+      || a.Artifact.config <> Journal.config_tag config
+    then
+      invalid_arg
+        (Printf.sprintf
+           "Campaign: golden artifact (digest %s, config %s) does not match \
+            this campaign"
+           a.Artifact.digest a.Artifact.config);
+    let checkpoints = Hashtbl.create 16 in
+    (if restore && config.Simulate.on_illegal = Simulate.Record then begin
        List.iter
-         (fun (s : Snapshot.t) -> Hashtbl.replace checkpoints s.Snapshot.step s)
-         snaps);
-  { m; config; golden_k; golden_i; checkpoints; budget; plan; est_us }
+         (fun (s : Snapshot.t) ->
+           Hashtbl.replace checkpoints s.Snapshot.step s)
+         a.Artifact.checkpoints;
+       (* a caller-supplied fault list can want a boundary the
+          enumerate-derived artifact never took; compute exactly those,
+          so a warm campaign restores from the same boundaries a cold
+          one would — same joins, same cycle counts, same bytes *)
+       let missing =
+         List.filter
+           (fun b -> not (Hashtbl.mem checkpoints b))
+           (boundaries_of ~faults m)
+       in
+       if missing <> [] then
+         let compiled = compiled_of ~config ~plan m in
+         List.iter
+           (fun (s : Snapshot.t) ->
+             Hashtbl.replace checkpoints s.Snapshot.step s)
+           (golden_snapshots ~compiled m missing)
+     end);
+    { m; config; golden_k = a.Artifact.golden_k;
+      golden_i = a.Artifact.golden_i; checkpoints; budget; plan;
+      est_us = a.Artifact.est_us }
+  | None ->
+    let compiled = compiled_of ~config ~plan m in
+    let t0 = Unix.gettimeofday () in
+    let golden_k =
+      (* the kernel-side golden takes the phase-compiled fast path when
+         the configuration stays on its schedule (fault runs themselves
+         always need the kernel or the interpreter — injection is
+         dynamic).  The differential suite pins Compiled = Simulate on
+         the full observation, so classification is unchanged. *)
+      match compiled with
+      | Some cp -> Compiled.run cp
+      | None ->
+        (Simulate.run_cfg ~config:{ config with Simulate.watchdog = true } m)
+          .Simulate.obs
+    in
+    let est_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+    let golden_i = Interp.run m in
+    let checkpoints = Hashtbl.create 16 in
+    (* Checkpoints are only sound when the golden kernel state equals
+       the interpreter state at every boundary — true under [Record]
+       (the differential suite pins it); [Halt]/[Degrade] goldens
+       diverge, so those campaigns re-simulate from step 0. *)
+    (if restore && config.Simulate.on_illegal = Simulate.Record then
+       match boundaries_of ~faults m with
+       | [] -> ()
+       | boundaries ->
+         List.iter
+           (fun (s : Snapshot.t) ->
+             Hashtbl.replace checkpoints s.Snapshot.step s)
+           (golden_snapshots ~compiled m boundaries));
+    { m; config; golden_k; golden_i; checkpoints; budget; plan; est_us }
 
 let kernel_entry ~ctx ~snap inj =
   (* campaigns always arm the watchdog: a fault that stalls the
@@ -452,9 +529,9 @@ let compute_all ?pool ?jobs ?chunks ?(should_stop = fun () -> false) ~par
   (entries, List.fold_left (fun a (_, s) -> add_stats a s) no_stats results)
 
 let run ?(config = Simulate.default) ?limit ?faults ?budget ?(restore = true)
-    ?(engine : engine = `Auto) ?(batch = 32) (m : Model.t) =
+    ?(engine : engine = `Auto) ?(batch = 32) ?plan ?golden (m : Model.t) =
   let faults = fault_list ?limit ?faults m in
-  let ctx = make_ctx ~config ?budget ~restore ~faults m in
+  let ctx = make_ctx ~config ?budget ?plan ?golden ~restore ~faults m in
   let entries, _ =
     compute_all ~par:false ~ctx ~engine ~batch
       ~on_entry:(fun _ _ -> ())
@@ -464,12 +541,12 @@ let run ?(config = Simulate.default) ?limit ?faults ?budget ?(restore = true)
 
 let run_with_stats ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
     ?faults ?budget ?(restore = true) ?(engine : engine = `Auto)
-    ?(batch = 32) (m : Model.t) =
+    ?(batch = 32) ?plan ?golden (m : Model.t) =
   let faults = fault_list ?limit ?faults m in
   (* goldens and checkpoints computed once in the caller and shared
      read-only with every domain; each faulted run owns all its
      mutable state *)
-  let ctx = make_ctx ~config ?budget ~restore ~faults m in
+  let ctx = make_ctx ~config ?budget ?plan ?golden ~restore ~faults m in
   let entries, stats =
     compute_all ?pool ?jobs ?chunks ~par:true ~ctx ~engine ~batch
       ~on_entry:(fun _ _ -> ())
@@ -478,23 +555,26 @@ let run_with_stats ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
   (summarize m (List.map snd entries), stats)
 
 let run_parallel ?pool ?jobs ?chunks ?config ?limit ?faults ?budget ?restore
-    ?engine ?batch (m : Model.t) =
+    ?engine ?batch ?plan ?golden (m : Model.t) =
   fst
     (run_with_stats ?pool ?jobs ?chunks ?config ?limit ?faults ?budget
-       ?restore ?engine ?batch m)
+       ?restore ?engine ?batch ?plan ?golden m)
 
 type resume_info = { reused : int; rerun : int; torn : int; remaining : int }
 
-let run_journaled ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
-    ?faults ?budget ?(restore = true) ?(engine : engine = `Auto)
-    ?(batch = 32) ?should_stop ?on_entry:user_on_entry ~journal ~resume
-    (m : Model.t) =
+let run_journaled ?pool ?jobs ?chunks ?(config = Simulate.default) ?digest
+    ?limit ?faults ?budget ?(restore = true) ?(engine : engine = `Auto)
+    ?(batch = 32) ?plan ?golden ?should_stop ?on_entry:user_on_entry ~journal
+    ~resume (m : Model.t) =
   let faults = fault_list ?limit ?faults m in
   let labels = List.map Fault.to_string faults in
   let total = List.length faults in
   let header =
     { Journal.model = m.Model.name;
-      digest = Snapshot.digest_of_model m;
+      digest =
+        (match digest with
+         | Some d -> d
+         | None -> Snapshot.digest_of_model m);
       config = Journal.config_tag config;
       total;
       faults_digest = Journal.faults_digest labels }
@@ -546,7 +626,7 @@ let run_journaled ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
     Fun.protect ~finally:(fun () -> Journal.close w) @@ fun () ->
     let ctx =
       (* checkpoints only for the faults actually re-run *)
-      make_ctx ~config ?budget ~restore
+      make_ctx ~config ?budget ?plan ?golden ~restore
         ~faults:(List.map (fun i -> fault_arr.(i)) todo)
         m
     in
@@ -567,7 +647,10 @@ let run_journaled ?pool ?jobs ?chunks ?(config = Simulate.default) ?limit
         ~batch ~on_entry
         (List.map (fun i -> (i, fault_arr.(i))) todo)
     in
-    Journal.sync w;
+    (* a wholesale replay appends nothing — there is nothing new to
+       pin, so skip the fsync instead of paying disk latency per
+       re-render of a completed campaign *)
+    if todo <> [] then Journal.sync w;
     let computed_tbl = Hashtbl.create 64 in
     List.iter
       (fun (i, e) -> Hashtbl.replace computed_tbl i e)

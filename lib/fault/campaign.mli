@@ -85,9 +85,22 @@ val boundary_of_fault : Model.t -> Fault.t -> int
 (** The latest golden boundary a run of this fault may restore from:
     [min (Fault.first_step m f - 1) cs_max]. *)
 
+val prepare :
+  ?config:Simulate.config -> ?plan:Batch.plan -> Model.t -> Artifact.t
+(** Compute the campaign's golden work once, as a cacheable
+    {!Artifact}: both engines' clean golden runs, checkpoints at every
+    boundary an enumerated fault can restore from (a superset of what
+    any limited, filtered or resumed campaign needs — per-fault
+    restores are keyed by the fault's own boundary, so the superset
+    never changes which snapshot a fault uses), and the measured
+    golden wall cost.  [plan] reuses an existing compile.  Passing the
+    artifact back through [?golden] below yields byte-identical
+    reports to a cold run — the warm path is a pure optimization. *)
+
 val run :
   ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
   ?budget:float -> ?restore:bool -> ?engine:engine -> ?batch:int ->
+  ?plan:Batch.plan -> ?golden:Artifact.t ->
   Model.t -> report
 (** [faults] overrides {!Fault.enumerate} (then [limit] is unused).
     [config] selects the kernel policies of every run (default
@@ -101,12 +114,23 @@ val run :
     under the [Record] policy, where golden checkpoints are
     engine-independent.  [engine] (default [`Auto]) selects the
     batched fast path; [batch] (default 32) is the lockstep batch
-    size K — results do not depend on it. *)
+    size K — results do not depend on it.
+
+    [plan] supplies a pre-compiled {!Csrtl_core.Batch.plan} (a
+    plan-cache hit) and [golden] a pre-built {!Artifact} (a golden
+    hit): with both, the campaign skips compilation and the golden
+    simulations entirely and starts on its first fault immediately.
+    Both are pure optimizations — report bytes are unchanged, which
+    the warm-path qcheck suite pins.  A [golden] whose digest or
+    config tag does not match this campaign raises
+    [Invalid_argument]; validate cached artifacts before passing
+    them. *)
 
 val run_parallel :
   ?pool:Csrtl_par.Par.t -> ?jobs:int -> ?chunks:int ->
   ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
   ?budget:float -> ?restore:bool -> ?engine:engine -> ?batch:int ->
+  ?plan:Batch.plan -> ?golden:Artifact.t ->
   Model.t -> report
 (** {!run} with the fault list sharded across a domain pool.  The
     goldens and checkpoints are computed once in the caller; each
@@ -139,16 +163,23 @@ type resume_info = {
 
 val run_journaled :
   ?pool:Csrtl_par.Par.t -> ?jobs:int -> ?chunks:int ->
-  ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
+  ?config:Simulate.config -> ?digest:string -> ?limit:int ->
+  ?faults:Fault.t list ->
   ?budget:float -> ?restore:bool -> ?engine:engine -> ?batch:int ->
+  ?plan:Batch.plan -> ?golden:Artifact.t ->
   ?should_stop:(unit -> bool) -> ?on_entry:(int -> entry -> unit) ->
   journal:string -> resume:bool ->
   Model.t -> (report * resume_info, string) result
 (** {!run_parallel} with crash durability: every finished fault is
     appended to the JSONL [journal] ({!Journal}) before the campaign
     moves on, and the journal is fsynced ({!Journal.sync}) when the
-    campaign completes or drains.  With [resume] false the journal is
-    truncated and the whole campaign runs.  With [resume] true the
+    campaign completes or drains with new entries — a wholesale replay
+    writes nothing and skips the fsync.  With [resume] false the
+    journal is truncated and the whole campaign runs.  [digest], when
+    given, must be [Snapshot.digest_of_model m] (a caller that already
+    computed it — the daemon — skips the per-request model re-render
+    and hash; a wrong value can only fail the header match, never
+    corrupt a report).  With [resume] true the
     journal is read first: entries that parse, pass their integrity
     hash and match the fault list are reused verbatim; torn or
     missing entries are re-run (and appended).  The resumed report is
@@ -171,6 +202,7 @@ val run_with_stats :
   ?pool:Csrtl_par.Par.t -> ?jobs:int -> ?chunks:int ->
   ?config:Simulate.config -> ?limit:int -> ?faults:Fault.t list ->
   ?budget:float -> ?restore:bool -> ?engine:engine -> ?batch:int ->
+  ?plan:Batch.plan -> ?golden:Artifact.t ->
   Model.t -> report * batch_stats
 (** {!run_parallel}, additionally reporting how the faults were
     dispatched — the bench harness uses the early-retirement hit rate

@@ -44,6 +44,13 @@ val enumerate : ?limit:int -> Model.t -> t list
     slot of each bus.  [limit] stride-subsamples the list (order
     preserved) for large models. *)
 
+val subsample : int -> t list -> t list
+(** The deterministic stride-subsample [enumerate ~limit] applies:
+    [subsample n (enumerate m)] = [enumerate ~limit:n m].  Exposed so
+    a cached full enumeration (the daemon's plan tier) can be limited
+    without re-walking the model.  Raises [Invalid_argument] when
+    [n < 1], exactly as [enumerate ~limit] does. *)
+
 val to_inject : t -> Inject.t
 
 val first_step : Model.t -> t -> int

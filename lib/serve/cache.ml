@@ -57,11 +57,19 @@ let evict_oldest t =
 
 let add t key value =
   locked t (fun () ->
-      if not (Hashtbl.mem t.tbl key) then begin
+      match Hashtbl.find_opt t.tbl key with
+      | Some s ->
+        (* a racing second insert keeps the first writer's value (the
+           keys are content digests, so the bytes are equal anyway) but
+           must refresh the LRU stamp: the entry was just produced by a
+           full miss-path computation, and leaving it cold makes it the
+           next eviction victim exactly when it is hottest *)
+        t.clock <- t.clock + 1;
+        s.used <- t.clock
+      | None ->
         if Hashtbl.length t.tbl >= t.capacity then evict_oldest t;
         t.clock <- t.clock + 1;
-        Hashtbl.replace t.tbl key { value; used = t.clock }
-      end)
+        Hashtbl.replace t.tbl key { value; used = t.clock })
 
 let stats t =
   locked t (fun () ->

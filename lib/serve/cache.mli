@@ -25,7 +25,9 @@ val find : 'a t -> string -> 'a option
 
 val add : 'a t -> string -> 'a -> unit
 (** Insert, evicting the least-recently-used entry at capacity.
-    An existing key is left untouched (first writer wins — values are
-    content-addressed, so a second insert is byte-equal anyway). *)
+    An existing key keeps the first writer's value (values are
+    content-addressed, so a second insert is byte-equal anyway) but
+    its LRU stamp is refreshed — a racing second insert counts as a
+    use, not a silent drop that leaves the entry cold. *)
 
 val stats : 'a t -> stats

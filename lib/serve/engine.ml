@@ -23,6 +23,8 @@ type config = {
   state_dir : string;
   jobs : int;
   cache_capacity : int;
+  plan_cache_capacity : int;
+  golden_cache_capacity : int;
   limits : Diag.Limits.t;
   max_pending : int;
   default_deadline_ms : int option;
@@ -41,6 +43,7 @@ type config = {
 
 let default_config =
   { state_dir = "csrtl-serve-state"; jobs = 0; cache_capacity = 64;
+    plan_cache_capacity = 64; golden_cache_capacity = 64;
     limits = Diag.Limits.default; max_pending = 4;
     default_deadline_ms = None;
     (* in-process by default so embedders (tests, bench, fuzz) get the
@@ -51,6 +54,13 @@ let default_config =
     worker_grace_ms = 2000; worker_timeout_ms = None; on_worker = None }
 
 type compiled = { model : C.Model.t; digest : string }
+
+(* one plan-tier entry: everything about a model's campaigns that is
+   independent of the request's limit/engine/batch knobs *)
+type plan_entry = {
+  pe_plan : C.Batch.plan option;
+  pe_faults : F.Fault.t list;  (* the full enumeration *)
+}
 
 type counters = {
   mutable requests : int;
@@ -81,6 +91,16 @@ type t = {
   pool : Par.t option ref;
   pool_lock : Mutex.t;
   cache : compiled Cache.t;
+  (* the two warm tiers above the parsed-model cache, keyed by
+     (structural model digest | config tag).  [None] when disabled by
+     a zero capacity.  The plan tier holds the campaign's whole static
+     plan: the compiled batch plan ([None] for models that do not
+     compile, so repeated requests don't retry the compile) plus the
+     full fault enumeration, which a limited request subsamples
+     without re-walking the model; the golden tier holds full
+     artifacts (goldens + checkpoints). *)
+  plans : plan_entry Cache.t option;
+  goldens : F.Artifact.t Cache.t option;
   stop : bool Atomic.t;
   adm : Admission.t;
   (* in-process campaigns run one at a time on the shared pool *)
@@ -91,6 +111,7 @@ type t = {
      completed work *)
   inflight : (string, unit) Hashtbl.t;
   inflight_lock : Mutex.t;
+  inflight_cond : Condition.t;
   breakers : (string, breaker) Hashtbl.t;
   breakers_lock : Mutex.t;
   counters_lock : Mutex.t;
@@ -107,14 +128,20 @@ let rec mkdir_p dir =
 
 let create cfg =
   mkdir_p cfg.state_dir;
+  let tier capacity =
+    if capacity <= 0 then None else Some (Cache.create ~capacity)
+  in
   { cfg; pool = ref None; pool_lock = Mutex.create ();
     cache = Cache.create ~capacity:cfg.cache_capacity;
+    plans = tier cfg.plan_cache_capacity;
+    goldens = tier cfg.golden_cache_capacity;
     stop = Atomic.make false;
     adm =
       Admission.create ~max_active:cfg.max_pending ~max_queue:cfg.max_queue
         ~max_per_client:cfg.max_queue_per_client ();
     campaign_lock = Mutex.create ();
     inflight = Hashtbl.create 8; inflight_lock = Mutex.create ();
+    inflight_cond = Condition.create ();
     breakers = Hashtbl.create 8; breakers_lock = Mutex.create ();
     counters_lock = Mutex.create ();
     counters =
@@ -276,8 +303,9 @@ let compile t (q : Frame.inject) =
    reports byte-identical.  [stopping] is the drain flag only (engine
    stop or worker SIGTERM); the deadline is computed here from [t0].
    Returns what the terminal frame was, for the caller's counters. *)
-let exec_campaign ~runner ~stopping ~journal ~t0 ~default_deadline_ms
-    (q : Frame.inject) ~model ~faults ~labels ~token ~emit =
+let exec_campaign ?plan ?golden ~runner ~stopping ~journal ~t0
+    ~default_deadline_ms (q : Frame.inject) ~model ~digest ~faults ~labels
+    ~token ~emit =
   let label_arr = Array.of_list labels in
   let total = List.length faults in
   let deadline =
@@ -318,11 +346,15 @@ let exec_campaign ~runner ~stopping ~journal ~t0 ~default_deadline_ms
       Mutex.lock lock;
       Fun.protect ~finally:(fun () -> Mutex.unlock lock)
       @@ fun () ->
-      F.Campaign.run_journaled ~pool ~faults ?budget ~engine:q.Frame.engine
-        ~batch:q.Frame.batch ~should_stop ?on_entry ~journal ~resume model
+      F.Campaign.run_journaled ~pool ~digest ~faults ?budget
+        ~engine:q.Frame.engine
+        ~batch:q.Frame.batch ?plan ?golden ~should_stop ?on_entry ~journal
+        ~resume model
     | `Jobs jobs ->
-      F.Campaign.run_journaled ~jobs ~faults ?budget ~engine:q.Frame.engine
-        ~batch:q.Frame.batch ~should_stop ?on_entry ~journal ~resume model
+      F.Campaign.run_journaled ~jobs ~digest ~faults ?budget
+        ~engine:q.Frame.engine
+        ~batch:q.Frame.batch ?plan ?golden ~should_stop ?on_entry ~journal
+        ~resume model
   in
   let resume = q.Frame.resume && Sys.file_exists journal in
   let result =
@@ -370,8 +402,16 @@ let exec_campaign ~runner ~stopping ~journal ~t0 ~default_deadline_ms
    even an orphan from a killed daemon interleaves safely).  The
    parent already validated the model from the same bytes, so a parse
    failure here is unreachable; it still exits cleanly rather than
-   trusting that. *)
-let child_main (cfg : config) (q : Frame.inject) fd =
+   trusting that.
+
+   [plan] is the parent's plan-tier entry, inherited through fork at
+   spawn: a warm worker starts executing faults without compiling
+   anything.  [golden] is the golden-tier decision: [`Hit] inherits
+   the artifact the same way; [`Miss key] makes this worker build it
+   and ship it back over the pipe ({!Frame.Artifact}) {e before} the
+   campaign runs, so the parent's tier warms even if the worker later
+   crashes mid-campaign; [`Off] disables the tier. *)
+let child_main (cfg : config) (q : Frame.inject) ~plan ~golden fd =
   let stop = Atomic.make false in
   Sys.set_signal Sys.sigterm
     (Sys.Signal_handle (fun _ -> Atomic.set stop true));
@@ -402,11 +442,36 @@ let child_main (cfg : config) (q : Frame.inject) fd =
     let token = token_of ~digest ~config_tag ~faults_digest in
     let journal = journal_path cfg token in
     let jobs = if cfg.jobs <= 0 then Par.default_jobs () else cfg.jobs in
+    let golden =
+      let fresh key =
+        (* build the campaign's golden work once and ship it to the
+           parent before touching a single fault: a later crash then
+           costs a restart, not the artifact *)
+        match F.Campaign.prepare ?plan model with
+        | a ->
+          (match key with
+           | Some key ->
+             emit (Frame.Artifact { key; text = F.Artifact.to_string a })
+           | None -> ());
+          Some a
+        | exception _ -> None
+      in
+      match golden with
+      | `Off -> None
+      | `Miss key -> fresh (Some key)
+      | `Hit a ->
+        (* inherited artifacts were checked by whoever cached them;
+           re-check the content-addressed header against this child's
+           own parse — O(1), so a daemon bug can only cost the
+           optimization, never the report or the warm latency *)
+        if F.Artifact.matches ~digest ~config_tag a then Some a
+        else fresh None
+    in
     ignore
-      (exec_campaign ~runner:(`Jobs jobs)
+      (exec_campaign ?plan ?golden ~runner:(`Jobs jobs)
          ~stopping:(fun () -> Atomic.get stop) ~journal ~t0
-         ~default_deadline_ms:cfg.default_deadline_ms q ~model ~faults
-         ~labels ~token ~emit)
+         ~default_deadline_ms:cfg.default_deadline_ms q ~model ~digest
+         ~faults ~labels ~token ~emit)
 
 let backoff_s cfg attempt =
   let ms =
@@ -420,7 +485,8 @@ let backoff_s cfg attempt =
    circuit breaker opens.  The client sees at most one terminal frame;
    entries already journaled before a crash are reused, not
    re-streamed. *)
-let run_forked t (q : Frame.inject) ~key ~token ~emit =
+let run_forked t (q : Frame.inject) ~key ~tier_key ~plan ~golden0 ~token
+    ~emit =
   let cfg = t.cfg in
   let grace_s = float_of_int cfg.worker_grace_ms /. 1000. in
   let timeout_s =
@@ -438,6 +504,21 @@ let run_forked t (q : Frame.inject) ~key ~token ~emit =
   in
   let rec attempt n ~resume =
     let terminal = ref `None in
+    (* re-consult the golden tier on restarts: the first spawn ships
+       the artifact before campaigning, so a crash-restart is already
+       warm — it resumes from the journal AND skips the golden
+       rebuild.  Attempt 0 reuses the lookup [handle_inject] already
+       did for the [Started] flags *)
+    let golden =
+      if n = 0 then golden0
+      else
+        match t.goldens with
+        | None -> `Off
+        | Some cache ->
+          (match Cache.find cache tier_key with
+           | Some a -> `Hit a
+           | None -> `Miss tier_key)
+    in
     let outcome =
       Worker.supervise ?timeout_s ~grace_s
         ~should_stop:(fun () -> Atomic.get t.stop)
@@ -445,9 +526,22 @@ let run_forked t (q : Frame.inject) ~key ~token ~emit =
           match cfg.on_worker with
           | Some f -> f ~pid ~token
           | None -> ())
-        ~child:(fun fd -> child_main cfg { q with Frame.resume } fd)
+        ~child:(fun fd ->
+          child_main cfg { q with Frame.resume } ~plan ~golden fd)
         ~on_line:(fun line ->
           match Frame.decode_response ~limits:cfg.limits line with
+          | Ok (Frame.Artifact { key = akey; text }) ->
+            (* the worker's golden work, shipped home: deposit and
+               never relay — clients speak campaign frames only.  A
+               mangled artifact is dropped (the next cold request just
+               rebuilds), keyed-elsewhere ones too *)
+            (match t.goldens with
+             | Some cache when akey = tier_key ->
+               (match F.Artifact.of_string text with
+                | Ok a -> Cache.add cache tier_key a
+                | Error _ -> ())
+             | Some _ | None -> ());
+            `Continue
           | Ok (Frame.Entry _ as resp) ->
             emit resp;
             `Continue
@@ -507,24 +601,22 @@ let run_forked t (q : Frame.inject) ~key ~token ~emit =
    admission lane meanwhile — bounded by [max_pending], so this cannot
    deadlock, and the second request then resumes the first's journal
    instead of racing it. *)
+(* a condition, not a delay poll: warm-tier campaigns finish in
+   single-digit milliseconds, so a 10ms sleep would quantize every
+   queued same-token request up to the poll interval and dominate the
+   latency the tiers just removed *)
 let inflight_enter t token =
-  let rec wait () =
-    Mutex.lock t.inflight_lock;
-    if Hashtbl.mem t.inflight token then begin
-      Mutex.unlock t.inflight_lock;
-      Thread.delay 0.01;
-      wait ()
-    end
-    else begin
-      Hashtbl.replace t.inflight token ();
-      Mutex.unlock t.inflight_lock
-    end
-  in
-  wait ()
+  Mutex.lock t.inflight_lock;
+  while Hashtbl.mem t.inflight token do
+    Condition.wait t.inflight_cond t.inflight_lock
+  done;
+  Hashtbl.replace t.inflight token ();
+  Mutex.unlock t.inflight_lock
 
 let inflight_exit t token =
   Mutex.lock t.inflight_lock;
   Hashtbl.remove t.inflight token;
+  Condition.broadcast t.inflight_cond;
   Mutex.unlock t.inflight_lock
 
 let handle_inject t (q : Frame.inject) ~client ~emit =
@@ -590,26 +682,99 @@ let handle_inject t (q : Frame.inject) ~client ~emit =
            (match compiled with
             | Error diags -> refuse t ~emit 2 diags
             | Ok { model; digest } ->
-              let faults = F.Fault.enumerate ?limit:q.Frame.limit model in
+              let config_tag = F.Journal.config_tag C.Simulate.default in
+              (* warm tiers, keyed by (structural digest | config tag)
+                 — content-addressed, so an edited model is a
+                 different key, never a stale hit *)
+              let tier_key = digest ^ "|" ^ config_tag in
+              let plan, all_faults, plan_cached =
+                match t.plans with
+                | None ->
+                  (None, F.Fault.enumerate model, false)
+                | Some cache ->
+                  (match Cache.find cache tier_key with
+                   | Some e -> (e.pe_plan, e.pe_faults, true)
+                   | None ->
+                     (* compile and enumerate once in the parent:
+                        bounded, deterministic, exception-fenced work,
+                        safe outside the crash boundary — and the
+                        entry is inherited by every forked worker at
+                        spawn *)
+                     let p =
+                       match C.Batch.plan model with
+                       | p -> Some p
+                       | exception _ -> None
+                     in
+                     let e =
+                       { pe_plan = p; pe_faults = F.Fault.enumerate model }
+                     in
+                     Cache.add cache tier_key e;
+                     (p, e.pe_faults, false))
+              in
+              let faults =
+                match q.Frame.limit with
+                | None -> all_faults
+                | Some n -> F.Fault.subsample n all_faults
+              in
               let labels = List.map F.Fault.to_string faults in
               let total = List.length faults in
-              let config_tag = F.Journal.config_tag C.Simulate.default in
               let faults_digest = F.Journal.faults_digest labels in
               let token = token_of ~digest ~config_tag ~faults_digest in
               let journal = journal_path t.cfg token in
-              emit (Frame.Started { token; total; cached });
+              let golden0 =
+                match t.goldens with
+                | None -> `Off
+                | Some cache ->
+                  (match Cache.find cache tier_key with
+                   | Some a -> `Hit a
+                   | None -> `Miss tier_key)
+              in
+              let golden_cached =
+                match golden0 with `Hit _ -> true | `Miss _ | `Off -> false
+              in
+              emit
+                (Frame.Started
+                   { token; total; cached; plan_cached; golden_cached });
               inflight_enter t token;
               Fun.protect ~finally:(fun () -> inflight_exit t token)
               @@ fun () ->
               (match t.cfg.isolation with
-               | `Forked -> run_forked t q ~key ~token ~emit
+               | `Forked ->
+                 run_forked t q ~key ~tier_key ~plan ~golden0 ~token ~emit
                | `In_process ->
+                 let golden =
+                   (* the golden simulations run here either way —
+                      inside [make_ctx] on the cold path, in [prepare]
+                      on this one — so building the artifact in the
+                      handling thread adds no latency, and the next
+                      request for this model skips them entirely *)
+                   let fresh key =
+                     match F.Campaign.prepare ?plan model with
+                     | a ->
+                       (match (key, t.goldens) with
+                        | Some key, Some cache -> Cache.add cache key a
+                        | _ -> ());
+                       Some a
+                     | exception _ -> None
+                   in
+                   match golden0 with
+                   | `Off -> None
+                   | `Miss k -> fresh (Some k)
+                   | `Hit a ->
+                     (* the tier key is (digest | config tag), so a
+                        hit only needs the O(1) header re-check — the
+                        deep walk would cost more than the golden
+                        work the hit saves *)
+                     if F.Artifact.matches ~digest ~config_tag a then
+                       Some a
+                     else fresh None
+                 in
                  (match
-                    exec_campaign
+                    exec_campaign ?plan ?golden
                       ~runner:(`Pool (pool_of t, t.campaign_lock))
                       ~stopping:(fun () -> Atomic.get t.stop) ~journal ~t0
                       ~default_deadline_ms:t.cfg.default_deadline_ms q
-                      ~model ~faults ~labels ~token ~emit
+                      ~model ~digest ~faults ~labels ~token ~emit
                   with
                   | `Report ->
                     bump t (fun c -> c.campaigns <- c.campaigns + 1)
@@ -617,6 +782,18 @@ let handle_inject t (q : Frame.inject) ~client ~emit =
                     bump t (fun c -> c.drained <- c.drained + 1)
                   | `Refused ->
                     bump t (fun c -> c.refused <- c.refused + 1)))))
+
+let tier_stats (cs : Cache.stats) =
+  { Frame.hits = cs.Cache.hits; misses = cs.Cache.misses;
+    evictions = cs.Cache.evictions; entries = cs.Cache.entries;
+    capacity = cs.Cache.capacity }
+
+let disabled_tier =
+  { Frame.hits = 0; misses = 0; evictions = 0; entries = 0; capacity = 0 }
+
+let opt_tier = function
+  | None -> disabled_tier
+  | Some cache -> tier_stats (Cache.stats cache)
 
 let stats t =
   let cs = Cache.stats t.cache in
@@ -629,9 +806,8 @@ let stats t =
       drained = c.drained; refused = c.refused;
       active = snap.Admission.active; queued = snap.Admission.queued;
       restarts = c.restarts; crashes = c.crashes; quarantined;
-      hits = cs.Cache.hits; misses = cs.Cache.misses;
-      evictions = cs.Cache.evictions; entries = cs.Cache.entries;
-      capacity = cs.Cache.capacity }
+      model = tier_stats cs; plan = opt_tier t.plans;
+      golden = opt_tier t.goldens }
   in
   Mutex.unlock t.counters_lock;
   r
@@ -639,7 +815,7 @@ let stats t =
 let handle ?(client = 0) t (req : Frame.request) ~emit =
   bump t (fun c -> c.requests <- c.requests + 1);
   match req with
-  | Frame.Ping -> emit (Frame.Pong { version = "csrtl-serve/1" })
+  | Frame.Ping -> emit (Frame.Pong { version = "csrtl-serve/2" })
   | Frame.Stats -> emit (Frame.Stats_reply (stats t))
   | Frame.Shutdown ->
     request_stop t;

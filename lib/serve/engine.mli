@@ -27,6 +27,15 @@ type config = {
   state_dir : string;  (** journals live here, one per resume token *)
   jobs : int;  (** pool width; [<= 0] means {!Csrtl_par.Par.default_jobs} *)
   cache_capacity : int;  (** compile-cache entries (LRU beyond that) *)
+  plan_cache_capacity : int;
+      (** compiled {!Csrtl_core.Batch.plan} tier, keyed by (model
+          digest | config tag); [<= 0] disables it — every campaign
+          then compiles its own plan, the pre-tier behaviour *)
+  golden_cache_capacity : int;
+      (** golden {!Csrtl_fault.Artifact} tier (clean observations +
+          checkpoints), same key; [<= 0] disables it.  Warm campaigns
+          skip the golden simulations entirely; reports stay
+          byte-identical either way *)
   limits : Diag.Limits.t;  (** applied to every request's model text *)
   max_pending : int;
       (** campaigns running concurrently; excess requests queue.

@@ -16,7 +16,7 @@ module Journal = Csrtl_fault.Journal
 module Json = Journal.Json
 open Json
 
-let version = 1
+let version = 2
 
 type engine = [ `Auto | `Kernel | `Compiled ]
 
@@ -38,6 +38,14 @@ type request =
   | Shutdown
   | Inject of inject
 
+type tier = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
 type stats = {
   requests : int;
   campaigns : int;
@@ -48,16 +56,21 @@ type stats = {
   restarts : int;
   crashes : int;
   quarantined : int;
-  hits : int;
-  misses : int;
-  evictions : int;
-  entries : int;
-  capacity : int;
+  model : tier;
+  plan : tier;
+  golden : tier;
 }
 
 type response =
   | Pong of { version : string }
-  | Started of { token : string; total : int; cached : bool }
+  | Started of {
+      token : string;
+      total : int;
+      cached : bool;
+      plan_cached : bool;
+      golden_cached : bool;
+    }
+  | Artifact of { key : string; text : string }
   | Entry of Journal.entry
   | Report of {
       status : int;
@@ -172,12 +185,20 @@ let json_of_entry (e : Journal.entry) =
 let encode_response = function
   | Pong { version = v } ->
     to_string (Obj (hdr "resp" @ [ ("resp", Str "pong"); ("version", Str v) ]))
-  | Started { token; total; cached } ->
+  | Started { token; total; cached; plan_cached; golden_cached } ->
     to_string
       (Obj
          (hdr "resp"
           @ [ ("resp", Str "start"); ("token", Str token);
-              ("total", Int total); ("cached", Bool cached) ]))
+              ("total", Int total); ("cached", Bool cached);
+              ("plan_cached", Bool plan_cached);
+              ("golden_cached", Bool golden_cached) ]))
+  | Artifact { key; text } ->
+    to_string
+      (Obj
+         (hdr "resp"
+          @ [ ("resp", Str "artifact"); ("key", Str key);
+              ("text", Str text) ]))
   | Entry e -> to_string (json_of_entry e)
   | Report { status; code; token; reused; rerun; torn; text } ->
     to_string
@@ -208,6 +229,12 @@ let encode_response = function
           @ opt_int "retry_after_ms" retry_after_ms
           @ [ ("diags", Arr (List.map json_of_diag diags)) ]))
   | Stats_reply s ->
+    let tier prefix (t : tier) =
+      [ (prefix ^ "_hits", Int t.hits); (prefix ^ "_misses", Int t.misses);
+        (prefix ^ "_evictions", Int t.evictions);
+        (prefix ^ "_entries", Int t.entries);
+        (prefix ^ "_capacity", Int t.capacity) ]
+    in
     to_string
       (Obj
          (hdr "resp"
@@ -216,9 +243,9 @@ let encode_response = function
               ("refused", Int s.refused); ("active", Int s.active);
               ("queued", Int s.queued); ("restarts", Int s.restarts);
               ("crashes", Int s.crashes);
-              ("quarantined", Int s.quarantined); ("hits", Int s.hits);
-              ("misses", Int s.misses); ("evictions", Int s.evictions);
-              ("entries", Int s.entries); ("capacity", Int s.capacity) ]))
+              ("quarantined", Int s.quarantined) ]
+          @ tier "model" s.model @ tier "plan" s.plan
+          @ tier "golden" s.golden))
   | Bye -> to_string (Obj (hdr "resp" @ [ ("resp", Str "bye") ]))
 
 (* ---- decoding ----------------------------------------------------- *)
@@ -325,7 +352,11 @@ let response_of_json j =
     Started
       { token = str_field "token" j;
         total = int_field_min ~min:0 "total" j;
-        cached = bool_field "cached" j }
+        cached = bool_field "cached" j;
+        plan_cached = bool_field "plan_cached" j;
+        golden_cached = bool_field "golden_cached" j }
+  | "artifact" ->
+    Artifact { key = str_field "key" j; text = str_field "text" j }
   | "entry" -> Entry (entry_of_json j)
   | "report" ->
     Report
@@ -356,13 +387,18 @@ let response_of_json j =
         retry_after_ms = opt_int_field ~min:0 "retry_after_ms" j; diags }
   | "stats" ->
     let f name = int_field_min ~min:0 name j in
+    let tier prefix =
+      { hits = f (prefix ^ "_hits"); misses = f (prefix ^ "_misses");
+        evictions = f (prefix ^ "_evictions");
+        entries = f (prefix ^ "_entries");
+        capacity = f (prefix ^ "_capacity") }
+    in
     Stats_reply
       { requests = f "requests"; campaigns = f "campaigns";
         drained = f "drained"; refused = f "refused"; active = f "active";
         queued = f "queued"; restarts = f "restarts";
         crashes = f "crashes"; quarantined = f "quarantined";
-        hits = f "hits"; misses = f "misses"; evictions = f "evictions";
-        entries = f "entries"; capacity = f "capacity" }
+        model = tier "model"; plan = tier "plan"; golden = tier "golden" }
   | "bye" -> Bye
   | r -> raise (Reject (Printf.sprintf "unknown response kind %S" r))
 

@@ -21,7 +21,8 @@ module Diag = Csrtl_diag.Diag
 module Journal = Csrtl_fault.Journal
 
 val version : int
-(** Protocol version, currently 1; frames carry it as ["v"]. *)
+(** Protocol version, currently 2 (tiered cache stats, warm-start
+    flags on [Started]); frames carry it as ["v"]. *)
 
 type engine = [ `Auto | `Kernel | `Compiled ]
 
@@ -48,6 +49,15 @@ type request =
   | Shutdown  (** ask the daemon to drain and exit *)
   | Inject of inject
 
+type tier = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** currently resident *)
+  capacity : int;
+}
+(** One cache tier's counters, as reported per tier in {!stats}. *)
+
 type stats = {
   requests : int;  (** frames accepted since startup *)
   campaigns : int;  (** inject requests that ran to completion *)
@@ -61,17 +71,30 @@ type stats = {
   restarts : int;  (** crashed workers restarted from their journal *)
   crashes : int;  (** worker processes that died without a terminal frame *)
   quarantined : int;  (** models currently held by an open circuit breaker *)
-  hits : int;  (** compile-cache hits *)
-  misses : int;
-  evictions : int;
-  entries : int;  (** models currently cached *)
-  capacity : int;
+  model : tier;  (** parsed-model compile cache (keyed by text md5) *)
+  plan : tier;  (** compiled {!Csrtl_core.Batch.plan} cache *)
+  golden : tier;  (** golden {!Csrtl_fault.Artifact} cache *)
 }
 
 type response =
   | Pong of { version : string }
-  | Started of { token : string; total : int; cached : bool }
-      (** accepted: resume token, fault count, compile-cache hit *)
+  | Started of {
+      token : string;
+      total : int;
+      cached : bool;
+      plan_cached : bool;
+      golden_cached : bool;
+    }
+      (** accepted: resume token, fault count, and which cache tiers
+          hit — model (parse skipped), plan (compile skipped), golden
+          (clean simulations skipped) *)
+  | Artifact of { key : string; text : string }
+      (** internal worker→daemon frame: a forked worker ships the
+          golden artifact it built ({!Csrtl_fault.Artifact.to_string}
+          bytes under the golden-tier [key]) back over its pipe before
+          running the campaign, so the parent's golden cache warms
+          even if the worker later crashes.  The supervisor consumes
+          it; clients never see one. *)
   | Entry of Journal.entry  (** one streamed fault outcome *)
   | Report of {
       status : int;  (** 0 clean, 1 findings *)

@@ -27,7 +27,7 @@ sun_path cap on Unix socket addresses:
 The client retries while the daemon is still binding:
 
   $ csrtl request --socket $SOCK --retry 100 --ping
-  pong csrtl-serve/1
+  pong csrtl-serve/2
 
 A served campaign is byte-identical to offline inject output, at any
 engine and batch size; the resume token is a pure function of the
@@ -50,7 +50,7 @@ journal wholesale:
   $ csrtl request --socket $SOCK fig1.rtm > served2.out 2> served2.err
   $ cmp offline.out served2.out
   $ cat served2.err
-  request 0ffd54ff25253b4d: 27 fault(s), model cached
+  request 0ffd54ff25253b4d: 27 fault(s), model cached, plan cached, golden cached
   journal: 27 reused, 0 re-run, 0 torn
 
 Two clients at once, both answered correctly:
@@ -66,17 +66,20 @@ Malformed frames are refused with a status-coded diagnostic on the
 same connection — never a dead socket:
 
   $ csrtl request --socket $SOCK --raw 'garbage {'
-  {"csrtl":"resp","v":1,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.frame","message":"bad frame: expected a JSON value at offset 0"}]}
+  {"csrtl":"resp","v":2,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.frame","message":"bad frame: expected a JSON value at offset 0"}]}
   [2]
-  $ csrtl request --socket $SOCK --raw '{"csrtl":"req","v":1,"op":"frobnicate"}'
-  {"csrtl":"resp","v":1,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.request","message":"unknown op \"frobnicate\""}]}
+  $ csrtl request --socket $SOCK --raw '{"csrtl":"req","v":2,"op":"frobnicate"}'
+  {"csrtl":"resp","v":2,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.request","message":"unknown op \"frobnicate\""}]}
+  [2]
+  $ csrtl request --socket $SOCK --raw '{"csrtl":"req","v":1,"op":"ping"}'
+  {"csrtl":"resp","v":2,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.request","message":"unsupported protocol version 1 (this is v2)"}]}
   [2]
 
 An already-expired deadline drains the campaign to its journal
 checkpoint and hands back the resume token:
 
   $ csrtl request --socket $SOCK fig1.rtm --no-resume --deadline-ms 0
-  request 0ffd54ff25253b4d: 27 fault(s), model cached
+  request 0ffd54ff25253b4d: 27 fault(s), model cached, plan cached, golden cached
   drained (deadline); resume token 0ffd54ff25253b4d
   campaign drained after 0/27 fault(s); resend the request to resume
   [1]
@@ -86,12 +89,16 @@ Resending the request resumes from the journal and completes:
   $ csrtl request --socket $SOCK fig1.rtm > resumed.out 2>/dev/null
   $ cmp offline.out resumed.out
 
-Daemon counters tell the story:
+Daemon counters tell the story (the short sleep lets the last
+worker's reap finish, so the counters are settled, not racing):
 
+  $ sleep 0.2
   $ csrtl request --socket $SOCK --stats
   requests 9 | campaigns 6 | drained 1 | refused 0
   workers: 0 crashes, 0 restarts, 0 quarantined | queue: 0 active, 0 waiting
-  cache: 6 hits, 1 misses, 0 evictions (1/64 models)
+  cache model: 6 hits, 1 misses, 0 evictions (1/64 entries)
+  cache plan: 6 hits, 1 misses, 0 evictions (1/64 entries)
+  cache golden: 6 hits, 1 misses, 0 evictions (1/64 entries)
 
 SIGTERM drains gracefully — exit 0, socket removed, journals kept:
 
@@ -126,7 +133,7 @@ resumes the journal to a byte-identical report:
   $ csrtl serve --socket $SOCK --state-dir state --quiet &
   $ SERVE_PID=$!
   $ csrtl request --socket $SOCK --retry 100 --ping
-  pong csrtl-serve/1
+  pong csrtl-serve/2
   $ (csrtl request --socket $SOCK fig1.rtm --engine kernel --batch 1 --no-resume > /dev/null 2>&1; true) &
   $ CLIENT_PID=$!
   $ sleep 0.2

@@ -485,6 +485,155 @@ let test_journal_outcome_round_trip () =
       Alcotest.(check string) "entries rebuilt byte-identically"
         (entries_string plain) (entries_string r))
 
+(* -- artifacts: the cacheable golden work ---------------------------------- *)
+
+let full_report_string r = report_string r ^ "\n" ^ entries_string r
+
+let plan_of m =
+  match C.Batch.plan m with p -> Some p | exception _ -> None
+
+let test_artifact_round_trip () =
+  let m = fig1 () in
+  let a = F.Campaign.prepare m in
+  (match F.Artifact.validate m ~config:C.Simulate.default a with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "fresh artifact invalid: %s" e);
+  check_bool "checkpoints were taken" true (a.F.Artifact.checkpoints <> []);
+  (* the embedded observation format round-trips on its own *)
+  (match
+     C.Observation.of_string
+       (C.Observation.to_string a.F.Artifact.golden_k)
+   with
+   | Ok o ->
+     check_bool "observation round-trips" true (o = a.F.Artifact.golden_k)
+   | Error e -> Alcotest.failf "observation parse: %s" e);
+  let text = F.Artifact.to_string a in
+  match F.Artifact.of_string text with
+  | Error e -> Alcotest.failf "artifact parse: %s" e
+  | Ok b ->
+    check_bool "artifact round-trips" true (a = b);
+    Alcotest.(check string) "re-serialization is stable" text
+      (F.Artifact.to_string b);
+    (match F.Artifact.validate m ~config:C.Simulate.default b with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "parsed artifact invalid: %s" e)
+
+let test_artifact_save_load () =
+  let m = fig1 () in
+  let a = F.Campaign.prepare m in
+  let path = Filename.temp_file "csrtl_artifact" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      F.Artifact.save path a;
+      check_bool "no tmp file litter" false
+        (Sys.file_exists (path ^ ".tmp"));
+      match F.Artifact.load path with
+      | Ok b -> check_bool "save/load round-trips" true (a = b)
+      | Error e -> Alcotest.failf "load: %s" e)
+
+let test_artifact_totality () =
+  (* any bytes parse to Ok or Error, never an exception — the on-disk
+     cache (and the worker pipe) may hand the parser anything *)
+  let m = fig1 () in
+  let text = F.Artifact.to_string (F.Campaign.prepare m) in
+  let feed s = match F.Artifact.of_string s with Ok _ | Error _ -> () in
+  feed "";
+  feed "garbage";
+  feed "csrtl-artifact 99\nend\n";
+  let n = String.length text in
+  for i = 0 to 40 do
+    feed (String.sub text 0 (i * n / 40))
+  done;
+  let b = Bytes.of_string text in
+  let step = max 1 (n / 53) in
+  let i = ref 0 in
+  while !i < n do
+    let old = Bytes.get b !i in
+    Bytes.set b !i (Char.chr ((Char.code old + 1) land 0xff));
+    feed (Bytes.to_string b);
+    Bytes.set b !i old;
+    i := !i + step
+  done;
+  (* a foreign artifact fails validate; forcing it into a campaign is
+     a caller bug and raises *)
+  let other = V.Consist.random_model 11 in
+  (match
+     F.Artifact.validate other ~config:C.Simulate.default
+       (F.Campaign.prepare m)
+   with
+   | Ok () -> Alcotest.fail "foreign artifact validated"
+   | Error _ -> ());
+  match F.Campaign.run ~golden:(F.Campaign.prepare other) m with
+  | _ -> Alcotest.fail "mismatched golden accepted"
+  | exception Invalid_argument _ -> ()
+
+(* -- warm paths: plan and golden reuse never change report bytes ----------- *)
+
+let warm_matrix (m : C.Model.t) =
+  let plan = plan_of m in
+  let golden = F.Campaign.prepare ?plan m in
+  let reference = full_report_string (F.Campaign.run m) in
+  let check name r =
+    if full_report_string r <> reference then
+      Alcotest.failf "%s report differs from the cold path" name
+  in
+  check "warm-plan" (F.Campaign.run ?plan m);
+  check "warm-golden" (F.Campaign.run ?plan ~golden m);
+  check "golden without plan" (F.Campaign.run ~golden m);
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun (jobs, batch) ->
+          check
+            (Printf.sprintf "parallel warm jobs=%d batch=%d" jobs batch)
+            (F.Campaign.run_parallel ~jobs ~engine ~batch ?plan ~golden m))
+        [ (1, 1); (2, 8); (2, 64) ])
+    [ `Auto; `Kernel; `Compiled ]
+
+let test_warm_fig1 () = warm_matrix (fig1 ())
+
+let test_warm_custom_faults () =
+  (* a caller-supplied fault list may restore from boundaries the
+     artifact's enumerate-derived superset never recorded: the warm
+     campaign computes the missing ones, bytes unchanged *)
+  let m = fig1 () in
+  let golden = F.Campaign.prepare m in
+  let faults =
+    [ F.Fault.Oscillator
+        { sink = List.hd m.C.Model.buses; step = 1; phase = C.Phase.Ra };
+      F.Fault.Extra_driver
+        { sink = "NO_SUCH_BUS"; step = 1; phase = C.Phase.Ra; value = 1 };
+      List.hd (F.Fault.enumerate m) ]
+  in
+  let cold = F.Campaign.run ~faults m in
+  let warm = F.Campaign.run ~faults ~golden m in
+  Alcotest.(check string) "custom fault list, warm = cold"
+    (full_report_string cold) (full_report_string warm);
+  let cold3 = F.Campaign.run ~limit:3 m in
+  let warm3 = F.Campaign.run ~limit:3 ~golden m in
+  Alcotest.(check string) "limited slice, warm = cold"
+    (full_report_string cold3) (full_report_string warm3);
+  with_temp_journal (fun path ->
+      let rj, _ =
+        match
+          F.Campaign.run_journaled ~golden ~journal:path ~resume:false m
+        with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "warm journaled run: %s" e
+      in
+      Alcotest.(check string) "journaled warm = cold"
+        (full_report_string (F.Campaign.run m))
+        (full_report_string rj))
+
+let warm_property =
+  QCheck.Test.make
+    ~name:"plan+golden reuse never changes report bytes" ~count:15
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      warm_matrix (V.Consist.random_model ~conflict:(seed mod 3 = 0) seed);
+      true)
+
 (* -- kernel/interpreter agreement on random models x faults ---------------- *)
 
 let restore_property =
@@ -566,5 +715,18 @@ let () =
             test_journal_concurrent_appends;
           Alcotest.test_case "outcome payloads round-trip" `Quick
             test_journal_outcome_round_trip ] );
+      ( "artifact",
+        [ Alcotest.test_case "serialization round-trips" `Quick
+            test_artifact_round_trip;
+          Alcotest.test_case "save/load is atomic" `Quick
+            test_artifact_save_load;
+          Alcotest.test_case "parser and validate are total" `Quick
+            test_artifact_totality ] );
+      ( "warm path",
+        [ Alcotest.test_case "fig1 warm = cold at every config" `Quick
+            test_warm_fig1;
+          Alcotest.test_case "custom faults and journaled warm runs" `Quick
+            test_warm_custom_faults;
+          QCheck_alcotest.to_alcotest ~long:false warm_property ] );
       ( "agreement",
         [ QCheck_alcotest.to_alcotest ~long:false agreement_property ] ) ]

@@ -86,7 +86,13 @@ let gen_response =
     [ (1, map (fun v -> S.Frame.Pong { version = v }) str);
       ( 2,
         let* token = str and* total = nat and* cached = bool in
-        return (S.Frame.Started { token; total; cached }) );
+        let* plan_cached = bool and* golden_cached = bool in
+        return
+          (S.Frame.Started
+             { token; total; cached; plan_cached; golden_cached }) );
+      ( 1,
+        let* key = str and* text = gen_bytes 400 in
+        return (S.Frame.Artifact { key; text }) );
       (3, map (fun e -> S.Frame.Entry e) gen_entry);
       ( 3,
         let* status = int_bound 3 and* code = int_bound 5 in
@@ -111,16 +117,19 @@ let gen_response =
         let* retry_after_ms = nat in
         return (S.Frame.Queued { position; retry_after_ms }) );
       ( 1,
+        let gen_tier =
+          let* hits = nat and* misses = nat in
+          let* evictions = nat and* entries = nat and* capacity = nat in
+          return { S.Frame.hits; misses; evictions; entries; capacity }
+        in
         let* requests = nat and* campaigns = nat and* drained = nat in
         let* refused = nat and* active = nat and* queued = nat in
         let* restarts = nat and* crashes = nat and* quarantined = nat in
-        let* hits = nat and* misses = nat in
-        let* evictions = nat and* entries = nat and* capacity = nat in
+        let* model = gen_tier and* plan = gen_tier and* golden = gen_tier in
         return
           (S.Frame.Stats_reply
              { requests; campaigns; drained; refused; active; queued;
-               restarts; crashes; quarantined; hits; misses; evictions;
-               entries; capacity }) );
+               restarts; crashes; quarantined; model; plan; golden }) );
       (1, return S.Frame.Bye) ]
 
 (* -- codec properties ------------------------------------------------------- *)
@@ -165,12 +174,15 @@ let test_decode_hostile () =
   (* trailing garbage after a valid frame is transport rot *)
   (match
      S.Frame.decode_request
-       "{\"csrtl\":\"req\",\"v\":1,\"op\":\"ping\"} extra"
+       "{\"csrtl\":\"req\",\"v\":2,\"op\":\"ping\"} extra"
    with
    | Ok _ -> Alcotest.fail "trailing garbage accepted"
    | Error _ -> ());
-  (* wrong version is refused deterministically *)
-  match S.Frame.decode_request "{\"csrtl\":\"req\",\"v\":2,\"op\":\"ping\"}" with
+  (* wrong version — past or future — is refused deterministically *)
+  (match S.Frame.decode_request "{\"csrtl\":\"req\",\"v\":1,\"op\":\"ping\"}" with
+   | Ok _ -> Alcotest.fail "stale protocol version accepted"
+   | Error _ -> ());
+  match S.Frame.decode_request "{\"csrtl\":\"req\",\"v\":3,\"op\":\"ping\"}" with
   | Ok _ -> Alcotest.fail "future protocol version accepted"
   | Error ds ->
     check_bool "names the version" true
@@ -178,7 +190,7 @@ let test_decode_hostile () =
          (fun (d : Diag.t) ->
            d.Diag.rule = "serve.request"
            &&
-           match String.index_opt d.Diag.message '2' with
+           match String.index_opt d.Diag.message '3' with
            | Some _ -> true
            | None -> false)
          ds)
@@ -267,29 +279,46 @@ let test_cache_and_token_stability () =
   with_engine (fun t ->
       let q = basic_inject text in
       let started = function
-        | S.Frame.Started { token; total = _; cached } :: _ ->
-          (token, cached)
+        | S.Frame.Started { token; total = _; cached; plan_cached; golden_cached }
+          :: _ ->
+          (token, cached, plan_cached, golden_cached)
         | _ -> Alcotest.fail "no Started frame"
       in
-      let tok1, cached1 = started (collect t (S.Frame.Inject q)) in
+      let tok1, cached1, plan1, golden1 =
+        started (collect t (S.Frame.Inject q))
+      in
       check_bool "first compile misses" false cached1;
-      let tok2, cached2 = started (collect t (S.Frame.Inject q)) in
+      check_bool "first plan misses" false plan1;
+      check_bool "first golden misses" false golden1;
+      let tok2, cached2, plan2, golden2 =
+        started (collect t (S.Frame.Inject q))
+      in
       check_bool "second compile hits" true cached2;
+      check_bool "second plan hits" true plan2;
+      check_bool "second golden hits" true golden2;
       check_bool "token is stable" true (tok1 = tok2);
       check_int "token is 16 hex chars" 16 (String.length tok1);
       let stats = S.Engine.stats t in
-      check_int "one miss" 1 stats.S.Frame.misses;
-      check_int "one hit" 1 stats.S.Frame.hits;
+      check_int "one model miss" 1 stats.S.Frame.model.S.Frame.misses;
+      check_int "one model hit" 1 stats.S.Frame.model.S.Frame.hits;
+      check_int "one plan miss" 1 stats.S.Frame.plan.S.Frame.misses;
+      check_int "one plan hit" 1 stats.S.Frame.plan.S.Frame.hits;
+      check_int "one golden miss" 1 stats.S.Frame.golden.S.Frame.misses;
+      check_int "one golden hit" 1 stats.S.Frame.golden.S.Frame.hits;
       (* tokens key the campaign identity, not the raw bytes: a
          comment-only edit keeps the token (and its journal), while a
          different fault list gets its own *)
-      let tok3, cached3 =
+      let tok3, cached3, plan3, golden3 =
         started
           (collect t (S.Frame.Inject (basic_inject (text ^ "# tail\n"))))
       in
       check_bool "comment-only edit keeps the token" true (tok3 = tok1);
       check_bool "but recompiles (cache keys raw bytes)" false cached3;
-      let tok4, _ =
+      (* ... while the artifact tiers key the parsed model's digest, so
+         the comment-only edit still rides the warm plan and golden *)
+      check_bool "comment-only edit keeps the plan" true plan3;
+      check_bool "comment-only edit keeps the golden" true golden3;
+      let tok4, _, _, _ =
         started
           (collect t (S.Frame.Inject { q with limit = Some 3 }))
       in
@@ -527,6 +556,158 @@ let test_admission_bounds () =
   check_int "queue empty after drain" 0
     (S.Admission.snapshot a).S.Admission.queued
 
+(* -- cache tiers ------------------------------------------------------------ *)
+
+let test_cache_lru_stamp_refresh () =
+  (* regression: a second insert under the same key must refresh the
+     LRU stamp (it is a use), not silently drop and leave the entry
+     cold — and must keep the first writer's value *)
+  let c = S.Cache.create ~capacity:2 in
+  S.Cache.add c "a" 1;
+  S.Cache.add c "b" 2;
+  S.Cache.add c "a" 9;
+  S.Cache.add c "c" 3;
+  (match S.Cache.find c "a" with
+   | Some v ->
+     check_int "first writer's value kept" 1 v
+   | None -> Alcotest.fail "re-added entry evicted: stamp not refreshed");
+  check_bool "b was the LRU victim" true (S.Cache.find c "b" = None);
+  check_bool "c resident" true (S.Cache.find c "c" = Some 3);
+  let st = S.Cache.stats c in
+  check_int "exactly one eviction" 1 st.S.Cache.evictions;
+  check_int "at capacity" 2 st.S.Cache.entries
+
+let test_cache_concurrent_threads () =
+  (* capacity 1 under 8 threads: every op total, entries stay bounded,
+     hit/miss accounting covers every find *)
+  let c = S.Cache.create ~capacity:1 in
+  let n_threads = 8 and per = 200 in
+  let ts =
+    List.init n_threads (fun tid ->
+        Thread.create
+          (fun () ->
+            for k = 0 to per - 1 do
+              let key = Printf.sprintf "%d-%d" tid (k mod 5) in
+              (match S.Cache.find c key with Some _ | None -> ());
+              S.Cache.add c key ((tid * per) + k)
+            done)
+          ())
+  in
+  List.iter Thread.join ts;
+  let st = S.Cache.stats c in
+  check_int "entries bounded by capacity" 1 st.S.Cache.entries;
+  check_int "every find accounted"
+    (n_threads * per)
+    (st.S.Cache.hits + st.S.Cache.misses);
+  check_bool "churn evicted" true (st.S.Cache.evictions > 0)
+
+let test_warm_requests_byte_identical () =
+  (* second identical request rides the plan and golden tiers; the
+     response bytes must not move *)
+  let text = fig1_text () in
+  let m, _ = Result.get_ok (C.Rtm.parse text) in
+  List.iter
+    (fun (engine, batch) ->
+      let offline =
+        S.Engine.render_report ~table:false
+          (F.Campaign.run ~engine ~batch m)
+      in
+      with_engine (fun t ->
+          let q = { (basic_inject text) with engine; batch; resume = false } in
+          let cold = report_of (collect t (S.Frame.Inject q)) in
+          let warm = report_of (collect t (S.Frame.Inject q)) in
+          Alcotest.(check string) "cold = offline" offline cold.text;
+          Alcotest.(check string) "warm = offline" offline warm.text))
+    [ (`Auto, 32); (`Kernel, 1); (`Compiled, 8) ]
+
+let test_tiers_disabled_byte_identical () =
+  let text = fig1_text () in
+  let m, _ = Result.get_ok (C.Rtm.parse text) in
+  let offline = S.Engine.render_report ~table:false (F.Campaign.run m) in
+  with_engine
+    ~tweak:(fun c ->
+      { c with
+        S.Engine.plan_cache_capacity = 0; golden_cache_capacity = 0 })
+    (fun t ->
+      let q = { (basic_inject text) with resume = false } in
+      let r1 = report_of (collect t (S.Frame.Inject q)) in
+      Alcotest.(check string) "disabled tiers = offline bytes" offline
+        r1.text;
+      (match collect t (S.Frame.Inject q) with
+       | S.Frame.Started { plan_cached; golden_cached; _ } :: _ ->
+         check_bool "no plan hit when disabled" false plan_cached;
+         check_bool "no golden hit when disabled" false golden_cached
+       | _ -> Alcotest.fail "no Started frame");
+      let st = S.Engine.stats t in
+      check_int "disabled plan tier shows zero capacity" 0
+        st.S.Frame.plan.S.Frame.capacity;
+      check_int "disabled golden tier shows zero capacity" 0
+        st.S.Frame.golden.S.Frame.capacity)
+
+let test_tier_eviction_under_concurrency () =
+  (* distinct models churning width-1 tiers from three threads: the
+     reports stay byte-identical to offline and the tiers stay bounded
+     while evicting *)
+  let module V = Csrtl_verify in
+  let models =
+    List.init 4 (fun i -> V.Consist.random_model ((i * 7) + 1))
+  in
+  let jobs =
+    List.map
+      (fun m ->
+        ( C.Rtm.to_string m,
+          S.Engine.render_report ~table:false
+            (F.Campaign.run ~limit:8 m) ))
+      models
+  in
+  with_engine
+    ~tweak:(fun c ->
+      { c with
+        S.Engine.cache_capacity = 1; plan_cache_capacity = 1;
+        golden_cache_capacity = 1; max_pending = 4; max_queue = 64;
+        max_queue_per_client = 16 })
+    (fun t ->
+      let failures = ref [] in
+      let lock = Mutex.create () in
+      let worker tid =
+        Thread.create
+          (fun () ->
+            List.iteri
+              (fun i (text, want) ->
+                let q =
+                  { (basic_inject text) with
+                    limit = Some 8; resume = false }
+                in
+                match report_of (collect t (S.Frame.Inject q)) with
+                | r when r.text = want -> ()
+                | _ ->
+                  Mutex.lock lock;
+                  failures := (tid, i) :: !failures;
+                  Mutex.unlock lock
+                | exception e ->
+                  Mutex.lock lock;
+                  failures := (tid, i) :: !failures;
+                  Mutex.unlock lock;
+                  ignore e)
+              jobs)
+          ()
+      in
+      let ts = List.init 3 worker in
+      List.iter Thread.join ts;
+      (match !failures with
+       | [] -> ()
+       | (tid, i) :: _ ->
+         Alcotest.failf "thread %d model %d: report differs under churn"
+           tid i);
+      let st = S.Engine.stats t in
+      check_bool "plan tier evicted" true
+        (st.S.Frame.plan.S.Frame.evictions > 0);
+      check_bool "golden tier evicted" true
+        (st.S.Frame.golden.S.Frame.evictions > 0);
+      check_bool "tiers stayed bounded" true
+        (st.S.Frame.plan.S.Frame.entries <= 1
+        && st.S.Frame.golden.S.Frame.entries <= 1))
+
 (* -- forked workers --------------------------------------------------------- *)
 
 let forked ?(tweak = fun c -> c) f =
@@ -552,6 +733,19 @@ let test_forked_matches_offline () =
         r.text;
       check_int "exit code over the wire" (S.Engine.inject_code offline)
         r.code;
+      (* the worker shipped its artifact home before campaigning, so
+         the retry is warm — and still byte-identical *)
+      let rs2 =
+        collect t (S.Frame.Inject { (basic_inject text) with resume = false })
+      in
+      (match rs2 with
+       | S.Frame.Started { golden_cached; _ } :: _ ->
+         check_bool "second forked request is golden-warm" true
+           golden_cached
+       | _ -> Alcotest.fail "no Started frame");
+      Alcotest.(check string) "warm forked report = offline bytes"
+        (S.Engine.render_report ~table:false offline)
+        (report_of rs2).text;
       let stats = S.Engine.stats t in
       check_int "no crashes" 0 stats.S.Frame.crashes;
       check_int "no restarts" 0 stats.S.Frame.restarts)
@@ -774,7 +968,17 @@ let () =
             test_engine_matches_offline ] );
       ( "cache",
         [ Alcotest.test_case "hit accounting and token stability" `Quick
-            test_cache_and_token_stability ] );
+            test_cache_and_token_stability;
+          Alcotest.test_case "re-add refreshes the LRU stamp" `Quick
+            test_cache_lru_stamp_refresh;
+          Alcotest.test_case "concurrent threads, capacity 1" `Quick
+            test_cache_concurrent_threads;
+          Alcotest.test_case "warm requests byte-identical" `Quick
+            test_warm_requests_byte_identical;
+          Alcotest.test_case "disabled tiers byte-identical" `Quick
+            test_tiers_disabled_byte_identical;
+          Alcotest.test_case "tier eviction under concurrency" `Quick
+            test_tier_eviction_under_concurrency ] );
       ( "drain",
         [ Alcotest.test_case "deadline drain then resume" `Quick
             test_deadline_drain_then_resume;
