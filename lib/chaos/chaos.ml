@@ -213,7 +213,7 @@ let run ?(log = fun _ -> ()) ~seed ~runs () =
   let ping_alive label =
     let got = ref false in
     S.Engine.handle eng S.Frame.Ping
-      ~emit:(fun r -> if r = S.Frame.Pong { version = "csrtl-serve/2" } then got := true);
+      ~emit:(fun r -> if r = S.Frame.Pong { version = "csrtl-serve/3" } then got := true);
     if not !got then violate "%s: daemon stopped answering ping" label
   in
   (* -- corpus + priming --------------------------------------------- *)

@@ -1,0 +1,38 @@
+(** Seeded network chaos against a real [csrtl serve --tcp] fleet.
+
+    Spawns [replicas] authenticated TCP replica processes (the given
+    [csrtl] binary) over one shared state directory — each with the
+    CSRTL_SERVE_KILL_NTH=10 knob SIGKILLing every 10th worker spawn —
+    and injects the faults only a network can deliver: replica SIGKILL
+    mid-campaign (the fleet router must migrate the campaign and keep
+    the report byte-identical to offline [csrtl inject]), connection
+    reset mid-frame, auth-token corruption (must be refused under
+    [serve.auth], status 1, without hurting the replica), and
+    partition-then-heal via SIGSTOP/SIGCONT (probes must eject, route
+    around, and re-admit after the cooloff).
+
+    Deterministic in [seed] via {!Chaos.Rng}; exposed to the CLI as
+    [csrtl chaos --fleet] and to CI as [make fleet-smoke]. *)
+
+type summary = {
+  scenarios : int;
+  replica_kills : int;  (** replicas SIGKILLed (and respawned) *)
+  resets : int;  (** mid-frame connection resets injected *)
+  auth_rejects : int;  (** corrupted-secret connects refused *)
+  partitions : int;  (** SIGSTOP partitions (healed afterwards) *)
+  migrations : int;  (** campaigns that finished on a later hop *)
+  violations : string list;  (** empty iff every invariant held *)
+}
+
+val run :
+  ?log:(string -> unit) ->
+  csrtl_exe:string ->
+  seed:int ->
+  runs:int ->
+  replicas:int ->
+  unit ->
+  summary
+(** Run [runs] seeded scenarios against a fresh [replicas]-wide fleet
+    (at least 2, or [Invalid_argument]).  The state directory, secret
+    file and replica processes are cleaned up afterwards, whatever
+    happened. *)

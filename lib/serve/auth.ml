@@ -1,0 +1,93 @@
+(* Per-connection challenge/response authentication for the TCP
+   transport.  The server sends a fresh nonce in its [Hello] frame;
+   the client answers with HMAC(secret, nonce); the server verifies in
+   constant time.  The secret itself never crosses the wire, and a
+   sniffed response is useless against any other nonce.
+
+   The MAC is HMAC over the stdlib's Digest (MD5) — the only hash the
+   toolchain ships.  That is an integrity/identity gate against
+   misconfigured or unauthorized clients, the threat model of a
+   private campaign fleet; it is not a defence against an active
+   on-path attacker (use a tunnel for hostile networks —
+   docs/SERVICE.md "Multi-host deployment"). *)
+
+let block_size = 64
+
+let hmac ~secret msg =
+  let key =
+    if String.length secret > block_size then Digest.string secret
+    else secret
+  in
+  let key = key ^ String.make (block_size - String.length key) '\000' in
+  let xored c = String.map (fun k -> Char.chr (Char.code k lxor c)) key in
+  Digest.to_hex
+    (Digest.string (xored 0x5c ^ Digest.string (xored 0x36 ^ msg)))
+
+(* Constant-time equality: a timing oracle over the MAC comparison
+   would let an attacker grind out a valid response byte by byte. *)
+let equal_macs a b =
+  String.length a = String.length b
+  && begin
+    let diff = ref 0 in
+    String.iteri
+      (fun i c -> diff := !diff lor (Char.code c lxor Char.code b.[i]))
+      a;
+    !diff = 0
+  end
+
+let verify ~secret ~nonce ~mac = equal_macs (hmac ~secret nonce) mac
+
+(* Nonce freshness: /dev/urandom when the platform has it, otherwise
+   a digest over (time, pid, counter) — unpredictable enough to keep
+   responses single-use, and never a blocking read. *)
+let counter = Atomic.make 0
+
+let urandom n =
+  match Unix.openfile "/dev/urandom" [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    let b = Bytes.create n in
+    let got =
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+        (fun () ->
+          try Unix.read fd b 0 n with Unix.Unix_error (_, _, _) -> 0)
+    in
+    if got = n then Some (Bytes.to_string b) else None
+  | exception Unix.Unix_error (_, _, _) -> None
+
+let fresh_nonce () =
+  let entropy =
+    match urandom 16 with
+    | Some bytes -> bytes
+    | None ->
+      Digest.string
+        (Printf.sprintf "%.9f|%d|%d"
+           (Unix.gettimeofday ())
+           (Unix.getpid ())
+           (Atomic.fetch_and_add counter 1))
+  in
+  Digest.to_hex (Digest.string entropy)
+
+(* The secret file: first line, surrounding whitespace stripped —
+   `echo $SECRET > file` and a trailing-newline-free file provision
+   the same key.  Unreadable or empty files are configuration errors
+   reported to the operator, never a silently-open daemon. *)
+let load_secret path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error (Printf.sprintf "cannot read secret: %s" e)
+  | ic ->
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let stop =
+      match String.index_opt text '\n' with
+      | Some i -> i
+      | None -> String.length text
+    in
+    let secret = String.trim (String.sub text 0 stop) in
+    if secret = "" then
+      Error (Printf.sprintf "secret file %s is empty" path)
+    else Ok secret

@@ -1,0 +1,27 @@
+(** HMAC challenge/response authentication for the TCP transport.
+
+    The daemon's [Hello] frame carries a fresh {!fresh_nonce}; the
+    client answers with {!hmac} over it; the daemon {!verify}s in
+    constant time.  The secret never crosses the wire.  Wrong or
+    missing keys are refused under rule [serve.auth] (status 1) and
+    the connection closed — never a crash.  Unix-socket connections
+    skip the handshake entirely (filesystem permissions already gate
+    them). *)
+
+val hmac : secret:string -> string -> string
+(** [hmac ~secret msg] is the hex HMAC-MD5 of [msg] under [secret]. *)
+
+val verify : secret:string -> nonce:string -> mac:string -> bool
+(** Constant-time check that [mac] = [hmac ~secret nonce]. *)
+
+val equal_macs : string -> string -> bool
+(** Constant-time string equality (length leaks, bytes do not). *)
+
+val fresh_nonce : unit -> string
+(** A single-use challenge: /dev/urandom when available, otherwise a
+    digest over (time, pid, counter). *)
+
+val load_secret : string -> (string, string) result
+(** Read a shared secret from a file: first line, trimmed.  Empty or
+    unreadable files are errors — a daemon never falls back to
+    running open. *)

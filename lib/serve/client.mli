@@ -1,13 +1,32 @@
-(** Client plumbing for the daemon socket, shared by the [csrtl
-    request] subcommand, the lifecycle tests and the C13 bench. *)
+(** Client plumbing for the daemon transport, shared by the [csrtl
+    request] subcommand, the fleet router ({!Fleet}), the lifecycle
+    tests and the C13 bench. *)
 
 type conn
 
 val connect :
-  ?retries:int -> ?delay:float -> string -> (conn, string) result
-(** Connect to the Unix socket at the given path, retrying a refused
-    or missing socket [retries] times (default 0) every [delay]
-    seconds — the "wait for the daemon to come up" loop. *)
+  ?retries:int -> ?delay:float -> ?secret:string -> ?hello_timeout_s:float ->
+  Endpoint.t -> (conn, string) result
+(** Connect to the daemon, retrying {e transient} failures (missing
+    socket file, connection refused, resets, timeouts) [retries] times
+    (default 0) every [delay] seconds — the "wait for the daemon to
+    come up" loop.  Non-transient errors (EACCES and friends) fail
+    immediately: retrying a permission problem only hides it.  The
+    error message carries a hint for the common cases — ENOENT means
+    the daemon was probably never started, ECONNREFUSED on a Unix
+    socket means a stale file from a crashed daemon.
+
+    On TCP the connection starts with the daemon's [Hello] challenge
+    (awaited for at most [hello_timeout_s], default 10): when the
+    daemon demands auth and [secret] is given, the challenge is
+    answered with {!Auth.hmac} before [connect] returns.  With no
+    [secret] the connection still opens — the first request will come
+    back as a status-1 [serve.auth] refusal, which is the diagnostic
+    the operator needs.  Unix sockets have no handshake. *)
+
+val advertised : conn -> string list
+(** The fleet endpoints the daemon advertised in its [Hello] frame
+    (empty on Unix sockets and undecorated replicas). *)
 
 val send : conn -> Frame.request -> (unit, string) result
 
@@ -23,6 +42,12 @@ val next :
     the raw line plus its decoded frame. *)
 
 val close : conn -> unit
+
+val close_with_reset : conn -> unit
+(** Close with SO_LINGER 0, so a TCP peer sees a hard RST instead of
+    a FIN — how a crashed client looks from the daemon's side.  The
+    chaos harness injects resets mid-frame with this; on Unix sockets
+    it degrades to a plain {!close}. *)
 
 val retryable : Frame.response -> int option option
 (** [Some retry_after_ms] when the response is a transient refusal a

@@ -1,0 +1,115 @@
+(* One name for "where a daemon listens": a Unix socket path or a TCP
+   host:port.  Everything that dials or binds a daemon — the server,
+   the client, the fleet router, the CLI — goes through here, so the
+   two transports stay behaviourally identical above the connect. *)
+
+type t =
+  | Unix_path of string
+  | Tcp of string * int
+
+let to_string = function
+  | Unix_path p -> p
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+(* HOST:PORT iff the text after the last ':' parses as a port; else a
+   Unix socket path.  "127.0.0.1:7430" routes to TCP, "csrtl.sock"
+   and "./state:dir/x.sock" (no trailing port) stay paths. *)
+let of_string s =
+  match String.rindex_opt s ':' with
+  | None -> Ok (Unix_path s)
+  | Some i ->
+    let host = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt rest with
+     | Some port when port > 0 && port < 65536 && host <> "" ->
+       Ok (Tcp (host, port))
+     | Some port when host <> "" ->
+       Error (Printf.sprintf "port %d out of range in %S" port s)
+     | _ -> Ok (Unix_path s))
+
+let is_tcp = function Tcp _ -> true | Unix_path _ -> false
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ ->
+    (match Unix.gethostbyname host with
+     | { Unix.h_addr_list = [||]; _ } ->
+       Error (Printf.sprintf "host %S resolves to no address" host)
+     | { Unix.h_addr_list = addrs; _ } -> Ok addrs.(0)
+     | exception Not_found ->
+       Error (Printf.sprintf "cannot resolve host %S" host))
+
+let sockaddr = function
+  | Unix_path p -> Ok (Unix.ADDR_UNIX p)
+  | Tcp (host, port) ->
+    Result.map (fun a -> Unix.ADDR_INET (a, port)) (resolve host)
+
+let domain = function Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+(* Dial.  TCP connections get NODELAY (the protocol is short
+   request/response lines; Nagle would batch them against us) and
+   KEEPALIVE (a silently vanished peer eventually errors the socket
+   instead of pinning it forever). *)
+let connect t =
+  match sockaddr t with
+  | Error msg -> Error (`Msg msg)
+  | Ok addr ->
+    let fd = Unix.socket (domain t) Unix.SOCK_STREAM 0 in
+    (match
+       (match t with
+        | Tcp _ ->
+          Unix.setsockopt fd Unix.TCP_NODELAY true;
+          Unix.setsockopt fd Unix.SO_KEEPALIVE true
+        | Unix_path _ -> ());
+       Unix.connect fd addr
+     with
+     | () -> Ok fd
+     | exception Unix.Unix_error (e, _, _) ->
+       (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+       Error (`Unix e))
+
+(* Bind and listen.  Unix paths unlink a stale socket file first (a
+   SIGKILLed daemon leaves one behind); TCP sets REUSEADDR so a
+   restarted replica can rebind its port without waiting out
+   TIME_WAIT — the fleet failover tests restart replicas in
+   milliseconds. *)
+let listen ?(backlog = 64) t =
+  match sockaddr t with
+  | Error msg -> Error msg
+  | Ok addr ->
+    (match t with
+     | Unix_path p ->
+       (try Unix.unlink p with Unix.Unix_error (_, _, _) -> ())
+     | Tcp _ -> ());
+    let fd = Unix.socket (domain t) Unix.SOCK_STREAM 0 in
+    (match
+       (match t with
+        | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+        | Unix_path _ -> ());
+       Unix.bind fd addr;
+       Unix.listen fd backlog
+     with
+     | () -> Ok fd
+     | exception Unix.Unix_error (e, _, _) ->
+       (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+       Error
+         (Printf.sprintf "cannot listen on %s: %s" (to_string t)
+            (Unix.error_message e)))
+
+(* After an accept, configure the per-connection socket the same way
+   the dialer does its end. *)
+let setup_accepted t fd =
+  match t with
+  | Tcp _ ->
+    (try
+       Unix.setsockopt fd Unix.TCP_NODELAY true;
+       Unix.setsockopt fd Unix.SO_KEEPALIVE true
+     with Unix.Unix_error (_, _, _) -> ())
+  | Unix_path _ -> ()
+
+let cleanup t =
+  match t with
+  | Unix_path p ->
+    (try Unix.unlink p with Unix.Unix_error (_, _, _) -> ())
+  | Tcp _ -> ()

@@ -1,0 +1,33 @@
+(** Daemon addresses: a Unix socket path or a TCP host:port.
+
+    The same line-framed protocol runs over both; everything that
+    dials or binds a daemon goes through here so the transports only
+    differ below the connect.  TCP sockets get NODELAY + KEEPALIVE on
+    both ends and REUSEADDR on the listener (replica restarts must
+    rebind instantly). *)
+
+type t =
+  | Unix_path of string
+  | Tcp of string * int
+
+val of_string : string -> (t, string) result
+(** ["HOST:PORT"] (port in 1..65535) parses as {!Tcp}; anything else
+    is a {!Unix_path}.  Only an out-of-range explicit port errors. *)
+
+val to_string : t -> string
+
+val is_tcp : t -> bool
+
+val connect : t -> (Unix.file_descr, [ `Unix of Unix.error | `Msg of string ]) result
+(** Dial the endpoint.  [`Unix e] preserves the errno so callers can
+    tell a missing daemon ([ENOENT]/[ECONNREFUSED]) from a permission
+    problem ([EACCES]); [`Msg] covers resolution failures. *)
+
+val listen : ?backlog:int -> t -> (Unix.file_descr, string) result
+(** Bind + listen.  Unlinks a stale Unix socket file first. *)
+
+val setup_accepted : t -> Unix.file_descr -> unit
+(** Apply per-connection socket options to an accepted fd. *)
+
+val cleanup : t -> unit
+(** Remove the Unix socket file (no-op for TCP). *)

@@ -1,0 +1,272 @@
+(* Client-side routing over a replica fleet.  No coordinator: every
+   client ranks the same replicas the same way (rendezvous hashing on
+   the campaign key), so campaigns shard consistently without any
+   shared state beyond the daemons' common state directory.  Health is
+   learned, not configured — ping probes feed an EWMA latency and a
+   consecutive-failure breaker per endpoint, mirroring the daemon's
+   own per-model quarantine: trip after [eject_threshold] consecutive
+   failures, refuse routes for [cooloff_s], then let one half-open
+   attempt decide.
+
+   Failover is resubmission: journals live in the shared state
+   directory keyed by resume token, so when a replica dies mid-flight
+   the router re-sends the same request (resume forced on) to the
+   next-ranked healthy replica, which replays the journal and
+   continues.  The terminal report is byte-identical to offline
+   [csrtl inject] no matter how many replicas the campaign crossed. *)
+
+module Diag = Csrtl_diag.Diag
+
+type replica = {
+  ep : Endpoint.t;
+  mutable ewma_ms : float;  (* smoothed ping latency; nan until probed *)
+  mutable failures : int;  (* consecutive, reset on any success *)
+  mutable ejected_until : float;  (* wall deadline; 0. = not ejected *)
+}
+
+type t = {
+  replicas : replica array;
+  secret : string option;
+  eject_threshold : int;
+  cooloff_s : float;
+  alpha : float;  (* EWMA smoothing for probe latency *)
+  connect_retries : int;
+  connect_delay : float;
+  max_hops : int;  (* migrations before run gives up *)
+  log : string -> unit;
+}
+
+let create ?secret ?(eject_threshold = 3) ?(cooloff_s = 5.) ?(alpha = 0.3)
+    ?(connect_retries = 0) ?(connect_delay = 0.05) ?max_hops
+    ?(log = fun _ -> ()) endpoints =
+  if endpoints = [] then invalid_arg "Fleet.create: no endpoints";
+  let replicas =
+    Array.of_list
+      (List.map
+         (fun ep ->
+           { ep; ewma_ms = Float.nan; failures = 0; ejected_until = 0. })
+         endpoints)
+  in
+  { replicas; secret; eject_threshold; cooloff_s; alpha;
+    connect_retries; connect_delay;
+    max_hops =
+      (match max_hops with
+       | Some h -> h
+       | None -> (2 * Array.length replicas) + 1);
+    log }
+
+(* success with no timing (a completed campaign): close the breaker
+   but leave the latency estimate to the pings *)
+let note_alive r =
+  r.failures <- 0;
+  r.ejected_until <- 0.
+
+let note_success t r ~latency_ms =
+  note_alive r;
+  r.ewma_ms <-
+    (if Float.is_nan r.ewma_ms then latency_ms
+     else (t.alpha *. latency_ms) +. ((1. -. t.alpha) *. r.ewma_ms))
+
+let note_failure t r =
+  r.failures <- r.failures + 1;
+  if r.failures >= t.eject_threshold then begin
+    r.ejected_until <- Unix.gettimeofday () +. t.cooloff_s;
+    t.log
+      (Printf.sprintf "fleet: ejecting %s after %d consecutive failures \
+                       (cooloff %.1fs)"
+         (Endpoint.to_string r.ep) r.failures t.cooloff_s)
+  end
+
+(* An ejected replica whose cooloff has lapsed is half-open: it ranks
+   with the healthy again, and its next use closes or re-trips the
+   breaker. *)
+let available r = r.ejected_until <= Unix.gettimeofday ()
+
+(* ---- rendezvous (highest-random-weight) hashing ------------------ *)
+
+(* Every client computes the same weight for (key, replica) — md5 over
+   both — so the fleet agrees on each campaign's home replica without
+   talking to each other, and losing one replica only remaps the
+   campaigns that lived there. *)
+let weight ~key r =
+  Digest.to_hex (Digest.string (Endpoint.to_string r.ep ^ "|" ^ key))
+
+(* Available replicas first (by descending weight), ejected ones after
+   (same order) — a last resort when the whole fleet looks down. *)
+let rank_replicas t ~key =
+  let scored =
+    Array.to_list t.replicas
+    |> List.map (fun r -> (weight ~key r, r))
+    |> List.sort (fun (a, _) (b, _) -> compare b a)
+    |> List.map snd
+  in
+  let avail, ejected = List.partition available scored in
+  avail @ ejected
+
+let rank t ~key =
+  List.map (fun r -> Endpoint.to_string r.ep) (rank_replicas t ~key)
+
+(* ---- probing ----------------------------------------------------- *)
+
+type health = {
+  endpoint : string;
+  alive : bool;
+  latency_ms : float;  (* EWMA; nan when never reached *)
+  consecutive_failures : int;
+  ejected : bool;
+}
+
+let probe_one t r =
+  let t0 = Unix.gettimeofday () in
+  match
+    Client.connect ~retries:t.connect_retries ~delay:t.connect_delay
+      ?secret:t.secret r.ep
+  with
+  | Error _ ->
+    note_failure t r;
+    false
+  | Ok conn ->
+    let ok =
+      match Client.send conn Frame.Ping with
+      | Error _ -> false
+      | Ok () ->
+        (match Client.next conn with
+         | Some (_, Ok (Frame.Pong _)) -> true
+         | Some _ | None -> false)
+    in
+    Client.close conn;
+    if ok then
+      note_success t r ~latency_ms:((Unix.gettimeofday () -. t0) *. 1000.)
+    else note_failure t r;
+    ok
+
+let probe t =
+  Array.iter (fun r -> ignore (probe_one t r)) t.replicas;
+  Array.to_list t.replicas
+  |> List.map (fun r ->
+         { endpoint = Endpoint.to_string r.ep;
+           alive = r.failures = 0 && not (Float.is_nan r.ewma_ms);
+           latency_ms = r.ewma_ms;
+           consecutive_failures = r.failures;
+           ejected = not (available r) })
+
+(* ---- routed requests with failover ------------------------------- *)
+
+let default_key req = Digest.to_hex (Digest.string (Frame.encode_request req))
+
+(* A refusal that another replica can do better on: busy and draining
+   are this replica's condition, not the campaign's; quarantine is
+   per-replica state; serve.worker means this replica's restart budget
+   for the journal ran out — a fresh replica gets a fresh budget and
+   the journal's progress.  Bad models and daemon bugs follow the
+   campaign anywhere, so they are terminal. *)
+let migratable_refusal diags =
+  List.exists
+    (fun d ->
+      match d.Diag.rule with
+      | "serve.busy" | "serve.quarantined" | "serve.draining"
+      | "serve.worker" ->
+        true
+      | _ -> false)
+    diags
+
+type outcome = {
+  frame : Frame.response;  (* the terminal frame *)
+  raw : string;  (* its wire bytes *)
+  hops : int;  (* replicas tried before this one answered *)
+  endpoint : string;  (* who answered *)
+}
+
+(* Drive one request to a terminal frame, migrating on replica death.
+   [on_frame] sees every frame from every hop (a migration can replay
+   [Started]/[Entry] frames — consumers wanting exactly-once entries
+   should dedupe on fault id).  The journal makes migration cheap:
+   completed faults are reused, not rerun. *)
+let run ?key ?on_frame t req =
+  let key = match key with Some k -> k | None -> default_key req in
+  let emit f = match on_frame with Some g -> g f | None -> () in
+  (* after any partial progress the journal is authoritative; forcing
+     resume on makes the migrated request pick it up even when the
+     original said --no-resume (that truncation already happened) *)
+  let resumed =
+    match req with
+    | Frame.Inject i -> Frame.Inject { i with resume = true }
+    | other -> other
+  in
+  let terminal resp =
+    match (resp : Frame.response) with
+    | Frame.Report _ | Frame.Drained _ | Frame.Pong _ | Frame.Stats_reply _
+    | Frame.Bye ->
+      true
+    | Frame.Refused { diags; _ } -> not (migratable_refusal diags)
+    | Frame.Hello _ | Frame.Started _ | Frame.Artifact _ | Frame.Entry _
+    | Frame.Queued _ ->
+      false
+  in
+  let rec attempt hop tried =
+    if hop > t.max_hops then
+      Error
+        (Printf.sprintf
+           "fleet: giving up on campaign %s after %d hops (all replicas \
+            failed or refused)"
+           key hop)
+    else
+      let order = rank_replicas t ~key in
+      let order =
+        (* prefer replicas not yet tried this campaign; wrap around
+           only when everyone has had a turn *)
+        match List.filter (fun r -> not (List.memq r tried)) order with
+        | [] -> order
+        | fresh -> fresh
+      in
+      match order with
+      | [] -> Error "fleet: no replicas configured"
+      | r :: _ ->
+        let name = Endpoint.to_string r.ep in
+        let req = if hop = 0 then req else resumed in
+        (match
+           Client.connect ~retries:t.connect_retries ~delay:t.connect_delay
+             ?secret:t.secret r.ep
+         with
+         | Error msg ->
+           t.log (Printf.sprintf "fleet: %s" msg);
+           note_failure t r;
+           attempt (hop + 1) (r :: tried)
+         | Ok conn ->
+           let migrate reason =
+             Client.close conn;
+             t.log
+               (Printf.sprintf
+                  "fleet: %s on %s, migrating campaign %s to the \
+                   next-ranked replica"
+                  reason name key);
+             note_failure t r;
+             attempt (hop + 1) (r :: tried)
+           in
+           (match Client.send conn req with
+            | Error _ -> migrate "connection lost mid-send"
+            | Ok () ->
+              let rec drain () =
+                match Client.next conn with
+                | None -> migrate "connection lost mid-campaign"
+                | Some (raw, Error diags) ->
+                  emit (raw, Error diags);
+                  drain ()
+                | Some (raw, Ok resp) ->
+                  emit (raw, Ok resp);
+                  if terminal resp then begin
+                    Client.close conn;
+                    note_alive r;
+                    Ok { frame = resp; raw; hops = hop; endpoint = name }
+                  end
+                  else begin
+                    match resp with
+                    | Frame.Refused { diags; _ }
+                      when migratable_refusal diags ->
+                      migrate "transient refusal"
+                    | _ -> drain ()
+                  end
+              in
+              drain ()))
+  in
+  attempt 0 []

@@ -1,0 +1,79 @@
+(** Client-side routing over a fleet of [csrtl serve] replicas.
+
+    No coordinator and no fleet-side state: every client ranks the
+    replicas for a campaign the same way (rendezvous hashing over the
+    campaign key), health is learned from ping probes (EWMA latency +
+    a consecutive-failure breaker with cooloff, the client-side mirror
+    of the daemon's per-model quarantine), and failover is just
+    resubmission — replicas share a state directory, so the next
+    replica replays the journal the dead one left and the terminal
+    report stays byte-identical to offline [csrtl inject].
+
+    Not thread-safe: one router per requesting thread. *)
+
+type t
+
+val create :
+  ?secret:string ->
+  ?eject_threshold:int ->
+  ?cooloff_s:float ->
+  ?alpha:float ->
+  ?connect_retries:int ->
+  ?connect_delay:float ->
+  ?max_hops:int ->
+  ?log:(string -> unit) ->
+  Endpoint.t list ->
+  t
+(** A router over the given replicas (at least one, or
+    [Invalid_argument]).  A replica is ejected after [eject_threshold]
+    consecutive failures (default 3) for [cooloff_s] seconds (default
+    5), after which one half-open attempt decides.  [alpha] is the
+    EWMA smoothing factor for probe latency (default 0.3).  [secret]
+    authenticates every TCP connection the router opens.  [max_hops]
+    caps failover migrations per request (default [2n + 1]). *)
+
+type health = {
+  endpoint : string;
+  alive : bool;  (** the last probe got a pong *)
+  latency_ms : float;  (** EWMA over probes; [nan] when never reached *)
+  consecutive_failures : int;
+  ejected : bool;  (** breaker currently open *)
+}
+
+val probe : t -> health list
+(** Ping every replica once (in configuration order), feed the
+    breakers and latency estimates, and report the resulting view. *)
+
+val rank : t -> key:string -> string list
+(** The failover order for [key], as endpoint strings: available
+    replicas by descending rendezvous weight, then ejected ones (the
+    last resort when the whole fleet looks down).  Deterministic given
+    the same health state — every client computes the same order. *)
+
+type outcome = {
+  frame : Frame.response;  (** the terminal frame *)
+  raw : string;  (** its wire bytes, for [--jsonl] consumers *)
+  hops : int;  (** replicas that failed before this one answered *)
+  endpoint : string;  (** the replica that delivered the terminal frame *)
+}
+
+val run :
+  ?key:string ->
+  ?on_frame:(string * (Frame.response, Frame.Diag.t list) result -> unit) ->
+  t ->
+  Frame.request ->
+  (outcome, string) result
+(** Drive one request to a terminal frame.  The request is routed to
+    the highest-ranked available replica for [key] (default: digest of
+    the encoded request, so identical requests route identically); if
+    that replica dies mid-campaign — connection lost, reset, or a
+    migratable refusal ([serve.busy], [serve.quarantined],
+    [serve.draining], [serve.worker]) — the campaign migrates: the
+    request is resent (resume forced on) to the next-ranked replica,
+    which replays the shared journal.  [on_frame] observes every frame
+    from every hop; after a migration, [Started] and already-journaled
+    [Entry] frames can repeat — dedupe on fault id if exactly-once
+    matters.  [Error] only after [max_hops] migrations all failed. *)
+
+val default_key : Frame.request -> string
+(** The routing key [run] uses when none is given. *)

@@ -1,6 +1,8 @@
-(* The Unix-socket daemon: accept loop on the main thread, one thread
-   per connection, the engine doing all the thinking.  Built for
-   graceful degradation end to end:
+(* The daemon transport: accept loop on the main thread, one thread
+   per connection, the engine doing all the thinking.  The same
+   line-framed protocol runs over a Unix socket or TCP
+   ({!Endpoint.t}); the transports differ only in the connection
+   preamble.  Built for graceful degradation end to end:
 
    - SIGTERM/SIGINT flip the engine's drain flag; the accept loop
      notices within its select timeout, stops accepting, shuts down
@@ -11,20 +13,36 @@
      connection dead: a vanished client never kills the daemon, and
      its campaign keeps journaling so the work is resumable.
    - Oversized request lines are swallowed by the bounded reader and
-     answered with a status-2 diagnostic — the connection survives. *)
+     answered with a status-2 diagnostic — the connection survives.
+   - TCP connections open with a [Hello] frame (challenge nonce +
+     advertised fleet endpoints).  When a secret is configured the
+     client's first frame must be the matching [Auth]; anything else
+     is refused under [serve.auth] (status 1) and the connection
+     closed — the engine never sees an unauthenticated request.
+     Unix-socket connections stay auth-free: filesystem permissions
+     already gate them.
+   - An idle timeout (TCP) bounds how long a silent peer may pin a
+     connection thread; keepalive below it surfaces dead peers to the
+     kernel.  Campaign responses are pushed, not polled, so a patient
+     *waiting* client is never idle — its read side is. *)
 
 module Diag = Csrtl_diag.Diag
 
 type config = {
   engine : Engine.config;
-  socket_path : string;
+  transport : Endpoint.t;
+  secret : string option;  (* TCP auth; ignored on Unix sockets *)
+  advertise : string list;  (* fleet endpoints carried in Hello *)
+  idle_timeout_s : float;  (* <= 0 disables; TCP reads only *)
   max_request_bytes : int;  (* per-line transport cap *)
   signals : bool;  (* install SIGTERM/SIGINT handlers *)
   log : string -> unit;
 }
 
 let default_config =
-  { engine = Engine.default_config; socket_path = "csrtl.sock";
+  { engine = Engine.default_config;
+    transport = Endpoint.Unix_path "csrtl.sock"; secret = None;
+    advertise = []; idle_timeout_s = 0.;
     max_request_bytes = 64 * 1024 * 1024; signals = true;
     log = (fun _ -> ()) }
 
@@ -62,11 +80,67 @@ let too_long_diags max_bytes =
   [ Diag.error ~rule:"serve.frame"
       "request frame exceeds the %d-byte line cap" max_bytes ]
 
+let auth_refusal msg =
+  Frame.Refused
+    { status = 1; retry_after_ms = None;
+      diags = [ Diag.error ~rule:"serve.auth" "%s" msg ] }
+
+(* The TCP preamble: hello out, and — when a secret is configured —
+   exactly one [Auth] frame back before anything else.  Returns false
+   when the connection must close (refusal already written).  Wrong
+   MACs, wrong frames, floods, timeouts and EOFs all land in the same
+   status-1 [serve.auth] refusal: an attacker probing the handshake
+   learns nothing about which check tripped. *)
+let handshake srv conn r =
+  let nonce = Auth.fresh_nonce () in
+  emit_to conn
+    (Frame.Hello
+       { nonce; auth = srv.cfg.secret <> None;
+         endpoints = srv.cfg.advertise });
+  match srv.cfg.secret with
+  | None -> true
+  | Some secret ->
+    let ok =
+      match Lineio.read_line r with
+      | Lineio.Line line ->
+        (match Frame.decode_request ~limits:srv.cfg.engine.Engine.limits
+                 line with
+         | Ok (Frame.Auth { mac }) -> Auth.verify ~secret ~nonce ~mac
+         | Ok _ | Error _ -> false)
+      | Lineio.Too_long | Lineio.Idle | Lineio.Eof -> false
+    in
+    if not ok then begin
+      Engine.note_auth_failure srv.eng;
+      emit_to conn
+        (auth_refusal
+           "authentication failed: this daemon requires a valid auth \
+            frame (HMAC of the hello nonce under the shared secret) \
+            before any request")
+    end;
+    ok
+
 let client_loop srv conn =
-  let r = Lineio.reader ~max_line:srv.cfg.max_request_bytes conn.fd in
+  let idle_timeout =
+    (* only the TCP side times out reads: a Unix-socket peer is a
+       local process whose death closes the socket anyway *)
+    if Endpoint.is_tcp srv.cfg.transport && srv.cfg.idle_timeout_s > 0.
+    then Some srv.cfg.idle_timeout_s
+    else None
+  in
+  let r =
+    Lineio.reader ~max_line:srv.cfg.max_request_bytes ?idle_timeout conn.fd
+  in
   let rec loop () =
     match Lineio.read_line r with
     | Lineio.Eof -> ()
+    | Lineio.Idle ->
+      (* a peer that sent nothing for the whole window is presumed
+         dead or partitioned; release the thread.  Campaigns push
+         their frames from the engine side, so only the *read* side
+         can be idle — closing it does not cut a response short *)
+      srv.cfg.log
+        (Printf.sprintf "conn %d: idle past %.0fs, closing" conn.id
+           srv.cfg.idle_timeout_s)
     | Lineio.Too_long ->
       emit_to conn
         (Frame.Refused
@@ -92,7 +166,11 @@ let client_loop srv conn =
       Mutex.unlock srv.conns_lock;
       Atomic.set conn.dead true;
       try Unix.close conn.fd with Unix.Unix_error (_, _, _) -> ())
-    loop
+  @@ fun () ->
+  if Endpoint.is_tcp srv.cfg.transport then begin
+    if handshake srv conn r then loop ()
+  end
+  else loop ()
 
 let shutdown_reads srv =
   Mutex.lock srv.conns_lock;
@@ -119,19 +197,23 @@ let serve ?(config = default_config) () =
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
   end;
-  (* a stale socket file from a SIGKILLed daemon would fail the bind *)
-  (try Unix.unlink config.socket_path with Unix.Unix_error (_, _, _) -> ());
-  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let lfd =
+    match Endpoint.listen config.transport with
+    | Ok fd -> fd
+    | Error msg -> failwith msg
+  in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.close lfd with Unix.Unix_error (_, _, _) -> ());
-      (try Unix.unlink config.socket_path
-       with Unix.Unix_error (_, _, _) -> ());
+      Endpoint.cleanup config.transport;
       Engine.dispose srv.eng)
   @@ fun () ->
-  Unix.bind lfd (Unix.ADDR_UNIX config.socket_path);
-  Unix.listen lfd 64;
-  log (Printf.sprintf "listening on %s" config.socket_path);
+  log
+    (Printf.sprintf "listening on %s%s"
+       (Endpoint.to_string config.transport)
+       (if Endpoint.is_tcp config.transport && config.secret <> None then
+          " (authenticated)"
+        else ""));
   (* live connection threads, keyed by conn id; accept-loop private *)
   let threads : (int, Thread.t) Hashtbl.t = Hashtbl.create 16 in
   let reap () =
@@ -157,6 +239,7 @@ let serve ?(config = default_config) () =
        | _ ->
          (match Unix.accept lfd with
           | fd, _ ->
+            Endpoint.setup_accepted config.transport fd;
             let conn =
               { id = Atomic.fetch_and_add srv.next_id 1; fd;
                 wlock = Mutex.create (); dead = Atomic.make false }

@@ -1,4 +1,5 @@
-(** The [csrtl serve] daemon: line-delimited JSON over a Unix socket.
+(** The [csrtl serve] daemon: line-delimited JSON over a Unix socket
+    or TCP ({!Endpoint.t}).
 
     Accept loop on the calling thread, one thread per connection,
     {!Engine.handle} behind each.  Returns after a graceful drain:
@@ -8,13 +9,30 @@
     remove the socket file.  A SIGKILL instead loses nothing but the
     entries in flight — resending a request resumes its journal.
 
+    TCP connections open with a [Hello] challenge frame; when [secret]
+    is set, the client's first frame must be the matching [Auth] or
+    the connection is refused under [serve.auth] (status 1) and
+    closed.  Unix-socket connections skip the handshake — filesystem
+    permissions already gate them.
+
     A dead client (reset, full buffer, vanished) only marks its own
     connection; the campaign it started keeps journaling to
     completion, so the work is never wasted. *)
 
 type config = {
   engine : Engine.config;
-  socket_path : string;
+  transport : Endpoint.t;
+  secret : string option;
+      (** require an HMAC handshake on TCP connections; [None] (the
+          default) accepts any peer.  Ignored on Unix sockets *)
+  advertise : string list;
+      (** fleet endpoints carried in every [Hello] frame, so a client
+          that reaches one replica can discover the rest *)
+  idle_timeout_s : float;
+      (** close a TCP connection whose peer sends nothing for this
+          long ([<= 0] disables, the default).  Only the read side is
+          timed: a client patiently awaiting campaign frames is never
+          idle by this measure *)
   max_request_bytes : int;
       (** transport cap per request line; an over-long line is
           discarded and answered with a status-2 diagnostic, and the
@@ -28,5 +46,6 @@ type config = {
 val default_config : config
 
 val serve : ?config:config -> unit -> unit
-(** Run until drained.  Binds [socket_path] (unlinking any stale
-    socket first), ignores SIGPIPE for the whole process. *)
+(** Run until drained.  Binds the transport (unlinking any stale Unix
+    socket first; [SO_REUSEADDR] on TCP so a restarted replica rebinds
+    immediately), ignores SIGPIPE for the whole process. *)

@@ -27,7 +27,7 @@ sun_path cap on Unix socket addresses:
 The client retries while the daemon is still binding:
 
   $ csrtl request --socket $SOCK --retry 100 --ping
-  pong csrtl-serve/2
+  pong csrtl-serve/3
 
 A served campaign is byte-identical to offline inject output, at any
 engine and batch size; the resume token is a pure function of the
@@ -66,13 +66,13 @@ Malformed frames are refused with a status-coded diagnostic on the
 same connection — never a dead socket:
 
   $ csrtl request --socket $SOCK --raw 'garbage {'
-  {"csrtl":"resp","v":2,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.frame","message":"bad frame: expected a JSON value at offset 0"}]}
+  {"csrtl":"resp","v":3,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.frame","message":"bad frame: expected a JSON value at offset 0"}]}
   [2]
-  $ csrtl request --socket $SOCK --raw '{"csrtl":"req","v":2,"op":"frobnicate"}'
-  {"csrtl":"resp","v":2,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.request","message":"unknown op \"frobnicate\""}]}
+  $ csrtl request --socket $SOCK --raw '{"csrtl":"req","v":3,"op":"frobnicate"}'
+  {"csrtl":"resp","v":3,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.request","message":"unknown op \"frobnicate\""}]}
   [2]
   $ csrtl request --socket $SOCK --raw '{"csrtl":"req","v":1,"op":"ping"}'
-  {"csrtl":"resp","v":2,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.request","message":"unsupported protocol version 1 (this is v2)"}]}
+  {"csrtl":"resp","v":3,"resp":"refused","status":2,"diags":[{"severity":"error","rule":"serve.request","message":"unsupported protocol version 1 (this is v3)"}]}
   [2]
 
 An already-expired deadline drains the campaign to its journal
@@ -95,7 +95,7 @@ worker's reap finish, so the counters are settled, not racing):
   $ sleep 0.2
   $ csrtl request --socket $SOCK --stats
   requests 9 | campaigns 6 | drained 1 | refused 0
-  workers: 0 crashes, 0 restarts, 0 quarantined | queue: 0 active, 0 waiting
+  workers: 0 crashes, 0 restarts, 0 quarantined | queue: 0 active, 0 waiting | auth: 0 failure(s)
   cache model: 6 hits, 1 misses, 0 evictions (1/64 entries)
   cache plan: 6 hits, 1 misses, 0 evictions (1/64 entries)
   cache golden: 6 hits, 1 misses, 0 evictions (1/64 entries)
@@ -133,7 +133,7 @@ resumes the journal to a byte-identical report:
   $ csrtl serve --socket $SOCK --state-dir state --quiet &
   $ SERVE_PID=$!
   $ csrtl request --socket $SOCK --retry 100 --ping
-  pong csrtl-serve/2
+  pong csrtl-serve/3
   $ (csrtl request --socket $SOCK fig1.rtm --engine kernel --batch 1 --no-resume > /dev/null 2>&1; true) &
   $ CLIENT_PID=$!
   $ sleep 0.2

@@ -41,7 +41,9 @@ let gen_request =
   QCheck.Gen.(
     frequency
       [ (1, return S.Frame.Ping); (1, return S.Frame.Stats);
-        (1, return S.Frame.Shutdown); (5, gen_inject) ])
+        (1, return S.Frame.Shutdown);
+        (1, map (fun mac -> S.Frame.Auth { mac }) (gen_bytes 40));
+        (5, gen_inject) ])
 
 let gen_outcome =
   let open QCheck.Gen in
@@ -84,6 +86,10 @@ let gen_response =
   let nat = int_bound 10_000 in
   frequency
     [ (1, map (fun v -> S.Frame.Pong { version = v }) str);
+      ( 1,
+        let* nonce = str and* auth = bool in
+        let* endpoints = list_size (int_bound 4) (gen_bytes 30) in
+        return (S.Frame.Hello { nonce; auth; endpoints }) );
       ( 2,
         let* token = str and* total = nat and* cached = bool in
         let* plan_cached = bool and* golden_cached = bool in
@@ -125,11 +131,13 @@ let gen_response =
         let* requests = nat and* campaigns = nat and* drained = nat in
         let* refused = nat and* active = nat and* queued = nat in
         let* restarts = nat and* crashes = nat and* quarantined = nat in
+        let* auth_failures = nat in
         let* model = gen_tier and* plan = gen_tier and* golden = gen_tier in
         return
           (S.Frame.Stats_reply
              { requests; campaigns; drained; refused; active; queued;
-               restarts; crashes; quarantined; model; plan; golden }) );
+               restarts; crashes; quarantined; auth_failures; model; plan;
+               golden }) );
       (1, return S.Frame.Bye) ]
 
 (* -- codec properties ------------------------------------------------------- *)
@@ -174,15 +182,15 @@ let test_decode_hostile () =
   (* trailing garbage after a valid frame is transport rot *)
   (match
      S.Frame.decode_request
-       "{\"csrtl\":\"req\",\"v\":2,\"op\":\"ping\"} extra"
+       "{\"csrtl\":\"req\",\"v\":3,\"op\":\"ping\"} extra"
    with
    | Ok _ -> Alcotest.fail "trailing garbage accepted"
    | Error _ -> ());
   (* wrong version — past or future — is refused deterministically *)
-  (match S.Frame.decode_request "{\"csrtl\":\"req\",\"v\":1,\"op\":\"ping\"}" with
+  (match S.Frame.decode_request "{\"csrtl\":\"req\",\"v\":2,\"op\":\"ping\"}" with
    | Ok _ -> Alcotest.fail "stale protocol version accepted"
    | Error _ -> ());
-  match S.Frame.decode_request "{\"csrtl\":\"req\",\"v\":3,\"op\":\"ping\"}" with
+  match S.Frame.decode_request "{\"csrtl\":\"req\",\"v\":4,\"op\":\"ping\"}" with
   | Ok _ -> Alcotest.fail "future protocol version accepted"
   | Error ds ->
     check_bool "names the version" true
@@ -190,7 +198,7 @@ let test_decode_hostile () =
          (fun (d : Diag.t) ->
            d.Diag.rule = "serve.request"
            &&
-           match String.index_opt d.Diag.message '3' with
+           match String.index_opt d.Diag.message '4' with
            | Some _ -> true
            | None -> false)
          ds)
@@ -841,7 +849,7 @@ let test_daemon_sigkill_resume () =
          S.Server.serve
            ~config:
              { S.Server.default_config with
-               S.Server.socket_path = sock;
+               S.Server.transport = S.Endpoint.Unix_path sock;
                engine =
                  { S.Engine.default_config with
                    S.Engine.state_dir = state; jobs = 1;
@@ -852,7 +860,9 @@ let test_daemon_sigkill_resume () =
     | pid -> pid
   in
   let connect () =
-    match S.Client.connect ~retries:200 ~delay:0.02 sock with
+    match
+      S.Client.connect ~retries:200 ~delay:0.02 (S.Endpoint.Unix_path sock)
+    with
     | Ok c -> c
     | Error msg -> Alcotest.failf "connect: %s" msg
   in
@@ -956,6 +966,227 @@ let test_client_retry_policy () =
   in
   check_bool "cap holds" true (capped <= 2.0 +. 1e-9)
 
+(* With a pinned rng the whole curve is deterministic: rng () = 1.0
+   makes the jittered delay exactly d, rng () = 0.0 exactly d/2, so
+   the exponential schedule, the hint floor and the 2s cap can be
+   pinned as bytes rather than inequalities. *)
+let test_backoff_curve () =
+  let check_f = Alcotest.(check (float 1e-9)) in
+  let at ?retry_after_ms attempt rng =
+    S.Client.backoff_delay ~attempt ~retry_after_ms (fun () -> rng)
+  in
+  check_f "attempt 0 = base" 0.05 (at 0 1.0);
+  check_f "attempt 1 doubles" 0.1 (at 1 1.0);
+  check_f "attempt 2" 0.2 (at 2 1.0);
+  check_f "attempt 3" 0.4 (at 3 1.0);
+  check_f "attempt 4" 0.8 (at 4 1.0);
+  check_f "attempt 5" 1.6 (at 5 1.0);
+  check_f "attempt 6 hits the 2s cap" 2.0 (at 6 1.0);
+  check_f "attempt 30 stays capped" 2.0 (at 30 1.0);
+  (* the daemon's hint floors the exponential *)
+  check_f "hint floor" 0.5 (at ~retry_after_ms:500 0 1.0);
+  check_f "hint loses to a bigger exponent" 0.8
+    (at ~retry_after_ms:500 4 1.0);
+  check_f "hint is capped too" 2.0 (at ~retry_after_ms:10_000 0 1.0);
+  (* jitter spans exactly [d/2, d] *)
+  check_f "rng 0 = half" 0.025 (at 0 0.0);
+  check_f "rng 1/2 = three quarters" 0.0375 (at 0 0.5)
+
+(* -- transport units -------------------------------------------------------- *)
+
+let test_endpoint_parse () =
+  let ok s = match S.Endpoint.of_string s with
+    | Ok ep -> ep
+    | Error msg -> Alcotest.failf "%s rejected: %s" s msg
+  in
+  (match ok "127.0.0.1:7430" with
+   | S.Endpoint.Tcp ("127.0.0.1", 7430) -> ()
+   | _ -> Alcotest.fail "host:port must parse as TCP");
+  (match ok "csrtl.sock" with
+   | S.Endpoint.Unix_path "csrtl.sock" -> ()
+   | _ -> Alcotest.fail "bare path stays a Unix path");
+  (match ok "./state:dir/x.sock" with
+   | S.Endpoint.Unix_path _ -> ()
+   | _ -> Alcotest.fail "colon without trailing port stays a path");
+  (match ok ":7430" with
+   | S.Endpoint.Unix_path _ -> ()
+   | _ -> Alcotest.fail "empty host is not TCP");
+  (match S.Endpoint.of_string "host:99999" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "out-of-range port must be an explicit error");
+  Alcotest.(check string) "tcp round-trips" "10.0.0.1:80"
+    (S.Endpoint.to_string (ok "10.0.0.1:80"));
+  check_bool "is_tcp" true (S.Endpoint.is_tcp (ok "h:1"));
+  check_bool "is_tcp on path" false (S.Endpoint.is_tcp (ok "h"))
+
+(* the satellite regression: an unterminated final line at EOF must be
+   delivered, not silently discarded — it is a drained daemon's last
+   frame or a hand-piped request *)
+let test_lineio_final_line () =
+  let feed bytes =
+    let rd, wr = Unix.pipe () in
+    ignore (Unix.write_substring wr bytes 0 (String.length bytes));
+    Unix.close wr;
+    (rd, S.Lineio.reader rd)
+  in
+  let rd, r = feed "one\ntwo" in
+  (match S.Lineio.read_line r with
+   | S.Lineio.Line "one" -> ()
+   | _ -> Alcotest.fail "terminated line reads normally");
+  (match S.Lineio.read_line r with
+   | S.Lineio.Line "two" -> ()
+   | _ -> Alcotest.fail "unterminated final line must be delivered");
+  (match S.Lineio.read_line r with
+   | S.Lineio.Eof -> ()
+   | _ -> Alcotest.fail "then Eof");
+  Unix.close rd;
+  (* a lone unterminated line *)
+  let rd, r = feed "solo" in
+  (match S.Lineio.read_line r with
+   | S.Lineio.Line "solo" -> ()
+   | _ -> Alcotest.fail "lone unterminated line must be delivered");
+  (match S.Lineio.read_line r with
+   | S.Lineio.Eof -> ()
+   | _ -> Alcotest.fail "then Eof after the lone line");
+  Unix.close rd;
+  (* an empty stream is just Eof — no phantom empty Line *)
+  let rd, r = feed "" in
+  (match S.Lineio.read_line r with
+   | S.Lineio.Eof -> ()
+   | _ -> Alcotest.fail "empty stream is Eof");
+  Unix.close rd
+
+let test_auth_hmac () =
+  (* RFC 2202 test vectors: the hand-rolled HMAC-MD5 must be the real
+     construction, not something HMAC-shaped *)
+  Alcotest.(check string) "rfc2202 case 2"
+    "750c783e6ab0b503eaa86e310a5db738"
+    (S.Auth.hmac ~secret:"Jefe" "what do ya want for nothing?");
+  Alcotest.(check string) "classic fox vector"
+    "80070713463e7749b90c2dc24911e275"
+    (S.Auth.hmac ~secret:"key" "The quick brown fox jumps over the lazy dog");
+  (* keys longer than the 64-byte block are digested first *)
+  let long = String.make 100 'k' in
+  check_bool "long key verifies its own mac" true
+    (S.Auth.verify ~secret:long ~nonce:"n"
+       ~mac:(S.Auth.hmac ~secret:long "n"));
+  check_bool "wrong secret's mac is refused" false
+    (S.Auth.verify ~secret:"s" ~nonce:"n"
+       ~mac:(S.Auth.hmac ~secret:"other" "n"));
+  check_bool "constant-time equality agrees" true
+    (S.Auth.equal_macs "deadbeef" "deadbeef");
+  check_bool "one byte off" false (S.Auth.equal_macs "deadbeef" "deadbeee");
+  check_bool "length mismatch" false (S.Auth.equal_macs "dead" "deadbeef");
+  check_bool "nonces do not repeat" true
+    (S.Auth.fresh_nonce () <> S.Auth.fresh_nonce ())
+
+let test_fleet_rank () =
+  let eps =
+    [ S.Endpoint.Tcp ("10.0.0.1", 7430); S.Endpoint.Tcp ("10.0.0.2", 7430);
+      S.Endpoint.Tcp ("10.0.0.3", 7430) ]
+  in
+  let fleet = S.Fleet.create eps in
+  let r1 = S.Fleet.rank fleet ~key:"k1" in
+  check_int "every replica ranked" 3 (List.length r1);
+  Alcotest.(check (list string)) "ranking is deterministic" r1
+    (S.Fleet.rank fleet ~key:"k1");
+  Alcotest.(check (list string)) "ranking is a permutation"
+    (List.sort compare (List.map S.Endpoint.to_string eps))
+    (List.sort compare r1);
+  (* rendezvous hashing spreads distinct keys across replicas *)
+  let heads =
+    List.init 64 (fun i ->
+        List.hd (S.Fleet.rank fleet ~key:(Printf.sprintf "key-%d" i)))
+    |> List.sort_uniq compare
+  in
+  check_bool "keys shard across more than one replica" true
+    (List.length heads >= 2);
+  Alcotest.(check string) "default routing key is stable"
+    (S.Fleet.default_key S.Frame.Ping)
+    (S.Fleet.default_key S.Frame.Ping);
+  check_bool "different requests, different keys" true
+    (S.Fleet.default_key S.Frame.Ping <> S.Fleet.default_key S.Frame.Stats)
+
+(* a live TCP daemon: hello advertises the fleet, a good secret gets a
+   pong, wrong and missing secrets get status-1 serve.auth refusals
+   without crashing the daemon, and the failures show in stats *)
+let test_tcp_auth_handshake () =
+  let dir = Filename.temp_file "csrtl_tcp" ".state" in
+  Sys.remove dir;
+  let port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> assert false)
+  in
+  let ep = S.Endpoint.Tcp ("127.0.0.1", port) in
+  let config =
+    { S.Server.default_config with
+      transport = ep; secret = Some "sesame";
+      advertise = [ "a.example:7430"; "b.example:7430" ]; signals = false;
+      engine = { S.Engine.default_config with state_dir = dir } }
+  in
+  let server = Thread.create (fun () -> S.Server.serve ~config ()) () in
+  let connect ?secret () =
+    match S.Client.connect ~retries:500 ~delay:0.01 ?secret ep with
+    | Ok c -> c
+    | Error msg -> Alcotest.failf "connect: %s" msg
+  in
+  (* good secret: the hello advertises the fleet and ping pongs *)
+  let c = connect ~secret:"sesame" () in
+  Alcotest.(check (list string)) "hello advertises the fleet"
+    [ "a.example:7430"; "b.example:7430" ]
+    (S.Client.advertised c);
+  (match S.Client.send c S.Frame.Ping with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "send: %s" msg);
+  (match S.Client.next c with
+   | Some (_, Ok (S.Frame.Pong { version })) ->
+     Alcotest.(check string) "pong version" "csrtl-serve/3" version
+   | _ -> Alcotest.fail "authenticated ping must pong");
+  S.Client.close c;
+  let expect_auth_refusal label c =
+    (match S.Client.send c S.Frame.Ping with
+     | Ok () -> ()
+     | Error _ ->
+       (* the daemon may have closed already; the refusal frame is
+          still in flight *)
+       ());
+    (match S.Client.next c with
+     | Some (_, Ok (S.Frame.Refused { status = 1; diags; _ }))
+       when List.exists (fun (d : Diag.t) -> d.Diag.rule = "serve.auth")
+              diags ->
+       ()
+     | _ -> Alcotest.failf "%s must be refused under serve.auth" label);
+    S.Client.close c
+  in
+  expect_auth_refusal "wrong secret" (connect ~secret:"wrong" ());
+  expect_auth_refusal "missing secret" (connect ());
+  (* the daemon survived both and counted them *)
+  let c = connect ~secret:"sesame" () in
+  (match S.Client.send c S.Frame.Stats with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "stats send: %s" msg);
+  (match S.Client.next c with
+   | Some (_, Ok (S.Frame.Stats_reply s)) ->
+     check_int "both failed handshakes counted" 2 s.S.Frame.auth_failures
+   | _ -> Alcotest.fail "stats after auth failures");
+  S.Client.close c;
+  let c = connect ~secret:"sesame" () in
+  (match S.Client.send c S.Frame.Shutdown with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "shutdown send: %s" msg);
+  (match S.Client.next c with
+   | Some (_, Ok S.Frame.Bye) -> ()
+   | _ -> Alcotest.fail "shutdown must answer Bye");
+  S.Client.close c;
+  Thread.join server;
+  rm_rf dir
+
 let () =
   Alcotest.run "serve"
     [ ( "codec",
@@ -1004,4 +1235,15 @@ let () =
             test_daemon_sigkill_resume ] );
       ( "client",
         [ Alcotest.test_case "retry classification and backoff" `Quick
-            test_client_retry_policy ] ) ]
+            test_client_retry_policy;
+          Alcotest.test_case "deterministic backoff curve" `Quick
+            test_backoff_curve ] );
+      ( "transport",
+        [ Alcotest.test_case "endpoint parsing" `Quick test_endpoint_parse;
+          Alcotest.test_case "unterminated final line at EOF" `Quick
+            test_lineio_final_line;
+          Alcotest.test_case "hmac vectors and verification" `Quick
+            test_auth_hmac;
+          Alcotest.test_case "rendezvous ranking" `Quick test_fleet_rank;
+          Alcotest.test_case "tcp hello/auth handshake" `Quick
+            test_tcp_auth_handshake ] ) ]
